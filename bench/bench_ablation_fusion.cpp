@@ -1,0 +1,78 @@
+// ABLATION: the alarm-fusion rule and the threshold percentile.
+//
+// The paper fuses motor-velocity, motor-acceleration and joint-velocity
+// alarms and fires only when all three agree, "to reduce false alarms due
+// to model inaccuracies and natural noise".  This bench quantifies that
+// choice: TPR/FPR of any-1 vs 2-of-3 vs all-3 fusion on a scenario-B
+// grid, plus sensitivity to the learned-threshold margin.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sim/metrics.hpp"
+
+namespace rg {
+namespace {
+
+ConfusionMatrix evaluate(FusionPolicy fusion, double margin,
+                         const DetectionThresholds& base, int reps) {
+  DetectionThresholds th = base;
+  for (std::size_t i = 0; i < 3; ++i) {
+    th.motor_vel[i] *= margin;
+    th.motor_acc[i] *= margin;
+    th.joint_vel[i] *= margin;
+  }
+
+  const double values[] = {2000, 8000, 14000, 20000, 26000, 32000};
+  const std::uint32_t periods[] = {4, 16, 64, 256};
+  ConfusionMatrix cm;
+  int n = 0;
+  for (double value : values) {
+    for (std::uint32_t period : periods) {
+      for (int rep = 0; rep < reps; ++rep) {
+        AttackSpec spec;
+        spec.variant = AttackVariant::kTorqueInjection;
+        spec.magnitude = value;
+        spec.duration_packets = period;
+        spec.delay_packets = 350 + static_cast<std::uint32_t>(rep) * 127;
+        spec.seed = 60000 + static_cast<std::uint64_t>(n) * 13;
+
+        SessionParams p = bench::standard_session();
+        p.seed = 3000 + static_cast<std::uint64_t>(rep) * 41;
+        p.fusion = fusion;
+
+        const AttackRunResult r = run_attack_session(p, spec, th, false);
+        cm.add(r.impact(), r.outcome.detector_alarmed());
+        ++n;
+      }
+    }
+  }
+  return cm;
+}
+
+}  // namespace
+}  // namespace rg
+
+int main() {
+  using namespace rg;
+  bench::header("ABLATION: alarm fusion policy and threshold margin (scenario B grid)");
+
+  const DetectionThresholds thresholds = bench::standard_thresholds();
+  const int reps = bench::reps(8);
+
+  std::printf("\n  %-10s %-8s %8s %8s %8s %8s\n", "fusion", "margin", "ACC%", "TPR%", "FPR%",
+              "F1%");
+  for (FusionPolicy fusion :
+       {FusionPolicy::kAnyVariable, FusionPolicy::kTwoOfThree, FusionPolicy::kAllThree}) {
+    for (double margin : {0.5, 1.0, 2.0}) {
+      const ConfusionMatrix cm = evaluate(fusion, margin, thresholds, reps);
+      std::printf("  %-10s %-8.1f %8.1f %8.1f %8.1f %8.1f\n",
+                  std::string{to_string(fusion)}.c_str(), margin, 100.0 * cm.accuracy(),
+                  100.0 * cm.tpr(), 100.0 * cm.fpr(), 100.0 * cm.f1());
+    }
+  }
+
+  std::printf("\n  Expected: any-1 fusion maximizes TPR but pays FPR; all-3 (the paper's\n"
+              "  rule) suppresses false alarms at a small TPR cost; margin shifts the\n"
+              "  whole operating point along the ROC curve.\n");
+  return 0;
+}

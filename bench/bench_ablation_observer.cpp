@@ -1,0 +1,118 @@
+// ABLATION: observer design for the parallel model.
+//
+// The deployed estimator corrects its parallel model with a Luenberger
+// position/velocity injection; the literature the paper builds on
+// (Haghighipanah et al., its ref. [35]) uses an unscented Kalman filter.
+// This bench replays identical encoder/DAC streams from a fault-free run
+// through both observers and compares (a) one-step position-prediction
+// innovation (accuracy) and (b) the noise floor of the detection
+// variables (which sets how tight the thresholds can be).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/estimator.hpp"
+#include "core/ukf_estimator.hpp"
+#include "hw/motor_controller.hpp"
+#include "math/stats.hpp"
+#include "sim/surgical_sim.hpp"
+
+namespace rg {
+namespace {
+
+struct Stream {
+  std::vector<MotorVector> encoders;
+  std::vector<std::array<std::int16_t, 3>> dacs;
+};
+
+Stream record_stream(std::uint64_t seed) {
+  SessionParams p = bench::standard_session();
+  p.seed = seed;
+  SimConfig cfg = make_session(p, std::nullopt, false);
+  SurgicalSim sim(std::move(cfg));
+  TraceRecorder trace;
+  sim.set_trace(&trace);
+  sim.run(p.duration_sec);
+
+  const MotorChannel channel;
+  Stream out;
+  for (const TraceSample& s : trace.samples()) {
+    MotorVector enc;
+    for (std::size_t i = 0; i < 3; ++i) {
+      enc[i] = channel.angle_from_counts(channel.counts_from_angle(s.motor_pos[i]));
+    }
+    out.encoders.push_back(enc);
+    out.dacs.push_back({static_cast<std::int16_t>(s.dac[0]),
+                        static_cast<std::int16_t>(s.dac[1]),
+                        static_cast<std::int16_t>(s.dac[2])});
+  }
+  return out;
+}
+
+struct ObserverReport {
+  RunningStats innovation_mrad;  // |predicted next mpos - next encoder|
+  RunningStats accel_floor;      // predicted motor accel on clean data
+};
+
+template <typename Estimator>
+ObserverReport replay(Estimator& est, const Stream& stream) {
+  ObserverReport report;
+  for (std::size_t t = 0; t + 1 < stream.encoders.size(); ++t) {
+    est.observe_feedback(stream.encoders[t]);
+    const Prediction pred = est.predict(stream.dacs[t]);
+    est.commit(stream.dacs[t]);
+    if (!pred.valid) continue;
+    double err = 0.0;
+    for (std::size_t i = 0; i < 3; ++i) {
+      err = std::max(err, std::abs(pred.mpos_next[i] - stream.encoders[t + 1][i]));
+    }
+    report.innovation_mrad.add(1000.0 * err);
+    report.accel_floor.add(pred.motor_instant_acc.norm_inf());
+  }
+  return report;
+}
+
+void print_report(const char* name, const ObserverReport& r) {
+  std::printf("  %-28s %10.3f %10.3f %12.0f %12.0f\n", name, r.innovation_mrad.mean(),
+              r.innovation_mrad.max(), r.accel_floor.mean(), r.accel_floor.max());
+}
+
+}  // namespace
+}  // namespace rg
+
+int main() {
+  using namespace rg;
+  bench::header(
+      "ABLATION: observer design (Luenberger vs sigma-point Kalman filter)\n"
+      "identical fault-free encoder/DAC replay; lower = tighter thresholds");
+
+  std::printf("\n  %-28s %10s %10s %12s %12s\n", "observer", "innov avg", "innov max",
+              "accel avg", "accel max");
+  std::printf("  %-28s %10s %10s %12s %12s\n", "", "(mrad)", "(mrad)", "(rad/s^2)",
+              "(rad/s^2)");
+
+  const int runs = bench::reps(3);
+  for (int r = 0; r < runs; ++r) {
+    const Stream stream = record_stream(42 + static_cast<std::uint64_t>(r) * 11);
+
+    DynamicModelEstimator luenberger;
+    if (r > 0) std::printf("  --- run %d ---\n", r + 1);
+    print_report("Luenberger (deployed)", replay(luenberger, stream));
+
+    EstimatorConfig stiff;
+    stiff.observer_position_gain = 0.05;
+    stiff.observer_velocity_gain = 10.0;
+    DynamicModelEstimator low_gain(stiff);
+    print_report("Luenberger, low gains", replay(low_gain, stream));
+
+    UkfEstimator ukf;
+    print_report("UKF (sigma-point)", replay(ukf, stream));
+  }
+
+  std::printf("\n  Reading: through the stiff cable transmission the UKF's position\n"
+              "  innovations carry little persistent velocity information, so its\n"
+              "  one-step predictions drift during motion; the deployed Luenberger\n"
+              "  correction keeps both the innovation and the clean-data acceleration\n"
+              "  floor low — i.e., tighter detection thresholds for free.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// ABLATION: ODE solver choice for the detector's real-time model.
+//
+// google-benchmark microbenchmarks of the per-cycle model work (one
+// predict + one commit of the 12-state ODE) for each integrator, plus the
+// single-step cost of the raw dynamics — the numbers behind the Fig. 8
+// time/step column and the claim that the model fits the 1 ms budget.
+#include <benchmark/benchmark.h>
+
+#include "core/estimator.hpp"
+#include "dynamics/raven_model.hpp"
+
+namespace rg {
+namespace {
+
+void BM_ModelStep(benchmark::State& state, SolverKind solver) {
+  const RavenDynamicsModel model;
+  RavenDynamicsModel::State x = model.make_rest_state(JointVector{0.0, 1.5, 0.15});
+  const Vec3 currents{0.5, -0.3, 0.2};
+  for (auto _ : state) {
+    x = model.step(x, currents, 1.0e-3, solver);
+    benchmark::DoNotOptimize(x);
+  }
+  state.SetLabel(std::string{to_string(solver)});
+}
+
+void BM_DetectorCycle(benchmark::State& state, SolverKind solver) {
+  EstimatorConfig cfg;
+  cfg.solver = solver;
+  DynamicModelEstimator est(cfg);
+  const RavenDynamicsModel model;
+  const MotorVector rest = model.coupling().joint_to_motor(JointVector{0.0, 1.5, 0.15});
+  est.observe_feedback(rest);
+  const std::array<std::int16_t, 3> dac{500, -300, 200};
+  for (auto _ : state) {
+    est.observe_feedback(rest);
+    Prediction pred = est.predict(dac);
+    benchmark::DoNotOptimize(pred);
+    est.commit(dac);
+  }
+  state.SetLabel(std::string{to_string(solver)} +
+                 " (budget: 1 ms/cycle — full observe+predict+commit)");
+}
+
+void BM_DerivativeOnly(benchmark::State& state) {
+  const RavenDynamicsModel model;
+  const RavenDynamicsModel::State x = model.make_rest_state(JointVector{0.0, 1.5, 0.15});
+  const Vec3 currents{0.5, -0.3, 0.2};
+  for (auto _ : state) {
+    auto dx = model.derivative(x, currents);
+    benchmark::DoNotOptimize(dx);
+  }
+}
+
+BENCHMARK_CAPTURE(BM_ModelStep, euler, SolverKind::kEuler);
+BENCHMARK_CAPTURE(BM_ModelStep, midpoint, SolverKind::kMidpoint);
+BENCHMARK_CAPTURE(BM_ModelStep, rk4, SolverKind::kRk4);
+BENCHMARK_CAPTURE(BM_ModelStep, rkf45, SolverKind::kRkf45);
+BENCHMARK_CAPTURE(BM_DetectorCycle, euler, SolverKind::kEuler);
+BENCHMARK_CAPTURE(BM_DetectorCycle, rk4, SolverKind::kRk4);
+BENCHMARK(BM_DerivativeOnly);
+
+}  // namespace
+}  // namespace rg
+
+BENCHMARK_MAIN();

@@ -1,0 +1,217 @@
+// DEFENSE COMPARISON (paper Sec. III.D): why conventional integrity
+// retrofits do not close the TOCTOU gap, and what each defense costs.
+//
+// The paper argues that signature/anomaly malware detection, encryption /
+// bump-in-the-wire (BITW) integrity, and remote attestation either add
+// latency or "still not eliminate the possibility of TOCTOU exploits",
+// motivating the dynamic-model approach.  This bench makes that argument
+// quantitative on the simulated system:
+//
+//   1. per-packet cost of BITW sealing + verification vs the 1 ms budget,
+//   2. scenario-B outcome under four configurations:
+//        (a) stock robot,
+//        (b) BITW MAC with the attacker *outside* the seal (bus tamper),
+//        (c) BITW MAC with the attacker *inside* the process (re-seals
+//            with the stolen key -> attack succeeds),
+//        (d) dynamic-model detection (this paper).
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "defense/bitw.hpp"
+#include "math/stats.hpp"
+
+namespace rg {
+namespace {
+
+/// Write-path wrapper that corrupts the *sealed* frame (attacker outside
+/// the seal: classic bus-level tampering the BITW retrofit is built for).
+class OutsideSealTamper final : public PacketInterposer {
+ public:
+  bool on_packet(std::span<std::uint8_t> bytes, std::uint64_t) override {
+    if (bytes.size() != kSealedCommandSize) return true;
+    bytes[3] = static_cast<std::uint8_t>(bytes[3] + 60);  // DAC high byte
+    ++injections_;
+    return true;
+  }
+  std::uint64_t injections_ = 0;
+};
+
+/// Write-path wrapper that corrupts the packet and re-seals with the key
+/// it lifted from process memory (attacker inside the process — the
+/// paper's threat model).
+class InsideSealTamper final : public PacketInterposer {
+ public:
+  InsideSealTamper(MacKey stolen, std::int32_t dac_offset)
+      : stolen_(stolen), offset_(dac_offset) {}
+
+  bool on_packet(std::span<std::uint8_t> bytes, std::uint64_t) override {
+    if (bytes.size() != kSealedCommandSize) return true;
+    SealedCommandBytes frame{};
+    std::copy(bytes.begin(), bytes.end(), frame.begin());
+    CommandBytes inner{};
+    std::copy(frame.begin(), frame.begin() + kCommandPacketSize, inner.begin());
+    auto decoded = decode_command(inner, false);
+    if (!decoded.ok()) return true;
+    CommandPacket pkt = decoded.value();
+    if (pkt.state != RobotState::kPedalDown) return true;  // same trigger logic
+    const std::int32_t next =
+        std::clamp(static_cast<std::int32_t>(pkt.dac[1]) + offset_, -32768, 32767);
+    pkt.dac[1] = static_cast<std::int16_t>(next);
+    const SealedCommandBytes resealed =
+        reseal_with_stolen_key(stolen_, frame, encode_command(pkt));
+    std::copy(resealed.begin(), resealed.end(), bytes.begin());
+    ++injections_;
+    return true;
+  }
+  MacKey stolen_;
+  std::int32_t offset_;
+  std::uint64_t injections_ = 0;
+};
+
+/// Run a session where the control software's output is sealed, the
+/// given wrapper interposes on the sealed frames, and the board only
+/// accepts frames the verifier blesses.
+struct SealedRunResult {
+  RunOutcome outcome;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+};
+
+SealedRunResult run_sealed_session(std::shared_ptr<PacketInterposer> tamper,
+                                   const MacKey& key) {
+  SessionParams p = bench::standard_session();
+  p.seed = 4242;
+  SimConfig cfg = make_session(p, std::nullopt, false);
+  SurgicalSim sim(std::move(cfg));
+
+  CommandSealer sealer(key);
+  CommandVerifier verifier(key);
+
+  // The seal/verify pair wraps the write hop: seal the software's bytes,
+  // pass the sealed frame through the attacker, verify at the board, and
+  // rewrite the buffer with either the verified payload or a safe zero
+  // packet (a BITW verifier fails closed).
+  class SealVerifyAdapter final : public PacketInterposer {
+   public:
+    SealVerifyAdapter(CommandSealer& sealer, CommandVerifier& verifier,
+                      std::shared_ptr<PacketInterposer> tamper)
+        : sealer_(sealer), verifier_(verifier), tamper_(std::move(tamper)) {}
+
+    bool on_packet(std::span<std::uint8_t> bytes, std::uint64_t tick) override {
+      CommandBytes pkt{};
+      std::copy(bytes.begin(), bytes.end(), pkt.begin());
+      SealedCommandBytes frame = sealer_.seal(pkt);
+      if (tamper_ && !tamper_->on_packet(frame, tick)) return false;
+      const auto verified = verifier_.verify(frame);
+      if (!verified) return false;  // board drops the frame
+      std::copy(verified->begin(), verified->end(), bytes.begin());
+      return true;
+    }
+
+   private:
+    CommandSealer& sealer_;
+    CommandVerifier& verifier_;
+    std::shared_ptr<PacketInterposer> tamper_;
+  };
+
+  sim.write_chain().add(std::make_shared<SealVerifyAdapter>(sealer, verifier, tamper));
+  sim.run(p.duration_sec);
+
+  return SealedRunResult{sim.outcome(), verifier.accepted(), verifier.rejected()};
+}
+
+}  // namespace
+}  // namespace rg
+
+int main() {
+  using namespace rg;
+  bench::header("DEFENSE COMPARISON: BITW integrity retrofit vs dynamic-model detection");
+
+  // --- 1. BITW per-packet cost ---------------------------------------------
+  {
+    const MacKey key = MacKey::from_seed(77);
+    CommandSealer sealer(key);
+    CommandVerifier verifier(key);
+    CommandPacket pkt;
+    pkt.state = RobotState::kPedalDown;
+    RunningStats seal_us, verify_us;
+    for (int i = 0; i < 20000; ++i) {
+      const CommandBytes raw = encode_command(pkt);
+      auto t0 = std::chrono::steady_clock::now();
+      const SealedCommandBytes frame = sealer.seal(raw);
+      auto t1 = std::chrono::steady_clock::now();
+      (void)verifier.verify(frame);
+      auto t2 = std::chrono::steady_clock::now();
+      seal_us.add(std::chrono::duration<double, std::micro>(t1 - t0).count());
+      verify_us.add(std::chrono::duration<double, std::micro>(t2 - t1).count());
+    }
+    std::printf("\n  BITW cost per packet: seal %.3f us, verify %.3f us "
+                "(budget 1000 us/cycle)\n",
+                seal_us.mean(), verify_us.mean());
+  }
+
+  // --- 2. scenario-B outcomes under each defense ----------------------------
+  const MacKey key = MacKey::from_seed(321);
+
+  std::printf("\n  %-44s %10s %8s %s\n", "configuration", "jump (mm)", "impact",
+              "notes");
+
+  {  // (a) stock
+    AttackSpec spec;
+    spec.variant = AttackVariant::kTorqueInjection;
+    spec.magnitude = 24000;
+    spec.duration_packets = 96;
+    spec.delay_packets = 500;
+    SessionParams p = bench::standard_session();
+    p.seed = 4242;
+    const AttackRunResult r = run_attack_session(p, spec, std::nullopt, false);
+    std::printf("  %-44s %10.2f %8s %s\n", "(a) stock robot, scenario B",
+                1000.0 * r.outcome.max_ee_jump_window, r.impact() ? "YES" : "no",
+                "the baseline attack");
+  }
+
+  {  // (b) BITW, attacker outside the seal
+    auto tamper = std::make_shared<OutsideSealTamper>();
+    const SealedRunResult r = run_sealed_session(tamper, key);
+    std::printf("  %-44s %10.2f %8s rejected %llu tampered frames\n",
+                "(b) BITW seal, attacker on the bus",
+                1000.0 * r.outcome.max_ee_jump_window,
+                r.outcome.adverse_impact() ? "YES" : "no",
+                static_cast<unsigned long long>(r.rejected));
+  }
+
+  {  // (c) BITW, attacker inside the process
+    auto tamper = std::make_shared<InsideSealTamper>(key, 24000);
+    const SealedRunResult r = run_sealed_session(tamper, key);
+    std::printf("  %-44s %10.2f %8s verifier accepted ALL %llu frames\n",
+                "(c) BITW seal, attacker inside the process",
+                1000.0 * r.outcome.max_ee_jump_window,
+                r.outcome.adverse_impact() ? "YES" : "no",
+                static_cast<unsigned long long>(r.accepted));
+  }
+
+  {  // (d) dynamic-model detection
+    const DetectionThresholds th = bench::standard_thresholds();
+    AttackSpec spec;
+    spec.variant = AttackVariant::kTorqueInjection;
+    spec.magnitude = 24000;
+    spec.duration_packets = 96;
+    spec.delay_packets = 500;
+    SessionParams p = bench::standard_session();
+    p.seed = 4242;
+    const AttackRunResult r = run_attack_session(p, spec, th, /*mitigation=*/true);
+    std::printf("  %-44s %10.2f %8s alarm %s, mitigation engaged\n",
+                "(d) dynamic-model detection (this paper)",
+                1000.0 * r.outcome.max_ee_jump_window,
+                r.outcome.adverse_impact() ? "YES" : "no",
+                r.outcome.detected_preemptively() ? "preemptive" : "late");
+  }
+
+  std::printf("\n  The BITW retrofit stops bus-level tampering cold but is transparent\n"
+              "  to the in-process attacker, who re-seals with the in-memory key —\n"
+              "  the TOCTOU gap only closes when commands are checked against their\n"
+              "  *physical consequences* (paper Sec. III.D / IV).\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// DETECTION LATENCY (extends the paper's "preemptive" claim with a
+// distribution): time from the first corrupted packet to the detector's
+// alarm, and to RAVEN's own reaction, per injected value — plus how much
+// displacement had accumulated when each fired.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "math/stats.hpp"
+
+namespace rg {
+namespace {
+
+struct LatencyStats {
+  RunningStats dyn_ms;
+  RunningStats raven_ms;
+  RunningStats impact_ms;
+  int dyn_fired = 0;
+  int raven_fired = 0;
+  int impacts = 0;
+  int runs = 0;
+};
+
+LatencyStats measure(double value, const DetectionThresholds& thresholds, int reps) {
+  LatencyStats out;
+  for (int rep = 0; rep < reps; ++rep) {
+    AttackSpec spec;
+    spec.variant = AttackVariant::kTorqueInjection;
+    spec.magnitude = value;
+    spec.duration_packets = 128;
+    spec.delay_packets = 400 + static_cast<std::uint32_t>(rep) * 151;
+    spec.seed = 70000 + static_cast<std::uint64_t>(rep) * 29;
+    SessionParams p = bench::standard_session();
+    p.seed = 6000 + static_cast<std::uint64_t>(rep) * 43;
+
+    const AttackRunResult r = run_attack_session(p, spec, thresholds, false);
+    ++out.runs;
+    if (!r.first_injection_tick) continue;
+    const double t0 = static_cast<double>(*r.first_injection_tick);
+    if (r.outcome.detector_alarm_tick) {
+      ++out.dyn_fired;
+      out.dyn_ms.add(static_cast<double>(*r.outcome.detector_alarm_tick) - t0);
+    }
+    if (r.outcome.raven_fault_tick) {
+      ++out.raven_fired;
+      out.raven_ms.add(static_cast<double>(*r.outcome.raven_fault_tick) - t0);
+    }
+    if (r.outcome.adverse_impact_tick) {
+      ++out.impacts;
+      out.impact_ms.add(static_cast<double>(*r.outcome.adverse_impact_tick) - t0);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace rg
+
+int main() {
+  using namespace rg;
+  bench::header(
+      "DETECTION LATENCY: ms from first corrupted packet to alarm\n"
+      "(scenario B, 128 ms activation period)");
+
+  const DetectionThresholds thresholds = bench::standard_thresholds();
+  const int reps = bench::reps(25);
+
+  std::printf("\n  %8s | %19s | %19s | %s\n", "value", "dynamic model (ms)", "RAVEN checks (ms)",
+              "impact crosses 1 mm (ms)");
+  for (double value : {14000.0, 18000.0, 22000.0, 26000.0, 30000.0}) {
+    const LatencyStats s = measure(value, thresholds, reps);
+    std::printf("  %8.0f | fired %2d/%2d %6.1f+-%4.1f | fired %2d/%2d %6.1f+-%4.1f | "
+                "%2d/%2d at %6.1f\n",
+                value, s.dyn_fired, s.runs, s.dyn_ms.mean(), s.dyn_ms.stddev(), s.raven_fired,
+                s.runs, s.raven_ms.mean(), s.raven_ms.stddev(), s.impacts, s.runs,
+                s.impact_ms.mean());
+  }
+
+  std::printf("\n  Shape check: the dynamic model fires within a few ms of injection\n"
+              "  onset — before the 1 mm displacement exists — while RAVEN's checks\n"
+              "  trail the physical corruption by tens of ms (when they fire at all).\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// FIGURE 6 reproduction: Byte-0 state inference across nine different
+// runs of the robot.
+//
+// Paper: nine runs, each showing the Byte-0 step pattern from which the
+// attacker infers E-STOP -> Homing -> Pedal Up -> Pedal Down.  We replay
+// nine sessions with different trajectories and pedal schedules, run the
+// offline analysis on each capture, and print the inferred state timeline
+// next to the ground truth — plus the recovered Pedal-Down trigger value.
+#include <cstdio>
+#include <fstream>
+#include <memory>
+
+#include "attack/logging_wrapper.hpp"
+#include "attack/packet_analyzer.hpp"
+#include "bench_util.hpp"
+#include "sim/surgical_sim.hpp"
+#include "viz/trace_plots.hpp"
+
+namespace rg {
+namespace {
+
+const char* code_name(std::uint8_t code) {
+  const auto state = state_from_wire_code(code);
+  return state ? to_string(*state).data() : "??";
+}
+
+}  // namespace
+}  // namespace rg
+
+int main() {
+  using namespace rg;
+  bench::header("FIGURE 6: Byte-0 state timeline inferred across nine runs");
+
+  int correct_triggers = 0;
+  for (int run = 0; run < 9; ++run) {
+    SessionParams p = bench::standard_session();
+    p.seed = 100 + static_cast<std::uint64_t>(run) * 13;
+    p.duration_sec = 5.0 + 0.3 * run;
+
+    SimConfig cfg = make_session(p, std::nullopt, false);
+    // Vary the pedal rhythm run to run, as a human operator would.
+    const double first_down = 1.1 + 0.05 * run;
+    const double lift = 2.2 + 0.15 * run;
+    const double second_down = lift + 0.25 + 0.05 * run;
+    cfg.pedal = PedalSchedule{{{first_down, lift}, {second_down, 100.0}}};
+
+    auto logger = std::make_shared<LoggingWrapper>("r2_control", 11, "r2_control", 11);
+    SurgicalSim sim(std::move(cfg));
+    sim.write_chain().add(logger);
+    sim.run(p.duration_sec);
+
+    PacketAnalyzer analyzer(logger->capture());
+    const auto inference = analyzer.infer_state();
+    std::printf("\n  run %d (%zu packets): ", run + 1, logger->packets_captured());
+    if (!inference.ok()) {
+      std::printf("inference FAILED: %s\n", inference.error().to_string().c_str());
+      continue;
+    }
+    const StateInference& inf = inference.value();
+    std::printf("state byte %zu, watchdog mask 0x%02X, trigger 0x%02X\n",
+                inf.state_byte_index, inf.watchdog_mask, inf.pedal_down_code);
+    std::printf("    timeline: ");
+    for (const StateSegment& seg : inf.timeline) {
+      std::printf("[%llu..%llu %s] ", static_cast<unsigned long long>(seg.start_tick),
+                  static_cast<unsigned long long>(seg.end_tick), code_name(seg.code));
+    }
+    std::printf("\n");
+    if (inf.pedal_down_code == wire_code(RobotState::kPedalDown)) ++correct_triggers;
+
+    // The figure itself: one Byte-0 step plot per run.
+    if (run < 3) {  // first three runs keep the artifact set small
+      const std::string path = "fig6_run" + std::to_string(run + 1) + ".svg";
+      std::ofstream os(path);
+      state_byte_chart(logger->capture(), inf.state_byte_index, inf.watchdog_mask,
+                       "Fig 6: Byte 0 over run " + std::to_string(run + 1))
+          .render(os);
+      std::printf("    plot written to %s\n", path.c_str());
+    }
+  }
+
+  std::printf("\n  Pedal-Down trigger correctly recovered in %d/9 runs (paper: the\n", correct_triggers);
+  std::printf("  attacker concludes Byte 0 = state, 0x0F/0x1F = engaged).\n");
+  return correct_triggers == 9 ? 0 : 1;
+}

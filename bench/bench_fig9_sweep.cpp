@@ -1,0 +1,90 @@
+// FIGURE 9 reproduction: probability of adverse impact and of detection
+// (dynamic model vs RAVEN checks) as a function of the injected error
+// value and the attack activation period, for scenario B.
+//
+// Paper: each (value, period) cell repeated >= 20 times; larger values
+// and longer activation periods raise impact probability; the dynamic
+// model's detection probability tracks at or above the impact curve
+// (preemptive), while RAVEN's stays below it — attackers can engineer
+// injections that hurt without tripping the stock checks.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+namespace rg {
+namespace {
+
+struct Cell {
+  double p_impact = 0.0;
+  double p_dyn = 0.0;
+  double p_raven = 0.0;
+};
+
+Cell run_cell(double value, std::uint32_t duration, const DetectionThresholds& thresholds,
+              int reps) {
+  Cell cell;
+  for (int rep = 0; rep < reps; ++rep) {
+    AttackSpec spec;
+    spec.variant = AttackVariant::kTorqueInjection;
+    spec.magnitude = value;
+    spec.duration_packets = duration;
+    spec.delay_packets = 300 + static_cast<std::uint32_t>(rep) * 139;
+    spec.seed = 40000 + static_cast<std::uint64_t>(rep) * 23 +
+                static_cast<std::uint64_t>(duration) * 7 +
+                static_cast<std::uint64_t>(value);
+
+    SessionParams p = bench::standard_session();
+    p.seed = 2000 + static_cast<std::uint64_t>(rep) * 37;
+
+    const AttackRunResult r = run_attack_session(p, spec, thresholds, /*mitigation=*/false);
+    cell.p_impact += r.impact() ? 1.0 : 0.0;
+    cell.p_dyn += r.outcome.detector_alarmed() ? 1.0 : 0.0;
+    cell.p_raven += r.outcome.raven_detected() ? 1.0 : 0.0;
+  }
+  cell.p_impact /= reps;
+  cell.p_dyn /= reps;
+  cell.p_raven /= reps;
+  return cell;
+}
+
+}  // namespace
+}  // namespace rg
+
+int main() {
+  using namespace rg;
+  bench::header(
+      "FIGURE 9: P(adverse impact), P(detect) vs injected error value and\n"
+      "activation period — scenario B (torque command injection)");
+
+  const DetectionThresholds thresholds = bench::standard_thresholds();
+  const int reps = bench::reps(20);
+
+  const double values[] = {1000, 2000, 4000, 8000, 12000, 16000, 20000, 24000, 28000, 32000};
+  const std::uint32_t periods[] = {2, 4, 8, 16, 32, 64, 128, 256, 512};
+
+  // (a) vs injected value, for a few fixed activation periods.
+  for (std::uint32_t period : {8u, 64u, 256u}) {
+    std::printf("\n  activation period = %u ms (%d reps per point)\n", period, reps);
+    std::printf("  %10s %10s %12s %12s\n", "value", "P(impact)", "P(dyn det)", "P(RAVEN det)");
+    for (double value : values) {
+      const Cell c = run_cell(value, period, thresholds, reps);
+      std::printf("  %10.0f %10.2f %12.2f %12.2f\n", value, c.p_impact, c.p_dyn, c.p_raven);
+    }
+  }
+
+  // (b) vs activation period, for a few fixed values.
+  for (double value : {8000.0, 20000.0, 32000.0}) {
+    std::printf("\n  injected value = %.0f DAC counts (%d reps per point)\n", value, reps);
+    std::printf("  %10s %10s %12s %12s\n", "period ms", "P(impact)", "P(dyn det)",
+                "P(RAVEN det)");
+    for (std::uint32_t period : periods) {
+      const Cell c = run_cell(value, period, thresholds, reps);
+      std::printf("  %10u %10.2f %12.2f %12.2f\n", period, c.p_impact, c.p_dyn, c.p_raven);
+    }
+  }
+
+  std::printf("\n  Paper shape check: impact probability grows with value x period;\n"
+              "  dynamic-model detection >= impact curve (preemptive); RAVEN detection\n"
+              "  below impact curve for short/moderate injections (the attacker's window).\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// ROC STUDY (extension): the detector's full operating curve.
+//
+// Table IV reports one operating point (the 99.85th-percentile
+// thresholds, all-3 fusion).  This bench sweeps a margin factor over the
+// learned thresholds for each fusion policy and traces TPR vs FPR on a
+// fixed scenario-B grid — showing where the paper's point sits on the
+// curve and what any-1/2-of-3 fusion would buy or cost.  Writes
+// roc_detector.svg.
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "sim/metrics.hpp"
+#include "viz/svg.hpp"
+
+namespace rg {
+namespace {
+
+ConfusionMatrix evaluate(FusionPolicy fusion, double margin,
+                         const DetectionThresholds& base, int reps) {
+  DetectionThresholds th = base;
+  for (std::size_t i = 0; i < 3; ++i) {
+    th.motor_vel[i] *= margin;
+    th.motor_acc[i] *= margin;
+    th.joint_vel[i] *= margin;
+  }
+  const double values[] = {4000, 10000, 16000, 22000, 28000};
+  const std::uint32_t periods[] = {8, 32, 128};
+  ConfusionMatrix cm;
+  int n = 0;
+  for (double value : values) {
+    for (std::uint32_t period : periods) {
+      for (int rep = 0; rep < reps; ++rep) {
+        AttackSpec spec;
+        spec.variant = AttackVariant::kTorqueInjection;
+        spec.magnitude = value;
+        spec.duration_packets = period;
+        spec.delay_packets = 350 + static_cast<std::uint32_t>(rep) * 119;
+        spec.seed = 30000 + static_cast<std::uint64_t>(n) * 7;
+        SessionParams p = bench::standard_session();
+        p.seed = 8000 + static_cast<std::uint64_t>(rep) * 53;
+        p.fusion = fusion;
+        const AttackRunResult r = run_attack_session(p, spec, th, false);
+        cm.add(r.impact(), r.outcome.detector_alarmed());
+        ++n;
+      }
+    }
+  }
+  return cm;
+}
+
+}  // namespace
+}  // namespace rg
+
+int main() {
+  using namespace rg;
+  bench::header("ROC STUDY: TPR vs FPR over threshold margin, per fusion policy");
+
+  const DetectionThresholds thresholds = bench::standard_thresholds();
+  const int reps = bench::reps(6);
+  const double margins[] = {0.4, 0.6, 0.8, 1.0, 1.3, 1.7, 2.2, 3.0};
+
+  SvgChart chart("Detector ROC (scenario B grid)", "FPR", "TPR");
+  chart.set_y_range(0.0, 1.05);
+
+  std::size_t color = 0;
+  for (FusionPolicy fusion :
+       {FusionPolicy::kAnyVariable, FusionPolicy::kTwoOfThree, FusionPolicy::kAllThree}) {
+    std::printf("\n  fusion %s:\n  %8s %8s %8s\n", std::string{to_string(fusion)}.c_str(),
+                "margin", "TPR%", "FPR%");
+    Series series;
+    series.label = std::string{to_string(fusion)};
+    series.color = series_color(color++);
+    for (double margin : margins) {
+      const ConfusionMatrix cm = evaluate(fusion, margin, thresholds, reps);
+      std::printf("  %8.1f %8.1f %8.1f\n", margin, 100.0 * cm.tpr(), 100.0 * cm.fpr());
+      series.x.push_back(cm.fpr());
+      series.y.push_back(cm.tpr());
+    }
+    chart.add_series(std::move(series));
+  }
+
+  std::ofstream os("roc_detector.svg");
+  chart.render(os);
+  std::printf("\n  curve written to roc_detector.svg\n");
+  std::printf("  Expected: all-3 fusion hugs the low-FPR shoulder; any-1 reaches the\n"
+              "  same TPR only at far higher FPR — the paper's fusion rule is the\n"
+              "  sensible operating point.\n");
+  return 0;
+}

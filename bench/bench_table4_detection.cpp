@@ -1,0 +1,132 @@
+// TABLE IV reproduction: detection performance of the dynamic-model
+// detector vs the stock RAVEN safety checks.
+//
+// Paper: 1,925 simulated runs of attack scenario A (unintended user
+// inputs) and 1,361 of scenario B (unintended torque commands); per-run
+// ground truth = adverse impact on the physical system; metrics ACC, TPR,
+// FPR, F1 for each detector.  Thresholds learned from 600 fault-free runs
+// at the 99.8-99.9th percentile; detector fuses motor-accel + motor-vel +
+// joint-vel alarms.
+//
+// Expected shape (not absolute numbers): dynamic-model ACC ~90%, TPR
+// higher than RAVEN's (RAVEN only reacts after the physical state is
+// corrupted), FPR moderate (~12%) from near-miss injections, and a
+// population of impacts only the dynamic model catches.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "sim/metrics.hpp"
+
+namespace rg {
+namespace {
+
+struct ScenarioResult {
+  ConfusionMatrix dyn;
+  ConfusionMatrix raven;
+  int runs = 0;
+  int impacts = 0;
+  int dyn_only = 0;    // impact runs caught by the model, missed by RAVEN
+  int raven_only = 0;  // impact runs caught by RAVEN, missed by the model
+  int preemptive = 0;  // model alarms at or before the physical impact
+};
+
+template <typename MagnitudeList>
+ScenarioResult sweep(AttackVariant variant, const MagnitudeList& magnitudes,
+                     const DetectionThresholds& thresholds, int reps_per_cell) {
+  const std::uint32_t durations[] = {2, 4, 8, 16, 32, 64, 128, 256, 512};
+  ScenarioResult out;
+  int done = 0;
+  for (double magnitude : magnitudes) {
+    for (std::uint32_t duration : durations) {
+      for (int rep = 0; rep < reps_per_cell; ++rep) {
+        AttackSpec spec;
+        spec.variant = variant;
+        spec.magnitude = magnitude;
+        spec.duration_packets = duration;
+        spec.delay_packets = 300 + static_cast<std::uint32_t>(rep) * 113;
+        spec.seed = 90000 + static_cast<std::uint64_t>(done) * 17;
+
+        SessionParams p = bench::standard_session();
+        p.seed = 500 + static_cast<std::uint64_t>(rep) * 31 +
+                 static_cast<std::uint64_t>(done % 7) * 1009;
+
+        const AttackRunResult r =
+            run_attack_session(p, spec, thresholds, /*mitigation=*/false);
+        const bool truth = r.impact();
+        const bool dyn = r.outcome.detector_alarmed();
+        const bool raven = r.outcome.raven_detected();
+        out.dyn.add(truth, dyn);
+        out.raven.add(truth, raven);
+        ++out.runs;
+        if (truth) {
+          ++out.impacts;
+          if (dyn && !raven) ++out.dyn_only;
+          if (raven && !dyn) ++out.raven_only;
+          if (r.outcome.detected_preemptively()) ++out.preemptive;
+        }
+        if (++done % 250 == 0) std::fprintf(stderr, "  ... %d runs\n", done);
+      }
+    }
+  }
+  return out;
+}
+
+void print_rows(const char* scenario, const ScenarioResult& r) {
+  std::printf("  %-22s %-14s %6.1f %6.1f %6.1f %6.1f\n", scenario, "Dynamic Model",
+              100.0 * r.dyn.accuracy(), 100.0 * r.dyn.tpr(), 100.0 * r.dyn.fpr(),
+              100.0 * r.dyn.f1());
+  std::printf("  %-22s %-14s %6.1f %6.1f %6.1f %6.1f\n", "", "RAVEN",
+              100.0 * r.raven.accuracy(), 100.0 * r.raven.tpr(), 100.0 * r.raven.fpr(),
+              100.0 * r.raven.f1());
+  std::printf("    runs=%d impacts=%d | model-only detections=%d, RAVEN-only=%d, "
+              "preemptive=%d/%d\n",
+              r.runs, r.impacts, r.dyn_only, r.raven_only, r.preemptive, r.impacts);
+}
+
+}  // namespace
+}  // namespace rg
+
+int main() {
+  using namespace rg;
+  bench::header(
+      "TABLE IV: Dynamic-model based detection vs RAVEN safety checks\n"
+      "(percent; positives = runs with real physical impact)");
+
+  std::fprintf(stderr, "learning thresholds (cached at %s)...\n",
+               bench::threshold_cache_path().c_str());
+  const DetectionThresholds thresholds = bench::standard_thresholds();
+
+  // Scenario A: injected user-input increments (m per packet).  Chosen
+  // below RAVEN's per-packet increment check (1 mm) — a competent
+  // attacker stays under the pre-execution limits, which is exactly the
+  // population where RAVEN can only react after the physical state is
+  // corrupted (the paper's RAVEN TPR for A is 53%).
+  const double mags_a[] = {8e-6, 1.2e-5, 1.8e-5, 2.5e-5, 3.5e-5, 5e-5, 8e-5, 1.3e-4, 2e-4, 3.5e-4};
+  // Scenario B: injected DAC offsets (counts).
+  const double mags_b[] = {1000, 2000, 4000, 8000, 12000, 16000, 20000, 24000, 28000, 32000};
+
+  // Paper run counts: 1,925 (A) and 1,361 (B) over a 10x9 grid.
+  const int reps_a = bench::reps(21);
+  const int reps_b = bench::reps(15);
+
+  std::fprintf(stderr, "scenario A sweep (%d runs)...\n", 90 * reps_a);
+  const ScenarioResult a =
+      sweep(AttackVariant::kUserInputInjection, mags_a, thresholds, reps_a);
+  std::fprintf(stderr, "scenario B sweep (%d runs)...\n", 90 * reps_b);
+  const ScenarioResult b = sweep(AttackVariant::kTorqueInjection, mags_b, thresholds, reps_b);
+
+  std::printf("\n  %-22s %-14s %6s %6s %6s %6s\n", "Attack Scenario", "Technique", "ACC",
+              "TPR", "FPR", "F1");
+  print_rows("A (User inputs)", a);
+  print_rows("B (Torque commands)", b);
+
+  std::printf("\n  Paper reference:\n");
+  std::printf("  A: Dynamic Model ACC 88.0 TPR 89.8 FPR 12.4 F1 74.8 | RAVEN 84.6/53.3/7.7/57.8\n");
+  std::printf("  B: Dynamic Model ACC 92.0 TPR 99.8 FPR 11.8 F1 89.1 | RAVEN 90.7/81.0/4.6/85.1\n");
+  std::printf("  (152 / 84 impact cases were caught only by the dynamic model; 13 only by RAVEN)\n");
+
+  const double avg_acc = 50.0 * (a.dyn.accuracy() + b.dyn.accuracy());
+  std::printf("\n  Average dynamic-model accuracy: %.1f%% (paper: ~90%%)\n", avg_acc);
+  return 0;
+}

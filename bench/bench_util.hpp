@@ -1,0 +1,58 @@
+// Shared helpers for the paper-reproduction bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/thresholds.hpp"
+#include "sim/experiment.hpp"
+
+namespace rg::bench {
+
+/// Experiment scale factor from the environment (RG_SCALE, default 1.0).
+/// 0.1 runs ~10% of the paper's run counts for a quick smoke pass.
+inline double scale() {
+  if (const char* env = std::getenv("RG_SCALE")) {
+    const double s = std::atof(env);
+    if (s > 0.0) return s;
+  }
+  return 1.0;
+}
+
+/// Scaled repetition count (at least 1).
+inline int reps(int paper_count) {
+  const int n = static_cast<int>(paper_count * scale());
+  return n > 0 ? n : 1;
+}
+
+/// The standard session every detection bench shares (same geometry as
+/// the thresholds were learned on).
+inline SessionParams standard_session() {
+  SessionParams p;
+  p.seed = 42;
+  p.duration_sec = 5.0;
+  return p;
+}
+
+/// Threshold cache location shared by the benches (learning 600 fault-free
+/// runs is the expensive step; Table IV, Fig 9 and the ablations reuse it).
+inline std::string threshold_cache_path() {
+  if (const char* env = std::getenv("RG_THRESHOLD_CACHE")) return env;
+  return "/tmp/raven_guard_thresholds.txt";
+}
+
+/// Learn-or-load the standard thresholds (paper: 600 fault-free runs,
+/// 99.8-99.9th percentile).
+inline DetectionThresholds standard_thresholds() {
+  const int learn_runs = reps(600);
+  return thresholds_cached(standard_session(), learn_runs, threshold_cache_path());
+}
+
+inline void header(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+}  // namespace rg::bench

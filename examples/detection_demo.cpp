@@ -1,0 +1,68 @@
+// Detection demo: the paper's contribution protecting the robot.
+//
+// Learns detection thresholds from fault-free runs, then replays the same
+// scenario-B attack twice — once on the stock robot, once with the
+// dynamic-model detection pipeline armed — and compares outcomes.
+//
+//   $ ./detection_demo
+#include <cstdio>
+
+#include "sim/experiment.hpp"
+
+int main() {
+  using namespace rg;
+
+  SessionParams p;
+  p.seed = 42;
+  p.duration_sec = 5.0;
+
+  std::printf("learning detection thresholds from 40 fault-free runs "
+              "(99.85th percentile of per-run maxima)...\n");
+  const DetectionThresholds th = learn_thresholds(p, 40);
+  std::printf("  motor velocity  : %7.2f %7.2f %7.2f rad/s\n", th.motor_vel[0],
+              th.motor_vel[1], th.motor_vel[2]);
+  std::printf("  motor accel     : %7.0f %7.0f %7.0f rad/s^2\n", th.motor_acc[0],
+              th.motor_acc[1], th.motor_acc[2]);
+  std::printf("  joint velocity  : %7.3f %7.3f %7.4f rad/s|m/s\n\n", th.joint_vel[0],
+              th.joint_vel[1], th.joint_vel[2]);
+
+  AttackSpec spec;
+  spec.variant = AttackVariant::kTorqueInjection;
+  spec.magnitude = 24000;
+  spec.duration_packets = 96;
+  spec.delay_packets = 600;
+
+  std::printf("=== run 1: stock RAVEN (no dynamic-model monitor) ===\n");
+  SessionParams run1 = p;
+  run1.seed = 77;
+  const AttackRunResult stock = run_attack_session(run1, spec, std::nullopt, false);
+  std::printf("  abrupt jump     : %.2f mm %s\n", 1000.0 * stock.outcome.max_ee_jump_window,
+              stock.impact() ? "<-- PATIENT HARM" : "");
+  std::printf("  RAVEN checks    : %s\n",
+              stock.outcome.raven_fault_tick
+                  ? "fired (after the physical state was already corrupted)"
+                  : "never fired");
+
+  std::printf("\n=== run 2: same attack, dynamic-model detection + mitigation armed ===\n");
+  SessionParams run2 = p;
+  run2.seed = 77;  // identical session
+  const AttackRunResult guarded = run_attack_session(run2, spec, th, /*mitigation=*/true);
+  if (guarded.outcome.detector_alarm_tick) {
+    std::printf("  alarm at t=%.3f s; offending command blocked, E-STOP asserted\n",
+                static_cast<double>(*guarded.outcome.detector_alarm_tick) / 1000.0);
+  }
+  std::printf("  injection began : t=%.3f s\n",
+              guarded.first_injection_tick ? static_cast<double>(*guarded.first_injection_tick) / 1000.0 : -1.0);
+  std::printf("  abrupt jump     : %.2f mm (vs %.2f mm unprotected)\n",
+              1000.0 * guarded.outcome.max_ee_jump_window,
+              1000.0 * stock.outcome.max_ee_jump_window);
+  std::printf("  preemptive      : %s\n",
+              guarded.outcome.detected_preemptively() ? "yes — alarm before any >1 mm jump"
+                                                      : "no");
+  std::printf("  cables intact   : %s\n", guarded.outcome.cable_snapped ? "NO" : "yes");
+
+  std::printf("\nThe monitor estimated each command's physical consequence with the\n"
+              "robot's dynamic model *before* execution — closing the TOCTOU gap the\n"
+              "attack exploits.\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+#include "attack/attack_engine.hpp"
+
+#include <cmath>
+
+#include "common/robot_state.hpp"
+
+namespace rg {
+
+std::uint64_t AttackArtifacts::injections() const noexcept {
+  std::uint64_t n = 0;
+  if (usb_write) n += usb_write->injections();
+  if (console_path) n += console_path->injections();
+  if (usb_read) n += usb_read->injections();
+  return n;
+}
+
+std::optional<std::uint64_t> AttackArtifacts::first_injection_tick() const noexcept {
+  std::optional<std::uint64_t> first;
+  const auto consider = [&first](std::optional<std::uint64_t> t) {
+    if (t && (!first || *t < *first)) first = t;
+  };
+  if (usb_write) consider(usb_write->first_injection_tick());
+  if (console_path) consider(console_path->first_injection_tick());
+  if (usb_read) consider(usb_read->first_injection_tick());
+  return first;
+}
+
+std::shared_ptr<InjectionWrapper> build_torque_injection(const AttackSpec& spec,
+                                                         std::size_t state_byte_index,
+                                                         std::uint8_t watchdog_mask,
+                                                         std::uint8_t pedal_down_code) {
+  InjectionConfig cfg;
+  cfg.state_byte_index = state_byte_index;
+  cfg.watchdog_mask = watchdog_mask;
+  cfg.trigger_code = pedal_down_code;
+  cfg.mode = InjectionConfig::Mode::kAddChannel;
+  cfg.target_channel = spec.target_channel;
+  cfg.value = static_cast<std::int32_t>(std::lround(spec.magnitude));
+  cfg.delay_packets = spec.delay_packets;
+  cfg.duration_packets = spec.duration_packets;
+  cfg.seed = spec.seed;
+  return std::make_shared<InjectionWrapper>(cfg);
+}
+
+AttackArtifacts build_attack(const AttackSpec& spec) {
+  AttackArtifacts out;
+  switch (spec.variant) {
+    case AttackVariant::kNone:
+      break;
+
+    case AttackVariant::kUserInputInjection: {
+      ItpInjectionConfig cfg;
+      cfg.mode = ItpInjectionConfig::Mode::kInflateIncrement;
+      cfg.increment_magnitude = spec.magnitude;
+      cfg.delay_packets = spec.delay_packets;
+      cfg.duration_packets = spec.duration_packets;
+      cfg.seed = spec.seed;
+      out.console_path = std::make_shared<ItpInjectionWrapper>(cfg);
+      break;
+    }
+
+    case AttackVariant::kTrajectoryHijack: {
+      ItpInjectionConfig cfg;
+      cfg.mode = ItpInjectionConfig::Mode::kHijack;
+      cfg.hijack_radius = spec.magnitude > 0.0 ? spec.magnitude : 0.01;
+      cfg.delay_packets = spec.delay_packets;
+      cfg.duration_packets = spec.duration_packets;
+      cfg.seed = spec.seed;
+      out.console_path = std::make_shared<ItpInjectionWrapper>(cfg);
+      break;
+    }
+
+    case AttackVariant::kConsoleDrop: {
+      ItpInjectionConfig cfg;
+      cfg.mode = ItpInjectionConfig::Mode::kDropPackets;
+      cfg.delay_packets = spec.delay_packets;
+      cfg.duration_packets = spec.duration_packets;
+      cfg.seed = spec.seed;
+      out.console_path = std::make_shared<ItpInjectionWrapper>(cfg);
+      break;
+    }
+
+    case AttackVariant::kMathDrift: {
+      MathDriftConfig cfg;
+      cfg.drift_per_call = spec.magnitude > 0.0 ? spec.magnitude : 1.0e-9;
+      out.math_hooks = make_drifting_math(cfg);
+      break;
+    }
+
+    case AttackVariant::kStateSpoof: {
+      FeedbackAttackConfig cfg;
+      cfg.mode = FeedbackAttackConfig::Mode::kStateSpoof;
+      cfg.spoofed_state = RobotState::kEStop;
+      cfg.delay_packets = spec.delay_packets;
+      cfg.duration_packets = spec.duration_packets;
+      out.usb_read = std::make_shared<FeedbackAttackWrapper>(cfg);
+      break;
+    }
+
+    case AttackVariant::kTorqueInjection: {
+      // Default trigger: the values the analysis phase recovers on this
+      // system (state byte 0, watchdog bit 4, Pedal Down = 0x0F).
+      out.usb_write = build_torque_injection(spec, /*state_byte_index=*/0,
+                                             /*watchdog_mask=*/0x10,
+                                             /*pedal_down_code=*/0x0F);
+      break;
+    }
+
+    case AttackVariant::kEncoderCorruption: {
+      FeedbackAttackConfig cfg;
+      cfg.mode = FeedbackAttackConfig::Mode::kEncoderOffset;
+      cfg.target_channel = spec.target_channel;
+      cfg.count_offset = static_cast<std::int32_t>(std::lround(spec.magnitude));
+      cfg.delay_packets = spec.delay_packets;
+      cfg.duration_packets = spec.duration_packets;
+      out.usb_read = std::make_shared<FeedbackAttackWrapper>(cfg);
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace rg

@@ -1,0 +1,90 @@
+// Attack-injection engine: programmable construction of the paper's
+// attack variants (Table I) for batch experiments.
+//
+// "The core of the attack injection engine is a software implemented
+// fault-injection tool that can be programmed to install wrappers around
+// different system calls in the control software" — here, a factory that
+// builds the right PacketInterposer (or malicious math hooks) for a
+// declarative AttackSpec, so experiment harnesses can sweep values,
+// activation periods, and onsets.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "attack/feedback_attack.hpp"
+#include "attack/injection_wrapper.hpp"
+#include "attack/itp_injection.hpp"
+#include "attack/math_attack.hpp"
+
+namespace rg {
+
+enum class AttackVariant : std::uint8_t {
+  kNone,
+  kUserInputInjection,  ///< scenario A: inflate operator increments
+  kTrajectoryHijack,    ///< Table I row 1: substitute attacker motion
+  kConsoleDrop,         ///< Table I row 1: silently drop console traffic
+  kMathDrift,           ///< Table I row 2: drifting sin/cos -> IK-fail
+  kStateSpoof,          ///< Table I row 3: corrupt PLC state echo -> homing failure
+  kTorqueInjection,     ///< scenario B: corrupt DAC words post-check
+  kEncoderCorruption,   ///< Table I row 4: corrupt encoder feedback
+};
+
+constexpr std::string_view to_string(AttackVariant v) noexcept {
+  switch (v) {
+    case AttackVariant::kNone: return "none";
+    case AttackVariant::kUserInputInjection: return "user-input-injection (A)";
+    case AttackVariant::kTrajectoryHijack: return "trajectory-hijack";
+    case AttackVariant::kConsoleDrop: return "console-drop";
+    case AttackVariant::kMathDrift: return "math-drift";
+    case AttackVariant::kStateSpoof: return "state-spoof";
+    case AttackVariant::kTorqueInjection: return "torque-injection (B)";
+    case AttackVariant::kEncoderCorruption: return "encoder-corruption";
+  }
+  return "unknown";
+}
+
+struct AttackSpec {
+  AttackVariant variant = AttackVariant::kNone;
+  /// Variant-specific magnitude:
+  ///   A: injected increment per packet (m); B: DAC count offset;
+  ///   encoder corruption: count offset; math drift: drift per call.
+  double magnitude = 0.0;
+  /// Triggered packets to skip before activation.
+  std::uint32_t delay_packets = 0;
+  /// Activation period in packets (ms at 1 kHz); 0 = unbounded.
+  std::uint32_t duration_packets = 64;
+  /// Target channel for channel-addressed corruption.
+  std::size_t target_channel = 1;
+  std::uint64_t seed = 7777;
+};
+
+/// The malware artifacts to install for one attack run.  Null members are
+/// hops the attack does not compromise.
+struct AttackArtifacts {
+  std::shared_ptr<InjectionWrapper> usb_write;        ///< scenario B family
+  std::shared_ptr<ItpInjectionWrapper> console_path;  ///< scenario A family
+  std::shared_ptr<FeedbackAttackWrapper> usb_read;    ///< feedback family
+  std::optional<MathHooks> math_hooks;                ///< math-library family
+
+  /// Total packets corrupted/dropped across whichever hop is active.
+  [[nodiscard]] std::uint64_t injections() const noexcept;
+  /// Tick of first malicious action, if any occurred.
+  [[nodiscard]] std::optional<std::uint64_t> first_injection_tick() const noexcept;
+};
+
+/// Build the artifacts for a spec.  For kTorqueInjection the trigger
+/// (state byte / watchdog mask / Pedal-Down code) defaults to the values
+/// the analysis phase recovers for this system; experiments that run the
+/// full kill chain pass their own recovered StateInference-based config
+/// via build_torque_injection().
+[[nodiscard]] AttackArtifacts build_attack(const AttackSpec& spec);
+
+/// Scenario-B artifact from an explicit (analysis-recovered) trigger.
+[[nodiscard]] std::shared_ptr<InjectionWrapper> build_torque_injection(
+    const AttackSpec& spec, std::size_t state_byte_index, std::uint8_t watchdog_mask,
+    std::uint8_t pedal_down_code);
+
+}  // namespace rg

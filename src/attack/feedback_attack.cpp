@@ -1,0 +1,41 @@
+#include "attack/feedback_attack.hpp"
+
+#include <algorithm>
+
+#include "hw/usb_packet.hpp"
+
+namespace rg {
+
+bool FeedbackAttackWrapper::on_packet(std::span<std::uint8_t> bytes, std::uint64_t tick) {
+  auto decoded = decode_feedback(bytes, /*verify_checksum=*/false);
+  if (!decoded.ok()) return true;
+
+  const std::uint64_t idx = packets_seen_++;
+  if (idx < config_.delay_packets) return true;
+  if (config_.duration_packets > 0 &&
+      idx >= static_cast<std::uint64_t>(config_.delay_packets) + config_.duration_packets) {
+    return true;
+  }
+
+  FeedbackPacket pkt = decoded.value();
+  switch (config_.mode) {
+    case FeedbackAttackConfig::Mode::kEncoderOffset:
+      if (config_.target_channel < pkt.encoders.size()) {
+        pkt.encoders[config_.target_channel] += config_.count_offset;
+      }
+      break;
+    case FeedbackAttackConfig::Mode::kStateSpoof:
+      pkt.state = config_.spoofed_state;
+      break;
+  }
+
+  // Re-seal the checksum: the software *does* verify feedback integrity,
+  // and the wrapper runs inside the process, so it can always fix it up.
+  const FeedbackBytes sealed = encode_feedback(pkt);
+  std::copy(sealed.begin(), sealed.end(), bytes.begin());
+  ++injections_;
+  if (!first_tick_) first_tick_ = tick;
+  return true;
+}
+
+}  // namespace rg

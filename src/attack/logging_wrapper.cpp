@@ -1,0 +1,26 @@
+#include "attack/logging_wrapper.hpp"
+
+#include <utility>
+
+namespace rg {
+
+LoggingWrapper::LoggingWrapper(std::string target_process, int target_fd,
+                               std::string current_process, int current_fd)
+    : target_process_(std::move(target_process)),
+      target_fd_(target_fd),
+      current_process_(std::move(current_process)),
+      current_fd_(current_fd) {}
+
+bool LoggingWrapper::on_packet(std::span<std::uint8_t> bytes, std::uint64_t tick) {
+  // The real wrapper's filter: only the robot process writing to the USB
+  // device fd is interesting.  Everything else passes straight through.
+  if (current_process_ == target_process_ && current_fd_ == target_fd_) {
+    // "Send the UDP packet to the remote attacker": modelled as an
+    // append to the attacker-side buffer (copying the payload exactly as
+    // a sendto() would serialize it).
+    log_.push_back(CapturedPacket{tick, {bytes.begin(), bytes.end()}});
+  }
+  return true;  // always call the original write — stealth phase
+}
+
+}  // namespace rg

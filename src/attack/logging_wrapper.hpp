@@ -1,0 +1,48 @@
+// Attack-preparation-phase malware: the eavesdropping write wrapper.
+//
+// Mirrors the paper's logging wrapper, which (per Table II) checks the
+// process name and file descriptor, then forwards a copy of the USB
+// buffer to the attacker's remote server over UDP.  The captured packets
+// are what the offline analysis phase (packet_analyzer.hpp) mines for the
+// robot's state byte.  The wrapper never modifies traffic — stealth is
+// the point of this phase.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attack/interposer.hpp"
+
+namespace rg {
+
+/// One captured packet with its capture tick.
+struct CapturedPacket {
+  std::uint64_t tick = 0;
+  std::vector<std::uint8_t> bytes;
+};
+
+class LoggingWrapper final : public PacketInterposer {
+ public:
+  /// target_process / target_fd: the filter the real wrapper applies so
+  /// it only exfiltrates the robot's USB writes, not every write on the
+  /// system.  current_process models getenv/readlink-derived identity.
+  LoggingWrapper(std::string target_process, int target_fd,
+                 std::string current_process, int current_fd);
+
+  bool on_packet(std::span<std::uint8_t> bytes, std::uint64_t tick) override;
+
+  /// The attacker-side capture (the "remote server" contents).
+  [[nodiscard]] const std::vector<CapturedPacket>& capture() const noexcept { return log_; }
+  [[nodiscard]] std::size_t packets_captured() const noexcept { return log_.size(); }
+  void clear() noexcept { log_.clear(); }
+
+ private:
+  std::string target_process_;
+  int target_fd_;
+  std::string current_process_;
+  int current_fd_;
+  std::vector<CapturedPacket> log_;
+};
+
+}  // namespace rg

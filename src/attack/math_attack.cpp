@@ -1,0 +1,44 @@
+#include "attack/math_attack.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rg {
+
+namespace {
+// A real malicious preload keeps its state in the library's globals;
+// we model that with translation-unit globals behind accessors.
+MathDriftConfig g_config{};
+double g_drift = 0.0;
+
+void advance_drift() noexcept {
+  g_drift = std::min(g_drift + g_config.drift_per_call, g_config.max_drift);
+}
+
+double evil_sin(double x) {
+  advance_drift();
+  return std::sin(x) + g_drift;
+}
+double evil_cos(double x) {
+  advance_drift();
+  return std::cos(x) + g_drift;
+}
+// acos/atan2 pass through — the paper's attack targeted sin/cos.
+double honest_acos(double x) { return std::acos(x); }
+double honest_atan2(double y, double x) { return std::atan2(y, x); }
+}  // namespace
+
+MathHooks make_drifting_math(const MathDriftConfig& config) noexcept {
+  g_config = config;
+  g_drift = 0.0;
+  return MathHooks{evil_sin, evil_cos, honest_acos, honest_atan2};
+}
+
+void reset_math_drift() noexcept {
+  g_drift = 0.0;
+  g_config = MathDriftConfig{};
+}
+
+double current_math_drift() noexcept { return g_drift; }
+
+}  // namespace rg

@@ -1,0 +1,33 @@
+// Table I "math library" attack: a malicious libm preload that adds a
+// slow drift to sin/cos outputs inside the control process.
+//
+// The drift is tiny per call but accumulates through the kinematic chain
+// until the desired pose leaves the workspace — producing the "IK-fail"
+// unwanted halt state the paper reports, with no change in control flow
+// or command syntax.
+#pragma once
+
+#include "kinematics/raven_kinematics.hpp"
+
+namespace rg {
+
+/// Controls for the drifting math library.  The drift grows linearly
+/// with the number of calls, mimicking an accumulating bias.
+struct MathDriftConfig {
+  double drift_per_call = 1.0e-9;  ///< added to every sin/cos result
+  double max_drift = 0.2;          ///< saturation of the accumulated bias
+};
+
+/// Install the drifting implementation.  Returns hooks to pass to
+/// RavenKinematics::set_math_hooks().  The drift state is process-global
+/// (as a real malicious shared library's would be); reset_math_drift()
+/// re-arms it between experiments.
+[[nodiscard]] MathHooks make_drifting_math(const MathDriftConfig& config) noexcept;
+
+/// Zero the accumulated drift and clear the active configuration.
+void reset_math_drift() noexcept;
+
+/// Accumulated drift so far (for experiment logging).
+[[nodiscard]] double current_math_drift() noexcept;
+
+}  // namespace rg

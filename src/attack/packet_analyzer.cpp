@@ -1,0 +1,145 @@
+#include "attack/packet_analyzer.hpp"
+
+#include <array>
+#include <bitset>
+#include <limits>
+
+namespace rg {
+
+namespace {
+
+/// A bit is a "periodic toggle" when it flips on a large fraction of
+/// consecutive packets and spends roughly half its time high — the
+/// signature of a watchdog square wave, not of data.
+bool is_toggling_bit(std::size_t transitions, std::size_t ones, std::size_t n) noexcept {
+  if (n < 16) return false;
+  const double flip_rate = static_cast<double>(transitions) / static_cast<double>(n - 1);
+  const double duty = static_cast<double>(ones) / static_cast<double>(n);
+  return flip_rate > 0.25 && duty > 0.35 && duty < 0.65;
+}
+
+}  // namespace
+
+PacketAnalyzer::PacketAnalyzer(std::vector<CapturedPacket> capture)
+    : capture_(std::move(capture)) {
+  require(!capture_.empty(), "PacketAnalyzer needs at least one packet");
+  packet_size_ = capture_.front().bytes.size();
+  for (const auto& pkt : capture_) {
+    require(pkt.bytes.size() == packet_size_, "PacketAnalyzer: mixed packet sizes");
+  }
+
+  profiles_.resize(packet_size_);
+  const std::size_t n = capture_.size();
+  for (std::size_t b = 0; b < packet_size_; ++b) {
+    ByteProfile& prof = profiles_[b];
+    prof.index = b;
+
+    // Raw cardinality.
+    std::bitset<256> seen_raw;
+    for (const auto& pkt : capture_) seen_raw.set(pkt.bytes[b]);
+    prof.distinct_values = seen_raw.count();
+    prof.constant = prof.distinct_values == 1;
+
+    // Per-bit toggle statistics.
+    std::array<std::size_t, 8> transitions{};
+    std::array<std::size_t, 8> ones{};
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint8_t v = capture_[i].bytes[b];
+      for (std::size_t bit = 0; bit < 8; ++bit) {
+        const bool cur = (v >> bit) & 1U;
+        if (cur) ++ones[bit];
+        if (i > 0) {
+          const bool prev = (capture_[i - 1].bytes[b] >> bit) & 1U;
+          if (cur != prev) ++transitions[bit];
+        }
+      }
+    }
+    std::uint8_t mask = 0;
+    for (std::size_t bit = 0; bit < 8; ++bit) {
+      if (is_toggling_bit(transitions[bit], ones[bit], n)) {
+        mask |= static_cast<std::uint8_t>(1U << bit);
+      }
+    }
+    prof.toggling_mask = mask;
+
+    // Masked cardinality and transition count.
+    const std::uint8_t keep = static_cast<std::uint8_t>(~mask);
+    std::bitset<256> seen_masked;
+    std::size_t masked_transitions = 0;
+    std::uint8_t prev_masked = capture_.front().bytes[b] & keep;
+    seen_masked.set(prev_masked);
+    for (std::size_t i = 1; i < n; ++i) {
+      const std::uint8_t cur = capture_[i].bytes[b] & keep;
+      seen_masked.set(cur);
+      if (cur != prev_masked) ++masked_transitions;
+      prev_masked = cur;
+    }
+    prof.distinct_after_mask = seen_masked.count();
+    prof.transitions_after_mask = masked_transitions;
+  }
+}
+
+Result<StateInference> PacketAnalyzer::infer_state() const {
+  // Candidate state bytes: small masked cardinality (2..8 values — the
+  // state machine has few states), few masked transitions (states dwell
+  // for long stretches), not constant.
+  std::size_t best = std::numeric_limits<std::size_t>::max();
+  double best_score = std::numeric_limits<double>::max();
+  for (const ByteProfile& prof : profiles_) {
+    if (prof.constant) continue;
+    if (prof.distinct_after_mask < 2 || prof.distinct_after_mask > 8) continue;
+    if (prof.transitions_after_mask + 1 > 8 * prof.distinct_after_mask) continue;
+    // Prefer fewer masked values, then fewer transitions.
+    const double score = static_cast<double>(prof.distinct_after_mask) * 1000.0 +
+                         static_cast<double>(prof.transitions_after_mask);
+    if (score < best_score) {
+      best_score = score;
+      best = prof.index;
+    }
+  }
+  if (best == std::numeric_limits<std::size_t>::max()) {
+    return Error{ErrorCode::kNotReady, "no byte position looks like a state byte"};
+  }
+
+  const ByteProfile& prof = profiles_[best];
+  const std::uint8_t keep = static_cast<std::uint8_t>(~prof.toggling_mask);
+
+  StateInference out;
+  out.state_byte_index = best;
+  out.watchdog_mask = prof.toggling_mask;
+
+  // Timeline + order of first appearance.
+  std::array<bool, 256> seen{};
+  std::uint8_t cur = capture_.front().bytes[best] & keep;
+  StateSegment seg{capture_.front().tick, capture_.front().tick, cur};
+  seen[cur] = true;
+  out.codes_in_order.push_back(cur);
+  for (std::size_t i = 1; i < capture_.size(); ++i) {
+    const std::uint8_t v = capture_[i].bytes[best] & keep;
+    const std::uint64_t tick = capture_[i].tick;
+    if (v == cur) {
+      seg.end_tick = tick;
+      continue;
+    }
+    out.timeline.push_back(seg);
+    cur = v;
+    seg = StateSegment{tick, tick, cur};
+    if (!seen[v]) {
+      seen[v] = true;
+      out.codes_in_order.push_back(v);
+    }
+  }
+  out.timeline.push_back(seg);
+
+  // Combine with the publicly documented state machine: a full run walks
+  // E-STOP -> Init -> Pedal Up -> Pedal Down, so the 4th code to appear
+  // is the engaged ("Pedal Down") trigger.
+  if (out.codes_in_order.size() < 4) {
+    return Error{ErrorCode::kNotReady,
+                 "fewer than 4 states observed; capture a full teleoperation run"};
+  }
+  out.pedal_down_code = out.codes_in_order[3];
+  return out;
+}
+
+}  // namespace rg

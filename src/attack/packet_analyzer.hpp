@@ -1,0 +1,75 @@
+// Offline-analysis-phase malware: mining eavesdropped USB packets for the
+// robot's operational state (paper Sec. III.B.2, Figs. 5 and 6).
+//
+// The attacker does not know the packet format.  The analysis looks at
+// each byte position over time: most bytes are either constant or noisy
+// many-valued (DAC data), but one byte has a small set of values — the
+// state byte — plus one bit toggling at ~50% duty (the watchdog square
+// wave).  Stripping the toggling bit leaves exactly the four operational
+// states; combining value order-of-appearance with the publicly known
+// state machine (E-STOP -> Init -> Pedal Up <-> Pedal Down) yields the
+// Pedal-Down trigger value.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "attack/logging_wrapper.hpp"
+#include "common/error.hpp"
+
+namespace rg {
+
+/// Per-byte-position statistics over a capture.
+struct ByteProfile {
+  std::size_t index = 0;
+  std::size_t distinct_values = 0;        ///< raw cardinality
+  std::uint8_t toggling_mask = 0;         ///< bits flagged as periodic toggles
+  std::size_t distinct_after_mask = 0;    ///< cardinality with toggling bits stripped
+  std::size_t transitions_after_mask = 0; ///< value changes over time (masked)
+  bool constant = false;
+};
+
+/// A contiguous stretch of one masked state-byte value.
+struct StateSegment {
+  std::uint64_t start_tick = 0;
+  std::uint64_t end_tick = 0;  ///< inclusive
+  std::uint8_t code = 0;       ///< masked byte value
+};
+
+struct StateInference {
+  std::size_t state_byte_index = 0;
+  std::uint8_t watchdog_mask = 0;
+  /// Masked state codes ordered by first appearance.
+  std::vector<std::uint8_t> codes_in_order;
+  /// Timeline of masked-value segments.
+  std::vector<StateSegment> timeline;
+  /// The inferred "robot is engaged" trigger: with the known state
+  /// machine, the 4th state to appear in a full run is Pedal Down.
+  std::uint8_t pedal_down_code = 0;
+};
+
+class PacketAnalyzer {
+ public:
+  /// All packets must share one length (one endpoint's traffic).
+  explicit PacketAnalyzer(std::vector<CapturedPacket> capture);
+
+  /// Per-byte statistics (the Fig. 5 data).
+  [[nodiscard]] const std::vector<ByteProfile>& byte_profiles() const noexcept {
+    return profiles_;
+  }
+
+  /// Identify the state byte, the watchdog bit, and the Pedal-Down
+  /// trigger value (the Fig. 6 inference).  Fails when no byte looks like
+  /// a state byte or fewer than 4 states were observed.
+  [[nodiscard]] Result<StateInference> infer_state() const;
+
+  [[nodiscard]] std::size_t packet_count() const noexcept { return capture_.size(); }
+  [[nodiscard]] std::size_t packet_size() const noexcept { return packet_size_; }
+
+ private:
+  std::vector<CapturedPacket> capture_;
+  std::size_t packet_size_ = 0;
+  std::vector<ByteProfile> profiles_;
+};
+
+}  // namespace rg

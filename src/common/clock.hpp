@@ -1,0 +1,43 @@
+// Simulation time base.
+//
+// The whole system is driven by a discrete simulation clock with a 1 ms
+// control tick (the RAVEN II operational cycle).  Time is carried as an
+// integer tick count plus a seconds value to avoid floating-point drift
+// over long runs.
+#pragma once
+
+#include <cstdint>
+
+namespace rg {
+
+/// The RAVEN II control period: 1 millisecond (1 kHz software loop).
+inline constexpr double kControlPeriodSec = 1.0e-3;
+
+/// Discrete simulation clock.  One tick == one control period.
+class SimClock {
+ public:
+  SimClock() = default;
+
+  /// Advance one control tick.
+  void tick() noexcept { ++ticks_; }
+
+  /// Number of elapsed control ticks.
+  [[nodiscard]] std::uint64_t ticks() const noexcept { return ticks_; }
+
+  /// Elapsed simulated seconds.
+  [[nodiscard]] double seconds() const noexcept {
+    return static_cast<double>(ticks_) * kControlPeriodSec;
+  }
+
+  /// Elapsed simulated milliseconds.
+  [[nodiscard]] double millis() const noexcept {
+    return static_cast<double>(ticks_);
+  }
+
+  void reset() noexcept { ticks_ = 0; }
+
+ private:
+  std::uint64_t ticks_ = 0;
+};
+
+}  // namespace rg

@@ -1,0 +1,133 @@
+// Lightweight error-handling vocabulary for the raven_guard libraries.
+//
+// The control stack runs inside a hard 1 ms real-time loop, so we avoid
+// exceptions on hot paths and instead return Result<T> values.  Exceptions
+// are still used for programming errors (contract violations) during
+// construction and configuration, where they are cheap and appropriate.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace rg {
+
+/// Broad error categories used across modules.
+enum class ErrorCode : std::uint8_t {
+  kInvalidArgument,
+  kOutOfRange,
+  kMalformedPacket,
+  kChecksumMismatch,
+  kSafetyViolation,
+  kNotReady,
+  kUnreachable,   // IK target outside workspace
+  kTimeout,
+  kInternal,
+};
+
+/// Human-readable name for an ErrorCode.
+constexpr std::string_view to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kOutOfRange: return "out_of_range";
+    case ErrorCode::kMalformedPacket: return "malformed_packet";
+    case ErrorCode::kChecksumMismatch: return "checksum_mismatch";
+    case ErrorCode::kSafetyViolation: return "safety_violation";
+    case ErrorCode::kNotReady: return "not_ready";
+    case ErrorCode::kUnreachable: return "unreachable";
+    case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+/// An error value: a code plus a short static-or-owned message.
+class Error {
+ public:
+  Error(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  [[nodiscard]] std::string to_string() const {
+    std::string s{rg::to_string(code_)};
+    s += ": ";
+    s += message_;
+    return s;
+  }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+/// Minimal expected-like result type (std::expected is C++23; we target
+/// C++20).  Holds either a value or an Error.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const noexcept {
+    return std::holds_alternative<T>(data_);
+  }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    if (!ok()) throw std::logic_error("Result::value() on error: " + error().to_string());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T& value() & {
+    if (!ok()) throw std::logic_error("Result::value() on error: " + error().to_string());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& value() && {
+    if (!ok()) throw std::logic_error("Result::value() on error: " + error().to_string());
+    return std::get<T>(std::move(data_));
+  }
+
+  [[nodiscard]] const Error& error() const& {
+    return std::get<Error>(data_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Result specialization-flavoured alias for operations with no payload.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // success
+  Status(Error error) : error_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const noexcept { return !error_.has_value(); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] const Error& error() const {
+    if (ok()) throw std::logic_error("Status::error() on ok status");
+    return *error_;
+  }
+
+  static Status success() { return Status{}; }
+
+ private:
+  std::optional<Error> error_;
+};
+
+/// Contract-violation helper: throws std::invalid_argument.  Used at
+/// configuration/construction time, never on the 1 kHz hot path.
+inline void require(bool condition, std::string_view what) {
+  if (!condition) throw std::invalid_argument(std::string{what});
+}
+
+}  // namespace rg

@@ -1,0 +1,38 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+#include <string>
+
+namespace rg::detail {
+
+std::atomic<int>& log_level_storage() noexcept {
+  static std::atomic<int> level{static_cast<int>(LogLevel::kWarn)};
+  return level;
+}
+
+namespace {
+constexpr const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+void log_emit(LogLevel level, std::string_view message) {
+  if (static_cast<int>(level) < log_level_storage().load(std::memory_order_relaxed)) return;
+  std::string line;
+  line.reserve(message.size() + 16);
+  line += "[";
+  line += level_name(level);
+  line += "] ";
+  line += message;
+  line += "\n";
+  std::fputs(line.c_str(), stderr);
+}
+
+}  // namespace rg::detail

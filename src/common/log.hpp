@@ -1,0 +1,56 @@
+// Minimal leveled logger.
+//
+// Logging is off the hot path by default (level kWarn); experiment
+// harnesses raise verbosity explicitly.  No global mutable state beyond a
+// single atomic level; output goes to stderr.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string_view>
+
+namespace rg {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+namespace detail {
+std::atomic<int>& log_level_storage() noexcept;
+void log_emit(LogLevel level, std::string_view message);
+}  // namespace detail
+
+/// Set the global log threshold.
+inline void set_log_level(LogLevel level) noexcept {
+  detail::log_level_storage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+/// Current global log threshold.
+inline LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(detail::log_level_storage().load(std::memory_order_relaxed));
+}
+
+/// Stream-style log statement: RG_LOG(kInfo) << "x=" << x;
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { detail::log_emit(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace rg
+
+#define RG_LOG_ENABLED(lvl) (static_cast<int>(lvl) >= static_cast<int>(::rg::log_level()))
+#define RG_LOG(lvl)                                 \
+  if (!RG_LOG_ENABLED(::rg::LogLevel::lvl)) {       \
+  } else                                            \
+    ::rg::LogLine(::rg::LogLevel::lvl)

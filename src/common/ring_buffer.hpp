@@ -1,0 +1,74 @@
+// Fixed-capacity ring buffer.
+//
+// Used for bounded logging on the hot path (USB packet capture, detector
+// history) without heap allocation after construction.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace rg {
+
+/// Overwriting ring buffer: when full, push() drops the oldest element.
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : storage_(capacity) {
+    if (capacity == 0) throw std::invalid_argument("RingBuffer capacity must be > 0");
+  }
+
+  /// Append, overwriting the oldest element if full.
+  void push(T value) {
+    storage_[head_] = std::move(value);
+    head_ = (head_ + 1) % storage_.size();
+    if (size_ < storage_.size()) {
+      ++size_;
+    } else {
+      tail_ = (tail_ + 1) % storage_.size();
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return storage_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] bool full() const noexcept { return size_ == storage_.size(); }
+
+  /// Element i counted from the oldest retained element (0 == oldest).
+  [[nodiscard]] const T& at(std::size_t i) const {
+    if (i >= size_) throw std::out_of_range("RingBuffer::at");
+    return storage_[(tail_ + i) % storage_.size()];
+  }
+
+  /// Most recently pushed element.
+  [[nodiscard]] const T& back() const {
+    if (empty()) throw std::out_of_range("RingBuffer::back on empty buffer");
+    return storage_[(head_ + storage_.size() - 1) % storage_.size()];
+  }
+
+  /// Oldest retained element.
+  [[nodiscard]] const T& front() const {
+    if (empty()) throw std::out_of_range("RingBuffer::front on empty buffer");
+    return storage_[tail_];
+  }
+
+  void clear() noexcept {
+    head_ = tail_ = size_ = 0;
+  }
+
+  /// Copy the retained elements, oldest first.
+  [[nodiscard]] std::vector<T> snapshot() const {
+    std::vector<T> out;
+    out.reserve(size_);
+    for (std::size_t i = 0; i < size_; ++i) out.push_back(at(i));
+    return out;
+  }
+
+ private:
+  std::vector<T> storage_;
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace rg

@@ -1,0 +1,11 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace rg {
+
+double Pcg32::sqrt_ratio(double s) noexcept {
+  return std::sqrt(-2.0 * std::log(s) / s);
+}
+
+}  // namespace rg

@@ -1,0 +1,107 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic element in the simulation (sensor noise, operator
+// tremor, attack parameters, trajectory waypoints) draws from a seeded
+// Pcg32 so that experiments are reproducible bit-for-bit given a seed.
+// PCG-XSH-RR 64/32 (O'Neill 2014), implemented from the public-domain
+// reference algorithm.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace rg {
+
+/// Minimal PCG32 engine satisfying UniformRandomBitGenerator.
+class Pcg32 {
+ public:
+  using result_type = std::uint32_t;
+
+  explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbULL) noexcept {
+    state_ = 0U;
+    inc_ = (stream << 1U) | 1U;
+    (void)next();
+    state_ += seed;
+    (void)next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next(); }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next()) * 0x1.0p-32;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).  Uses rejection-free Lemire
+  /// style reduction; tiny bias (<2^-32) is irrelevant for simulation.
+  std::uint32_t uniform_int(std::uint32_t lo, std::uint32_t hi) noexcept {
+    const std::uint64_t range = static_cast<std::uint64_t>(hi) - lo + 1;
+    return lo + static_cast<std::uint32_t>(
+                    (static_cast<std::uint64_t>(next()) * range) >> 32U);
+  }
+
+  /// Standard normal deviate via Marsaglia polar method.
+  double normal() noexcept {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    double u = 0.0;
+    double v = 0.0;
+    double s = 0.0;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = sqrt_ratio(s);
+    spare_ = v * factor;
+    has_spare_ = true;
+    return u * factor;
+  }
+
+  /// Normal deviate with the given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+  }
+
+  /// Derive an independent child generator (stable stream splitting so
+  /// adding a consumer does not perturb other consumers' sequences).
+  [[nodiscard]] Pcg32 split(std::uint64_t salt) noexcept {
+    return Pcg32{next64() ^ (salt * 0x9e3779b97f4a7c15ULL), salt};
+  }
+
+ private:
+  result_type next() noexcept {
+    const std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    const auto xorshifted =
+        static_cast<std::uint32_t>(((old >> 18U) ^ old) >> 27U);
+    const auto rot = static_cast<std::uint32_t>(old >> 59U);
+    return (xorshifted >> rot) | (xorshifted << ((32U - rot) & 31U));
+  }
+
+  std::uint64_t next64() noexcept {
+    return (static_cast<std::uint64_t>(next()) << 32U) | next();
+  }
+
+  static double sqrt_ratio(double s) noexcept;
+
+  std::uint64_t state_ = 0;
+  std::uint64_t inc_ = 0;
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace rg

@@ -1,0 +1,57 @@
+// The RAVEN II operational state machine states (paper Fig. 1(c)).
+//
+// The state code is shared vocabulary between the control software (which
+// runs the state machine), the USB wire format (Byte 0 of every command
+// packet carries it to the PLC), and the attack analysis (which recovers
+// it from eavesdropped packets) — hence it lives in common/.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace rg {
+
+enum class RobotState : std::uint8_t {
+  kEStop = 0,
+  kInit = 1,      // initialization / homing
+  kPedalUp = 2,   // ready, brakes engaged
+  kPedalDown = 3  // teleoperation active, brakes released
+};
+
+constexpr std::string_view to_string(RobotState s) noexcept {
+  switch (s) {
+    case RobotState::kEStop: return "E-STOP";
+    case RobotState::kInit: return "Init";
+    case RobotState::kPedalUp: return "Pedal Up";
+    case RobotState::kPedalDown: return "Pedal Down";
+  }
+  return "unknown";
+}
+
+/// On-wire nibble for each state, chosen (as on the real robot) so that
+/// "Pedal Down" encodes as 0x0F — with the watchdog bit (bit 4) toggling,
+/// an eavesdropper sees Byte 0 alternate 0x0F / 0x1F, exactly the pattern
+/// the paper's offline analysis keys on.
+constexpr std::uint8_t wire_code(RobotState s) noexcept {
+  switch (s) {
+    case RobotState::kEStop: return 0x01;
+    case RobotState::kInit: return 0x03;
+    case RobotState::kPedalUp: return 0x07;
+    case RobotState::kPedalDown: return 0x0F;
+  }
+  return 0x00;
+}
+
+/// Inverse of wire_code; nullopt for an unknown code.
+constexpr std::optional<RobotState> state_from_wire_code(std::uint8_t code) noexcept {
+  switch (code) {
+    case 0x01: return RobotState::kEStop;
+    case 0x03: return RobotState::kInit;
+    case 0x07: return RobotState::kPedalUp;
+    case 0x0F: return RobotState::kPedalDown;
+    default: return std::nullopt;
+  }
+}
+
+}  // namespace rg

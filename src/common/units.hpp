@@ -1,0 +1,58 @@
+// Unit conventions and boundary strong types.
+//
+// Internal physics math uses plain `double` in SI units (rad, m, s, N·m, A)
+// — documented here once so every module agrees.  At *domain boundaries*
+// (hardware registers, encoder counts, DAC words) we use strong integer
+// types so a raw DAC word can never be mistaken for a torque.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <numbers>
+
+namespace rg {
+
+// ---------------------------------------------------------------------------
+// Conversion constants (SI internal convention).
+// ---------------------------------------------------------------------------
+inline constexpr double kPi = std::numbers::pi;
+inline constexpr double kDegToRad = kPi / 180.0;
+inline constexpr double kRadToDeg = 180.0 / kPi;
+inline constexpr double kMmToM = 1.0e-3;
+inline constexpr double kMToMm = 1.0e3;
+/// Motor catalogue speed unit: RPM -> rad/s.
+inline constexpr double kRpmToRadPerSec = 2.0 * kPi / 60.0;
+
+// ---------------------------------------------------------------------------
+// Boundary strong types.
+// ---------------------------------------------------------------------------
+
+/// A signed 16-bit DAC word as written to the USB interface board.
+struct DacValue {
+  std::int16_t raw = 0;
+  friend constexpr auto operator<=>(DacValue, DacValue) = default;
+};
+
+/// A raw quadrature encoder count as read from a motor controller.
+struct EncoderCount {
+  std::int32_t raw = 0;
+  friend constexpr auto operator<=>(EncoderCount, EncoderCount) = default;
+};
+
+/// Index of a motor/joint channel on one arm (0 = shoulder, 1 = elbow,
+/// 2 = insertion; channels 3..6 are wrist/instrument, modelled only as
+/// pass-through).
+struct ChannelIndex {
+  std::uint8_t raw = 0;
+  friend constexpr auto operator<=>(ChannelIndex, ChannelIndex) = default;
+};
+
+/// Number of fully-modelled degrees of freedom (the paper's reduced model:
+/// shoulder rotation, elbow rotation, tool insertion).
+inline constexpr std::size_t kNumModeledJoints = 3;
+
+/// Total channels carried in a USB packet (one RAVEN arm has 8 board
+/// channels; 7 DOF + spare).
+inline constexpr std::size_t kNumBoardChannels = 8;
+
+}  // namespace rg

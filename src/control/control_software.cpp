@@ -1,0 +1,233 @@
+#include "control/control_software.hpp"
+
+#include <cmath>
+
+namespace rg {
+
+namespace {
+/// Smoothstep used for the homing ramp (C1-continuous).
+double smoothstep(double u) noexcept {
+  if (u <= 0.0) return 0.0;
+  if (u >= 1.0) return 1.0;
+  return u * u * (3.0 - 2.0 * u);
+}
+}  // namespace
+
+ControlSoftware::ControlSoftware(const ControlConfig& config)
+    : config_(config),
+      kin_(config.rcm_origin, config.limits),
+      coupling_(config.transmission),
+      safety_(config.safety),
+      sm_(config.homing_ticks),
+      pid_{PidController{config.gains[0], kControlPeriodSec},
+           PidController{config.gains[1], kControlPeriodSec},
+           PidController{config.gains[2], kControlPeriodSec}},
+      channels_{MotorChannel{config.channel}, MotorChannel{config.channel},
+                MotorChannel{config.channel}},
+      mvel_est_{Differentiator{kControlPeriodSec, config.velocity_filter_alpha},
+                Differentiator{kControlPeriodSec, config.velocity_filter_alpha},
+                Differentiator{kControlPeriodSec, config.velocity_filter_alpha}},
+      wvel_est_{Differentiator{kControlPeriodSec, config.velocity_filter_alpha},
+                Differentiator{kControlPeriodSec, config.velocity_filter_alpha},
+                Differentiator{kControlPeriodSec, config.velocity_filter_alpha}} {}
+
+void ControlSoftware::press_start() {
+  plc_estop_reports_ = 0;
+  safety_fault_ = false;
+  first_violation_.reset();
+  watchdog_bit_ = false;
+  homing_anchor_valid_ = false;
+  mpos_desired_valid_ = false;
+  pos_desired_valid_ = false;
+  ori_desired_valid_ = false;
+  for (auto& pid : pid_) pid.reset();
+  sm_.press_start();
+}
+
+void ControlSoftware::press_estop() noexcept { sm_.trigger_estop(); }
+
+void ControlSoftware::process_feedback(std::span<const std::uint8_t> feedback_bytes) noexcept {
+  auto decoded = decode_feedback(feedback_bytes, /*verify_checksum=*/true);
+  if (!decoded.ok()) return;  // hold last measurement on a corrupt read
+  const FeedbackPacket& pkt = decoded.value();
+  for (std::size_t i = 0; i < 3; ++i) {
+    mpos_meas_[i] = channels_[i].angle_from_counts(pkt.encoders[i]);
+    mvel_[i] = mvel_est_[i].update(mpos_meas_[i]);
+    wrist_meas_[i] = channels_[i].angle_from_counts(pkt.encoders[3 + i]);
+    wrist_vel_[i] = wvel_est_[i].update(wrist_meas_[i]);
+  }
+  have_feedback_ = true;
+
+  // Hardware/software state cross-check: a PLC persistently reporting
+  // E-STOP while the software is driving means the two sides desynced.
+  if (pkt.state == RobotState::kEStop && sm_.state() != RobotState::kEStop) {
+    if (++plc_estop_reports_ >= config_.plc_desync_limit && !safety_fault_) {
+      latch_fault(SafetyViolation{SafetyViolation::Kind::kWorkspace, 0, 0.0, 0.0});
+    }
+  } else {
+    plc_estop_reports_ = 0;
+  }
+}
+
+void ControlSoftware::process_itp(std::span<const std::uint8_t> itp_bytes) noexcept {
+  auto decoded = decode_itp(itp_bytes, /*verify_checksum=*/true);
+  if (!decoded.ok()) {
+    debug_.itp_dropped = true;
+    return;
+  }
+  const ItpPacket& pkt = decoded.value();
+
+  // Pedal edges drive the state machine.
+  if (pkt.pedal_down != last_pedal_) {
+    sm_.set_pedal(pkt.pedal_down);
+    last_pedal_ = pkt.pedal_down;
+    if (sm_.state() == RobotState::kPedalDown) {
+      // Anchor the desired pose at the arm's current position so the
+      // first increment moves relative to where the tool actually is.
+      const JointVector jpos = coupling_.motor_to_joint(mpos_meas_);
+      pos_desired_ = kin_.forward(jpos);
+      pos_desired_valid_ = true;
+      ori_desired_ = wrist_meas_;
+      ori_desired_valid_ = true;
+    }
+  }
+
+  if (sm_.state() != RobotState::kPedalDown || !pos_desired_valid_) return;
+
+  // Existing RAVEN check: reject absurd increments (part of the baseline).
+  if (auto violation = safety_.check_increment(pkt.pos_increment)) {
+    latch_fault(*violation);
+    return;
+  }
+  pos_desired_ += pkt.pos_increment;
+  if (ori_desired_valid_) ori_desired_ += pkt.ori_increment;
+}
+
+void ControlSoftware::latch_fault(const SafetyViolation& violation) noexcept {
+  if (!first_violation_) first_violation_ = violation;
+  safety_fault_ = true;
+  sm_.trigger_estop();
+  debug_.safety_fault = true;
+  debug_.violation = violation;
+}
+
+CommandBytes ControlSoftware::tick(std::optional<std::span<const std::uint8_t>> itp_bytes,
+                                   std::span<const std::uint8_t> feedback_bytes) {
+  debug_ = ControlDebug{};
+
+  process_feedback(feedback_bytes);
+  if (itp_bytes) process_itp(*itp_bytes);
+  sm_.tick();
+
+  const JointVector jpos_meas = coupling_.motor_to_joint(mpos_meas_);
+  debug_.mpos_measured = mpos_meas_;
+  debug_.mvel_estimate = mvel_;
+  debug_.jpos_measured = jpos_meas;
+  debug_.ee_measured = kin_.forward(jpos_meas);
+
+  // --- Desired motor positions by state -----------------------------------
+  bool drive_motors = false;
+  if (!safety_fault_ && have_feedback_) {
+    switch (sm_.state()) {
+      case RobotState::kInit: {
+        if (!homing_anchor_valid_) {
+          homing_start_ = mpos_meas_;
+          homing_anchor_valid_ = true;
+        }
+        const MotorVector home = coupling_.joint_to_motor(config_.limits.midpoint());
+        const double s = smoothstep(sm_.homing_progress());
+        mpos_desired_ = homing_start_ + s * (home - homing_start_);
+        mpos_desired_valid_ = true;
+        drive_motors = true;
+        break;
+      }
+      case RobotState::kPedalDown: {
+        if (pos_desired_valid_) {
+          auto ik = kin_.inverse(pos_desired_);
+          // Verify the solution by substitution: FK(IK(p)) must land back
+          // on p.  A drifting math library (Table I) breaks this residual
+          // long before anything else looks wrong.
+          const bool ik_consistent =
+              ik.ok() &&
+              distance(kin_.forward(ik.value()), pos_desired_) <= config_.ik_verify_tolerance;
+          if (!ik_consistent) {
+            // "IK-fail": the unwanted halt state the paper's math-library
+            // attacks provoke.
+            debug_.ik_failed = true;
+            latch_fault(SafetyViolation{SafetyViolation::Kind::kWorkspace, 0, 0.0, 0.0});
+          } else {
+            const JointVector jpos_d = ik.value();
+            if (auto violation = safety_.check_joints(jpos_d)) {
+              latch_fault(*violation);
+            } else {
+              debug_.jpos_desired = jpos_d;
+              debug_.ee_desired = pos_desired_;
+              mpos_desired_ = coupling_.joint_to_motor(jpos_d);
+              mpos_desired_valid_ = true;
+              drive_motors = true;
+            }
+          }
+        }
+        break;
+      }
+      case RobotState::kPedalUp: {
+        // The PLC has powered the drives off and the brakes hold the arm:
+        // the servo disengages (commanding torque into dead drives would
+        // only wind up the PID against a coasting arm).  Desired tracks
+        // measured so re-engagement is seamless.
+        mpos_desired_ = mpos_meas_;
+        mpos_desired_valid_ = true;
+        for (auto& pid : pid_) pid.reset();
+        drive_motors = false;
+        break;
+      }
+      case RobotState::kEStop:
+        break;
+    }
+  }
+
+  // --- PID -> torque -> DAC ------------------------------------------------
+  std::array<std::int16_t, kNumBoardChannels> dac{};
+  if (drive_motors && !safety_fault_ && mpos_desired_valid_) {
+    debug_.mpos_desired = mpos_desired_;
+    for (std::size_t i = 0; i < 3; ++i) {
+      const double torque = pid_[i].update(mpos_desired_[i] - mpos_meas_[i], mvel_[i]);
+      const double current = torque / config_.motors[i].torque_constant;
+      dac[i] = channels_[i].dac_from_current(current);
+      debug_.torque_command[i] = torque;
+    }
+  }
+
+  // --- Wrist servo (channels 3-5): orientation pass-through ---------------
+  if (!safety_fault_ && sm_.state() == RobotState::kPedalDown && ori_desired_valid_) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      const double torque = config_.wrist_kp * (ori_desired_[i] - wrist_meas_[i]) -
+                            config_.wrist_kd * wrist_vel_[i];
+      dac[3 + i] = channels_[i].dac_from_current(torque / config_.wrist_torque_constant);
+    }
+  }
+
+  // --- The RAVEN software safety check (the baseline detector) ------------
+  if (!safety_fault_) {
+    if (auto violation = safety_.check_dac(dac)) {
+      latch_fault(*violation);
+    }
+  }
+  if (safety_fault_) {
+    dac.fill(0);
+  } else {
+    // Healthy cycle: toggle the "I'm alive" watchdog square wave.
+    watchdog_bit_ = !watchdog_bit_;
+  }
+  debug_.dac_command = {dac[0], dac[1], dac[2]};
+  debug_.safety_fault = safety_fault_;
+  if (safety_fault_ && first_violation_) debug_.violation = first_violation_;
+
+  CommandPacket pkt;
+  pkt.state = sm_.state();
+  pkt.watchdog_bit = watchdog_bit_;
+  pkt.dac = dac;
+  return encode_command(pkt);
+}
+
+}  // namespace rg

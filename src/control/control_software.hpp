@@ -1,0 +1,172 @@
+// The RAVEN II control software: the 1 kHz kinematic-chain pipeline of
+// paper Fig. 2, re-implemented from its published semantics.
+//
+// Each cycle:
+//   1. read encoder feedback from the USB board  -> mpos, jpos, pos (FK)
+//   2. receive an ITP packet from the console    -> pedal, pos_d increment
+//   3. run the operational state machine (homing, pedal up/down)
+//   4. inverse kinematics                        -> jpos_d, mpos_d
+//   5. PID on motor position error               -> torque -> DAC words
+//   6. software safety checks on DAC + workspace (the RAVEN baseline)
+//   7. serialize the command packet (Byte 0 = state | watchdog toggle)
+//
+// On any safety violation the software commands zero DACs, drives its
+// state machine to E-STOP, and *stops toggling the watchdog bit*, which
+// makes the PLC latch E-STOP within its timeout — the documented RAVEN
+// reaction.  The returned bytes are handed to the (attackable) USB write
+// path by the simulation harness; everything after step 7 is outside the
+// software's trust boundary.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "common/clock.hpp"
+#include "common/robot_state.hpp"
+#include "control/pid.hpp"
+#include "control/safety.hpp"
+#include "control/state_machine.hpp"
+#include "dynamics/motor.hpp"
+#include "hw/motor_controller.hpp"
+#include "hw/usb_packet.hpp"
+#include "kinematics/coupling.hpp"
+#include "kinematics/raven_kinematics.hpp"
+#include "math/filters.hpp"
+#include "net/itp_packet.hpp"
+
+namespace rg {
+
+struct ControlConfig {
+  std::array<PidGains, 3> gains{
+      PidGains{.kp = 0.6, .ki = 2.0, .kd = 0.0015, .output_limit = 0.302, .integral_limit = 0.02},
+      PidGains{.kp = 0.6, .ki = 2.0, .kd = 0.0015, .output_limit = 0.302, .integral_limit = 0.02},
+      PidGains{.kp = 0.12, .ki = 0.8, .kd = 1.5e-4, .output_limit = 0.207, .integral_limit = 0.02},
+  };
+  std::array<MotorParams, 3> motors{MotorParams::re40(), MotorParams::re40(),
+                                    MotorParams::re30()};
+  SafetyConfig safety{};
+  MotorChannelConfig channel{};  ///< must match the USB board's config
+  /// Wrist/instrument servo (channels 3-5): PD on the wrist motor angles,
+  /// which carry the end-effector orientation (unmodelled by the
+  /// detector, as in the paper's reduced model).
+  double wrist_kp = 0.01;      ///< N*m per rad
+  double wrist_kd = 4.5e-4;    ///< N*m per rad/s
+  double wrist_torque_constant = 0.0138;  ///< N*m/A (small RE motor)
+  TransmissionParams transmission{};
+  JointLimits limits = JointLimits::raven_defaults();
+  Position rcm_origin{};
+  std::uint32_t homing_ticks = 800;
+  /// Exponential smoothing for the encoder-derived velocity estimate.
+  double velocity_filter_alpha = 0.3;
+  /// IK solutions are verified by substituting back through FK; a
+  /// residual above this (m) means the kinematic chain is inconsistent
+  /// (numerically — or because a malicious libm is drifting sin/cos) and
+  /// the software declares IK-fail.
+  double ik_verify_tolerance = 1.0e-3;
+  /// The software cross-checks the PLC state echoed in feedback packets;
+  /// if the hardware reports E-STOP for this many consecutive packets
+  /// while the software believes it is operating, the two have desynced
+  /// (e.g. a spoofed state on the read path) and the software halts —
+  /// the Table I "homing failure" manifestation.
+  std::uint32_t plc_desync_limit = 50;
+
+  static ControlConfig raven_defaults() { return ControlConfig{}; }
+};
+
+/// Per-cycle introspection snapshot (tests, benches, the graphic
+/// simulator's data source).
+struct ControlDebug {
+  MotorVector mpos_measured{};
+  MotorVector mvel_estimate{};
+  MotorVector mpos_desired{};
+  JointVector jpos_measured{};
+  JointVector jpos_desired{};
+  Position ee_measured{};
+  Position ee_desired{};
+  Vec3 torque_command{};
+  std::array<std::int16_t, 3> dac_command{};
+  bool safety_fault = false;
+  std::optional<SafetyViolation> violation{};
+  bool ik_failed = false;
+  bool itp_dropped = false;  ///< packet rejected (checksum) this cycle
+};
+
+class ControlSoftware {
+ public:
+  explicit ControlSoftware(const ControlConfig& config = ControlConfig::raven_defaults());
+
+  /// Physical start button (shared with the PLC by the harness).
+  void press_start();
+
+  /// Physical E-STOP button.
+  void press_estop() noexcept;
+
+  /// One 1 kHz control cycle.  `itp_bytes`: the datagram received this
+  /// tick, if any (already past any attack interposer).  `feedback_bytes`:
+  /// the USB read from the interface board.  Returns the serialized
+  /// command packet to be written to the board.
+  [[nodiscard]] CommandBytes tick(std::optional<std::span<const std::uint8_t>> itp_bytes,
+                                  std::span<const std::uint8_t> feedback_bytes);
+
+  /// Rebind the trig functions used by the kinematic chain — the hook a
+  /// malicious libm preload (Table I math attack) grabs.
+  void set_math_hooks(const MathHooks& hooks) noexcept { kin_.set_math_hooks(hooks); }
+
+  [[nodiscard]] RobotState state() const noexcept { return sm_.state(); }
+  [[nodiscard]] bool safety_fault_latched() const noexcept { return safety_fault_; }
+  [[nodiscard]] const std::optional<SafetyViolation>& first_violation() const noexcept {
+    return first_violation_;
+  }
+  [[nodiscard]] const ControlDebug& debug() const noexcept { return debug_; }
+  [[nodiscard]] const RavenKinematics& kinematics() const noexcept { return kin_; }
+  [[nodiscard]] const CableCoupling& coupling() const noexcept { return coupling_; }
+  [[nodiscard]] const ControlConfig& config() const noexcept { return config_; }
+
+ private:
+  /// Decode feedback and refresh measured state.
+  void process_feedback(std::span<const std::uint8_t> feedback_bytes) noexcept;
+
+  /// Decode and apply an ITP packet (pedal edges, desired-pose increments).
+  void process_itp(std::span<const std::uint8_t> itp_bytes) noexcept;
+
+  /// Latch a safety fault: E-STOP state, zero output, watchdog frozen.
+  void latch_fault(const SafetyViolation& violation) noexcept;
+
+  ControlConfig config_;
+  RavenKinematics kin_;
+  CableCoupling coupling_;
+  SafetyChecker safety_;
+  ControlStateMachine sm_;
+  std::array<PidController, 3> pid_;
+  std::array<MotorChannel, 3> channels_;
+  std::array<Differentiator, 3> mvel_est_;
+  std::array<Differentiator, 3> wvel_est_;
+
+  bool watchdog_bit_ = false;
+  bool safety_fault_ = false;
+  std::optional<SafetyViolation> first_violation_{};
+
+  bool have_feedback_ = false;
+  MotorVector mpos_meas_{};
+  MotorVector mvel_{};
+  Vec3 wrist_meas_{};
+  Vec3 wrist_vel_{};
+  Vec3 ori_desired_{};
+  bool ori_desired_valid_ = false;
+  std::uint32_t plc_estop_reports_ = 0;
+
+  bool homing_anchor_valid_ = false;
+  MotorVector homing_start_{};
+  MotorVector mpos_desired_{};
+  bool mpos_desired_valid_ = false;
+
+  Position pos_desired_{};
+  bool pos_desired_valid_ = false;
+  bool last_pedal_ = false;
+
+  ControlDebug debug_{};
+};
+
+}  // namespace rg

@@ -1,0 +1,32 @@
+#include "control/pid.hpp"
+
+#include <algorithm>
+
+namespace rg {
+
+double PidController::update(double error, double measured_velocity) noexcept {
+  const double unsaturated_no_i =
+      gains_.kp * error - gains_.kd * measured_velocity + gains_.ki * integral_;
+
+  // Conditional integration anti-windup: only integrate when doing so
+  // pushes the output back inside the saturation band (or no limit set).
+  bool integrate = true;
+  if (gains_.output_limit > 0.0) {
+    if (unsaturated_no_i > gains_.output_limit && error > 0.0) integrate = false;
+    if (unsaturated_no_i < -gains_.output_limit && error < 0.0) integrate = false;
+  }
+  if (integrate && gains_.ki != 0.0) {
+    integral_ += error * dt_;
+    if (gains_.integral_limit > 0.0) {
+      integral_ = std::clamp(integral_, -gains_.integral_limit, gains_.integral_limit);
+    }
+  }
+
+  double out = gains_.kp * error - gains_.kd * measured_velocity + gains_.ki * integral_;
+  if (gains_.output_limit > 0.0) {
+    out = std::clamp(out, -gains_.output_limit, gains_.output_limit);
+  }
+  return out;
+}
+
+}  // namespace rg

@@ -1,0 +1,45 @@
+// Discrete PID controller with anti-windup, one per motor channel.
+//
+// The RAVEN control software computes motor torques from a PID law on the
+// desired vs. measured motor positions (paper Fig. 2).  Derivative action
+// uses the measured velocity ("derivative on measurement") so setpoint
+// steps do not kick the torque output.
+#pragma once
+
+#include "common/error.hpp"
+
+namespace rg {
+
+struct PidGains {
+  double kp = 0.0;  ///< N*m per rad of position error
+  double ki = 0.0;  ///< N*m per rad*s of integrated error
+  double kd = 0.0;  ///< N*m per rad/s of measured velocity
+  double output_limit = 0.0;    ///< |torque| saturation, N*m (0 = no limit)
+  double integral_limit = 0.0;  ///< |integral state| clamp, rad*s (0 = no limit)
+};
+
+class PidController {
+ public:
+  PidController(const PidGains& gains, double dt) : gains_(gains), dt_(dt) {
+    require(dt > 0.0, "PidController dt must be > 0");
+    require(gains.output_limit >= 0.0, "output_limit must be >= 0");
+    require(gains.integral_limit >= 0.0, "integral_limit must be >= 0");
+  }
+
+  /// One control update.  error = setpoint - measurement; measured_velocity
+  /// is the measurement's rate (used for the D term).  Returns the
+  /// saturated torque command.
+  double update(double error, double measured_velocity) noexcept;
+
+  void reset() noexcept { integral_ = 0.0; }
+
+  [[nodiscard]] double integral_state() const noexcept { return integral_; }
+  [[nodiscard]] const PidGains& gains() const noexcept { return gains_; }
+
+ private:
+  PidGains gains_;
+  double dt_;
+  double integral_ = 0.0;
+};
+
+}  // namespace rg

@@ -1,0 +1,61 @@
+#include "control/safety.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace rg {
+
+std::string SafetyViolation::describe() const {
+  std::string s;
+  switch (kind) {
+    case Kind::kDacLimit: s = "DAC limit exceeded on channel "; break;
+    case Kind::kWorkspace: s = "desired joint position outside workspace, joint "; break;
+    case Kind::kIncrement: s = "user position increment too large, axis "; break;
+  }
+  s += std::to_string(channel);
+  s += " (value ";
+  s += std::to_string(value);
+  s += ", limit ";
+  s += std::to_string(limit);
+  s += ")";
+  return s;
+}
+
+std::optional<SafetyViolation> SafetyChecker::check_dac(
+    std::span<const std::int16_t> dac) const noexcept {
+  const std::size_t n = std::min(dac.size(), config_.dac_limit.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::abs(static_cast<int>(dac[i])) > static_cast<int>(config_.dac_limit[i])) {
+      return SafetyViolation{SafetyViolation::Kind::kDacLimit, i,
+                             static_cast<double>(dac[i]),
+                             static_cast<double>(config_.dac_limit[i])};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<SafetyViolation> SafetyChecker::check_joints(
+    const JointVector& jpos_desired) const noexcept {
+  for (std::size_t i = 0; i < 3; ++i) {
+    const JointLimit& lim = config_.workspace.joint(i);
+    const double lo = lim.min + config_.workspace_margin * lim.span();
+    const double hi = lim.max - config_.workspace_margin * lim.span();
+    if (jpos_desired[i] < lo || jpos_desired[i] > hi) {
+      return SafetyViolation{SafetyViolation::Kind::kWorkspace, i, jpos_desired[i],
+                             jpos_desired[i] < lo ? lo : hi};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<SafetyViolation> SafetyChecker::check_increment(
+    const Vec3& pos_increment) const noexcept {
+  const double mag = pos_increment.norm();
+  if (mag > config_.max_pos_increment) {
+    return SafetyViolation{SafetyViolation::Kind::kIncrement, 0, mag,
+                           config_.max_pos_increment};
+  }
+  return std::nullopt;
+}
+
+}  // namespace rg

@@ -1,0 +1,77 @@
+// The RAVEN II software safety checks — the *baseline* detector of the
+// paper (Table IV, "RAVEN" rows).
+//
+// Per the paper: "These safety checks compare the electrical current
+// commands sent to the digital to analog converters (DACs) with a set of
+// pre-defined thresholds to ensure the motors and arm joints do not move
+// beyond their safety limits."  They are threshold checks on the values
+// the software *computed*, applied at the last software step before the
+// USB write — which is exactly why a post-check (TOCTOU) injection
+// bypasses them, and why they only fire after a physical disturbance has
+// already corrupted the feedback enough for the PID to command large
+// DACs itself.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "common/units.hpp"
+#include "kinematics/joint_limits.hpp"
+#include "kinematics/types.hpp"
+
+namespace rg {
+
+struct SafetyConfig {
+  /// |DAC| threshold per modelled channel (counts).  Sized so routine
+  /// teleoperation transients (~2000 counts) never approach it; it fires
+  /// when the PID is straining against a corrupted physical state — the
+  /// paper's observation that RAVEN's checks only react "until the
+  /// physical system state is corrupted to a point where the PID control
+  /// cannot fix the errors anymore".
+  std::array<std::int16_t, kNumBoardChannels> dac_limit{26000, 26000, 26000, 26000,
+                                                        26000, 26000, 26000, 26000};
+  /// Desired-joint-position workspace (checked with this margin inside
+  /// the mechanical limits, rad / m).
+  JointLimits workspace = JointLimits::raven_defaults();
+  double workspace_margin = 0.01;
+  /// Per-packet limit on the magnitude of a user position increment (m).
+  /// 1 kHz * 1 mm = 1 m/s commanded tool speed — far beyond surgical use.
+  double max_pos_increment = 1.0e-3;
+};
+
+struct SafetyViolation {
+  enum class Kind : std::uint8_t { kDacLimit, kWorkspace, kIncrement };
+  Kind kind = Kind::kDacLimit;
+  std::size_t channel = 0;  ///< offending channel/joint (0 for kIncrement)
+  double value = 0.0;
+  double limit = 0.0;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+class SafetyChecker {
+ public:
+  explicit SafetyChecker(const SafetyConfig& config = {}) : config_(config) {}
+
+  /// Check the DAC words about to be written to the board.
+  [[nodiscard]] std::optional<SafetyViolation> check_dac(
+      std::span<const std::int16_t> dac) const noexcept;
+
+  /// Check a desired joint configuration against the workspace.
+  [[nodiscard]] std::optional<SafetyViolation> check_joints(
+      const JointVector& jpos_desired) const noexcept;
+
+  /// Check a user position increment.
+  [[nodiscard]] std::optional<SafetyViolation> check_increment(
+      const Vec3& pos_increment) const noexcept;
+
+  [[nodiscard]] const SafetyConfig& config() const noexcept { return config_; }
+
+ private:
+  SafetyConfig config_;
+};
+
+}  // namespace rg

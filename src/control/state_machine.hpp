@@ -1,0 +1,67 @@
+// The RAVEN II operational state machine (paper Fig. 1(c)).
+//
+//   E-STOP --start--> Init --homing done--> Pedal Up <--pedal--> Pedal Down
+//      ^                                                             |
+//      +----------- estop button / software fault / watchdog --------+
+//
+// The control software runs this machine; the PLC mirrors it via Byte 0
+// of every command packet.
+#pragma once
+
+#include <cstdint>
+
+#include "common/robot_state.hpp"
+
+namespace rg {
+
+class ControlStateMachine {
+ public:
+  /// homing_ticks: duration of the Init (homing) phase in control ticks.
+  explicit ControlStateMachine(std::uint32_t homing_ticks = 1000)
+      : homing_ticks_(homing_ticks) {}
+
+  [[nodiscard]] RobotState state() const noexcept { return state_; }
+
+  /// Physical start button: leaves E-STOP and begins initialization.
+  void press_start() noexcept {
+    if (state_ == RobotState::kEStop) {
+      state_ = RobotState::kInit;
+      homing_elapsed_ = 0;
+    }
+  }
+
+  /// Emergency stop (button, PLC latch, or software fault).
+  void trigger_estop() noexcept { state_ = RobotState::kEStop; }
+
+  /// Foot pedal edge from the console.
+  void set_pedal(bool pedal_down) noexcept {
+    if (state_ == RobotState::kPedalUp && pedal_down) {
+      state_ = RobotState::kPedalDown;
+    } else if (state_ == RobotState::kPedalDown && !pedal_down) {
+      state_ = RobotState::kPedalUp;
+    }
+  }
+
+  /// One control tick; advances homing progress during Init.
+  void tick() noexcept {
+    if (state_ == RobotState::kInit) {
+      if (++homing_elapsed_ >= homing_ticks_) state_ = RobotState::kPedalUp;
+    }
+  }
+
+  /// Homing progress in [0, 1] (1 outside Init).
+  [[nodiscard]] double homing_progress() const noexcept {
+    if (state_ != RobotState::kInit) return 1.0;
+    if (homing_ticks_ == 0) return 1.0;
+    return static_cast<double>(homing_elapsed_) / static_cast<double>(homing_ticks_);
+  }
+
+  [[nodiscard]] std::uint32_t homing_ticks() const noexcept { return homing_ticks_; }
+
+ private:
+  RobotState state_ = RobotState::kEStop;
+  std::uint32_t homing_ticks_;
+  std::uint32_t homing_elapsed_ = 0;
+};
+
+}  // namespace rg

@@ -1,0 +1,44 @@
+#include "core/detector.hpp"
+
+#include <algorithm>
+
+namespace rg {
+
+Verdict AnomalyDetector::evaluate(const Prediction& pred) const noexcept {
+  Verdict v;
+  if (!pred.valid) return v;
+
+  const DetectionThresholds& th = config_.thresholds;
+  double worst_ratio = 0.0;
+  // Flags are per-variable, over any axis: an attack on one channel
+  // should not be diluted by the two healthy axes.
+  for (std::size_t i = 0; i < 3; ++i) {
+    const double rv = th.motor_vel[i] > 0.0 ? pred.motor_instant_vel[i] / th.motor_vel[i] : 0.0;
+    const double ra = th.motor_acc[i] > 0.0 ? pred.motor_instant_acc[i] / th.motor_acc[i] : 0.0;
+    const double rj = th.joint_vel[i] > 0.0 ? pred.joint_instant_vel[i] / th.joint_vel[i] : 0.0;
+    if (rv > 1.0) v.motor_vel_flag = true;
+    if (ra > 1.0) v.motor_acc_flag = true;
+    if (rj > 1.0) v.joint_vel_flag = true;
+    const double axis_worst = std::max({rv, ra, rj});
+    if (axis_worst > worst_ratio) {
+      worst_ratio = axis_worst;
+      v.worst_axis = i;
+    }
+  }
+
+  const int votes = static_cast<int>(v.motor_vel_flag) + static_cast<int>(v.motor_acc_flag) +
+                    static_cast<int>(v.joint_vel_flag);
+  switch (config_.fusion) {
+    case FusionPolicy::kAllThree: v.alarm = votes == 3; break;
+    case FusionPolicy::kTwoOfThree: v.alarm = votes >= 2; break;
+    case FusionPolicy::kAnyVariable: v.alarm = votes >= 1; break;
+  }
+
+  if (config_.ee_jump_limit > 0.0 && pred.ee_displacement > config_.ee_jump_limit) {
+    v.ee_jump_flag = true;
+    v.alarm = true;
+  }
+  return v;
+}
+
+}  // namespace rg

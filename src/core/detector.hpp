@@ -1,0 +1,70 @@
+// The dynamic-model-based anomaly detector.
+//
+// Paper Sec. IV.C: "the detector fuses the alarms based on the motor
+// acceleration, motor velocity, and joint velocity and raises an alert
+// only when all three variables indicate an abnormality" — fusion
+// suppresses false alarms from model inaccuracy and trajectory noise.
+// The all-three rule is the paper's; kAnyVariable and kTwoOfThree exist
+// for the ablation bench.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "core/estimator.hpp"
+#include "core/thresholds.hpp"
+
+namespace rg {
+
+enum class FusionPolicy : std::uint8_t {
+  kAllThree,   ///< paper's rule: motor vel AND motor acc AND joint vel
+  kTwoOfThree,
+  kAnyVariable,
+};
+
+constexpr std::string_view to_string(FusionPolicy p) noexcept {
+  switch (p) {
+    case FusionPolicy::kAllThree: return "all-3";
+    case FusionPolicy::kTwoOfThree: return "2-of-3";
+    case FusionPolicy::kAnyVariable: return "any-1";
+  }
+  return "unknown";
+}
+
+struct DetectorConfig {
+  DetectionThresholds thresholds{};
+  FusionPolicy fusion = FusionPolicy::kAllThree;
+  /// Optional extra guard: alarm outright if the predicted end-effector
+  /// displacement in one step exceeds this (m); 0 disables.  The paper's
+  /// safety goal — no >1 mm jump within 1–2 ms — motivates the default.
+  double ee_jump_limit = 1.0e-3;
+};
+
+/// Per-command verdict.
+struct Verdict {
+  bool alarm = false;
+  bool motor_vel_flag = false;
+  bool motor_acc_flag = false;
+  bool joint_vel_flag = false;
+  bool ee_jump_flag = false;
+  std::size_t worst_axis = 0;  ///< axis with the largest threshold ratio
+};
+
+class AnomalyDetector {
+ public:
+  explicit AnomalyDetector(const DetectorConfig& config = {}) : config_(config) {}
+
+  /// Evaluate one prediction.  Invalid predictions (estimator not yet
+  /// synchronized) never alarm.
+  [[nodiscard]] Verdict evaluate(const Prediction& pred) const noexcept;
+
+  [[nodiscard]] const DetectorConfig& config() const noexcept { return config_; }
+  void set_thresholds(const DetectionThresholds& thresholds) noexcept {
+    config_.thresholds = thresholds;
+  }
+
+ private:
+  DetectorConfig config_;
+};
+
+}  // namespace rg

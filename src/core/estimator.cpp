@@ -1,0 +1,93 @@
+#include "core/estimator.hpp"
+
+#include <cmath>
+
+namespace rg {
+
+DynamicModelEstimator::DynamicModelEstimator(const EstimatorConfig& config)
+    : config_(config),
+      model_(config.model),
+      kin_(config.rcm_origin, config.model.hard_stop_limits),
+      channel_(config.channel) {
+  require(config.step > 0.0, "estimator step must be > 0");
+  require(config.observer_position_gain >= 0.0 && config.observer_position_gain <= 1.0,
+          "observer_position_gain in [0,1]");
+  require(config.observer_velocity_gain >= 0.0, "observer_velocity_gain must be >= 0");
+}
+
+void DynamicModelEstimator::observe_feedback(const MotorVector& encoder_angles) noexcept {
+  if (!have_feedback_) {
+    // Hard sync on the first observation: positions from encoders, rates
+    // zero (the robot is at rest when the monitor comes up).
+    RavenDynamicsModel::set_motor_pos(state_, encoder_angles);
+    RavenDynamicsModel::set_motor_vel(state_, Vec3::zero());
+    RavenDynamicsModel::set_joint_pos(state_, model_.coupling().motor_to_joint(encoder_angles));
+    RavenDynamicsModel::set_joint_vel(state_, Vec3::zero());
+    have_feedback_ = true;
+    return;
+  }
+
+  // Luenberger-style correction: nudge the parallel model toward the
+  // measured motor positions; joints are corrected through the
+  // transmission map (no joint encoders on RAVEN).
+  const double l1 = config_.observer_position_gain;
+  const double l2 = config_.observer_velocity_gain;
+
+  const MotorVector mpos = RavenDynamicsModel::motor_pos(state_);
+  const Vec3 err = encoder_angles - mpos;
+  RavenDynamicsModel::set_motor_pos(state_, mpos + l1 * err);
+  RavenDynamicsModel::set_motor_vel(state_, RavenDynamicsModel::motor_vel(state_) + l2 * err);
+
+  const JointVector jpos_meas = model_.coupling().motor_to_joint(encoder_angles);
+  const JointVector jpos = RavenDynamicsModel::joint_pos(state_);
+  const Vec3 jerr = jpos_meas - jpos;
+  RavenDynamicsModel::set_joint_pos(state_, jpos + l1 * jerr);
+  RavenDynamicsModel::set_joint_vel(state_,
+                                    RavenDynamicsModel::joint_vel(state_) + l2 * jerr);
+}
+
+Vec3 DynamicModelEstimator::currents_from_dac(
+    const std::array<std::int16_t, 3>& dac) const noexcept {
+  Vec3 currents;
+  for (std::size_t i = 0; i < 3; ++i) currents[i] = channel_.current_from_dac(dac[i]);
+  return currents;
+}
+
+Prediction DynamicModelEstimator::predict(const std::array<std::int16_t, 3>& dac) noexcept {
+  Prediction pred;
+  if (!have_feedback_) return pred;
+
+  pred.mpos_now = RavenDynamicsModel::motor_pos(state_);
+  pred.mvel_now = RavenDynamicsModel::motor_vel(state_);
+  pred.jpos_now = RavenDynamicsModel::joint_pos(state_);
+
+  const RavenDynamicsModel::State next =
+      model_.step(state_, currents_from_dac(dac), config_.step, config_.solver);
+
+  pred.mpos_next = RavenDynamicsModel::motor_pos(next);
+  pred.mvel_next = RavenDynamicsModel::motor_vel(next);
+  pred.jpos_next = RavenDynamicsModel::joint_pos(next);
+  pred.jvel_next = RavenDynamicsModel::joint_vel(next);
+
+  const double inv_dt = 1.0 / config_.step;
+  for (std::size_t i = 0; i < 3; ++i) {
+    pred.motor_instant_vel[i] = std::abs(pred.mpos_next[i] - pred.mpos_now[i]) * inv_dt;
+    pred.motor_instant_acc[i] = std::abs(pred.mvel_next[i] - pred.mvel_now[i]) * inv_dt;
+    pred.joint_instant_vel[i] = std::abs(pred.jpos_next[i] - pred.jpos_now[i]) * inv_dt;
+  }
+  pred.ee_displacement = distance(kin_.forward(pred.jpos_next), kin_.forward(pred.jpos_now));
+  pred.valid = true;
+  return pred;
+}
+
+void DynamicModelEstimator::commit(const std::array<std::int16_t, 3>& dac) noexcept {
+  if (!have_feedback_) return;
+  state_ = model_.step(state_, currents_from_dac(dac), config_.step, config_.solver);
+}
+
+void DynamicModelEstimator::reset() noexcept {
+  state_ = RavenDynamicsModel::State{};
+  have_feedback_ = false;
+}
+
+}  // namespace rg

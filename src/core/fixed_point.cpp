@@ -1,0 +1,17 @@
+#include "core/fixed_point.hpp"
+
+#include <cmath>
+
+namespace rg {
+
+Fixed64 Fixed64::from_double(double v) noexcept {
+  return from_raw(static_cast<std::int64_t>(std::llround(v * 4294967296.0)));  // 2^32
+}
+
+double Fixed64::to_double() const noexcept {
+  return static_cast<double>(raw_) / 4294967296.0;
+}
+
+Fixed64 fixed_reciprocal(double v) noexcept { return Fixed64::from_double(1.0 / v); }
+
+}  // namespace rg

@@ -1,0 +1,78 @@
+// Fixed-point arithmetic for the embedded-estimator feasibility study.
+//
+// Paper Sec. IV.C closes with the deployment question: the ideal home for
+// the detector is the USB board's microcontroller, but "the
+// implementation of the methods for calculating a numerical solution for
+// the ODEs ... might incur high computational costs in simple hardware
+// controllers (e.g., an 8-bit AVR)".  This module answers the follow-up:
+// a Q32.32 fixed-point Euler step of the full model — integer-only
+// arithmetic as a Cortex-M-class MCU (or an FPGA datapath) would execute
+// — with accuracy and cost measured against the double-precision model.
+#pragma once
+
+#include <cstdint>
+
+namespace rg {
+
+// 128-bit intermediate for full-precision fixed-point multiplies.  GCC and
+// Clang both provide __int128 on 64-bit targets; __extension__ silences
+// the -Wpedantic portability warning (documented, deliberate dependency).
+__extension__ typedef __int128 Int128;
+
+/// Q32.32 signed fixed-point value on int64 (range +/-2^31, resolution
+/// 2^-32 ~ 2.3e-10) — comfortably covers every state and derivative in
+/// the robot model (|accel| < 10^5).
+class Fixed64 {
+ public:
+  constexpr Fixed64() = default;
+
+  static constexpr Fixed64 from_raw(std::int64_t raw) noexcept {
+    Fixed64 f;
+    f.raw_ = raw;
+    return f;
+  }
+  static constexpr Fixed64 from_int(std::int32_t v) noexcept {
+    return from_raw(static_cast<std::int64_t>(v) << kFracBits);
+  }
+  static Fixed64 from_double(double v) noexcept;
+
+  [[nodiscard]] double to_double() const noexcept;
+  [[nodiscard]] constexpr std::int64_t raw() const noexcept { return raw_; }
+
+  friend constexpr Fixed64 operator+(Fixed64 a, Fixed64 b) noexcept {
+    return from_raw(a.raw_ + b.raw_);
+  }
+  friend constexpr Fixed64 operator-(Fixed64 a, Fixed64 b) noexcept {
+    return from_raw(a.raw_ - b.raw_);
+  }
+  friend constexpr Fixed64 operator-(Fixed64 a) noexcept { return from_raw(-a.raw_); }
+
+  /// Full-precision multiply through a 128-bit intermediate (one MUL +
+  /// shift on a 64-bit MCU; four 32x32 MULs on a 32-bit one).
+  friend constexpr Fixed64 operator*(Fixed64 a, Fixed64 b) noexcept {
+    const Int128 wide = static_cast<Int128>(a.raw_) * static_cast<Int128>(b.raw_);
+    return from_raw(static_cast<std::int64_t>(wide >> kFracBits));
+  }
+
+  friend constexpr bool operator<(Fixed64 a, Fixed64 b) noexcept { return a.raw_ < b.raw_; }
+  friend constexpr bool operator>(Fixed64 a, Fixed64 b) noexcept { return a.raw_ > b.raw_; }
+  friend constexpr bool operator==(Fixed64 a, Fixed64 b) noexcept = default;
+
+  /// Saturating clamp to [-limit, limit].
+  [[nodiscard]] constexpr Fixed64 clamp_abs(Fixed64 limit) const noexcept {
+    if (raw_ > limit.raw_) return limit;
+    if (raw_ < -limit.raw_) return from_raw(-limit.raw_);
+    return *this;
+  }
+
+  static constexpr int kFracBits = 32;
+
+ private:
+  std::int64_t raw_ = 0;
+};
+
+/// Division by a constant: precompute the reciprocal at configuration
+/// time (double precision) — MCU firmware does the same.
+[[nodiscard]] Fixed64 fixed_reciprocal(double v) noexcept;
+
+}  // namespace rg

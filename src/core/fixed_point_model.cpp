@@ -1,0 +1,172 @@
+#include "core/fixed_point_model.hpp"
+
+#include <cmath>
+
+namespace rg {
+
+namespace {
+constexpr double kPiD = 3.14159265358979323846;
+
+/// Piecewise-linear stand-in for tanh(x): clamp(x, -1, 1).  Inside the
+/// friction smoothing band the difference to tanh is < 0.24 and only
+/// affects near-zero-velocity friction shaping.
+Fixed64 sat_unit(Fixed64 x) noexcept {
+  return x.clamp_abs(Fixed64::from_int(1));
+}
+}  // namespace
+
+FixedPointModel::FixedPointModel(const RavenDynamicsParams& params) {
+  for (std::size_t i = 0; i < 3; ++i) {
+    kt_[i] = Fixed64::from_double(params.motors[i].torque_constant);
+    inv_jm_[i] = fixed_reciprocal(params.motors[i].rotor_inertia);
+    bm_[i] = Fixed64::from_double(params.motors[i].viscous_damping);
+    tc_[i] = Fixed64::from_double(params.motors[i].coulomb_friction);
+    cable_k_[i] = Fixed64::from_double(params.cable_stiffness[i]);
+    cable_d_[i] = Fixed64::from_double(params.cable_damping[i]);
+  }
+  inv_smoothing_ = fixed_reciprocal(0.5);  // motor_friction's tanh half-width
+
+  const CableCoupling coupling(params.transmission);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      c_mj_[r][c] = Fixed64::from_double(coupling.motor_to_joint_matrix()(r, c));
+    }
+  }
+
+  base_inertia_[0] = Fixed64::from_double(params.link.base_inertia_shoulder);
+  base_inertia_[1] = Fixed64::from_double(params.link.base_inertia_elbow);
+  tool_mass_ = Fixed64::from_double(params.link.tool_mass);
+  inv_tool_mass_ = fixed_reciprocal(params.link.tool_mass);
+  visc_[0] = Fixed64::from_double(params.link.viscous_shoulder);
+  visc_[1] = Fixed64::from_double(params.link.viscous_elbow);
+  visc_[2] = Fixed64::from_double(params.link.viscous_insertion);
+  coul_[0] = Fixed64::from_double(params.link.coulomb_shoulder);
+  coul_[1] = Fixed64::from_double(params.link.coulomb_elbow);
+  coul_[2] = Fixed64::from_double(params.link.coulomb_insertion);
+  joint_smooth_inv_ = fixed_reciprocal(0.05);  // LinkDynamics smoothing band
+  gravity_ = Fixed64::from_double(params.link.gravity);
+
+  for (int i = 0; i <= kLutSize + 1; ++i) {
+    sin_table_[static_cast<std::size_t>(i)] =
+        Fixed64::from_double(std::sin(kPiD * i / kLutSize));
+  }
+  lut_scale_ = Fixed64::from_double(kLutSize / kPiD);
+}
+
+Fixed64 FixedPointModel::sin_lut(Fixed64 angle) const noexcept {
+  // Valid for angle in [0, pi] (the elbow's mechanical range).
+  Fixed64 idx_f = angle * lut_scale_;
+  std::int64_t idx = idx_f.raw() >> Fixed64::kFracBits;
+  if (idx < 0) idx = 0;
+  if (idx > kLutSize) idx = kLutSize;
+  const Fixed64 frac =
+      Fixed64::from_raw(idx_f.raw() - (idx << Fixed64::kFracBits));
+  const Fixed64 a = sin_table_[static_cast<std::size_t>(idx)];
+  const Fixed64 b = sin_table_[static_cast<std::size_t>(idx + 1)];
+  return a + frac * (b - a);
+}
+
+Fixed64 FixedPointModel::cos_lut(Fixed64 angle) const noexcept {
+  // cos(x) = sin(pi/2 + x) needs the table extended; use the identity on
+  // [0, pi]: cos(x) = sin(pi - (x + pi/2))... simpler: cos(x) =
+  // sin(pi/2 - x) for x <= pi/2, and -sin(x - pi/2) beyond.
+  const Fixed64 half_pi = Fixed64::from_double(kPiD / 2.0);
+  if (angle < half_pi) return sin_lut(half_pi - angle);
+  return -sin_lut(angle - half_pi);
+}
+
+FixedPointModel::State FixedPointModel::step(const State& x,
+                                             const std::array<Fixed64, 3>& currents,
+                                             Fixed64 h) const noexcept {
+  // Unpack (same layout as RavenDynamicsModel::State).
+  const Fixed64* theta = &x[0];
+  const Fixed64* omega = &x[3];
+  const Fixed64* q = &x[6];
+  const Fixed64* qd = &x[9];
+
+  // Cable force: tau = K (C theta - q) + D (C omega - qd).
+  Fixed64 tau_cable[3];
+  for (std::size_t i = 0; i < 3; ++i) {
+    Fixed64 qm;
+    Fixed64 qdm;
+    for (std::size_t j = 0; j < 3; ++j) {
+      qm = qm + c_mj_[i][j] * theta[j];
+      qdm = qdm + c_mj_[i][j] * omega[j];
+    }
+    tau_cable[i] = cable_k_[i] * (qm - q[i]) + cable_d_[i] * (qdm - qd[i]);
+  }
+
+  // Link side.
+  const Fixed64 s2 = sin_lut(q[1]);
+  const Fixed64 c2 = cos_lut(q[1]);
+  const Fixed64 q3 = q[2];
+  const Fixed64 q3s2 = q3 * s2;
+
+  const Fixed64 mass0 = base_inertia_[0] + tool_mass_ * q3s2 * q3s2;
+  const Fixed64 mass1 = base_inertia_[1] + tool_mass_ * q3 * q3;
+
+  // Bias forces (Coriolis/centrifugal + gravity + friction), mirroring
+  // LinkDynamics::bias_forces.
+  const Fixed64 two = Fixed64::from_int(2);
+  Fixed64 h0 = tool_mass_ *
+               (two * q3 * qd[2] * s2 * s2 + two * q3 * q3 * s2 * c2 * qd[1]) * qd[0];
+  Fixed64 h1 = tool_mass_ * (two * q3 * qd[2] * qd[1] - q3 * q3 * s2 * c2 * qd[0] * qd[0]) +
+               tool_mass_ * gravity_ * q3 * s2;
+  Fixed64 h2 = -tool_mass_ * q3 * (qd[1] * qd[1] + s2 * s2 * qd[0] * qd[0]) -
+               tool_mass_ * gravity_ * c2;
+  h0 = h0 + visc_[0] * qd[0] + coul_[0] * sat_unit(qd[0] * joint_smooth_inv_);
+  h1 = h1 + visc_[1] * qd[1] + coul_[1] * sat_unit(qd[1] * joint_smooth_inv_);
+  h2 = h2 + visc_[2] * qd[2] + coul_[2] * sat_unit(qd[2] * joint_smooth_inv_);
+
+  // Joint accelerations: the configuration-dependent inertias need a true
+  // fixed-point division (128-bit long division — a few tens of cycles on
+  // an MCU; firmware often replaces it with one Newton refinement of a
+  // precomputed nominal reciprocal).
+  const auto fixed_div = [](Fixed64 num, Fixed64 den) noexcept {
+    // (num << 32) / den with 128-bit intermediate.
+    const Int128 wide = (static_cast<Int128>(num.raw()) << Fixed64::kFracBits);
+    return Fixed64::from_raw(static_cast<std::int64_t>(wide / den.raw()));
+  };
+  const Fixed64 qdd0 = fixed_div(tau_cable[0] - h0, mass0);
+  const Fixed64 qdd1 = fixed_div(tau_cable[1] - h1, mass1);
+  const Fixed64 qdd2 = (tau_cable[2] - h2) * inv_tool_mass_;
+
+  // Motor side: J w' = Kt i - friction - C^T tau_cable.
+  Fixed64 wd[3];
+  for (std::size_t i = 0; i < 3; ++i) {
+    Fixed64 reflected;
+    for (std::size_t j = 0; j < 3; ++j) reflected = reflected + c_mj_[j][i] * tau_cable[j];
+    const Fixed64 friction =
+        bm_[i] * omega[i] + tc_[i] * sat_unit(omega[i] * inv_smoothing_);
+    wd[i] = (kt_[i] * currents[i] - friction - reflected) * inv_jm_[i];
+  }
+
+  // Euler update.
+  State next{};
+  for (std::size_t i = 0; i < 3; ++i) {
+    next[i] = theta[i] + h * omega[i];
+    next[3 + i] = omega[i] + h * wd[i];
+    next[9 + i] = qd[i];  // filled below
+  }
+  next[6] = q[0] + h * qd[0];
+  next[7] = q[1] + h * qd[1];
+  next[8] = q[2] + h * qd[2];
+  next[9] = qd[0] + h * qdd0;
+  next[10] = qd[1] + h * qdd1;
+  next[11] = qd[2] + h * qdd2;
+  return next;
+}
+
+FixedPointModel::State FixedPointModel::from_double(const RavenDynamicsModel::State& x) noexcept {
+  State out{};
+  for (std::size_t i = 0; i < 12; ++i) out[i] = Fixed64::from_double(x[i]);
+  return out;
+}
+
+RavenDynamicsModel::State FixedPointModel::to_double(const State& x) noexcept {
+  RavenDynamicsModel::State out{};
+  for (std::size_t i = 0; i < 12; ++i) out[i] = x[i].to_double();
+  return out;
+}
+
+}  // namespace rg

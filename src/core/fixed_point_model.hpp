@@ -1,0 +1,62 @@
+// Integer-only Euler step of the RAVEN dynamic model (embedded-estimator
+// feasibility study; see fixed_point.hpp for motivation).
+//
+// Mirrors RavenDynamicsModel's physics with two firmware-grade
+// simplifications, both standard on MCU targets:
+//   - trigonometric terms (sin/cos of the elbow angle) come from small
+//     lookup tables with linear interpolation,
+//   - the tanh friction smoothing becomes a piecewise-linear saturation.
+// Hard stops and cable-damage effects are plant-side concerns the
+// monitor's model never used anyway.
+#pragma once
+
+#include <array>
+
+#include "core/fixed_point.hpp"
+#include "dynamics/raven_model.hpp"
+
+namespace rg {
+
+class FixedPointModel {
+ public:
+  /// 12-state vector in Q32.32, same layout as RavenDynamicsModel::State.
+  using State = std::array<Fixed64, 12>;
+
+  explicit FixedPointModel(const RavenDynamicsParams& params = RavenDynamicsParams::raven_defaults());
+
+  /// One explicit-Euler step of length h under the given motor currents.
+  [[nodiscard]] State step(const State& x, const std::array<Fixed64, 3>& currents,
+                           Fixed64 h) const noexcept;
+
+  /// Conversions against the double-precision model's state.
+  [[nodiscard]] static State from_double(const RavenDynamicsModel::State& x) noexcept;
+  [[nodiscard]] static RavenDynamicsModel::State to_double(const State& x) noexcept;
+
+ private:
+  [[nodiscard]] Fixed64 sin_lut(Fixed64 angle) const noexcept;
+  [[nodiscard]] Fixed64 cos_lut(Fixed64 angle) const noexcept;
+
+  // Precomputed fixed-point constants (firmware configuration data).
+  Fixed64 kt_[3];            // torque constants
+  Fixed64 inv_jm_[3];        // 1 / rotor inertia
+  Fixed64 bm_[3];            // motor viscous damping
+  Fixed64 tc_[3];            // motor Coulomb friction level
+  Fixed64 inv_smoothing_;    // 1 / Coulomb smoothing speed
+  Fixed64 cable_k_[3];       // cable stiffness
+  Fixed64 cable_d_[3];       // cable damping
+  Fixed64 c_mj_[3][3];       // motor->joint coupling matrix
+  Fixed64 base_inertia_[2];  // shoulder/elbow base inertias
+  Fixed64 tool_mass_;
+  Fixed64 inv_tool_mass_;
+  Fixed64 visc_[3];          // joint viscous friction
+  Fixed64 coul_[3];          // joint Coulomb friction
+  Fixed64 joint_smooth_inv_; // 1 / joint Coulomb smoothing
+  Fixed64 gravity_;
+
+  // sin table over [0, pi] (the elbow range), 256 entries + guard.
+  static constexpr int kLutSize = 256;
+  std::array<Fixed64, kLutSize + 2> sin_table_;
+  Fixed64 lut_scale_;  // kLutSize / pi
+};
+
+}  // namespace rg

@@ -1,0 +1,70 @@
+// Mitigation of detected malicious commands.
+//
+// Paper Sec. IV.C: "the impact of attacks can be mitigated by either
+// correcting the malicious control command by forcing the robot to stay
+// in a previously safe state or stopping the commands from execution and
+// put the control software into a safe state (E-STOP)".  The mitigator
+// sits at the same trust boundary as the detector (conceptually the USB
+// board's microcontroller / a trusted hardware module) and rewrites the
+// packet before the motors see it.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "hw/usb_packet.hpp"
+
+namespace rg {
+
+enum class MitigationStrategy : std::uint8_t {
+  kEStop,         ///< zero all DACs and command the E-STOP state
+  kHoldLastSafe,  ///< replay the DACs of the last command that passed
+};
+
+constexpr std::string_view to_string(MitigationStrategy s) noexcept {
+  switch (s) {
+    case MitigationStrategy::kEStop: return "e-stop";
+    case MitigationStrategy::kHoldLastSafe: return "hold-last-safe";
+  }
+  return "unknown";
+}
+
+class Mitigator {
+ public:
+  explicit Mitigator(MitigationStrategy strategy = MitigationStrategy::kEStop)
+      : strategy_(strategy) {}
+
+  /// Record a command that the detector cleared (needed for hold-last-safe).
+  void record_safe(const CommandPacket& cmd) noexcept {
+    last_safe_ = cmd;
+    has_safe_ = true;
+  }
+
+  /// Produce the replacement for a flagged command.
+  [[nodiscard]] CommandPacket mitigate(const CommandPacket& offending) const noexcept {
+    CommandPacket out = offending;
+    switch (strategy_) {
+      case MitigationStrategy::kEStop:
+        out.dac.fill(0);
+        out.state = RobotState::kEStop;
+        break;
+      case MitigationStrategy::kHoldLastSafe:
+        if (has_safe_) {
+          out.dac = last_safe_.dac;
+        } else {
+          out.dac.fill(0);
+        }
+        break;
+    }
+    return out;
+  }
+
+  [[nodiscard]] MitigationStrategy strategy() const noexcept { return strategy_; }
+
+ private:
+  MitigationStrategy strategy_;
+  CommandPacket last_safe_{};
+  bool has_safe_ = false;
+};
+
+}  // namespace rg

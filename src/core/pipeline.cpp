@@ -1,0 +1,77 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+
+namespace rg {
+
+DetectionPipeline::DetectionPipeline(const PipelineConfig& config)
+    : config_(config),
+      estimator_(config.estimator),
+      detector_(config.detector),
+      mitigator_(config.mitigation) {}
+
+DetectionPipeline::Outcome DetectionPipeline::process(
+    std::span<const std::uint8_t> command_bytes) {
+  Outcome out;
+  ++screened_;
+
+  if (!engaged_) {
+    // Brakes hold the shafts: nothing to screen, deliver as-is.
+    CommandBytes passthrough{};
+    std::copy(command_bytes.begin(), command_bytes.end(), passthrough.begin());
+    out.bytes = passthrough;
+    return out;
+  }
+
+  auto decoded = decode_command(command_bytes, /*verify_checksum=*/false);
+  if (!decoded.ok()) {
+    // Fail closed: a packet the monitor cannot parse never reaches the
+    // motors.
+    out.alarm = true;
+    out.blocked = config_.mitigation_enabled;
+    CommandPacket stop;
+    stop.state = RobotState::kEStop;
+    out.bytes = encode_command(stop);
+    ++alarms_;
+    if (!first_alarm_tick_) first_alarm_tick_ = screened_ - 1;
+    estimator_.commit({0, 0, 0});  // the motors see no drive
+    return out;
+  }
+  const CommandPacket& cmd = decoded.value();
+
+  out.prediction = estimator_.predict(cmd);
+  out.verdict = detector_.evaluate(out.prediction);
+  out.alarm = out.verdict.alarm;
+
+  if (out.alarm) {
+    ++alarms_;
+    if (!first_alarm_tick_) first_alarm_tick_ = screened_ - 1;
+    if (config_.mitigation_enabled) {
+      out.blocked = true;
+      const CommandPacket replacement = mitigator_.mitigate(cmd);
+      out.bytes = encode_command(replacement);
+      estimator_.commit({replacement.dac[0], replacement.dac[1], replacement.dac[2]});
+      return out;
+    }
+  } else {
+    mitigator_.record_safe(cmd);
+  }
+
+  // Deliver the original bytes (alarm without mitigation also delivers);
+  // the parallel model advances with what will actually execute.
+  estimator_.commit({cmd.dac[0], cmd.dac[1], cmd.dac[2]});
+  CommandBytes passthrough{};
+  std::copy(command_bytes.begin(), command_bytes.end(), passthrough.begin());
+  out.bytes = passthrough;
+  return out;
+}
+
+void DetectionPipeline::reset() noexcept {
+  estimator_.reset();
+  mitigator_ = Mitigator{config_.mitigation};
+  screened_ = 0;
+  alarms_ = 0;
+  first_alarm_tick_.reset();
+}
+
+}  // namespace rg

@@ -1,0 +1,89 @@
+// DetectionPipeline: the deployable unit combining estimator, detector,
+// and mitigator at the software-physical boundary.
+//
+// The pipeline is inserted *downstream* of any attacker interposition —
+// conceptually in the USB board's microcontroller or a trusted hardware
+// module just before the motor controllers (paper Sec. IV.C) — so it sees
+// exactly the bytes the motors would execute, malicious or not, and can
+// veto them before they act on the physical system.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "core/detector.hpp"
+#include "core/estimator.hpp"
+#include "core/mitigator.hpp"
+#include "core/thresholds.hpp"
+#include "hw/usb_packet.hpp"
+#include "kinematics/types.hpp"
+
+namespace rg {
+
+struct PipelineConfig {
+  EstimatorConfig estimator{};
+  DetectorConfig detector{};
+  MitigationStrategy mitigation = MitigationStrategy::kEStop;
+  /// When false, the pipeline only observes (used while learning
+  /// thresholds and for detection-accuracy-only experiments).
+  bool mitigation_enabled = true;
+};
+
+class DetectionPipeline {
+ public:
+  struct Outcome {
+    bool alarm = false;
+    bool blocked = false;          ///< packet was replaced by mitigation
+    CommandBytes bytes{};          ///< what the board should receive
+    Prediction prediction{};
+    Verdict verdict{};
+  };
+
+  explicit DetectionPipeline(const PipelineConfig& config);
+
+  /// Feed this cycle's encoder feedback (same angles the software saw).
+  void observe_feedback(const MotorVector& encoder_angles) noexcept {
+    estimator_.observe_feedback(encoder_angles);
+  }
+
+  /// Tell the monitor whether the drives are live (brakes released).  A
+  /// braked robot cannot move, so screening pauses and the parallel model
+  /// re-syncs when the robot next engages.
+  void set_engaged(bool engaged) noexcept {
+    if (!engaged && engaged_) estimator_.mark_disengaged();
+    engaged_ = engaged;
+  }
+
+  /// Screen one command packet (post-attack bytes).  Returns the verdict
+  /// and the possibly-rewritten bytes.  Undecodable packets are treated
+  /// as malicious and blocked outright (a trusted monitor fails closed).
+  [[nodiscard]] Outcome process(std::span<const std::uint8_t> command_bytes);
+
+  // --- run statistics ------------------------------------------------------
+  [[nodiscard]] std::uint64_t alarms() const noexcept { return alarms_; }
+  [[nodiscard]] std::optional<std::uint64_t> first_alarm_tick() const noexcept {
+    return first_alarm_tick_;
+  }
+  [[nodiscard]] std::uint64_t commands_screened() const noexcept { return screened_; }
+
+  void set_thresholds(const DetectionThresholds& thresholds) noexcept {
+    detector_.set_thresholds(thresholds);
+  }
+  [[nodiscard]] DynamicModelEstimator& estimator() noexcept { return estimator_; }
+  [[nodiscard]] const AnomalyDetector& detector() const noexcept { return detector_; }
+
+  void reset() noexcept;
+
+ private:
+  PipelineConfig config_;
+  DynamicModelEstimator estimator_;
+  AnomalyDetector detector_;
+  Mitigator mitigator_;
+  bool engaged_ = true;
+  std::uint64_t screened_ = 0;
+  std::uint64_t alarms_ = 0;
+  std::optional<std::uint64_t> first_alarm_tick_{};
+};
+
+}  // namespace rg

@@ -1,0 +1,53 @@
+#include "core/thresholds.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "math/stats.hpp"
+
+namespace rg {
+
+void ThresholdLearner::observe(const Prediction& pred) noexcept {
+  if (!pred.valid) return;
+  for (std::size_t i = 0; i < 3; ++i) {
+    current_.motor_vel[i] = std::max(current_.motor_vel[i], pred.motor_instant_vel[i]);
+    current_.motor_acc[i] = std::max(current_.motor_acc[i], pred.motor_instant_acc[i]);
+    current_.joint_vel[i] = std::max(current_.joint_vel[i], pred.joint_instant_vel[i]);
+  }
+  current_.any = true;
+}
+
+void ThresholdLearner::end_run() {
+  if (!current_.any) return;
+  for (std::size_t i = 0; i < 3; ++i) {
+    motor_vel_max_[i].push_back(current_.motor_vel[i]);
+    motor_acc_max_[i].push_back(current_.motor_acc[i]);
+    joint_vel_max_[i].push_back(current_.joint_vel[i]);
+  }
+  current_ = Maxima{};
+}
+
+std::size_t ThresholdLearner::runs() const noexcept { return motor_vel_max_[0].size(); }
+
+DetectionThresholds ThresholdLearner::learn(double percentile_value, double margin) const {
+  require(runs() > 0, "ThresholdLearner::learn: no fault-free runs committed");
+  require(margin > 0.0, "ThresholdLearner::learn: margin must be > 0");
+  DetectionThresholds out;
+  for (std::size_t i = 0; i < 3; ++i) {
+    out.motor_vel[i] = margin * percentile(motor_vel_max_[i], percentile_value);
+    out.motor_acc[i] = margin * percentile(motor_acc_max_[i], percentile_value);
+    out.joint_vel[i] = margin * percentile(joint_vel_max_[i], percentile_value);
+  }
+  return out;
+}
+
+void ThresholdLearner::reset() noexcept {
+  current_ = Maxima{};
+  for (std::size_t i = 0; i < 3; ++i) {
+    motor_vel_max_[i].clear();
+    motor_acc_max_[i].clear();
+    joint_vel_max_[i].clear();
+  }
+}
+
+}  // namespace rg

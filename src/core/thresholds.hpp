@@ -1,0 +1,63 @@
+// Detection thresholds and their learning procedure.
+//
+// Paper Sec. IV.C: "The thresholds used for detecting anomalies are
+// learned through measuring the maximum instant velocities of each of the
+// variables over 600 fault-free runs ... we chose values between the
+// 99.8–99.9th percentiles of instant velocity as the threshold for each
+// variable" — percentiles over the per-run maxima, which makes the
+// threshold robust to outliers while still bounding normal operation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/estimator.hpp"
+#include "math/vec.hpp"
+
+namespace rg {
+
+/// Per-variable absolute limits on the estimator's predicted instant
+/// velocities/accelerations.  Axis order: shoulder, elbow, insertion.
+struct DetectionThresholds {
+  Vec3 motor_vel{};   ///< rad/s
+  Vec3 motor_acc{};   ///< rad/s^2
+  Vec3 joint_vel{};   ///< rad/s, rad/s, m/s
+};
+
+/// Accumulates per-run maxima of each detection variable over fault-free
+/// runs, then extracts a percentile threshold.
+class ThresholdLearner {
+ public:
+  /// Record one prediction from the current fault-free run.
+  void observe(const Prediction& pred) noexcept;
+
+  /// Close the current run, committing its maxima as one sample per
+  /// variable.  No-op if nothing was observed.
+  void end_run();
+
+  /// Number of committed runs.
+  [[nodiscard]] std::size_t runs() const noexcept;
+
+  /// Learn thresholds at the given percentile of the per-run maxima
+  /// (paper: 99.8–99.9), scaled by a safety margin factor.
+  /// Throws if no runs were committed.
+  [[nodiscard]] DetectionThresholds learn(double percentile_value = 99.85,
+                                          double margin = 1.0) const;
+
+  void reset() noexcept;
+
+ private:
+  struct Maxima {
+    Vec3 motor_vel{};
+    Vec3 motor_acc{};
+    Vec3 joint_vel{};
+    bool any = false;
+  };
+  Maxima current_{};
+  // Per-run maxima, one vector per variable-axis (9 series).
+  std::vector<double> motor_vel_max_[3];
+  std::vector<double> motor_acc_max_[3];
+  std::vector<double> joint_vel_max_[3];
+};
+
+}  // namespace rg

@@ -1,0 +1,202 @@
+#include "core/ukf_estimator.hpp"
+
+#include <cmath>
+
+#include "math/mat.hpp"
+
+namespace rg {
+
+namespace {
+constexpr std::size_t kN = UkfEstimator::kN;
+
+Vec<kN> to_vec(const RavenDynamicsModel::State& x) noexcept {
+  Vec<kN> v;
+  for (std::size_t i = 0; i < kN; ++i) v[i] = x[i];
+  return v;
+}
+
+RavenDynamicsModel::State to_state(const Vec<kN>& v) noexcept {
+  RavenDynamicsModel::State x;
+  for (std::size_t i = 0; i < kN; ++i) x[i] = v[i];
+  return x;
+}
+}  // namespace
+
+UkfEstimator::UkfEstimator(const UkfConfig& config)
+    : config_(config),
+      model_(config.model),
+      kin_(config.rcm_origin, config.model.hard_stop_limits),
+      channel_(config.channel) {
+  require(config.step > 0.0, "UKF step must be > 0");
+  require(config.measurement_std > 0.0, "UKF measurement_std must be > 0");
+  require(config.process_pos_std > 0.0 && config.process_vel_std > 0.0,
+          "UKF process noise must be > 0");
+
+  Vec<kN> q_diag;
+  for (std::size_t i = 0; i < 3; ++i) {
+    q_diag[i] = config.process_pos_std * config.process_pos_std;        // motor pos
+    q_diag[3 + i] = config.process_vel_std * config.process_vel_std;    // motor vel
+    q_diag[6 + i] = config.process_pos_std * config.process_pos_std;    // joint pos
+    q_diag[9 + i] = config.process_vel_std * config.process_vel_std;    // joint vel
+  }
+  q_ = MatN<kN>::diagonal(q_diag);
+  r_ = config.measurement_std * config.measurement_std;
+  lambda_ = config.alpha * config.alpha * (kN + config.kappa) - kN;
+}
+
+Vec3 UkfEstimator::currents_from_dac(const std::array<std::int16_t, 3>& dac) const noexcept {
+  Vec3 currents;
+  for (std::size_t i = 0; i < 3; ++i) currents[i] = channel_.current_from_dac(dac[i]);
+  return currents;
+}
+
+void UkfEstimator::hard_sync(const MotorVector& encoder_angles) noexcept {
+  RavenDynamicsModel::set_motor_pos(x_, encoder_angles);
+  RavenDynamicsModel::set_motor_vel(x_, Vec3::zero());
+  RavenDynamicsModel::set_joint_pos(x_, model_.coupling().motor_to_joint(encoder_angles));
+  RavenDynamicsModel::set_joint_vel(x_, Vec3::zero());
+
+  // Initial uncertainty: motor positions as uncertain as one encoder
+  // reading; joint positions inferred through the stiff transmission, so
+  // their uncertainty is the *coupling-scaled* encoder noise — inflating
+  // it in joint space would let the cable stiffness convert phantom
+  // stretch into enormous velocity variance on the first prediction.
+  const double joint_scale = 1.0 / config_.model.transmission.shoulder_ratio;
+  Vec<kN> p0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    p0[i] = r_;
+    p0[3 + i] = 0.01;  // the robot is at rest when the monitor arms
+    p0[6 + i] = r_ * joint_scale * joint_scale;
+    p0[9 + i] = 0.01;
+  }
+  p_ = MatN<kN>::diagonal(p0);
+  have_feedback_ = true;
+}
+
+void UkfEstimator::observe_feedback(const MotorVector& encoder_angles) noexcept {
+  if (!have_feedback_) {
+    hard_sync(encoder_angles);
+    return;
+  }
+
+  // Linear measurement z = H x + v with H selecting the motor positions
+  // (states 0..2).  The Kalman update needs S = H P H^T + R (3x3) and
+  // K = P H^T S^{-1} (12x3).
+  Mat3 s;
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) s(i, j) = p_(i, j);
+    s(i, i) += r_;
+  }
+  Mat3 s_inv;
+  try {
+    s_inv = s.inverse();
+  } catch (const std::domain_error&) {
+    hard_sync(encoder_angles);  // degenerate covariance: re-arm
+    return;
+  }
+
+  double k_gain[kN][3];
+  for (std::size_t i = 0; i < kN; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      double sum = 0.0;
+      for (std::size_t l = 0; l < 3; ++l) sum += p_(i, l) * s_inv(l, j);
+      k_gain[i][j] = sum;
+    }
+  }
+
+  const Vec3 innovation = encoder_angles - RavenDynamicsModel::motor_pos(x_);
+  Vec<kN> xv = to_vec(x_);
+  for (std::size_t i = 0; i < kN; ++i) {
+    xv[i] += k_gain[i][0] * innovation[0] + k_gain[i][1] * innovation[1] +
+             k_gain[i][2] * innovation[2];
+  }
+  x_ = to_state(xv);
+
+  // P <- (I - K H) P : subtract K * (rows 0..2 of P).
+  MatN<kN> p_new = p_;
+  for (std::size_t i = 0; i < kN; ++i) {
+    for (std::size_t j = 0; j < kN; ++j) {
+      double corr = 0.0;
+      for (std::size_t l = 0; l < 3; ++l) corr += k_gain[i][l] * p_(l, j);
+      p_new(i, j) -= corr;
+    }
+  }
+  p_ = p_new;
+  p_.symmetrize();
+}
+
+Prediction UkfEstimator::predict(const std::array<std::int16_t, 3>& dac) noexcept {
+  Prediction pred;
+  if (!have_feedback_) return pred;
+
+  pred.mpos_now = RavenDynamicsModel::motor_pos(x_);
+  pred.mvel_now = RavenDynamicsModel::motor_vel(x_);
+  pred.jpos_now = RavenDynamicsModel::joint_pos(x_);
+
+  const RavenDynamicsModel::State next =
+      model_.step(x_, currents_from_dac(dac), config_.step, config_.solver);
+  pred.mpos_next = RavenDynamicsModel::motor_pos(next);
+  pred.mvel_next = RavenDynamicsModel::motor_vel(next);
+  pred.jpos_next = RavenDynamicsModel::joint_pos(next);
+  pred.jvel_next = RavenDynamicsModel::joint_vel(next);
+
+  const double inv_dt = 1.0 / config_.step;
+  for (std::size_t i = 0; i < 3; ++i) {
+    pred.motor_instant_vel[i] = std::abs(pred.mpos_next[i] - pred.mpos_now[i]) * inv_dt;
+    pred.motor_instant_acc[i] = std::abs(pred.mvel_next[i] - pred.mvel_now[i]) * inv_dt;
+    pred.joint_instant_vel[i] = std::abs(pred.jpos_next[i] - pred.jpos_now[i]) * inv_dt;
+  }
+  pred.ee_displacement = distance(kin_.forward(pred.jpos_next), kin_.forward(pred.jpos_now));
+  pred.valid = true;
+  return pred;
+}
+
+void UkfEstimator::commit(const std::array<std::int16_t, 3>& dac) noexcept {
+  if (!have_feedback_) return;
+
+  // Sigma points: x, x +/- columns of sqrt((N + lambda) P).
+  const auto chol = cholesky_lower((kN + lambda_) * p_);
+  if (!chol) {
+    // Covariance collapsed numerically: propagate the mean only and
+    // re-inflate with the process noise.
+    x_ = model_.step(x_, currents_from_dac(dac), config_.step, config_.solver);
+    p_ = p_ + q_;
+    return;
+  }
+
+  const Vec3 currents = currents_from_dac(dac);
+  const Vec<kN> mean = to_vec(x_);
+  std::array<Vec<kN>, 2 * kN + 1> sigma;
+  sigma[0] = to_vec(model_.step(x_, currents, config_.step, config_.solver));
+  for (std::size_t j = 0; j < kN; ++j) {
+    Vec<kN> col;
+    for (std::size_t i = 0; i < kN; ++i) col[i] = chol->m[i][j];
+    sigma[1 + j] =
+        to_vec(model_.step(to_state(mean + col), currents, config_.step, config_.solver));
+    sigma[1 + kN + j] =
+        to_vec(model_.step(to_state(mean - col), currents, config_.step, config_.solver));
+  }
+
+  const double wm0 = lambda_ / (kN + lambda_);
+  const double wc0 = wm0 + (1.0 - config_.alpha * config_.alpha + config_.beta);
+  const double wi = 0.5 / (kN + lambda_);
+
+  Vec<kN> x_bar = wm0 * sigma[0];
+  for (std::size_t k = 1; k < sigma.size(); ++k) x_bar += wi * sigma[k];
+
+  MatN<kN> p_bar = q_;
+  p_bar.add_outer(wc0, sigma[0] - x_bar);
+  for (std::size_t k = 1; k < sigma.size(); ++k) p_bar.add_outer(wi, sigma[k] - x_bar);
+  p_bar.symmetrize();
+
+  x_ = to_state(x_bar);
+  p_ = p_bar;
+}
+
+void UkfEstimator::reset() noexcept {
+  x_ = RavenDynamicsModel::State{};
+  p_ = MatN<kN>{};
+  have_feedback_ = false;
+}
+
+}  // namespace rg

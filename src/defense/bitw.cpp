@@ -1,0 +1,70 @@
+#include "defense/bitw.hpp"
+
+#include <algorithm>
+
+namespace rg {
+
+namespace {
+
+void put_u32(std::uint8_t* dst, std::uint32_t v) noexcept {
+  for (int i = 0; i < 4; ++i) dst[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint32_t get_u32(const std::uint8_t* src) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | src[i];
+  return v;
+}
+
+SealedCommandBytes assemble(const MacKey& key, const CommandBytes& packet,
+                            std::uint32_t sequence) noexcept {
+  SealedCommandBytes out{};
+  std::copy(packet.begin(), packet.end(), out.begin());
+  put_u32(out.data() + kCommandPacketSize, sequence);
+  const std::uint64_t tag =
+      siphash24(key, std::span{out}.first(kCommandPacketSize + 4));
+  const auto tb = tag_bytes(tag);
+  std::copy(tb.begin(), tb.end(), out.begin() + kCommandPacketSize + 4);
+  return out;
+}
+
+}  // namespace
+
+SealedCommandBytes CommandSealer::seal(const CommandBytes& packet) noexcept {
+  return assemble(key_, packet, sequence_++);
+}
+
+std::optional<CommandBytes> CommandVerifier::verify(
+    std::span<const std::uint8_t> sealed) noexcept {
+  if (sealed.size() != kSealedCommandSize) {
+    ++rejected_;
+    return std::nullopt;
+  }
+  const std::uint64_t expected =
+      siphash24(key_, sealed.first(kCommandPacketSize + 4));
+  const std::uint64_t got = tag_from_bytes(sealed.subspan(kCommandPacketSize + 4, 8));
+  if (!tags_equal(expected, got)) {
+    ++rejected_;
+    return std::nullopt;
+  }
+  const std::uint32_t sequence = get_u32(sealed.data() + kCommandPacketSize);
+  if (seen_any_ && sequence <= last_sequence_) {
+    ++rejected_;  // replayed or reordered frame
+    return std::nullopt;
+  }
+  last_sequence_ = sequence;
+  seen_any_ = true;
+  ++accepted_;
+  CommandBytes out{};
+  std::copy(sealed.begin(), sealed.begin() + kCommandPacketSize, out.begin());
+  return out;
+}
+
+SealedCommandBytes reseal_with_stolen_key(const MacKey& stolen_key,
+                                          const SealedCommandBytes& frame,
+                                          const CommandBytes& tampered) noexcept {
+  const std::uint32_t sequence = get_u32(frame.data() + kCommandPacketSize);
+  return assemble(stolen_key, tampered, sequence);
+}
+
+}  // namespace rg

@@ -1,0 +1,76 @@
+// Bump-in-the-wire (BITW) integrity retrofit for the USB command channel.
+//
+// Models the conventional defense the paper contrasts with (Sec. III.D):
+// a sealing endpoint in the control host authenticates each command
+// packet (sequence number + SipHash tag) and a verifying endpoint in
+// front of the USB board rejects anything tampered or replayed.
+//
+// Authenticated frame layout (30 bytes):
+//   [0..17]  the 18-byte command packet, verbatim
+//   [18..21] u32 monotonically increasing sequence number (little-endian)
+//   [22..29] 64-bit SipHash-2-4 tag over bytes [0..21]
+//
+// The crucial limitation — which the experiments reproduce — is *where
+// the sealing happens*: the sealer runs inside the control process, so a
+// malicious preloaded wrapper can corrupt the packet either before the
+// seal (the MAC then blesses the malicious bytes) or after it while
+// reading the in-process key.  BITW defeats bus-level tampering, not the
+// TOCTOU attacker this paper considers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "defense/mac.hpp"
+#include "hw/usb_packet.hpp"
+
+namespace rg {
+
+inline constexpr std::size_t kSealedCommandSize = kCommandPacketSize + 4 + 8;
+using SealedCommandBytes = std::array<std::uint8_t, kSealedCommandSize>;
+
+/// Sealing endpoint (control-host side).
+class CommandSealer {
+ public:
+  explicit CommandSealer(const MacKey& key) : key_(key) {}
+
+  /// Seal a command packet; stamps the next sequence number.
+  [[nodiscard]] SealedCommandBytes seal(const CommandBytes& packet) noexcept;
+
+  [[nodiscard]] std::uint32_t next_sequence() const noexcept { return sequence_; }
+  [[nodiscard]] const MacKey& key() const noexcept { return key_; }
+
+ private:
+  MacKey key_;
+  std::uint32_t sequence_ = 0;
+};
+
+/// Verifying endpoint (board side).  Rejects bad tags and non-increasing
+/// sequence numbers (replay).
+class CommandVerifier {
+ public:
+  explicit CommandVerifier(const MacKey& key) : key_(key) {}
+
+  /// Returns the embedded command bytes when authentic, nullopt otherwise.
+  [[nodiscard]] std::optional<CommandBytes> verify(
+      std::span<const std::uint8_t> sealed) noexcept;
+
+  [[nodiscard]] std::uint64_t accepted() const noexcept { return accepted_; }
+  [[nodiscard]] std::uint64_t rejected() const noexcept { return rejected_; }
+
+ private:
+  MacKey key_;
+  std::uint32_t last_sequence_ = 0;
+  bool seen_any_ = false;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+/// Re-seal helper used by the *in-process* attacker model: a wrapper that
+/// has located the sealing key in process memory can corrupt the packet
+/// and stamp a fresh, valid seal — the TOCTOU survival argument.
+[[nodiscard]] SealedCommandBytes reseal_with_stolen_key(const MacKey& stolen_key,
+                                                        const SealedCommandBytes& frame,
+                                                        const CommandBytes& tampered) noexcept;
+
+}  // namespace rg

@@ -1,0 +1,95 @@
+#include "defense/mac.hpp"
+
+namespace rg {
+
+namespace {
+
+inline std::uint64_t rotl(std::uint64_t x, int b) noexcept {
+  return (x << b) | (x >> (64 - b));
+}
+
+struct SipState {
+  std::uint64_t v0, v1, v2, v3;
+
+  void round() noexcept {
+    v0 += v1;
+    v1 = rotl(v1, 13);
+    v1 ^= v0;
+    v0 = rotl(v0, 32);
+    v2 += v3;
+    v3 = rotl(v3, 16);
+    v3 ^= v2;
+    v0 += v3;
+    v3 = rotl(v3, 21);
+    v3 ^= v0;
+    v2 += v1;
+    v1 = rotl(v1, 17);
+    v1 ^= v2;
+    v2 = rotl(v2, 32);
+  }
+};
+
+std::uint64_t read_u64_le(const std::uint8_t* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t siphash24(const MacKey& key, std::span<const std::uint8_t> data) noexcept {
+  SipState s{key.k0 ^ 0x736f6d6570736575ULL, key.k1 ^ 0x646f72616e646f6dULL,
+             key.k0 ^ 0x6c7967656e657261ULL, key.k1 ^ 0x7465646279746573ULL};
+
+  const std::size_t n = data.size();
+  const std::size_t full_blocks = n / 8;
+  for (std::size_t i = 0; i < full_blocks; ++i) {
+    const std::uint64_t m = read_u64_le(data.data() + 8 * i);
+    s.v3 ^= m;
+    s.round();
+    s.round();
+    s.v0 ^= m;
+  }
+
+  // Final block: remaining bytes plus the length in the top byte.
+  std::uint64_t last = static_cast<std::uint64_t>(n & 0xFF) << 56;
+  for (std::size_t i = 0; i < (n & 7); ++i) {
+    last |= static_cast<std::uint64_t>(data[8 * full_blocks + i]) << (8 * i);
+  }
+  s.v3 ^= last;
+  s.round();
+  s.round();
+  s.v0 ^= last;
+
+  s.v2 ^= 0xFF;
+  s.round();
+  s.round();
+  s.round();
+  s.round();
+  return s.v0 ^ s.v1 ^ s.v2 ^ s.v3;
+}
+
+std::array<std::uint8_t, 8> tag_bytes(std::uint64_t tag) noexcept {
+  std::array<std::uint8_t, 8> out{};
+  for (int i = 0; i < 8; ++i) out[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(tag >> (8 * i));
+  return out;
+}
+
+std::uint64_t tag_from_bytes(std::span<const std::uint8_t> bytes) noexcept {
+  std::uint64_t tag = 0;
+  const std::size_t n = bytes.size() < 8 ? bytes.size() : 8;
+  for (std::size_t i = 0; i < n; ++i) tag |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
+  return tag;
+}
+
+bool tags_equal(std::uint64_t a, std::uint64_t b) noexcept {
+  // Constant-time: fold the difference, compare once.
+  const std::uint64_t diff = a ^ b;
+  std::uint64_t acc = diff;
+  acc |= diff >> 32;
+  acc |= diff >> 16;
+  acc |= diff >> 8;
+  return (acc & 0xFF) == 0 && diff == 0;
+}
+
+}  // namespace rg

@@ -1,0 +1,41 @@
+// Message authentication for packet integrity retrofits.
+//
+// The paper (Sec. III.D) discusses "bump-in-the-wire" (BITW) integrity
+// retrofits — e.g. SEL serial encrypting transceivers, YASIR — as the
+// conventional answer to command tampering, and argues they add latency
+// and *still do not eliminate TOCTOU exploits* when the attacker sits
+// inside the control process.  This module provides the cryptographic
+// piece needed to reproduce that comparison: SipHash-2-4 (Aumasson &
+// Bernstein, 2012), a fast keyed PRF designed for exactly this kind of
+// short-message authentication, implemented from the public reference
+// algorithm.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace rg {
+
+/// 128-bit MAC key.
+struct MacKey {
+  std::uint64_t k0 = 0;
+  std::uint64_t k1 = 0;
+
+  /// Deterministic test/demo key derivation from a seed.
+  static MacKey from_seed(std::uint64_t seed) noexcept {
+    return MacKey{seed * 0x9e3779b97f4a7c15ULL + 1, seed * 0xc2b2ae3d27d4eb4fULL + 2};
+  }
+};
+
+/// SipHash-2-4 of a byte string under the key (64-bit tag).
+[[nodiscard]] std::uint64_t siphash24(const MacKey& key, std::span<const std::uint8_t> data) noexcept;
+
+/// Tag serialization helpers (little-endian, 8 bytes).
+[[nodiscard]] std::array<std::uint8_t, 8> tag_bytes(std::uint64_t tag) noexcept;
+[[nodiscard]] std::uint64_t tag_from_bytes(std::span<const std::uint8_t> bytes) noexcept;
+
+/// Constant-time tag comparison (a MAC verifier must not leak timing).
+[[nodiscard]] bool tags_equal(std::uint64_t a, std::uint64_t b) noexcept;
+
+}  // namespace rg

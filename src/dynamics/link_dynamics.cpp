@@ -1,0 +1,81 @@
+#include "dynamics/link_dynamics.hpp"
+
+#include <cmath>
+
+namespace rg {
+
+namespace {
+constexpr double kCoulombSmoothing = 0.05;  // rad/s (or m/s) tanh half-width
+}
+
+Vec3 LinkDynamics::mass_diagonal(const JointVector& q) const noexcept {
+  const double s2 = std::sin(q[1]);
+  const double r2 = q[2] * q[2];
+  return Vec3{
+      p_.base_inertia_shoulder + p_.tool_mass * r2 * s2 * s2,
+      p_.base_inertia_elbow + p_.tool_mass * r2,
+      p_.tool_mass,
+  };
+}
+
+Vec3 LinkDynamics::coriolis_gravity(const JointVector& q, const JointVector& qdot) const noexcept {
+  const double s2 = std::sin(q[1]);
+  const double c2 = std::cos(q[1]);
+  const double m = p_.tool_mass;
+  const double q3 = q[2];
+  const double w1 = qdot[0];
+  const double w2 = qdot[1];
+  const double v3 = qdot[2];
+
+  Vec3 h;
+  // Axis 1 (azimuth): Coriolis from changing lever arm (q3 sin q2).
+  h[0] = m * (2.0 * q3 * v3 * s2 * s2 + 2.0 * q3 * q3 * s2 * c2 * w2) * w1;
+  // Axis 2 (polar): Coriolis + centrifugal + gravity moment.
+  h[1] = m * (2.0 * q3 * v3 * w2 - q3 * q3 * s2 * c2 * w1 * w1) +
+         m * p_.gravity * q3 * s2;
+  // Axis 3 (insertion): centrifugal relief + gravity component along tool.
+  h[2] = -m * q3 * (w2 * w2 + s2 * s2 * w1 * w1) - m * p_.gravity * c2;
+  return h;
+}
+
+Vec3 LinkDynamics::friction(const JointVector& qdot) const noexcept {
+  const auto smooth_sign = [](double v) { return std::tanh(v / kCoulombSmoothing); };
+  return Vec3{
+      p_.viscous_shoulder * qdot[0] + p_.coulomb_shoulder * smooth_sign(qdot[0]),
+      p_.viscous_elbow * qdot[1] + p_.coulomb_elbow * smooth_sign(qdot[1]),
+      p_.viscous_insertion * qdot[2] + p_.coulomb_insertion * smooth_sign(qdot[2]),
+  };
+}
+
+Vec3 LinkDynamics::bias_forces(const JointVector& q, const JointVector& qdot) const noexcept {
+  return coriolis_gravity(q, qdot) + friction(qdot);
+}
+
+Vec3 LinkDynamics::acceleration(const JointVector& q, const JointVector& qdot,
+                                const Vec3& tau) const noexcept {
+  const Vec3 mass = mass_diagonal(q);
+  const Vec3 h = bias_forces(q, qdot);
+  return Vec3{(tau[0] - h[0]) / mass[0], (tau[1] - h[1]) / mass[1], (tau[2] - h[2]) / mass[2]};
+}
+
+Vec3 LinkDynamics::inverse_dynamics(const JointVector& q, const JointVector& qdot,
+                                    const Vec3& qddot) const noexcept {
+  const Vec3 mass = mass_diagonal(q);
+  const Vec3 h = bias_forces(q, qdot);
+  return Vec3{mass[0] * qddot[0] + h[0], mass[1] * qddot[1] + h[1], mass[2] * qddot[2] + h[2]};
+}
+
+double LinkDynamics::mechanical_energy(const JointVector& q, const JointVector& qdot) const noexcept {
+  const double s2 = std::sin(q[1]);
+  const double c2 = std::cos(q[1]);
+  const double m = p_.tool_mass;
+  const double kinetic =
+      0.5 * (p_.base_inertia_shoulder * qdot[0] * qdot[0] +
+             p_.base_inertia_elbow * qdot[1] * qdot[1]) +
+      0.5 * m * (qdot[2] * qdot[2] + q[2] * q[2] * qdot[1] * qdot[1] +
+                 q[2] * q[2] * s2 * s2 * qdot[0] * qdot[0]);
+  const double potential = -m * p_.gravity * q[2] * c2;
+  return kinetic + potential;
+}
+
+}  // namespace rg

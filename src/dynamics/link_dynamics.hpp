@@ -1,0 +1,70 @@
+// Rigid-body dynamics of the RCM positioning stage.
+//
+// Derived by Euler-Lagrange from the kinematic model in
+// kinematics/raven_kinematics.hpp: a point tool mass m3 at depth q3 along
+// the tool direction, plus lumped base inertias for the two spherical
+// axes.  Kinetic energy of the tool mass:
+//
+//   T = 1/2 m3 (q3dot^2 + q3^2 q2dot^2 + q3^2 sin^2(q2) q1dot^2)
+//
+// which yields the mass matrix, centrifugal/Coriolis terms, and (with
+// U = -m3 g q3 cos q2 measured from the RCM) the gravity vector used
+// below.  Joint friction is viscous + tanh-smoothed Coulomb.
+#pragma once
+
+#include "kinematics/types.hpp"
+#include "math/vec.hpp"
+
+namespace rg {
+
+struct LinkParams {
+  double base_inertia_shoulder = 0.012;  ///< I1b, kg*m^2 (arm assembly about azimuth)
+  double base_inertia_elbow = 0.010;     ///< I2b, kg*m^2
+  double tool_mass = 0.25;               ///< m3, kg (tool + carriage)
+  double viscous_shoulder = 0.08;        ///< N*m*s/rad
+  double viscous_elbow = 0.08;           ///< N*m*s/rad
+  double viscous_insertion = 6.0;        ///< N*s/m
+  double coulomb_shoulder = 0.02;        ///< N*m
+  double coulomb_elbow = 0.02;           ///< N*m
+  double coulomb_insertion = 0.8;        ///< N
+  double gravity = 9.81;                 ///< m/s^2
+
+  static constexpr LinkParams raven_defaults() { return LinkParams{}; }
+};
+
+class LinkDynamics {
+ public:
+  explicit LinkDynamics(const LinkParams& params = LinkParams::raven_defaults())
+      : p_(params) {}
+
+  /// Diagonal of the configuration-dependent mass matrix (the RCM chain's
+  /// mass matrix is exactly diagonal for a point tool mass).
+  [[nodiscard]] Vec3 mass_diagonal(const JointVector& q) const noexcept;
+
+  /// Generalized bias forces h(q, qdot) = Coriolis/centrifugal + gravity +
+  /// friction, such that  M(q) qddot = tau - h(q, qdot).
+  [[nodiscard]] Vec3 bias_forces(const JointVector& q, const JointVector& qdot) const noexcept;
+
+  /// Joint accelerations for an applied joint torque/force vector.
+  [[nodiscard]] Vec3 acceleration(const JointVector& q, const JointVector& qdot,
+                                  const Vec3& tau) const noexcept;
+
+  /// Torque required to achieve a desired acceleration (inverse dynamics);
+  /// used by tests to check energy/consistency properties.
+  [[nodiscard]] Vec3 inverse_dynamics(const JointVector& q, const JointVector& qdot,
+                                      const Vec3& qddot) const noexcept;
+
+  /// Total mechanical energy (kinetic + potential, friction excluded).
+  [[nodiscard]] double mechanical_energy(const JointVector& q,
+                                         const JointVector& qdot) const noexcept;
+
+  [[nodiscard]] const LinkParams& params() const noexcept { return p_; }
+
+ private:
+  [[nodiscard]] Vec3 coriolis_gravity(const JointVector& q, const JointVector& qdot) const noexcept;
+  [[nodiscard]] Vec3 friction(const JointVector& qdot) const noexcept;
+
+  LinkParams p_;
+};
+
+}  // namespace rg

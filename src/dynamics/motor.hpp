@@ -1,0 +1,65 @@
+// Brushed DC motor model (MAXON RE40 / RE30, the actuators on RAVEN II).
+//
+// We model the torque-producing behaviour seen by the 1 kHz current loop:
+// the motor controller regulates winding current, so the rotor equation is
+//
+//   J_m * domega/dt = K_t * i - b_m * omega - tau_coulomb(omega) - tau_load
+//
+// Electrical (L/R) transients are an order of magnitude faster than the
+// control period and are absorbed into the current-regulation assumption.
+// Catalogue values from the MAXON datasheets (RE40 150 W 48 V, RE30 60 W).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace rg {
+
+struct MotorParams {
+  double torque_constant = 0.0;   ///< K_t, N*m/A
+  double rotor_inertia = 0.0;     ///< J_m, kg*m^2
+  double viscous_damping = 0.0;   ///< b_m, N*m*s/rad
+  double coulomb_friction = 0.0;  ///< tau_c, N*m
+  double max_current = 0.0;       ///< |i| limit enforced by controller, A
+  double terminal_resistance = 0.0;  ///< ohm (used for power/thermal checks)
+
+  /// MAXON RE40 (150 W, 48 V) — shoulder and elbow axes.
+  static constexpr MotorParams re40() {
+    return MotorParams{
+        .torque_constant = 0.0302,
+        .rotor_inertia = 1.42e-5,
+        .viscous_damping = 2.0e-6,
+        .coulomb_friction = 4.0e-3,
+        .max_current = 10.0,
+        .terminal_resistance = 0.299,
+    };
+  }
+
+  /// MAXON RE30 (60 W) — tool insertion axis.
+  static constexpr MotorParams re30() {
+    return MotorParams{
+        .torque_constant = 0.0259,
+        .rotor_inertia = 3.45e-6,
+        .viscous_damping = 1.0e-6,
+        .coulomb_friction = 2.0e-3,
+        .max_current = 8.0,
+        .terminal_resistance = 0.611,
+    };
+  }
+};
+
+/// Electromagnetic torque for a commanded current (controller clamps the
+/// current to the drive limit).
+inline double motor_torque(const MotorParams& p, double current) noexcept {
+  const double clamped = std::clamp(current, -p.max_current, p.max_current);
+  return p.torque_constant * clamped;
+}
+
+/// Smooth Coulomb + viscous friction torque at rotor speed omega.
+/// tanh-smoothing avoids the sign() discontinuity that breaks ODE solvers.
+inline double motor_friction(const MotorParams& p, double omega) noexcept {
+  constexpr double kSmoothingSpeed = 0.5;  // rad/s half-width of the tanh
+  return p.viscous_damping * omega + p.coulomb_friction * std::tanh(omega / kSmoothingSpeed);
+}
+
+}  // namespace rg

@@ -1,0 +1,104 @@
+#include "dynamics/raven_model.hpp"
+
+#include <cmath>
+
+namespace rg {
+
+RavenDynamicsParams RavenDynamicsParams::with_calibration_error(double factor) const {
+  RavenDynamicsParams out = *this;
+  out.link.base_inertia_shoulder *= factor;
+  out.link.base_inertia_elbow *= factor;
+  out.link.tool_mass *= factor;
+  out.link.viscous_shoulder *= factor;
+  out.link.viscous_elbow *= factor;
+  out.link.viscous_insertion *= factor;
+  for (double& k : out.cable_stiffness) k *= factor;
+  for (double& d : out.cable_damping) d *= factor;
+  return out;
+}
+
+RavenDynamicsModel::RavenDynamicsModel(const RavenDynamicsParams& params)
+    : p_(params), coupling_(params.transmission), link_(params.link) {
+  for (double k : p_.cable_stiffness) require(k > 0.0, "cable stiffness must be > 0");
+  for (double d : p_.cable_damping) require(d >= 0.0, "cable damping must be >= 0");
+}
+
+Vec3 RavenDynamicsModel::cable_force(const State& x,
+                                     const std::array<double, 3>& scale) const noexcept {
+  const JointVector q_m = coupling_.motor_to_joint(motor_pos(x));
+  const JointVector qd_m = coupling_.motor_to_joint_velocity(motor_vel(x));
+  const JointVector q = joint_pos(x);
+  const JointVector qd = joint_vel(x);
+  Vec3 tau;
+  for (std::size_t i = 0; i < 3; ++i) {
+    tau[i] = scale[i] * (p_.cable_stiffness[i] * (q_m[i] - q[i]) +
+                         p_.cable_damping[i] * (qd_m[i] - qd[i]));
+  }
+  return tau;
+}
+
+RavenDynamicsModel::State RavenDynamicsModel::derivative(const State& x,
+                                                         const Vec3& currents) const noexcept {
+  return derivative(x, currents, ExternalEffects{});
+}
+
+RavenDynamicsModel::State RavenDynamicsModel::derivative(const State& x, const Vec3& currents,
+                                                         const ExternalEffects& fx) const noexcept {
+  const Vec3 tau_cable = cable_force(x, fx.cable_scale);
+
+  // Link side: M qddot = tau_cable (+ hard stops + external) - bias.
+  Vec3 tau_joint = tau_cable + fx.extra_joint_force;
+  const JointVector q = joint_pos(x);
+  const JointVector qd = joint_vel(x);
+  if (p_.enforce_hard_stops) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      const JointLimit& lim = p_.hard_stop_limits.joint(i);
+      if (q[i] < lim.min) {
+        tau_joint[i] += p_.hard_stop_stiffness * (lim.min - q[i]) - p_.hard_stop_damping * qd[i];
+      } else if (q[i] > lim.max) {
+        tau_joint[i] += p_.hard_stop_stiffness * (lim.max - q[i]) - p_.hard_stop_damping * qd[i];
+      }
+    }
+  }
+  const Vec3 qddot = link_.acceleration(q, qd, tau_joint);
+
+  // Motor side: J omega_dot = K_t i - friction - reflected cable torque.
+  const MotorVector reflected = coupling_.joint_torque_to_motor(tau_cable);
+  const MotorVector omega = motor_vel(x);
+  Vec3 omega_dot;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const MotorParams& mp = p_.motors[i];
+    const double tau_em = motor_torque(mp, currents[i]);
+    omega_dot[i] = (tau_em + fx.extra_motor_torque[i] - motor_friction(mp, omega[i]) -
+                    reflected[i]) /
+                   mp.rotor_inertia;
+  }
+
+  State dx;
+  // d theta_m = omega_m
+  dx[0] = x[3]; dx[1] = x[4]; dx[2] = x[5];
+  // d omega_m
+  dx[3] = omega_dot[0]; dx[4] = omega_dot[1]; dx[5] = omega_dot[2];
+  // d q = qdot
+  dx[6] = x[9]; dx[7] = x[10]; dx[8] = x[11];
+  // d qdot
+  dx[9] = qddot[0]; dx[10] = qddot[1]; dx[11] = qddot[2];
+  return dx;
+}
+
+RavenDynamicsModel::State RavenDynamicsModel::step(const State& x, const Vec3& currents,
+                                                   double h, SolverKind solver) const {
+  const auto f = [this, &currents](double /*t*/, const State& s) {
+    return derivative(s, currents);
+  };
+  return solver_step(solver, f, 0.0, x, h);
+}
+
+RavenDynamicsModel::State RavenDynamicsModel::make_rest_state(const JointVector& q) const noexcept {
+  State x{};
+  set_joint_pos(x, q);
+  set_motor_pos(x, coupling_.joint_to_motor(q));
+  return x;
+}
+
+}  // namespace rg

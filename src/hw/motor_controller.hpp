@@ -1,0 +1,64 @@
+// Motor controller channel: DAC word -> regulated winding current, and
+// encoder count <-> shaft angle conversion.
+//
+// The custom USB boards carry commodity DACs and encoder readers; the
+// analog drive stage regulates winding current proportional to the DAC
+// word.  Encoder feedback is a quadrature count — position information is
+// quantized here, which is one (deliberate) source of detector-model
+// error.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "dynamics/motor.hpp"
+
+namespace rg {
+
+struct MotorChannelConfig {
+  /// Full-scale drive current at DAC = +32767 (A).
+  double full_scale_current = 10.0;
+  /// Encoder resolution: counts per motor-shaft radian (e.g. a 500-line
+  /// encoder in quadrature = 2000 counts/rev = 318.3 counts/rad).
+  double counts_per_rad = 2000.0 / (2.0 * 3.14159265358979323846);
+};
+
+class MotorChannel {
+ public:
+  explicit MotorChannel(const MotorChannelConfig& config = {}) : config_(config) {
+    require(config.full_scale_current > 0.0, "full_scale_current must be > 0");
+    require(config.counts_per_rad > 0.0, "counts_per_rad must be > 0");
+  }
+
+  /// Regulated current for a DAC word (A).
+  [[nodiscard]] double current_from_dac(std::int16_t dac) const noexcept {
+    return static_cast<double>(dac) * config_.full_scale_current / 32767.0;
+  }
+
+  /// DAC word that commands (approximately) the given current; saturates
+  /// at the 16-bit range.
+  [[nodiscard]] std::int16_t dac_from_current(double current) const noexcept {
+    const double scaled = current / config_.full_scale_current * 32767.0;
+    const double clamped = std::clamp(scaled, -32768.0, 32767.0);
+    return static_cast<std::int16_t>(std::lround(clamped));
+  }
+
+  /// Quantize a shaft angle to an encoder count.
+  [[nodiscard]] std::int32_t counts_from_angle(double angle_rad) const noexcept {
+    return static_cast<std::int32_t>(std::lround(angle_rad * config_.counts_per_rad));
+  }
+
+  /// Reconstruct a shaft angle from an encoder count.
+  [[nodiscard]] double angle_from_counts(std::int32_t counts) const noexcept {
+    return static_cast<double>(counts) / config_.counts_per_rad;
+  }
+
+  [[nodiscard]] const MotorChannelConfig& config() const noexcept { return config_; }
+
+ private:
+  MotorChannelConfig config_;
+};
+
+}  // namespace rg

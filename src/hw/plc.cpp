@@ -1,0 +1,24 @@
+#include "hw/plc.hpp"
+
+namespace rg {
+
+Plc::Plc(const PlcConfig& config) : config_(config) {}
+
+void Plc::on_command_byte0(bool watchdog_bit, RobotState commanded_state) noexcept {
+  if (!seen_any_packet_ || watchdog_bit != last_watchdog_bit_) {
+    ticks_since_toggle_ = 0;
+  }
+  last_watchdog_bit_ = watchdog_bit;
+  seen_any_packet_ = true;
+  last_state_ = commanded_state;
+}
+
+void Plc::tick() noexcept {
+  if (!seen_any_packet_) return;  // nothing to time out against yet
+  ++ticks_since_toggle_;
+  if (ticks_since_toggle_ > config_.watchdog_timeout_ticks) {
+    estop_latched_ = true;
+  }
+}
+
+}  // namespace rg

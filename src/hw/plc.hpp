@@ -1,0 +1,70 @@
+// Programmable Logic Controller (PLC) safety processor.
+//
+// The PLC is the independent hardware safety element: it watches the
+// watchdog square wave embedded in every command packet (Byte 0, bit 4)
+// and, if the control software stops toggling it — which the software
+// does deliberately on detecting an unsafe command — latches the system
+// into E-STOP and engages the fail-safe power-off brakes.  The latch is
+// only cleared by the physical start button.
+#pragma once
+
+#include <cstdint>
+
+#include "common/robot_state.hpp"
+
+namespace rg {
+
+struct PlcConfig {
+  /// Watchdog timeout in control ticks (ms): if the watchdog bit does not
+  /// toggle within this window, latch E-STOP.
+  std::uint32_t watchdog_timeout_ticks = 10;
+};
+
+class Plc {
+ public:
+  explicit Plc(const PlcConfig& config = {});
+
+  /// Called by the USB board for every received command packet.
+  void on_command_byte0(bool watchdog_bit, RobotState commanded_state) noexcept;
+
+  /// Advance one control tick (1 ms).  Checks the watchdog deadline.
+  void tick() noexcept;
+
+  /// Physical emergency-stop button: immediate latch.
+  void press_estop() noexcept { estop_latched_ = true; }
+
+  /// Physical start button: clears the latch (the control software then
+  /// re-runs initialization).
+  void press_start() noexcept {
+    estop_latched_ = false;
+    ticks_since_toggle_ = 0;
+    seen_any_packet_ = false;
+  }
+
+  /// True when the PLC holds the system in E-STOP.
+  [[nodiscard]] bool estop_latched() const noexcept { return estop_latched_; }
+
+  /// Fail-safe brakes: released only while the system is actively moving
+  /// under software command — initialization (homing drives the joints)
+  /// and Pedal Down (teleoperation).  Engaged in E-STOP and Pedal Up.
+  [[nodiscard]] bool brakes_engaged() const noexcept {
+    if (estop_latched_) return true;
+    return !(last_state_ == RobotState::kPedalDown || last_state_ == RobotState::kInit);
+  }
+
+  /// The state most recently commanded by the control software (echoed in
+  /// feedback packets).
+  [[nodiscard]] RobotState reported_state() const noexcept {
+    return estop_latched_ ? RobotState::kEStop : last_state_;
+  }
+
+ private:
+  PlcConfig config_;
+  bool estop_latched_ = false;
+  bool last_watchdog_bit_ = false;
+  bool seen_any_packet_ = false;
+  std::uint32_t ticks_since_toggle_ = 0;
+  RobotState last_state_ = RobotState::kEStop;
+};
+
+}  // namespace rg

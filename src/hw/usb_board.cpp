@@ -1,0 +1,62 @@
+#include "hw/usb_board.hpp"
+
+namespace rg {
+
+UsbBoard::UsbBoard(Plc& plc, const MotorChannelConfig& channel_config) : plc_(plc) {
+  channels_.fill(MotorChannel{channel_config});
+}
+
+Status UsbBoard::receive_command(std::span<const std::uint8_t> bytes) noexcept {
+  // NOTE: verify_checksum = false is the point — the real board trusts
+  // whatever arrives (paper Sec. III.B: "the integrity of the packets is
+  // not checked after the USB boards receive them").
+  auto decoded = decode_command(bytes, /*verify_checksum=*/false);
+  if (!decoded.ok()) return decoded.error();
+  last_command_ = decoded.value();
+  has_command_ = true;
+  plc_.on_command_byte0(last_command_.watchdog_bit, last_command_.state);
+  return Status::success();
+}
+
+Vec3 UsbBoard::modeled_currents() const noexcept {
+  if (!has_command_) return Vec3::zero();
+  Vec3 currents;
+  for (std::size_t i = 0; i < kNumModeledJoints; ++i) {
+    currents[i] = channels_[i].current_from_dac(last_command_.dac[i]);
+  }
+  return currents;
+}
+
+Vec3 UsbBoard::wrist_currents() const noexcept {
+  if (!has_command_) return Vec3::zero();
+  Vec3 currents;
+  for (std::size_t i = 0; i < 3; ++i) {
+    currents[i] = channels_[3 + i].current_from_dac(last_command_.dac[3 + i]);
+  }
+  return currents;
+}
+
+void UsbBoard::latch_encoders(const MotorVector& motor_angles,
+                              const Vec3& wrist_angles) noexcept {
+  for (std::size_t i = 0; i < kNumModeledJoints; ++i) {
+    encoder_counts_[i] = channels_[i].counts_from_angle(motor_angles[i]);
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    encoder_counts_[3 + i] = channels_[3 + i].counts_from_angle(wrist_angles[i]);
+  }
+}
+
+double UsbBoard::encoder_angle(std::size_t channel) const noexcept {
+  if (channel >= kNumBoardChannels) return 0.0;
+  return channels_[channel].angle_from_counts(encoder_counts_[channel]);
+}
+
+FeedbackBytes UsbBoard::build_feedback() const noexcept {
+  FeedbackPacket pkt;
+  pkt.state = plc_.reported_state();
+  pkt.brakes_engaged = plc_.brakes_engaged();
+  pkt.encoders = encoder_counts_;
+  return encode_feedback(pkt);
+}
+
+}  // namespace rg

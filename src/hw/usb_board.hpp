@@ -1,0 +1,70 @@
+// The custom 8-channel USB interface board.
+//
+// Receives serialized command packets from the control software, latches
+// the DAC words, forwards Byte 0 (state + watchdog) to the PLC, and
+// assembles feedback packets from the encoder readers.  Faithful to the
+// vulnerability the paper exploits: the board performs *no integrity
+// verification* on received packets — whatever bytes arrive after the
+// software safety checks are executed on the motors.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "common/error.hpp"
+#include "hw/motor_controller.hpp"
+#include "hw/plc.hpp"
+#include "hw/usb_packet.hpp"
+#include "kinematics/types.hpp"
+
+namespace rg {
+
+class UsbBoard {
+ public:
+  /// The board reports to the given PLC; `plc` must outlive the board.
+  explicit UsbBoard(Plc& plc, const MotorChannelConfig& channel_config = {});
+
+  /// Deliver one command packet from the (possibly attacker-interposed)
+  /// USB channel.  Decodes without checksum verification, latches DAC
+  /// words, and forwards Byte 0 to the PLC.  Only a malformed length or
+  /// unknown state code is rejected (the hardware cannot parse those).
+  Status receive_command(std::span<const std::uint8_t> bytes) noexcept;
+
+  /// True once at least one command packet has been latched.
+  [[nodiscard]] bool has_command() const noexcept { return has_command_; }
+
+  /// The most recently latched command.
+  [[nodiscard]] const CommandPacket& last_command() const noexcept { return last_command_; }
+
+  /// Regulated currents for the three modelled motor channels (A).  Zero
+  /// until a command arrives.
+  [[nodiscard]] Vec3 modeled_currents() const noexcept;
+
+  /// Regulated currents for the wrist/instrument channels 3-5 (A).
+  [[nodiscard]] Vec3 wrist_currents() const noexcept;
+
+  /// Latch encoder readings: three positioning motors (shaft rad) and the
+  /// three wrist axes on channels 3-5.
+  void latch_encoders(const MotorVector& motor_angles,
+                      const Vec3& wrist_angles = Vec3::zero()) noexcept;
+
+  /// Latched encoder angle (rad) of a modelled channel — what the control
+  /// software will see, including quantization.
+  [[nodiscard]] double encoder_angle(std::size_t channel) const noexcept;
+
+  /// Assemble the feedback packet bytes for the next read() by the
+  /// control software.
+  [[nodiscard]] FeedbackBytes build_feedback() const noexcept;
+
+  [[nodiscard]] const MotorChannel& channel(std::size_t i) const { return channels_.at(i); }
+
+ private:
+  Plc& plc_;
+  std::array<MotorChannel, kNumBoardChannels> channels_;
+  std::array<std::int32_t, kNumBoardChannels> encoder_counts_{};
+  CommandPacket last_command_{};
+  bool has_command_ = false;
+};
+
+}  // namespace rg

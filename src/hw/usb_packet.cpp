@@ -1,0 +1,114 @@
+#include "hw/usb_packet.hpp"
+
+namespace rg {
+
+namespace {
+
+constexpr std::uint8_t kWatchdogMask = 0x10;
+constexpr std::uint8_t kStateMask = 0x0F;
+constexpr std::uint8_t kBrakeMask = 0x20;
+
+void put_i16(std::span<std::uint8_t> dst, std::int16_t v) noexcept {
+  const auto u = static_cast<std::uint16_t>(v);
+  dst[0] = static_cast<std::uint8_t>(u & 0xFF);
+  dst[1] = static_cast<std::uint8_t>((u >> 8) & 0xFF);
+}
+
+std::int16_t get_i16(std::span<const std::uint8_t> src) noexcept {
+  const auto u = static_cast<std::uint16_t>(src[0] | (static_cast<std::uint16_t>(src[1]) << 8));
+  return static_cast<std::int16_t>(u);
+}
+
+void put_i32(std::span<std::uint8_t> dst, std::int32_t v) noexcept {
+  const auto u = static_cast<std::uint32_t>(v);
+  dst[0] = static_cast<std::uint8_t>(u & 0xFF);
+  dst[1] = static_cast<std::uint8_t>((u >> 8) & 0xFF);
+  dst[2] = static_cast<std::uint8_t>((u >> 16) & 0xFF);
+  dst[3] = static_cast<std::uint8_t>((u >> 24) & 0xFF);
+}
+
+std::int32_t get_i32(std::span<const std::uint8_t> src) noexcept {
+  const std::uint32_t u = static_cast<std::uint32_t>(src[0]) |
+                          (static_cast<std::uint32_t>(src[1]) << 8) |
+                          (static_cast<std::uint32_t>(src[2]) << 16) |
+                          (static_cast<std::uint32_t>(src[3]) << 24);
+  return static_cast<std::int32_t>(u);
+}
+
+}  // namespace
+
+std::uint8_t xor_checksum(std::span<const std::uint8_t> bytes) noexcept {
+  std::uint8_t sum = 0;
+  for (std::uint8_t b : bytes) sum ^= b;
+  return sum;
+}
+
+CommandBytes encode_command(const CommandPacket& pkt) noexcept {
+  CommandBytes out{};
+  out[0] = static_cast<std::uint8_t>(wire_code(pkt.state) |
+                                     (pkt.watchdog_bit ? kWatchdogMask : 0));
+  for (std::size_t ch = 0; ch < kNumBoardChannels; ++ch) {
+    put_i16(std::span{out}.subspan(1 + 2 * ch, 2), pkt.dac[ch]);
+  }
+  out[kCommandPacketSize - 1] =
+      xor_checksum(std::span{out}.first(kCommandPacketSize - 1));
+  return out;
+}
+
+Result<CommandPacket> decode_command(std::span<const std::uint8_t> bytes,
+                                     bool verify_checksum) noexcept {
+  if (bytes.size() != kCommandPacketSize) {
+    return Error{ErrorCode::kMalformedPacket, "command packet must be 18 bytes"};
+  }
+  if (verify_checksum &&
+      xor_checksum(bytes.first(kCommandPacketSize - 1)) != bytes[kCommandPacketSize - 1]) {
+    return Error{ErrorCode::kChecksumMismatch, "command packet checksum mismatch"};
+  }
+  const auto state = state_from_wire_code(bytes[0] & kStateMask);
+  if (!state) {
+    return Error{ErrorCode::kMalformedPacket, "unknown robot state code in Byte 0"};
+  }
+  CommandPacket pkt;
+  pkt.state = *state;
+  pkt.watchdog_bit = (bytes[0] & kWatchdogMask) != 0;
+  for (std::size_t ch = 0; ch < kNumBoardChannels; ++ch) {
+    pkt.dac[ch] = get_i16(bytes.subspan(1 + 2 * ch, 2));
+  }
+  return pkt;
+}
+
+FeedbackBytes encode_feedback(const FeedbackPacket& pkt) noexcept {
+  FeedbackBytes out{};
+  out[0] = static_cast<std::uint8_t>(wire_code(pkt.state) |
+                                     (pkt.brakes_engaged ? kBrakeMask : 0));
+  for (std::size_t ch = 0; ch < kNumBoardChannels; ++ch) {
+    put_i32(std::span{out}.subspan(1 + 4 * ch, 4), pkt.encoders[ch]);
+  }
+  out[kFeedbackPacketSize - 1] =
+      xor_checksum(std::span{out}.first(kFeedbackPacketSize - 1));
+  return out;
+}
+
+Result<FeedbackPacket> decode_feedback(std::span<const std::uint8_t> bytes,
+                                       bool verify_checksum) noexcept {
+  if (bytes.size() != kFeedbackPacketSize) {
+    return Error{ErrorCode::kMalformedPacket, "feedback packet must be 34 bytes"};
+  }
+  if (verify_checksum &&
+      xor_checksum(bytes.first(kFeedbackPacketSize - 1)) != bytes[kFeedbackPacketSize - 1]) {
+    return Error{ErrorCode::kChecksumMismatch, "feedback packet checksum mismatch"};
+  }
+  const auto state = state_from_wire_code(bytes[0] & kStateMask);
+  if (!state) {
+    return Error{ErrorCode::kMalformedPacket, "unknown robot state code in Byte 0"};
+  }
+  FeedbackPacket pkt;
+  pkt.state = *state;
+  pkt.brakes_engaged = (bytes[0] & kBrakeMask) != 0;
+  for (std::size_t ch = 0; ch < kNumBoardChannels; ++ch) {
+    pkt.encoders[ch] = get_i32(bytes.subspan(1 + 4 * ch, 4));
+  }
+  return pkt;
+}
+
+}  // namespace rg

@@ -1,0 +1,73 @@
+// Wire format of the packets exchanged between the control software and
+// the USB interface boards.
+//
+// Command packet (software -> board), 18 bytes:
+//   Byte 0      : bits 0-3 = robot state wire code, bit 4 = watchdog
+//                 square-wave toggle (the "I'm alive" signal to the PLC).
+//   Bytes 1-16  : 8 channels x int16 little-endian DAC words.
+//   Byte 17     : XOR checksum of bytes 0..16.  *The board does not verify
+//                 it* — this is the integrity-check gap the paper's
+//                 scenario-B attack exploits (checked on decode only when
+//                 the caller asks, mirroring the real hardware).
+//
+// Feedback packet (board -> software), 34 bytes:
+//   Byte 0      : robot state wire code echoed by the PLC (bits 0-3) and
+//                 brake status (bit 5).
+//   Bytes 1-32  : 8 channels x int32 little-endian encoder counts.
+//   Byte 33     : XOR checksum of bytes 0..32 (same caveat).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "common/error.hpp"
+#include "common/robot_state.hpp"
+#include "common/units.hpp"
+
+namespace rg {
+
+inline constexpr std::size_t kCommandPacketSize = 18;
+inline constexpr std::size_t kFeedbackPacketSize = 34;
+
+using CommandBytes = std::array<std::uint8_t, kCommandPacketSize>;
+using FeedbackBytes = std::array<std::uint8_t, kFeedbackPacketSize>;
+
+/// Decoded command packet.
+struct CommandPacket {
+  RobotState state = RobotState::kEStop;
+  bool watchdog_bit = false;
+  std::array<std::int16_t, kNumBoardChannels> dac{};
+
+  friend constexpr bool operator==(const CommandPacket&, const CommandPacket&) = default;
+};
+
+/// Decoded feedback packet.
+struct FeedbackPacket {
+  RobotState state = RobotState::kEStop;
+  bool brakes_engaged = true;
+  std::array<std::int32_t, kNumBoardChannels> encoders{};
+
+  friend constexpr bool operator==(const FeedbackPacket&, const FeedbackPacket&) = default;
+};
+
+/// XOR checksum over a byte range.
+std::uint8_t xor_checksum(std::span<const std::uint8_t> bytes) noexcept;
+
+/// Serialize a command packet (computes the checksum byte).
+CommandBytes encode_command(const CommandPacket& pkt) noexcept;
+
+/// Parse a command packet.  When verify_checksum is false — how the real
+/// USB board behaves — a corrupted payload decodes without complaint.
+Result<CommandPacket> decode_command(std::span<const std::uint8_t> bytes,
+                                     bool verify_checksum = false) noexcept;
+
+/// Serialize a feedback packet (computes the checksum byte).
+FeedbackBytes encode_feedback(const FeedbackPacket& pkt) noexcept;
+
+/// Parse a feedback packet; same checksum semantics as decode_command.
+Result<FeedbackPacket> decode_feedback(std::span<const std::uint8_t> bytes,
+                                       bool verify_checksum = false) noexcept;
+
+}  // namespace rg

@@ -1,0 +1,25 @@
+#include "kinematics/coupling.hpp"
+
+namespace rg {
+
+CableCoupling::CableCoupling(const TransmissionParams& params) : params_(params) {
+  require(params.shoulder_ratio > 0.0, "shoulder_ratio must be > 0");
+  require(params.elbow_ratio > 0.0, "elbow_ratio must be > 0");
+  require(params.insertion_m_per_rad > 0.0, "insertion_m_per_rad must be > 0");
+  require(params.elbow_shoulder_coupling >= 0.0 && params.elbow_shoulder_coupling < 1.0,
+          "elbow_shoulder_coupling in [0,1)");
+  require(params.insertion_posture_coupling >= 0.0 && params.insertion_posture_coupling < 1.0,
+          "insertion_posture_coupling in [0,1)");
+
+  Mat3 c;  // jpos = c * mpos, lower-triangular
+  c(0, 0) = 1.0 / params.shoulder_ratio;
+  c(1, 0) = -params.elbow_shoulder_coupling / params.elbow_ratio;
+  c(1, 1) = 1.0 / params.elbow_ratio;
+  c(2, 0) = params.insertion_posture_coupling * params.insertion_m_per_rad;
+  c(2, 1) = params.insertion_posture_coupling * params.insertion_m_per_rad;
+  c(2, 2) = params.insertion_m_per_rad;
+  motor_to_joint_ = c;
+  joint_to_motor_ = c.inverse();
+}
+
+}  // namespace rg

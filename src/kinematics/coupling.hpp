@@ -1,0 +1,70 @@
+// Motor <-> joint transmission for the cable-driven positioning stage.
+//
+// Each positioning joint is driven by a DC motor through a gearhead and a
+// cable capstan.  The cable routing couples adjacent axes (the elbow cable
+// runs over the shoulder pulley), so joint positions are a *linear* map of
+// motor shaft angles:
+//
+//   jpos = C * mpos,    mpos = C^{-1} * jpos
+//
+// with C lower-triangular.  The same map applies to velocities.  Row 2
+// converts motor radians to insertion metres through the capstan radius.
+#pragma once
+
+#include "common/error.hpp"
+#include "kinematics/types.hpp"
+#include "math/mat.hpp"
+
+namespace rg {
+
+/// Transmission parameters for one RAVEN arm's positioning stage.
+struct TransmissionParams {
+  double shoulder_ratio = 57.0;      ///< motor rad per shoulder-joint rad
+  double elbow_ratio = 57.0;         ///< motor rad per elbow-joint rad
+  double insertion_m_per_rad = 5.0e-4;  ///< insertion metres per motor rad
+  /// Cable-routing coupling: fraction of shoulder motor motion appearing
+  /// at the elbow joint (the elbow cable rides the shoulder pulley).
+  double elbow_shoulder_coupling = 0.25;
+  /// Fraction of shoulder+elbow motor motion appearing at the insertion
+  /// axis (insertion cable path length changes with arm posture).
+  double insertion_posture_coupling = 0.02;
+};
+
+class CableCoupling {
+ public:
+  explicit CableCoupling(const TransmissionParams& params = {});
+
+  /// Joint coordinates produced by motor shaft angles.
+  [[nodiscard]] JointVector motor_to_joint(const MotorVector& mpos) const noexcept {
+    return motor_to_joint_ * mpos;
+  }
+
+  /// Motor shaft angles required for joint coordinates.
+  [[nodiscard]] MotorVector joint_to_motor(const JointVector& jpos) const noexcept {
+    return joint_to_motor_ * jpos;
+  }
+
+  /// The linear map is also the velocity map.
+  [[nodiscard]] JointVector motor_to_joint_velocity(const MotorVector& mvel) const noexcept {
+    return motor_to_joint_ * mvel;
+  }
+  [[nodiscard]] MotorVector joint_to_motor_velocity(const JointVector& jvel) const noexcept {
+    return joint_to_motor_ * jvel;
+  }
+
+  /// Torque reflected from joint side to motor side: tau_m = C^T * tau_j
+  /// (duality of the position map).
+  [[nodiscard]] MotorVector joint_torque_to_motor(const Vec3& joint_torque) const noexcept {
+    return motor_to_joint_.transpose() * joint_torque;
+  }
+
+  [[nodiscard]] const Mat3& motor_to_joint_matrix() const noexcept { return motor_to_joint_; }
+  [[nodiscard]] const TransmissionParams& params() const noexcept { return params_; }
+
+ private:
+  TransmissionParams params_;
+  Mat3 motor_to_joint_;
+  Mat3 joint_to_motor_;
+};
+
+}  // namespace rg

@@ -1,0 +1,61 @@
+// Joint workspace limits for the modelled positioning joints.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "kinematics/types.hpp"
+
+namespace rg {
+
+/// Closed interval limit for one joint coordinate.
+struct JointLimit {
+  double min = 0.0;
+  double max = 0.0;
+
+  [[nodiscard]] constexpr bool contains(double q) const noexcept {
+    return q >= min && q <= max;
+  }
+  [[nodiscard]] constexpr double clamp(double q) const noexcept {
+    return q < min ? min : (q > max ? max : q);
+  }
+  [[nodiscard]] constexpr double span() const noexcept { return max - min; }
+  [[nodiscard]] constexpr double midpoint() const noexcept { return 0.5 * (min + max); }
+};
+
+/// Limits for the three positioning joints.
+class JointLimits {
+ public:
+  constexpr JointLimits(JointLimit shoulder, JointLimit elbow, JointLimit insertion)
+      : limits_{shoulder, elbow, insertion} {}
+
+  /// RAVEN-flavoured defaults: shoulder +/-80 deg, elbow 12..168 deg
+  /// (avoiding the RCM polar singularities), insertion 5..300 mm.
+  static constexpr JointLimits raven_defaults() {
+    return JointLimits{{-1.396, 1.396}, {0.21, 2.93}, {0.005, 0.300}};
+  }
+
+  [[nodiscard]] constexpr const JointLimit& joint(std::size_t i) const { return limits_[i]; }
+
+  [[nodiscard]] constexpr bool contains(const JointVector& q) const noexcept {
+    for (std::size_t i = 0; i < 3; ++i) {
+      if (!limits_[i].contains(q[i])) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] constexpr JointVector clamp(JointVector q) const noexcept {
+    for (std::size_t i = 0; i < 3; ++i) q[i] = limits_[i].clamp(q[i]);
+    return q;
+  }
+
+  /// A mid-workspace configuration used as the homing target.
+  [[nodiscard]] constexpr JointVector midpoint() const noexcept {
+    return JointVector{limits_[0].midpoint(), limits_[1].midpoint(), limits_[2].midpoint()};
+  }
+
+ private:
+  std::array<JointLimit, 3> limits_;
+};
+
+}  // namespace rg

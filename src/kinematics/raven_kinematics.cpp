@@ -1,0 +1,79 @@
+#include "kinematics/raven_kinematics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rg {
+
+namespace {
+double libm_sin(double x) { return std::sin(x); }
+double libm_cos(double x) { return std::cos(x); }
+double libm_acos(double x) { return std::acos(x); }
+double libm_atan2(double y, double x) { return std::atan2(y, x); }
+}  // namespace
+
+const MathHooks& MathHooks::libm() noexcept {
+  static const MathHooks hooks{libm_sin, libm_cos, libm_acos, libm_atan2};
+  return hooks;
+}
+
+Position RavenKinematics::forward(const JointVector& q) const noexcept {
+  const double s2 = hooks_.sin(q[1]);
+  const Vec3 dir{s2 * hooks_.cos(q[0]), s2 * hooks_.sin(q[0]), -hooks_.cos(q[1])};
+  return rcm_ + q[2] * dir;
+}
+
+Result<JointVector> RavenKinematics::inverse(const Position& target) const noexcept {
+  const Vec3 rel = target - rcm_;
+  const double r = rel.norm();
+  if (r < 1e-9) {
+    return Error{ErrorCode::kUnreachable, "IK target coincides with the remote center"};
+  }
+  const double q3 = r;
+  // cos(q2) = -z/r; clamp against rounding.
+  const double c2 = std::clamp(-rel[2] / r, -1.0, 1.0);
+  const double q2 = hooks_.acos(c2);
+  // At the polar singularity the azimuth is undefined; the joint limits on
+  // q2 exclude it, so reject rather than guess.
+  const double planar = std::hypot(rel[0], rel[1]);
+  if (planar < 1e-12) {
+    return Error{ErrorCode::kUnreachable, "IK target on the polar axis (azimuth undefined)"};
+  }
+  const double q1 = hooks_.atan2(rel[1], rel[0]);
+  const JointVector q{q1, q2, q3};
+  if (!limits_.contains(q)) {
+    return Error{ErrorCode::kUnreachable, "IK solution violates joint limits"};
+  }
+  if (!std::isfinite(q1) || !std::isfinite(q2) || !std::isfinite(q3)) {
+    return Error{ErrorCode::kUnreachable, "IK produced a non-finite solution"};
+  }
+  return q;
+}
+
+Mat3 RavenKinematics::jacobian(const JointVector& q) const noexcept {
+  const double s1 = std::sin(q[0]);
+  const double c1 = std::cos(q[0]);
+  const double s2 = std::sin(q[1]);
+  const double c2 = std::cos(q[1]);
+  const double d3 = q[2];
+  Mat3 j;
+  // column 0: d p / d q1
+  j(0, 0) = -d3 * s2 * s1;
+  j(1, 0) = d3 * s2 * c1;
+  j(2, 0) = 0.0;
+  // column 1: d p / d q2
+  j(0, 1) = d3 * c2 * c1;
+  j(1, 1) = d3 * c2 * s1;
+  j(2, 1) = d3 * s2;
+  // column 2: d p / d q3
+  j(0, 2) = s2 * c1;
+  j(1, 2) = s2 * s1;
+  j(2, 2) = -c2;
+  return j;
+}
+
+double RavenKinematics::tip_speed(const JointVector& q, const JointVector& qdot) const noexcept {
+  return (jacobian(q) * qdot).norm();
+}
+
+}  // namespace rg

@@ -1,0 +1,76 @@
+// Forward / inverse kinematics of the RAVEN II positioning stage.
+//
+// The RAVEN II arm is a cable-driven spherical mechanism whose first two
+// revolute axes intersect at a fixed remote center of motion (RCM, the
+// surgical port), with a prismatic tool-insertion axis along the tool
+// shaft.  Following the paper's reduced model (the three positioning
+// joints dominate end-effector position), we model the stage as an
+// RCM-spherical chain:
+//
+//   q = [q1 (shoulder azimuth, rad), q2 (elbow polar angle, rad),
+//        q3 (insertion depth, m)]
+//
+//   tool direction d(q1,q2) = [sin q2 cos q1, sin q2 sin q1, -cos q2]
+//   end-effector position p = p_rcm + q3 * d(q1, q2)
+//
+// q2 = 0 points the tool straight up and q2 = pi straight down; the joint
+// limits exclude both polar singularities, which keeps the inverse map
+// single-valued over the workspace.
+#pragma once
+
+#include "common/error.hpp"
+#include "kinematics/joint_limits.hpp"
+#include "kinematics/types.hpp"
+#include "math/mat.hpp"
+
+namespace rg {
+
+/// Trigonometric entry points used by the kinematics.  On the real robot
+/// these are libm symbols — which the paper's Table I attacks hijack via
+/// LD_PRELOAD to add drift.  Routing them through this struct gives the
+/// attack engine the same interposition point.
+struct MathHooks {
+  double (*sin)(double) = nullptr;
+  double (*cos)(double) = nullptr;
+  double (*acos)(double) = nullptr;
+  double (*atan2)(double, double) = nullptr;
+
+  /// The honest libm binding.
+  static const MathHooks& libm() noexcept;
+};
+
+class RavenKinematics {
+ public:
+  explicit RavenKinematics(Position rcm_origin = Position{0.0, 0.0, 0.0},
+                           JointLimits limits = JointLimits::raven_defaults())
+      : rcm_(rcm_origin), limits_(limits), hooks_(MathHooks::libm()) {}
+
+  /// Replace the math bindings (models a malicious libm preload).  Pass
+  /// MathHooks::libm() to restore honest behaviour.
+  void set_math_hooks(const MathHooks& hooks) noexcept { hooks_ = hooks; }
+
+  /// End-effector position for a joint configuration.
+  [[nodiscard]] Position forward(const JointVector& q) const noexcept;
+
+  /// Joint configuration reaching a Cartesian target.  Fails with
+  /// kUnreachable when the target is at the RCM (undefined direction) or
+  /// the solution violates the joint limits.
+  [[nodiscard]] Result<JointVector> inverse(const Position& target) const noexcept;
+
+  /// Geometric Jacobian d p / d q at a configuration (3x3; column i is the
+  /// end-effector velocity per unit velocity of joint i).
+  [[nodiscard]] Mat3 jacobian(const JointVector& q) const noexcept;
+
+  /// Cartesian end-effector speed (m/s) produced by joint rates qdot at q.
+  [[nodiscard]] double tip_speed(const JointVector& q, const JointVector& qdot) const noexcept;
+
+  [[nodiscard]] const JointLimits& limits() const noexcept { return limits_; }
+  [[nodiscard]] const Position& rcm_origin() const noexcept { return rcm_; }
+
+ private:
+  Position rcm_;
+  JointLimits limits_;
+  MathHooks hooks_;
+};
+
+}  // namespace rg

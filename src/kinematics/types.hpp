@@ -1,0 +1,32 @@
+// Shared kinematic vocabulary types.
+#pragma once
+
+#include "math/vec.hpp"
+
+namespace rg {
+
+/// Joint-space coordinates of the three modelled positioning joints:
+///   [0] shoulder rotation (rad), [1] elbow rotation (rad),
+///   [2] tool insertion depth (m).
+using JointVector = Vec3;
+
+/// Motor-space coordinates (motor shaft angle, rad) of the three motors
+/// driving the positioning joints.
+using MotorVector = Vec3;
+
+/// Cartesian end-effector position (m) in the arm base frame.
+using Position = Vec3;
+
+/// End-effector orientation as roll/pitch/yaw (rad).  The paper's reduced
+/// model treats orientation as driven by the unmodelled wrist joints; we
+/// carry it as pass-through state.
+using Orientation = Vec3;
+
+/// Full end-effector pose.
+struct Pose {
+  Position pos{};
+  Orientation ori{};
+  friend constexpr bool operator==(const Pose&, const Pose&) = default;
+};
+
+}  // namespace rg

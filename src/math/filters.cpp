@@ -1,0 +1,13 @@
+#include "math/filters.hpp"
+
+namespace rg {
+
+LowPassFilter LowPassFilter::from_cutoff(double cutoff_hz, double dt_sec) {
+  if (cutoff_hz <= 0.0 || dt_sec <= 0.0) {
+    throw std::invalid_argument("LowPassFilter::from_cutoff: positive cutoff and dt required");
+  }
+  const double rc = 1.0 / (2.0 * 3.14159265358979323846 * cutoff_hz);
+  return LowPassFilter(dt_sec / (rc + dt_sec));
+}
+
+}  // namespace rg

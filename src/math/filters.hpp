@@ -1,0 +1,103 @@
+// Causal signal filters used on encoder feedback and detector signals.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <stdexcept>
+
+namespace rg {
+
+/// First-order exponential low-pass filter: y += alpha * (x - y).
+class LowPassFilter {
+ public:
+  /// alpha in (0, 1]; alpha == 1 passes the input through unchanged.
+  explicit LowPassFilter(double alpha) : alpha_(alpha) {
+    if (alpha <= 0.0 || alpha > 1.0) throw std::invalid_argument("LowPassFilter alpha in (0,1]");
+  }
+
+  /// Build from a cutoff frequency and a sample period (bilinear-free RC
+  /// approximation: alpha = dt / (RC + dt)).
+  static LowPassFilter from_cutoff(double cutoff_hz, double dt_sec);
+
+  double update(double x) noexcept {
+    if (!primed_) {
+      y_ = x;
+      primed_ = true;
+    } else {
+      y_ += alpha_ * (x - y_);
+    }
+    return y_;
+  }
+
+  [[nodiscard]] double value() const noexcept { return y_; }
+  void reset() noexcept { primed_ = false; y_ = 0.0; }
+
+ private:
+  double alpha_;
+  double y_ = 0.0;
+  bool primed_ = false;
+};
+
+/// Sliding-window moving average with O(1) update.
+class MovingAverage {
+ public:
+  explicit MovingAverage(std::size_t window) : window_(window) {
+    if (window == 0) throw std::invalid_argument("MovingAverage window must be > 0");
+  }
+
+  double update(double x) {
+    buf_.push_back(x);
+    sum_ += x;
+    if (buf_.size() > window_) {
+      sum_ -= buf_.front();
+      buf_.pop_front();
+    }
+    return value();
+  }
+
+  [[nodiscard]] double value() const noexcept {
+    return buf_.empty() ? 0.0 : sum_ / static_cast<double>(buf_.size());
+  }
+  [[nodiscard]] std::size_t count() const noexcept { return buf_.size(); }
+  void reset() noexcept { buf_.clear(); sum_ = 0.0; }
+
+ private:
+  std::size_t window_;
+  std::deque<double> buf_;
+  double sum_ = 0.0;
+};
+
+/// Backward-difference differentiator with optional low-pass smoothing —
+/// how the control software estimates velocity from quantized encoder
+/// positions.
+class Differentiator {
+ public:
+  /// dt: sample period (s); smoothing_alpha in (0,1], 1 = no smoothing.
+  Differentiator(double dt, double smoothing_alpha = 1.0)
+      : dt_(dt), lpf_(smoothing_alpha) {
+    if (dt <= 0.0) throw std::invalid_argument("Differentiator dt must be > 0");
+  }
+
+  double update(double x) noexcept {
+    double deriv = 0.0;
+    if (primed_) deriv = (x - prev_) / dt_;
+    prev_ = x;
+    primed_ = true;
+    return lpf_.update(deriv);
+  }
+
+  [[nodiscard]] double value() const noexcept { return lpf_.value(); }
+  void reset() noexcept {
+    primed_ = false;
+    prev_ = 0.0;
+    lpf_.reset();
+  }
+
+ private:
+  double dt_;
+  double prev_ = 0.0;
+  bool primed_ = false;
+  LowPassFilter lpf_;
+};
+
+}  // namespace rg

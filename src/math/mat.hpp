@@ -1,0 +1,88 @@
+// Small dense 3x3 matrix used for motor<->joint coupling transforms.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "math/vec.hpp"
+
+namespace rg {
+
+/// Row-major 3x3 matrix of doubles.
+struct Mat3 {
+  // m[row][col]
+  std::array<std::array<double, 3>, 3> m{};
+
+  static constexpr Mat3 identity() {
+    Mat3 r;
+    r.m[0][0] = r.m[1][1] = r.m[2][2] = 1.0;
+    return r;
+  }
+
+  static constexpr Mat3 diagonal(double a, double b, double c) {
+    Mat3 r;
+    r.m[0][0] = a;
+    r.m[1][1] = b;
+    r.m[2][2] = c;
+    return r;
+  }
+
+  constexpr double& operator()(std::size_t row, std::size_t col) { return m[row][col]; }
+  constexpr double operator()(std::size_t row, std::size_t col) const { return m[row][col]; }
+
+  friend constexpr Vec3 operator*(const Mat3& a, const Vec3& x) {
+    Vec3 y;
+    for (std::size_t i = 0; i < 3; ++i) {
+      y[i] = a.m[i][0] * x[0] + a.m[i][1] * x[1] + a.m[i][2] * x[2];
+    }
+    return y;
+  }
+
+  friend constexpr Mat3 operator*(const Mat3& a, const Mat3& b) {
+    Mat3 c;
+    for (std::size_t i = 0; i < 3; ++i) {
+      for (std::size_t j = 0; j < 3; ++j) {
+        c.m[i][j] = a.m[i][0] * b.m[0][j] + a.m[i][1] * b.m[1][j] + a.m[i][2] * b.m[2][j];
+      }
+    }
+    return c;
+  }
+
+  friend constexpr bool operator==(const Mat3&, const Mat3&) = default;
+
+  [[nodiscard]] constexpr Mat3 transpose() const {
+    Mat3 t;
+    for (std::size_t i = 0; i < 3; ++i) {
+      for (std::size_t j = 0; j < 3; ++j) t.m[i][j] = m[j][i];
+    }
+    return t;
+  }
+
+  [[nodiscard]] constexpr double determinant() const {
+    return m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1]) -
+           m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0]) +
+           m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]);
+  }
+
+  /// Matrix inverse by adjugate.  Throws std::domain_error when singular
+  /// (|det| below 1e-12 of the matrix scale).
+  [[nodiscard]] Mat3 inverse() const {
+    const double det = determinant();
+    if (std::abs(det) < 1e-12) throw std::domain_error("Mat3::inverse: singular matrix");
+    const double inv_det = 1.0 / det;
+    Mat3 r;
+    r.m[0][0] = (m[1][1] * m[2][2] - m[1][2] * m[2][1]) * inv_det;
+    r.m[0][1] = (m[0][2] * m[2][1] - m[0][1] * m[2][2]) * inv_det;
+    r.m[0][2] = (m[0][1] * m[1][2] - m[0][2] * m[1][1]) * inv_det;
+    r.m[1][0] = (m[1][2] * m[2][0] - m[1][0] * m[2][2]) * inv_det;
+    r.m[1][1] = (m[0][0] * m[2][2] - m[0][2] * m[2][0]) * inv_det;
+    r.m[1][2] = (m[0][2] * m[1][0] - m[0][0] * m[1][2]) * inv_det;
+    r.m[2][0] = (m[1][0] * m[2][1] - m[1][1] * m[2][0]) * inv_det;
+    r.m[2][1] = (m[0][1] * m[2][0] - m[0][0] * m[2][1]) * inv_det;
+    r.m[2][2] = (m[0][0] * m[1][1] - m[0][1] * m[1][0]) * inv_det;
+    return r;
+  }
+};
+
+}  // namespace rg

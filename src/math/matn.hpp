@@ -1,0 +1,97 @@
+// Small fixed-size dense matrices for estimator covariance algebra.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <optional>
+
+#include "math/vec.hpp"
+
+namespace rg {
+
+/// Row-major N x N matrix of doubles (stack storage).
+template <std::size_t N>
+struct MatN {
+  std::array<std::array<double, N>, N> m{};
+
+  static constexpr MatN identity() {
+    MatN r;
+    for (std::size_t i = 0; i < N; ++i) r.m[i][i] = 1.0;
+    return r;
+  }
+
+  static constexpr MatN diagonal(const Vec<N>& d) {
+    MatN r;
+    for (std::size_t i = 0; i < N; ++i) r.m[i][i] = d[i];
+    return r;
+  }
+
+  constexpr double& operator()(std::size_t row, std::size_t col) { return m[row][col]; }
+  constexpr double operator()(std::size_t row, std::size_t col) const { return m[row][col]; }
+
+  friend constexpr MatN operator+(const MatN& a, const MatN& b) {
+    MatN r;
+    for (std::size_t i = 0; i < N; ++i) {
+      for (std::size_t j = 0; j < N; ++j) r.m[i][j] = a.m[i][j] + b.m[i][j];
+    }
+    return r;
+  }
+
+  friend constexpr MatN operator*(double s, const MatN& a) {
+    MatN r;
+    for (std::size_t i = 0; i < N; ++i) {
+      for (std::size_t j = 0; j < N; ++j) r.m[i][j] = s * a.m[i][j];
+    }
+    return r;
+  }
+
+  friend constexpr Vec<N> operator*(const MatN& a, const Vec<N>& x) {
+    Vec<N> y;
+    for (std::size_t i = 0; i < N; ++i) {
+      double s = 0.0;
+      for (std::size_t j = 0; j < N; ++j) s += a.m[i][j] * x[j];
+      y[i] = s;
+    }
+    return y;
+  }
+
+  /// Rank-1 update: this += w * v v^T.
+  constexpr void add_outer(double w, const Vec<N>& v) {
+    for (std::size_t i = 0; i < N; ++i) {
+      for (std::size_t j = 0; j < N; ++j) m[i][j] += w * v[i] * v[j];
+    }
+  }
+
+  /// Symmetrize in place (covariance hygiene after accumulations).
+  constexpr void symmetrize() {
+    for (std::size_t i = 0; i < N; ++i) {
+      for (std::size_t j = i + 1; j < N; ++j) {
+        const double avg = 0.5 * (m[i][j] + m[j][i]);
+        m[i][j] = m[j][i] = avg;
+      }
+    }
+  }
+};
+
+/// Lower-triangular Cholesky factor L with A = L L^T; nullopt when A is
+/// not (numerically) positive definite.
+template <std::size_t N>
+std::optional<MatN<N>> cholesky_lower(const MatN<N>& a) {
+  MatN<N> l{};
+  for (std::size_t i = 0; i < N; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a.m[i][j];
+      for (std::size_t k = 0; k < j; ++k) sum -= l.m[i][k] * l.m[j][k];
+      if (i == j) {
+        if (sum <= 0.0) return std::nullopt;
+        l.m[i][i] = std::sqrt(sum);
+      } else {
+        l.m[i][j] = sum / l.m[j][j];
+      }
+    }
+  }
+  return l;
+}
+
+}  // namespace rg

@@ -1,0 +1,52 @@
+// Descriptive statistics used for threshold learning and model validation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rg {
+
+/// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> xs) noexcept;
+
+/// Sample standard deviation (n-1 denominator); 0 for n < 2.
+double stddev(std::span<const double> xs) noexcept;
+
+/// Minimum / maximum; 0 for empty input.
+double min_value(std::span<const double> xs) noexcept;
+double max_value(std::span<const double> xs) noexcept;
+
+/// Mean absolute error between two equal-length series.
+/// Throws std::invalid_argument on length mismatch.
+double mean_absolute_error(std::span<const double> a, std::span<const double> b);
+
+/// Root-mean-square error between two equal-length series.
+double rms_error(std::span<const double> a, std::span<const double> b);
+
+/// p-th percentile (p in [0,100]) with linear interpolation between order
+/// statistics.  Copies and sorts internally.  Throws on empty input or p
+/// outside [0,100].
+double percentile(std::span<const double> xs, double p);
+
+/// Incremental accumulator for min/max/mean/std over a stream — used to
+/// summarise per-step timings without storing every sample.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ > 0 ? max_ : 0.0; }
+  void reset() noexcept { *this = RunningStats{}; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace rg

@@ -1,0 +1,97 @@
+// Small fixed-size vector algebra.
+//
+// The dynamics code works on small state vectors (3 joints, 12-dim ODE
+// state); std::array-backed value types keep everything on the stack.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <initializer_list>
+#include <stdexcept>
+
+namespace rg {
+
+/// Fixed-size arithmetic vector of N doubles.
+template <std::size_t N>
+struct Vec {
+  std::array<double, N> v{};
+
+  constexpr Vec() = default;
+  constexpr Vec(std::initializer_list<double> init) {
+    if (init.size() != N) throw std::invalid_argument("Vec initializer size mismatch");
+    std::size_t i = 0;
+    for (double x : init) v[i++] = x;
+  }
+
+  static constexpr Vec zero() { return Vec{}; }
+  static constexpr Vec filled(double x) {
+    Vec r;
+    r.v.fill(x);
+    return r;
+  }
+
+  constexpr double& operator[](std::size_t i) { return v[i]; }
+  constexpr double operator[](std::size_t i) const { return v[i]; }
+  static constexpr std::size_t size() { return N; }
+
+  constexpr Vec& operator+=(const Vec& o) {
+    for (std::size_t i = 0; i < N; ++i) v[i] += o.v[i];
+    return *this;
+  }
+  constexpr Vec& operator-=(const Vec& o) {
+    for (std::size_t i = 0; i < N; ++i) v[i] -= o.v[i];
+    return *this;
+  }
+  constexpr Vec& operator*=(double s) {
+    for (double& x : v) x *= s;
+    return *this;
+  }
+
+  friend constexpr Vec operator+(Vec a, const Vec& b) { return a += b; }
+  friend constexpr Vec operator-(Vec a, const Vec& b) { return a -= b; }
+  friend constexpr Vec operator*(Vec a, double s) { return a *= s; }
+  friend constexpr Vec operator*(double s, Vec a) { return a *= s; }
+  friend constexpr Vec operator/(Vec a, double s) { return a *= (1.0 / s); }
+  friend constexpr Vec operator-(Vec a) { return a *= -1.0; }
+  friend constexpr bool operator==(const Vec& a, const Vec& b) { return a.v == b.v; }
+
+  [[nodiscard]] constexpr double dot(const Vec& o) const {
+    double s = 0.0;
+    for (std::size_t i = 0; i < N; ++i) s += v[i] * o.v[i];
+    return s;
+  }
+
+  [[nodiscard]] double norm() const { return std::sqrt(dot(*this)); }
+
+  [[nodiscard]] double norm_inf() const {
+    double m = 0.0;
+    for (double x : v) m = std::max(m, std::abs(x));
+    return m;
+  }
+};
+
+using Vec3 = Vec<3>;
+
+/// 3D cross product.
+inline constexpr Vec3 cross(const Vec3& a, const Vec3& b) {
+  return Vec3{a[1] * b[2] - a[2] * b[1],
+              a[2] * b[0] - a[0] * b[2],
+              a[0] * b[1] - a[1] * b[0]};
+}
+
+/// Euclidean distance between two points.
+template <std::size_t N>
+double distance(const Vec<N>& a, const Vec<N>& b) {
+  return (a - b).norm();
+}
+
+/// Clamp each component to [lo, hi].
+template <std::size_t N>
+constexpr Vec<N> clamp(Vec<N> x, double lo, double hi) {
+  for (double& c : x.v) c = std::clamp(c, lo, hi);
+  return x;
+}
+
+}  // namespace rg

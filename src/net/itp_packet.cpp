@@ -1,0 +1,76 @@
+#include "net/itp_packet.hpp"
+
+#include <cmath>
+
+#include "hw/usb_packet.hpp"  // xor_checksum
+
+namespace rg {
+
+namespace {
+
+constexpr double kMetresToNano = 1.0e9;
+constexpr double kRadToMicro = 1.0e6;
+
+void put_u32(std::span<std::uint8_t> dst, std::uint32_t v) noexcept {
+  dst[0] = static_cast<std::uint8_t>(v & 0xFF);
+  dst[1] = static_cast<std::uint8_t>((v >> 8) & 0xFF);
+  dst[2] = static_cast<std::uint8_t>((v >> 16) & 0xFF);
+  dst[3] = static_cast<std::uint8_t>((v >> 24) & 0xFF);
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> src) noexcept {
+  return static_cast<std::uint32_t>(src[0]) | (static_cast<std::uint32_t>(src[1]) << 8) |
+         (static_cast<std::uint32_t>(src[2]) << 16) | (static_cast<std::uint32_t>(src[3]) << 24);
+}
+
+void put_i32(std::span<std::uint8_t> dst, std::int32_t v) noexcept {
+  put_u32(dst, static_cast<std::uint32_t>(v));
+}
+
+std::int32_t get_i32(std::span<const std::uint8_t> src) noexcept {
+  return static_cast<std::int32_t>(get_u32(src));
+}
+
+std::int32_t quantize(double value, double scale) noexcept {
+  const double scaled = value * scale;
+  // Saturate rather than wrap on absurd increments.
+  if (scaled >= 2147483647.0) return 2147483647;
+  if (scaled <= -2147483648.0) return -2147483647 - 1;
+  return static_cast<std::int32_t>(std::lround(scaled));
+}
+
+}  // namespace
+
+ItpBytes encode_itp(const ItpPacket& pkt) noexcept {
+  ItpBytes out{};
+  put_u32(std::span{out}.subspan(0, 4), pkt.sequence);
+  out[4] = pkt.pedal_down ? 0x01 : 0x00;
+  for (std::size_t i = 0; i < 3; ++i) {
+    put_i32(std::span{out}.subspan(5 + 4 * i, 4), quantize(pkt.pos_increment[i], kMetresToNano));
+    put_i32(std::span{out}.subspan(17 + 4 * i, 4), quantize(pkt.ori_increment[i], kRadToMicro));
+  }
+  out[kItpPacketSize - 1] = xor_checksum(std::span{out}.first(kItpPacketSize - 1));
+  return out;
+}
+
+Result<ItpPacket> decode_itp(std::span<const std::uint8_t> bytes, bool verify_checksum) noexcept {
+  if (bytes.size() != kItpPacketSize) {
+    return Error{ErrorCode::kMalformedPacket, "ITP packet must be 30 bytes"};
+  }
+  if (verify_checksum &&
+      xor_checksum(bytes.first(kItpPacketSize - 1)) != bytes[kItpPacketSize - 1]) {
+    return Error{ErrorCode::kChecksumMismatch, "ITP packet checksum mismatch"};
+  }
+  ItpPacket pkt;
+  pkt.sequence = get_u32(bytes.subspan(0, 4));
+  pkt.pedal_down = (bytes[4] & 0x01) != 0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    pkt.pos_increment[i] =
+        static_cast<double>(get_i32(bytes.subspan(5 + 4 * i, 4))) / kMetresToNano;
+    pkt.ori_increment[i] =
+        static_cast<double>(get_i32(bytes.subspan(17 + 4 * i, 4))) / kRadToMicro;
+  }
+  return pkt;
+}
+
+}  // namespace rg

@@ -1,0 +1,48 @@
+// Interoperable Teleoperation Protocol (ITP) packet.
+//
+// The RAVEN II console sends operator commands over UDP using ITP: packet
+// sequence number, foot-pedal state, and *incremental* desired motions of
+// the tool (the console integrates master-manipulator deltas).  We encode
+// position increments as signed nanometres and orientation increments as
+// signed microradians in 32-bit fields — integer wire formats as in the
+// real protocol, with enough resolution that quantization does not
+// accumulate at 1 kHz.
+//
+// Wire layout (30 bytes, little-endian):
+//   [0..3]   u32 sequence number
+//   [4]      u8  flags (bit 0: foot pedal down)
+//   [5..16]  3 x i32 position increment, nanometres
+//   [17..28] 3 x i32 orientation increment, microradians
+//   [29]     u8  XOR checksum of bytes 0..28
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "common/error.hpp"
+#include "kinematics/types.hpp"
+
+namespace rg {
+
+inline constexpr std::size_t kItpPacketSize = 30;
+using ItpBytes = std::array<std::uint8_t, kItpPacketSize>;
+
+struct ItpPacket {
+  std::uint32_t sequence = 0;
+  bool pedal_down = false;
+  Vec3 pos_increment{};  ///< metres
+  Vec3 ori_increment{};  ///< radians
+
+  friend bool operator==(const ItpPacket&, const ItpPacket&) = default;
+};
+
+/// Serialize (computes checksum; quantizes increments to nm / urad).
+ItpBytes encode_itp(const ItpPacket& pkt) noexcept;
+
+/// Parse.  The control software *does* verify the ITP checksum (unlike
+/// the USB boards) — a mangled network packet is dropped, not executed.
+Result<ItpPacket> decode_itp(std::span<const std::uint8_t> bytes,
+                             bool verify_checksum = true) noexcept;
+
+}  // namespace rg

@@ -1,0 +1,56 @@
+#include "net/master_console.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace rg {
+
+MasterConsole::MasterConsole(std::shared_ptr<const Trajectory> trajectory, PedalSchedule schedule,
+                             OrientationMotion orientation)
+    : trajectory_(std::move(trajectory)),
+      schedule_(std::move(schedule)),
+      orientation_(orientation) {
+  require(trajectory_ != nullptr, "MasterConsole trajectory must not be null");
+}
+
+Vec3 MasterConsole::orientation_at(double t) const noexcept {
+  const double w = 2.0 * kPi * orientation_.frequency_hz;
+  // Phase-staggered sinusoids so the three wrist axes move independently.
+  return Vec3{orientation_.amplitude[0] * std::sin(w * t),
+              orientation_.amplitude[1] * std::sin(1.37 * w * t + 0.9),
+              orientation_.amplitude[2] * std::sin(0.81 * w * t + 2.1)};
+}
+
+ItpPacket MasterConsole::tick() {
+  const double t = session_time();
+  const bool pedal = schedule_.pedal_down_at(t);
+
+  ItpPacket pkt;
+  pkt.sequence = sequence_++;
+  pkt.pedal_down = pedal;
+
+  if (pedal) {
+    const Position pos = trajectory_->position(traj_time_);
+    const Vec3 ori = orientation_at(traj_time_);
+    if (last_pos_valid_) {
+      pkt.pos_increment = pos - last_pos_;
+      pkt.ori_increment = ori - last_ori_;
+    }
+    // else: first tick after pedal-down — send zero increment so the
+    // robot's desired pose stays anchored at its current position.
+    last_pos_ = pos;
+    last_ori_ = ori;
+    last_pos_valid_ = true;
+    traj_time_ += kControlPeriodSec;
+  } else {
+    // Pedal up: master decoupled, no motion commands.
+    last_pos_valid_ = false;
+  }
+
+  ++tick_count_;
+  return pkt;
+}
+
+}  // namespace rg

@@ -1,0 +1,36 @@
+#include "net/udp_channel.hpp"
+
+#include "common/error.hpp"
+
+namespace rg {
+
+UdpChannel::UdpChannel(const UdpChannelConfig& config) : config_(config), rng_(config.seed) {
+  require(config.loss_probability >= 0.0 && config.loss_probability <= 1.0,
+          "loss_probability in [0,1]");
+}
+
+void UdpChannel::send(std::vector<std::uint8_t> datagram) {
+  ++sent_;
+  if (config_.loss_probability > 0.0 && rng_.uniform() < config_.loss_probability) {
+    ++dropped_;
+    return;
+  }
+  std::uint64_t delay = config_.min_delay_ticks;
+  if (config_.jitter_ticks > 0) delay += rng_.uniform_int(0, config_.jitter_ticks);
+  queue_.push_back(InFlight{now_ + delay, std::move(datagram)});
+}
+
+std::optional<std::vector<std::uint8_t>> UdpChannel::receive() {
+  // UDP reordering: jittered datagrams may become deliverable out of send
+  // order; scan for the first deliverable one.
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->deliver_at <= now_) {
+      std::vector<std::uint8_t> payload = std::move(it->payload);
+      queue_.erase(it);
+      return payload;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace rg

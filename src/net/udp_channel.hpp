@@ -1,0 +1,56 @@
+// Simulated UDP datagram channel with configurable loss and delay.
+//
+// ITP runs over UDP; prior work (Bonaci et al.) showed loss/delay alone
+// degrade teleoperation, so the channel model lets experiments reproduce
+// that baseline threat as well.  Default configuration is a perfect link.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace rg {
+
+struct UdpChannelConfig {
+  double loss_probability = 0.0;   ///< i.i.d. datagram loss
+  std::uint32_t min_delay_ticks = 0;  ///< fixed delivery latency (control ticks)
+  std::uint32_t jitter_ticks = 0;     ///< uniform extra delay in [0, jitter]
+  std::uint64_t seed = 7;
+};
+
+class UdpChannel {
+ public:
+  explicit UdpChannel(const UdpChannelConfig& config = {});
+
+  /// Enqueue a datagram at the current tick.
+  void send(std::vector<std::uint8_t> datagram);
+
+  /// Advance one control tick.
+  void tick() noexcept { ++now_; }
+
+  /// Pop the next datagram whose delivery time has arrived (FIFO among
+  /// deliverable ones); nullopt when none is ready.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> receive();
+
+  [[nodiscard]] std::size_t in_flight() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::uint64_t datagrams_sent() const noexcept { return sent_; }
+  [[nodiscard]] std::uint64_t datagrams_dropped() const noexcept { return dropped_; }
+
+ private:
+  struct InFlight {
+    std::uint64_t deliver_at;
+    std::vector<std::uint8_t> payload;
+  };
+
+  UdpChannelConfig config_;
+  Pcg32 rng_;
+  std::deque<InFlight> queue_;
+  std::uint64_t now_ = 0;
+  std::uint64_t sent_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace rg

@@ -1,0 +1,143 @@
+// Numerical integration of ordinary differential equations.
+//
+// The paper compares explicit Euler and 4th-order Runge-Kutta (via the C++
+// odeint package) for solving the robot's motor+link dynamics within the
+// 1 ms control period.  We implement those two, plus midpoint (RK2) and an
+// adaptive RKF45 used in ablation benches.
+//
+// A State must support: State + State, State - State, double * State, and
+// a norm_inf() member (only needed for the adaptive solver).  rg::Vec<N>
+// satisfies all of these.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <concepts>
+#include <cstdint>
+#include <stdexcept>
+#include <string_view>
+#include <utility>
+
+namespace rg {
+
+/// Runtime-selectable solver kind (the Fig. 8 comparison axis).
+enum class SolverKind : std::uint8_t { kEuler, kMidpoint, kRk4, kRkf45 };
+
+constexpr std::string_view to_string(SolverKind kind) noexcept {
+  switch (kind) {
+    case SolverKind::kEuler: return "Euler";
+    case SolverKind::kMidpoint: return "Midpoint";
+    case SolverKind::kRk4: return "RK4";
+    case SolverKind::kRkf45: return "RKF45";
+  }
+  return "unknown";
+}
+
+/// f(t, x) -> dx/dt
+template <typename F, typename State>
+concept DerivativeFn = requires(F f, double t, const State& x) {
+  { f(t, x) } -> std::convertible_to<State>;
+};
+
+/// One explicit-Euler step: x + h f(t, x).
+template <typename State, DerivativeFn<State> F>
+State euler_step(F&& f, double t, const State& x, double h) {
+  return x + h * f(t, x);
+}
+
+/// One midpoint (RK2) step.
+template <typename State, DerivativeFn<State> F>
+State midpoint_step(F&& f, double t, const State& x, double h) {
+  const State k1 = f(t, x);
+  return x + h * f(t + 0.5 * h, x + (0.5 * h) * k1);
+}
+
+/// One classical RK4 step.
+template <typename State, DerivativeFn<State> F>
+State rk4_step(F&& f, double t, const State& x, double h) {
+  const State k1 = f(t, x);
+  const State k2 = f(t + 0.5 * h, x + (0.5 * h) * k1);
+  const State k3 = f(t + 0.5 * h, x + (0.5 * h) * k2);
+  const State k4 = f(t + h, x + h * k3);
+  return x + (h / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4);
+}
+
+/// One Runge-Kutta-Fehlberg 4(5) step; returns {x5, err_inf} where x5 is
+/// the 5th-order solution and err_inf the infinity-norm of the embedded
+/// 4th/5th-order difference.
+template <typename State, DerivativeFn<State> F>
+std::pair<State, double> rkf45_step(F&& f, double t, const State& x, double h) {
+  const State k1 = f(t, x);
+  const State k2 = f(t + h / 4.0, x + (h / 4.0) * k1);
+  const State k3 = f(t + 3.0 * h / 8.0, x + (3.0 * h / 32.0) * k1 + (9.0 * h / 32.0) * k2);
+  const State k4 = f(t + 12.0 * h / 13.0,
+                     x + (1932.0 * h / 2197.0) * k1 - (7200.0 * h / 2197.0) * k2 +
+                         (7296.0 * h / 2197.0) * k3);
+  const State k5 = f(t + h, x + (439.0 * h / 216.0) * k1 - (8.0 * h) * k2 +
+                                (3680.0 * h / 513.0) * k3 - (845.0 * h / 4104.0) * k4);
+  const State k6 = f(t + h / 2.0, x - (8.0 * h / 27.0) * k1 + (2.0 * h) * k2 -
+                                      (3544.0 * h / 2565.0) * k3 + (1859.0 * h / 4104.0) * k4 -
+                                      (11.0 * h / 40.0) * k5);
+  const State x5 = x + h * ((16.0 / 135.0) * k1 + (6656.0 / 12825.0) * k3 +
+                            (28561.0 / 56430.0) * k4 - (9.0 / 50.0) * k5 + (2.0 / 55.0) * k6);
+  const State x4 = x + h * ((25.0 / 216.0) * k1 + (1408.0 / 2565.0) * k3 +
+                            (2197.0 / 4104.0) * k4 - (1.0 / 5.0) * k5);
+  return {x5, (x5 - x4).norm_inf()};
+}
+
+/// Single step with a runtime-selected solver.  For kRkf45 the embedded
+/// error estimate is discarded (fixed-step use).
+template <typename State, DerivativeFn<State> F>
+State solver_step(SolverKind kind, F&& f, double t, const State& x, double h) {
+  switch (kind) {
+    case SolverKind::kEuler: return euler_step<State>(f, t, x, h);
+    case SolverKind::kMidpoint: return midpoint_step<State>(f, t, x, h);
+    case SolverKind::kRk4: return rk4_step<State>(f, t, x, h);
+    case SolverKind::kRkf45: return rkf45_step<State>(f, t, x, h).first;
+  }
+  throw std::invalid_argument("solver_step: unknown SolverKind");
+}
+
+/// Integrate over [t0, t0 + duration] with a fixed step h (final partial
+/// step shortened to land exactly on the end time).
+template <typename State, DerivativeFn<State> F>
+State integrate_fixed(SolverKind kind, F&& f, double t0, State x, double duration, double h) {
+  if (h <= 0.0) throw std::invalid_argument("integrate_fixed: h must be > 0");
+  if (duration < 0.0) throw std::invalid_argument("integrate_fixed: negative duration");
+  double t = t0;
+  const double t_end = t0 + duration;
+  while (t < t_end) {
+    const double step = (t + h > t_end) ? (t_end - t) : h;
+    if (step <= 0.0) break;
+    x = solver_step(kind, f, t, x, step);
+    t += step;
+  }
+  return x;
+}
+
+/// Adaptive RKF45 integration to a target local-error tolerance.  Returns
+/// the state at t0 + duration.  Step size is clamped to [h_min, h_max].
+template <typename State, DerivativeFn<State> F>
+State integrate_adaptive(F&& f, double t0, State x, double duration, double tol,
+                         double h_init, double h_min, double h_max) {
+  if (tol <= 0.0) throw std::invalid_argument("integrate_adaptive: tol must be > 0");
+  if (h_min <= 0.0 || h_max < h_min) throw std::invalid_argument("integrate_adaptive: bad step bounds");
+  double t = t0;
+  double h = h_init;
+  const double t_end = t0 + duration;
+  while (t < t_end) {
+    if (t + h > t_end) h = t_end - t;
+    if (h <= 0.0) break;
+    auto [x_next, err] = rkf45_step<State>(f, t, x, h);
+    if (err <= tol || h <= h_min) {
+      x = x_next;
+      t += h;
+    }
+    // Standard safety-factored step adaptation.
+    const double scale = (err > 0.0) ? 0.9 * std::pow(tol / err, 0.2) : 2.0;
+    h = std::clamp(h * std::clamp(scale, 0.2, 5.0), h_min, h_max);
+  }
+  return x;
+}
+
+}  // namespace rg

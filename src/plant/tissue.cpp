@@ -1,0 +1,48 @@
+#include "plant/tissue.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rg {
+
+TissueModel::TissueModel(const TissueParams& params) : params_(params) {
+  require(std::abs(params.normal.norm() - 1.0) < 1e-6, "tissue normal must be unit length");
+  require(params.stiffness > 0.0 && params.damping >= 0.0, "tissue stiffness/damping invalid");
+  require(params.rupture_depth > 0.0, "rupture_depth must be > 0");
+  require(params.shear_speed_limit > 0.0, "shear_speed_limit must be > 0");
+}
+
+TissueContact TissueModel::update(const Position& tool, const Vec3& tool_velocity) noexcept {
+  TissueContact contact;
+
+  // Signed distance above the surface; indentation is its negative part.
+  const double height = (tool - params_.surface_point).dot(params_.normal);
+  contact.depth = std::max(0.0, -height);
+  max_depth_ = std::max(max_depth_, contact.depth);
+
+  if (contact.depth > 0.0) {
+    if (contact.depth > params_.rupture_depth) perforated_ = true;
+
+    if (contact.depth > params_.shear_engage_depth) {
+      const double normal_speed = tool_velocity.dot(params_.normal);
+      const Vec3 lateral = tool_velocity - normal_speed * params_.normal;
+      if (lateral.norm() > params_.shear_speed_limit) sheared_ = true;
+    }
+
+    if (!perforated_) {
+      // Kelvin-Voigt: spring on indentation, damper on the approach rate
+      // (force only pushes outward, never sucks the tool in).
+      const double approach = -tool_velocity.dot(params_.normal);
+      const double magnitude = std::max(
+          0.0, params_.stiffness * contact.depth + params_.damping * approach);
+      contact.force = magnitude * params_.normal;
+    }
+    // A perforated surface offers no further resistance.
+  }
+
+  contact.perforated = perforated_;
+  contact.sheared = sheared_;
+  return contact;
+}
+
+}  // namespace rg

@@ -1,0 +1,75 @@
+// Tissue interaction model — quantifying the paper's harm narrative.
+//
+// The paper frames the danger of abrupt jumps in clinical terms: "tearing
+// or perforation of tissues if the instruments were inside the body",
+// citing the FDA adverse-event record.  This module gives the simulator a
+// compliant tissue surface so that harm becomes a measurable outcome
+// rather than prose: the tool may *indent* the tissue elastically (normal
+// surgical contact), but driving it past the rupture depth — or dragging
+// it laterally faster than the shear limit while embedded — tears it.
+//
+// The tissue is a plane (point + inward normal) with a Kelvin-Voigt
+// response; its reaction force feeds back into the arm dynamics through
+// the Jacobian transpose, so contact also changes how attacks propagate.
+#pragma once
+
+#include "common/error.hpp"
+#include "kinematics/raven_kinematics.hpp"
+#include "kinematics/types.hpp"
+
+namespace rg {
+
+struct TissueParams {
+  /// A point on the tissue surface (m, arm base frame).
+  Position surface_point{0.09, 0.0, -0.125};
+  /// Unit normal pointing *out of* the tissue (towards the tool).
+  Vec3 normal{0.0, 0.0, 1.0};
+  /// Contact stiffness and damping (N/m, N*s/m) — soft-tissue scale.
+  double stiffness = 400.0;
+  double damping = 4.0;
+  /// Elastic limit: indentation beyond this perforates (m).  ~6 mm is a
+  /// generous bound for delicate structures.
+  double rupture_depth = 6.0e-3;
+  /// Lateral tool speed that tears embedded tissue (m/s).
+  double shear_speed_limit = 0.15;
+  /// Indentation below which shear cannot tear (the tool is barely
+  /// touching).
+  double shear_engage_depth = 1.0e-3;
+};
+
+/// Per-step contact evaluation result.
+struct TissueContact {
+  double depth = 0.0;          ///< indentation along -normal (m), >= 0
+  Vec3 force{};                ///< reaction force on the tool (N)
+  bool perforated = false;     ///< depth exceeded the rupture limit
+  bool sheared = false;        ///< lateral tear while embedded
+};
+
+class TissueModel {
+ public:
+  explicit TissueModel(const TissueParams& params = {});
+
+  /// Evaluate contact for a tool position/velocity.  Latches damage: once
+  /// perforated or sheared, the flags stay set (and a ruptured surface no
+  /// longer pushes back).
+  TissueContact update(const Position& tool, const Vec3& tool_velocity) noexcept;
+
+  [[nodiscard]] bool perforated() const noexcept { return perforated_; }
+  [[nodiscard]] bool sheared() const noexcept { return sheared_; }
+  [[nodiscard]] bool damaged() const noexcept { return perforated_ || sheared_; }
+  [[nodiscard]] double max_depth() const noexcept { return max_depth_; }
+  [[nodiscard]] const TissueParams& params() const noexcept { return params_; }
+
+  void reset() noexcept {
+    perforated_ = sheared_ = false;
+    max_depth_ = 0.0;
+  }
+
+ private:
+  TissueParams params_;
+  bool perforated_ = false;
+  bool sheared_ = false;
+  double max_depth_ = 0.0;
+};
+
+}  // namespace rg

@@ -1,0 +1,78 @@
+// Experiment harness: standardized sessions, threshold learning, and
+// labelled attack runs — the machinery behind Table IV and Figs. 8/9.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "attack/attack_engine.hpp"
+#include "core/thresholds.hpp"
+#include "ode/integrators.hpp"
+#include "sim/surgical_sim.hpp"
+
+namespace rg {
+
+/// Everything that defines one reproducible teleoperation session.
+struct SessionParams {
+  double duration_sec = 6.0;
+  std::uint64_t seed = 1;
+
+  // Trajectory synthesis.
+  int trajectory_waypoints = 6;
+  double trajectory_speed = 0.02;  ///< m/s
+  bool tremor = true;
+
+  // Session timing.
+  double pedal_down_time = 1.2;  ///< after auto-start; homing takes 0.8 s
+
+  // Detector configuration.
+  SolverKind detector_solver = SolverKind::kEuler;
+  double detector_step = 1.0e-3;
+  /// Scale applied to the detector model's physical coefficients relative
+  /// to the plant — the residual of the paper's manual calibration.
+  double model_calibration_error = 0.97;
+  FusionPolicy fusion = FusionPolicy::kAllThree;
+  double ee_jump_limit = 1.0e-3;
+};
+
+/// Build a SimConfig for a session.  `thresholds` enables the detection
+/// pipeline; `mitigation` arms it (otherwise observe-only).
+[[nodiscard]] SimConfig make_session(const SessionParams& params,
+                                     const std::optional<DetectionThresholds>& thresholds,
+                                     bool mitigation);
+
+/// Learn detection thresholds from `runs` fault-free sessions with
+/// different seeds/trajectories (paper: 600 runs, 99.8–99.9th percentile
+/// of per-run maxima).
+[[nodiscard]] DetectionThresholds learn_thresholds(const SessionParams& base, int runs,
+                                                   double percentile_value = 99.85,
+                                                   double margin = 1.0);
+
+/// Threshold cache (learning is the expensive step shared by several
+/// benches).  Files are plain text, 9 numbers.
+void save_thresholds(const DetectionThresholds& thresholds, const std::string& path);
+[[nodiscard]] std::optional<DetectionThresholds> load_thresholds(const std::string& path);
+
+/// Learn (or load from `cache_path` if present) the standard thresholds.
+[[nodiscard]] DetectionThresholds thresholds_cached(const SessionParams& base, int runs,
+                                                    const std::string& cache_path);
+
+/// One labelled attack run.
+struct AttackRunResult {
+  AttackSpec spec{};
+  RunOutcome outcome{};
+  std::uint64_t injections = 0;
+  std::optional<std::uint64_t> first_injection_tick{};
+
+  /// Ground truth: did the attack cause a real physical impact?
+  [[nodiscard]] bool impact() const noexcept { return outcome.adverse_impact(); }
+};
+
+/// Execute one attack session.  The detection pipeline observes (and
+/// mitigates if `mitigation`); RAVEN's own checks always run.
+[[nodiscard]] AttackRunResult run_attack_session(
+    const SessionParams& params, const AttackSpec& spec,
+    const std::optional<DetectionThresholds>& thresholds, bool mitigation = false);
+
+}  // namespace rg

@@ -1,0 +1,54 @@
+// Binary-classification metrics for detection experiments (Table IV).
+#pragma once
+
+#include <cstdint>
+
+namespace rg {
+
+/// Confusion matrix over labelled runs: "positive" = the run had a real
+/// adverse physical impact; "predicted positive" = the detector alarmed.
+struct ConfusionMatrix {
+  std::uint64_t tp = 0;
+  std::uint64_t fp = 0;
+  std::uint64_t tn = 0;
+  std::uint64_t fn = 0;
+
+  void add(bool truth_positive, bool predicted_positive) noexcept {
+    if (truth_positive) {
+      predicted_positive ? ++tp : ++fn;
+    } else {
+      predicted_positive ? ++fp : ++tn;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return tp + fp + tn + fn; }
+
+  /// ACC = (TP+TN) / all
+  [[nodiscard]] double accuracy() const noexcept {
+    const std::uint64_t n = total();
+    return n == 0 ? 0.0 : static_cast<double>(tp + tn) / static_cast<double>(n);
+  }
+  /// TPR (recall) = TP / (TP+FN)
+  [[nodiscard]] double tpr() const noexcept {
+    const std::uint64_t p = tp + fn;
+    return p == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(p);
+  }
+  /// FPR = FP / (FP+TN)
+  [[nodiscard]] double fpr() const noexcept {
+    const std::uint64_t n = fp + tn;
+    return n == 0 ? 0.0 : static_cast<double>(fp) / static_cast<double>(n);
+  }
+  /// Precision = TP / (TP+FP)
+  [[nodiscard]] double precision() const noexcept {
+    const std::uint64_t pp = tp + fp;
+    return pp == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(pp);
+  }
+  /// F1 = harmonic mean of precision and recall.
+  [[nodiscard]] double f1() const noexcept {
+    const double p = precision();
+    const double r = tpr();
+    return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+};
+
+}  // namespace rg

@@ -1,0 +1,211 @@
+#include "sim/surgical_sim.hpp"
+
+#include <algorithm>
+
+namespace rg {
+
+namespace {
+JointVector default_initial_joints(const ControlConfig& control) {
+  // Slightly off the homing target so the Init phase does real work.
+  JointVector q = control.limits.midpoint();
+  q[0] += 0.05;
+  q[1] -= 0.04;
+  q[2] += 0.01;
+  return q;
+}
+}  // namespace
+
+SurgicalSim::SurgicalSim(SimConfig config)
+    : config_(std::move(config)),
+      console_(config_.trajectory, config_.pedal, config_.orientation),
+      udp_(config_.network),
+      control_(config_.control),
+      plc_(config_.plc),
+      board_(plc_, config_.channel),
+      plant_(config_.plant) {
+  require(config_.trajectory != nullptr, "SimConfig.trajectory must be set");
+  if (config_.detection) pipeline_.emplace(*config_.detection);
+
+  plant_.set_joint_config(
+      config_.initial_joints.value_or(default_initial_joints(config_.control)));
+  board_.latch_encoders(plant_.motor_positions(), plant_.wrist_positions());
+  last_feedback_ = board_.build_feedback();
+}
+
+void SurgicalSim::install(const AttackArtifacts& artifacts) {
+  if (artifacts.console_path) itp_chain_.add(artifacts.console_path);
+  if (artifacts.usb_write) write_chain_.add(artifacts.usb_write);
+  if (artifacts.usb_read) read_chain_.add(artifacts.usb_read);
+  if (artifacts.math_hooks) control_.set_math_hooks(*artifacts.math_hooks);
+}
+
+void SurgicalSim::press_start() {
+  control_.press_start();
+  plc_.press_start();
+  started_ = true;
+}
+
+void SurgicalSim::step() {
+  if (config_.auto_start && !started_ && clock_.ticks() >= config_.start_delay_ticks) {
+    press_start();
+  }
+  const std::uint64_t tick = clock_.ticks();
+
+  // 1. Console emits an ITP datagram over the (lossy) network.  The
+  //    oracle remembers the *clean* operator command before any attack
+  //    wrapper can touch it.
+  {
+    const ItpPacket pkt = console_.tick();
+    clean_pedal_ = pkt.pedal_down;
+    clean_increment_ = pkt.pos_increment;
+    const ItpBytes bytes = encode_itp(pkt);
+    udp_.send({bytes.begin(), bytes.end()});
+  }
+  udp_.tick();
+
+  // 2. Control host receives; the console-path interposer (scenario A)
+  //    sees the buffer after recvfrom returns.
+  std::optional<std::vector<std::uint8_t>> itp_bytes = udp_.receive();
+  std::optional<std::span<const std::uint8_t>> itp_view;
+  if (itp_bytes) {
+    if (itp_chain_.process(std::span{*itp_bytes}, tick)) {
+      itp_view = std::span<const std::uint8_t>{*itp_bytes};
+    }
+    // dropped by the wrapper: the software never sees the datagram
+  }
+
+  // 3. USB read: feedback from the board through the read interposers.
+  FeedbackBytes feedback = board_.build_feedback();
+  if (read_chain_.process(std::span{feedback}, tick)) {
+    last_feedback_ = feedback;
+  }
+  // (a dropped read leaves the software consuming its previous buffer)
+
+  // 4. The 1 kHz control cycle.
+  CommandBytes cmd = control_.tick(itp_view, std::span{last_feedback_});
+
+  // 5. USB write: the malicious wrapper mutates the buffer after every
+  //    software safety check has already passed (the TOCTOU window).
+  bool deliver = write_chain_.process(std::span{cmd}, tick);
+
+  // 6. Detection pipeline (trusted hardware, downstream of the attacker).
+  bool alarm_this_tick = false;
+  double predicted_disp = 0.0;
+  if (pipeline_) {
+    pipeline_->set_engaged(!plc_.brakes_engaged());
+    MotorVector encoder_angles;
+    for (std::size_t i = 0; i < 3; ++i) encoder_angles[i] = board_.encoder_angle(i);
+    pipeline_->observe_feedback(encoder_angles);
+    if (deliver) {
+      const DetectionPipeline::Outcome out = pipeline_->process(std::span{cmd});
+      if (detection_observer_) detection_observer_(out);
+      alarm_this_tick = out.alarm;
+      predicted_disp = out.prediction.ee_displacement;
+      if (out.alarm && !outcome_.detector_alarm_tick) outcome_.detector_alarm_tick = tick;
+      if (out.blocked) {
+        cmd = out.bytes;
+        // E-STOP mitigation: the trusted module also asserts the estop
+        // line so the PLC drops the brakes immediately.
+        if (config_.detection->mitigation == MitigationStrategy::kEStop &&
+            config_.detection->mitigation_enabled) {
+          plc_.press_estop();
+        }
+      }
+    }
+  }
+
+  // 7. Board latches whatever bytes arrived.
+  if (deliver) (void)board_.receive_command(std::span<const std::uint8_t>{cmd});
+
+  // 8. PLC safety processor tick (watchdog timeout check).
+  plc_.tick();
+
+  // 9. Physics.
+  plant_.step_control_period(board_.modeled_currents(), plc_.brakes_engaged(),
+                             board_.wrist_currents());
+
+  // 10. Encoders for the next cycle.
+  board_.latch_encoders(plant_.motor_positions(), plant_.wrist_positions());
+
+  // 11. Ground-truth oracle + bookkeeping.
+  update_oracle();
+  if (control_.safety_fault_latched() && !outcome_.raven_fault_tick) {
+    outcome_.raven_fault_tick = tick;
+  }
+  if (plc_.estop_latched() && !outcome_.plc_estop_tick) {
+    outcome_.plc_estop_tick = tick;
+  }
+  if (plant_.cable_snapped()) outcome_.cable_snapped = true;
+
+  if (trace_ != nullptr) {
+    TraceSample s;
+    s.tick = tick;
+    s.ee_truth = plant_.end_effector();
+    s.joint_pos = plant_.joint_positions();
+    s.joint_vel = plant_.joint_velocities();
+    s.motor_pos = plant_.motor_positions();
+    s.motor_vel = plant_.motor_velocities();
+    const CommandPacket& last = board_.last_command();
+    s.dac = Vec3{static_cast<double>(last.dac[0]), static_cast<double>(last.dac[1]),
+                 static_cast<double>(last.dac[2])};
+    s.state = control_.state();
+    s.brakes = plc_.brakes_engaged();
+    s.detector_alarm = alarm_this_tick;
+    s.predicted_ee_disp = predicted_disp;
+    trace_->record(s);
+  }
+
+  clock_.tick();
+}
+
+void SurgicalSim::update_oracle() {
+  // "Abrupt jump": the end effector moved >1 mm *beyond what the operator
+  // commanded* within a short window.  The paper's tightest criterion is
+  // 1-2 ms; we evaluate every window up to kOracleWindow ms so a jump the
+  // PID failed to absorb is labelled an impact, while fast-but-commanded
+  // surgical motion is not.
+  const Position ee = plant_.end_effector();
+  constexpr double kJumpLimit = 1.0e-3;  // 1 mm
+
+  // Mirror of the operator's intent: integrate the *clean* console
+  // increments while the robot is actively teleoperated; frozen when the
+  // robot is halted (a halted robot cannot jump by intent).
+  const bool active = control_.state() == RobotState::kPedalDown && !plc_.estop_latched();
+  if (clean_pedal_ && active) {
+    if (!clean_desired_valid_) {
+      clean_desired_ = ee;  // anchor at the tool's position on engagement
+      clean_desired_valid_ = true;
+    } else {
+      clean_desired_ += clean_increment_;
+    }
+  }
+  const Position cmd = clean_desired_valid_ ? clean_desired_ : ee;
+
+  const std::size_t lookback = std::min(ee_history_, kOracleWindow);
+  double worst = 0.0;
+  for (std::size_t k = 1; k <= lookback; ++k) {
+    const std::size_t idx = (ee_head_ + ee_ring_.size() - k) % ee_ring_.size();
+    const Vec3 actual_disp = ee - ee_ring_[idx];
+    const Vec3 commanded_disp = cmd - cmd_ring_[idx];
+    const double excess = (actual_disp - commanded_disp).norm();
+    if (k == 1) outcome_.max_ee_jump_1ms = std::max(outcome_.max_ee_jump_1ms, excess);
+    if (k == 2) outcome_.max_ee_jump_2ms = std::max(outcome_.max_ee_jump_2ms, excess);
+    worst = std::max(worst, excess);
+  }
+  outcome_.max_ee_jump_window = std::max(outcome_.max_ee_jump_window, worst);
+  if (worst > kJumpLimit && !outcome_.adverse_impact_tick) {
+    outcome_.adverse_impact_tick = clock_.ticks();
+  }
+
+  ee_ring_[ee_head_] = ee;
+  cmd_ring_[ee_head_] = cmd;
+  ee_head_ = (ee_head_ + 1) % ee_ring_.size();
+  if (ee_history_ < kOracleWindow) ++ee_history_;
+}
+
+void SurgicalSim::run(double seconds) {
+  const auto ticks = static_cast<std::uint64_t>(seconds / kControlPeriodSec);
+  for (std::uint64_t i = 0; i < ticks; ++i) step();
+}
+
+}  // namespace rg

@@ -1,0 +1,174 @@
+// SurgicalSim: the co-simulation harness (paper Fig. 7(a)).
+//
+// Wires the full system at 1 kHz:
+//
+//   master console --ITP/UDP--> [itp interposers] --> control software
+//   control software --USB write--> [write interposers] --> detection
+//   pipeline (optional, trusted) --> USB board --> motors --> PLANT
+//   PLANT --> encoders --> USB board --USB read--> [read interposers]
+//   --> control software;  PLC watches Byte 0's watchdog bit throughout.
+//
+// Attack wrappers are installed on the interposer chains — the same hops
+// a malicious LD_PRELOAD library grabs on the real robot.  The detection
+// pipeline sits downstream of the write interposers (trusted hardware),
+// so it screens post-attack bytes.
+//
+// The harness also carries the ground-truth adverse-impact oracle: a
+// >1 mm end-effector displacement within 1–2 ms (the paper's safety
+// criterion, "based on feedback from expert surgeons"), plus cable-snap
+// damage latching.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "attack/attack_engine.hpp"
+#include "attack/interposer.hpp"
+#include "common/clock.hpp"
+#include "control/control_software.hpp"
+#include "core/pipeline.hpp"
+#include "hw/plc.hpp"
+#include "hw/usb_board.hpp"
+#include "net/master_console.hpp"
+#include "net/udp_channel.hpp"
+#include "plant/physical_robot.hpp"
+#include "sim/trace.hpp"
+
+namespace rg {
+
+struct SimConfig {
+  ControlConfig control{};
+  PlantConfig plant{};
+  PlcConfig plc{};
+  MotorChannelConfig channel{};
+  UdpChannelConfig network{};
+  std::shared_ptr<const Trajectory> trajectory;
+  PedalSchedule pedal = PedalSchedule::hold_from(1.2);
+  OrientationMotion orientation{};
+  /// Plant's initial joint configuration (defaults to just off the homing
+  /// target so homing does real work).
+  std::optional<JointVector> initial_joints{};
+  /// Optional detection pipeline (the paper's contribution); nullopt
+  /// reproduces the stock RAVEN system.
+  std::optional<PipelineConfig> detection{};
+  /// Press the start buttons automatically after `start_delay_ticks`.
+  /// The lead-in leaves the robot visibly in E-STOP first, as on the real
+  /// system — the offline packet analysis needs all four states.
+  bool auto_start = true;
+  std::uint32_t start_delay_ticks = 100;
+};
+
+/// Aggregated per-run outcome used by the experiment harnesses.
+struct RunOutcome {
+  double max_ee_jump_1ms = 0.0;   ///< largest |ee(t) - ee(t-1ms)| (m)
+  double max_ee_jump_2ms = 0.0;   ///< largest |ee(t) - ee(t-2ms)| (m)
+  double max_ee_jump_window = 0.0;  ///< largest excess displacement in any <=kOracleWindow ms window (m)
+  std::optional<std::uint64_t> adverse_impact_tick{};  ///< first >1mm abrupt jump
+  std::optional<std::uint64_t> raven_fault_tick{};     ///< software safety check fired
+  std::optional<std::uint64_t> plc_estop_tick{};       ///< PLC latched E-STOP
+  std::optional<std::uint64_t> detector_alarm_tick{};  ///< pipeline alarm
+  bool cable_snapped = false;
+
+  [[nodiscard]] bool adverse_impact() const noexcept {
+    return adverse_impact_tick.has_value() || cable_snapped;
+  }
+  [[nodiscard]] bool raven_detected() const noexcept {
+    return raven_fault_tick.has_value();
+  }
+  [[nodiscard]] bool detector_alarmed() const noexcept {
+    return detector_alarm_tick.has_value();
+  }
+  /// Did the detector fire before the physical impact (preemptive)?
+  [[nodiscard]] bool detected_preemptively() const noexcept {
+    if (!detector_alarm_tick) return false;
+    if (!adverse_impact_tick) return true;
+    return *detector_alarm_tick <= *adverse_impact_tick;
+  }
+};
+
+class SurgicalSim {
+ public:
+  explicit SurgicalSim(SimConfig config);
+
+  /// Interposer chains (attack installation points).
+  [[nodiscard]] InterposerChain& itp_chain() noexcept { return itp_chain_; }
+  [[nodiscard]] InterposerChain& write_chain() noexcept { return write_chain_; }
+  [[nodiscard]] InterposerChain& read_chain() noexcept { return read_chain_; }
+
+  /// Install a full attack artifact set on the hops it compromises.
+  void install(const AttackArtifacts& artifacts);
+
+  /// One 1 kHz tick.
+  void step();
+
+  /// Run for a duration of simulated seconds.
+  void run(double seconds);
+
+  // --- component access -----------------------------------------------------
+  [[nodiscard]] const SimClock& clock() const noexcept { return clock_; }
+  [[nodiscard]] ControlSoftware& control() noexcept { return control_; }
+  [[nodiscard]] PhysicalRobot& plant() noexcept { return plant_; }
+  [[nodiscard]] Plc& plc() noexcept { return plc_; }
+  [[nodiscard]] UsbBoard& board() noexcept { return board_; }
+  [[nodiscard]] MasterConsole& console() noexcept { return console_; }
+  [[nodiscard]] DetectionPipeline* pipeline() noexcept {
+    return pipeline_ ? &*pipeline_ : nullptr;
+  }
+  [[nodiscard]] const RunOutcome& outcome() const noexcept { return outcome_; }
+
+  /// Attach a trace recorder (caller owns it; must outlive the sim run).
+  void set_trace(TraceRecorder* trace) noexcept { trace_ = trace; }
+
+  /// Observe every detection-pipeline outcome (threshold learning, ROC
+  /// sweeps).  Caller-owned callable; must outlive the sim run.
+  using DetectionObserver = std::function<void(const DetectionPipeline::Outcome&)>;
+  void set_detection_observer(DetectionObserver observer) {
+    detection_observer_ = std::move(observer);
+  }
+
+  /// Press the physical start button (control + PLC together).
+  void press_start();
+
+ private:
+  void update_oracle();
+
+  SimConfig config_;
+  SimClock clock_;
+  MasterConsole console_;
+  UdpChannel udp_;
+  ControlSoftware control_;
+  Plc plc_;
+  UsbBoard board_;
+  PhysicalRobot plant_;
+  std::optional<DetectionPipeline> pipeline_;
+
+  InterposerChain itp_chain_;
+  InterposerChain write_chain_;
+  InterposerChain read_chain_;
+
+  FeedbackBytes last_feedback_{};
+  bool started_ = false;
+
+  // Oracle state: rings of recent ground-truth end-effector positions and
+  // of the operator's *clean* (pre-attack) commanded positions; "abrupt
+  // jump" is excess actual displacement over commanded displacement.
+  // 32 ms window: long enough for the arm's mechanics to express a real
+  // jump (motor -> cable -> joint takes ~10-30 ms), short enough that a
+  // slow drift at surgical speeds is not mislabelled as "abrupt".
+  static constexpr std::size_t kOracleWindow = 32;  // ticks (= ms)
+  std::array<Position, kOracleWindow + 1> ee_ring_{};
+  std::array<Position, kOracleWindow + 1> cmd_ring_{};
+  std::size_t ee_head_ = 0;
+  std::size_t ee_history_ = 0;
+  bool clean_pedal_ = false;
+  Vec3 clean_increment_{};
+  Position clean_desired_{};
+  bool clean_desired_valid_ = false;
+  RunOutcome outcome_{};
+
+  TraceRecorder* trace_ = nullptr;
+  DetectionObserver detection_observer_;
+};
+
+}  // namespace rg

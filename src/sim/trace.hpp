@@ -1,0 +1,43 @@
+// Per-tick trace recording — the data source for Fig-8 style trajectory
+// comparison plots and for the CSV dumps that replace the paper's 3D
+// graphic simulator.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "common/robot_state.hpp"
+#include "kinematics/types.hpp"
+
+namespace rg {
+
+struct TraceSample {
+  std::uint64_t tick = 0;
+  Position ee_truth{};        ///< ground-truth end-effector position
+  JointVector joint_pos{};    ///< ground-truth joint coordinates
+  JointVector joint_vel{};
+  MotorVector motor_pos{};    ///< ground-truth motor shaft angles
+  MotorVector motor_vel{};
+  Vec3 dac{};                 ///< modelled-channel DAC words as executed
+  RobotState state = RobotState::kEStop;
+  bool brakes = true;
+  bool detector_alarm = false;
+  double predicted_ee_disp = 0.0;  ///< estimator's one-step EE displacement
+};
+
+class TraceRecorder {
+ public:
+  void record(const TraceSample& sample) { samples_.push_back(sample); }
+  [[nodiscard]] const std::vector<TraceSample>& samples() const noexcept { return samples_; }
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  void clear() noexcept { samples_.clear(); }
+
+  /// CSV dump (header + one row per tick).
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<TraceSample> samples_;
+};
+
+}  // namespace rg

@@ -1,0 +1,22 @@
+#include "trajectory/min_jerk.hpp"
+
+#include <algorithm>
+
+namespace rg {
+
+Position MinJerkSegment::position(double t) const noexcept {
+  const double u = std::clamp(t / duration_, 0.0, 1.0);
+  const double u3 = u * u * u;
+  const double s = u3 * (10.0 - 15.0 * u + 6.0 * u * u);
+  return start_ + s * (end_ - start_);
+}
+
+Vec3 MinJerkSegment::velocity(double t) const noexcept {
+  if (t <= 0.0 || t >= duration_) return Vec3::zero();
+  const double u = t / duration_;
+  const double u2 = u * u;
+  const double sdot = (30.0 * u2 - 60.0 * u2 * u + 30.0 * u2 * u2) / duration_;
+  return sdot * (end_ - start_);
+}
+
+}  // namespace rg

@@ -1,0 +1,38 @@
+// Minimum-jerk point-to-point segment.
+//
+// Human reaching movements are well approximated by minimum-jerk profiles
+// (Flash & Hogan 1985); we use them to synthesize surgeon-like tool
+// motions for the master-console emulator.  The scalar profile is
+//   s(u) = 10 u^3 - 15 u^4 + 6 u^5,  u = t / T in [0, 1],
+// which has zero velocity and acceleration at both ends.
+#pragma once
+
+#include "common/error.hpp"
+#include "kinematics/types.hpp"
+
+namespace rg {
+
+class MinJerkSegment {
+ public:
+  MinJerkSegment(Position start, Position end, double duration)
+      : start_(start), end_(end), duration_(duration) {
+    require(duration > 0.0, "MinJerkSegment duration must be > 0");
+  }
+
+  /// Position at time t (clamped to [0, duration]).
+  [[nodiscard]] Position position(double t) const noexcept;
+
+  /// Velocity at time t (zero outside [0, duration]).
+  [[nodiscard]] Vec3 velocity(double t) const noexcept;
+
+  [[nodiscard]] double duration() const noexcept { return duration_; }
+  [[nodiscard]] const Position& start() const noexcept { return start_; }
+  [[nodiscard]] const Position& end() const noexcept { return end_; }
+
+ private:
+  Position start_;
+  Position end_;
+  double duration_;
+};
+
+}  // namespace rg

@@ -1,0 +1,74 @@
+#include "trajectory/recorded.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+namespace rg {
+
+RecordedTrajectory::RecordedTrajectory(std::vector<Sample> samples)
+    : samples_(std::move(samples)) {
+  require(!samples_.empty(), "RecordedTrajectory needs at least one sample");
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    require(samples_[i].t > samples_[i - 1].t,
+            "RecordedTrajectory samples must be strictly increasing in t");
+  }
+}
+
+Result<RecordedTrajectory> RecordedTrajectory::from_csv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    return Error{ErrorCode::kMalformedPacket, "empty trajectory CSV"};
+  }
+  if (line.rfind("t,", 0) != 0) {
+    return Error{ErrorCode::kMalformedPacket, "trajectory CSV must start with a 't,...' header"};
+  }
+  std::vector<Sample> samples;
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    Sample s;
+    char c1 = 0, c2 = 0, c3 = 0;
+    if (!(ls >> s.t >> c1 >> s.pos[0] >> c2 >> s.pos[1] >> c3 >> s.pos[2]) || c1 != ',' ||
+        c2 != ',' || c3 != ',') {
+      return Error{ErrorCode::kMalformedPacket,
+                   "bad trajectory CSV row at line " + std::to_string(line_no)};
+    }
+    if (!samples.empty() && s.t <= samples.back().t) {
+      return Error{ErrorCode::kMalformedPacket,
+                   "non-increasing time at line " + std::to_string(line_no)};
+    }
+    samples.push_back(s);
+  }
+  if (samples.empty()) {
+    return Error{ErrorCode::kMalformedPacket, "trajectory CSV has no samples"};
+  }
+  return RecordedTrajectory(std::move(samples));
+}
+
+Position RecordedTrajectory::position(double t) const {
+  if (t <= samples_.front().t) return samples_.front().pos;
+  if (t >= samples_.back().t) return samples_.back().pos;
+  // First sample with time > t.
+  const auto it = std::upper_bound(
+      samples_.begin(), samples_.end(), t,
+      [](double value, const Sample& s) { return value < s.t; });
+  const Sample& hi = *it;
+  const Sample& lo = *(it - 1);
+  const double u = (t - lo.t) / (hi.t - lo.t);
+  return lo.pos + u * (hi.pos - lo.pos);
+}
+
+void record_trajectory_csv(const Trajectory& trajectory, double dt, std::ostream& os) {
+  require(dt > 0.0, "record_trajectory_csv: dt must be > 0");
+  os << "t,x,y,z\n";
+  os.precision(12);
+  for (double t = 0.0; t <= trajectory.duration() + 1e-9; t += dt) {
+    const Position p = trajectory.position(t);
+    os << t << ',' << p[0] << ',' << p[1] << ',' << p[2] << '\n';
+  }
+}
+
+}  // namespace rg

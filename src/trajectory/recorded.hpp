@@ -1,0 +1,48 @@
+// Recorded-trajectory playback.
+//
+// The paper's master-console emulator replays "previously collected
+// trajectories of surgical movements made by a human operator".  This
+// module provides the same workflow for the simulator: record any
+// trajectory (or a live run's desired path) to CSV, and play a CSV back
+// as a Trajectory with linear interpolation between samples.
+//
+// CSV format: header "t,x,y,z", one sample per line, strictly increasing
+// t (seconds).
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "common/error.hpp"
+#include "trajectory/trajectory.hpp"
+
+namespace rg {
+
+class RecordedTrajectory final : public Trajectory {
+ public:
+  struct Sample {
+    double t = 0.0;
+    Position pos{};
+  };
+
+  /// Build from explicit samples (must be non-empty, strictly increasing).
+  explicit RecordedTrajectory(std::vector<Sample> samples);
+
+  /// Parse from CSV; fails with kMalformedPacket on format errors.
+  static Result<RecordedTrajectory> from_csv(std::istream& is);
+
+  [[nodiscard]] Position position(double t) const override;
+  [[nodiscard]] double duration() const override { return samples_.back().t; }
+  [[nodiscard]] const char* name() const override { return "recorded"; }
+
+  [[nodiscard]] std::size_t sample_count() const noexcept { return samples_.size(); }
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+/// Sample a trajectory at fixed dt and write the CSV.
+void record_trajectory_csv(const Trajectory& trajectory, double dt, std::ostream& os);
+
+}  // namespace rg

@@ -1,0 +1,143 @@
+#include "trajectory/trajectory.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace rg {
+
+// ---------------------------------------------------------------------------
+// WaypointTrajectory
+// ---------------------------------------------------------------------------
+WaypointTrajectory::WaypointTrajectory(std::vector<Position> waypoints, double speed,
+                                       double min_leg_time) {
+  require(waypoints.size() >= 2, "WaypointTrajectory needs at least 2 waypoints");
+  require(speed > 0.0, "WaypointTrajectory speed must be > 0");
+  require(min_leg_time > 0.0, "WaypointTrajectory min_leg_time must be > 0");
+  double t = 0.0;
+  for (std::size_t i = 0; i + 1 < waypoints.size(); ++i) {
+    const double dist = distance(waypoints[i], waypoints[i + 1]);
+    const double leg_time = std::max(dist / speed, min_leg_time);
+    segments_.emplace_back(waypoints[i], waypoints[i + 1], leg_time);
+    starts_.push_back(t);
+    t += leg_time;
+  }
+  total_ = t;
+}
+
+Position WaypointTrajectory::position(double t) const {
+  if (t <= 0.0) return segments_.front().start();
+  if (t >= total_) return segments_.back().end();
+  // Binary search for the active segment.
+  const auto it = std::upper_bound(starts_.begin(), starts_.end(), t);
+  const auto idx = static_cast<std::size_t>(std::distance(starts_.begin(), it)) - 1;
+  return segments_[idx].position(t - starts_[idx]);
+}
+
+// ---------------------------------------------------------------------------
+// CircleTrajectory
+// ---------------------------------------------------------------------------
+CircleTrajectory::CircleTrajectory(Position center, double radius, double period_sec,
+                                   double laps, double tilt_rad)
+    : center_(center), radius_(radius), period_(period_sec),
+      duration_(period_sec * laps), tilt_(tilt_rad) {
+  require(radius > 0.0, "CircleTrajectory radius must be > 0");
+  require(period_sec > 0.0, "CircleTrajectory period must be > 0");
+  require(laps > 0.0, "CircleTrajectory laps must be > 0");
+}
+
+Position CircleTrajectory::position(double t) const {
+  const double tc = std::clamp(t, 0.0, duration_);
+  // Smooth spin-up/spin-down over the first/last quarter period avoids a
+  // velocity step at the ends.
+  const double ramp = std::min({1.0, 4.0 * tc / period_, 4.0 * (duration_ - tc) / period_});
+  const double r = radius_ * std::clamp(ramp, 0.0, 1.0);
+  const double phase = 2.0 * kPi * tc / period_;
+  const double ct = std::cos(tilt_);
+  const double st = std::sin(tilt_);
+  return center_ + Vec3{r * std::cos(phase),
+                        r * std::sin(phase) * ct,
+                        r * std::sin(phase) * st};
+}
+
+// ---------------------------------------------------------------------------
+// SutureTrajectory
+// ---------------------------------------------------------------------------
+namespace {
+std::vector<Position> suture_waypoints(Position start, Vec3 advance_dir, int stitches,
+                                       double stitch_len, double dip_depth) {
+  require(stitches >= 1, "SutureTrajectory needs at least 1 stitch");
+  require(stitch_len > 0.0 && dip_depth > 0.0, "SutureTrajectory lengths must be > 0");
+  const double norm = advance_dir.norm();
+  require(norm > 1e-12, "SutureTrajectory advance_dir must be nonzero");
+  const Vec3 dir = (1.0 / norm) * advance_dir;
+  const Vec3 down{0.0, 0.0, -dip_depth};
+
+  std::vector<Position> wps;
+  wps.push_back(start);
+  Position p = start;
+  for (int s = 0; s < stitches; ++s) {
+    wps.push_back(p + down);                          // pierce
+    wps.push_back(p + down + stitch_len * 0.5 * dir); // drag through tissue
+    wps.push_back(p + stitch_len * 0.5 * dir);        // lift
+    p = p + stitch_len * dir;                          // advance to next entry
+    wps.push_back(p);
+  }
+  return wps;
+}
+}  // namespace
+
+SutureTrajectory::SutureTrajectory(Position start, Vec3 advance_dir, int stitches,
+                                   double stitch_len, double dip_depth, double stitch_time)
+    : path_(suture_waypoints(start, advance_dir, stitches, stitch_len, dip_depth),
+            /*speed=*/(4.0 * (stitch_len + dip_depth)) / std::max(stitch_time, 1e-3),
+            /*min_leg_time=*/0.25) {}
+
+Position SutureTrajectory::position(double t) const { return path_.position(t); }
+double SutureTrajectory::duration() const { return path_.duration(); }
+
+// ---------------------------------------------------------------------------
+// Random trajectory + tremor
+// ---------------------------------------------------------------------------
+WaypointTrajectory make_random_trajectory(Pcg32& rng, const WorkspaceBox& box, int waypoints,
+                                          double speed) {
+  require(waypoints >= 2, "make_random_trajectory needs >= 2 waypoints");
+  std::vector<Position> wps;
+  wps.reserve(static_cast<std::size_t>(waypoints));
+  for (int i = 0; i < waypoints; ++i) wps.push_back(box.sample(rng));
+  return WaypointTrajectory{std::move(wps), speed};
+}
+
+TremorDecorator::TremorDecorator(std::shared_ptr<const Trajectory> base, std::uint64_t seed,
+                                 double amplitude_m, double frequency_hz)
+    : base_(std::move(base)), amplitude_(amplitude_m), frequency_(frequency_hz) {
+  require(base_ != nullptr, "TremorDecorator base must not be null");
+  Pcg32 rng(seed);
+  for (std::size_t i = 0; i < 3; ++i) {
+    phase_[i] = rng.uniform(0.0, 2.0 * kPi);
+    phase2_[i] = rng.uniform(0.0, 2.0 * kPi);
+  }
+}
+
+Position TremorDecorator::position(double t) const {
+  Position p = base_->position(t);
+  const double w = 2.0 * kPi * frequency_;
+  for (std::size_t i = 0; i < 3; ++i) {
+    // Two incommensurate sinusoids approximate band-limited tremor.
+    p[i] += amplitude_ * (std::sin(w * t + phase_[i]) +
+                          0.5 * std::sin(1.73 * w * t + phase2_[i]));
+  }
+  return p;
+}
+
+bool trajectory_reachable(const Trajectory& traj, const RavenKinematics& kin, double sample_dt) {
+  require(sample_dt > 0.0, "trajectory_reachable sample_dt must be > 0");
+  for (double t = 0.0; t <= traj.duration() + 1e-9; t += sample_dt) {
+    if (!kin.inverse(traj.position(t)).ok()) return false;
+  }
+  return true;
+}
+
+}  // namespace rg

@@ -1,0 +1,135 @@
+// Surgical tool-motion trajectories for the master-console emulator.
+//
+// The paper's detection experiments replay "previously collected
+// trajectories of surgical movements" through a console emulator and use
+// trajectories "containing sufficient variability in the movement" for
+// threshold learning.  We synthesize equivalents: waypoint reaches,
+// circular scanning, and suture-like loops, all built from minimum-jerk
+// segments inside a reachable workspace box.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "kinematics/raven_kinematics.hpp"
+#include "kinematics/types.hpp"
+#include "trajectory/min_jerk.hpp"
+
+namespace rg {
+
+/// Axis-aligned Cartesian box, used to keep synthetic trajectories inside
+/// the arm's dexterous workspace.
+struct WorkspaceBox {
+  Position lo{0.045, -0.055, -0.155};
+  Position hi{0.135, 0.055, -0.075};
+
+  [[nodiscard]] bool contains(const Position& p) const noexcept {
+    for (std::size_t i = 0; i < 3; ++i) {
+      if (p[i] < lo[i] || p[i] > hi[i]) return false;
+    }
+    return true;
+  }
+  [[nodiscard]] Position center() const noexcept { return 0.5 * (lo + hi); }
+  [[nodiscard]] Position sample(Pcg32& rng) const noexcept {
+    Position p;
+    for (std::size_t i = 0; i < 3; ++i) p[i] = rng.uniform(lo[i], hi[i]);
+    return p;
+  }
+};
+
+/// A time-parameterized Cartesian tool path.
+class Trajectory {
+ public:
+  virtual ~Trajectory() = default;
+
+  /// Desired tool position at time t seconds (clamped beyond [0, duration]).
+  [[nodiscard]] virtual Position position(double t) const = 0;
+
+  /// Total duration (s).
+  [[nodiscard]] virtual double duration() const = 0;
+
+  /// Short label for logs / experiment records.
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// Piecewise minimum-jerk path through an ordered waypoint list.
+class WaypointTrajectory final : public Trajectory {
+ public:
+  /// speed: average segment speed (m/s) used to time each leg; min_leg_time
+  /// keeps very short hops from becoming violently fast.
+  WaypointTrajectory(std::vector<Position> waypoints, double speed = 0.02,
+                     double min_leg_time = 0.4);
+
+  [[nodiscard]] Position position(double t) const override;
+  [[nodiscard]] double duration() const override { return total_; }
+  [[nodiscard]] const char* name() const override { return "waypoint"; }
+
+ private:
+  std::vector<MinJerkSegment> segments_;
+  std::vector<double> starts_;  // start time of each segment
+  double total_ = 0.0;
+};
+
+/// Circular scanning motion in a tilted plane (e.g. inspecting tissue).
+class CircleTrajectory final : public Trajectory {
+ public:
+  CircleTrajectory(Position center, double radius, double period_sec, double laps,
+                   double tilt_rad = 0.3);
+
+  [[nodiscard]] Position position(double t) const override;
+  [[nodiscard]] double duration() const override { return duration_; }
+  [[nodiscard]] const char* name() const override { return "circle"; }
+
+ private:
+  Position center_;
+  double radius_;
+  double period_;
+  double duration_;
+  double tilt_;
+};
+
+/// Suture-like repeated loops: approach, pierce (dip), lift, advance.
+class SutureTrajectory final : public Trajectory {
+ public:
+  SutureTrajectory(Position start, Vec3 advance_dir, int stitches, double stitch_len = 0.008,
+                   double dip_depth = 0.006, double stitch_time = 2.2);
+
+  [[nodiscard]] Position position(double t) const override;
+  [[nodiscard]] double duration() const override;
+  [[nodiscard]] const char* name() const override { return "suture"; }
+
+ private:
+  WaypointTrajectory path_;
+};
+
+/// Seeded random waypoint trajectory inside a workspace box — the
+/// "sufficient variability" source for threshold learning.
+[[nodiscard]] WaypointTrajectory make_random_trajectory(Pcg32& rng, const WorkspaceBox& box,
+                                                        int waypoints, double speed = 0.02);
+
+/// Decorator adding band-limited operator hand tremor to a base
+/// trajectory (~9 Hz physiological tremor, tens of micrometres).
+class TremorDecorator final : public Trajectory {
+ public:
+  TremorDecorator(std::shared_ptr<const Trajectory> base, std::uint64_t seed,
+                  double amplitude_m = 3.0e-5, double frequency_hz = 9.0);
+
+  [[nodiscard]] Position position(double t) const override;
+  [[nodiscard]] double duration() const override { return base_->duration(); }
+  [[nodiscard]] const char* name() const override { return "tremor"; }
+
+ private:
+  std::shared_ptr<const Trajectory> base_;
+  double amplitude_;
+  double frequency_;
+  Vec3 phase_;
+  Vec3 phase2_;
+};
+
+/// Sanity helper: true when every sampled point of the trajectory is
+/// reachable by the arm's inverse kinematics.
+[[nodiscard]] bool trajectory_reachable(const Trajectory& traj, const RavenKinematics& kin,
+                                        double sample_dt = 0.05);
+
+}  // namespace rg

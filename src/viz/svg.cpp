@@ -1,0 +1,196 @@
+#include "viz/svg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+namespace rg {
+
+namespace {
+
+constexpr int kMarginLeft = 70;
+constexpr int kMarginRight = 20;
+constexpr int kMarginTop = 40;
+constexpr int kMarginBottom = 50;
+
+std::string escape_xml(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string format_tick(double v) {
+  std::ostringstream os;
+  const double a = std::abs(v);
+  if (v == 0.0) {
+    os << "0";
+  } else if (a >= 1000.0 || a < 0.01) {
+    os << std::scientific << std::setprecision(1) << v;
+  } else {
+    os << std::fixed << std::setprecision(a < 1.0 ? 3 : 1) << v;
+  }
+  return os.str();
+}
+
+/// "Nice" tick spacing covering [lo, hi] with ~n intervals.
+double nice_step(double lo, double hi, int n) {
+  const double span = hi - lo;
+  if (span <= 0.0) return 1.0;
+  const double raw = span / n;
+  const double mag = std::pow(10.0, std::floor(std::log10(raw)));
+  const double norm = raw / mag;
+  double step = 10.0;
+  if (norm <= 1.5) step = 1.0;
+  else if (norm <= 3.5) step = 2.0;
+  else if (norm <= 7.5) step = 5.0;
+  return step * mag;
+}
+
+}  // namespace
+
+const char* series_color(std::size_t index) noexcept {
+  static constexpr const char* kPalette[] = {"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e",
+                                             "#9467bd", "#8c564b", "#17becf", "#7f7f7f"};
+  return kPalette[index % (sizeof(kPalette) / sizeof(kPalette[0]))];
+}
+
+SvgChart::SvgChart(std::string title, std::string x_label, std::string y_label, int width,
+                   int height)
+    : title_(std::move(title)), x_label_(std::move(x_label)), y_label_(std::move(y_label)),
+      width_(width), height_(height) {
+  require(width > kMarginLeft + kMarginRight + 50, "SvgChart width too small");
+  require(height > kMarginTop + kMarginBottom + 50, "SvgChart height too small");
+}
+
+void SvgChart::add_series(Series series) {
+  require(series.x.size() == series.y.size(), "SvgChart series x/y length mismatch");
+  require(!series.x.empty(), "SvgChart series must not be empty");
+  if (series.color.empty()) series.color = series_color(series_.size());
+  series_.push_back(std::move(series));
+}
+
+SvgChart::Extent SvgChart::data_extent() const {
+  Extent e{std::numeric_limits<double>::max(), std::numeric_limits<double>::lowest(),
+           std::numeric_limits<double>::max(), std::numeric_limits<double>::lowest()};
+  for (const Series& s : series_) {
+    for (double v : s.x) {
+      e.x_lo = std::min(e.x_lo, v);
+      e.x_hi = std::max(e.x_hi, v);
+    }
+    for (double v : s.y) {
+      e.y_lo = std::min(e.y_lo, v);
+      e.y_hi = std::max(e.y_hi, v);
+    }
+  }
+  if (fixed_y_) {
+    e.y_lo = y_lo_;
+    e.y_hi = y_hi_;
+  }
+  if (e.x_hi <= e.x_lo) e.x_hi = e.x_lo + 1.0;
+  if (e.y_hi <= e.y_lo) e.y_hi = e.y_lo + 1.0;
+  // 4% headroom so lines do not hug the frame.
+  const double pad = 0.04 * (e.y_hi - e.y_lo);
+  if (!fixed_y_) {
+    e.y_lo -= pad;
+    e.y_hi += pad;
+  }
+  return e;
+}
+
+void SvgChart::render(std::ostream& os) const {
+  require(!series_.empty(), "SvgChart::render: no series added");
+  const Extent e = data_extent();
+  const double plot_w = width_ - kMarginLeft - kMarginRight;
+  const double plot_h = height_ - kMarginTop - kMarginBottom;
+  const auto sx = [&](double x) {
+    return kMarginLeft + plot_w * (x - e.x_lo) / (e.x_hi - e.x_lo);
+  };
+  const auto sy = [&](double y) {
+    return kMarginTop + plot_h * (1.0 - (y - e.y_lo) / (e.y_hi - e.y_lo));
+  };
+
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width_ << "\" height=\""
+     << height_ << "\" font-family=\"sans-serif\">\n";
+  os << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  os << "<text x=\"" << width_ / 2 << "\" y=\"22\" text-anchor=\"middle\" font-size=\"15\">"
+     << escape_xml(title_) << "</text>\n";
+
+  // Frame.
+  os << "<rect x=\"" << kMarginLeft << "\" y=\"" << kMarginTop << "\" width=\"" << plot_w
+     << "\" height=\"" << plot_h << "\" fill=\"none\" stroke=\"#333\"/>\n";
+
+  // Ticks + grid.
+  const double xstep = nice_step(e.x_lo, e.x_hi, 8);
+  for (double t = std::ceil(e.x_lo / xstep) * xstep; t <= e.x_hi + 1e-12; t += xstep) {
+    os << "<line x1=\"" << sx(t) << "\" y1=\"" << kMarginTop << "\" x2=\"" << sx(t)
+       << "\" y2=\"" << kMarginTop + plot_h << "\" stroke=\"#ddd\"/>\n";
+    os << "<text x=\"" << sx(t) << "\" y=\"" << kMarginTop + plot_h + 18
+       << "\" text-anchor=\"middle\" font-size=\"11\">" << format_tick(t) << "</text>\n";
+  }
+  const double ystep = nice_step(e.y_lo, e.y_hi, 6);
+  for (double t = std::ceil(e.y_lo / ystep) * ystep; t <= e.y_hi + 1e-12; t += ystep) {
+    os << "<line x1=\"" << kMarginLeft << "\" y1=\"" << sy(t) << "\" x2=\""
+       << kMarginLeft + plot_w << "\" y2=\"" << sy(t) << "\" stroke=\"#ddd\"/>\n";
+    os << "<text x=\"" << kMarginLeft - 6 << "\" y=\"" << sy(t) + 4
+       << "\" text-anchor=\"end\" font-size=\"11\">" << format_tick(t) << "</text>\n";
+  }
+
+  // Axis labels.
+  os << "<text x=\"" << kMarginLeft + plot_w / 2 << "\" y=\"" << height_ - 12
+     << "\" text-anchor=\"middle\" font-size=\"12\">" << escape_xml(x_label_) << "</text>\n";
+  os << "<text x=\"16\" y=\"" << kMarginTop + plot_h / 2
+     << "\" text-anchor=\"middle\" font-size=\"12\" transform=\"rotate(-90 16 "
+     << kMarginTop + plot_h / 2 << ")\">" << escape_xml(y_label_) << "</text>\n";
+
+  // Markers.
+  for (const Marker& m : markers_) {
+    if (m.x < e.x_lo || m.x > e.x_hi) continue;
+    os << "<line x1=\"" << sx(m.x) << "\" y1=\"" << kMarginTop << "\" x2=\"" << sx(m.x)
+       << "\" y2=\"" << kMarginTop + plot_h << "\" stroke=\"" << m.color
+       << "\" stroke-dasharray=\"5,4\"/>\n";
+    os << "<text x=\"" << sx(m.x) + 4 << "\" y=\"" << kMarginTop + 14
+       << "\" font-size=\"11\" fill=\"" << m.color << "\">" << escape_xml(m.label)
+       << "</text>\n";
+  }
+
+  // Series.
+  for (const Series& s : series_) {
+    os << "<polyline fill=\"none\" stroke=\"" << s.color << "\" stroke-width=\""
+       << s.stroke_width << "\" points=\"";
+    double prev_y = 0.0;
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      if (s.step && i > 0) {
+        os << sx(s.x[i]) << ',' << sy(prev_y) << ' ';
+      }
+      os << sx(s.x[i]) << ',' << sy(s.y[i]) << ' ';
+      prev_y = s.y[i];
+    }
+    os << "\"/>\n";
+  }
+
+  // Legend.
+  double ly = kMarginTop + 10;
+  for (const Series& s : series_) {
+    const double lx = kMarginLeft + plot_w - 150;
+    os << "<line x1=\"" << lx << "\" y1=\"" << ly << "\" x2=\"" << lx + 22 << "\" y2=\"" << ly
+       << "\" stroke=\"" << s.color << "\" stroke-width=\"2.5\"/>\n";
+    os << "<text x=\"" << lx + 28 << "\" y=\"" << ly + 4 << "\" font-size=\"11\">"
+       << escape_xml(s.label) << "</text>\n";
+    ly += 16;
+  }
+
+  os << "</svg>\n";
+}
+
+}  // namespace rg

@@ -1,0 +1,77 @@
+// Minimal SVG writer — the repository's stand-in for the paper's 3D
+// graphic simulator.  The physics carries the evaluation; these plots
+// make runs inspectable: trajectory traces, model-vs-plant overlays
+// (Fig. 8), Byte-0 state timelines (Fig. 6), detection timelines.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace rg {
+
+/// An XY data series with a stroke colour.
+struct Series {
+  std::string label;
+  std::string color = "#1f77b4";
+  double stroke_width = 1.5;
+  bool step = false;  ///< render as a step (staircase) line
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Vertical marker line (e.g. attack onset, alarm time).
+struct Marker {
+  std::string label;
+  std::string color = "#d62728";
+  double x = 0.0;
+};
+
+/// A single-panel line chart with axes, tick labels, legend, markers.
+class SvgChart {
+ public:
+  SvgChart(std::string title, std::string x_label, std::string y_label,
+           int width = 860, int height = 360);
+
+  /// Add a data series (x and y must be equal length; throws otherwise).
+  void add_series(Series series);
+
+  void add_marker(Marker marker) { markers_.push_back(std::move(marker)); }
+
+  /// Fix the y-axis range instead of auto-scaling.
+  void set_y_range(double lo, double hi) {
+    y_lo_ = lo;
+    y_hi_ = hi;
+    fixed_y_ = true;
+  }
+
+  /// Render the complete SVG document.
+  void render(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t series_count() const noexcept { return series_.size(); }
+
+ private:
+  struct Extent {
+    double x_lo, x_hi, y_lo, y_hi;
+  };
+  [[nodiscard]] Extent data_extent() const;
+
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  int width_;
+  int height_;
+  std::vector<Series> series_;
+  std::vector<Marker> markers_;
+  double y_lo_ = 0.0;
+  double y_hi_ = 0.0;
+  bool fixed_y_ = false;
+};
+
+/// Default categorical palette (colour-blind-safe-ish).
+[[nodiscard]] const char* series_color(std::size_t index) noexcept;
+
+}  // namespace rg

@@ -1,0 +1,96 @@
+#include "viz/trace_plots.hpp"
+
+namespace rg {
+
+namespace {
+std::vector<double> ticks_to_seconds(const TraceRecorder& trace) {
+  std::vector<double> t;
+  t.reserve(trace.size());
+  for (const TraceSample& s : trace.samples()) t.push_back(static_cast<double>(s.tick) / 1000.0);
+  return t;
+}
+}  // namespace
+
+SvgChart joint_position_chart(const TraceRecorder& trace, const std::string& title) {
+  require(trace.size() > 0, "joint_position_chart: empty trace");
+  SvgChart chart(title, "time (s)", "joint position (rad | m)");
+  const std::vector<double> t = ticks_to_seconds(trace);
+  const char* names[3] = {"shoulder (rad)", "elbow (rad)", "insertion (m)"};
+  for (std::size_t j = 0; j < 3; ++j) {
+    Series s;
+    s.label = names[j];
+    s.color = series_color(j);
+    s.x = t;
+    s.y.reserve(trace.size());
+    for (const TraceSample& sample : trace.samples()) s.y.push_back(sample.joint_pos[j]);
+    chart.add_series(std::move(s));
+  }
+  return chart;
+}
+
+SvgChart end_effector_chart(const TraceRecorder& trace, const std::string& title) {
+  require(trace.size() > 0, "end_effector_chart: empty trace");
+  SvgChart chart(title, "time (s)", "position (m)");
+  const std::vector<double> t = ticks_to_seconds(trace);
+  const char* names[3] = {"x", "y", "z"};
+  for (std::size_t axis = 0; axis < 3; ++axis) {
+    Series s;
+    s.label = names[axis];
+    s.color = series_color(axis);
+    s.x = t;
+    s.y.reserve(trace.size());
+    for (const TraceSample& sample : trace.samples()) s.y.push_back(sample.ee_truth[axis]);
+    chart.add_series(std::move(s));
+  }
+  // Alarm markers.
+  bool marked = false;
+  for (const TraceSample& sample : trace.samples()) {
+    if (sample.detector_alarm && !marked) {
+      chart.add_marker(Marker{"alarm", "#d62728", static_cast<double>(sample.tick) / 1000.0});
+      marked = true;  // first alarm only; more would clutter
+    }
+  }
+  return chart;
+}
+
+SvgChart model_vs_plant_chart(std::span<const double> time_s, std::span<const double> model,
+                              std::span<const double> plant, const std::string& title,
+                              const std::string& y_label) {
+  require(time_s.size() == model.size() && model.size() == plant.size(),
+          "model_vs_plant_chart: length mismatch");
+  SvgChart chart(title, "time (s)", y_label);
+  Series ms;
+  ms.label = "dynamic model";
+  ms.color = series_color(0);
+  ms.x.assign(time_s.begin(), time_s.end());
+  ms.y.assign(model.begin(), model.end());
+  Series ps;
+  ps.label = "robot (plant)";
+  ps.color = series_color(1);
+  ps.x.assign(time_s.begin(), time_s.end());
+  ps.y.assign(plant.begin(), plant.end());
+  chart.add_series(std::move(ms));
+  chart.add_series(std::move(ps));
+  return chart;
+}
+
+SvgChart state_byte_chart(const std::vector<CapturedPacket>& capture,
+                          std::size_t state_byte_index, std::uint8_t watchdog_mask,
+                          const std::string& title) {
+  require(!capture.empty(), "state_byte_chart: empty capture");
+  SvgChart chart(title, "time (s)", "masked Byte value");
+  Series s;
+  s.label = "state byte";
+  s.color = series_color(1);
+  s.step = true;
+  const std::uint8_t keep = static_cast<std::uint8_t>(~watchdog_mask);
+  for (const CapturedPacket& pkt : capture) {
+    if (state_byte_index >= pkt.bytes.size()) continue;
+    s.x.push_back(static_cast<double>(pkt.tick) / 1000.0);
+    s.y.push_back(static_cast<double>(pkt.bytes[state_byte_index] & keep));
+  }
+  chart.add_series(std::move(s));
+  return chart;
+}
+
+}  // namespace rg

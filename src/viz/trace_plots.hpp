@@ -1,0 +1,35 @@
+// Ready-made charts for the common artifacts: run traces, model-vs-plant
+// overlays (Fig. 8 style), and Byte-0 state timelines (Fig. 6 style).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "attack/logging_wrapper.hpp"
+#include "sim/trace.hpp"
+#include "viz/svg.hpp"
+
+namespace rg {
+
+/// Joint positions (3 series) over time from a run trace.
+[[nodiscard]] SvgChart joint_position_chart(const TraceRecorder& trace,
+                                            const std::string& title = "Joint positions");
+
+/// Ground-truth end-effector coordinates over time, with optional alarm
+/// markers taken from the trace's detector flags.
+[[nodiscard]] SvgChart end_effector_chart(const TraceRecorder& trace,
+                                          const std::string& title = "End effector");
+
+/// One model series against one plant series (Fig. 8 overlay).
+[[nodiscard]] SvgChart model_vs_plant_chart(std::span<const double> time_s,
+                                            std::span<const double> model,
+                                            std::span<const double> plant,
+                                            const std::string& title,
+                                            const std::string& y_label);
+
+/// The Fig-6 plot: the masked state-byte value over time from a capture.
+[[nodiscard]] SvgChart state_byte_chart(const std::vector<CapturedPacket>& capture,
+                                        std::size_t state_byte_index, std::uint8_t watchdog_mask,
+                                        const std::string& title = "Byte 0 (watchdog stripped)");
+
+}  // namespace rg

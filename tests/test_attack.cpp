@@ -1,0 +1,365 @@
+// Unit tests for the attack module: interposition framework, logging
+// malware, offline packet analysis (Fig 5/6), injection wrappers, math
+// drift, attack engine.
+#include <gtest/gtest.h>
+
+#include "attack/attack_engine.hpp"
+#include "attack/interposer.hpp"
+#include "common/rng.hpp"
+#include "attack/logging_wrapper.hpp"
+#include "attack/packet_analyzer.hpp"
+#include "hw/usb_packet.hpp"
+
+namespace rg {
+namespace {
+
+// --- InterposerChain ------------------------------------------------------------
+
+class AddOne final : public PacketInterposer {
+ public:
+  bool on_packet(std::span<std::uint8_t> bytes, std::uint64_t) override {
+    if (!bytes.empty()) ++bytes[0];
+    return true;
+  }
+};
+
+class DropAll final : public PacketInterposer {
+ public:
+  bool on_packet(std::span<std::uint8_t>, std::uint64_t) override { return false; }
+};
+
+TEST(InterposerChain, EmptyChainPassesThrough) {
+  InterposerChain chain;
+  std::array<std::uint8_t, 2> buf{1, 2};
+  EXPECT_TRUE(chain.process(buf, 0));
+  EXPECT_EQ(buf[0], 1);
+}
+
+TEST(InterposerChain, AppliesInOrder) {
+  InterposerChain chain;
+  chain.add(std::make_shared<AddOne>());
+  chain.add(std::make_shared<AddOne>());
+  std::array<std::uint8_t, 1> buf{10};
+  EXPECT_TRUE(chain.process(buf, 0));
+  EXPECT_EQ(buf[0], 12);
+}
+
+TEST(InterposerChain, DropShortCircuits) {
+  InterposerChain chain;
+  chain.add(std::make_shared<DropAll>());
+  chain.add(std::make_shared<AddOne>());  // never reached
+  std::array<std::uint8_t, 1> buf{10};
+  EXPECT_FALSE(chain.process(buf, 0));
+  EXPECT_EQ(buf[0], 10);
+}
+
+TEST(InterposerChain, NullInterposerIgnored) {
+  InterposerChain chain;
+  chain.add(nullptr);
+  EXPECT_TRUE(chain.empty());
+}
+
+// --- LoggingWrapper ---------------------------------------------------------------
+
+TEST(LoggingWrapper, CapturesMatchingTraffic) {
+  LoggingWrapper logger("raven", 7, "raven", 7);
+  std::array<std::uint8_t, 3> buf{1, 2, 3};
+  EXPECT_TRUE(logger.on_packet(buf, 42));
+  ASSERT_EQ(logger.packets_captured(), 1u);
+  EXPECT_EQ(logger.capture()[0].tick, 42u);
+  EXPECT_EQ(logger.capture()[0].bytes, (std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+TEST(LoggingWrapper, FiltersByProcessAndFd) {
+  LoggingWrapper wrong_proc("raven", 7, "bash", 7);
+  LoggingWrapper wrong_fd("raven", 7, "raven", 8);
+  std::array<std::uint8_t, 1> buf{1};
+  EXPECT_TRUE(wrong_proc.on_packet(buf, 0));
+  EXPECT_TRUE(wrong_fd.on_packet(buf, 0));
+  EXPECT_EQ(wrong_proc.packets_captured(), 0u);
+  EXPECT_EQ(wrong_fd.packets_captured(), 0u);
+}
+
+TEST(LoggingWrapper, NeverModifiesTraffic) {
+  LoggingWrapper logger("raven", 7, "raven", 7);
+  std::array<std::uint8_t, 3> buf{9, 8, 7};
+  const auto before = buf;
+  (void)logger.on_packet(buf, 0);
+  EXPECT_EQ(buf, before);
+}
+
+// --- PacketAnalyzer: the Fig 5/6 offline analysis ------------------------------------
+
+/// Build a synthetic capture replaying a full teleoperation run through
+/// the real wire format (E-STOP -> Init -> PedalUp <-> PedalDown).
+std::vector<CapturedPacket> synthetic_run(std::uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<CapturedPacket> capture;
+  bool watchdog = false;
+  std::uint64_t tick = 0;
+  const auto emit = [&](RobotState state, int count, bool moving) {
+    for (int i = 0; i < count; ++i) {
+      CommandPacket pkt;
+      pkt.state = state;
+      watchdog = !watchdog;
+      pkt.watchdog_bit = watchdog;
+      if (moving) {
+        for (std::size_t ch = 0; ch < 3; ++ch) {
+          pkt.dac[ch] = static_cast<std::int16_t>(rng.uniform(-2000.0, 2000.0));
+        }
+      }
+      const CommandBytes bytes = encode_command(pkt);
+      capture.push_back(CapturedPacket{tick++, {bytes.begin(), bytes.end()}});
+    }
+  };
+  emit(RobotState::kEStop, 200, false);
+  emit(RobotState::kInit, 400, true);
+  emit(RobotState::kPedalUp, 300, false);
+  emit(RobotState::kPedalDown, 800, true);
+  emit(RobotState::kPedalUp, 150, false);
+  emit(RobotState::kPedalDown, 600, true);
+  return capture;
+}
+
+TEST(PacketAnalyzer, FindsStateByteAndWatchdog) {
+  PacketAnalyzer analyzer(synthetic_run(1));
+  const auto inference = analyzer.infer_state();
+  ASSERT_TRUE(inference.ok());
+  EXPECT_EQ(inference.value().state_byte_index, 0u);
+  EXPECT_EQ(inference.value().watchdog_mask, 0x10);
+}
+
+TEST(PacketAnalyzer, RecoversPedalDownTrigger) {
+  PacketAnalyzer analyzer(synthetic_run(2));
+  const auto inference = analyzer.infer_state();
+  ASSERT_TRUE(inference.ok());
+  // 4th state to appear == Pedal Down == wire code 0x0F.
+  EXPECT_EQ(inference.value().pedal_down_code, 0x0F);
+  EXPECT_EQ(inference.value().codes_in_order.size(), 4u);
+}
+
+TEST(PacketAnalyzer, TimelineMatchesPhases) {
+  PacketAnalyzer analyzer(synthetic_run(3));
+  const auto inference = analyzer.infer_state();
+  ASSERT_TRUE(inference.ok());
+  // E-STOP, Init, PedalUp, PedalDown, PedalUp, PedalDown = 6 segments.
+  EXPECT_EQ(inference.value().timeline.size(), 6u);
+  EXPECT_EQ(inference.value().timeline.front().start_tick, 0u);
+}
+
+TEST(PacketAnalyzer, ByteProfilesSeparateDataFromState) {
+  PacketAnalyzer analyzer(synthetic_run(4));
+  const auto& profiles = analyzer.byte_profiles();
+  ASSERT_EQ(profiles.size(), kCommandPacketSize);
+  // Byte 0: few masked values.  DAC low bytes (1,3,5): many values.
+  EXPECT_LE(profiles[0].distinct_after_mask, 4u);
+  EXPECT_GT(profiles[1].distinct_values, 50u);
+  // The paper's observation: stripping the watchdog bit halves Byte 0's
+  // cardinality from 8 to 4.
+  EXPECT_EQ(profiles[0].distinct_values, 8u);
+  EXPECT_EQ(profiles[0].distinct_after_mask, 4u);
+}
+
+TEST(PacketAnalyzer, IncompleteRunFailsInference) {
+  // A run that never reaches Pedal Down cannot reveal the trigger.
+  Pcg32 rng(5);
+  std::vector<CapturedPacket> capture;
+  bool watchdog = false;
+  for (int i = 0; i < 500; ++i) {
+    CommandPacket pkt;
+    pkt.state = i < 250 ? RobotState::kEStop : RobotState::kInit;
+    watchdog = !watchdog;
+    pkt.watchdog_bit = watchdog;
+    const CommandBytes bytes = encode_command(pkt);
+    capture.push_back(CapturedPacket{static_cast<std::uint64_t>(i), {bytes.begin(), bytes.end()}});
+  }
+  PacketAnalyzer analyzer(std::move(capture));
+  EXPECT_FALSE(analyzer.infer_state().ok());
+}
+
+TEST(PacketAnalyzer, ValidatesInput) {
+  EXPECT_THROW(PacketAnalyzer({}), std::invalid_argument);
+  std::vector<CapturedPacket> mixed;
+  mixed.push_back(CapturedPacket{0, {1, 2, 3}});
+  mixed.push_back(CapturedPacket{1, {1, 2}});
+  EXPECT_THROW(PacketAnalyzer(std::move(mixed)), std::invalid_argument);
+}
+
+// --- InjectionWrapper (scenario B) ----------------------------------------------------
+
+CommandBytes pedal_down_bytes(std::int16_t dac1 = 100, bool watchdog = false) {
+  CommandPacket pkt;
+  pkt.state = RobotState::kPedalDown;
+  pkt.watchdog_bit = watchdog;
+  pkt.dac[1] = dac1;
+  return encode_command(pkt);
+}
+
+CommandBytes pedal_up_bytes() {
+  CommandPacket pkt;
+  pkt.state = RobotState::kPedalUp;
+  return encode_command(pkt);
+}
+
+TEST(InjectionWrapper, OnlyTriggersOnPedalDown) {
+  InjectionConfig cfg;
+  cfg.mode = InjectionConfig::Mode::kSetChannel;
+  cfg.target_channel = 1;
+  cfg.value = 20000;
+  InjectionWrapper wrapper(cfg);
+
+  CommandBytes up = pedal_up_bytes();
+  EXPECT_TRUE(wrapper.on_packet(up, 0));
+  EXPECT_EQ(wrapper.injections(), 0u);
+  EXPECT_EQ(decode_command(up, false).value().dac[1], 0);
+
+  CommandBytes down = pedal_down_bytes();
+  EXPECT_TRUE(wrapper.on_packet(down, 1));
+  EXPECT_EQ(wrapper.injections(), 1u);
+  EXPECT_EQ(decode_command(down, false).value().dac[1], 20000);
+}
+
+TEST(InjectionWrapper, WatchdogBitDoesNotMaskTrigger) {
+  InjectionConfig cfg;
+  cfg.mode = InjectionConfig::Mode::kSetChannel;
+  cfg.value = 1234;
+  cfg.target_channel = 0;
+  InjectionWrapper wrapper(cfg);
+  CommandBytes a = pedal_down_bytes(0, false);
+  CommandBytes b = pedal_down_bytes(0, true);
+  (void)wrapper.on_packet(a, 0);
+  (void)wrapper.on_packet(b, 1);
+  EXPECT_EQ(wrapper.injections(), 2u);
+}
+
+TEST(InjectionWrapper, DelayAndDurationWindow) {
+  InjectionConfig cfg;
+  cfg.mode = InjectionConfig::Mode::kSetChannel;
+  cfg.value = 9999;
+  cfg.target_channel = 0;
+  cfg.delay_packets = 3;
+  cfg.duration_packets = 2;
+  InjectionWrapper wrapper(cfg);
+  int corrupted = 0;
+  for (int i = 0; i < 10; ++i) {
+    CommandBytes bytes = pedal_down_bytes();
+    (void)wrapper.on_packet(bytes, static_cast<std::uint64_t>(i));
+    if (decode_command(bytes, false).value().dac[0] == 9999) ++corrupted;
+  }
+  EXPECT_EQ(corrupted, 2);
+  EXPECT_EQ(wrapper.injections(), 2u);
+  EXPECT_TRUE(wrapper.done());
+  ASSERT_TRUE(wrapper.first_injection_tick().has_value());
+  EXPECT_EQ(*wrapper.first_injection_tick(), 3u);
+}
+
+TEST(InjectionWrapper, AddChannelSaturates) {
+  InjectionConfig cfg;
+  cfg.mode = InjectionConfig::Mode::kAddChannel;
+  cfg.target_channel = 1;
+  cfg.value = 30000;
+  InjectionWrapper wrapper(cfg);
+  CommandBytes bytes = pedal_down_bytes(10000);
+  (void)wrapper.on_packet(bytes, 0);
+  EXPECT_EQ(decode_command(bytes, false).value().dac[1], 32767);  // clamped
+}
+
+TEST(InjectionWrapper, RandomByteStaysInRange) {
+  InjectionConfig cfg;
+  cfg.mode = InjectionConfig::Mode::kRandomByte;
+  cfg.target_byte = 4;
+  cfg.random_lo = 0;
+  cfg.random_hi = 100;  // the paper's "random value between 0 and 100"
+  InjectionWrapper wrapper(cfg);
+  for (int i = 0; i < 50; ++i) {
+    CommandBytes bytes = pedal_down_bytes();
+    (void)wrapper.on_packet(bytes, static_cast<std::uint64_t>(i));
+    EXPECT_LE(bytes[4], 100);
+  }
+}
+
+TEST(InjectionWrapper, CorruptedPacketHasStaleChecksum) {
+  // The attack does not bother fixing the checksum — and the board does
+  // not check it.  Verified decode must fail; board-mode decode succeeds.
+  InjectionConfig cfg;
+  cfg.mode = InjectionConfig::Mode::kSetChannel;
+  cfg.target_channel = 2;
+  cfg.value = 11111;
+  InjectionWrapper wrapper(cfg);
+  CommandBytes bytes = pedal_down_bytes();
+  (void)wrapper.on_packet(bytes, 0);
+  EXPECT_FALSE(decode_command(bytes, true).ok());
+  EXPECT_TRUE(decode_command(bytes, false).ok());
+}
+
+// --- Attack engine --------------------------------------------------------------------
+
+TEST(AttackEngine, BuildsScenarioB) {
+  AttackSpec spec;
+  spec.variant = AttackVariant::kTorqueInjection;
+  spec.magnitude = 15000;
+  const AttackArtifacts art = build_attack(spec);
+  EXPECT_NE(art.usb_write, nullptr);
+  EXPECT_EQ(art.console_path, nullptr);
+  EXPECT_EQ(art.usb_read, nullptr);
+  EXPECT_FALSE(art.math_hooks.has_value());
+}
+
+TEST(AttackEngine, BuildsScenarioA) {
+  AttackSpec spec;
+  spec.variant = AttackVariant::kUserInputInjection;
+  spec.magnitude = 5e-4;
+  const AttackArtifacts art = build_attack(spec);
+  EXPECT_NE(art.console_path, nullptr);
+  EXPECT_EQ(art.usb_write, nullptr);
+}
+
+TEST(AttackEngine, BuildsMathDrift) {
+  AttackSpec spec;
+  spec.variant = AttackVariant::kMathDrift;
+  spec.magnitude = 1e-8;
+  const AttackArtifacts art = build_attack(spec);
+  ASSERT_TRUE(art.math_hooks.has_value());
+  EXPECT_NE(art.math_hooks->sin, MathHooks::libm().sin);
+  reset_math_drift();
+}
+
+TEST(AttackEngine, BuildsFeedbackVariants) {
+  AttackSpec spec;
+  spec.variant = AttackVariant::kEncoderCorruption;
+  spec.magnitude = 500;
+  EXPECT_NE(build_attack(spec).usb_read, nullptr);
+  spec.variant = AttackVariant::kStateSpoof;
+  EXPECT_NE(build_attack(spec).usb_read, nullptr);
+}
+
+TEST(AttackEngine, NoneBuildsNothing) {
+  const AttackArtifacts art = build_attack(AttackSpec{});
+  EXPECT_EQ(art.injections(), 0u);
+  EXPECT_FALSE(art.first_injection_tick().has_value());
+}
+
+TEST(AttackEngine, VariantNamesDistinct) {
+  EXPECT_NE(to_string(AttackVariant::kTorqueInjection),
+            to_string(AttackVariant::kUserInputInjection));
+  EXPECT_EQ(to_string(AttackVariant::kNone), "none");
+}
+
+// --- Math drift ------------------------------------------------------------------------
+
+TEST(MathDrift, AccumulatesAndSaturates) {
+  MathDriftConfig cfg;
+  cfg.drift_per_call = 0.01;
+  cfg.max_drift = 0.05;
+  const MathHooks hooks = make_drifting_math(cfg);
+  for (int i = 0; i < 3; ++i) (void)hooks.sin(0.0);
+  EXPECT_NEAR(current_math_drift(), 0.03, 1e-12);
+  for (int i = 0; i < 100; ++i) (void)hooks.cos(0.0);
+  EXPECT_NEAR(current_math_drift(), 0.05, 1e-12);  // saturated
+  EXPECT_NEAR(hooks.sin(0.0), 0.05, 1e-12);        // sin(0) + drift
+  reset_math_drift();
+  EXPECT_DOUBLE_EQ(current_math_drift(), 0.0);
+}
+
+}  // namespace
+}  // namespace rg

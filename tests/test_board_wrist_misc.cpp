@@ -1,0 +1,74 @@
+// Coverage for board wrist channels, feedback brake flag, and misc
+// hardware plumbing added with the instrument axes.
+#include <gtest/gtest.h>
+
+#include "hw/plc.hpp"
+#include "hw/usb_board.hpp"
+
+namespace rg {
+namespace {
+
+CommandBytes command_with_wrist_dacs() {
+  CommandPacket pkt;
+  pkt.state = RobotState::kPedalDown;
+  pkt.dac = {100, 200, 300, 4000, -5000, 6000, 0, 0};
+  return encode_command(pkt);
+}
+
+TEST(UsbBoardWrist, WristCurrentsFollowChannels3To5) {
+  Plc plc;
+  UsbBoard board(plc);
+  ASSERT_TRUE(board.receive_command(command_with_wrist_dacs()).ok());
+  const Vec3 wrist = board.wrist_currents();
+  EXPECT_NEAR(wrist[0], 4000.0 / 32767.0 * 10.0, 1e-6);
+  EXPECT_NEAR(wrist[1], -5000.0 / 32767.0 * 10.0, 1e-6);
+  EXPECT_NEAR(wrist[2], 6000.0 / 32767.0 * 10.0, 1e-6);
+}
+
+TEST(UsbBoardWrist, WristCurrentsZeroBeforeCommand) {
+  Plc plc;
+  UsbBoard board(plc);
+  EXPECT_EQ(board.wrist_currents(), Vec3::zero());
+}
+
+TEST(UsbBoardWrist, WristEncodersRideChannels3To5) {
+  Plc plc;
+  UsbBoard board(plc);
+  board.latch_encoders(MotorVector{1.0, 2.0, 3.0}, Vec3{0.5, -0.7, 0.9});
+  EXPECT_NEAR(board.encoder_angle(3), 0.5, 0.01);
+  EXPECT_NEAR(board.encoder_angle(4), -0.7, 0.01);
+  EXPECT_NEAR(board.encoder_angle(5), 0.9, 0.01);
+
+  const auto decoded = decode_feedback(board.build_feedback(), true);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_NE(decoded.value().encoders[4], 0);
+}
+
+TEST(UsbBoardWrist, FeedbackBrakeFlagTracksPlc) {
+  Plc plc;
+  UsbBoard board(plc);
+  CommandPacket engaged;
+  engaged.state = RobotState::kPedalDown;
+  ASSERT_TRUE(board.receive_command(encode_command(engaged)).ok());
+  EXPECT_FALSE(decode_feedback(board.build_feedback(), true).value().brakes_engaged);
+
+  CommandPacket parked;
+  parked.state = RobotState::kPedalUp;
+  ASSERT_TRUE(board.receive_command(encode_command(parked)).ok());
+  EXPECT_TRUE(decode_feedback(board.build_feedback(), true).value().brakes_engaged);
+}
+
+TEST(UsbBoardWrist, PerChannelConfigApplies) {
+  Plc plc;
+  MotorChannelConfig cfg;
+  cfg.full_scale_current = 5.0;  // weaker drive stage
+  UsbBoard board(plc, cfg);
+  CommandPacket pkt;
+  pkt.state = RobotState::kPedalDown;
+  pkt.dac[0] = 32767;
+  ASSERT_TRUE(board.receive_command(encode_command(pkt)).ok());
+  EXPECT_NEAR(board.modeled_currents()[0], 5.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace rg

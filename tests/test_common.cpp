@@ -1,0 +1,265 @@
+// Unit tests for the common module: error handling, RNG, ring buffer,
+// simulation clock, robot state codes.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/clock.hpp"
+#include "common/error.hpp"
+#include "common/ring_buffer.hpp"
+#include "common/rng.hpp"
+#include "common/robot_state.hpp"
+#include "common/units.hpp"
+
+namespace rg {
+namespace {
+
+// --- Result / Status --------------------------------------------------------
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = Error{ErrorCode::kOutOfRange, "nope"};
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(r.error().message(), "nope");
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(Result, ValueOnErrorThrows) {
+  Result<int> r = Error{ErrorCode::kInternal, "boom"};
+  EXPECT_THROW((void)r.value(), std::logic_error);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r = std::string{"hello"};
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(Status, DefaultIsSuccess) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_THROW((void)s.error(), std::logic_error);
+}
+
+TEST(Status, CarriesError) {
+  Status s = Error{ErrorCode::kTimeout, "late"};
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code(), ErrorCode::kTimeout);
+}
+
+TEST(ErrorToString, IncludesCodeAndMessage) {
+  Error e{ErrorCode::kMalformedPacket, "18 bytes expected"};
+  EXPECT_EQ(e.to_string(), "malformed_packet: 18 bytes expected");
+}
+
+TEST(ErrorCodeNames, AllDistinct) {
+  std::set<std::string_view> names;
+  for (auto code : {ErrorCode::kInvalidArgument, ErrorCode::kOutOfRange,
+                    ErrorCode::kMalformedPacket, ErrorCode::kChecksumMismatch,
+                    ErrorCode::kSafetyViolation, ErrorCode::kNotReady, ErrorCode::kUnreachable,
+                    ErrorCode::kTimeout, ErrorCode::kInternal}) {
+    names.insert(to_string(code));
+  }
+  EXPECT_EQ(names.size(), 9u);
+}
+
+TEST(Require, ThrowsOnViolation) {
+  EXPECT_NO_THROW(require(true, "fine"));
+  EXPECT_THROW(require(false, "broken"), std::invalid_argument);
+}
+
+// --- Pcg32 ------------------------------------------------------------------
+
+TEST(Pcg32, DeterministicForSameSeed) {
+  Pcg32 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Pcg32, DifferentSeedsDiffer) {
+  Pcg32 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Pcg32, UniformInUnitInterval) {
+  Pcg32 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Pcg32, UniformRangeRespectsBounds) {
+  Pcg32 rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.5, 3.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 3.5);
+  }
+}
+
+TEST(Pcg32, UniformIntInclusiveBounds) {
+  Pcg32 rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint32_t v = rng.uniform_int(3, 8);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 8u);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 8);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Pcg32, NormalHasSaneMoments) {
+  Pcg32 rng(10);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Pcg32, NormalScaled) {
+  Pcg32 rng(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Pcg32, SplitProducesIndependentStream) {
+  Pcg32 parent(42);
+  Pcg32 child = parent.split(1);
+  Pcg32 child2 = parent.split(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child() == child2()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+// --- RingBuffer -------------------------------------------------------------
+
+TEST(RingBuffer, RejectsZeroCapacity) {
+  EXPECT_THROW(RingBuffer<int>(0), std::invalid_argument);
+}
+
+TEST(RingBuffer, PushAndReadBack) {
+  RingBuffer<int> rb(4);
+  EXPECT_TRUE(rb.empty());
+  rb.push(1);
+  rb.push(2);
+  rb.push(3);
+  EXPECT_EQ(rb.size(), 3u);
+  EXPECT_EQ(rb.front(), 1);
+  EXPECT_EQ(rb.back(), 3);
+  EXPECT_EQ(rb.at(1), 2);
+}
+
+TEST(RingBuffer, OverwritesOldestWhenFull) {
+  RingBuffer<int> rb(3);
+  for (int i = 1; i <= 5; ++i) rb.push(i);
+  EXPECT_TRUE(rb.full());
+  EXPECT_EQ(rb.size(), 3u);
+  EXPECT_EQ(rb.front(), 3);
+  EXPECT_EQ(rb.back(), 5);
+}
+
+TEST(RingBuffer, SnapshotOldestFirst) {
+  RingBuffer<int> rb(3);
+  for (int i = 1; i <= 4; ++i) rb.push(i);
+  const std::vector<int> snap = rb.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0], 2);
+  EXPECT_EQ(snap[2], 4);
+}
+
+TEST(RingBuffer, AtOutOfRangeThrows) {
+  RingBuffer<int> rb(2);
+  rb.push(1);
+  EXPECT_THROW((void)rb.at(1), std::out_of_range);
+}
+
+TEST(RingBuffer, FrontBackOnEmptyThrow) {
+  RingBuffer<int> rb(2);
+  EXPECT_THROW((void)rb.front(), std::out_of_range);
+  EXPECT_THROW((void)rb.back(), std::out_of_range);
+}
+
+TEST(RingBuffer, ClearResets) {
+  RingBuffer<int> rb(2);
+  rb.push(1);
+  rb.push(2);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  rb.push(9);
+  EXPECT_EQ(rb.front(), 9);
+}
+
+// --- SimClock ---------------------------------------------------------------
+
+TEST(SimClock, TicksAndSeconds) {
+  SimClock clock;
+  EXPECT_EQ(clock.ticks(), 0u);
+  for (int i = 0; i < 1500; ++i) clock.tick();
+  EXPECT_EQ(clock.ticks(), 1500u);
+  EXPECT_DOUBLE_EQ(clock.seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(clock.millis(), 1500.0);
+  clock.reset();
+  EXPECT_EQ(clock.ticks(), 0u);
+}
+
+// --- RobotState wire codes --------------------------------------------------
+
+TEST(RobotStateCodes, RoundTrip) {
+  for (auto s : {RobotState::kEStop, RobotState::kInit, RobotState::kPedalUp,
+                 RobotState::kPedalDown}) {
+    const auto back = state_from_wire_code(wire_code(s));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, s);
+  }
+}
+
+TEST(RobotStateCodes, PedalDownIs0x0F) {
+  // The value the paper's offline analysis recovers as the trigger.
+  EXPECT_EQ(wire_code(RobotState::kPedalDown), 0x0F);
+}
+
+TEST(RobotStateCodes, UnknownCodeRejected) {
+  EXPECT_FALSE(state_from_wire_code(0x00).has_value());
+  EXPECT_FALSE(state_from_wire_code(0x05).has_value());
+  EXPECT_FALSE(state_from_wire_code(0xFF).has_value());
+}
+
+TEST(RobotStateCodes, NamesDistinct) {
+  std::set<std::string_view> names;
+  for (auto s : {RobotState::kEStop, RobotState::kInit, RobotState::kPedalUp,
+                 RobotState::kPedalDown}) {
+    names.insert(to_string(s));
+  }
+  EXPECT_EQ(names.size(), 4u);
+}
+
+}  // namespace
+}  // namespace rg

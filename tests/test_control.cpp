@@ -1,0 +1,328 @@
+// Unit tests for the control module: PID, safety checks (the RAVEN
+// baseline detector), state machine, and control-software edge behaviour.
+#include <gtest/gtest.h>
+
+#include "control/control_software.hpp"
+#include "control/pid.hpp"
+#include "control/safety.hpp"
+#include "control/state_machine.hpp"
+
+namespace rg {
+namespace {
+
+// --- PID ------------------------------------------------------------------------
+
+TEST(Pid, ProportionalTerm) {
+  PidController pid(PidGains{.kp = 2.0}, 0.001);
+  EXPECT_DOUBLE_EQ(pid.update(0.5, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(pid.update(-0.5, 0.0), -1.0);
+}
+
+TEST(Pid, DerivativeOnMeasurementOpposesMotion) {
+  PidController pid(PidGains{.kp = 0.0, .kd = 0.1}, 0.001);
+  EXPECT_DOUBLE_EQ(pid.update(0.0, 10.0), -1.0);
+}
+
+TEST(Pid, IntegralAccumulates) {
+  PidController pid(PidGains{.ki = 100.0}, 0.01);
+  EXPECT_NEAR(pid.update(1.0, 0.0), 1.0, 1e-12);   // 100 * (1.0 * 0.01)
+  EXPECT_NEAR(pid.update(1.0, 0.0), 2.0, 1e-12);
+  pid.reset();
+  EXPECT_NEAR(pid.update(1.0, 0.0), 1.0, 1e-12);
+}
+
+TEST(Pid, IntegralClampedAtLimit) {
+  PidController pid(PidGains{.ki = 1.0, .integral_limit = 0.05}, 0.01);
+  for (int i = 0; i < 100; ++i) (void)pid.update(1.0, 0.0);
+  EXPECT_DOUBLE_EQ(pid.integral_state(), 0.05);
+}
+
+TEST(Pid, OutputSaturates) {
+  PidController pid(PidGains{.kp = 10.0, .output_limit = 0.3}, 0.001);
+  EXPECT_DOUBLE_EQ(pid.update(5.0, 0.0), 0.3);
+  EXPECT_DOUBLE_EQ(pid.update(-5.0, 0.0), -0.3);
+}
+
+TEST(Pid, ConditionalAntiWindupStopsIntegrationWhenSaturated) {
+  PidController pid(PidGains{.kp = 10.0, .ki = 1.0, .output_limit = 0.3}, 0.01);
+  for (int i = 0; i < 50; ++i) (void)pid.update(5.0, 0.0);  // hard saturation
+  // Integral must not have wound up while pushing further into saturation.
+  EXPECT_LT(pid.integral_state(), 0.01);
+}
+
+TEST(Pid, ValidatesConstruction) {
+  EXPECT_THROW(PidController(PidGains{}, 0.0), std::invalid_argument);
+  EXPECT_THROW(PidController(PidGains{.output_limit = -1.0}, 0.001), std::invalid_argument);
+}
+
+// --- SafetyChecker -----------------------------------------------------------------
+
+TEST(Safety, DacWithinLimitPasses) {
+  const SafetyChecker checker;
+  const std::array<std::int16_t, 3> ok{1000, -1000, 0};
+  EXPECT_FALSE(checker.check_dac(ok).has_value());
+}
+
+TEST(Safety, DacOverLimitFlagged) {
+  const SafetyChecker checker;  // default limit 26000
+  const std::array<std::int16_t, 3> bad{0, 27000, 0};
+  const auto violation = checker.check_dac(bad);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->kind, SafetyViolation::Kind::kDacLimit);
+  EXPECT_EQ(violation->channel, 1u);
+}
+
+TEST(Safety, DacNegativeOverLimitFlagged) {
+  const SafetyChecker checker;
+  const std::array<std::int16_t, 3> bad{-27000, 0, 0};
+  EXPECT_TRUE(checker.check_dac(bad).has_value());
+}
+
+TEST(Safety, JointsInsideWorkspacePass) {
+  const SafetyChecker checker;
+  EXPECT_FALSE(checker.check_joints(JointLimits::raven_defaults().midpoint()).has_value());
+}
+
+TEST(Safety, JointsNearBoundaryFlagged) {
+  const SafetyChecker checker;
+  JointVector q = JointLimits::raven_defaults().midpoint();
+  q[2] = JointLimits::raven_defaults().joint(2).max;  // inside margin band
+  const auto violation = checker.check_joints(q);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->kind, SafetyViolation::Kind::kWorkspace);
+}
+
+TEST(Safety, IncrementLimit) {
+  const SafetyChecker checker;  // 1 mm per packet
+  EXPECT_FALSE(checker.check_increment(Vec3{5e-4, 0.0, 0.0}).has_value());
+  const auto violation = checker.check_increment(Vec3{2e-3, 0.0, 0.0});
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->kind, SafetyViolation::Kind::kIncrement);
+}
+
+TEST(Safety, DescribeMentionsKind) {
+  const SafetyViolation v{SafetyViolation::Kind::kDacLimit, 2, 30000.0, 26000.0};
+  EXPECT_NE(v.describe().find("DAC"), std::string::npos);
+  EXPECT_NE(v.describe().find("2"), std::string::npos);
+}
+
+// --- ControlStateMachine --------------------------------------------------------------
+
+TEST(StateMachine, FullOperationalWalk) {
+  ControlStateMachine sm(10);
+  EXPECT_EQ(sm.state(), RobotState::kEStop);
+  sm.press_start();
+  EXPECT_EQ(sm.state(), RobotState::kInit);
+  for (int i = 0; i < 10; ++i) sm.tick();
+  EXPECT_EQ(sm.state(), RobotState::kPedalUp);
+  sm.set_pedal(true);
+  EXPECT_EQ(sm.state(), RobotState::kPedalDown);
+  sm.set_pedal(false);
+  EXPECT_EQ(sm.state(), RobotState::kPedalUp);
+}
+
+TEST(StateMachine, EstopFromAnyState) {
+  ControlStateMachine sm(5);
+  sm.press_start();
+  for (int i = 0; i < 5; ++i) sm.tick();
+  sm.set_pedal(true);
+  sm.trigger_estop();
+  EXPECT_EQ(sm.state(), RobotState::kEStop);
+  // Pedal does nothing in E-STOP.
+  sm.set_pedal(true);
+  EXPECT_EQ(sm.state(), RobotState::kEStop);
+}
+
+TEST(StateMachine, StartOnlyActsInEstop) {
+  ControlStateMachine sm(5);
+  sm.press_start();
+  for (int i = 0; i < 5; ++i) sm.tick();
+  EXPECT_EQ(sm.state(), RobotState::kPedalUp);
+  sm.press_start();  // no-op outside E-STOP
+  EXPECT_EQ(sm.state(), RobotState::kPedalUp);
+}
+
+TEST(StateMachine, PedalIgnoredDuringInit) {
+  ControlStateMachine sm(10);
+  sm.press_start();
+  sm.set_pedal(true);
+  EXPECT_EQ(sm.state(), RobotState::kInit);
+}
+
+TEST(StateMachine, HomingProgress) {
+  ControlStateMachine sm(4);
+  sm.press_start();
+  EXPECT_DOUBLE_EQ(sm.homing_progress(), 0.0);
+  sm.tick();
+  sm.tick();
+  EXPECT_DOUBLE_EQ(sm.homing_progress(), 0.5);
+  sm.tick();
+  sm.tick();
+  EXPECT_DOUBLE_EQ(sm.homing_progress(), 1.0);
+  EXPECT_EQ(sm.state(), RobotState::kPedalUp);
+}
+
+// --- ControlSoftware edge behaviour -----------------------------------------------------
+
+FeedbackBytes rest_feedback(const ControlConfig& cfg) {
+  // Feedback consistent with the arm parked at the workspace midpoint.
+  const CableCoupling coupling(cfg.transmission);
+  const MotorVector mpos = coupling.joint_to_motor(cfg.limits.midpoint());
+  const MotorChannel ch(cfg.channel);
+  FeedbackPacket pkt;
+  // PLC echoes a live state (a persistent E-STOP echo while the software
+  // drives would trip the desync cross-check, tested separately).
+  pkt.state = RobotState::kInit;
+  for (std::size_t i = 0; i < 3; ++i) pkt.encoders[i] = ch.counts_from_angle(mpos[i]);
+  return encode_feedback(pkt);
+}
+
+TEST(ControlSoftware, StaysIdleInEstop) {
+  ControlSoftware ctrl;
+  const FeedbackBytes fb = rest_feedback(ctrl.config());
+  const CommandBytes cmd = ctrl.tick(std::nullopt, fb);
+  const auto decoded = decode_command(cmd, true);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().state, RobotState::kEStop);
+  for (std::size_t ch = 0; ch < kNumBoardChannels; ++ch) {
+    EXPECT_EQ(decoded.value().dac[ch], 0);
+  }
+}
+
+TEST(ControlSoftware, WatchdogTogglesWhenHealthy) {
+  ControlSoftware ctrl;
+  ctrl.press_start();
+  const FeedbackBytes fb = rest_feedback(ctrl.config());
+  const auto a = decode_command(ctrl.tick(std::nullopt, fb), true);
+  const auto b = decode_command(ctrl.tick(std::nullopt, fb), true);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a.value().watchdog_bit, b.value().watchdog_bit);
+}
+
+TEST(ControlSoftware, CorruptFeedbackIsHeld) {
+  ControlSoftware ctrl;
+  ctrl.press_start();
+  const FeedbackBytes good = rest_feedback(ctrl.config());
+  (void)ctrl.tick(std::nullopt, good);
+  FeedbackBytes bad = good;
+  bad[5] ^= 0xFF;  // checksum now wrong
+  (void)ctrl.tick(std::nullopt, bad);
+  // Measured position unchanged (held), not the corrupted value.
+  const MotorVector held = ctrl.debug().mpos_measured;
+  const CableCoupling coupling(ctrl.config().transmission);
+  const MotorVector expected = coupling.joint_to_motor(ctrl.config().limits.midpoint());
+  EXPECT_NEAR(held[0], expected[0], 0.01);
+}
+
+TEST(ControlSoftware, BadItpPacketDropped) {
+  ControlSoftware ctrl;
+  ctrl.press_start();
+  const FeedbackBytes fb = rest_feedback(ctrl.config());
+  ItpBytes itp = encode_itp(ItpPacket{});
+  itp[7] ^= 0x01;  // break the checksum
+  (void)ctrl.tick(std::span<const std::uint8_t>{itp}, fb);
+  EXPECT_TRUE(ctrl.debug().itp_dropped);
+}
+
+TEST(ControlSoftware, OversizedIncrementLatchesFault) {
+  ControlSoftware ctrl;
+  ctrl.press_start();
+  const FeedbackBytes fb = rest_feedback(ctrl.config());
+  // Complete homing.
+  for (std::uint32_t i = 0; i <= ctrl.config().homing_ticks; ++i) (void)ctrl.tick(std::nullopt, fb);
+  EXPECT_EQ(ctrl.state(), RobotState::kPedalUp);
+  // Pedal down.
+  ItpPacket pedal;
+  pedal.pedal_down = true;
+  ItpBytes pb = encode_itp(pedal);
+  (void)ctrl.tick(std::span<const std::uint8_t>{pb}, fb);
+  EXPECT_EQ(ctrl.state(), RobotState::kPedalDown);
+  // Malicious oversized increment (scenario A with a clumsy attacker).
+  ItpPacket evil;
+  evil.pedal_down = true;
+  evil.pos_increment = Vec3{5e-3, 0.0, 0.0};
+  ItpBytes eb = encode_itp(evil);
+  (void)ctrl.tick(std::span<const std::uint8_t>{eb}, fb);
+  EXPECT_TRUE(ctrl.safety_fault_latched());
+  EXPECT_EQ(ctrl.state(), RobotState::kEStop);
+  ASSERT_TRUE(ctrl.first_violation().has_value());
+  EXPECT_EQ(ctrl.first_violation()->kind, SafetyViolation::Kind::kIncrement);
+}
+
+TEST(ControlSoftware, FaultFreezesWatchdogAndZerosDac) {
+  ControlSoftware ctrl;
+  ctrl.press_start();
+  const FeedbackBytes fb = rest_feedback(ctrl.config());
+  for (std::uint32_t i = 0; i <= ctrl.config().homing_ticks; ++i) (void)ctrl.tick(std::nullopt, fb);
+  ItpPacket pedal;
+  pedal.pedal_down = true;
+  ItpBytes pb = encode_itp(pedal);
+  (void)ctrl.tick(std::span<const std::uint8_t>{pb}, fb);
+  ItpPacket evil;
+  evil.pedal_down = true;
+  evil.pos_increment = Vec3{5e-3, 0.0, 0.0};
+  ItpBytes eb = encode_itp(evil);
+  const auto f1 = decode_command(ctrl.tick(std::span<const std::uint8_t>{eb}, fb), true);
+  const auto f2 = decode_command(ctrl.tick(std::nullopt, fb), true);
+  ASSERT_TRUE(f1.ok() && f2.ok());
+  EXPECT_EQ(f1.value().watchdog_bit, f2.value().watchdog_bit);  // frozen
+  EXPECT_EQ(f1.value().dac[0], 0);
+  EXPECT_EQ(f2.value().dac[1], 0);
+}
+
+TEST(ControlSoftware, PlcDesyncLatchesFault) {
+  // A read-path attacker spoofing the PLC state echo to E-STOP while the
+  // software drives (Table I "homing failure"): the cross-check must halt
+  // the software after plc_desync_limit consecutive bad reports.
+  ControlSoftware ctrl;
+  ctrl.press_start();
+  const FeedbackBytes good = rest_feedback(ctrl.config());
+  (void)ctrl.tick(std::nullopt, good);
+
+  FeedbackPacket spoofed = decode_feedback(good, false).value();
+  spoofed.state = RobotState::kEStop;
+  const FeedbackBytes bad = encode_feedback(spoofed);
+  const std::uint32_t limit = ctrl.config().plc_desync_limit;
+  for (std::uint32_t i = 0; i + 1 < limit; ++i) (void)ctrl.tick(std::nullopt, bad);
+  EXPECT_FALSE(ctrl.safety_fault_latched());
+  (void)ctrl.tick(std::nullopt, bad);
+  EXPECT_TRUE(ctrl.safety_fault_latched());
+}
+
+TEST(ControlSoftware, TransientEstopEchoTolerated) {
+  // Short E-STOP echoes (e.g. at startup) must not fault the software.
+  ControlSoftware ctrl;
+  ctrl.press_start();
+  const FeedbackBytes good = rest_feedback(ctrl.config());
+  FeedbackPacket estop_pkt = decode_feedback(good, false).value();
+  estop_pkt.state = RobotState::kEStop;
+  const FeedbackBytes bad = encode_feedback(estop_pkt);
+  for (int burst = 0; burst < 5; ++burst) {
+    for (int i = 0; i < 10; ++i) (void)ctrl.tick(std::nullopt, bad);
+    for (int i = 0; i < 3; ++i) (void)ctrl.tick(std::nullopt, good);  // echo recovers
+  }
+  EXPECT_FALSE(ctrl.safety_fault_latched());
+}
+
+TEST(ControlSoftware, PressStartClearsFault) {
+  ControlSoftware ctrl;
+  ctrl.press_start();
+  const FeedbackBytes fb = rest_feedback(ctrl.config());
+  for (std::uint32_t i = 0; i <= ctrl.config().homing_ticks; ++i) (void)ctrl.tick(std::nullopt, fb);
+  ItpPacket pedal;
+  pedal.pedal_down = true;
+  ItpBytes pb = encode_itp(pedal);
+  (void)ctrl.tick(std::span<const std::uint8_t>{pb}, fb);
+  ItpPacket evil;
+  evil.pedal_down = true;
+  evil.pos_increment = Vec3{5e-3, 0.0, 0.0};
+  ItpBytes eb = encode_itp(evil);
+  (void)ctrl.tick(std::span<const std::uint8_t>{eb}, fb);
+  ASSERT_TRUE(ctrl.safety_fault_latched());
+  ctrl.press_start();
+  EXPECT_FALSE(ctrl.safety_fault_latched());
+  EXPECT_EQ(ctrl.state(), RobotState::kInit);
+}
+
+}  // namespace
+}  // namespace rg

@@ -1,0 +1,374 @@
+// Unit tests for the core contribution: dynamic-model estimator,
+// threshold learning, fused anomaly detector, mitigator, pipeline.
+#include <gtest/gtest.h>
+
+#include "core/detector.hpp"
+#include "core/estimator.hpp"
+#include "core/mitigator.hpp"
+#include "core/pipeline.hpp"
+#include "core/thresholds.hpp"
+
+namespace rg {
+namespace {
+
+MotorVector rest_motor_angles() {
+  const RavenDynamicsModel model;
+  return model.coupling().joint_to_motor(JointVector{0.0, 1.5, 0.15});
+}
+
+// --- DynamicModelEstimator -----------------------------------------------------------
+
+TEST(Estimator, InvalidUntilFeedback) {
+  DynamicModelEstimator est;
+  const Prediction pred = est.predict({1000, 0, 0});
+  EXPECT_FALSE(pred.valid);
+}
+
+TEST(Estimator, FirstFeedbackHardSyncs) {
+  DynamicModelEstimator est;
+  const MotorVector m = rest_motor_angles();
+  est.observe_feedback(m);
+  const Prediction pred = est.predict({0, 0, 0});
+  ASSERT_TRUE(pred.valid);
+  EXPECT_NEAR(pred.mpos_now[0], m[0], 1e-9);
+  EXPECT_NEAR(pred.mvel_now.norm(), 0.0, 1e-9);
+}
+
+TEST(Estimator, PredictIsTentative) {
+  DynamicModelEstimator est;
+  est.observe_feedback(rest_motor_angles());
+  const Prediction a = est.predict({20000, 0, 0});
+  const Prediction b = est.predict({20000, 0, 0});
+  EXPECT_EQ(a.mpos_next[0], b.mpos_next[0]);  // no state advanced
+}
+
+TEST(Estimator, CommitAdvancesParallelModel) {
+  DynamicModelEstimator est;
+  est.observe_feedback(rest_motor_angles());
+  const Prediction before = est.predict({0, 0, 0});
+  est.commit({20000, 0, 0});
+  const Prediction after = est.predict({0, 0, 0});
+  EXPECT_GT(std::abs(after.mvel_now[0]), std::abs(before.mvel_now[0]));
+}
+
+TEST(Estimator, LargeDacPredictsLargeAcceleration) {
+  DynamicModelEstimator est;
+  est.observe_feedback(rest_motor_angles());
+  const Prediction quiet = est.predict({0, 0, 0});
+  const Prediction violent = est.predict({0, 25000, 0});
+  EXPECT_GT(violent.motor_instant_acc[1], 50.0 * (quiet.motor_instant_acc[1] + 1.0));
+}
+
+TEST(Estimator, ObserverPullsTowardEncoders) {
+  DynamicModelEstimator est;
+  const MotorVector m = rest_motor_angles();
+  est.observe_feedback(m);
+  // Encoders report the motor moved; the model should follow gradually.
+  MotorVector moved = m;
+  moved[0] += 0.1;
+  for (int i = 0; i < 50; ++i) {
+    est.observe_feedback(moved);
+    est.commit({0, 0, 0});
+  }
+  const Prediction pred = est.predict({0, 0, 0});
+  EXPECT_NEAR(pred.mpos_now[0], moved[0], 0.02);
+}
+
+TEST(Estimator, DisengageForcesResync) {
+  DynamicModelEstimator est;
+  est.observe_feedback(rest_motor_angles());
+  est.commit({25000, 0, 0});  // model now has velocity
+  est.mark_disengaged();
+  est.observe_feedback(rest_motor_angles());  // hard sync: velocity cleared
+  const Prediction pred = est.predict({0, 0, 0});
+  EXPECT_NEAR(pred.mvel_now.norm(), 0.0, 1e-9);
+}
+
+TEST(Estimator, SolverAndStepConfigurable) {
+  EstimatorConfig cfg;
+  cfg.solver = SolverKind::kRk4;
+  cfg.step = 5e-4;
+  DynamicModelEstimator est(cfg);
+  est.observe_feedback(rest_motor_angles());
+  EXPECT_TRUE(est.predict({0, 0, 0}).valid);
+  EXPECT_THROW(DynamicModelEstimator(EstimatorConfig{.step = 0.0}), std::invalid_argument);
+}
+
+TEST(Estimator, ValidatesObserverGains) {
+  EstimatorConfig cfg;
+  cfg.observer_position_gain = 2.0;
+  EXPECT_THROW(DynamicModelEstimator{cfg}, std::invalid_argument);
+  cfg = EstimatorConfig{};
+  cfg.observer_velocity_gain = -1.0;
+  EXPECT_THROW(DynamicModelEstimator{cfg}, std::invalid_argument);
+}
+
+// --- ThresholdLearner -----------------------------------------------------------------
+
+Prediction fake_prediction(double scale) {
+  Prediction p;
+  p.valid = true;
+  p.motor_instant_vel = Vec3::filled(scale);
+  p.motor_instant_acc = Vec3::filled(10.0 * scale);
+  p.joint_instant_vel = Vec3::filled(0.1 * scale);
+  return p;
+}
+
+TEST(ThresholdLearner, LearnsPerRunMaxima) {
+  ThresholdLearner learner;
+  for (int run = 1; run <= 10; ++run) {
+    for (int i = 0; i < 5; ++i) learner.observe(fake_prediction(run * (i + 1)));
+    learner.end_run();
+  }
+  EXPECT_EQ(learner.runs(), 10u);
+  // Run r's max is 5r; the 100th percentile over runs is 50.
+  const DetectionThresholds th = learner.learn(100.0);
+  EXPECT_NEAR(th.motor_vel[0], 50.0, 1e-9);
+  EXPECT_NEAR(th.motor_acc[0], 500.0, 1e-9);
+  EXPECT_NEAR(th.joint_vel[0], 5.0, 1e-9);
+}
+
+TEST(ThresholdLearner, MarginScales) {
+  ThresholdLearner learner;
+  learner.observe(fake_prediction(1.0));
+  learner.end_run();
+  const DetectionThresholds th = learner.learn(100.0, 2.0);
+  EXPECT_NEAR(th.motor_vel[0], 2.0, 1e-12);
+}
+
+TEST(ThresholdLearner, InvalidPredictionsIgnored) {
+  ThresholdLearner learner;
+  Prediction invalid;
+  learner.observe(invalid);
+  learner.end_run();  // nothing recorded -> no run committed
+  EXPECT_EQ(learner.runs(), 0u);
+  EXPECT_THROW((void)learner.learn(), std::invalid_argument);
+}
+
+TEST(ThresholdLearner, Reset) {
+  ThresholdLearner learner;
+  learner.observe(fake_prediction(1.0));
+  learner.end_run();
+  learner.reset();
+  EXPECT_EQ(learner.runs(), 0u);
+}
+
+// --- AnomalyDetector -------------------------------------------------------------------
+
+DetectorConfig small_thresholds(FusionPolicy fusion) {
+  DetectorConfig cfg;
+  cfg.thresholds.motor_vel = Vec3::filled(1.0);
+  cfg.thresholds.motor_acc = Vec3::filled(10.0);
+  cfg.thresholds.joint_vel = Vec3::filled(0.1);
+  cfg.fusion = fusion;
+  cfg.ee_jump_limit = 0.0;  // isolate the fusion logic
+  return cfg;
+}
+
+Prediction violation(bool vel, bool acc, bool joint) {
+  Prediction p;
+  p.valid = true;
+  p.motor_instant_vel = Vec3::filled(vel ? 2.0 : 0.1);
+  p.motor_instant_acc = Vec3::filled(acc ? 20.0 : 1.0);
+  p.joint_instant_vel = Vec3::filled(joint ? 0.2 : 0.01);
+  return p;
+}
+
+TEST(Detector, AllThreeFusionRequiresAllFlags) {
+  const AnomalyDetector det(small_thresholds(FusionPolicy::kAllThree));
+  EXPECT_FALSE(det.evaluate(violation(true, true, false)).alarm);
+  EXPECT_FALSE(det.evaluate(violation(true, false, true)).alarm);
+  EXPECT_FALSE(det.evaluate(violation(false, true, true)).alarm);
+  EXPECT_TRUE(det.evaluate(violation(true, true, true)).alarm);
+}
+
+TEST(Detector, TwoOfThreeFusion) {
+  const AnomalyDetector det(small_thresholds(FusionPolicy::kTwoOfThree));
+  EXPECT_TRUE(det.evaluate(violation(true, true, false)).alarm);
+  EXPECT_FALSE(det.evaluate(violation(true, false, false)).alarm);
+}
+
+TEST(Detector, AnyVariableFusion) {
+  const AnomalyDetector det(small_thresholds(FusionPolicy::kAnyVariable));
+  EXPECT_TRUE(det.evaluate(violation(false, false, true)).alarm);
+  EXPECT_FALSE(det.evaluate(violation(false, false, false)).alarm);
+}
+
+TEST(Detector, FlagsReported) {
+  const AnomalyDetector det(small_thresholds(FusionPolicy::kAllThree));
+  const Verdict v = det.evaluate(violation(true, false, true));
+  EXPECT_TRUE(v.motor_vel_flag);
+  EXPECT_FALSE(v.motor_acc_flag);
+  EXPECT_TRUE(v.joint_vel_flag);
+}
+
+TEST(Detector, EeJumpOverridesFusion) {
+  DetectorConfig cfg = small_thresholds(FusionPolicy::kAllThree);
+  cfg.ee_jump_limit = 1e-3;
+  const AnomalyDetector det(cfg);
+  Prediction p = violation(false, false, false);
+  p.ee_displacement = 2e-3;
+  const Verdict v = det.evaluate(p);
+  EXPECT_TRUE(v.alarm);
+  EXPECT_TRUE(v.ee_jump_flag);
+}
+
+TEST(Detector, InvalidPredictionNeverAlarms) {
+  const AnomalyDetector det(small_thresholds(FusionPolicy::kAnyVariable));
+  Prediction p = violation(true, true, true);
+  p.valid = false;
+  EXPECT_FALSE(det.evaluate(p).alarm);
+}
+
+TEST(Detector, WorstAxisIdentified) {
+  DetectorConfig cfg = small_thresholds(FusionPolicy::kAnyVariable);
+  const AnomalyDetector det(cfg);
+  Prediction p;
+  p.valid = true;
+  p.motor_instant_vel = Vec3{0.1, 5.0, 0.1};  // axis 1 dominates
+  const Verdict v = det.evaluate(p);
+  EXPECT_EQ(v.worst_axis, 1u);
+}
+
+TEST(Detector, FusionPolicyNames) {
+  EXPECT_EQ(to_string(FusionPolicy::kAllThree), "all-3");
+  EXPECT_EQ(to_string(FusionPolicy::kTwoOfThree), "2-of-3");
+  EXPECT_EQ(to_string(FusionPolicy::kAnyVariable), "any-1");
+}
+
+// --- Mitigator -------------------------------------------------------------------------
+
+CommandPacket offending_packet() {
+  CommandPacket pkt;
+  pkt.state = RobotState::kPedalDown;
+  pkt.dac = {30000, -30000, 30000, 0, 0, 0, 0, 0};
+  return pkt;
+}
+
+TEST(Mitigator, EStopZerosDacs) {
+  const Mitigator mit(MitigationStrategy::kEStop);
+  const CommandPacket out = mit.mitigate(offending_packet());
+  EXPECT_EQ(out.state, RobotState::kEStop);
+  for (std::size_t i = 0; i < kNumBoardChannels; ++i) EXPECT_EQ(out.dac[i], 0);
+}
+
+TEST(Mitigator, HoldLastSafeReplaysDacs) {
+  Mitigator mit(MitigationStrategy::kHoldLastSafe);
+  CommandPacket safe;
+  safe.state = RobotState::kPedalDown;
+  safe.dac[0] = 1234;
+  mit.record_safe(safe);
+  const CommandPacket out = mit.mitigate(offending_packet());
+  EXPECT_EQ(out.dac[0], 1234);
+  EXPECT_EQ(out.state, RobotState::kPedalDown);  // robot stays engaged
+}
+
+TEST(Mitigator, HoldWithoutHistoryZeros) {
+  const Mitigator mit(MitigationStrategy::kHoldLastSafe);
+  const CommandPacket out = mit.mitigate(offending_packet());
+  EXPECT_EQ(out.dac[0], 0);
+}
+
+// --- DetectionPipeline -------------------------------------------------------------------
+
+PipelineConfig lenient_pipeline(bool mitigation) {
+  PipelineConfig cfg;
+  cfg.detector.thresholds.motor_vel = Vec3::filled(1e9);
+  cfg.detector.thresholds.motor_acc = Vec3::filled(1e9);
+  cfg.detector.thresholds.joint_vel = Vec3::filled(1e9);
+  cfg.detector.ee_jump_limit = 0.0;
+  cfg.mitigation_enabled = mitigation;
+  return cfg;
+}
+
+PipelineConfig strict_pipeline(bool mitigation) {
+  PipelineConfig cfg = lenient_pipeline(mitigation);
+  cfg.detector.thresholds.motor_vel = Vec3::filled(1e-6);
+  cfg.detector.thresholds.motor_acc = Vec3::filled(1e-6);
+  cfg.detector.thresholds.joint_vel = Vec3::filled(1e-9);
+  // Any-variable fusion: a single command from rest cannot move the
+  // *joints* within one predicted step (the cable has no stretch yet),
+  // so all-three fusion needs a few committed cycles — exercised by the
+  // end-to-end tests; here we isolate the blocking path.
+  cfg.detector.fusion = FusionPolicy::kAnyVariable;
+  return cfg;
+}
+
+CommandBytes live_command(std::int16_t dac0) {
+  CommandPacket pkt;
+  pkt.state = RobotState::kPedalDown;
+  pkt.dac[0] = dac0;
+  return encode_command(pkt);
+}
+
+TEST(Pipeline, CleanCommandPassesThrough) {
+  DetectionPipeline pipe(lenient_pipeline(true));
+  pipe.observe_feedback(rest_motor_angles());
+  const CommandBytes cmd = live_command(500);
+  const auto out = pipe.process(cmd);
+  EXPECT_FALSE(out.alarm);
+  EXPECT_FALSE(out.blocked);
+  EXPECT_EQ(out.bytes, cmd);
+  EXPECT_EQ(pipe.alarms(), 0u);
+}
+
+TEST(Pipeline, StrictThresholdsBlockAndRewrite) {
+  DetectionPipeline pipe(strict_pipeline(true));
+  pipe.observe_feedback(rest_motor_angles());
+  const auto out = pipe.process(live_command(25000));
+  EXPECT_TRUE(out.alarm);
+  EXPECT_TRUE(out.blocked);
+  const auto rewritten = decode_command(out.bytes, true);
+  ASSERT_TRUE(rewritten.ok());
+  EXPECT_EQ(rewritten.value().state, RobotState::kEStop);
+  EXPECT_EQ(rewritten.value().dac[0], 0);
+  EXPECT_EQ(pipe.alarms(), 1u);
+  ASSERT_TRUE(pipe.first_alarm_tick().has_value());
+}
+
+TEST(Pipeline, ObserveOnlyDeliversDespiteAlarm) {
+  DetectionPipeline pipe(strict_pipeline(false));
+  pipe.observe_feedback(rest_motor_angles());
+  const CommandBytes cmd = live_command(25000);
+  const auto out = pipe.process(cmd);
+  EXPECT_TRUE(out.alarm);
+  EXPECT_FALSE(out.blocked);
+  EXPECT_EQ(out.bytes, cmd);
+}
+
+TEST(Pipeline, FailsClosedOnGarbage) {
+  DetectionPipeline pipe(lenient_pipeline(true));
+  pipe.observe_feedback(rest_motor_angles());
+  std::array<std::uint8_t, kCommandPacketSize> garbage{};
+  garbage[0] = 0x09;  // invalid state code
+  const auto out = pipe.process(garbage);
+  EXPECT_TRUE(out.alarm);
+  EXPECT_TRUE(out.blocked);
+  const auto rewritten = decode_command(out.bytes, true);
+  ASSERT_TRUE(rewritten.ok());
+  EXPECT_EQ(rewritten.value().state, RobotState::kEStop);
+}
+
+TEST(Pipeline, DisengagedPausesScreening) {
+  DetectionPipeline pipe(strict_pipeline(true));
+  pipe.observe_feedback(rest_motor_angles());
+  pipe.set_engaged(false);
+  const CommandBytes cmd = live_command(25000);
+  const auto out = pipe.process(cmd);
+  EXPECT_FALSE(out.alarm);
+  EXPECT_EQ(out.bytes, cmd);
+}
+
+TEST(Pipeline, ResetClearsCounters) {
+  DetectionPipeline pipe(strict_pipeline(false));
+  pipe.observe_feedback(rest_motor_angles());
+  (void)pipe.process(live_command(25000));
+  EXPECT_GT(pipe.alarms(), 0u);
+  pipe.reset();
+  EXPECT_EQ(pipe.alarms(), 0u);
+  EXPECT_EQ(pipe.commands_screened(), 0u);
+  EXPECT_FALSE(pipe.first_alarm_tick().has_value());
+}
+
+}  // namespace
+}  // namespace rg

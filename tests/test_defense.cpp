@@ -1,0 +1,147 @@
+// Unit tests for the defense module: SipHash MAC and the bump-in-the-wire
+// command sealing/verification retrofit.
+#include <gtest/gtest.h>
+
+#include "defense/bitw.hpp"
+#include "defense/mac.hpp"
+
+namespace rg {
+namespace {
+
+// --- SipHash-2-4 -----------------------------------------------------------------
+
+TEST(SipHash, ReferenceVector) {
+  // Reference test vector (SipHash-2-4, 64-bit output): key =
+  // 000102...0f, message = 00 01 02 ... 3e (63 bytes).
+  MacKey key;
+  key.k0 = 0x0706050403020100ULL;
+  key.k1 = 0x0f0e0d0c0b0a0908ULL;
+  std::vector<std::uint8_t> msg(63);
+  for (std::size_t i = 0; i < msg.size(); ++i) msg[i] = static_cast<std::uint8_t>(i);
+  EXPECT_EQ(siphash24(key, msg), 0x958a324ceb064572ULL);
+}
+
+TEST(SipHash, EmptyMessageReferenceVector) {
+  MacKey key;
+  key.k0 = 0x0706050403020100ULL;
+  key.k1 = 0x0f0e0d0c0b0a0908ULL;
+  EXPECT_EQ(siphash24(key, {}), 0x726fdb47dd0e0e31ULL);
+}
+
+TEST(SipHash, KeySensitivity) {
+  const std::vector<std::uint8_t> msg{1, 2, 3, 4, 5};
+  EXPECT_NE(siphash24(MacKey::from_seed(1), msg), siphash24(MacKey::from_seed(2), msg));
+}
+
+TEST(SipHash, MessageSensitivity) {
+  const MacKey key = MacKey::from_seed(9);
+  std::vector<std::uint8_t> a{1, 2, 3};
+  std::vector<std::uint8_t> b{1, 2, 4};
+  EXPECT_NE(siphash24(key, a), siphash24(key, b));
+}
+
+TEST(SipHash, TagBytesRoundTrip) {
+  const std::uint64_t tag = 0x0123456789abcdefULL;
+  EXPECT_EQ(tag_from_bytes(tag_bytes(tag)), tag);
+}
+
+TEST(SipHash, TagsEqual) {
+  EXPECT_TRUE(tags_equal(42, 42));
+  EXPECT_FALSE(tags_equal(42, 43));
+  EXPECT_FALSE(tags_equal(0, 1ULL << 63));
+}
+
+// --- BITW sealing -----------------------------------------------------------------
+
+CommandBytes sample_command() {
+  CommandPacket pkt;
+  pkt.state = RobotState::kPedalDown;
+  pkt.dac = {100, -200, 300, 0, 0, 0, 0, 0};
+  return encode_command(pkt);
+}
+
+TEST(Bitw, SealVerifyRoundTrip) {
+  const MacKey key = MacKey::from_seed(5);
+  CommandSealer sealer(key);
+  CommandVerifier verifier(key);
+  const CommandBytes pkt = sample_command();
+  const SealedCommandBytes frame = sealer.seal(pkt);
+  const auto out = verifier.verify(frame);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, pkt);
+  EXPECT_EQ(verifier.accepted(), 1u);
+}
+
+TEST(Bitw, TamperedPayloadRejected) {
+  const MacKey key = MacKey::from_seed(5);
+  CommandSealer sealer(key);
+  CommandVerifier verifier(key);
+  SealedCommandBytes frame = sealer.seal(sample_command());
+  frame[3] ^= 0x40;  // flip a DAC bit — the scenario-B corruption
+  EXPECT_FALSE(verifier.verify(frame).has_value());
+  EXPECT_EQ(verifier.rejected(), 1u);
+}
+
+TEST(Bitw, TamperedSequenceRejected) {
+  const MacKey key = MacKey::from_seed(5);
+  CommandSealer sealer(key);
+  CommandVerifier verifier(key);
+  SealedCommandBytes frame = sealer.seal(sample_command());
+  frame[kCommandPacketSize] ^= 0x01;  // sequence is under the MAC
+  EXPECT_FALSE(verifier.verify(frame).has_value());
+}
+
+TEST(Bitw, ReplayRejected) {
+  const MacKey key = MacKey::from_seed(5);
+  CommandSealer sealer(key);
+  CommandVerifier verifier(key);
+  const SealedCommandBytes frame = sealer.seal(sample_command());
+  ASSERT_TRUE(verifier.verify(frame).has_value());
+  EXPECT_FALSE(verifier.verify(frame).has_value());  // replayed
+}
+
+TEST(Bitw, WrongKeyRejected) {
+  CommandSealer sealer(MacKey::from_seed(5));
+  CommandVerifier verifier(MacKey::from_seed(6));
+  EXPECT_FALSE(verifier.verify(sealer.seal(sample_command())).has_value());
+}
+
+TEST(Bitw, WrongSizeRejected) {
+  CommandVerifier verifier(MacKey::from_seed(5));
+  std::vector<std::uint8_t> tiny(10, 0);
+  EXPECT_FALSE(verifier.verify(tiny).has_value());
+}
+
+TEST(Bitw, SequenceAdvances) {
+  CommandSealer sealer(MacKey::from_seed(5));
+  CommandVerifier verifier(MacKey::from_seed(5));
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(verifier.verify(sealer.seal(sample_command())).has_value());
+  }
+  EXPECT_EQ(verifier.accepted(), 5u);
+}
+
+TEST(Bitw, InProcessAttackerDefeatsTheSeal) {
+  // THE point of the comparison (paper Sec. III.D): the sealing key lives
+  // in the control process, so an LD_PRELOAD wrapper can corrupt the
+  // packet and re-seal it — BITW integrity does not close the TOCTOU gap.
+  const MacKey key = MacKey::from_seed(5);
+  CommandSealer sealer(key);
+  CommandVerifier verifier(key);
+
+  const SealedCommandBytes honest = sealer.seal(sample_command());
+
+  CommandPacket tampered_pkt = decode_command(sample_command(), false).value();
+  tampered_pkt.dac[1] = 30000;  // malicious torque
+  const SealedCommandBytes resealed =
+      reseal_with_stolen_key(key, honest, encode_command(tampered_pkt));
+
+  const auto out = verifier.verify(resealed);
+  ASSERT_TRUE(out.has_value());  // the verifier is satisfied...
+  const auto decoded = decode_command(*out, false);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().dac[1], 30000);  // ...and the malice went through
+}
+
+}  // namespace
+}  // namespace rg

@@ -1,0 +1,240 @@
+// Unit + property tests for the dynamics module: motor model, link
+// dynamics (energy consistency, gravity statics), combined model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dynamics/link_dynamics.hpp"
+#include "dynamics/motor.hpp"
+#include "dynamics/raven_model.hpp"
+
+namespace rg {
+namespace {
+
+// --- Motor model --------------------------------------------------------------
+
+TEST(Motor, TorqueProportionalToCurrent) {
+  const MotorParams p = MotorParams::re40();
+  EXPECT_DOUBLE_EQ(motor_torque(p, 1.0), p.torque_constant);
+  EXPECT_DOUBLE_EQ(motor_torque(p, -2.0), -2.0 * p.torque_constant);
+}
+
+TEST(Motor, CurrentClampedAtDriveLimit) {
+  const MotorParams p = MotorParams::re40();
+  EXPECT_DOUBLE_EQ(motor_torque(p, 100.0), p.torque_constant * p.max_current);
+  EXPECT_DOUBLE_EQ(motor_torque(p, -100.0), -p.torque_constant * p.max_current);
+}
+
+TEST(Motor, FrictionOpposesMotion) {
+  const MotorParams p = MotorParams::re40();
+  EXPECT_GT(motor_friction(p, 10.0), 0.0);
+  EXPECT_LT(motor_friction(p, -10.0), 0.0);
+  EXPECT_DOUBLE_EQ(motor_friction(p, 0.0), 0.0);
+}
+
+TEST(Motor, FrictionSmoothNearZero) {
+  const MotorParams p = MotorParams::re40();
+  // tanh smoothing: friction at tiny speed is far below the Coulomb level.
+  EXPECT_LT(motor_friction(p, 1e-4), 0.1 * p.coulomb_friction);
+}
+
+TEST(Motor, CatalogueValuesDiffer) {
+  const MotorParams re40 = MotorParams::re40();
+  const MotorParams re30 = MotorParams::re30();
+  EXPECT_GT(re40.rotor_inertia, re30.rotor_inertia);
+  EXPECT_GT(re40.max_current, re30.max_current);
+}
+
+// --- Link dynamics -------------------------------------------------------------
+
+TEST(LinkDynamics, MassDiagonalPositive) {
+  const LinkDynamics link;
+  const Vec3 mass = link.mass_diagonal(JointVector{0.3, 1.2, 0.2});
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_GT(mass[i], 0.0);
+}
+
+TEST(LinkDynamics, MassGrowsWithInsertion) {
+  const LinkDynamics link;
+  const Vec3 shallow = link.mass_diagonal(JointVector{0.0, 1.2, 0.05});
+  const Vec3 deep = link.mass_diagonal(JointVector{0.0, 1.2, 0.30});
+  EXPECT_GT(deep[0], shallow[0]);
+  EXPECT_GT(deep[1], shallow[1]);
+  EXPECT_DOUBLE_EQ(deep[2], shallow[2]);  // prismatic mass is constant
+}
+
+TEST(LinkDynamics, ForwardInverseRoundTrip) {
+  const LinkDynamics link;
+  const JointVector q{0.4, 1.1, 0.18};
+  const JointVector qdot{0.5, -0.3, 0.04};
+  const Vec3 qddot{1.0, -2.0, 0.5};
+  const Vec3 tau = link.inverse_dynamics(q, qdot, qddot);
+  const Vec3 recovered = link.acceleration(q, qdot, tau);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(recovered[i], qddot[i], 1e-9);
+}
+
+TEST(LinkDynamics, GravityStaticsAtRest) {
+  // At rest the required holding torque is exactly the gravity vector:
+  // tau_hold = G(q); for q2 < pi/2 the elbow must hold the tool up.
+  LinkParams params;
+  params.coulomb_shoulder = params.coulomb_elbow = 0.0;
+  params.coulomb_insertion = 0.0;
+  const LinkDynamics link(params);
+  const JointVector q{0.0, 0.7, 0.2};
+  const Vec3 tau = link.inverse_dynamics(q, Vec3::zero(), Vec3::zero());
+  EXPECT_DOUBLE_EQ(tau[0], 0.0);  // azimuth sees no gravity
+  EXPECT_GT(tau[1], 0.0);
+  // Insertion axis: gravity pulls the tool outward (down), so holding
+  // force is negative of that component.
+  EXPECT_NEAR(tau[2], -params.tool_mass * params.gravity * std::cos(0.7), 1e-12);
+}
+
+TEST(LinkDynamics, EnergyConservedWithoutFriction) {
+  // Frictionless pendulum swing of the elbow: mechanical energy constant.
+  LinkParams params;
+  params.viscous_shoulder = params.viscous_elbow = 0.0;
+  params.viscous_insertion = 0.0;
+  params.coulomb_shoulder = params.coulomb_elbow = 0.0;
+  params.coulomb_insertion = 0.0;
+  const LinkDynamics link(params);
+
+  JointVector q{0.0, 0.6, 0.2};
+  JointVector qdot{0.0, 0.0, 0.0};
+  const double e0 = link.mechanical_energy(q, qdot);
+
+  const double h = 1e-5;
+  for (int i = 0; i < 20000; ++i) {  // 0.2 s swing
+    // Hold q3 fixed with an ideal constraint force; let q2 swing freely.
+    const Vec3 bias = link.bias_forces(q, qdot);
+    Vec3 tau{0.0, 0.0, bias[2]};
+    const Vec3 acc = link.acceleration(q, qdot, tau);
+    qdot[1] += h * acc[1];
+    q[1] += h * qdot[1];
+  }
+  const double e1 = link.mechanical_energy(q, qdot);
+  EXPECT_NE(q[1], 0.6);  // it actually swung
+  EXPECT_NEAR(e1, e0, 5e-4 * std::abs(e0) + 1e-5);
+}
+
+TEST(LinkDynamics, FrictionDissipates) {
+  const LinkDynamics link;  // default friction
+  const JointVector q{0.0, 1.0, 0.2};
+  const JointVector qdot{1.0, 0.0, 0.0};
+  const Vec3 h = link.bias_forces(q, qdot);
+  EXPECT_GT(h[0], 0.0);  // resisting positive shoulder velocity
+}
+
+// --- Combined RavenDynamicsModel ------------------------------------------------
+
+TEST(RavenModel, RestStateIsNearEquilibrium) {
+  const RavenDynamicsModel model;
+  const JointVector q{0.0, 1.4, 0.15};
+  auto x = model.make_rest_state(q);
+  // With zero current, gravity sags the arm onto the cables a little but
+  // the state should stay near rest over 50 ms.
+  for (int i = 0; i < 1000; ++i) {
+    x = model.step(x, Vec3::zero(), 5e-5, SolverKind::kRk4);
+  }
+  const JointVector q_after = RavenDynamicsModel::joint_pos(x);
+  EXPECT_NEAR(q_after[0], q[0], 5e-3);
+  EXPECT_NEAR(q_after[1], q[1], 5e-3);
+  EXPECT_NEAR(q_after[2], q[2], 5e-3);
+}
+
+TEST(RavenModel, CableForceZeroAtConsistentRest) {
+  const RavenDynamicsModel model;
+  const auto x = model.make_rest_state(JointVector{0.2, 1.3, 0.1});
+  const Vec3 f = model.cable_force(x);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(f[i], 0.0, 1e-9);
+}
+
+TEST(RavenModel, PositiveCurrentAcceleratesMotor) {
+  const RavenDynamicsModel model;
+  const auto x = model.make_rest_state(JointVector{0.0, 1.4, 0.15});
+  const auto dx = model.derivative(x, Vec3{1.0, 0.0, 0.0});
+  EXPECT_GT(dx[3], 0.0);  // shoulder motor accelerates
+}
+
+TEST(RavenModel, SnappedCableDecouplesJoint) {
+  const RavenDynamicsModel model;
+  auto x = model.make_rest_state(JointVector{0.0, 1.4, 0.15});
+  ExternalEffects fx;
+  fx.cable_scale = {1.0, 0.0, 1.0};  // elbow cable snapped
+  // Drive the elbow motor hard; the joint must not react through the
+  // snapped cable (gravity still acts on it).
+  const auto dx = model.derivative(x, Vec3{0.0, 5.0, 0.0}, fx);
+  EXPECT_GT(dx[4], 0.0);  // motor spins up freely
+  // Joint acceleration == free response (same as zero-current snapped case).
+  const auto dx0 = model.derivative(x, Vec3::zero(), fx);
+  EXPECT_NEAR(dx[10], dx0[10], 1e-12);
+}
+
+TEST(RavenModel, ExtraMotorTorqueActsLikeCurrent) {
+  const RavenDynamicsModel model;
+  const auto x = model.make_rest_state(JointVector{0.0, 1.4, 0.15});
+  const MotorParams& mp = model.params().motors[0];
+  ExternalEffects fx;
+  fx.extra_motor_torque = Vec3{mp.torque_constant * 0.5, 0.0, 0.0};
+  const auto via_torque = model.derivative(x, Vec3::zero(), fx);
+  const auto via_current = model.derivative(x, Vec3{0.5, 0.0, 0.0});
+  EXPECT_NEAR(via_torque[3], via_current[3], 1e-9);
+}
+
+TEST(RavenModel, HardStopsPushBack) {
+  RavenDynamicsParams params;
+  params.enforce_hard_stops = true;
+  const RavenDynamicsModel model(params);
+  // Place the joint beyond its upper limit.
+  JointVector q = params.hard_stop_limits.midpoint();
+  q[0] = params.hard_stop_limits.joint(0).max + 0.05;
+  auto x = model.make_rest_state(q);
+  const auto dx = model.derivative(x, Vec3::zero());
+  EXPECT_LT(dx[9], 0.0);  // pushed back toward the limit
+}
+
+TEST(RavenModel, SolversAgreeAtSmallStep) {
+  const RavenDynamicsModel model;
+  const auto x0 = model.make_rest_state(JointVector{0.1, 1.3, 0.12});
+  const Vec3 currents{0.5, -0.3, 0.2};
+  auto xe = x0;
+  auto xr = x0;
+  for (int i = 0; i < 100; ++i) {
+    xe = model.step(xe, currents, 1e-5, SolverKind::kEuler);
+    xr = model.step(xr, currents, 1e-5, SolverKind::kRk4);
+  }
+  for (std::size_t i = 0; i < 12; ++i) {
+    EXPECT_NEAR(xe[i], xr[i], 5e-3 * (1.0 + std::abs(xr[i]))) << "state index " << i;
+  }
+}
+
+TEST(RavenModel, CalibrationErrorScalesParams) {
+  const RavenDynamicsParams base = RavenDynamicsParams::raven_defaults();
+  const RavenDynamicsParams scaled = base.with_calibration_error(0.9);
+  EXPECT_NEAR(scaled.link.tool_mass, 0.9 * base.link.tool_mass, 1e-12);
+  EXPECT_NEAR(scaled.cable_stiffness[0], 0.9 * base.cable_stiffness[0], 1e-12);
+  // Motors are catalogue values, not calibrated:
+  EXPECT_DOUBLE_EQ(scaled.motors[0].rotor_inertia, base.motors[0].rotor_inertia);
+}
+
+TEST(RavenModel, ValidatesCableParams) {
+  RavenDynamicsParams params;
+  params.cable_stiffness[0] = 0.0;
+  EXPECT_THROW(RavenDynamicsModel{params}, std::invalid_argument);
+  params = RavenDynamicsParams{};
+  params.cable_damping[1] = -1.0;
+  EXPECT_THROW(RavenDynamicsModel{params}, std::invalid_argument);
+}
+
+TEST(RavenModel, StateAccessorsRoundTrip) {
+  RavenDynamicsModel::State x{};
+  RavenDynamicsModel::set_motor_pos(x, MotorVector{1.0, 2.0, 3.0});
+  RavenDynamicsModel::set_motor_vel(x, MotorVector{4.0, 5.0, 6.0});
+  RavenDynamicsModel::set_joint_pos(x, JointVector{7.0, 8.0, 9.0});
+  RavenDynamicsModel::set_joint_vel(x, JointVector{10.0, 11.0, 12.0});
+  EXPECT_EQ(RavenDynamicsModel::motor_pos(x), (MotorVector{1.0, 2.0, 3.0}));
+  EXPECT_EQ(RavenDynamicsModel::motor_vel(x), (MotorVector{4.0, 5.0, 6.0}));
+  EXPECT_EQ(RavenDynamicsModel::joint_pos(x), (JointVector{7.0, 8.0, 9.0}));
+  EXPECT_EQ(RavenDynamicsModel::joint_vel(x), (JointVector{10.0, 11.0, 12.0}));
+}
+
+}  // namespace
+}  // namespace rg

@@ -1,0 +1,115 @@
+// Unit + property tests for the fixed-point (embedded) model variant.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/fixed_point.hpp"
+#include "core/fixed_point_model.hpp"
+
+namespace rg {
+namespace {
+
+// --- Fixed64 arithmetic -------------------------------------------------------------
+
+TEST(Fixed64, DoubleRoundTrip) {
+  for (double v : {0.0, 1.0, -1.0, 3.14159, -123.456, 1e-6, 2.0e9 / 4294967296.0}) {
+    EXPECT_NEAR(Fixed64::from_double(v).to_double(), v, 1e-9);
+  }
+}
+
+TEST(Fixed64, Arithmetic) {
+  const Fixed64 a = Fixed64::from_double(2.5);
+  const Fixed64 b = Fixed64::from_double(-1.25);
+  EXPECT_NEAR((a + b).to_double(), 1.25, 1e-9);
+  EXPECT_NEAR((a - b).to_double(), 3.75, 1e-9);
+  EXPECT_NEAR((a * b).to_double(), -3.125, 1e-9);
+  EXPECT_NEAR((-a).to_double(), -2.5, 1e-9);
+}
+
+TEST(Fixed64, MultiplyPrecision) {
+  const Fixed64 tiny = Fixed64::from_double(1.42e-5);   // rotor inertia scale
+  const Fixed64 huge = Fixed64::from_double(21000.0);   // acceleration scale
+  EXPECT_NEAR((tiny * huge).to_double(), 1.42e-5 * 21000.0, 1e-5);
+}
+
+TEST(Fixed64, ClampAbs) {
+  const Fixed64 limit = Fixed64::from_int(1);
+  EXPECT_NEAR(Fixed64::from_double(5.0).clamp_abs(limit).to_double(), 1.0, 1e-12);
+  EXPECT_NEAR(Fixed64::from_double(-5.0).clamp_abs(limit).to_double(), -1.0, 1e-12);
+  EXPECT_NEAR(Fixed64::from_double(0.3).clamp_abs(limit).to_double(), 0.3, 1e-9);
+}
+
+TEST(Fixed64, Reciprocal) {
+  EXPECT_NEAR((fixed_reciprocal(4.0) * Fixed64::from_int(8)).to_double(), 2.0, 1e-8);
+}
+
+// --- FixedPointModel ------------------------------------------------------------------
+
+TEST(FixedPointModel, StateConversionRoundTrip) {
+  RavenDynamicsModel::State x{};
+  for (std::size_t i = 0; i < 12; ++i) x[i] = 0.1 * static_cast<double>(i) - 0.5;
+  const auto fx = FixedPointModel::from_double(x);
+  const auto back = FixedPointModel::to_double(fx);
+  for (std::size_t i = 0; i < 12; ++i) EXPECT_NEAR(back[i], x[i], 1e-9);
+}
+
+TEST(FixedPointModel, SingleStepMatchesDoubleModel) {
+  const RavenDynamicsModel ref;
+  const FixedPointModel fixed;
+  const auto x0 = ref.make_rest_state(JointVector{0.1, 1.4, 0.15});
+  const Vec3 currents{0.8, -0.5, 0.3};
+
+  const auto next_ref = ref.step(x0, currents, 1e-3, SolverKind::kEuler);
+  const auto next_fix = FixedPointModel::to_double(fixed.step(
+      FixedPointModel::from_double(x0),
+      {Fixed64::from_double(currents[0]), Fixed64::from_double(currents[1]),
+       Fixed64::from_double(currents[2])},
+      Fixed64::from_double(1e-3)));
+
+  // LUT trig + piecewise-linear friction give small, bounded deviation.
+  for (std::size_t i = 0; i < 12; ++i) {
+    EXPECT_NEAR(next_fix[i], next_ref[i], 2e-3 * (1.0 + std::abs(next_ref[i])))
+        << "state index " << i;
+  }
+}
+
+TEST(FixedPointModel, TrajectoryStaysClose) {
+  // 200 ms of free response from a displaced state: the fixed-point and
+  // double models must not diverge materially.
+  const RavenDynamicsModel ref;
+  const FixedPointModel fixed;
+  auto xd = ref.make_rest_state(JointVector{0.2, 1.2, 0.18});
+  xd[3] = 5.0;  // give the shoulder motor some speed
+  auto xf = FixedPointModel::from_double(xd);
+  const std::array<Fixed64, 3> zero{};
+  const Fixed64 h = Fixed64::from_double(1e-3);
+
+  for (int i = 0; i < 200; ++i) {
+    xd = ref.step(xd, Vec3::zero(), 1e-3, SolverKind::kEuler);
+    xf = fixed.step(xf, zero, h);
+  }
+  const auto xfd = FixedPointModel::to_double(xf);
+  // Joint positions within a milliradian / tens of microns.
+  EXPECT_NEAR(xfd[6], xd[6], 2e-3);
+  EXPECT_NEAR(xfd[7], xd[7], 2e-3);
+  EXPECT_NEAR(xfd[8], xd[8], 1e-4);
+}
+
+TEST(FixedPointModel, GravitySignMatchesDoubleModel) {
+  // Physical sanity entirely inside the integer path: from rest the cable
+  // has no stretch, so the first-step insertion-rate change is pure
+  // gravity — its sign (and rough magnitude) must match the double model.
+  const FixedPointModel fixed;
+  const RavenDynamicsModel ref;
+  const auto x0 = ref.make_rest_state(JointVector{0.0, 0.6, 0.15});
+  const std::array<Fixed64, 3> zero{};
+  const auto next = fixed.step(FixedPointModel::from_double(x0), zero,
+                               Fixed64::from_double(1e-3));
+  const auto next_ref = ref.step(x0, Vec3::zero(), 1e-3, SolverKind::kEuler);
+  EXPECT_NE(next_ref[11], 0.0);
+  EXPECT_EQ(next[11].to_double() < 0.0, next_ref[11] < 0.0);
+  EXPECT_NEAR(next[11].to_double(), next_ref[11], 0.05 * std::abs(next_ref[11]) + 1e-6);
+}
+
+}  // namespace
+}  // namespace rg

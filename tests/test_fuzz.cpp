@@ -1,0 +1,125 @@
+// Fuzz-style robustness tests: every parser that consumes attacker-
+// influenced bytes must fail safe (return an error Result), never crash,
+// and never accept garbage as valid where validity is checked.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "attack/packet_analyzer.hpp"
+#include "common/rng.hpp"
+#include "defense/bitw.hpp"
+#include "hw/usb_packet.hpp"
+#include "net/itp_packet.hpp"
+#include "trajectory/recorded.hpp"
+
+namespace rg {
+namespace {
+
+std::vector<std::uint8_t> random_bytes(Pcg32& rng, std::size_t n) {
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  return out;
+}
+
+class DecoderFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DecoderFuzz, CommandDecoderNeverCrashes) {
+  Pcg32 rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    const std::size_t n = rng.uniform_int(0, 64);
+    const auto bytes = random_bytes(rng, n);
+    const auto lax = decode_command(bytes, false);
+    const auto strict = decode_command(bytes, true);
+    // Strict acceptance implies lax acceptance.
+    if (strict.ok()) {
+      EXPECT_TRUE(lax.ok());
+    }
+    // Wrong-size inputs are always rejected.
+    if (n != kCommandPacketSize) {
+      EXPECT_FALSE(lax.ok());
+      EXPECT_FALSE(strict.ok());
+    }
+  }
+}
+
+TEST_P(DecoderFuzz, FeedbackDecoderNeverCrashes) {
+  Pcg32 rng(GetParam() + 100);
+  for (int i = 0; i < 2000; ++i) {
+    const std::size_t n = rng.uniform_int(0, 80);
+    const auto bytes = random_bytes(rng, n);
+    (void)decode_feedback(bytes, false);
+    (void)decode_feedback(bytes, true);
+  }
+}
+
+TEST_P(DecoderFuzz, ItpDecoderNeverCrashes) {
+  Pcg32 rng(GetParam() + 200);
+  int strict_accepts = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const std::size_t n = rng.uniform_int(0, 64);
+    const auto bytes = random_bytes(rng, n);
+    if (decode_itp(bytes, true).ok()) ++strict_accepts;
+  }
+  // A random 30-byte buffer passes the XOR checksum with p = 1/256; over
+  // ~4000/65 correctly-sized trials expect a couple at most.
+  EXPECT_LE(strict_accepts, 5);
+}
+
+TEST_P(DecoderFuzz, BitwVerifierRejectsRandomFrames) {
+  Pcg32 rng(GetParam() + 300);
+  CommandVerifier verifier(MacKey::from_seed(1234));
+  for (int i = 0; i < 2000; ++i) {
+    const std::size_t n = rng.uniform_int(0, 64);
+    EXPECT_FALSE(verifier.verify(random_bytes(rng, n)).has_value());
+  }
+}
+
+TEST_P(DecoderFuzz, EncodedPacketsAlwaysRoundTrip) {
+  // Property: encode(decode-able struct) -> strict decode succeeds, for
+  // random field values.
+  Pcg32 rng(GetParam() + 400);
+  const RobotState states[] = {RobotState::kEStop, RobotState::kInit, RobotState::kPedalUp,
+                               RobotState::kPedalDown};
+  for (int i = 0; i < 1000; ++i) {
+    CommandPacket pkt;
+    pkt.state = states[rng.uniform_int(0, 3)];
+    pkt.watchdog_bit = rng.uniform() < 0.5;
+    for (auto& dac : pkt.dac) {
+      dac = static_cast<std::int16_t>(rng.uniform_int(0, 65535) - 32768);
+    }
+    const auto decoded = decode_command(encode_command(pkt), true);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value(), pkt);
+  }
+}
+
+TEST_P(DecoderFuzz, PacketAnalyzerHandlesRandomCaptures) {
+  Pcg32 rng(GetParam() + 500);
+  std::vector<CapturedPacket> capture;
+  const std::size_t size = rng.uniform_int(1, 40);
+  for (int i = 0; i < 300; ++i) {
+    capture.push_back(CapturedPacket{static_cast<std::uint64_t>(i), random_bytes(rng, size)});
+  }
+  PacketAnalyzer analyzer(std::move(capture));
+  (void)analyzer.infer_state();  // may fail, must not crash
+  EXPECT_EQ(analyzer.byte_profiles().size(), size);
+}
+
+TEST_P(DecoderFuzz, TrajectoryCsvParserNeverCrashes) {
+  Pcg32 rng(GetParam() + 600);
+  const char alphabet[] = "0123456789.,-e\nxyzt ";
+  for (int i = 0; i < 300; ++i) {
+    std::string text = "t,x,y,z\n";
+    const std::size_t len = rng.uniform_int(0, 200);
+    for (std::size_t j = 0; j < len; ++j) {
+      text += alphabet[rng.uniform_int(0, sizeof(alphabet) - 2)];
+    }
+    std::istringstream is(text);
+    (void)RecordedTrajectory::from_csv(is);  // Result either way, no crash
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecoderFuzz, ::testing::Values(1u, 2u, 3u));
+
+}  // namespace
+}  // namespace rg

@@ -1,0 +1,289 @@
+// Unit tests for the hardware module: USB packet codec (including the
+// unverified-checksum vulnerability), PLC watchdog, motor channels, board.
+#include <gtest/gtest.h>
+
+#include "hw/motor_controller.hpp"
+#include "hw/plc.hpp"
+#include "hw/usb_board.hpp"
+#include "hw/usb_packet.hpp"
+
+namespace rg {
+namespace {
+
+// --- Packet codec -------------------------------------------------------------
+
+CommandPacket sample_command() {
+  CommandPacket pkt;
+  pkt.state = RobotState::kPedalDown;
+  pkt.watchdog_bit = true;
+  pkt.dac = {100, -200, 3000, -4000, 0, 32767, -32768, 7};
+  return pkt;
+}
+
+TEST(UsbPacket, CommandRoundTrip) {
+  const CommandPacket pkt = sample_command();
+  const CommandBytes bytes = encode_command(pkt);
+  const auto decoded = decode_command(bytes, /*verify_checksum=*/true);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), pkt);
+}
+
+TEST(UsbPacket, CommandByte0EncodesStateAndWatchdog) {
+  CommandPacket pkt = sample_command();
+  pkt.watchdog_bit = false;
+  EXPECT_EQ(encode_command(pkt)[0], 0x0F);
+  pkt.watchdog_bit = true;
+  EXPECT_EQ(encode_command(pkt)[0], 0x1F);  // the toggling Fig-5 pattern
+}
+
+TEST(UsbPacket, CommandWrongSizeRejected) {
+  const std::vector<std::uint8_t> short_pkt(5, 0);
+  EXPECT_FALSE(decode_command(short_pkt).ok());
+}
+
+TEST(UsbPacket, CommandUnknownStateRejected) {
+  CommandBytes bytes = encode_command(sample_command());
+  bytes[0] = 0x05;  // not a valid state nibble
+  EXPECT_FALSE(decode_command(bytes).ok());
+}
+
+TEST(UsbPacket, ChecksumDetectsCorruptionWhenVerified) {
+  CommandBytes bytes = encode_command(sample_command());
+  bytes[4] ^= 0xFF;
+  const auto strict = decode_command(bytes, /*verify_checksum=*/true);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.error().code(), ErrorCode::kChecksumMismatch);
+}
+
+TEST(UsbPacket, BoardModeIgnoresCorruption) {
+  // THE vulnerability: with verify_checksum=false (how the USB board
+  // behaves) the same corrupted packet decodes fine.
+  CommandBytes bytes = encode_command(sample_command());
+  bytes[4] ^= 0xFF;
+  const auto lax = decode_command(bytes, /*verify_checksum=*/false);
+  ASSERT_TRUE(lax.ok());
+  EXPECT_NE(lax.value().dac[1], sample_command().dac[1]);
+}
+
+TEST(UsbPacket, FeedbackRoundTrip) {
+  FeedbackPacket pkt;
+  pkt.state = RobotState::kInit;
+  pkt.brakes_engaged = false;
+  pkt.encoders = {1, -1, 1000000, -1000000, 0, 2147483647, -2147483647 - 1, 42};
+  const FeedbackBytes bytes = encode_feedback(pkt);
+  const auto decoded = decode_feedback(bytes, /*verify_checksum=*/true);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), pkt);
+}
+
+TEST(UsbPacket, FeedbackChecksumSemantics) {
+  FeedbackPacket pkt;
+  pkt.state = RobotState::kPedalUp;
+  FeedbackBytes bytes = encode_feedback(pkt);
+  bytes[10] ^= 0x01;
+  EXPECT_FALSE(decode_feedback(bytes, true).ok());
+  EXPECT_TRUE(decode_feedback(bytes, false).ok());
+}
+
+TEST(UsbPacket, XorChecksumBasics) {
+  const std::vector<std::uint8_t> data{0x01, 0x02, 0x04};
+  EXPECT_EQ(xor_checksum(data), 0x07);
+  EXPECT_EQ(xor_checksum(std::span<const std::uint8_t>{}), 0x00);
+}
+
+// Parameterized: every state round-trips through both packet kinds.
+class PacketStateRoundTrip : public ::testing::TestWithParam<RobotState> {};
+
+TEST_P(PacketStateRoundTrip, Command) {
+  CommandPacket pkt;
+  pkt.state = GetParam();
+  const auto decoded = decode_command(encode_command(pkt), true);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().state, GetParam());
+}
+
+TEST_P(PacketStateRoundTrip, Feedback) {
+  FeedbackPacket pkt;
+  pkt.state = GetParam();
+  const auto decoded = decode_feedback(encode_feedback(pkt), true);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().state, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStates, PacketStateRoundTrip,
+                         ::testing::Values(RobotState::kEStop, RobotState::kInit,
+                                           RobotState::kPedalUp, RobotState::kPedalDown));
+
+// --- PLC ------------------------------------------------------------------------
+
+TEST(Plc, WatchdogToggleKeepsAlive) {
+  Plc plc(PlcConfig{.watchdog_timeout_ticks = 5});
+  bool bit = false;
+  for (int i = 0; i < 100; ++i) {
+    plc.on_command_byte0(bit, RobotState::kPedalDown);
+    bit = !bit;
+    plc.tick();
+    EXPECT_FALSE(plc.estop_latched()) << "tick " << i;
+  }
+}
+
+TEST(Plc, FrozenWatchdogLatchesEStop) {
+  Plc plc(PlcConfig{.watchdog_timeout_ticks = 5});
+  for (int i = 0; i < 3; ++i) {
+    plc.on_command_byte0(i % 2 == 0, RobotState::kPedalDown);
+    plc.tick();
+  }
+  // Watchdog stops toggling (software detected something unsafe).
+  for (int i = 0; i < 6; ++i) {
+    plc.on_command_byte0(true, RobotState::kPedalDown);
+    plc.tick();
+  }
+  EXPECT_TRUE(plc.estop_latched());
+  EXPECT_TRUE(plc.brakes_engaged());
+  EXPECT_EQ(plc.reported_state(), RobotState::kEStop);
+}
+
+TEST(Plc, NoPacketsNoLatch) {
+  Plc plc(PlcConfig{.watchdog_timeout_ticks = 3});
+  for (int i = 0; i < 100; ++i) plc.tick();
+  EXPECT_FALSE(plc.estop_latched());  // nothing to monitor yet
+}
+
+TEST(Plc, MissingPacketsAfterTrafficLatch) {
+  Plc plc(PlcConfig{.watchdog_timeout_ticks = 3});
+  plc.on_command_byte0(false, RobotState::kPedalDown);
+  for (int i = 0; i < 5; ++i) plc.tick();  // silence on the USB bus
+  EXPECT_TRUE(plc.estop_latched());
+}
+
+TEST(Plc, EstopButtonImmediate) {
+  Plc plc;
+  plc.press_estop();
+  EXPECT_TRUE(plc.estop_latched());
+  plc.press_start();
+  EXPECT_FALSE(plc.estop_latched());
+}
+
+TEST(Plc, BrakesFollowState) {
+  Plc plc;
+  plc.on_command_byte0(false, RobotState::kPedalUp);
+  EXPECT_TRUE(plc.brakes_engaged());
+  plc.on_command_byte0(true, RobotState::kPedalDown);
+  EXPECT_FALSE(plc.brakes_engaged());
+  plc.on_command_byte0(false, RobotState::kInit);
+  EXPECT_FALSE(plc.brakes_engaged());  // homing moves the arm
+  plc.on_command_byte0(true, RobotState::kEStop);
+  EXPECT_TRUE(plc.brakes_engaged());
+}
+
+TEST(Plc, EstopOverridesBrakeRelease) {
+  Plc plc;
+  plc.on_command_byte0(false, RobotState::kPedalDown);
+  plc.press_estop();
+  EXPECT_TRUE(plc.brakes_engaged());
+}
+
+// --- MotorChannel ----------------------------------------------------------------
+
+TEST(MotorChannel, DacCurrentRoundTrip) {
+  const MotorChannel ch;
+  for (double amps : {-9.0, -1.0, 0.0, 0.5, 7.25}) {
+    const std::int16_t dac = ch.dac_from_current(amps);
+    EXPECT_NEAR(ch.current_from_dac(dac), amps, 1e-3);
+  }
+}
+
+TEST(MotorChannel, DacSaturates) {
+  const MotorChannel ch;  // full scale 10 A
+  EXPECT_EQ(ch.dac_from_current(100.0), 32767);
+  EXPECT_EQ(ch.dac_from_current(-100.0), -32768);
+}
+
+TEST(MotorChannel, EncoderQuantization) {
+  const MotorChannel ch;
+  const double angle = 1.2345;
+  const std::int32_t counts = ch.counts_from_angle(angle);
+  const double back = ch.angle_from_counts(counts);
+  // Quantization error bounded by half a count.
+  EXPECT_LT(std::abs(back - angle), 0.5 / ch.config().counts_per_rad + 1e-12);
+}
+
+TEST(MotorChannel, ValidatesConfig) {
+  MotorChannelConfig cfg;
+  cfg.full_scale_current = 0.0;
+  EXPECT_THROW(MotorChannel{cfg}, std::invalid_argument);
+  cfg = MotorChannelConfig{};
+  cfg.counts_per_rad = -1.0;
+  EXPECT_THROW(MotorChannel{cfg}, std::invalid_argument);
+}
+
+// --- UsbBoard ---------------------------------------------------------------------
+
+TEST(UsbBoard, LatchesCommandAndNotifiesPlc) {
+  Plc plc;
+  UsbBoard board(plc);
+  CommandPacket pkt = sample_command();
+  const CommandBytes bytes = encode_command(pkt);
+  ASSERT_TRUE(board.receive_command(bytes).ok());
+  EXPECT_TRUE(board.has_command());
+  EXPECT_EQ(board.last_command(), pkt);
+  EXPECT_EQ(plc.reported_state(), RobotState::kPedalDown);
+}
+
+TEST(UsbBoard, AcceptsCorruptedPayload) {
+  // The board trusts whatever bytes arrive — scenario B's entry point.
+  Plc plc;
+  UsbBoard board(plc);
+  CommandBytes bytes = encode_command(sample_command());
+  bytes[3] = 0xAB;  // corrupt a DAC byte, checksum now stale
+  EXPECT_TRUE(board.receive_command(bytes).ok());
+}
+
+TEST(UsbBoard, RejectsUndecodablePacket) {
+  Plc plc;
+  UsbBoard board(plc);
+  std::vector<std::uint8_t> garbage(kCommandPacketSize, 0x00);
+  garbage[0] = 0x09;  // invalid state nibble
+  EXPECT_FALSE(board.receive_command(garbage).ok());
+  EXPECT_FALSE(board.has_command());
+}
+
+TEST(UsbBoard, CurrentsZeroBeforeFirstCommand) {
+  Plc plc;
+  UsbBoard board(plc);
+  EXPECT_EQ(board.modeled_currents(), Vec3::zero());
+}
+
+TEST(UsbBoard, CurrentsFollowDac) {
+  Plc plc;
+  UsbBoard board(plc);
+  CommandPacket pkt;
+  pkt.state = RobotState::kPedalDown;
+  pkt.dac[0] = 32767;
+  ASSERT_TRUE(board.receive_command(encode_command(pkt)).ok());
+  EXPECT_NEAR(board.modeled_currents()[0], 10.0, 1e-3);
+}
+
+TEST(UsbBoard, EncoderLatchAndFeedback) {
+  Plc plc;
+  UsbBoard board(plc);
+  board.latch_encoders(MotorVector{1.0, -2.0, 3.0});
+  EXPECT_NEAR(board.encoder_angle(0), 1.0, 0.01);
+  EXPECT_NEAR(board.encoder_angle(1), -2.0, 0.01);
+
+  const FeedbackBytes fb = board.build_feedback();
+  const auto decoded = decode_feedback(fb, true);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().state, RobotState::kEStop);  // no commands yet
+  EXPECT_TRUE(decoded.value().brakes_engaged);
+  EXPECT_NE(decoded.value().encoders[2], 0);
+}
+
+TEST(UsbBoard, OutOfRangeEncoderChannelReadsZero) {
+  Plc plc;
+  UsbBoard board(plc);
+  EXPECT_DOUBLE_EQ(board.encoder_angle(99), 0.0);
+}
+
+}  // namespace
+}  // namespace rg

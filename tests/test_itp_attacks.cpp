@@ -1,0 +1,190 @@
+// Unit tests for the console-path (scenario A) and read-path (feedback)
+// attack wrappers.
+#include <gtest/gtest.h>
+
+#include "attack/feedback_attack.hpp"
+#include "attack/itp_injection.hpp"
+#include "hw/usb_packet.hpp"
+#include "net/itp_packet.hpp"
+
+namespace rg {
+namespace {
+
+ItpBytes pedal_packet(Vec3 incr = Vec3::zero(), bool pedal = true) {
+  ItpPacket pkt;
+  pkt.pedal_down = pedal;
+  pkt.pos_increment = incr;
+  return encode_itp(pkt);
+}
+
+// --- ItpInjectionWrapper ------------------------------------------------------------
+
+TEST(ItpInjection, InflateAddsIncrement) {
+  ItpInjectionConfig cfg;
+  cfg.mode = ItpInjectionConfig::Mode::kInflateIncrement;
+  cfg.increment_magnitude = 1e-3;
+  cfg.increment_direction = Vec3{1.0, 0.0, 0.0};
+  ItpInjectionWrapper wrapper(cfg);
+  ItpBytes bytes = pedal_packet(Vec3{1e-5, 0.0, 0.0});
+  EXPECT_TRUE(wrapper.on_packet(bytes, 0));
+  const auto decoded = decode_itp(bytes, true);  // checksum re-sealed!
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_NEAR(decoded.value().pos_increment[0], 1e-3 + 1e-5, 1e-9);
+  EXPECT_EQ(wrapper.injections(), 1u);
+}
+
+TEST(ItpInjection, PreservesLegitimateFormat) {
+  // The paper's attacks preserve format/syntax: after mutation the packet
+  // still passes the software's checksum verification.
+  ItpInjectionConfig cfg;
+  cfg.mode = ItpInjectionConfig::Mode::kHijack;
+  ItpInjectionWrapper wrapper(cfg);
+  ItpBytes bytes = pedal_packet();
+  (void)wrapper.on_packet(bytes, 0);
+  EXPECT_TRUE(decode_itp(bytes, true).ok());
+}
+
+TEST(ItpInjection, IgnoresPedalUpTraffic) {
+  ItpInjectionConfig cfg;
+  cfg.mode = ItpInjectionConfig::Mode::kInflateIncrement;
+  ItpInjectionWrapper wrapper(cfg);
+  ItpBytes bytes = pedal_packet(Vec3::zero(), /*pedal=*/false);
+  const ItpBytes before = bytes;
+  EXPECT_TRUE(wrapper.on_packet(bytes, 0));
+  EXPECT_EQ(bytes, before);
+  EXPECT_EQ(wrapper.injections(), 0u);
+}
+
+TEST(ItpInjection, RandomDirectionIsUnitAndStable) {
+  ItpInjectionConfig cfg;
+  cfg.mode = ItpInjectionConfig::Mode::kInflateIncrement;
+  cfg.increment_magnitude = 1e-3;
+  cfg.seed = 4;  // direction zero => random unit chosen once
+  ItpInjectionWrapper wrapper(cfg);
+  ItpBytes a = pedal_packet();
+  ItpBytes b = pedal_packet();
+  (void)wrapper.on_packet(a, 0);
+  (void)wrapper.on_packet(b, 1);
+  const Vec3 da = decode_itp(a, true).value().pos_increment;
+  const Vec3 db = decode_itp(b, true).value().pos_increment;
+  EXPECT_NEAR(da.norm(), 1e-3, 1e-6);
+  EXPECT_NEAR(distance(da, db), 0.0, 1e-9);  // same direction each packet
+}
+
+TEST(ItpInjection, HijackReplacesOperatorMotion) {
+  ItpInjectionConfig cfg;
+  cfg.mode = ItpInjectionConfig::Mode::kHijack;
+  cfg.hijack_radius = 0.01;
+  cfg.hijack_period = 1.0;
+  ItpInjectionWrapper wrapper(cfg);
+  ItpBytes bytes = pedal_packet(Vec3{5e-4, 5e-4, 5e-4});
+  (void)wrapper.on_packet(bytes, 0);
+  const Vec3 incr = decode_itp(bytes, true).value().pos_increment;
+  // Operator motion gone; replaced by the circle's tangent step.
+  EXPECT_NEAR(incr[2], 0.0, 1e-12);
+  EXPECT_NE(incr[1], 5e-4);
+}
+
+TEST(ItpInjection, DropSuppressesDelivery) {
+  ItpInjectionConfig cfg;
+  cfg.mode = ItpInjectionConfig::Mode::kDropPackets;
+  cfg.duration_packets = 2;
+  ItpInjectionWrapper wrapper(cfg);
+  ItpBytes bytes = pedal_packet();
+  EXPECT_FALSE(wrapper.on_packet(bytes, 0));
+  EXPECT_FALSE(wrapper.on_packet(bytes, 1));
+  EXPECT_TRUE(wrapper.on_packet(bytes, 2));  // window over
+  EXPECT_EQ(wrapper.injections(), 2u);
+}
+
+TEST(ItpInjection, DelayWindowCountsPedalPacketsOnly) {
+  ItpInjectionConfig cfg;
+  cfg.mode = ItpInjectionConfig::Mode::kInflateIncrement;
+  cfg.increment_magnitude = 1e-3;
+  cfg.delay_packets = 2;
+  ItpInjectionWrapper wrapper(cfg);
+  ItpBytes up = pedal_packet(Vec3::zero(), false);
+  (void)wrapper.on_packet(up, 0);  // must not consume the delay budget
+  ItpBytes d1 = pedal_packet();
+  ItpBytes d2 = pedal_packet();
+  ItpBytes d3 = pedal_packet();
+  (void)wrapper.on_packet(d1, 1);
+  (void)wrapper.on_packet(d2, 2);
+  (void)wrapper.on_packet(d3, 3);
+  EXPECT_EQ(wrapper.injections(), 1u);
+  ASSERT_TRUE(wrapper.first_injection_tick().has_value());
+  EXPECT_EQ(*wrapper.first_injection_tick(), 3u);
+}
+
+TEST(ItpInjection, NonItpTrafficUntouched) {
+  ItpInjectionConfig cfg;
+  ItpInjectionWrapper wrapper(cfg);
+  std::array<std::uint8_t, 5> not_itp{1, 2, 3, 4, 5};
+  const auto before = not_itp;
+  EXPECT_TRUE(wrapper.on_packet(not_itp, 0));
+  EXPECT_EQ(not_itp, before);
+}
+
+// --- FeedbackAttackWrapper -----------------------------------------------------------
+
+FeedbackBytes feedback_packet(std::int32_t enc1 = 1000) {
+  FeedbackPacket pkt;
+  pkt.state = RobotState::kPedalDown;
+  pkt.brakes_engaged = false;
+  pkt.encoders[1] = enc1;
+  return encode_feedback(pkt);
+}
+
+TEST(FeedbackAttack, EncoderOffsetApplied) {
+  FeedbackAttackConfig cfg;
+  cfg.mode = FeedbackAttackConfig::Mode::kEncoderOffset;
+  cfg.target_channel = 1;
+  cfg.count_offset = 500;
+  FeedbackAttackWrapper wrapper(cfg);
+  FeedbackBytes bytes = feedback_packet(1000);
+  EXPECT_TRUE(wrapper.on_packet(bytes, 0));
+  const auto decoded = decode_feedback(bytes, true);  // checksum re-sealed
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().encoders[1], 1500);
+}
+
+TEST(FeedbackAttack, StateSpoofRewritesState) {
+  FeedbackAttackConfig cfg;
+  cfg.mode = FeedbackAttackConfig::Mode::kStateSpoof;
+  cfg.spoofed_state = RobotState::kEStop;
+  FeedbackAttackWrapper wrapper(cfg);
+  FeedbackBytes bytes = feedback_packet();
+  (void)wrapper.on_packet(bytes, 0);
+  EXPECT_EQ(decode_feedback(bytes, true).value().state, RobotState::kEStop);
+}
+
+TEST(FeedbackAttack, DelayDurationWindows) {
+  FeedbackAttackConfig cfg;
+  cfg.mode = FeedbackAttackConfig::Mode::kEncoderOffset;
+  cfg.target_channel = 1;
+  cfg.count_offset = 100;
+  cfg.delay_packets = 1;
+  cfg.duration_packets = 1;
+  FeedbackAttackWrapper wrapper(cfg);
+  FeedbackBytes a = feedback_packet(0);
+  FeedbackBytes b = feedback_packet(0);
+  FeedbackBytes c = feedback_packet(0);
+  (void)wrapper.on_packet(a, 0);
+  (void)wrapper.on_packet(b, 1);
+  (void)wrapper.on_packet(c, 2);
+  EXPECT_EQ(decode_feedback(a, true).value().encoders[1], 0);
+  EXPECT_EQ(decode_feedback(b, true).value().encoders[1], 100);
+  EXPECT_EQ(decode_feedback(c, true).value().encoders[1], 0);
+  EXPECT_EQ(wrapper.injections(), 1u);
+}
+
+TEST(FeedbackAttack, GarbageUntouched) {
+  FeedbackAttackWrapper wrapper(FeedbackAttackConfig{});
+  std::array<std::uint8_t, 4> garbage{1, 2, 3, 4};
+  const auto before = garbage;
+  EXPECT_TRUE(wrapper.on_packet(garbage, 0));
+  EXPECT_EQ(garbage, before);
+}
+
+}  // namespace
+}  // namespace rg

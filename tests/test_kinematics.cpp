@@ -1,0 +1,220 @@
+// Unit + property tests for kinematics: FK/IK consistency, Jacobian,
+// joint limits, cable coupling, math hooks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "kinematics/coupling.hpp"
+#include "kinematics/joint_limits.hpp"
+#include "kinematics/raven_kinematics.hpp"
+
+namespace rg {
+namespace {
+
+// --- JointLimits ------------------------------------------------------------
+
+TEST(JointLimits, ContainsAndClamp) {
+  const JointLimits lim = JointLimits::raven_defaults();
+  EXPECT_TRUE(lim.contains(lim.midpoint()));
+  JointVector q = lim.midpoint();
+  q[0] = 10.0;
+  EXPECT_FALSE(lim.contains(q));
+  const JointVector clamped = lim.clamp(q);
+  EXPECT_TRUE(lim.contains(clamped));
+  EXPECT_DOUBLE_EQ(clamped[0], lim.joint(0).max);
+}
+
+TEST(JointLimits, SpanAndMidpoint) {
+  constexpr JointLimit lim{-1.0, 3.0};
+  EXPECT_DOUBLE_EQ(lim.span(), 4.0);
+  EXPECT_DOUBLE_EQ(lim.midpoint(), 1.0);
+  EXPECT_TRUE(lim.contains(3.0));
+  EXPECT_FALSE(lim.contains(3.0001));
+}
+
+TEST(JointLimits, DefaultsExcludePolarSingularity) {
+  const JointLimits lim = JointLimits::raven_defaults();
+  EXPECT_GT(lim.joint(1).min, 0.0);
+  EXPECT_LT(lim.joint(1).max, kPi);
+}
+
+// --- Forward / inverse kinematics --------------------------------------------
+
+TEST(Kinematics, ForwardAtMidpoint) {
+  const RavenKinematics kin;
+  const JointVector q = kin.limits().midpoint();
+  const Position p = kin.forward(q);
+  // depth equals insertion
+  EXPECT_NEAR(p.norm(), q[2], 1e-12);
+}
+
+TEST(Kinematics, InverseFailsAtRcm) {
+  const RavenKinematics kin;
+  const auto result = kin.inverse(Position{0.0, 0.0, 0.0});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kUnreachable);
+}
+
+TEST(Kinematics, InverseFailsOnPolarAxis) {
+  const RavenKinematics kin;
+  // Straight down the polar axis: azimuth undefined.
+  const auto result = kin.inverse(Position{0.0, 0.0, -0.1});
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(Kinematics, InverseFailsOutsideLimits) {
+  const RavenKinematics kin;
+  // Reachable direction but insertion beyond the 0.3 m limit.
+  const auto result = kin.inverse(Position{0.5, 0.0, -0.5});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kUnreachable);
+}
+
+TEST(Kinematics, RcmOffsetShiftsWorkspace) {
+  const Position rcm{1.0, 2.0, 3.0};
+  const RavenKinematics kin(rcm);
+  const JointVector q = kin.limits().midpoint();
+  const Position p = kin.forward(q);
+  EXPECT_NEAR(distance(p, rcm), q[2], 1e-12);
+  const auto ik = kin.inverse(p);
+  ASSERT_TRUE(ik.ok());
+  EXPECT_NEAR(ik.value()[2], q[2], 1e-12);
+}
+
+// Property: IK(FK(q)) == q over a grid of the workspace.
+class FkIkRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FkIkRoundTrip, InverseRecoversJoints) {
+  const RavenKinematics kin;
+  Pcg32 rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    JointVector q;
+    for (std::size_t j = 0; j < 3; ++j) {
+      const JointLimit& lim = kin.limits().joint(j);
+      // Sample strictly inside to avoid boundary-rounding rejections.
+      q[j] = rng.uniform(lim.min + 0.01 * lim.span(), lim.max - 0.01 * lim.span());
+    }
+    const auto ik = kin.inverse(kin.forward(q));
+    ASSERT_TRUE(ik.ok()) << "q = (" << q[0] << "," << q[1] << "," << q[2] << ")";
+    EXPECT_NEAR(ik.value()[0], q[0], 1e-9);
+    EXPECT_NEAR(ik.value()[1], q[1], 1e-9);
+    EXPECT_NEAR(ik.value()[2], q[2], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FkIkRoundTrip, ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// Property: analytic Jacobian matches finite differences.
+class JacobianCheck : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(JacobianCheck, MatchesFiniteDifference) {
+  const RavenKinematics kin;
+  Pcg32 rng(GetParam());
+  const double eps = 1e-7;
+  for (int i = 0; i < 20; ++i) {
+    JointVector q;
+    for (std::size_t j = 0; j < 3; ++j) {
+      const JointLimit& lim = kin.limits().joint(j);
+      q[j] = rng.uniform(lim.min + 0.05 * lim.span(), lim.max - 0.05 * lim.span());
+    }
+    const Mat3 jac = kin.jacobian(q);
+    for (std::size_t col = 0; col < 3; ++col) {
+      JointVector qp = q;
+      qp[col] += eps;
+      const Vec3 fd = (kin.forward(qp) - kin.forward(q)) / eps;
+      for (std::size_t row = 0; row < 3; ++row) {
+        EXPECT_NEAR(jac(row, col), fd[row], 1e-5)
+            << "row " << row << " col " << col;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JacobianCheck, ::testing::Values(10u, 11u, 12u));
+
+TEST(Kinematics, TipSpeedMatchesNumericalDisplacement) {
+  const RavenKinematics kin;
+  const JointVector q = kin.limits().midpoint();
+  const JointVector qdot{0.1, -0.2, 0.01};
+  const double dt = 1e-7;
+  const double numeric = distance(kin.forward(q + dt * qdot), kin.forward(q)) / dt;
+  EXPECT_NEAR(kin.tip_speed(q, qdot), numeric, 1e-4);
+}
+
+TEST(Kinematics, MathHooksInterposition) {
+  RavenKinematics kin;
+  const JointVector q = kin.limits().midpoint();
+  const Position honest = kin.forward(q);
+
+  // A "malicious libm" that biases sin by a constant.
+  static constexpr double kBias = 0.01;
+  MathHooks evil = MathHooks::libm();
+  evil.sin = [](double x) { return std::sin(x) + kBias; };
+  kin.set_math_hooks(evil);
+  const Position drifted = kin.forward(q);
+  EXPECT_GT(distance(honest, drifted), 1e-4);
+
+  kin.set_math_hooks(MathHooks::libm());
+  EXPECT_EQ(kin.forward(q), honest);
+}
+
+// --- Cable coupling -----------------------------------------------------------
+
+TEST(Coupling, MotorJointRoundTrip) {
+  const CableCoupling coupling;
+  const JointVector q{0.3, 1.2, 0.15};
+  const MotorVector m = coupling.joint_to_motor(q);
+  const JointVector back = coupling.motor_to_joint(m);
+  EXPECT_NEAR(back[0], q[0], 1e-12);
+  EXPECT_NEAR(back[1], q[1], 1e-12);
+  EXPECT_NEAR(back[2], q[2], 1e-12);
+}
+
+TEST(Coupling, GearRatiosApply) {
+  TransmissionParams p;
+  p.elbow_shoulder_coupling = 0.0;
+  p.insertion_posture_coupling = 0.0;
+  const CableCoupling coupling(p);
+  const JointVector q = coupling.motor_to_joint(MotorVector{p.shoulder_ratio, 0.0, 0.0});
+  EXPECT_NEAR(q[0], 1.0, 1e-12);
+  EXPECT_NEAR(q[1], 0.0, 1e-12);
+}
+
+TEST(Coupling, OffDiagonalCouplingVisible) {
+  const CableCoupling coupling;  // default has elbow-shoulder coupling
+  const JointVector q = coupling.motor_to_joint(MotorVector{1.0, 0.0, 0.0});
+  EXPECT_NE(q[1], 0.0);  // shoulder motor motion leaks into elbow joint
+}
+
+TEST(Coupling, VelocityMapMatchesPositionMap) {
+  const CableCoupling coupling;
+  const MotorVector mvel{3.0, -2.0, 10.0};
+  EXPECT_EQ(coupling.motor_to_joint_velocity(mvel), coupling.motor_to_joint(mvel));
+}
+
+TEST(Coupling, TorqueDualityConservesPower) {
+  // Power balance: tau_m . omega_m == tau_j . qdot_j when qdot = C omega.
+  const CableCoupling coupling;
+  const Vec3 tau_j{1.5, -0.7, 20.0};
+  const MotorVector omega{2.0, 3.0, -40.0};
+  const JointVector qdot = coupling.motor_to_joint_velocity(omega);
+  const MotorVector tau_m = coupling.joint_torque_to_motor(tau_j);
+  EXPECT_NEAR(tau_m.dot(omega), tau_j.dot(qdot), 1e-9);
+}
+
+TEST(Coupling, ValidatesParams) {
+  TransmissionParams p;
+  p.shoulder_ratio = 0.0;
+  EXPECT_THROW(CableCoupling{p}, std::invalid_argument);
+  p = TransmissionParams{};
+  p.elbow_shoulder_coupling = 1.0;
+  EXPECT_THROW(CableCoupling{p}, std::invalid_argument);
+  p = TransmissionParams{};
+  p.insertion_m_per_rad = -1.0;
+  EXPECT_THROW(CableCoupling{p}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rg

@@ -1,0 +1,277 @@
+// Unit tests for the math module: vectors, matrices, statistics, filters.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/filters.hpp"
+#include "math/mat.hpp"
+#include "math/stats.hpp"
+#include "math/vec.hpp"
+
+namespace rg {
+namespace {
+
+// --- Vec --------------------------------------------------------------------
+
+TEST(Vec, ArithmeticOps) {
+  const Vec3 a{1.0, 2.0, 3.0};
+  const Vec3 b{4.0, 5.0, 6.0};
+  EXPECT_EQ(a + b, (Vec3{5.0, 7.0, 9.0}));
+  EXPECT_EQ(b - a, (Vec3{3.0, 3.0, 3.0}));
+  EXPECT_EQ(2.0 * a, (Vec3{2.0, 4.0, 6.0}));
+  EXPECT_EQ(a * 2.0, (Vec3{2.0, 4.0, 6.0}));
+  EXPECT_EQ(a / 2.0, (Vec3{0.5, 1.0, 1.5}));
+  EXPECT_EQ(-a, (Vec3{-1.0, -2.0, -3.0}));
+}
+
+TEST(Vec, DotAndNorm) {
+  const Vec3 a{3.0, 4.0, 0.0};
+  EXPECT_DOUBLE_EQ(a.dot(a), 25.0);
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.norm_inf(), 4.0);
+}
+
+TEST(Vec, CrossProduct) {
+  const Vec3 x{1.0, 0.0, 0.0};
+  const Vec3 y{0.0, 1.0, 0.0};
+  EXPECT_EQ(cross(x, y), (Vec3{0.0, 0.0, 1.0}));
+  EXPECT_EQ(cross(y, x), (Vec3{0.0, 0.0, -1.0}));
+  // a x a = 0
+  const Vec3 a{2.0, -3.0, 5.0};
+  EXPECT_DOUBLE_EQ(cross(a, a).norm(), 0.0);
+}
+
+TEST(Vec, DistanceAndClamp) {
+  EXPECT_DOUBLE_EQ(distance(Vec3{0.0, 0.0, 0.0}, Vec3{1.0, 2.0, 2.0}), 3.0);
+  EXPECT_EQ(clamp(Vec3{-5.0, 0.5, 5.0}, -1.0, 1.0), (Vec3{-1.0, 0.5, 1.0}));
+}
+
+TEST(Vec, FilledAndZero) {
+  EXPECT_EQ(Vec3::zero(), (Vec3{0.0, 0.0, 0.0}));
+  EXPECT_EQ(Vec3::filled(2.5), (Vec3{2.5, 2.5, 2.5}));
+}
+
+TEST(Vec, HighDimension) {
+  Vec<12> x = Vec<12>::filled(1.0);
+  const Vec<12> y = 2.0 * x;
+  EXPECT_DOUBLE_EQ(y.dot(x), 24.0);
+  EXPECT_DOUBLE_EQ(y.norm_inf(), 2.0);
+}
+
+TEST(Vec, InitializerSizeMismatchThrows) {
+  EXPECT_THROW((Vec3{1.0, 2.0}), std::invalid_argument);
+}
+
+// --- Mat3 -------------------------------------------------------------------
+
+TEST(Mat3, IdentityActsTrivially) {
+  const Mat3 id = Mat3::identity();
+  const Vec3 v{1.0, -2.0, 3.0};
+  EXPECT_EQ(id * v, v);
+  EXPECT_EQ(id * id, id);
+}
+
+TEST(Mat3, DiagonalScale) {
+  const Mat3 d = Mat3::diagonal(2.0, 3.0, 4.0);
+  EXPECT_EQ(d * (Vec3{1.0, 1.0, 1.0}), (Vec3{2.0, 3.0, 4.0}));
+  EXPECT_DOUBLE_EQ(d.determinant(), 24.0);
+}
+
+TEST(Mat3, InverseRoundTrip) {
+  Mat3 m;
+  m(0, 0) = 2.0; m(0, 1) = 1.0; m(0, 2) = 0.0;
+  m(1, 0) = -1.0; m(1, 1) = 3.0; m(1, 2) = 0.5;
+  m(2, 0) = 0.2; m(2, 1) = 0.0; m(2, 2) = 1.5;
+  const Mat3 inv = m.inverse();
+  const Mat3 prod = m * inv;
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(prod(i, j), i == j ? 1.0 : 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(Mat3, SingularInverseThrows) {
+  Mat3 m;  // all zeros
+  EXPECT_THROW((void)m.inverse(), std::domain_error);
+}
+
+TEST(Mat3, TransposeInvolution) {
+  Mat3 m;
+  m(0, 1) = 5.0;
+  m(2, 0) = -3.0;
+  EXPECT_EQ(m.transpose().transpose(), m);
+  EXPECT_DOUBLE_EQ(m.transpose()(1, 0), 5.0);
+}
+
+// --- stats ------------------------------------------------------------------
+
+TEST(Stats, MeanAndStddev) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_NEAR(stddev(xs), 2.138, 1e-3);
+}
+
+TEST(Stats, EmptyInputsAreZero) {
+  const std::vector<double> xs;
+  EXPECT_DOUBLE_EQ(mean(xs), 0.0);
+  EXPECT_DOUBLE_EQ(stddev(xs), 0.0);
+  EXPECT_DOUBLE_EQ(min_value(xs), 0.0);
+  EXPECT_DOUBLE_EQ(max_value(xs), 0.0);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> xs{3.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(min_value(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max_value(xs), 7.0);
+}
+
+TEST(Stats, MaeAndRmse) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{2.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(mean_absolute_error(a, b), 1.0);
+  EXPECT_NEAR(rms_error(a, b), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Stats, MaeLengthMismatchThrows) {
+  const std::vector<double> a{1.0};
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW((void)mean_absolute_error(a, b), std::invalid_argument);
+  EXPECT_THROW((void)rms_error(a, b), std::invalid_argument);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 2.5);
+}
+
+TEST(Stats, PercentileSingleElement) {
+  const std::vector<double> xs{5.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 99.9), 5.0);
+}
+
+TEST(Stats, PercentileValidation) {
+  const std::vector<double> xs{1.0};
+  const std::vector<double> empty;
+  EXPECT_THROW((void)percentile(empty, 50.0), std::invalid_argument);
+  EXPECT_THROW((void)percentile(xs, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)percentile(xs, 101.0), std::invalid_argument);
+}
+
+TEST(Stats, PercentileUnsortedInput) {
+  const std::vector<double> xs{9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 5.0);
+}
+
+TEST(RunningStats, MatchesBatch) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_DOUBLE_EQ(rs.mean(), mean(xs));
+  EXPECT_NEAR(rs.stddev(), stddev(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyAndReset) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  rs.add(3.0);
+  rs.reset();
+  EXPECT_EQ(rs.count(), 0u);
+}
+
+// --- filters ----------------------------------------------------------------
+
+TEST(LowPassFilter, ValidatesAlpha) {
+  EXPECT_THROW(LowPassFilter(0.0), std::invalid_argument);
+  EXPECT_THROW(LowPassFilter(1.5), std::invalid_argument);
+  EXPECT_NO_THROW(LowPassFilter(1.0));
+}
+
+TEST(LowPassFilter, PrimesOnFirstSample) {
+  LowPassFilter f(0.1);
+  EXPECT_DOUBLE_EQ(f.update(10.0), 10.0);
+}
+
+TEST(LowPassFilter, ConvergesToConstant) {
+  LowPassFilter f(0.2);
+  f.update(0.0);
+  double y = 0.0;
+  for (int i = 0; i < 100; ++i) y = f.update(5.0);
+  EXPECT_NEAR(y, 5.0, 1e-6);
+}
+
+TEST(LowPassFilter, AlphaOnePassesThrough) {
+  LowPassFilter f(1.0);
+  f.update(0.0);
+  EXPECT_DOUBLE_EQ(f.update(7.0), 7.0);
+}
+
+TEST(LowPassFilter, FromCutoffValidation) {
+  EXPECT_THROW(LowPassFilter::from_cutoff(0.0, 0.001), std::invalid_argument);
+  EXPECT_THROW(LowPassFilter::from_cutoff(10.0, 0.0), std::invalid_argument);
+  LowPassFilter f = LowPassFilter::from_cutoff(10.0, 0.001);
+  f.update(0.0);
+  EXPECT_GT(f.update(1.0), 0.0);
+}
+
+TEST(MovingAverage, WindowBehaviour) {
+  MovingAverage ma(3);
+  EXPECT_DOUBLE_EQ(ma.update(3.0), 3.0);
+  EXPECT_DOUBLE_EQ(ma.update(6.0), 4.5);
+  EXPECT_DOUBLE_EQ(ma.update(9.0), 6.0);
+  EXPECT_DOUBLE_EQ(ma.update(12.0), 9.0);  // 3 dropped
+  EXPECT_EQ(ma.count(), 3u);
+}
+
+TEST(MovingAverage, ValidatesWindow) {
+  EXPECT_THROW(MovingAverage(0), std::invalid_argument);
+}
+
+TEST(MovingAverage, Reset) {
+  MovingAverage ma(2);
+  ma.update(5.0);
+  ma.reset();
+  EXPECT_DOUBLE_EQ(ma.value(), 0.0);
+  EXPECT_EQ(ma.count(), 0u);
+}
+
+TEST(Differentiator, RampDerivative) {
+  Differentiator d(0.001);  // no smoothing
+  d.update(0.0);
+  double v = 0.0;
+  for (int i = 1; i <= 10; ++i) v = d.update(0.002 * i);
+  EXPECT_NEAR(v, 2.0, 1e-9);
+}
+
+TEST(Differentiator, FirstSampleGivesZero) {
+  Differentiator d(0.001);
+  EXPECT_DOUBLE_EQ(d.update(42.0), 0.0);
+}
+
+TEST(Differentiator, SmoothingLagsStep) {
+  Differentiator d(0.001, 0.2);
+  d.update(0.0);
+  const double v1 = d.update(0.001);  // true derivative 1.0
+  EXPECT_LT(v1, 1.0);
+  EXPECT_GT(v1, 0.0);
+}
+
+TEST(Differentiator, ValidatesDt) {
+  EXPECT_THROW(Differentiator(0.0), std::invalid_argument);
+}
+
+TEST(Differentiator, Reset) {
+  Differentiator d(0.001);
+  d.update(1.0);
+  d.reset();
+  EXPECT_DOUBLE_EQ(d.update(5.0), 0.0);
+}
+
+}  // namespace
+}  // namespace rg

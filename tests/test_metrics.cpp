@@ -1,0 +1,63 @@
+// Unit tests for detection metrics (Table IV's ACC/TPR/FPR/F1).
+#include <gtest/gtest.h>
+
+#include "sim/metrics.hpp"
+
+namespace rg {
+namespace {
+
+TEST(ConfusionMatrix, CountsCells) {
+  ConfusionMatrix cm;
+  cm.add(true, true);    // TP
+  cm.add(true, false);   // FN
+  cm.add(false, true);   // FP
+  cm.add(false, false);  // TN
+  EXPECT_EQ(cm.tp, 1u);
+  EXPECT_EQ(cm.fn, 1u);
+  EXPECT_EQ(cm.fp, 1u);
+  EXPECT_EQ(cm.tn, 1u);
+  EXPECT_EQ(cm.total(), 4u);
+}
+
+TEST(ConfusionMatrix, PerfectClassifier) {
+  ConfusionMatrix cm;
+  for (int i = 0; i < 10; ++i) cm.add(true, true);
+  for (int i = 0; i < 90; ++i) cm.add(false, false);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.tpr(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.fpr(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.f1(), 1.0);
+}
+
+TEST(ConfusionMatrix, KnownValues) {
+  // TP=8, FN=2, FP=3, TN=7.
+  ConfusionMatrix cm{.tp = 8, .fp = 3, .tn = 7, .fn = 2};
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 15.0 / 20.0);
+  EXPECT_DOUBLE_EQ(cm.tpr(), 0.8);
+  EXPECT_DOUBLE_EQ(cm.fpr(), 0.3);
+  EXPECT_DOUBLE_EQ(cm.precision(), 8.0 / 11.0);
+  const double p = 8.0 / 11.0;
+  const double r = 0.8;
+  EXPECT_DOUBLE_EQ(cm.f1(), 2.0 * p * r / (p + r));
+}
+
+TEST(ConfusionMatrix, EmptyIsZeroNotNan) {
+  ConfusionMatrix cm;
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.tpr(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.fpr(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.f1(), 0.0);
+}
+
+TEST(ConfusionMatrix, DegenerateAllNegative) {
+  ConfusionMatrix cm;
+  for (int i = 0; i < 5; ++i) cm.add(false, false);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.tpr(), 0.0);  // no positives: defined as 0
+  EXPECT_DOUBLE_EQ(cm.f1(), 0.0);
+}
+
+}  // namespace
+}  // namespace rg

@@ -1,0 +1,214 @@
+// Unit tests for the network module: ITP codec, UDP channel simulation,
+// master console emulator.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/itp_packet.hpp"
+#include "net/master_console.hpp"
+#include "net/udp_channel.hpp"
+#include "trajectory/trajectory.hpp"
+
+namespace rg {
+namespace {
+
+// --- ITP codec ------------------------------------------------------------------
+
+TEST(ItpPacket, RoundTrip) {
+  ItpPacket pkt;
+  pkt.sequence = 123456;
+  pkt.pedal_down = true;
+  pkt.pos_increment = Vec3{1.5e-5, -2.5e-6, 9.9e-4};
+  pkt.ori_increment = Vec3{1e-4, -1e-4, 0.0};
+  const ItpBytes bytes = encode_itp(pkt);
+  const auto decoded = decode_itp(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().sequence, pkt.sequence);
+  EXPECT_TRUE(decoded.value().pedal_down);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(decoded.value().pos_increment[i], pkt.pos_increment[i], 1e-9);
+    EXPECT_NEAR(decoded.value().ori_increment[i], pkt.ori_increment[i], 1e-6);
+  }
+}
+
+TEST(ItpPacket, ChecksumVerified) {
+  ItpBytes bytes = encode_itp(ItpPacket{});
+  bytes[6] ^= 0x10;
+  const auto decoded = decode_itp(bytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code(), ErrorCode::kChecksumMismatch);
+  // ... unless the caller (an in-process attacker) asks not to verify.
+  EXPECT_TRUE(decode_itp(bytes, false).ok());
+}
+
+TEST(ItpPacket, WrongSizeRejected) {
+  const std::vector<std::uint8_t> tiny(4, 0);
+  EXPECT_FALSE(decode_itp(tiny).ok());
+}
+
+TEST(ItpPacket, QuantizationSaturatesHugeIncrements) {
+  ItpPacket pkt;
+  pkt.pos_increment = Vec3{1.0e10, -1.0e10, 0.0};  // absurd metres
+  const auto decoded = decode_itp(encode_itp(pkt));
+  ASSERT_TRUE(decoded.ok());
+  // Saturated to the int32 nm limit (~2.147 m), not wrapped to nonsense.
+  EXPECT_NEAR(decoded.value().pos_increment[0], 2.147483647, 1e-6);
+  EXPECT_NEAR(decoded.value().pos_increment[1], -2.147483648, 1e-6);
+}
+
+TEST(ItpPacket, PedalFlagIsolated) {
+  ItpPacket pkt;
+  pkt.pedal_down = false;
+  EXPECT_FALSE(decode_itp(encode_itp(pkt)).value().pedal_down);
+  pkt.pedal_down = true;
+  EXPECT_TRUE(decode_itp(encode_itp(pkt)).value().pedal_down);
+}
+
+// --- UdpChannel -------------------------------------------------------------------
+
+TEST(UdpChannel, PerfectLinkDeliversInOrder) {
+  UdpChannel ch;
+  ch.send({1});
+  ch.send({2});
+  ch.tick();
+  auto a = ch.receive();
+  auto b = ch.receive();
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ((*a)[0], 1);
+  EXPECT_EQ((*b)[0], 2);
+  EXPECT_FALSE(ch.receive().has_value());
+}
+
+TEST(UdpChannel, DelayHoldsDelivery) {
+  UdpChannelConfig cfg;
+  cfg.min_delay_ticks = 3;
+  UdpChannel ch(cfg);
+  ch.send({7});
+  for (int i = 0; i < 2; ++i) {
+    ch.tick();
+    EXPECT_FALSE(ch.receive().has_value());
+  }
+  ch.tick();
+  EXPECT_TRUE(ch.receive().has_value());
+}
+
+TEST(UdpChannel, FullLossDropsEverything) {
+  UdpChannelConfig cfg;
+  cfg.loss_probability = 1.0;
+  UdpChannel ch(cfg);
+  for (int i = 0; i < 10; ++i) ch.send({static_cast<std::uint8_t>(i)});
+  ch.tick();
+  EXPECT_FALSE(ch.receive().has_value());
+  EXPECT_EQ(ch.datagrams_dropped(), 10u);
+}
+
+TEST(UdpChannel, PartialLossApproximatesRate) {
+  UdpChannelConfig cfg;
+  cfg.loss_probability = 0.3;
+  cfg.seed = 99;
+  UdpChannel ch(cfg);
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) ch.send({0});
+  const double rate = static_cast<double>(ch.datagrams_dropped()) / n;
+  EXPECT_NEAR(rate, 0.3, 0.03);
+}
+
+TEST(UdpChannel, ValidatesLossProbability) {
+  UdpChannelConfig cfg;
+  cfg.loss_probability = 1.5;
+  EXPECT_THROW(UdpChannel{cfg}, std::invalid_argument);
+}
+
+TEST(UdpChannel, DeterministicForSeed) {
+  UdpChannelConfig cfg;
+  cfg.loss_probability = 0.5;
+  cfg.seed = 5;
+  UdpChannel a(cfg), b(cfg);
+  for (int i = 0; i < 100; ++i) {
+    a.send({1});
+    b.send({1});
+  }
+  EXPECT_EQ(a.datagrams_dropped(), b.datagrams_dropped());
+}
+
+// --- PedalSchedule / MasterConsole ---------------------------------------------------
+
+TEST(PedalSchedule, IntervalSemantics) {
+  const PedalSchedule sched{{{1.0, 2.0}, {3.0, 4.0}}};
+  EXPECT_FALSE(sched.pedal_down_at(0.5));
+  EXPECT_TRUE(sched.pedal_down_at(1.0));
+  EXPECT_TRUE(sched.pedal_down_at(1.999));
+  EXPECT_FALSE(sched.pedal_down_at(2.0));
+  EXPECT_TRUE(sched.pedal_down_at(3.5));
+}
+
+TEST(PedalSchedule, HoldFrom) {
+  const PedalSchedule sched = PedalSchedule::hold_from(1.2);
+  EXPECT_FALSE(sched.pedal_down_at(1.19));
+  EXPECT_TRUE(sched.pedal_down_at(1.2));
+  EXPECT_TRUE(sched.pedal_down_at(1e6));
+}
+
+std::shared_ptr<const Trajectory> line_trajectory() {
+  return std::make_shared<WaypointTrajectory>(
+      std::vector<Position>{Position{0.1, 0.0, -0.1}, Position{0.12, 0.0, -0.1}},
+      /*speed=*/0.02);
+}
+
+TEST(MasterConsole, FirstPedalPacketHasZeroIncrement) {
+  MasterConsole console(line_trajectory(), PedalSchedule::hold_from(0.0));
+  const ItpPacket first = console.tick();
+  EXPECT_TRUE(first.pedal_down);
+  EXPECT_DOUBLE_EQ(first.pos_increment.norm(), 0.0);
+}
+
+TEST(MasterConsole, IncrementsSumToTrajectoryDisplacement) {
+  auto traj = line_trajectory();
+  MasterConsole console(traj, PedalSchedule::hold_from(0.0));
+  Vec3 total = Vec3::zero();
+  const int ticks = static_cast<int>(traj->duration() * 1000.0) + 100;
+  for (int i = 0; i < ticks; ++i) total += console.tick().pos_increment;
+  const Vec3 expected = traj->position(traj->duration()) - traj->position(0.0);
+  EXPECT_NEAR(distance(total, expected), 0.0, 1e-6);
+  EXPECT_TRUE(console.finished());
+}
+
+TEST(MasterConsole, PedalUpSendsNoMotion) {
+  MasterConsole console(line_trajectory(), PedalSchedule{{{0.5, 1.0}}});
+  for (int i = 0; i < 100; ++i) {  // first 100 ms: pedal up
+    const ItpPacket pkt = console.tick();
+    EXPECT_FALSE(pkt.pedal_down);
+    EXPECT_DOUBLE_EQ(pkt.pos_increment.norm(), 0.0);
+  }
+}
+
+TEST(MasterConsole, TrajectoryTimeFreezesWhilePedalUp) {
+  MasterConsole console(line_trajectory(), PedalSchedule{{{0.0, 0.1}, {0.2, 0.3}}});
+  for (int i = 0; i < 150; ++i) (void)console.tick();
+  const double t_at_150 = console.trajectory_time();
+  EXPECT_NEAR(t_at_150, 0.1, 1e-9);  // only the pedal-down time advanced
+}
+
+TEST(MasterConsole, SequenceNumbersIncrease) {
+  MasterConsole console(line_trajectory(), PedalSchedule::hold_from(0.0));
+  const ItpPacket a = console.tick();
+  const ItpPacket b = console.tick();
+  EXPECT_EQ(b.sequence, a.sequence + 1);
+}
+
+TEST(MasterConsole, NullTrajectoryThrows) {
+  EXPECT_THROW(MasterConsole(nullptr, PedalSchedule::hold_from(0.0)), std::invalid_argument);
+}
+
+TEST(MasterConsole, ReanchorsAfterPedalLift) {
+  // After a pedal lift + re-press, the first new packet must again carry a
+  // zero increment (no jump from trajectory progress made while up).
+  MasterConsole console(line_trajectory(), PedalSchedule{{{0.0, 0.05}, {0.1, 1.0}}});
+  for (int i = 0; i < 100; ++i) (void)console.tick();
+  const ItpPacket rearm = console.tick();  // t = 0.100 s: pedal just pressed
+  EXPECT_TRUE(rearm.pedal_down);
+  EXPECT_DOUBLE_EQ(rearm.pos_increment.norm(), 0.0);
+}
+
+}  // namespace
+}  // namespace rg

@@ -1,0 +1,156 @@
+// Unit + property tests for the ODE integrators: convergence orders,
+// dispatch, fixed/adaptive integration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/vec.hpp"
+#include "ode/integrators.hpp"
+
+namespace rg {
+namespace {
+
+// dx/dt = -x, x(0) = 1  =>  x(t) = e^{-t}
+const auto kDecay = [](double, const Vec<1>& x) { return Vec<1>{-x[0]}; };
+
+// Harmonic oscillator: x'' = -x as first-order system [x, v].
+const auto kOscillator = [](double, const Vec<2>& s) { return Vec<2>{s[1], -s[0]}; };
+
+double decay_error(SolverKind kind, double h) {
+  Vec<1> x{1.0};
+  x = integrate_fixed(kind, kDecay, 0.0, x, 1.0, h);
+  return std::abs(x[0] - std::exp(-1.0));
+}
+
+TEST(Integrators, EulerIsFirstOrder) {
+  const double e1 = decay_error(SolverKind::kEuler, 0.01);
+  const double e2 = decay_error(SolverKind::kEuler, 0.005);
+  EXPECT_NEAR(e1 / e2, 2.0, 0.2);  // halving h halves the error
+}
+
+TEST(Integrators, MidpointIsSecondOrder) {
+  const double e1 = decay_error(SolverKind::kMidpoint, 0.01);
+  const double e2 = decay_error(SolverKind::kMidpoint, 0.005);
+  EXPECT_NEAR(e1 / e2, 4.0, 0.5);
+}
+
+TEST(Integrators, Rk4IsFourthOrder) {
+  const double e1 = decay_error(SolverKind::kRk4, 0.02);
+  const double e2 = decay_error(SolverKind::kRk4, 0.01);
+  EXPECT_NEAR(e1 / e2, 16.0, 3.0);
+}
+
+TEST(Integrators, AccuracyRanking) {
+  const double h = 0.01;
+  const double euler = decay_error(SolverKind::kEuler, h);
+  const double mid = decay_error(SolverKind::kMidpoint, h);
+  const double rk4 = decay_error(SolverKind::kRk4, h);
+  EXPECT_GT(euler, mid);
+  EXPECT_GT(mid, rk4);
+}
+
+TEST(Integrators, Rkf45FixedStepAccurate) {
+  EXPECT_LT(decay_error(SolverKind::kRkf45, 0.01), 1e-10);
+}
+
+TEST(Integrators, Rkf45ErrorEstimatePositiveAndSmall) {
+  const Vec<1> x{1.0};
+  const auto [x5, err] = rkf45_step<Vec<1>>(kDecay, 0.0, x, 0.01);
+  EXPECT_GT(err, 0.0);
+  EXPECT_LT(err, 1e-8);
+  EXPECT_NEAR(x5[0], std::exp(-0.01), 1e-10);
+}
+
+TEST(Integrators, OscillatorEnergyConservationRk4) {
+  Vec<2> s{1.0, 0.0};
+  s = integrate_fixed(SolverKind::kRk4, kOscillator, 0.0, s, 2.0 * 3.14159265358979, 0.001);
+  // One full period returns to the start.
+  EXPECT_NEAR(s[0], 1.0, 1e-8);
+  EXPECT_NEAR(s[1], 0.0, 1e-8);
+}
+
+TEST(Integrators, OscillatorEulerGainsEnergy) {
+  // Explicit Euler spirals outward on a pure oscillator — a well-known
+  // property that motivates damping in the robot model.
+  Vec<2> s{1.0, 0.0};
+  s = integrate_fixed(SolverKind::kEuler, kOscillator, 0.0, s, 10.0, 0.01);
+  const double energy = s[0] * s[0] + s[1] * s[1];
+  EXPECT_GT(energy, 1.0);
+}
+
+TEST(Integrators, FixedStepHandlesPartialFinalStep) {
+  // duration not a multiple of h: must land exactly on t_end.
+  Vec<1> x{1.0};
+  x = integrate_fixed(SolverKind::kRk4, kDecay, 0.0, x, 0.35, 0.1);
+  EXPECT_NEAR(x[0], std::exp(-0.35), 1e-6);
+}
+
+TEST(Integrators, FixedStepZeroDurationIsIdentity) {
+  Vec<1> x{2.5};
+  x = integrate_fixed(SolverKind::kEuler, kDecay, 0.0, x, 0.0, 0.1);
+  EXPECT_DOUBLE_EQ(x[0], 2.5);
+}
+
+TEST(Integrators, FixedStepValidation) {
+  Vec<1> x{1.0};
+  EXPECT_THROW((void)integrate_fixed(SolverKind::kEuler, kDecay, 0.0, x, 1.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)integrate_fixed(SolverKind::kEuler, kDecay, 0.0, x, -1.0, 0.1),
+               std::invalid_argument);
+}
+
+TEST(Integrators, AdaptiveMatchesAnalytic) {
+  Vec<1> x{1.0};
+  x = integrate_adaptive(kDecay, 0.0, x, 2.0, 1e-10, 0.1, 1e-6, 0.5);
+  EXPECT_NEAR(x[0], std::exp(-2.0), 1e-8);
+}
+
+TEST(Integrators, AdaptiveValidation) {
+  Vec<1> x{1.0};
+  EXPECT_THROW((void)integrate_adaptive(kDecay, 0.0, x, 1.0, 0.0, 0.1, 1e-6, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW((void)integrate_adaptive(kDecay, 0.0, x, 1.0, 1e-8, 0.1, 0.0, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW((void)integrate_adaptive(kDecay, 0.0, x, 1.0, 1e-8, 0.1, 1e-3, 1e-4),
+               std::invalid_argument);
+}
+
+TEST(Integrators, SolverNames) {
+  EXPECT_EQ(to_string(SolverKind::kEuler), "Euler");
+  EXPECT_EQ(to_string(SolverKind::kRk4), "RK4");
+  EXPECT_EQ(to_string(SolverKind::kMidpoint), "Midpoint");
+  EXPECT_EQ(to_string(SolverKind::kRkf45), "RKF45");
+}
+
+// Property sweep: every solver must agree with the analytic solution as
+// h -> 0 on the decay problem.
+class SolverConvergence : public ::testing::TestWithParam<SolverKind> {};
+
+TEST_P(SolverConvergence, ConvergesToAnalyticSolution) {
+  EXPECT_LT(decay_error(GetParam(), 0.0005), 1e-3);
+}
+
+TEST_P(SolverConvergence, SingleStepMatchesDispatch) {
+  const Vec<1> x{1.0};
+  const Vec<1> via_dispatch = solver_step(GetParam(), kDecay, 0.0, x, 0.01);
+  Vec<1> direct{};
+  switch (GetParam()) {
+    case SolverKind::kEuler: direct = euler_step<Vec<1>>(kDecay, 0.0, x, 0.01); break;
+    case SolverKind::kMidpoint: direct = midpoint_step<Vec<1>>(kDecay, 0.0, x, 0.01); break;
+    case SolverKind::kRk4: direct = rk4_step<Vec<1>>(kDecay, 0.0, x, 0.01); break;
+    case SolverKind::kRkf45: direct = rkf45_step<Vec<1>>(kDecay, 0.0, x, 0.01).first; break;
+  }
+  EXPECT_DOUBLE_EQ(via_dispatch[0], direct[0]);
+}
+
+std::string solver_test_name(const ::testing::TestParamInfo<SolverKind>& param_info) {
+  return std::string{to_string(param_info.param)};
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSolvers, SolverConvergence,
+                         ::testing::Values(SolverKind::kEuler, SolverKind::kMidpoint,
+                                           SolverKind::kRk4, SolverKind::kRkf45),
+                         solver_test_name);
+
+}  // namespace
+}  // namespace rg

@@ -1,0 +1,143 @@
+// Unit tests for the ground-truth plant: brakes, damage model, noise
+// determinism, basic servo physics.
+#include <gtest/gtest.h>
+
+#include "plant/physical_robot.hpp"
+
+namespace rg {
+namespace {
+
+PlantConfig quiet_config() {
+  PlantConfig cfg;
+  cfg.current_noise_stddev = 0.0;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(Plant, RestStaysPutUnderBrakes) {
+  PhysicalRobot robot(quiet_config());
+  robot.set_joint_config(JointVector{0.0, 1.5, 0.15});
+  const JointVector q0 = robot.joint_positions();
+  for (int i = 0; i < 200; ++i) robot.step_control_period(Vec3::zero(), true);
+  const JointVector q1 = robot.joint_positions();
+  EXPECT_NEAR(q1[0], q0[0], 1e-3);
+  EXPECT_NEAR(q1[1], q0[1], 1e-3);
+  EXPECT_NEAR(q1[2], q0[2], 1e-3);
+  EXPECT_NEAR(robot.motor_velocities().norm(), 0.0, 1e-9);
+}
+
+TEST(Plant, DriveCurrentMovesArmWhenUnbraked) {
+  PhysicalRobot robot(quiet_config());
+  robot.set_joint_config(JointVector{0.0, 1.5, 0.15});
+  const MotorVector m0 = robot.motor_positions();
+  for (int i = 0; i < 50; ++i) robot.step_control_period(Vec3{1.0, 0.0, 0.0}, false);
+  EXPECT_GT(robot.motor_positions()[0] - m0[0], 0.01);
+}
+
+TEST(Plant, BrakeEngagementDelayAllowsCoast) {
+  PlantConfig cfg = quiet_config();
+  cfg.brake_engage_delay = 0.05;
+  PhysicalRobot robot(cfg);
+  robot.set_joint_config(JointVector{0.0, 1.5, 0.15});
+  // Spin the shoulder motor up, then request brakes.
+  for (int i = 0; i < 100; ++i) robot.step_control_period(Vec3{2.0, 0.0, 0.0}, false);
+  const double v_before = robot.motor_velocities()[0];
+  ASSERT_GT(v_before, 1.0);
+  robot.step_control_period(Vec3::zero(), true);  // 1 ms after request: still coasting
+  EXPECT_GT(robot.motor_velocities()[0], 0.0);
+  for (int i = 0; i < 60; ++i) robot.step_control_period(Vec3::zero(), true);
+  EXPECT_DOUBLE_EQ(robot.motor_velocities()[0], 0.0);  // locked after the delay
+}
+
+TEST(Plant, CableSnapsUnderOverload) {
+  PlantConfig cfg = quiet_config();
+  cfg.cable_snap_threshold = {0.5, 0.5, 5.0};  // fragile test cables
+  PhysicalRobot robot(cfg);
+  robot.set_joint_config(JointVector{0.0, 1.5, 0.15});
+  for (int i = 0; i < 300 && !robot.cable_snapped(); ++i) {
+    robot.step_control_period(Vec3{10.0, 0.0, 0.0}, false);
+  }
+  EXPECT_TRUE(robot.cable_snapped());
+  EXPECT_TRUE(robot.snapped_axes()[0]);
+}
+
+TEST(Plant, SnappedCableStopsTransmission) {
+  PlantConfig cfg = quiet_config();
+  cfg.cable_snap_threshold = {0.5, 0.5, 5.0};
+  PhysicalRobot robot(cfg);
+  robot.set_joint_config(JointVector{0.0, 1.5, 0.15});
+  for (int i = 0; i < 300 && !robot.cable_snapped(); ++i) {
+    robot.step_control_period(Vec3{10.0, 0.0, 0.0}, false);
+  }
+  ASSERT_TRUE(robot.snapped_axes()[0]);
+  // Further drive spins the motor but the joint only sees gravity/friction.
+  const double q0 = robot.joint_positions()[0];
+  const double m0 = robot.motor_positions()[0];
+  for (int i = 0; i < 100; ++i) robot.step_control_period(Vec3{5.0, 0.0, 0.0}, false);
+  EXPECT_GT(robot.motor_positions()[0] - m0, 1.0);     // motor races
+  EXPECT_LT(std::abs(robot.joint_positions()[0] - q0), 0.05);  // joint drifts only
+}
+
+TEST(Plant, SetJointConfigResetsDamage) {
+  PlantConfig cfg = quiet_config();
+  cfg.cable_snap_threshold = {0.5, 0.5, 5.0};
+  PhysicalRobot robot(cfg);
+  robot.set_joint_config(JointVector{0.0, 1.5, 0.15});
+  for (int i = 0; i < 300 && !robot.cable_snapped(); ++i) {
+    robot.step_control_period(Vec3{10.0, 0.0, 0.0}, false);
+  }
+  ASSERT_TRUE(robot.cable_snapped());
+  robot.set_joint_config(JointVector{0.0, 1.5, 0.15});
+  EXPECT_FALSE(robot.cable_snapped());
+}
+
+TEST(Plant, NoiseIsDeterministicPerSeed) {
+  PlantConfig cfg;
+  cfg.current_noise_stddev = 0.05;
+  cfg.seed = 9;
+  PhysicalRobot a(cfg), b(cfg);
+  a.set_joint_config(JointVector{0.0, 1.5, 0.15});
+  b.set_joint_config(JointVector{0.0, 1.5, 0.15});
+  for (int i = 0; i < 100; ++i) {
+    a.step_control_period(Vec3{0.2, 0.1, 0.0}, false);
+    b.step_control_period(Vec3{0.2, 0.1, 0.0}, false);
+  }
+  EXPECT_EQ(a.motor_positions(), b.motor_positions());
+
+  PlantConfig other = cfg;
+  other.seed = 10;
+  PhysicalRobot c(other);
+  c.set_joint_config(JointVector{0.0, 1.5, 0.15});
+  for (int i = 0; i < 100; ++i) c.step_control_period(Vec3{0.2, 0.1, 0.0}, false);
+  EXPECT_NE(a.motor_positions(), c.motor_positions());
+}
+
+TEST(Plant, EndEffectorMatchesKinematics) {
+  PhysicalRobot robot(quiet_config());
+  const JointVector q{0.2, 1.3, 0.18};
+  robot.set_joint_config(q);
+  EXPECT_NEAR(distance(robot.end_effector(), robot.kinematics().forward(q)), 0.0, 1e-12);
+}
+
+TEST(Plant, ValidatesSubstep) {
+  PlantConfig cfg;
+  cfg.substep = 0.0;
+  EXPECT_THROW(PhysicalRobot{cfg}, std::invalid_argument);
+  cfg.substep = 0.01;  // > control period
+  EXPECT_THROW(PhysicalRobot{cfg}, std::invalid_argument);
+}
+
+TEST(Plant, PowerOffUnbrakedArmBackdrivesSlowly) {
+  // Power off, brakes off: nothing holds the motor, so gravity back-drives
+  // the elbow through the cable — the arm sags, but friction keeps it
+  // slow (this is exactly why the fail-safe brakes are spring-applied).
+  PhysicalRobot robot(quiet_config());
+  robot.set_joint_config(JointVector{0.0, 1.2, 0.2});
+  for (int i = 0; i < 500; ++i) robot.step_control_period(Vec3::zero(), false);
+  EXPECT_LT(robot.joint_positions()[1], 1.2);   // it fell...
+  EXPECT_GT(robot.joint_positions()[1], 0.5);   // ...but did not crash down
+  EXPECT_LT(std::abs(robot.joint_velocities()[1]), 2.0);
+}
+
+}  // namespace
+}  // namespace rg

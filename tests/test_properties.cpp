@@ -1,0 +1,204 @@
+// Property-based sweeps over the physics and detection invariants that
+// the paper's framework silently relies on.  Each TEST_P instance runs a
+// randomized batch under one seed, so failures reproduce exactly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/estimator.hpp"
+#include "dynamics/raven_model.hpp"
+#include "hw/usb_packet.hpp"
+#include "kinematics/raven_kinematics.hpp"
+
+namespace rg {
+namespace {
+
+class PropertySweep : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Pcg32 rng_{GetParam()};
+
+  JointVector random_interior_config(const JointLimits& limits, double margin = 0.1) {
+    JointVector q;
+    for (std::size_t i = 0; i < 3; ++i) {
+      const JointLimit& lim = limits.joint(i);
+      q[i] = rng_.uniform(lim.min + margin * lim.span(), lim.max - margin * lim.span());
+    }
+    return q;
+  }
+};
+
+// --- Dynamics invariants --------------------------------------------------------
+
+TEST_P(PropertySweep, ZeroInputDynamicsDissipateEnergy) {
+  // With no drive current, friction must never create energy: kinetic +
+  // potential + cable strain energy is non-increasing.
+  const RavenDynamicsModel model;
+  const auto& p = model.params();
+  for (int trial = 0; trial < 10; ++trial) {
+    auto x = model.make_rest_state(random_interior_config(p.hard_stop_limits));
+    // Random initial rates (bounded to keep integration in its regime).
+    for (std::size_t i = 3; i < 6; ++i) x[i] = rng_.uniform(-20.0, 20.0);
+    for (std::size_t i = 9; i < 11; ++i) x[i] = rng_.uniform(-0.5, 0.5);
+    x[11] = rng_.uniform(-0.05, 0.05);
+
+    const auto total_energy = [&](const RavenDynamicsModel::State& s) {
+      const double mech = model.link().mechanical_energy(RavenDynamicsModel::joint_pos(s),
+                                                         RavenDynamicsModel::joint_vel(s));
+      double rotor = 0.0;
+      for (std::size_t i = 0; i < 3; ++i) {
+        rotor += 0.5 * p.motors[i].rotor_inertia * s[3 + i] * s[3 + i];
+      }
+      // Cable strain energy: 1/2 k (C theta - q)^2 per axis.
+      const JointVector qm =
+          model.coupling().motor_to_joint(RavenDynamicsModel::motor_pos(s));
+      const JointVector q = RavenDynamicsModel::joint_pos(s);
+      double strain = 0.0;
+      for (std::size_t i = 0; i < 3; ++i) {
+        strain += 0.5 * p.cable_stiffness[i] * (qm[i] - q[i]) * (qm[i] - q[i]);
+      }
+      return mech + rotor + strain;
+    };
+
+    double prev = total_energy(x);
+    for (int step = 0; step < 50; ++step) {
+      for (int sub = 0; sub < 20; ++sub) {
+        x = model.step(x, Vec3::zero(), 5e-5, SolverKind::kRk4);
+      }
+      const double now = total_energy(x);
+      EXPECT_LE(now, prev + 1e-6) << "energy grew at step " << step;
+      prev = now;
+    }
+  }
+}
+
+TEST_P(PropertySweep, InverseDynamicsIsExactInverse) {
+  const LinkDynamics link;
+  const JointLimits limits = JointLimits::raven_defaults();
+  for (int trial = 0; trial < 50; ++trial) {
+    const JointVector q = random_interior_config(limits);
+    JointVector qd;
+    Vec3 qdd;
+    for (std::size_t i = 0; i < 3; ++i) {
+      qd[i] = rng_.uniform(-1.0, 1.0);
+      qdd[i] = rng_.uniform(-10.0, 10.0);
+    }
+    const Vec3 tau = link.inverse_dynamics(q, qd, qdd);
+    const Vec3 back = link.acceleration(q, qd, tau);
+    for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(back[i], qdd[i], 1e-8);
+  }
+}
+
+TEST_P(PropertySweep, CouplingRoundTripAndPowerBalance) {
+  const CableCoupling coupling;
+  for (int trial = 0; trial < 100; ++trial) {
+    MotorVector m;
+    Vec3 tau_j;
+    for (std::size_t i = 0; i < 3; ++i) {
+      m[i] = rng_.uniform(-300.0, 300.0);
+      tau_j[i] = rng_.uniform(-20.0, 20.0);
+    }
+    const JointVector q = coupling.motor_to_joint(m);
+    const MotorVector back = coupling.joint_to_motor(q);
+    for (std::size_t i = 0; i < 3; ++i) {
+      EXPECT_NEAR(back[i], m[i], 1e-8 * (1.0 + std::abs(m[i])));
+    }
+    const MotorVector omega{rng_.uniform(-50.0, 50.0), rng_.uniform(-50.0, 50.0),
+                            rng_.uniform(-50.0, 50.0)};
+    const MotorVector tau_m = coupling.joint_torque_to_motor(tau_j);
+    EXPECT_NEAR(tau_m.dot(omega), tau_j.dot(coupling.motor_to_joint_velocity(omega)), 1e-8);
+  }
+}
+
+// --- Kinematics invariants -------------------------------------------------------
+
+TEST_P(PropertySweep, TipSpeedIsPositivelyHomogeneous) {
+  // ||J q'|| scales linearly with the rate vector.
+  const RavenKinematics kin;
+  for (int trial = 0; trial < 50; ++trial) {
+    const JointVector q = random_interior_config(kin.limits());
+    JointVector qd;
+    for (std::size_t i = 0; i < 3; ++i) qd[i] = rng_.uniform(-1.0, 1.0);
+    const double s = rng_.uniform(0.1, 5.0);
+    EXPECT_NEAR(kin.tip_speed(q, s * qd), s * kin.tip_speed(q, qd), 1e-9);
+  }
+}
+
+TEST_P(PropertySweep, ForwardMapIsIsometricInInsertion) {
+  // Moving only the insertion joint moves the tip exactly that distance.
+  const RavenKinematics kin;
+  for (int trial = 0; trial < 50; ++trial) {
+    JointVector q = random_interior_config(kin.limits());
+    JointVector q2 = q;
+    const double delta = rng_.uniform(-0.02, 0.02);
+    q2[2] += delta;
+    EXPECT_NEAR(distance(kin.forward(q), kin.forward(q2)), std::abs(delta), 1e-9);
+  }
+}
+
+// --- Detection-stack invariants ----------------------------------------------------
+
+TEST_P(PropertySweep, PredictionDeltasMatchDefinition) {
+  // instant velocity == |mpos_next - mpos_now| / dt, etc., for random
+  // model states and commands.
+  DynamicModelEstimator est;
+  const RavenDynamicsModel model;
+  est.observe_feedback(model.coupling().joint_to_motor(JointVector{0.0, 1.5, 0.15}));
+  for (int trial = 0; trial < 50; ++trial) {
+    std::array<std::int16_t, 3> dac{};
+    for (auto& d : dac) d = static_cast<std::int16_t>(rng_.uniform_int(0, 65535) - 32768);
+    const Prediction pred = est.predict(dac);
+    ASSERT_TRUE(pred.valid);
+    for (std::size_t i = 0; i < 3; ++i) {
+      EXPECT_NEAR(pred.motor_instant_vel[i],
+                  std::abs(pred.mpos_next[i] - pred.mpos_now[i]) * 1000.0, 1e-6);
+      EXPECT_NEAR(pred.motor_instant_acc[i],
+                  std::abs(pred.mvel_next[i] - pred.mvel_now[i]) * 1000.0, 1e-6);
+    }
+    EXPECT_GE(pred.ee_displacement, 0.0);
+    est.commit({0, 0, 0});
+    est.observe_feedback(model.coupling().joint_to_motor(JointVector{0.0, 1.5, 0.15}));
+  }
+}
+
+TEST_P(PropertySweep, BiggerInjectionNeverPredictsSmallerAcceleration) {
+  // Monotonicity from rest: scaling the DAC command up scales the
+  // predicted first-step acceleration up (until the current limit).
+  const RavenDynamicsModel model;
+  for (int trial = 0; trial < 20; ++trial) {
+    DynamicModelEstimator est;
+    est.observe_feedback(
+        model.coupling().joint_to_motor(random_interior_config(JointLimits::raven_defaults())));
+    const auto small_dac = static_cast<std::int16_t>(rng_.uniform_int(500, 8000));
+    const auto large_dac = static_cast<std::int16_t>(
+        rng_.uniform_int(static_cast<std::uint32_t>(small_dac) + 4000, 30000));
+    const Prediction small = est.predict({0, small_dac, 0});
+    const Prediction large = est.predict({0, large_dac, 0});
+    EXPECT_GE(large.motor_instant_acc[1] + 1e-9, small.motor_instant_acc[1]);
+  }
+}
+
+// --- Wire-format invariants ---------------------------------------------------------
+
+TEST_P(PropertySweep, ChecksumCatchesEverySingleBitFlip) {
+  // The XOR checksum detects any single-bit corruption (the reason the
+  // *unverified* board is the vulnerability, not the checksum itself).
+  for (int trial = 0; trial < 20; ++trial) {
+    CommandPacket pkt;
+    pkt.state = RobotState::kPedalDown;
+    pkt.watchdog_bit = rng_.uniform() < 0.5;
+    for (auto& d : pkt.dac) d = static_cast<std::int16_t>(rng_.uniform_int(0, 65535) - 32768);
+    const CommandBytes clean = encode_command(pkt);
+    const std::size_t byte_idx = rng_.uniform_int(0, kCommandPacketSize - 1);
+    const std::size_t bit_idx = rng_.uniform_int(0, 7);
+    CommandBytes corrupt = clean;
+    corrupt[byte_idx] = static_cast<std::uint8_t>(corrupt[byte_idx] ^ (1U << bit_idx));
+    EXPECT_FALSE(decode_command(corrupt, /*verify_checksum=*/true).ok())
+        << "flip at byte " << byte_idx << " bit " << bit_idx;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertySweep, ::testing::Values(101u, 202u, 303u, 404u));
+
+}  // namespace
+}  // namespace rg

@@ -1,0 +1,76 @@
+// Unit tests for recorded-trajectory playback (CSV round trip).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trajectory/recorded.hpp"
+
+namespace rg {
+namespace {
+
+TEST(RecordedTrajectory, InterpolatesLinearly) {
+  RecordedTrajectory traj({{0.0, Position{0.0, 0.0, 0.0}}, {2.0, Position{2.0, 4.0, -2.0}}});
+  EXPECT_EQ(traj.position(1.0), (Position{1.0, 2.0, -1.0}));
+  EXPECT_EQ(traj.position(0.5), (Position{0.5, 1.0, -0.5}));
+}
+
+TEST(RecordedTrajectory, ClampsOutsideRange) {
+  RecordedTrajectory traj({{1.0, Position{1.0, 0.0, 0.0}}, {2.0, Position{2.0, 0.0, 0.0}}});
+  EXPECT_EQ(traj.position(0.0), (Position{1.0, 0.0, 0.0}));
+  EXPECT_EQ(traj.position(99.0), (Position{2.0, 0.0, 0.0}));
+  EXPECT_DOUBLE_EQ(traj.duration(), 2.0);
+}
+
+TEST(RecordedTrajectory, ValidatesMonotonicity) {
+  EXPECT_THROW(RecordedTrajectory({{1.0, Position{}}, {1.0, Position{}}}),
+               std::invalid_argument);
+  EXPECT_THROW(RecordedTrajectory({}), std::invalid_argument);
+}
+
+TEST(RecordedTrajectory, CsvRoundTrip) {
+  // Record a circle, load it back, compare sampled positions.
+  const CircleTrajectory circle(Position{0.09, 0.0, -0.11}, 0.01, 2.0, 1.0);
+  std::stringstream csv;
+  record_trajectory_csv(circle, 0.01, csv);
+
+  const auto loaded = RecordedTrajectory::from_csv(csv);
+  ASSERT_TRUE(loaded.ok());
+  const RecordedTrajectory& traj = loaded.value();
+  EXPECT_NEAR(traj.duration(), circle.duration(), 0.011);
+  for (double t = 0.0; t < circle.duration(); t += 0.137) {
+    EXPECT_NEAR(distance(traj.position(t), circle.position(t)), 0.0, 1e-5) << "t=" << t;
+  }
+}
+
+TEST(RecordedTrajectory, CsvErrors) {
+  std::stringstream empty;
+  EXPECT_FALSE(RecordedTrajectory::from_csv(empty).ok());
+
+  std::stringstream no_header("1,2,3,4\n");
+  EXPECT_FALSE(RecordedTrajectory::from_csv(no_header).ok());
+
+  std::stringstream bad_row("t,x,y,z\n0.0,1.0,2.0\n");
+  EXPECT_FALSE(RecordedTrajectory::from_csv(bad_row).ok());
+
+  std::stringstream non_monotonic("t,x,y,z\n0.0,0,0,0\n0.0,1,1,1\n");
+  EXPECT_FALSE(RecordedTrajectory::from_csv(non_monotonic).ok());
+
+  std::stringstream header_only("t,x,y,z\n");
+  EXPECT_FALSE(RecordedTrajectory::from_csv(header_only).ok());
+}
+
+TEST(RecordedTrajectory, RecordValidatesDt) {
+  const CircleTrajectory circle(Position{0.09, 0.0, -0.11}, 0.01, 2.0, 1.0);
+  std::stringstream os;
+  EXPECT_THROW(record_trajectory_csv(circle, 0.0, os), std::invalid_argument);
+}
+
+TEST(RecordedTrajectory, SingleSampleIsConstant) {
+  RecordedTrajectory traj({{0.5, Position{1.0, 2.0, 3.0}}});
+  EXPECT_EQ(traj.position(0.0), (Position{1.0, 2.0, 3.0}));
+  EXPECT_EQ(traj.position(9.0), (Position{1.0, 2.0, 3.0}));
+  EXPECT_EQ(traj.sample_count(), 1u);
+}
+
+}  // namespace
+}  // namespace rg

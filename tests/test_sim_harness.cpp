@@ -1,0 +1,146 @@
+// Tests for the co-simulation harness itself: the adverse-impact oracle,
+// attack installation, start-delay semantics, experiment helpers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "sim/experiment.hpp"
+#include "sim/surgical_sim.hpp"
+
+namespace rg {
+namespace {
+
+TEST(SimHarness, StartDelayKeepsRobotInEstop) {
+  SimConfig cfg = make_session(SessionParams{.seed = 50}, std::nullopt, false);
+  cfg.start_delay_ticks = 300;
+  SurgicalSim sim(std::move(cfg));
+  sim.run(0.25);
+  EXPECT_EQ(sim.control().state(), RobotState::kEStop);
+  sim.run(0.2);
+  EXPECT_EQ(sim.control().state(), RobotState::kInit);
+}
+
+TEST(SimHarness, OracleIgnoresCommandedMotion) {
+  // A fast-but-commanded trajectory must not be labelled an abrupt jump.
+  SessionParams p;
+  p.seed = 51;
+  p.trajectory_speed = 0.05;  // aggressive surgical speed
+  SimConfig cfg = make_session(p, std::nullopt, false);
+  SurgicalSim sim(std::move(cfg));
+  sim.run(5.0);
+  EXPECT_FALSE(sim.outcome().adverse_impact());
+  EXPECT_LT(sim.outcome().max_ee_jump_window, 1.0e-3);
+}
+
+TEST(SimHarness, InstallPlacesArtifactsOnTheRightHops) {
+  SimConfig cfg = make_session(SessionParams{.seed = 52}, std::nullopt, false);
+  SurgicalSim sim(std::move(cfg));
+  AttackSpec spec;
+  spec.variant = AttackVariant::kTorqueInjection;
+  spec.magnitude = 1000;
+  const AttackArtifacts art = build_attack(spec);
+  sim.install(art);
+  EXPECT_EQ(sim.write_chain().size(), 1u);
+  EXPECT_TRUE(sim.itp_chain().empty());
+  EXPECT_TRUE(sim.read_chain().empty());
+
+  AttackSpec spec_a;
+  spec_a.variant = AttackVariant::kUserInputInjection;
+  spec_a.magnitude = 1e-4;
+  sim.install(build_attack(spec_a));
+  EXPECT_EQ(sim.itp_chain().size(), 1u);
+}
+
+TEST(SimHarness, MissingTrajectoryRejected) {
+  SimConfig cfg;
+  EXPECT_THROW(SurgicalSim{std::move(cfg)}, std::invalid_argument);
+}
+
+TEST(SimHarness, RunOutcomeAccessors) {
+  RunOutcome out;
+  EXPECT_FALSE(out.adverse_impact());
+  EXPECT_FALSE(out.detected_preemptively());
+  out.detector_alarm_tick = 10;
+  EXPECT_TRUE(out.detected_preemptively());  // alarm, no impact at all
+  out.adverse_impact_tick = 5;
+  EXPECT_FALSE(out.detected_preemptively());  // alarm after the impact
+  out.adverse_impact_tick = 15;
+  EXPECT_TRUE(out.detected_preemptively());
+  out.cable_snapped = true;
+  EXPECT_TRUE(out.adverse_impact());
+}
+
+TEST(Experiment, ThresholdsSaveLoadRoundTrip) {
+  DetectionThresholds th;
+  th.motor_vel = Vec3{1.5, 2.5, 3.5};
+  th.motor_acc = Vec3{100.0, 200.0, 300.0};
+  th.joint_vel = Vec3{0.1, 0.2, 0.3};
+  const std::string path = "/tmp/rg_test_thresholds.txt";
+  save_thresholds(th, path);
+  const auto loaded = load_thresholds(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->motor_vel, th.motor_vel);
+  EXPECT_EQ(loaded->motor_acc, th.motor_acc);
+  EXPECT_EQ(loaded->joint_vel, th.joint_vel);
+  std::filesystem::remove(path);
+}
+
+TEST(Experiment, LoadMissingFileReturnsNullopt) {
+  EXPECT_FALSE(load_thresholds("/tmp/definitely_not_here_12345.txt").has_value());
+}
+
+TEST(Experiment, ThresholdsCachedWritesCache) {
+  const std::string path = "/tmp/rg_test_threshold_cache.txt";
+  std::filesystem::remove(path);
+  SessionParams p;
+  p.seed = 60;
+  p.duration_sec = 3.0;
+  const DetectionThresholds th = thresholds_cached(p, 2, path);
+  EXPECT_TRUE(std::filesystem::exists(path));
+  // Second call loads the cache and must agree exactly.
+  const DetectionThresholds th2 = thresholds_cached(p, 2, path);
+  EXPECT_EQ(th.motor_vel, th2.motor_vel);
+  std::filesystem::remove(path);
+}
+
+TEST(Experiment, MakeSessionWiresDetection) {
+  DetectionThresholds th;
+  th.motor_vel = th.motor_acc = th.joint_vel = Vec3::filled(1.0);
+  SessionParams p;
+  p.seed = 61;
+  p.fusion = FusionPolicy::kTwoOfThree;
+  p.detector_solver = SolverKind::kRk4;
+  const SimConfig with = make_session(p, th, true);
+  ASSERT_TRUE(with.detection.has_value());
+  EXPECT_TRUE(with.detection->mitigation_enabled);
+  EXPECT_EQ(with.detection->detector.fusion, FusionPolicy::kTwoOfThree);
+  EXPECT_EQ(with.detection->estimator.solver, SolverKind::kRk4);
+
+  const SimConfig without = make_session(p, std::nullopt, false);
+  EXPECT_FALSE(without.detection.has_value());
+}
+
+TEST(Experiment, SessionsAreSeedDeterministic) {
+  AttackSpec spec;
+  spec.variant = AttackVariant::kTorqueInjection;
+  spec.magnitude = 20000;
+  spec.duration_packets = 32;
+  spec.delay_packets = 400;
+  spec.seed = 5;
+  SessionParams p;
+  p.seed = 62;
+  p.duration_sec = 3.0;
+  const AttackRunResult a = run_attack_session(p, spec, std::nullopt, false);
+  const AttackRunResult b = run_attack_session(p, spec, std::nullopt, false);
+  EXPECT_EQ(a.outcome.max_ee_jump_window, b.outcome.max_ee_jump_window);
+  EXPECT_EQ(a.injections, b.injections);
+}
+
+TEST(Experiment, LearnThresholdsValidates) {
+  SessionParams p;
+  EXPECT_THROW((void)learn_thresholds(p, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rg

@@ -1,0 +1,170 @@
+// Unit + integration tests for the tissue interaction model (the harm
+// metric behind the paper's injury narrative).
+#include <gtest/gtest.h>
+
+#include "plant/physical_robot.hpp"
+#include "plant/tissue.hpp"
+#include "sim/experiment.hpp"
+#include "sim/surgical_sim.hpp"
+
+namespace rg {
+namespace {
+
+TissueParams test_tissue() {
+  TissueParams p;
+  p.surface_point = Position{0.0, 0.0, 0.0};
+  p.normal = Vec3{0.0, 0.0, 1.0};
+  return p;
+}
+
+// --- TissueModel unit behaviour ----------------------------------------------------
+
+TEST(Tissue, NoContactAboveSurface) {
+  TissueModel tissue(test_tissue());
+  const TissueContact c = tissue.update(Position{0.0, 0.0, 0.01}, Vec3::zero());
+  EXPECT_DOUBLE_EQ(c.depth, 0.0);
+  EXPECT_DOUBLE_EQ(c.force.norm(), 0.0);
+  EXPECT_FALSE(tissue.damaged());
+}
+
+TEST(Tissue, ElasticIndentationPushesBack) {
+  TissueModel tissue(test_tissue());
+  const TissueContact c = tissue.update(Position{0.0, 0.0, -2e-3}, Vec3::zero());
+  EXPECT_NEAR(c.depth, 2e-3, 1e-12);
+  EXPECT_NEAR(c.force[2], 400.0 * 2e-3, 1e-9);  // along +normal
+  EXPECT_FALSE(c.perforated);
+}
+
+TEST(Tissue, DampingAddsOnApproachOnly) {
+  TissueModel tissue(test_tissue());
+  const TissueContact approaching =
+      tissue.update(Position{0.0, 0.0, -2e-3}, Vec3{0.0, 0.0, -0.1});
+  EXPECT_NEAR(approaching.force[2], 400.0 * 2e-3 + 4.0 * 0.1, 1e-9);
+  TissueModel tissue2(test_tissue());
+  const TissueContact retreating =
+      tissue2.update(Position{0.0, 0.0, -2e-3}, Vec3{0.0, 0.0, 10.0});
+  EXPECT_DOUBLE_EQ(retreating.force.norm(), 0.0);  // never sucks the tool in
+}
+
+TEST(Tissue, DeepIndentationPerforates) {
+  TissueModel tissue(test_tissue());
+  const TissueContact c = tissue.update(Position{0.0, 0.0, -7e-3}, Vec3::zero());
+  EXPECT_TRUE(c.perforated);
+  EXPECT_TRUE(tissue.perforated());
+  // A ruptured surface no longer resists.
+  EXPECT_DOUBLE_EQ(c.force.norm(), 0.0);
+}
+
+TEST(Tissue, FastLateralDragShears) {
+  TissueModel tissue(test_tissue());
+  const TissueContact c =
+      tissue.update(Position{0.0, 0.0, -2e-3}, Vec3{0.3, 0.0, 0.0});
+  EXPECT_TRUE(c.sheared);
+  EXPECT_TRUE(tissue.damaged());
+}
+
+TEST(Tissue, GentleLateralMotionIsSafe) {
+  TissueModel tissue(test_tissue());
+  (void)tissue.update(Position{0.0, 0.0, -2e-3}, Vec3{0.05, 0.0, 0.0});
+  EXPECT_FALSE(tissue.damaged());
+}
+
+TEST(Tissue, ShearRequiresEngagement) {
+  TissueModel tissue(test_tissue());
+  // Barely touching: fast lateral motion is skimming, not tearing.
+  (void)tissue.update(Position{0.0, 0.0, -0.5e-3}, Vec3{0.5, 0.0, 0.0});
+  EXPECT_FALSE(tissue.sheared());
+}
+
+TEST(Tissue, DamageLatchesAndResets) {
+  TissueModel tissue(test_tissue());
+  (void)tissue.update(Position{0.0, 0.0, -7e-3}, Vec3::zero());
+  (void)tissue.update(Position{0.0, 0.0, 0.1}, Vec3::zero());  // tool withdrawn
+  EXPECT_TRUE(tissue.perforated());
+  EXPECT_NEAR(tissue.max_depth(), 7e-3, 1e-12);
+  tissue.reset();
+  EXPECT_FALSE(tissue.damaged());
+}
+
+TEST(Tissue, ValidatesParams) {
+  TissueParams p = test_tissue();
+  p.normal = Vec3{0.0, 0.0, 2.0};
+  EXPECT_THROW(TissueModel{p}, std::invalid_argument);
+  p = test_tissue();
+  p.stiffness = 0.0;
+  EXPECT_THROW(TissueModel{p}, std::invalid_argument);
+  p = test_tissue();
+  p.rupture_depth = 0.0;
+  EXPECT_THROW(TissueModel{p}, std::invalid_argument);
+}
+
+// --- Integrated with the plant / full sim ------------------------------------------
+
+TissueParams workspace_tissue() {
+  // A surface just below the standard workspace box (tool hovers ~mm
+  // above it at the bottom of its motions).
+  TissueParams p;
+  p.surface_point = Position{0.09, 0.0, -0.156};
+  p.normal = Vec3{0.0, 0.0, 1.0};
+  return p;
+}
+
+TEST(TissueIntegration, CleanSurgeryDoesNotDamageTissue) {
+  SimConfig cfg = make_session(SessionParams{.duration_sec = 4.0, .seed = 71},
+                               std::nullopt, false);
+  SurgicalSim sim(std::move(cfg));
+  sim.plant().add_tissue(workspace_tissue());
+  sim.run(4.0);
+  ASSERT_NE(sim.plant().tissue(), nullptr);
+  EXPECT_FALSE(sim.plant().tissue()->damaged());
+}
+
+TEST(TissueIntegration, InjectedTorqueShearsEmbeddedTissue) {
+  // Deterministic version of the paper's clinical endpoint at plant
+  // level: the tool is working 2 mm inside compliant tissue when a
+  // malicious elbow current arrives — the resulting lateral sweep exceeds
+  // the shear limit and tears it.
+  PlantConfig plant;
+  plant.current_noise_stddev = 0.0;
+  PhysicalRobot robot(plant);
+  robot.set_joint_config(JointVector{0.0, 1.5, 0.15});
+  const Position tip = robot.end_effector();
+  TissueParams p;
+  p.surface_point = tip + Vec3{0.0, 0.0, 2e-3};  // tool embedded 2 mm
+  p.normal = Vec3{0.0, 0.0, 1.0};
+  robot.add_tissue(p);
+
+  // 30 ms of quiet contact first: no damage.
+  for (int i = 0; i < 30; ++i) robot.step_control_period(Vec3::zero(), false);
+  EXPECT_FALSE(robot.tissue()->damaged());
+
+  // The injected torque: 6 A on the *shoulder* (azimuth) sweeps the tool
+  // laterally while it stays embedded (~ scenario B at 20000 counts).
+  for (int i = 0; i < 60; ++i) robot.step_control_period(Vec3{6.0, 0.0, 0.0}, false);
+  EXPECT_TRUE(robot.tissue()->sheared());
+}
+
+TEST(TissueIntegration, ContactForceDeflectsTheArm) {
+  // Physics sanity: the reaction force really acts on the joints — with
+  // the shafts locked by the brakes, an arm settling on its cables ends
+  // measurably higher when pressing on tissue than in free space.
+  const auto settle = [](bool with_tissue) {
+    PlantConfig plant;
+    plant.current_noise_stddev = 0.0;
+    PhysicalRobot robot(plant);
+    robot.set_joint_config(JointVector{0.0, 1.5, 0.15});
+    if (with_tissue) {
+      TissueParams p;
+      p.surface_point = robot.end_effector() + Vec3{0.0, 0.0, 1e-3};  // 1 mm embedded
+      p.normal = Vec3{0.0, 0.0, 1.0};
+      p.stiffness = 2000.0;  // firmer structure for a visible deflection
+      robot.add_tissue(p);
+    }
+    for (int i = 0; i < 300; ++i) robot.step_control_period(Vec3::zero(), true);
+    return robot.end_effector()[2];
+  };
+  EXPECT_GT(settle(true), settle(false) + 1e-6);
+}
+
+}  // namespace
+}  // namespace rg

@@ -1,0 +1,204 @@
+// Unit + property tests for the trajectory module.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "kinematics/raven_kinematics.hpp"
+#include "trajectory/min_jerk.hpp"
+#include "trajectory/trajectory.hpp"
+
+namespace rg {
+namespace {
+
+// --- MinJerkSegment --------------------------------------------------------------
+
+TEST(MinJerk, BoundaryConditions) {
+  const MinJerkSegment seg(Position{0.0, 0.0, 0.0}, Position{1.0, 2.0, 3.0}, 2.0);
+  EXPECT_EQ(seg.position(0.0), seg.start());
+  EXPECT_EQ(seg.position(2.0), seg.end());
+  EXPECT_DOUBLE_EQ(seg.velocity(0.0).norm(), 0.0);
+  EXPECT_DOUBLE_EQ(seg.velocity(2.0).norm(), 0.0);
+}
+
+TEST(MinJerk, MidpointAtHalfTime) {
+  const MinJerkSegment seg(Position{0.0, 0.0, 0.0}, Position{1.0, 0.0, 0.0}, 1.0);
+  EXPECT_NEAR(seg.position(0.5)[0], 0.5, 1e-12);  // s(0.5) = 0.5 by symmetry
+}
+
+TEST(MinJerk, PeakVelocityAtMidpoint) {
+  const MinJerkSegment seg(Position{0.0, 0.0, 0.0}, Position{1.0, 0.0, 0.0}, 1.0);
+  // Peak of the min-jerk profile is 15/8 of the average speed.
+  EXPECT_NEAR(seg.velocity(0.5)[0], 1.875, 1e-9);
+  EXPECT_GT(seg.velocity(0.5)[0], seg.velocity(0.25)[0]);
+}
+
+TEST(MinJerk, ClampsOutsideDuration) {
+  const MinJerkSegment seg(Position{0.0, 0.0, 0.0}, Position{1.0, 0.0, 0.0}, 1.0);
+  EXPECT_EQ(seg.position(-5.0), seg.start());
+  EXPECT_EQ(seg.position(99.0), seg.end());
+  EXPECT_DOUBLE_EQ(seg.velocity(-1.0).norm(), 0.0);
+}
+
+TEST(MinJerk, VelocityMatchesFiniteDifference) {
+  const MinJerkSegment seg(Position{0.0, 0.0, 0.0}, Position{0.5, -0.2, 0.1}, 1.7);
+  const double t = 0.6;
+  const double eps = 1e-7;
+  const Vec3 fd = (seg.position(t + eps) - seg.position(t - eps)) / (2.0 * eps);
+  EXPECT_NEAR(distance(fd, seg.velocity(t)), 0.0, 1e-5);
+}
+
+TEST(MinJerk, ValidatesDuration) {
+  EXPECT_THROW(MinJerkSegment(Position{}, Position{}, 0.0), std::invalid_argument);
+}
+
+// --- WaypointTrajectory ------------------------------------------------------------
+
+TEST(WaypointTrajectory, PassesThroughWaypoints) {
+  const std::vector<Position> wps{Position{0.0, 0.0, 0.0}, Position{0.01, 0.0, 0.0},
+                                  Position{0.01, 0.01, 0.0}};
+  const WaypointTrajectory traj(wps, 0.01, 0.1);
+  EXPECT_EQ(traj.position(0.0), wps[0]);
+  EXPECT_EQ(traj.position(traj.duration()), wps[2]);
+  // Each leg is 0.01 m at 0.01 m/s = 1 s.
+  EXPECT_NEAR(traj.duration(), 2.0, 1e-9);
+  EXPECT_NEAR(distance(traj.position(1.0), wps[1]), 0.0, 1e-9);
+}
+
+TEST(WaypointTrajectory, MinLegTimeFloorsShortHops) {
+  const std::vector<Position> wps{Position{0.0, 0.0, 0.0}, Position{1e-6, 0.0, 0.0}};
+  const WaypointTrajectory traj(wps, 1.0, 0.5);
+  EXPECT_DOUBLE_EQ(traj.duration(), 0.5);
+}
+
+TEST(WaypointTrajectory, Validation) {
+  EXPECT_THROW(WaypointTrajectory({Position{}}, 0.01), std::invalid_argument);
+  EXPECT_THROW(WaypointTrajectory({Position{}, Position{}}, 0.0), std::invalid_argument);
+}
+
+TEST(WaypointTrajectory, ContinuousAcrossSegmentBoundaries) {
+  Pcg32 rng(3);
+  const WaypointTrajectory traj = make_random_trajectory(rng, WorkspaceBox{}, 5);
+  double prev_norm = 0.0;
+  Position prev = traj.position(0.0);
+  for (double t = 0.001; t < traj.duration(); t += 0.001) {
+    const Position p = traj.position(t);
+    const double step_len = distance(p, prev);
+    EXPECT_LT(step_len, 5e-4) << "discontinuity at t=" << t;  // < 0.5 mm per ms
+    prev = p;
+    prev_norm = step_len;
+  }
+  (void)prev_norm;
+}
+
+// --- CircleTrajectory ----------------------------------------------------------------
+
+TEST(CircleTrajectory, StartsAndEndsAtCenterishRadius) {
+  const Position c{0.09, 0.0, -0.11};
+  const CircleTrajectory traj(c, 0.01, 2.0, 3.0);
+  // Ramp-up means t=0 is at the center.
+  EXPECT_NEAR(distance(traj.position(0.0), c), 0.0, 1e-9);
+  // Mid-run: on the circle.
+  EXPECT_NEAR(distance(traj.position(3.0), c), 0.01, 1e-9);
+  EXPECT_DOUBLE_EQ(traj.duration(), 6.0);
+}
+
+TEST(CircleTrajectory, Validation) {
+  const Position c{};
+  EXPECT_THROW(CircleTrajectory(c, 0.0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(CircleTrajectory(c, 0.01, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(CircleTrajectory(c, 0.01, 1.0, 0.0), std::invalid_argument);
+}
+
+// --- SutureTrajectory ---------------------------------------------------------------
+
+TEST(SutureTrajectory, AdvancesAlongDirection) {
+  const Position start{0.08, -0.02, -0.10};
+  const SutureTrajectory traj(start, Vec3{0.0, 1.0, 0.0}, 3, 0.008);
+  const Position end = traj.position(traj.duration());
+  EXPECT_NEAR(end[1] - start[1], 3 * 0.008, 1e-9);
+  EXPECT_NEAR(end[0], start[0], 1e-9);
+}
+
+TEST(SutureTrajectory, DipsBelowStart) {
+  const Position start{0.08, -0.02, -0.10};
+  const SutureTrajectory traj(start, Vec3{0.0, 1.0, 0.0}, 1, 0.008, 0.006);
+  double min_z = start[2];
+  for (double t = 0.0; t < traj.duration(); t += 0.01) {
+    min_z = std::min(min_z, traj.position(t)[2]);
+  }
+  EXPECT_NEAR(min_z, start[2] - 0.006, 1e-4);
+}
+
+TEST(SutureTrajectory, Validation) {
+  EXPECT_THROW(SutureTrajectory(Position{}, Vec3{0.0, 0.0, 0.0}, 1), std::invalid_argument);
+  EXPECT_THROW(SutureTrajectory(Position{}, Vec3{1.0, 0.0, 0.0}, 0), std::invalid_argument);
+}
+
+// --- WorkspaceBox & random trajectories ------------------------------------------------
+
+TEST(WorkspaceBox, ContainsItsSamples) {
+  const WorkspaceBox box;
+  Pcg32 rng(9);
+  for (int i = 0; i < 200; ++i) EXPECT_TRUE(box.contains(box.sample(rng)));
+  EXPECT_TRUE(box.contains(box.center()));
+}
+
+TEST(WorkspaceBox, RejectsOutside) {
+  const WorkspaceBox box;
+  Position p = box.center();
+  p[2] = 1.0;
+  EXPECT_FALSE(box.contains(p));
+}
+
+// Property: random trajectories inside the default workspace box are
+// fully reachable by the arm's IK — this is what makes the console
+// emulator's synthetic sessions valid.
+class RandomTrajectoryReachable : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomTrajectoryReachable, EveryPointHasIkSolution) {
+  Pcg32 rng(GetParam());
+  const WaypointTrajectory traj = make_random_trajectory(rng, WorkspaceBox{}, 8);
+  const RavenKinematics kin;
+  EXPECT_TRUE(trajectory_reachable(traj, kin, 0.02));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTrajectoryReachable,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 99999u));
+
+TEST(RandomTrajectory, Validation) {
+  Pcg32 rng(1);
+  EXPECT_THROW((void)make_random_trajectory(rng, WorkspaceBox{}, 1), std::invalid_argument);
+}
+
+// --- TremorDecorator ---------------------------------------------------------------
+
+TEST(Tremor, BoundedPerturbation) {
+  auto base = std::make_shared<WaypointTrajectory>(
+      std::vector<Position>{Position{0.1, 0.0, -0.1}, Position{0.11, 0.0, -0.1}}, 0.02);
+  const TremorDecorator shaky(base, 5, 3.0e-5);
+  for (double t = 0.0; t < shaky.duration(); t += 0.01) {
+    const double dev = distance(shaky.position(t), base->position(t));
+    EXPECT_LE(dev, 3.0 * 1.5 * 3.0e-5);  // two sinusoids, three axes
+  }
+}
+
+TEST(Tremor, PreservesDuration) {
+  auto base = std::make_shared<CircleTrajectory>(Position{0.09, 0.0, -0.11}, 0.01, 2.0, 1.0);
+  const TremorDecorator shaky(base, 5);
+  EXPECT_DOUBLE_EQ(shaky.duration(), base->duration());
+}
+
+TEST(Tremor, NullBaseThrows) {
+  EXPECT_THROW(TremorDecorator(nullptr, 1), std::invalid_argument);
+}
+
+TEST(Tremor, DeterministicPerSeed) {
+  auto base = std::make_shared<CircleTrajectory>(Position{0.09, 0.0, -0.11}, 0.01, 2.0, 1.0);
+  const TremorDecorator a(base, 77), b(base, 77), c(base, 78);
+  EXPECT_EQ(a.position(0.5), b.position(0.5));
+  EXPECT_NE(a.position(0.5), c.position(0.5));
+}
+
+}  // namespace
+}  // namespace rg

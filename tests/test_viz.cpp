@@ -1,0 +1,147 @@
+// Unit tests for the SVG visualization module.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/experiment.hpp"
+#include "sim/surgical_sim.hpp"
+#include "viz/svg.hpp"
+#include "viz/trace_plots.hpp"
+
+namespace rg {
+namespace {
+
+Series simple_series(const std::string& label) {
+  Series s;
+  s.label = label;
+  s.x = {0.0, 1.0, 2.0, 3.0};
+  s.y = {0.0, 1.0, 0.5, 2.0};
+  return s;
+}
+
+TEST(SvgChart, RendersWellFormedDocument) {
+  SvgChart chart("Test chart", "time", "value");
+  chart.add_series(simple_series("a"));
+  std::ostringstream os;
+  chart.render(os);
+  const std::string svg = os.str();
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("polyline"), std::string::npos);
+  EXPECT_NE(svg.find("Test chart"), std::string::npos);
+}
+
+TEST(SvgChart, EscapesXmlInLabels) {
+  SvgChart chart("a < b & c", "x", "y");
+  chart.add_series(simple_series("s"));
+  std::ostringstream os;
+  chart.render(os);
+  const std::string svg = os.str();
+  EXPECT_NE(svg.find("a &lt; b &amp; c"), std::string::npos);
+  EXPECT_EQ(svg.find("a < b & c"), std::string::npos);
+}
+
+TEST(SvgChart, MultipleSeriesAndMarkers) {
+  SvgChart chart("multi", "x", "y");
+  chart.add_series(simple_series("one"));
+  chart.add_series(simple_series("two"));
+  chart.add_marker(Marker{"event", "#d62728", 1.5});
+  EXPECT_EQ(chart.series_count(), 2u);
+  std::ostringstream os;
+  chart.render(os);
+  const std::string svg = os.str();
+  EXPECT_NE(svg.find("one"), std::string::npos);
+  EXPECT_NE(svg.find("two"), std::string::npos);
+  EXPECT_NE(svg.find("event"), std::string::npos);
+  EXPECT_NE(svg.find("stroke-dasharray"), std::string::npos);
+}
+
+TEST(SvgChart, ValidatesInput) {
+  SvgChart chart("t", "x", "y");
+  Series bad;
+  bad.x = {1.0};
+  bad.y = {1.0, 2.0};
+  EXPECT_THROW(chart.add_series(bad), std::invalid_argument);
+  Series empty;
+  EXPECT_THROW(chart.add_series(empty), std::invalid_argument);
+  std::ostringstream os;
+  EXPECT_THROW(chart.render(os), std::invalid_argument);  // no series
+  EXPECT_THROW(SvgChart("t", "x", "y", 10, 10), std::invalid_argument);
+}
+
+TEST(SvgChart, ConstantSeriesDoesNotDivideByZero) {
+  SvgChart chart("flat", "x", "y");
+  Series s;
+  s.label = "flat";
+  s.x = {0.0, 1.0};
+  s.y = {5.0, 5.0};
+  chart.add_series(std::move(s));
+  std::ostringstream os;
+  EXPECT_NO_THROW(chart.render(os));
+}
+
+TEST(SvgChart, FixedYRangeHonoured) {
+  SvgChart chart("ranged", "x", "y");
+  chart.set_y_range(-10.0, 10.0);
+  chart.add_series(simple_series("s"));
+  std::ostringstream os;
+  EXPECT_NO_THROW(chart.render(os));
+  EXPECT_NE(os.str().find("-10"), std::string::npos);
+}
+
+TEST(SeriesColor, CyclesDeterministically) {
+  EXPECT_STREQ(series_color(0), series_color(8));
+  EXPECT_STRNE(series_color(0), series_color(1));
+}
+
+TEST(TracePlots, ChartsFromRealRun) {
+  SessionParams p;
+  p.seed = 6;
+  SimConfig cfg = make_session(p, std::nullopt, false);
+  SurgicalSim sim(std::move(cfg));
+  TraceRecorder trace;
+  sim.set_trace(&trace);
+  sim.run(2.0);
+
+  std::ostringstream js, es;
+  joint_position_chart(trace).render(js);
+  end_effector_chart(trace).render(es);
+  EXPECT_NE(js.str().find("insertion (m)"), std::string::npos);
+  EXPECT_NE(es.str().find("polyline"), std::string::npos);
+}
+
+TEST(TracePlots, StateByteChartFromCapture) {
+  std::vector<CapturedPacket> capture;
+  for (int i = 0; i < 100; ++i) {
+    CommandPacket pkt;
+    pkt.state = i < 50 ? RobotState::kPedalUp : RobotState::kPedalDown;
+    pkt.watchdog_bit = (i % 2) == 0;
+    const CommandBytes bytes = encode_command(pkt);
+    capture.push_back(CapturedPacket{static_cast<std::uint64_t>(i), {bytes.begin(), bytes.end()}});
+  }
+  std::ostringstream os;
+  state_byte_chart(capture, 0, 0x10).render(os);
+  EXPECT_NE(os.str().find("state byte"), std::string::npos);
+}
+
+TEST(TracePlots, ModelVsPlantOverlay) {
+  const std::vector<double> t{0.0, 0.001, 0.002};
+  const std::vector<double> model{1.0, 1.1, 1.2};
+  const std::vector<double> plant{1.0, 1.05, 1.15};
+  std::ostringstream os;
+  model_vs_plant_chart(t, model, plant, "overlay", "rad").render(os);
+  EXPECT_NE(os.str().find("dynamic model"), std::string::npos);
+  EXPECT_NE(os.str().find("robot (plant)"), std::string::npos);
+  EXPECT_THROW((void)model_vs_plant_chart(t, model, std::vector<double>{1.0}, "t", "y"),
+               std::invalid_argument);
+}
+
+TEST(TracePlots, EmptyTraceRejected) {
+  TraceRecorder empty;
+  EXPECT_THROW((void)joint_position_chart(empty), std::invalid_argument);
+  EXPECT_THROW((void)end_effector_chart(empty), std::invalid_argument);
+  EXPECT_THROW((void)state_byte_chart({}, 0, 0x10), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rg

@@ -1,0 +1,115 @@
+// Tests for the wrist/instrument axes (channels 3-5): orientation
+// pass-through servo, wire liveness, and the detector's documented
+// 3-DOF blind spot.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "attack/logging_wrapper.hpp"
+#include "sim/experiment.hpp"
+#include "sim/surgical_sim.hpp"
+
+namespace rg {
+namespace {
+
+SessionParams quick(std::uint64_t seed) {
+  SessionParams p;
+  p.seed = seed;
+  p.duration_sec = 4.0;
+  return p;
+}
+
+TEST(Wrist, ServoTracksCommandedOrientation) {
+  SimConfig cfg = make_session(quick(30), std::nullopt, false);
+  cfg.orientation.amplitude = Vec3{0.2, 0.0, 0.0};
+  cfg.orientation.frequency_hz = 0.4;
+  SurgicalSim sim(std::move(cfg));
+  sim.run(4.0);
+  EXPECT_FALSE(sim.control().safety_fault_latched());
+  // The wrist moved: channel-3 axis swept a visible angle.
+  EXPECT_GT(std::abs(sim.plant().wrist_positions()[0]), 0.02);
+}
+
+TEST(Wrist, StationaryWithoutOrientationCommands) {
+  SimConfig cfg = make_session(quick(31), std::nullopt, false);
+  cfg.orientation.amplitude = Vec3::zero();
+  SurgicalSim sim(std::move(cfg));
+  sim.run(4.0);
+  EXPECT_LT(std::abs(sim.plant().wrist_positions()[0]), 5e-3);
+  EXPECT_LT(std::abs(sim.plant().wrist_positions()[1]), 5e-3);
+}
+
+TEST(Wrist, ChannelsLiveOnTheWire) {
+  // With wrist motion, the DAC bytes for channels 3-5 vary — the packet
+  // surface the paper's Fig. 5 shows as many-valued data bytes.
+  auto logger = std::make_shared<LoggingWrapper>("r", 0, "r", 0);
+  SimConfig cfg = make_session(quick(32), std::nullopt, false);
+  SurgicalSim sim(std::move(cfg));
+  sim.write_chain().add(logger);
+  sim.run(4.0);
+
+  std::set<std::uint8_t> byte7_values;
+  for (const CapturedPacket& pkt : logger->capture()) byte7_values.insert(pkt.bytes[7]);
+  EXPECT_GT(byte7_values.size(), 10u);  // channel-3 DAC low byte is live
+}
+
+TEST(Wrist, BrakesHoldWristAxes) {
+  SimConfig cfg = make_session(quick(33), std::nullopt, false);
+  cfg.pedal = PedalSchedule{{{1.2, 2.0}}};  // pedal lifts at 2 s
+  SurgicalSim sim(std::move(cfg));
+  sim.run(2.3);  // brakes engaged + locked by now
+  const Vec3 held = sim.plant().wrist_positions();
+  sim.run(1.0);
+  EXPECT_NEAR(distance(sim.plant().wrist_positions(), held), 0.0, 1e-6);
+}
+
+TEST(Wrist, InjectionOnWristChannelIsTheDetectorsBlindSpot) {
+  // The paper's reduced model covers the three positioning joints only:
+  // "the other four degrees of freedom are instrument joints, mainly
+  // affecting the orientation of the end-effectors."  An injection on a
+  // wrist channel therefore spins the instrument without moving the tool
+  // tip: no positional impact, no dynamic-model alarm — a documented
+  // scope limit, not a bug.
+  const DetectionThresholds th = learn_thresholds(quick(34), 5);
+
+  InjectionConfig inj;
+  inj.mode = InjectionConfig::Mode::kSetChannel;
+  inj.target_channel = 4;  // a wrist axis
+  inj.value = 20000;
+  inj.delay_packets = 300;
+  inj.duration_packets = 128;
+
+  SimConfig cfg = make_session(quick(34), th, /*mitigation=*/false);
+  SurgicalSim sim(std::move(cfg));
+  sim.write_chain().add(std::make_shared<InjectionWrapper>(inj));
+
+  // Pedal down at 1.2 s; injection starts 300 engaged packets later
+  // (t = 1.5 s).  Sample the wrist mid-injection, then finish the run.
+  sim.run(1.52);
+  const double mid_injection_speed = std::abs(sim.plant().wrist_velocities()[1]);
+  sim.run(2.48);
+
+  EXPECT_FALSE(sim.outcome().adverse_impact());    // tip did not jump
+  EXPECT_FALSE(sim.outcome().detector_alarmed());  // model is blind here
+  // But the instrument was violently spun — the physical evidence exists
+  // (20000 DAC counts ~ 6 A through the wrist motor)...
+  EXPECT_GT(mid_injection_speed, 10.0);
+  // ...and it is RAVEN's all-channel DAC check that eventually reacts
+  // (the wrist servo's counter-torque saturates past the threshold).
+  EXPECT_TRUE(sim.outcome().raven_detected());
+}
+
+TEST(Wrist, RavenDacCheckCoversWristChannels) {
+  // RAVEN's own threshold check runs on every DAC word, so a *software*
+  // computed wrist command above the limit still faults the system.
+  ControlConfig cfg;
+  SafetyChecker checker(cfg.safety);
+  std::array<std::int16_t, kNumBoardChannels> dac{};
+  dac[4] = 30000;
+  const auto violation = checker.check_dac(dac);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->channel, 4u);
+}
+
+}  // namespace
+}  // namespace rg

@@ -1,0 +1,278 @@
+// raven_guard_cli — command-line driver for the simulator, the attack
+// engine, and the detection framework.
+//
+//   raven_guard_cli learn   [--runs N] [--seed S] [--out FILE]
+//   raven_guard_cli run     [--seed S] [--duration SEC]
+//                           [--trajectory random|circle|suture|FILE.csv]
+//                           [--attack none|torque|user-input|hijack|drop|
+//                                     math|encoder|state-spoof]
+//                           [--magnitude V] [--attack-duration MS]
+//                           [--attack-delay MS]
+//                           [--thresholds FILE] [--mitigate]
+//                           [--trace FILE.csv] [--plots PREFIX]
+//   raven_guard_cli analyze [--seed S] [--out PREFIX]
+//
+// `learn` produces a thresholds file; `run` executes one session and
+// reports the outcome (exit code 2 if an adverse impact occurred);
+// `analyze` replays the attacker's offline analysis on a fresh capture.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "attack/logging_wrapper.hpp"
+#include "attack/packet_analyzer.hpp"
+#include "sim/experiment.hpp"
+#include "sim/surgical_sim.hpp"
+#include "trajectory/recorded.hpp"
+#include "viz/trace_plots.hpp"
+
+namespace rg {
+namespace {
+
+struct Args {
+  std::string command;
+  std::uint64_t seed = 42;
+  double duration = 6.0;
+  std::string trajectory = "random";
+  std::string attack = "none";
+  double magnitude = 20000.0;
+  std::uint32_t attack_duration_ms = 64;
+  std::uint32_t attack_delay_ms = 400;
+  std::string thresholds_file;
+  bool mitigate = false;
+  std::string trace_file;
+  std::string plots_prefix;
+  std::string out = "thresholds.txt";
+  int learn_runs = 100;
+};
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: raven_guard_cli <learn|run|analyze> [options]\n"
+               "  learn:   --runs N --seed S --out FILE\n"
+               "  run:     --seed S --duration SEC --trajectory random|circle|suture|FILE.csv\n"
+               "           --attack none|torque|user-input|hijack|drop|math|encoder|state-spoof\n"
+               "           --magnitude V --attack-duration MS --attack-delay MS\n"
+               "           --thresholds FILE --mitigate --trace FILE.csv --plots PREFIX\n"
+               "  analyze: --seed S --out PREFIX\n");
+}
+
+bool parse(int argc, char** argv, Args& args) {
+  if (argc < 2) return false;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    const char* v = nullptr;
+    if (flag == "--mitigate") {
+      args.mitigate = true;
+    } else if (flag == "--seed" && (v = next())) {
+      args.seed = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--duration" && (v = next())) {
+      args.duration = std::atof(v);
+    } else if (flag == "--trajectory" && (v = next())) {
+      args.trajectory = v;
+    } else if (flag == "--attack" && (v = next())) {
+      args.attack = v;
+    } else if (flag == "--magnitude" && (v = next())) {
+      args.magnitude = std::atof(v);
+    } else if (flag == "--attack-duration" && (v = next())) {
+      args.attack_duration_ms = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (flag == "--attack-delay" && (v = next())) {
+      args.attack_delay_ms = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (flag == "--thresholds" && (v = next())) {
+      args.thresholds_file = v;
+    } else if (flag == "--trace" && (v = next())) {
+      args.trace_file = v;
+    } else if (flag == "--plots" && (v = next())) {
+      args.plots_prefix = v;
+    } else if (flag == "--out" && (v = next())) {
+      args.out = v;
+    } else if (flag == "--runs" && (v = next())) {
+      args.learn_runs = std::atoi(v);
+    } else {
+      std::fprintf(stderr, "unknown or incomplete option: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::shared_ptr<const Trajectory> build_trajectory(const Args& args) {
+  if (args.trajectory == "random") {
+    Pcg32 rng(args.seed * 0x9e3779b97f4a7c15ULL + 0x1234);
+    auto base = std::make_shared<WaypointTrajectory>(
+        make_random_trajectory(rng, WorkspaceBox{}, 6, 0.02));
+    return std::make_shared<TremorDecorator>(base, args.seed ^ 0xABCDEF);
+  }
+  if (args.trajectory == "circle") {
+    return std::make_shared<CircleTrajectory>(Position{0.09, 0.0, -0.11}, 0.012, 2.5, 3.0);
+  }
+  if (args.trajectory == "suture") {
+    return std::make_shared<SutureTrajectory>(Position{0.085, -0.03, -0.105},
+                                              Vec3{0.0, 1.0, 0.0}, 4);
+  }
+  // Anything else: a recorded-trajectory CSV path.
+  std::ifstream is(args.trajectory);
+  if (!is) {
+    std::fprintf(stderr, "cannot open trajectory file %s\n", args.trajectory.c_str());
+    return nullptr;
+  }
+  auto loaded = RecordedTrajectory::from_csv(is);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "bad trajectory CSV: %s\n", loaded.error().to_string().c_str());
+    return nullptr;
+  }
+  return std::make_shared<RecordedTrajectory>(std::move(loaded).value());
+}
+
+AttackVariant parse_attack(const std::string& name) {
+  if (name == "torque") return AttackVariant::kTorqueInjection;
+  if (name == "user-input") return AttackVariant::kUserInputInjection;
+  if (name == "hijack") return AttackVariant::kTrajectoryHijack;
+  if (name == "drop") return AttackVariant::kConsoleDrop;
+  if (name == "math") return AttackVariant::kMathDrift;
+  if (name == "encoder") return AttackVariant::kEncoderCorruption;
+  if (name == "state-spoof") return AttackVariant::kStateSpoof;
+  return AttackVariant::kNone;
+}
+
+int cmd_learn(const Args& args) {
+  SessionParams p;
+  p.seed = args.seed;
+  std::printf("learning thresholds from %d fault-free runs...\n", args.learn_runs);
+  const DetectionThresholds th = learn_thresholds(p, args.learn_runs);
+  save_thresholds(th, args.out);
+  std::printf("thresholds written to %s\n", args.out.c_str());
+  std::printf("  motor vel  %.3f %.3f %.3f rad/s\n", th.motor_vel[0], th.motor_vel[1],
+              th.motor_vel[2]);
+  std::printf("  motor acc  %.0f %.0f %.0f rad/s^2\n", th.motor_acc[0], th.motor_acc[1],
+              th.motor_acc[2]);
+  std::printf("  joint vel  %.4f %.4f %.5f rad/s|m/s\n", th.joint_vel[0], th.joint_vel[1],
+              th.joint_vel[2]);
+  return 0;
+}
+
+int cmd_run(const Args& args) {
+  auto trajectory = build_trajectory(args);
+  if (!trajectory) return 1;
+
+  std::optional<DetectionThresholds> thresholds;
+  if (!args.thresholds_file.empty()) {
+    thresholds = load_thresholds(args.thresholds_file);
+    if (!thresholds) {
+      std::fprintf(stderr, "cannot read thresholds from %s\n", args.thresholds_file.c_str());
+      return 1;
+    }
+  }
+
+  SessionParams p;
+  p.seed = args.seed;
+  p.duration_sec = args.duration;
+  SimConfig cfg = make_session(p, thresholds, args.mitigate);
+  cfg.trajectory = trajectory;
+
+  SurgicalSim sim(std::move(cfg));
+  TraceRecorder trace;
+  if (!args.trace_file.empty() || !args.plots_prefix.empty()) sim.set_trace(&trace);
+
+  AttackSpec spec;
+  spec.variant = parse_attack(args.attack);
+  spec.magnitude = args.magnitude;
+  spec.duration_packets = args.attack_duration_ms;
+  spec.delay_packets = args.attack_delay_ms;
+  spec.seed = args.seed * 131 + 17;
+  const AttackArtifacts artifacts = build_attack(spec);
+  sim.install(artifacts);
+
+  sim.run(args.duration);
+
+  const RunOutcome& out = sim.outcome();
+  std::printf("session: seed=%llu trajectory=%s attack=%s\n",
+              static_cast<unsigned long long>(args.seed), args.trajectory.c_str(),
+              args.attack.c_str());
+  std::printf("  final state        : %s\n", to_string(sim.control().state()).data());
+  std::printf("  injections         : %llu\n",
+              static_cast<unsigned long long>(artifacts.injections()));
+  std::printf("  max abrupt jump    : %.3f mm\n", 1000.0 * out.max_ee_jump_window);
+  std::printf("  adverse impact     : %s\n", out.adverse_impact() ? "YES" : "no");
+  std::printf("  cables snapped     : %s\n", out.cable_snapped ? "YES" : "no");
+  std::printf("  RAVEN checks fired : %s\n", out.raven_detected() ? "yes" : "no");
+  if (thresholds) {
+    std::printf("  detector alarm     : %s%s\n", out.detector_alarmed() ? "yes" : "no",
+                out.detector_alarmed() && out.detected_preemptively() ? " (preemptive)" : "");
+  }
+
+  if (!args.trace_file.empty()) {
+    std::ofstream os(args.trace_file);
+    trace.write_csv(os);
+    std::printf("  trace              : %s\n", args.trace_file.c_str());
+  }
+  if (!args.plots_prefix.empty()) {
+    {
+      std::ofstream os(args.plots_prefix + "_joints.svg");
+      joint_position_chart(trace).render(os);
+    }
+    {
+      std::ofstream os(args.plots_prefix + "_tool.svg");
+      end_effector_chart(trace).render(os);
+    }
+    std::printf("  plots              : %s_joints.svg, %s_tool.svg\n",
+                args.plots_prefix.c_str(), args.plots_prefix.c_str());
+  }
+  if (spec.variant == AttackVariant::kMathDrift) reset_math_drift();
+  return out.adverse_impact() ? 2 : 0;
+}
+
+int cmd_analyze(const Args& args) {
+  auto logger = std::make_shared<LoggingWrapper>("r2_control", 11, "r2_control", 11);
+  SessionParams p;
+  p.seed = args.seed;
+  p.duration_sec = 6.0;
+  SimConfig cfg = make_session(p, std::nullopt, false);
+  cfg.pedal = PedalSchedule{{{1.2, 3.0}, {3.4, 20.0}}};
+  SurgicalSim sim(std::move(cfg));
+  sim.write_chain().add(logger);
+  sim.run(p.duration_sec);
+
+  PacketAnalyzer analyzer(logger->capture());
+  const auto inference = analyzer.infer_state();
+  if (!inference.ok()) {
+    std::fprintf(stderr, "inference failed: %s\n", inference.error().to_string().c_str());
+    return 1;
+  }
+  const StateInference& inf = inference.value();
+  std::printf("capture: %zu packets\n", analyzer.packet_count());
+  std::printf("state byte index : %zu\n", inf.state_byte_index);
+  std::printf("watchdog mask    : 0x%02X\n", inf.watchdog_mask);
+  std::printf("pedal-down code  : 0x%02X\n", inf.pedal_down_code);
+  std::printf("timeline segments: %zu\n", inf.timeline.size());
+
+  const std::string svg_path = args.out + "_byte0.svg";
+  std::ofstream os(svg_path);
+  state_byte_chart(logger->capture(), inf.state_byte_index, inf.watchdog_mask).render(os);
+  std::printf("plot written to %s\n", svg_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace rg
+
+int main(int argc, char** argv) {
+  rg::Args args;
+  if (!rg::parse(argc, argv, args)) {
+    rg::usage();
+    return 1;
+  }
+  if (args.command == "learn") return rg::cmd_learn(args);
+  if (args.command == "run") return rg::cmd_run(args);
+  if (args.command == "analyze") return rg::cmd_analyze(args);
+  rg::usage();
+  return 1;
+}
