@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_observer.dir/bench_ablation_observer.cpp.o"
+  "CMakeFiles/bench_ablation_observer.dir/bench_ablation_observer.cpp.o.d"
+  "bench_ablation_observer"
+  "bench_ablation_observer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_observer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_reaction.dir/bench_ablation_reaction.cpp.o"
+  "CMakeFiles/bench_ablation_reaction.dir/bench_ablation_reaction.cpp.o.d"
+  "bench_ablation_reaction"
+  "bench_ablation_reaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_reaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

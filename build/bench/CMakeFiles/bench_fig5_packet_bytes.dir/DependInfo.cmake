@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5_packet_bytes.cpp" "bench/CMakeFiles/bench_fig5_packet_bytes.dir/bench_fig5_packet_bytes.cpp.o" "gcc" "bench/CMakeFiles/bench_fig5_packet_bytes.dir/bench_fig5_packet_bytes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/plant/CMakeFiles/rg_plant.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/rg_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/rg_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trajectory/CMakeFiles/rg_trajectory.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/rg_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/dynamics/CMakeFiles/rg_dynamics.dir/DependInfo.cmake"
+  "/root/repo/build/src/kinematics/CMakeFiles/rg_kinematics.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/rg_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

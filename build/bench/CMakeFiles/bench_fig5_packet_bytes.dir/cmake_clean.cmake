@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_packet_bytes.dir/bench_fig5_packet_bytes.cpp.o"
+  "CMakeFiles/bench_fig5_packet_bytes.dir/bench_fig5_packet_bytes.cpp.o.d"
+  "bench_fig5_packet_bytes"
+  "bench_fig5_packet_bytes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_packet_bytes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

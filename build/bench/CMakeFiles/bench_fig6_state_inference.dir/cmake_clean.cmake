@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_state_inference.dir/bench_fig6_state_inference.cpp.o"
+  "CMakeFiles/bench_fig6_state_inference.dir/bench_fig6_state_inference.cpp.o.d"
+  "bench_fig6_state_inference"
+  "bench_fig6_state_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_state_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_harm_quantification.dir/bench_harm_quantification.cpp.o"
+  "CMakeFiles/bench_harm_quantification.dir/bench_harm_quantification.cpp.o.d"
+  "bench_harm_quantification"
+  "bench_harm_quantification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_harm_quantification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_harm_quantification.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_harm_quantification.
+# This may be replaced when dependencies are built.

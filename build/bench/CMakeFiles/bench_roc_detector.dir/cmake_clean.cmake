@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_roc_detector.dir/bench_roc_detector.cpp.o"
+  "CMakeFiles/bench_roc_detector.dir/bench_roc_detector.cpp.o.d"
+  "bench_roc_detector"
+  "bench_roc_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_roc_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_threats.dir/network_threats.cpp.o"
+  "CMakeFiles/network_threats.dir/network_threats.cpp.o.d"
+  "network_threats"
+  "network_threats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_threats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

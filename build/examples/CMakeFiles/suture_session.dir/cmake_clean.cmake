@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suture_session.dir/suture_session.cpp.o"
+  "CMakeFiles/suture_session.dir/suture_session.cpp.o.d"
+  "suture_session"
+  "suture_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suture_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("math")
+subdirs("ode")
+subdirs("kinematics")
+subdirs("dynamics")
+subdirs("plant")
+subdirs("hw")
+subdirs("net")
+subdirs("trajectory")
+subdirs("control")
+subdirs("attack")
+subdirs("defense")
+subdirs("core")
+subdirs("sim")
+subdirs("viz")

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/attack_engine.cpp" "src/attack/CMakeFiles/rg_attack.dir/attack_engine.cpp.o" "gcc" "src/attack/CMakeFiles/rg_attack.dir/attack_engine.cpp.o.d"
+  "/root/repo/src/attack/feedback_attack.cpp" "src/attack/CMakeFiles/rg_attack.dir/feedback_attack.cpp.o" "gcc" "src/attack/CMakeFiles/rg_attack.dir/feedback_attack.cpp.o.d"
+  "/root/repo/src/attack/injection_wrapper.cpp" "src/attack/CMakeFiles/rg_attack.dir/injection_wrapper.cpp.o" "gcc" "src/attack/CMakeFiles/rg_attack.dir/injection_wrapper.cpp.o.d"
+  "/root/repo/src/attack/itp_injection.cpp" "src/attack/CMakeFiles/rg_attack.dir/itp_injection.cpp.o" "gcc" "src/attack/CMakeFiles/rg_attack.dir/itp_injection.cpp.o.d"
+  "/root/repo/src/attack/logging_wrapper.cpp" "src/attack/CMakeFiles/rg_attack.dir/logging_wrapper.cpp.o" "gcc" "src/attack/CMakeFiles/rg_attack.dir/logging_wrapper.cpp.o.d"
+  "/root/repo/src/attack/math_attack.cpp" "src/attack/CMakeFiles/rg_attack.dir/math_attack.cpp.o" "gcc" "src/attack/CMakeFiles/rg_attack.dir/math_attack.cpp.o.d"
+  "/root/repo/src/attack/packet_analyzer.cpp" "src/attack/CMakeFiles/rg_attack.dir/packet_analyzer.cpp.o" "gcc" "src/attack/CMakeFiles/rg_attack.dir/packet_analyzer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/rg_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/rg_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/kinematics/CMakeFiles/rg_kinematics.dir/DependInfo.cmake"
+  "/root/repo/build/src/dynamics/CMakeFiles/rg_dynamics.dir/DependInfo.cmake"
+  "/root/repo/build/src/trajectory/CMakeFiles/rg_trajectory.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rg_attack.dir/attack_engine.cpp.o"
+  "CMakeFiles/rg_attack.dir/attack_engine.cpp.o.d"
+  "CMakeFiles/rg_attack.dir/feedback_attack.cpp.o"
+  "CMakeFiles/rg_attack.dir/feedback_attack.cpp.o.d"
+  "CMakeFiles/rg_attack.dir/injection_wrapper.cpp.o"
+  "CMakeFiles/rg_attack.dir/injection_wrapper.cpp.o.d"
+  "CMakeFiles/rg_attack.dir/itp_injection.cpp.o"
+  "CMakeFiles/rg_attack.dir/itp_injection.cpp.o.d"
+  "CMakeFiles/rg_attack.dir/logging_wrapper.cpp.o"
+  "CMakeFiles/rg_attack.dir/logging_wrapper.cpp.o.d"
+  "CMakeFiles/rg_attack.dir/math_attack.cpp.o"
+  "CMakeFiles/rg_attack.dir/math_attack.cpp.o.d"
+  "CMakeFiles/rg_attack.dir/packet_analyzer.cpp.o"
+  "CMakeFiles/rg_attack.dir/packet_analyzer.cpp.o.d"
+  "librg_attack.a"
+  "librg_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rg_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

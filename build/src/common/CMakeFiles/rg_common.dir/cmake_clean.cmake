@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rg_common.dir/log.cpp.o"
+  "CMakeFiles/rg_common.dir/log.cpp.o.d"
+  "CMakeFiles/rg_common.dir/rng.cpp.o"
+  "CMakeFiles/rg_common.dir/rng.cpp.o.d"
+  "librg_common.a"
+  "librg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

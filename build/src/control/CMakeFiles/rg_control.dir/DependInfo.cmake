@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/control/control_software.cpp" "src/control/CMakeFiles/rg_control.dir/control_software.cpp.o" "gcc" "src/control/CMakeFiles/rg_control.dir/control_software.cpp.o.d"
+  "/root/repo/src/control/pid.cpp" "src/control/CMakeFiles/rg_control.dir/pid.cpp.o" "gcc" "src/control/CMakeFiles/rg_control.dir/pid.cpp.o.d"
+  "/root/repo/src/control/safety.cpp" "src/control/CMakeFiles/rg_control.dir/safety.cpp.o" "gcc" "src/control/CMakeFiles/rg_control.dir/safety.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/rg_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/kinematics/CMakeFiles/rg_kinematics.dir/DependInfo.cmake"
+  "/root/repo/build/src/dynamics/CMakeFiles/rg_dynamics.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/rg_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trajectory/CMakeFiles/rg_trajectory.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

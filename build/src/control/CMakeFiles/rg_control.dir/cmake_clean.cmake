@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rg_control.dir/control_software.cpp.o"
+  "CMakeFiles/rg_control.dir/control_software.cpp.o.d"
+  "CMakeFiles/rg_control.dir/pid.cpp.o"
+  "CMakeFiles/rg_control.dir/pid.cpp.o.d"
+  "CMakeFiles/rg_control.dir/safety.cpp.o"
+  "CMakeFiles/rg_control.dir/safety.cpp.o.d"
+  "librg_control.a"
+  "librg_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rg_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/detector.cpp" "src/core/CMakeFiles/rg_core.dir/detector.cpp.o" "gcc" "src/core/CMakeFiles/rg_core.dir/detector.cpp.o.d"
+  "/root/repo/src/core/estimator.cpp" "src/core/CMakeFiles/rg_core.dir/estimator.cpp.o" "gcc" "src/core/CMakeFiles/rg_core.dir/estimator.cpp.o.d"
+  "/root/repo/src/core/fixed_point.cpp" "src/core/CMakeFiles/rg_core.dir/fixed_point.cpp.o" "gcc" "src/core/CMakeFiles/rg_core.dir/fixed_point.cpp.o.d"
+  "/root/repo/src/core/fixed_point_model.cpp" "src/core/CMakeFiles/rg_core.dir/fixed_point_model.cpp.o" "gcc" "src/core/CMakeFiles/rg_core.dir/fixed_point_model.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/rg_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/rg_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/thresholds.cpp" "src/core/CMakeFiles/rg_core.dir/thresholds.cpp.o" "gcc" "src/core/CMakeFiles/rg_core.dir/thresholds.cpp.o.d"
+  "/root/repo/src/core/ukf_estimator.cpp" "src/core/CMakeFiles/rg_core.dir/ukf_estimator.cpp.o" "gcc" "src/core/CMakeFiles/rg_core.dir/ukf_estimator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/rg_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/dynamics/CMakeFiles/rg_dynamics.dir/DependInfo.cmake"
+  "/root/repo/build/src/kinematics/CMakeFiles/rg_kinematics.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/rg_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

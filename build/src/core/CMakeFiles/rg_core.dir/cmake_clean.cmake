@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rg_core.dir/detector.cpp.o"
+  "CMakeFiles/rg_core.dir/detector.cpp.o.d"
+  "CMakeFiles/rg_core.dir/estimator.cpp.o"
+  "CMakeFiles/rg_core.dir/estimator.cpp.o.d"
+  "CMakeFiles/rg_core.dir/fixed_point.cpp.o"
+  "CMakeFiles/rg_core.dir/fixed_point.cpp.o.d"
+  "CMakeFiles/rg_core.dir/fixed_point_model.cpp.o"
+  "CMakeFiles/rg_core.dir/fixed_point_model.cpp.o.d"
+  "CMakeFiles/rg_core.dir/pipeline.cpp.o"
+  "CMakeFiles/rg_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/rg_core.dir/thresholds.cpp.o"
+  "CMakeFiles/rg_core.dir/thresholds.cpp.o.d"
+  "CMakeFiles/rg_core.dir/ukf_estimator.cpp.o"
+  "CMakeFiles/rg_core.dir/ukf_estimator.cpp.o.d"
+  "librg_core.a"
+  "librg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rg_defense.dir/bitw.cpp.o"
+  "CMakeFiles/rg_defense.dir/bitw.cpp.o.d"
+  "CMakeFiles/rg_defense.dir/mac.cpp.o"
+  "CMakeFiles/rg_defense.dir/mac.cpp.o.d"
+  "librg_defense.a"
+  "librg_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rg_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

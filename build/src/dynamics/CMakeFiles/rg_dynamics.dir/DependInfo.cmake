@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dynamics/link_dynamics.cpp" "src/dynamics/CMakeFiles/rg_dynamics.dir/link_dynamics.cpp.o" "gcc" "src/dynamics/CMakeFiles/rg_dynamics.dir/link_dynamics.cpp.o.d"
+  "/root/repo/src/dynamics/raven_model.cpp" "src/dynamics/CMakeFiles/rg_dynamics.dir/raven_model.cpp.o" "gcc" "src/dynamics/CMakeFiles/rg_dynamics.dir/raven_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/rg_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/kinematics/CMakeFiles/rg_kinematics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rg_dynamics.dir/link_dynamics.cpp.o"
+  "CMakeFiles/rg_dynamics.dir/link_dynamics.cpp.o.d"
+  "CMakeFiles/rg_dynamics.dir/raven_model.cpp.o"
+  "CMakeFiles/rg_dynamics.dir/raven_model.cpp.o.d"
+  "librg_dynamics.a"
+  "librg_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rg_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

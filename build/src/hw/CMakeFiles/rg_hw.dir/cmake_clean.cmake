@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rg_hw.dir/plc.cpp.o"
+  "CMakeFiles/rg_hw.dir/plc.cpp.o.d"
+  "CMakeFiles/rg_hw.dir/usb_board.cpp.o"
+  "CMakeFiles/rg_hw.dir/usb_board.cpp.o.d"
+  "CMakeFiles/rg_hw.dir/usb_packet.cpp.o"
+  "CMakeFiles/rg_hw.dir/usb_packet.cpp.o.d"
+  "librg_hw.a"
+  "librg_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rg_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rg_kinematics.dir/coupling.cpp.o"
+  "CMakeFiles/rg_kinematics.dir/coupling.cpp.o.d"
+  "CMakeFiles/rg_kinematics.dir/raven_kinematics.cpp.o"
+  "CMakeFiles/rg_kinematics.dir/raven_kinematics.cpp.o.d"
+  "librg_kinematics.a"
+  "librg_kinematics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rg_kinematics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

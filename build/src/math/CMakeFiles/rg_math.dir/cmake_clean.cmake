@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rg_math.dir/filters.cpp.o"
+  "CMakeFiles/rg_math.dir/filters.cpp.o.d"
+  "CMakeFiles/rg_math.dir/stats.cpp.o"
+  "CMakeFiles/rg_math.dir/stats.cpp.o.d"
+  "librg_math.a"
+  "librg_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rg_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/itp_packet.cpp" "src/net/CMakeFiles/rg_net.dir/itp_packet.cpp.o" "gcc" "src/net/CMakeFiles/rg_net.dir/itp_packet.cpp.o.d"
+  "/root/repo/src/net/master_console.cpp" "src/net/CMakeFiles/rg_net.dir/master_console.cpp.o" "gcc" "src/net/CMakeFiles/rg_net.dir/master_console.cpp.o.d"
+  "/root/repo/src/net/udp_channel.cpp" "src/net/CMakeFiles/rg_net.dir/udp_channel.cpp.o" "gcc" "src/net/CMakeFiles/rg_net.dir/udp_channel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/rg_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/rg_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/trajectory/CMakeFiles/rg_trajectory.dir/DependInfo.cmake"
+  "/root/repo/build/src/dynamics/CMakeFiles/rg_dynamics.dir/DependInfo.cmake"
+  "/root/repo/build/src/kinematics/CMakeFiles/rg_kinematics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

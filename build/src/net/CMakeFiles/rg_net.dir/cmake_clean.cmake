@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rg_net.dir/itp_packet.cpp.o"
+  "CMakeFiles/rg_net.dir/itp_packet.cpp.o.d"
+  "CMakeFiles/rg_net.dir/master_console.cpp.o"
+  "CMakeFiles/rg_net.dir/master_console.cpp.o.d"
+  "CMakeFiles/rg_net.dir/udp_channel.cpp.o"
+  "CMakeFiles/rg_net.dir/udp_channel.cpp.o.d"
+  "librg_net.a"
+  "librg_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rg_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

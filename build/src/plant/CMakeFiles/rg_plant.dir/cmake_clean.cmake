@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rg_plant.dir/physical_robot.cpp.o"
+  "CMakeFiles/rg_plant.dir/physical_robot.cpp.o.d"
+  "CMakeFiles/rg_plant.dir/tissue.cpp.o"
+  "CMakeFiles/rg_plant.dir/tissue.cpp.o.d"
+  "librg_plant.a"
+  "librg_plant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rg_plant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

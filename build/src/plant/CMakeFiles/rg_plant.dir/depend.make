@@ -1,0 +1,2 @@
+# Empty dependencies file for rg_plant.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rg_sim.dir/experiment.cpp.o"
+  "CMakeFiles/rg_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/rg_sim.dir/surgical_sim.cpp.o"
+  "CMakeFiles/rg_sim.dir/surgical_sim.cpp.o.d"
+  "CMakeFiles/rg_sim.dir/trace.cpp.o"
+  "CMakeFiles/rg_sim.dir/trace.cpp.o.d"
+  "librg_sim.a"
+  "librg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

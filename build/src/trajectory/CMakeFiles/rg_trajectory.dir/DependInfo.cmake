@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trajectory/min_jerk.cpp" "src/trajectory/CMakeFiles/rg_trajectory.dir/min_jerk.cpp.o" "gcc" "src/trajectory/CMakeFiles/rg_trajectory.dir/min_jerk.cpp.o.d"
+  "/root/repo/src/trajectory/recorded.cpp" "src/trajectory/CMakeFiles/rg_trajectory.dir/recorded.cpp.o" "gcc" "src/trajectory/CMakeFiles/rg_trajectory.dir/recorded.cpp.o.d"
+  "/root/repo/src/trajectory/trajectory.cpp" "src/trajectory/CMakeFiles/rg_trajectory.dir/trajectory.cpp.o" "gcc" "src/trajectory/CMakeFiles/rg_trajectory.dir/trajectory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/rg_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/kinematics/CMakeFiles/rg_kinematics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rg_trajectory.dir/min_jerk.cpp.o"
+  "CMakeFiles/rg_trajectory.dir/min_jerk.cpp.o.d"
+  "CMakeFiles/rg_trajectory.dir/recorded.cpp.o"
+  "CMakeFiles/rg_trajectory.dir/recorded.cpp.o.d"
+  "CMakeFiles/rg_trajectory.dir/trajectory.cpp.o"
+  "CMakeFiles/rg_trajectory.dir/trajectory.cpp.o.d"
+  "librg_trajectory.a"
+  "librg_trajectory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rg_trajectory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librg_trajectory.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rg_viz.dir/svg.cpp.o"
+  "CMakeFiles/rg_viz.dir/svg.cpp.o.d"
+  "CMakeFiles/rg_viz.dir/trace_plots.cpp.o"
+  "CMakeFiles/rg_viz.dir/trace_plots.cpp.o.d"
+  "librg_viz.a"
+  "librg_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rg_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_board_wrist_misc.dir/test_board_wrist_misc.cpp.o"
+  "CMakeFiles/test_board_wrist_misc.dir/test_board_wrist_misc.cpp.o.d"
+  "test_board_wrist_misc"
+  "test_board_wrist_misc.pdb"
+  "test_board_wrist_misc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_board_wrist_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

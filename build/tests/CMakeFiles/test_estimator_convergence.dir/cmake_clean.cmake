@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_estimator_convergence.dir/test_estimator_convergence.cpp.o"
+  "CMakeFiles/test_estimator_convergence.dir/test_estimator_convergence.cpp.o.d"
+  "test_estimator_convergence"
+  "test_estimator_convergence.pdb"
+  "test_estimator_convergence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_estimator_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

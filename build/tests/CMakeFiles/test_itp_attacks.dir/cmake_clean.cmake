@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_itp_attacks.dir/test_itp_attacks.cpp.o"
+  "CMakeFiles/test_itp_attacks.dir/test_itp_attacks.cpp.o.d"
+  "test_itp_attacks"
+  "test_itp_attacks.pdb"
+  "test_itp_attacks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_itp_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

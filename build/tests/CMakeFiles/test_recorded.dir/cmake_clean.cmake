@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_recorded.dir/test_recorded.cpp.o"
+  "CMakeFiles/test_recorded.dir/test_recorded.cpp.o.d"
+  "test_recorded"
+  "test_recorded.pdb"
+  "test_recorded[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_recorded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tissue.dir/test_tissue.cpp.o"
+  "CMakeFiles/test_tissue.dir/test_tissue.cpp.o.d"
+  "test_tissue"
+  "test_tissue.pdb"
+  "test_tissue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tissue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ukf.dir/test_ukf.cpp.o"
+  "CMakeFiles/test_ukf.dir/test_ukf.cpp.o.d"
+  "test_ukf"
+  "test_ukf.pdb"
+  "test_ukf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ukf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wrist.dir/test_wrist.cpp.o"
+  "CMakeFiles/test_wrist.dir/test_wrist.cpp.o.d"
+  "test_wrist"
+  "test_wrist.pdb"
+  "test_wrist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wrist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_integration_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_math[1]_include.cmake")
+include("/root/repo/build/tests/test_ode[1]_include.cmake")
+include("/root/repo/build/tests/test_kinematics[1]_include.cmake")
+include("/root/repo/build/tests/test_dynamics[1]_include.cmake")
+include("/root/repo/build/tests/test_hw[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_trajectory[1]_include.cmake")
+include("/root/repo/build/tests/test_control[1]_include.cmake")
+include("/root/repo/build/tests/test_attack[1]_include.cmake")
+include("/root/repo/build/tests/test_itp_attacks[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_metrics[1]_include.cmake")
+include("/root/repo/build/tests/test_detection_e2e[1]_include.cmake")
+include("/root/repo/build/tests/test_defense[1]_include.cmake")
+include("/root/repo/build/tests/test_fixed_point[1]_include.cmake")
+include("/root/repo/build/tests/test_viz[1]_include.cmake")
+include("/root/repo/build/tests/test_recorded[1]_include.cmake")
+include("/root/repo/build/tests/test_plant[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_harness[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_ukf[1]_include.cmake")
+include("/root/repo/build/tests/test_wrist[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_tissue[1]_include.cmake")
+include("/root/repo/build/tests/test_board_wrist_misc[1]_include.cmake")
+include("/root/repo/build/tests/test_estimator_convergence[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raven_guard_cli.dir/raven_guard_cli.cpp.o"
+  "CMakeFiles/raven_guard_cli.dir/raven_guard_cli.cpp.o.d"
+  "raven_guard_cli"
+  "raven_guard_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raven_guard_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

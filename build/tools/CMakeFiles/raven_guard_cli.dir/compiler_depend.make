@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for raven_guard_cli.
+# This may be replaced when dependencies are built.

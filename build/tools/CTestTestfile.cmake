@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_learn "/root/repo/build/tools/raven_guard_cli" "learn" "--runs" "3" "--seed" "5" "--out" "cli_test_thresholds.txt")
+set_tests_properties(cli_learn PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run_clean "/root/repo/build/tools/raven_guard_cli" "run" "--seed" "5" "--duration" "3" "--trajectory" "circle")
+set_tests_properties(cli_run_clean PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_analyze "/root/repo/build/tools/raven_guard_cli" "analyze" "--seed" "5" "--out" "cli_test")
+set_tests_properties(cli_analyze PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
