@@ -28,7 +28,7 @@ struct Stream {
 Stream record_stream(std::uint64_t seed) {
   SessionParams p = bench::standard_session();
   p.seed = seed;
-  SimConfig cfg = make_session(p, std::nullopt, false);
+  SimConfig cfg = make_session(p, std::nullopt, MitigationMode::kObserveOnly);
   SurgicalSim sim(std::move(cfg));
   TraceRecorder trace;
   sim.set_trace(&trace);
@@ -47,6 +47,26 @@ Stream record_stream(std::uint64_t seed) {
                         static_cast<std::int16_t>(s.dac[2])});
   }
   return out;
+}
+
+/// Record all fault-free replay streams up front through the campaign
+/// engine (one job per run, slot-ordered), leaving the observer replay
+/// comparisons serial and deterministic.
+std::vector<Stream> record_streams(int runs) {
+  std::vector<Stream> streams(static_cast<std::size_t>(runs));
+  std::vector<CampaignJob> jobs(static_cast<std::size_t>(runs));
+  for (int r = 0; r < runs; ++r) {
+    CampaignJob& job = jobs[static_cast<std::size_t>(r)];
+    job.params = bench::standard_session();
+    job.params.seed = 42 + static_cast<std::uint64_t>(r) * 11;
+    job.label = "observer-stream";
+    job.body = [seed = job.params.seed, slot = &streams[static_cast<std::size_t>(r)]]() {
+      *slot = record_stream(seed);
+      return AttackRunResult{};
+    };
+  }
+  (void)bench::run_campaign(std::move(jobs));
+  return streams;
 }
 
 struct ObserverReport {
@@ -92,8 +112,9 @@ int main() {
               "(rad/s^2)");
 
   const int runs = bench::reps(3);
+  const std::vector<Stream> streams = record_streams(runs);
   for (int r = 0; r < runs; ++r) {
-    const Stream stream = record_stream(42 + static_cast<std::uint64_t>(r) * 11);
+    const Stream& stream = streams[static_cast<std::size_t>(r)];
 
     DynamicModelEstimator luenberger;
     if (r > 0) std::printf("  --- run %d ---\n", r + 1);

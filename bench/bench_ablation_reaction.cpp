@@ -16,26 +16,28 @@ namespace {
 
 double residual_jump_mm(double brake_delay_s, std::uint32_t watchdog_ticks,
                         const DetectionThresholds& thresholds, int reps) {
-  double total = 0.0;
+  std::vector<CampaignJob> jobs(static_cast<std::size_t>(reps));
   for (int rep = 0; rep < reps; ++rep) {
-    AttackSpec spec;
-    spec.variant = AttackVariant::kTorqueInjection;
-    spec.magnitude = 24000;
-    spec.duration_packets = 128;
-    spec.delay_packets = 400 + static_cast<std::uint32_t>(rep) * 149;
-    spec.seed = 81000 + static_cast<std::uint64_t>(rep) * 31;
+    CampaignJob& job = jobs[static_cast<std::size_t>(rep)];
+    job.attack.variant = AttackVariant::kTorqueInjection;
+    job.attack.magnitude = 24000;
+    job.attack.duration_packets = 128;
+    job.attack.delay_packets = 400 + static_cast<std::uint32_t>(rep) * 149;
+    job.attack.seed = 81000 + static_cast<std::uint64_t>(rep) * 31;
 
-    SessionParams p = bench::standard_session();
-    p.seed = 7000 + static_cast<std::uint64_t>(rep) * 57;
+    job.params = bench::standard_session();
+    job.params.seed = 7000 + static_cast<std::uint64_t>(rep) * 57;
+    job.thresholds = thresholds;
+    job.mitigation = MitigationMode::kArmed;
+    job.configure = [brake_delay_s, watchdog_ticks](SimConfig& cfg) {
+      cfg.plant.brake_engage_delay = brake_delay_s;
+      cfg.plc.watchdog_timeout_ticks = watchdog_ticks;
+    };
+  }
 
-    SimConfig cfg = make_session(p, thresholds, /*mitigation=*/true);
-    cfg.plant.brake_engage_delay = brake_delay_s;
-    cfg.plc.watchdog_timeout_ticks = watchdog_ticks;
-
-    SurgicalSim sim(std::move(cfg));
-    sim.install(build_attack(spec));
-    sim.run(p.duration_sec);
-    total += sim.outcome().max_ee_jump_window;
+  double total = 0.0;
+  for (const CampaignJobResult& r : bench::run_campaign(std::move(jobs)).results) {
+    total += r.run.outcome.max_ee_jump_window;
   }
   return 1000.0 * total / reps;
 }

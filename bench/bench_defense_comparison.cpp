@@ -14,9 +14,11 @@
 //        (c) BITW MAC with the attacker *inside* the process (re-seals
 //            with the stolen key -> attack succeeds),
 //        (d) dynamic-model detection (this paper).
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "defense/bitw.hpp"
@@ -83,7 +85,7 @@ SealedRunResult run_sealed_session(std::shared_ptr<PacketInterposer> tamper,
                                    const MacKey& key) {
   SessionParams p = bench::standard_session();
   p.seed = 4242;
-  SimConfig cfg = make_session(p, std::nullopt, false);
+  SimConfig cfg = make_session(p, std::nullopt, MitigationMode::kObserveOnly);
   SurgicalSim sim(std::move(cfg));
 
   CommandSealer sealer(key);
@@ -153,28 +155,67 @@ int main() {
   }
 
   // --- 2. scenario-B outcomes under each defense ----------------------------
+  // All four configurations run as one campaign: (a) and (d) are plain
+  // attack jobs; the sealed runs (b)/(c) are custom bodies writing their
+  // verifier counters into per-job slots.
   const MacKey key = MacKey::from_seed(321);
+  const DetectionThresholds th = bench::standard_thresholds();
+
+  AttackSpec scenario_b;
+  scenario_b.variant = AttackVariant::kTorqueInjection;
+  scenario_b.magnitude = 24000;
+  scenario_b.duration_packets = 96;
+  scenario_b.delay_packets = 500;
+
+  std::array<SealedRunResult, 2> sealed{};
+  std::vector<CampaignJob> jobs(4);
+
+  jobs[0].params = bench::standard_session();
+  jobs[0].params.seed = 4242;
+  jobs[0].attack = scenario_b;
+  jobs[0].label = "stock";
+
+  jobs[1].params = bench::standard_session();
+  jobs[1].params.seed = 4242;
+  jobs[1].label = "bitw-outside";
+  jobs[1].body = [&key, slot = &sealed[0]]() {
+    *slot = run_sealed_session(std::make_shared<OutsideSealTamper>(), key);
+    AttackRunResult result;
+    result.outcome = slot->outcome;
+    return result;
+  };
+
+  jobs[2].params = bench::standard_session();
+  jobs[2].params.seed = 4242;
+  jobs[2].label = "bitw-inside";
+  jobs[2].body = [&key, slot = &sealed[1]]() {
+    *slot = run_sealed_session(std::make_shared<InsideSealTamper>(key, 24000), key);
+    AttackRunResult result;
+    result.outcome = slot->outcome;
+    return result;
+  };
+
+  jobs[3].params = bench::standard_session();
+  jobs[3].params.seed = 4242;
+  jobs[3].attack = scenario_b;
+  jobs[3].thresholds = th;
+  jobs[3].mitigation = MitigationMode::kArmed;
+  jobs[3].label = "dynamic-model";
+
+  const CampaignReport report = bench::run_campaign(std::move(jobs));
 
   std::printf("\n  %-44s %10s %8s %s\n", "configuration", "jump (mm)", "impact",
               "notes");
 
   {  // (a) stock
-    AttackSpec spec;
-    spec.variant = AttackVariant::kTorqueInjection;
-    spec.magnitude = 24000;
-    spec.duration_packets = 96;
-    spec.delay_packets = 500;
-    SessionParams p = bench::standard_session();
-    p.seed = 4242;
-    const AttackRunResult r = run_attack_session(p, spec, std::nullopt, false);
+    const AttackRunResult& r = report.results[0].run;
     std::printf("  %-44s %10.2f %8s %s\n", "(a) stock robot, scenario B",
                 1000.0 * r.outcome.max_ee_jump_window, r.impact() ? "YES" : "no",
                 "the baseline attack");
   }
 
   {  // (b) BITW, attacker outside the seal
-    auto tamper = std::make_shared<OutsideSealTamper>();
-    const SealedRunResult r = run_sealed_session(tamper, key);
+    const SealedRunResult& r = sealed[0];
     std::printf("  %-44s %10.2f %8s rejected %llu tampered frames\n",
                 "(b) BITW seal, attacker on the bus",
                 1000.0 * r.outcome.max_ee_jump_window,
@@ -183,8 +224,7 @@ int main() {
   }
 
   {  // (c) BITW, attacker inside the process
-    auto tamper = std::make_shared<InsideSealTamper>(key, 24000);
-    const SealedRunResult r = run_sealed_session(tamper, key);
+    const SealedRunResult& r = sealed[1];
     std::printf("  %-44s %10.2f %8s verifier accepted ALL %llu frames\n",
                 "(c) BITW seal, attacker inside the process",
                 1000.0 * r.outcome.max_ee_jump_window,
@@ -193,15 +233,7 @@ int main() {
   }
 
   {  // (d) dynamic-model detection
-    const DetectionThresholds th = bench::standard_thresholds();
-    AttackSpec spec;
-    spec.variant = AttackVariant::kTorqueInjection;
-    spec.magnitude = 24000;
-    spec.duration_packets = 96;
-    spec.delay_packets = 500;
-    SessionParams p = bench::standard_session();
-    p.seed = 4242;
-    const AttackRunResult r = run_attack_session(p, spec, th, /*mitigation=*/true);
+    const AttackRunResult& r = report.results[3].run;
     std::printf("  %-44s %10.2f %8s alarm %s, mitigation engaged\n",
                 "(d) dynamic-model detection (this paper)",
                 1000.0 * r.outcome.max_ee_jump_window,

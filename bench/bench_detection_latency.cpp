@@ -21,18 +21,22 @@ struct LatencyStats {
 };
 
 LatencyStats measure(double value, const DetectionThresholds& thresholds, int reps) {
-  LatencyStats out;
+  std::vector<CampaignJob> jobs(static_cast<std::size_t>(reps));
   for (int rep = 0; rep < reps; ++rep) {
-    AttackSpec spec;
-    spec.variant = AttackVariant::kTorqueInjection;
-    spec.magnitude = value;
-    spec.duration_packets = 128;
-    spec.delay_packets = 400 + static_cast<std::uint32_t>(rep) * 151;
-    spec.seed = 70000 + static_cast<std::uint64_t>(rep) * 29;
-    SessionParams p = bench::standard_session();
-    p.seed = 6000 + static_cast<std::uint64_t>(rep) * 43;
+    CampaignJob& job = jobs[static_cast<std::size_t>(rep)];
+    job.attack.variant = AttackVariant::kTorqueInjection;
+    job.attack.magnitude = value;
+    job.attack.duration_packets = 128;
+    job.attack.delay_packets = 400 + static_cast<std::uint32_t>(rep) * 151;
+    job.attack.seed = 70000 + static_cast<std::uint64_t>(rep) * 29;
+    job.params = bench::standard_session();
+    job.params.seed = 6000 + static_cast<std::uint64_t>(rep) * 43;
+    job.thresholds = thresholds;
+  }
 
-    const AttackRunResult r = run_attack_session(p, spec, thresholds, false);
+  LatencyStats out;
+  for (const CampaignJobResult& result : bench::run_campaign(std::move(jobs)).results) {
+    const AttackRunResult& r = result.run;
     ++out.runs;
     if (!r.first_injection_tick) continue;
     const double t0 = static_cast<double>(*r.first_injection_tick);

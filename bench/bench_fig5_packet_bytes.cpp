@@ -30,7 +30,7 @@ int main() {
   auto logger = std::make_shared<LoggingWrapper>("r2_control", 11, "r2_control", 11);
   SessionParams p = bench::standard_session();
   p.duration_sec = 6.0;
-  SimConfig cfg = make_session(p, std::nullopt, false);
+  SimConfig cfg = make_session(p, std::nullopt, MitigationMode::kObserveOnly);
   cfg.pedal = PedalSchedule{{{1.2, 3.0}, {3.4, 12.0}}};
   SurgicalSim sim(std::move(cfg));
   sim.write_chain().add(logger);

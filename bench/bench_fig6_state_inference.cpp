@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <vector>
 
 #include "attack/logging_wrapper.hpp"
 #include "attack/packet_analyzer.hpp"
@@ -31,24 +32,40 @@ int main() {
   using namespace rg;
   bench::header("FIGURE 6: Byte-0 state timeline inferred across nine runs");
 
+  // The nine captures run as one campaign; each job's body records its
+  // wiretap into a per-run slot and the analysis/printing stays serial.
+  std::vector<std::shared_ptr<LoggingWrapper>> taps(9);
+  std::vector<CampaignJob> jobs(9);
+  for (int run = 0; run < 9; ++run) {
+    CampaignJob& job = jobs[static_cast<std::size_t>(run)];
+    job.params = bench::standard_session();
+    job.params.seed = 100 + static_cast<std::uint64_t>(run) * 13;
+    job.params.duration_sec = 5.0 + 0.3 * run;
+    job.label = "fig6-capture";
+    job.body = [run, params = job.params, slot = &taps[static_cast<std::size_t>(run)]]() {
+      SimConfig cfg = make_session(params, std::nullopt, MitigationMode::kObserveOnly);
+      // Vary the pedal rhythm run to run, as a human operator would.
+      const double first_down = 1.1 + 0.05 * run;
+      const double lift = 2.2 + 0.15 * run;
+      const double second_down = lift + 0.25 + 0.05 * run;
+      cfg.pedal = PedalSchedule{{{first_down, lift}, {second_down, 100.0}}};
+
+      auto logger = std::make_shared<LoggingWrapper>("r2_control", 11, "r2_control", 11);
+      SurgicalSim sim(std::move(cfg));
+      sim.write_chain().add(logger);
+      sim.run(params.duration_sec);
+      *slot = std::move(logger);
+
+      AttackRunResult result;
+      result.outcome = sim.outcome();
+      return result;
+    };
+  }
+  (void)bench::run_campaign(std::move(jobs));
+
   int correct_triggers = 0;
   for (int run = 0; run < 9; ++run) {
-    SessionParams p = bench::standard_session();
-    p.seed = 100 + static_cast<std::uint64_t>(run) * 13;
-    p.duration_sec = 5.0 + 0.3 * run;
-
-    SimConfig cfg = make_session(p, std::nullopt, false);
-    // Vary the pedal rhythm run to run, as a human operator would.
-    const double first_down = 1.1 + 0.05 * run;
-    const double lift = 2.2 + 0.15 * run;
-    const double second_down = lift + 0.25 + 0.05 * run;
-    cfg.pedal = PedalSchedule{{{first_down, lift}, {second_down, 100.0}}};
-
-    auto logger = std::make_shared<LoggingWrapper>("r2_control", 11, "r2_control", 11);
-    SurgicalSim sim(std::move(cfg));
-    sim.write_chain().add(logger);
-    sim.run(p.duration_sec);
-
+    const std::shared_ptr<LoggingWrapper>& logger = taps[static_cast<std::size_t>(run)];
     PacketAnalyzer analyzer(logger->capture());
     const auto inference = analyzer.infer_state();
     std::printf("\n  run %d (%zu packets): ", run + 1, logger->packets_captured());

@@ -41,7 +41,7 @@ Series run_paired(SolverKind solver, std::uint64_t seed, double observer_gain_sc
 
   DetectionThresholds huge;
   huge.motor_vel = huge.motor_acc = huge.joint_vel = Vec3::filled(1e18);
-  SimConfig cfg = make_session(p, huge, /*mitigation=*/false);
+  SimConfig cfg = make_session(p, huge, MitigationMode::kObserveOnly);
   cfg.detection->detector.ee_jump_limit = 0.0;
   cfg.detection->estimator.observer_position_gain *= observer_gain_scale;
   cfg.detection->estimator.observer_velocity_gain *= observer_gain_scale;
@@ -99,13 +99,35 @@ double time_per_step_ms(SolverKind solver) {
   return std::chrono::duration<double, std::milli>(stop - start).count() / iters;
 }
 
+/// Collect the paired model/plant series for `runs` sessions through the
+/// campaign engine: each job's custom body drives its own paired session
+/// and writes into its pre-sized slot, so runs execute in parallel while
+/// the aggregation below still sees them in submission order.
+std::vector<Series> paired_series(SolverKind solver, int runs, double observer_scale) {
+  std::vector<Series> series(static_cast<std::size_t>(runs));
+  std::vector<CampaignJob> jobs(static_cast<std::size_t>(runs));
+  for (int r = 0; r < runs; ++r) {
+    CampaignJob& job = jobs[static_cast<std::size_t>(r)];
+    job.params = bench::standard_session();
+    job.params.seed = 42 + static_cast<std::uint64_t>(r) * 7;
+    job.params.duration_sec = 6.0;
+    job.label = "fig8-paired";
+    job.body = [solver, observer_scale, seed = job.params.seed,
+                slot = &series[static_cast<std::size_t>(r)]]() {
+      *slot = run_paired(solver, seed, observer_scale);
+      return AttackRunResult{};
+    };
+  }
+  (void)bench::run_campaign(std::move(jobs));
+  return series;
+}
+
 void report_solver(SolverKind solver, int runs, double observer_scale, const char* label) {
   double mae_m[3] = {0, 0, 0};
   double mae_j[3] = {0, 0, 0};
   double pct_m[3] = {0, 0, 0};
   double pct_j[3] = {0, 0, 0};
-  for (int r = 0; r < runs; ++r) {
-    const Series s = run_paired(solver, 42 + static_cast<std::uint64_t>(r) * 7, observer_scale);
+  for (const Series& s : paired_series(solver, runs, observer_scale)) {
     for (std::size_t i = 0; i < 3; ++i) {
       const double em = mean_absolute_error(s.model_mpos[i], s.plant_mpos[i]);
       const double ej = mean_absolute_error(s.model_jpos[i], s.plant_jpos[i]);

@@ -8,6 +8,7 @@
 // (preemptive), while RAVEN's stays below it — attackers can engineer
 // injections that hurt without tripping the stock checks.
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hpp"
 
@@ -20,31 +21,49 @@ struct Cell {
   double p_raven = 0.0;
 };
 
-Cell run_cell(double value, std::uint32_t duration, const DetectionThresholds& thresholds,
-              int reps) {
-  Cell cell;
-  for (int rep = 0; rep < reps; ++rep) {
-    AttackSpec spec;
-    spec.variant = AttackVariant::kTorqueInjection;
-    spec.magnitude = value;
-    spec.duration_packets = duration;
-    spec.delay_packets = 300 + static_cast<std::uint32_t>(rep) * 139;
-    spec.seed = 40000 + static_cast<std::uint64_t>(rep) * 23 +
-                static_cast<std::uint64_t>(duration) * 7 +
-                static_cast<std::uint64_t>(value);
+CampaignJob cell_job(double value, std::uint32_t duration,
+                     const DetectionThresholds& thresholds, int rep) {
+  CampaignJob job;
+  job.attack.variant = AttackVariant::kTorqueInjection;
+  job.attack.magnitude = value;
+  job.attack.duration_packets = duration;
+  job.attack.delay_packets = 300 + static_cast<std::uint32_t>(rep) * 139;
+  job.attack.seed = 40000 + static_cast<std::uint64_t>(rep) * 23 +
+                    static_cast<std::uint64_t>(duration) * 7 +
+                    static_cast<std::uint64_t>(value);
+  job.params = bench::standard_session();
+  job.params.seed = 2000 + static_cast<std::uint64_t>(rep) * 37;
+  job.thresholds = thresholds;
+  return job;
+}
 
-    SessionParams p = bench::standard_session();
-    p.seed = 2000 + static_cast<std::uint64_t>(rep) * 37;
-
-    const AttackRunResult r = run_attack_session(p, spec, thresholds, /*mitigation=*/false);
-    cell.p_impact += r.impact() ? 1.0 : 0.0;
-    cell.p_dyn += r.outcome.detector_alarmed() ? 1.0 : 0.0;
-    cell.p_raven += r.outcome.raven_detected() ? 1.0 : 0.0;
+/// Run every (value, period) cell of one figure section as a single
+/// campaign; cell i owns results [i*reps, (i+1)*reps).
+template <typename Axis>
+std::vector<Cell> run_section(const std::vector<Axis>& axis,
+                              const std::function<CampaignJob(Axis, int)>& make_job,
+                              int reps) {
+  std::vector<CampaignJob> jobs;
+  for (Axis a : axis) {
+    for (int rep = 0; rep < reps; ++rep) jobs.push_back(make_job(a, rep));
   }
-  cell.p_impact /= reps;
-  cell.p_dyn /= reps;
-  cell.p_raven /= reps;
-  return cell;
+  const CampaignReport report = bench::run_campaign(std::move(jobs));
+
+  std::vector<Cell> cells(axis.size());
+  for (std::size_t i = 0; i < axis.size(); ++i) {
+    Cell& cell = cells[i];
+    for (int rep = 0; rep < reps; ++rep) {
+      const AttackRunResult& r = report.results[i * static_cast<std::size_t>(reps) +
+                                                static_cast<std::size_t>(rep)].run;
+      cell.p_impact += r.impact() ? 1.0 : 0.0;
+      cell.p_dyn += r.outcome.detector_alarmed() ? 1.0 : 0.0;
+      cell.p_raven += r.outcome.raven_detected() ? 1.0 : 0.0;
+    }
+    cell.p_impact /= reps;
+    cell.p_dyn /= reps;
+    cell.p_raven /= reps;
+  }
+  return cells;
 }
 
 }  // namespace
@@ -59,27 +78,36 @@ int main() {
   const DetectionThresholds thresholds = bench::standard_thresholds();
   const int reps = bench::reps(20);
 
-  const double values[] = {1000, 2000, 4000, 8000, 12000, 16000, 20000, 24000, 28000, 32000};
-  const std::uint32_t periods[] = {2, 4, 8, 16, 32, 64, 128, 256, 512};
+  const std::vector<double> values = {1000,  2000,  4000,  8000,  12000,
+                                      16000, 20000, 24000, 28000, 32000};
+  const std::vector<std::uint32_t> periods = {2, 4, 8, 16, 32, 64, 128, 256, 512};
 
   // (a) vs injected value, for a few fixed activation periods.
   for (std::uint32_t period : {8u, 64u, 256u}) {
+    const std::vector<Cell> cells = run_section<double>(
+        values,
+        [&](double value, int rep) { return cell_job(value, period, thresholds, rep); },
+        reps);
     std::printf("\n  activation period = %u ms (%d reps per point)\n", period, reps);
     std::printf("  %10s %10s %12s %12s\n", "value", "P(impact)", "P(dyn det)", "P(RAVEN det)");
-    for (double value : values) {
-      const Cell c = run_cell(value, period, thresholds, reps);
-      std::printf("  %10.0f %10.2f %12.2f %12.2f\n", value, c.p_impact, c.p_dyn, c.p_raven);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      std::printf("  %10.0f %10.2f %12.2f %12.2f\n", values[i], cells[i].p_impact,
+                  cells[i].p_dyn, cells[i].p_raven);
     }
   }
 
   // (b) vs activation period, for a few fixed values.
   for (double value : {8000.0, 20000.0, 32000.0}) {
+    const std::vector<Cell> cells = run_section<std::uint32_t>(
+        periods,
+        [&](std::uint32_t period, int rep) { return cell_job(value, period, thresholds, rep); },
+        reps);
     std::printf("\n  injected value = %.0f DAC counts (%d reps per point)\n", value, reps);
     std::printf("  %10s %10s %12s %12s\n", "period ms", "P(impact)", "P(dyn det)",
                 "P(RAVEN det)");
-    for (std::uint32_t period : periods) {
-      const Cell c = run_cell(value, period, thresholds, reps);
-      std::printf("  %10u %10.2f %12.2f %12.2f\n", period, c.p_impact, c.p_dyn, c.p_raven);
+    for (std::size_t i = 0; i < periods.size(); ++i) {
+      std::printf("  %10u %10.2f %12.2f %12.2f\n", periods[i], cells[i].p_impact,
+                  cells[i].p_dyn, cells[i].p_raven);
     }
   }
 

@@ -30,45 +30,76 @@ struct HarmCell {
   int runs = 0;
 };
 
+struct HarmOutcome {
+  bool damaged = false;
+  bool perforated = false;
+};
+
 HarmCell run_cell(double magnitude, const std::optional<DetectionThresholds>& thresholds,
-                  bool mitigation, int reps) {
+                  MitigationMode mitigation, int reps) {
   // The console streams *relative* motions and the software anchors the
   // desired pose at the tool's position on pedal-down, so the tissue is
   // placed relative to where the tool actually works: engage the pedal,
-  // then slide the surface in 0.5 mm below the tool.
-  HarmCell cell;
+  // then slide the surface in 0.5 mm below the tool.  The two-phase run
+  // (engage, then insert tissue and attack) is a custom campaign body;
+  // each job writes its tissue verdict into its own slot.
+  std::vector<HarmOutcome> outcomes(static_cast<std::size_t>(reps));
+  std::vector<CampaignJob> jobs(static_cast<std::size_t>(reps));
   for (int rep = 0; rep < reps; ++rep) {
-    SessionParams p = bench::standard_session();
-    p.seed = 9000 + static_cast<std::uint64_t>(rep) * 61;
-    SimConfig cfg = make_session(p, thresholds, mitigation);
-    cfg.trajectory = hover_trajectory(0.0);  // lateral work at constant height
+    CampaignJob& job = jobs[static_cast<std::size_t>(rep)];
+    job.params = bench::standard_session();
+    job.params.seed = 9000 + static_cast<std::uint64_t>(rep) * 61;
+    job.label = "harm";
+    job.body = [params = job.params, thresholds, mitigation, magnitude, rep,
+                slot = &outcomes[static_cast<std::size_t>(rep)]]() {
+      SimConfig cfg = make_session(params, thresholds, mitigation);
+      cfg.trajectory = hover_trajectory(0.0);  // lateral work at constant height
 
-    SurgicalSim sim(std::move(cfg));
-    sim.run(1.3);  // homing done, pedal down at 1.2 s, pose anchored
+      SurgicalSim sim(std::move(cfg));
+      sim.run(1.3);  // homing done, pedal down at 1.2 s, pose anchored
 
-    // Dissection posture: the tool works 1.5 mm *inside* the tissue.
-    TissueParams tissue;
-    tissue.surface_point = sim.plant().end_effector() + Vec3{0.0, 0.0, 1.5e-3};
-    tissue.normal = Vec3{0.0, 0.0, 1.0};
-    tissue.rupture_depth = 4.0e-3;
-    tissue.shear_speed_limit = 0.12;
-    sim.plant().add_tissue(tissue);
+      // Dissection posture: the tool works 1.5 mm *inside* the tissue.
+      TissueParams tissue;
+      tissue.surface_point = sim.plant().end_effector() + Vec3{0.0, 0.0, 1.5e-3};
+      tissue.normal = Vec3{0.0, 0.0, 1.0};
+      tissue.rupture_depth = 4.0e-3;
+      tissue.shear_speed_limit = 0.12;
+      sim.plant().add_tissue(tissue);
 
-    // Alternate the corrupted channel and sign so the jump direction
-    // covers plunge (elbow, negative) and lateral sweep (shoulder).
-    AttackSpec spec;
-    spec.variant = AttackVariant::kTorqueInjection;
-    spec.magnitude = (rep % 2 == 0) ? -magnitude : magnitude;
-    spec.target_channel = (rep % 2 == 0) ? 1 : 0;
-    spec.duration_packets = 96;
-    spec.delay_packets = 400 + static_cast<std::uint32_t>(rep) * 133;
-    spec.seed = 95000 + static_cast<std::uint64_t>(rep) * 19;
-    if (magnitude > 0.0) sim.install(build_attack(spec));
+      // Alternate the corrupted channel and sign so the jump direction
+      // covers plunge (elbow, negative) and lateral sweep (shoulder).
+      AttackSpec spec;
+      spec.variant = AttackVariant::kTorqueInjection;
+      spec.magnitude = (rep % 2 == 0) ? -magnitude : magnitude;
+      spec.target_channel = (rep % 2 == 0) ? 1 : 0;
+      spec.duration_packets = 96;
+      spec.delay_packets = 400 + static_cast<std::uint32_t>(rep) * 133;
+      spec.seed = 95000 + static_cast<std::uint64_t>(rep) * 19;
+      AttackArtifacts artifacts;
+      if (magnitude > 0.0) {
+        artifacts = build_attack(spec);
+        sim.install(artifacts);
+      }
 
-    sim.run(p.duration_sec - 1.3);
+      sim.run(params.duration_sec - 1.3);
+      slot->damaged = sim.plant().tissue()->damaged();
+      slot->perforated = sim.plant().tissue()->perforated();
+
+      AttackRunResult result;
+      result.spec = spec;
+      result.outcome = sim.outcome();
+      result.injections = artifacts.injections();
+      result.first_injection_tick = artifacts.first_injection_tick();
+      return result;
+    };
+  }
+  (void)bench::run_campaign(std::move(jobs));
+
+  HarmCell cell;
+  for (const HarmOutcome& o : outcomes) {
     ++cell.runs;
-    if (sim.plant().tissue()->damaged()) ++cell.damaged;
-    if (sim.plant().tissue()->perforated()) ++cell.perforated;
+    if (o.damaged) ++cell.damaged;
+    if (o.perforated) ++cell.perforated;
   }
   return cell;
 }
@@ -89,8 +120,8 @@ int main() {
   std::printf("  %10s %9s %8s %12s %11s\n", "(DAC)", "P(damage)", "P(perf)", "P(damage)",
               "P(perf)");
   for (double magnitude : {0.0, 8000.0, 14000.0, 20000.0, 26000.0, 32000.0}) {
-    const HarmCell stock = run_cell(magnitude, std::nullopt, false, reps);
-    const HarmCell guarded = run_cell(magnitude, thresholds, true, reps);
+    const HarmCell stock = run_cell(magnitude, std::nullopt, MitigationMode::kObserveOnly, reps);
+    const HarmCell guarded = run_cell(magnitude, thresholds, MitigationMode::kArmed, reps);
     std::printf("  %10.0f %9.2f %8.2f %12.2f %11.2f\n", magnitude,
                 static_cast<double>(stock.damaged) / stock.runs,
                 static_cast<double>(stock.perforated) / stock.runs,

@@ -27,25 +27,29 @@ ConfusionMatrix evaluate(FusionPolicy fusion, double margin,
   }
   const double values[] = {4000, 10000, 16000, 22000, 28000};
   const std::uint32_t periods[] = {8, 32, 128};
-  ConfusionMatrix cm;
+  std::vector<CampaignJob> jobs;
   int n = 0;
   for (double value : values) {
     for (std::uint32_t period : periods) {
       for (int rep = 0; rep < reps; ++rep) {
-        AttackSpec spec;
-        spec.variant = AttackVariant::kTorqueInjection;
-        spec.magnitude = value;
-        spec.duration_packets = period;
-        spec.delay_packets = 350 + static_cast<std::uint32_t>(rep) * 119;
-        spec.seed = 30000 + static_cast<std::uint64_t>(n) * 7;
-        SessionParams p = bench::standard_session();
-        p.seed = 8000 + static_cast<std::uint64_t>(rep) * 53;
-        p.fusion = fusion;
-        const AttackRunResult r = run_attack_session(p, spec, th, false);
-        cm.add(r.impact(), r.outcome.detector_alarmed());
+        CampaignJob job;
+        job.attack.variant = AttackVariant::kTorqueInjection;
+        job.attack.magnitude = value;
+        job.attack.duration_packets = period;
+        job.attack.delay_packets = 350 + static_cast<std::uint32_t>(rep) * 119;
+        job.attack.seed = 30000 + static_cast<std::uint64_t>(n) * 7;
+        job.params = bench::standard_session();
+        job.params.seed = 8000 + static_cast<std::uint64_t>(rep) * 53;
+        job.params.fusion = fusion;
+        job.thresholds = th;
+        jobs.push_back(std::move(job));
         ++n;
       }
     }
+  }
+  ConfusionMatrix cm;
+  for (const CampaignJobResult& r : bench::run_campaign(std::move(jobs)).results) {
+    cm.add(r.run.impact(), r.run.outcome.detector_alarmed());
   }
   return cm;
 }

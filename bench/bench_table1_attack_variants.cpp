@@ -6,7 +6,9 @@
 // IK-fail halt, homing failure, abrupt jump.  We deploy each variant on
 // the co-simulation and report what actually happened.
 #include <cstdio>
+#include <iterator>
 #include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 
@@ -70,23 +72,31 @@ int main() {
        "Abrupt jump / E-STOP", 800.0, 128, 2500},
   };
 
+  std::vector<CampaignJob> jobs;
+  for (const VariantRow& row : rows) {
+    CampaignJob job;
+    job.attack.variant = row.variant;
+    job.attack.magnitude = row.magnitude;
+    job.attack.duration_packets = row.duration;
+    job.attack.delay_packets = row.delay;
+
+    job.params = bench::standard_session();
+    job.params.seed = 77 + static_cast<std::uint64_t>(row.variant);
+    if (row.variant == AttackVariant::kMathDrift) job.params.duration_sec = 8.0;
+    job.label = row.hijacked_call;
+    jobs.push_back(std::move(job));
+  }
+  // The campaign executor resets the math-drift hook around every job, so
+  // the kMathDrift row no longer needs a manual reset_math_drift() here.
+  const CampaignReport report = bench::run_campaign(std::move(jobs));
+
   std::printf("\n  %-22s %-24s %-26s -> observed\n", "Target layer", "Hijacked call",
               "Paper's reported impact");
-  for (const VariantRow& row : rows) {
-    AttackSpec spec;
-    spec.variant = row.variant;
-    spec.magnitude = row.magnitude;
-    spec.duration_packets = row.duration;
-    spec.delay_packets = row.delay;
-
-    SessionParams p = bench::standard_session();
-    p.seed = 77 + static_cast<std::uint64_t>(row.variant);
-    if (row.variant == AttackVariant::kMathDrift) p.duration_sec = 8.0;
-
-    const AttackRunResult r = run_attack_session(p, spec, std::nullopt, false);
+  for (std::size_t i = 0; i < std::size(rows); ++i) {
+    const VariantRow& row = rows[i];
+    const AttackRunResult& r = report.results[i].run;
     std::printf("  %-22s %-24s %-26s -> %s\n", row.layer, row.hijacked_call,
                 row.paper_impact, observed_impact(r, row.variant).c_str());
-    if (row.variant == AttackVariant::kMathDrift) reset_math_drift();
   }
 
   std::printf("\n  All attacks preserve command format/syntax; none require root.\n");

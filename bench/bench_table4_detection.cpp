@@ -35,38 +35,47 @@ template <typename MagnitudeList>
 ScenarioResult sweep(AttackVariant variant, const MagnitudeList& magnitudes,
                      const DetectionThresholds& thresholds, int reps_per_cell) {
   const std::uint32_t durations[] = {2, 4, 8, 16, 32, 64, 128, 256, 512};
-  ScenarioResult out;
+
+  // The whole scenario grid as one campaign; per-run seeds are a pure
+  // function of grid position, so the result is identical at any --jobs.
+  std::vector<CampaignJob> jobs;
   int done = 0;
   for (double magnitude : magnitudes) {
     for (std::uint32_t duration : durations) {
       for (int rep = 0; rep < reps_per_cell; ++rep) {
-        AttackSpec spec;
-        spec.variant = variant;
-        spec.magnitude = magnitude;
-        spec.duration_packets = duration;
-        spec.delay_packets = 300 + static_cast<std::uint32_t>(rep) * 113;
-        spec.seed = 90000 + static_cast<std::uint64_t>(done) * 17;
+        CampaignJob job;
+        job.attack.variant = variant;
+        job.attack.magnitude = magnitude;
+        job.attack.duration_packets = duration;
+        job.attack.delay_packets = 300 + static_cast<std::uint32_t>(rep) * 113;
+        job.attack.seed = 90000 + static_cast<std::uint64_t>(done) * 17;
 
-        SessionParams p = bench::standard_session();
-        p.seed = 500 + static_cast<std::uint64_t>(rep) * 31 +
-                 static_cast<std::uint64_t>(done % 7) * 1009;
-
-        const AttackRunResult r =
-            run_attack_session(p, spec, thresholds, /*mitigation=*/false);
-        const bool truth = r.impact();
-        const bool dyn = r.outcome.detector_alarmed();
-        const bool raven = r.outcome.raven_detected();
-        out.dyn.add(truth, dyn);
-        out.raven.add(truth, raven);
-        ++out.runs;
-        if (truth) {
-          ++out.impacts;
-          if (dyn && !raven) ++out.dyn_only;
-          if (raven && !dyn) ++out.raven_only;
-          if (r.outcome.detected_preemptively()) ++out.preemptive;
-        }
-        if (++done % 250 == 0) std::fprintf(stderr, "  ... %d runs\n", done);
+        job.params = bench::standard_session();
+        job.params.seed = 500 + static_cast<std::uint64_t>(rep) * 31 +
+                          static_cast<std::uint64_t>(done % 7) * 1009;
+        job.thresholds = thresholds;
+        jobs.push_back(std::move(job));
+        ++done;
       }
+    }
+  }
+
+  const CampaignReport report = bench::run_campaign(std::move(jobs));
+
+  ScenarioResult out;
+  for (const CampaignJobResult& result : report.results) {
+    const AttackRunResult& r = result.run;
+    const bool truth = r.impact();
+    const bool dyn = r.outcome.detector_alarmed();
+    const bool raven = r.outcome.raven_detected();
+    out.dyn.add(truth, dyn);
+    out.raven.add(truth, raven);
+    ++out.runs;
+    if (truth) {
+      ++out.impacts;
+      if (dyn && !raven) ++out.dyn_only;
+      if (raven && !dyn) ++out.raven_only;
+      if (r.outcome.detected_preemptively()) ++out.preemptive;
     }
   }
   return out;

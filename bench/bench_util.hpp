@@ -6,7 +6,9 @@
 #include <string>
 
 #include "core/thresholds.hpp"
+#include "sim/campaign.hpp"
 #include "sim/experiment.hpp"
+#include "sim/threshold_store.hpp"
 
 namespace rg::bench {
 
@@ -26,6 +28,29 @@ inline int reps(int paper_count) {
   return n > 0 ? n : 1;
 }
 
+/// Campaign worker threads for the benches: RG_JOBS env override, else
+/// every hardware thread (sessions are embarrassingly parallel).
+inline int jobs() { return default_campaign_jobs(); }
+
+/// Standard campaign options: all workers, progress heartbeat to stderr
+/// every `stride` completed sessions.
+inline CampaignOptions campaign_options(std::size_t stride = 250) {
+  CampaignOptions options;
+  options.jobs = jobs();
+  options.progress = [stride](const CampaignProgress& p) {
+    if (p.completed % stride == 0 || p.completed == p.total) {
+      std::fprintf(stderr, "  ... %zu/%zu runs\n", p.completed, p.total);
+    }
+  };
+  return options;
+}
+
+/// Run a campaign with the standard options.
+inline CampaignReport run_campaign(std::vector<CampaignJob> campaign_jobs,
+                                   std::size_t progress_stride = 250) {
+  return CampaignRunner(campaign_options(progress_stride)).run(std::move(campaign_jobs));
+}
+
 /// The standard session every detection bench shares (same geometry as
 /// the thresholds were learned on).
 inline SessionParams standard_session() {
@@ -43,10 +68,14 @@ inline std::string threshold_cache_path() {
 }
 
 /// Learn-or-load the standard thresholds (paper: 600 fault-free runs,
-/// 99.8-99.9th percentile).
+/// 99.8-99.9th percentile), learning as a parallel campaign on a miss.
 inline DetectionThresholds standard_thresholds() {
-  const int learn_runs = reps(600);
-  return thresholds_cached(standard_session(), learn_runs, threshold_cache_path());
+  const ThresholdStore store(threshold_cache_path());
+  return store.load_or_learn([] {
+    LearnOptions options;
+    options.jobs = jobs();
+    return learn_thresholds(standard_session(), reps(600), options);
+  });
 }
 
 inline void header(const char* title) {

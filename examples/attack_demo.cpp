@@ -27,7 +27,7 @@ int main() {
     SessionParams p;
     p.seed = 21;
     p.duration_sec = 6.0;
-    SimConfig cfg = make_session(p, std::nullopt, false);
+    SimConfig cfg = make_session(p, std::nullopt, MitigationMode::kObserveOnly);
     cfg.pedal = PedalSchedule{{{1.2, 3.0}, {3.5, 20.0}}};  // a pedal lift mid-run
     SurgicalSim sim(std::move(cfg));
     sim.write_chain().add(logger);
@@ -67,7 +67,7 @@ int main() {
   SessionParams p;
   p.seed = 22;
   p.duration_sec = 6.0;
-  SimConfig cfg = make_session(p, std::nullopt, false);
+  SimConfig cfg = make_session(p, std::nullopt, MitigationMode::kObserveOnly);
   SurgicalSim sim(std::move(cfg));
   sim.write_chain().add(injector);
   sim.run(p.duration_sec);

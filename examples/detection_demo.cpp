@@ -7,6 +7,7 @@
 //   $ ./detection_demo
 #include <cstdio>
 
+#include "sim/campaign.hpp"
 #include "sim/experiment.hpp"
 
 int main() {
@@ -35,7 +36,8 @@ int main() {
   std::printf("=== run 1: stock RAVEN (no dynamic-model monitor) ===\n");
   SessionParams run1 = p;
   run1.seed = 77;
-  const AttackRunResult stock = run_attack_session(run1, spec, std::nullopt, false);
+  const AttackRunResult stock =
+      run_attack_session(run1, spec, std::nullopt, MitigationMode::kObserveOnly);
   std::printf("  abrupt jump     : %.2f mm %s\n", 1000.0 * stock.outcome.max_ee_jump_window,
               stock.impact() ? "<-- PATIENT HARM" : "");
   std::printf("  RAVEN checks    : %s\n",
@@ -46,7 +48,7 @@ int main() {
   std::printf("\n=== run 2: same attack, dynamic-model detection + mitigation armed ===\n");
   SessionParams run2 = p;
   run2.seed = 77;  // identical session
-  const AttackRunResult guarded = run_attack_session(run2, spec, th, /*mitigation=*/true);
+  const AttackRunResult guarded = run_attack_session(run2, spec, th, MitigationMode::kArmed);
   if (guarded.outcome.detector_alarm_tick) {
     std::printf("  alarm at t=%.3f s; offending command blocked, E-STOP asserted\n",
                 static_cast<double>(*guarded.outcome.detector_alarm_tick) / 1000.0);

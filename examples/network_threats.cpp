@@ -20,7 +20,7 @@ void run_case(const char* label, rg::UdpChannelConfig net) {
   SessionParams p;
   p.seed = 33;
   p.duration_sec = 5.0;
-  SimConfig cfg = make_session(p, std::nullopt, false);
+  SimConfig cfg = make_session(p, std::nullopt, MitigationMode::kObserveOnly);
   cfg.network = net;
   SurgicalSim sim(std::move(cfg));
   sim.run(p.duration_sec);
@@ -52,7 +52,8 @@ int main() {
   hijack.magnitude = 0.006;  // 6 mm circle the operator never commanded
   hijack.duration_packets = 1200;
   hijack.delay_packets = 400;
-  const AttackRunResult r = run_attack_session(p, hijack, std::nullopt, false);
+  const AttackRunResult r =
+      run_attack_session(p, hijack, std::nullopt, MitigationMode::kObserveOnly);
   std::printf("  trajectory hijack: %llu packets rewritten, deviation from operator "
               "intent %.2f mm%s\n",
               static_cast<unsigned long long>(r.injections),

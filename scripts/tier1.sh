@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the standard build + full test suite, plus a
+# ThreadSanitizer pass over the campaign engine's concurrency tests.
+#
+#   scripts/tier1.sh            # from the repo root
+#
+# Stage 1 is the canonical tier-1 command from ROADMAP.md.  Stage 2
+# rebuilds with -DRG_SANITIZE=thread and runs the Campaign.* tests under
+# TSan, so data races in the worker pool fail CI rather than flaking.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+
+echo "== tier-1 stage 1: standard build + full ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "${JOBS}"
+(cd build && ctest --output-on-failure -j "${JOBS}")
+
+echo "== tier-1 stage 2: ThreadSanitizer campaign tests =="
+cmake -B build-tsan -S . -DRG_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "${JOBS}" --target test_campaign
+(cd build-tsan && ctest --output-on-failure -R '^Campaign\.')
+
+echo "tier-1: all stages passed"

@@ -6,10 +6,13 @@
 namespace rg {
 
 namespace {
-// A real malicious preload keeps its state in the library's globals;
-// we model that with translation-unit globals behind accessors.
-MathDriftConfig g_config{};
-double g_drift = 0.0;
+// A real malicious preload keeps its state in the library's globals; we
+// model that with translation-unit globals behind accessors.  They are
+// thread-local so parallel campaigns stay deterministic: each worker
+// thread owns its own drift state, and the campaign runner re-arms it
+// (reset_math_drift) before every job.
+thread_local MathDriftConfig g_config{};
+thread_local double g_drift = 0.0;
 
 void advance_drift() noexcept {
   g_drift = std::min(g_drift + g_config.drift_per_call, g_config.max_drift);

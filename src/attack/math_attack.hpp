@@ -19,9 +19,10 @@ struct MathDriftConfig {
 };
 
 /// Install the drifting implementation.  Returns hooks to pass to
-/// RavenKinematics::set_math_hooks().  The drift state is process-global
-/// (as a real malicious shared library's would be); reset_math_drift()
-/// re-arms it between experiments.
+/// RavenKinematics::set_math_hooks().  The drift state is global to the
+/// calling thread (modelling a real malicious shared library's globals,
+/// but thread-local so parallel campaigns don't share it);
+/// reset_math_drift() re-arms it between experiments on the same thread.
 [[nodiscard]] MathHooks make_drifting_math(const MathDriftConfig& config) noexcept;
 
 /// Zero the accumulated drift and clear the active configuration.

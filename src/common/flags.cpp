@@ -1,0 +1,115 @@
+#include "common/flags.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+namespace rg {
+
+namespace {
+
+// strto* wrappers that reject trailing junk and range errors.
+bool parse_double(const char* s, double* out) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool parse_u64(const char* s, std::uint64_t* out) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0' || s[0] == '-') return false;
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+}  // namespace
+
+void FlagSet::add(Spec spec) { specs_.push_back(std::move(spec)); }
+
+void FlagSet::flag(std::string name, bool* target, std::string help) {
+  add(Spec{std::move(name), std::move(help), false, [target](const char*) {
+             *target = true;
+             return true;
+           }});
+}
+
+void FlagSet::value(std::string name, std::string* target, std::string help) {
+  add(Spec{std::move(name), std::move(help), true, [target](const char* v) {
+             *target = v;
+             return true;
+           }});
+}
+
+void FlagSet::value(std::string name, double* target, std::string help) {
+  add(Spec{std::move(name), std::move(help), true,
+           [target](const char* v) { return parse_double(v, target); }});
+}
+
+void FlagSet::value(std::string name, int* target, std::string help) {
+  add(Spec{std::move(name), std::move(help), true, [target](const char* v) {
+             double d = 0.0;
+             if (!parse_double(v, &d) || d != static_cast<int>(d)) return false;
+             *target = static_cast<int>(d);
+             return true;
+           }});
+}
+
+void FlagSet::value(std::string name, std::uint32_t* target, std::string help) {
+  add(Spec{std::move(name), std::move(help), true, [target](const char* v) {
+             std::uint64_t u = 0;
+             if (!parse_u64(v, &u) || u > 0xFFFFFFFFULL) return false;
+             *target = static_cast<std::uint32_t>(u);
+             return true;
+           }});
+}
+
+void FlagSet::value(std::string name, std::uint64_t* target, std::string help) {
+  add(Spec{std::move(name), std::move(help), true,
+           [target](const char* v) { return parse_u64(v, target); }});
+}
+
+Status FlagSet::parse(int argc, char** argv, int first) const {
+  for (int i = first; i < argc; ++i) {
+    const std::string token = argv[i];
+    const auto spec = std::find_if(specs_.begin(), specs_.end(),
+                                   [&token](const Spec& s) { return s.name == token; });
+    if (spec == specs_.end()) {
+      return Error(ErrorCode::kInvalidArgument, "unknown option: " + token);
+    }
+    const char* value = nullptr;
+    if (spec->takes_value) {
+      if (i + 1 >= argc) {
+        return Error(ErrorCode::kInvalidArgument, token + " requires a value");
+      }
+      value = argv[++i];
+    }
+    if (!spec->apply(value)) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "bad value for " + token + ": '" + (value ? value : "") + "'");
+    }
+  }
+  return Status::success();
+}
+
+std::string FlagSet::help() const {
+  std::size_t width = 0;
+  for (const Spec& s : specs_) {
+    width = std::max(width, s.name.size() + (s.takes_value ? 8 : 0));
+  }
+  std::ostringstream os;
+  for (const Spec& s : specs_) {
+    std::string left = s.name + (s.takes_value ? " <value>" : "");
+    left.resize(std::max(width, left.size()), ' ');
+    os << "  " << left << "  " << s.help << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace rg

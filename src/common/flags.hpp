@@ -1,0 +1,51 @@
+// Minimal declarative command-line flag parser for the tools.
+//
+// Replaces the ad-hoc argv walks: a subcommand declares its flags once
+// (name, target, help), gets uniform "--flag value" / boolean "--flag"
+// parsing with explicit errors, and a generated, aligned help listing —
+// so shared flags like --jobs/--seed/--runs/--json behave identically
+// across subcommands.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace rg {
+
+class FlagSet {
+ public:
+  /// Boolean switch: present => true.  No value consumed.
+  void flag(std::string name, bool* target, std::string help);
+
+  // Value flags: "--name <value>".  Parse errors name the flag.
+  void value(std::string name, std::string* target, std::string help);
+  void value(std::string name, double* target, std::string help);
+  void value(std::string name, int* target, std::string help);
+  void value(std::string name, std::uint32_t* target, std::string help);
+  void value(std::string name, std::uint64_t* target, std::string help);
+
+  /// Parse argv[first..argc).  Every token must be a declared flag (plus
+  /// its value, for value flags); anything else is an explicit error.
+  [[nodiscard]] Status parse(int argc, char** argv, int first = 2) const;
+
+  /// Aligned "  --flag <value>   help" listing for usage text.
+  [[nodiscard]] std::string help() const;
+
+ private:
+  struct Spec {
+    std::string name;
+    std::string help;
+    bool takes_value = false;
+    // Applies the (possibly null) value string; false => parse failure.
+    std::function<bool(const char*)> apply;
+  };
+  void add(Spec spec);
+
+  std::vector<Spec> specs_;
+};
+
+}  // namespace rg

@@ -41,6 +41,17 @@ DetectionThresholds ThresholdLearner::learn(double percentile_value, double marg
   return out;
 }
 
+void ThresholdLearner::merge(const ThresholdLearner& other) {
+  for (std::size_t i = 0; i < 3; ++i) {
+    motor_vel_max_[i].insert(motor_vel_max_[i].end(), other.motor_vel_max_[i].begin(),
+                             other.motor_vel_max_[i].end());
+    motor_acc_max_[i].insert(motor_acc_max_[i].end(), other.motor_acc_max_[i].begin(),
+                             other.motor_acc_max_[i].end());
+    joint_vel_max_[i].insert(joint_vel_max_[i].end(), other.joint_vel_max_[i].begin(),
+                             other.joint_vel_max_[i].end());
+  }
+}
+
 void ThresholdLearner::reset() noexcept {
   current_ = Maxima{};
   for (std::size_t i = 0; i < 3; ++i) {

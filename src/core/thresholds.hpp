@@ -44,6 +44,11 @@ class ThresholdLearner {
   [[nodiscard]] DetectionThresholds learn(double percentile_value = 99.85,
                                           double margin = 1.0) const;
 
+  /// Append another learner's *committed* per-run maxima to this one
+  /// (its uncommitted current run, if any, is ignored).  Lets parallel
+  /// campaigns learn per-run and reduce in a deterministic order.
+  void merge(const ThresholdLearner& other);
+
   void reset() noexcept;
 
  private:

@@ -1,0 +1,292 @@
+#include "sim/campaign.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <thread>
+
+#include "attack/math_attack.hpp"
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "sim/surgical_sim.hpp"
+
+namespace rg {
+
+namespace {
+
+using WallClock = std::chrono::steady_clock;
+
+double ms_since(WallClock::time_point start) {
+  return std::chrono::duration<double, std::milli>(WallClock::now() - start).count();
+}
+
+/// JSON string escaping for the few free-form fields (labels).
+void write_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_optional_tick(std::ostream& os, const std::optional<std::uint64_t>& t) {
+  if (t) {
+    os << *t;
+  } else {
+    os << "null";
+  }
+}
+
+}  // namespace
+
+int default_campaign_jobs() noexcept {
+  if (const char* env = std::getenv("RG_JOBS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+CampaignRunner::CampaignRunner(CampaignOptions options) : options_(std::move(options)) {
+  require(options_.jobs >= 0, "CampaignRunner: jobs must be >= 0");
+}
+
+int CampaignRunner::workers_for(std::size_t njobs) const noexcept {
+  int workers = options_.jobs > 0 ? options_.jobs : default_campaign_jobs();
+  if (njobs < static_cast<std::size_t>(workers)) workers = static_cast<int>(njobs);
+  return workers > 1 ? workers : 1;
+}
+
+CampaignJobResult CampaignRunner::execute(const CampaignJob& job, std::size_t index) {
+  const auto start = WallClock::now();
+  CampaignJobResult out;
+  out.index = index;
+  out.label = job.label;
+
+  // The math-drift attack models its malicious library state as globals;
+  // they are thread-local here, so re-arming them per job makes every job
+  // independent of whatever ran earlier on this worker thread.
+  reset_math_drift();
+
+  if (job.body) {
+    out.run = job.body();
+    // Custom bodies drive the sim themselves; account the nominal session
+    // length so campaign throughput stays meaningful.
+    out.ticks = static_cast<std::uint64_t>(job.params.duration_sec * 1000.0);
+  } else {
+    SimConfig cfg = make_session(job.params, job.thresholds, job.mitigation);
+    if (job.configure) job.configure(cfg);
+    SurgicalSim sim(std::move(cfg));
+    if (job.instrument) job.instrument(sim);
+
+    AttackSpec seeded = job.attack;
+    if (seeded.seed == 0) seeded.seed = job.params.seed * 131 + 17;
+    const AttackArtifacts artifacts = build_attack(seeded);
+    sim.install(artifacts);
+
+    sim.run(job.params.duration_sec);
+
+    out.run.spec = seeded;
+    out.run.outcome = sim.outcome();
+    out.run.injections = artifacts.injections();
+    out.run.first_injection_tick = artifacts.first_injection_tick();
+    out.ticks = sim.clock().ticks();
+  }
+
+  reset_math_drift();
+  out.wall_ms = ms_since(start);
+  return out;
+}
+
+CampaignReport CampaignRunner::run(std::vector<CampaignJob> jobs) const {
+  const auto campaign_start = WallClock::now();
+  const std::size_t total = jobs.size();
+
+  CampaignReport report;
+  report.results.resize(total);
+  report.workers = workers_for(total);
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> cancelled{false};
+  std::mutex mutex;  // guards results/progress/failures
+  std::size_t completed = 0;
+  std::vector<std::pair<std::size_t, std::exception_ptr>> failures;
+
+  auto worker = [&]() {
+    while (!cancelled.load(std::memory_order_relaxed)) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total) return;
+      try {
+        CampaignJobResult result = execute(jobs[i], i);
+        std::lock_guard<std::mutex> lock(mutex);
+        report.results[i] = std::move(result);
+        ++completed;
+        if (options_.progress) {
+          options_.progress(CampaignProgress{completed, total, i, report.results[i].wall_ms});
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        failures.emplace_back(i, std::current_exception());
+        cancelled.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  if (report.workers <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(report.workers));
+    for (int w = 0; w < report.workers; ++w) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  if (!failures.empty()) {
+    // Surface the lowest-indexed failure; which jobs even started depends
+    // on scheduling, but the reported index is at least stable for the
+    // common one-bad-job case.
+    std::size_t first = failures.front().first;
+    std::exception_ptr error = failures.front().second;
+    for (const auto& [idx, eptr] : failures) {
+      if (idx < first) {
+        first = idx;
+        error = eptr;
+      }
+    }
+    try {
+      std::rethrow_exception(error);
+    } catch (const std::exception& e) {
+      throw CampaignError(first, e.what());
+    } catch (...) {
+      throw CampaignError(first, "unknown error");
+    }
+  }
+
+  report.wall_ms = ms_since(campaign_start);
+  for (const CampaignJobResult& r : report.results) {
+    report.session_ms += r.wall_ms;
+    report.counters.ticks += r.ticks;
+    report.counters.injections += r.run.injections;
+    if (r.run.impact()) ++report.counters.impacts;
+    if (r.run.outcome.detector_alarmed()) ++report.counters.detector_alarms;
+    if (r.run.outcome.raven_detected()) ++report.counters.raven_detections;
+    if (r.run.impact() && r.run.outcome.detected_preemptively()) ++report.counters.preemptive;
+  }
+  return report;
+}
+
+void CampaignReport::write_json(std::ostream& os) const {
+  os.precision(17);
+  os << "{\n";
+  os << "  \"schema\": \"rg.campaign.report/1\",\n";
+  os << "  \"jobs\": " << jobs() << ",\n";
+  os << "  \"workers\": " << workers << ",\n";
+  os << "  \"wall_ms\": " << wall_ms << ",\n";
+  os << "  \"session_ms\": " << session_ms << ",\n";
+  os << "  \"speedup\": " << speedup() << ",\n";
+  os << "  \"ticks_per_sec\": " << ticks_per_sec() << ",\n";
+  os << "  \"counters\": {\n";
+  os << "    \"impacts\": " << counters.impacts << ",\n";
+  os << "    \"detector_alarms\": " << counters.detector_alarms << ",\n";
+  os << "    \"raven_detections\": " << counters.raven_detections << ",\n";
+  os << "    \"preemptive\": " << counters.preemptive << ",\n";
+  os << "    \"injections\": " << counters.injections << ",\n";
+  os << "    \"ticks\": " << counters.ticks << "\n";
+  os << "  },\n";
+  os << "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const CampaignJobResult& r = results[i];
+    os << "    {\"index\": " << r.index;
+    if (!r.label.empty()) {
+      os << ", \"label\": ";
+      write_json_string(os, r.label);
+    }
+    os << ", \"seed\": " << r.run.spec.seed;
+    os << ", \"variant\": ";
+    write_json_string(os, std::string{to_string(r.run.spec.variant)});
+    os << ", \"magnitude\": " << r.run.spec.magnitude;
+    os << ", \"impact\": " << (r.run.impact() ? "true" : "false");
+    os << ", \"detector_alarm_tick\": ";
+    write_optional_tick(os, r.run.outcome.detector_alarm_tick);
+    os << ", \"raven_fault_tick\": ";
+    write_optional_tick(os, r.run.outcome.raven_fault_tick);
+    os << ", \"adverse_impact_tick\": ";
+    write_optional_tick(os, r.run.outcome.adverse_impact_tick);
+    os << ", \"max_ee_jump_mm\": " << 1000.0 * r.run.outcome.max_ee_jump_window;
+    os << ", \"injections\": " << r.run.injections;
+    os << ", \"ticks\": " << r.ticks;
+    os << ", \"wall_ms\": " << r.wall_ms << "}";
+    os << (i + 1 < results.size() ? ",\n" : "\n");
+  }
+  os << "  ]\n";
+  os << "}\n";
+}
+
+bool CampaignReport::write_json_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_json(os);
+  return static_cast<bool>(os);
+}
+
+DetectionThresholds learn_thresholds(const SessionParams& base, int runs,
+                                     const LearnOptions& options) {
+  require(runs > 0, "learn_thresholds: runs must be > 0");
+
+  // Observe-only pipeline with infinite thresholds: never alarms, but
+  // produces the Prediction stream the learner consumes.
+  DetectionThresholds inf;
+  inf.motor_vel = inf.motor_acc = inf.joint_vel = Vec3::filled(1.0e18);
+
+  // One learner per run, merged in submission order afterwards — the
+  // committed per-run maxima are identical to a serial learner's
+  // regardless of worker count.
+  std::vector<ThresholdLearner> learners(static_cast<std::size_t>(runs));
+  std::vector<CampaignJob> jobs(static_cast<std::size_t>(runs));
+  for (int r = 0; r < runs; ++r) {
+    SessionParams p = base;
+    p.seed = base.seed + static_cast<std::uint64_t>(r) * 101;
+    p.ee_jump_limit = 0.0;  // fully disable alarms while learning
+    CampaignJob& job = jobs[static_cast<std::size_t>(r)];
+    job.params = p;
+    job.thresholds = inf;
+    job.label = "learn";
+    job.instrument = [learner = &learners[static_cast<std::size_t>(r)]](SurgicalSim& sim) {
+      sim.set_detection_observer([learner](const DetectionPipeline::Outcome& out) {
+        learner->observe(out.prediction);
+      });
+    };
+  }
+
+  CampaignRunner runner(CampaignOptions{options.jobs, options.progress});
+  (void)runner.run(std::move(jobs));
+
+  ThresholdLearner merged;
+  for (ThresholdLearner& learner : learners) {
+    learner.end_run();
+    merged.merge(learner);
+  }
+  RG_LOG(kInfo) << "learned thresholds from " << merged.runs() << " fault-free runs";
+  return merged.learn(options.percentile, options.margin);
+}
+
+}  // namespace rg

@@ -1,0 +1,167 @@
+// Campaign engine: batch execution of independent teleoperation sessions
+// across a fixed-size worker pool.
+//
+// Every experiment in this reproduction — the paper's 600 fault-free
+// threshold-learning runs, the ~3.3k labelled attack runs behind Table IV,
+// the Fig. 9 grids, the ROC sweep — is a set of sessions that are fully
+// independent given their seeds.  The CampaignRunner exploits that: it
+// executes N CampaignJobs over `jobs` worker threads, with results stored
+// by submission index so a campaign's output is bit-identical to serial
+// execution regardless of thread count.
+//
+// Determinism contract: a job may only touch state reachable from its own
+// CampaignJob (the simulator, plant RNG, and attack wrappers are all
+// per-session; the math-drift attack's "process globals" are thread-local
+// and re-armed per job).  Hooks that capture external state must capture
+// per-job slots.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+
+namespace rg {
+
+class SurgicalSim;
+
+/// One unit of campaign work: a fully specified, independently seeded
+/// session.  The default execution path mirrors run_attack_session();
+/// `configure`/`instrument` customize it and `body` replaces it entirely.
+struct CampaignJob {
+  SessionParams params{};
+  /// Attack to install (kNone => fault-free session).
+  AttackSpec attack{};
+  MitigationMode mitigation = MitigationMode::kObserveOnly;
+  /// Enables the detection pipeline for this job when set.
+  std::optional<DetectionThresholds> thresholds{};
+  /// Optional SimConfig tweak applied after make_session() (trajectory
+  /// swap, plant/PLC parameter overrides).
+  std::function<void(SimConfig&)> configure{};
+  /// Optional instrumentation applied to the sim before the run (trace
+  /// recorders, detection observers).  Must only write per-job state.
+  std::function<void(SurgicalSim&)> instrument{};
+  /// Full custom session body, replacing the standard execute path (for
+  /// multi-phase sessions or bespoke wrapper chains).  Runs on a worker
+  /// thread; must only touch per-job state.
+  std::function<AttackRunResult()> body{};
+  /// Free-form tag copied into the job's result and the JSON report.
+  std::string label{};
+};
+
+/// Per-job measurement recorded by the runner.
+struct CampaignJobResult {
+  std::size_t index = 0;  ///< submission index (== slot in the report)
+  std::string label{};
+  AttackRunResult run{};
+  double wall_ms = 0.0;     ///< wall-clock time of this session
+  std::uint64_t ticks = 0;  ///< simulated 1 kHz ticks executed
+};
+
+/// Aggregate counters over a campaign (serial-order reduction).
+struct CampaignCounters {
+  std::uint64_t impacts = 0;
+  std::uint64_t detector_alarms = 0;
+  std::uint64_t raven_detections = 0;
+  std::uint64_t preemptive = 0;
+  std::uint64_t injections = 0;
+  std::uint64_t ticks = 0;
+};
+
+/// Campaign output: per-job results in submission order plus telemetry.
+struct CampaignReport {
+  std::vector<CampaignJobResult> results;
+  int workers = 1;        ///< worker threads actually used
+  double wall_ms = 0.0;   ///< whole-campaign wall clock
+  double session_ms = 0.0;  ///< sum of per-job wall times
+  CampaignCounters counters{};
+
+  [[nodiscard]] std::size_t jobs() const noexcept { return results.size(); }
+  /// Simulated-tick throughput over the campaign wall clock.
+  [[nodiscard]] double ticks_per_sec() const noexcept {
+    return wall_ms > 0.0 ? 1000.0 * static_cast<double>(counters.ticks) / wall_ms : 0.0;
+  }
+  /// Parallel efficiency proxy: total session time / campaign wall time.
+  [[nodiscard]] double speedup() const noexcept {
+    return wall_ms > 0.0 ? session_ms / wall_ms : 0.0;
+  }
+
+  /// Machine-readable campaign report (schema "rg.campaign.report/1",
+  /// documented in docs/campaigns.md).
+  void write_json(std::ostream& os) const;
+  /// write_json() to a file; returns false if the file cannot be opened.
+  [[nodiscard]] bool write_json_file(const std::string& path) const;
+};
+
+/// Progress event, delivered once per completed job (serialized; the
+/// callback is invoked under the runner's lock and must not throw).
+struct CampaignProgress {
+  std::size_t completed = 0;  ///< jobs finished so far
+  std::size_t total = 0;
+  std::size_t index = 0;  ///< submission index of the job that finished
+  double wall_ms = 0.0;   ///< that job's wall time
+};
+using CampaignProgressFn = std::function<void(const CampaignProgress&)>;
+
+struct CampaignOptions {
+  /// Worker threads: 0 => default_campaign_jobs() (RG_JOBS env override,
+  /// else all hardware threads).
+  int jobs = 0;
+  CampaignProgressFn progress{};
+};
+
+/// Thrown when a job fails; the campaign cancels remaining jobs first.
+class CampaignError : public std::runtime_error {
+ public:
+  CampaignError(std::size_t job_index, const std::string& what)
+      : std::runtime_error("campaign job #" + std::to_string(job_index) + ": " + what),
+        job_index_(job_index) {}
+  [[nodiscard]] std::size_t job_index() const noexcept { return job_index_; }
+
+ private:
+  std::size_t job_index_;
+};
+
+/// Fixed-size worker-pool campaign executor.
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(CampaignOptions options = {});
+
+  /// Execute all jobs and aggregate the report.  On the first job failure
+  /// the runner cancels jobs that have not started, joins the pool, and
+  /// throws CampaignError for the lowest-indexed failed job.
+  [[nodiscard]] CampaignReport run(std::vector<CampaignJob> jobs) const;
+
+  /// Worker threads that run() would use for a campaign of `njobs`.
+  [[nodiscard]] int workers_for(std::size_t njobs) const noexcept;
+
+  /// Execute one job inline (the serial path; also what each worker runs).
+  [[nodiscard]] static CampaignJobResult execute(const CampaignJob& job, std::size_t index);
+
+ private:
+  CampaignOptions options_;
+};
+
+/// Default worker count: the RG_JOBS environment variable if set and
+/// positive, else std::thread::hardware_concurrency().
+[[nodiscard]] int default_campaign_jobs() noexcept;
+
+/// Options for campaign-backed threshold learning.
+struct LearnOptions {
+  double percentile = 99.85;  ///< paper: 99.8-99.9th percentile
+  double margin = 1.0;        ///< safety factor on the learned limits
+  int jobs = 0;               ///< worker threads (0 => default)
+  CampaignProgressFn progress{};
+};
+
+/// Learn detection thresholds from `runs` fault-free sessions with
+/// different seeds/trajectories (paper: 600 runs), executed as a campaign.
+/// The learned values are bit-identical for any worker count.
+[[nodiscard]] DetectionThresholds learn_thresholds(const SessionParams& base, int runs,
+                                                   const LearnOptions& options = {});
+
+}  // namespace rg

@@ -1,13 +1,12 @@
 #include "sim/experiment.hpp"
 
-#include <fstream>
-
-#include "common/log.hpp"
+#include "sim/campaign.hpp"
 
 namespace rg {
 
 SimConfig make_session(const SessionParams& params,
-                       const std::optional<DetectionThresholds>& thresholds, bool mitigation) {
+                       const std::optional<DetectionThresholds>& thresholds,
+                       MitigationMode mitigation) {
   SimConfig cfg;
 
   // Trajectory: seeded random waypoints, optionally tremor-decorated.
@@ -35,89 +34,21 @@ SimConfig make_session(const SessionParams& params,
     pipe.detector.fusion = params.fusion;
     pipe.detector.ee_jump_limit = params.ee_jump_limit;
     pipe.mitigation = MitigationStrategy::kEStop;
-    pipe.mitigation_enabled = mitigation;
+    pipe.mitigation_enabled = mitigation == MitigationMode::kArmed;
     cfg.detection = pipe;
   }
   return cfg;
 }
 
-DetectionThresholds learn_thresholds(const SessionParams& base, int runs,
-                                     double percentile_value, double margin) {
-  require(runs > 0, "learn_thresholds: runs must be > 0");
-  ThresholdLearner learner;
-
-  // Observe-only pipeline with infinite thresholds: never alarms, but
-  // produces the Prediction stream the learner consumes.
-  DetectionThresholds inf;
-  inf.motor_vel = inf.motor_acc = inf.joint_vel = Vec3::filled(1.0e18);
-
-  for (int r = 0; r < runs; ++r) {
-    SessionParams p = base;
-    p.seed = base.seed + static_cast<std::uint64_t>(r) * 101;
-    p.ee_jump_limit = 0.0;  // fully disable alarms while learning
-    SimConfig cfg = make_session(p, inf, /*mitigation=*/false);
-    SurgicalSim sim(std::move(cfg));
-    sim.set_detection_observer([&learner](const DetectionPipeline::Outcome& out) {
-      learner.observe(out.prediction);
-    });
-    sim.run(p.duration_sec);
-    learner.end_run();
-  }
-  RG_LOG(kInfo) << "learned thresholds from " << learner.runs() << " fault-free runs";
-  return learner.learn(percentile_value, margin);
-}
-
-void save_thresholds(const DetectionThresholds& thresholds, const std::string& path) {
-  std::ofstream os(path);
-  require(static_cast<bool>(os), "save_thresholds: cannot open " + path);
-  os.precision(17);
-  for (std::size_t i = 0; i < 3; ++i) os << thresholds.motor_vel[i] << ' ';
-  for (std::size_t i = 0; i < 3; ++i) os << thresholds.motor_acc[i] << ' ';
-  for (std::size_t i = 0; i < 3; ++i) os << thresholds.joint_vel[i] << ' ';
-  os << '\n';
-}
-
-std::optional<DetectionThresholds> load_thresholds(const std::string& path) {
-  std::ifstream is(path);
-  if (!is) return std::nullopt;
-  DetectionThresholds th;
-  for (std::size_t i = 0; i < 3; ++i) is >> th.motor_vel[i];
-  for (std::size_t i = 0; i < 3; ++i) is >> th.motor_acc[i];
-  for (std::size_t i = 0; i < 3; ++i) is >> th.joint_vel[i];
-  if (!is) return std::nullopt;
-  return th;
-}
-
-DetectionThresholds thresholds_cached(const SessionParams& base, int runs,
-                                      const std::string& cache_path) {
-  if (auto cached = load_thresholds(cache_path)) {
-    RG_LOG(kInfo) << "loaded detection thresholds from " << cache_path;
-    return *cached;
-  }
-  DetectionThresholds th = learn_thresholds(base, runs);
-  save_thresholds(th, cache_path);
-  return th;
-}
-
 AttackRunResult run_attack_session(const SessionParams& params, const AttackSpec& spec,
                                    const std::optional<DetectionThresholds>& thresholds,
-                                   bool mitigation) {
-  SimConfig cfg = make_session(params, thresholds, mitigation);
-  SurgicalSim sim(std::move(cfg));
-
-  AttackSpec seeded = spec;
-  if (seeded.seed == 0) seeded.seed = params.seed * 131 + 17;
-  const AttackArtifacts artifacts = build_attack(seeded);
-  sim.install(artifacts);
-
-  sim.run(params.duration_sec);
-
-  AttackRunResult result;
-  result.spec = seeded;
-  result.outcome = sim.outcome();
-  result.injections = artifacts.injections();
-  result.first_injection_tick = artifacts.first_injection_tick();
-  return result;
+                                   MitigationMode mitigation) {
+  CampaignJob job;
+  job.params = params;
+  job.attack = spec;
+  job.mitigation = mitigation;
+  job.thresholds = thresholds;
+  return CampaignRunner::execute(job, 0).run;
 }
 
 }  // namespace rg

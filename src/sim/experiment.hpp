@@ -1,10 +1,13 @@
-// Experiment harness: standardized sessions, threshold learning, and
-// labelled attack runs — the machinery behind Table IV and Figs. 8/9.
+// Experiment harness: standardized single sessions and labelled attack
+// runs — the session-level primitives under the campaign engine.
+//
+// Batch APIs live one layer up: sim/campaign.hpp executes sets of these
+// sessions across a worker pool (and hosts learn_thresholds);
+// sim/threshold_store.hpp persists learned thresholds.
 #pragma once
 
 #include <cstdint>
 #include <optional>
-#include <string>
 
 #include "attack/attack_engine.hpp"
 #include "core/thresholds.hpp"
@@ -36,27 +39,26 @@ struct SessionParams {
   double ee_jump_limit = 1.0e-3;
 };
 
+/// What the detection pipeline does with an alarm: watch and record only,
+/// or actually drive the mitigation chain (block + E-STOP).
+enum class MitigationMode : std::uint8_t {
+  kObserveOnly,  ///< pipeline raises alarms but never intervenes
+  kArmed,        ///< alarms block the command and force E-STOP
+};
+
+constexpr std::string_view to_string(MitigationMode mode) noexcept {
+  switch (mode) {
+    case MitigationMode::kObserveOnly: return "observe-only";
+    case MitigationMode::kArmed: return "armed";
+  }
+  return "unknown";
+}
+
 /// Build a SimConfig for a session.  `thresholds` enables the detection
-/// pipeline; `mitigation` arms it (otherwise observe-only).
+/// pipeline; `mitigation` selects whether its alarms actually intervene.
 [[nodiscard]] SimConfig make_session(const SessionParams& params,
                                      const std::optional<DetectionThresholds>& thresholds,
-                                     bool mitigation);
-
-/// Learn detection thresholds from `runs` fault-free sessions with
-/// different seeds/trajectories (paper: 600 runs, 99.8–99.9th percentile
-/// of per-run maxima).
-[[nodiscard]] DetectionThresholds learn_thresholds(const SessionParams& base, int runs,
-                                                   double percentile_value = 99.85,
-                                                   double margin = 1.0);
-
-/// Threshold cache (learning is the expensive step shared by several
-/// benches).  Files are plain text, 9 numbers.
-void save_thresholds(const DetectionThresholds& thresholds, const std::string& path);
-[[nodiscard]] std::optional<DetectionThresholds> load_thresholds(const std::string& path);
-
-/// Learn (or load from `cache_path` if present) the standard thresholds.
-[[nodiscard]] DetectionThresholds thresholds_cached(const SessionParams& base, int runs,
-                                                    const std::string& cache_path);
+                                     MitigationMode mitigation);
 
 /// One labelled attack run.
 struct AttackRunResult {
@@ -69,10 +71,12 @@ struct AttackRunResult {
   [[nodiscard]] bool impact() const noexcept { return outcome.adverse_impact(); }
 };
 
-/// Execute one attack session.  The detection pipeline observes (and
-/// mitigates if `mitigation`); RAVEN's own checks always run.
+/// Execute one attack session.  The detection pipeline observes (and,
+/// when `mitigation` is kArmed, intervenes); RAVEN's own checks always
+/// run.  Equivalent to a one-job campaign.
 [[nodiscard]] AttackRunResult run_attack_session(
     const SessionParams& params, const AttackSpec& spec,
-    const std::optional<DetectionThresholds>& thresholds, bool mitigation = false);
+    const std::optional<DetectionThresholds>& thresholds,
+    MitigationMode mitigation = MitigationMode::kObserveOnly);
 
 }  // namespace rg

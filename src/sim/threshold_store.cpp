@@ -1,0 +1,96 @@
+#include "sim/threshold_store.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace rg {
+
+ThresholdStore::ThresholdStore(std::string path) : path_(std::move(path)) {
+  require(!path_.empty(), "ThresholdStore: path must not be empty");
+}
+
+bool ThresholdStore::present() const { return load().ok(); }
+
+Result<DetectionThresholds> ThresholdStore::load() const {
+  std::ifstream is(path_);
+  if (!is) {
+    return Error(ErrorCode::kNotReady, "cannot open threshold store " + path_);
+  }
+
+  std::string magic;
+  int version = 0;
+  if (!(is >> magic >> version)) {
+    return Error(ErrorCode::kMalformedPacket,
+                 "threshold store " + path_ + ": missing header (pre-v2 or foreign file)");
+  }
+  if (magic != kMagic) {
+    return Error(ErrorCode::kMalformedPacket,
+                 "threshold store " + path_ + ": bad magic '" + magic + "'");
+  }
+  if (version != kVersion) {
+    std::ostringstream what;
+    what << "threshold store " << path_ << ": unsupported version " << version
+         << " (expected " << kVersion << ")";
+    return Error(ErrorCode::kMalformedPacket, what.str());
+  }
+
+  DetectionThresholds th;
+  double* const slots[] = {&th.motor_vel[0],  &th.motor_vel[1],  &th.motor_vel[2],
+                           &th.motor_acc[0],  &th.motor_acc[1],  &th.motor_acc[2],
+                           &th.joint_vel[0],  &th.joint_vel[1],  &th.joint_vel[2]};
+  for (std::size_t i = 0; i < 9; ++i) {
+    if (!(is >> *slots[i])) {
+      std::ostringstream what;
+      what << "threshold store " << path_ << ": truncated (got " << i
+           << " of 9 values)";
+      return Error(ErrorCode::kMalformedPacket, what.str());
+    }
+    if (!std::isfinite(*slots[i])) {
+      std::ostringstream what;
+      what << "threshold store " << path_ << ": value " << i << " is not finite";
+      return Error(ErrorCode::kMalformedPacket, what.str());
+    }
+  }
+  return th;
+}
+
+Status ThresholdStore::save(const DetectionThresholds& thresholds) const {
+  std::ofstream os(path_);
+  if (!os) {
+    return Error(ErrorCode::kNotReady, "cannot open threshold store " + path_ + " for write");
+  }
+  os << kMagic << ' ' << kVersion << '\n';
+  os.precision(17);
+  for (std::size_t i = 0; i < 3; ++i) os << thresholds.motor_vel[i] << ' ';
+  for (std::size_t i = 0; i < 3; ++i) os << thresholds.motor_acc[i] << ' ';
+  for (std::size_t i = 0; i < 3; ++i) os << thresholds.joint_vel[i] << ' ';
+  os << '\n';
+  if (!os) {
+    return Error(ErrorCode::kInternal, "short write to threshold store " + path_);
+  }
+  return Status::success();
+}
+
+DetectionThresholds ThresholdStore::load_or_learn(
+    const std::function<DetectionThresholds()>& learn) const {
+  require(static_cast<bool>(learn), "ThresholdStore::load_or_learn: learn must be callable");
+  const auto cached = load();
+  if (cached.ok()) {
+    RG_LOG(kInfo) << "loaded detection thresholds from " << path_;
+    return cached.value();
+  }
+  if (cached.error().code() != ErrorCode::kNotReady) {
+    RG_LOG(kWarn) << "relearning thresholds: " << cached.error().to_string();
+  }
+  const DetectionThresholds learned = learn();
+  if (const Status saved = save(learned); !saved.ok()) {
+    RG_LOG(kWarn) << "threshold cache not written: " << saved.error().to_string();
+  }
+  return learned;
+}
+
+}  // namespace rg

@@ -1,0 +1,50 @@
+// Persistent storage for learned detection thresholds.
+//
+// Learning the paper's 600 fault-free runs is the expensive step shared
+// by several benches, so thresholds are cached on disk.  The store uses a
+// versioned header so a short, truncated, or foreign file is reported as
+// an explicit error instead of silently yielding garbage through stream
+// state (the failure mode of the old 9-bare-numbers format).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/error.hpp"
+#include "core/thresholds.hpp"
+
+namespace rg {
+
+class ThresholdStore {
+ public:
+  /// File format identity: first line of every store file.
+  static constexpr std::string_view kMagic = "raven-guard-thresholds";
+  static constexpr int kVersion = 2;
+
+  explicit ThresholdStore(std::string path);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  /// True if the store file exists and carries a parseable header.
+  [[nodiscard]] bool present() const;
+
+  /// Load the stored thresholds.  Errors are explicit:
+  ///   kNotReady          — file does not exist / cannot be opened
+  ///   kMalformedPacket   — missing or foreign header, unsupported
+  ///                        version, or fewer than 9 finite numbers.
+  [[nodiscard]] Result<DetectionThresholds> load() const;
+
+  /// Write thresholds (header + 9 numbers at full precision).
+  [[nodiscard]] Status save(const DetectionThresholds& thresholds) const;
+
+  /// Load if present and valid; otherwise invoke `learn`, save its result
+  /// (best-effort) and return it.  A corrupt existing file is treated as
+  /// a miss (and overwritten) but logged.
+  [[nodiscard]] DetectionThresholds load_or_learn(
+      const std::function<DetectionThresholds()>& learn) const;
+
+ private:
+  std::string path_;
+};
+
+}  // namespace rg

@@ -13,6 +13,7 @@
 
 #include "attack/logging_wrapper.hpp"
 #include "attack/packet_analyzer.hpp"
+#include "sim/campaign.hpp"
 #include "sim/experiment.hpp"
 #include "sim/surgical_sim.hpp"
 
@@ -49,7 +50,7 @@ TEST_F(DetectionE2E, KillChainEavesdropAnalyzeTrigger) {
   // Phase 1 (attack preparation): eavesdrop the USB writes of one run.
   auto logger = std::make_shared<LoggingWrapper>("r2_control", 11, "r2_control", 11);
   {
-    SimConfig cfg = make_session(base_session(7), std::nullopt, false);
+    SimConfig cfg = make_session(base_session(7), std::nullopt, MitigationMode::kObserveOnly);
     // Pedal schedule with a lift so all four states appear clearly.
     cfg.pedal = PedalSchedule{{{1.2, 2.5}, {3.0, 9.0}}};
     SurgicalSim sim(std::move(cfg));
@@ -77,7 +78,7 @@ TEST_F(DetectionE2E, KillChainEavesdropAnalyzeTrigger) {
   auto injector = build_torque_injection(spec, inference.value().state_byte_index,
                                          inference.value().watchdog_mask,
                                          inference.value().pedal_down_code);
-  SimConfig cfg = make_session(base_session(8), std::nullopt, false);
+  SimConfig cfg = make_session(base_session(8), std::nullopt, MitigationMode::kObserveOnly);
   SurgicalSim sim(std::move(cfg));
   sim.write_chain().add(injector);
   sim.run(5.0);
@@ -97,7 +98,7 @@ TEST_F(DetectionE2E, ScenarioBImpactsStockRobot) {
   spec.magnitude = 24000;
   spec.duration_packets = 128;
   spec.delay_packets = 500;
-  const AttackRunResult r = run_attack_session(base_session(9), spec, std::nullopt, false);
+  const AttackRunResult r = run_attack_session(base_session(9), spec, std::nullopt, MitigationMode::kObserveOnly);
   EXPECT_GT(r.injections, 0u);
   EXPECT_TRUE(r.impact());
   EXPECT_GT(r.outcome.max_ee_jump_window, 1.0e-3);
@@ -111,7 +112,7 @@ TEST_F(DetectionE2E, SmallShortInjectionIsAbsorbedByPid) {
   spec.magnitude = 2000;
   spec.duration_packets = 4;
   spec.delay_packets = 500;
-  const AttackRunResult r = run_attack_session(base_session(10), spec, std::nullopt, false);
+  const AttackRunResult r = run_attack_session(base_session(10), spec, std::nullopt, MitigationMode::kObserveOnly);
   EXPECT_GT(r.injections, 0u);
   EXPECT_FALSE(r.impact());
 }
@@ -125,7 +126,7 @@ TEST_F(DetectionE2E, DynamicModelDetectsScenarioBPreemptively) {
   spec.duration_packets = 128;
   spec.delay_packets = 500;
   const AttackRunResult r =
-      run_attack_session(base_session(11), spec, thresholds(), /*mitigation=*/false);
+      run_attack_session(base_session(11), spec, thresholds(), MitigationMode::kObserveOnly);
   ASSERT_TRUE(r.impact());
   ASSERT_TRUE(r.outcome.detector_alarmed());
   EXPECT_TRUE(r.outcome.detected_preemptively());
@@ -140,7 +141,7 @@ TEST_F(DetectionE2E, DynamicModelDetectsWhatRavenMisses) {
   spec.duration_packets = 8;
   spec.delay_packets = 500;
   const AttackRunResult r =
-      run_attack_session(base_session(12), spec, thresholds(), /*mitigation=*/false);
+      run_attack_session(base_session(12), spec, thresholds(), MitigationMode::kObserveOnly);
   EXPECT_TRUE(r.impact());
   EXPECT_FALSE(r.outcome.raven_detected());
   EXPECT_TRUE(r.outcome.detector_alarmed());
@@ -149,7 +150,7 @@ TEST_F(DetectionE2E, DynamicModelDetectsWhatRavenMisses) {
 TEST_F(DetectionE2E, CleanRunRaisesNoAlarms) {
   AttackSpec none;
   const AttackRunResult r =
-      run_attack_session(base_session(13), none, thresholds(), /*mitigation=*/true);
+      run_attack_session(base_session(13), none, thresholds(), MitigationMode::kArmed);
   EXPECT_FALSE(r.outcome.detector_alarmed());
   EXPECT_FALSE(r.outcome.raven_detected());
   EXPECT_FALSE(r.impact());
@@ -163,9 +164,9 @@ TEST_F(DetectionE2E, MitigationPreventsTheImpact) {
   spec.delay_packets = 500;
 
   const AttackRunResult unprotected =
-      run_attack_session(base_session(14), spec, thresholds(), /*mitigation=*/false);
+      run_attack_session(base_session(14), spec, thresholds(), MitigationMode::kObserveOnly);
   const AttackRunResult protected_run =
-      run_attack_session(base_session(14), spec, thresholds(), /*mitigation=*/true);
+      run_attack_session(base_session(14), spec, thresholds(), MitigationMode::kArmed);
 
   ASSERT_TRUE(unprotected.impact());
   ASSERT_TRUE(protected_run.outcome.detector_alarmed());
@@ -194,13 +195,13 @@ TEST_F(DetectionE2E, HoldLastSafeIsWeakerThanEstopMitigation) {
   spec.duration_packets = 64;
   spec.delay_packets = 500;
 
-  SimConfig hold_cfg = make_session(base_session(19), thresholds(), /*mitigation=*/true);
+  SimConfig hold_cfg = make_session(base_session(19), thresholds(), MitigationMode::kArmed);
   hold_cfg.detection->mitigation = MitigationStrategy::kHoldLastSafe;
   SurgicalSim hold_sim(std::move(hold_cfg));
   hold_sim.install(build_attack(spec));
   hold_sim.run(5.0);
 
-  SimConfig estop_cfg = make_session(base_session(19), thresholds(), /*mitigation=*/true);
+  SimConfig estop_cfg = make_session(base_session(19), thresholds(), MitigationMode::kArmed);
   SurgicalSim estop_sim(std::move(estop_cfg));
   estop_sim.install(build_attack(spec));
   estop_sim.run(5.0);
@@ -220,7 +221,7 @@ TEST_F(DetectionE2E, ScenarioADetectedPreemptively) {
   spec.duration_packets = 64;
   spec.delay_packets = 300;
   const AttackRunResult r =
-      run_attack_session(base_session(15), spec, thresholds(), /*mitigation=*/false);
+      run_attack_session(base_session(15), spec, thresholds(), MitigationMode::kObserveOnly);
   EXPECT_TRUE(r.impact());
   EXPECT_TRUE(r.outcome.detector_alarmed());
 }
@@ -232,7 +233,7 @@ TEST_F(DetectionE2E, ConsoleDropFreezesRobotWithoutImpact) {
   spec.variant = AttackVariant::kConsoleDrop;
   spec.duration_packets = 0;  // drop everything once engaged
   spec.delay_packets = 0;
-  const AttackRunResult r = run_attack_session(base_session(16), spec, std::nullopt, false);
+  const AttackRunResult r = run_attack_session(base_session(16), spec, std::nullopt, MitigationMode::kObserveOnly);
   EXPECT_GT(r.injections, 0u);
   EXPECT_FALSE(r.impact());  // robot just holds still
 }
@@ -243,14 +244,14 @@ TEST_F(DetectionE2E, MathDriftCausesUnwantedHalt) {
   spec.magnitude = 5e-7;  // per-call drift accumulating through IK
   SessionParams p = base_session(17);
   p.duration_sec = 8.0;
-  const AttackRunResult r = run_attack_session(p, spec, std::nullopt, false);
+  const AttackRunResult r = run_attack_session(p, spec, std::nullopt, MitigationMode::kObserveOnly);
   // IK-fail / workspace violation path: the robot ends in a halt state.
   EXPECT_TRUE(r.outcome.raven_detected());
   reset_math_drift();
 }
 
 TEST_F(DetectionE2E, TraceRecorderCapturesRun) {
-  SimConfig cfg = make_session(base_session(18), std::nullopt, false);
+  SimConfig cfg = make_session(base_session(18), std::nullopt, MitigationMode::kObserveOnly);
   SurgicalSim sim(std::move(cfg));
   TraceRecorder trace;
   sim.set_trace(&trace);

@@ -18,7 +18,7 @@ SessionParams quick_session(std::uint64_t seed) {
 }
 
 TEST(IntegrationSim, HomingReachesPedalUpWithoutFaults) {
-  SimConfig cfg = make_session(quick_session(3), std::nullopt, false);
+  SimConfig cfg = make_session(quick_session(3), std::nullopt, MitigationMode::kObserveOnly);
   SurgicalSim sim(std::move(cfg));
   sim.run(1.0);  // homing takes 0.8 s
   EXPECT_EQ(sim.control().state(), RobotState::kPedalUp);
@@ -34,7 +34,7 @@ TEST(IntegrationSim, HomingReachesPedalUpWithoutFaults) {
 }
 
 TEST(IntegrationSim, PedalDownEngagesAndReleasesBrakes) {
-  SimConfig cfg = make_session(quick_session(4), std::nullopt, false);
+  SimConfig cfg = make_session(quick_session(4), std::nullopt, MitigationMode::kObserveOnly);
   SurgicalSim sim(std::move(cfg));
   sim.run(1.1);
   EXPECT_TRUE(sim.plc().brakes_engaged());  // pedal still up
@@ -44,7 +44,7 @@ TEST(IntegrationSim, PedalDownEngagesAndReleasesBrakes) {
 }
 
 TEST(IntegrationSim, FaultFreeRunTracksTrajectory) {
-  SimConfig cfg = make_session(quick_session(5), std::nullopt, false);
+  SimConfig cfg = make_session(quick_session(5), std::nullopt, MitigationMode::kObserveOnly);
   SurgicalSim sim(std::move(cfg));
   sim.run(4.0);
 
@@ -64,7 +64,7 @@ TEST(IntegrationSim, FaultFreeRunTracksTrajectory) {
 
 TEST(IntegrationSim, FaultFreeRunHasNoAdverseImpact) {
   for (std::uint64_t seed : {11ULL, 12ULL, 13ULL}) {
-    SimConfig cfg = make_session(quick_session(seed), std::nullopt, false);
+    SimConfig cfg = make_session(quick_session(seed), std::nullopt, MitigationMode::kObserveOnly);
     SurgicalSim sim(std::move(cfg));
     sim.run(4.0);
     EXPECT_FALSE(sim.outcome().adverse_impact()) << "seed " << seed;
@@ -75,7 +75,7 @@ TEST(IntegrationSim, FaultFreeRunHasNoAdverseImpact) {
 TEST(IntegrationSim, ToleratesLossyNetwork) {
   // Prior-work threat (Bonaci et al.): datagram loss degrades teleop but
   // must not fault the stock system or fake an abrupt jump.
-  SimConfig cfg = make_session(quick_session(21), std::nullopt, false);
+  SimConfig cfg = make_session(quick_session(21), std::nullopt, MitigationMode::kObserveOnly);
   cfg.network.loss_probability = 0.10;
   cfg.network.seed = 77;
   SurgicalSim sim(std::move(cfg));
@@ -92,7 +92,7 @@ TEST(IntegrationSim, EncoderCorruptionCausesJump) {
   spec.magnitude = 800;  // counts
   spec.duration_packets = 128;
   spec.delay_packets = 2600;  // mid-teleoperation
-  const AttackRunResult r = run_attack_session(quick_session(22), spec, std::nullopt, false);
+  const AttackRunResult r = run_attack_session(quick_session(22), spec, std::nullopt, MitigationMode::kObserveOnly);
   EXPECT_GT(r.injections, 0u);
   // Table I's reported impact class is "abrupt jump / unwanted E-STOP":
   // a large phantom error makes the PID saturate, which either jumps the
@@ -108,7 +108,7 @@ TEST(IntegrationSim, StateSpoofHaltsTheRobot) {
   AttackSpec spec;
   spec.variant = AttackVariant::kStateSpoof;
   spec.duration_packets = 0;
-  const AttackRunResult r = run_attack_session(quick_session(23), spec, std::nullopt, false);
+  const AttackRunResult r = run_attack_session(quick_session(23), spec, std::nullopt, MitigationMode::kObserveOnly);
   EXPECT_TRUE(r.outcome.raven_detected());
   EXPECT_FALSE(r.impact());
 }
@@ -119,7 +119,7 @@ TEST(IntegrationSim, TrajectoryHijackMovesRobotOffOperatorPath) {
   spec.magnitude = 0.008;  // 8 mm circle
   spec.duration_packets = 1500;
   spec.delay_packets = 200;
-  const AttackRunResult r = run_attack_session(quick_session(24), spec, std::nullopt, false);
+  const AttackRunResult r = run_attack_session(quick_session(24), spec, std::nullopt, MitigationMode::kObserveOnly);
   EXPECT_GT(r.injections, 500u);
   // The robot physically executed motion the operator never commanded.
   EXPECT_GT(r.outcome.max_ee_jump_window, 1.0e-3);
@@ -129,7 +129,7 @@ TEST(IntegrationSim, DetectionObserverSeesEveryScreenedCommand) {
   DetectionThresholds huge;
   huge.motor_vel = huge.motor_acc = huge.joint_vel = Vec3::filled(1e18);
   SessionParams p = quick_session(25);
-  SimConfig cfg = make_session(p, huge, false);
+  SimConfig cfg = make_session(p, huge, MitigationMode::kObserveOnly);
   cfg.detection->detector.ee_jump_limit = 0.0;
   SurgicalSim sim(std::move(cfg));
   std::size_t observed = 0;

@@ -4,15 +4,18 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
+#include "sim/campaign.hpp"
 #include "sim/experiment.hpp"
 #include "sim/surgical_sim.hpp"
+#include "sim/threshold_store.hpp"
 
 namespace rg {
 namespace {
 
 TEST(SimHarness, StartDelayKeepsRobotInEstop) {
-  SimConfig cfg = make_session(SessionParams{.seed = 50}, std::nullopt, false);
+  SimConfig cfg = make_session(SessionParams{.seed = 50}, std::nullopt, MitigationMode::kObserveOnly);
   cfg.start_delay_ticks = 300;
   SurgicalSim sim(std::move(cfg));
   sim.run(0.25);
@@ -26,7 +29,7 @@ TEST(SimHarness, OracleIgnoresCommandedMotion) {
   SessionParams p;
   p.seed = 51;
   p.trajectory_speed = 0.05;  // aggressive surgical speed
-  SimConfig cfg = make_session(p, std::nullopt, false);
+  SimConfig cfg = make_session(p, std::nullopt, MitigationMode::kObserveOnly);
   SurgicalSim sim(std::move(cfg));
   sim.run(5.0);
   EXPECT_FALSE(sim.outcome().adverse_impact());
@@ -34,7 +37,7 @@ TEST(SimHarness, OracleIgnoresCommandedMotion) {
 }
 
 TEST(SimHarness, InstallPlacesArtifactsOnTheRightHops) {
-  SimConfig cfg = make_session(SessionParams{.seed = 52}, std::nullopt, false);
+  SimConfig cfg = make_session(SessionParams{.seed = 52}, std::nullopt, MitigationMode::kObserveOnly);
   SurgicalSim sim(std::move(cfg));
   AttackSpec spec;
   spec.variant = AttackVariant::kTorqueInjection;
@@ -71,36 +74,72 @@ TEST(SimHarness, RunOutcomeAccessors) {
   EXPECT_TRUE(out.adverse_impact());
 }
 
-TEST(Experiment, ThresholdsSaveLoadRoundTrip) {
+TEST(ThresholdStore, SaveLoadRoundTrip) {
   DetectionThresholds th;
   th.motor_vel = Vec3{1.5, 2.5, 3.5};
   th.motor_acc = Vec3{100.0, 200.0, 300.0};
   th.joint_vel = Vec3{0.1, 0.2, 0.3};
-  const std::string path = "/tmp/rg_test_thresholds.txt";
-  save_thresholds(th, path);
-  const auto loaded = load_thresholds(path);
-  ASSERT_TRUE(loaded.has_value());
-  EXPECT_EQ(loaded->motor_vel, th.motor_vel);
-  EXPECT_EQ(loaded->motor_acc, th.motor_acc);
-  EXPECT_EQ(loaded->joint_vel, th.joint_vel);
+  ThresholdStore store("/tmp/rg_test_thresholds.txt");
+  ASSERT_TRUE(store.save(th).ok());
+  EXPECT_TRUE(store.present());
+  const auto loaded = store.load();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().motor_vel, th.motor_vel);
+  EXPECT_EQ(loaded.value().motor_acc, th.motor_acc);
+  EXPECT_EQ(loaded.value().joint_vel, th.joint_vel);
+  std::filesystem::remove(store.path());
+}
+
+TEST(ThresholdStore, MissingFileReportsNotReady) {
+  ThresholdStore store("/tmp/definitely_not_here_12345.txt");
+  EXPECT_FALSE(store.present());
+  const auto loaded = store.load();
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.error().code(), ErrorCode::kNotReady);
+}
+
+TEST(ThresholdStore, CorruptFileReportsMalformed) {
+  const std::string path = "/tmp/rg_test_thresholds_corrupt.txt";
+  {
+    std::ofstream os(path);
+    os << "raven-guard-thresholds 2\n1.0 2.0 3.0\n";  // truncated: 3 of 9 values
+  }
+  ThresholdStore store(path);
+  const auto truncated = store.load();
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_EQ(truncated.error().code(), ErrorCode::kMalformedPacket);
+
+  {
+    std::ofstream os(path);
+    os << "1 2 3 4 5 6 7 8 9\n";  // legacy headerless format
+  }
+  const auto headerless = store.load();
+  ASSERT_FALSE(headerless.ok());
+  EXPECT_EQ(headerless.error().code(), ErrorCode::kMalformedPacket);
   std::filesystem::remove(path);
 }
 
-TEST(Experiment, LoadMissingFileReturnsNullopt) {
-  EXPECT_FALSE(load_thresholds("/tmp/definitely_not_here_12345.txt").has_value());
-}
-
-TEST(Experiment, ThresholdsCachedWritesCache) {
+TEST(ThresholdStore, LoadOrLearnWritesCache) {
   const std::string path = "/tmp/rg_test_threshold_cache.txt";
   std::filesystem::remove(path);
   SessionParams p;
   p.seed = 60;
   p.duration_sec = 3.0;
-  const DetectionThresholds th = thresholds_cached(p, 2, path);
+  ThresholdStore store(path);
+  int learns = 0;
+  const auto learner = [&]() {
+    ++learns;
+    return learn_thresholds(p, 2);
+  };
+  const DetectionThresholds th = store.load_or_learn(learner);
   EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_EQ(learns, 1);
   // Second call loads the cache and must agree exactly.
-  const DetectionThresholds th2 = thresholds_cached(p, 2, path);
+  const DetectionThresholds th2 = store.load_or_learn(learner);
+  EXPECT_EQ(learns, 1);
   EXPECT_EQ(th.motor_vel, th2.motor_vel);
+  EXPECT_EQ(th.motor_acc, th2.motor_acc);
+  EXPECT_EQ(th.joint_vel, th2.joint_vel);
   std::filesystem::remove(path);
 }
 
@@ -111,13 +150,13 @@ TEST(Experiment, MakeSessionWiresDetection) {
   p.seed = 61;
   p.fusion = FusionPolicy::kTwoOfThree;
   p.detector_solver = SolverKind::kRk4;
-  const SimConfig with = make_session(p, th, true);
+  const SimConfig with = make_session(p, th, MitigationMode::kArmed);
   ASSERT_TRUE(with.detection.has_value());
   EXPECT_TRUE(with.detection->mitigation_enabled);
   EXPECT_EQ(with.detection->detector.fusion, FusionPolicy::kTwoOfThree);
   EXPECT_EQ(with.detection->estimator.solver, SolverKind::kRk4);
 
-  const SimConfig without = make_session(p, std::nullopt, false);
+  const SimConfig without = make_session(p, std::nullopt, MitigationMode::kObserveOnly);
   EXPECT_FALSE(without.detection.has_value());
 }
 
@@ -131,8 +170,8 @@ TEST(Experiment, SessionsAreSeedDeterministic) {
   SessionParams p;
   p.seed = 62;
   p.duration_sec = 3.0;
-  const AttackRunResult a = run_attack_session(p, spec, std::nullopt, false);
-  const AttackRunResult b = run_attack_session(p, spec, std::nullopt, false);
+  const AttackRunResult a = run_attack_session(p, spec, std::nullopt, MitigationMode::kObserveOnly);
+  const AttackRunResult b = run_attack_session(p, spec, std::nullopt, MitigationMode::kObserveOnly);
   EXPECT_EQ(a.outcome.max_ee_jump_window, b.outcome.max_ee_jump_window);
   EXPECT_EQ(a.injections, b.injections);
 }

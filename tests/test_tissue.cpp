@@ -111,7 +111,7 @@ TissueParams workspace_tissue() {
 
 TEST(TissueIntegration, CleanSurgeryDoesNotDamageTissue) {
   SimConfig cfg = make_session(SessionParams{.duration_sec = 4.0, .seed = 71},
-                               std::nullopt, false);
+                               std::nullopt, MitigationMode::kObserveOnly);
   SurgicalSim sim(std::move(cfg));
   sim.plant().add_tissue(workspace_tissue());
   sim.run(4.0);

@@ -97,7 +97,7 @@ TEST(SeriesColor, CyclesDeterministically) {
 TEST(TracePlots, ChartsFromRealRun) {
   SessionParams p;
   p.seed = 6;
-  SimConfig cfg = make_session(p, std::nullopt, false);
+  SimConfig cfg = make_session(p, std::nullopt, MitigationMode::kObserveOnly);
   SurgicalSim sim(std::move(cfg));
   TraceRecorder trace;
   sim.set_trace(&trace);

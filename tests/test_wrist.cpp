@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "attack/logging_wrapper.hpp"
+#include "sim/campaign.hpp"
 #include "sim/experiment.hpp"
 #include "sim/surgical_sim.hpp"
 
@@ -20,7 +21,7 @@ SessionParams quick(std::uint64_t seed) {
 }
 
 TEST(Wrist, ServoTracksCommandedOrientation) {
-  SimConfig cfg = make_session(quick(30), std::nullopt, false);
+  SimConfig cfg = make_session(quick(30), std::nullopt, MitigationMode::kObserveOnly);
   cfg.orientation.amplitude = Vec3{0.2, 0.0, 0.0};
   cfg.orientation.frequency_hz = 0.4;
   SurgicalSim sim(std::move(cfg));
@@ -31,7 +32,7 @@ TEST(Wrist, ServoTracksCommandedOrientation) {
 }
 
 TEST(Wrist, StationaryWithoutOrientationCommands) {
-  SimConfig cfg = make_session(quick(31), std::nullopt, false);
+  SimConfig cfg = make_session(quick(31), std::nullopt, MitigationMode::kObserveOnly);
   cfg.orientation.amplitude = Vec3::zero();
   SurgicalSim sim(std::move(cfg));
   sim.run(4.0);
@@ -43,7 +44,7 @@ TEST(Wrist, ChannelsLiveOnTheWire) {
   // With wrist motion, the DAC bytes for channels 3-5 vary — the packet
   // surface the paper's Fig. 5 shows as many-valued data bytes.
   auto logger = std::make_shared<LoggingWrapper>("r", 0, "r", 0);
-  SimConfig cfg = make_session(quick(32), std::nullopt, false);
+  SimConfig cfg = make_session(quick(32), std::nullopt, MitigationMode::kObserveOnly);
   SurgicalSim sim(std::move(cfg));
   sim.write_chain().add(logger);
   sim.run(4.0);
@@ -54,7 +55,7 @@ TEST(Wrist, ChannelsLiveOnTheWire) {
 }
 
 TEST(Wrist, BrakesHoldWristAxes) {
-  SimConfig cfg = make_session(quick(33), std::nullopt, false);
+  SimConfig cfg = make_session(quick(33), std::nullopt, MitigationMode::kObserveOnly);
   cfg.pedal = PedalSchedule{{{1.2, 2.0}}};  // pedal lifts at 2 s
   SurgicalSim sim(std::move(cfg));
   sim.run(2.3);  // brakes engaged + locked by now
@@ -79,7 +80,7 @@ TEST(Wrist, InjectionOnWristChannelIsTheDetectorsBlindSpot) {
   inj.delay_packets = 300;
   inj.duration_packets = 128;
 
-  SimConfig cfg = make_session(quick(34), th, /*mitigation=*/false);
+  SimConfig cfg = make_session(quick(34), th, MitigationMode::kObserveOnly);
   SurgicalSim sim(std::move(cfg));
   sim.write_chain().add(std::make_shared<InjectionWrapper>(inj));
 

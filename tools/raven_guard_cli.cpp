@@ -1,7 +1,7 @@
 // raven_guard_cli — command-line driver for the simulator, the attack
-// engine, and the detection framework.
+// engine, the detection framework, and the campaign engine.
 //
-//   raven_guard_cli learn   [--runs N] [--seed S] [--out FILE]
+//   raven_guard_cli learn   [--runs N] [--seed S] [--jobs N] [--out FILE]
 //   raven_guard_cli run     [--seed S] [--duration SEC]
 //                           [--trajectory random|circle|suture|FILE.csv]
 //                           [--attack none|torque|user-input|hijack|drop|
@@ -10,118 +10,75 @@
 //                           [--attack-delay MS]
 //                           [--thresholds FILE] [--mitigate]
 //                           [--trace FILE.csv] [--plots PREFIX]
+//   raven_guard_cli sweep   [--runs N] [--seed S] [--jobs N] [--json PATH]
+//                           [--attack NAME] [--attack-duration MS]
+//                           [--thresholds FILE] [--mitigate]
 //   raven_guard_cli analyze [--seed S] [--out PREFIX]
 //
-// `learn` produces a thresholds file; `run` executes one session and
-// reports the outcome (exit code 2 if an adverse impact occurred);
-// `analyze` replays the attacker's offline analysis on a fresh capture.
+// `learn` learns detection thresholds over a fault-free campaign and
+// writes a thresholds file; `run` executes one session and reports the
+// outcome (exit code 2 if an adverse impact occurred); `sweep` runs an
+// attack-magnitude grid through the campaign engine and can emit the
+// machine-readable JSON report; `analyze` replays the attacker's offline
+// analysis on a fresh capture.  All subcommands share the flag parser,
+// so --jobs/--seed/--runs/--json behave identically everywhere.
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "attack/logging_wrapper.hpp"
 #include "attack/packet_analyzer.hpp"
+#include "common/flags.hpp"
+#include "sim/campaign.hpp"
 #include "sim/experiment.hpp"
 #include "sim/surgical_sim.hpp"
+#include "sim/threshold_store.hpp"
 #include "trajectory/recorded.hpp"
 #include "viz/trace_plots.hpp"
 
 namespace rg {
 namespace {
 
-struct Args {
-  std::string command;
-  std::uint64_t seed = 42;
-  double duration = 6.0;
-  std::string trajectory = "random";
-  std::string attack = "none";
-  double magnitude = 20000.0;
-  std::uint32_t attack_duration_ms = 64;
-  std::uint32_t attack_delay_ms = 400;
-  std::string thresholds_file;
-  bool mitigate = false;
-  std::string trace_file;
-  std::string plots_prefix;
-  std::string out = "thresholds.txt";
-  int learn_runs = 100;
-};
-
 void usage() {
   std::fprintf(stderr,
-               "usage: raven_guard_cli <learn|run|analyze> [options]\n"
-               "  learn:   --runs N --seed S --out FILE\n"
+               "usage: raven_guard_cli <learn|run|sweep|analyze> [options]\n"
+               "  learn:   --runs N --seed S --jobs N --out FILE\n"
                "  run:     --seed S --duration SEC --trajectory random|circle|suture|FILE.csv\n"
                "           --attack none|torque|user-input|hijack|drop|math|encoder|state-spoof\n"
                "           --magnitude V --attack-duration MS --attack-delay MS\n"
                "           --thresholds FILE --mitigate --trace FILE.csv --plots PREFIX\n"
+               "  sweep:   --runs N --seed S --jobs N --json PATH --attack NAME\n"
+               "           --attack-duration MS --thresholds FILE --mitigate\n"
                "  analyze: --seed S --out PREFIX\n");
 }
 
-bool parse(int argc, char** argv, Args& args) {
-  if (argc < 2) return false;
-  args.command = argv[1];
-  for (int i = 2; i < argc; ++i) {
-    const std::string flag = argv[i];
-    const auto next = [&]() -> const char* {
-      if (i + 1 >= argc) return nullptr;
-      return argv[++i];
-    };
-    const char* v = nullptr;
-    if (flag == "--mitigate") {
-      args.mitigate = true;
-    } else if (flag == "--seed" && (v = next())) {
-      args.seed = std::strtoull(v, nullptr, 10);
-    } else if (flag == "--duration" && (v = next())) {
-      args.duration = std::atof(v);
-    } else if (flag == "--trajectory" && (v = next())) {
-      args.trajectory = v;
-    } else if (flag == "--attack" && (v = next())) {
-      args.attack = v;
-    } else if (flag == "--magnitude" && (v = next())) {
-      args.magnitude = std::atof(v);
-    } else if (flag == "--attack-duration" && (v = next())) {
-      args.attack_duration_ms = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
-    } else if (flag == "--attack-delay" && (v = next())) {
-      args.attack_delay_ms = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
-    } else if (flag == "--thresholds" && (v = next())) {
-      args.thresholds_file = v;
-    } else if (flag == "--trace" && (v = next())) {
-      args.trace_file = v;
-    } else if (flag == "--plots" && (v = next())) {
-      args.plots_prefix = v;
-    } else if (flag == "--out" && (v = next())) {
-      args.out = v;
-    } else if (flag == "--runs" && (v = next())) {
-      args.learn_runs = std::atoi(v);
-    } else {
-      std::fprintf(stderr, "unknown or incomplete option: %s\n", flag.c_str());
-      return false;
-    }
-  }
-  return true;
+int flag_error(const FlagSet& flags, const Status& status) {
+  std::fprintf(stderr, "%s\n\noptions:\n%s", status.error().to_string().c_str(),
+               flags.help().c_str());
+  return 1;
 }
 
-std::shared_ptr<const Trajectory> build_trajectory(const Args& args) {
-  if (args.trajectory == "random") {
-    Pcg32 rng(args.seed * 0x9e3779b97f4a7c15ULL + 0x1234);
+std::shared_ptr<const Trajectory> build_trajectory(const std::string& name,
+                                                   std::uint64_t seed) {
+  if (name == "random") {
+    Pcg32 rng(seed * 0x9e3779b97f4a7c15ULL + 0x1234);
     auto base = std::make_shared<WaypointTrajectory>(
         make_random_trajectory(rng, WorkspaceBox{}, 6, 0.02));
-    return std::make_shared<TremorDecorator>(base, args.seed ^ 0xABCDEF);
+    return std::make_shared<TremorDecorator>(base, seed ^ 0xABCDEF);
   }
-  if (args.trajectory == "circle") {
+  if (name == "circle") {
     return std::make_shared<CircleTrajectory>(Position{0.09, 0.0, -0.11}, 0.012, 2.5, 3.0);
   }
-  if (args.trajectory == "suture") {
+  if (name == "suture") {
     return std::make_shared<SutureTrajectory>(Position{0.085, -0.03, -0.105},
                                               Vec3{0.0, 1.0, 0.0}, 4);
   }
   // Anything else: a recorded-trajectory CSV path.
-  std::ifstream is(args.trajectory);
+  std::ifstream is(name);
   if (!is) {
-    std::fprintf(stderr, "cannot open trajectory file %s\n", args.trajectory.c_str());
+    std::fprintf(stderr, "cannot open trajectory file %s\n", name.c_str());
     return nullptr;
   }
   auto loaded = RecordedTrajectory::from_csv(is);
@@ -143,13 +100,55 @@ AttackVariant parse_attack(const std::string& name) {
   return AttackVariant::kNone;
 }
 
-int cmd_learn(const Args& args) {
+/// Loads thresholds from `path` when given; nullopt (and ok) when empty.
+bool load_threshold_file(const std::string& path,
+                         std::optional<DetectionThresholds>& out) {
+  if (path.empty()) return true;
+  ThresholdStore store(path);
+  auto loaded = store.load();
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "cannot read thresholds from %s: %s\n", path.c_str(),
+                 loaded.error().to_string().c_str());
+    return false;
+  }
+  out = loaded.value();
+  return true;
+}
+
+CampaignProgressFn stderr_progress() {
+  return [](const CampaignProgress& p) {
+    if (p.completed == p.total || p.completed % 50 == 0) {
+      std::fprintf(stderr, "  [%zu/%zu sessions]\n", p.completed, p.total);
+    }
+  };
+}
+
+int cmd_learn(int argc, char** argv) {
+  int runs = 100;
+  std::uint64_t seed = 42;
+  int jobs = 0;
+  std::string out = "thresholds.txt";
+  FlagSet flags;
+  flags.value("--runs", &runs, "fault-free training runs (default 100)");
+  flags.value("--seed", &seed, "base session seed (default 42)");
+  flags.value("--jobs", &jobs, "worker threads (default: RG_JOBS or all cores)");
+  flags.value("--out", &out, "thresholds output file (default thresholds.txt)");
+  if (const Status st = flags.parse(argc, argv); !st.ok()) return flag_error(flags, st);
+
   SessionParams p;
-  p.seed = args.seed;
-  std::printf("learning thresholds from %d fault-free runs...\n", args.learn_runs);
-  const DetectionThresholds th = learn_thresholds(p, args.learn_runs);
-  save_thresholds(th, args.out);
-  std::printf("thresholds written to %s\n", args.out.c_str());
+  p.seed = seed;
+  std::printf("learning thresholds from %d fault-free runs...\n", runs);
+  LearnOptions options;
+  options.jobs = jobs;
+  options.progress = stderr_progress();
+  const DetectionThresholds th = learn_thresholds(p, runs, options);
+  ThresholdStore store(out);
+  if (const Status st = store.save(th); !st.ok()) {
+    std::fprintf(stderr, "cannot write %s: %s\n", out.c_str(),
+                 st.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("thresholds written to %s\n", out.c_str());
   std::printf("  motor vel  %.3f %.3f %.3f rad/s\n", th.motor_vel[0], th.motor_vel[1],
               th.motor_vel[2]);
   std::printf("  motor acc  %.0f %.0f %.0f rad/s^2\n", th.motor_acc[0], th.motor_acc[1],
@@ -159,44 +158,64 @@ int cmd_learn(const Args& args) {
   return 0;
 }
 
-int cmd_run(const Args& args) {
-  auto trajectory = build_trajectory(args);
-  if (!trajectory) return 1;
+int cmd_run(int argc, char** argv) {
+  std::uint64_t seed = 42;
+  double duration = 6.0;
+  std::string trajectory = "random";
+  std::string attack = "none";
+  double magnitude = 20000.0;
+  std::uint32_t attack_duration_ms = 64;
+  std::uint32_t attack_delay_ms = 400;
+  std::string thresholds_file;
+  bool mitigate = false;
+  std::string trace_file;
+  std::string plots_prefix;
+  FlagSet flags;
+  flags.value("--seed", &seed, "session seed (default 42)");
+  flags.value("--duration", &duration, "session length in seconds (default 6)");
+  flags.value("--trajectory", &trajectory, "random|circle|suture|FILE.csv");
+  flags.value("--attack", &attack,
+              "none|torque|user-input|hijack|drop|math|encoder|state-spoof");
+  flags.value("--magnitude", &magnitude, "attack magnitude (default 20000)");
+  flags.value("--attack-duration", &attack_duration_ms, "attack active period, ms");
+  flags.value("--attack-delay", &attack_delay_ms, "delay before the attack, ms");
+  flags.value("--thresholds", &thresholds_file, "thresholds file (arms the detector)");
+  flags.flag("--mitigate", &mitigate, "block offending commands and E-STOP");
+  flags.value("--trace", &trace_file, "write a per-tick CSV trace");
+  flags.value("--plots", &plots_prefix, "write joint/tool SVG plots");
+  if (const Status st = flags.parse(argc, argv); !st.ok()) return flag_error(flags, st);
+
+  auto traj = build_trajectory(trajectory, seed);
+  if (!traj) return 1;
 
   std::optional<DetectionThresholds> thresholds;
-  if (!args.thresholds_file.empty()) {
-    thresholds = load_thresholds(args.thresholds_file);
-    if (!thresholds) {
-      std::fprintf(stderr, "cannot read thresholds from %s\n", args.thresholds_file.c_str());
-      return 1;
-    }
-  }
+  if (!load_threshold_file(thresholds_file, thresholds)) return 1;
 
   SessionParams p;
-  p.seed = args.seed;
-  p.duration_sec = args.duration;
-  SimConfig cfg = make_session(p, thresholds, args.mitigate);
-  cfg.trajectory = trajectory;
+  p.seed = seed;
+  p.duration_sec = duration;
+  SimConfig cfg = make_session(
+      p, thresholds, mitigate ? MitigationMode::kArmed : MitigationMode::kObserveOnly);
+  cfg.trajectory = traj;
 
   SurgicalSim sim(std::move(cfg));
   TraceRecorder trace;
-  if (!args.trace_file.empty() || !args.plots_prefix.empty()) sim.set_trace(&trace);
+  if (!trace_file.empty() || !plots_prefix.empty()) sim.set_trace(&trace);
 
   AttackSpec spec;
-  spec.variant = parse_attack(args.attack);
-  spec.magnitude = args.magnitude;
-  spec.duration_packets = args.attack_duration_ms;
-  spec.delay_packets = args.attack_delay_ms;
-  spec.seed = args.seed * 131 + 17;
+  spec.variant = parse_attack(attack);
+  spec.magnitude = magnitude;
+  spec.duration_packets = attack_duration_ms;
+  spec.delay_packets = attack_delay_ms;
+  spec.seed = seed * 131 + 17;
   const AttackArtifacts artifacts = build_attack(spec);
   sim.install(artifacts);
 
-  sim.run(args.duration);
+  sim.run(duration);
 
   const RunOutcome& out = sim.outcome();
   std::printf("session: seed=%llu trajectory=%s attack=%s\n",
-              static_cast<unsigned long long>(args.seed), args.trajectory.c_str(),
-              args.attack.c_str());
+              static_cast<unsigned long long>(seed), trajectory.c_str(), attack.c_str());
   std::printf("  final state        : %s\n", to_string(sim.control().state()).data());
   std::printf("  injections         : %llu\n",
               static_cast<unsigned long long>(artifacts.injections()));
@@ -209,33 +228,126 @@ int cmd_run(const Args& args) {
                 out.detector_alarmed() && out.detected_preemptively() ? " (preemptive)" : "");
   }
 
-  if (!args.trace_file.empty()) {
-    std::ofstream os(args.trace_file);
+  if (!trace_file.empty()) {
+    std::ofstream os(trace_file);
     trace.write_csv(os);
-    std::printf("  trace              : %s\n", args.trace_file.c_str());
+    std::printf("  trace              : %s\n", trace_file.c_str());
   }
-  if (!args.plots_prefix.empty()) {
+  if (!plots_prefix.empty()) {
     {
-      std::ofstream os(args.plots_prefix + "_joints.svg");
+      std::ofstream os(plots_prefix + "_joints.svg");
       joint_position_chart(trace).render(os);
     }
     {
-      std::ofstream os(args.plots_prefix + "_tool.svg");
+      std::ofstream os(plots_prefix + "_tool.svg");
       end_effector_chart(trace).render(os);
     }
-    std::printf("  plots              : %s_joints.svg, %s_tool.svg\n",
-                args.plots_prefix.c_str(), args.plots_prefix.c_str());
+    std::printf("  plots              : %s_joints.svg, %s_tool.svg\n", plots_prefix.c_str(),
+                plots_prefix.c_str());
   }
   if (spec.variant == AttackVariant::kMathDrift) reset_math_drift();
   return out.adverse_impact() ? 2 : 0;
 }
 
-int cmd_analyze(const Args& args) {
+int cmd_sweep(int argc, char** argv) {
+  int runs = 10;
+  std::uint64_t seed = 42;
+  int jobs = 0;
+  std::string json_path;
+  std::string attack = "torque";
+  std::uint32_t attack_duration_ms = 96;
+  std::string thresholds_file;
+  bool mitigate = false;
+  FlagSet flags;
+  flags.value("--runs", &runs, "sessions per magnitude (default 10)");
+  flags.value("--seed", &seed, "base seed for the grid (default 42)");
+  flags.value("--jobs", &jobs, "worker threads (default: RG_JOBS or all cores)");
+  flags.value("--json", &json_path, "write the campaign report as JSON");
+  flags.value("--attack", &attack,
+              "none|torque|user-input|hijack|drop|math|encoder|state-spoof");
+  flags.value("--attack-duration", &attack_duration_ms, "attack active period, ms");
+  flags.value("--thresholds", &thresholds_file, "thresholds file (arms the detector)");
+  flags.flag("--mitigate", &mitigate, "block offending commands and E-STOP");
+  if (const Status st = flags.parse(argc, argv); !st.ok()) return flag_error(flags, st);
+  if (runs < 1) {
+    std::fprintf(stderr, "--runs must be positive\n");
+    return 1;
+  }
+
+  std::optional<DetectionThresholds> thresholds;
+  if (!load_threshold_file(thresholds_file, thresholds)) return 1;
+
+  const AttackVariant variant = parse_attack(attack);
+  const std::vector<double> magnitudes = {2000, 8000, 14000, 20000, 26000, 32000};
+
+  std::vector<CampaignJob> campaign_jobs;
+  campaign_jobs.reserve(magnitudes.size() * static_cast<std::size_t>(runs));
+  for (std::size_t m = 0; m < magnitudes.size(); ++m) {
+    for (int rep = 0; rep < runs; ++rep) {
+      CampaignJob job;
+      job.attack.variant = variant;
+      job.attack.magnitude = magnitudes[m];
+      job.attack.duration_packets = attack_duration_ms;
+      job.attack.delay_packets = 400 + static_cast<std::uint32_t>(rep) * 131;
+      job.attack.seed = seed * 977 + campaign_jobs.size() * 13 + 1;
+      job.params.seed = seed + static_cast<std::uint64_t>(rep) * 37 + m * 1009;
+      job.thresholds = thresholds;
+      job.mitigation = mitigate ? MitigationMode::kArmed : MitigationMode::kObserveOnly;
+      job.label = attack + "@" + std::to_string(static_cast<long long>(magnitudes[m]));
+      campaign_jobs.push_back(std::move(job));
+    }
+  }
+
+  CampaignOptions options;
+  options.jobs = jobs;
+  options.progress = stderr_progress();
+  const CampaignReport report = CampaignRunner(options).run(std::move(campaign_jobs));
+
+  std::printf("sweep: %zu sessions on %d workers, %.0f ms wall (%.2fx vs serial), "
+              "%.0f kticks/s\n",
+              report.jobs(), report.workers, report.wall_ms, report.speedup(),
+              report.ticks_per_sec() / 1000.0);
+  std::printf("\n  %10s %8s %8s %8s %10s\n", "value", "impacts", "alarms", "preempt",
+              "jump (mm)");
+  for (std::size_t m = 0; m < magnitudes.size(); ++m) {
+    int impacts = 0, alarms = 0, preemptive = 0;
+    double jump = 0.0;
+    for (int rep = 0; rep < runs; ++rep) {
+      const AttackRunResult& r =
+          report.results[m * static_cast<std::size_t>(runs) + static_cast<std::size_t>(rep)]
+              .run;
+      if (r.impact()) ++impacts;
+      if (r.outcome.detector_alarmed()) ++alarms;
+      if (r.outcome.detected_preemptively()) ++preemptive;
+      jump += 1000.0 * r.outcome.max_ee_jump_window / runs;
+    }
+    std::printf("  %10.0f %5d/%-2d %5d/%-2d %5d/%-2d %10.2f\n", magnitudes[m], impacts,
+                runs, alarms, runs, preemptive, runs, jump);
+  }
+
+  if (!json_path.empty()) {
+    if (!report.write_json_file(json_path)) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("\n  campaign report written to %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_analyze(int argc, char** argv) {
+  std::uint64_t seed = 42;
+  std::string out = "analysis";
+  FlagSet flags;
+  flags.value("--seed", &seed, "session seed (default 42)");
+  flags.value("--out", &out, "output prefix for the Byte-0 plot");
+  if (const Status st = flags.parse(argc, argv); !st.ok()) return flag_error(flags, st);
+
   auto logger = std::make_shared<LoggingWrapper>("r2_control", 11, "r2_control", 11);
   SessionParams p;
-  p.seed = args.seed;
+  p.seed = seed;
   p.duration_sec = 6.0;
-  SimConfig cfg = make_session(p, std::nullopt, false);
+  SimConfig cfg = make_session(p, std::nullopt, MitigationMode::kObserveOnly);
   cfg.pedal = PedalSchedule{{{1.2, 3.0}, {3.4, 20.0}}};
   SurgicalSim sim(std::move(cfg));
   sim.write_chain().add(logger);
@@ -254,7 +366,7 @@ int cmd_analyze(const Args& args) {
   std::printf("pedal-down code  : 0x%02X\n", inf.pedal_down_code);
   std::printf("timeline segments: %zu\n", inf.timeline.size());
 
-  const std::string svg_path = args.out + "_byte0.svg";
+  const std::string svg_path = out + "_byte0.svg";
   std::ofstream os(svg_path);
   state_byte_chart(logger->capture(), inf.state_byte_index, inf.watchdog_mask).render(os);
   std::printf("plot written to %s\n", svg_path.c_str());
@@ -265,14 +377,23 @@ int cmd_analyze(const Args& args) {
 }  // namespace rg
 
 int main(int argc, char** argv) {
-  rg::Args args;
-  if (!rg::parse(argc, argv, args)) {
+  if (argc < 2) {
     rg::usage();
     return 1;
   }
-  if (args.command == "learn") return rg::cmd_learn(args);
-  if (args.command == "run") return rg::cmd_run(args);
-  if (args.command == "analyze") return rg::cmd_analyze(args);
+  const std::string command = argv[1];
+  try {
+    if (command == "learn") return rg::cmd_learn(argc, argv);
+    if (command == "run") return rg::cmd_run(argc, argv);
+    if (command == "sweep") return rg::cmd_sweep(argc, argv);
+    if (command == "analyze") return rg::cmd_analyze(argc, argv);
+  } catch (const rg::CampaignError& e) {
+    std::fprintf(stderr, "campaign failed: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
   rg::usage();
   return 1;
 }
