@@ -1,0 +1,148 @@
+// bench_obs_overhead: cost of the telemetry layer on the 1 kHz control
+// loop.
+//
+// Measures mean wall-clock cost per SurgicalSim tick (the full
+// console->control->pipeline->board->plant cycle, detection armed) in two
+// configurations:
+//
+//   quiet      — telemetry as shipped: RG_SPAN/RG_COUNT write to the
+//                metrics registry's per-thread shard, no sinks attached.
+//   full sinks — TraceWriter installed, EventLog attached, FlightRecorder
+//                and a bounded TraceRecorder fed every tick (the CLI's
+//                --metrics-out --trace-out --events-out mode).
+//
+// Plus microbenchmarks of a bare RG_SPAN and RG_COUNT. When built with
+// -DRG_OBS_DISABLED=ON the same binary reports the compiled-out numbers:
+// RG_SPAN/RG_COUNT are `(void)0` there, so "quiet" is the pristine loop —
+// comparing tick_ns_quiet across the two builds is the ≤1% overhead check
+// (scripts/tier1.sh keeps the acceptance criterion on the compiled-out
+// delta).  Results land in BENCH_obs_overhead.json.
+#include <chrono>
+#include <fstream>
+
+#include "bench_util.hpp"
+#include "obs/obs.hpp"
+#include "sim/surgical_sim.hpp"
+#include "sim/trace.hpp"
+
+namespace rg {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+SimConfig overhead_session() {
+  // Detection armed with un-trippable thresholds: the estimator/detector
+  // hot path runs every tick, but no alarm ends the session early.
+  DetectionThresholds inf;
+  inf.motor_vel = inf.motor_acc = inf.joint_vel = Vec3::filled(1.0e18);
+  SessionParams p = bench::standard_session();
+  return make_session(p, inf, MitigationMode::kObserveOnly);
+}
+
+/// Mean ns per sim tick over `seconds` of simulated time (after warmup).
+double measure_tick_ns(SurgicalSim& sim, double warmup_sec, double seconds) {
+  sim.run(warmup_sec);
+  const std::uint64_t start_ticks = sim.clock().ticks();
+  const auto start = Clock::now();
+  sim.run(seconds);
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start).count();
+  const std::uint64_t ticks = sim.clock().ticks() - start_ticks;
+  return ticks > 0 ? static_cast<double>(elapsed) / static_cast<double>(ticks) : 0.0;
+}
+
+double measure_span_ns(int iters) {
+  const auto start = Clock::now();
+  for (int i = 0; i < iters; ++i) {
+    RG_SPAN("bench.noop");
+  }
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start).count();
+  return static_cast<double>(elapsed) / iters;
+}
+
+double measure_count_ns(int iters) {
+  const auto start = Clock::now();
+  for (int i = 0; i < iters; ++i) {
+    RG_COUNT("rg.bench.noop", 1);
+  }
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start).count();
+  return static_cast<double>(elapsed) / iters;
+}
+
+}  // namespace
+}  // namespace rg
+
+int main() {
+  using namespace rg;
+#ifdef RG_OBS_DISABLED
+  const bool compiled_out = true;
+#else
+  const bool compiled_out = false;
+#endif
+  bench::header(compiled_out
+                    ? "Telemetry overhead on the control loop (RG_OBS_DISABLED build)"
+                    : "Telemetry overhead on the control loop (instrumented build)");
+
+  const double measure_sec = 3.0 * bench::scale();
+  const double warmup_sec = 0.5;
+
+  // Quiet: instrumentation active (registry shard writes), no sinks.
+  double tick_quiet = 0.0;
+  {
+    SurgicalSim sim(overhead_session());
+    tick_quiet = measure_tick_ns(sim, warmup_sec, measure_sec);
+  }
+
+  // Full sinks: everything --metrics-out/--trace-out/--events-out attaches.
+  double tick_full = 0.0;
+  std::size_t trace_events = 0;
+  {
+    SurgicalSim sim(overhead_session());
+    obs::TraceWriter writer;
+    writer.install();
+    obs::EventLog events;
+    obs::attach_log_events(&events);
+    obs::FlightRecorder flight;
+    TraceRecorder trace(256);
+    sim.set_event_log(&events);
+    sim.set_flight_recorder(&flight);
+    sim.set_trace(&trace);
+    tick_full = measure_tick_ns(sim, warmup_sec, measure_sec);
+    writer.uninstall();
+    obs::attach_log_events(nullptr);
+    trace_events = writer.events();
+  }
+
+  const double span_ns = measure_span_ns(1'000'000);
+  const double count_ns = measure_count_ns(1'000'000);
+  const double sink_overhead_pct =
+      tick_quiet > 0.0 ? 100.0 * (tick_full - tick_quiet) / tick_quiet : 0.0;
+
+  std::printf("  mode                : %s\n", compiled_out ? "compiled-out" : "enabled");
+  std::printf("  tick, quiet         : %10.0f ns\n", tick_quiet);
+  std::printf("  tick, full sinks    : %10.0f ns  (%+.2f%%, %zu trace events)\n", tick_full,
+              sink_overhead_pct, trace_events);
+  std::printf("  RG_SPAN             : %10.1f ns\n", span_ns);
+  std::printf("  RG_COUNT            : %10.1f ns\n", count_ns);
+  if (compiled_out) {
+    std::printf("  (compare tick-quiet against the instrumented build: the\n"
+                "   acceptance bar is <= 1%% delta for the compiled-out path)\n");
+  }
+
+  std::ofstream os("BENCH_obs_overhead.json");
+  if (os) {
+    os.precision(17);
+    os << "{\n  \"schema\": \"rg.bench.obs/1\",\n";
+    os << "  \"obs_compiled_out\": " << (compiled_out ? "true" : "false") << ",\n";
+    os << "  \"tick_ns_quiet\": " << tick_quiet << ",\n";
+    os << "  \"tick_ns_full_sinks\": " << tick_full << ",\n";
+    os << "  \"sink_overhead_pct\": " << sink_overhead_pct << ",\n";
+    os << "  \"span_ns\": " << span_ns << ",\n";
+    os << "  \"count_ns\": " << count_ns << "\n";
+    os << "}\n";
+    std::printf("  results             : BENCH_obs_overhead.json\n");
+  }
+  return 0;
+}

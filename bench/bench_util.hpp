@@ -3,7 +3,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "core/thresholds.hpp"
 #include "sim/campaign.hpp"
@@ -45,10 +47,88 @@ inline CampaignOptions campaign_options(std::size_t stride = 250) {
   return options;
 }
 
+/// One row of the BENCH_campaign.json perf log (see record_campaign).
+struct CampaignBenchEntry {
+  std::size_t sessions = 0;
+  int workers = 1;
+  double wall_ms = 0.0;
+  double sessions_per_sec = 0.0;
+  double ticks_per_sec = 0.0;
+  double exec_p50_ms = 0.0;
+  double exec_p90_ms = 0.0;
+  double exec_p99_ms = 0.0;
+  double queue_wait_p50_ms = 0.0;
+  double queue_wait_p99_ms = 0.0;
+};
+
+inline std::vector<CampaignBenchEntry>& campaign_bench_entries() {
+  static std::vector<CampaignBenchEntry> entries;
+  return entries;
+}
+
+/// BENCH_campaign.json destination (RG_BENCH_CAMPAIGN_JSON overrides).
+inline std::string campaign_bench_path() {
+  if (const char* env = std::getenv("RG_BENCH_CAMPAIGN_JSON")) return env;
+  return "BENCH_campaign.json";
+}
+
+inline void write_campaign_bench_json() {
+  const auto& entries = campaign_bench_entries();
+  if (entries.empty()) return;
+  std::ofstream os(campaign_bench_path());
+  if (!os) return;
+  os.precision(17);
+  os << "{\n  \"schema\": \"rg.bench.campaign/1\",\n  \"campaigns\": [\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const CampaignBenchEntry& e = entries[i];
+    os << "    {\"sessions\": " << e.sessions << ", \"workers\": " << e.workers
+       << ", \"wall_ms\": " << e.wall_ms
+       << ", \"sessions_per_sec\": " << e.sessions_per_sec
+       << ", \"ticks_per_sec\": " << e.ticks_per_sec
+       << ", \"exec_p50_ms\": " << e.exec_p50_ms
+       << ", \"exec_p90_ms\": " << e.exec_p90_ms
+       << ", \"exec_p99_ms\": " << e.exec_p99_ms
+       << ", \"queue_wait_p50_ms\": " << e.queue_wait_p50_ms
+       << ", \"queue_wait_p99_ms\": " << e.queue_wait_p99_ms << "}"
+       << (i + 1 < entries.size() ? ",\n" : "\n");
+  }
+  os << "  ]\n}\n";
+}
+
+/// Log one campaign's throughput/latency telemetry; the accumulated rows
+/// are flushed to BENCH_campaign.json when the bench exits, giving every
+/// existing bench a perf trajectory for free via run_campaign().
+inline void record_campaign(const CampaignReport& report) {
+  // Construct the entries vector before registering the atexit hook:
+  // handlers registered after a static's initialization run before its
+  // destructor, so the flush sees the vector alive at exit.
+  std::vector<CampaignBenchEntry>& entries = campaign_bench_entries();
+  static const bool registered = [] {
+    std::atexit(write_campaign_bench_json);
+    return true;
+  }();
+  (void)registered;
+  CampaignBenchEntry e;
+  e.sessions = report.jobs();
+  e.workers = report.workers;
+  e.wall_ms = report.wall_ms;
+  e.sessions_per_sec = report.sessions_per_sec();
+  e.ticks_per_sec = report.ticks_per_sec();
+  e.exec_p50_ms = report.exec_us.percentile(50.0) / 1000.0;
+  e.exec_p90_ms = report.exec_us.percentile(90.0) / 1000.0;
+  e.exec_p99_ms = report.exec_us.percentile(99.0) / 1000.0;
+  e.queue_wait_p50_ms = report.queue_wait_us.percentile(50.0) / 1000.0;
+  e.queue_wait_p99_ms = report.queue_wait_us.percentile(99.0) / 1000.0;
+  entries.push_back(e);
+}
+
 /// Run a campaign with the standard options.
 inline CampaignReport run_campaign(std::vector<CampaignJob> campaign_jobs,
                                    std::size_t progress_stride = 250) {
-  return CampaignRunner(campaign_options(progress_stride)).run(std::move(campaign_jobs));
+  CampaignReport report =
+      CampaignRunner(campaign_options(progress_stride)).run(std::move(campaign_jobs));
+  record_campaign(report);
+  return report;
 }
 
 /// The standard session every detection bench shares (same geometry as

@@ -1,12 +1,18 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the standard build + full test suite, plus a
-# ThreadSanitizer pass over the campaign engine's concurrency tests.
+# ThreadSanitizer pass over the concurrency-sensitive tests and an
+# end-to-end check of the CLI's telemetry outputs.
 #
 #   scripts/tier1.sh            # from the repo root
 #
 # Stage 1 is the canonical tier-1 command from ROADMAP.md.  Stage 2
-# rebuilds with -DRG_SANITIZE=thread and runs the Campaign.* tests under
-# TSan, so data races in the worker pool fail CI rather than flaking.
+# rebuilds with -DRG_SANITIZE=thread and runs the Campaign.* tests (the
+# worker pool) and Obs.* tests (the lock-free metrics shards) under TSan,
+# so data races fail CI rather than flaking.  Stage 3 runs a small armed
+# sweep with --metrics-out/--trace-out/--events-out and validates every
+# artifact: the report (rg.campaign.report/2), the metrics snapshot, the
+# Chrome trace, and the safety-event JSONL (which must contain at least
+# one detector alarm and one mitigation).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,9 +23,53 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "${JOBS}"
 (cd build && ctest --output-on-failure -j "${JOBS}")
 
-echo "== tier-1 stage 2: ThreadSanitizer campaign tests =="
+echo "== tier-1 stage 2: ThreadSanitizer campaign + obs tests =="
 cmake -B build-tsan -S . -DRG_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "${JOBS}" --target test_campaign
-(cd build-tsan && ctest --output-on-failure -R '^Campaign\.')
+cmake --build build-tsan -j "${JOBS}" --target test_campaign test_obs
+(cd build-tsan && ctest --output-on-failure -R '^(Campaign|Obs)\.')
+
+echo "== tier-1 stage 3: CLI telemetry artifacts =="
+cmake --build build -j "${JOBS}" --target raven_guard_cli
+TDIR=build/telemetry-check
+rm -rf "${TDIR}"
+mkdir -p "${TDIR}"
+CLI=build/tools/raven_guard_cli
+"${CLI}" learn --runs 8 --seed 42 --out "${TDIR}/thresholds.txt" >/dev/null
+"${CLI}" sweep --runs 1 --seed 42 --attack torque --mitigate \
+  --thresholds "${TDIR}/thresholds.txt" \
+  --json "${TDIR}/report.json" \
+  --metrics-out "${TDIR}/metrics.json" \
+  --trace-out "${TDIR}/trace.json" \
+  --events-out "${TDIR}/events.jsonl" >/dev/null
+
+# Every artifact must be valid JSON (the event log line-by-line: JSONL).
+python3 -m json.tool "${TDIR}/report.json" >/dev/null
+python3 -m json.tool "${TDIR}/metrics.json" >/dev/null
+python3 -m json.tool "${TDIR}/trace.json" >/dev/null
+python3 - "${TDIR}/events.jsonl" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    lines = [line for line in f if line.strip()]
+for n, line in enumerate(lines, 1):
+    try:
+        json.loads(line)
+    except json.JSONDecodeError as e:
+        sys.exit(f"events.jsonl line {n} is not valid JSON: {e}")
+assert len(lines) >= 2, "events.jsonl is missing the header or any events"
+PY
+
+# And carry the expected content.
+grep -q '"schema": "rg.campaign.report/2"' "${TDIR}/report.json"
+grep -q '"timing"' "${TDIR}/report.json"
+grep -q '"rg.span.control.tick"' "${TDIR}/metrics.json"
+grep -q '"rg.span.estimator.solve"' "${TDIR}/metrics.json"
+grep -q '"rg.span.pipeline.process"' "${TDIR}/metrics.json"
+grep -q '"p99"' "${TDIR}/metrics.json"
+grep -q '"traceEvents"' "${TDIR}/trace.json"
+grep -q '"schema": "rg.events/1"' "${TDIR}/events.jsonl"
+grep -q '"kind": "detector_alarm"' "${TDIR}/events.jsonl"
+grep -q '"kind": "mitigation"' "${TDIR}/events.jsonl"
+grep -q '"kind": "flight_dump"' "${TDIR}/events.jsonl"
+echo "telemetry artifacts OK (${TDIR})"
 
 echo "tier-1: all stages passed"

@@ -3,6 +3,10 @@
 #include <cstdio>
 #include <string>
 
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
 namespace rg::detail {
 
 std::atomic<int>& log_level_storage() noexcept {
@@ -11,6 +15,7 @@ std::atomic<int>& log_level_storage() noexcept {
 }
 
 namespace {
+
 constexpr const char* level_name(LogLevel level) noexcept {
   switch (level) {
     case LogLevel::kDebug: return "DEBUG";
@@ -21,18 +26,47 @@ constexpr const char* level_name(LogLevel level) noexcept {
   }
   return "?????";
 }
+
+constexpr const char* level_slug(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "unknown";
+}
+
+/// Monotonic seconds since the first log line of the process.
+double uptime_sec() noexcept {
+  static const std::uint64_t epoch_ns = obs::monotonic_ns();
+  return static_cast<double>(obs::monotonic_ns() - epoch_ns) * 1.0e-9;
+}
+
 }  // namespace
 
 void log_emit(LogLevel level, std::string_view message) {
   if (static_cast<int>(level) < log_level_storage().load(std::memory_order_relaxed)) return;
+
+  char prefix[64];
+  std::snprintf(prefix, sizeof(prefix), "[%12.6f t%02u %s] ", uptime_sec(),
+                obs::thread_index(), level_name(level));
   std::string line;
-  line.reserve(message.size() + 16);
-  line += "[";
-  line += level_name(level);
-  line += "] ";
+  line.reserve(message.size() + sizeof(prefix) + 1);
+  line += prefix;
   line += message;
   line += "\n";
   std::fputs(line.c_str(), stderr);
+
+  // Bridge warnings and errors into the attached safety-event log so
+  // post-incident analysis sees them interleaved with alarms/mitigations.
+  if (level >= LogLevel::kWarn && level < LogLevel::kOff) {
+    if (obs::EventLog* events = obs::attached_log_events()) {
+      events->emit("log", std::nullopt,
+                   {{"level", level_slug(level)}, {"message", message}});
+    }
+  }
 }
 
 }  // namespace rg::detail

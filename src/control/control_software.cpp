@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/span.hpp"
+
 namespace rg {
 
 namespace {
@@ -113,6 +115,7 @@ void ControlSoftware::latch_fault(const SafetyViolation& violation) noexcept {
 
 CommandBytes ControlSoftware::tick(std::optional<std::span<const std::uint8_t>> itp_bytes,
                                    std::span<const std::uint8_t> feedback_bytes) {
+  RG_SPAN("control.tick");
   debug_ = ControlDebug{};
 
   process_feedback(feedback_bytes);

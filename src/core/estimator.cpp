@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/span.hpp"
+
 namespace rg {
 
 DynamicModelEstimator::DynamicModelEstimator(const EstimatorConfig& config)
@@ -54,6 +56,7 @@ Vec3 DynamicModelEstimator::currents_from_dac(
 }
 
 Prediction DynamicModelEstimator::predict(const std::array<std::int16_t, 3>& dac) noexcept {
+  RG_SPAN("estimator.solve");
   Prediction pred;
   if (!have_feedback_) return pred;
 

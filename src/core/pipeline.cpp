@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
 namespace rg {
 
 DetectionPipeline::DetectionPipeline(const PipelineConfig& config)
@@ -12,8 +15,10 @@ DetectionPipeline::DetectionPipeline(const PipelineConfig& config)
 
 DetectionPipeline::Outcome DetectionPipeline::process(
     std::span<const std::uint8_t> command_bytes) {
+  RG_SPAN("pipeline.process");
   Outcome out;
   ++screened_;
+  RG_COUNT("rg.pipeline.screened", 1);
 
   if (!engaged_) {
     // Brakes hold the shafts: nothing to screen, deliver as-is.
@@ -33,6 +38,9 @@ DetectionPipeline::Outcome DetectionPipeline::process(
     stop.state = RobotState::kEStop;
     out.bytes = encode_command(stop);
     ++alarms_;
+    RG_COUNT("rg.pipeline.alarms", 1);
+    RG_COUNT("rg.pipeline.undecodable", 1);
+    if (out.blocked) RG_COUNT("rg.pipeline.blocked", 1);
     if (!first_alarm_tick_) first_alarm_tick_ = screened_ - 1;
     estimator_.commit({0, 0, 0});  // the motors see no drive
     return out;
@@ -45,9 +53,11 @@ DetectionPipeline::Outcome DetectionPipeline::process(
 
   if (out.alarm) {
     ++alarms_;
+    RG_COUNT("rg.pipeline.alarms", 1);
     if (!first_alarm_tick_) first_alarm_tick_ = screened_ - 1;
     if (config_.mitigation_enabled) {
       out.blocked = true;
+      RG_COUNT("rg.pipeline.blocked", 1);
       const CommandPacket replacement = mitigator_.mitigate(cmd);
       out.bytes = encode_command(replacement);
       estimator_.commit({replacement.dac[0], replacement.dac[1], replacement.dac[2]});

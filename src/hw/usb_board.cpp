@@ -1,5 +1,8 @@
 #include "hw/usb_board.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
 namespace rg {
 
 UsbBoard::UsbBoard(Plc& plc, const MotorChannelConfig& channel_config) : plc_(plc) {
@@ -7,11 +10,16 @@ UsbBoard::UsbBoard(Plc& plc, const MotorChannelConfig& channel_config) : plc_(pl
 }
 
 Status UsbBoard::receive_command(std::span<const std::uint8_t> bytes) noexcept {
+  RG_SPAN("board.write");
+  RG_COUNT("rg.board.commands", 1);
   // NOTE: verify_checksum = false is the point — the real board trusts
   // whatever arrives (paper Sec. III.B: "the integrity of the packets is
   // not checked after the USB boards receive them").
   auto decoded = decode_command(bytes, /*verify_checksum=*/false);
-  if (!decoded.ok()) return decoded.error();
+  if (!decoded.ok()) {
+    RG_COUNT("rg.board.malformed_commands", 1);
+    return decoded.error();
+  }
   last_command_ = decoded.value();
   has_command_ = true;
   plc_.on_command_byte0(last_command_.watchdog_bit, last_command_.state);

@@ -1,0 +1,158 @@
+#include "obs/events.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+namespace rg::obs {
+
+namespace {
+
+std::atomic<EventLog*> g_log_events{nullptr};
+
+std::uint64_t wall_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+void append_value(std::string& out, const EventField::Value& value) {
+  if (const auto* s = std::get_if<std::string>(&value)) {
+    EventLog::append_json_string(out, *s);
+  } else if (const auto* d = std::get_if<double>(&value)) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", *d);
+    out += buf;
+  } else if (const auto* i = std::get_if<std::int64_t>(&value)) {
+    out += std::to_string(*i);
+  } else if (const auto* u = std::get_if<std::uint64_t>(&value)) {
+    out += std::to_string(*u);
+  } else if (const auto* b = std::get_if<bool>(&value)) {
+    out += *b ? "true" : "false";
+  }
+}
+
+}  // namespace
+
+void EventLog::append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+namespace {
+
+std::string render_prefix(std::string_view kind, std::optional<std::uint64_t> tick,
+                          std::uint64_t seq) {
+  std::string line;
+  line.reserve(160);
+  line += "{\"kind\": ";
+  EventLog::append_json_string(line, kind);
+  line += ", \"seq\": ";
+  line += std::to_string(seq);
+  line += ", \"tick\": ";
+  line += tick ? std::to_string(*tick) : "null";
+  line += ", \"wall_ns\": ";
+  line += std::to_string(wall_ns());
+  return line;
+}
+
+}  // namespace
+
+std::string EventLog::render_fields(const std::vector<EventField>& fields) {
+  std::string out;
+  for (const EventField& f : fields) {
+    out += ", ";
+    append_json_string(out, f.key);
+    out += ": ";
+    append_value(out, f.value);
+  }
+  return out;
+}
+
+void EventLog::emit(std::string_view kind, std::optional<std::uint64_t> tick,
+                    std::initializer_list<EventField> fields) {
+  emit(kind, tick, std::vector<EventField>(fields));
+}
+
+void EventLog::emit(std::string_view kind, std::optional<std::uint64_t> tick,
+                    const std::vector<EventField>& fields) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string line = render_prefix(kind, tick, seq_++);
+  for (const EventField& f : fields) {
+    line += ", ";
+    append_json_string(line, f.key);
+    line += ": ";
+    append_value(line, f.value);
+  }
+  line += '}';
+  lines_.push_back(std::move(line));
+}
+
+void EventLog::emit_raw(std::string_view kind, std::optional<std::uint64_t> tick,
+                        std::string_view raw_fields_fragment) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string line = render_prefix(kind, tick, seq_++);
+  line += raw_fields_fragment;
+  line += '}';
+  lines_.push_back(std::move(line));
+}
+
+std::size_t EventLog::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lines_.size();
+}
+
+std::vector<std::string> EventLog::lines() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lines_;
+}
+
+void EventLog::write_jsonl(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  os << "{\"schema\": \"rg.events/1\", \"events\": " << lines_.size()
+     << ", \"wall_ns\": " << wall_ns() << "}\n";
+  for (const std::string& line : lines_) os << line << '\n';
+}
+
+bool EventLog::write_jsonl_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_jsonl(os);
+  return static_cast<bool>(os);
+}
+
+void EventLog::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lines_.clear();
+  seq_ = 0;
+}
+
+void attach_log_events(EventLog* log) noexcept {
+  g_log_events.store(log, std::memory_order_release);
+}
+
+EventLog* attached_log_events() noexcept {
+  return g_log_events.load(std::memory_order_acquire);
+}
+
+}  // namespace rg::obs

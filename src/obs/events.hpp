@@ -1,0 +1,94 @@
+// Structured safety-event log: one JSON object per line, schema
+// "rg.events/1" (documented in docs/observability.md).
+//
+// Every record carries the event kind, a sequence number, the simulation
+// tick (null for events outside a sim run, e.g. bridged log lines), a
+// wall-clock timestamp in nanoseconds, and free-form typed fields.  The
+// sim emits state-machine transitions, detector alarms, mitigation
+// actions, attack-wrapper injections, and flight-recorder dumps through
+// this; RG_LOG(kWarn/kError) lines are bridged in when a log is attached
+// (see attach_log_events / common/log.cpp).
+//
+// Thread-safe: emit() renders and appends the line under a mutex, so one
+// EventLog can serve every worker of a campaign (records then interleave
+// in wall order; per-job context fields keep them attributable).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace rg::obs {
+
+/// One typed key/value pair of an event record.
+struct EventField {
+  using Value = std::variant<std::string, double, std::int64_t, std::uint64_t, bool>;
+
+  std::string key;
+  Value value;
+
+  EventField(std::string_view k, std::string_view v) : key(k), value(std::string(v)) {}
+  EventField(std::string_view k, const char* v) : key(k), value(std::string(v)) {}
+  EventField(std::string_view k, double v) : key(k), value(v) {}
+  EventField(std::string_view k, std::int64_t v) : key(k), value(v) {}
+  EventField(std::string_view k, std::uint64_t v) : key(k), value(v) {}
+  EventField(std::string_view k, int v) : key(k), value(static_cast<std::int64_t>(v)) {}
+  EventField(std::string_view k, bool v) : key(k), value(v) {}
+};
+
+class EventLog {
+ public:
+  EventLog() = default;
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Append one event.  `tick` is the simulation tick (nullopt renders as
+  /// null).  Renders the JSONL record immediately.
+  void emit(std::string_view kind, std::optional<std::uint64_t> tick,
+            std::initializer_list<EventField> fields);
+  void emit(std::string_view kind, std::optional<std::uint64_t> tick,
+            const std::vector<EventField>& fields);
+
+  /// Append a pre-rendered *fields fragment* (comma-prefixed, e.g.
+  /// `, "frames": [...]`) — escape hatch for bulk payloads like the
+  /// flight-recorder dump.  The fragment must be valid JSON members.
+  void emit_raw(std::string_view kind, std::optional<std::uint64_t> tick,
+                std::string_view raw_fields_fragment);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::vector<std::string> lines() const;  ///< records, no header
+
+  /// Header record ({"schema":"rg.events/1", ...}) followed by every event.
+  void write_jsonl(std::ostream& os) const;
+  [[nodiscard]] bool write_jsonl_file(const std::string& path) const;
+
+  void clear();
+
+  /// JSON string escaping shared by the obs serializers.
+  static void append_json_string(std::string& out, std::string_view s);
+
+  /// Render fields as a comma-prefixed JSON-members fragment suitable for
+  /// emit_raw (lets callers mix typed fields with a bulk raw payload).
+  [[nodiscard]] static std::string render_fields(const std::vector<EventField>& fields);
+
+ private:
+  void append_line(std::string line);
+
+  mutable std::mutex mutex_;
+  std::vector<std::string> lines_;
+  std::uint64_t seq_ = 0;
+};
+
+/// Attach/detach the process-wide event log that RG_LOG(kWarn/kError)
+/// lines are bridged into (nullptr detaches).  The log must outlive the
+/// attachment.
+void attach_log_events(EventLog* log) noexcept;
+[[nodiscard]] EventLog* attached_log_events() noexcept;
+
+}  // namespace rg::obs

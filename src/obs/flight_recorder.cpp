@@ -1,0 +1,111 @@
+#include "obs/flight_recorder.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "obs/events.hpp"
+
+namespace rg::obs {
+
+FlightRecorder::FlightRecorder(std::size_t capacity) : ring_(capacity) {}
+
+void FlightRecorder::record(const FlightFrame& frame) {
+  ring_.push(frame);
+  ++recorded_;
+}
+
+void FlightRecorder::trigger(std::string_view reason, std::uint64_t tick) {
+  ++triggers_;
+  if (triggered_) return;
+  triggered_ = true;
+  reason_ = std::string(reason);
+  trigger_tick_ = tick;
+  dump_ = ring_.snapshot();
+}
+
+namespace {
+
+void append_vec3(std::string& out, const char* key, const Vec3& v) {
+  char buf[120];
+  std::snprintf(buf, sizeof(buf), "\"%s\": [%.9g, %.9g, %.9g]", key, v[0], v[1], v[2]);
+  out += buf;
+}
+
+void append_frame(std::string& out, const FlightFrame& f) {
+  const TraceSample& s = f.sample;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "{\"tick\": %llu, ",
+                static_cast<unsigned long long>(s.tick));
+  out += buf;
+  append_vec3(out, "ee", s.ee_truth);
+  out += ", ";
+  append_vec3(out, "joint_pos", s.joint_pos);
+  out += ", ";
+  append_vec3(out, "motor_vel", s.motor_vel);
+  out += ", ";
+  append_vec3(out, "dac", s.dac);
+  out += ", \"state\": ";
+  EventLog::append_json_string(out, to_string(s.state));
+  std::snprintf(buf, sizeof(buf),
+                ", \"brakes\": %s, \"pred_ee_disp\": %.9g, \"screened\": %s, "
+                "\"alarm\": %s, \"blocked\": %s",
+                s.brakes ? "true" : "false", s.predicted_ee_disp,
+                f.screened ? "true" : "false", f.alarm ? "true" : "false",
+                f.blocked ? "true" : "false");
+  out += buf;
+  out += ", ";
+  append_vec3(out, "det_motor_vel", f.motor_instant_vel);
+  out += ", ";
+  append_vec3(out, "det_motor_acc", f.motor_instant_acc);
+  out += ", ";
+  append_vec3(out, "det_joint_vel", f.joint_instant_vel);
+  std::snprintf(buf, sizeof(buf),
+                ", \"flags\": {\"motor_vel\": %s, \"motor_acc\": %s, \"joint_vel\": %s, "
+                "\"ee_jump\": %s}}",
+                f.motor_vel_flag ? "true" : "false", f.motor_acc_flag ? "true" : "false",
+                f.joint_vel_flag ? "true" : "false", f.ee_jump_flag ? "true" : "false");
+  out += buf;
+}
+
+}  // namespace
+
+std::string FlightRecorder::frames_json() const {
+  std::string out;
+  out.reserve(dump_.size() * 320 + 2);
+  out += '[';
+  for (std::size_t i = 0; i < dump_.size(); ++i) {
+    if (i) out += ", ";
+    append_frame(out, dump_[i]);
+  }
+  out += ']';
+  return out;
+}
+
+void FlightRecorder::write_json(std::ostream& os) const {
+  std::string reason_json;
+  EventLog::append_json_string(reason_json, reason_);
+  os << "{\"schema\": \"rg.flight/1\", \"triggered\": " << (triggered_ ? "true" : "false")
+     << ", \"reason\": " << reason_json << ", \"trigger_tick\": " << trigger_tick_
+     << ", \"triggers\": " << triggers_ << ", \"capacity\": " << capacity()
+     << ", \"frames\": " << frames_json() << "}\n";
+}
+
+bool FlightRecorder::write_json_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_json(os);
+  return static_cast<bool>(os);
+}
+
+void FlightRecorder::clear() {
+  ring_.clear();
+  dump_.clear();
+  reason_.clear();
+  trigger_tick_ = 0;
+  triggers_ = 0;
+  recorded_ = 0;
+  triggered_ = false;
+}
+
+}  // namespace rg::obs

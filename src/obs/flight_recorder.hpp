@@ -1,0 +1,79 @@
+// Flight recorder: a fixed-capacity ring of the last N control ticks —
+// each the per-tick TraceSample plus the detection pipeline's verdict —
+// snapshotted automatically on the first alarm or E-stop.
+//
+// This is the post-incident artifact the paper's Fig. 8 reconstructs by
+// hand: exactly the pre-alarm window, with both the physical ground truth
+// and what the detector predicted/decided each tick.  The sim feeds it
+// every tick when attached (SurgicalSim::set_flight_recorder) and calls
+// trigger() on the first detector alarm or PLC E-stop latch; the frozen
+// dump survives further recording.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/ring_buffer.hpp"
+#include "sim/trace.hpp"
+
+namespace rg::obs {
+
+/// One tick of flight data: ground truth + pipeline verdict.
+struct FlightFrame {
+  TraceSample sample{};
+  bool screened = false;  ///< the detection pipeline ran this tick
+  bool alarm = false;
+  bool blocked = false;  ///< mitigation replaced the command bytes
+  /// Detection variables behind the verdict (per-axis absolute values).
+  Vec3 motor_instant_vel{};
+  Vec3 motor_instant_acc{};
+  Vec3 joint_instant_vel{};
+  bool motor_vel_flag = false;
+  bool motor_acc_flag = false;
+  bool joint_vel_flag = false;
+  bool ee_jump_flag = false;
+};
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 128;  ///< ticks (= ms at 1 kHz)
+
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+
+  void record(const FlightFrame& frame);
+
+  /// Freeze the current ring as the incident dump.  Only the first call
+  /// takes effect; later triggers are counted but do not overwrite.
+  void trigger(std::string_view reason, std::uint64_t tick);
+
+  [[nodiscard]] bool triggered() const noexcept { return triggered_; }
+  [[nodiscard]] const std::string& reason() const noexcept { return reason_; }
+  [[nodiscard]] std::uint64_t trigger_tick() const noexcept { return trigger_tick_; }
+  [[nodiscard]] std::uint64_t triggers() const noexcept { return triggers_; }
+  /// Frames captured at trigger time, oldest first (empty until triggered).
+  [[nodiscard]] const std::vector<FlightFrame>& dump() const noexcept { return dump_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return ring_.capacity(); }
+  [[nodiscard]] std::size_t frames_recorded() const noexcept { return recorded_; }
+
+  /// Standalone dump (schema "rg.flight/1").
+  void write_json(std::ostream& os) const;
+  [[nodiscard]] bool write_json_file(const std::string& path) const;
+  /// The dump's frames as a JSON array (embedded in event logs).
+  [[nodiscard]] std::string frames_json() const;
+
+  void clear();
+
+ private:
+  RingBuffer<FlightFrame> ring_;
+  std::vector<FlightFrame> dump_;
+  std::string reason_;
+  std::uint64_t trigger_tick_ = 0;
+  std::uint64_t triggers_ = 0;
+  std::size_t recorded_ = 0;
+  bool triggered_ = false;
+};
+
+}  // namespace rg::obs

@@ -1,0 +1,120 @@
+// Log-linear histogram: the bucket scheme shared by the metrics
+// registry's per-thread shards and the campaign report's timing section.
+//
+// Values (unsigned 64-bit, typically nanoseconds or microseconds) are
+// bucketed HdrHistogram-style: exact buckets below 2^kSubBucketBits, then
+// kSubBuckets linear sub-buckets per power-of-two octave, giving a
+// constant ~1/kSubBuckets (6.25%) relative error across the whole range.
+// Merging is a plain bucket-wise sum, so it is associative and
+// commutative — the property the registry's shard aggregation and the
+// campaign's serial-order reductions rely on.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace rg::obs {
+
+struct HistogramData {
+  static constexpr int kSubBucketBits = 4;
+  static constexpr std::uint64_t kSubBuckets = 1ull << kSubBucketBits;  // 16
+  /// Values at or above 2^(kMaxExponent+1) are clamped into the top octave.
+  static constexpr int kMaxExponent = 59;
+  static constexpr std::size_t kBucketCount =
+      kSubBuckets + static_cast<std::size_t>(kMaxExponent - kSubBucketBits + 1) * kSubBuckets;
+
+  std::array<std::uint64_t, kBucketCount> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t max = 0;
+
+  /// Largest representable value; anything above lands in the last bucket.
+  [[nodiscard]] static constexpr std::uint64_t max_trackable() noexcept {
+    return (1ull << (kMaxExponent + 1)) - 1;
+  }
+
+  [[nodiscard]] static constexpr std::size_t bucket_index(std::uint64_t v) noexcept {
+    if (v < kSubBuckets) return static_cast<std::size_t>(v);
+    if (v > max_trackable()) v = max_trackable();
+    const int exp = static_cast<int>(std::bit_width(v)) - 1;  // >= kSubBucketBits
+    const std::size_t base =
+        kSubBuckets + static_cast<std::size_t>(exp - kSubBucketBits) * kSubBuckets;
+    const std::size_t sub =
+        static_cast<std::size_t>((v >> (exp - kSubBucketBits)) - kSubBuckets);
+    return base + sub;
+  }
+
+  /// Inclusive lower bound of bucket `index`.
+  [[nodiscard]] static constexpr std::uint64_t bucket_lower(std::size_t index) noexcept {
+    if (index < kSubBuckets) return index;
+    const std::size_t octave = (index - kSubBuckets) / kSubBuckets;
+    const std::uint64_t sub = (index - kSubBuckets) % kSubBuckets;
+    return (kSubBuckets + sub) << octave;
+  }
+
+  /// Width of bucket `index` (1 for the exact range, 2^octave above).
+  [[nodiscard]] static constexpr std::uint64_t bucket_width(std::size_t index) noexcept {
+    if (index < kSubBuckets) return 1;
+    return 1ull << ((index - kSubBuckets) / kSubBuckets);
+  }
+
+  void observe(std::uint64_t v) noexcept {
+    ++buckets[bucket_index(v)];
+    ++count;
+    sum += v;
+    if (v < min) min = v;
+    if (v > max) max = v;
+  }
+
+  void merge(const HistogramData& other) noexcept {
+    for (std::size_t i = 0; i < kBucketCount; ++i) buckets[i] += other.buckets[i];
+    count += other.count;
+    sum += other.sum;
+    if (other.min < min) min = other.min;
+    if (other.max > max) max = other.max;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return count == 0; }
+
+  [[nodiscard]] double mean() const noexcept {
+    return count > 0 ? static_cast<double>(sum) / static_cast<double>(count) : 0.0;
+  }
+
+  /// Value at percentile `p` in [0, 100]: the midpoint of the first bucket
+  /// whose cumulative count reaches ceil(p/100 * count).  Exact for values
+  /// below kSubBuckets, within one sub-bucket width above.
+  [[nodiscard]] double percentile(double p) const noexcept {
+    if (count == 0) return 0.0;
+    if (p <= 0.0) return static_cast<double>(min);
+    if (p >= 100.0) return static_cast<double>(max);
+    const double target_d = p / 100.0 * static_cast<double>(count);
+    auto target = static_cast<std::uint64_t>(target_d);
+    if (static_cast<double>(target) < target_d) ++target;  // ceil
+    if (target == 0) target = 1;
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+      cumulative += buckets[i];
+      if (cumulative >= target) {
+        const std::uint64_t lower = bucket_lower(i);
+        const std::uint64_t width = bucket_width(i);
+        // Exact buckets (width 1) report their value; wider buckets their
+        // midpoint, clamped into the observed range.
+        double v = width == 1 ? static_cast<double>(lower)
+                              : static_cast<double>(lower) +
+                                    static_cast<double>(width - 1) / 2.0;
+        if (v > static_cast<double>(max)) v = static_cast<double>(max);
+        if (v < static_cast<double>(min)) v = static_cast<double>(min);
+        return v;
+      }
+    }
+    return static_cast<double>(max);
+  }
+
+  bool operator==(const HistogramData& other) const = default;
+};
+
+}  // namespace rg::obs

@@ -1,0 +1,304 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace rg::obs {
+
+namespace {
+
+constexpr MetricId pack(MetricKind kind, std::size_t slot) noexcept {
+  return (static_cast<MetricId>(kind) << 24) | static_cast<MetricId>(slot);
+}
+
+void atomic_update_min(std::atomic<std::uint64_t>& target, std::uint64_t v) noexcept {
+  std::uint64_t cur = target.load(std::memory_order_relaxed);
+  while (v < cur && !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_update_max(std::atomic<std::uint64_t>& target, std::uint64_t v) noexcept {
+  std::uint64_t cur = target.load(std::memory_order_relaxed);
+  while (v > cur && !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+/// Per-thread shard slot; the destructor (thread exit) merges the shard
+/// back into its registry.  Friend of Registry.
+struct ShardHandle {
+  Registry* owner = nullptr;
+  Registry::Shard* shard = nullptr;
+  ~ShardHandle() {
+    if (owner != nullptr && shard != nullptr) owner->retire(shard);
+  }
+
+  static thread_local ShardHandle tls;
+
+  static Registry::Shard& local(Registry& registry) {
+    ShardHandle& slot = tls;
+    if (slot.shard == nullptr || slot.owner != &registry) {
+      // A thread talks to one registry at a time (the global one in
+      // practice); switching registries retires the old shard first.
+      if (slot.shard != nullptr && slot.owner != nullptr) slot.owner->retire(slot.shard);
+      auto* shard = new Registry::Shard();
+      {
+        std::lock_guard<std::mutex> lock(registry.mutex_);
+        registry.shards_.push_back(shard);
+      }
+      slot.owner = &registry;
+      slot.shard = shard;
+    }
+    return *slot.shard;
+  }
+};
+
+thread_local ShardHandle ShardHandle::tls;
+
+Registry::Shard::~Shard() {
+  for (auto& h : hists) delete h.load(std::memory_order_relaxed);
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+Registry::~Registry() {
+  // Detach the destroying thread's slot so its tls destructor does not
+  // retire into a dead registry.  Any other thread that used a non-global
+  // registry must have exited before this point (documented contract);
+  // the global registry dies only at process exit.
+  if (ShardHandle::tls.owner == this) {
+    ShardHandle::tls.owner = nullptr;
+    ShardHandle::tls.shard = nullptr;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Shard* shard : shards_) delete shard;
+  shards_.clear();
+}
+
+MetricId Registry::register_metric(std::string_view name, MetricKind kind,
+                                   std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::string key(name);
+  if (auto it = by_name_.find(key); it != by_name_.end()) {
+    if (metric_kind(it->second) != kind) {
+      throw std::invalid_argument("obs::Registry: metric '" + key +
+                                  "' already registered with a different kind");
+    }
+    return it->second;
+  }
+  std::vector<std::string>* names = nullptr;
+  switch (kind) {
+    case MetricKind::kCounter: names = &counter_names_; break;
+    case MetricKind::kGauge: names = &gauge_names_; break;
+    case MetricKind::kHistogram: names = &histogram_names_; break;
+  }
+  if (names->size() >= capacity) {
+    throw std::length_error("obs::Registry: capacity exhausted for metric '" + key + "'");
+  }
+  const MetricId id = pack(kind, names->size());
+  names->push_back(key);
+  by_name_.emplace(std::move(key), id);
+  return id;
+}
+
+MetricId Registry::counter(std::string_view name) {
+  return register_metric(name, MetricKind::kCounter, kMaxCounters);
+}
+MetricId Registry::gauge(std::string_view name) {
+  return register_metric(name, MetricKind::kGauge, kMaxGauges);
+}
+MetricId Registry::histogram(std::string_view name) {
+  return register_metric(name, MetricKind::kHistogram, kMaxHistograms);
+}
+
+Registry::Shard& Registry::local_shard() { return ShardHandle::local(*this); }
+
+void Registry::add(MetricId id, std::uint64_t delta) noexcept {
+  local_shard().counters[metric_slot(id)].fetch_add(delta, std::memory_order_relaxed);
+}
+
+void Registry::set(MetricId id, double value) noexcept {
+  gauges_[metric_slot(id)].store(value, std::memory_order_relaxed);
+}
+
+void Registry::observe(MetricId id, std::uint64_t value) noexcept {
+  Shard& shard = local_shard();
+  std::atomic<HistShard*>& cell = shard.hists[metric_slot(id)];
+  HistShard* hist = cell.load(std::memory_order_relaxed);
+  if (hist == nullptr) {
+    hist = new HistShard();
+    cell.store(hist, std::memory_order_release);  // snapshot() acquires
+  }
+  hist->buckets[HistogramData::bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  hist->count.fetch_add(1, std::memory_order_relaxed);
+  hist->sum.fetch_add(value, std::memory_order_relaxed);
+  atomic_update_min(hist->min, value);
+  atomic_update_max(hist->max, value);
+}
+
+void Registry::accumulate(RetiredData& into, const Shard& shard) {
+  for (std::size_t i = 0; i < kMaxCounters; ++i) {
+    into.counters[i] += shard.counters[i].load(std::memory_order_relaxed);
+  }
+  for (std::size_t i = 0; i < kMaxHistograms; ++i) {
+    const HistShard* hist = shard.hists[i].load(std::memory_order_acquire);
+    if (hist == nullptr) continue;
+    if (!into.hists[i]) into.hists[i] = std::make_unique<HistogramData>();
+    HistogramData& dst = *into.hists[i];
+    for (std::size_t b = 0; b < HistogramData::kBucketCount; ++b) {
+      dst.buckets[b] += hist->buckets[b].load(std::memory_order_relaxed);
+    }
+    dst.count += hist->count.load(std::memory_order_relaxed);
+    dst.sum += hist->sum.load(std::memory_order_relaxed);
+    dst.min = std::min(dst.min, hist->min.load(std::memory_order_relaxed));
+    dst.max = std::max(dst.max, hist->max.load(std::memory_order_relaxed));
+  }
+}
+
+void Registry::retire(Shard* shard) noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  accumulate(retired_, *shard);
+  shards_.erase(std::remove(shards_.begin(), shards_.end(), shard), shards_.end());
+  delete shard;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RetiredData merged;
+  for (std::size_t i = 0; i < kMaxCounters; ++i) merged.counters[i] = retired_.counters[i];
+  for (std::size_t i = 0; i < kMaxHistograms; ++i) {
+    if (retired_.hists[i]) merged.hists[i] = std::make_unique<HistogramData>(*retired_.hists[i]);
+  }
+  for (const Shard* shard : shards_) accumulate(merged, *shard);
+
+  MetricsSnapshot snap;
+  snap.counters.reserve(counter_names_.size());
+  for (std::size_t i = 0; i < counter_names_.size(); ++i) {
+    snap.counters.push_back({counter_names_[i], merged.counters[i]});
+  }
+  snap.gauges.reserve(gauge_names_.size());
+  for (std::size_t i = 0; i < gauge_names_.size(); ++i) {
+    snap.gauges.push_back({gauge_names_[i], gauges_[i].load(std::memory_order_relaxed)});
+  }
+  snap.histograms.reserve(histogram_names_.size());
+  for (std::size_t i = 0; i < histogram_names_.size(); ++i) {
+    snap.histograms.push_back(
+        {histogram_names_[i], merged.hists[i] ? *merged.hists[i] : HistogramData{}});
+  }
+  auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+void Registry::reset() noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  retired_ = RetiredData{};
+  for (auto& g : gauges_) g.store(0.0, std::memory_order_relaxed);
+  for (Shard* shard : shards_) {
+    for (auto& c : shard->counters) c.store(0, std::memory_order_relaxed);
+    for (auto& cell : shard->hists) {
+      HistShard* hist = cell.load(std::memory_order_relaxed);
+      if (hist == nullptr) continue;
+      for (auto& b : hist->buckets) b.store(0, std::memory_order_relaxed);
+      hist->count.store(0, std::memory_order_relaxed);
+      hist->sum.store(0, std::memory_order_relaxed);
+      hist->min.store(std::numeric_limits<std::uint64_t>::max(), std::memory_order_relaxed);
+      hist->max.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+// --- MetricsSnapshot ---------------------------------------------------------
+
+namespace {
+
+template <typename Entry, typename Combine>
+void merge_sorted(std::vector<Entry>& into, const std::vector<Entry>& from,
+                  Combine&& combine) {
+  for (const Entry& e : from) {
+    auto it = std::lower_bound(into.begin(), into.end(), e,
+                               [](const Entry& a, const Entry& b) { return a.name < b.name; });
+    if (it != into.end() && it->name == e.name) {
+      combine(*it, e);
+    } else {
+      into.insert(it, e);
+    }
+  }
+}
+
+}  // namespace
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  merge_sorted(counters, other.counters,
+               [](CounterValue& a, const CounterValue& b) { a.value += b.value; });
+  merge_sorted(gauges, other.gauges,
+               [](GaugeValue& a, const GaugeValue& b) { a.value = b.value; });
+  merge_sorted(histograms, other.histograms,
+               [](HistogramValue& a, const HistogramValue& b) { a.data.merge(b.data); });
+}
+
+const HistogramData* MetricsSnapshot::histogram(std::string_view name) const noexcept {
+  for (const HistogramValue& h : histograms) {
+    if (h.name == name) return &h.data;
+  }
+  return nullptr;
+}
+
+const MetricsSnapshot::CounterValue* MetricsSnapshot::counter(
+    std::string_view name) const noexcept {
+  for (const CounterValue& c : counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+void MetricsSnapshot::write_json(std::ostream& os) const {
+  os.precision(17);
+  os << "{\n  \"schema\": \"rg.metrics/1\",\n";
+  os << "  \"counters\": {";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    os << (i ? ",\n    " : "\n    ") << '"' << counters[i].name << "\": " << counters[i].value;
+  }
+  os << (counters.empty() ? "" : "\n  ") << "},\n";
+  os << "  \"gauges\": {";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    os << (i ? ",\n    " : "\n    ") << '"' << gauges[i].name << "\": " << gauges[i].value;
+  }
+  os << (gauges.empty() ? "" : "\n  ") << "},\n";
+  os << "  \"histograms\": {";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramData& h = histograms[i].data;
+    os << (i ? ",\n    " : "\n    ") << '"' << histograms[i].name << "\": {";
+    os << "\"count\": " << h.count;
+    os << ", \"mean\": " << h.mean();
+    os << ", \"min\": " << (h.empty() ? 0 : h.min);
+    os << ", \"max\": " << h.max;
+    os << ", \"p50\": " << h.percentile(50.0);
+    os << ", \"p90\": " << h.percentile(90.0);
+    os << ", \"p99\": " << h.percentile(99.0) << "}";
+  }
+  os << (histograms.empty() ? "" : "\n  ") << "}\n}\n";
+}
+
+bool MetricsSnapshot::write_json_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_json(os);
+  return static_cast<bool>(os);
+}
+
+std::uint32_t thread_index() noexcept {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t index = next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+}  // namespace rg::obs

@@ -1,0 +1,165 @@
+// Process-wide metrics registry with lock-free per-thread shards.
+//
+// Hot-path writes (counter adds, histogram observes) touch only the
+// calling thread's shard through relaxed atomics — no locks, no false
+// sharing with other writers.  Aggregation is explicit: snapshot() merges
+// every live shard plus the retained data of exited threads under the
+// registration mutex.  Nothing here feeds back into simulation state, so
+// campaign determinism is untouched regardless of thread schedule.
+//
+// Registration (name -> id) happens once per call site — the RG_COUNT /
+// RG_SPAN macros cache the id in a function-local static — and takes the
+// mutex; after that the id is a plain (kind, slot) pair resolved without
+// lookup.  Capacities are fixed so shards never reallocate under
+// concurrent writers; exceeding them throws at registration time.
+//
+// Metric naming convention (docs/observability.md): dotted lower-case
+// paths rooted at "rg.", e.g. "rg.sim.ticks", "rg.span.estimator.solve".
+// Span histograms record nanoseconds.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+namespace rg::obs {
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+/// Packed metric handle: kind in the top byte, per-kind slot below.
+using MetricId = std::uint32_t;
+
+[[nodiscard]] constexpr MetricKind metric_kind(MetricId id) noexcept {
+  return static_cast<MetricKind>(id >> 24);
+}
+[[nodiscard]] constexpr std::uint32_t metric_slot(MetricId id) noexcept {
+  return id & 0x00FFFFFFu;
+}
+
+/// Point-in-time aggregate of the registry (or of one retired shard).
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramValue {
+    std::string name;
+    HistogramData data{};
+  };
+
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+
+  /// Bucket-wise / value-wise sum, matching entries by name (gauges take
+  /// the other side's value when present).  Associative and commutative
+  /// up to entry order; entries are kept sorted by name.
+  void merge(const MetricsSnapshot& other);
+
+  [[nodiscard]] const HistogramData* histogram(std::string_view name) const noexcept;
+  [[nodiscard]] const CounterValue* counter(std::string_view name) const noexcept;
+
+  /// Machine-readable dump (schema "rg.metrics/1"): counters, gauges, and
+  /// per-histogram count/mean/min/max/p50/p90/p99.
+  void write_json(std::ostream& os) const;
+  [[nodiscard]] bool write_json_file(const std::string& path) const;
+};
+
+class Registry {
+ public:
+  static constexpr std::size_t kMaxCounters = 192;
+  static constexpr std::size_t kMaxGauges = 64;
+  static constexpr std::size_t kMaxHistograms = 48;
+
+  /// The process-wide registry used by the RG_* macros.
+  static Registry& global();
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+  ~Registry();
+
+  // --- registration (idempotent per name; throws std::length_error when a
+  // kind's capacity is exhausted, std::invalid_argument on a kind clash) --
+  MetricId counter(std::string_view name);
+  MetricId gauge(std::string_view name);
+  MetricId histogram(std::string_view name);
+
+  // --- hot path ------------------------------------------------------------
+  void add(MetricId id, std::uint64_t delta = 1) noexcept;
+  void set(MetricId id, double value) noexcept;
+  void observe(MetricId id, std::uint64_t value) noexcept;
+
+  /// Merge every shard (live + retired) into a snapshot, sorted by name.
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zero all recorded data (registrations survive).  Only meaningful when
+  /// no other thread is concurrently writing; intended for tests.
+  void reset() noexcept;
+
+ private:
+  struct HistShard {
+    std::array<std::atomic<std::uint64_t>, HistogramData::kBucketCount> buckets{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> min{std::numeric_limits<std::uint64_t>::max()};
+    std::atomic<std::uint64_t> max{0};
+  };
+  struct Shard {
+    std::array<std::atomic<std::uint64_t>, kMaxCounters> counters{};
+    std::array<std::atomic<HistShard*>, kMaxHistograms> hists{};
+    ~Shard();
+  };
+  /// Plain (non-atomic) accumulator for shards whose thread has exited.
+  struct RetiredData {
+    std::array<std::uint64_t, kMaxCounters> counters{};
+    std::array<std::unique_ptr<HistogramData>, kMaxHistograms> hists;
+  };
+
+  friend struct ShardHandle;
+
+  MetricId register_metric(std::string_view name, MetricKind kind, std::size_t capacity);
+  Shard& local_shard();
+  void retire(Shard* shard) noexcept;
+  static void accumulate(RetiredData& into, const Shard& shard);
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, MetricId> by_name_;
+  std::vector<std::string> counter_names_;
+  std::vector<std::string> gauge_names_;
+  std::vector<std::string> histogram_names_;
+  std::vector<Shard*> shards_;
+  RetiredData retired_{};
+  std::array<std::atomic<double>, kMaxGauges> gauges_{};
+};
+
+/// Small dense per-thread index (0, 1, 2, ...) for trace/log annotation.
+[[nodiscard]] std::uint32_t thread_index() noexcept;
+
+}  // namespace rg::obs
+
+// Counter convenience for hot paths: registers once per call site, then a
+// single relaxed fetch_add per hit.  Compiled out under RG_OBS_DISABLED.
+#ifndef RG_OBS_DISABLED
+#define RG_COUNT(name, delta)                                                      \
+  do {                                                                             \
+    static const ::rg::obs::MetricId rg_count_id_ =                                \
+        ::rg::obs::Registry::global().counter(name);                               \
+    ::rg::obs::Registry::global().add(rg_count_id_, (delta));                      \
+  } while (0)
+#else
+#define RG_COUNT(name, delta) ((void)0)
+#endif

@@ -1,0 +1,17 @@
+// Umbrella header for the telemetry subsystem (docs/observability.md).
+//
+//   metrics.hpp          lock-free sharded counters/gauges/histograms
+//   histogram.hpp        the log-linear bucket math (plain data)
+//   span.hpp             RG_SPAN RAII timers + Chrome trace-event writer
+//   events.hpp           JSONL safety-event log (schema rg.events/1)
+//   flight_recorder.hpp  last-N-ticks incident ring (schema rg.flight/1)
+//
+// Define RG_OBS_DISABLED (cmake -DRG_OBS_DISABLED=ON) to compile the
+// RG_SPAN / RG_COUNT instrumentation out of the hot paths entirely.
+#pragma once
+
+#include "obs/events.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/histogram.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"

@@ -1,0 +1,66 @@
+#include "obs/span.hpp"
+
+#include <atomic>
+#include <fstream>
+#include <ostream>
+
+namespace rg::obs {
+
+namespace {
+std::atomic<TraceWriter*> g_active_writer{nullptr};
+}  // namespace
+
+TraceWriter::TraceWriter() : epoch_ns_(monotonic_ns()) {}
+
+TraceWriter::~TraceWriter() { uninstall(); }
+
+void TraceWriter::install() noexcept {
+  g_active_writer.store(this, std::memory_order_release);
+}
+
+void TraceWriter::uninstall() noexcept {
+  TraceWriter* self = this;
+  g_active_writer.compare_exchange_strong(self, nullptr, std::memory_order_acq_rel);
+}
+
+TraceWriter* TraceWriter::active() noexcept {
+  return g_active_writer.load(std::memory_order_acquire);
+}
+
+void TraceWriter::emit(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns) {
+  const std::uint32_t tid = thread_index();
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(Event{name, start_ns, dur_ns, tid});
+}
+
+std::size_t TraceWriter::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+void TraceWriter::write_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  os.precision(6);
+  os << std::fixed;
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    const double ts_us =
+        static_cast<double>(e.start_ns - (e.start_ns >= epoch_ns_ ? epoch_ns_ : e.start_ns)) /
+        1000.0;
+    const double dur_us = static_cast<double>(e.dur_ns) / 1000.0;
+    os << (i ? ",\n  " : "\n  ");
+    os << "{\"name\": \"" << e.name << "\", \"cat\": \"rg\", \"ph\": \"X\", \"ts\": " << ts_us
+       << ", \"dur\": " << dur_us << ", \"pid\": 1, \"tid\": " << e.tid << "}";
+  }
+  os << (events_.empty() ? "" : "\n") << "]}\n";
+}
+
+bool TraceWriter::write_json_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_json(os);
+  return static_cast<bool>(os);
+}
+
+}  // namespace rg::obs

@@ -1,0 +1,111 @@
+// RAII span timers and the Chrome trace-event writer.
+//
+//   void DetectionPipeline::process(...) {
+//     RG_SPAN("pipeline.process");
+//     ...
+//   }
+//
+// Every span records its duration (nanoseconds) into the global metrics
+// registry under "rg.span.<name>" — always on, one relaxed atomic add per
+// exit.  When a TraceWriter is installed (opt-in, e.g. the CLI's
+// --trace-out), spans additionally append complete ("ph":"X") events that
+// Perfetto / chrome://tracing load directly.
+//
+// RG_SPAN compiles out entirely under RG_OBS_DISABLED (cmake
+// -DRG_OBS_DISABLED=ON); bench/bench_obs_overhead.cpp measures both paths.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace rg::obs {
+
+/// Monotonic nanoseconds (steady clock) — the span/trace time base.
+[[nodiscard]] inline std::uint64_t monotonic_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Collects span events and serializes them as a Chrome trace-event JSON
+/// object ({"traceEvents": [...]}).  One writer is process-wide "active"
+/// at a time; emission is mutex-buffered (tracing is an opt-in diagnostic
+/// mode, not part of the always-on hot path).
+class TraceWriter {
+ public:
+  TraceWriter();
+  ~TraceWriter();
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  /// Make this writer the process-wide span sink.
+  void install() noexcept;
+  /// Stop collecting (idempotent; the destructor also uninstalls).
+  void uninstall() noexcept;
+  [[nodiscard]] static TraceWriter* active() noexcept;
+
+  /// Append one complete event.  `name` must outlive the writer (the RG_SPAN
+  /// call sites pass string literals).
+  void emit(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns);
+
+  [[nodiscard]] std::size_t events() const;
+
+  /// Chrome trace-event JSON: {"displayTimeUnit":"ms","traceEvents":[...]}.
+  /// Timestamps are microseconds relative to the writer's creation.
+  void write_json(std::ostream& os) const;
+  [[nodiscard]] bool write_json_file(const std::string& path) const;
+
+ private:
+  struct Event {
+    const char* name;
+    std::uint64_t start_ns;
+    std::uint64_t dur_ns;
+    std::uint32_t tid;
+  };
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+  std::uint64_t epoch_ns_;
+};
+
+/// The RG_SPAN workhorse: times its scope, feeds the registry histogram
+/// and (when installed) the active TraceWriter.
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* name, MetricId histogram_id) noexcept
+      : name_(name), histogram_id_(histogram_id), start_ns_(monotonic_ns()) {}
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() {
+    const std::uint64_t dur = monotonic_ns() - start_ns_;
+    Registry::global().observe(histogram_id_, dur);
+    if (TraceWriter* writer = TraceWriter::active()) writer->emit(name_, start_ns_, dur);
+  }
+
+ private:
+  const char* name_;
+  MetricId histogram_id_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace rg::obs
+
+#define RG_OBS_CONCAT_INNER(a, b) a##b
+#define RG_OBS_CONCAT(a, b) RG_OBS_CONCAT_INNER(a, b)
+
+#ifndef RG_OBS_DISABLED
+/// Time the enclosing scope as span `name` (a string literal).
+#define RG_SPAN(name)                                                            \
+  static const ::rg::obs::MetricId RG_OBS_CONCAT(rg_span_id_, __LINE__) =        \
+      ::rg::obs::Registry::global().histogram("rg.span." name);                  \
+  const ::rg::obs::ScopedSpan RG_OBS_CONCAT(rg_span_, __LINE__)(                 \
+      name, RG_OBS_CONCAT(rg_span_id_, __LINE__))
+#else
+#define RG_SPAN(name) ((void)0)
+#endif

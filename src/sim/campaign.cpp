@@ -12,6 +12,7 @@
 #include "attack/math_attack.hpp"
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "obs/span.hpp"
 #include "sim/surgical_sim.hpp"
 
 namespace rg {
@@ -54,6 +55,21 @@ void write_optional_tick(std::ostream& os, const std::optional<std::uint64_t>& t
   }
 }
 
+std::uint64_t to_micros(double ms) noexcept {
+  return ms > 0.0 ? static_cast<std::uint64_t>(ms * 1000.0) : 0;
+}
+
+/// Histogram summary in milliseconds (the histograms store microseconds).
+void write_hist_ms(std::ostream& os, const obs::HistogramData& h) {
+  os << "{\"count\": " << h.count;
+  os << ", \"mean\": " << h.mean() / 1000.0;
+  os << ", \"min\": " << (h.empty() ? 0.0 : static_cast<double>(h.min) / 1000.0);
+  os << ", \"max\": " << static_cast<double>(h.max) / 1000.0;
+  os << ", \"p50\": " << h.percentile(50.0) / 1000.0;
+  os << ", \"p90\": " << h.percentile(90.0) / 1000.0;
+  os << ", \"p99\": " << h.percentile(99.0) / 1000.0 << "}";
+}
+
 }  // namespace
 
 int default_campaign_jobs() noexcept {
@@ -76,6 +92,7 @@ int CampaignRunner::workers_for(std::size_t njobs) const noexcept {
 }
 
 CampaignJobResult CampaignRunner::execute(const CampaignJob& job, std::size_t index) {
+  RG_SPAN("campaign.job");
   const auto start = WallClock::now();
   CampaignJobResult out;
   out.index = index;
@@ -135,7 +152,9 @@ CampaignReport CampaignRunner::run(std::vector<CampaignJob> jobs) const {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= total) return;
       try {
+        const double queued_ms = ms_since(campaign_start);
         CampaignJobResult result = execute(jobs[i], i);
+        result.queue_wait_ms = queued_ms;
         std::lock_guard<std::mutex> lock(mutex);
         report.results[i] = std::move(result);
         ++completed;
@@ -190,20 +209,17 @@ CampaignReport CampaignRunner::run(std::vector<CampaignJob> jobs) const {
     if (r.run.outcome.detector_alarmed()) ++report.counters.detector_alarms;
     if (r.run.outcome.raven_detected()) ++report.counters.raven_detections;
     if (r.run.impact() && r.run.outcome.detected_preemptively()) ++report.counters.preemptive;
+    report.queue_wait_us.observe(to_micros(r.queue_wait_ms));
+    report.exec_us.observe(to_micros(r.wall_ms));
   }
   return report;
 }
 
-void CampaignReport::write_json(std::ostream& os) const {
+void CampaignReport::write_json(std::ostream& os, bool include_timing) const {
   os.precision(17);
   os << "{\n";
-  os << "  \"schema\": \"rg.campaign.report/1\",\n";
+  os << "  \"schema\": \"rg.campaign.report/2\",\n";
   os << "  \"jobs\": " << jobs() << ",\n";
-  os << "  \"workers\": " << workers << ",\n";
-  os << "  \"wall_ms\": " << wall_ms << ",\n";
-  os << "  \"session_ms\": " << session_ms << ",\n";
-  os << "  \"speedup\": " << speedup() << ",\n";
-  os << "  \"ticks_per_sec\": " << ticks_per_sec() << ",\n";
   os << "  \"counters\": {\n";
   os << "    \"impacts\": " << counters.impacts << ",\n";
   os << "    \"detector_alarms\": " << counters.detector_alarms << ",\n";
@@ -233,11 +249,36 @@ void CampaignReport::write_json(std::ostream& os) const {
     write_optional_tick(os, r.run.outcome.adverse_impact_tick);
     os << ", \"max_ee_jump_mm\": " << 1000.0 * r.run.outcome.max_ee_jump_window;
     os << ", \"injections\": " << r.run.injections;
-    os << ", \"ticks\": " << r.ticks;
-    os << ", \"wall_ms\": " << r.wall_ms << "}";
+    os << ", \"ticks\": " << r.ticks << "}";
     os << (i + 1 < results.size() ? ",\n" : "\n");
   }
-  os << "  ]\n";
+  os << (include_timing ? "  ],\n" : "  ]\n");
+  if (include_timing) {
+    os << "  \"timing\": {\n";
+    os << "    \"workers\": " << workers << ",\n";
+    os << "    \"wall_ms\": " << wall_ms << ",\n";
+    os << "    \"session_ms\": " << session_ms << ",\n";
+    os << "    \"speedup\": " << speedup() << ",\n";
+    os << "    \"ticks_per_sec\": " << ticks_per_sec() << ",\n";
+    os << "    \"sessions_per_sec\": " << sessions_per_sec() << ",\n";
+    os << "    \"queue_wait_ms\": ";
+    write_hist_ms(os, queue_wait_us);
+    os << ",\n";
+    os << "    \"exec_ms\": ";
+    write_hist_ms(os, exec_us);
+    os << ",\n";
+    os << "    \"job_wall_ms\": [";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      os << results[i].wall_ms << (i + 1 < results.size() ? ", " : "");
+    }
+    os << "],\n";
+    os << "    \"job_queue_wait_ms\": [";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      os << results[i].queue_wait_ms << (i + 1 < results.size() ? ", " : "");
+    }
+    os << "]\n";
+    os << "  }\n";
+  }
   os << "}\n";
 }
 

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/histogram.hpp"
 #include "sim/experiment.hpp"
 
 namespace rg {
@@ -59,6 +60,7 @@ struct CampaignJobResult {
   std::string label{};
   AttackRunResult run{};
   double wall_ms = 0.0;     ///< wall-clock time of this session
+  double queue_wait_ms = 0.0;  ///< campaign start -> job start (pool wait)
   std::uint64_t ticks = 0;  ///< simulated 1 kHz ticks executed
 };
 
@@ -73,26 +75,41 @@ struct CampaignCounters {
 };
 
 /// Campaign output: per-job results in submission order plus telemetry.
+///
+/// Everything wall-clock-dependent — worker count, wall times, speedup,
+/// throughput, and the queue-wait/execution-time histograms — lives in
+/// the report's *timing* section, which `write_json` can omit: the
+/// remaining payload is bit-identical across worker counts (the
+/// determinism contract, testable by plain string comparison).
 struct CampaignReport {
   std::vector<CampaignJobResult> results;
   int workers = 1;        ///< worker threads actually used
   double wall_ms = 0.0;   ///< whole-campaign wall clock
   double session_ms = 0.0;  ///< sum of per-job wall times
   CampaignCounters counters{};
+  /// Per-job pool-wait and execution-time distributions (microseconds),
+  /// built by a serial reduction after the pool joins.
+  obs::HistogramData queue_wait_us{};
+  obs::HistogramData exec_us{};
 
   [[nodiscard]] std::size_t jobs() const noexcept { return results.size(); }
   /// Simulated-tick throughput over the campaign wall clock.
   [[nodiscard]] double ticks_per_sec() const noexcept {
     return wall_ms > 0.0 ? 1000.0 * static_cast<double>(counters.ticks) / wall_ms : 0.0;
   }
+  /// Session throughput over the campaign wall clock.
+  [[nodiscard]] double sessions_per_sec() const noexcept {
+    return wall_ms > 0.0 ? 1000.0 * static_cast<double>(jobs()) / wall_ms : 0.0;
+  }
   /// Parallel efficiency proxy: total session time / campaign wall time.
   [[nodiscard]] double speedup() const noexcept {
     return wall_ms > 0.0 ? session_ms / wall_ms : 0.0;
   }
 
-  /// Machine-readable campaign report (schema "rg.campaign.report/1",
-  /// documented in docs/campaigns.md).
-  void write_json(std::ostream& os) const;
+  /// Machine-readable campaign report (schema "rg.campaign.report/2",
+  /// documented in docs/campaigns.md).  `include_timing=false` omits the
+  /// nondeterministic "timing" section.
+  void write_json(std::ostream& os, bool include_timing = true) const;
   /// write_json() to a file; returns false if the file cannot be opened.
   [[nodiscard]] bool write_json_file(const std::string& path) const;
 };

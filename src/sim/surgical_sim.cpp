@@ -1,6 +1,10 @@
 #include "sim/surgical_sim.hpp"
 
 #include <algorithm>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace rg {
 
@@ -37,6 +41,29 @@ void SurgicalSim::install(const AttackArtifacts& artifacts) {
   if (artifacts.usb_write) write_chain_.add(artifacts.usb_write);
   if (artifacts.usb_read) read_chain_.add(artifacts.usb_read);
   if (artifacts.math_hooks) control_.set_math_hooks(*artifacts.math_hooks);
+  installed_ = artifacts;  // keep the handles for injection-count events
+}
+
+void SurgicalSim::emit_event(std::string_view kind,
+                             std::initializer_list<obs::EventField> fields) {
+  if (events_ == nullptr) return;
+  std::vector<obs::EventField> all = event_context_;
+  all.insert(all.end(), fields.begin(), fields.end());
+  events_->emit(kind, clock_.ticks(), all);
+}
+
+void SurgicalSim::dump_flight(std::string_view reason) {
+  if (flight_ == nullptr) return;
+  const bool first = !flight_->triggered();
+  flight_->trigger(reason, clock_.ticks());
+  if (!first || events_ == nullptr) return;
+  std::vector<obs::EventField> fields = event_context_;
+  fields.emplace_back("reason", reason);
+  fields.emplace_back("frames", static_cast<std::uint64_t>(flight_->dump().size()));
+  std::string fragment = obs::EventLog::render_fields(fields);
+  fragment += ", \"ring\": ";
+  fragment += flight_->frames_json();
+  events_->emit_raw("flight_dump", clock_.ticks(), fragment);
 }
 
 void SurgicalSim::press_start() {
@@ -46,6 +73,8 @@ void SurgicalSim::press_start() {
 }
 
 void SurgicalSim::step() {
+  RG_SPAN("sim.tick");
+  RG_COUNT("rg.sim.ticks", 1);
   if (config_.auto_start && !started_ && clock_.ticks() >= config_.start_delay_ticks) {
     press_start();
   }
@@ -89,21 +118,20 @@ void SurgicalSim::step() {
   bool deliver = write_chain_.process(std::span{cmd}, tick);
 
   // 6. Detection pipeline (trusted hardware, downstream of the attacker).
-  bool alarm_this_tick = false;
-  double predicted_disp = 0.0;
+  bool screened_this_tick = false;
+  DetectionPipeline::Outcome det{};
   if (pipeline_) {
     pipeline_->set_engaged(!plc_.brakes_engaged());
     MotorVector encoder_angles;
     for (std::size_t i = 0; i < 3; ++i) encoder_angles[i] = board_.encoder_angle(i);
     pipeline_->observe_feedback(encoder_angles);
     if (deliver) {
-      const DetectionPipeline::Outcome out = pipeline_->process(std::span{cmd});
-      if (detection_observer_) detection_observer_(out);
-      alarm_this_tick = out.alarm;
-      predicted_disp = out.prediction.ee_displacement;
-      if (out.alarm && !outcome_.detector_alarm_tick) outcome_.detector_alarm_tick = tick;
-      if (out.blocked) {
-        cmd = out.bytes;
+      det = pipeline_->process(std::span{cmd});
+      screened_this_tick = true;
+      if (detection_observer_) detection_observer_(det);
+      if (det.alarm && !outcome_.detector_alarm_tick) outcome_.detector_alarm_tick = tick;
+      if (det.blocked) {
+        cmd = det.bytes;
         // E-STOP mitigation: the trusted module also asserts the estop
         // line so the PLC drops the brakes immediately.
         if (config_.detection->mitigation == MitigationStrategy::kEStop &&
@@ -113,6 +141,8 @@ void SurgicalSim::step() {
       }
     }
   }
+  const bool alarm_this_tick = screened_this_tick && det.alarm;
+  const double predicted_disp = det.prediction.ee_displacement;
 
   // 7. Board latches whatever bytes arrived.
   if (deliver) (void)board_.receive_command(std::span<const std::uint8_t>{cmd});
@@ -121,8 +151,11 @@ void SurgicalSim::step() {
   plc_.tick();
 
   // 9. Physics.
-  plant_.step_control_period(board_.modeled_currents(), plc_.brakes_engaged(),
-                             board_.wrist_currents());
+  {
+    RG_SPAN("plant.step");
+    plant_.step_control_period(board_.modeled_currents(), plc_.brakes_engaged(),
+                               board_.wrist_currents());
+  }
 
   // 10. Encoders for the next cycle.
   board_.latch_encoders(plant_.motor_positions(), plant_.wrist_positions());
@@ -137,7 +170,7 @@ void SurgicalSim::step() {
   }
   if (plant_.cable_snapped()) outcome_.cable_snapped = true;
 
-  if (trace_ != nullptr) {
+  if (trace_ != nullptr || flight_ != nullptr) {
     TraceSample s;
     s.tick = tick;
     s.ee_truth = plant_.end_effector();
@@ -152,7 +185,72 @@ void SurgicalSim::step() {
     s.brakes = plc_.brakes_engaged();
     s.detector_alarm = alarm_this_tick;
     s.predicted_ee_disp = predicted_disp;
-    trace_->record(s);
+    if (trace_ != nullptr) trace_->record(s);
+    if (flight_ != nullptr) {
+      obs::FlightFrame frame;
+      frame.sample = s;
+      frame.screened = screened_this_tick;
+      frame.alarm = alarm_this_tick;
+      frame.blocked = screened_this_tick && det.blocked;
+      frame.motor_instant_vel = det.prediction.motor_instant_vel;
+      frame.motor_instant_acc = det.prediction.motor_instant_acc;
+      frame.joint_instant_vel = det.prediction.joint_instant_vel;
+      frame.motor_vel_flag = det.verdict.motor_vel_flag;
+      frame.motor_acc_flag = det.verdict.motor_acc_flag;
+      frame.joint_vel_flag = det.verdict.joint_vel_flag;
+      frame.ee_jump_flag = det.verdict.ee_jump_flag;
+      flight_->record(frame);
+    }
+  }
+
+  // --- telemetry events (edges only, so logs stay bounded) ----------------
+  if (events_ != nullptr || flight_ != nullptr) {
+    const RobotState state_now = control_.state();
+    if (state_now != last_state_) {
+      emit_event("state_transition",
+                 {{"from", to_string(last_state_)}, {"to", to_string(state_now)}});
+      last_state_ = state_now;
+    }
+    const std::uint64_t inj = installed_.injections();
+    if (inj > 0 && last_injections_ == 0) {
+      emit_event("attack_injection", {{"total_injections", inj}});
+    }
+    last_injections_ = inj;
+    if (alarm_this_tick && !last_alarm_) {
+      emit_event("detector_alarm",
+                 {{"predicted_ee_disp", predicted_disp},
+                  {"motor_vel_flag", det.verdict.motor_vel_flag},
+                  {"motor_acc_flag", det.verdict.motor_acc_flag},
+                  {"joint_vel_flag", det.verdict.joint_vel_flag},
+                  {"ee_jump_flag", det.verdict.ee_jump_flag},
+                  {"worst_axis", static_cast<std::uint64_t>(det.verdict.worst_axis)}});
+      dump_flight("detector_alarm");
+    }
+    last_alarm_ = alarm_this_tick;
+    const bool blocked_this_tick = screened_this_tick && det.blocked;
+    if (blocked_this_tick && !last_blocked_) {
+      emit_event("mitigation",
+                 {{"strategy", config_.detection
+                                   ? to_string(config_.detection->mitigation)
+                                   : std::string_view{"none"}}});
+    }
+    last_blocked_ = blocked_this_tick;
+    if (outcome_.raven_fault_tick && !raven_fault_reported_) {
+      raven_fault_reported_ = true;
+      emit_event("raven_fault", {{"tick", *outcome_.raven_fault_tick}});
+    }
+    if (outcome_.plc_estop_tick && !plc_estop_reported_) {
+      plc_estop_reported_ = true;
+      emit_event("plc_estop", {{"tick", *outcome_.plc_estop_tick}});
+      dump_flight("plc_estop");
+    }
+    if ((outcome_.adverse_impact_tick || outcome_.cable_snapped) &&
+        !adverse_impact_reported_) {
+      adverse_impact_reported_ = true;
+      emit_event("adverse_impact",
+                 {{"max_ee_jump_window", outcome_.max_ee_jump_window},
+                  {"cable_snapped", outcome_.cable_snapped}});
+    }
   }
 
   clock_.tick();

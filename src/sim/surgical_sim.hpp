@@ -32,6 +32,8 @@
 #include "hw/usb_board.hpp"
 #include "net/master_console.hpp"
 #include "net/udp_channel.hpp"
+#include "obs/events.hpp"
+#include "obs/flight_recorder.hpp"
 #include "plant/physical_robot.hpp"
 #include "sim/trace.hpp"
 
@@ -120,6 +122,23 @@ class SurgicalSim {
   /// Attach a trace recorder (caller owns it; must outlive the sim run).
   void set_trace(TraceRecorder* trace) noexcept { trace_ = trace; }
 
+  /// Attach a structured safety-event log (caller owns it).  The sim
+  /// emits state transitions, attack injections, detector alarms,
+  /// mitigation actions, RAVEN faults, and PLC E-stops as they happen.
+  /// `context` fields (e.g. a campaign job index) are prepended to every
+  /// event so interleaved multi-session logs stay attributable.
+  void set_event_log(obs::EventLog* events,
+                     std::vector<obs::EventField> context = {}) {
+    events_ = events;
+    event_context_ = std::move(context);
+  }
+
+  /// Attach a flight recorder (caller owns it).  Every tick appends one
+  /// frame; the first detector alarm or E-stop freezes the ring and — if
+  /// an event log is attached — dumps the frames as a `flight_dump`
+  /// event.
+  void set_flight_recorder(obs::FlightRecorder* flight) noexcept { flight_ = flight; }
+
   /// Observe every detection-pipeline outcome (threshold learning, ROC
   /// sweeps).  Caller-owned callable; must outlive the sim run.
   using DetectionObserver = std::function<void(const DetectionPipeline::Outcome&)>;
@@ -132,6 +151,8 @@ class SurgicalSim {
 
  private:
   void update_oracle();
+  void emit_event(std::string_view kind, std::initializer_list<obs::EventField> fields);
+  void dump_flight(std::string_view reason);
 
   SimConfig config_;
   SimClock clock_;
@@ -169,6 +190,19 @@ class SurgicalSim {
 
   TraceRecorder* trace_ = nullptr;
   DetectionObserver detection_observer_;
+
+  // --- telemetry (optional, caller-owned sinks) ---------------------------
+  obs::EventLog* events_ = nullptr;
+  std::vector<obs::EventField> event_context_;
+  obs::FlightRecorder* flight_ = nullptr;
+  AttackArtifacts installed_{};       ///< for injection-count bookkeeping
+  std::uint64_t last_injections_ = 0;
+  RobotState last_state_ = RobotState::kEStop;
+  bool last_alarm_ = false;
+  bool last_blocked_ = false;
+  bool raven_fault_reported_ = false;
+  bool plc_estop_reported_ = false;
+  bool adverse_impact_reported_ = false;
 };
 
 }  // namespace rg

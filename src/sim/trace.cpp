@@ -5,7 +5,7 @@ namespace rg {
 void TraceRecorder::write_csv(std::ostream& os) const {
   os << "tick,ee_x,ee_y,ee_z,q1,q2,q3,qd1,qd2,qd3,m1,m2,m3,md1,md2,md3,"
         "dac1,dac2,dac3,state,brakes,alarm,pred_ee_disp\n";
-  for (const TraceSample& s : samples_) {
+  for (const TraceSample& s : samples()) {
     os << s.tick << ',' << s.ee_truth[0] << ',' << s.ee_truth[1] << ',' << s.ee_truth[2] << ','
        << s.joint_pos[0] << ',' << s.joint_pos[1] << ',' << s.joint_pos[2] << ','
        << s.joint_vel[0] << ',' << s.joint_vel[1] << ',' << s.joint_vel[2] << ','

@@ -4,9 +4,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <ostream>
 #include <vector>
 
+#include "common/ring_buffer.hpp"
 #include "common/robot_state.hpp"
 #include "kinematics/types.hpp"
 
@@ -26,18 +28,53 @@ struct TraceSample {
   double predicted_ee_disp = 0.0;  ///< estimator's one-step EE displacement
 };
 
+/// Records one TraceSample per tick.  Default-constructed recorders grow
+/// without bound (full-session plots); capacity-bounded recorders keep
+/// only the most recent `keep_last` samples on the same overwrite ring the
+/// flight recorder uses, so instrumented long campaigns stay O(capacity)
+/// instead of accumulating gigabytes.
 class TraceRecorder {
  public:
-  void record(const TraceSample& sample) { samples_.push_back(sample); }
-  [[nodiscard]] const std::vector<TraceSample>& samples() const noexcept { return samples_; }
-  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
-  void clear() noexcept { samples_.clear(); }
+  TraceRecorder() = default;
+  explicit TraceRecorder(std::size_t keep_last) : ring_(RingBuffer<TraceSample>(keep_last)) {}
 
-  /// CSV dump (header + one row per tick).
+  void record(const TraceSample& sample) {
+    ++recorded_;
+    if (ring_) {
+      ring_->push(sample);
+    } else {
+      samples_.push_back(sample);
+    }
+  }
+
+  /// Retained samples, oldest first.
+  [[nodiscard]] std::vector<TraceSample> samples() const {
+    return ring_ ? ring_->snapshot() : samples_;
+  }
+  /// Retained sample count (== recorded() for unbounded recorders).
+  [[nodiscard]] std::size_t size() const noexcept {
+    return ring_ ? ring_->size() : samples_.size();
+  }
+  /// Total samples ever recorded, including overwritten ones.
+  [[nodiscard]] std::uint64_t recorded() const noexcept { return recorded_; }
+  /// Retention bound (0 = unbounded).
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return ring_ ? ring_->capacity() : 0;
+  }
+
+  void clear() noexcept {
+    samples_.clear();
+    if (ring_) ring_->clear();
+    recorded_ = 0;
+  }
+
+  /// CSV dump (header + one row per retained tick).
   void write_csv(std::ostream& os) const;
 
  private:
   std::vector<TraceSample> samples_;
+  std::optional<RingBuffer<TraceSample>> ring_;
+  std::uint64_t recorded_ = 0;
 };
 
 }  // namespace rg

@@ -196,7 +196,13 @@ TEST(Campaign, ReportTelemetryAndCounters) {
   for (const CampaignJobResult& r : report.results) {
     EXPECT_GT(r.ticks, 0u);
     EXPECT_GE(r.wall_ms, 0.0);
+    EXPECT_GE(r.queue_wait_ms, 0.0);
   }
+  // The per-job timing histograms see every job exactly once.
+  EXPECT_EQ(report.exec_us.count, 4u);
+  EXPECT_EQ(report.queue_wait_us.count, 4u);
+  EXPECT_GT(report.exec_us.max, 0u);
+  EXPECT_GE(report.exec_us.percentile(99.0), report.exec_us.percentile(50.0));
 }
 
 TEST(Campaign, JsonReportIsWellFormed) {
@@ -212,15 +218,40 @@ TEST(Campaign, JsonReportIsWellFormed) {
   std::ostringstream os;
   report.write_json(os);
   const std::string json = os.str();
-  EXPECT_NE(json.find("\"schema\": \"rg.campaign.report/1\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\": \"rg.campaign.report/2\""), std::string::npos);
   EXPECT_NE(json.find("\"jobs\": 1"), std::string::npos);
   EXPECT_NE(json.find("\"needs \\\"escaping\\\"\\\\\""), std::string::npos);
   EXPECT_NE(json.find("\"results\""), std::string::npos);
+  EXPECT_NE(json.find("\"timing\""), std::string::npos);
+  EXPECT_NE(json.find("\"queue_wait_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"exec_ms\""), std::string::npos);
   // Balanced braces/brackets — cheap structural sanity for the schema.
   EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
             std::count(json.begin(), json.end(), '}'));
   EXPECT_EQ(std::count(json.begin(), json.end(), '['),
             std::count(json.begin(), json.end(), ']'));
+
+  // The timing section is strictly additive: stripping it must leave a
+  // report with no wall-clock-dependent field at all.
+  std::ostringstream stripped;
+  report.write_json(stripped, /*include_timing=*/false);
+  EXPECT_EQ(stripped.str().find("\"timing\""), std::string::npos);
+  EXPECT_EQ(stripped.str().find("wall_ms"), std::string::npos);
+  EXPECT_EQ(stripped.str().find("workers"), std::string::npos);
+}
+
+TEST(Campaign, TimingStrippedJsonIdenticalAcrossWorkerCounts) {
+  // The report/2 determinism contract as a plain string comparison: with
+  // the "timing" section omitted, the serialized report must be
+  // byte-identical for any worker count — telemetry attached or not.
+  const auto render = [](const CampaignReport& r) {
+    std::ostringstream os;
+    r.write_json(os, /*include_timing=*/false);
+    return os.str();
+  };
+  const std::string serial = render(run_with_jobs(1));
+  EXPECT_EQ(serial, render(run_with_jobs(3)));
+  EXPECT_EQ(serial, render(run_with_jobs(8)));
 }
 
 TEST(Campaign, RunAttackSessionMatchesSingleJobCampaign) {

@@ -1,0 +1,529 @@
+// Telemetry subsystem tests: histogram bucket/percentile math, metrics
+// registry sharding and snapshot merging (including an 8-thread hammer
+// that the TSan tier-1 stage runs), span/trace plumbing, the structured
+// event log, and the alarm-triggered flight recorder.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/log.hpp"
+#include "obs/obs.hpp"
+#include "sim/experiment.hpp"
+#include "sim/surgical_sim.hpp"
+#include "sim/trace.hpp"
+
+namespace rg {
+namespace {
+
+using obs::EventField;
+using obs::EventLog;
+using obs::FlightFrame;
+using obs::FlightRecorder;
+using obs::HistogramData;
+using obs::MetricsSnapshot;
+using obs::Registry;
+using obs::TraceWriter;
+
+bool contains(const std::string& haystack, std::string_view needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+// --- Histogram bucket / percentile math --------------------------------------
+
+TEST(Obs, HistogramExactBelowSubBuckets) {
+  HistogramData h;
+  for (std::uint64_t v = 0; v < HistogramData::kSubBuckets; ++v) {
+    EXPECT_EQ(HistogramData::bucket_index(v), v);
+    EXPECT_EQ(HistogramData::bucket_lower(v), v);
+    EXPECT_EQ(HistogramData::bucket_width(v), 1u);
+    h.observe(v);
+  }
+  EXPECT_EQ(h.count, HistogramData::kSubBuckets);
+  EXPECT_EQ(h.min, 0u);
+  EXPECT_EQ(h.max, HistogramData::kSubBuckets - 1);
+  // Values below kSubBuckets land in width-1 buckets, so percentiles are
+  // exact: the k-th of 16 values is k-1.
+  for (std::uint64_t k = 1; k <= HistogramData::kSubBuckets; ++k) {
+    const double p = 100.0 * static_cast<double>(k) / 16.0;
+    EXPECT_DOUBLE_EQ(h.percentile(p), static_cast<double>(k - 1)) << "p=" << p;
+  }
+}
+
+TEST(Obs, HistogramBucketGeometry) {
+  const std::uint64_t values[] = {0,    1,    15,        16,        17,
+                                  100,  1023, 1024,      123'456,   1'000'000,
+                                  1ull << 40, HistogramData::max_trackable()};
+  for (std::uint64_t v : values) {
+    const std::size_t idx = HistogramData::bucket_index(v);
+    ASSERT_LT(idx, HistogramData::kBucketCount) << v;
+    const std::uint64_t lower = HistogramData::bucket_lower(idx);
+    const std::uint64_t width = HistogramData::bucket_width(idx);
+    EXPECT_LE(lower, v) << v;
+    EXPECT_LT(v, lower + width) << v;
+    // Log-linear guarantee: bucket width <= lower/16 above the exact range,
+    // i.e. at most 6.25% relative error.
+    if (v >= HistogramData::kSubBuckets) {
+      EXPECT_LE(width * 16, lower + width) << v;
+    }
+  }
+  // Bucket index is monotone in the value.
+  std::size_t prev = 0;
+  for (std::uint64_t v = 0; v < 4096; ++v) {
+    const std::size_t idx = HistogramData::bucket_index(v);
+    EXPECT_GE(idx, prev) << v;
+    prev = idx;
+  }
+  // Overflow clamps into the top bucket instead of indexing out of range.
+  EXPECT_EQ(HistogramData::bucket_index(HistogramData::max_trackable() + 123),
+            HistogramData::bucket_index(HistogramData::max_trackable()));
+}
+
+TEST(Obs, HistogramPercentilesOnKnownDistribution) {
+  HistogramData h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.observe(v);
+  EXPECT_EQ(h.count, 1000u);
+  EXPECT_EQ(h.min, 1u);
+  EXPECT_EQ(h.max, 1000u);
+  EXPECT_DOUBLE_EQ(h.mean(), 500.5);
+  // Within one sub-bucket (6.25%) of the exact rank statistic.
+  EXPECT_NEAR(h.percentile(50.0), 500.0, 0.0625 * 500.0 + 1.0);
+  EXPECT_NEAR(h.percentile(90.0), 900.0, 0.0625 * 900.0 + 1.0);
+  EXPECT_NEAR(h.percentile(99.0), 990.0, 0.0625 * 990.0 + 1.0);
+  // The tails are exact.
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 1000.0);
+  // Percentiles are monotone and stay inside the observed range.
+  double prev = 0.0;
+  for (double p = 0.0; p <= 100.0; p += 2.5) {
+    const double v = h.percentile(p);
+    EXPECT_GE(v, prev);
+    EXPECT_GE(v, 1.0);
+    EXPECT_LE(v, 1000.0);
+    prev = v;
+  }
+}
+
+TEST(Obs, HistogramMergeAssociativeAndCommutative) {
+  HistogramData a, b, c, all;
+  for (std::uint64_t v = 1; v <= 100; ++v) { a.observe(v); all.observe(v); }
+  for (std::uint64_t v = 101; v <= 200; ++v) { b.observe(v); all.observe(v); }
+  for (std::uint64_t v = 1'000'000; v < 1'000'050; ++v) { c.observe(v); all.observe(v); }
+
+  HistogramData ab_c = a;   // (a + b) + c
+  ab_c.merge(b);
+  ab_c.merge(c);
+  HistogramData bc = b;     // a + (b + c)
+  bc.merge(c);
+  HistogramData a_bc = a;
+  a_bc.merge(bc);
+  HistogramData ba = b;     // b + a
+  ba.merge(a);
+  ba.merge(c);
+
+  EXPECT_EQ(ab_c, a_bc);
+  EXPECT_EQ(ab_c, ba);
+  EXPECT_EQ(ab_c, all);  // merging equals observing the union sequentially
+}
+
+// --- Metrics registry --------------------------------------------------------
+
+TEST(Obs, RegistryRoundTripAndSnapshot) {
+  Registry reg;
+  const auto c = reg.counter("rg.test.counter");
+  const auto g = reg.gauge("rg.test.gauge");
+  const auto h = reg.histogram("rg.test.hist");
+
+  EXPECT_EQ(obs::metric_kind(c), obs::MetricKind::kCounter);
+  EXPECT_EQ(obs::metric_kind(g), obs::MetricKind::kGauge);
+  EXPECT_EQ(obs::metric_kind(h), obs::MetricKind::kHistogram);
+  // Registration is idempotent per name.
+  EXPECT_EQ(reg.counter("rg.test.counter"), c);
+
+  reg.add(c, 3);
+  reg.add(c);
+  reg.set(g, 2.5);
+  reg.observe(h, 7);
+  reg.observe(h, 1000);
+
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_NE(snap.counter("rg.test.counter"), nullptr);
+  EXPECT_EQ(snap.counter("rg.test.counter")->value, 4u);
+  const HistogramData* hd = snap.histogram("rg.test.hist");
+  ASSERT_NE(hd, nullptr);
+  EXPECT_EQ(hd->count, 2u);
+  EXPECT_EQ(hd->sum, 1007u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].name, "rg.test.gauge");
+  EXPECT_DOUBLE_EQ(snap.gauges[0].value, 2.5);
+
+  reg.reset();
+  const MetricsSnapshot zero = reg.snapshot();
+  ASSERT_NE(zero.counter("rg.test.counter"), nullptr);  // registrations survive
+  EXPECT_EQ(zero.counter("rg.test.counter")->value, 0u);
+  EXPECT_TRUE(zero.histogram("rg.test.hist")->empty());
+}
+
+TEST(Obs, RegistryRegistrationErrors) {
+  Registry reg;
+  reg.counter("rg.test.name");
+  // Same name, different kind.
+  EXPECT_THROW((void)reg.gauge("rg.test.name"), std::invalid_argument);
+  EXPECT_THROW((void)reg.histogram("rg.test.name"), std::invalid_argument);
+  // Capacity exhaustion (gauges have the smallest table).
+  for (std::size_t i = 0; i < Registry::kMaxGauges; ++i) {
+    (void)reg.gauge("rg.test.gauge." + std::to_string(i));
+  }
+  EXPECT_THROW((void)reg.gauge("rg.test.gauge.overflow"), std::length_error);
+}
+
+TEST(Obs, RegistryThreadedHammerExactTotals) {
+  // 8 writers hammer one registry's counter and histogram concurrently;
+  // the snapshot must see every write exactly once.  This is the TSan
+  // tier-1 coverage for the lock-free shard path.
+  Registry reg;
+  const auto c = reg.counter("rg.test.hammer.counter");
+  const auto h = reg.histogram("rg.test.hammer.hist");
+
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kIters = 20'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, c, h, t] {
+      for (std::uint64_t i = 0; i < kIters; ++i) {
+        reg.add(c, 1);
+        reg.observe(h, (static_cast<std::uint64_t>(t) * 31 + i) % 1024);
+      }
+    });
+  }
+  // Snapshot while writers are live: must be race-free (TSan) and never
+  // observe more than was written.  Exactness is only guaranteed once the
+  // writers quiesce — the shard fields are independent relaxed atomics, so
+  // a mid-flight bucket total may run ahead of the count it races with.
+  const MetricsSnapshot mid = reg.snapshot();
+  if (const HistogramData* hd = mid.histogram("rg.test.hammer.hist")) {
+    std::uint64_t bucket_total = 0;
+    for (std::uint64_t b : hd->buckets) bucket_total += b;
+    EXPECT_LE(bucket_total, kThreads * kIters);
+    EXPECT_LE(hd->count, kThreads * kIters);
+  }
+  for (std::thread& th : threads) th.join();
+
+  std::uint64_t expected_sum = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    for (std::uint64_t i = 0; i < kIters; ++i) {
+      expected_sum += (static_cast<std::uint64_t>(t) * 31 + i) % 1024;
+    }
+  }
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_NE(snap.counter("rg.test.hammer.counter"), nullptr);
+  EXPECT_EQ(snap.counter("rg.test.hammer.counter")->value, kThreads * kIters);
+  const HistogramData* hd = snap.histogram("rg.test.hammer.hist");
+  ASSERT_NE(hd, nullptr);
+  EXPECT_EQ(hd->count, kThreads * kIters);
+  EXPECT_EQ(hd->sum, expected_sum);
+  EXPECT_EQ(hd->min, 0u);
+  EXPECT_EQ(hd->max, 1023u);
+}
+
+TEST(Obs, SnapshotTotalsIndependentOfShardCount) {
+  // The same aggregate workload split across 1, 2, or 8 threads must
+  // produce identical snapshots — shard layout is invisible after merge.
+  constexpr std::uint64_t kTotal = 8'000;
+  auto run_split = [](int threads) {
+    Registry reg;
+    const auto c = reg.counter("rg.test.split.counter");
+    const auto h = reg.histogram("rg.test.split.hist");
+    const std::uint64_t per = kTotal / static_cast<std::uint64_t>(threads);
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+      const std::uint64_t begin = static_cast<std::uint64_t>(t) * per;
+      pool.emplace_back([&reg, c, h, begin, per] {
+        for (std::uint64_t i = begin; i < begin + per; ++i) {
+          reg.add(c, 2);
+          reg.observe(h, i % 4096);
+        }
+      });
+    }
+    for (std::thread& th : pool) th.join();
+    std::ostringstream os;
+    reg.snapshot().write_json(os);
+    return os.str();
+  };
+  const std::string one = run_split(1);
+  EXPECT_EQ(one, run_split(2));
+  EXPECT_EQ(one, run_split(8));
+}
+
+TEST(Obs, SnapshotMergeAssociative) {
+  auto make = [](std::uint64_t counter_value, std::uint64_t hist_base,
+                 const char* extra_counter) {
+    Registry reg;
+    reg.add(reg.counter("rg.test.merge.shared"), counter_value);
+    if (extra_counter != nullptr) reg.add(reg.counter(extra_counter), 1);
+    const auto h = reg.histogram("rg.test.merge.hist");
+    for (std::uint64_t i = 0; i < 100; ++i) reg.observe(h, hist_base + i);
+    return reg.snapshot();
+  };
+  const MetricsSnapshot s1 = make(1, 0, "rg.test.merge.only1");
+  const MetricsSnapshot s2 = make(10, 5'000, nullptr);
+  const MetricsSnapshot s3 = make(100, 1'000'000, "rg.test.merge.only3");
+
+  auto render = [](const MetricsSnapshot& s) {
+    std::ostringstream os;
+    s.write_json(os);
+    return os.str();
+  };
+
+  MetricsSnapshot left = s1;   // (s1 + s2) + s3
+  left.merge(s2);
+  left.merge(s3);
+  MetricsSnapshot right23 = s2;  // s1 + (s2 + s3)
+  right23.merge(s3);
+  MetricsSnapshot right = s1;
+  right.merge(right23);
+
+  const std::string merged = render(left);
+  EXPECT_EQ(merged, render(right));
+  EXPECT_TRUE(contains(merged, "\"rg.test.merge.shared\": 111"));
+  EXPECT_TRUE(contains(merged, "rg.test.merge.only1"));
+  EXPECT_TRUE(contains(merged, "rg.test.merge.only3"));
+  EXPECT_TRUE(contains(merged, "\"schema\": \"rg.metrics/1\""));
+}
+
+// --- Spans and the trace writer ----------------------------------------------
+
+TEST(Obs, SpanFeedsRegistryAndTraceWriter) {
+  TraceWriter writer;
+  writer.install();
+  constexpr int kIters = 50;
+  for (int i = 0; i < kIters; ++i) {
+    RG_SPAN("test.obs_span");
+  }
+  writer.uninstall();
+
+  const MetricsSnapshot snap = Registry::global().snapshot();
+  const HistogramData* hd = snap.histogram("rg.span.test.obs_span");
+#ifdef RG_OBS_DISABLED
+  EXPECT_EQ(hd, nullptr);
+  EXPECT_EQ(writer.events(), 0u);
+#else
+  ASSERT_NE(hd, nullptr);
+  EXPECT_GE(hd->count, static_cast<std::uint64_t>(kIters));
+  EXPECT_GE(writer.events(), static_cast<std::size_t>(kIters));
+
+  std::ostringstream os;
+  writer.write_json(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(contains(json, "\"traceEvents\": ["));
+  EXPECT_TRUE(contains(json, "\"name\": \"test.obs_span\""));
+  EXPECT_TRUE(contains(json, "\"ph\": \"X\""));
+#endif
+  // After uninstall, spans no longer reach the writer.
+  const std::size_t before = writer.events();
+  {
+    RG_SPAN("test.obs_span");
+  }
+  EXPECT_EQ(writer.events(), before);
+}
+
+// --- Event log ---------------------------------------------------------------
+
+TEST(Obs, EventLogJsonlFormatAndEscaping) {
+  EventLog log;
+  log.emit("unit_test", 42u, {{"name", "quote\"back\\slash\nline"},
+                              {"ratio", 0.5},
+                              {"delta", -3},
+                              {"ticks", std::uint64_t{7}},
+                              {"armed", true}});
+  log.emit("no_tick", std::nullopt, {});
+
+  const std::vector<std::string> lines = log.lines();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_TRUE(contains(lines[0], "{\"kind\": \"unit_test\", \"seq\": 0, \"tick\": 42,"));
+  EXPECT_TRUE(contains(lines[0], "\"name\": \"quote\\\"back\\\\slash\\nline\""));
+  EXPECT_TRUE(contains(lines[0], "\"ratio\": 0.5"));
+  EXPECT_TRUE(contains(lines[0], "\"delta\": -3"));
+  EXPECT_TRUE(contains(lines[0], "\"armed\": true"));
+  EXPECT_TRUE(contains(lines[1], "\"seq\": 1, \"tick\": null,"));
+  // Every record is a single line (escaping keeps JSONL one-per-line).
+  for (const std::string& line : lines) {
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+
+  std::ostringstream os;
+  log.write_jsonl(os);
+  const std::string out = os.str();
+  EXPECT_TRUE(contains(out, "{\"schema\": \"rg.events/1\", \"events\": 2,"));
+  EXPECT_EQ(static_cast<std::size_t>(std::count(out.begin(), out.end(), '\n')), 3u);
+
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+  log.emit("after_clear", std::nullopt, {});
+  EXPECT_TRUE(contains(log.lines()[0], "\"seq\": 0"));  // sequence restarts
+}
+
+TEST(Obs, EventLogRenderFieldsAndEmitRaw) {
+  const std::string fragment = EventLog::render_fields(
+      {EventField{"job", std::uint64_t{3}}, EventField{"label", "a\"b"}});
+  EXPECT_EQ(fragment, ", \"job\": 3, \"label\": \"a\\\"b\"");
+
+  EventLog log;
+  log.emit_raw("flight_dump", 9u, fragment + ", \"ring\": [1, 2, 3]");
+  ASSERT_EQ(log.size(), 1u);
+  const std::string line = log.lines()[0];
+  EXPECT_TRUE(contains(line, "\"kind\": \"flight_dump\""));
+  EXPECT_TRUE(contains(line, "\"job\": 3"));
+  EXPECT_TRUE(contains(line, "\"ring\": [1, 2, 3]}"));
+}
+
+TEST(Obs, LogBridgeForwardsWarningsToEventLog) {
+  EventLog log;
+  obs::attach_log_events(&log);
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kWarn);
+  RG_LOG(kWarn) << "bridged warning";
+  RG_LOG(kInfo) << "below threshold, not bridged";
+  set_log_level(saved);
+  obs::attach_log_events(nullptr);
+  EXPECT_EQ(obs::attached_log_events(), nullptr);
+
+  ASSERT_EQ(log.size(), 1u);
+  const std::string line = log.lines()[0];
+  EXPECT_TRUE(contains(line, "\"kind\": \"log\""));
+  EXPECT_TRUE(contains(line, "\"level\": \"warn\""));
+  EXPECT_TRUE(contains(line, "\"message\": \"bridged warning\""));
+  EXPECT_TRUE(contains(line, "\"tick\": null"));
+}
+
+// --- Trace recorder retention ------------------------------------------------
+
+TEST(Obs, TraceRecorderKeepLastN) {
+  TraceRecorder bounded(10);
+  EXPECT_EQ(bounded.capacity(), 10u);
+  for (std::uint64_t i = 0; i < 25; ++i) {
+    TraceSample s;
+    s.tick = i;
+    bounded.record(s);
+  }
+  EXPECT_EQ(bounded.recorded(), 25u);
+  EXPECT_EQ(bounded.size(), 10u);
+  const std::vector<TraceSample> kept = bounded.samples();
+  ASSERT_EQ(kept.size(), 10u);
+  EXPECT_EQ(kept.front().tick, 15u);  // oldest retained
+  EXPECT_EQ(kept.back().tick, 24u);
+
+  TraceRecorder unbounded;
+  EXPECT_EQ(unbounded.capacity(), 0u);
+  for (std::uint64_t i = 0; i < 25; ++i) {
+    TraceSample s;
+    s.tick = i;
+    unbounded.record(s);
+  }
+  EXPECT_EQ(unbounded.size(), 25u);
+}
+
+// --- Flight recorder ---------------------------------------------------------
+
+TEST(Obs, FlightRecorderRingAndTriggerSemantics) {
+  FlightRecorder flight(128);
+  EXPECT_EQ(flight.capacity(), 128u);
+  EXPECT_FALSE(flight.triggered());
+  EXPECT_TRUE(flight.dump().empty());
+
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    FlightFrame f;
+    f.sample.tick = i;
+    flight.record(f);
+  }
+  flight.trigger("unit_test", 299);
+  ASSERT_TRUE(flight.triggered());
+  EXPECT_EQ(flight.reason(), "unit_test");
+  EXPECT_EQ(flight.trigger_tick(), 299u);
+  EXPECT_EQ(flight.frames_recorded(), 300u);
+  ASSERT_EQ(flight.dump().size(), 128u);
+  EXPECT_EQ(flight.dump().front().sample.tick, 300u - 128u);  // oldest first
+  EXPECT_EQ(flight.dump().back().sample.tick, 299u);
+
+  // Later recording and triggers do not disturb the frozen dump.
+  FlightFrame f;
+  f.sample.tick = 1000;
+  flight.record(f);
+  flight.trigger("second", 1000);
+  EXPECT_EQ(flight.reason(), "unit_test");
+  EXPECT_EQ(flight.trigger_tick(), 299u);
+  EXPECT_EQ(flight.triggers(), 2u);
+  EXPECT_EQ(flight.dump().back().sample.tick, 299u);
+
+  std::ostringstream os;
+  flight.write_json(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(contains(json, "\"schema\": \"rg.flight/1\""));
+  EXPECT_TRUE(contains(json, "\"reason\": \"unit_test\""));
+  const std::string frames = flight.frames_json();
+  EXPECT_EQ(frames.front(), '[');
+  EXPECT_EQ(frames.back(), ']');
+}
+
+TEST(Obs, FlightRecorderDumpsOnDetectorAlarm) {
+  // Near-zero thresholds make the first screened motion an alarm; armed
+  // mitigation then drives the block + E-STOP path.  The attached flight
+  // recorder must freeze on that alarm and the event log must carry the
+  // alarm, the mitigation, and the embedded flight dump.
+  SessionParams params;
+  params.seed = 99;
+  params.duration_sec = 4.0;
+  DetectionThresholds hair_trigger;
+  hair_trigger.motor_vel = hair_trigger.motor_acc = hair_trigger.joint_vel =
+      Vec3::filled(1.0e-12);
+
+  SurgicalSim sim(make_session(params, hair_trigger, MitigationMode::kArmed));
+  EventLog events;
+  FlightRecorder flight(64);
+  sim.set_event_log(&events, {{"session", "obs-test"}});
+  sim.set_flight_recorder(&flight);
+  sim.run(params.duration_sec);
+
+  ASSERT_TRUE(sim.outcome().detector_alarm_tick.has_value());
+  ASSERT_TRUE(flight.triggered());
+  EXPECT_EQ(flight.reason(), "detector_alarm");
+  EXPECT_EQ(flight.trigger_tick(), *sim.outcome().detector_alarm_tick);
+  ASSERT_FALSE(flight.dump().empty());
+  EXPECT_LE(flight.dump().size(), 64u);
+  const FlightFrame& last = flight.dump().back();
+  EXPECT_EQ(last.sample.tick, flight.trigger_tick());
+  EXPECT_TRUE(last.screened);
+  EXPECT_TRUE(last.alarm);
+
+  const std::vector<std::string> lines = events.lines();
+  auto count_kind = [&lines](std::string_view kind) {
+    const std::string needle = std::string("\"kind\": \"") + std::string(kind) + "\"";
+    std::size_t n = 0;
+    for (const std::string& line : lines) {
+      if (contains(line, needle)) ++n;
+    }
+    return n;
+  };
+  EXPECT_GE(count_kind("state_transition"), 1u);
+  EXPECT_GE(count_kind("detector_alarm"), 1u);
+  EXPECT_GE(count_kind("mitigation"), 1u);
+  ASSERT_EQ(count_kind("flight_dump"), 1u);
+  for (const std::string& line : lines) {
+    EXPECT_TRUE(contains(line, "\"session\": \"obs-test\""));  // context fields
+    if (contains(line, "\"kind\": \"flight_dump\"")) {
+      EXPECT_TRUE(contains(line, "\"reason\": \"detector_alarm\""));
+      EXPECT_TRUE(contains(line, "\"ring\": ["));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rg

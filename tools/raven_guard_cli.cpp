@@ -10,9 +10,13 @@
 //                           [--attack-delay MS]
 //                           [--thresholds FILE] [--mitigate]
 //                           [--trace FILE.csv] [--plots PREFIX]
+//                           [--metrics-out FILE] [--trace-out FILE]
+//                           [--events-out FILE]
 //   raven_guard_cli sweep   [--runs N] [--seed S] [--jobs N] [--json PATH]
 //                           [--attack NAME] [--attack-duration MS]
 //                           [--thresholds FILE] [--mitigate]
+//                           [--metrics-out FILE] [--trace-out FILE]
+//                           [--events-out FILE]
 //   raven_guard_cli analyze [--seed S] [--out PREFIX]
 //
 // `learn` learns detection thresholds over a fault-free campaign and
@@ -31,6 +35,7 @@
 #include "attack/logging_wrapper.hpp"
 #include "attack/packet_analyzer.hpp"
 #include "common/flags.hpp"
+#include "obs/obs.hpp"
 #include "sim/campaign.hpp"
 #include "sim/experiment.hpp"
 #include "sim/surgical_sim.hpp"
@@ -49,8 +54,10 @@ void usage() {
                "           --attack none|torque|user-input|hijack|drop|math|encoder|state-spoof\n"
                "           --magnitude V --attack-duration MS --attack-delay MS\n"
                "           --thresholds FILE --mitigate --trace FILE.csv --plots PREFIX\n"
+               "           --metrics-out FILE --trace-out FILE --events-out FILE\n"
                "  sweep:   --runs N --seed S --jobs N --json PATH --attack NAME\n"
                "           --attack-duration MS --thresholds FILE --mitigate\n"
+               "           --metrics-out FILE --trace-out FILE --events-out FILE\n"
                "  analyze: --seed S --out PREFIX\n");
 }
 
@@ -115,6 +122,68 @@ bool load_threshold_file(const std::string& path,
   return true;
 }
 
+/// Shared --metrics-out/--trace-out/--events-out plumbing for the
+/// session-running subcommands (run, sweep).  Owns the opt-in sinks and
+/// writes whichever files were requested after the sessions finish.
+struct Telemetry {
+  std::string metrics_out;
+  std::string trace_out;
+  std::string events_out;
+  obs::TraceWriter writer;
+  obs::EventLog events;
+
+  void register_flags(FlagSet& flags) {
+    flags.value("--metrics-out", &metrics_out,
+                "write the metrics snapshot as JSON (rg.metrics/1)");
+    flags.value("--trace-out", &trace_out,
+                "write a Chrome trace-event JSON loadable in Perfetto");
+    flags.value("--events-out", &events_out,
+                "write the safety-event log as JSONL (rg.events/1)");
+  }
+
+  [[nodiscard]] bool events_wanted() const noexcept { return !events_out.empty(); }
+
+  /// Arm the process-wide sinks (span -> trace writer, RG_LOG -> events).
+  void begin() noexcept {
+    if (!trace_out.empty()) writer.install();
+    if (events_wanted()) obs::attach_log_events(&events);
+  }
+
+  /// Disarm and write the requested files; returns false on any I/O error.
+  bool finish() {
+    writer.uninstall();
+    obs::attach_log_events(nullptr);
+    bool ok = true;
+    if (!metrics_out.empty()) {
+      if (obs::Registry::global().snapshot().write_json_file(metrics_out)) {
+        std::printf("  metrics            : %s\n", metrics_out.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
+        ok = false;
+      }
+    }
+    if (!trace_out.empty()) {
+      if (writer.write_json_file(trace_out)) {
+        std::printf("  trace events       : %s (%zu spans)\n", trace_out.c_str(),
+                    writer.events());
+      } else {
+        std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+        ok = false;
+      }
+    }
+    if (events_wanted()) {
+      if (events.write_jsonl_file(events_out)) {
+        std::printf("  event log          : %s (%zu events)\n", events_out.c_str(),
+                    events.size());
+      } else {
+        std::fprintf(stderr, "cannot write %s\n", events_out.c_str());
+        ok = false;
+      }
+    }
+    return ok;
+  }
+};
+
 CampaignProgressFn stderr_progress() {
   return [](const CampaignProgress& p) {
     if (p.completed == p.total || p.completed % 50 == 0) {
@@ -170,6 +239,7 @@ int cmd_run(int argc, char** argv) {
   bool mitigate = false;
   std::string trace_file;
   std::string plots_prefix;
+  Telemetry telemetry;
   FlagSet flags;
   flags.value("--seed", &seed, "session seed (default 42)");
   flags.value("--duration", &duration, "session length in seconds (default 6)");
@@ -183,6 +253,7 @@ int cmd_run(int argc, char** argv) {
   flags.flag("--mitigate", &mitigate, "block offending commands and E-STOP");
   flags.value("--trace", &trace_file, "write a per-tick CSV trace");
   flags.value("--plots", &plots_prefix, "write joint/tool SVG plots");
+  telemetry.register_flags(flags);
   if (const Status st = flags.parse(argc, argv); !st.ok()) return flag_error(flags, st);
 
   auto traj = build_trajectory(trajectory, seed);
@@ -201,6 +272,14 @@ int cmd_run(int argc, char** argv) {
   SurgicalSim sim(std::move(cfg));
   TraceRecorder trace;
   if (!trace_file.empty() || !plots_prefix.empty()) sim.set_trace(&trace);
+
+  telemetry.begin();
+  obs::FlightRecorder flight;
+  if (telemetry.events_wanted()) {
+    sim.set_event_log(&telemetry.events,
+                      {{"seed", seed}, {"attack", attack}});
+    sim.set_flight_recorder(&flight);
+  }
 
   AttackSpec spec;
   spec.variant = parse_attack(attack);
@@ -246,6 +325,7 @@ int cmd_run(int argc, char** argv) {
                 plots_prefix.c_str());
   }
   if (spec.variant == AttackVariant::kMathDrift) reset_math_drift();
+  if (!telemetry.finish()) return 1;
   return out.adverse_impact() ? 2 : 0;
 }
 
@@ -258,6 +338,7 @@ int cmd_sweep(int argc, char** argv) {
   std::uint32_t attack_duration_ms = 96;
   std::string thresholds_file;
   bool mitigate = false;
+  Telemetry telemetry;
   FlagSet flags;
   flags.value("--runs", &runs, "sessions per magnitude (default 10)");
   flags.value("--seed", &seed, "base seed for the grid (default 42)");
@@ -268,6 +349,7 @@ int cmd_sweep(int argc, char** argv) {
   flags.value("--attack-duration", &attack_duration_ms, "attack active period, ms");
   flags.value("--thresholds", &thresholds_file, "thresholds file (arms the detector)");
   flags.flag("--mitigate", &mitigate, "block offending commands and E-STOP");
+  telemetry.register_flags(flags);
   if (const Status st = flags.parse(argc, argv); !st.ok()) return flag_error(flags, st);
   if (runs < 1) {
     std::fprintf(stderr, "--runs must be positive\n");
@@ -295,6 +377,24 @@ int cmd_sweep(int argc, char** argv) {
       job.mitigation = mitigate ? MitigationMode::kArmed : MitigationMode::kObserveOnly;
       job.label = attack + "@" + std::to_string(static_cast<long long>(magnitudes[m]));
       campaign_jobs.push_back(std::move(job));
+    }
+  }
+
+  // One shared (thread-safe) event log, one flight recorder per job: the
+  // per-job "job"/"label" context fields keep interleaved events
+  // attributable, and the ring dumps cannot cross sessions.
+  telemetry.begin();
+  std::vector<obs::FlightRecorder> flights;
+  if (telemetry.events_wanted()) {
+    flights.reserve(campaign_jobs.size());
+    for (std::size_t i = 0; i < campaign_jobs.size(); ++i) flights.emplace_back();
+    for (std::size_t i = 0; i < campaign_jobs.size(); ++i) {
+      CampaignJob& job = campaign_jobs[i];
+      job.instrument = [&telemetry, &flights, i, label = job.label](SurgicalSim& sim) {
+        sim.set_event_log(&telemetry.events,
+                          {{"job", static_cast<std::uint64_t>(i)}, {"label", label}});
+        sim.set_flight_recorder(&flights[i]);
+      };
     }
   }
 
@@ -332,6 +432,7 @@ int cmd_sweep(int argc, char** argv) {
     }
     std::printf("\n  campaign report written to %s\n", json_path.c_str());
   }
+  if (!telemetry.finish()) return 1;
   return 0;
 }
 
