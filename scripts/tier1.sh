@@ -7,12 +7,15 @@
 #
 # Stage 1 is the canonical tier-1 command from ROADMAP.md.  Stage 2
 # rebuilds with -DRG_SANITIZE=thread and runs the Campaign.* tests (the
-# worker pool) and Obs.* tests (the lock-free metrics shards) under TSan,
-# so data races fail CI rather than flaking.  Stage 3 runs a small armed
-# sweep with --metrics-out/--trace-out/--events-out and validates every
-# artifact: the report (rg.campaign.report/2), the metrics snapshot, the
-# Chrome trace, and the safety-event JSONL (which must contain at least
-# one detector alarm and one mitigation).
+# worker pool), Obs.* tests (the lock-free metrics shards), and the
+# batch-equivalence suites (BatchDynamics/BatchPlant/BatchCampaign — the
+# lane-parallel campaign path) under TSan, so data races fail CI rather
+# than flaking.  Stage 3 runs a small armed sweep with
+# --metrics-out/--trace-out/--events-out and validates every artifact:
+# the report (rg.campaign.report/2), the metrics snapshot, the Chrome
+# trace, and the safety-event JSONL (which must contain at least one
+# detector alarm and one mitigation).  Stage 4 runs the dynamics-kernel
+# microbench at a tiny scale and schema-validates BENCH_dynamics.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,10 +26,10 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "${JOBS}"
 (cd build && ctest --output-on-failure -j "${JOBS}")
 
-echo "== tier-1 stage 2: ThreadSanitizer campaign + obs tests =="
+echo "== tier-1 stage 2: ThreadSanitizer campaign + obs + batch tests =="
 cmake -B build-tsan -S . -DRG_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "${JOBS}" --target test_campaign test_obs
-(cd build-tsan && ctest --output-on-failure -R '^(Campaign|Obs)\.')
+cmake --build build-tsan -j "${JOBS}" --target test_campaign test_obs test_batch_dynamics
+(cd build-tsan && ctest --output-on-failure -R '^(Campaign|Obs|BatchDynamics|BatchPlant|BatchCampaign|EstimatorSolves)\.')
 
 echo "== tier-1 stage 3: CLI telemetry artifacts =="
 cmake --build build -j "${JOBS}" --target raven_guard_cli
@@ -71,5 +74,25 @@ grep -q '"kind": "detector_alarm"' "${TDIR}/events.jsonl"
 grep -q '"kind": "mitigation"' "${TDIR}/events.jsonl"
 grep -q '"kind": "flight_dump"' "${TDIR}/events.jsonl"
 echo "telemetry artifacts OK (${TDIR})"
+
+echo "== tier-1 stage 4: dynamics kernel bench schema =="
+cmake --build build -j "${JOBS}" --target bench_dynamics_kernel
+RG_SCALE=0.02 RG_BENCH_DYNAMICS_JSON="${TDIR}/bench_dynamics.json" \
+  ./build/bench/bench_dynamics_kernel >/dev/null
+python3 - "${TDIR}/bench_dynamics.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["schema"] == "rg.bench.dynamics/1", doc.get("schema")
+assert doc["lanes"] >= 2, doc.get("lanes")
+kernels = {row["kernel"] for row in doc["kernels"]}
+assert {"derivative", "step_rk4", "campaign"} <= kernels, kernels
+for row in doc["kernels"]:
+    assert row["evals"] > 0
+    assert row["scalar_evals_per_sec"] > 0.0
+    assert row["batched_evals_per_sec"] > 0.0
+    assert row["speedup"] > 0.0
+PY
+echo "bench schema OK (${TDIR}/bench_dynamics.json)"
 
 echo "tier-1: all stages passed"

@@ -15,9 +15,12 @@ DynamicModelEstimator::DynamicModelEstimator(const EstimatorConfig& config)
   require(config.observer_position_gain >= 0.0 && config.observer_position_gain <= 1.0,
           "observer_position_gain in [0,1]");
   require(config.observer_velocity_gain >= 0.0, "observer_velocity_gain must be >= 0");
+  // Fail at configuration time, not inside the noexcept hot path.
+  validate_solver(config.solver);
 }
 
 void DynamicModelEstimator::observe_feedback(const MotorVector& encoder_angles) noexcept {
+  cache_valid_ = false;  // the correction moves state_ out from under the cache
   if (!have_feedback_) {
     // Hard sync on the first observation: positions from encoders, rates
     // zero (the robot is at rest when the monitor comes up).
@@ -55,17 +58,32 @@ Vec3 DynamicModelEstimator::currents_from_dac(
   return currents;
 }
 
-Prediction DynamicModelEstimator::predict(const std::array<std::int16_t, 3>& dac) noexcept {
+PendingSolve DynamicModelEstimator::begin_predict(
+    const std::array<std::int16_t, 3>& dac) const noexcept {
+  PendingSolve pending;
+  if (!have_feedback_) return pending;
+  pending.x0 = state_;
+  pending.currents = currents_from_dac(dac);
+  pending.h = config_.step;
+  pending.solver = config_.solver;
+  pending.active = true;
+  return pending;
+}
+
+RavenDynamicsModel::State DynamicModelEstimator::solve(const PendingSolve& pending) noexcept {
   RG_SPAN("estimator.solve");
+  ++solves_;
+  return model_.step(pending.x0, pending.currents, pending.h, pending.solver);
+}
+
+Prediction DynamicModelEstimator::finish_predict(const std::array<std::int16_t, 3>& dac,
+                                                 const RavenDynamicsModel::State& next) noexcept {
   Prediction pred;
   if (!have_feedback_) return pred;
 
   pred.mpos_now = RavenDynamicsModel::motor_pos(state_);
   pred.mvel_now = RavenDynamicsModel::motor_vel(state_);
   pred.jpos_now = RavenDynamicsModel::joint_pos(state_);
-
-  const RavenDynamicsModel::State next =
-      model_.step(state_, currents_from_dac(dac), config_.step, config_.solver);
 
   pred.mpos_next = RavenDynamicsModel::motor_pos(next);
   pred.mvel_next = RavenDynamicsModel::motor_vel(next);
@@ -80,17 +98,41 @@ Prediction DynamicModelEstimator::predict(const std::array<std::int16_t, 3>& dac
   }
   pred.ee_displacement = distance(kin_.forward(pred.jpos_next), kin_.forward(pred.jpos_now));
   pred.valid = true;
+
+  cached_next_ = next;
+  cached_dac_ = dac;
+  cache_valid_ = true;
   return pred;
+}
+
+Prediction DynamicModelEstimator::predict(const std::array<std::int16_t, 3>& dac) noexcept {
+  const PendingSolve pending = begin_predict(dac);
+  if (!pending.active) return Prediction{};
+  return finish_predict(dac, solve(pending));
 }
 
 void DynamicModelEstimator::commit(const std::array<std::int16_t, 3>& dac) noexcept {
   if (!have_feedback_) return;
-  state_ = model_.step(state_, currents_from_dac(dac), config_.step, config_.solver);
+  if (cache_valid_ && cached_dac_ == dac) {
+    // The command that executed is the one predict() screened: the
+    // tentative integration *is* the parallel-model update.  Reusing it
+    // halves the estimator's per-tick model solves.
+    state_ = cached_next_;
+    cache_valid_ = false;
+    return;
+  }
+  // Mitigation replaced the command (or predict was skipped): integrate
+  // the executed command from scratch.
+  cache_valid_ = false;
+  state_ = solve(PendingSolve{state_, currents_from_dac(dac), config_.step, config_.solver,
+                              /*active=*/true});
 }
 
 void DynamicModelEstimator::reset() noexcept {
   state_ = RavenDynamicsModel::State{};
   have_feedback_ = false;
+  cache_valid_ = false;
+  solves_ = 0;
 }
 
 }  // namespace rg

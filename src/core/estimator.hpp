@@ -53,6 +53,21 @@ struct EstimatorConfig {
   Position rcm_origin{};
 };
 
+/// Snapshot of one deferred model integration: everything needed to turn
+/// the estimator's current state into its one-step-ahead state.  Produced
+/// by DynamicModelEstimator::begin_predict and consumed either by the
+/// scalar DynamicModelEstimator::solve or — for homogeneous campaign
+/// batches — by a BatchRavenModel solving many sims' pendings lane-wise
+/// (sim/lockstep.hpp).  `active` is false while the estimator has no
+/// encoder feedback yet (nothing to integrate; the prediction is invalid).
+struct PendingSolve {
+  RavenDynamicsModel::State x0{};
+  Vec3 currents{};
+  double h = 0.0;
+  SolverKind solver = SolverKind::kEuler;
+  bool active = false;
+};
+
 /// One-step-ahead prediction produced for every DAC command.
 struct Prediction {
   MotorVector mpos_now{};
@@ -90,13 +105,35 @@ class DynamicModelEstimator {
     return predict({cmd.dac[0], cmd.dac[1], cmd.dac[2]});
   }
 
+  // --- deferred-solve decomposition of predict() ---------------------------
+  // predict(dac) == finish_predict(dac, solve(begin_predict(dac))).  The
+  // split lets the lockstep campaign engine gather many sims'
+  // begin_predict snapshots, integrate them in one batched SoA solve, and
+  // hand each sim its lane back through finish_predict.
+
+  /// Snapshot the inputs of the one-step integration for `dac`.  Does not
+  /// touch estimator state.  `active` is false without feedback.
+  [[nodiscard]] PendingSolve begin_predict(const std::array<std::int16_t, 3>& dac) const noexcept;
+
+  /// Run one deferred integration (the scalar path).  Counted in solves().
+  [[nodiscard]] RavenDynamicsModel::State solve(const PendingSolve& pending) noexcept;
+
+  /// Derive the detection variables from the solved next-state and cache
+  /// it, so a commit() of the same `dac` reuses the solution instead of
+  /// re-integrating (the predict/commit pair costs one solve per tick).
+  [[nodiscard]] Prediction finish_predict(const std::array<std::int16_t, 3>& dac,
+                                          const RavenDynamicsModel::State& next) noexcept;
+
   /// Advance the parallel model with the command that actually executed
   /// (the screened original, or the mitigator's replacement).
   void commit(const std::array<std::int16_t, 3>& dac) noexcept;
 
   /// The brakes have engaged: the plant is locked, so the parallel model
   /// is stale.  The next observe_feedback() performs a hard re-sync.
-  void mark_disengaged() noexcept { have_feedback_ = false; }
+  void mark_disengaged() noexcept {
+    have_feedback_ = false;
+    cache_valid_ = false;
+  }
 
   void reset() noexcept;
 
@@ -104,6 +141,11 @@ class DynamicModelEstimator {
   [[nodiscard]] const EstimatorConfig& config() const noexcept { return config_; }
   /// Current parallel-model state (tests / Fig-8 validation).
   [[nodiscard]] const RavenDynamicsModel::State& state() const noexcept { return state_; }
+  [[nodiscard]] bool has_feedback() const noexcept { return have_feedback_; }
+  /// Scalar one-step model integrations performed so far (tests assert a
+  /// screened tick costs one, not two).  Batched lockstep solves bypass
+  /// this counter — they never call solve().
+  [[nodiscard]] std::uint64_t solves() const noexcept { return solves_; }
 
  private:
   [[nodiscard]] Vec3 currents_from_dac(const std::array<std::int16_t, 3>& dac) const noexcept;
@@ -114,6 +156,13 @@ class DynamicModelEstimator {
   MotorChannel channel_;
   RavenDynamicsModel::State state_{};
   bool have_feedback_ = false;
+  // commit() fast path: the next-state solved by the last finish_predict,
+  // keyed by the command it was solved for.  Any state mutation between
+  // predict and commit (feedback, disengage, reset) invalidates it.
+  RavenDynamicsModel::State cached_next_{};
+  std::array<std::int16_t, 3> cached_dac_{};
+  bool cache_valid_ = false;
+  std::uint64_t solves_ = 0;
 };
 
 }  // namespace rg

@@ -13,41 +13,64 @@ DetectionPipeline::DetectionPipeline(const PipelineConfig& config)
       detector_(config.detector),
       mitigator_(config.mitigation) {}
 
-DetectionPipeline::Outcome DetectionPipeline::process(
+DetectionPipeline::ScreenState DetectionPipeline::begin_process(
     std::span<const std::uint8_t> command_bytes) {
   RG_SPAN("pipeline.process");
-  Outcome out;
+  ScreenState st;
   ++screened_;
   RG_COUNT("rg.pipeline.screened", 1);
 
+  std::copy(command_bytes.begin(), command_bytes.end(), st.raw.begin());
+  st.raw_size = command_bytes.size();
+
   if (!engaged_) {
     // Brakes hold the shafts: nothing to screen, deliver as-is.
-    CommandBytes passthrough{};
-    std::copy(command_bytes.begin(), command_bytes.end(), passthrough.begin());
-    out.bytes = passthrough;
-    return out;
+    st.out.bytes = st.raw;
+    st.complete = true;
+    return st;
   }
 
   auto decoded = decode_command(command_bytes, /*verify_checksum=*/false);
   if (!decoded.ok()) {
     // Fail closed: a packet the monitor cannot parse never reaches the
     // motors.
-    out.alarm = true;
-    out.blocked = config_.mitigation_enabled;
+    st.out.alarm = true;
+    st.out.blocked = config_.mitigation_enabled;
     CommandPacket stop;
     stop.state = RobotState::kEStop;
-    out.bytes = encode_command(stop);
+    st.out.bytes = encode_command(stop);
     ++alarms_;
     RG_COUNT("rg.pipeline.alarms", 1);
     RG_COUNT("rg.pipeline.undecodable", 1);
-    if (out.blocked) RG_COUNT("rg.pipeline.blocked", 1);
+    if (st.out.blocked) RG_COUNT("rg.pipeline.blocked", 1);
     if (!first_alarm_tick_) first_alarm_tick_ = screened_ - 1;
     estimator_.commit({0, 0, 0});  // the motors see no drive
-    return out;
+    st.complete = true;
+    return st;
   }
-  const CommandPacket& cmd = decoded.value();
+  st.cmd = decoded.value();
 
-  out.prediction = estimator_.predict(cmd);
+  st.pending = estimator_.begin_predict({st.cmd.dac[0], st.cmd.dac[1], st.cmd.dac[2]});
+  if (!st.pending.active) {
+    // No feedback yet: the prediction is invalid (never alarms) and the
+    // commit is a no-op, so the screen completes without a solve.
+    st.out.prediction = Prediction{};
+    st.out.verdict = detector_.evaluate(st.out.prediction);
+    st.out.alarm = st.out.verdict.alarm;
+    mitigator_.record_safe(st.cmd);
+    st.out.bytes = st.raw;
+    st.complete = true;
+  }
+  return st;
+}
+
+DetectionPipeline::Outcome DetectionPipeline::finish_process(
+    ScreenState& st, const RavenDynamicsModel::State& next) {
+  if (st.complete) return st.out;
+  Outcome& out = st.out;
+  const CommandPacket& cmd = st.cmd;
+
+  out.prediction = estimator_.finish_predict({cmd.dac[0], cmd.dac[1], cmd.dac[2]}, next);
   out.verdict = detector_.evaluate(out.prediction);
   out.alarm = out.verdict.alarm;
 
@@ -68,12 +91,18 @@ DetectionPipeline::Outcome DetectionPipeline::process(
   }
 
   // Deliver the original bytes (alarm without mitigation also delivers);
-  // the parallel model advances with what will actually execute.
+  // the parallel model advances with what will actually execute.  The
+  // commit hits the estimator's predict cache: no second solve.
   estimator_.commit({cmd.dac[0], cmd.dac[1], cmd.dac[2]});
-  CommandBytes passthrough{};
-  std::copy(command_bytes.begin(), command_bytes.end(), passthrough.begin());
-  out.bytes = passthrough;
+  out.bytes = st.raw;
   return out;
+}
+
+DetectionPipeline::Outcome DetectionPipeline::process(
+    std::span<const std::uint8_t> command_bytes) {
+  ScreenState st = begin_process(command_bytes);
+  if (st.complete) return st.out;
+  return finish_process(st, estimator_.solve(st.pending));
 }
 
 void DetectionPipeline::reset() noexcept {

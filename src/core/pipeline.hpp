@@ -60,6 +60,34 @@ class DetectionPipeline {
   /// as malicious and blocked outright (a trusted monitor fails closed).
   [[nodiscard]] Outcome process(std::span<const std::uint8_t> command_bytes);
 
+  // --- deferred-solve decomposition of process() ---------------------------
+  // process(bytes) == begin → estimator().solve(pending) → finish.  The
+  // lockstep campaign engine uses the split to batch the model solve of
+  // many sims' screens into one SoA integration (sim/lockstep.hpp); each
+  // phase runs the exact statements process() would.
+
+  /// Everything carried from begin_process to finish_process.  Owns a
+  /// copy of the command bytes: the span handed to begin_process need not
+  /// outlive the call.
+  struct ScreenState {
+    bool complete = false;  ///< `out` is final; no model solve required
+    Outcome out{};
+    PendingSolve pending{};
+    CommandPacket cmd{};
+    CommandBytes raw{};
+    std::size_t raw_size = 0;
+  };
+
+  /// Decode + fast-path screening.  Leaves `pending` active when a model
+  /// solve is still needed (the common case); sets `complete` when the
+  /// verdict needed none (disengaged, undecodable, or no feedback yet).
+  [[nodiscard]] ScreenState begin_process(std::span<const std::uint8_t> command_bytes);
+
+  /// Finish screening with the solved one-step-ahead state (`next` from
+  /// estimator().solve(st.pending) or a batched lane; ignored when
+  /// `st.complete`).
+  [[nodiscard]] Outcome finish_process(ScreenState& st, const RavenDynamicsModel::State& next);
+
   // --- run statistics ------------------------------------------------------
   [[nodiscard]] std::uint64_t alarms() const noexcept { return alarms_; }
   [[nodiscard]] std::optional<std::uint64_t> first_alarm_tick() const noexcept {

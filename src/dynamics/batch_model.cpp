@@ -1,0 +1,306 @@
+#include "dynamics/batch_model.hpp"
+
+// Runtime ISA dispatch for the lane loops.  The SSE2 baseline packs only
+// two doubles per vector, which caps the batched speedup near 2x minus
+// loop overhead; x86-64-v3 (AVX2) and v4 (AVX-512) quadruple/octuple the
+// width.  target_clones compiles each dispatch function once per ISA and
+// picks the best at load time via ifunc, so one portable binary gets the
+// wide vectors where the CPU has them.  Bit-identity with the scalar
+// model is preserved at every width: rg_dynamics builds with
+// -ffp-contract=off (no FMA fusing on the wide clones) and IEEE add/mul/
+// div are per-lane identical regardless of vector width.
+// Sanitizer builds skip the clones: the ifunc resolvers target_clones
+// emits run before the sanitizer runtime initializes and crash at load.
+// Results are identical either way — only the vector width changes.
+#if defined(__GNUC__) && defined(__x86_64__) && !defined(__clang__) && \
+    !defined(__SANITIZE_THREAD__) && !defined(__SANITIZE_ADDRESS__)
+#define RG_LANES_CLONES \
+  __attribute__((target_clones("default", "arch=x86-64-v3", "arch=x86-64-v4")))
+#else
+#define RG_LANES_CLONES
+#endif
+
+namespace rg {
+
+namespace {
+
+constexpr std::size_t K = kBatchLanes;
+
+/// Neutral external effects for the nominal-model path.
+const std::array<LaneFx, K> kNeutralFx{};
+
+// Elementwise solver-update helpers.  Each replicates the exact
+// expression shape rg::Vec's operators produce for the scalar solvers in
+// ode/integrators.hpp (left-associated sums, coefficient on the right of
+// each k), so batched lanes match scalar integration bit for bit.
+
+/// out = x + k * a
+inline void axpy(const BatchState& x, const BatchState& k, double a, BatchState& out) noexcept {
+  for (std::size_t c = 0; c < 12; ++c) {
+    for (std::size_t l = 0; l < K; ++l) out.c[c][l] = x.c[c][l] + k.c[c][l] * a;
+  }
+}
+
+}  // namespace
+
+BatchRavenModel::BatchRavenModel(const RavenDynamicsParams& params) : p_(params) {
+  // Reuse the scalar model's construction (validation + coupling build) so
+  // the flattened constants are byte-for-byte the scalar model's.
+  const RavenDynamicsModel scalar(params);
+  kp_ = scalar.kernel_params();
+}
+
+void BatchRavenModel::tau_em_from_currents(const BatchLanes3& currents,
+                                           BatchLanes3& tau_em) const noexcept {
+  for (std::size_t l = 0; l < K; ++l) {
+    const double i[3] = {currents[0][l], currents[1][l], currents[2][l]};
+    double te[3];
+    electromagnetic_torque(kp_, i, te);
+    tau_em[0][l] = te[0];
+    tau_em[1][l] = te[1];
+    tau_em[2][l] = te[2];
+  }
+}
+
+namespace {
+
+// The lean/general split is a template parameter (not a runtime branch in
+// one body) so each instantiation inlines exactly ONE copy of the lane
+// kernel — two copies in a single function blow GCC's inlining budget,
+// the kernel gets outlined, and neither lane loop vectorizes.
+//
+// Lean path (no effects, no brakes — the estimator's and the bench's hot
+// configuration): skips the effects transpose and the lock select.  Same
+// kernel, same neutral LaneFx values, so it is bit-identical to the
+// general path, just without its per-call setup cost.
+template <bool HardStops, bool Lean>
+RG_LANE_INLINE void lanes_body(const DynParams& kp, const BatchState& x,
+                               const BatchLanes3& tau_em, const std::array<LaneFx, K>* fx,
+                               const bool* locked, BatchState& dx) noexcept {
+  // Transpose the per-lane effects to SoA locals and widen the lock flags
+  // to a double mask: inside the lane loop, an effects[l].member access is
+  // a 72-byte-strided gather and a bool load is a sub-word select — both
+  // veto vectorization; contiguous local double arrays don't.
+  std::array<std::array<double, K>, 3> emt{};
+  std::array<std::array<double, K>, 3> csc{};
+  std::array<std::array<double, K>, 3> ejf{};
+  std::array<double, K> lock{};
+  if constexpr (!Lean) {
+    const std::array<LaneFx, K>& effects = fx != nullptr ? *fx : kNeutralFx;
+    for (std::size_t i = 0; i < 3; ++i) {
+      for (std::size_t l = 0; l < K; ++l) {
+        emt[i][l] = effects[l].extra_motor_torque[i];
+        csc[i][l] = effects[l].cable_scale[i];
+        ejf[i][l] = effects[l].extra_joint_force[i];
+      }
+    }
+    if (locked != nullptr) {
+      for (std::size_t l = 0; l < K; ++l) lock[l] = locked[l] ? 1.0 : 0.0;
+    }
+  }
+  // Compute into a local, then copy out.  A local provably never aliases
+  // the inputs, so the lane loop has no read-write conflicts; writing dx
+  // directly would demand a runtime alias check per (input, output) array
+  // pair — 12x12 of them — and the vectorizer gives up instead.
+  BatchState tmp;
+  for (std::size_t l = 0; l < K; ++l) {
+    const LaneState s{x.c[0][l], x.c[1][l], x.c[2][l],  x.c[3][l], x.c[4][l],  x.c[5][l],
+                      x.c[6][l], x.c[7][l], x.c[8][l],  x.c[9][l], x.c[10][l], x.c[11][l]};
+    const double te[3] = {tau_em[0][l], tau_em[1][l], tau_em[2][l]};
+    LaneFx fxl{};
+    if constexpr (!Lean) {
+      fxl = LaneFx{{emt[0][l], emt[1][l], emt[2][l]},
+                   {csc[0][l], csc[1][l], csc[2][l]},
+                   {ejf[0][l], ejf[1][l], ejf[2][l]}};
+    }
+    double d[12];
+    derivative_lane<HardStops>(kp, s, fxl, te, d);
+    if constexpr (Lean) {
+      for (std::size_t i = 0; i < 12; ++i) tmp.c[i][l] = d[i];
+    } else {
+      // Locked shafts: motor position and velocity derivatives vanish
+      // (mirrors the scalar plant's substep lambda).  Select, don't scale:
+      // 0.0 * wd would flip the sign bit of zero for negative wd.
+      for (std::size_t i = 0; i < 6; ++i) tmp.c[i][l] = lock[l] != 0.0 ? 0.0 : d[i];
+      for (std::size_t i = 6; i < 12; ++i) tmp.c[i][l] = d[i];
+    }
+  }
+  dx = tmp;
+}
+
+// One ISA-cloned entry point per (HardStops, Lean) instantiation.  The
+// always_inline lanes_body is re-expanded inside every clone, so each ISA
+// gets its own fully vectorized copy of the lane loop.
+RG_LANES_CLONES void lanes_hs_lean(const DynParams& kp, const BatchState& x,
+                                   const BatchLanes3& tau_em, BatchState& dx) noexcept {
+  lanes_body<true, true>(kp, x, tau_em, nullptr, nullptr, dx);
+}
+RG_LANES_CLONES void lanes_hs_full(const DynParams& kp, const BatchState& x,
+                                   const BatchLanes3& tau_em, const std::array<LaneFx, K>* fx,
+                                   const bool* locked, BatchState& dx) noexcept {
+  lanes_body<true, false>(kp, x, tau_em, fx, locked, dx);
+}
+RG_LANES_CLONES void lanes_nohs_lean(const DynParams& kp, const BatchState& x,
+                                     const BatchLanes3& tau_em, BatchState& dx) noexcept {
+  lanes_body<false, true>(kp, x, tau_em, nullptr, nullptr, dx);
+}
+RG_LANES_CLONES void lanes_nohs_full(const DynParams& kp, const BatchState& x,
+                                     const BatchLanes3& tau_em, const std::array<LaneFx, K>* fx,
+                                     const bool* locked, BatchState& dx) noexcept {
+  lanes_body<false, false>(kp, x, tau_em, fx, locked, dx);
+}
+
+}  // namespace
+
+template <bool HardStops>
+void BatchRavenModel::derivative_impl(const BatchState& x, const BatchLanes3& tau_em,
+                                      const std::array<LaneFx, K>* fx, const bool* locked,
+                                      BatchState& dx) const noexcept {
+  const bool lean = fx == nullptr && locked == nullptr;
+  if constexpr (HardStops) {
+    if (lean) {
+      lanes_hs_lean(kp_, x, tau_em, dx);
+    } else {
+      lanes_hs_full(kp_, x, tau_em, fx, locked, dx);
+    }
+  } else {
+    if (lean) {
+      lanes_nohs_lean(kp_, x, tau_em, dx);
+    } else {
+      lanes_nohs_full(kp_, x, tau_em, fx, locked, dx);
+    }
+  }
+}
+
+void BatchRavenModel::derivative(const BatchState& x, const BatchLanes3& tau_em,
+                                 const std::array<LaneFx, K>* fx, const bool* locked,
+                                 BatchState& dx) const noexcept {
+  if (p_.enforce_hard_stops) {
+    derivative_impl<true>(x, tau_em, fx, locked, dx);
+  } else {
+    derivative_impl<false>(x, tau_em, fx, locked, dx);
+  }
+}
+
+void BatchRavenModel::cable_force(const BatchState& x, BatchLanes3& tau) const noexcept {
+  constexpr double kOnes[3] = {1.0, 1.0, 1.0};
+  for (std::size_t l = 0; l < K; ++l) {
+    const LaneState s{x.c[0][l], x.c[1][l], x.c[2][l],  x.c[3][l], x.c[4][l],  x.c[5][l],
+                      x.c[6][l], x.c[7][l], x.c[8][l],  x.c[9][l], x.c[10][l], x.c[11][l]};
+    double t[3];
+    cable_force_lane(kp_, s, kOnes, t);
+    tau[0][l] = t[0];
+    tau[1][l] = t[1];
+    tau[2][l] = t[2];
+  }
+}
+
+void BatchRavenModel::step(BatchState& x, const BatchLanes3& currents, double h,
+                           SolverKind solver) const noexcept {
+  BatchLanes3 tau_em;
+  tau_em_from_currents(currents, tau_em);
+  step_with_effects(x, tau_em, kNeutralFx, nullptr, h, solver);
+}
+
+void BatchRavenModel::step_with_effects(BatchState& x, const BatchLanes3& tau_em,
+                                        const std::array<LaneFx, K>& fx, const bool* locked,
+                                        double h, SolverKind solver) const noexcept {
+  BatchState k1;
+  derivative(x, tau_em, &fx, locked, k1);
+
+  switch (solver) {
+    case SolverKind::kEuler: {
+      // x + h * k1
+      for (std::size_t c = 0; c < 12; ++c) {
+        for (std::size_t l = 0; l < K; ++l) x.c[c][l] = x.c[c][l] + k1.c[c][l] * h;
+      }
+      return;
+    }
+    case SolverKind::kMidpoint: {
+      BatchState xs, k2;
+      axpy(x, k1, 0.5 * h, xs);
+      derivative(xs, tau_em, &fx, locked, k2);
+      // x + h * k2
+      for (std::size_t c = 0; c < 12; ++c) {
+        for (std::size_t l = 0; l < K; ++l) x.c[c][l] = x.c[c][l] + k2.c[c][l] * h;
+      }
+      return;
+    }
+    case SolverKind::kRk4: {
+      BatchState xs, k2, k3, k4;
+      axpy(x, k1, 0.5 * h, xs);
+      derivative(xs, tau_em, &fx, locked, k2);
+      axpy(x, k2, 0.5 * h, xs);
+      derivative(xs, tau_em, &fx, locked, k3);
+      axpy(x, k3, h, xs);
+      derivative(xs, tau_em, &fx, locked, k4);
+      // x + (h/6) * (((k1 + 2 k2) + 2 k3) + k4)
+      const double h6 = h / 6.0;
+      for (std::size_t c = 0; c < 12; ++c) {
+        for (std::size_t l = 0; l < K; ++l) {
+          x.c[c][l] =
+              x.c[c][l] +
+              (((k1.c[c][l] + k2.c[c][l] * 2.0) + k3.c[c][l] * 2.0) + k4.c[c][l]) * h6;
+        }
+      }
+      return;
+    }
+    case SolverKind::kRkf45: {
+      BatchState xs, k2, k3, k4, k5, k6;
+      const double c21 = h / 4.0;
+      const double c31 = 3.0 * h / 32.0, c32 = 9.0 * h / 32.0;
+      const double c41 = 1932.0 * h / 2197.0, c42 = 7200.0 * h / 2197.0,
+                   c43 = 7296.0 * h / 2197.0;
+      const double c51 = 439.0 * h / 216.0, c52 = 8.0 * h, c53 = 3680.0 * h / 513.0,
+                   c54 = 845.0 * h / 4104.0;
+      const double c61 = 8.0 * h / 27.0, c62 = 2.0 * h, c63 = 3544.0 * h / 2565.0,
+                   c64 = 1859.0 * h / 4104.0, c65 = 11.0 * h / 40.0;
+
+      axpy(x, k1, c21, xs);
+      derivative(xs, tau_em, &fx, locked, k2);
+      for (std::size_t c = 0; c < 12; ++c) {
+        for (std::size_t l = 0; l < K; ++l) {
+          xs.c[c][l] = (x.c[c][l] + k1.c[c][l] * c31) + k2.c[c][l] * c32;
+        }
+      }
+      derivative(xs, tau_em, &fx, locked, k3);
+      for (std::size_t c = 0; c < 12; ++c) {
+        for (std::size_t l = 0; l < K; ++l) {
+          xs.c[c][l] = ((x.c[c][l] + k1.c[c][l] * c41) - k2.c[c][l] * c42) + k3.c[c][l] * c43;
+        }
+      }
+      derivative(xs, tau_em, &fx, locked, k4);
+      for (std::size_t c = 0; c < 12; ++c) {
+        for (std::size_t l = 0; l < K; ++l) {
+          xs.c[c][l] = (((x.c[c][l] + k1.c[c][l] * c51) - k2.c[c][l] * c52) +
+                        k3.c[c][l] * c53) -
+                       k4.c[c][l] * c54;
+        }
+      }
+      derivative(xs, tau_em, &fx, locked, k5);
+      for (std::size_t c = 0; c < 12; ++c) {
+        for (std::size_t l = 0; l < K; ++l) {
+          xs.c[c][l] = ((((x.c[c][l] - k1.c[c][l] * c61) + k2.c[c][l] * c62) -
+                         k3.c[c][l] * c63) +
+                        k4.c[c][l] * c64) -
+                       k5.c[c][l] * c65;
+        }
+      }
+      derivative(xs, tau_em, &fx, locked, k6);
+      // x + h * ((((16/135 k1 + 6656/12825 k3) + 28561/56430 k4) - 9/50 k5) + 2/55 k6)
+      for (std::size_t c = 0; c < 12; ++c) {
+        for (std::size_t l = 0; l < K; ++l) {
+          x.c[c][l] = x.c[c][l] + ((((k1.c[c][l] * (16.0 / 135.0) +
+                                      k3.c[c][l] * (6656.0 / 12825.0)) +
+                                     k4.c[c][l] * (28561.0 / 56430.0)) -
+                                    k5.c[c][l] * (9.0 / 50.0)) +
+                                   k6.c[c][l] * (2.0 / 55.0)) *
+                                      h;
+        }
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace rg

@@ -1,0 +1,108 @@
+// Batched SoA dynamics: K lanes of the RAVEN arm model stepped in
+// lockstep.
+//
+// BatchState holds 12 state components x kBatchLanes doubles
+// structure-of-arrays, so every expression in the derivative and in the
+// solver update is a flat, branch-light loop over lanes that the
+// auto-vectorizer turns into SIMD.  All lane math is the *same inline
+// kernel* (dynamics/lane_kernel.hpp) the scalar RavenDynamicsModel runs,
+// and the solver updates replicate rg::Vec's expression shapes exactly —
+// so lane `l` of a batched integration is bit-identical to a scalar
+// integration of that lane's state.  That equivalence is what lets the
+// campaign engine batch homogeneous jobs without perturbing a byte of the
+// deterministic report (asserted by tests/test_batch_dynamics.cpp).
+//
+// Users: BatchPlant (plant/batch_plant.hpp) advances K physical robots per
+// control period; LockstepGroup (sim/lockstep.hpp) adds the batched
+// estimator solve.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "dynamics/lane_kernel.hpp"
+#include "dynamics/raven_model.hpp"
+#include "math/vec.hpp"
+#include "ode/integrators.hpp"
+
+namespace rg {
+
+/// Compile-time lane count.  Eight lanes fill an AVX-512 register of
+/// doubles and two AVX2 registers; the sweet spot between vector width
+/// and per-worker cache footprint (see docs/performance.md).
+inline constexpr std::size_t kBatchLanes = 8;
+
+/// One batched 3-vector (e.g. per-lane motor currents or cable tensions).
+using BatchLanes3 = std::array<std::array<double, kBatchLanes>, 3>;
+
+/// 12 x K state, component-major (component c of lane l at c[c][l]).
+struct alignas(64) BatchState {
+  std::array<std::array<double, kBatchLanes>, 12> c{};
+
+  [[nodiscard]] Vec<12> lane(std::size_t l) const noexcept {
+    Vec<12> x;
+    for (std::size_t i = 0; i < 12; ++i) x[i] = c[i][l];
+    return x;
+  }
+  void set_lane(std::size_t l, const Vec<12>& x) noexcept {
+    for (std::size_t i = 0; i < 12; ++i) c[i][l] = x[i];
+  }
+  /// Copy lane `from` into every lane of the batch — how callers give
+  /// unused lanes safe numerics (their results are discarded).
+  void broadcast(std::size_t from) noexcept {
+    for (std::size_t i = 0; i < 12; ++i) {
+      const double v = c[i][from];
+      for (std::size_t l = 0; l < kBatchLanes; ++l) c[i][l] = v;
+    }
+  }
+};
+
+/// K-lane RAVEN dynamics over a single parameter set (the lanes of a
+/// batch share physics; only state and inputs differ per lane).
+class BatchRavenModel {
+ public:
+  explicit BatchRavenModel(const RavenDynamicsParams& params);
+
+  /// dx/dt for all lanes.  `tau_em` is the per-lane electromagnetic
+  /// torque (see tau_em_from_currents); `fx`/`locked` may be null for
+  /// the nominal model (no external effects, no brake locks).  A locked
+  /// lane gets zero motor position/velocity derivatives, exactly like
+  /// the scalar plant's shaft lock.
+  void derivative(const BatchState& x, const BatchLanes3& tau_em,
+                  const std::array<LaneFx, kBatchLanes>* fx, const bool* locked,
+                  BatchState& dx) const noexcept;
+
+  /// Unscaled joint-side cable tension per lane (the plant's overload
+  /// watch).
+  void cable_force(const BatchState& x, BatchLanes3& tau) const noexcept;
+
+  /// Advance all lanes by h with the given (pre-validated) solver under
+  /// per-lane motor currents; no external effects.  This is the batched
+  /// twin of RavenDynamicsModel::step — the estimator path.
+  void step(BatchState& x, const BatchLanes3& currents, double h,
+            SolverKind solver) const noexcept;
+
+  /// Advance all lanes by h under precomputed tau_em, per-lane external
+  /// effects and lock flags — the plant path (BatchPlant owns the
+  /// substep/snap loop around this).
+  void step_with_effects(BatchState& x, const BatchLanes3& tau_em,
+                         const std::array<LaneFx, kBatchLanes>& fx, const bool* locked,
+                         double h, SolverKind solver) const noexcept;
+
+  /// Per-lane electromagnetic torque from commanded currents (hoisted out
+  /// of the per-stage loop; state-independent).
+  void tau_em_from_currents(const BatchLanes3& currents, BatchLanes3& tau_em) const noexcept;
+
+  [[nodiscard]] const RavenDynamicsParams& params() const noexcept { return p_; }
+
+ private:
+  template <bool HardStops>
+  void derivative_impl(const BatchState& x, const BatchLanes3& tau_em,
+                       const std::array<LaneFx, kBatchLanes>* fx, const bool* locked,
+                       BatchState& dx) const noexcept;
+
+  RavenDynamicsParams p_;
+  DynParams kp_;
+};
+
+}  // namespace rg

@@ -1,0 +1,227 @@
+// The per-lane dynamics kernel shared by the scalar RavenDynamicsModel and
+// the SoA BatchRavenModel.
+//
+// Both models funnel every derivative evaluation through the inline
+// functions below, written over plain doubles with branch-free selects and
+// the fastmath transcendentals.  Because scalar and batched paths execute
+// the *same expression trees in the same order*, a batched lane is
+// bit-identical to the equivalent scalar trajectory — which is what lets
+// the campaign runner swap lane-parallel execution in and out without
+// perturbing a single byte of the deterministic report.
+//
+// The kernel also bakes in the structural optimizations the generic code
+// couldn't express:
+//   - the cable-coupling matrix C is lower-triangular (the elbow cable
+//     rides the shoulder pulley, never the reverse), so C*mpos and
+//     C^T*tau are 6 multiplies instead of 18;
+//   - electromagnetic torque (clamp + K_t) is state-independent, so
+//     callers compute it once per solver step instead of per stage;
+//   - reciprocals of the constant rotor inertias are precomputed;
+//   - hard stops are a compile-time template flag (the detector's model
+//     disables them) and branch-free when enabled.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "math/fastmath.hpp"
+#include "math/mat.hpp"
+
+// The kernel MUST land inside its caller's lane loop for the loop to
+// vectorize — an outlined call vetoes the vectorizer outright, and GCC's
+// cost model declines to inline the full kernel into every BatchRavenModel
+// instantiation on its own.  Inlining it is always the right call here:
+// there is exactly one hot caller shape (a K-lane loop) per instantiation.
+#if defined(__GNUC__)
+#define RG_LANE_INLINE inline __attribute__((always_inline))
+#else
+#define RG_LANE_INLINE inline
+#endif
+
+namespace rg {
+
+struct RavenDynamicsParams;
+
+/// Flattened, multiplication-ready constants for one arm's dynamics.
+/// Built once per model from RavenDynamicsParams (see raven_model.cpp).
+struct DynParams {
+  // Lower-triangular motor->joint coupling C (row-major, zeros dropped).
+  double c00 = 0.0;
+  double c10 = 0.0, c11 = 0.0;
+  double c20 = 0.0, c21 = 0.0, c22 = 0.0;
+  // Cable spring/damper, joint side.
+  std::array<double, 3> cable_k{};
+  std::array<double, 3> cable_d{};
+  // Motor constants: electromagnetic torque map and friction.
+  std::array<double, 3> torque_constant{};
+  std::array<double, 3> max_current{};
+  std::array<double, 3> motor_viscous{};
+  std::array<double, 3> motor_coulomb{};
+  std::array<double, 3> inv_rotor_inertia{};
+  // Link constants.
+  double base_inertia_shoulder = 0.0;
+  double base_inertia_elbow = 0.0;
+  double tool_mass = 0.0;
+  double gravity = 0.0;
+  std::array<double, 3> joint_viscous{};
+  std::array<double, 3> joint_coulomb{};
+  // Hard stops (used only when the HardStops template flag is set).
+  std::array<double, 3> limit_min{};
+  std::array<double, 3> limit_max{};
+  double hard_stop_k = 0.0;
+  double hard_stop_d = 0.0;
+
+  // tanh half-widths as reciprocal multipliers (see motor.hpp /
+  // link_dynamics.cpp for the source constants).
+  static constexpr double kInvMotorSmoothing = 2.0;         // 1 / 0.5 rad/s
+  static constexpr double kInvCoulombSmoothing = 20.0;      // 1 / 0.05
+
+  /// Flatten model params + the coupling matrix.  `motor_to_joint` must be
+  /// the lower-triangular C from CableCoupling.
+  static DynParams from(const RavenDynamicsParams& params, const Mat3& motor_to_joint);
+};
+
+/// One lane's 12-dim state, unpacked to scalars (theta_m, omega_m, q, qdot).
+struct LaneState {
+  double tm0, tm1, tm2;
+  double wm0, wm1, wm2;
+  double q0, q1, q2;
+  double v0, v1, v2;
+};
+
+/// One lane's external effects (brakes / cable damage / disturbances).
+struct LaneFx {
+  double extra_motor_torque[3] = {0.0, 0.0, 0.0};
+  double cable_scale[3] = {1.0, 1.0, 1.0};
+  double extra_joint_force[3] = {0.0, 0.0, 0.0};
+};
+
+/// Joint-side cable torque/force: tau = scale * (Kc (C tm - q) + Dc (C wm - v)).
+RG_LANE_INLINE void cable_force_lane(const DynParams& p, const LaneState& s,
+                             const double scale[3], double tau[3]) noexcept {
+  // C * theta_m and C * omega_m, exploiting lower-triangular sparsity.
+  const double qm0 = p.c00 * s.tm0;
+  const double qm1 = p.c10 * s.tm0 + p.c11 * s.tm1;
+  const double qm2 = (p.c20 * s.tm0 + p.c21 * s.tm1) + p.c22 * s.tm2;
+  const double vm0 = p.c00 * s.wm0;
+  const double vm1 = p.c10 * s.wm0 + p.c11 * s.wm1;
+  const double vm2 = (p.c20 * s.wm0 + p.c21 * s.wm1) + p.c22 * s.wm2;
+  tau[0] = scale[0] * (p.cable_k[0] * (qm0 - s.q0) + p.cable_d[0] * (vm0 - s.v0));
+  tau[1] = scale[1] * (p.cable_k[1] * (qm1 - s.q1) + p.cable_d[1] * (vm1 - s.v1));
+  tau[2] = scale[2] * (p.cable_k[2] * (qm2 - s.q2) + p.cable_d[2] * (vm2 - s.v2));
+}
+
+/// dx/dt for one lane.  `tau_em` is the electromagnetic motor torque
+/// (K_t * clamped current) — state-independent, so callers hoist it out of
+/// the per-stage loop.  HardStops compiles the joint-limit springs in or
+/// out; when in, the term is evaluated branch-free.
+template <bool HardStops>
+RG_LANE_INLINE void derivative_lane(const DynParams& p, const LaneState& s, const LaneFx& fx,
+                            const double tau_em[3], double dx[12]) noexcept {
+  double tau_cable[3];
+  cable_force_lane(p, s, fx.cable_scale, tau_cable);
+
+  // Link side: M(q) qddot = tau_cable (+ hard stops + external) - bias.
+  double tj0 = tau_cable[0] + fx.extra_joint_force[0];
+  double tj1 = tau_cable[1] + fx.extra_joint_force[1];
+  double tj2 = tau_cable[2] + fx.extra_joint_force[2];
+  const double q[3] = {s.q0, s.q1, s.q2};
+  const double v[3] = {s.v0, s.v1, s.v2};
+  if constexpr (HardStops) {
+    double tj[3] = {tj0, tj1, tj2};
+    const double hsd = p.hard_stop_d;
+    for (std::size_t i = 0; i < 3; ++i) {
+      // excess is the (signed) penetration past the violated limit, zero
+      // inside the range; the damper acts only while penetrating.  Every
+      // ternary arm is a precomputed local so if-conversion can turn the
+      // selects into blends (a load or subtract inside an arm would be
+      // "speculation" and veto vectorizing the surrounding lane loop).
+      const double lmin = p.limit_min[i];
+      const double lmax = p.limit_max[i];
+      const double below = lmin - q[i];
+      const double above = lmax - q[i];
+      const double excess = q[i] < lmin ? below : (q[i] > lmax ? above : 0.0);
+      const double damping = excess != 0.0 ? hsd : 0.0;
+      tj[i] += p.hard_stop_k * excess - damping * v[i];
+    }
+    tj0 = tj[0];
+    tj1 = tj[1];
+    tj2 = tj[2];
+  }
+
+  double s2;
+  double c2;
+  fast_sincos(s.q1, s2, c2);
+  const double m = p.tool_mass;
+  const double q3 = s.q2;
+  const double w1 = s.v0;
+  const double w2 = s.v1;
+  const double v3 = s.v2;
+
+  // Mass-matrix diagonal (exactly diagonal for a point tool mass).
+  const double r2 = q3 * q3;
+  const double mass0 = p.base_inertia_shoulder + m * r2 * s2 * s2;
+  const double mass1 = p.base_inertia_elbow + m * r2;
+  const double mass2 = m;
+
+  // Coriolis/centrifugal + gravity (see link_dynamics.cpp for derivation).
+  const double h0 = m * (2.0 * q3 * v3 * s2 * s2 + 2.0 * q3 * q3 * s2 * c2 * w2) * w1;
+  const double h1 = m * (2.0 * q3 * v3 * w2 - q3 * q3 * s2 * c2 * w1 * w1) +
+                    m * p.gravity * q3 * s2;
+  const double h2 = -m * q3 * (w2 * w2 + s2 * s2 * w1 * w1) - m * p.gravity * c2;
+
+  // Joint friction: viscous + tanh-smoothed Coulomb.
+  const double fr0 = p.joint_viscous[0] * v[0] +
+                     p.joint_coulomb[0] * fast_tanh(v[0] * DynParams::kInvCoulombSmoothing);
+  const double fr1 = p.joint_viscous[1] * v[1] +
+                     p.joint_coulomb[1] * fast_tanh(v[1] * DynParams::kInvCoulombSmoothing);
+  const double fr2 = p.joint_viscous[2] * v[2] +
+                     p.joint_coulomb[2] * fast_tanh(v[2] * DynParams::kInvCoulombSmoothing);
+
+  const double qdd0 = (tj0 - (h0 + fr0)) / mass0;
+  const double qdd1 = (tj1 - (h1 + fr1)) / mass1;
+  const double qdd2 = (tj2 - (h2 + fr2)) / mass2;
+
+  // Motor side: J omega_dot = tau_em + external - friction - C^T tau_cable.
+  const double ref0 = (p.c00 * tau_cable[0] + p.c10 * tau_cable[1]) + p.c20 * tau_cable[2];
+  const double ref1 = p.c11 * tau_cable[1] + p.c21 * tau_cable[2];
+  const double ref2 = p.c22 * tau_cable[2];
+  const double mf0 = p.motor_viscous[0] * s.wm0 +
+                     p.motor_coulomb[0] * fast_tanh(s.wm0 * DynParams::kInvMotorSmoothing);
+  const double mf1 = p.motor_viscous[1] * s.wm1 +
+                     p.motor_coulomb[1] * fast_tanh(s.wm1 * DynParams::kInvMotorSmoothing);
+  const double mf2 = p.motor_viscous[2] * s.wm2 +
+                     p.motor_coulomb[2] * fast_tanh(s.wm2 * DynParams::kInvMotorSmoothing);
+  const double wd0 =
+      (tau_em[0] + fx.extra_motor_torque[0] - mf0 - ref0) * p.inv_rotor_inertia[0];
+  const double wd1 =
+      (tau_em[1] + fx.extra_motor_torque[1] - mf1 - ref1) * p.inv_rotor_inertia[1];
+  const double wd2 =
+      (tau_em[2] + fx.extra_motor_torque[2] - mf2 - ref2) * p.inv_rotor_inertia[2];
+
+  dx[0] = s.wm0;
+  dx[1] = s.wm1;
+  dx[2] = s.wm2;
+  dx[3] = wd0;
+  dx[4] = wd1;
+  dx[5] = wd2;
+  dx[6] = s.v0;
+  dx[7] = s.v1;
+  dx[8] = s.v2;
+  dx[9] = qdd0;
+  dx[10] = qdd1;
+  dx[11] = qdd2;
+}
+
+/// Electromagnetic torque per motor: K_t * clamp(i) — hoist per solver step.
+RG_LANE_INLINE void electromagnetic_torque(const DynParams& p, const double currents[3],
+                                   double tau_em[3]) noexcept {
+  for (std::size_t i = 0; i < 3; ++i) {
+    const double lo = -p.max_current[i];
+    const double hi = p.max_current[i];
+    const double clamped = currents[i] < lo ? lo : (currents[i] > hi ? hi : currents[i]);
+    tau_em[i] = p.torque_constant[i] * clamped;
+  }
+}
+
+}  // namespace rg

@@ -30,6 +30,8 @@ struct LinkParams {
   double gravity = 9.81;                 ///< m/s^2
 
   static constexpr LinkParams raven_defaults() { return LinkParams{}; }
+
+  friend constexpr bool operator==(const LinkParams&, const LinkParams&) = default;
 };
 
 class LinkDynamics {

@@ -23,6 +23,8 @@ struct MotorParams {
   double max_current = 0.0;       ///< |i| limit enforced by controller, A
   double terminal_resistance = 0.0;  ///< ohm (used for power/thermal checks)
 
+  friend constexpr bool operator==(const MotorParams&, const MotorParams&) = default;
+
   /// MAXON RE40 (150 W, 48 V) — shoulder and elbow axes.
   static constexpr MotorParams re40() {
     return MotorParams{

@@ -17,24 +17,60 @@ RavenDynamicsParams RavenDynamicsParams::with_calibration_error(double factor) c
   return out;
 }
 
+DynParams DynParams::from(const RavenDynamicsParams& params, const Mat3& motor_to_joint) {
+  DynParams p;
+  p.c00 = motor_to_joint(0, 0);
+  p.c10 = motor_to_joint(1, 0);
+  p.c11 = motor_to_joint(1, 1);
+  p.c20 = motor_to_joint(2, 0);
+  p.c21 = motor_to_joint(2, 1);
+  p.c22 = motor_to_joint(2, 2);
+  p.cable_k = params.cable_stiffness;
+  p.cable_d = params.cable_damping;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const MotorParams& mp = params.motors[i];
+    p.torque_constant[i] = mp.torque_constant;
+    p.max_current[i] = mp.max_current;
+    p.motor_viscous[i] = mp.viscous_damping;
+    p.motor_coulomb[i] = mp.coulomb_friction;
+    p.inv_rotor_inertia[i] = 1.0 / mp.rotor_inertia;
+    p.limit_min[i] = params.hard_stop_limits.joint(i).min;
+    p.limit_max[i] = params.hard_stop_limits.joint(i).max;
+  }
+  p.base_inertia_shoulder = params.link.base_inertia_shoulder;
+  p.base_inertia_elbow = params.link.base_inertia_elbow;
+  p.tool_mass = params.link.tool_mass;
+  p.gravity = params.link.gravity;
+  p.joint_viscous = {params.link.viscous_shoulder, params.link.viscous_elbow,
+                     params.link.viscous_insertion};
+  p.joint_coulomb = {params.link.coulomb_shoulder, params.link.coulomb_elbow,
+                     params.link.coulomb_insertion};
+  p.hard_stop_k = params.hard_stop_stiffness;
+  p.hard_stop_d = params.hard_stop_damping;
+  return p;
+}
+
+namespace {
+
+LaneState load_lane(const RavenDynamicsModel::State& x) noexcept {
+  return LaneState{x[0], x[1], x[2], x[3], x[4], x[5], x[6], x[7], x[8], x[9], x[10], x[11]};
+}
+
+}  // namespace
+
 RavenDynamicsModel::RavenDynamicsModel(const RavenDynamicsParams& params)
     : p_(params), coupling_(params.transmission), link_(params.link) {
   for (double k : p_.cable_stiffness) require(k > 0.0, "cable stiffness must be > 0");
   for (double d : p_.cable_damping) require(d >= 0.0, "cable damping must be >= 0");
+  kp_ = DynParams::from(p_, coupling_.motor_to_joint_matrix());
 }
 
 Vec3 RavenDynamicsModel::cable_force(const State& x,
                                      const std::array<double, 3>& scale) const noexcept {
-  const JointVector q_m = coupling_.motor_to_joint(motor_pos(x));
-  const JointVector qd_m = coupling_.motor_to_joint_velocity(motor_vel(x));
-  const JointVector q = joint_pos(x);
-  const JointVector qd = joint_vel(x);
-  Vec3 tau;
-  for (std::size_t i = 0; i < 3; ++i) {
-    tau[i] = scale[i] * (p_.cable_stiffness[i] * (q_m[i] - q[i]) +
-                         p_.cable_damping[i] * (qd_m[i] - qd[i]));
-  }
-  return tau;
+  const LaneState s = load_lane(x);
+  double tau[3];
+  cable_force_lane(kp_, s, scale.data(), tau);
+  return Vec3{tau[0], tau[1], tau[2]};
 }
 
 RavenDynamicsModel::State RavenDynamicsModel::derivative(const State& x,
@@ -44,50 +80,27 @@ RavenDynamicsModel::State RavenDynamicsModel::derivative(const State& x,
 
 RavenDynamicsModel::State RavenDynamicsModel::derivative(const State& x, const Vec3& currents,
                                                          const ExternalEffects& fx) const noexcept {
-  const Vec3 tau_cable = cable_force(x, fx.cable_scale);
-
-  // Link side: M qddot = tau_cable (+ hard stops + external) - bias.
-  Vec3 tau_joint = tau_cable + fx.extra_joint_force;
-  const JointVector q = joint_pos(x);
-  const JointVector qd = joint_vel(x);
-  if (p_.enforce_hard_stops) {
-    for (std::size_t i = 0; i < 3; ++i) {
-      const JointLimit& lim = p_.hard_stop_limits.joint(i);
-      if (q[i] < lim.min) {
-        tau_joint[i] += p_.hard_stop_stiffness * (lim.min - q[i]) - p_.hard_stop_damping * qd[i];
-      } else if (q[i] > lim.max) {
-        tau_joint[i] += p_.hard_stop_stiffness * (lim.max - q[i]) - p_.hard_stop_damping * qd[i];
-      }
-    }
-  }
-  const Vec3 qddot = link_.acceleration(q, qd, tau_joint);
-
-  // Motor side: J omega_dot = K_t i - friction - reflected cable torque.
-  const MotorVector reflected = coupling_.joint_torque_to_motor(tau_cable);
-  const MotorVector omega = motor_vel(x);
-  Vec3 omega_dot;
+  const LaneState s = load_lane(x);
+  LaneFx lfx;
   for (std::size_t i = 0; i < 3; ++i) {
-    const MotorParams& mp = p_.motors[i];
-    const double tau_em = motor_torque(mp, currents[i]);
-    omega_dot[i] = (tau_em + fx.extra_motor_torque[i] - motor_friction(mp, omega[i]) -
-                    reflected[i]) /
-                   mp.rotor_inertia;
+    lfx.extra_motor_torque[i] = fx.extra_motor_torque[i];
+    lfx.cable_scale[i] = fx.cable_scale[i];
+    lfx.extra_joint_force[i] = fx.extra_joint_force[i];
   }
+  double tau_em[3];
+  electromagnetic_torque(kp_, currents.v.data(), tau_em);
 
   State dx;
-  // d theta_m = omega_m
-  dx[0] = x[3]; dx[1] = x[4]; dx[2] = x[5];
-  // d omega_m
-  dx[3] = omega_dot[0]; dx[4] = omega_dot[1]; dx[5] = omega_dot[2];
-  // d q = qdot
-  dx[6] = x[9]; dx[7] = x[10]; dx[8] = x[11];
-  // d qdot
-  dx[9] = qddot[0]; dx[10] = qddot[1]; dx[11] = qddot[2];
+  if (p_.enforce_hard_stops) {
+    derivative_lane<true>(kp_, s, lfx, tau_em, dx.v.data());
+  } else {
+    derivative_lane<false>(kp_, s, lfx, tau_em, dx.v.data());
+  }
   return dx;
 }
 
 RavenDynamicsModel::State RavenDynamicsModel::step(const State& x, const Vec3& currents,
-                                                   double h, SolverKind solver) const {
+                                                   double h, SolverKind solver) const noexcept {
   const auto f = [this, &currents](double /*t*/, const State& s) {
     return derivative(s, currents);
   };

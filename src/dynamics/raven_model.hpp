@@ -15,6 +15,7 @@
 
 #include <array>
 
+#include "dynamics/lane_kernel.hpp"
 #include "dynamics/link_dynamics.hpp"
 #include "dynamics/motor.hpp"
 #include "kinematics/coupling.hpp"
@@ -47,6 +48,9 @@ struct RavenDynamicsParams {
   /// — models imperfect manual calibration of the detector's model
   /// against the physical robot (the paper tuned coefficients by hand).
   [[nodiscard]] RavenDynamicsParams with_calibration_error(double factor) const;
+
+  friend constexpr bool operator==(const RavenDynamicsParams&,
+                                   const RavenDynamicsParams&) = default;
 };
 
 /// External mechanical effects applied on top of the nominal model —
@@ -79,9 +83,10 @@ class RavenDynamicsModel {
     return cable_force(x, {1.0, 1.0, 1.0});
   }
 
-  /// Advance the state by h seconds with the given solver.
+  /// Advance the state by h seconds with the given solver.  `solver` must
+  /// be a valid SolverKind (validate_solver() at configuration time).
   [[nodiscard]] State step(const State& x, const Vec3& currents, double h,
-                           SolverKind solver) const;
+                           SolverKind solver) const noexcept;
 
   /// Build a consistent rest state at a joint configuration (cable
   /// un-stretched: theta_m = C^{-1} q; all rates zero).
@@ -108,6 +113,9 @@ class RavenDynamicsModel {
   [[nodiscard]] const RavenDynamicsParams& params() const noexcept { return p_; }
   [[nodiscard]] const CableCoupling& coupling() const noexcept { return coupling_; }
   [[nodiscard]] const LinkDynamics& link() const noexcept { return link_; }
+  /// The flattened constants this model evaluates with — shared verbatim
+  /// with BatchRavenModel so batched lanes are bit-identical to scalar.
+  [[nodiscard]] const DynParams& kernel_params() const noexcept { return kp_; }
 
  private:
   [[nodiscard]] Vec3 cable_force(const State& x,
@@ -116,6 +124,7 @@ class RavenDynamicsModel {
   RavenDynamicsParams p_;
   CableCoupling coupling_;
   LinkDynamics link_;
+  DynParams kp_;
 };
 
 }  // namespace rg

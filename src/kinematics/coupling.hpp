@@ -28,6 +28,8 @@ struct TransmissionParams {
   /// Fraction of shoulder+elbow motor motion appearing at the insertion
   /// axis (insertion cable path length changes with arm posture).
   double insertion_posture_coupling = 0.02;
+
+  friend constexpr bool operator==(const TransmissionParams&, const TransmissionParams&) = default;
 };
 
 class CableCoupling {

@@ -21,6 +21,8 @@ struct JointLimit {
   }
   [[nodiscard]] constexpr double span() const noexcept { return max - min; }
   [[nodiscard]] constexpr double midpoint() const noexcept { return 0.5 * (min + max); }
+
+  friend constexpr bool operator==(const JointLimit&, const JointLimit&) = default;
 };
 
 /// Limits for the three positioning joints.
@@ -53,6 +55,8 @@ class JointLimits {
   [[nodiscard]] constexpr JointVector midpoint() const noexcept {
     return JointVector{limits_[0].midpoint(), limits_[1].midpoint(), limits_[2].midpoint()};
   }
+
+  friend constexpr bool operator==(const JointLimits&, const JointLimits&) = default;
 
  private:
   std::array<JointLimit, 3> limits_;

@@ -14,6 +14,7 @@
 #include <cmath>
 #include <concepts>
 #include <cstdint>
+#include <cstdlib>
 #include <stdexcept>
 #include <string_view>
 #include <utility>
@@ -22,6 +23,22 @@ namespace rg {
 
 /// Runtime-selectable solver kind (the Fig. 8 comparison axis).
 enum class SolverKind : std::uint8_t { kEuler, kMidpoint, kRk4, kRkf45 };
+
+/// Config-time validation: throws std::invalid_argument for an
+/// out-of-range SolverKind (e.g. a corrupted or miscast config value).
+/// Call this where a solver choice *enters* the system — constructors and
+/// option parsers — so the hot-path dispatch below can assume validity
+/// and stay noexcept-callable.
+inline void validate_solver(SolverKind kind) {
+  switch (kind) {
+    case SolverKind::kEuler:
+    case SolverKind::kMidpoint:
+    case SolverKind::kRk4:
+    case SolverKind::kRkf45:
+      return;
+  }
+  throw std::invalid_argument("invalid SolverKind value");
+}
 
 constexpr std::string_view to_string(SolverKind kind) noexcept {
   switch (kind) {
@@ -87,6 +104,11 @@ std::pair<State, double> rkf45_step(F&& f, double t, const State& x, double h) {
 
 /// Single step with a runtime-selected solver.  For kRkf45 the embedded
 /// error estimate is discarded (fixed-step use).
+///
+/// The dispatch is exhaustive over the enum; an out-of-range value (only
+/// reachable through memory corruption or an unvalidated cast — see
+/// validate_solver) aborts instead of throwing, because callers such as
+/// RavenDynamicsModel::step are noexcept.
 template <typename State, DerivativeFn<State> F>
 State solver_step(SolverKind kind, F&& f, double t, const State& x, double h) {
   switch (kind) {
@@ -95,7 +117,7 @@ State solver_step(SolverKind kind, F&& f, double t, const State& x, double h) {
     case SolverKind::kRk4: return rk4_step<State>(f, t, x, h);
     case SolverKind::kRkf45: return rkf45_step<State>(f, t, x, h).first;
   }
-  throw std::invalid_argument("solver_step: unknown SolverKind");
+  std::abort();
 }
 
 /// Integrate over [t0, t0 + duration] with a fixed step h (final partial

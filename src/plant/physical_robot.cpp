@@ -25,6 +25,19 @@ void PhysicalRobot::step_control_period(const Vec3& commanded_currents, bool bra
 
 void PhysicalRobot::step(const Vec3& commanded_currents, bool brakes_engaged, double duration,
                          const Vec3& wrist_currents) {
+  PeriodSetup setup = begin_period(commanded_currents, brakes_engaged, duration, wrist_currents);
+  integrate_period(setup);
+  finish_period(setup);
+}
+
+PhysicalRobot::PeriodSetup PhysicalRobot::begin_period(const Vec3& commanded_currents,
+                                                       bool brakes_engaged, double duration,
+                                                       const Vec3& wrist_currents) {
+  PeriodSetup setup;
+  setup.brakes_engaged = brakes_engaged;
+  setup.duration = duration;
+  setup.wrist_currents = wrist_currents;
+
   // Brake request timing: power to the drives is cut immediately, but the
   // spring-applied shafts lock only after the mechanical engagement delay.
   if (brakes_engaged) {
@@ -32,28 +45,28 @@ void PhysicalRobot::step(const Vec3& commanded_currents, bool brakes_engaged, do
   } else {
     brake_request_elapsed_ = 0.0;
   }
-  const bool shaft_locked = brakes_engaged && brake_request_elapsed_ >= config_.brake_engage_delay;
+  setup.shaft_locked =
+      brakes_engaged && brake_request_elapsed_ >= config_.brake_engage_delay;
 
   // Drive-current noise is band-limited: one sample held for the whole
   // control period (the drive stage is far faster than the mechanics).
-  Vec3 currents = commanded_currents;
-  if (shaft_locked) {
+  setup.currents = commanded_currents;
+  if (setup.shaft_locked) {
     // The holding brakes are sized well above any reflected load, so we
     // model them as a kinematic lock.  Joint and cable dynamics keep
     // evolving — the arm can still sag onto the stretched cables.
-    currents = Vec3::zero();
+    setup.currents = Vec3::zero();
     RavenDynamicsModel::set_motor_vel(state_, Vec3::zero());
   } else if (brakes_engaged) {
     // Power already cut, brakes still closing: the shafts coast.
-    currents = Vec3::zero();
+    setup.currents = Vec3::zero();
   } else {
     for (std::size_t i = 0; i < 3; ++i) {
-      currents[i] += rng_.normal(0.0, config_.current_noise_stddev);
+      setup.currents[i] += rng_.normal(0.0, config_.current_noise_stddev);
     }
   }
 
-  ExternalEffects fx;
-  for (std::size_t i = 0; i < 3; ++i) fx.cable_scale[i] = snapped_[i] ? 0.0 : 1.0;
+  for (std::size_t i = 0; i < 3; ++i) setup.fx.cable_scale[i] = snapped_[i] ? 0.0 : 1.0;
 
   // Tissue contact: evaluate at the period start and hold the reaction
   // over the step (the contact dynamics are far slower than the substep).
@@ -63,51 +76,70 @@ void PhysicalRobot::step(const Vec3& commanded_currents, bool brakes_engaged, do
     const Mat3 jac = kinematics_.jacobian(q);
     const TissueContact contact = tissue_->update(kinematics_.forward(q), jac * qd);
     // Generalized joint force = J^T F.
-    fx.extra_joint_force = jac.transpose() * contact.force;
+    setup.fx.extra_joint_force = jac.transpose() * contact.force;
+  }
+  return setup;
+}
+
+void PhysicalRobot::integrate_period(PeriodSetup& setup) {
+  // The derivative closure is loop-invariant: build it once per period,
+  // not once per substep (it reads the snap state through setup.fx).
+  const auto f = [this, &setup](double /*t*/, const RavenDynamicsModel::State& s) {
+    RavenDynamicsModel::State dx = model_.derivative(s, setup.currents, setup.fx);
+    if (setup.shaft_locked) {
+      // Locked shafts: motor position and velocity derivatives vanish.
+      for (std::size_t i = 0; i < 6; ++i) dx[i] = 0.0;
+    }
+    return dx;
+  };
+
+  // Post-substep cable tension is only needed while some axis can still
+  // snap: intact, with a finite threshold.
+  std::array<bool, 3> watch{};
+  bool watch_any = false;
+  for (std::size_t i = 0; i < 3; ++i) {
+    watch[i] = !snapped_[i] && config_.cable_snap_threshold[i] < kNeverSnaps;
+    watch_any = watch_any || watch[i];
   }
 
   const double h = config_.substep;
-  double remaining = duration;
+  double remaining = setup.duration;
   while (remaining > 1e-12) {
     const double dt = std::min(h, remaining);
-
-    const auto f = [this, &currents, &fx, shaft_locked](
-                       double /*t*/, const RavenDynamicsModel::State& s) {
-      RavenDynamicsModel::State dx = model_.derivative(s, currents, fx);
-      if (shaft_locked) {
-        // Locked shafts: motor position and velocity derivatives vanish.
-        for (std::size_t i = 0; i < 6; ++i) dx[i] = 0.0;
-      }
-      return dx;
-    };
     state_ = rk4_step(f, 0.0, state_, dt);
 
-    // Cable overload check at the new state.
-    const Vec3 tension = model_.cable_force(state_);
-    for (std::size_t i = 0; i < 3; ++i) {
-      if (!snapped_[i] && std::abs(tension[i]) > config_.cable_snap_threshold[i]) {
-        snapped_[i] = true;
-        fx.cable_scale[i] = 0.0;
+    if (watch_any) {
+      // Cable overload check at the new state.
+      const Vec3 tension = model_.cable_force(state_);
+      for (std::size_t i = 0; i < 3; ++i) {
+        if (watch[i] && std::abs(tension[i]) > config_.cable_snap_threshold[i]) {
+          snapped_[i] = true;
+          setup.fx.cable_scale[i] = 0.0;
+          watch[i] = false;
+        }
       }
+      watch_any = watch[0] || watch[1] || watch[2];
     }
     remaining -= dt;
   }
+}
 
+void PhysicalRobot::finish_period(const PeriodSetup& setup) noexcept {
   // Wrist/instrument axes: small independent motors, first order in
   // velocity (their mechanics are much faster and lighter than the
   // positioning stage, so a per-control-period semi-implicit update is
   // ample).  Brakes hold them like the main shafts.
-  if (shaft_locked) {
+  if (setup.shaft_locked) {
     wrist_vel_ = Vec3::zero();
-  } else {
-    for (std::size_t i = 0; i < 3; ++i) {
-      const double drive = brakes_engaged ? 0.0 : wrist_currents[i];
-      const double accel =
-          (config_.wrist_torque_constant * drive - config_.wrist_damping * wrist_vel_[i]) /
-          config_.wrist_inertia;
-      wrist_vel_[i] += duration * accel;
-      wrist_pos_[i] += duration * wrist_vel_[i];
-    }
+    return;
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    const double drive = setup.brakes_engaged ? 0.0 : setup.wrist_currents[i];
+    const double accel =
+        (config_.wrist_torque_constant * drive - config_.wrist_damping * wrist_vel_[i]) /
+        config_.wrist_inertia;
+    wrist_vel_[i] += setup.duration * accel;
+    wrist_pos_[i] += setup.duration * wrist_vel_[i];
   }
 }
 

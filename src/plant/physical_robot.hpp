@@ -56,6 +56,20 @@ struct PlantConfig {
   double wrist_inertia = 1.0e-5;        ///< kg*m^2 per axis
   double wrist_damping = 2.0e-4;        ///< N*m*s/rad
   double wrist_torque_constant = 0.0138;  ///< N*m/A (small RE motor)
+
+  friend constexpr bool operator==(const PlantConfig&, const PlantConfig&) = default;
+};
+
+/// Snap thresholds at or above this value mean "this cable never snaps";
+/// the plant then skips the per-substep tension recomputation entirely.
+inline constexpr double kNeverSnaps = 1.0e18;
+
+/// One control period's drive inputs as resolved by the simulator's tick
+/// logic — everything the plant needs to execute the period.
+struct PlantDrive {
+  Vec3 currents{};
+  bool brakes_engaged = false;
+  Vec3 wrist_currents{};
 };
 
 class PhysicalRobot {
@@ -118,6 +132,30 @@ class PhysicalRobot {
   [[nodiscard]] const PlantConfig& config() const noexcept { return config_; }
 
  private:
+  /// Everything begin_period resolves for one control period.  step()
+  /// consumes it through integrate_period (scalar substeps); BatchPlant
+  /// consumes it through its lane-parallel substep loop instead.
+  struct PeriodSetup {
+    Vec3 currents{};          ///< actual drive currents (noise applied)
+    bool shaft_locked = false;
+    bool brakes_engaged = false;
+    ExternalEffects fx{};
+    double duration = 0.0;
+    Vec3 wrist_currents{};
+  };
+
+  /// Brake timing, drive-noise sampling, shaft-lock velocity zeroing, and
+  /// the period-held external effects (cable damage + tissue reaction).
+  PeriodSetup begin_period(const Vec3& commanded_currents, bool brakes_engaged,
+                           double duration, const Vec3& wrist_currents);
+  /// The scalar substep loop: RK4 at config().substep plus the cable
+  /// overload watch.
+  void integrate_period(PeriodSetup& setup);
+  /// Wrist/instrument axes (per-period semi-implicit update).
+  void finish_period(const PeriodSetup& setup) noexcept;
+
+  friend class BatchPlant;
+
   PlantConfig config_;
   RavenDynamicsModel model_;
   RavenKinematics kinematics_;

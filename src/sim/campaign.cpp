@@ -1,5 +1,6 @@
 #include "sim/campaign.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -9,10 +10,13 @@
 #include <ostream>
 #include <thread>
 
+#include <memory>
+
 #include "attack/math_attack.hpp"
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "obs/span.hpp"
+#include "sim/lockstep.hpp"
 #include "sim/surgical_sim.hpp"
 
 namespace rg {
@@ -70,6 +74,136 @@ void write_hist_ms(std::ostream& os, const obs::HistogramData& h) {
   os << ", \"p99\": " << h.percentile(99.0) / 1000.0 << "}";
 }
 
+/// Failure tagged with the submission index of the job it belongs to
+/// (batched units execute several jobs; attribution must survive the
+/// throw back to the worker loop).
+struct IndexedFailure {
+  std::size_t index;
+  std::exception_ptr error;
+};
+
+/// A maximal run of consecutive jobs one worker executes together.
+struct Unit {
+  std::size_t first;
+  std::size_t count;
+};
+
+/// Jobs eligible for lane batching: standard execute path only (custom
+/// bodies drive the sim themselves) and not math-drift (that attack arms
+/// thread-local process globals which lockstep interleaving would share
+/// across lanes).
+bool batchable(const CampaignJob& job) {
+  return !job.body && job.attack.variant != AttackVariant::kMathDrift;
+}
+
+std::size_t resolve_lanes(int lanes_option) noexcept {
+  if (lanes_option > 0) {
+    return std::min(static_cast<std::size_t>(lanes_option), kBatchLanes);
+  }
+  if (const char* env = std::getenv("RG_LANES")) {
+    const int n = std::atoi(env);
+    if (n > 0) return std::min(static_cast<std::size_t>(n), kBatchLanes);
+  }
+  return kBatchLanes;
+}
+
+/// Deterministic unit formation: depends only on the job list and the
+/// lane count, never on worker scheduling.
+std::vector<Unit> form_units(const std::vector<CampaignJob>& jobs, std::size_t lanes) {
+  std::vector<Unit> units;
+  std::size_t i = 0;
+  while (i < jobs.size()) {
+    if (lanes <= 1 || !batchable(jobs[i])) {
+      units.push_back({i, 1});
+      ++i;
+      continue;
+    }
+    std::size_t n = 1;
+    while (i + n < jobs.size() && n < lanes && batchable(jobs[i + n]) &&
+           jobs[i + n].params.duration_sec == jobs[i].params.duration_sec) {
+      ++n;
+    }
+    units.push_back({i, n});
+    i += n;
+  }
+  return units;
+}
+
+/// Execute a multi-job unit as one lockstep group.  Every per-job step
+/// mirrors CampaignRunner::execute; only the tick loop is shared.  Sims
+/// whose configure hooks made them physics-incompatible fall back to
+/// sequential scalar runs (same results, no lane sharing).
+std::vector<CampaignJobResult> execute_unit_batched(const std::vector<CampaignJob>& jobs,
+                                                    std::size_t first, std::size_t count) {
+  RG_SPAN("campaign.unit");
+  const auto start = WallClock::now();
+  reset_math_drift();
+
+  std::vector<std::unique_ptr<SurgicalSim>> sims;
+  std::vector<AttackArtifacts> artifacts;
+  std::vector<AttackSpec> specs;
+  sims.reserve(count);
+  artifacts.reserve(count);
+  specs.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::size_t index = first + k;
+    const CampaignJob& job = jobs[index];
+    try {
+      SimConfig cfg = make_session(job.params, job.thresholds, job.mitigation);
+      if (job.configure) job.configure(cfg);
+      auto sim = std::make_unique<SurgicalSim>(std::move(cfg));
+      if (job.instrument) job.instrument(*sim);
+
+      AttackSpec seeded = job.attack;
+      if (seeded.seed == 0) seeded.seed = job.params.seed * 131 + 17;
+      artifacts.push_back(build_attack(seeded));
+      sim->install(artifacts.back());
+      specs.push_back(seeded);
+      sims.push_back(std::move(sim));
+    } catch (...) {
+      throw IndexedFailure{index, std::current_exception()};
+    }
+  }
+
+  bool lockstep_ok = true;
+  for (std::size_t k = 1; k < count; ++k) {
+    lockstep_ok = lockstep_ok && LockstepGroup::compatible(*sims[0], *sims[k]);
+  }
+
+  try {
+    const double duration = jobs[first].params.duration_sec;
+    if (lockstep_ok) {
+      std::vector<SurgicalSim*> lanes;
+      lanes.reserve(count);
+      for (auto& sim : sims) lanes.push_back(sim.get());
+      LockstepGroup group(std::span<SurgicalSim* const>{lanes.data(), lanes.size()});
+      group.run(duration);
+    } else {
+      for (auto& sim : sims) sim->run(duration);
+    }
+  } catch (...) {
+    throw IndexedFailure{first, std::current_exception()};
+  }
+
+  reset_math_drift();
+  const double unit_wall = ms_since(start);
+  std::vector<CampaignJobResult> results(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    CampaignJobResult& out = results[k];
+    out.index = first + k;
+    out.label = jobs[first + k].label;
+    out.run.spec = specs[k];
+    out.run.outcome = sims[k]->outcome();
+    out.run.injections = artifacts[k].injections();
+    out.run.first_injection_tick = artifacts[k].first_injection_tick();
+    out.ticks = sims[k]->clock().ticks();
+    // Per-job wall time is a timing-section-only statistic; attribute the
+    // unit evenly (individual lanes are not separable inside one tick).
+    out.wall_ms = unit_wall / static_cast<double>(count);
+  }
+  return results;
+}
+
 }  // namespace
 
 int default_campaign_jobs() noexcept {
@@ -83,6 +217,7 @@ int default_campaign_jobs() noexcept {
 
 CampaignRunner::CampaignRunner(CampaignOptions options) : options_(std::move(options)) {
   require(options_.jobs >= 0, "CampaignRunner: jobs must be >= 0");
+  require(options_.lanes >= 0, "CampaignRunner: lanes must be >= 0");
 }
 
 int CampaignRunner::workers_for(std::size_t njobs) const noexcept {
@@ -141,6 +276,12 @@ CampaignReport CampaignRunner::run(std::vector<CampaignJob> jobs) const {
   report.results.resize(total);
   report.workers = workers_for(total);
 
+  // Work is scheduled in units: runs of consecutive batchable jobs that
+  // one worker executes as a single lockstep group.  Unit formation is a
+  // pure function of the job list and lane count, so neither the worker
+  // count nor scheduling order can change what executes together.
+  const std::vector<Unit> units = form_units(jobs, resolve_lanes(options_.lanes));
+
   std::atomic<std::size_t> next{0};
   std::atomic<bool> cancelled{false};
   std::mutex mutex;  // guards results/progress/failures
@@ -149,21 +290,36 @@ CampaignReport CampaignRunner::run(std::vector<CampaignJob> jobs) const {
 
   auto worker = [&]() {
     while (!cancelled.load(std::memory_order_relaxed)) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= total) return;
+      const std::size_t u = next.fetch_add(1, std::memory_order_relaxed);
+      if (u >= units.size()) return;
+      const Unit unit = units[u];
       try {
         const double queued_ms = ms_since(campaign_start);
-        CampaignJobResult result = execute(jobs[i], i);
-        result.queue_wait_ms = queued_ms;
-        std::lock_guard<std::mutex> lock(mutex);
-        report.results[i] = std::move(result);
-        ++completed;
-        if (options_.progress) {
-          options_.progress(CampaignProgress{completed, total, i, report.results[i].wall_ms});
+        std::vector<CampaignJobResult> unit_results;
+        if (unit.count == 1) {
+          unit_results.push_back(execute(jobs[unit.first], unit.first));
+        } else {
+          unit_results = execute_unit_batched(jobs, unit.first, unit.count);
         }
+        std::lock_guard<std::mutex> lock(mutex);
+        for (CampaignJobResult& result : unit_results) {
+          const std::size_t i = result.index;
+          result.queue_wait_ms = queued_ms;
+          report.results[i] = std::move(result);
+          ++completed;
+          if (options_.progress) {
+            options_.progress(
+                CampaignProgress{completed, total, i, report.results[i].wall_ms});
+          }
+        }
+      } catch (const IndexedFailure& failure) {
+        std::lock_guard<std::mutex> lock(mutex);
+        failures.emplace_back(failure.index, failure.error);
+        cancelled.store(true, std::memory_order_relaxed);
+        return;
       } catch (...) {
         std::lock_guard<std::mutex> lock(mutex);
-        failures.emplace_back(i, std::current_exception());
+        failures.emplace_back(unit.first, std::current_exception());
         cancelled.store(true, std::memory_order_relaxed);
         return;
       }

@@ -7,7 +7,11 @@
 // independent given their seeds.  The CampaignRunner exploits that: it
 // executes N CampaignJobs over `jobs` worker threads, with results stored
 // by submission index so a campaign's output is bit-identical to serial
-// execution regardless of thread count.
+// execution regardless of thread count.  Within a worker, runs of
+// homogeneous jobs (same physics, different seeds/attacks) additionally
+// execute as lockstep groups of up to CampaignOptions::lanes sims, so the
+// dynamics hot loops run as batched SoA kernels (sim/lockstep.hpp) —
+// again without perturbing a byte of the deterministic report.
 //
 // Determinism contract: a job may only touch state reachable from its own
 // CampaignJob (the simulator, plant RNG, and attack wrappers are all
@@ -129,6 +133,12 @@ struct CampaignOptions {
   /// else all hardware threads).
   int jobs = 0;
   CampaignProgressFn progress{};
+  /// SoA batch width per worker: consecutive homogeneous jobs (no custom
+  /// body, not math-drift, equal duration) run as one lockstep group of up
+  /// to this many lanes, sharing batched dynamics kernels.  0 => the
+  /// RG_LANES env override, else kBatchLanes; 1 => scalar execution.
+  /// Results are bit-identical at any lane count (and any worker count).
+  int lanes = 0;
 };
 
 /// Thrown when a job fails; the campaign cancels remaining jobs first.

@@ -75,10 +75,24 @@ void SurgicalSim::press_start() {
 void SurgicalSim::step() {
   RG_SPAN("sim.tick");
   RG_COUNT("rg.sim.ticks", 1);
+  tick_begin();
+  RavenDynamicsModel::State next{};
+  if (needs_solve()) next = pipeline_->estimator().solve(scratch_.screen.pending);
+  const PlantDrive drive = tick_resolve(next);
+  {
+    RG_SPAN("plant.step");
+    plant_.step_control_period(drive.currents, drive.brakes_engaged, drive.wrist_currents);
+  }
+  tick_finish();
+}
+
+void SurgicalSim::tick_begin() {
+  scratch_ = TickScratch{};
   if (config_.auto_start && !started_ && clock_.ticks() >= config_.start_delay_ticks) {
     press_start();
   }
   const std::uint64_t tick = clock_.ticks();
+  scratch_.tick = tick;
 
   // 1. Console emits an ITP datagram over the (lossy) network.  The
   //    oracle remembers the *clean* operator command before any attack
@@ -111,51 +125,65 @@ void SurgicalSim::step() {
   // (a dropped read leaves the software consuming its previous buffer)
 
   // 4. The 1 kHz control cycle.
-  CommandBytes cmd = control_.tick(itp_view, std::span{last_feedback_});
+  scratch_.cmd = control_.tick(itp_view, std::span{last_feedback_});
 
   // 5. USB write: the malicious wrapper mutates the buffer after every
   //    software safety check has already passed (the TOCTOU window).
-  bool deliver = write_chain_.process(std::span{cmd}, tick);
+  scratch_.deliver = write_chain_.process(std::span{scratch_.cmd}, tick);
 
-  // 6. Detection pipeline (trusted hardware, downstream of the attacker).
-  bool screened_this_tick = false;
-  DetectionPipeline::Outcome det{};
+  // 6a. Detection pipeline (trusted hardware, downstream of the
+  //     attacker): feedback + screening up to the model solve.
   if (pipeline_) {
     pipeline_->set_engaged(!plc_.brakes_engaged());
     MotorVector encoder_angles;
     for (std::size_t i = 0; i < 3; ++i) encoder_angles[i] = board_.encoder_angle(i);
     pipeline_->observe_feedback(encoder_angles);
-    if (deliver) {
-      det = pipeline_->process(std::span{cmd});
-      screened_this_tick = true;
-      if (detection_observer_) detection_observer_(det);
-      if (det.alarm && !outcome_.detector_alarm_tick) outcome_.detector_alarm_tick = tick;
-      if (det.blocked) {
-        cmd = det.bytes;
-        // E-STOP mitigation: the trusted module also asserts the estop
-        // line so the PLC drops the brakes immediately.
-        if (config_.detection->mitigation == MitigationStrategy::kEStop &&
-            config_.detection->mitigation_enabled) {
-          plc_.press_estop();
-        }
+    if (scratch_.deliver) {
+      scratch_.screen = pipeline_->begin_process(std::span{scratch_.cmd});
+      scratch_.screened = true;
+    }
+  }
+}
+
+PlantDrive SurgicalSim::tick_resolve(const RavenDynamicsModel::State& next) {
+  const std::uint64_t tick = scratch_.tick;
+
+  // 6b. Verdict + mitigation from the solved one-step-ahead state.
+  if (scratch_.screened) {
+    scratch_.det = pipeline_->finish_process(scratch_.screen, next);
+    const DetectionPipeline::Outcome& det = scratch_.det;
+    if (detection_observer_) detection_observer_(det);
+    if (det.alarm && !outcome_.detector_alarm_tick) outcome_.detector_alarm_tick = tick;
+    if (det.blocked) {
+      scratch_.cmd = det.bytes;
+      // E-STOP mitigation: the trusted module also asserts the estop
+      // line so the PLC drops the brakes immediately.
+      if (config_.detection->mitigation == MitigationStrategy::kEStop &&
+          config_.detection->mitigation_enabled) {
+        plc_.press_estop();
       }
     }
   }
-  const bool alarm_this_tick = screened_this_tick && det.alarm;
-  const double predicted_disp = det.prediction.ee_displacement;
 
   // 7. Board latches whatever bytes arrived.
-  if (deliver) (void)board_.receive_command(std::span<const std::uint8_t>{cmd});
+  if (scratch_.deliver) {
+    (void)board_.receive_command(std::span<const std::uint8_t>{scratch_.cmd});
+  }
 
   // 8. PLC safety processor tick (watchdog timeout check).
   plc_.tick();
 
-  // 9. Physics.
-  {
-    RG_SPAN("plant.step");
-    plant_.step_control_period(board_.modeled_currents(), plc_.brakes_engaged(),
-                               board_.wrist_currents());
-  }
+  // 9 happens between tick_resolve and tick_finish: the caller executes
+  // the returned drive (scalar plant step or a BatchPlant lane).
+  return PlantDrive{board_.modeled_currents(), plc_.brakes_engaged(), board_.wrist_currents()};
+}
+
+void SurgicalSim::tick_finish() {
+  const std::uint64_t tick = scratch_.tick;
+  const bool screened_this_tick = scratch_.screened;
+  const DetectionPipeline::Outcome& det = scratch_.det;
+  const bool alarm_this_tick = screened_this_tick && det.alarm;
+  const double predicted_disp = det.prediction.ee_displacement;
 
   // 10. Encoders for the next cycle.
   board_.latch_encoders(plant_.motor_positions(), plant_.wrist_positions());

@@ -150,6 +150,42 @@ class SurgicalSim {
   void press_start();
 
  private:
+  // --- phase-split tick ----------------------------------------------------
+  // step() == tick_begin → [estimator solve if needs_solve] → tick_resolve
+  // → plant step → tick_finish.  LockstepGroup (sim/lockstep.hpp) drives
+  // the phases across many sims so the estimator solves and the plant
+  // substeps run batched; each phase executes the exact statements the
+  // scalar step() would.
+
+  /// Everything one tick carries across phase boundaries.
+  struct TickScratch {
+    std::uint64_t tick = 0;
+    CommandBytes cmd{};
+    bool deliver = false;
+    bool screened = false;
+    DetectionPipeline::ScreenState screen{};
+    DetectionPipeline::Outcome det{};
+  };
+
+  /// Console → network → control software → write chain → screening up to
+  /// (not including) the estimator's model solve.
+  void tick_begin();
+  /// True when tick_resolve still needs the solved one-step-ahead state.
+  [[nodiscard]] bool needs_solve() const noexcept {
+    return scratch_.screened && !scratch_.screen.complete;
+  }
+  [[nodiscard]] const PendingSolve& pending_solve() const noexcept {
+    return scratch_.screen.pending;
+  }
+  /// Verdict + mitigation + board latch + PLC; returns the drive the
+  /// plant must execute this period.  `next` is ignored unless
+  /// needs_solve().
+  [[nodiscard]] PlantDrive tick_resolve(const RavenDynamicsModel::State& next);
+  /// Encoder latch, oracle, trace/flight/event bookkeeping, clock tick.
+  void tick_finish();
+
+  friend class LockstepGroup;
+
   void update_oracle();
   void emit_event(std::string_view kind, std::initializer_list<obs::EventField> fields);
   void dump_flight(std::string_view reason);
@@ -187,6 +223,8 @@ class SurgicalSim {
   Position clean_desired_{};
   bool clean_desired_valid_ = false;
   RunOutcome outcome_{};
+
+  TickScratch scratch_{};
 
   TraceRecorder* trace_ = nullptr;
   DetectionObserver detection_observer_;

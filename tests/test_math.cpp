@@ -3,6 +3,7 @@
 
 #include <cmath>
 
+#include "math/fastmath.hpp"
 #include "math/filters.hpp"
 #include "math/mat.hpp"
 #include "math/stats.hpp"
@@ -271,6 +272,64 @@ TEST(Differentiator, Reset) {
   d.update(1.0);
   d.reset();
   EXPECT_DOUBLE_EQ(d.update(5.0), 0.0);
+}
+
+// --- fastmath: the dynamics hot loop's transcendental kernels --------------
+// The batched SoA dynamics (dynamics/lane_kernel.hpp) leans on these; the
+// accuracy contract is "well below the plant's noise floor", which these
+// tests pin numerically against libm over dense sweeps.
+
+TEST(FastMath, ExpMatchesStdWithinTwoUlp) {
+  double worst = 0.0;
+  for (int i = -60000; i <= 60000; ++i) {
+    const double x = 0.01 * i;  // [-600, 600]
+    const double ref = std::exp(x);
+    const double got = fast_exp(x);
+    const double rel = std::abs(got - ref) / ref;
+    worst = std::max(worst, rel);
+  }
+  EXPECT_LT(worst, 5.0e-16);  // ~2 ulp
+}
+
+TEST(FastMath, ExpClampsInsteadOfOverflowing) {
+  EXPECT_TRUE(std::isfinite(fast_exp(1.0e6)));
+  EXPECT_TRUE(std::isfinite(fast_exp(-1.0e6)));
+  EXPECT_GT(fast_exp(1.0e3), 1.0e300);
+  EXPECT_LT(fast_exp(-1.0e3), 1.0e-300);
+  EXPECT_DOUBLE_EQ(fast_exp(0.0), 1.0);
+}
+
+TEST(FastMath, TanhMatchesStdAndSaturates) {
+  double worst = 0.0;
+  for (int i = -25000; i <= 25000; ++i) {
+    const double x = 0.001 * i;  // [-25, 25]
+    worst = std::max(worst, std::abs(fast_tanh(x) - std::tanh(x)));
+  }
+  EXPECT_LT(worst, 4.0e-15);
+  EXPECT_DOUBLE_EQ(fast_tanh(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(fast_tanh(100.0), -fast_tanh(-100.0));
+  EXPECT_NEAR(fast_tanh(40.0), 1.0, 1.0e-15);
+}
+
+TEST(FastMath, SincosMatchesStdOverWorkspaceAngles) {
+  double worst = 0.0;
+  for (int i = -100000; i <= 100000; ++i) {
+    const double x = 1.0e-3 * i;  // [-100, 100] rad: far beyond joint range
+    double s = 0.0;
+    double c = 0.0;
+    fast_sincos(x, s, c);
+    worst = std::max(worst, std::abs(s - std::sin(x)));
+    worst = std::max(worst, std::abs(c - std::cos(x)));
+  }
+  EXPECT_LT(worst, 1.0e-15);
+}
+
+TEST(FastMath, SincosBoundedOnAbsurdInputs) {
+  double s = 0.0;
+  double c = 0.0;
+  fast_sincos(1.0e300, s, c);
+  EXPECT_LE(std::abs(s), 1.0);
+  EXPECT_LE(std::abs(c), 1.0);
 }
 
 }  // namespace
