@@ -7,15 +7,20 @@
 #
 # Stage 1 is the canonical tier-1 command from ROADMAP.md.  Stage 2
 # rebuilds with -DRG_SANITIZE=thread and runs the Campaign.* tests (the
-# worker pool), Obs.* tests (the lock-free metrics shards), and the
+# worker pool), Obs.* tests (the lock-free metrics shards), the
 # batch-equivalence suites (BatchDynamics/BatchPlant/BatchCampaign — the
-# lane-parallel campaign path) under TSan, so data races fail CI rather
+# lane-parallel campaign path) and the Gateway.* tests (sharded session
+# multiplexing) under TSan, so data races fail CI rather
 # than flaking.  Stage 3 runs a small armed sweep with
 # --metrics-out/--trace-out/--events-out and validates every artifact:
 # the report (rg.campaign.report/2), the metrics snapshot, the Chrome
 # trace, and the safety-event JSONL (which must contain at least one
 # detector alarm and one mitigation).  Stage 4 runs the dynamics-kernel
 # microbench at a tiny scale and schema-validates BENCH_dynamics.json.
+# Stage 5 exercises the teleoperation gateway service end to end: the
+# capacity bench at a tiny scale (schema rg.bench.gateway/1), then a
+# real-socket run — raven_gateway on an ephemeral loopback port driven
+# by itp_loadgen — whose stats JSON must balance.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,8 +33,8 @@ cmake --build build -j "${JOBS}"
 
 echo "== tier-1 stage 2: ThreadSanitizer campaign + obs + batch tests =="
 cmake -B build-tsan -S . -DRG_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "${JOBS}" --target test_campaign test_obs test_batch_dynamics
-(cd build-tsan && ctest --output-on-failure -R '^(Campaign|Obs|BatchDynamics|BatchPlant|BatchCampaign|EstimatorSolves)\.')
+cmake --build build-tsan -j "${JOBS}" --target test_campaign test_obs test_batch_dynamics test_gateway
+(cd build-tsan && ctest --output-on-failure -R '^(Campaign|Obs|BatchDynamics|BatchPlant|BatchCampaign|EstimatorSolves|Gateway|GatewaySocket)\.')
 
 echo "== tier-1 stage 3: CLI telemetry artifacts =="
 cmake --build build -j "${JOBS}" --target raven_guard_cli
@@ -94,5 +99,62 @@ for row in doc["kernels"]:
     assert row["speedup"] > 0.0
 PY
 echo "bench schema OK (${TDIR}/bench_dynamics.json)"
+
+echo "== tier-1 stage 5: gateway service end-to-end =="
+cmake --build build -j "${JOBS}" --target raven_gateway itp_loadgen bench_gateway
+
+RG_SCALE=0.02 RG_BENCH_GATEWAY_JSON="${TDIR}/bench_gateway.json" \
+  ./build/bench/bench_gateway >/dev/null
+python3 - "${TDIR}/bench_gateway.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["schema"] == "rg.bench.gateway/1", doc.get("schema")
+assert doc["shards"] >= 1
+assert "sessions_sustained" in doc
+assert "p50_ingest_to_verdict_ns" in doc
+assert "p99_ingest_to_verdict_ns" in doc
+assert len(doc["rows"]) >= 1
+for row in doc["rows"]:
+    assert row["accepted"] > 0
+    assert row["realtime_ratio"] > 0.0
+PY
+echo "gateway bench schema OK (${TDIR}/bench_gateway.json)"
+
+# Real sockets: gateway on an ephemeral loopback port, loadgen drives it.
+./build/tools/raven_gateway --port 0 --shards 2 --duration 15 \
+  --port-file "${TDIR}/gateway.port" --stats-out "${TDIR}/gateway_stats.json" &
+GW_PID=$!
+trap 'kill "${GW_PID}" 2>/dev/null || true' EXIT
+for _ in $(seq 1 50); do
+  [ -s "${TDIR}/gateway.port" ] && break
+  sleep 0.1
+done
+PORT="$(cat "${TDIR}/gateway.port")"
+./build/tools/itp_loadgen --port "${PORT}" --sessions 8 --duration 1 \
+  --burst --attack-mix 0.05 --out "${TDIR}/loadgen.json" >/dev/null
+sleep 0.5
+kill -INT "${GW_PID}"
+wait "${GW_PID}"
+trap - EXIT
+python3 - "${TDIR}/gateway_stats.json" "${TDIR}/loadgen.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    stats = json.load(f)
+with open(sys.argv[2]) as f:
+    load = json.load(f)
+assert stats["schema"] == "rg.gateway.stats/1", stats.get("schema")
+assert load["schema"] == "rg.loadgen/1", load.get("schema")
+rejected = sum(stats[k] for k in stats if k.startswith("rejected_"))
+assert stats["datagrams"] == stats["accepted"] + rejected + stats["backpressure_dropped"]
+assert stats["accepted"] > 0
+assert stats["sessions_opened"] == load["sessions"] == 8
+# Attacked datagrams (replays/flips/garbled flags) must show up as
+# rejections, and every accepted datagram became a control tick.
+assert rejected > 0
+ticks = sum(s["ticks"] for s in stats["sessions"])
+assert ticks == stats["accepted"], (ticks, stats["accepted"])
+PY
+echo "gateway socket end-to-end OK (${TDIR}/gateway_stats.json)"
 
 echo "tier-1: all stages passed"

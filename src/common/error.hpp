@@ -22,6 +22,7 @@ enum class ErrorCode : std::uint8_t {
   kOutOfRange,
   kMalformedPacket,
   kChecksumMismatch,
+  kMalformedFlags,  // reserved/undefined protocol flag bits set
   kSafetyViolation,
   kNotReady,
   kUnreachable,   // IK target outside workspace
@@ -36,6 +37,7 @@ constexpr std::string_view to_string(ErrorCode code) noexcept {
     case ErrorCode::kOutOfRange: return "out_of_range";
     case ErrorCode::kMalformedPacket: return "malformed_packet";
     case ErrorCode::kChecksumMismatch: return "checksum_mismatch";
+    case ErrorCode::kMalformedFlags: return "malformed_flags";
     case ErrorCode::kSafetyViolation: return "safety_violation";
     case ErrorCode::kNotReady: return "not_ready";
     case ErrorCode::kUnreachable: return "unreachable";

@@ -61,6 +61,13 @@ Result<ItpPacket> decode_itp(std::span<const std::uint8_t> bytes, bool verify_ch
       xor_checksum(bytes.first(kItpPacketSize - 1)) != bytes[kItpPacketSize - 1]) {
     return Error{ErrorCode::kChecksumMismatch, "ITP packet checksum mismatch"};
   }
+  // Flag bits 1..7 are undefined by the protocol.  A packet with any of
+  // them set is rejected outright (distinct from a checksum failure):
+  // silently masking unknown bits would let a tampered-but-rechecksummed
+  // packet pass as clean.
+  if ((bytes[4] & ~kItpDefinedFlagMask) != 0) {
+    return Error{ErrorCode::kMalformedFlags, "ITP packet has undefined flag bits set"};
+  }
   ItpPacket pkt;
   pkt.sequence = get_u32(bytes.subspan(0, 4));
   pkt.pedal_down = (bytes[4] & 0x01) != 0;

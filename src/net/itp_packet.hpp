@@ -28,6 +28,11 @@ namespace rg {
 inline constexpr std::size_t kItpPacketSize = 30;
 using ItpBytes = std::array<std::uint8_t, kItpPacketSize>;
 
+/// Flag bits the protocol defines (bit 0: foot pedal).  Bits 1..7 are
+/// undefined; decode_itp rejects packets that set any of them
+/// (ErrorCode::kMalformedFlags — distinct from a checksum failure).
+inline constexpr std::uint8_t kItpDefinedFlagMask = 0x01;
+
 struct ItpPacket {
   std::uint32_t sequence = 0;
   bool pedal_down = false;

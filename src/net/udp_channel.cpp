@@ -7,6 +7,10 @@ namespace rg {
 UdpChannel::UdpChannel(const UdpChannelConfig& config) : config_(config), rng_(config.seed) {
   require(config.loss_probability >= 0.0 && config.loss_probability <= 1.0,
           "loss_probability in [0,1]");
+  require(config.duplicate_probability >= 0.0 && config.duplicate_probability <= 1.0,
+          "duplicate_probability in [0,1]");
+  require(config.reorder_probability >= 0.0 && config.reorder_probability <= 1.0,
+          "reorder_probability in [0,1]");
 }
 
 void UdpChannel::send(std::vector<std::uint8_t> datagram) {
@@ -15,9 +19,24 @@ void UdpChannel::send(std::vector<std::uint8_t> datagram) {
     ++dropped_;
     return;
   }
-  std::uint64_t delay = config_.min_delay_ticks;
-  if (config_.jitter_ticks > 0) delay += rng_.uniform_int(0, config_.jitter_ticks);
-  queue_.push_back(InFlight{now_ + delay, std::move(datagram)});
+  const auto draw_delay = [this]() {
+    std::uint64_t delay = config_.min_delay_ticks;
+    if (config_.jitter_ticks > 0) delay += rng_.uniform_int(0, config_.jitter_ticks);
+    return delay;
+  };
+  if (config_.duplicate_probability > 0.0 && rng_.uniform() < config_.duplicate_probability) {
+    ++duplicated_;
+    queue_.push_back(InFlight{now_ + draw_delay(), datagram});
+  }
+  queue_.push_back(InFlight{now_ + draw_delay(), std::move(datagram)});
+  // Adjacent-swap reordering: queue position decides delivery order among
+  // equally-deliverable datagrams, so swapping with the previous entry
+  // reorders even a zero-jitter stream.
+  if (queue_.size() >= 2 && config_.reorder_probability > 0.0 &&
+      rng_.uniform() < config_.reorder_probability) {
+    ++reordered_;
+    std::swap(queue_[queue_.size() - 1], queue_[queue_.size() - 2]);
+  }
 }
 
 std::optional<std::vector<std::uint8_t>> UdpChannel::receive() {

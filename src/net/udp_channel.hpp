@@ -16,6 +16,13 @@ namespace rg {
 
 struct UdpChannelConfig {
   double loss_probability = 0.0;   ///< i.i.d. datagram loss
+  /// i.i.d. duplication: with this probability a datagram is delivered
+  /// twice (the copy draws its own delay, so dup + jitter also reorders).
+  double duplicate_probability = 0.0;
+  /// i.i.d. adjacent-swap reordering: with this probability a datagram is
+  /// queued *ahead* of the previously queued one, so equal-delay streams
+  /// still arrive out of send order.
+  double reorder_probability = 0.0;
   std::uint32_t min_delay_ticks = 0;  ///< fixed delivery latency (control ticks)
   std::uint32_t jitter_ticks = 0;     ///< uniform extra delay in [0, jitter]
   std::uint64_t seed = 7;
@@ -38,6 +45,8 @@ class UdpChannel {
   [[nodiscard]] std::size_t in_flight() const noexcept { return queue_.size(); }
   [[nodiscard]] std::uint64_t datagrams_sent() const noexcept { return sent_; }
   [[nodiscard]] std::uint64_t datagrams_dropped() const noexcept { return dropped_; }
+  [[nodiscard]] std::uint64_t datagrams_duplicated() const noexcept { return duplicated_; }
+  [[nodiscard]] std::uint64_t datagrams_reordered() const noexcept { return reordered_; }
 
  private:
   struct InFlight {
@@ -51,6 +60,8 @@ class UdpChannel {
   std::uint64_t now_ = 0;
   std::uint64_t sent_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t duplicated_ = 0;
+  std::uint64_t reordered_ = 0;
 };
 
 }  // namespace rg

@@ -1,0 +1,234 @@
+#include "svc/gateway.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/error.hpp"
+#include "net/itp_packet.hpp"
+#include "obs/span.hpp"
+
+namespace rg::svc {
+
+namespace {
+
+/// Idle-eviction scans are throttled — the table walk is O(sessions) and
+/// eviction granularity finer than this buys nothing at a 2 s timeout.
+constexpr std::uint64_t kEvictScanPeriodMs = 50;
+
+}  // namespace
+
+TeleopGateway::TeleopGateway(const GatewayConfig& config, Transport& transport)
+    : config_(config), transport_(transport) {
+  require(config.shards >= 1, "TeleopGateway: at least one shard required");
+  require(config.max_sessions >= 1, "TeleopGateway: max_sessions must be >= 1");
+  auto& reg = obs::Registry::global();
+  ingest_counter_ = reg.counter("rg.gw.datagrams");
+  accept_counter_ = reg.counter("rg.gw.accepted");
+  reject_counter_ = reg.counter("rg.gw.rejected");
+  shards_.reserve(config.shards);
+  for (std::size_t i = 0; i < config.shards; ++i) {
+    ShardConfig sc;
+    sc.engine = config.engine;
+    sc.index = i;
+    sc.max_queue = config.max_queue_per_shard;
+    sc.threaded = config.threaded;
+    sc.plant_seed_base = config.plant_seed_base;
+    shards_.push_back(std::make_unique<GatewayShard>(sc));
+    shards_.back()->start();
+  }
+}
+
+TeleopGateway::~TeleopGateway() { shutdown(); }
+
+std::size_t TeleopGateway::pump(std::uint64_t now_ms, std::size_t max) {
+  RG_SPAN("gw.pump");
+  const std::size_t drained = transport_.poll(
+      [&](const Endpoint& from, std::span<const std::uint8_t> bytes) {
+        (void)ingest(from, bytes, now_ms, obs::monotonic_ns());
+      },
+      max);
+  if (now_ms - last_evict_scan_ms_ >= kEvictScanPeriodMs || last_evict_scan_ms_ == 0) {
+    last_evict_scan_ms_ = now_ms;
+    evict_idle(now_ms);
+  }
+  if (!config_.threaded) {
+    for (auto& shard : shards_) shard->process_pending();
+  }
+  return drained;
+}
+
+void TeleopGateway::drain() {
+  if (!config_.threaded) {
+    for (auto& shard : shards_) shard->process_pending();
+    return;
+  }
+  for (auto& shard : shards_) {
+    while (!shard->idle()) std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+}
+
+void TeleopGateway::shutdown() {
+  {
+    const std::lock_guard<std::mutex> lock(table_mutex_);
+    if (shut_down_) return;
+    shut_down_ = true;
+    for (auto& [ep, rec] : table_) {
+      (void)shards_[rec.shard]->submit(
+          ShardItem{ShardItem::Kind::kClose, rec.id, ItpBytes{}, 0});
+      ++stats_.sessions_evicted;
+      evicted_[ep] = rec;
+    }
+    table_.clear();
+  }
+  drain();
+  for (auto& shard : shards_) shard->stop();
+}
+
+IngestVerdict TeleopGateway::ingest(const Endpoint& from, std::span<const std::uint8_t> bytes,
+                                    std::uint64_t now_ms, std::uint64_t ingest_ns) {
+  obs::Registry::global().add(ingest_counter_);
+  const std::lock_guard<std::mutex> lock(table_mutex_);
+  ++stats_.datagrams;
+
+  // 1. Frame size (+ MAC tag when the integrity retrofit is on).
+  std::span<const std::uint8_t> itp = bytes;
+  if (config_.require_mac) {
+    if (bytes.size() != kMacFrameSize) {
+      note(IngestVerdict::kBadSize);
+      return IngestVerdict::kBadSize;
+    }
+    if (!verify_itp_frame(bytes, config_.mac_key)) {
+      note(IngestVerdict::kBadMac);
+      return IngestVerdict::kBadMac;
+    }
+    itp = bytes.first(kItpPacketSize);
+  } else if (bytes.size() != kItpPacketSize) {
+    note(IngestVerdict::kBadSize);
+    return IngestVerdict::kBadSize;
+  }
+
+  // 2. ITP decode: checksum and undefined flag bits.
+  const Result<ItpPacket> decoded = decode_itp(itp, config_.verify_checksum);
+  if (!decoded) {
+    const IngestVerdict v = decoded.error().code() == ErrorCode::kMalformedFlags
+                                ? IngestVerdict::kBadFlags
+                                : IngestVerdict::kBadChecksum;
+    note(v);
+    return v;
+  }
+
+  // 3. Session admission (first valid datagram from an endpoint opens it).
+  auto it = table_.find(from);
+  if (it == table_.end()) {
+    if (table_.size() >= config_.max_sessions) {
+      note(IngestVerdict::kSessionLimit);
+      return IngestVerdict::kSessionLimit;
+    }
+    SessionRecord rec;
+    rec.id = next_session_id_++;
+    rec.shard = rec.id % shards_.size();
+    rec.last_seen_ms = now_ms;
+    it = table_.emplace(from, rec).first;
+    ++stats_.sessions_opened;
+    (void)shards_[rec.shard]->submit(ShardItem{ShardItem::Kind::kOpen, rec.id, ItpBytes{}, 0});
+  }
+  SessionRecord& rec = it->second;
+  rec.last_seen_ms = now_ms;
+
+  // 4. Anti-replay sequence window.
+  const ReplayWindow::Outcome seq = rec.window.check_and_update(decoded.value().sequence);
+  if (seq.verdict != IngestVerdict::kAccepted) {
+    switch (seq.verdict) {
+      case IngestVerdict::kDuplicate: ++rec.counters.duplicates; break;
+      case IngestVerdict::kReplayed: ++rec.counters.replayed; break;
+      default: ++rec.counters.stale; break;
+    }
+    note(seq.verdict);
+    return seq.verdict;
+  }
+  rec.counters.lost_gap += seq.gap;
+  if (seq.out_of_order) {
+    ++rec.counters.out_of_order;
+    ++stats_.out_of_order_accepted;
+  }
+
+  // 5. Hand off to the owning shard (bounded queue = backpressure).
+  ShardItem item{ShardItem::Kind::kDatagram, rec.id, ItpBytes{}, ingest_ns};
+  std::copy(itp.begin(), itp.end(), item.bytes.begin());
+  if (!shards_[rec.shard]->submit(item)) {
+    ++rec.counters.backpressure;
+    note(IngestVerdict::kBackpressure);
+    return IngestVerdict::kBackpressure;
+  }
+  ++rec.counters.accepted;
+  ++stats_.accepted;
+  obs::Registry::global().add(accept_counter_);
+  return IngestVerdict::kAccepted;
+}
+
+void TeleopGateway::note(IngestVerdict v) {
+  switch (v) {
+    case IngestVerdict::kAccepted: return;
+    case IngestVerdict::kBadSize: ++stats_.rejected_size; break;
+    case IngestVerdict::kBadMac: ++stats_.rejected_mac; break;
+    case IngestVerdict::kBadChecksum: ++stats_.rejected_checksum; break;
+    case IngestVerdict::kBadFlags: ++stats_.rejected_flags; break;
+    case IngestVerdict::kDuplicate: ++stats_.rejected_duplicate; break;
+    case IngestVerdict::kReplayed: ++stats_.rejected_replayed; break;
+    case IngestVerdict::kStale: ++stats_.rejected_stale; break;
+    case IngestVerdict::kSessionLimit: ++stats_.rejected_session_limit; break;
+    case IngestVerdict::kBackpressure: ++stats_.backpressure_dropped; break;
+  }
+  obs::Registry::global().add(reject_counter_);
+}
+
+void TeleopGateway::evict_idle(std::uint64_t now_ms) {
+  const std::lock_guard<std::mutex> lock(table_mutex_);
+  for (auto it = table_.begin(); it != table_.end();) {
+    const SessionRecord& rec = it->second;
+    if (now_ms - rec.last_seen_ms >= config_.idle_timeout_ms) {
+      (void)shards_[rec.shard]->submit(
+          ShardItem{ShardItem::Kind::kClose, rec.id, ItpBytes{}, 0});
+      ++stats_.sessions_evicted;
+      evicted_[it->first] = rec;
+      it = table_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+GatewayStats TeleopGateway::stats() const {
+  const std::lock_guard<std::mutex> lock(table_mutex_);
+  GatewayStats out = stats_;
+  out.active_sessions = table_.size();
+  return out;
+}
+
+SessionStats TeleopGateway::snapshot_session(const Endpoint& ep, const SessionRecord& rec,
+                                             bool active) const {
+  SessionStats s;
+  s.id = rec.id;
+  s.endpoint = ep;
+  s.active = active;
+  s.last_seen_ms = rec.last_seen_ms;
+  s.counters = rec.counters;
+  if (const auto shard = shards_[rec.shard]->session_stats(rec.id)) s.shard = *shard;
+  return s;
+}
+
+std::vector<SessionStats> TeleopGateway::sessions() const {
+  std::vector<SessionStats> out;
+  {
+    const std::lock_guard<std::mutex> lock(table_mutex_);
+    out.reserve(table_.size() + evicted_.size());
+    for (const auto& [ep, rec] : table_) out.push_back(snapshot_session(ep, rec, true));
+    for (const auto& [ep, rec] : evicted_) out.push_back(snapshot_session(ep, rec, false));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SessionStats& a, const SessionStats& b) { return a.id < b.id; });
+  return out;
+}
+
+}  // namespace rg::svc

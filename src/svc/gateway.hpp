@@ -1,0 +1,154 @@
+// TeleopGateway: the network-facing teleoperation service.
+//
+// One gateway terminates the surgeon side of the paper's telesurgery
+// link: it ingests ITP datagrams from a Transport (real UDP socket or
+// deterministic loopback), classifies each one (size, MAC, checksum,
+// flag bits, anti-replay window), admits sessions keyed by source
+// endpoint, and multiplexes accepted traffic onto a fixed set of
+// GatewayShards — each shard owning a disjoint subset of sessions and
+// driving their server-side stacks (control + PLC + board + plant twin +
+// detection pipeline) through the batched SoA kernels.
+//
+//   transport.poll() ──> pump thread: classify + session table
+//                           │ (bounded per-shard queues)
+//                           ▼
+//                    shard workers: per-session mailboxes, rounds of
+//                    batched control ticks, detection verdicts
+//
+// Determinism: shard assignment is session-id modulo shard count, one
+// accepted datagram advances its session by exactly one control tick,
+// and the batched kernels are bit-identical to scalar — so per-session
+// verdict digests and counters are invariant under the shard count and
+// the thread schedule (tests/test_gateway.cpp asserts this over
+// LoopbackTransport).
+//
+// Time is caller-supplied (pump(now_ms)): tools pass steady-clock
+// milliseconds, tests and benches pass synthetic time so idle eviction
+// is reproducible.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "defense/mac.hpp"
+#include "obs/metrics.hpp"
+#include "svc/session.hpp"
+#include "svc/shard.hpp"
+#include "svc/transport.hpp"
+
+namespace rg::svc {
+
+struct GatewayConfig {
+  SessionEngineConfig engine{};
+  std::size_t shards = 2;
+  /// Threaded shards (one worker each).  false = every shard advances on
+  /// the pump thread — fully deterministic single-threaded execution.
+  bool threaded = true;
+  std::size_t max_sessions = 256;
+  /// Sessions quiet for this long are evicted at the next pump.
+  std::uint64_t idle_timeout_ms = 2000;
+  std::size_t max_queue_per_shard = 8192;
+  /// Ingest-side integrity retrofit: datagrams must be 38-byte MAC frames
+  /// (30 ITP bytes + SipHash-2-4 tag) under `mac_key`.
+  bool require_mac = false;
+  MacKey mac_key = MacKey::from_seed(7);
+  bool verify_checksum = true;
+  /// Session plant seeds = base + session id.
+  std::uint64_t plant_seed_base = 1;
+};
+
+/// Gateway-wide ingest accounting (monotonic; snapshot via stats()).
+struct GatewayStats {
+  std::uint64_t datagrams = 0;  ///< everything the transport delivered
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected_size = 0;
+  std::uint64_t rejected_mac = 0;
+  std::uint64_t rejected_checksum = 0;
+  std::uint64_t rejected_flags = 0;
+  std::uint64_t rejected_duplicate = 0;
+  std::uint64_t rejected_replayed = 0;
+  std::uint64_t rejected_stale = 0;
+  std::uint64_t rejected_session_limit = 0;
+  std::uint64_t backpressure_dropped = 0;
+  std::uint64_t out_of_order_accepted = 0;
+  std::uint64_t sessions_opened = 0;
+  std::uint64_t sessions_evicted = 0;
+  std::uint64_t active_sessions = 0;
+};
+
+/// Merged per-session view: the pump side's ingest counters plus the
+/// owning shard's screening stats.
+struct SessionStats {
+  std::uint32_t id = 0;
+  Endpoint endpoint{};
+  bool active = false;
+  std::uint64_t last_seen_ms = 0;
+  SessionCounters counters{};
+  ShardSessionStats shard{};
+};
+
+class TeleopGateway {
+ public:
+  TeleopGateway(const GatewayConfig& config, Transport& transport);
+  ~TeleopGateway();
+
+  TeleopGateway(const TeleopGateway&) = delete;
+  TeleopGateway& operator=(const TeleopGateway&) = delete;
+
+  /// Drain up to `max` datagrams from the transport, classify and
+  /// dispatch them, and run the (throttled) idle-eviction scan.  In
+  /// inline mode this also advances every shard.  Returns the number of
+  /// datagrams drained; call in a loop.
+  std::size_t pump(std::uint64_t now_ms, std::size_t max = 1024);
+
+  /// Block until every shard has drained its queue and finished its
+  /// rounds (inline mode: runs them on this thread).
+  void drain();
+
+  /// Evict every active session (submits kClose) and drain.  Called by
+  /// the destructor; idempotent.
+  void shutdown();
+
+  [[nodiscard]] GatewayStats stats() const;
+  /// Every session ever admitted (active and evicted), ascending id.
+  [[nodiscard]] std::vector<SessionStats> sessions() const;
+  [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
+
+ private:
+  struct SessionRecord {
+    std::uint32_t id = 0;
+    std::size_t shard = 0;
+    std::uint64_t last_seen_ms = 0;
+    ReplayWindow window{};
+    SessionCounters counters{};
+  };
+
+  IngestVerdict ingest(const Endpoint& from, std::span<const std::uint8_t> bytes,
+                       std::uint64_t now_ms, std::uint64_t ingest_ns);
+  void evict_idle(std::uint64_t now_ms);
+  void note(IngestVerdict v);
+  [[nodiscard]] SessionStats snapshot_session(const Endpoint& ep, const SessionRecord& rec,
+                                              bool active) const;
+
+  GatewayConfig config_;
+  Transport& transport_;
+  std::vector<std::unique_ptr<GatewayShard>> shards_;
+
+  mutable std::mutex table_mutex_;
+  std::unordered_map<Endpoint, SessionRecord, EndpointHash> table_;
+  std::unordered_map<Endpoint, SessionRecord, EndpointHash> evicted_;
+  GatewayStats stats_{};
+  std::uint32_t next_session_id_ = 1;
+  std::uint64_t last_evict_scan_ms_ = 0;
+  bool shut_down_ = false;
+
+  obs::MetricId ingest_counter_;
+  obs::MetricId accept_counter_;
+  obs::MetricId reject_counter_;
+};
+
+}  // namespace rg::svc

@@ -1,0 +1,156 @@
+// Gateway session vocabulary: ingest classification, the anti-replay
+// sequence window, per-session counters, and the authenticated datagram
+// frame.
+//
+// A session is keyed by its source endpoint.  Its lifecycle is
+//
+//   (first valid datagram) --> kActive --(idle timeout)--> evicted
+//
+// where "valid" means the datagram survived every ingest check: frame
+// size, MAC (when required), ITP decode (checksum + flag bits), and the
+// sequence window.  The window is a DTLS/IPsec-style sliding bitmap over
+// the highest sequence seen: duplicates and replays of already-accepted
+// numbers are rejected and counted, late-but-new packets inside the
+// window are accepted (UDP reorders), and anything older than the window
+// is stale.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "defense/mac.hpp"
+#include "net/itp_packet.hpp"
+
+namespace rg::svc {
+
+/// Classification of one ingested datagram.  Everything except kAccepted
+/// is a rejection, counted under its own name.
+enum class IngestVerdict : std::uint8_t {
+  kAccepted,
+  kBadSize,        ///< not a 30-byte ITP frame (or 38-byte MAC frame)
+  kBadMac,         ///< MAC tag verification failed
+  kBadChecksum,    ///< ITP checksum mismatch
+  kBadFlags,       ///< undefined ITP flag bits set
+  kDuplicate,      ///< sequence == newest accepted
+  kReplayed,       ///< sequence inside the window but already accepted
+  kStale,          ///< sequence older than the window
+  kSessionLimit,   ///< table full, admission refused
+  kBackpressure,   ///< shard queue full, datagram dropped
+};
+
+[[nodiscard]] constexpr std::string_view to_string(IngestVerdict v) noexcept {
+  switch (v) {
+    case IngestVerdict::kAccepted: return "accepted";
+    case IngestVerdict::kBadSize: return "bad_size";
+    case IngestVerdict::kBadMac: return "bad_mac";
+    case IngestVerdict::kBadChecksum: return "bad_checksum";
+    case IngestVerdict::kBadFlags: return "bad_flags";
+    case IngestVerdict::kDuplicate: return "duplicate";
+    case IngestVerdict::kReplayed: return "replayed";
+    case IngestVerdict::kStale: return "stale";
+    case IngestVerdict::kSessionLimit: return "session_limit";
+    case IngestVerdict::kBackpressure: return "backpressure";
+  }
+  return "unknown";
+}
+
+/// Sliding-bitmap anti-replay window (64 sequence numbers wide), the
+/// technique DTLS (RFC 6347 §4.1.2.6) and IPsec use.  Bit k of the mask
+/// marks "newest - k" as already accepted.
+class ReplayWindow {
+ public:
+  static constexpr std::uint32_t kWindow = 64;
+
+  struct Outcome {
+    IngestVerdict verdict = IngestVerdict::kAccepted;
+    std::uint32_t gap = 0;        ///< sequence numbers skipped (presumed lost)
+    bool out_of_order = false;    ///< accepted but older than the newest
+  };
+
+  [[nodiscard]] Outcome check_and_update(std::uint32_t seq) noexcept {
+    Outcome out;
+    if (!any_) {
+      any_ = true;
+      newest_ = seq;
+      mask_ = 1;
+      return out;
+    }
+    if (seq > newest_) {
+      const std::uint32_t advance = seq - newest_;
+      out.gap = advance - 1;
+      mask_ = advance >= kWindow ? 0 : mask_ << advance;
+      mask_ |= 1;
+      newest_ = seq;
+      return out;
+    }
+    const std::uint32_t age = newest_ - seq;
+    if (age == 0) {
+      out.verdict = IngestVerdict::kDuplicate;
+      return out;
+    }
+    if (age >= kWindow) {
+      out.verdict = IngestVerdict::kStale;
+      return out;
+    }
+    const std::uint64_t bit = 1ULL << age;
+    if ((mask_ & bit) != 0) {
+      out.verdict = IngestVerdict::kReplayed;
+      return out;
+    }
+    mask_ |= bit;
+    out.out_of_order = true;
+    return out;
+  }
+
+  [[nodiscard]] std::uint32_t newest() const noexcept { return newest_; }
+  [[nodiscard]] bool started() const noexcept { return any_; }
+
+ private:
+  std::uint32_t newest_ = 0;
+  std::uint64_t mask_ = 0;
+  bool any_ = false;
+};
+
+/// Per-session ingest + screening counters.  Ingest fields are written by
+/// the gateway's pump thread; tick/alarm fields by the owning shard.  The
+/// gateway merges both views in its stats snapshot.
+struct SessionCounters {
+  std::uint64_t accepted = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t replayed = 0;
+  std::uint64_t stale = 0;
+  std::uint64_t out_of_order = 0;
+  std::uint64_t lost_gap = 0;      ///< sequence numbers never seen
+  std::uint64_t backpressure = 0;  ///< accepted but dropped at the shard queue
+};
+
+// --- authenticated gateway frame -------------------------------------------
+// With MAC required, a datagram is the 30 ITP bytes followed by the
+// 8-byte little-endian SipHash-2-4 tag over them (defense/mac.hpp): the
+// ingest-side half of the paper's integrity-retrofit comparison.
+
+inline constexpr std::size_t kMacFrameSize = kItpPacketSize + 8;
+using MacFrameBytes = std::array<std::uint8_t, kMacFrameSize>;
+
+[[nodiscard]] inline MacFrameBytes seal_itp_frame(const ItpBytes& itp,
+                                                  const MacKey& key) noexcept {
+  MacFrameBytes out{};
+  for (std::size_t i = 0; i < kItpPacketSize; ++i) out[i] = itp[i];
+  const std::uint64_t tag = siphash24(key, std::span<const std::uint8_t>{itp});
+  const std::array<std::uint8_t, 8> tb = tag_bytes(tag);
+  for (std::size_t i = 0; i < 8; ++i) out[kItpPacketSize + i] = tb[i];
+  return out;
+}
+
+/// Verifies the tag of a 38-byte frame (constant-time compare).  The
+/// caller has already checked the size.
+[[nodiscard]] inline bool verify_itp_frame(std::span<const std::uint8_t> frame,
+                                           const MacKey& key) noexcept {
+  const std::uint64_t expect = siphash24(key, frame.first(kItpPacketSize));
+  const std::uint64_t got = tag_from_bytes(frame.subspan(kItpPacketSize, 8));
+  return tags_equal(expect, got);
+}
+
+}  // namespace rg::svc

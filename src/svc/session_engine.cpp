@@ -1,0 +1,107 @@
+#include "svc/session_engine.hpp"
+
+#include <bit>
+
+namespace rg::svc {
+
+namespace {
+
+JointVector default_initial_joints(const ControlConfig& control) {
+  // Mirror the simulation harness: slightly off the homing target so the
+  // Init phase does real work before teleoperation.
+  JointVector q = control.limits.midpoint();
+  q[0] += 0.05;
+  q[1] -= 0.04;
+  q[2] += 0.01;
+  return q;
+}
+
+}  // namespace
+
+SessionEngine::SessionEngine(const SessionEngineConfig& config)
+    : config_(config),
+      control_(config.control),
+      plc_(config.plc),
+      board_(plc_, config.channel),
+      plant_(config.plant),
+      pipeline_(config.detection) {
+  plant_.set_joint_config(config_.initial_joints.value_or(default_initial_joints(config_.control)));
+  board_.latch_encoders(plant_.motor_positions(), plant_.wrist_positions());
+}
+
+void SessionEngine::tick_begin(std::optional<std::span<const std::uint8_t>> itp) {
+  cmd_ = CommandBytes{};
+  screen_ = DetectionPipeline::ScreenState{};
+  screened_ = false;
+
+  // A live gateway session has no operator walking to the start button:
+  // arm the control software and PLC on the first tick.
+  if (!started_) {
+    control_.press_start();
+    plc_.press_start();
+    started_ = true;
+  }
+
+  // 1. Feedback from the interface board (the encoders the plant twin
+  //    latched at the end of the previous tick).
+  feedback_ = board_.build_feedback();
+
+  // 2. The 1 kHz control cycle under the ingested datagram.
+  cmd_ = control_.tick(itp, std::span{feedback_});
+
+  // 3. Detection pipeline: feedback + screening up to the model solve.
+  pipeline_.set_engaged(!plc_.brakes_engaged());
+  MotorVector encoder_angles;
+  for (std::size_t i = 0; i < 3; ++i) encoder_angles[i] = board_.encoder_angle(i);
+  pipeline_.observe_feedback(encoder_angles);
+  screen_ = pipeline_.begin_process(std::span{cmd_});
+  screened_ = true;
+}
+
+void SessionEngine::tick_resolve(const RavenDynamicsModel::State& next) {
+  const DetectionPipeline::Outcome out = pipeline_.finish_process(screen_, next);
+  last_ = TickResult{true, out.alarm, out.blocked};
+  if (out.alarm) ++alarms_;
+  if (out.blocked) {
+    ++blocked_;
+    cmd_ = out.bytes;
+    if (config_.detection.mitigation == MitigationStrategy::kEStop &&
+        config_.detection.mitigation_enabled) {
+      plc_.press_estop();
+    }
+  }
+  fold_digest(out);
+
+  (void)board_.receive_command(std::span<const std::uint8_t>{cmd_});
+  plc_.tick();
+  drive_ = PlantDrive{board_.modeled_currents(), plc_.brakes_engaged(), board_.wrist_currents()};
+}
+
+SessionEngine::TickResult SessionEngine::tick_finish() {
+  board_.latch_encoders(plant_.motor_positions(), plant_.wrist_positions());
+  ++ticks_;
+  return last_;
+}
+
+SessionEngine::TickResult SessionEngine::tick(
+    std::optional<std::span<const std::uint8_t>> itp) {
+  tick_begin(itp);
+  RavenDynamicsModel::State next{};
+  if (needs_solve()) next = pipeline_.estimator().solve(screen_.pending);
+  tick_resolve(next);
+  plant_.step_control_period(drive_.currents, drive_.brakes_engaged, drive_.wrist_currents);
+  return tick_finish();
+}
+
+void SessionEngine::fold_digest(const DetectionPipeline::Outcome& out) noexcept {
+  constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  const auto fold = [&](std::uint64_t v) {
+    digest_ ^= v;
+    digest_ *= kPrime;
+  };
+  fold(static_cast<std::uint64_t>(out.alarm) | (static_cast<std::uint64_t>(out.blocked) << 1) |
+       (static_cast<std::uint64_t>(out.verdict.worst_axis) << 2));
+  fold(std::bit_cast<std::uint64_t>(out.prediction.ee_displacement));
+}
+
+}  // namespace rg::svc

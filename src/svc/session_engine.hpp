@@ -1,0 +1,114 @@
+// SessionEngine: one surgeon session's server-side stack.
+//
+// The gateway runs, per session, the same trusted chain the simulation
+// harness wires up — control software, PLC, USB interface board, plant
+// twin, and the detection pipeline — but driven by *externally ingested*
+// ITP datagrams instead of an in-process master console.  One accepted
+// datagram advances the session by exactly one 1 kHz control tick, so a
+// session's verdict stream is a pure function of its datagram stream:
+// that is what makes gateway runs deterministic at any shard count.
+//
+// The tick is phase-split exactly like SurgicalSim's (begin / solve /
+// resolve / plant / finish) so a shard can gather up to kBatchLanes
+// sessions and run the two model-physics hot spots — the estimator's
+// one-step solve and the plant's RK4 substep loop — through the batched
+// SoA kernels (dynamics/batch_model.hpp).  The batched kernels are
+// bit-identical to the scalar ones, so batching never perturbs a verdict.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "control/control_software.hpp"
+#include "core/pipeline.hpp"
+#include "hw/plc.hpp"
+#include "hw/usb_board.hpp"
+#include "plant/physical_robot.hpp"
+
+namespace rg::svc {
+
+struct SessionEngineConfig {
+  ControlConfig control{};
+  PlantConfig plant{};
+  PlcConfig plc{};
+  MotorChannelConfig channel{};
+  PipelineConfig detection{};
+  /// Plant start configuration (defaults to just off the homing target,
+  /// as in the simulation harness, so homing does real work).
+  std::optional<JointVector> initial_joints{};
+};
+
+class SessionEngine {
+ public:
+  /// What one tick produced (the session's externally visible verdict).
+  struct TickResult {
+    bool screened = false;
+    bool alarm = false;
+    bool blocked = false;
+  };
+
+  explicit SessionEngine(const SessionEngineConfig& config);
+
+  /// Scalar convenience: one full control tick consuming `itp` (nullopt
+  /// models a within-session gap the caller chose to tick through).
+  TickResult tick(std::optional<std::span<const std::uint8_t>> itp);
+
+  // --- phase-split tick (the shard's batched driver) -----------------------
+  void tick_begin(std::optional<std::span<const std::uint8_t>> itp);
+  [[nodiscard]] bool needs_solve() const noexcept {
+    return screened_ && !screen_.complete;
+  }
+  [[nodiscard]] const PendingSolve& pending_solve() const noexcept {
+    return screen_.pending;
+  }
+  /// Verdict + mitigation + board latch + PLC tick; stashes the plant
+  /// drive for this period.  `next` is ignored unless needs_solve().
+  void tick_resolve(const RavenDynamicsModel::State& next);
+  [[nodiscard]] const PlantDrive& drive() const noexcept { return drive_; }
+  /// Encoder latch + per-session bookkeeping; the caller has stepped the
+  /// plant (scalar or batched lane) with drive() in between.
+  TickResult tick_finish();
+
+  // --- introspection -------------------------------------------------------
+  [[nodiscard]] PhysicalRobot& plant() noexcept { return plant_; }
+  [[nodiscard]] DetectionPipeline& pipeline() noexcept { return pipeline_; }
+  [[nodiscard]] ControlSoftware& control() noexcept { return control_; }
+  [[nodiscard]] std::uint64_t ticks() const noexcept { return ticks_; }
+  [[nodiscard]] std::uint64_t alarms() const noexcept { return alarms_; }
+  [[nodiscard]] std::uint64_t blocked() const noexcept { return blocked_; }
+  [[nodiscard]] const TickResult& last() const noexcept { return last_; }
+
+  /// FNV-1a fold of every tick's verdict (screened/alarm/blocked and the
+  /// bit pattern of the predicted end-effector displacement).  Two runs
+  /// that fed a session the same datagram stream must produce the same
+  /// digest regardless of sharding or batching — the determinism probe
+  /// tests/test_gateway.cpp asserts.
+  [[nodiscard]] std::uint64_t verdict_digest() const noexcept { return digest_; }
+
+ private:
+  void fold_digest(const DetectionPipeline::Outcome& out) noexcept;
+
+  SessionEngineConfig config_;
+  ControlSoftware control_;
+  Plc plc_;
+  UsbBoard board_;
+  PhysicalRobot plant_;
+  DetectionPipeline pipeline_;
+
+  // Per-tick scratch carried across the phase boundaries.
+  CommandBytes cmd_{};
+  DetectionPipeline::ScreenState screen_{};
+  bool screened_ = false;
+  PlantDrive drive_{};
+  FeedbackBytes feedback_{};
+
+  bool started_ = false;
+  std::uint64_t ticks_ = 0;
+  std::uint64_t alarms_ = 0;
+  std::uint64_t blocked_ = 0;
+  std::uint64_t digest_ = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  TickResult last_{};
+};
+
+}  // namespace rg::svc

@@ -1,0 +1,234 @@
+#include "svc/shard.hpp"
+
+#include <algorithm>
+#include <array>
+#include <string>
+
+#include "obs/span.hpp"
+#include "plant/batch_plant.hpp"
+
+namespace rg::svc {
+
+GatewayShard::GatewayShard(const ShardConfig& config)
+    : config_(config), est_model_(config.engine.detection.estimator.model) {
+  auto& reg = obs::Registry::global();
+  latency_hist_ = reg.histogram("rg.gw.ingest_to_verdict_ns");
+  round_lanes_hist_ = reg.histogram("rg.gw.round.lanes");
+  ticks_counter_ =
+      reg.counter("rg.gw.shard." + std::to_string(config.index) + ".ticks");
+}
+
+GatewayShard::~GatewayShard() { stop(); }
+
+void GatewayShard::start() {
+  if (!config_.threaded || started_) return;
+  started_ = true;
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+void GatewayShard::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+  started_ = false;
+}
+
+bool GatewayShard::submit(const ShardItem& item) {
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (stop_) return false;
+    if (item.kind == ShardItem::Kind::kDatagram && queue_.size() >= config_.max_queue) {
+      return false;  // backpressure: the caller counts the drop
+    }
+    queue_.push_back(item);
+  }
+  queue_cv_.notify_one();
+  return true;
+}
+
+void GatewayShard::worker_loop() {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  while (true) {
+    queue_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    std::vector<ShardItem> items;
+    items.swap(queue_);
+    processing_ = true;
+    lock.unlock();
+    {
+      const std::lock_guard<std::mutex> state(state_mutex_);
+      apply_items(items);
+      run_rounds();
+    }
+    lock.lock();
+    processing_ = false;
+  }
+}
+
+void GatewayShard::process_pending() {
+  std::vector<ShardItem> items;
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (queue_.empty()) return;
+    items.swap(queue_);
+    processing_ = true;
+  }
+  {
+    const std::lock_guard<std::mutex> state(state_mutex_);
+    apply_items(items);
+    run_rounds();
+  }
+  const std::lock_guard<std::mutex> lock(queue_mutex_);
+  processing_ = false;
+}
+
+bool GatewayShard::idle() const {
+  const std::lock_guard<std::mutex> lock(queue_mutex_);
+  return queue_.empty() && !processing_;
+}
+
+void GatewayShard::apply_items(const std::vector<ShardItem>& items) {
+  for (const ShardItem& item : items) {
+    switch (item.kind) {
+      case ShardItem::Kind::kOpen: {
+        SessionEngineConfig cfg = config_.engine;
+        cfg.plant.seed = config_.plant_seed_base + item.session;
+        sessions_.emplace(item.session, std::make_unique<LocalSession>(cfg));
+        break;
+      }
+      case ShardItem::Kind::kClose: {
+        const auto it = sessions_.find(item.session);
+        if (it == sessions_.end()) break;
+        const SessionEngine& eng = it->second->engine;
+        retired_[item.session] =
+            ShardSessionStats{eng.ticks(), eng.alarms(), eng.blocked(), eng.verdict_digest()};
+        sessions_.erase(it);
+        break;
+      }
+      case ShardItem::Kind::kDatagram: {
+        const auto it = sessions_.find(item.session);
+        if (it == sessions_.end()) break;  // evicted between accept and drain
+        it->second->mailbox.emplace_back(item.bytes, item.ingest_ns);
+        break;
+      }
+    }
+  }
+}
+
+void GatewayShard::run_rounds() {
+  std::vector<LocalSession*> ready;
+  std::vector<LocalSession*> chunk;
+  std::vector<std::pair<ItpBytes, std::uint64_t>> datagrams;
+  while (true) {
+    ready.clear();
+    for (auto& [id, ls] : sessions_) {  // std::map: ascending id, deterministic
+      if (!ls->mailbox.empty()) ready.push_back(ls.get());
+    }
+    if (ready.empty()) break;
+    for (std::size_t base = 0; base < ready.size(); base += kBatchLanes) {
+      const std::size_t n = std::min(kBatchLanes, ready.size() - base);
+      chunk.assign(ready.begin() + static_cast<std::ptrdiff_t>(base),
+                   ready.begin() + static_cast<std::ptrdiff_t>(base + n));
+      datagrams.clear();
+      for (LocalSession* ls : chunk) {
+        datagrams.push_back(std::move(ls->mailbox.front()));
+        ls->mailbox.pop_front();
+      }
+      round_tick(chunk, datagrams);
+    }
+  }
+}
+
+void GatewayShard::round_tick(std::vector<LocalSession*>& chunk,
+                              std::vector<std::pair<ItpBytes, std::uint64_t>>& datagrams) {
+  RG_SPAN("gw.round");
+  const std::size_t n = chunk.size();
+  auto& reg = obs::Registry::global();
+  reg.observe(round_lanes_hist_, n);
+
+  // Phase A — control cycle + screening up to the model solve.
+  for (std::size_t l = 0; l < n; ++l) {
+    chunk[l]->engine.tick_begin(std::span<const std::uint8_t>{datagrams[l].first});
+  }
+
+  // Phase B — one batched estimator solve for the lanes that need one.
+  std::array<RavenDynamicsModel::State, kBatchLanes> next{};
+  std::array<bool, kBatchLanes> solving{};
+  std::size_t first_solving = kBatchLanes;
+  for (std::size_t l = 0; l < n; ++l) {
+    solving[l] = chunk[l]->engine.needs_solve();
+    if (solving[l] && first_solving == kBatchLanes) first_solving = l;
+  }
+  if (first_solving != kBatchLanes) {
+    const PendingSolve& ref = chunk[first_solving]->engine.pending_solve();
+    BatchState x;
+    BatchLanes3 currents{};
+    x.set_lane(0, ref.x0);
+    for (std::size_t i = 0; i < 3; ++i) currents[i].fill(ref.currents[i]);
+    x.broadcast(0);
+    for (std::size_t l = 0; l < n; ++l) {
+      if (!solving[l]) continue;
+      const PendingSolve& pending = chunk[l]->engine.pending_solve();
+      x.set_lane(l, pending.x0);
+      for (std::size_t i = 0; i < 3; ++i) currents[i][l] = pending.currents[i];
+    }
+    est_model_.step(x, currents, ref.h, ref.solver);
+    for (std::size_t l = 0; l < n; ++l) {
+      if (solving[l]) next[l] = x.lane(l);
+    }
+  }
+
+  // Phase C — verdict, mitigation, board latch, PLC.
+  std::array<PlantDrive, kBatchLanes> drives{};
+  for (std::size_t l = 0; l < n; ++l) {
+    chunk[l]->engine.tick_resolve(next[l]);
+    drives[l] = chunk[l]->engine.drive();
+  }
+
+  // Phase D — one batched plant period over the chunk (bit-identical to
+  // per-session scalar stepping; a single session skips batch setup).
+  if (n == 1) {
+    const PlantDrive& d = drives[0];
+    chunk[0]->engine.plant().step_control_period(d.currents, d.brakes_engaged,
+                                                 d.wrist_currents);
+  } else {
+    std::array<PhysicalRobot*, kBatchLanes> plants{};
+    for (std::size_t l = 0; l < n; ++l) plants[l] = &chunk[l]->engine.plant();
+    BatchPlant batch(std::span<PhysicalRobot* const>{plants.data(), n});
+    batch.step_control_period(std::span<const PlantDrive>{drives.data(), n});
+  }
+
+  // Phase E — encoders + per-session bookkeeping + latency.
+  const std::uint64_t done_ns = obs::monotonic_ns();
+  for (std::size_t l = 0; l < n; ++l) {
+    (void)chunk[l]->engine.tick_finish();
+    reg.observe(latency_hist_, done_ns - datagrams[l].second);
+  }
+  total_ticks_ += n;
+  reg.add(ticks_counter_, n);
+}
+
+std::optional<ShardSessionStats> GatewayShard::session_stats(std::uint32_t id) const {
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  const auto it = sessions_.find(id);
+  if (it != sessions_.end()) {
+    const SessionEngine& eng = it->second->engine;
+    return ShardSessionStats{eng.ticks(), eng.alarms(), eng.blocked(), eng.verdict_digest()};
+  }
+  const auto rit = retired_.find(id);
+  if (rit != retired_.end()) return rit->second;
+  return std::nullopt;
+}
+
+std::uint64_t GatewayShard::ticks() const noexcept {
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  return total_ticks_;
+}
+
+}  // namespace rg::svc

@@ -1,0 +1,135 @@
+// GatewayShard: one worker owning a disjoint subset of the gateway's
+// sessions.
+//
+// The pump thread classifies datagrams and submits accepted ones to the
+// owning shard's bounded queue; the shard worker (its own thread, or the
+// pump thread in inline mode) drains the queue into per-session mailboxes
+// and advances sessions in *rounds*: each round, every session with a
+// pending datagram consumes exactly one and runs one control tick.
+// Sessions in a round are processed in ascending session-id order and
+// grouped kBatchLanes at a time, so the estimator solves and the plant
+// substep loops of up to eight sessions run through the batched SoA
+// kernels — the gateway serves N sessions at far less than N times the
+// scalar cost, and because the batched kernels are bit-identical to the
+// scalar ones, grouping never changes a verdict (tests/test_gateway.cpp
+// asserts determinism at any shard count).
+//
+// Thread model: `queue_mutex_` guards only the submission queue (pump →
+// worker handoff); `state_mutex_` guards the session engines and their
+// stats (worker rounds vs. stats snapshots).  Engines are only ever
+// advanced by their owning shard, so no engine state is shared between
+// threads.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "dynamics/batch_model.hpp"
+#include "obs/metrics.hpp"
+#include "svc/session.hpp"
+#include "svc/session_engine.hpp"
+
+namespace rg::svc {
+
+struct ShardConfig {
+  SessionEngineConfig engine{};
+  std::size_t index = 0;
+  std::size_t max_queue = 8192;
+  bool threaded = true;
+  /// Per-session plant seed = base + session id (lanes share physics but
+  /// not noise streams).
+  std::uint64_t plant_seed_base = 1;
+};
+
+/// One unit of pump→shard work.
+struct ShardItem {
+  enum class Kind : std::uint8_t { kDatagram, kOpen, kClose };
+  Kind kind = Kind::kDatagram;
+  std::uint32_t session = 0;
+  ItpBytes bytes{};
+  std::uint64_t ingest_ns = 0;
+};
+
+/// Screening-side counters for one session (the shard's half of the
+/// gateway stats; ingest counters live with the gateway's session table).
+struct ShardSessionStats {
+  std::uint64_t ticks = 0;
+  std::uint64_t alarms = 0;
+  std::uint64_t blocked = 0;
+  std::uint64_t digest = 0;
+};
+
+class GatewayShard {
+ public:
+  explicit GatewayShard(const ShardConfig& config);
+  ~GatewayShard();
+
+  GatewayShard(const GatewayShard&) = delete;
+  GatewayShard& operator=(const GatewayShard&) = delete;
+
+  void start();
+  void stop();
+
+  /// Pump-thread handoff.  Datagram items are refused (returns false)
+  /// when the queue is at capacity — the backpressure signal; control
+  /// items (open/close) always enqueue.
+  bool submit(const ShardItem& item);
+
+  /// Inline mode: process everything currently queued on the caller's
+  /// thread.  (Threaded shards do this on their worker.)
+  void process_pending();
+
+  /// Queue empty and no round in progress.
+  [[nodiscard]] bool idle() const;
+
+  [[nodiscard]] std::optional<ShardSessionStats> session_stats(std::uint32_t id) const;
+  [[nodiscard]] std::uint64_t ticks() const noexcept;
+
+ private:
+  struct LocalSession {
+    explicit LocalSession(const SessionEngineConfig& cfg) : engine(cfg) {}
+    SessionEngine engine;
+    std::deque<std::pair<ItpBytes, std::uint64_t>> mailbox;
+  };
+
+  void worker_loop();
+  void apply_items(const std::vector<ShardItem>& items);
+  void run_rounds();
+  void round_tick(std::vector<LocalSession*>& chunk,
+                  std::vector<std::pair<ItpBytes, std::uint64_t>>& datagrams);
+
+  ShardConfig config_;
+
+  // --- pump → worker queue -------------------------------------------------
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::vector<ShardItem> queue_;
+  bool stop_ = false;
+  bool processing_ = false;
+
+  // --- worker-side session state ------------------------------------------
+  mutable std::mutex state_mutex_;
+  std::map<std::uint32_t, std::unique_ptr<LocalSession>> sessions_;
+  std::map<std::uint32_t, ShardSessionStats> retired_;
+  std::uint64_t total_ticks_ = 0;
+
+  /// Batched twin of the sessions' estimator model (sessions share the
+  /// estimator config, so one batch model serves every group).
+  BatchRavenModel est_model_;
+
+  obs::MetricId latency_hist_;
+  obs::MetricId round_lanes_hist_;
+  obs::MetricId ticks_counter_;
+
+  std::thread worker_;
+  bool started_ = false;
+};
+
+}  // namespace rg::svc

@@ -1,0 +1,44 @@
+#include "svc/transport.hpp"
+
+#include <cstdio>
+
+namespace rg::svc {
+
+std::string Endpoint::to_string() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u:%u", (ip >> 24) & 0xFF, (ip >> 16) & 0xFF,
+                (ip >> 8) & 0xFF, ip & 0xFF, port);
+  return buf;
+}
+
+void LoopbackTransport::inject(const Endpoint& from, std::span<const std::uint8_t> bytes) {
+  inject(from, std::vector<std::uint8_t>{bytes.begin(), bytes.end()});
+}
+
+void LoopbackTransport::inject(const Endpoint& from, std::vector<std::uint8_t> bytes) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  queue_.push_back(Queued{from, std::move(bytes)});
+}
+
+std::size_t LoopbackTransport::poll(const Sink& sink, std::size_t max) {
+  std::size_t delivered = 0;
+  while (delivered < max) {
+    Queued item;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (queue_.empty()) break;
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    sink(item.from, std::span<const std::uint8_t>{item.bytes});
+    ++delivered;
+  }
+  return delivered;
+}
+
+std::size_t LoopbackTransport::pending() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace rg::svc

@@ -1,0 +1,93 @@
+// Gateway transport abstraction.
+//
+// The teleoperation gateway (svc/gateway.hpp) consumes datagrams through
+// this interface so every code path above the socket — session admission,
+// sequence tracking, shard dispatch, detection — is testable without a
+// network.  Two implementations ship:
+//
+//   LoopbackTransport   deterministic in-process queue (tests, benches,
+//                       campaign reuse); inject() is thread-safe so a
+//                       multi-threaded load generator can share one.
+//   UdpSocketTransport  real non-blocking UDP socket drained via epoll
+//                       (svc/udp_transport.hpp).
+//
+// Transports are pull-based: the gateway's pump() calls poll(), which
+// drains up to `max` pending datagrams into a sink callback.  A datagram
+// is (source endpoint, bytes); the transport attaches no meaning to the
+// payload.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rg::svc {
+
+/// IPv4 source endpoint — the session key.  Host byte order.
+struct Endpoint {
+  std::uint32_t ip = 0;
+  std::uint16_t port = 0;
+
+  friend bool operator==(const Endpoint&, const Endpoint&) = default;
+
+  /// "a.b.c.d:port" (diagnostics, stats dumps).
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct EndpointHash {
+  [[nodiscard]] std::size_t operator()(const Endpoint& ep) const noexcept {
+    // splitmix64 finalizer over the packed 48 bits.
+    std::uint64_t x = (static_cast<std::uint64_t>(ep.ip) << 16) | ep.port;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
+  }
+};
+
+class Transport {
+ public:
+  /// Receives one drained datagram.  The span is only valid for the call.
+  using Sink = std::function<void(const Endpoint& from, std::span<const std::uint8_t> bytes)>;
+
+  virtual ~Transport() = default;
+
+  /// Drain up to `max` pending datagrams into `sink` without blocking.
+  /// Returns the number delivered.
+  virtual std::size_t poll(const Sink& sink, std::size_t max) = 0;
+
+  /// Human-readable descriptor ("loopback", "udp:127.0.0.1:7413").
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+/// Deterministic in-process transport: inject() appends, poll() drains
+/// FIFO.  Injection is mutex-guarded so load-generator threads can share
+/// one instance; drain order is injection order, so single-producer runs
+/// are bit-reproducible.
+class LoopbackTransport final : public Transport {
+ public:
+  void inject(const Endpoint& from, std::span<const std::uint8_t> bytes);
+  void inject(const Endpoint& from, std::vector<std::uint8_t> bytes);
+
+  std::size_t poll(const Sink& sink, std::size_t max) override;
+  [[nodiscard]] std::string describe() const override { return "loopback"; }
+
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  struct Queued {
+    Endpoint from;
+    std::vector<std::uint8_t> bytes;
+  };
+  mutable std::mutex mutex_;
+  std::deque<Queued> queue_;
+};
+
+}  // namespace rg::svc

@@ -1,0 +1,132 @@
+#include "svc/udp_transport.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#if defined(__linux__)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace rg::svc {
+
+#if defined(__linux__)
+
+namespace {
+
+[[noreturn]] void fail(const char* what) {
+  throw std::runtime_error(std::string{"UdpSocketTransport: "} + what + ": " +
+                           std::strerror(errno));
+}
+
+}  // namespace
+
+UdpSocketTransport::UdpSocketTransport(const UdpSocketConfig& config)
+    : bind_address_(config.bind_address) {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) fail("socket");
+
+  if (config.reuse_port) {
+    const int one = 1;
+    if (::setsockopt(fd_, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+      ::close(fd_);
+      fail("setsockopt(SO_REUSEPORT)");
+    }
+  }
+  if (config.recv_buffer_bytes > 0) {
+    // Best-effort: the kernel clamps to rmem_max; a small buffer only
+    // costs burst absorption, not correctness.
+    (void)::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &config.recv_buffer_bytes,
+                       sizeof(config.recv_buffer_bytes));
+  }
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config.port);
+  if (::inet_pton(AF_INET, config.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    throw std::runtime_error("UdpSocketTransport: invalid bind address: " +
+                             config.bind_address);
+  }
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd_);
+    fail("bind");
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    ::close(fd_);
+    fail("getsockname");
+  }
+  bound_port_ = ntohs(bound.sin_port);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    ::close(fd_);
+    fail("epoll_create1");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd_, &ev) != 0) {
+    ::close(epoll_fd_);
+    ::close(fd_);
+    fail("epoll_ctl(ADD)");
+  }
+}
+
+UdpSocketTransport::~UdpSocketTransport() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::size_t UdpSocketTransport::poll(const Sink& sink, std::size_t max) {
+  epoll_event ev{};
+  const int ready = ::epoll_wait(epoll_fd_, &ev, 1, /*timeout_ms=*/0);
+  if (ready <= 0) return 0;
+
+  std::size_t delivered = 0;
+  // One extra byte of buffer distinguishes "exactly kMaxDatagram" from
+  // "truncated" without MSG_TRUNC bookkeeping.
+  std::uint8_t buf[kMaxDatagram + 1];
+  while (delivered < max) {
+    sockaddr_in from{};
+    socklen_t from_len = sizeof(from);
+    const ssize_t n = ::recvfrom(fd_, buf, sizeof(buf), MSG_DONTWAIT,
+                                 reinterpret_cast<sockaddr*>(&from), &from_len);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+      break;  // transient socket errors: stop this pass, next pump retries
+    }
+    if (static_cast<std::size_t>(n) > kMaxDatagram) {
+      ++oversize_;
+      continue;
+    }
+    const Endpoint ep{ntohl(from.sin_addr.s_addr), ntohs(from.sin_port)};
+    sink(ep, std::span<const std::uint8_t>{buf, static_cast<std::size_t>(n)});
+    ++delivered;
+  }
+  return delivered;
+}
+
+std::string UdpSocketTransport::describe() const {
+  return "udp:" + bind_address_ + ":" + std::to_string(bound_port_);
+}
+
+#else  // !__linux__
+
+UdpSocketTransport::UdpSocketTransport(const UdpSocketConfig&) {
+  throw std::runtime_error("UdpSocketTransport requires Linux (epoll)");
+}
+UdpSocketTransport::~UdpSocketTransport() = default;
+std::size_t UdpSocketTransport::poll(const Sink&, std::size_t) { return 0; }
+std::string UdpSocketTransport::describe() const { return "udp:unsupported"; }
+
+#endif
+
+}  // namespace rg::svc

@@ -1,0 +1,67 @@
+// Real-socket transport: a non-blocking UDP socket drained via epoll.
+//
+// The gateway's on-ramp for live ITP traffic.  The socket is created
+// non-blocking and registered with an epoll instance; poll() asks epoll
+// whether the socket is readable (zero timeout — the gateway loop owns
+// pacing) and then recvfrom()s until EAGAIN or the datagram budget is
+// spent, so one syscall-cheap pass drains a burst.
+//
+// SO_REUSEPORT-ready: flipping `reuse_port` lets several gateway
+// processes bind the same port and have the kernel shard flows across
+// them by source-address hash — horizontal scaling without a fronting
+// balancer.  Port 0 binds an ephemeral port; bound_port() reports it
+// (tests and tier1 use this to avoid port collisions).
+//
+// Linux-only (epoll); the rest of the gateway is portable through the
+// Transport interface, and everything above the socket is exercised via
+// LoopbackTransport.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "svc/transport.hpp"
+
+namespace rg::svc {
+
+struct UdpSocketConfig {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;        ///< 0 = kernel-assigned ephemeral port
+  bool reuse_port = false;       ///< SO_REUSEPORT (multi-process sharding)
+  int recv_buffer_bytes = 1 << 20;  ///< SO_RCVBUF request (0 = kernel default)
+};
+
+class UdpSocketTransport final : public Transport {
+ public:
+  /// Binds and registers with epoll.  Throws std::runtime_error on any
+  /// socket-layer failure (construction-time, per the error vocabulary).
+  explicit UdpSocketTransport(const UdpSocketConfig& config = {});
+  ~UdpSocketTransport() override;
+
+  UdpSocketTransport(const UdpSocketTransport&) = delete;
+  UdpSocketTransport& operator=(const UdpSocketTransport&) = delete;
+
+  std::size_t poll(const Sink& sink, std::size_t max) override;
+  [[nodiscard]] std::string describe() const override;
+
+  /// The actually-bound port (resolves port 0 requests).
+  [[nodiscard]] std::uint16_t bound_port() const noexcept { return bound_port_; }
+
+  /// Datagrams larger than the ITP maximum that were discarded at the
+  /// socket (kMaxDatagram read budget truncates; anything beyond is not a
+  /// valid ITP frame anyway).
+  [[nodiscard]] std::uint64_t oversize_datagrams() const noexcept { return oversize_; }
+
+  /// Largest datagram the transport will deliver; bigger ones count as
+  /// oversize and are dropped before the gateway sees them.
+  static constexpr std::size_t kMaxDatagram = 64;
+
+ private:
+  int fd_ = -1;
+  int epoll_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  std::string bind_address_;
+  std::uint64_t oversize_ = 0;
+};
+
+}  // namespace rg::svc

@@ -10,6 +10,8 @@
 #include "defense/bitw.hpp"
 #include "hw/usb_packet.hpp"
 #include "net/itp_packet.hpp"
+#include "svc/gateway.hpp"
+#include "svc/transport.hpp"
 #include "trajectory/recorded.hpp"
 
 namespace rg {
@@ -117,6 +119,58 @@ TEST_P(DecoderFuzz, TrajectoryCsvParserNeverCrashes) {
     std::istringstream is(text);
     (void)RecordedTrajectory::from_csv(is);  // Result either way, no crash
   }
+}
+
+TEST_P(DecoderFuzz, GatewayIngestNeverCrashes) {
+  // The full ingest path (size check, decode, session table, replay
+  // window, shard dispatch) fed truncated, oversized, bit-flipped and
+  // flag-garbage datagrams from a handful of endpoints.  Everything must
+  // classify cleanly: the stats ledger has to balance to the datagram
+  // count, and accepted traffic must equal the ticks the shards ran.
+  Pcg32 rng(GetParam() + 700);
+  svc::LoopbackTransport transport;
+  svc::GatewayConfig cfg;
+  cfg.shards = 1;
+  cfg.threaded = false;
+  cfg.idle_timeout_ms = 1u << 30;
+  svc::TeleopGateway gateway(cfg, transport);
+
+  std::uint32_t seq = 1;
+  for (int i = 0; i < 1500; ++i) {
+    const svc::Endpoint from{0x7f000001u,
+                             static_cast<std::uint16_t>(9000 + rng.uniform_int(0, 3))};
+    const std::uint32_t kind = rng.uniform_int(0, 3);
+    if (kind == 0) {  // random bytes, random size (mostly wrong-sized)
+      transport.inject(from, random_bytes(rng, rng.uniform_int(0, 64)));
+    } else {
+      ItpPacket pkt;
+      pkt.sequence = seq++;
+      pkt.pedal_down = rng.uniform() < 0.5;
+      ItpBytes bytes = encode_itp(pkt);
+      if (kind == 1) {  // single bit flip anywhere in the frame
+        const auto byte = static_cast<std::size_t>(rng.uniform_int(0, 29));
+        bytes[byte] = static_cast<std::uint8_t>(bytes[byte] ^ (1u << rng.uniform_int(0, 7)));
+      }
+      transport.inject(from, std::span<const std::uint8_t>{bytes});
+    }
+    if (i % 64 == 0) {
+      while (transport.pending() > 0) (void)gateway.pump(1);
+    }
+  }
+  while (transport.pending() > 0) (void)gateway.pump(1);
+  gateway.drain();
+
+  const svc::GatewayStats s = gateway.stats();
+  EXPECT_EQ(s.datagrams,
+            s.accepted + s.rejected_size + s.rejected_mac + s.rejected_checksum +
+                s.rejected_flags + s.rejected_duplicate + s.rejected_replayed +
+                s.rejected_stale + s.rejected_session_limit + s.backpressure_dropped);
+  EXPECT_GT(s.accepted, 0u);
+  EXPECT_GT(s.rejected_size, 0u);
+  std::uint64_t ticks = 0;
+  for (const svc::SessionStats& sess : gateway.sessions()) ticks += sess.shard.ticks;
+  EXPECT_EQ(ticks, s.accepted);
+  gateway.shutdown();
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DecoderFuzz, ::testing::Values(1u, 2u, 3u));

@@ -64,6 +64,46 @@ TEST(ItpPacket, PedalFlagIsolated) {
   EXPECT_TRUE(decode_itp(encode_itp(pkt)).value().pedal_down);
 }
 
+namespace {
+std::uint8_t itp_checksum(const ItpBytes& bytes) {
+  std::uint8_t c = 0;
+  for (std::size_t i = 0; i + 1 < kItpPacketSize; ++i) c = static_cast<std::uint8_t>(c ^ bytes[i]);
+  return c;
+}
+}  // namespace
+
+TEST(ItpPacket, UndefinedFlagBitsRejected) {
+  ItpPacket pkt;
+  pkt.pedal_down = true;
+  ItpBytes bytes = encode_itp(pkt);
+  bytes[4] = static_cast<std::uint8_t>(bytes[4] | 0x20);
+  bytes[kItpPacketSize - 1] = itp_checksum(bytes);  // valid checksum, bad flags
+  const auto decoded = decode_itp(bytes);
+  ASSERT_FALSE(decoded.ok());
+  // Distinct error code from a checksum failure.
+  EXPECT_EQ(decoded.error().code(), ErrorCode::kMalformedFlags);
+}
+
+TEST(ItpPacket, FlagCheckIndependentOfChecksumVerification) {
+  ItpBytes bytes = encode_itp(ItpPacket{});
+  bytes[4] = static_cast<std::uint8_t>(bytes[4] | 0x80);
+  bytes[kItpPacketSize - 1] = itp_checksum(bytes);
+  const auto lax = decode_itp(bytes, false);
+  ASSERT_FALSE(lax.ok());
+  EXPECT_EQ(lax.error().code(), ErrorCode::kMalformedFlags);
+}
+
+TEST(ItpPacket, EveryUndefinedFlagBitRejectedAlone) {
+  for (int bit = 1; bit < 8; ++bit) {
+    ItpBytes bytes = encode_itp(ItpPacket{});
+    bytes[4] = static_cast<std::uint8_t>(1u << bit);
+    bytes[kItpPacketSize - 1] = itp_checksum(bytes);
+    const auto decoded = decode_itp(bytes);
+    ASSERT_FALSE(decoded.ok()) << "flag bit " << bit;
+    EXPECT_EQ(decoded.error().code(), ErrorCode::kMalformedFlags) << "flag bit " << bit;
+  }
+}
+
 // --- UdpChannel -------------------------------------------------------------------
 
 TEST(UdpChannel, PerfectLinkDeliversInOrder) {
@@ -129,6 +169,99 @@ TEST(UdpChannel, DeterministicForSeed) {
     b.send({1});
   }
   EXPECT_EQ(a.datagrams_dropped(), b.datagrams_dropped());
+}
+
+TEST(UdpChannel, DuplicationDeliversTwiceAndCounts) {
+  UdpChannelConfig cfg;
+  cfg.duplicate_probability = 1.0;
+  UdpChannel ch(cfg);
+  ch.send({9});
+  ch.tick();
+  EXPECT_TRUE(ch.receive().has_value());
+  EXPECT_TRUE(ch.receive().has_value());
+  EXPECT_FALSE(ch.receive().has_value());
+  EXPECT_EQ(ch.datagrams_duplicated(), 1u);
+}
+
+TEST(UdpChannel, ReorderSwapsAdjacentDatagrams) {
+  UdpChannelConfig cfg;
+  cfg.reorder_probability = 1.0;
+  UdpChannel ch(cfg);
+  ch.send({1});
+  ch.send({2});
+  ch.tick();
+  const auto first = ch.receive();
+  const auto second = ch.receive();
+  ASSERT_TRUE(first && second);
+  EXPECT_EQ((*first)[0], 2);  // queued ahead of its predecessor
+  EXPECT_EQ((*second)[0], 1);
+  EXPECT_EQ(ch.datagrams_reordered(), 1u);
+}
+
+TEST(UdpChannel, ValidatesDuplicateAndReorderProbabilities) {
+  UdpChannelConfig dup;
+  dup.duplicate_probability = 1.5;
+  EXPECT_THROW(UdpChannel{dup}, std::invalid_argument);
+  UdpChannelConfig reo;
+  reo.reorder_probability = -0.1;
+  EXPECT_THROW(UdpChannel{reo}, std::invalid_argument);
+}
+
+// Loss x jitter x duplication x reordering matrix: whatever the knob
+// combination, conservation holds (delivered == sent - dropped +
+// duplicated) and the impairment counters fire iff their knob is on.
+TEST(UdpChannel, LossJitterReorderDuplicateMatrix) {
+  const int n = 1500;
+  for (const double loss : {0.0, 0.2}) {
+    for (const std::uint32_t jitter : {0u, 3u}) {
+      for (const double dup : {0.0, 0.25}) {
+        for (const double reorder : {0.0, 0.25}) {
+          UdpChannelConfig cfg;
+          cfg.loss_probability = loss;
+          cfg.jitter_ticks = jitter;
+          cfg.duplicate_probability = dup;
+          cfg.reorder_probability = reorder;
+          cfg.seed = 17;
+          UdpChannel ch(cfg);
+          for (int i = 0; i < n; ++i) ch.send({static_cast<std::uint8_t>(i & 0xff)});
+          std::uint64_t delivered = 0;
+          for (int t = 0; t < 8; ++t) {
+            ch.tick();
+            while (ch.receive().has_value()) ++delivered;
+          }
+          EXPECT_EQ(ch.in_flight(), 0u);
+          EXPECT_EQ(delivered,
+                    ch.datagrams_sent() - ch.datagrams_dropped() + ch.datagrams_duplicated());
+          EXPECT_EQ(ch.datagrams_sent(), static_cast<std::uint64_t>(n));
+          EXPECT_EQ(loss > 0.0, ch.datagrams_dropped() > 0) << loss;
+          EXPECT_EQ(dup > 0.0, ch.datagrams_duplicated() > 0) << dup;
+          EXPECT_EQ(reorder > 0.0, ch.datagrams_reordered() > 0) << reorder;
+        }
+      }
+    }
+  }
+}
+
+TEST(UdpChannel, ImpairedChannelDeterministicForSeed) {
+  UdpChannelConfig cfg;
+  cfg.loss_probability = 0.1;
+  cfg.jitter_ticks = 2;
+  cfg.duplicate_probability = 0.2;
+  cfg.reorder_probability = 0.2;
+  cfg.seed = 23;
+  UdpChannel a(cfg), b(cfg);
+  std::vector<std::uint8_t> order_a, order_b;
+  for (int i = 0; i < 400; ++i) {
+    a.send({static_cast<std::uint8_t>(i & 0xff)});
+    b.send({static_cast<std::uint8_t>(i & 0xff)});
+    a.tick();
+    b.tick();
+    while (const auto d = a.receive()) order_a.push_back((*d)[0]);
+    while (const auto d = b.receive()) order_b.push_back((*d)[0]);
+  }
+  EXPECT_EQ(order_a, order_b);
+  EXPECT_EQ(a.datagrams_reordered(), b.datagrams_reordered());
+  EXPECT_EQ(a.datagrams_duplicated(), b.datagrams_duplicated());
 }
 
 // --- PedalSchedule / MasterConsole ---------------------------------------------------

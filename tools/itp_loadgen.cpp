@@ -1,0 +1,248 @@
+// itp_loadgen: multi-threaded ITP load generator for the teleoperation
+// gateway.
+//
+// Opens one UDP socket per simulated console (distinct source port =>
+// distinct gateway session), generates ITP packets from master-console
+// trajectories at a configurable per-session rate, and can salt the
+// stream with client-side loss and an attack mix (replayed datagrams,
+// bit-flipped payloads, undefined flag bits) to exercise the gateway's
+// ingest classification.
+//
+//   itp_loadgen --port 7413 --sessions 64 --rate 1000 --duration 2
+//   itp_loadgen --port 7413 --sessions 8 --burst --attack-mix 0.05
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/flags.hpp"
+#include "common/rng.hpp"
+#include "defense/mac.hpp"
+#include "net/itp_packet.hpp"
+#include "net/master_console.hpp"
+#include "svc/session.hpp"
+#include "trajectory/trajectory.hpp"
+
+namespace {
+
+using namespace rg;
+
+struct LoadgenOptions {
+  std::string host = "127.0.0.1";
+  std::uint32_t port = 0;
+  std::uint32_t sessions = 8;
+  std::uint32_t threads = 0;  // 0 = min(sessions, hardware_concurrency)
+  double rate = 1000.0;
+  double duration = 2.0;
+  double loss = 0.0;
+  double attack_mix = 0.0;
+  bool burst = false;
+  bool mac = false;
+  std::uint64_t mac_seed = 7;
+  std::uint64_t seed = 1;
+};
+
+struct Totals {
+  std::atomic<std::uint64_t> sent{0};
+  std::atomic<std::uint64_t> dropped{0};   // client-side simulated loss
+  std::atomic<std::uint64_t> replayed{0};
+  std::atomic<std::uint64_t> flipped{0};
+  std::atomic<std::uint64_t> garbled{0};
+  std::atomic<std::uint64_t> send_errors{0};
+};
+
+struct ClientSession {
+  int fd = -1;
+  std::unique_ptr<MasterConsole> console;
+  Pcg32 rng;
+  std::vector<std::uint8_t> last_frame;
+  std::uint32_t attack_rotor = 0;
+
+  ClientSession() : rng(1) {}
+  ~ClientSession() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+std::uint8_t xor_checksum(const std::uint8_t* bytes, std::size_t n) {
+  std::uint8_t c = 0;
+  for (std::size_t i = 0; i < n; ++i) c = static_cast<std::uint8_t>(c ^ bytes[i]);
+  return c;
+}
+
+/// One frame for this tick: encoded ITP, attack transform, optional MAC
+/// seal.  Tampering happens *after* the seal so a MAC-protected link
+/// rejects it at the tag check, as a real in-network attacker would be.
+std::vector<std::uint8_t> build_frame(ClientSession& cs, const LoadgenOptions& opt,
+                                      const MacKey& key, Totals& totals) {
+  const ItpPacket pkt = cs.console->tick();
+  ItpBytes itp = encode_itp(pkt);
+
+  std::vector<std::uint8_t> frame;
+  if (opt.mac) {
+    const svc::MacFrameBytes sealed = svc::seal_itp_frame(itp, key);
+    frame.assign(sealed.begin(), sealed.end());
+  } else {
+    frame.assign(itp.begin(), itp.end());
+  }
+
+  if (opt.attack_mix > 0.0 && cs.rng.uniform() < opt.attack_mix) {
+    switch (cs.attack_rotor++ % 3) {
+      case 0:  // replay the previous datagram verbatim
+        if (!cs.last_frame.empty()) {
+          totals.replayed.fetch_add(1, std::memory_order_relaxed);
+          return cs.last_frame;
+        }
+        break;
+      case 1:  // bit-flip mid-payload (checksum/MAC should catch it)
+        frame[10] = static_cast<std::uint8_t>(frame[10] ^ 0x40);
+        totals.flipped.fetch_add(1, std::memory_order_relaxed);
+        break;
+      default:  // undefined flag bits, checksum fixed up to match
+        frame[4] = static_cast<std::uint8_t>(frame[4] | 0x20);
+        frame[kItpPacketSize - 1] = xor_checksum(frame.data(), kItpPacketSize - 1);
+        totals.garbled.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+  }
+  cs.last_frame = frame;
+  return frame;
+}
+
+void run_worker(std::vector<ClientSession*> sessions, const LoadgenOptions& opt,
+                const MacKey& key, std::uint64_t ticks, Totals& totals) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto period = std::chrono::nanoseconds(static_cast<std::uint64_t>(1.0e9 / opt.rate));
+  for (std::uint64_t tick = 0; tick < ticks; ++tick) {
+    if (!opt.burst) std::this_thread::sleep_until(t0 + period * tick);
+    for (ClientSession* cs : sessions) {
+      const std::vector<std::uint8_t> frame = build_frame(*cs, opt, key, totals);
+      if (opt.loss > 0.0 && cs->rng.uniform() < opt.loss) {
+        totals.dropped.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (::send(cs->fd, frame.data(), frame.size(), 0) < 0) {
+        totals.send_errors.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        totals.sent.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LoadgenOptions opt;
+  std::string out_json;
+
+  FlagSet flags;
+  flags.value("--host", &opt.host, "gateway host (default 127.0.0.1)");
+  flags.value("--port", &opt.port, "gateway UDP port (required)");
+  flags.value("--sessions", &opt.sessions, "concurrent console sessions");
+  flags.value("--threads", &opt.threads, "sender threads (0 = auto)");
+  flags.value("--rate", &opt.rate, "per-session packet rate, Hz (default 1000)");
+  flags.value("--duration", &opt.duration, "seconds of traffic per session");
+  flags.value("--loss", &opt.loss, "client-side drop probability [0,1]");
+  flags.value("--attack-mix", &opt.attack_mix, "fraction of packets attacked [0,1]");
+  flags.flag("--burst", &opt.burst, "no pacing: send as fast as possible");
+  flags.flag("--mac", &opt.mac, "seal frames with the SipHash MAC");
+  flags.value("--mac-seed", &opt.mac_seed, "MAC key seed (must match the gateway)");
+  flags.value("--seed", &opt.seed, "base RNG seed");
+  flags.value("--out", &out_json, "write a rg.loadgen/1 JSON summary here");
+  if (const Status st = flags.parse(argc, argv, 1); !st.ok()) {
+    std::fprintf(stderr, "%s\n\nusage: itp_loadgen [options]\n%s",
+                 st.error().to_string().c_str(), flags.help().c_str());
+    return 1;
+  }
+  if (opt.port == 0 || opt.port > 65535 || opt.sessions == 0 || opt.rate <= 0.0) {
+    std::fprintf(stderr, "itp_loadgen: --port, --sessions and --rate must be positive\n%s",
+                 flags.help().c_str());
+    return 1;
+  }
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(opt.port));
+  if (inet_pton(AF_INET, opt.host.c_str(), &addr.sin_addr) != 1) {
+    std::fprintf(stderr, "itp_loadgen: bad host %s\n", opt.host.c_str());
+    return 1;
+  }
+
+  // One connected socket + console per session; distinct source ports key
+  // distinct gateway sessions.
+  std::vector<std::unique_ptr<ClientSession>> sessions;
+  sessions.reserve(opt.sessions);
+  for (std::uint32_t i = 0; i < opt.sessions; ++i) {
+    auto cs = std::make_unique<ClientSession>();
+    cs->fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+    if (cs->fd < 0 || ::connect(cs->fd, reinterpret_cast<const sockaddr*>(&addr),
+                                sizeof(addr)) != 0) {
+      std::perror("itp_loadgen: socket/connect");
+      return 1;
+    }
+    auto trajectory = std::make_shared<CircleTrajectory>(
+        Position{0.09, 0.0, -0.11}, 0.010 + 0.0001 * static_cast<double>(i % 16), 2.5, 1.0e9);
+    cs->console = std::make_unique<MasterConsole>(std::move(trajectory),
+                                                  PedalSchedule::hold_from(0.05));
+    cs->rng = Pcg32(opt.seed * 0x9e3779b97f4a7c15ULL + i);
+    sessions.push_back(std::move(cs));
+  }
+
+  const std::uint32_t hw = std::max(1U, std::thread::hardware_concurrency());
+  const std::uint32_t threads =
+      opt.threads > 0 ? opt.threads : std::min(opt.sessions, std::min(hw, 8U));
+  const auto ticks = static_cast<std::uint64_t>(opt.duration * opt.rate);
+  const MacKey key = MacKey::from_seed(opt.mac_seed);
+
+  Totals totals;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    std::vector<ClientSession*> mine;
+    for (std::uint32_t i = t; i < opt.sessions; i += threads) mine.push_back(sessions[i].get());
+    pool.emplace_back(run_worker, std::move(mine), std::cref(opt), std::cref(key),
+                      ticks, std::ref(totals));
+  }
+  for (std::thread& th : pool) th.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  const std::uint64_t sent = totals.sent.load();
+  std::printf(
+      "itp_loadgen: %u sessions x %llu ticks in %.3f s — sent %llu, dropped %llu, "
+      "replayed %llu, flipped %llu, garbled %llu, errors %llu\n",
+      opt.sessions, static_cast<unsigned long long>(ticks), elapsed,
+      static_cast<unsigned long long>(sent),
+      static_cast<unsigned long long>(totals.dropped.load()),
+      static_cast<unsigned long long>(totals.replayed.load()),
+      static_cast<unsigned long long>(totals.flipped.load()),
+      static_cast<unsigned long long>(totals.garbled.load()),
+      static_cast<unsigned long long>(totals.send_errors.load()));
+
+  if (!out_json.empty()) {
+    std::ofstream os(out_json);
+    os << "{\n  \"schema\": \"rg.loadgen/1\",\n"
+       << "  \"sessions\": " << opt.sessions << ",\n  \"ticks\": " << ticks << ",\n"
+       << "  \"elapsed_sec\": " << elapsed << ",\n  \"sent\": " << sent << ",\n"
+       << "  \"dropped\": " << totals.dropped.load() << ",\n"
+       << "  \"replayed\": " << totals.replayed.load() << ",\n"
+       << "  \"flipped\": " << totals.flipped.load() << ",\n"
+       << "  \"garbled\": " << totals.garbled.load() << ",\n"
+       << "  \"send_errors\": " << totals.send_errors.load() << "\n}\n";
+  }
+  return 0;
+}

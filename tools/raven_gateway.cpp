@@ -1,0 +1,179 @@
+// raven_gateway: the teleoperation gateway server.
+//
+// Binds a UDP socket, accepts ITP datagrams from any number of consoles
+// (one session per source endpoint), and drives each session's
+// server-side detection stack through the sharded executor.  Drive it
+// with tools/itp_loadgen.cpp.
+//
+//   raven_gateway --port 0 --port-file /tmp/gw.port --shards 4
+//                 --duration 5 --stats-out gw_stats.json
+//
+// --port 0 binds an ephemeral port; --port-file publishes the bound port
+// for scripted harnesses (scripts/tier1.sh).  With --duration 0 the
+// server runs until SIGINT/SIGTERM.
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "common/flags.hpp"
+#include "obs/metrics.hpp"
+#include "svc/gateway.hpp"
+#include "svc/udp_transport.hpp"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int) { g_stop.store(true); }
+
+std::uint64_t steady_ms() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+void write_stats_json(const std::string& path, const rg::svc::TeleopGateway& gateway,
+                      std::uint16_t port, double elapsed_sec) {
+  const rg::svc::GatewayStats s = gateway.stats();
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  os << "{\n  \"schema\": \"rg.gateway.stats/1\",\n";
+  os << "  \"port\": " << port << ",\n";
+  os << "  \"elapsed_sec\": " << elapsed_sec << ",\n";
+  os << "  \"datagrams\": " << s.datagrams << ",\n";
+  os << "  \"accepted\": " << s.accepted << ",\n";
+  os << "  \"rejected_size\": " << s.rejected_size << ",\n";
+  os << "  \"rejected_mac\": " << s.rejected_mac << ",\n";
+  os << "  \"rejected_checksum\": " << s.rejected_checksum << ",\n";
+  os << "  \"rejected_flags\": " << s.rejected_flags << ",\n";
+  os << "  \"rejected_duplicate\": " << s.rejected_duplicate << ",\n";
+  os << "  \"rejected_replayed\": " << s.rejected_replayed << ",\n";
+  os << "  \"rejected_stale\": " << s.rejected_stale << ",\n";
+  os << "  \"rejected_session_limit\": " << s.rejected_session_limit << ",\n";
+  os << "  \"backpressure_dropped\": " << s.backpressure_dropped << ",\n";
+  os << "  \"out_of_order_accepted\": " << s.out_of_order_accepted << ",\n";
+  os << "  \"sessions_opened\": " << s.sessions_opened << ",\n";
+  os << "  \"sessions_evicted\": " << s.sessions_evicted << ",\n";
+  os << "  \"sessions\": [";
+  const auto sessions = gateway.sessions();
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    const rg::svc::SessionStats& ss = sessions[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"id\": " << ss.id << ", \"endpoint\": \"" << ss.endpoint.to_string()
+       << "\", \"active\": " << (ss.active ? "true" : "false")
+       << ", \"accepted\": " << ss.counters.accepted
+       << ", \"replayed\": " << ss.counters.replayed
+       << ", \"duplicates\": " << ss.counters.duplicates
+       << ", \"lost_gap\": " << ss.counters.lost_gap << ", \"ticks\": " << ss.shard.ticks
+       << ", \"alarms\": " << ss.shard.alarms << ", \"blocked\": " << ss.shard.blocked
+       << ", \"digest\": \"" << std::hex << ss.shard.digest << std::dec << "\"}";
+  }
+  os << "\n  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rg;
+
+  std::uint32_t port = 0;
+  std::string bind_address = "127.0.0.1";
+  std::uint32_t shards = 2;
+  std::uint32_t max_sessions = 256;
+  std::uint64_t idle_timeout_ms = 2000;
+  std::uint64_t max_queue = 8192;
+  bool mac = false;
+  std::uint64_t mac_seed = 7;
+  double duration = 0.0;
+  bool inline_shards = false;
+  std::string metrics_out;
+  std::string stats_out;
+  std::string port_file;
+
+  FlagSet flags;
+  flags.value("--port", &port, "UDP port to bind (0 = ephemeral)");
+  flags.value("--bind", &bind_address, "bind address (default 127.0.0.1)");
+  flags.value("--shards", &shards, "worker shards");
+  flags.value("--max-sessions", &max_sessions, "session table capacity");
+  flags.value("--idle-timeout-ms", &idle_timeout_ms, "evict sessions idle this long");
+  flags.value("--max-queue", &max_queue, "per-shard queue capacity");
+  flags.flag("--mac", &mac, "require 38-byte SipHash MAC frames");
+  flags.value("--mac-seed", &mac_seed, "MAC key seed");
+  flags.value("--duration", &duration, "run this many seconds (0 = until SIGINT)");
+  flags.flag("--inline", &inline_shards, "run shards on the pump thread");
+  flags.value("--metrics-out", &metrics_out, "write rg.metrics/1 JSON here on exit");
+  flags.value("--stats-out", &stats_out, "write rg.gateway.stats/1 JSON here on exit");
+  flags.value("--port-file", &port_file, "write the bound port here once listening");
+  if (const Status st = flags.parse(argc, argv, 1); !st.ok()) {
+    std::fprintf(stderr, "%s\n\nusage: raven_gateway [options]\n%s",
+                 st.error().to_string().c_str(), flags.help().c_str());
+    return 1;
+  }
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  svc::UdpSocketConfig socket_config;
+  socket_config.bind_address = bind_address;
+  socket_config.port = static_cast<std::uint16_t>(port);
+
+  try {
+    svc::UdpSocketTransport transport(socket_config);
+    std::printf("raven_gateway listening on %s (%u shards)\n", transport.describe().c_str(),
+                shards);
+    if (!port_file.empty()) {
+      std::ofstream pf(port_file);
+      pf << transport.bound_port() << "\n";
+    }
+
+    svc::GatewayConfig config;
+    config.shards = shards;
+    config.threaded = !inline_shards;
+    config.max_sessions = max_sessions;
+    config.idle_timeout_ms = idle_timeout_ms;
+    config.max_queue_per_shard = max_queue;
+    config.require_mac = mac;
+    config.mac_key = MacKey::from_seed(mac_seed);
+    svc::TeleopGateway gateway(config, transport);
+
+    const std::uint64_t t0 = steady_ms();
+    const auto deadline =
+        duration > 0.0 ? t0 + static_cast<std::uint64_t>(duration * 1000.0) : UINT64_MAX;
+    while (!g_stop.load()) {
+      const std::uint64_t now = steady_ms();
+      if (now >= deadline) break;
+      if (gateway.pump(now) == 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    }
+    const double elapsed = static_cast<double>(steady_ms() - t0) / 1000.0;
+    gateway.shutdown();
+
+    const svc::GatewayStats s = gateway.stats();
+    std::printf("gateway: %llu datagrams, %llu accepted, %llu sessions, %llu evicted\n",
+                static_cast<unsigned long long>(s.datagrams),
+                static_cast<unsigned long long>(s.accepted),
+                static_cast<unsigned long long>(s.sessions_opened),
+                static_cast<unsigned long long>(s.sessions_evicted));
+
+    if (!stats_out.empty()) write_stats_json(stats_out, gateway, transport.bound_port(), elapsed);
+    if (!metrics_out.empty()) {
+      if (!obs::Registry::global().snapshot().write_json_file(metrics_out)) {
+        std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "raven_gateway: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
