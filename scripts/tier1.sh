@@ -10,17 +10,23 @@
 # worker pool), Obs.* tests (the lock-free metrics shards), the
 # batch-equivalence suites (BatchDynamics/BatchPlant/BatchCampaign — the
 # lane-parallel campaign path) and the Gateway.* tests (sharded session
-# multiplexing) under TSan, so data races fail CI rather
-# than flaking.  Stage 3 runs a small armed sweep with
+# multiplexing) under TSan, so data races fail CI rather than flaking.
+# Stage 3 rebuilds with -DRG_SANITIZE=address,undefined and runs the
+# FULL unit suite, so heap errors and UB fail CI even when they do not
+# crash an uninstrumented build.  Stage 4 runs a small armed sweep with
 # --metrics-out/--trace-out/--events-out and validates every artifact:
 # the report (rg.campaign.report/2), the metrics snapshot, the Chrome
 # trace, and the safety-event JSONL (which must contain at least one
-# detector alarm and one mitigation).  Stage 4 runs the dynamics-kernel
+# detector alarm and one mitigation).  Stage 5 runs the dynamics-kernel
 # microbench at a tiny scale and schema-validates BENCH_dynamics.json.
-# Stage 5 exercises the teleoperation gateway service end to end: the
+# Stage 6 exercises the teleoperation gateway service end to end: the
 # capacity bench at a tiny scale (schema rg.bench.gateway/1), then a
 # real-socket run — raven_gateway on an ephemeral loopback port driven
-# by itp_loadgen — whose stats JSON must balance.
+# by itp_loadgen — whose stats JSON must balance.  Stage 7 runs the
+# static-analysis gates (docs/static-analysis.md): the rg_lint real-time
+# analyzer must report zero findings, every public header must compile
+# standalone (rg_header_checks), and the clang-format / clang-tidy
+# gates run when those tools are installed.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -36,7 +42,12 @@ cmake -B build-tsan -S . -DRG_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "${JOBS}" --target test_campaign test_obs test_batch_dynamics test_gateway
 (cd build-tsan && ctest --output-on-failure -R '^(Campaign|Obs|BatchDynamics|BatchPlant|BatchCampaign|EstimatorSolves|Gateway|GatewaySocket)\.')
 
-echo "== tier-1 stage 3: CLI telemetry artifacts =="
+echo "== tier-1 stage 3: ASan+UBSan full unit suite =="
+cmake -B build-asan -S . -DRG_SANITIZE=address,undefined >/dev/null
+cmake --build build-asan -j "${JOBS}"
+(cd build-asan && ctest --output-on-failure -j "${JOBS}")
+
+echo "== tier-1 stage 4: CLI telemetry artifacts =="
 cmake --build build -j "${JOBS}" --target raven_guard_cli
 TDIR=build/telemetry-check
 rm -rf "${TDIR}"
@@ -80,7 +91,7 @@ grep -q '"kind": "mitigation"' "${TDIR}/events.jsonl"
 grep -q '"kind": "flight_dump"' "${TDIR}/events.jsonl"
 echo "telemetry artifacts OK (${TDIR})"
 
-echo "== tier-1 stage 4: dynamics kernel bench schema =="
+echo "== tier-1 stage 5: dynamics kernel bench schema =="
 cmake --build build -j "${JOBS}" --target bench_dynamics_kernel
 RG_SCALE=0.02 RG_BENCH_DYNAMICS_JSON="${TDIR}/bench_dynamics.json" \
   ./build/bench/bench_dynamics_kernel >/dev/null
@@ -100,7 +111,7 @@ for row in doc["kernels"]:
 PY
 echo "bench schema OK (${TDIR}/bench_dynamics.json)"
 
-echo "== tier-1 stage 5: gateway service end-to-end =="
+echo "== tier-1 stage 6: gateway service end-to-end =="
 cmake --build build -j "${JOBS}" --target raven_gateway itp_loadgen bench_gateway
 
 RG_SCALE=0.02 RG_BENCH_GATEWAY_JSON="${TDIR}/bench_gateway.json" \
@@ -156,5 +167,12 @@ ticks = sum(s["ticks"] for s in stats["sessions"])
 assert ticks == stats["accepted"], (ticks, stats["accepted"])
 PY
 echo "gateway socket end-to-end OK (${TDIR}/gateway_stats.json)"
+
+echo "== tier-1 stage 7: static-analysis gates =="
+cmake --build build -j "${JOBS}" --target rg_lint rg_header_checks
+./build/tools/rg_lint/rg_lint --root . --quiet
+echo "rg_lint: clean"
+scripts/check_format.sh
+scripts/check_tidy.sh
 
 echo "tier-1: all stages passed"

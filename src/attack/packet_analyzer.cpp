@@ -49,7 +49,8 @@ PacketAnalyzer::PacketAnalyzer(std::vector<CapturedPacket> capture)
         const bool cur = (v >> bit) & 1U;
         if (cur) ++ones[bit];
         if (i > 0) {
-          const bool prev = (capture_[i - 1].bytes[b] >> bit) & 1U;
+          const std::uint8_t pv = capture_[i - 1].bytes[b];
+          const bool prev = (pv >> bit) & 1U;
           if (cur != prev) ++transitions[bit];
         }
       }

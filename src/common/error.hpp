@@ -14,20 +14,26 @@
 #include <utility>
 #include <variant>
 
+#include "common/realtime.hpp"
+
 namespace rg {
 
-/// Broad error categories used across modules.
+/// Broad error categories used across modules.  The numeric values are
+/// wire values (they appear in telemetry snapshots and the event log), so
+/// they are explicit and append-only: never renumber, never reuse.
+/// tools/rg_lint checks that every enumerator has a distinct value and a
+/// to_string entry.
 enum class ErrorCode : std::uint8_t {
-  kInvalidArgument,
-  kOutOfRange,
-  kMalformedPacket,
-  kChecksumMismatch,
-  kMalformedFlags,  // reserved/undefined protocol flag bits set
-  kSafetyViolation,
-  kNotReady,
-  kUnreachable,   // IK target outside workspace
-  kTimeout,
-  kInternal,
+  kInvalidArgument = 0,
+  kOutOfRange = 1,
+  kMalformedPacket = 2,
+  kChecksumMismatch = 3,
+  kMalformedFlags = 4,  // reserved/undefined protocol flag bits set
+  kSafetyViolation = 5,
+  kNotReady = 6,
+  kUnreachable = 7,  // IK target outside workspace
+  kTimeout = 8,
+  kInternal = 9,
 };
 
 /// Human-readable name for an ErrorCode.
@@ -76,25 +82,31 @@ class [[nodiscard]] Result {
   Result(T value) : data_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
   Result(Error error) : data_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
 
-  [[nodiscard]] bool ok() const noexcept {
+  [[nodiscard]] RG_REALTIME bool ok() const noexcept {
     return std::holds_alternative<T>(data_);
   }
   explicit operator bool() const noexcept { return ok(); }
 
-  [[nodiscard]] const T& value() const& {
+  // The value() accessors are hot-path: callers check ok() first, so the
+  // throw below is unreachable there and exists only to turn a contract
+  // violation into a loud failure instead of UB.
+  [[nodiscard]] RG_REALTIME const T& value() const& {
+    // rg-lint: allow(throw, alloc) -- unreachable after ok() check
     if (!ok()) throw std::logic_error("Result::value() on error: " + error().to_string());
     return std::get<T>(data_);
   }
-  [[nodiscard]] T& value() & {
+  [[nodiscard]] RG_REALTIME T& value() & {
+    // rg-lint: allow(throw, alloc) -- unreachable after ok() check
     if (!ok()) throw std::logic_error("Result::value() on error: " + error().to_string());
     return std::get<T>(data_);
   }
-  [[nodiscard]] T&& value() && {
+  [[nodiscard]] RG_REALTIME T&& value() && {
+    // rg-lint: allow(throw, alloc) -- unreachable after ok() check
     if (!ok()) throw std::logic_error("Result::value() on error: " + error().to_string());
     return std::get<T>(std::move(data_));
   }
 
-  [[nodiscard]] const Error& error() const& {
+  [[nodiscard]] RG_REALTIME const Error& error() const& {
     return std::get<Error>(data_);
   }
 
@@ -112,15 +124,16 @@ class [[nodiscard]] Status {
   Status() = default;  // success
   Status(Error error) : error_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
 
-  [[nodiscard]] bool ok() const noexcept { return !error_.has_value(); }
+  [[nodiscard]] RG_REALTIME bool ok() const noexcept { return !error_.has_value(); }
   explicit operator bool() const noexcept { return ok(); }
 
-  [[nodiscard]] const Error& error() const {
+  [[nodiscard]] RG_REALTIME const Error& error() const {
+    // rg-lint: allow(throw) -- unreachable after ok() check
     if (ok()) throw std::logic_error("Status::error() on ok status");
     return *error_;
   }
 
-  static Status success() { return Status{}; }
+  RG_REALTIME static Status success() { return Status{}; }
 
  private:
   std::optional<Error> error_;

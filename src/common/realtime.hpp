@@ -1,0 +1,25 @@
+// RG_REALTIME: the machine-checked real-time annotation.
+//
+// Functions marked RG_REALTIME are part of the 1 kHz tick/ingest/verdict
+// path (lane kernels, batched dynamics, estimator predict/commit, shard
+// rounds, board/DAC emit).  The marker is a compiler hint (hot) and, more
+// importantly, a contract enforced by tools/rg_lint:
+//
+//   * the body may not allocate (new/malloc/make_unique/resize/...),
+//   * may not lock (std::mutex, lock_guard, .lock(), ...),
+//   * may not perform stream/printf I/O,
+//   * may not throw,
+//   * may not block (sleep*, wait*, recv/send, epoll_wait, ...),
+//   * may not push_back/emplace_back into unreserved containers,
+//   * and every in-tree function it calls must itself be RG_REALTIME.
+//
+// Deliberate exceptions carry a `// rg-lint: allow(<class>) -- reason`
+// annotation on the same or preceding line.  See docs/static-analysis.md
+// for the full contract and the allow-annotation grammar.
+#pragma once
+
+#if defined(__GNUC__) || defined(__clang__)
+#define RG_REALTIME __attribute__((hot))
+#else
+#define RG_REALTIME
+#endif

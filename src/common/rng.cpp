@@ -4,7 +4,7 @@
 
 namespace rg {
 
-double Pcg32::sqrt_ratio(double s) noexcept {
+RG_REALTIME double Pcg32::sqrt_ratio(double s) noexcept {
   return std::sqrt(-2.0 * std::log(s) / s);
 }
 

@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <limits>
 
+#include "common/realtime.hpp"
+
 namespace rg {
 
 /// Minimal PCG32 engine satisfying UniformRandomBitGenerator.
@@ -34,25 +36,25 @@ class Pcg32 {
   result_type operator()() noexcept { return next(); }
 
   /// Uniform double in [0, 1).
-  double uniform() noexcept {
+  RG_REALTIME double uniform() noexcept {
     return static_cast<double>(next()) * 0x1.0p-32;
   }
 
   /// Uniform double in [lo, hi).
-  double uniform(double lo, double hi) noexcept {
+  RG_REALTIME double uniform(double lo, double hi) noexcept {
     return lo + (hi - lo) * uniform();
   }
 
   /// Uniform integer in [lo, hi] (inclusive).  Uses rejection-free Lemire
   /// style reduction; tiny bias (<2^-32) is irrelevant for simulation.
-  std::uint32_t uniform_int(std::uint32_t lo, std::uint32_t hi) noexcept {
+  RG_REALTIME std::uint32_t uniform_int(std::uint32_t lo, std::uint32_t hi) noexcept {
     const std::uint64_t range = static_cast<std::uint64_t>(hi) - lo + 1;
     return lo + static_cast<std::uint32_t>(
                     (static_cast<std::uint64_t>(next()) * range) >> 32U);
   }
 
   /// Standard normal deviate via Marsaglia polar method.
-  double normal() noexcept {
+  RG_REALTIME double normal() noexcept {
     if (has_spare_) {
       has_spare_ = false;
       return spare_;
@@ -72,7 +74,7 @@ class Pcg32 {
   }
 
   /// Normal deviate with the given mean and standard deviation.
-  double normal(double mean, double stddev) noexcept {
+  RG_REALTIME double normal(double mean, double stddev) noexcept {
     return mean + stddev * normal();
   }
 
@@ -83,7 +85,7 @@ class Pcg32 {
   }
 
  private:
-  result_type next() noexcept {
+  RG_REALTIME result_type next() noexcept {
     const std::uint64_t old = state_;
     state_ = old * 6364136223846793005ULL + inc_;
     const auto xorshifted =
@@ -92,11 +94,11 @@ class Pcg32 {
     return (xorshifted >> rot) | (xorshifted << ((32U - rot) & 31U));
   }
 
-  std::uint64_t next64() noexcept {
+  RG_REALTIME std::uint64_t next64() noexcept {
     return (static_cast<std::uint64_t>(next()) << 32U) | next();
   }
 
-  static double sqrt_ratio(double s) noexcept;
+  RG_REALTIME static double sqrt_ratio(double s) noexcept;
 
   std::uint64_t state_ = 0;
   std::uint64_t inc_ = 0;

@@ -10,6 +10,8 @@
 #include <optional>
 #include <string_view>
 
+#include "common/realtime.hpp"
+
 namespace rg {
 
 enum class RobotState : std::uint8_t {
@@ -33,7 +35,7 @@ constexpr std::string_view to_string(RobotState s) noexcept {
 /// "Pedal Down" encodes as 0x0F — with the watchdog bit (bit 4) toggling,
 /// an eavesdropper sees Byte 0 alternate 0x0F / 0x1F, exactly the pattern
 /// the paper's offline analysis keys on.
-constexpr std::uint8_t wire_code(RobotState s) noexcept {
+RG_REALTIME constexpr std::uint8_t wire_code(RobotState s) noexcept {
   switch (s) {
     case RobotState::kEStop: return 0x01;
     case RobotState::kInit: return 0x03;
@@ -44,7 +46,7 @@ constexpr std::uint8_t wire_code(RobotState s) noexcept {
 }
 
 /// Inverse of wire_code; nullopt for an unknown code.
-constexpr std::optional<RobotState> state_from_wire_code(std::uint8_t code) noexcept {
+RG_REALTIME constexpr std::optional<RobotState> state_from_wire_code(std::uint8_t code) noexcept {
   switch (code) {
     case 0x01: return RobotState::kEStop;
     case 0x03: return RobotState::kInit;

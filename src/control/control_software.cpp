@@ -8,7 +8,7 @@ namespace rg {
 
 namespace {
 /// Smoothstep used for the homing ramp (C1-continuous).
-double smoothstep(double u) noexcept {
+RG_REALTIME double smoothstep(double u) noexcept {
   if (u <= 0.0) return 0.0;
   if (u >= 1.0) return 1.0;
   return u * u * (3.0 - 2.0 * u);
@@ -33,7 +33,7 @@ ControlSoftware::ControlSoftware(const ControlConfig& config)
                 Differentiator{kControlPeriodSec, config.velocity_filter_alpha},
                 Differentiator{kControlPeriodSec, config.velocity_filter_alpha}} {}
 
-void ControlSoftware::press_start() {
+RG_REALTIME void ControlSoftware::press_start() {
   plc_estop_reports_ = 0;
   safety_fault_ = false;
   first_violation_.reset();
@@ -46,9 +46,9 @@ void ControlSoftware::press_start() {
   sm_.press_start();
 }
 
-void ControlSoftware::press_estop() noexcept { sm_.trigger_estop(); }
+RG_REALTIME void ControlSoftware::press_estop() noexcept { sm_.trigger_estop(); }
 
-void ControlSoftware::process_feedback(std::span<const std::uint8_t> feedback_bytes) noexcept {
+RG_REALTIME void ControlSoftware::process_feedback(std::span<const std::uint8_t> feedback_bytes) noexcept {
   auto decoded = decode_feedback(feedback_bytes, /*verify_checksum=*/true);
   if (!decoded.ok()) return;  // hold last measurement on a corrupt read
   const FeedbackPacket& pkt = decoded.value();
@@ -71,7 +71,7 @@ void ControlSoftware::process_feedback(std::span<const std::uint8_t> feedback_by
   }
 }
 
-void ControlSoftware::process_itp(std::span<const std::uint8_t> itp_bytes) noexcept {
+RG_REALTIME void ControlSoftware::process_itp(std::span<const std::uint8_t> itp_bytes) noexcept {
   auto decoded = decode_itp(itp_bytes, /*verify_checksum=*/true);
   if (!decoded.ok()) {
     debug_.itp_dropped = true;
@@ -105,7 +105,7 @@ void ControlSoftware::process_itp(std::span<const std::uint8_t> itp_bytes) noexc
   if (ori_desired_valid_) ori_desired_ += pkt.ori_increment;
 }
 
-void ControlSoftware::latch_fault(const SafetyViolation& violation) noexcept {
+RG_REALTIME void ControlSoftware::latch_fault(const SafetyViolation& violation) noexcept {
   if (!first_violation_) first_violation_ = violation;
   safety_fault_ = true;
   sm_.trigger_estop();
@@ -113,7 +113,7 @@ void ControlSoftware::latch_fault(const SafetyViolation& violation) noexcept {
   debug_.violation = violation;
 }
 
-CommandBytes ControlSoftware::tick(std::optional<std::span<const std::uint8_t>> itp_bytes,
+RG_REALTIME CommandBytes ControlSoftware::tick(std::optional<std::span<const std::uint8_t>> itp_bytes,
                                    std::span<const std::uint8_t> feedback_bytes) {
   RG_SPAN("control.tick");
   debug_ = ControlDebug{};

@@ -24,6 +24,7 @@
 #include <span>
 
 #include "common/clock.hpp"
+#include "common/realtime.hpp"
 #include "common/robot_state.hpp"
 #include "control/pid.hpp"
 #include "control/safety.hpp"
@@ -98,16 +99,16 @@ class ControlSoftware {
   explicit ControlSoftware(const ControlConfig& config = ControlConfig::raven_defaults());
 
   /// Physical start button (shared with the PLC by the harness).
-  void press_start();
+  RG_REALTIME void press_start();
 
   /// Physical E-STOP button.
-  void press_estop() noexcept;
+  RG_REALTIME void press_estop() noexcept;
 
   /// One 1 kHz control cycle.  `itp_bytes`: the datagram received this
   /// tick, if any (already past any attack interposer).  `feedback_bytes`:
   /// the USB read from the interface board.  Returns the serialized
   /// command packet to be written to the board.
-  [[nodiscard]] CommandBytes tick(std::optional<std::span<const std::uint8_t>> itp_bytes,
+  [[nodiscard]] RG_REALTIME CommandBytes tick(std::optional<std::span<const std::uint8_t>> itp_bytes,
                                   std::span<const std::uint8_t> feedback_bytes);
 
   /// Rebind the trig functions used by the kinematic chain — the hook a
@@ -126,13 +127,13 @@ class ControlSoftware {
 
  private:
   /// Decode feedback and refresh measured state.
-  void process_feedback(std::span<const std::uint8_t> feedback_bytes) noexcept;
+  RG_REALTIME void process_feedback(std::span<const std::uint8_t> feedback_bytes) noexcept;
 
   /// Decode and apply an ITP packet (pedal edges, desired-pose increments).
-  void process_itp(std::span<const std::uint8_t> itp_bytes) noexcept;
+  RG_REALTIME void process_itp(std::span<const std::uint8_t> itp_bytes) noexcept;
 
   /// Latch a safety fault: E-STOP state, zero output, watchdog frozen.
-  void latch_fault(const SafetyViolation& violation) noexcept;
+  RG_REALTIME void latch_fault(const SafetyViolation& violation) noexcept;
 
   ControlConfig config_;
   RavenKinematics kin_;

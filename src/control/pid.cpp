@@ -4,7 +4,7 @@
 
 namespace rg {
 
-double PidController::update(double error, double measured_velocity) noexcept {
+RG_REALTIME double PidController::update(double error, double measured_velocity) noexcept {
   const double unsaturated_no_i =
       gains_.kp * error - gains_.kd * measured_velocity + gains_.ki * integral_;
 

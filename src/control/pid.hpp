@@ -7,6 +7,7 @@
 #pragma once
 
 #include "common/error.hpp"
+#include "common/realtime.hpp"
 
 namespace rg {
 
@@ -29,9 +30,9 @@ class PidController {
   /// One control update.  error = setpoint - measurement; measured_velocity
   /// is the measurement's rate (used for the D term).  Returns the
   /// saturated torque command.
-  double update(double error, double measured_velocity) noexcept;
+  RG_REALTIME double update(double error, double measured_velocity) noexcept;
 
-  void reset() noexcept { integral_ = 0.0; }
+  RG_REALTIME void reset() noexcept { integral_ = 0.0; }
 
   [[nodiscard]] double integral_state() const noexcept { return integral_; }
   [[nodiscard]] const PidGains& gains() const noexcept { return gains_; }

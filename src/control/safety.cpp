@@ -21,7 +21,7 @@ std::string SafetyViolation::describe() const {
   return s;
 }
 
-std::optional<SafetyViolation> SafetyChecker::check_dac(
+RG_REALTIME std::optional<SafetyViolation> SafetyChecker::check_dac(
     std::span<const std::int16_t> dac) const noexcept {
   const std::size_t n = std::min(dac.size(), config_.dac_limit.size());
   for (std::size_t i = 0; i < n; ++i) {
@@ -34,7 +34,7 @@ std::optional<SafetyViolation> SafetyChecker::check_dac(
   return std::nullopt;
 }
 
-std::optional<SafetyViolation> SafetyChecker::check_joints(
+RG_REALTIME std::optional<SafetyViolation> SafetyChecker::check_joints(
     const JointVector& jpos_desired) const noexcept {
   for (std::size_t i = 0; i < 3; ++i) {
     const JointLimit& lim = config_.workspace.joint(i);
@@ -48,7 +48,7 @@ std::optional<SafetyViolation> SafetyChecker::check_joints(
   return std::nullopt;
 }
 
-std::optional<SafetyViolation> SafetyChecker::check_increment(
+RG_REALTIME std::optional<SafetyViolation> SafetyChecker::check_increment(
     const Vec3& pos_increment) const noexcept {
   const double mag = pos_increment.norm();
   if (mag > config_.max_pos_increment) {

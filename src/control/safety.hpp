@@ -18,6 +18,7 @@
 #include <span>
 #include <string>
 
+#include "common/realtime.hpp"
 #include "common/units.hpp"
 #include "kinematics/joint_limits.hpp"
 #include "kinematics/types.hpp"
@@ -57,15 +58,15 @@ class SafetyChecker {
   explicit SafetyChecker(const SafetyConfig& config = {}) : config_(config) {}
 
   /// Check the DAC words about to be written to the board.
-  [[nodiscard]] std::optional<SafetyViolation> check_dac(
+  [[nodiscard]] RG_REALTIME std::optional<SafetyViolation> check_dac(
       std::span<const std::int16_t> dac) const noexcept;
 
   /// Check a desired joint configuration against the workspace.
-  [[nodiscard]] std::optional<SafetyViolation> check_joints(
+  [[nodiscard]] RG_REALTIME std::optional<SafetyViolation> check_joints(
       const JointVector& jpos_desired) const noexcept;
 
   /// Check a user position increment.
-  [[nodiscard]] std::optional<SafetyViolation> check_increment(
+  [[nodiscard]] RG_REALTIME std::optional<SafetyViolation> check_increment(
       const Vec3& pos_increment) const noexcept;
 
   [[nodiscard]] const SafetyConfig& config() const noexcept { return config_; }

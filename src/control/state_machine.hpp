@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "common/realtime.hpp"
 #include "common/robot_state.hpp"
 
 namespace rg {
@@ -20,10 +21,10 @@ class ControlStateMachine {
   explicit ControlStateMachine(std::uint32_t homing_ticks = 1000)
       : homing_ticks_(homing_ticks) {}
 
-  [[nodiscard]] RobotState state() const noexcept { return state_; }
+  [[nodiscard]] RG_REALTIME RobotState state() const noexcept { return state_; }
 
   /// Physical start button: leaves E-STOP and begins initialization.
-  void press_start() noexcept {
+  RG_REALTIME void press_start() noexcept {
     if (state_ == RobotState::kEStop) {
       state_ = RobotState::kInit;
       homing_elapsed_ = 0;
@@ -31,10 +32,10 @@ class ControlStateMachine {
   }
 
   /// Emergency stop (button, PLC latch, or software fault).
-  void trigger_estop() noexcept { state_ = RobotState::kEStop; }
+  RG_REALTIME void trigger_estop() noexcept { state_ = RobotState::kEStop; }
 
   /// Foot pedal edge from the console.
-  void set_pedal(bool pedal_down) noexcept {
+  RG_REALTIME void set_pedal(bool pedal_down) noexcept {
     if (state_ == RobotState::kPedalUp && pedal_down) {
       state_ = RobotState::kPedalDown;
     } else if (state_ == RobotState::kPedalDown && !pedal_down) {
@@ -43,14 +44,14 @@ class ControlStateMachine {
   }
 
   /// One control tick; advances homing progress during Init.
-  void tick() noexcept {
+  RG_REALTIME void tick() noexcept {
     if (state_ == RobotState::kInit) {
       if (++homing_elapsed_ >= homing_ticks_) state_ = RobotState::kPedalUp;
     }
   }
 
   /// Homing progress in [0, 1] (1 outside Init).
-  [[nodiscard]] double homing_progress() const noexcept {
+  [[nodiscard]] RG_REALTIME double homing_progress() const noexcept {
     if (state_ != RobotState::kInit) return 1.0;
     if (homing_ticks_ == 0) return 1.0;
     return static_cast<double>(homing_elapsed_) / static_cast<double>(homing_ticks_);

@@ -4,7 +4,7 @@
 
 namespace rg {
 
-Verdict AnomalyDetector::evaluate(const Prediction& pred) const noexcept {
+RG_REALTIME Verdict AnomalyDetector::evaluate(const Prediction& pred) const noexcept {
   Verdict v;
   if (!pred.valid) return v;
 

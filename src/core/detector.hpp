@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <string_view>
 
+#include "common/realtime.hpp"
 #include "core/estimator.hpp"
 #include "core/thresholds.hpp"
 
@@ -56,7 +57,7 @@ class AnomalyDetector {
 
   /// Evaluate one prediction.  Invalid predictions (estimator not yet
   /// synchronized) never alarm.
-  [[nodiscard]] Verdict evaluate(const Prediction& pred) const noexcept;
+  [[nodiscard]] RG_REALTIME Verdict evaluate(const Prediction& pred) const noexcept;
 
   [[nodiscard]] const DetectorConfig& config() const noexcept { return config_; }
   void set_thresholds(const DetectionThresholds& thresholds) noexcept {

@@ -19,7 +19,7 @@ DynamicModelEstimator::DynamicModelEstimator(const EstimatorConfig& config)
   validate_solver(config.solver);
 }
 
-void DynamicModelEstimator::observe_feedback(const MotorVector& encoder_angles) noexcept {
+RG_REALTIME void DynamicModelEstimator::observe_feedback(const MotorVector& encoder_angles) noexcept {
   cache_valid_ = false;  // the correction moves state_ out from under the cache
   if (!have_feedback_) {
     // Hard sync on the first observation: positions from encoders, rates
@@ -51,14 +51,14 @@ void DynamicModelEstimator::observe_feedback(const MotorVector& encoder_angles) 
                                     RavenDynamicsModel::joint_vel(state_) + l2 * jerr);
 }
 
-Vec3 DynamicModelEstimator::currents_from_dac(
+RG_REALTIME Vec3 DynamicModelEstimator::currents_from_dac(
     const std::array<std::int16_t, 3>& dac) const noexcept {
   Vec3 currents;
   for (std::size_t i = 0; i < 3; ++i) currents[i] = channel_.current_from_dac(dac[i]);
   return currents;
 }
 
-PendingSolve DynamicModelEstimator::begin_predict(
+RG_REALTIME PendingSolve DynamicModelEstimator::begin_predict(
     const std::array<std::int16_t, 3>& dac) const noexcept {
   PendingSolve pending;
   if (!have_feedback_) return pending;
@@ -70,13 +70,13 @@ PendingSolve DynamicModelEstimator::begin_predict(
   return pending;
 }
 
-RavenDynamicsModel::State DynamicModelEstimator::solve(const PendingSolve& pending) noexcept {
+RG_REALTIME RavenDynamicsModel::State DynamicModelEstimator::solve(const PendingSolve& pending) noexcept {
   RG_SPAN("estimator.solve");
   ++solves_;
   return model_.step(pending.x0, pending.currents, pending.h, pending.solver);
 }
 
-Prediction DynamicModelEstimator::finish_predict(const std::array<std::int16_t, 3>& dac,
+RG_REALTIME Prediction DynamicModelEstimator::finish_predict(const std::array<std::int16_t, 3>& dac,
                                                  const RavenDynamicsModel::State& next) noexcept {
   Prediction pred;
   if (!have_feedback_) return pred;
@@ -105,13 +105,13 @@ Prediction DynamicModelEstimator::finish_predict(const std::array<std::int16_t, 
   return pred;
 }
 
-Prediction DynamicModelEstimator::predict(const std::array<std::int16_t, 3>& dac) noexcept {
+RG_REALTIME Prediction DynamicModelEstimator::predict(const std::array<std::int16_t, 3>& dac) noexcept {
   const PendingSolve pending = begin_predict(dac);
   if (!pending.active) return Prediction{};
   return finish_predict(dac, solve(pending));
 }
 
-void DynamicModelEstimator::commit(const std::array<std::int16_t, 3>& dac) noexcept {
+RG_REALTIME void DynamicModelEstimator::commit(const std::array<std::int16_t, 3>& dac) noexcept {
   if (!have_feedback_) return;
   if (cache_valid_ && cached_dac_ == dac) {
     // The command that executed is the one predict() screened: the
@@ -128,7 +128,7 @@ void DynamicModelEstimator::commit(const std::array<std::int16_t, 3>& dac) noexc
                               /*active=*/true});
 }
 
-void DynamicModelEstimator::reset() noexcept {
+RG_REALTIME void DynamicModelEstimator::reset() noexcept {
   state_ = RavenDynamicsModel::State{};
   have_feedback_ = false;
   cache_valid_ = false;

@@ -27,6 +27,7 @@
 #include <cstdint>
 
 #include "common/clock.hpp"
+#include "common/realtime.hpp"
 #include "dynamics/raven_model.hpp"
 #include "hw/motor_controller.hpp"
 #include "hw/usb_packet.hpp"
@@ -93,15 +94,15 @@ class DynamicModelEstimator {
   /// Feed the encoder angles observed this cycle (the same feedback the
   /// control software read).  First call hard-syncs; later calls apply
   /// the soft observer correction.
-  void observe_feedback(const MotorVector& encoder_angles) noexcept;
+  RG_REALTIME void observe_feedback(const MotorVector& encoder_angles) noexcept;
 
   /// Predict the physical consequence of executing `dac` (the modelled
   /// channels of the command packet about to be written).  Tentative —
   /// does not advance the parallel model.
-  [[nodiscard]] Prediction predict(const std::array<std::int16_t, 3>& dac) noexcept;
+  [[nodiscard]] RG_REALTIME Prediction predict(const std::array<std::int16_t, 3>& dac) noexcept;
 
   /// Convenience: predict from a decoded command packet.
-  [[nodiscard]] Prediction predict(const CommandPacket& cmd) noexcept {
+  [[nodiscard]] RG_REALTIME Prediction predict(const CommandPacket& cmd) noexcept {
     return predict({cmd.dac[0], cmd.dac[1], cmd.dac[2]});
   }
 
@@ -113,24 +114,24 @@ class DynamicModelEstimator {
 
   /// Snapshot the inputs of the one-step integration for `dac`.  Does not
   /// touch estimator state.  `active` is false without feedback.
-  [[nodiscard]] PendingSolve begin_predict(const std::array<std::int16_t, 3>& dac) const noexcept;
+  [[nodiscard]] RG_REALTIME PendingSolve begin_predict(const std::array<std::int16_t, 3>& dac) const noexcept;
 
   /// Run one deferred integration (the scalar path).  Counted in solves().
-  [[nodiscard]] RavenDynamicsModel::State solve(const PendingSolve& pending) noexcept;
+  [[nodiscard]] RG_REALTIME RavenDynamicsModel::State solve(const PendingSolve& pending) noexcept;
 
   /// Derive the detection variables from the solved next-state and cache
   /// it, so a commit() of the same `dac` reuses the solution instead of
   /// re-integrating (the predict/commit pair costs one solve per tick).
-  [[nodiscard]] Prediction finish_predict(const std::array<std::int16_t, 3>& dac,
+  [[nodiscard]] RG_REALTIME Prediction finish_predict(const std::array<std::int16_t, 3>& dac,
                                           const RavenDynamicsModel::State& next) noexcept;
 
   /// Advance the parallel model with the command that actually executed
   /// (the screened original, or the mitigator's replacement).
-  void commit(const std::array<std::int16_t, 3>& dac) noexcept;
+  RG_REALTIME void commit(const std::array<std::int16_t, 3>& dac) noexcept;
 
   /// The brakes have engaged: the plant is locked, so the parallel model
   /// is stale.  The next observe_feedback() performs a hard re-sync.
-  void mark_disengaged() noexcept {
+  RG_REALTIME void mark_disengaged() noexcept {
     have_feedback_ = false;
     cache_valid_ = false;
   }
@@ -148,7 +149,7 @@ class DynamicModelEstimator {
   [[nodiscard]] std::uint64_t solves() const noexcept { return solves_; }
 
  private:
-  [[nodiscard]] Vec3 currents_from_dac(const std::array<std::int16_t, 3>& dac) const noexcept;
+  [[nodiscard]] RG_REALTIME Vec3 currents_from_dac(const std::array<std::int16_t, 3>& dac) const noexcept;
 
   EstimatorConfig config_;
   RavenDynamicsModel model_;

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <string_view>
 
+#include "common/realtime.hpp"
 #include "hw/usb_packet.hpp"
 
 namespace rg {
@@ -35,13 +36,13 @@ class Mitigator {
       : strategy_(strategy) {}
 
   /// Record a command that the detector cleared (needed for hold-last-safe).
-  void record_safe(const CommandPacket& cmd) noexcept {
+  RG_REALTIME void record_safe(const CommandPacket& cmd) noexcept {
     last_safe_ = cmd;
     has_safe_ = true;
   }
 
   /// Produce the replacement for a flagged command.
-  [[nodiscard]] CommandPacket mitigate(const CommandPacket& offending) const noexcept {
+  [[nodiscard]] RG_REALTIME CommandPacket mitigate(const CommandPacket& offending) const noexcept {
     CommandPacket out = offending;
     switch (strategy_) {
       case MitigationStrategy::kEStop:

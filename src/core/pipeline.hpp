@@ -12,6 +12,7 @@
 #include <optional>
 #include <span>
 
+#include "common/realtime.hpp"
 #include "core/detector.hpp"
 #include "core/estimator.hpp"
 #include "core/mitigator.hpp"
@@ -43,14 +44,14 @@ class DetectionPipeline {
   explicit DetectionPipeline(const PipelineConfig& config);
 
   /// Feed this cycle's encoder feedback (same angles the software saw).
-  void observe_feedback(const MotorVector& encoder_angles) noexcept {
+  RG_REALTIME void observe_feedback(const MotorVector& encoder_angles) noexcept {
     estimator_.observe_feedback(encoder_angles);
   }
 
   /// Tell the monitor whether the drives are live (brakes released).  A
   /// braked robot cannot move, so screening pauses and the parallel model
   /// re-syncs when the robot next engages.
-  void set_engaged(bool engaged) noexcept {
+  RG_REALTIME void set_engaged(bool engaged) noexcept {
     if (!engaged && engaged_) estimator_.mark_disengaged();
     engaged_ = engaged;
   }
@@ -58,7 +59,7 @@ class DetectionPipeline {
   /// Screen one command packet (post-attack bytes).  Returns the verdict
   /// and the possibly-rewritten bytes.  Undecodable packets are treated
   /// as malicious and blocked outright (a trusted monitor fails closed).
-  [[nodiscard]] Outcome process(std::span<const std::uint8_t> command_bytes);
+  [[nodiscard]] RG_REALTIME Outcome process(std::span<const std::uint8_t> command_bytes);
 
   // --- deferred-solve decomposition of process() ---------------------------
   // process(bytes) == begin → estimator().solve(pending) → finish.  The
@@ -81,12 +82,13 @@ class DetectionPipeline {
   /// Decode + fast-path screening.  Leaves `pending` active when a model
   /// solve is still needed (the common case); sets `complete` when the
   /// verdict needed none (disengaged, undecodable, or no feedback yet).
-  [[nodiscard]] ScreenState begin_process(std::span<const std::uint8_t> command_bytes);
+  [[nodiscard]] RG_REALTIME ScreenState begin_process(std::span<const std::uint8_t> command_bytes);
 
   /// Finish screening with the solved one-step-ahead state (`next` from
   /// estimator().solve(st.pending) or a batched lane; ignored when
   /// `st.complete`).
-  [[nodiscard]] Outcome finish_process(ScreenState& st, const RavenDynamicsModel::State& next);
+  [[nodiscard]] RG_REALTIME Outcome finish_process(ScreenState& st,
+                                                   const RavenDynamicsModel::State& next);
 
   // --- run statistics ------------------------------------------------------
   [[nodiscard]] std::uint64_t alarms() const noexcept { return alarms_; }
@@ -98,7 +100,7 @@ class DetectionPipeline {
   void set_thresholds(const DetectionThresholds& thresholds) noexcept {
     detector_.set_thresholds(thresholds);
   }
-  [[nodiscard]] DynamicModelEstimator& estimator() noexcept { return estimator_; }
+  [[nodiscard]] RG_REALTIME DynamicModelEstimator& estimator() noexcept { return estimator_; }
   [[nodiscard]] const AnomalyDetector& detector() const noexcept { return detector_; }
 
   void reset() noexcept;

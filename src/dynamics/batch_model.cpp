@@ -35,7 +35,7 @@ const std::array<LaneFx, K> kNeutralFx{};
 // each k), so batched lanes match scalar integration bit for bit.
 
 /// out = x + k * a
-inline void axpy(const BatchState& x, const BatchState& k, double a, BatchState& out) noexcept {
+RG_REALTIME inline void axpy(const BatchState& x, const BatchState& k, double a, BatchState& out) noexcept {
   for (std::size_t c = 0; c < 12; ++c) {
     for (std::size_t l = 0; l < K; ++l) out.c[c][l] = x.c[c][l] + k.c[c][l] * a;
   }
@@ -50,7 +50,7 @@ BatchRavenModel::BatchRavenModel(const RavenDynamicsParams& params) : p_(params)
   kp_ = scalar.kernel_params();
 }
 
-void BatchRavenModel::tau_em_from_currents(const BatchLanes3& currents,
+RG_REALTIME void BatchRavenModel::tau_em_from_currents(const BatchLanes3& currents,
                                            BatchLanes3& tau_em) const noexcept {
   for (std::size_t l = 0; l < K; ++l) {
     const double i[3] = {currents[0][l], currents[1][l], currents[2][l]};
@@ -74,7 +74,7 @@ namespace {
 // kernel, same neutral LaneFx values, so it is bit-identical to the
 // general path, just without its per-call setup cost.
 template <bool HardStops, bool Lean>
-RG_LANE_INLINE void lanes_body(const DynParams& kp, const BatchState& x,
+RG_REALTIME RG_LANE_INLINE void lanes_body(const DynParams& kp, const BatchState& x,
                                const BatchLanes3& tau_em, const std::array<LaneFx, K>* fx,
                                const bool* locked, BatchState& dx) noexcept {
   // Transpose the per-lane effects to SoA locals and widen the lock flags
@@ -84,7 +84,7 @@ RG_LANE_INLINE void lanes_body(const DynParams& kp, const BatchState& x,
   std::array<std::array<double, K>, 3> emt{};
   std::array<std::array<double, K>, 3> csc{};
   std::array<std::array<double, K>, 3> ejf{};
-  std::array<double, K> lock{};
+  std::array<double, K> lock_mask{};
   if constexpr (!Lean) {
     const std::array<LaneFx, K>& effects = fx != nullptr ? *fx : kNeutralFx;
     for (std::size_t i = 0; i < 3; ++i) {
@@ -95,7 +95,7 @@ RG_LANE_INLINE void lanes_body(const DynParams& kp, const BatchState& x,
       }
     }
     if (locked != nullptr) {
-      for (std::size_t l = 0; l < K; ++l) lock[l] = locked[l] ? 1.0 : 0.0;
+      for (std::size_t l = 0; l < K; ++l) lock_mask[l] = locked[l] ? 1.0 : 0.0;
     }
   }
   // Compute into a local, then copy out.  A local provably never aliases
@@ -121,7 +121,7 @@ RG_LANE_INLINE void lanes_body(const DynParams& kp, const BatchState& x,
       // Locked shafts: motor position and velocity derivatives vanish
       // (mirrors the scalar plant's substep lambda).  Select, don't scale:
       // 0.0 * wd would flip the sign bit of zero for negative wd.
-      for (std::size_t i = 0; i < 6; ++i) tmp.c[i][l] = lock[l] != 0.0 ? 0.0 : d[i];
+      for (std::size_t i = 0; i < 6; ++i) tmp.c[i][l] = lock_mask[l] != 0.0 ? 0.0 : d[i];
       for (std::size_t i = 6; i < 12; ++i) tmp.c[i][l] = d[i];
     }
   }
@@ -131,20 +131,20 @@ RG_LANE_INLINE void lanes_body(const DynParams& kp, const BatchState& x,
 // One ISA-cloned entry point per (HardStops, Lean) instantiation.  The
 // always_inline lanes_body is re-expanded inside every clone, so each ISA
 // gets its own fully vectorized copy of the lane loop.
-RG_LANES_CLONES void lanes_hs_lean(const DynParams& kp, const BatchState& x,
+RG_REALTIME RG_LANES_CLONES void lanes_hs_lean(const DynParams& kp, const BatchState& x,
                                    const BatchLanes3& tau_em, BatchState& dx) noexcept {
   lanes_body<true, true>(kp, x, tau_em, nullptr, nullptr, dx);
 }
-RG_LANES_CLONES void lanes_hs_full(const DynParams& kp, const BatchState& x,
+RG_REALTIME RG_LANES_CLONES void lanes_hs_full(const DynParams& kp, const BatchState& x,
                                    const BatchLanes3& tau_em, const std::array<LaneFx, K>* fx,
                                    const bool* locked, BatchState& dx) noexcept {
   lanes_body<true, false>(kp, x, tau_em, fx, locked, dx);
 }
-RG_LANES_CLONES void lanes_nohs_lean(const DynParams& kp, const BatchState& x,
+RG_REALTIME RG_LANES_CLONES void lanes_nohs_lean(const DynParams& kp, const BatchState& x,
                                      const BatchLanes3& tau_em, BatchState& dx) noexcept {
   lanes_body<false, true>(kp, x, tau_em, nullptr, nullptr, dx);
 }
-RG_LANES_CLONES void lanes_nohs_full(const DynParams& kp, const BatchState& x,
+RG_REALTIME RG_LANES_CLONES void lanes_nohs_full(const DynParams& kp, const BatchState& x,
                                      const BatchLanes3& tau_em, const std::array<LaneFx, K>* fx,
                                      const bool* locked, BatchState& dx) noexcept {
   lanes_body<false, false>(kp, x, tau_em, fx, locked, dx);
@@ -153,7 +153,7 @@ RG_LANES_CLONES void lanes_nohs_full(const DynParams& kp, const BatchState& x,
 }  // namespace
 
 template <bool HardStops>
-void BatchRavenModel::derivative_impl(const BatchState& x, const BatchLanes3& tau_em,
+RG_REALTIME void BatchRavenModel::derivative_impl(const BatchState& x, const BatchLanes3& tau_em,
                                       const std::array<LaneFx, K>* fx, const bool* locked,
                                       BatchState& dx) const noexcept {
   const bool lean = fx == nullptr && locked == nullptr;
@@ -172,7 +172,7 @@ void BatchRavenModel::derivative_impl(const BatchState& x, const BatchLanes3& ta
   }
 }
 
-void BatchRavenModel::derivative(const BatchState& x, const BatchLanes3& tau_em,
+RG_REALTIME void BatchRavenModel::derivative(const BatchState& x, const BatchLanes3& tau_em,
                                  const std::array<LaneFx, K>* fx, const bool* locked,
                                  BatchState& dx) const noexcept {
   if (p_.enforce_hard_stops) {
@@ -182,7 +182,7 @@ void BatchRavenModel::derivative(const BatchState& x, const BatchLanes3& tau_em,
   }
 }
 
-void BatchRavenModel::cable_force(const BatchState& x, BatchLanes3& tau) const noexcept {
+RG_REALTIME void BatchRavenModel::cable_force(const BatchState& x, BatchLanes3& tau) const noexcept {
   constexpr double kOnes[3] = {1.0, 1.0, 1.0};
   for (std::size_t l = 0; l < K; ++l) {
     const LaneState s{x.c[0][l], x.c[1][l], x.c[2][l],  x.c[3][l], x.c[4][l],  x.c[5][l],
@@ -195,14 +195,14 @@ void BatchRavenModel::cable_force(const BatchState& x, BatchLanes3& tau) const n
   }
 }
 
-void BatchRavenModel::step(BatchState& x, const BatchLanes3& currents, double h,
+RG_REALTIME void BatchRavenModel::step(BatchState& x, const BatchLanes3& currents, double h,
                            SolverKind solver) const noexcept {
   BatchLanes3 tau_em;
   tau_em_from_currents(currents, tau_em);
   step_with_effects(x, tau_em, kNeutralFx, nullptr, h, solver);
 }
 
-void BatchRavenModel::step_with_effects(BatchState& x, const BatchLanes3& tau_em,
+RG_REALTIME void BatchRavenModel::step_with_effects(BatchState& x, const BatchLanes3& tau_em,
                                         const std::array<LaneFx, K>& fx, const bool* locked,
                                         double h, SolverKind solver) const noexcept {
   BatchState k1;

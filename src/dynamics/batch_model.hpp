@@ -20,6 +20,8 @@
 #include <array>
 #include <cstddef>
 
+#include "common/realtime.hpp"
+
 #include "dynamics/lane_kernel.hpp"
 #include "dynamics/raven_model.hpp"
 #include "math/vec.hpp"
@@ -39,17 +41,17 @@ using BatchLanes3 = std::array<std::array<double, kBatchLanes>, 3>;
 struct alignas(64) BatchState {
   std::array<std::array<double, kBatchLanes>, 12> c{};
 
-  [[nodiscard]] Vec<12> lane(std::size_t l) const noexcept {
+  [[nodiscard]] RG_REALTIME Vec<12> lane(std::size_t l) const noexcept {
     Vec<12> x;
     for (std::size_t i = 0; i < 12; ++i) x[i] = c[i][l];
     return x;
   }
-  void set_lane(std::size_t l, const Vec<12>& x) noexcept {
+  RG_REALTIME void set_lane(std::size_t l, const Vec<12>& x) noexcept {
     for (std::size_t i = 0; i < 12; ++i) c[i][l] = x[i];
   }
   /// Copy lane `from` into every lane of the batch — how callers give
   /// unused lanes safe numerics (their results are discarded).
-  void broadcast(std::size_t from) noexcept {
+  RG_REALTIME void broadcast(std::size_t from) noexcept {
     for (std::size_t i = 0; i < 12; ++i) {
       const double v = c[i][from];
       for (std::size_t l = 0; l < kBatchLanes; ++l) c[i][l] = v;
@@ -68,36 +70,36 @@ class BatchRavenModel {
   /// the nominal model (no external effects, no brake locks).  A locked
   /// lane gets zero motor position/velocity derivatives, exactly like
   /// the scalar plant's shaft lock.
-  void derivative(const BatchState& x, const BatchLanes3& tau_em,
+  RG_REALTIME void derivative(const BatchState& x, const BatchLanes3& tau_em,
                   const std::array<LaneFx, kBatchLanes>* fx, const bool* locked,
                   BatchState& dx) const noexcept;
 
   /// Unscaled joint-side cable tension per lane (the plant's overload
   /// watch).
-  void cable_force(const BatchState& x, BatchLanes3& tau) const noexcept;
+  RG_REALTIME void cable_force(const BatchState& x, BatchLanes3& tau) const noexcept;
 
   /// Advance all lanes by h with the given (pre-validated) solver under
   /// per-lane motor currents; no external effects.  This is the batched
   /// twin of RavenDynamicsModel::step — the estimator path.
-  void step(BatchState& x, const BatchLanes3& currents, double h,
+  RG_REALTIME void step(BatchState& x, const BatchLanes3& currents, double h,
             SolverKind solver) const noexcept;
 
   /// Advance all lanes by h under precomputed tau_em, per-lane external
   /// effects and lock flags — the plant path (BatchPlant owns the
   /// substep/snap loop around this).
-  void step_with_effects(BatchState& x, const BatchLanes3& tau_em,
+  RG_REALTIME void step_with_effects(BatchState& x, const BatchLanes3& tau_em,
                          const std::array<LaneFx, kBatchLanes>& fx, const bool* locked,
                          double h, SolverKind solver) const noexcept;
 
   /// Per-lane electromagnetic torque from commanded currents (hoisted out
   /// of the per-stage loop; state-independent).
-  void tau_em_from_currents(const BatchLanes3& currents, BatchLanes3& tau_em) const noexcept;
+  RG_REALTIME void tau_em_from_currents(const BatchLanes3& currents, BatchLanes3& tau_em) const noexcept;
 
   [[nodiscard]] const RavenDynamicsParams& params() const noexcept { return p_; }
 
  private:
   template <bool HardStops>
-  void derivative_impl(const BatchState& x, const BatchLanes3& tau_em,
+  RG_REALTIME void derivative_impl(const BatchState& x, const BatchLanes3& tau_em,
                        const std::array<LaneFx, kBatchLanes>* fx, const bool* locked,
                        BatchState& dx) const noexcept;
 

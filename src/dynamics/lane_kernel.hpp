@@ -24,6 +24,7 @@
 #include <array>
 #include <cstddef>
 
+#include "common/realtime.hpp"
 #include "math/fastmath.hpp"
 #include "math/mat.hpp"
 
@@ -97,7 +98,7 @@ struct LaneFx {
 };
 
 /// Joint-side cable torque/force: tau = scale * (Kc (C tm - q) + Dc (C wm - v)).
-RG_LANE_INLINE void cable_force_lane(const DynParams& p, const LaneState& s,
+RG_REALTIME RG_LANE_INLINE void cable_force_lane(const DynParams& p, const LaneState& s,
                              const double scale[3], double tau[3]) noexcept {
   // C * theta_m and C * omega_m, exploiting lower-triangular sparsity.
   const double qm0 = p.c00 * s.tm0;
@@ -116,7 +117,7 @@ RG_LANE_INLINE void cable_force_lane(const DynParams& p, const LaneState& s,
 /// the per-stage loop.  HardStops compiles the joint-limit springs in or
 /// out; when in, the term is evaluated branch-free.
 template <bool HardStops>
-RG_LANE_INLINE void derivative_lane(const DynParams& p, const LaneState& s, const LaneFx& fx,
+RG_REALTIME RG_LANE_INLINE void derivative_lane(const DynParams& p, const LaneState& s, const LaneFx& fx,
                             const double tau_em[3], double dx[12]) noexcept {
   double tau_cable[3];
   cable_force_lane(p, s, fx.cable_scale, tau_cable);
@@ -214,7 +215,7 @@ RG_LANE_INLINE void derivative_lane(const DynParams& p, const LaneState& s, cons
 }
 
 /// Electromagnetic torque per motor: K_t * clamp(i) — hoist per solver step.
-RG_LANE_INLINE void electromagnetic_torque(const DynParams& p, const double currents[3],
+RG_REALTIME RG_LANE_INLINE void electromagnetic_torque(const DynParams& p, const double currents[3],
                                    double tau_em[3]) noexcept {
   for (std::size_t i = 0; i < 3; ++i) {
     const double lo = -p.max_current[i];

@@ -52,7 +52,7 @@ DynParams DynParams::from(const RavenDynamicsParams& params, const Mat3& motor_t
 
 namespace {
 
-LaneState load_lane(const RavenDynamicsModel::State& x) noexcept {
+RG_REALTIME LaneState load_lane(const RavenDynamicsModel::State& x) noexcept {
   return LaneState{x[0], x[1], x[2], x[3], x[4], x[5], x[6], x[7], x[8], x[9], x[10], x[11]};
 }
 
@@ -65,7 +65,7 @@ RavenDynamicsModel::RavenDynamicsModel(const RavenDynamicsParams& params)
   kp_ = DynParams::from(p_, coupling_.motor_to_joint_matrix());
 }
 
-Vec3 RavenDynamicsModel::cable_force(const State& x,
+RG_REALTIME Vec3 RavenDynamicsModel::cable_force(const State& x,
                                      const std::array<double, 3>& scale) const noexcept {
   const LaneState s = load_lane(x);
   double tau[3];
@@ -73,12 +73,12 @@ Vec3 RavenDynamicsModel::cable_force(const State& x,
   return Vec3{tau[0], tau[1], tau[2]};
 }
 
-RavenDynamicsModel::State RavenDynamicsModel::derivative(const State& x,
+RG_REALTIME RavenDynamicsModel::State RavenDynamicsModel::derivative(const State& x,
                                                          const Vec3& currents) const noexcept {
   return derivative(x, currents, ExternalEffects{});
 }
 
-RavenDynamicsModel::State RavenDynamicsModel::derivative(const State& x, const Vec3& currents,
+RG_REALTIME RavenDynamicsModel::State RavenDynamicsModel::derivative(const State& x, const Vec3& currents,
                                                          const ExternalEffects& fx) const noexcept {
   const LaneState s = load_lane(x);
   LaneFx lfx;
@@ -99,7 +99,7 @@ RavenDynamicsModel::State RavenDynamicsModel::derivative(const State& x, const V
   return dx;
 }
 
-RavenDynamicsModel::State RavenDynamicsModel::step(const State& x, const Vec3& currents,
+RG_REALTIME RavenDynamicsModel::State RavenDynamicsModel::step(const State& x, const Vec3& currents,
                                                    double h, SolverKind solver) const noexcept {
   const auto f = [this, &currents](double /*t*/, const State& s) {
     return derivative(s, currents);
@@ -107,7 +107,7 @@ RavenDynamicsModel::State RavenDynamicsModel::step(const State& x, const Vec3& c
   return solver_step(solver, f, 0.0, x, h);
 }
 
-RavenDynamicsModel::State RavenDynamicsModel::make_rest_state(const JointVector& q) const noexcept {
+RG_REALTIME RavenDynamicsModel::State RavenDynamicsModel::make_rest_state(const JointVector& q) const noexcept {
   State x{};
   set_joint_pos(x, q);
   set_motor_pos(x, coupling_.joint_to_motor(q));

@@ -15,6 +15,7 @@
 
 #include <array>
 
+#include "common/realtime.hpp"
 #include "dynamics/lane_kernel.hpp"
 #include "dynamics/link_dynamics.hpp"
 #include "dynamics/motor.hpp"
@@ -71,47 +72,47 @@ class RavenDynamicsModel {
   explicit RavenDynamicsModel(const RavenDynamicsParams& params = RavenDynamicsParams::raven_defaults());
 
   /// dx/dt for the 12-dim state under commanded motor currents (A).
-  [[nodiscard]] State derivative(const State& x, const Vec3& currents) const noexcept;
+  [[nodiscard]] RG_REALTIME State derivative(const State& x, const Vec3& currents) const noexcept;
 
   /// dx/dt with external effects (brakes, cable damage, disturbances).
-  [[nodiscard]] State derivative(const State& x, const Vec3& currents,
-                                 const ExternalEffects& fx) const noexcept;
+  [[nodiscard]] RG_REALTIME State derivative(const State& x, const Vec3& currents,
+                                             const ExternalEffects& fx) const noexcept;
 
   /// Joint-side cable torque/force vector (N*m, N*m, N) — exposed so the
   /// plant's damage model can watch for cable overload.
-  [[nodiscard]] Vec3 cable_force(const State& x) const noexcept {
+  [[nodiscard]] RG_REALTIME Vec3 cable_force(const State& x) const noexcept {
     return cable_force(x, {1.0, 1.0, 1.0});
   }
 
   /// Advance the state by h seconds with the given solver.  `solver` must
   /// be a valid SolverKind (validate_solver() at configuration time).
-  [[nodiscard]] State step(const State& x, const Vec3& currents, double h,
-                           SolverKind solver) const noexcept;
+  [[nodiscard]] RG_REALTIME State step(const State& x, const Vec3& currents, double h,
+                                       SolverKind solver) const noexcept;
 
   /// Build a consistent rest state at a joint configuration (cable
   /// un-stretched: theta_m = C^{-1} q; all rates zero).
   [[nodiscard]] State make_rest_state(const JointVector& q) const noexcept;
 
   // State accessors -------------------------------------------------------
-  static MotorVector motor_pos(const State& x) noexcept { return {x[0], x[1], x[2]}; }
-  static MotorVector motor_vel(const State& x) noexcept { return {x[3], x[4], x[5]}; }
-  static JointVector joint_pos(const State& x) noexcept { return {x[6], x[7], x[8]}; }
-  static JointVector joint_vel(const State& x) noexcept { return {x[9], x[10], x[11]}; }
-  static void set_motor_pos(State& x, const MotorVector& v) noexcept {
+  RG_REALTIME static MotorVector motor_pos(const State& x) noexcept { return {x[0], x[1], x[2]}; }
+  RG_REALTIME static MotorVector motor_vel(const State& x) noexcept { return {x[3], x[4], x[5]}; }
+  RG_REALTIME static JointVector joint_pos(const State& x) noexcept { return {x[6], x[7], x[8]}; }
+  RG_REALTIME static JointVector joint_vel(const State& x) noexcept { return {x[9], x[10], x[11]}; }
+  RG_REALTIME static void set_motor_pos(State& x, const MotorVector& v) noexcept {
     x[0] = v[0]; x[1] = v[1]; x[2] = v[2];
   }
-  static void set_motor_vel(State& x, const MotorVector& v) noexcept {
+  RG_REALTIME static void set_motor_vel(State& x, const MotorVector& v) noexcept {
     x[3] = v[0]; x[4] = v[1]; x[5] = v[2];
   }
-  static void set_joint_pos(State& x, const JointVector& v) noexcept {
+  RG_REALTIME static void set_joint_pos(State& x, const JointVector& v) noexcept {
     x[6] = v[0]; x[7] = v[1]; x[8] = v[2];
   }
-  static void set_joint_vel(State& x, const JointVector& v) noexcept {
+  RG_REALTIME static void set_joint_vel(State& x, const JointVector& v) noexcept {
     x[9] = v[0]; x[10] = v[1]; x[11] = v[2];
   }
 
   [[nodiscard]] const RavenDynamicsParams& params() const noexcept { return p_; }
-  [[nodiscard]] const CableCoupling& coupling() const noexcept { return coupling_; }
+  [[nodiscard]] RG_REALTIME const CableCoupling& coupling() const noexcept { return coupling_; }
   [[nodiscard]] const LinkDynamics& link() const noexcept { return link_; }
   /// The flattened constants this model evaluates with — shared verbatim
   /// with BatchRavenModel so batched lanes are bit-identical to scalar.

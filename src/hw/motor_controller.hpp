@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "common/error.hpp"
+#include "common/realtime.hpp"
 #include "common/units.hpp"
 #include "dynamics/motor.hpp"
 
@@ -33,25 +34,25 @@ class MotorChannel {
   }
 
   /// Regulated current for a DAC word (A).
-  [[nodiscard]] double current_from_dac(std::int16_t dac) const noexcept {
+  [[nodiscard]] RG_REALTIME double current_from_dac(std::int16_t dac) const noexcept {
     return static_cast<double>(dac) * config_.full_scale_current / 32767.0;
   }
 
   /// DAC word that commands (approximately) the given current; saturates
   /// at the 16-bit range.
-  [[nodiscard]] std::int16_t dac_from_current(double current) const noexcept {
+  [[nodiscard]] RG_REALTIME std::int16_t dac_from_current(double current) const noexcept {
     const double scaled = current / config_.full_scale_current * 32767.0;
     const double clamped = std::clamp(scaled, -32768.0, 32767.0);
     return static_cast<std::int16_t>(std::lround(clamped));
   }
 
   /// Quantize a shaft angle to an encoder count.
-  [[nodiscard]] std::int32_t counts_from_angle(double angle_rad) const noexcept {
+  [[nodiscard]] RG_REALTIME std::int32_t counts_from_angle(double angle_rad) const noexcept {
     return static_cast<std::int32_t>(std::lround(angle_rad * config_.counts_per_rad));
   }
 
   /// Reconstruct a shaft angle from an encoder count.
-  [[nodiscard]] double angle_from_counts(std::int32_t counts) const noexcept {
+  [[nodiscard]] RG_REALTIME double angle_from_counts(std::int32_t counts) const noexcept {
     return static_cast<double>(counts) / config_.counts_per_rad;
   }
 

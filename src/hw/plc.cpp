@@ -4,7 +4,7 @@ namespace rg {
 
 Plc::Plc(const PlcConfig& config) : config_(config) {}
 
-void Plc::on_command_byte0(bool watchdog_bit, RobotState commanded_state) noexcept {
+RG_REALTIME void Plc::on_command_byte0(bool watchdog_bit, RobotState commanded_state) noexcept {
   if (!seen_any_packet_ || watchdog_bit != last_watchdog_bit_) {
     ticks_since_toggle_ = 0;
   }
@@ -13,7 +13,7 @@ void Plc::on_command_byte0(bool watchdog_bit, RobotState commanded_state) noexce
   last_state_ = commanded_state;
 }
 
-void Plc::tick() noexcept {
+RG_REALTIME void Plc::tick() noexcept {
   if (!seen_any_packet_) return;  // nothing to time out against yet
   ++ticks_since_toggle_;
   if (ticks_since_toggle_ > config_.watchdog_timeout_ticks) {

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "common/realtime.hpp"
 #include "common/robot_state.hpp"
 
 namespace rg {
@@ -25,36 +26,36 @@ class Plc {
   explicit Plc(const PlcConfig& config = {});
 
   /// Called by the USB board for every received command packet.
-  void on_command_byte0(bool watchdog_bit, RobotState commanded_state) noexcept;
+  RG_REALTIME void on_command_byte0(bool watchdog_bit, RobotState commanded_state) noexcept;
 
   /// Advance one control tick (1 ms).  Checks the watchdog deadline.
-  void tick() noexcept;
+  RG_REALTIME void tick() noexcept;
 
   /// Physical emergency-stop button: immediate latch.
-  void press_estop() noexcept { estop_latched_ = true; }
+  RG_REALTIME void press_estop() noexcept { estop_latched_ = true; }
 
   /// Physical start button: clears the latch (the control software then
   /// re-runs initialization).
-  void press_start() noexcept {
+  RG_REALTIME void press_start() noexcept {
     estop_latched_ = false;
     ticks_since_toggle_ = 0;
     seen_any_packet_ = false;
   }
 
   /// True when the PLC holds the system in E-STOP.
-  [[nodiscard]] bool estop_latched() const noexcept { return estop_latched_; }
+  [[nodiscard]] RG_REALTIME bool estop_latched() const noexcept { return estop_latched_; }
 
   /// Fail-safe brakes: released only while the system is actively moving
   /// under software command — initialization (homing drives the joints)
   /// and Pedal Down (teleoperation).  Engaged in E-STOP and Pedal Up.
-  [[nodiscard]] bool brakes_engaged() const noexcept {
+  [[nodiscard]] RG_REALTIME bool brakes_engaged() const noexcept {
     if (estop_latched_) return true;
     return !(last_state_ == RobotState::kPedalDown || last_state_ == RobotState::kInit);
   }
 
   /// The state most recently commanded by the control software (echoed in
   /// feedback packets).
-  [[nodiscard]] RobotState reported_state() const noexcept {
+  [[nodiscard]] RG_REALTIME RobotState reported_state() const noexcept {
     return estop_latched_ ? RobotState::kEStop : last_state_;
   }
 

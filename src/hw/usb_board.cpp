@@ -9,7 +9,7 @@ UsbBoard::UsbBoard(Plc& plc, const MotorChannelConfig& channel_config) : plc_(pl
   channels_.fill(MotorChannel{channel_config});
 }
 
-Status UsbBoard::receive_command(std::span<const std::uint8_t> bytes) noexcept {
+RG_REALTIME Status UsbBoard::receive_command(std::span<const std::uint8_t> bytes) noexcept {
   RG_SPAN("board.write");
   RG_COUNT("rg.board.commands", 1);
   // NOTE: verify_checksum = false is the point — the real board trusts
@@ -26,7 +26,7 @@ Status UsbBoard::receive_command(std::span<const std::uint8_t> bytes) noexcept {
   return Status::success();
 }
 
-Vec3 UsbBoard::modeled_currents() const noexcept {
+RG_REALTIME Vec3 UsbBoard::modeled_currents() const noexcept {
   if (!has_command_) return Vec3::zero();
   Vec3 currents;
   for (std::size_t i = 0; i < kNumModeledJoints; ++i) {
@@ -35,7 +35,7 @@ Vec3 UsbBoard::modeled_currents() const noexcept {
   return currents;
 }
 
-Vec3 UsbBoard::wrist_currents() const noexcept {
+RG_REALTIME Vec3 UsbBoard::wrist_currents() const noexcept {
   if (!has_command_) return Vec3::zero();
   Vec3 currents;
   for (std::size_t i = 0; i < 3; ++i) {
@@ -44,8 +44,8 @@ Vec3 UsbBoard::wrist_currents() const noexcept {
   return currents;
 }
 
-void UsbBoard::latch_encoders(const MotorVector& motor_angles,
-                              const Vec3& wrist_angles) noexcept {
+RG_REALTIME void UsbBoard::latch_encoders(const MotorVector& motor_angles,
+                                          const Vec3& wrist_angles) noexcept {
   for (std::size_t i = 0; i < kNumModeledJoints; ++i) {
     encoder_counts_[i] = channels_[i].counts_from_angle(motor_angles[i]);
   }
@@ -54,12 +54,12 @@ void UsbBoard::latch_encoders(const MotorVector& motor_angles,
   }
 }
 
-double UsbBoard::encoder_angle(std::size_t channel) const noexcept {
+RG_REALTIME double UsbBoard::encoder_angle(std::size_t channel) const noexcept {
   if (channel >= kNumBoardChannels) return 0.0;
   return channels_[channel].angle_from_counts(encoder_counts_[channel]);
 }
 
-FeedbackBytes UsbBoard::build_feedback() const noexcept {
+RG_REALTIME FeedbackBytes UsbBoard::build_feedback() const noexcept {
   FeedbackPacket pkt;
   pkt.state = plc_.reported_state();
   pkt.brakes_engaged = plc_.brakes_engaged();

@@ -13,6 +13,7 @@
 #include <span>
 
 #include "common/error.hpp"
+#include "common/realtime.hpp"
 #include "hw/motor_controller.hpp"
 #include "hw/plc.hpp"
 #include "hw/usb_packet.hpp"
@@ -29,7 +30,7 @@ class UsbBoard {
   /// USB channel.  Decodes without checksum verification, latches DAC
   /// words, and forwards Byte 0 to the PLC.  Only a malformed length or
   /// unknown state code is rejected (the hardware cannot parse those).
-  Status receive_command(std::span<const std::uint8_t> bytes) noexcept;
+  [[nodiscard]] RG_REALTIME Status receive_command(std::span<const std::uint8_t> bytes) noexcept;
 
   /// True once at least one command packet has been latched.
   [[nodiscard]] bool has_command() const noexcept { return has_command_; }
@@ -39,23 +40,23 @@ class UsbBoard {
 
   /// Regulated currents for the three modelled motor channels (A).  Zero
   /// until a command arrives.
-  [[nodiscard]] Vec3 modeled_currents() const noexcept;
+  [[nodiscard]] RG_REALTIME Vec3 modeled_currents() const noexcept;
 
   /// Regulated currents for the wrist/instrument channels 3-5 (A).
-  [[nodiscard]] Vec3 wrist_currents() const noexcept;
+  [[nodiscard]] RG_REALTIME Vec3 wrist_currents() const noexcept;
 
   /// Latch encoder readings: three positioning motors (shaft rad) and the
   /// three wrist axes on channels 3-5.
-  void latch_encoders(const MotorVector& motor_angles,
-                      const Vec3& wrist_angles = Vec3::zero()) noexcept;
+  RG_REALTIME void latch_encoders(const MotorVector& motor_angles,
+                                  const Vec3& wrist_angles = Vec3::zero()) noexcept;
 
   /// Latched encoder angle (rad) of a modelled channel — what the control
   /// software will see, including quantization.
-  [[nodiscard]] double encoder_angle(std::size_t channel) const noexcept;
+  [[nodiscard]] RG_REALTIME double encoder_angle(std::size_t channel) const noexcept;
 
   /// Assemble the feedback packet bytes for the next read() by the
   /// control software.
-  [[nodiscard]] FeedbackBytes build_feedback() const noexcept;
+  [[nodiscard]] RG_REALTIME FeedbackBytes build_feedback() const noexcept;
 
   [[nodiscard]] const MotorChannel& channel(std::size_t i) const { return channels_.at(i); }
 

@@ -8,18 +8,18 @@ constexpr std::uint8_t kWatchdogMask = 0x10;
 constexpr std::uint8_t kStateMask = 0x0F;
 constexpr std::uint8_t kBrakeMask = 0x20;
 
-void put_i16(std::span<std::uint8_t> dst, std::int16_t v) noexcept {
+RG_REALTIME void put_i16(std::span<std::uint8_t> dst, std::int16_t v) noexcept {
   const auto u = static_cast<std::uint16_t>(v);
   dst[0] = static_cast<std::uint8_t>(u & 0xFF);
   dst[1] = static_cast<std::uint8_t>((u >> 8) & 0xFF);
 }
 
-std::int16_t get_i16(std::span<const std::uint8_t> src) noexcept {
+RG_REALTIME std::int16_t get_i16(std::span<const std::uint8_t> src) noexcept {
   const auto u = static_cast<std::uint16_t>(src[0] | (static_cast<std::uint16_t>(src[1]) << 8));
   return static_cast<std::int16_t>(u);
 }
 
-void put_i32(std::span<std::uint8_t> dst, std::int32_t v) noexcept {
+RG_REALTIME void put_i32(std::span<std::uint8_t> dst, std::int32_t v) noexcept {
   const auto u = static_cast<std::uint32_t>(v);
   dst[0] = static_cast<std::uint8_t>(u & 0xFF);
   dst[1] = static_cast<std::uint8_t>((u >> 8) & 0xFF);
@@ -27,7 +27,7 @@ void put_i32(std::span<std::uint8_t> dst, std::int32_t v) noexcept {
   dst[3] = static_cast<std::uint8_t>((u >> 24) & 0xFF);
 }
 
-std::int32_t get_i32(std::span<const std::uint8_t> src) noexcept {
+RG_REALTIME std::int32_t get_i32(std::span<const std::uint8_t> src) noexcept {
   const std::uint32_t u = static_cast<std::uint32_t>(src[0]) |
                           (static_cast<std::uint32_t>(src[1]) << 8) |
                           (static_cast<std::uint32_t>(src[2]) << 16) |
@@ -37,13 +37,13 @@ std::int32_t get_i32(std::span<const std::uint8_t> src) noexcept {
 
 }  // namespace
 
-std::uint8_t xor_checksum(std::span<const std::uint8_t> bytes) noexcept {
+RG_REALTIME std::uint8_t xor_checksum(std::span<const std::uint8_t> bytes) noexcept {
   std::uint8_t sum = 0;
   for (std::uint8_t b : bytes) sum ^= b;
   return sum;
 }
 
-CommandBytes encode_command(const CommandPacket& pkt) noexcept {
+RG_REALTIME CommandBytes encode_command(const CommandPacket& pkt) noexcept {
   CommandBytes out{};
   out[0] = static_cast<std::uint8_t>(wire_code(pkt.state) |
                                      (pkt.watchdog_bit ? kWatchdogMask : 0));
@@ -55,8 +55,8 @@ CommandBytes encode_command(const CommandPacket& pkt) noexcept {
   return out;
 }
 
-Result<CommandPacket> decode_command(std::span<const std::uint8_t> bytes,
-                                     bool verify_checksum) noexcept {
+RG_REALTIME Result<CommandPacket> decode_command(std::span<const std::uint8_t> bytes,
+                                                 bool verify_checksum) noexcept {
   if (bytes.size() != kCommandPacketSize) {
     return Error{ErrorCode::kMalformedPacket, "command packet must be 18 bytes"};
   }
@@ -77,7 +77,7 @@ Result<CommandPacket> decode_command(std::span<const std::uint8_t> bytes,
   return pkt;
 }
 
-FeedbackBytes encode_feedback(const FeedbackPacket& pkt) noexcept {
+RG_REALTIME FeedbackBytes encode_feedback(const FeedbackPacket& pkt) noexcept {
   FeedbackBytes out{};
   out[0] = static_cast<std::uint8_t>(wire_code(pkt.state) |
                                      (pkt.brakes_engaged ? kBrakeMask : 0));
@@ -89,8 +89,8 @@ FeedbackBytes encode_feedback(const FeedbackPacket& pkt) noexcept {
   return out;
 }
 
-Result<FeedbackPacket> decode_feedback(std::span<const std::uint8_t> bytes,
-                                       bool verify_checksum) noexcept {
+RG_REALTIME Result<FeedbackPacket> decode_feedback(std::span<const std::uint8_t> bytes,
+                                                   bool verify_checksum) noexcept {
   if (bytes.size() != kFeedbackPacketSize) {
     return Error{ErrorCode::kMalformedPacket, "feedback packet must be 34 bytes"};
   }

@@ -23,6 +23,7 @@
 #include <span>
 
 #include "common/error.hpp"
+#include "common/realtime.hpp"
 #include "common/robot_state.hpp"
 #include "common/units.hpp"
 
@@ -53,21 +54,21 @@ struct FeedbackPacket {
 };
 
 /// XOR checksum over a byte range.
-std::uint8_t xor_checksum(std::span<const std::uint8_t> bytes) noexcept;
+[[nodiscard]] RG_REALTIME std::uint8_t xor_checksum(std::span<const std::uint8_t> bytes) noexcept;
 
 /// Serialize a command packet (computes the checksum byte).
-CommandBytes encode_command(const CommandPacket& pkt) noexcept;
+[[nodiscard]] RG_REALTIME CommandBytes encode_command(const CommandPacket& pkt) noexcept;
 
 /// Parse a command packet.  When verify_checksum is false — how the real
 /// USB board behaves — a corrupted payload decodes without complaint.
-Result<CommandPacket> decode_command(std::span<const std::uint8_t> bytes,
-                                     bool verify_checksum = false) noexcept;
+[[nodiscard]] RG_REALTIME Result<CommandPacket> decode_command(
+    std::span<const std::uint8_t> bytes, bool verify_checksum = false) noexcept;
 
 /// Serialize a feedback packet (computes the checksum byte).
-FeedbackBytes encode_feedback(const FeedbackPacket& pkt) noexcept;
+[[nodiscard]] RG_REALTIME FeedbackBytes encode_feedback(const FeedbackPacket& pkt) noexcept;
 
 /// Parse a feedback packet; same checksum semantics as decode_command.
-Result<FeedbackPacket> decode_feedback(std::span<const std::uint8_t> bytes,
-                                       bool verify_checksum = false) noexcept;
+[[nodiscard]] RG_REALTIME Result<FeedbackPacket> decode_feedback(
+    std::span<const std::uint8_t> bytes, bool verify_checksum = false) noexcept;
 
 }  // namespace rg

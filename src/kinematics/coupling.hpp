@@ -12,6 +12,7 @@
 #pragma once
 
 #include "common/error.hpp"
+#include "common/realtime.hpp"
 #include "kinematics/types.hpp"
 #include "math/mat.hpp"
 
@@ -37,26 +38,26 @@ class CableCoupling {
   explicit CableCoupling(const TransmissionParams& params = {});
 
   /// Joint coordinates produced by motor shaft angles.
-  [[nodiscard]] JointVector motor_to_joint(const MotorVector& mpos) const noexcept {
+  [[nodiscard]] RG_REALTIME JointVector motor_to_joint(const MotorVector& mpos) const noexcept {
     return motor_to_joint_ * mpos;
   }
 
   /// Motor shaft angles required for joint coordinates.
-  [[nodiscard]] MotorVector joint_to_motor(const JointVector& jpos) const noexcept {
+  [[nodiscard]] RG_REALTIME MotorVector joint_to_motor(const JointVector& jpos) const noexcept {
     return joint_to_motor_ * jpos;
   }
 
   /// The linear map is also the velocity map.
-  [[nodiscard]] JointVector motor_to_joint_velocity(const MotorVector& mvel) const noexcept {
+  [[nodiscard]] RG_REALTIME JointVector motor_to_joint_velocity(const MotorVector& mvel) const noexcept {
     return motor_to_joint_ * mvel;
   }
-  [[nodiscard]] MotorVector joint_to_motor_velocity(const JointVector& jvel) const noexcept {
+  [[nodiscard]] RG_REALTIME MotorVector joint_to_motor_velocity(const JointVector& jvel) const noexcept {
     return joint_to_motor_ * jvel;
   }
 
   /// Torque reflected from joint side to motor side: tau_m = C^T * tau_j
   /// (duality of the position map).
-  [[nodiscard]] MotorVector joint_torque_to_motor(const Vec3& joint_torque) const noexcept {
+  [[nodiscard]] RG_REALTIME MotorVector joint_torque_to_motor(const Vec3& joint_torque) const noexcept {
     return motor_to_joint_.transpose() * joint_torque;
   }
 

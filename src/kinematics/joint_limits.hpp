@@ -4,6 +4,7 @@
 #include <array>
 #include <cstddef>
 
+#include "common/realtime.hpp"
 #include "kinematics/types.hpp"
 
 namespace rg {
@@ -13,14 +14,14 @@ struct JointLimit {
   double min = 0.0;
   double max = 0.0;
 
-  [[nodiscard]] constexpr bool contains(double q) const noexcept {
+  [[nodiscard]] RG_REALTIME constexpr bool contains(double q) const noexcept {
     return q >= min && q <= max;
   }
-  [[nodiscard]] constexpr double clamp(double q) const noexcept {
+  [[nodiscard]] RG_REALTIME constexpr double clamp(double q) const noexcept {
     return q < min ? min : (q > max ? max : q);
   }
-  [[nodiscard]] constexpr double span() const noexcept { return max - min; }
-  [[nodiscard]] constexpr double midpoint() const noexcept { return 0.5 * (min + max); }
+  [[nodiscard]] RG_REALTIME constexpr double span() const noexcept { return max - min; }
+  [[nodiscard]] RG_REALTIME constexpr double midpoint() const noexcept { return 0.5 * (min + max); }
 
   friend constexpr bool operator==(const JointLimit&, const JointLimit&) = default;
 };
@@ -37,22 +38,22 @@ class JointLimits {
     return JointLimits{{-1.396, 1.396}, {0.21, 2.93}, {0.005, 0.300}};
   }
 
-  [[nodiscard]] constexpr const JointLimit& joint(std::size_t i) const { return limits_[i]; }
+  [[nodiscard]] RG_REALTIME constexpr const JointLimit& joint(std::size_t i) const { return limits_[i]; }
 
-  [[nodiscard]] constexpr bool contains(const JointVector& q) const noexcept {
+  [[nodiscard]] RG_REALTIME constexpr bool contains(const JointVector& q) const noexcept {
     for (std::size_t i = 0; i < 3; ++i) {
       if (!limits_[i].contains(q[i])) return false;
     }
     return true;
   }
 
-  [[nodiscard]] constexpr JointVector clamp(JointVector q) const noexcept {
+  [[nodiscard]] RG_REALTIME constexpr JointVector clamp(JointVector q) const noexcept {
     for (std::size_t i = 0; i < 3; ++i) q[i] = limits_[i].clamp(q[i]);
     return q;
   }
 
   /// A mid-workspace configuration used as the homing target.
-  [[nodiscard]] constexpr JointVector midpoint() const noexcept {
+  [[nodiscard]] RG_REALTIME constexpr JointVector midpoint() const noexcept {
     return JointVector{limits_[0].midpoint(), limits_[1].midpoint(), limits_[2].midpoint()};
   }
 

@@ -17,13 +17,13 @@ const MathHooks& MathHooks::libm() noexcept {
   return hooks;
 }
 
-Position RavenKinematics::forward(const JointVector& q) const noexcept {
+RG_REALTIME Position RavenKinematics::forward(const JointVector& q) const noexcept {
   const double s2 = hooks_.sin(q[1]);
   const Vec3 dir{s2 * hooks_.cos(q[0]), s2 * hooks_.sin(q[0]), -hooks_.cos(q[1])};
   return rcm_ + q[2] * dir;
 }
 
-Result<JointVector> RavenKinematics::inverse(const Position& target) const noexcept {
+RG_REALTIME Result<JointVector> RavenKinematics::inverse(const Position& target) const noexcept {
   const Vec3 rel = target - rcm_;
   const double r = rel.norm();
   if (r < 1e-9) {
@@ -50,7 +50,7 @@ Result<JointVector> RavenKinematics::inverse(const Position& target) const noexc
   return q;
 }
 
-Mat3 RavenKinematics::jacobian(const JointVector& q) const noexcept {
+RG_REALTIME Mat3 RavenKinematics::jacobian(const JointVector& q) const noexcept {
   const double s1 = std::sin(q[0]);
   const double c1 = std::cos(q[0]);
   const double s2 = std::sin(q[1]);
@@ -72,7 +72,7 @@ Mat3 RavenKinematics::jacobian(const JointVector& q) const noexcept {
   return j;
 }
 
-double RavenKinematics::tip_speed(const JointVector& q, const JointVector& qdot) const noexcept {
+RG_REALTIME double RavenKinematics::tip_speed(const JointVector& q, const JointVector& qdot) const noexcept {
   return (jacobian(q) * qdot).norm();
 }
 

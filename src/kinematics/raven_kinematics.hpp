@@ -19,6 +19,7 @@
 #pragma once
 
 #include "common/error.hpp"
+#include "common/realtime.hpp"
 #include "kinematics/joint_limits.hpp"
 #include "kinematics/types.hpp"
 #include "math/mat.hpp"
@@ -50,19 +51,19 @@ class RavenKinematics {
   void set_math_hooks(const MathHooks& hooks) noexcept { hooks_ = hooks; }
 
   /// End-effector position for a joint configuration.
-  [[nodiscard]] Position forward(const JointVector& q) const noexcept;
+  [[nodiscard]] RG_REALTIME Position forward(const JointVector& q) const noexcept;
 
   /// Joint configuration reaching a Cartesian target.  Fails with
   /// kUnreachable when the target is at the RCM (undefined direction) or
   /// the solution violates the joint limits.
-  [[nodiscard]] Result<JointVector> inverse(const Position& target) const noexcept;
+  [[nodiscard]] RG_REALTIME Result<JointVector> inverse(const Position& target) const noexcept;
 
   /// Geometric Jacobian d p / d q at a configuration (3x3; column i is the
   /// end-effector velocity per unit velocity of joint i).
-  [[nodiscard]] Mat3 jacobian(const JointVector& q) const noexcept;
+  [[nodiscard]] RG_REALTIME Mat3 jacobian(const JointVector& q) const noexcept;
 
   /// Cartesian end-effector speed (m/s) produced by joint rates qdot at q.
-  [[nodiscard]] double tip_speed(const JointVector& q, const JointVector& qdot) const noexcept;
+  [[nodiscard]] RG_REALTIME double tip_speed(const JointVector& q, const JointVector& qdot) const noexcept;
 
   [[nodiscard]] const JointLimits& limits() const noexcept { return limits_; }
   [[nodiscard]] const Position& rcm_origin() const noexcept { return rcm_; }

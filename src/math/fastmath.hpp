@@ -26,6 +26,8 @@
 #include <bit>
 #include <cstdint>
 
+#include "common/realtime.hpp"
+
 // These kernels must inline into the dynamics lane loops for those loops to
 // vectorize (an outlined call vetoes the vectorizer); GCC's cost model
 // sometimes declines on its own once several copies land in one caller.
@@ -48,7 +50,7 @@ inline constexpr double kRoundMagic = 6755399441055744.0;  // 1.5 * 2^52
 }  // namespace detail
 
 /// e^x for x in [-708, 708], ~1 ulp.  Clamped outside (no inf/NaN).
-RG_FASTMATH_INLINE double fast_exp(double x) noexcept {
+RG_REALTIME RG_FASTMATH_INLINE double fast_exp(double x) noexcept {
   // Clamp to the finite-result domain; keeps 2^k exponent assembly legal.
   x = x < -700.0 ? -700.0 : (x > 700.0 ? 700.0 : x);
 
@@ -88,7 +90,7 @@ RG_FASTMATH_INLINE double fast_exp(double x) noexcept {
 }
 
 /// tanh(x), |err| < 4e-15 absolute; exact sign and saturation.
-RG_FASTMATH_INLINE double fast_tanh(double x) noexcept {
+RG_REALTIME RG_FASTMATH_INLINE double fast_tanh(double x) noexcept {
   // Saturate: tanh(19) differs from 1 by < 1e-16.
   const double ax = x < 0.0 ? -x : x;
   const double t = ax > 19.0 ? 19.0 : ax;
@@ -101,7 +103,7 @@ RG_FASTMATH_INLINE double fast_tanh(double x) noexcept {
 
 /// Simultaneous sin/cos, |err| < 1e-15 for |x| up to ~2^40; larger inputs
 /// (physically meaningless states) produce bounded values in [-1, 1].
-RG_FASTMATH_INLINE void fast_sincos(double x, double& s_out, double& c_out) noexcept {
+RG_REALTIME RG_FASTMATH_INLINE void fast_sincos(double x, double& s_out, double& c_out) noexcept {
   // Quadrant reduction: x = n*(pi/2) + r, |r| <= pi/4, Cody-Waite 3-term.
   constexpr double kTwoOverPi = 0.63661977236758134308;
   constexpr double kPio2Hi = 1.57079632673412561417e+00;

@@ -5,6 +5,8 @@
 #include <deque>
 #include <stdexcept>
 
+#include "common/realtime.hpp"
+
 namespace rg {
 
 /// First-order exponential low-pass filter: y += alpha * (x - y).
@@ -19,7 +21,7 @@ class LowPassFilter {
   /// approximation: alpha = dt / (RC + dt)).
   static LowPassFilter from_cutoff(double cutoff_hz, double dt_sec);
 
-  double update(double x) noexcept {
+  RG_REALTIME double update(double x) noexcept {
     if (!primed_) {
       y_ = x;
       primed_ = true;
@@ -29,8 +31,8 @@ class LowPassFilter {
     return y_;
   }
 
-  [[nodiscard]] double value() const noexcept { return y_; }
-  void reset() noexcept { primed_ = false; y_ = 0.0; }
+  [[nodiscard]] RG_REALTIME double value() const noexcept { return y_; }
+  RG_REALTIME void reset() noexcept { primed_ = false; y_ = 0.0; }
 
  private:
   double alpha_;
@@ -78,7 +80,7 @@ class Differentiator {
     if (dt <= 0.0) throw std::invalid_argument("Differentiator dt must be > 0");
   }
 
-  double update(double x) noexcept {
+  RG_REALTIME double update(double x) noexcept {
     double deriv = 0.0;
     if (primed_) deriv = (x - prev_) / dt_;
     prev_ = x;
@@ -86,8 +88,8 @@ class Differentiator {
     return lpf_.update(deriv);
   }
 
-  [[nodiscard]] double value() const noexcept { return lpf_.value(); }
-  void reset() noexcept {
+  [[nodiscard]] RG_REALTIME double value() const noexcept { return lpf_.value(); }
+  RG_REALTIME void reset() noexcept {
     primed_ = false;
     prev_ = 0.0;
     lpf_.reset();

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/realtime.hpp"
 #include "math/vec.hpp"
 
 namespace rg {
@@ -51,7 +52,7 @@ struct Mat3 {
 
   friend constexpr bool operator==(const Mat3&, const Mat3&) = default;
 
-  [[nodiscard]] constexpr Mat3 transpose() const {
+  [[nodiscard]] RG_REALTIME constexpr Mat3 transpose() const {
     Mat3 t;
     for (std::size_t i = 0; i < 3; ++i) {
       for (std::size_t j = 0; j < 3; ++j) t.m[i][j] = m[j][i];

@@ -11,6 +11,8 @@
 #include <initializer_list>
 #include <stdexcept>
 
+#include "common/realtime.hpp"
+
 namespace rg {
 
 /// Fixed-size arithmetic vector of N doubles.
@@ -25,8 +27,8 @@ struct Vec {
     for (double x : init) v[i++] = x;
   }
 
-  static constexpr Vec zero() { return Vec{}; }
-  static constexpr Vec filled(double x) {
+  RG_REALTIME static constexpr Vec zero() { return Vec{}; }
+  RG_REALTIME static constexpr Vec filled(double x) {
     Vec r;
     r.v.fill(x);
     return r;
@@ -57,15 +59,15 @@ struct Vec {
   friend constexpr Vec operator-(Vec a) { return a *= -1.0; }
   friend constexpr bool operator==(const Vec& a, const Vec& b) { return a.v == b.v; }
 
-  [[nodiscard]] constexpr double dot(const Vec& o) const {
+  [[nodiscard]] RG_REALTIME constexpr double dot(const Vec& o) const {
     double s = 0.0;
     for (std::size_t i = 0; i < N; ++i) s += v[i] * o.v[i];
     return s;
   }
 
-  [[nodiscard]] double norm() const { return std::sqrt(dot(*this)); }
+  [[nodiscard]] RG_REALTIME double norm() const { return std::sqrt(dot(*this)); }
 
-  [[nodiscard]] double norm_inf() const {
+  [[nodiscard]] RG_REALTIME double norm_inf() const {
     double m = 0.0;
     for (double x : v) m = std::max(m, std::abs(x));
     return m;
@@ -75,7 +77,7 @@ struct Vec {
 using Vec3 = Vec<3>;
 
 /// 3D cross product.
-inline constexpr Vec3 cross(const Vec3& a, const Vec3& b) {
+RG_REALTIME inline constexpr Vec3 cross(const Vec3& a, const Vec3& b) {
   return Vec3{a[1] * b[2] - a[2] * b[1],
               a[2] * b[0] - a[0] * b[2],
               a[0] * b[1] - a[1] * b[0]};
@@ -83,13 +85,13 @@ inline constexpr Vec3 cross(const Vec3& a, const Vec3& b) {
 
 /// Euclidean distance between two points.
 template <std::size_t N>
-double distance(const Vec<N>& a, const Vec<N>& b) {
+RG_REALTIME double distance(const Vec<N>& a, const Vec<N>& b) {
   return (a - b).norm();
 }
 
 /// Clamp each component to [lo, hi].
 template <std::size_t N>
-constexpr Vec<N> clamp(Vec<N> x, double lo, double hi) {
+RG_REALTIME constexpr Vec<N> clamp(Vec<N> x, double lo, double hi) {
   for (double& c : x.v) c = std::clamp(c, lo, hi);
   return x;
 }

@@ -11,27 +11,27 @@ namespace {
 constexpr double kMetresToNano = 1.0e9;
 constexpr double kRadToMicro = 1.0e6;
 
-void put_u32(std::span<std::uint8_t> dst, std::uint32_t v) noexcept {
+RG_REALTIME void put_u32(std::span<std::uint8_t> dst, std::uint32_t v) noexcept {
   dst[0] = static_cast<std::uint8_t>(v & 0xFF);
   dst[1] = static_cast<std::uint8_t>((v >> 8) & 0xFF);
   dst[2] = static_cast<std::uint8_t>((v >> 16) & 0xFF);
   dst[3] = static_cast<std::uint8_t>((v >> 24) & 0xFF);
 }
 
-std::uint32_t get_u32(std::span<const std::uint8_t> src) noexcept {
+RG_REALTIME std::uint32_t get_u32(std::span<const std::uint8_t> src) noexcept {
   return static_cast<std::uint32_t>(src[0]) | (static_cast<std::uint32_t>(src[1]) << 8) |
          (static_cast<std::uint32_t>(src[2]) << 16) | (static_cast<std::uint32_t>(src[3]) << 24);
 }
 
-void put_i32(std::span<std::uint8_t> dst, std::int32_t v) noexcept {
+RG_REALTIME void put_i32(std::span<std::uint8_t> dst, std::int32_t v) noexcept {
   put_u32(dst, static_cast<std::uint32_t>(v));
 }
 
-std::int32_t get_i32(std::span<const std::uint8_t> src) noexcept {
+RG_REALTIME std::int32_t get_i32(std::span<const std::uint8_t> src) noexcept {
   return static_cast<std::int32_t>(get_u32(src));
 }
 
-std::int32_t quantize(double value, double scale) noexcept {
+RG_REALTIME std::int32_t quantize(double value, double scale) noexcept {
   const double scaled = value * scale;
   // Saturate rather than wrap on absurd increments.
   if (scaled >= 2147483647.0) return 2147483647;
@@ -41,7 +41,7 @@ std::int32_t quantize(double value, double scale) noexcept {
 
 }  // namespace
 
-ItpBytes encode_itp(const ItpPacket& pkt) noexcept {
+RG_REALTIME ItpBytes encode_itp(const ItpPacket& pkt) noexcept {
   ItpBytes out{};
   put_u32(std::span{out}.subspan(0, 4), pkt.sequence);
   out[4] = pkt.pedal_down ? 0x01 : 0x00;
@@ -53,7 +53,8 @@ ItpBytes encode_itp(const ItpPacket& pkt) noexcept {
   return out;
 }
 
-Result<ItpPacket> decode_itp(std::span<const std::uint8_t> bytes, bool verify_checksum) noexcept {
+RG_REALTIME Result<ItpPacket> decode_itp(std::span<const std::uint8_t> bytes,
+                                         bool verify_checksum) noexcept {
   if (bytes.size() != kItpPacketSize) {
     return Error{ErrorCode::kMalformedPacket, "ITP packet must be 30 bytes"};
   }

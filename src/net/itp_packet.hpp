@@ -21,6 +21,7 @@
 #include <span>
 
 #include "common/error.hpp"
+#include "common/realtime.hpp"
 #include "kinematics/types.hpp"
 
 namespace rg {
@@ -43,11 +44,11 @@ struct ItpPacket {
 };
 
 /// Serialize (computes checksum; quantizes increments to nm / urad).
-ItpBytes encode_itp(const ItpPacket& pkt) noexcept;
+[[nodiscard]] RG_REALTIME ItpBytes encode_itp(const ItpPacket& pkt) noexcept;
 
 /// Parse.  The control software *does* verify the ITP checksum (unlike
 /// the USB boards) — a mangled network packet is dropped, not executed.
-Result<ItpPacket> decode_itp(std::span<const std::uint8_t> bytes,
-                             bool verify_checksum = true) noexcept;
+[[nodiscard]] RG_REALTIME Result<ItpPacket> decode_itp(std::span<const std::uint8_t> bytes,
+                                                       bool verify_checksum = true) noexcept;
 
 }  // namespace rg

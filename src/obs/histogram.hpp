@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <limits>
 
+#include "common/realtime.hpp"
+
 namespace rg::obs {
 
 struct HistogramData {
@@ -33,11 +35,11 @@ struct HistogramData {
   std::uint64_t max = 0;
 
   /// Largest representable value; anything above lands in the last bucket.
-  [[nodiscard]] static constexpr std::uint64_t max_trackable() noexcept {
+  [[nodiscard]] RG_REALTIME static constexpr std::uint64_t max_trackable() noexcept {
     return (1ull << (kMaxExponent + 1)) - 1;
   }
 
-  [[nodiscard]] static constexpr std::size_t bucket_index(std::uint64_t v) noexcept {
+  [[nodiscard]] RG_REALTIME static constexpr std::size_t bucket_index(std::uint64_t v) noexcept {
     if (v < kSubBuckets) return static_cast<std::size_t>(v);
     if (v > max_trackable()) v = max_trackable();
     const int exp = static_cast<int>(std::bit_width(v)) - 1;  // >= kSubBucketBits

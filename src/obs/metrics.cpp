@@ -13,13 +13,13 @@ constexpr MetricId pack(MetricKind kind, std::size_t slot) noexcept {
   return (static_cast<MetricId>(kind) << 24) | static_cast<MetricId>(slot);
 }
 
-void atomic_update_min(std::atomic<std::uint64_t>& target, std::uint64_t v) noexcept {
+RG_REALTIME void atomic_update_min(std::atomic<std::uint64_t>& target, std::uint64_t v) noexcept {
   std::uint64_t cur = target.load(std::memory_order_relaxed);
   while (v < cur && !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
   }
 }
 
-void atomic_update_max(std::atomic<std::uint64_t>& target, std::uint64_t v) noexcept {
+RG_REALTIME void atomic_update_max(std::atomic<std::uint64_t>& target, std::uint64_t v) noexcept {
   std::uint64_t cur = target.load(std::memory_order_relaxed);
   while (v > cur && !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
   }
@@ -62,7 +62,7 @@ Registry::Shard::~Shard() {
   for (auto& h : hists) delete h.load(std::memory_order_relaxed);
 }
 
-Registry& Registry::global() {
+RG_REALTIME Registry& Registry::global() {
   static Registry registry;
   return registry;
 }
@@ -119,19 +119,22 @@ MetricId Registry::histogram(std::string_view name) {
 
 Registry::Shard& Registry::local_shard() { return ShardHandle::local(*this); }
 
-void Registry::add(MetricId id, std::uint64_t delta) noexcept {
+RG_REALTIME void Registry::add(MetricId id, std::uint64_t delta) noexcept {
+  // rg-lint: allow(call) -- local_shard allocates once per thread; steady state is one relaxed add
   local_shard().counters[metric_slot(id)].fetch_add(delta, std::memory_order_relaxed);
 }
 
-void Registry::set(MetricId id, double value) noexcept {
+RG_REALTIME void Registry::set(MetricId id, double value) noexcept {
   gauges_[metric_slot(id)].store(value, std::memory_order_relaxed);
 }
 
-void Registry::observe(MetricId id, std::uint64_t value) noexcept {
+RG_REALTIME void Registry::observe(MetricId id, std::uint64_t value) noexcept {
+  // rg-lint: allow(call) -- local_shard allocates once per thread; steady state is relaxed adds
   Shard& shard = local_shard();
   std::atomic<HistShard*>& cell = shard.hists[metric_slot(id)];
   HistShard* hist = cell.load(std::memory_order_relaxed);
   if (hist == nullptr) {
+    // rg-lint: allow(alloc) -- one lazy HistShard per (thread, histogram), never freed hot
     hist = new HistShard();
     cell.store(hist, std::memory_order_release);  // snapshot() acquires
   }

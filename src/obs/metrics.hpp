@@ -29,6 +29,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/realtime.hpp"
 #include "obs/histogram.hpp"
 
 namespace rg::obs {
@@ -41,7 +42,7 @@ using MetricId = std::uint32_t;
 [[nodiscard]] constexpr MetricKind metric_kind(MetricId id) noexcept {
   return static_cast<MetricKind>(id >> 24);
 }
-[[nodiscard]] constexpr std::uint32_t metric_slot(MetricId id) noexcept {
+[[nodiscard]] RG_REALTIME constexpr std::uint32_t metric_slot(MetricId id) noexcept {
   return id & 0x00FFFFFFu;
 }
 
@@ -85,7 +86,7 @@ class Registry {
   static constexpr std::size_t kMaxHistograms = 48;
 
   /// The process-wide registry used by the RG_* macros.
-  static Registry& global();
+  RG_REALTIME static Registry& global();
 
   Registry() = default;
   Registry(const Registry&) = delete;
@@ -99,9 +100,9 @@ class Registry {
   MetricId histogram(std::string_view name);
 
   // --- hot path ------------------------------------------------------------
-  void add(MetricId id, std::uint64_t delta = 1) noexcept;
-  void set(MetricId id, double value) noexcept;
-  void observe(MetricId id, std::uint64_t value) noexcept;
+  RG_REALTIME void add(MetricId id, std::uint64_t delta = 1) noexcept;
+  RG_REALTIME void set(MetricId id, double value) noexcept;
+  RG_REALTIME void observe(MetricId id, std::uint64_t value) noexcept;
 
   /// Merge every shard (live + retired) into a snapshot, sorted by name.
   [[nodiscard]] MetricsSnapshot snapshot() const;

@@ -22,12 +22,13 @@
 #include <string>
 #include <vector>
 
+#include "common/realtime.hpp"
 #include "obs/metrics.hpp"
 
 namespace rg::obs {
 
 /// Monotonic nanoseconds (steady clock) — the span/trace time base.
-[[nodiscard]] inline std::uint64_t monotonic_ns() noexcept {
+[[nodiscard]] RG_REALTIME inline std::uint64_t monotonic_ns() noexcept {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())

@@ -19,6 +19,8 @@
 #include <string_view>
 #include <utility>
 
+#include "common/realtime.hpp"
+
 namespace rg {
 
 /// Runtime-selectable solver kind (the Fig. 8 comparison axis).
@@ -58,20 +60,20 @@ concept DerivativeFn = requires(F f, double t, const State& x) {
 
 /// One explicit-Euler step: x + h f(t, x).
 template <typename State, DerivativeFn<State> F>
-State euler_step(F&& f, double t, const State& x, double h) {
+RG_REALTIME State euler_step(F&& f, double t, const State& x, double h) {
   return x + h * f(t, x);
 }
 
 /// One midpoint (RK2) step.
 template <typename State, DerivativeFn<State> F>
-State midpoint_step(F&& f, double t, const State& x, double h) {
+RG_REALTIME State midpoint_step(F&& f, double t, const State& x, double h) {
   const State k1 = f(t, x);
   return x + h * f(t + 0.5 * h, x + (0.5 * h) * k1);
 }
 
 /// One classical RK4 step.
 template <typename State, DerivativeFn<State> F>
-State rk4_step(F&& f, double t, const State& x, double h) {
+RG_REALTIME State rk4_step(F&& f, double t, const State& x, double h) {
   const State k1 = f(t, x);
   const State k2 = f(t + 0.5 * h, x + (0.5 * h) * k1);
   const State k3 = f(t + 0.5 * h, x + (0.5 * h) * k2);
@@ -83,7 +85,7 @@ State rk4_step(F&& f, double t, const State& x, double h) {
 /// the 5th-order solution and err_inf the infinity-norm of the embedded
 /// 4th/5th-order difference.
 template <typename State, DerivativeFn<State> F>
-std::pair<State, double> rkf45_step(F&& f, double t, const State& x, double h) {
+RG_REALTIME std::pair<State, double> rkf45_step(F&& f, double t, const State& x, double h) {
   const State k1 = f(t, x);
   const State k2 = f(t + h / 4.0, x + (h / 4.0) * k1);
   const State k3 = f(t + 3.0 * h / 8.0, x + (3.0 * h / 32.0) * k1 + (9.0 * h / 32.0) * k2);
@@ -110,7 +112,7 @@ std::pair<State, double> rkf45_step(F&& f, double t, const State& x, double h) {
 /// validate_solver) aborts instead of throwing, because callers such as
 /// RavenDynamicsModel::step are noexcept.
 template <typename State, DerivativeFn<State> F>
-State solver_step(SolverKind kind, F&& f, double t, const State& x, double h) {
+RG_REALTIME State solver_step(SolverKind kind, F&& f, double t, const State& x, double h) {
   switch (kind) {
     case SolverKind::kEuler: return euler_step<State>(f, t, x, h);
     case SolverKind::kMidpoint: return midpoint_step<State>(f, t, x, h);

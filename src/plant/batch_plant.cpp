@@ -29,7 +29,8 @@ bool BatchPlant::compatible(const PlantConfig& a, const PlantConfig& b) noexcept
   return a_modulo_seed == b;
 }
 
-void BatchPlant::step_control_period(std::span<const PlantDrive> drives) {
+RG_REALTIME void BatchPlant::step_control_period(std::span<const PlantDrive> drives) {
+  // rg-lint: allow(call, throw) -- caller-contract check; never throws on a sized batch
   require(drives.size() == n_, "BatchPlant: one PlantDrive per lane required");
 
   // Phase 1 — per-lane scalar period setup (brake timing, noise draw from

@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <span>
 
+#include "common/realtime.hpp"
 #include "dynamics/batch_model.hpp"
 #include "plant/physical_robot.hpp"
 
@@ -32,7 +33,7 @@ class BatchPlant {
 
   /// Batched twin of PhysicalRobot::step_control_period: executes one
   /// control period on every lane.  drives.size() must equal lanes().
-  void step_control_period(std::span<const PlantDrive> drives);
+  RG_REALTIME void step_control_period(std::span<const PlantDrive> drives);
 
   [[nodiscard]] std::size_t lanes() const noexcept { return n_; }
 

@@ -18,21 +18,23 @@ void PhysicalRobot::set_joint_config(const JointVector& q) noexcept {
   snapped_ = {false, false, false};
 }
 
-void PhysicalRobot::step_control_period(const Vec3& commanded_currents, bool brakes_engaged,
-                                        const Vec3& wrist_currents) {
+RG_REALTIME void PhysicalRobot::step_control_period(const Vec3& commanded_currents,
+                                                    bool brakes_engaged,
+                                                    const Vec3& wrist_currents) {
   step(commanded_currents, brakes_engaged, kControlPeriodSec, wrist_currents);
 }
 
-void PhysicalRobot::step(const Vec3& commanded_currents, bool brakes_engaged, double duration,
-                         const Vec3& wrist_currents) {
+RG_REALTIME void PhysicalRobot::step(const Vec3& commanded_currents, bool brakes_engaged,
+                                     double duration, const Vec3& wrist_currents) {
   PeriodSetup setup = begin_period(commanded_currents, brakes_engaged, duration, wrist_currents);
   integrate_period(setup);
   finish_period(setup);
 }
 
-PhysicalRobot::PeriodSetup PhysicalRobot::begin_period(const Vec3& commanded_currents,
-                                                       bool brakes_engaged, double duration,
-                                                       const Vec3& wrist_currents) {
+RG_REALTIME PhysicalRobot::PeriodSetup PhysicalRobot::begin_period(const Vec3& commanded_currents,
+                                                                   bool brakes_engaged,
+                                                                   double duration,
+                                                                   const Vec3& wrist_currents) {
   PeriodSetup setup;
   setup.brakes_engaged = brakes_engaged;
   setup.duration = duration;
@@ -81,7 +83,7 @@ PhysicalRobot::PeriodSetup PhysicalRobot::begin_period(const Vec3& commanded_cur
   return setup;
 }
 
-void PhysicalRobot::integrate_period(PeriodSetup& setup) {
+RG_REALTIME void PhysicalRobot::integrate_period(PeriodSetup& setup) {
   // The derivative closure is loop-invariant: build it once per period,
   // not once per substep (it reads the snap state through setup.fx).
   const auto f = [this, &setup](double /*t*/, const RavenDynamicsModel::State& s) {
@@ -124,7 +126,7 @@ void PhysicalRobot::integrate_period(PeriodSetup& setup) {
   }
 }
 
-void PhysicalRobot::finish_period(const PeriodSetup& setup) noexcept {
+RG_REALTIME void PhysicalRobot::finish_period(const PeriodSetup& setup) noexcept {
   // Wrist/instrument axes: small independent motors, first order in
   // velocity (their mechanics are much faster and lighter than the
   // positioning stage, so a per-control-period semi-implicit update is

@@ -20,6 +20,7 @@
 
 #include <optional>
 
+#include "common/realtime.hpp"
 #include "common/rng.hpp"
 #include "dynamics/raven_model.hpp"
 #include "kinematics/raven_kinematics.hpp"
@@ -82,34 +83,34 @@ class PhysicalRobot {
   /// Simulate one control period (1 ms): integrates the plant ODE at the
   /// configured substep under the latched motor currents and brake state.
   /// `wrist_currents` drive the three instrument axes (channels 3-5).
-  void step_control_period(const Vec3& commanded_currents, bool brakes_engaged,
-                           const Vec3& wrist_currents = Vec3::zero());
+  RG_REALTIME void step_control_period(const Vec3& commanded_currents, bool brakes_engaged,
+                                       const Vec3& wrist_currents = Vec3::zero());
 
   /// Same, for an arbitrary duration (s).
-  void step(const Vec3& commanded_currents, bool brakes_engaged, double duration,
-            const Vec3& wrist_currents = Vec3::zero());
+  RG_REALTIME void step(const Vec3& commanded_currents, bool brakes_engaged, double duration,
+                        const Vec3& wrist_currents = Vec3::zero());
 
-  [[nodiscard]] MotorVector motor_positions() const noexcept {
+  [[nodiscard]] RG_REALTIME MotorVector motor_positions() const noexcept {
     return RavenDynamicsModel::motor_pos(state_);
   }
-  [[nodiscard]] MotorVector motor_velocities() const noexcept {
+  [[nodiscard]] RG_REALTIME MotorVector motor_velocities() const noexcept {
     return RavenDynamicsModel::motor_vel(state_);
   }
-  [[nodiscard]] JointVector joint_positions() const noexcept {
+  [[nodiscard]] RG_REALTIME JointVector joint_positions() const noexcept {
     return RavenDynamicsModel::joint_pos(state_);
   }
-  [[nodiscard]] JointVector joint_velocities() const noexcept {
+  [[nodiscard]] RG_REALTIME JointVector joint_velocities() const noexcept {
     return RavenDynamicsModel::joint_vel(state_);
   }
 
   /// Ground-truth end-effector position.
-  [[nodiscard]] Position end_effector() const noexcept {
+  [[nodiscard]] RG_REALTIME Position end_effector() const noexcept {
     return kinematics_.forward(joint_positions());
   }
 
   /// Wrist motor shaft angles (channels 3-5) — the end-effector
   /// orientation pass-through.
-  [[nodiscard]] const Vec3& wrist_positions() const noexcept { return wrist_pos_; }
+  [[nodiscard]] RG_REALTIME const Vec3& wrist_positions() const noexcept { return wrist_pos_; }
   [[nodiscard]] const Vec3& wrist_velocities() const noexcept { return wrist_vel_; }
 
   /// Place a compliant tissue surface in the workspace.  Contact forces
@@ -146,13 +147,13 @@ class PhysicalRobot {
 
   /// Brake timing, drive-noise sampling, shaft-lock velocity zeroing, and
   /// the period-held external effects (cable damage + tissue reaction).
-  PeriodSetup begin_period(const Vec3& commanded_currents, bool brakes_engaged,
-                           double duration, const Vec3& wrist_currents);
+  RG_REALTIME PeriodSetup begin_period(const Vec3& commanded_currents, bool brakes_engaged,
+                                       double duration, const Vec3& wrist_currents);
   /// The scalar substep loop: RK4 at config().substep plus the cable
   /// overload watch.
-  void integrate_period(PeriodSetup& setup);
+  RG_REALTIME void integrate_period(PeriodSetup& setup);
   /// Wrist/instrument axes (per-period semi-implicit update).
-  void finish_period(const PeriodSetup& setup) noexcept;
+  RG_REALTIME void finish_period(const PeriodSetup& setup) noexcept;
 
   friend class BatchPlant;
 

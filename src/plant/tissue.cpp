@@ -12,7 +12,8 @@ TissueModel::TissueModel(const TissueParams& params) : params_(params) {
   require(params.shear_speed_limit > 0.0, "shear_speed_limit must be > 0");
 }
 
-TissueContact TissueModel::update(const Position& tool, const Vec3& tool_velocity) noexcept {
+RG_REALTIME TissueContact TissueModel::update(const Position& tool,
+                                              const Vec3& tool_velocity) noexcept {
   TissueContact contact;
 
   // Signed distance above the surface; indentation is its negative part.

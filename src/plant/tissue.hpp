@@ -14,6 +14,7 @@
 #pragma once
 
 #include "common/error.hpp"
+#include "common/realtime.hpp"
 #include "kinematics/raven_kinematics.hpp"
 #include "kinematics/types.hpp"
 
@@ -52,7 +53,7 @@ class TissueModel {
   /// Evaluate contact for a tool position/velocity.  Latches damage: once
   /// perforated or sheared, the flags stay set (and a ruptured surface no
   /// longer pushes back).
-  TissueContact update(const Position& tool, const Vec3& tool_velocity) noexcept;
+  RG_REALTIME TissueContact update(const Position& tool, const Vec3& tool_velocity) noexcept;
 
   [[nodiscard]] bool perforated() const noexcept { return perforated_; }
   [[nodiscard]] bool sheared() const noexcept { return sheared_; }

@@ -45,7 +45,7 @@ std::size_t TeleopGateway::pump(std::uint64_t now_ms, std::size_t max) {
   RG_SPAN("gw.pump");
   const std::size_t drained = transport_.poll(
       [&](const Endpoint& from, std::span<const std::uint8_t> bytes) {
-        (void)ingest(from, bytes, now_ms, obs::monotonic_ns());
+        note(ingest(from, bytes, now_ms, obs::monotonic_ns()));
       },
       max);
   if (now_ms - last_evict_scan_ms_ >= kEvictScanPeriodMs || last_evict_scan_ms_ == 0) {
@@ -87,44 +87,29 @@ void TeleopGateway::shutdown() {
 
 IngestVerdict TeleopGateway::ingest(const Endpoint& from, std::span<const std::uint8_t> bytes,
                                     std::uint64_t now_ms, std::uint64_t ingest_ns) {
-  obs::Registry::global().add(ingest_counter_);
   const std::lock_guard<std::mutex> lock(table_mutex_);
-  ++stats_.datagrams;
 
   // 1. Frame size (+ MAC tag when the integrity retrofit is on).
   std::span<const std::uint8_t> itp = bytes;
   if (config_.require_mac) {
-    if (bytes.size() != kMacFrameSize) {
-      note(IngestVerdict::kBadSize);
-      return IngestVerdict::kBadSize;
-    }
-    if (!verify_itp_frame(bytes, config_.mac_key)) {
-      note(IngestVerdict::kBadMac);
-      return IngestVerdict::kBadMac;
-    }
+    if (bytes.size() != kMacFrameSize) return IngestVerdict::kBadSize;
+    if (!verify_itp_frame(bytes, config_.mac_key)) return IngestVerdict::kBadMac;
     itp = bytes.first(kItpPacketSize);
   } else if (bytes.size() != kItpPacketSize) {
-    note(IngestVerdict::kBadSize);
     return IngestVerdict::kBadSize;
   }
 
   // 2. ITP decode: checksum and undefined flag bits.
   const Result<ItpPacket> decoded = decode_itp(itp, config_.verify_checksum);
   if (!decoded) {
-    const IngestVerdict v = decoded.error().code() == ErrorCode::kMalformedFlags
-                                ? IngestVerdict::kBadFlags
-                                : IngestVerdict::kBadChecksum;
-    note(v);
-    return v;
+    return decoded.error().code() == ErrorCode::kMalformedFlags ? IngestVerdict::kBadFlags
+                                                                : IngestVerdict::kBadChecksum;
   }
 
   // 3. Session admission (first valid datagram from an endpoint opens it).
   auto it = table_.find(from);
   if (it == table_.end()) {
-    if (table_.size() >= config_.max_sessions) {
-      note(IngestVerdict::kSessionLimit);
-      return IngestVerdict::kSessionLimit;
-    }
+    if (table_.size() >= config_.max_sessions) return IngestVerdict::kSessionLimit;
     SessionRecord rec;
     rec.id = next_session_id_++;
     rec.shard = rec.id % shards_.size();
@@ -144,7 +129,6 @@ IngestVerdict TeleopGateway::ingest(const Endpoint& from, std::span<const std::u
       case IngestVerdict::kReplayed: ++rec.counters.replayed; break;
       default: ++rec.counters.stale; break;
     }
-    note(seq.verdict);
     return seq.verdict;
   }
   rec.counters.lost_gap += seq.gap;
@@ -158,18 +142,22 @@ IngestVerdict TeleopGateway::ingest(const Endpoint& from, std::span<const std::u
   std::copy(itp.begin(), itp.end(), item.bytes.begin());
   if (!shards_[rec.shard]->submit(item)) {
     ++rec.counters.backpressure;
-    note(IngestVerdict::kBackpressure);
     return IngestVerdict::kBackpressure;
   }
   ++rec.counters.accepted;
-  ++stats_.accepted;
-  obs::Registry::global().add(accept_counter_);
   return IngestVerdict::kAccepted;
 }
 
 void TeleopGateway::note(IngestVerdict v) {
+  auto& reg = obs::Registry::global();
+  reg.add(ingest_counter_);
+  const std::lock_guard<std::mutex> lock(table_mutex_);
+  ++stats_.datagrams;
   switch (v) {
-    case IngestVerdict::kAccepted: return;
+    case IngestVerdict::kAccepted:
+      ++stats_.accepted;
+      reg.add(accept_counter_);
+      return;
     case IngestVerdict::kBadSize: ++stats_.rejected_size; break;
     case IngestVerdict::kBadMac: ++stats_.rejected_mac; break;
     case IngestVerdict::kBadChecksum: ++stats_.rejected_checksum; break;
@@ -180,7 +168,7 @@ void TeleopGateway::note(IngestVerdict v) {
     case IngestVerdict::kSessionLimit: ++stats_.rejected_session_limit; break;
     case IngestVerdict::kBackpressure: ++stats_.backpressure_dropped; break;
   }
-  obs::Registry::global().add(reject_counter_);
+  reg.add(reject_counter_);
 }
 
 void TeleopGateway::evict_idle(std::uint64_t now_ms) {

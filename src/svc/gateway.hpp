@@ -127,9 +127,14 @@ class TeleopGateway {
     SessionCounters counters{};
   };
 
-  IngestVerdict ingest(const Endpoint& from, std::span<const std::uint8_t> bytes,
-                       std::uint64_t now_ms, std::uint64_t ingest_ns);
+  /// Classify one datagram and (when accepted) enqueue it on its
+  /// session's shard.  Pure admission: only session-scoped state changes
+  /// here; the gateway-wide accounting lives in note().  Callers must not
+  /// drop the verdict — the idiom is note(ingest(...)).
+  [[nodiscard]] IngestVerdict ingest(const Endpoint& from, std::span<const std::uint8_t> bytes,
+                                     std::uint64_t now_ms, std::uint64_t ingest_ns);
   void evict_idle(std::uint64_t now_ms);
+  /// Fold one ingest verdict into the gateway-wide stats and metrics.
   void note(IngestVerdict v);
   [[nodiscard]] SessionStats snapshot_session(const Endpoint& ep, const SessionRecord& rec,
                                               bool active) const;

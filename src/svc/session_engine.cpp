@@ -29,7 +29,7 @@ SessionEngine::SessionEngine(const SessionEngineConfig& config)
   board_.latch_encoders(plant_.motor_positions(), plant_.wrist_positions());
 }
 
-void SessionEngine::tick_begin(std::optional<std::span<const std::uint8_t>> itp) {
+RG_REALTIME void SessionEngine::tick_begin(std::optional<std::span<const std::uint8_t>> itp) {
   cmd_ = CommandBytes{};
   screen_ = DetectionPipeline::ScreenState{};
   screened_ = false;
@@ -58,7 +58,7 @@ void SessionEngine::tick_begin(std::optional<std::span<const std::uint8_t>> itp)
   screened_ = true;
 }
 
-void SessionEngine::tick_resolve(const RavenDynamicsModel::State& next) {
+RG_REALTIME void SessionEngine::tick_resolve(const RavenDynamicsModel::State& next) {
   const DetectionPipeline::Outcome out = pipeline_.finish_process(screen_, next);
   last_ = TickResult{true, out.alarm, out.blocked};
   if (out.alarm) ++alarms_;
@@ -72,18 +72,23 @@ void SessionEngine::tick_resolve(const RavenDynamicsModel::State& next) {
   }
   fold_digest(out);
 
-  (void)board_.receive_command(std::span<const std::uint8_t>{cmd_});
+  // The board refuses malformed commands and keeps its previous latch.  An
+  // in-process encode can't be malformed, but if the tick scratch were ever
+  // corrupted the refusal means no new command executed — report the tick
+  // as unscreened rather than pretending the verdict drove the plant.
+  const Status accepted = board_.receive_command(std::span<const std::uint8_t>{cmd_});
+  if (!accepted.ok()) last_.screened = false;
   plc_.tick();
   drive_ = PlantDrive{board_.modeled_currents(), plc_.brakes_engaged(), board_.wrist_currents()};
 }
 
-SessionEngine::TickResult SessionEngine::tick_finish() {
+RG_REALTIME SessionEngine::TickResult SessionEngine::tick_finish() {
   board_.latch_encoders(plant_.motor_positions(), plant_.wrist_positions());
   ++ticks_;
   return last_;
 }
 
-SessionEngine::TickResult SessionEngine::tick(
+RG_REALTIME SessionEngine::TickResult SessionEngine::tick(
     std::optional<std::span<const std::uint8_t>> itp) {
   tick_begin(itp);
   RavenDynamicsModel::State next{};
@@ -93,7 +98,7 @@ SessionEngine::TickResult SessionEngine::tick(
   return tick_finish();
 }
 
-void SessionEngine::fold_digest(const DetectionPipeline::Outcome& out) noexcept {
+RG_REALTIME void SessionEngine::fold_digest(const DetectionPipeline::Outcome& out) noexcept {
   constexpr std::uint64_t kPrime = 0x100000001b3ULL;
   const auto fold = [&](std::uint64_t v) {
     digest_ ^= v;

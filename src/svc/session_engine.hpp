@@ -20,6 +20,7 @@
 #include <optional>
 #include <span>
 
+#include "common/realtime.hpp"
 #include "control/control_software.hpp"
 #include "core/pipeline.hpp"
 #include "hw/plc.hpp"
@@ -52,26 +53,26 @@ class SessionEngine {
 
   /// Scalar convenience: one full control tick consuming `itp` (nullopt
   /// models a within-session gap the caller chose to tick through).
-  TickResult tick(std::optional<std::span<const std::uint8_t>> itp);
+  RG_REALTIME TickResult tick(std::optional<std::span<const std::uint8_t>> itp);
 
   // --- phase-split tick (the shard's batched driver) -----------------------
-  void tick_begin(std::optional<std::span<const std::uint8_t>> itp);
-  [[nodiscard]] bool needs_solve() const noexcept {
+  RG_REALTIME void tick_begin(std::optional<std::span<const std::uint8_t>> itp);
+  [[nodiscard]] RG_REALTIME bool needs_solve() const noexcept {
     return screened_ && !screen_.complete;
   }
-  [[nodiscard]] const PendingSolve& pending_solve() const noexcept {
+  [[nodiscard]] RG_REALTIME const PendingSolve& pending_solve() const noexcept {
     return screen_.pending;
   }
   /// Verdict + mitigation + board latch + PLC tick; stashes the plant
   /// drive for this period.  `next` is ignored unless needs_solve().
-  void tick_resolve(const RavenDynamicsModel::State& next);
-  [[nodiscard]] const PlantDrive& drive() const noexcept { return drive_; }
+  RG_REALTIME void tick_resolve(const RavenDynamicsModel::State& next);
+  [[nodiscard]] RG_REALTIME const PlantDrive& drive() const noexcept { return drive_; }
   /// Encoder latch + per-session bookkeeping; the caller has stepped the
   /// plant (scalar or batched lane) with drive() in between.
-  TickResult tick_finish();
+  RG_REALTIME TickResult tick_finish();
 
   // --- introspection -------------------------------------------------------
-  [[nodiscard]] PhysicalRobot& plant() noexcept { return plant_; }
+  [[nodiscard]] RG_REALTIME PhysicalRobot& plant() noexcept { return plant_; }
   [[nodiscard]] DetectionPipeline& pipeline() noexcept { return pipeline_; }
   [[nodiscard]] ControlSoftware& control() noexcept { return control_; }
   [[nodiscard]] std::uint64_t ticks() const noexcept { return ticks_; }
@@ -87,7 +88,7 @@ class SessionEngine {
   [[nodiscard]] std::uint64_t verdict_digest() const noexcept { return digest_; }
 
  private:
-  void fold_digest(const DetectionPipeline::Outcome& out) noexcept;
+  RG_REALTIME void fold_digest(const DetectionPipeline::Outcome& out) noexcept;
 
   SessionEngineConfig config_;
   ControlSoftware control_;

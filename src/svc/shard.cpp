@@ -145,7 +145,7 @@ void GatewayShard::run_rounds() {
   }
 }
 
-void GatewayShard::round_tick(std::vector<LocalSession*>& chunk,
+RG_REALTIME void GatewayShard::round_tick(std::vector<LocalSession*>& chunk,
                               std::vector<std::pair<ItpBytes, std::uint64_t>>& datagrams) {
   RG_SPAN("gw.round");
   const std::size_t n = chunk.size();

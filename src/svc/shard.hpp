@@ -31,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/realtime.hpp"
 #include "dynamics/batch_model.hpp"
 #include "obs/metrics.hpp"
 #include "svc/session.hpp"
@@ -102,7 +103,7 @@ class GatewayShard {
   void worker_loop();
   void apply_items(const std::vector<ShardItem>& items);
   void run_rounds();
-  void round_tick(std::vector<LocalSession*>& chunk,
+  RG_REALTIME void round_tick(std::vector<LocalSession*>& chunk,
                   std::vector<std::pair<ItpBytes, std::uint64_t>>& datagrams);
 
   ShardConfig config_;

@@ -52,6 +52,7 @@ UdpSocketTransport::UdpSocketTransport(const UdpSocketConfig& config)
     throw std::runtime_error("UdpSocketTransport: invalid bind address: " +
                              config.bind_address);
   }
+  // rg-lint: allow(cast) -- BSD sockets API: sockaddr_in is the sockaddr it poses as
   if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
     ::close(fd_);
     fail("bind");
@@ -59,6 +60,7 @@ UdpSocketTransport::UdpSocketTransport(const UdpSocketConfig& config)
 
   sockaddr_in bound{};
   socklen_t len = sizeof(bound);
+  // rg-lint: allow(cast) -- BSD sockets API: sockaddr_in is the sockaddr it poses as
   if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
     ::close(fd_);
     fail("getsockname");
@@ -98,7 +100,8 @@ std::size_t UdpSocketTransport::poll(const Sink& sink, std::size_t max) {
     sockaddr_in from{};
     socklen_t from_len = sizeof(from);
     const ssize_t n = ::recvfrom(fd_, buf, sizeof(buf), MSG_DONTWAIT,
-                                 reinterpret_cast<sockaddr*>(&from), &from_len);
+                                 reinterpret_cast<sockaddr*>(&from),  // rg-lint: allow(cast)
+                                 &from_len);
     if (n < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
       break;  // transient socket errors: stop this pass, next pump retries

@@ -1,0 +1,15 @@
+// rg_lint fixture: cast gating.  One unannotated reinterpret_cast (a
+// finding) and one carrying the allow annotation (waived).
+
+namespace fixture {
+
+const char* unannotated_cast(void* p) {
+  return reinterpret_cast<const char*>(p);  // 1x cast
+}
+
+char* annotated_cast(void* p) {
+  // rg-lint: allow(cast) -- fixture: annotated casts must not count
+  return reinterpret_cast<char*>(p);
+}
+
+}  // namespace fixture

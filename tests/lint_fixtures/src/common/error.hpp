@@ -1,0 +1,27 @@
+// rg_lint fixture: ErrorCode exhaustiveness.  kDuplicate reuses wire
+// value 1 (1x errorcode) and kUncovered has no to_string case
+// (1x errorcode).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace fixture {
+
+enum class ErrorCode : std::uint8_t {
+  kOk = 0,
+  kBad = 1,
+  kDuplicate = 1,  // 1x errorcode: wire value collision
+  kUncovered = 3,  // 1x errorcode: missing from to_string below
+};
+
+constexpr std::string_view to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kBad: return "bad";
+    case ErrorCode::kDuplicate: return "duplicate";
+    default: return "unknown";
+  }
+}
+
+}  // namespace fixture

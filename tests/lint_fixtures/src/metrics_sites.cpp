@@ -1,0 +1,19 @@
+// rg_lint fixture: metric-registry drift, one failure mode at a time.
+//
+//   rg.fixture.known        - registered + documented: clean
+//   rg.fixture.unregistered - registered nowhere: finding
+//   rg.fixture.undocumented - in the registry but absent from the docs: finding
+//   rg.fixture.stale        - in the registry with no call site: finding
+//     (seeded in src/obs/metric_names.hpp, not here)
+
+#define RG_COUNT(name, delta) ((void)0)
+
+namespace fixture {
+
+void touch_metrics() {
+  RG_COUNT("rg.fixture.known", 1);
+  RG_COUNT("rg.fixture.unregistered", 1);  // 1x metric
+  RG_COUNT("rg.fixture.undocumented", 1);  // 1x metric (via the registry entry)
+}
+
+}  // namespace fixture

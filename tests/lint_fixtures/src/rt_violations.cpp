@@ -1,0 +1,49 @@
+// rg_lint fixture: seeded real-time-discipline violations.
+//
+// Scanned (never compiled) by tests/test_lint.cpp.  Each violation below
+// is seeded exactly once; the test asserts the analyzer reports exactly
+// that set and nothing else.  Keep the counts in sync with
+// kExpectedFixtureFindings in test_lint.cpp when editing.
+
+#include <mutex>
+#include <vector>
+
+#define RG_REALTIME __attribute__((hot))
+
+namespace fixture {
+
+// An in-tree function with no annotation: calling it from an RG_REALTIME
+// body must trigger the propagation check.
+int helper_unannotated() { return 1; }
+
+// An annotated declaration + definition pair: calling this is fine.
+RG_REALTIME int helper_annotated();
+RG_REALTIME int helper_annotated() { return 2; }
+
+class Hot {
+ public:
+  RG_REALTIME double tick() {
+    violations_ = new double[4];       // 1x alloc
+    mu_.lock();                        // 1x lock
+    std::printf("tick\n");             // 1x io
+    if (violations_ == nullptr) throw 42;  // 1x throw
+    usleep(5);                         // 1x block
+    samples_.push_back(1.0);           // 1x push_back
+    return static_cast<double>(helper_unannotated());  // 1x call
+  }
+
+  RG_REALTIME double tolerated() {
+    // rg-lint: allow(alloc) -- fixture: waived violations must not count
+    double* scratch = new double[2];
+    const double out = scratch[0] + static_cast<double>(helper_annotated());
+    delete[] scratch;  // rg-lint: allow(alloc) -- fixture: waiver on same line
+    return out;
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<double> samples_;
+  double* violations_ = nullptr;
+};
+
+}  // namespace fixture

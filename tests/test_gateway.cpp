@@ -375,6 +375,7 @@ TEST(GatewaySocket, RealUdpLoopbackSmoke) {
   addr.sin_family = AF_INET;
   addr.sin_port = htons(transport.bound_port());
   ASSERT_EQ(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  // rg-lint: allow(cast) -- BSD sockets API: sockaddr_in is the sockaddr it poses as
   ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)), 0);
 
   constexpr std::uint32_t kPackets = 20;

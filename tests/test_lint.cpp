@@ -1,0 +1,111 @@
+// tools/rg_lint driven in-process: the fixture tree must produce exactly
+// the seeded findings, and the real tree must be clean.
+//
+// RG_LINT_REPO_ROOT / RG_LINT_FIXTURES are absolute paths injected by
+// tests/CMakeLists.txt, so the tests are independent of the ctest working
+// directory.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "lint.hpp"
+
+namespace {
+
+using rg::lint::Check;
+using rg::lint::Finding;
+using rg::lint::Options;
+using rg::lint::Report;
+
+std::map<std::string, int> count_by_class(const Report& report) {
+  std::map<std::string, int> counts;
+  for (const Finding& f : report.findings) ++counts[rg::lint::to_string(f.check)];
+  return counts;
+}
+
+TEST(Lint, FixtureTreeProducesExactlyTheSeededFindings) {
+  Options options;
+  options.root = RG_LINT_FIXTURES;
+  const Report report = rg::lint::run(options);
+
+  const std::map<std::string, int> expected = {
+      {"alloc", 1}, {"lock", 1},   {"io", 1},     {"throw", 1},    {"block", 1},
+      {"push_back", 1}, {"call", 1}, {"cast", 1}, {"metric", 3}, {"errorcode", 2},
+  };
+  EXPECT_EQ(count_by_class(report), expected) << [&] {
+    std::string all;
+    for (const Finding& f : report.findings) {
+      all += f.file + ":" + std::to_string(f.line) + ": [" +
+             rg::lint::to_string(f.check) + "] " + f.message + "\n";
+    }
+    return all;
+  }();
+  EXPECT_EQ(report.findings.size(), 13u);
+}
+
+TEST(Lint, FixtureFindingsCarryFileAndLine) {
+  Options options;
+  options.root = RG_LINT_FIXTURES;
+  const Report report = rg::lint::run(options);
+  for (const Finding& f : report.findings) {
+    EXPECT_FALSE(f.file.empty());
+    EXPECT_GT(f.line, 0) << f.file << ": " << f.message;
+    EXPECT_FALSE(f.message.empty());
+  }
+  // The propagation finding names both ends of the edge.
+  const auto call = std::find_if(
+      report.findings.begin(), report.findings.end(),
+      [](const Finding& f) { return f.check == Check::kCall; });
+  ASSERT_NE(call, report.findings.end());
+  EXPECT_NE(call->message.find("tick"), std::string::npos);
+  EXPECT_NE(call->message.find("helper_unannotated"), std::string::npos);
+}
+
+TEST(Lint, RealTreeIsClean) {
+  Options options;
+  options.root = RG_LINT_REPO_ROOT;
+  const Report report = rg::lint::run(options);
+  std::string all;
+  for (const Finding& f : report.findings) {
+    all += f.file + ":" + std::to_string(f.line) + ": [" +
+           rg::lint::to_string(f.check) + "] " + f.message + "\n";
+  }
+  EXPECT_TRUE(report.findings.empty()) << all;
+  // Sanity: the scan actually covered the tree and its annotations.
+  EXPECT_GT(report.files_scanned, 150u);
+  EXPECT_GT(report.realtime_functions, 150u);
+}
+
+TEST(Lint, RealTreeMetricInventoryMatchesKnownFamilies) {
+  Options options;
+  options.root = RG_LINT_REPO_ROOT;
+  const Report report = rg::lint::run(options);
+  const auto has = [&](const char* name) {
+    return std::find(report.metric_names.begin(), report.metric_names.end(),
+                     name) != report.metric_names.end();
+  };
+  EXPECT_TRUE(has("rg.span.control.tick"));
+  EXPECT_TRUE(has("rg.gw.datagrams"));
+  EXPECT_TRUE(has("rg.gw.shard.*"));  // dynamic registration -> wildcard family
+  EXPECT_TRUE(has("rg.pipeline.alarms"));
+}
+
+TEST(Lint, RegistryRenderIsSortedAndDeduped) {
+  const std::string header = rg::lint::render_metric_registry(
+      {"rg.b", "rg.a", "rg.b", "rg.c.*"});
+  EXPECT_NE(header.find("#pragma once"), std::string::npos);
+  const std::size_t a = header.find("\"rg.a\"");
+  const std::size_t b = header.find("\"rg.b\"");
+  const std::size_t c = header.find("\"rg.c.*\"");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(b, std::string::npos);
+  ASSERT_NE(c, std::string::npos);
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(header.find("\"rg.b\"", b + 1), std::string::npos);  // deduped
+}
+
+}  // namespace

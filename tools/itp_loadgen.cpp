@@ -188,6 +188,7 @@ int main(int argc, char** argv) {
   for (std::uint32_t i = 0; i < opt.sessions; ++i) {
     auto cs = std::make_unique<ClientSession>();
     cs->fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+    // rg-lint: allow(cast) -- BSD sockets API: sockaddr_in is the sockaddr it poses as
     if (cs->fd < 0 || ::connect(cs->fd, reinterpret_cast<const sockaddr*>(&addr),
                                 sizeof(addr)) != 0) {
       std::perror("itp_loadgen: socket/connect");

@@ -1,0 +1,879 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fs = std::filesystem;
+
+namespace rg::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer.  Comments and preprocessor directives are consumed (allow
+// annotations are harvested from line comments on the way through);
+// string/char literals survive as single tokens so metric names stay
+// intact and code-looking text inside them is never analyzed.
+// ---------------------------------------------------------------------------
+
+enum class Tok { kIdent, kNumber, kString, kPunct };
+
+struct Token {
+  Tok kind;
+  std::string text;
+  int line;
+};
+
+struct SourceFile {
+  std::string rel;  // forward-slash path relative to the scanned root
+  std::vector<Token> toks;
+  // line -> allow classes granted on that line (a finding on line L is
+  // waived by an allow on L or L-1).
+  std::map<int, std::set<std::string>> allows;
+};
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Parse `rg-lint: allow(a, b) -- reason` out of one comment's text.
+void harvest_allow(const std::string& comment, int line, SourceFile& out) {
+  const std::size_t tag = comment.find("rg-lint:");
+  if (tag == std::string::npos) return;
+  const std::size_t open = comment.find("allow(", tag);
+  if (open == std::string::npos) return;
+  const std::size_t close = comment.find(')', open);
+  if (close == std::string::npos) return;
+  std::string inner = comment.substr(open + 6, close - open - 6);
+  std::string cls;
+  auto flush = [&] {
+    if (!cls.empty()) out.allows[line].insert(cls);
+    cls.clear();
+  };
+  for (const char c : inner) {
+    if (c == ',') {
+      flush();
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      cls.push_back(c);
+    }
+  }
+  flush();
+}
+
+SourceFile lex(const std::string& rel, const std::string& text) {
+  SourceFile out;
+  out.rel = rel;
+  const std::size_t n = text.size();
+  std::size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;  // only whitespace seen since the newline
+
+  auto newline = [&] { ++line; at_line_start = true; };
+
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      newline();
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+
+    // Preprocessor directive: consume the whole logical line (including
+    // backslash continuations).  This hides macro *definitions* from
+    // every check — RG_SPAN's own body must not register as a call site.
+    if (c == '#' && at_line_start) {
+      while (i < n) {
+        if (text[i] == '\\' && i + 1 < n && text[i + 1] == '\n') {
+          newline();
+          i += 2;
+          continue;
+        }
+        if (text[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+    at_line_start = false;
+
+    // Comments (and their allow annotations).
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      const std::size_t eol = text.find('\n', i);
+      const std::string body =
+          text.substr(i, (eol == std::string::npos ? n : eol) - i);
+      harvest_allow(body, line, out);
+      i = (eol == std::string::npos) ? n : eol;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) {
+        if (text[i] == '\n') newline();
+        ++i;
+      }
+      i = (i + 1 < n) ? i + 2 : n;
+      continue;
+    }
+
+    // Raw strings: R"tag( ... )tag".
+    if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+      std::size_t p = i + 2;
+      std::string tag;
+      while (p < n && text[p] != '(') tag.push_back(text[p++]);
+      const std::string close = ")" + tag + "\"";
+      const std::size_t endpos = text.find(close, p);
+      const std::size_t stop = (endpos == std::string::npos) ? n : endpos + close.size();
+      const int start_line = line;
+      std::string value = text.substr(p + 1, (endpos == std::string::npos ? n : endpos) - p - 1);
+      for (std::size_t q = i; q < stop; ++q) {
+        if (text[q] == '\n') newline();
+      }
+      out.toks.push_back({Tok::kString, value, start_line});
+      i = stop;
+      continue;
+    }
+
+    // Ordinary string / char literals.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::string value;
+      ++i;
+      while (i < n && text[i] != quote) {
+        if (text[i] == '\\' && i + 1 < n) {
+          value.push_back(text[i]);
+          value.push_back(text[i + 1]);
+          i += 2;
+          continue;
+        }
+        if (text[i] == '\n') newline();  // unterminated; be forgiving
+        value.push_back(text[i]);
+        ++i;
+      }
+      if (i < n) ++i;  // closing quote
+      out.toks.push_back({quote == '"' ? Tok::kString : Tok::kNumber, value, line});
+      continue;
+    }
+
+    if (ident_start(c)) {
+      std::string word;
+      while (i < n && ident_char(text[i])) word.push_back(text[i++]);
+      out.toks.push_back({Tok::kIdent, word, line});
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      std::string num;
+      while (i < n &&
+             (ident_char(text[i]) || text[i] == '.' || text[i] == '\'' ||
+              ((text[i] == '+' || text[i] == '-') && !num.empty() &&
+               (num.back() == 'e' || num.back() == 'E' || num.back() == 'p' ||
+                num.back() == 'P')))) {
+        if (text[i] == '\'') {
+          ++i;  // digit separator
+          continue;
+        }
+        num.push_back(text[i++]);
+      }
+      out.toks.push_back({Tok::kNumber, num, line});
+      continue;
+    }
+
+    // Punctuation.  Only `::` needs to stay fused (namespace-qualification
+    // checks); everything else is fine as single characters.
+    if (c == ':' && i + 1 < n && text[i + 1] == ':') {
+      out.toks.push_back({Tok::kPunct, "::", line});
+      i += 2;
+      continue;
+    }
+    out.toks.push_back({Tok::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream helpers.
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+bool is(const Token& t, const char* text) { return t.text == text; }
+
+/// Index of the `)` matching the `(` at `open`, or kNpos.
+std::size_t match_paren(const std::vector<Token>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (is(toks[i], "(")) ++depth;
+    if (is(toks[i], ")") && --depth == 0) return i;
+  }
+  return kNpos;
+}
+
+/// Index of the `}` matching the `{` at `open`, or kNpos.
+std::size_t match_brace(const std::vector<Token>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (is(toks[i], "{")) ++depth;
+    if (is(toks[i], "}") && --depth == 0) return i;
+  }
+  return kNpos;
+}
+
+/// After a parameter list closes at `close`, scan across qualifiers,
+/// trailing return types, and constructor init lists for the body `{`.
+/// Returns its index, or kNpos when the construct ends in `;` (a
+/// declaration) or looks like an expression instead.
+std::size_t find_body_brace(const std::vector<Token>& toks, std::size_t close) {
+  int depth = 0;
+  const std::size_t limit = std::min(toks.size(), close + 512);
+  for (std::size_t i = close + 1; i < limit; ++i) {
+    const Token& t = toks[i];
+    if (is(t, "(") || is(t, "[")) ++depth;
+    if (is(t, ")") || is(t, "]")) {
+      if (depth == 0) return kNpos;  // enclosing expression, not a signature
+      --depth;
+      continue;
+    }
+    if (depth > 0) continue;
+    if (is(t, "{")) return i;
+    if (is(t, ";") || is(t, "}") || is(t, "?")) return kNpos;
+  }
+  return kNpos;
+}
+
+const std::unordered_set<std::string>& statement_keywords() {
+  static const std::unordered_set<std::string> kw = {
+      "if",       "for",      "while",   "switch",   "catch",    "return",
+      "sizeof",   "alignof",  "alignas", "decltype", "noexcept", "throw",
+      "new",      "delete",   "case",    "default",  "operator", "requires",
+      "else",     "do",       "using",   "typedef",  "template", "typename",
+      "class",    "struct",   "enum",    "union",    "namespace", "co_await",
+      "co_yield", "co_return", "static_assert", "static_cast", "const_cast",
+      "reinterpret_cast", "dynamic_cast", "assert", "defined",
+      "constexpr", "consteval", "constinit", "const", "static", "inline",
+      "mutable", "volatile", "explicit", "virtual", "friend",
+  };
+  return kw;
+}
+
+/// Identifiers that collide with ubiquitous STL member names: calling one
+/// never triggers annotation propagation (the STL call is
+/// indistinguishable from an in-tree one at token level).
+const std::unordered_set<std::string>& propagation_allowlist() {
+  static const std::unordered_set<std::string> names = {
+      "size",       "length",     "begin",     "end",       "cbegin",
+      "cend",       "rbegin",     "rend",      "data",      "empty",
+      "fill",       "at",         "reset",     "ok",        "value",
+      "error",      "value_or",   "has_value", "clear",     "swap",
+      "front",      "back",       "count",     "find",      "contains",
+      "min",        "max",        "get",       "move",      "forward",
+      "first",      "last",       "subspan",   "substr",    "to_string",
+      "load",       "store",      "exchange",  "fetch_add", "fetch_sub",
+      "time_since_epoch",
+  };
+  return names;
+}
+
+/// Banned identifier -> finding class for RG_REALTIME bodies.
+const std::unordered_map<std::string, Check>& banned_idents() {
+  static const std::unordered_map<std::string, Check> map = {
+      // alloc
+      {"malloc", Check::kAlloc},
+      {"calloc", Check::kAlloc},
+      {"realloc", Check::kAlloc},
+      {"aligned_alloc", Check::kAlloc},
+      {"free", Check::kAlloc},
+      {"strdup", Check::kAlloc},
+      {"make_unique", Check::kAlloc},
+      {"make_shared", Check::kAlloc},
+      // push_back
+      {"push_back", Check::kPushBack},
+      {"emplace_back", Check::kPushBack},
+      // io
+      {"printf", Check::kIo},
+      {"fprintf", Check::kIo},
+      {"sprintf", Check::kIo},
+      {"snprintf", Check::kIo},
+      {"vprintf", Check::kIo},
+      {"puts", Check::kIo},
+      {"fputs", Check::kIo},
+      {"putchar", Check::kIo},
+      {"fopen", Check::kIo},
+      {"fclose", Check::kIo},
+      {"fread", Check::kIo},
+      {"fwrite", Check::kIo},
+      {"fflush", Check::kIo},
+      {"scanf", Check::kIo},
+      {"cout", Check::kIo},
+      {"cerr", Check::kIo},
+      {"clog", Check::kIo},
+      {"endl", Check::kIo},
+      // lock
+      {"mutex", Check::kLock},
+      {"timed_mutex", Check::kLock},
+      {"recursive_mutex", Check::kLock},
+      {"shared_mutex", Check::kLock},
+      {"lock_guard", Check::kLock},
+      {"unique_lock", Check::kLock},
+      {"scoped_lock", Check::kLock},
+      {"shared_lock", Check::kLock},
+      {"condition_variable", Check::kLock},
+      {"lock", Check::kLock},
+      {"unlock", Check::kLock},
+      {"try_lock", Check::kLock},
+      // block
+      {"sleep", Check::kBlock},
+      {"usleep", Check::kBlock},
+      {"nanosleep", Check::kBlock},
+      {"sleep_for", Check::kBlock},
+      {"sleep_until", Check::kBlock},
+      {"wait", Check::kBlock},
+      {"wait_for", Check::kBlock},
+      {"wait_until", Check::kBlock},
+      {"recv", Check::kBlock},
+      {"recvfrom", Check::kBlock},
+      {"send", Check::kBlock},
+      {"sendto", Check::kBlock},
+      {"accept", Check::kBlock},
+      {"connect", Check::kBlock},
+      {"select", Check::kBlock},
+      {"poll", Check::kBlock},
+      {"epoll_wait", Check::kBlock},
+      {"futex", Check::kBlock},
+  };
+  return map;
+}
+
+// ---------------------------------------------------------------------------
+// Scan state shared across checks.
+// ---------------------------------------------------------------------------
+
+struct RealtimeFn {
+  std::size_t file = 0;   // index into files
+  std::string name;
+  int line = 0;
+  std::size_t body_begin = 0;  // first token inside the braces
+  std::size_t body_end = 0;    // index of the closing brace
+};
+
+struct MetricSite {
+  std::string name;  // exact name, or "prefix.*" for dynamic registrations
+  std::size_t file = 0;
+  int line = 0;
+};
+
+struct Scan {
+  std::vector<SourceFile> files;
+  std::set<std::string> annotated;  // RG_REALTIME names (decls + defs)
+  std::set<std::string> defined;    // names with an in-tree (src/) definition
+  std::vector<RealtimeFn> realtime_fns;
+  std::vector<MetricSite> metric_sites;
+};
+
+bool allowed(const SourceFile& f, int line, const char* cls) {
+  for (const int l : {line, line - 1}) {
+    const auto it = f.allows.find(l);
+    if (it != f.allows.end() && it->second.count(cls) != 0) return true;
+  }
+  return false;
+}
+
+void add_finding(std::vector<Finding>& out, const SourceFile& f, int line,
+                 Check check, std::string message) {
+  if (allowed(f, line, to_string(check))) return;
+  out.push_back({f.rel, line, check, std::move(message)});
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1: definitions, annotations, metric sites.
+// ---------------------------------------------------------------------------
+
+/// From an RG_REALTIME token, locate the annotated function's name (the
+/// identifier directly before its parameter-list `(`), skipping over
+/// return types and `__attribute__((...))` groups.
+struct Signature {
+  std::string name;
+  std::size_t paren = kNpos;  // index of the parameter-list `(`
+};
+
+Signature annotated_signature(const std::vector<Token>& toks, std::size_t rt) {
+  const std::size_t limit = std::min(toks.size(), rt + 64);
+  for (std::size_t i = rt + 1; i < limit; ++i) {
+    if (is(toks[i], "__attribute__") && i + 1 < toks.size() && is(toks[i + 1], "(")) {
+      const std::size_t close = match_paren(toks, i + 1);
+      if (close == kNpos) return {};
+      i = close;  // loop increment steps past it
+      continue;
+    }
+    if (is(toks[i], ";") || is(toks[i], "{")) return {};
+    if (is(toks[i], "(")) {
+      if (i == rt + 1) return {};
+      const Token& name = toks[i - 1];
+      if (name.kind != Tok::kIdent || name.text == "operator" ||
+          statement_keywords().count(name.text) != 0) {
+        return {};
+      }
+      return {name.text, i};
+    }
+  }
+  return {};
+}
+
+void scan_file(std::size_t file_index, Scan& scan) {
+  SourceFile& f = scan.files[file_index];
+  const std::vector<Token>& toks = f.toks;
+  const bool in_src = f.rel.rfind("src/", 0) == 0;
+  const bool metric_scope = in_src || f.rel.rfind("tools/", 0) == 0;
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Tok::kIdent) continue;
+
+    // RG_REALTIME annotations (declarations and definitions).
+    if (t.text == "RG_REALTIME") {
+      const Signature sig = annotated_signature(toks, i);
+      if (sig.paren == kNpos) continue;
+      scan.annotated.insert(sig.name);
+      const std::size_t close = match_paren(toks, sig.paren);
+      if (close == kNpos) continue;
+      const std::size_t body = find_body_brace(toks, close);
+      if (body == kNpos) continue;  // declaration
+      const std::size_t end = match_brace(toks, body);
+      if (end == kNpos) continue;
+      scan.realtime_fns.push_back(
+          {file_index, sig.name, toks[sig.paren - 1].line, body + 1, end});
+      continue;
+    }
+
+    // Metric registration sites.
+    if (metric_scope && i + 2 < toks.size() && is(toks[i + 1], "(")) {
+      if (t.text == "RG_SPAN" && toks[i + 2].kind == Tok::kString) {
+        scan.metric_sites.push_back(
+            {"rg.span." + toks[i + 2].text, file_index, toks[i + 2].line});
+      } else if (t.text == "RG_COUNT" && toks[i + 2].kind == Tok::kString &&
+                 i + 3 < toks.size() &&
+                 (is(toks[i + 3], ",") || is(toks[i + 3], ")"))) {
+        scan.metric_sites.push_back({toks[i + 2].text, file_index, toks[i + 2].line});
+      } else if ((t.text == "counter" || t.text == "histogram" || t.text == "gauge") &&
+                 i > 0 && (is(toks[i - 1], ".") || (is(toks[i - 1], ">") /*->*/)) &&
+                 toks[i + 2].kind == Tok::kString && i + 3 < toks.size()) {
+        if (is(toks[i + 3], ")") || is(toks[i + 3], ",")) {
+          scan.metric_sites.push_back({toks[i + 2].text, file_index, toks[i + 2].line});
+        } else if (is(toks[i + 3], "+")) {
+          // Dynamic registration: "prefix." + <expr> registers the
+          // wildcard family "prefix.*".
+          scan.metric_sites.push_back(
+              {toks[i + 2].text + "*", file_index, toks[i + 2].line});
+        }
+      }
+    }
+
+    // In-tree function definitions (src/ only): `name ( params ) ... {`.
+    if (in_src && i + 1 < toks.size() && is(toks[i + 1], "(") &&
+        statement_keywords().count(t.text) == 0 &&
+        (i == 0 || !is(toks[i - 1], "."))) {
+      const std::size_t close = match_paren(toks, i + 1);
+      if (close != kNpos && find_body_brace(toks, close) != kNpos) {
+        scan.defined.insert(t.text);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: RG_REALTIME body discipline.
+// ---------------------------------------------------------------------------
+
+bool std_qualified(const std::vector<Token>& toks, std::size_t i) {
+  if (i < 2 || !is(toks[i - 1], "::")) return false;
+  const std::string& ns = toks[i - 2].text;
+  return ns == "std" || ns == "chrono" || ns == "this_thread" ||
+         ns == "memory_order" || ns == "numbers" || ns == "ranges";
+}
+
+void check_realtime_body(const Scan& scan, const RealtimeFn& fn,
+                         std::vector<Finding>& out) {
+  const SourceFile& f = scan.files[fn.file];
+  const std::vector<Token>& toks = f.toks;
+  for (std::size_t i = fn.body_begin; i < fn.body_end; ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Tok::kIdent) continue;
+
+    if (t.text == "throw") {
+      add_finding(out, f, t.line, Check::kThrow,
+                  "throw in RG_REALTIME function '" + fn.name + "'");
+      continue;
+    }
+    if (t.text == "new" || t.text == "delete") {
+      add_finding(out, f, t.line, Check::kAlloc,
+                  "operator " + t.text + " in RG_REALTIME function '" + fn.name + "'");
+      continue;
+    }
+    if (t.text == "co_await") {
+      add_finding(out, f, t.line, Check::kBlock,
+                  "co_await in RG_REALTIME function '" + fn.name + "'");
+      continue;
+    }
+
+    const auto banned = banned_idents().find(t.text);
+    if (banned != banned_idents().end()) {
+      add_finding(out, f, t.line, banned->second,
+                  "'" + t.text + "' in RG_REALTIME function '" + fn.name + "'");
+      continue;
+    }
+
+    // Annotation propagation: calling an in-tree function that is not
+    // itself RG_REALTIME.
+    if (i + 1 < toks.size() && is(toks[i + 1], "(")) {
+      const char first = t.text[0];
+      if (std::isupper(static_cast<unsigned char>(first)) != 0 || first == '_') continue;
+      if (statement_keywords().count(t.text) != 0) continue;
+      if (propagation_allowlist().count(t.text) != 0) continue;
+      if (std_qualified(toks, i)) continue;
+      if (scan.defined.count(t.text) != 0 && scan.annotated.count(t.text) == 0) {
+        add_finding(out, f, t.line, Check::kCall,
+                    "RG_REALTIME function '" + fn.name + "' calls unannotated in-tree function '" +
+                        t.text + "'");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cast gating.
+// ---------------------------------------------------------------------------
+
+void check_casts(const SourceFile& f, std::vector<Finding>& out) {
+  for (const Token& t : f.toks) {
+    if (t.kind != Tok::kIdent) continue;
+    if (t.text == "reinterpret_cast" || t.text == "const_cast") {
+      add_finding(out, f, t.line, Check::kCast,
+                  t.text + " requires an explicit '// rg-lint: allow(cast)' annotation");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ErrorCode exhaustiveness.
+// ---------------------------------------------------------------------------
+
+void check_errorcode(const Scan& scan, const std::string& header_rel,
+                     std::vector<Finding>& out) {
+  const SourceFile* f = nullptr;
+  for (const SourceFile& file : scan.files) {
+    if (file.rel == header_rel) {
+      f = &file;
+      break;
+    }
+  }
+  if (f == nullptr) return;  // header not in this tree (fixture roots)
+  const std::vector<Token>& toks = f->toks;
+
+  // Enumerators and their wire values.
+  struct Enumerator {
+    std::string name;
+    long value;
+    int line;
+  };
+  std::vector<Enumerator> enumerators;
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!is(toks[i], "enum")) continue;
+    std::size_t j = i + 1;
+    if (j < toks.size() && (is(toks[j], "class") || is(toks[j], "struct"))) ++j;
+    if (j >= toks.size() || toks[j].text != "ErrorCode") continue;
+    while (j < toks.size() && !is(toks[j], "{")) ++j;
+    const std::size_t close = match_brace(toks, j);
+    if (close == kNpos) break;
+    long next_implicit = 0;
+    for (std::size_t k = j + 1; k < close; ++k) {
+      if (toks[k].kind != Tok::kIdent) continue;
+      Enumerator e{toks[k].text, next_implicit, toks[k].line};
+      if (k + 2 < close && is(toks[k + 1], "=") && toks[k + 2].kind == Tok::kNumber) {
+        e.value = std::strtol(toks[k + 2].text.c_str(), nullptr, 0);
+        k += 2;
+      }
+      next_implicit = e.value + 1;
+      enumerators.push_back(e);
+      while (k < close && !is(toks[k], ",")) ++k;
+    }
+    break;
+  }
+  if (enumerators.empty()) return;
+
+  // to_string(ErrorCode) switch coverage.
+  std::set<std::string> covered;
+  bool found_to_string = false;
+  int to_string_line = 0;
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (toks[i].text != "to_string" || !is(toks[i + 1], "(") ||
+        toks[i + 2].text != "ErrorCode") {
+      continue;
+    }
+    const std::size_t close = match_paren(toks, i + 1);
+    if (close == kNpos) continue;
+    const std::size_t body = find_body_brace(toks, close);
+    if (body == kNpos) continue;
+    const std::size_t end = match_brace(toks, body);
+    if (end == kNpos) continue;
+    found_to_string = true;
+    to_string_line = toks[i].line;
+    for (std::size_t k = body; k < end; ++k) {
+      if (is(toks[k], "case") && k + 3 < end && toks[k + 1].text == "ErrorCode" &&
+          is(toks[k + 2], "::")) {
+        covered.insert(toks[k + 3].text);
+      }
+    }
+    break;
+  }
+
+  if (!found_to_string) {
+    add_finding(out, *f, enumerators.front().line, Check::kErrorCode,
+                "no to_string(ErrorCode) overload found");
+    return;
+  }
+
+  std::map<long, std::string> by_value;
+  for (const auto& e : enumerators) {
+    if (covered.count(e.name) == 0) {
+      add_finding(out, *f, e.line, Check::kErrorCode,
+                  "ErrorCode::" + e.name + " has no to_string case (to_string at line " +
+                      std::to_string(to_string_line) + ")");
+    }
+    const auto [it, inserted] = by_value.emplace(e.value, e.name);
+    if (!inserted) {
+      add_finding(out, *f, e.line, Check::kErrorCode,
+                  "ErrorCode::" + e.name + " reuses wire value " + std::to_string(e.value) +
+                      " (taken by " + it->second + ")");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Metric-name registry.
+// ---------------------------------------------------------------------------
+
+bool registry_relevant(const std::string& name) {
+  return name.rfind("rg.", 0) == 0;
+}
+
+void check_metrics(const Scan& scan, const Options& options,
+                   std::vector<Finding>& out) {
+  std::vector<MetricSite> sites;
+  for (const MetricSite& s : scan.metric_sites) {
+    if (registry_relevant(s.name)) sites.push_back(s);
+  }
+  if (sites.empty()) return;
+
+  const fs::path registry_path = fs::path(options.root) / options.registry_path;
+  std::ifstream reg_in(registry_path);
+  if (!reg_in) {
+    const SourceFile& f = scan.files[sites.front().file];
+    add_finding(out, f, sites.front().line, Check::kMetric,
+                "metric registry " + options.registry_path +
+                    " is missing; run rg_lint --write-metric-registry");
+    return;
+  }
+  std::stringstream reg_buf;
+  reg_buf << reg_in.rdbuf();
+  const SourceFile reg = lex(options.registry_path, reg_buf.str());
+  std::map<std::string, int> registry;  // name -> line
+  for (const Token& t : reg.toks) {
+    if (t.kind == Tok::kString && registry_relevant(t.text)) {
+      registry.emplace(t.text, t.line);
+    }
+  }
+
+  std::set<std::string> discovered;
+  for (const MetricSite& s : sites) {
+    discovered.insert(s.name);
+    if (registry.count(s.name) != 0) continue;
+    const SourceFile& f = scan.files[s.file];
+    add_finding(out, f, s.line, Check::kMetric,
+                "metric '" + s.name + "' is not in " + options.registry_path +
+                    "; run rg_lint --write-metric-registry");
+  }
+
+  std::string docs_text;
+  for (const std::string& doc : options.docs) {
+    std::ifstream in(fs::path(options.root) / doc);
+    if (!in) continue;
+    std::stringstream buf;
+    buf << in.rdbuf();
+    docs_text += buf.str();
+  }
+
+  for (const auto& [name, line] : registry) {
+    if (discovered.count(name) == 0) {
+      add_finding(out, reg, line, Check::kMetric,
+                  "stale registry entry '" + name +
+                      "' (no call site registers it); run rg_lint --write-metric-registry");
+      continue;
+    }
+    std::string needle = name;
+    if (!needle.empty() && needle.back() == '*') needle.pop_back();
+    if (!docs_text.empty() && docs_text.find(needle) == std::string::npos) {
+      add_finding(out, reg, line, Check::kMetric,
+                  "metric '" + name + "' is not documented in any of the observability docs");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// File discovery.
+// ---------------------------------------------------------------------------
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp";
+}
+
+bool excluded(const std::string& rel) {
+  return rel.find("lint_fixtures") != std::string::npos ||
+         rel.rfind("build", 0) == 0;
+}
+
+std::vector<std::string> discover_files(const Options& options) {
+  const fs::path root(options.root);
+  if (!fs::is_directory(root)) {
+    throw std::runtime_error("rg_lint: not a directory: " + options.root);
+  }
+  std::set<std::string> rels;
+  std::vector<fs::path> scan_roots;
+  for (const char* sub : {"src", "tests", "tools", "bench", "examples"}) {
+    if (fs::is_directory(root / sub)) scan_roots.push_back(root / sub);
+  }
+  if (scan_roots.empty()) scan_roots.push_back(root);
+  for (const fs::path& dir : scan_roots) {
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file() || !lintable(entry.path())) continue;
+      const std::string rel = fs::relative(entry.path(), root).generic_string();
+      if (!excluded(rel)) rels.insert(rel);
+    }
+  }
+
+  // compile_commands.json supplements the walk (translation units that
+  // live outside the conventional directories).
+  if (!options.compile_commands.empty()) {
+    std::ifstream in(options.compile_commands);
+    if (in) {
+      std::stringstream buf;
+      buf << in.rdbuf();
+      const std::string json = buf.str();
+      const std::string key = "\"file\":";
+      for (std::size_t pos = json.find(key); pos != std::string::npos;
+           pos = json.find(key, pos + key.size())) {
+        const std::size_t open = json.find('"', pos + key.size());
+        if (open == std::string::npos) break;
+        const std::size_t close = json.find('"', open + 1);
+        if (close == std::string::npos) break;
+        const fs::path file = json.substr(open + 1, close - open - 1);
+        std::error_code ec;
+        const fs::path rel_path = fs::relative(file, root, ec);
+        if (ec || rel_path.empty()) continue;
+        const std::string rel = rel_path.generic_string();
+        if (rel.rfind("..", 0) == 0 || excluded(rel) || !lintable(file)) continue;
+        if (fs::is_regular_file(file)) rels.insert(rel);
+      }
+    }
+  }
+  return {rels.begin(), rels.end()};
+}
+
+}  // namespace
+
+const char* to_string(Check check) noexcept {
+  switch (check) {
+    case Check::kAlloc: return "alloc";
+    case Check::kLock: return "lock";
+    case Check::kIo: return "io";
+    case Check::kThrow: return "throw";
+    case Check::kBlock: return "block";
+    case Check::kPushBack: return "push_back";
+    case Check::kCall: return "call";
+    case Check::kCast: return "cast";
+    case Check::kMetric: return "metric";
+    case Check::kErrorCode: return "errorcode";
+  }
+  return "unknown";
+}
+
+Report run(const Options& options) {
+  Scan scan;
+  for (const std::string& rel : discover_files(options)) {
+    std::ifstream in(fs::path(options.root) / rel);
+    if (!in) continue;
+    std::stringstream buf;
+    buf << in.rdbuf();
+    scan.files.push_back(lex(rel, buf.str()));
+  }
+  for (std::size_t i = 0; i < scan.files.size(); ++i) scan_file(i, scan);
+
+  Report report;
+  report.files_scanned = scan.files.size();
+  report.realtime_functions = scan.realtime_fns.size();
+
+  for (const RealtimeFn& fn : scan.realtime_fns) {
+    check_realtime_body(scan, fn, report.findings);
+  }
+  for (const SourceFile& f : scan.files) check_casts(f, report.findings);
+  check_errorcode(scan, options.errorcode_header, report.findings);
+  check_metrics(scan, options, report.findings);
+
+  std::set<std::string> names;
+  for (const MetricSite& s : scan.metric_sites) {
+    if (registry_relevant(s.name)) names.insert(s.name);
+  }
+  report.metric_names.assign(names.begin(), names.end());
+
+  std::sort(report.findings.begin(), report.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.message) <
+                     std::tie(b.file, b.line, b.message);
+            });
+  return report;
+}
+
+std::string render_metric_registry(std::vector<std::string> names) {
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  std::string out;
+  out +=
+      "// GENERATED by `rg_lint --write-metric-registry` -- do not edit by hand.\n"
+      "//\n"
+      "// The canonical list of metric families the tree registers (exact\n"
+      "// names, plus `prefix.*` wildcards for dynamically-composed names).\n"
+      "// tools/rg_lint checks every \"rg.*\" literal registered in src/ and\n"
+      "// tools/ against this list and against docs/observability.md /\n"
+      "// docs/gateway.md, and flags stale entries, so the header, the code,\n"
+      "// and the docs cannot drift apart silently.\n"
+      "#pragma once\n"
+      "\n"
+      "namespace rg::obs {\n"
+      "\n"
+      "inline constexpr const char* kMetricNames[] = {\n";
+  for (const std::string& name : names) {
+    out += "    \"" + name + "\",\n";
+  }
+  out +=
+      "};\n"
+      "\n"
+      "}  // namespace rg::obs\n";
+  return out;
+}
+
+}  // namespace rg::lint

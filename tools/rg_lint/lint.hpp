@@ -1,0 +1,93 @@
+// rg_lint: the repo's real-time-discipline static analyzer.
+//
+// A deliberately small, dependency-free checker (no libclang): it lexes
+// the tree with a token-level C++ scanner and enforces four contracts
+// that the compiler cannot express:
+//
+//   1. Real-time discipline — every function annotated RG_REALTIME (see
+//      src/common/realtime.hpp) must be free of allocation, locking,
+//      stream/printf I/O, throws, blocking calls, and unreserved
+//      push_back; and every in-tree function it calls must itself be
+//      annotated (name-based propagation).
+//   2. Metric-name registry — every "rg.*" metric literal registered in
+//      src/ or tools/ must appear in the generated registry header
+//      (src/obs/metric_names.hpp) and in the observability docs; stale
+//      registry entries are findings too.
+//   3. ErrorCode exhaustiveness — every enumerator of rg::ErrorCode has
+//      a distinct wire value and a to_string case.
+//   4. Cast gating — reinterpret_cast / const_cast anywhere in the tree
+//      requires an explicit `// rg-lint: allow(cast)` annotation.
+//
+// Deliberate exceptions use `// rg-lint: allow(<class>[, <class>...])
+// [-- reason]` on the offending line or the line directly above.  The
+// full contract, the analyzer's known blind spots (macros, operators,
+// constructors), and the registry workflow live in
+// docs/static-analysis.md.
+//
+// Built as a library so tests/test_lint.cpp can drive it in-process
+// against both the real tree and the seeded fixtures.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rg::lint {
+
+/// Finding classes.  The string form (to_string) doubles as the
+/// allow-annotation class name.
+enum class Check {
+  kAlloc,      ///< new/malloc/make_unique/... in an RG_REALTIME body
+  kLock,       ///< mutex/lock_guard/lock()/... in an RG_REALTIME body
+  kIo,         ///< printf/iostream/file I/O in an RG_REALTIME body
+  kThrow,      ///< throw in an RG_REALTIME body
+  kBlock,      ///< sleep/wait/recv/... in an RG_REALTIME body
+  kPushBack,   ///< push_back/emplace_back in an RG_REALTIME body
+  kCall,       ///< RG_REALTIME body calls an unannotated in-tree function
+  kCast,       ///< reinterpret_cast/const_cast without allow(cast)
+  kMetric,     ///< metric literal unregistered / stale / undocumented
+  kErrorCode,  ///< ErrorCode enumerator without to_string case / dup value
+};
+
+/// Allow-annotation / report name for a check class ("alloc", "cast", ...).
+[[nodiscard]] const char* to_string(Check check) noexcept;
+
+struct Finding {
+  std::string file;  ///< path relative to the scanned root
+  int line = 0;
+  Check check = Check::kAlloc;
+  std::string message;
+};
+
+struct Options {
+  /// Tree root.  Scans src/, tests/, tools/, bench/, examples/ beneath
+  /// it (those that exist; falls back to the root itself otherwise).
+  std::string root;
+  /// Optional compile_commands.json; "file" entries under the root are
+  /// merged into the scan set (headers still come from the walk).
+  std::string compile_commands;
+  /// Registry header path, relative to root.
+  std::string registry_path = "src/obs/metric_names.hpp";
+  /// Docs that must mention every registered metric, relative to root
+  /// (missing files are skipped).
+  std::vector<std::string> docs = {"docs/observability.md", "docs/gateway.md"};
+  /// ErrorCode header, relative to root (check skipped when absent).
+  std::string errorcode_header = "src/common/error.hpp";
+};
+
+struct Report {
+  std::vector<Finding> findings;
+  std::size_t files_scanned = 0;
+  std::size_t realtime_functions = 0;  ///< RG_REALTIME definitions analyzed
+  std::vector<std::string> metric_names;  ///< discovered, deduped, sorted
+};
+
+/// Run every check over the tree.  Throws std::runtime_error only for
+/// environmental failures (unreadable root); findings never throw.
+[[nodiscard]] Report run(const Options& options);
+
+/// Render the metric registry header for the given (discovered) names.
+/// Deterministic: names are deduped and sorted.
+[[nodiscard]] std::string render_metric_registry(std::vector<std::string> names);
+
+}  // namespace rg::lint

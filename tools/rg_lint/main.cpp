@@ -1,0 +1,108 @@
+// rg_lint CLI.  Exit codes: 0 clean, 1 findings, 2 usage/environment.
+//
+//   rg_lint [--root DIR] [--compile-commands FILE]
+//           [--write-metric-registry] [--list-metrics] [--quiet]
+//
+// scripts/tier1.sh stage 6 runs `rg_lint --root .` from the repo root;
+// `--write-metric-registry` regenerates src/obs/metric_names.hpp after
+// adding or removing a metric (the diff is committed).
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "lint.hpp"
+
+namespace {
+
+int usage(std::ostream& os, int code) {
+  os << "usage: rg_lint [--root DIR] [--compile-commands FILE]\n"
+        "               [--write-metric-registry] [--list-metrics] [--quiet]\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rg::lint::Options options;
+  options.root = ".";
+  bool write_registry = false;
+  bool list_metrics = false;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "rg_lint: " << arg << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      options.root = v;
+    } else if (arg == "--compile-commands") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      options.compile_commands = v;
+    } else if (arg == "--write-metric-registry") {
+      write_registry = true;
+    } else if (arg == "--list-metrics") {
+      list_metrics = true;
+    } else if (arg == "--quiet" || arg == "-q") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(std::cout, 0);
+    } else {
+      std::cerr << "rg_lint: unknown argument: " << arg << "\n";
+      return usage(std::cerr, 2);
+    }
+  }
+  if (options.compile_commands.empty()) {
+    // Default: the conventional build directory, when it exists.
+    const std::string candidate = options.root + "/build/compile_commands.json";
+    if (std::ifstream(candidate).good()) options.compile_commands = candidate;
+  }
+
+  rg::lint::Report report;
+  try {
+    report = rg::lint::run(options);
+  } catch (const std::exception& e) {
+    std::cerr << "rg_lint: " << e.what() << "\n";
+    return 2;
+  }
+
+  if (write_registry) {
+    const std::string path = options.root + "/" + options.registry_path;
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "rg_lint: cannot write " << path << "\n";
+      return 2;
+    }
+    out << rg::lint::render_metric_registry(report.metric_names);
+    if (!quiet) {
+      std::cout << "rg_lint: wrote " << report.metric_names.size()
+                << " metric names to " << path << "\n";
+    }
+    return 0;
+  }
+  if (list_metrics) {
+    for (const std::string& name : report.metric_names) std::cout << name << "\n";
+    return 0;
+  }
+
+  for (const rg::lint::Finding& f : report.findings) {
+    std::cout << f.file << ":" << f.line << ": [" << rg::lint::to_string(f.check)
+              << "] " << f.message << "\n";
+  }
+  if (!quiet) {
+    std::cerr << "rg_lint: " << report.files_scanned << " files, "
+              << report.realtime_functions << " RG_REALTIME functions, "
+              << report.metric_names.size() << " metric families, "
+              << report.findings.size() << " finding(s)\n";
+  }
+  return report.findings.empty() ? 0 : 1;
+}
