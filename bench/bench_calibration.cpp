@@ -1,0 +1,183 @@
+// bench_calibration: streaming threshold calibration on the 1 kHz path.
+//
+// Two acceptance criteria from docs/thresholds.md, both machine-checked
+// here and re-validated by scripts/tier1.sh against the emitted
+// BENCH_calibration.json (schema "rg.bench.calibration/1"):
+//
+//   1. Budget — ThresholdSketch::observe (nine QuantileSketch::add calls,
+//      the per-tick cost a calibrating gateway session pays) must fit the
+//      1 kHz tick budget with two orders of magnitude to spare.  We
+//      measure per-call cost in chunks across both sketch phases (exact
+//      buffer, then the P² estimator after the one-off collapse) and
+//      gate on p99 <= kObserveBudgetNs (20 µs — conservative: the
+//      measured cost is tens of nanoseconds, the tick budget is 1 ms).
+//   2. Agreement — streaming extraction must match the batch
+//      ThresholdLearner bit-for-bit on the paper's 600-run corpus
+//      (ε = 0 in the exact phase) and stay within
+//      QuantileSketch::kEstimatorEpsilon of the true quantile once the
+//      estimator phase takes over.
+//
+// Exit status is nonzero when either criterion fails, so the bench
+// doubles as a regression gate.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <random>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/quantile_sketch.hpp"
+#include "core/thresholds.hpp"
+#include "math/stats.hpp"
+#include "obs/histogram.hpp"
+
+namespace rg {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr double kObserveBudgetNs = 20000.0;  // p99 gate; tick budget is 1e6
+constexpr std::size_t kChunk = 256;           // observes per timing sample
+
+Prediction synthetic_prediction(std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> vel(0.0, 3.0);
+  std::uniform_real_distribution<double> acc(0.0, 900.0);
+  std::uniform_real_distribution<double> jvel(0.0, 0.3);
+  Prediction p;
+  p.valid = true;
+  p.motor_instant_vel = Vec3{vel(rng), vel(rng), vel(rng)};
+  p.motor_instant_acc = Vec3{acc(rng), acc(rng), acc(rng)};
+  p.joint_instant_vel = Vec3{jvel(rng), jvel(rng), jvel(rng)};
+  return p;
+}
+
+/// Per-observe cost (ns) over `total` predictions, timed in chunks of
+/// kChunk to keep clock overhead out of the per-call figure.
+obs::HistogramData measure_observe_ns(ThresholdSketch& sketch, std::size_t total) {
+  std::mt19937_64 rng(101);
+  std::vector<Prediction> batch(kChunk);
+  obs::HistogramData hist;
+  for (std::size_t done = 0; done < total; done += kChunk) {
+    for (Prediction& p : batch) p = synthetic_prediction(rng);
+    const auto t0 = Clock::now();
+    for (const Prediction& p : batch) sketch.observe(p);
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0).count();
+    hist.observe(static_cast<std::uint64_t>(elapsed) / kChunk);
+  }
+  return hist;
+}
+
+struct Agreement {
+  double exact_max_abs_diff = 0.0;  // streaming vs batch, 600-run corpus
+  double estimator_rel_error = 0.0;  // P² phase vs true quantile
+};
+
+Agreement measure_agreement() {
+  Agreement out;
+
+  // Exact phase: the paper's corpus, both paths fed identical maxima.
+  std::mt19937_64 rng(202);
+  std::uniform_real_distribution<double> dist(0.5, 4.0);
+  ThresholdLearner learner;
+  ThresholdSketch sketch;
+  for (int run = 0; run < 600; ++run) {
+    Prediction p;
+    p.valid = true;
+    const double s = dist(rng);
+    p.motor_instant_vel = Vec3{1.0 * s, 2.0 * s, 3.0 * s};
+    p.motor_instant_acc = Vec3{10.0 * s, 20.0 * s, 30.0 * s};
+    p.joint_instant_vel = Vec3{0.1 * s, 0.2 * s, 0.3 * s};
+    learner.observe(p);
+    learner.end_run();
+    sketch.commit_maxima(p.motor_instant_vel, p.motor_instant_acc, p.joint_instant_vel);
+  }
+  const DetectionThresholds batch = learner.learn().value();
+  const DetectionThresholds stream = sketch.extract().value();
+  for (std::size_t i = 0; i < 3; ++i) {
+    out.exact_max_abs_diff = std::max(
+        {out.exact_max_abs_diff, std::abs(stream.motor_vel[i] - batch.motor_vel[i]),
+         std::abs(stream.motor_acc[i] - batch.motor_acc[i]),
+         std::abs(stream.joint_vel[i] - batch.joint_vel[i])});
+  }
+
+  // Estimator phase: 100k uniform samples, relative error at the target.
+  std::vector<double> xs(100000);
+  std::uniform_real_distribution<double> wide(0.0, 10.0);
+  for (double& x : xs) x = wide(rng);
+  QuantileSketch big;
+  for (double x : xs) big.add(x);
+  const double truth = percentile(xs, 100.0 * big.target_quantile());
+  const double est = big.quantile(big.target_quantile()).value();
+  out.estimator_rel_error = std::abs(est - truth) / truth;
+  return out;
+}
+
+void write_json(const std::string& path, const obs::HistogramData& exact_ns,
+                const obs::HistogramData& estimator_ns, const Agreement& agreement,
+                bool pass) {
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  os.precision(17);
+  const auto section = [&os](const char* name, const obs::HistogramData& h) {
+    os << "  \"" << name << "\": {\"samples\": " << h.count << ", \"p50\": " << h.percentile(50.0)
+       << ", \"p90\": " << h.percentile(90.0) << ", \"p99\": " << h.percentile(99.0)
+       << ", \"max\": " << h.max << "},\n";
+  };
+  os << "{\n  \"schema\": \"rg.bench.calibration/1\",\n";
+  section("observe_exact_ns", exact_ns);
+  section("observe_estimator_ns", estimator_ns);
+  os << "  \"observe_budget_ns\": " << kObserveBudgetNs << ",\n";
+  os << "  \"tick_budget_ns\": 1000000.0,\n";
+  os << "  \"exact_max_abs_diff\": " << agreement.exact_max_abs_diff << ",\n";
+  os << "  \"estimator_rel_error\": " << agreement.estimator_rel_error << ",\n";
+  os << "  \"estimator_epsilon\": " << QuantileSketch::kEstimatorEpsilon << ",\n";
+  os << "  \"pass\": " << (pass ? "true" : "false") << "\n}\n";
+}
+
+}  // namespace
+}  // namespace rg
+
+int main() {
+  using namespace rg;
+  bench::header("streaming calibration: 1 kHz budget + batch agreement");
+
+  // Exact phase: the first 1024 committed samples per axis.
+  ThresholdSketch sketch;
+  const obs::HistogramData exact_ns =
+      measure_observe_ns(sketch, QuantileSketch::kExactCapacity - kChunk);
+  // Push the same sketch over the collapse so the second measurement is
+  // pure estimator phase (including none of the one-off sort spike).
+  const obs::HistogramData estimator_ns = measure_observe_ns(sketch, 1u << 16);
+
+  const Agreement agreement = measure_agreement();
+
+  const bool budget_ok = exact_ns.percentile(99.0) <= kObserveBudgetNs &&
+                         estimator_ns.percentile(99.0) <= kObserveBudgetNs;
+  const bool agreement_ok =
+      agreement.exact_max_abs_diff == 0.0 &&
+      agreement.estimator_rel_error <= QuantileSketch::kEstimatorEpsilon;
+  const bool pass = budget_ok && agreement_ok;
+
+  std::printf("observe (exact phase)     p50 %6.0f ns  p99 %6.0f ns  max %6llu ns\n",
+              exact_ns.percentile(50.0), exact_ns.percentile(99.0),
+              static_cast<unsigned long long>(exact_ns.max));
+  std::printf("observe (estimator phase) p50 %6.0f ns  p99 %6.0f ns  max %6llu ns\n",
+              estimator_ns.percentile(50.0), estimator_ns.percentile(99.0),
+              static_cast<unsigned long long>(estimator_ns.max));
+  std::printf("p99 budget                %.0f ns (tick budget 1000000 ns): %s\n",
+              kObserveBudgetNs, budget_ok ? "ok" : "EXCEEDED");
+  std::printf("600-run corpus agreement  max |streaming - batch| = %.17g (want 0)\n",
+              agreement.exact_max_abs_diff);
+  std::printf("estimator relative error  %.5f (epsilon %.2f): %s\n",
+              agreement.estimator_rel_error, QuantileSketch::kEstimatorEpsilon,
+              agreement_ok ? "ok" : "EXCEEDED");
+
+  const char* out = std::getenv("RG_BENCH_CALIBRATION_JSON");
+  write_json(out != nullptr ? out : "BENCH_calibration.json", exact_ns, estimator_ns,
+             agreement, pass);
+  return pass ? 0 : 1;
+}

@@ -148,14 +148,34 @@ inline std::string threshold_cache_path() {
 }
 
 /// Learn-or-load the standard thresholds (paper: 600 fault-free runs,
-/// 99.8-99.9th percentile), learning as a parallel campaign on a miss.
+/// 99.8-99.9th percentile), learning as a parallel campaign on a miss
+/// and committing the result to the shared epoch store.
 inline DetectionThresholds standard_thresholds() {
-  const ThresholdStore store(threshold_cache_path());
-  return store.load_or_learn([] {
-    LearnOptions options;
-    options.jobs = jobs();
-    return learn_thresholds(standard_session(), reps(600), options);
-  });
+  ThresholdStore store(threshold_cache_path());
+  if (const Result<ThresholdEpoch> active = store.active(); active.ok()) {
+    return active.value().thresholds;
+  }
+  LearnOptions options;
+  options.jobs = jobs();
+  const int runs = reps(600);
+  const Result<DetectionThresholds> learned =
+      learn_thresholds(standard_session(), runs, options);
+  if (!learned.ok()) {
+    std::fprintf(stderr, "bench: threshold learning failed: %s\n",
+                 learned.error().to_string().c_str());
+    std::abort();
+  }
+  ThresholdProvenance prov;
+  prov.source = "bench-cache";
+  prov.runs = static_cast<std::uint64_t>(runs);
+  prov.percentile = options.percentile;
+  prov.margin = options.margin;
+  if (const Result<std::uint64_t> committed = store.commit(learned.value(), prov);
+      !committed.ok()) {
+    std::fprintf(stderr, "bench: threshold cache write failed (continuing): %s\n",
+                 committed.error().to_string().c_str());
+  }
+  return learned.value();
 }
 
 inline void header(const char* title) {

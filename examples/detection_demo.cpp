@@ -19,7 +19,13 @@ int main() {
 
   std::printf("learning detection thresholds from 40 fault-free runs "
               "(99.85th percentile of per-run maxima)...\n");
-  const DetectionThresholds th = learn_thresholds(p, 40);
+  const Result<DetectionThresholds> learned = learn_thresholds(p, 40);
+  if (!learned.ok()) {
+    std::fprintf(stderr, "threshold learning failed: %s\n",
+                 learned.error().to_string().c_str());
+    return 1;
+  }
+  const DetectionThresholds th = learned.value();
   std::printf("  motor velocity  : %7.2f %7.2f %7.2f rad/s\n", th.motor_vel[0],
               th.motor_vel[1], th.motor_vel[2]);
   std::printf("  motor accel     : %7.0f %7.0f %7.0f rad/s^2\n", th.motor_acc[0],

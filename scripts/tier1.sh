@@ -26,7 +26,13 @@
 # static-analysis gates (docs/static-analysis.md): the rg_lint real-time
 # analyzer must report zero findings, every public header must compile
 # standalone (rg_header_checks), and the clang-format / clang-tidy
-# gates run when those tools are installed.
+# gates run when those tools are installed.  Stage 8 verifies streaming
+# calibration (docs/thresholds.md): bench_calibration's budget and
+# agreement gates (schema rg.bench.calibration/1), the epoch
+# commit/history/rollback lifecycle through the CLI, and a live
+# drift-alarm pass — raven_gateway --calibrate against a committed epoch
+# with a forced drift ratio, driven by itp_loadgen, must raise
+# rg.cal.drift_alarms and emit cal_drift events.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -174,5 +180,74 @@ cmake --build build -j "${JOBS}" --target rg_lint rg_header_checks
 echo "rg_lint: clean"
 scripts/check_format.sh
 scripts/check_tidy.sh
+
+echo "== tier-1 stage 8: streaming calibration =="
+cmake --build build -j "${JOBS}" --target bench_calibration raven_guard_cli raven_gateway itp_loadgen
+
+RG_BENCH_CALIBRATION_JSON="${TDIR}/bench_calibration.json" \
+  ./build/bench/bench_calibration >/dev/null
+python3 - "${TDIR}/bench_calibration.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["schema"] == "rg.bench.calibration/1", doc.get("schema")
+assert doc["pass"] is True
+assert doc["exact_max_abs_diff"] == 0.0, doc["exact_max_abs_diff"]
+assert doc["estimator_rel_error"] <= doc["estimator_epsilon"]
+for phase in ("observe_exact_ns", "observe_estimator_ns"):
+    assert doc[phase]["samples"] > 0
+    assert doc[phase]["p99"] <= doc["observe_budget_ns"], (phase, doc[phase])
+assert doc["observe_budget_ns"] < doc["tick_budget_ns"]
+PY
+echo "calibration bench schema OK (${TDIR}/bench_calibration.json)"
+
+# Epoch lifecycle through the CLI: two commits, history, rollback.
+EPOCHS="${TDIR}/cal_epochs.txt"
+rm -f "${EPOCHS}"
+"${CLI}" learn --runs 4 --seed 41 --out "${EPOCHS}" >/dev/null
+"${CLI}" learn --runs 4 --seed 43 --thresholds-margin 1.2 --out "${EPOCHS}" >/dev/null
+"${CLI}" thresholds --file "${EPOCHS}" --history | grep -q "epoch 1.*\[active\]"
+"${CLI}" thresholds --file "${EPOCHS}" --rollback 0 >/dev/null
+"${CLI}" thresholds --file "${EPOCHS}" | grep -q "epoch 0.*\[active\]"
+
+# Live drift alarms: serve the committed epoch with a drift ratio no real
+# session can stay under, drive real traffic, and expect latched alarms.
+./build/tools/raven_gateway --port 0 --shards 2 --duration 15 \
+  --calibrate --thresholds "${EPOCHS}" \
+  --drift-ratio 0.000001 --drift-min-samples 32 \
+  --port-file "${TDIR}/cal_gateway.port" \
+  --stats-out "${TDIR}/cal_gateway_stats.json" \
+  --events-out "${TDIR}/cal_events.jsonl" &
+GW_PID=$!
+trap 'kill "${GW_PID}" 2>/dev/null || true' EXIT
+for _ in $(seq 1 50); do
+  [ -s "${TDIR}/cal_gateway.port" ] && break
+  sleep 0.1
+done
+PORT="$(cat "${TDIR}/cal_gateway.port")"
+./build/tools/itp_loadgen --port "${PORT}" --sessions 4 --duration 1 \
+  --burst --out "${TDIR}/cal_loadgen.json" >/dev/null
+sleep 0.5
+kill -INT "${GW_PID}"
+wait "${GW_PID}"
+trap - EXIT
+python3 - "${TDIR}/cal_gateway_stats.json" "${TDIR}/cal_events.jsonl" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    stats = json.load(f)
+assert stats["schema"] == "rg.gateway.stats/1", stats.get("schema")
+assert stats["drift_checks"] > 0, stats["drift_checks"]
+assert stats["drift_alarms"] > 0, stats["drift_alarms"]
+# Latched: at most one alarm per session ever admitted.
+assert stats["drift_alarms"] <= stats["sessions_opened"]
+with open(sys.argv[2]) as f:
+    events = [json.loads(line) for line in f if line.strip()]
+drifts = [e for e in events if e.get("kind") == "cal_drift"]
+assert len(drifts) == stats["drift_alarms"], (len(drifts), stats["drift_alarms"])
+for e in drifts:
+    assert e["ratio"] > 0.000001
+    assert e["samples"] >= 32
+PY
+echo "drift-alarm end-to-end OK (${TDIR}/cal_gateway_stats.json)"
 
 echo "tier-1: all stages passed"

@@ -1,0 +1,413 @@
+#include "core/quantile_sketch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace rg {
+namespace {
+
+// FNV-1a, matching the digest idiom used by svc/session_engine.
+constexpr std::uint64_t kFnvBasis = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+std::uint64_t fnv_u64(std::uint64_t h, std::uint64_t v) noexcept {
+  for (std::size_t i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffull;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv_double(std::uint64_t h, double x) noexcept {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &x, sizeof(bits));
+  return fnv_u64(h, bits);
+}
+
+/// The batch interpolation rule from math/stats.hpp `percentile`, applied
+/// to an already-sorted range.  `p` is the quantile in [0,1]; the rank
+/// expression `p * (n-1)` is bit-identical to the batch path's
+/// `value / 100.0 * (n-1)` when callers pass p = value / 100.0 (division
+/// binds first there, so the same two operations run in the same order).
+double sorted_quantile(const double* sorted, std::size_t n, double p) noexcept {
+  if (n == 1) return sorted[0];
+  const double rank = p * static_cast<double>(n - 1);
+  auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, n - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+/// Piecewise-linear empirical CDF through (xs[i], us[i]) with us ascending
+/// in [0,1].  Below xs[0] → 0, above xs[n-1] → 1; plateaus (equal xs) are
+/// treated as steps.
+double piecewise_cdf(const double* xs, const double* us, std::size_t n, double x) noexcept {
+  if (n == 0) return 0.0;
+  if (x < xs[0]) return 0.0;
+  if (x >= xs[n - 1]) return 1.0;
+  // xs[0] <= x < xs[n-1]; find the segment [xs[k], xs[k+1]) containing x.
+  std::size_t k = 0;
+  while (k + 2 < n && x >= xs[k + 1]) ++k;
+  const double span = xs[k + 1] - xs[k];
+  if (!(span > 0.0)) return us[k + 1];
+  const double t = (x - xs[k]) / span;
+  return us[k] + t * (us[k + 1] - us[k]);
+}
+
+struct CdfView {
+  const double* xs = nullptr;
+  const double* us = nullptr;
+  std::size_t n = 0;
+  double weight = 0.0;
+};
+
+/// Invert the weighted mixture of two empirical CDFs at probability `p`
+/// by deterministic bisection over [lo, hi].  Fixed iteration count keeps
+/// the result a pure function of the inputs.
+double invert_mixture(const CdfView& a, const CdfView& b, double p, double lo,
+                      double hi) noexcept {
+  const double total = a.weight + b.weight;
+  for (int iter = 0; iter < 64; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const double f = (a.weight * piecewise_cdf(a.xs, a.us, a.n, mid) +
+                      b.weight * piecewise_cdf(b.xs, b.us, b.n, mid)) /
+                     total;
+    if (f < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+QuantileSketch::QuantileSketch(double target_quantile) : target_(target_quantile) {
+  require(target_quantile > 0.0 && target_quantile < 1.0,
+          "QuantileSketch: target quantile must be in (0,1)");
+  increment_ = {0.0, target_ / 2.0, target_, (1.0 + target_) / 2.0, 1.0};
+}
+
+RG_REALTIME void QuantileSketch::add(double x) noexcept {
+  if (!std::isfinite(x)) return;
+  if (exact_) {
+    if (count_ < kExactCapacity) {
+      samples_[static_cast<std::size_t>(count_)] = x;
+      ++count_;
+      return;
+    }
+    collapse_to_estimator();
+  }
+  add_estimator(x);
+  ++count_;
+}
+
+RG_REALTIME void QuantileSketch::collapse_to_estimator() noexcept {
+  // One-off transition: sort the fixed buffer in place and seed the five
+  // P² markers from its order statistics.  Bounded work, no allocation.
+  std::sort(samples_.begin(), samples_.end());
+  const auto n = static_cast<std::size_t>(count_);
+  const double nd = static_cast<double>(n);
+  std::array<std::size_t, 5> pos{};
+  for (std::size_t i = 0; i < 5; ++i) {
+    const double want = 1.0 + increment_[i] * (nd - 1.0);
+    auto rounded = static_cast<std::size_t>(want + 0.5);
+    pos[i] = std::min(std::max<std::size_t>(rounded, 1), n);
+  }
+  // Enforce strictly increasing integer positions (always feasible: the
+  // buffer holds kExactCapacity >= 5 samples at collapse time).
+  pos[0] = 1;
+  pos[4] = n;
+  for (std::size_t i = 1; i < 4; ++i) pos[i] = std::max(pos[i], pos[i - 1] + 1);
+  for (std::size_t i = 3; i >= 1; --i) pos[i] = std::min(pos[i], pos[i + 1] - 1);
+  for (std::size_t i = 0; i < 5; ++i) {
+    height_[i] = samples_[pos[i] - 1];
+    position_[i] = static_cast<double>(pos[i]);
+    desired_[i] = 1.0 + increment_[i] * (nd - 1.0);
+  }
+  exact_ = false;
+}
+
+RG_REALTIME void QuantileSketch::add_estimator(double x) noexcept {
+  // Classic P² update (Jain & Chlamtac 1985).
+  std::size_t k = 0;
+  if (x < height_[0]) {
+    height_[0] = x;
+    k = 0;
+  } else if (x >= height_[4]) {
+    height_[4] = x;
+    k = 3;
+  } else {
+    while (k < 3 && x >= height_[k + 1]) ++k;
+  }
+  for (std::size_t i = k + 1; i < 5; ++i) position_[i] += 1.0;
+  for (std::size_t i = 0; i < 5; ++i) desired_[i] += increment_[i];
+
+  for (std::size_t i = 1; i < 4; ++i) {
+    const double d = desired_[i] - position_[i];
+    const bool up = d >= 1.0 && position_[i + 1] - position_[i] > 1.0;
+    const bool down = d <= -1.0 && position_[i - 1] - position_[i] < -1.0;
+    if (!up && !down) continue;
+    const double s = up ? 1.0 : -1.0;
+    // Parabolic prediction; fall back to linear when it would violate
+    // marker monotonicity.
+    const double np = position_[i + 1];
+    const double nc = position_[i];
+    const double nm = position_[i - 1];
+    const double hp = height_[i] +
+                      s / (np - nm) *
+                          ((nc - nm + s) * (height_[i + 1] - height_[i]) / (np - nc) +
+                           (np - nc - s) * (height_[i] - height_[i - 1]) / (nc - nm));
+    if (height_[i - 1] < hp && hp < height_[i + 1]) {
+      height_[i] = hp;
+    } else {
+      const std::size_t j = up ? i + 1 : i - 1;
+      height_[i] = height_[i] + s * (height_[j] - height_[i]) / (position_[j] - nc);
+    }
+    position_[i] += s;
+  }
+}
+
+Result<double> QuantileSketch::quantile(double p) const {
+  if (count_ == 0) {
+    return Error(ErrorCode::kNotReady, "QuantileSketch::quantile: empty sketch");
+  }
+  if (!(p >= 0.0 && p <= 1.0)) {
+    return Error(ErrorCode::kInvalidArgument, "QuantileSketch::quantile: p outside [0,1]");
+  }
+  if (exact_) {
+    const auto n = static_cast<std::size_t>(count_);
+    std::array<double, kExactCapacity> sorted{};
+    std::copy_n(samples_.begin(), n, sorted.begin());
+    std::sort(sorted.begin(), sorted.begin() + static_cast<std::ptrdiff_t>(n));
+    return sorted_quantile(sorted.data(), n, p);
+  }
+  // Estimator phase: the centre marker tracks the target quantile; other
+  // probabilities interpolate linearly between marker empirical positions.
+  if (std::abs(p - target_) < 1e-12) return height_[2];
+  const double nd = static_cast<double>(count_);
+  if (nd <= 1.0) return height_[2];
+  std::array<double, 5> u{};
+  for (std::size_t i = 0; i < 5; ++i) u[i] = (position_[i] - 1.0) / (nd - 1.0);
+  if (p <= u[0]) return height_[0];
+  if (p >= u[4]) return height_[4];
+  std::size_t k = 0;
+  while (k < 3 && p > u[k + 1]) ++k;
+  const double span = u[k + 1] - u[k];
+  if (!(span > 0.0)) return height_[k + 1];
+  const double t = (p - u[k]) / span;
+  return height_[k] + t * (height_[k + 1] - height_[k]);
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  require(target_ == other.target_,
+          "QuantileSketch::merge: target quantiles differ — refusing to mix calibrations");
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  if (exact_ && other.exact_ && count_ + other.count_ <= kExactCapacity) {
+    // Order inside the buffer does not matter: quantile() and digest()
+    // both sort, so any partition of one sample set merges identically.
+    const auto n = static_cast<std::size_t>(count_);
+    const auto m = static_cast<std::size_t>(other.count_);
+    std::copy_n(other.samples_.begin(), m, samples_.begin() + static_cast<std::ptrdiff_t>(n));
+    count_ += other.count_;
+    return;
+  }
+
+  // General path: invert the count-weighted mixture of the two empirical
+  // CDFs at the five marker probabilities.  Deterministic (fixed-iteration
+  // bisection), so the result is a pure function of the two states.
+  const auto as_cdf = [](const QuantileSketch& s, double* xs, double* us) {
+    CdfView v;
+    v.weight = static_cast<double>(s.count_);
+    if (s.exact_) {
+      const auto n = static_cast<std::size_t>(s.count_);
+      std::copy_n(s.samples_.begin(), n, xs);
+      std::sort(xs, xs + n);
+      for (std::size_t i = 0; i < n; ++i) {
+        us[i] = n == 1 ? 1.0 : static_cast<double>(i) / static_cast<double>(n - 1);
+      }
+      v.xs = xs;
+      v.us = us;
+      v.n = n;
+      return v;
+    }
+    const double total = static_cast<double>(s.count_);
+    for (std::size_t i = 0; i < 5; ++i) {
+      xs[i] = s.height_[i];
+      us[i] = total <= 1.0 ? 1.0 : (s.position_[i] - 1.0) / (total - 1.0);
+    }
+    v.xs = xs;
+    v.us = us;
+    v.n = 5;
+    return v;
+  };
+
+  std::array<double, kExactCapacity> mine{};
+  std::array<double, kExactCapacity> theirs{};
+  std::array<double, kExactCapacity> mine_u{};
+  std::array<double, kExactCapacity> theirs_u{};
+  const CdfView a = as_cdf(*this, mine.data(), mine_u.data());
+  const CdfView b = as_cdf(other, theirs.data(), theirs_u.data());
+
+  const double lo_edge = std::min(a.xs[0], b.xs[0]);
+  const double hi_edge = std::max(a.xs[a.n - 1], b.xs[b.n - 1]);
+  const std::uint64_t total = count_ + other.count_;
+  const double nd = static_cast<double>(total);
+
+  std::array<double, 5> new_height{};
+  new_height[0] = lo_edge;
+  new_height[4] = hi_edge;
+  for (std::size_t i = 1; i < 4; ++i) {
+    new_height[i] = invert_mixture(a, b, increment_[i], lo_edge, hi_edge);
+  }
+  for (std::size_t i = 1; i < 4; ++i) {
+    new_height[i] = std::min(std::max(new_height[i], new_height[0]), new_height[4]);
+    new_height[i] = std::max(new_height[i], new_height[i - 1]);
+  }
+
+  height_ = new_height;
+  for (std::size_t i = 0; i < 5; ++i) {
+    desired_[i] = 1.0 + increment_[i] * (nd - 1.0);
+    position_[i] = std::max(std::floor(desired_[i] + 0.5), static_cast<double>(i) + 1.0);
+  }
+  position_[0] = 1.0;
+  position_[4] = nd;
+  for (std::size_t i = 1; i < 4; ++i) position_[i] = std::max(position_[i], position_[i - 1] + 1.0);
+  for (std::size_t i = 3; i >= 1; --i) position_[i] = std::min(position_[i], position_[i + 1] - 1.0);
+  count_ = total;
+  exact_ = false;
+}
+
+std::uint64_t QuantileSketch::digest() const noexcept {
+  std::uint64_t h = kFnvBasis;
+  h = fnv_double(h, target_);
+  h = fnv_u64(h, count_);
+  h = fnv_u64(h, exact_ ? 1u : 0u);
+  if (exact_) {
+    const auto n = static_cast<std::size_t>(count_);
+    std::array<double, kExactCapacity> sorted{};
+    std::copy_n(samples_.begin(), n, sorted.begin());
+    std::sort(sorted.begin(), sorted.begin() + static_cast<std::ptrdiff_t>(n));
+    for (std::size_t i = 0; i < n; ++i) h = fnv_double(h, sorted[i]);
+    return h;
+  }
+  for (std::size_t i = 0; i < 5; ++i) {
+    h = fnv_double(h, height_[i]);
+    h = fnv_double(h, position_[i]);
+  }
+  return h;
+}
+
+void QuantileSketch::reset() noexcept {
+  count_ = 0;
+  exact_ = true;
+  samples_.fill(0.0);
+  height_.fill(0.0);
+  position_.fill(0.0);
+  desired_.fill(0.0);
+}
+
+ThresholdSketch::ThresholdSketch(double target_quantile)
+    : axes_{QuantileSketch(target_quantile), QuantileSketch(target_quantile),
+            QuantileSketch(target_quantile), QuantileSketch(target_quantile),
+            QuantileSketch(target_quantile), QuantileSketch(target_quantile),
+            QuantileSketch(target_quantile), QuantileSketch(target_quantile),
+            QuantileSketch(target_quantile)} {}
+
+RG_REALTIME void ThresholdSketch::observe(const Prediction& pred) noexcept {
+  if (!pred.valid) return;
+  for (std::size_t i = 0; i < 3; ++i) {
+    axes_[i].add(pred.motor_instant_vel[i]);
+    axes_[3 + i].add(pred.motor_instant_acc[i]);
+    axes_[6 + i].add(pred.joint_instant_vel[i]);
+  }
+}
+
+void ThresholdSketch::commit_maxima(const Vec3& motor_vel, const Vec3& motor_acc,
+                                    const Vec3& joint_vel) noexcept {
+  for (std::size_t i = 0; i < 3; ++i) {
+    axes_[i].add(motor_vel[i]);
+    axes_[3 + i].add(motor_acc[i]);
+    axes_[6 + i].add(joint_vel[i]);
+  }
+}
+
+std::uint64_t ThresholdSketch::count() const noexcept { return axes_[0].count(); }
+
+double ThresholdSketch::target_quantile() const noexcept { return axes_[0].target_quantile(); }
+
+Result<DetectionThresholds> ThresholdSketch::extract(double percentile_value,
+                                                     double margin) const {
+  if (percentile_value < 0.0 || percentile_value > 100.0) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "ThresholdSketch::extract: percentile outside [0,100]");
+  }
+  if (margin <= 0.0) {
+    return Error(ErrorCode::kInvalidArgument, "ThresholdSketch::extract: margin must be > 0");
+  }
+  const double p = percentile_value / 100.0;
+  DetectionThresholds out;
+  for (std::size_t i = 0; i < 3; ++i) {
+    auto mv = axes_[i].quantile(p);
+    if (!mv.ok()) return mv.error();
+    auto ma = axes_[3 + i].quantile(p);
+    if (!ma.ok()) return ma.error();
+    auto jv = axes_[6 + i].quantile(p);
+    if (!jv.ok()) return jv.error();
+    out.motor_vel[i] = margin * mv.value();
+    out.motor_acc[i] = margin * ma.value();
+    out.joint_vel[i] = margin * jv.value();
+  }
+  return out;
+}
+
+void ThresholdSketch::merge(const ThresholdSketch& other) {
+  for (std::size_t i = 0; i < 9; ++i) axes_[i].merge(other.axes_[i]);
+}
+
+std::uint64_t ThresholdSketch::digest() const noexcept {
+  std::uint64_t h = kFnvBasis;
+  for (std::size_t i = 0; i < 9; ++i) h = fnv_u64(h, axes_[i].digest());
+  return h;
+}
+
+void ThresholdSketch::reset() noexcept {
+  for (auto& axis : axes_) axis.reset();
+}
+
+const QuantileSketch& ThresholdSketch::axis(std::size_t variable, std::size_t axis_index) const {
+  require(variable < 3 && axis_index < 3, "ThresholdSketch::axis: index out of range");
+  return axes_[variable * 3 + axis_index];
+}
+
+DriftVerdict check_drift(const ThresholdSketch& observed, const DetectionThresholds& committed,
+                         double percentile_value, double max_ratio,
+                         std::uint64_t min_samples) {
+  DriftVerdict verdict;
+  verdict.samples = observed.count();
+  if (verdict.samples < min_samples) return verdict;
+  const double p = percentile_value / 100.0;
+  const Vec3* vars[3] = {&committed.motor_vel, &committed.motor_acc, &committed.joint_vel};
+  for (std::size_t v = 0; v < 3; ++v) {
+    for (std::size_t a = 0; a < 3; ++a) {
+      const double limit = (*vars[v])[a];
+      if (!(limit > 0.0)) continue;  // unset/degenerate axis: no baseline to drift from
+      auto q = observed.axis(v, a).quantile(p);
+      if (!q.ok()) continue;
+      const double ratio = q.value() / limit;
+      if (ratio > verdict.worst.ratio) {
+        verdict.worst = DriftFinding{v, a, q.value(), limit, ratio};
+      }
+    }
+  }
+  verdict.drifted = verdict.worst.ratio > max_ratio;
+  return verdict;
+}
+
+}  // namespace rg

@@ -1,0 +1,197 @@
+// Mergeable streaming quantile sketch for online threshold calibration.
+//
+// The paper (Sec. IV.C) learns detection thresholds as a batch percentile
+// over per-run maxima from 600 fault-free runs.  A fleet cannot afford
+// that batch pass per robot and per cohort: thresholds must be estimated
+// *while the ticks stream past*, at 1 kHz, and merged across lanes,
+// shards, and campaign workers.  QuantileSketch provides that:
+//
+//   * Exact phase — the first kExactCapacity samples are kept verbatim in
+//     a fixed buffer, so quantile() reproduces the batch percentile pass
+//     (math/stats.hpp `percentile`) bit-for-bit.  The paper's 600-run
+//     corpus fits entirely in this phase: streaming == batch, ε = 0.
+//   * Estimator phase — past the cutoff the sketch collapses to the P²
+//     algorithm (Jain & Chlamtac, CACM 1985): five markers tracking
+//     {min, p/2, p, (1+p)/2, max} for the configured target quantile p,
+//     O(1) per sample, no allocation.  Accuracy is distribution-dependent;
+//     the documented guarantee (docs/thresholds.md, enforced by
+//     bench_calibration and tests/test_calibration.cpp) is a relative
+//     error at the target quantile within kEstimatorEpsilon on the
+//     workloads we calibrate on.
+//
+// add() is RG_REALTIME (no alloc, no locks, no I/O) so the sketch can run
+// on the 1 kHz tick path; the one-off exact→estimator transition sorts
+// the fixed buffer in place (a bounded, allocation-free spike documented
+// in docs/thresholds.md).
+//
+// Merging is deterministic: merge(a, b) is a pure function of the two
+// sketch states, so as long as callers fix the merge order (campaign:
+// submission index; gateway: ascending lane/shard/session id) the merged
+// sketch — and everything derived from it — is byte-identical at any
+// worker × lane × shard count.  Two exact-phase sketches whose combined
+// sample count still fits the buffer merge exactly; any other combination
+// merges through a weighted-mixture CDF inversion at the marker
+// probabilities (documented ε applies).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "common/realtime.hpp"
+#include "core/estimator.hpp"
+#include "core/thresholds.hpp"
+#include "math/vec.hpp"
+
+namespace rg {
+
+/// Map a percentile in [0,100] onto a valid sketch target quantile.  The
+/// sketch requires a target strictly inside (0,1); the clamp only bites
+/// for degenerate 0/100 requests, whose estimator-phase accuracy is
+/// undefined anyway (the exact phase answers any p).
+[[nodiscard]] inline double target_quantile_for(double percentile_value) noexcept {
+  const double q = percentile_value / 100.0;
+  return q < 0.001 ? 0.001 : (q > 0.999 ? 0.999 : q);
+}
+
+class QuantileSketch {
+ public:
+  /// Samples kept verbatim before collapsing to the P² estimator.  Must
+  /// exceed the paper's 600-run corpus so campaign learning stays exact.
+  static constexpr std::size_t kExactCapacity = 1024;
+
+  /// Documented relative-error bound at the target quantile once the
+  /// sketch is in the estimator phase (see docs/thresholds.md).
+  static constexpr double kEstimatorEpsilon = 0.05;
+
+  /// `target_quantile` in (0,1): the quantile the estimator phase tracks
+  /// exactly (exact phase answers any quantile).  Throws on out-of-range.
+  explicit QuantileSketch(double target_quantile = kDefaultThresholdPercentile / 100.0);
+
+  /// Stream one sample.  Non-finite samples are ignored (a NaN must never
+  /// poison a threshold).  Real-time safe.
+  RG_REALTIME void add(double x) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] bool exact() const noexcept { return exact_; }
+  [[nodiscard]] double target_quantile() const noexcept { return target_; }
+
+  /// Quantile estimate at `p` in [0,1].  Exact phase: bit-identical to
+  /// math/stats.hpp percentile(samples, 100*p).  Estimator phase: the
+  /// tracked marker for p == target_quantile(), piecewise-linear marker
+  /// interpolation otherwise.  Errors: kNotReady on an empty sketch,
+  /// kInvalidArgument on p outside [0,1].
+  [[nodiscard]] Result<double> quantile(double p) const;
+
+  /// Fold `other` into this sketch.  Deterministic: the result depends
+  /// only on the two states (callers fix the merge order).  Throws if the
+  /// target quantiles differ — sketches from different calibration
+  /// configs must never be silently mixed.
+  void merge(const QuantileSketch& other);
+
+  /// FNV-1a digest of the full sketch state (exact phase: the *sorted*
+  /// samples, so any partition of one sample set merges to the same
+  /// digest; estimator phase: marker heights + positions).  Equal digests
+  /// ⇒ byte-identical quantile answers.
+  [[nodiscard]] std::uint64_t digest() const noexcept;
+
+  void reset() noexcept;
+
+ private:
+  RG_REALTIME void add_estimator(double x) noexcept;
+  /// Sort the exact buffer and seed the five P² markers from its order
+  /// statistics.  One-off, allocation-free.
+  RG_REALTIME void collapse_to_estimator() noexcept;
+
+  double target_;
+  std::uint64_t count_ = 0;
+  bool exact_ = true;
+
+  // Exact phase: first count_ samples, unsorted (quantile sorts a copy).
+  std::array<double, kExactCapacity> samples_{};
+
+  // Estimator phase: classic P² five-marker state.  Marker probabilities
+  // are {0, target/2, target, (1+target)/2, 1}.
+  std::array<double, 5> height_{};    ///< marker heights (ascending)
+  std::array<double, 5> position_{};  ///< actual positions (1-based)
+  std::array<double, 5> desired_{};   ///< desired positions
+  std::array<double, 5> increment_{};  ///< desired-position increments
+};
+
+/// The nine detection-variable axes (shoulder/elbow/insertion × motor
+/// velocity, motor acceleration, joint velocity) sketched together — the
+/// streaming twin of ThresholdLearner's nine per-run-maxima series.
+class ThresholdSketch {
+ public:
+  explicit ThresholdSketch(double target_quantile = kDefaultThresholdPercentile / 100.0);
+
+  /// Stream one prediction's detection variables (absolute values, as
+  /// produced by the estimator).  Invalid predictions are ignored.
+  /// Real-time safe — this is the 1 kHz gateway tick-path feed.
+  RG_REALTIME void observe(const Prediction& pred) noexcept;
+
+  /// Stream one *run's* maxima (the campaign-learning feed, one sample
+  /// per axis per fault-free run — the paper's unit of calibration).
+  void commit_maxima(const Vec3& motor_vel, const Vec3& motor_acc,
+                     const Vec3& joint_vel) noexcept;
+
+  /// Samples per axis (all nine axes advance together).
+  [[nodiscard]] std::uint64_t count() const noexcept;
+  [[nodiscard]] double target_quantile() const noexcept;
+
+  /// Extract thresholds at `percentile_value` (0..100) scaled by
+  /// `margin`.  Errors: kNotReady when empty, kInvalidArgument on a bad
+  /// percentile/margin.  In the exact phase this is bit-identical to
+  /// ThresholdLearner::learn over the same samples.
+  [[nodiscard]] Result<DetectionThresholds> extract(
+      double percentile_value = kDefaultThresholdPercentile,
+      double margin = kDefaultThresholdMargin) const;
+
+  /// Deterministic axis-wise merge (see QuantileSketch::merge).
+  void merge(const ThresholdSketch& other);
+
+  /// FNV-1a fold of the nine axis digests, in fixed axis order.
+  [[nodiscard]] std::uint64_t digest() const noexcept;
+
+  void reset() noexcept;
+
+  [[nodiscard]] const QuantileSketch& axis(std::size_t variable,
+                                           std::size_t axis_index) const;
+
+ private:
+  // Axis order: variable-major — motor_vel[0..2], motor_acc[0..2],
+  // joint_vel[0..2].  Merge and digest iterate in this order.
+  std::array<QuantileSketch, 9> axes_;
+};
+
+/// One drifted axis of a drift verdict.
+struct DriftFinding {
+  std::size_t variable = 0;  ///< 0 motor_vel, 1 motor_acc, 2 joint_vel
+  std::size_t axis = 0;      ///< 0 shoulder, 1 elbow, 2 insertion
+  double observed = 0.0;     ///< sketch quantile at the check percentile
+  double committed = 0.0;    ///< committed threshold for the axis
+  double ratio = 0.0;        ///< observed / committed
+};
+
+/// Drift verdict: does a sketch's tail diverge from its cohort's
+/// committed quantiles?
+struct DriftVerdict {
+  bool drifted = false;
+  /// Worst offending axis (valid when drifted).
+  DriftFinding worst{};
+  std::uint64_t samples = 0;
+};
+
+/// Compare `observed`'s quantiles at `percentile_value` against the
+/// committed per-axis thresholds.  The sketch counts as drifted when any
+/// axis's observed/committed ratio exceeds `max_ratio` — i.e. the
+/// committed calibration no longer bounds this robot's behaviour.  Below
+/// `min_samples` the verdict is always "not drifted" (too little
+/// evidence).  Pure and deterministic.
+[[nodiscard]] DriftVerdict check_drift(const ThresholdSketch& observed,
+                                       const DetectionThresholds& committed,
+                                       double percentile_value, double max_ratio,
+                                       std::uint64_t min_samples);
+
+}  // namespace rg

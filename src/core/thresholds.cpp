@@ -29,9 +29,18 @@ void ThresholdLearner::end_run() {
 
 std::size_t ThresholdLearner::runs() const noexcept { return motor_vel_max_[0].size(); }
 
-DetectionThresholds ThresholdLearner::learn(double percentile_value, double margin) const {
-  require(runs() > 0, "ThresholdLearner::learn: no fault-free runs committed");
-  require(margin > 0.0, "ThresholdLearner::learn: margin must be > 0");
+Result<DetectionThresholds> ThresholdLearner::learn(double percentile_value,
+                                                    double margin) const {
+  if (runs() == 0) {
+    return Error(ErrorCode::kNotReady, "ThresholdLearner::learn: no fault-free runs committed");
+  }
+  if (percentile_value < 0.0 || percentile_value > 100.0) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "ThresholdLearner::learn: percentile outside [0,100]");
+  }
+  if (margin <= 0.0) {
+    return Error(ErrorCode::kInvalidArgument, "ThresholdLearner::learn: margin must be > 0");
+  }
   DetectionThresholds out;
   for (std::size_t i = 0; i < 3; ++i) {
     out.motor_vel[i] = margin * percentile(motor_vel_max_[i], percentile_value);

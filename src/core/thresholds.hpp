@@ -11,10 +11,19 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/error.hpp"
 #include "core/estimator.hpp"
 #include "math/vec.hpp"
 
 namespace rg {
+
+/// The paper's operating point: thresholds at the 99.8–99.9th percentile
+/// of per-run maxima.  Every learner, bench, and tool defaults to this
+/// single constant (override via --thresholds-percentile in the CLI).
+inline constexpr double kDefaultThresholdPercentile = 99.85;
+
+/// Default safety-margin factor applied to the learned limits.
+inline constexpr double kDefaultThresholdMargin = 1.0;
 
 /// Per-variable absolute limits on the estimator's predicted instant
 /// velocities/accelerations.  Axis order: shoulder, elbow, insertion.
@@ -39,10 +48,12 @@ class ThresholdLearner {
   [[nodiscard]] std::size_t runs() const noexcept;
 
   /// Learn thresholds at the given percentile of the per-run maxima
-  /// (paper: 99.8–99.9), scaled by a safety margin factor.
-  /// Throws if no runs were committed.
-  [[nodiscard]] DetectionThresholds learn(double percentile_value = 99.85,
-                                          double margin = 1.0) const;
+  /// (paper: 99.8–99.9), scaled by a safety margin factor.  Errors are
+  /// explicit per common/error.hpp: kNotReady when no runs were
+  /// committed, kInvalidArgument on a bad percentile or margin.
+  [[nodiscard]] Result<DetectionThresholds> learn(
+      double percentile_value = kDefaultThresholdPercentile,
+      double margin = kDefaultThresholdMargin) const;
 
   /// Append another learner's *committed* per-run maxima to this one
   /// (its uncommitted current run, if any, is ignored).  Lets parallel

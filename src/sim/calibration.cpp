@@ -1,0 +1,42 @@
+#include "sim/calibration.hpp"
+
+#include <algorithm>
+
+namespace rg {
+
+CalibrationSession::CalibrationSession(double target_quantile) : sketch_(target_quantile) {}
+
+RG_REALTIME void CalibrationSession::observe(const Prediction& pred) noexcept {
+  if (!pred.valid) return;
+  for (std::size_t i = 0; i < 3; ++i) {
+    current_.motor_vel[i] = std::max(current_.motor_vel[i], pred.motor_instant_vel[i]);
+    current_.motor_acc[i] = std::max(current_.motor_acc[i], pred.motor_instant_acc[i]);
+    current_.joint_vel[i] = std::max(current_.joint_vel[i], pred.joint_instant_vel[i]);
+  }
+  current_.any = true;
+}
+
+void CalibrationSession::end_run() noexcept {
+  if (!current_.any) return;
+  sketch_.commit_maxima(current_.motor_vel, current_.motor_acc, current_.joint_vel);
+  current_ = Maxima{};
+}
+
+Result<DetectionThresholds> CalibrationSession::extract(double percentile_value,
+                                                        double margin) const {
+  if (runs() == 0) {
+    return Error(ErrorCode::kNotReady, "CalibrationSession::extract: no fault-free runs committed");
+  }
+  return sketch_.extract(percentile_value, margin);
+}
+
+void CalibrationSession::merge(const CalibrationSession& other) {
+  sketch_.merge(other.sketch_);
+}
+
+void CalibrationSession::reset() noexcept {
+  current_ = Maxima{};
+  sketch_.reset();
+}
+
+}  // namespace rg

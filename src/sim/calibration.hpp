@@ -1,0 +1,78 @@
+// CalibrationSession: streaming per-run threshold calibration.
+//
+// The paper's unit of calibration is a fault-free *run*: thresholds are a
+// percentile over per-run maxima of each detection variable (Sec. IV.C).
+// ThresholdLearner reproduces that batch pass by keeping every per-run
+// maximum in growing vectors.  CalibrationSession is its streaming twin:
+// it tracks the current run's maxima in fixed state (observe() is
+// RG_REALTIME, safe on the 1 kHz tick path) and commits them into a
+// mergeable ThresholdSketch on end_run().  Below the sketch's exact
+// cutoff (1024 runs > the paper's 600) extraction is bit-identical to
+// ThresholdLearner::learn; beyond it, memory stays O(1) per axis while
+// the batch learner keeps growing.
+//
+// Merging is deterministic (see core/quantile_sketch.hpp): campaign
+// workers each own a per-run session and the reducer merges them in
+// submission order, so learned thresholds are byte-identical at any
+// worker × lane count.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "common/realtime.hpp"
+#include "core/estimator.hpp"
+#include "core/quantile_sketch.hpp"
+#include "core/thresholds.hpp"
+#include "math/vec.hpp"
+
+namespace rg {
+
+class CalibrationSession {
+ public:
+  explicit CalibrationSession(double target_quantile = kDefaultThresholdPercentile / 100.0);
+
+  /// Track one prediction of the current fault-free run (running maxima
+  /// only — nothing enters the sketch until end_run()).  Real-time safe.
+  RG_REALTIME void observe(const Prediction& pred) noexcept;
+
+  /// Close the current run, committing its maxima as one sketch sample
+  /// per axis.  No-op if nothing was observed.
+  void end_run() noexcept;
+
+  /// Committed runs (sketch samples per axis).
+  [[nodiscard]] std::uint64_t runs() const noexcept { return sketch_.count(); }
+
+  [[nodiscard]] const ThresholdSketch& sketch() const noexcept { return sketch_; }
+
+  /// Extract thresholds at `percentile_value` (0..100) scaled by
+  /// `margin`.  Errors per common/error.hpp: kNotReady with no committed
+  /// runs, kInvalidArgument on a bad percentile/margin.
+  [[nodiscard]] Result<DetectionThresholds> extract(
+      double percentile_value = kDefaultThresholdPercentile,
+      double margin = kDefaultThresholdMargin) const;
+
+  /// Fold another session's *committed* runs into this one (its
+  /// uncommitted current run, if any, is ignored).  Deterministic;
+  /// callers fix the merge order.  Throws on target-quantile mismatch.
+  void merge(const CalibrationSession& other);
+
+  /// Digest of the committed sketch state (equal digests ⇒ identical
+  /// extracted thresholds).
+  [[nodiscard]] std::uint64_t digest() const noexcept { return sketch_.digest(); }
+
+  void reset() noexcept;
+
+ private:
+  struct Maxima {
+    Vec3 motor_vel{};
+    Vec3 motor_acc{};
+    Vec3 joint_vel{};
+    bool any = false;
+  };
+  Maxima current_{};
+  ThresholdSketch sketch_;
+};
+
+}  // namespace rg

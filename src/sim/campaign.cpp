@@ -445,19 +445,22 @@ bool CampaignReport::write_json_file(const std::string& path) const {
   return static_cast<bool>(os);
 }
 
-DetectionThresholds learn_thresholds(const SessionParams& base, int runs,
-                                     const LearnOptions& options) {
-  require(runs > 0, "learn_thresholds: runs must be > 0");
+Result<CalibrationSession> run_calibration_campaign(const SessionParams& base, int runs,
+                                                    const LearnOptions& options) {
+  if (runs <= 0) {
+    return Error(ErrorCode::kInvalidArgument, "run_calibration_campaign: runs must be > 0");
+  }
 
   // Observe-only pipeline with infinite thresholds: never alarms, but
-  // produces the Prediction stream the learner consumes.
+  // produces the Prediction stream the calibration sessions consume.
   DetectionThresholds inf;
   inf.motor_vel = inf.motor_acc = inf.joint_vel = Vec3::filled(1.0e18);
 
-  // One learner per run, merged in submission order afterwards — the
-  // committed per-run maxima are identical to a serial learner's
-  // regardless of worker count.
-  std::vector<ThresholdLearner> learners(static_cast<std::size_t>(runs));
+  // One streaming session per run, merged in submission order afterwards —
+  // the committed per-run maxima are identical to a serial pass regardless
+  // of worker count, and the sketch digest proves it.
+  std::vector<CalibrationSession> sessions(
+      static_cast<std::size_t>(runs), CalibrationSession(target_quantile_for(options.percentile)));
   std::vector<CampaignJob> jobs(static_cast<std::size_t>(runs));
   for (int r = 0; r < runs; ++r) {
     SessionParams p = base;
@@ -467,9 +470,9 @@ DetectionThresholds learn_thresholds(const SessionParams& base, int runs,
     job.params = p;
     job.thresholds = inf;
     job.label = "learn";
-    job.instrument = [learner = &learners[static_cast<std::size_t>(r)]](SurgicalSim& sim) {
-      sim.set_detection_observer([learner](const DetectionPipeline::Outcome& out) {
-        learner->observe(out.prediction);
+    job.instrument = [session = &sessions[static_cast<std::size_t>(r)]](SurgicalSim& sim) {
+      sim.set_detection_observer([session](const DetectionPipeline::Outcome& out) {
+        session->observe(out.prediction);
       });
     };
   }
@@ -477,13 +480,21 @@ DetectionThresholds learn_thresholds(const SessionParams& base, int runs,
   CampaignRunner runner(CampaignOptions{options.jobs, options.progress});
   (void)runner.run(std::move(jobs));
 
-  ThresholdLearner merged;
-  for (ThresholdLearner& learner : learners) {
-    learner.end_run();
-    merged.merge(learner);
+  CalibrationSession merged(target_quantile_for(options.percentile));
+  for (CalibrationSession& session : sessions) {
+    session.end_run();
+    merged.merge(session);
   }
-  RG_LOG(kInfo) << "learned thresholds from " << merged.runs() << " fault-free runs";
-  return merged.learn(options.percentile, options.margin);
+  RG_LOG(kInfo) << "calibrated from " << merged.runs() << " fault-free runs (sketch digest "
+                << merged.digest() << ")";
+  return merged;
+}
+
+Result<DetectionThresholds> learn_thresholds(const SessionParams& base, int runs,
+                                             const LearnOptions& options) {
+  auto calibrated = run_calibration_campaign(base, runs, options);
+  if (!calibrated.ok()) return calibrated.error();
+  return calibrated.value().extract(options.percentile, options.margin);
 }
 
 }  // namespace rg

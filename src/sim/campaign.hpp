@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "obs/histogram.hpp"
+#include "sim/calibration.hpp"
 #include "sim/experiment.hpp"
 
 namespace rg {
@@ -179,16 +180,27 @@ class CampaignRunner {
 
 /// Options for campaign-backed threshold learning.
 struct LearnOptions {
-  double percentile = 99.85;  ///< paper: 99.8-99.9th percentile
-  double margin = 1.0;        ///< safety factor on the learned limits
-  int jobs = 0;               ///< worker threads (0 => default)
+  double percentile = kDefaultThresholdPercentile;  ///< paper: 99.8-99.9th
+  double margin = kDefaultThresholdMargin;  ///< safety factor on the limits
+  int jobs = 0;                             ///< worker threads (0 => default)
   CampaignProgressFn progress{};
 };
 
-/// Learn detection thresholds from `runs` fault-free sessions with
-/// different seeds/trajectories (paper: 600 runs), executed as a campaign.
-/// The learned values are bit-identical for any worker count.
-[[nodiscard]] DetectionThresholds learn_thresholds(const SessionParams& base, int runs,
-                                                   const LearnOptions& options = {});
+/// Run `runs` fault-free sessions with different seeds/trajectories
+/// (paper: 600 runs) as a campaign, streaming each run's maxima into a
+/// per-run CalibrationSession, and return the merged session (merge order
+/// is submission order, so the result is bit-identical for any worker ×
+/// lane count).  Errors per common/error.hpp: kInvalidArgument on
+/// runs <= 0.  Extract thresholds — or audit the sketch — from the
+/// returned session.
+[[nodiscard]] Result<CalibrationSession> run_calibration_campaign(
+    const SessionParams& base, int runs, const LearnOptions& options = {});
+
+/// Learn detection thresholds from `runs` fault-free sessions: the
+/// campaign above plus extraction at the configured percentile/margin.
+/// Errors: kInvalidArgument (bad runs/percentile/margin), kNotReady (no
+/// run produced a valid prediction).
+[[nodiscard]] Result<DetectionThresholds> learn_thresholds(const SessionParams& base, int runs,
+                                                           const LearnOptions& options = {});
 
 }  // namespace rg

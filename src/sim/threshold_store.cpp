@@ -1,5 +1,6 @@
 #include "sim/threshold_store.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <sstream>
@@ -8,14 +9,80 @@
 #include "common/log.hpp"
 
 namespace rg {
+namespace {
+
+/// Provenance source tokens must be single whitespace-free words so the
+/// line-oriented format stays trivially parseable.
+std::string sanitize_source(const std::string& source) {
+  if (source.empty()) return "unknown";
+  std::string out = source;
+  for (char& c : out) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') c = '-';
+  }
+  return out;
+}
+
+bool finite_thresholds(const DetectionThresholds& th) {
+  for (std::size_t i = 0; i < 3; ++i) {
+    if (!std::isfinite(th.motor_vel[i]) || !std::isfinite(th.motor_acc[i]) ||
+        !std::isfinite(th.joint_vel[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void write_values(std::ostream& os, const DetectionThresholds& th) {
+  os.precision(17);
+  for (std::size_t i = 0; i < 3; ++i) os << th.motor_vel[i] << ' ';
+  for (std::size_t i = 0; i < 3; ++i) os << th.motor_acc[i] << ' ';
+  for (std::size_t i = 0; i < 3; ++i) os << th.joint_vel[i] << ' ';
+  os << '\n';
+}
+
+void write_epoch(std::ostream& os, const ThresholdEpoch& e) {
+  os << "epoch " << e.id << " parent " << e.parent << " runs " << e.provenance.runs
+     << " percentile ";
+  os.precision(17);
+  os << e.provenance.percentile << " margin " << e.provenance.margin << " source "
+     << sanitize_source(e.provenance.source) << '\n';
+  write_values(os, e.thresholds);
+}
+
+/// Read 9 finite doubles into a DetectionThresholds.  `what` names the
+/// enclosing context for error messages.
+Result<DetectionThresholds> read_values(std::istream& is, const std::string& what) {
+  DetectionThresholds th;
+  double* const slots[] = {&th.motor_vel[0], &th.motor_vel[1], &th.motor_vel[2],
+                           &th.motor_acc[0], &th.motor_acc[1], &th.motor_acc[2],
+                           &th.joint_vel[0], &th.joint_vel[1], &th.joint_vel[2]};
+  for (std::size_t i = 0; i < 9; ++i) {
+    if (!(is >> *slots[i])) {
+      std::ostringstream msg;
+      msg << what << ": truncated (got " << i << " of 9 values)";
+      return Error(ErrorCode::kMalformedPacket, msg.str());
+    }
+    if (!std::isfinite(*slots[i])) {
+      std::ostringstream msg;
+      msg << what << ": value " << i << " is not finite";
+      return Error(ErrorCode::kMalformedPacket, msg.str());
+    }
+  }
+  return th;
+}
+
+}  // namespace
 
 ThresholdStore::ThresholdStore(std::string path) : path_(std::move(path)) {
   require(!path_.empty(), "ThresholdStore: path must not be empty");
 }
 
-bool ThresholdStore::present() const { return load().ok(); }
+bool ThresholdStore::present() const {
+  const auto parsed = load_all();
+  return parsed.ok() && !parsed.value().epochs.empty();
+}
 
-Result<DetectionThresholds> ThresholdStore::load() const {
+Result<ThresholdStore::Parsed> ThresholdStore::load_all() const {
   std::ifstream is(path_);
   if (!is) {
     return Error(ErrorCode::kNotReady, "cannot open threshold store " + path_);
@@ -31,66 +98,207 @@ Result<DetectionThresholds> ThresholdStore::load() const {
     return Error(ErrorCode::kMalformedPacket,
                  "threshold store " + path_ + ": bad magic '" + magic + "'");
   }
+
+  Parsed parsed;
+  if (version == kLegacyVersion) {
+    // v2: header + 9 bare numbers.  Surface as a read-only root epoch so
+    // existing caches keep working; the first commit upgrades the file.
+    auto values = read_values(is, "threshold store " + path_ + " (v2)");
+    if (!values.ok()) return values.error();
+    ThresholdEpoch root;
+    root.id = 0;
+    root.thresholds = values.value();
+    root.parent = ThresholdEpoch::kNoParent;
+    root.provenance.source = "v2-migration";
+    parsed.epochs.push_back(root);
+    parsed.active_id = 0;
+    parsed.legacy = true;
+    return parsed;
+  }
   if (version != kVersion) {
-    std::ostringstream what;
-    what << "threshold store " << path_ << ": unsupported version " << version
-         << " (expected " << kVersion << ")";
-    return Error(ErrorCode::kMalformedPacket, what.str());
+    std::ostringstream msg;
+    msg << "threshold store " << path_ << ": unsupported version " << version << " (expected "
+        << kVersion << " or " << kLegacyVersion << ")";
+    return Error(ErrorCode::kMalformedPacket, msg.str());
   }
 
-  DetectionThresholds th;
-  double* const slots[] = {&th.motor_vel[0],  &th.motor_vel[1],  &th.motor_vel[2],
-                           &th.motor_acc[0],  &th.motor_acc[1],  &th.motor_acc[2],
-                           &th.joint_vel[0],  &th.joint_vel[1],  &th.joint_vel[2]};
-  for (std::size_t i = 0; i < 9; ++i) {
-    if (!(is >> *slots[i])) {
+  bool have_active = false;
+  std::string keyword;
+  while (is >> keyword) {
+    if (keyword == "epoch") {
+      ThresholdEpoch e;
+      std::string kw_parent;
+      std::string kw_runs;
+      std::string kw_percentile;
+      std::string kw_margin;
+      std::string kw_source;
+      if (!(is >> e.id >> kw_parent >> e.parent >> kw_runs >> e.provenance.runs >>
+            kw_percentile >> e.provenance.percentile >> kw_margin >> e.provenance.margin >>
+            kw_source >> e.provenance.source) ||
+          kw_parent != "parent" || kw_runs != "runs" || kw_percentile != "percentile" ||
+          kw_margin != "margin" || kw_source != "source") {
+        return Error(ErrorCode::kMalformedPacket,
+                     "threshold store " + path_ + ": malformed epoch record");
+      }
       std::ostringstream what;
-      what << "threshold store " << path_ << ": truncated (got " << i
-           << " of 9 values)";
-      return Error(ErrorCode::kMalformedPacket, what.str());
-    }
-    if (!std::isfinite(*slots[i])) {
-      std::ostringstream what;
-      what << "threshold store " << path_ << ": value " << i << " is not finite";
-      return Error(ErrorCode::kMalformedPacket, what.str());
+      what << "threshold store " << path_ << " epoch " << e.id;
+      auto values = read_values(is, what.str());
+      if (!values.ok()) return values.error();
+      e.thresholds = values.value();
+      for (const ThresholdEpoch& seen : parsed.epochs) {
+        if (seen.id == e.id) {
+          return Error(ErrorCode::kMalformedPacket,
+                       "threshold store " + path_ + ": duplicate epoch id " +
+                           std::to_string(e.id));
+        }
+      }
+      parsed.epochs.push_back(e);
+    } else if (keyword == "active") {
+      if (!(is >> parsed.active_id)) {
+        return Error(ErrorCode::kMalformedPacket,
+                     "threshold store " + path_ + ": malformed active pointer");
+      }
+      have_active = true;  // last pointer wins
+    } else {
+      return Error(ErrorCode::kMalformedPacket,
+                   "threshold store " + path_ + ": unexpected record '" + keyword + "'");
     }
   }
-  return th;
+
+  if (parsed.epochs.empty()) {
+    return Error(ErrorCode::kMalformedPacket, "threshold store " + path_ + ": no epochs");
+  }
+  if (!have_active) {
+    return Error(ErrorCode::kMalformedPacket,
+                 "threshold store " + path_ + ": missing active pointer");
+  }
+  bool active_known = false;
+  for (const ThresholdEpoch& e : parsed.epochs) {
+    if (e.id == parsed.active_id) active_known = true;
+  }
+  if (!active_known) {
+    return Error(ErrorCode::kMalformedPacket,
+                 "threshold store " + path_ + ": active pointer names unknown epoch " +
+                     std::to_string(parsed.active_id));
+  }
+  return parsed;
 }
 
-Status ThresholdStore::save(const DetectionThresholds& thresholds) const {
-  std::ofstream os(path_);
-  if (!os) {
-    return Error(ErrorCode::kNotReady, "cannot open threshold store " + path_ + " for write");
+Result<std::uint64_t> ThresholdStore::commit(const DetectionThresholds& thresholds,
+                                             const ThresholdProvenance& provenance) {
+  if (!finite_thresholds(thresholds)) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "ThresholdStore::commit: thresholds must be finite");
   }
-  os << kMagic << ' ' << kVersion << '\n';
-  os.precision(17);
-  for (std::size_t i = 0; i < 3; ++i) os << thresholds.motor_vel[i] << ' ';
-  for (std::size_t i = 0; i < 3; ++i) os << thresholds.motor_acc[i] << ' ';
-  for (std::size_t i = 0; i < 3; ++i) os << thresholds.joint_vel[i] << ' ';
-  os << '\n';
+
+  Parsed parsed;
+  const auto existing = load_all();
+  if (existing.ok()) {
+    parsed = existing.value();
+  } else if (existing.error().code() != ErrorCode::kNotReady) {
+    // A store we cannot parse is history we must not clobber.
+    return existing.error();
+  }
+
+  ThresholdEpoch next;
+  next.thresholds = thresholds;
+  next.provenance = provenance;
+  next.provenance.source = sanitize_source(provenance.source);
+  if (parsed.epochs.empty()) {
+    next.id = 0;
+    next.parent = ThresholdEpoch::kNoParent;
+  } else {
+    std::uint64_t max_id = 0;
+    for (const ThresholdEpoch& e : parsed.epochs) max_id = std::max(max_id, e.id);
+    next.id = max_id + 1;
+    next.parent = static_cast<std::int64_t>(parsed.active_id);
+  }
+
+  if (parsed.epochs.empty() || parsed.legacy) {
+    // Fresh store, or in-place upgrade of a v2 cache: write the whole v3
+    // file (the v2 thresholds survive as epoch 0).
+    std::ofstream os(path_, std::ios::trunc);
+    if (!os) {
+      return Error(ErrorCode::kNotReady,
+                   "cannot open threshold store " + path_ + " for write");
+    }
+    os << kMagic << ' ' << kVersion << '\n';
+    for (const ThresholdEpoch& e : parsed.epochs) write_epoch(os, e);
+    write_epoch(os, next);
+    os << "active " << next.id << '\n';
+    if (!os) {
+      return Error(ErrorCode::kInternal, "short write to threshold store " + path_);
+    }
+    if (parsed.legacy) {
+      RG_LOG(kInfo) << "threshold store " << path_ << ": upgraded v2 cache to v3 (epoch 0 "
+                    << "preserves the old thresholds)";
+    }
+    return next.id;
+  }
+
+  std::ofstream os(path_, std::ios::app);
+  if (!os) {
+    return Error(ErrorCode::kNotReady, "cannot open threshold store " + path_ + " for append");
+  }
+  write_epoch(os, next);
+  os << "active " << next.id << '\n';
+  if (!os) {
+    return Error(ErrorCode::kInternal, "short write to threshold store " + path_);
+  }
+  return next.id;
+}
+
+Result<ThresholdEpoch> ThresholdStore::active() const {
+  const auto parsed = load_all();
+  if (!parsed.ok()) return parsed.error();
+  for (const ThresholdEpoch& e : parsed.value().epochs) {
+    if (e.id == parsed.value().active_id) return e;
+  }
+  return Error(ErrorCode::kInternal, "threshold store " + path_ + ": active epoch vanished");
+}
+
+Result<ThresholdEpoch> ThresholdStore::epoch(std::uint64_t id) const {
+  const auto parsed = load_all();
+  if (!parsed.ok()) return parsed.error();
+  for (const ThresholdEpoch& e : parsed.value().epochs) {
+    if (e.id == id) return e;
+  }
+  return Error(ErrorCode::kInvalidArgument,
+               "threshold store " + path_ + ": no epoch " + std::to_string(id));
+}
+
+Status ThresholdStore::rollback(std::uint64_t id) {
+  const auto parsed = load_all();
+  if (!parsed.ok()) return parsed.error();
+  bool known = false;
+  for (const ThresholdEpoch& e : parsed.value().epochs) {
+    if (e.id == id) known = true;
+  }
+  if (!known) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "threshold store " + path_ + ": cannot roll back to unknown epoch " +
+                     std::to_string(id));
+  }
+  if (parsed.value().legacy) {
+    // A v2 file has exactly one epoch and no active pointer to move;
+    // rolling back to epoch 0 is a no-op, anything else was caught above.
+    return Status::success();
+  }
+  std::ofstream os(path_, std::ios::app);
+  if (!os) {
+    return Error(ErrorCode::kNotReady, "cannot open threshold store " + path_ + " for append");
+  }
+  os << "active " << id << '\n';
   if (!os) {
     return Error(ErrorCode::kInternal, "short write to threshold store " + path_);
   }
   return Status::success();
 }
 
-DetectionThresholds ThresholdStore::load_or_learn(
-    const std::function<DetectionThresholds()>& learn) const {
-  require(static_cast<bool>(learn), "ThresholdStore::load_or_learn: learn must be callable");
-  const auto cached = load();
-  if (cached.ok()) {
-    RG_LOG(kInfo) << "loaded detection thresholds from " << path_;
-    return cached.value();
-  }
-  if (cached.error().code() != ErrorCode::kNotReady) {
-    RG_LOG(kWarn) << "relearning thresholds: " << cached.error().to_string();
-  }
-  const DetectionThresholds learned = learn();
-  if (const Status saved = save(learned); !saved.ok()) {
-    RG_LOG(kWarn) << "threshold cache not written: " << saved.error().to_string();
-  }
-  return learned;
+Result<std::vector<ThresholdEpoch>> ThresholdStore::history() const {
+  const auto parsed = load_all();
+  if (!parsed.ok()) return parsed.error();
+  return parsed.value().epochs;
 }
 
 }  // namespace rg

@@ -1,49 +1,107 @@
-// Persistent storage for learned detection thresholds.
+// Versioned, epoch-based storage for learned detection thresholds.
 //
 // Learning the paper's 600 fault-free runs is the expensive step shared
-// by several benches, so thresholds are cached on disk.  The store uses a
-// versioned header so a short, truncated, or foreign file is reported as
-// an explicit error instead of silently yielding garbage through stream
-// state (the failure mode of the old 9-bare-numbers format).
+// by benches and tools, so thresholds are cached on disk.  A fleet needs
+// more than a cache: calibration must roll out in *epochs* — every commit
+// appends a new immutable record carrying its provenance (how many runs,
+// what percentile/margin, which pipeline produced it) and its parent
+// epoch, and the file tracks which epoch is active.  A bad calibration is
+// rolled back atomically by appending an `active` pointer to a previous
+// epoch; nothing is ever rewritten or lost.
+//
+// File format v3 (line-oriented, append-only after the header):
+//
+//   raven-guard-thresholds 3
+//   epoch <id> parent <parent> runs <n> percentile <p> margin <m> source <token>
+//   <9 thresholds: motor_vel xyz, motor_acc xyz, joint_vel xyz>
+//   active <id>
+//
+// `epoch` records and `active` pointers may interleave; the *last*
+// `active` line wins.  v2 files (header + 9 numbers) still load, exposed
+// read-only as epoch 0 with migration provenance; the first commit on a
+// v2 file rewrites it as v3 preserving the old thresholds as epoch 0.
+// Short, truncated, or foreign files are explicit errors — a corrupt
+// store is never silently clobbered.
 #pragma once
 
-#include <functional>
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/error.hpp"
 #include "core/thresholds.hpp"
 
 namespace rg {
 
+/// Where a committed epoch came from: enough to audit or reproduce it.
+struct ThresholdProvenance {
+  /// Single whitespace-free token naming the producer (e.g.
+  /// "campaign-learn", "cli-learn", "v2-migration").  Whitespace is
+  /// sanitised to '-' on commit.
+  std::string source = "unknown";
+  std::uint64_t runs = 0;     ///< fault-free runs behind the calibration
+  double percentile = kDefaultThresholdPercentile;
+  double margin = kDefaultThresholdMargin;
+};
+
+/// One immutable calibration epoch.
+struct ThresholdEpoch {
+  std::uint64_t id = 0;
+  DetectionThresholds thresholds{};
+  ThresholdProvenance provenance{};
+  /// Parent epoch id, or kNoParent for a root epoch.
+  std::int64_t parent = kNoParent;
+
+  static constexpr std::int64_t kNoParent = -1;
+};
+
 class ThresholdStore {
  public:
   /// File format identity: first line of every store file.
   static constexpr std::string_view kMagic = "raven-guard-thresholds";
-  static constexpr int kVersion = 2;
+  static constexpr int kVersion = 3;
+  /// Previous flat format, still loadable (read-only, as epoch 0).
+  static constexpr int kLegacyVersion = 2;
 
   explicit ThresholdStore(std::string path);
 
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
 
-  /// True if the store file exists and carries a parseable header.
+  /// True if the store file exists, parses, and holds at least one epoch.
   [[nodiscard]] bool present() const;
 
-  /// Load the stored thresholds.  Errors are explicit:
-  ///   kNotReady          — file does not exist / cannot be opened
-  ///   kMalformedPacket   — missing or foreign header, unsupported
-  ///                        version, or fewer than 9 finite numbers.
-  [[nodiscard]] Result<DetectionThresholds> load() const;
+  /// Append a new epoch (parented to the current active epoch, if any)
+  /// and make it active.  Returns the new epoch id.  A missing file is
+  /// created; a v2 file is upgraded in place (old thresholds preserved as
+  /// epoch 0); a corrupt file is an error — commit never clobbers
+  /// history it cannot read.  Errors: kMalformedPacket (corrupt store),
+  /// kInvalidArgument (non-finite thresholds), kNotReady (unwritable).
+  [[nodiscard]] Result<std::uint64_t> commit(const DetectionThresholds& thresholds,
+                                             const ThresholdProvenance& provenance);
 
-  /// Write thresholds (header + 9 numbers at full precision).
-  [[nodiscard]] Status save(const DetectionThresholds& thresholds) const;
+  /// The currently active epoch.  Errors: kNotReady when the file does
+  /// not exist, kMalformedPacket when it is corrupt.
+  [[nodiscard]] Result<ThresholdEpoch> active() const;
 
-  /// Load if present and valid; otherwise invoke `learn`, save its result
-  /// (best-effort) and return it.  A corrupt existing file is treated as
-  /// a miss (and overwritten) but logged.
-  [[nodiscard]] DetectionThresholds load_or_learn(
-      const std::function<DetectionThresholds()>& learn) const;
+  /// Look up one epoch by id.  kInvalidArgument if no such epoch.
+  [[nodiscard]] Result<ThresholdEpoch> epoch(std::uint64_t id) const;
+
+  /// Make a previously committed epoch active again by appending a new
+  /// active pointer (the rolled-back-from epoch stays in history).
+  /// Errors: kInvalidArgument (unknown id), kNotReady, kMalformedPacket.
+  [[nodiscard]] Status rollback(std::uint64_t id);
+
+  /// All epochs in commit order (file order).
+  [[nodiscard]] Result<std::vector<ThresholdEpoch>> history() const;
 
  private:
+  struct Parsed {
+    std::vector<ThresholdEpoch> epochs;
+    std::uint64_t active_id = 0;
+    bool legacy = false;  ///< loaded from a v2 file (read-only view)
+  };
+  [[nodiscard]] Result<Parsed> load_all() const;
+
   std::string path_;
 };
 

@@ -26,10 +26,18 @@ TeleopGateway::TeleopGateway(const GatewayConfig& config, Transport& transport)
   ingest_counter_ = reg.counter("rg.gw.datagrams");
   accept_counter_ = reg.counter("rg.gw.accepted");
   reject_counter_ = reg.counter("rg.gw.rejected");
+  drift_check_counter_ = reg.counter("rg.cal.drift_checks");
+  drift_alarm_counter_ = reg.counter("rg.cal.drift_alarms");
+  // The calibration policy implies per-session sketches in every engine.
+  if (config_.calibration.enabled) {
+    config_.engine.calibration.enabled = true;
+    config_.engine.calibration.target_quantile =
+        target_quantile_for(config_.calibration.percentile);
+  }
   shards_.reserve(config.shards);
   for (std::size_t i = 0; i < config.shards; ++i) {
     ShardConfig sc;
-    sc.engine = config.engine;
+    sc.engine = config_.engine;
     sc.index = i;
     sc.max_queue = config.max_queue_per_shard;
     sc.threaded = config.threaded;
@@ -55,7 +63,68 @@ std::size_t TeleopGateway::pump(std::uint64_t now_ms, std::size_t max) {
   if (!config_.threaded) {
     for (auto& shard : shards_) shard->process_pending();
   }
+  if (config_.calibration.enabled &&
+      (now_ms - last_drift_scan_ms_ >= config_.calibration.scan_period_ms ||
+       last_drift_scan_ms_ == 0)) {
+    last_drift_scan_ms_ = now_ms;
+    (void)scan_drift_now(now_ms);
+  }
   return drained;
+}
+
+std::size_t TeleopGateway::scan_drift_now(std::uint64_t now_ms) {
+  if (!config_.calibration.enabled) return 0;
+  const CalibrationPolicy& policy = config_.calibration;
+  auto& reg = obs::Registry::global();
+  std::size_t newly_drifted = 0;
+  for (auto& shard : shards_) {
+    std::uint64_t checked = 0;
+    const auto alarms = shard->scan_drift(policy.committed, policy.percentile, policy.max_ratio,
+                                          policy.min_samples, &checked);
+    reg.add(drift_check_counter_, checked);
+    newly_drifted += alarms.size();
+    for (const GatewayShard::DriftAlarm& alarm : alarms) {
+      reg.add(drift_alarm_counter_);
+      if (config_.events != nullptr) {
+        config_.events->emit(
+            "cal_drift", std::nullopt,
+            {{"session", static_cast<std::uint64_t>(alarm.session)},
+             {"now_ms", now_ms},
+             {"variable", static_cast<std::uint64_t>(alarm.verdict.worst.variable)},
+             {"axis", static_cast<std::uint64_t>(alarm.verdict.worst.axis)},
+             {"observed", alarm.verdict.worst.observed},
+             {"committed", alarm.verdict.worst.committed},
+             {"ratio", alarm.verdict.worst.ratio},
+             {"samples", alarm.verdict.samples}});
+      }
+    }
+    if (checked != 0 || !alarms.empty()) {
+      const std::lock_guard<std::mutex> lock(table_mutex_);
+      stats_.drift_checks += checked;
+      stats_.drift_alarms += alarms.size();
+    }
+  }
+  return newly_drifted;
+}
+
+Result<ThresholdSketch> TeleopGateway::cohort_sketch() const {
+  // Gather per-session sketches from every shard, then merge in globally
+  // ascending session-id order — the fixed order that makes the cohort
+  // sketch (and its digest) invariant under the shard count.
+  std::vector<std::pair<std::uint32_t, ThresholdSketch>> all;
+  for (const auto& shard : shards_) {
+    auto sketches = shard->session_sketches();
+    all.insert(all.end(), std::make_move_iterator(sketches.begin()),
+               std::make_move_iterator(sketches.end()));
+  }
+  if (all.empty()) {
+    return Error(ErrorCode::kNotReady, "cohort_sketch: no session has a calibration sketch");
+  }
+  std::sort(all.begin(), all.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  ThresholdSketch cohort(all.front().second.target_quantile());
+  for (const auto& [id, sketch] : all) cohort.merge(sketch);
+  return cohort;
 }
 
 void TeleopGateway::drain() {

@@ -35,12 +35,34 @@
 #include <vector>
 
 #include "defense/mac.hpp"
+#include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "svc/session.hpp"
 #include "svc/shard.hpp"
 #include "svc/transport.hpp"
 
 namespace rg::svc {
+
+/// Gateway-side calibration policy: per-session streaming sketches plus
+/// periodic drift checks against the cohort's committed thresholds.
+/// When a session's sketch quantile exceeds committed * max_ratio the
+/// gateway raises one `cal_drift` safety event for it (latched until the
+/// session closes), bumps rg.cal.drift_alarms, and counts it in
+/// GatewayStats::drift_alarms — the operational signal that the rolled-
+/// out calibration epoch no longer bounds live traffic (docs/thresholds.md).
+struct CalibrationPolicy {
+  bool enabled = false;
+  /// The active epoch's thresholds (the drift baseline).
+  DetectionThresholds committed{};
+  /// Percentile compared against the committed thresholds.
+  double percentile = kDefaultThresholdPercentile;
+  /// Drift when observed quantile > committed * max_ratio on any axis.
+  double max_ratio = 1.25;
+  /// Sessions younger than this many valid predictions never drift.
+  std::uint64_t min_samples = 512;
+  /// Drift scans are throttled to this pump-time period.
+  std::uint64_t scan_period_ms = 100;
+};
 
 struct GatewayConfig {
   SessionEngineConfig engine{};
@@ -59,6 +81,11 @@ struct GatewayConfig {
   bool verify_checksum = true;
   /// Session plant seeds = base + session id.
   std::uint64_t plant_seed_base = 1;
+  /// Streaming calibration + drift alarms (off by default).
+  CalibrationPolicy calibration{};
+  /// Optional safety-event sink for `cal_drift` records (must outlive the
+  /// gateway; nullptr = events dropped, counters still advance).
+  obs::EventLog* events = nullptr;
 };
 
 /// Gateway-wide ingest accounting (monotonic; snapshot via stats()).
@@ -78,6 +105,8 @@ struct GatewayStats {
   std::uint64_t sessions_opened = 0;
   std::uint64_t sessions_evicted = 0;
   std::uint64_t active_sessions = 0;
+  std::uint64_t drift_checks = 0;  ///< session drift evaluations performed
+  std::uint64_t drift_alarms = 0;  ///< sessions that raised a drift alarm
 };
 
 /// Merged per-session view: the pump side's ingest counters plus the
@@ -118,6 +147,18 @@ class TeleopGateway {
   [[nodiscard]] std::vector<SessionStats> sessions() const;
   [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
 
+  /// Merged calibration sketch over every *active* session, merged in
+  /// globally ascending session-id order — invariant under the shard
+  /// count.  kNotReady when calibration is disabled or no session has a
+  /// sketch.  Call while the gateway is drained (the per-session sketches
+  /// are copied under each shard's state lock).
+  [[nodiscard]] Result<ThresholdSketch> cohort_sketch() const;
+
+  /// Run one drift scan immediately (pump() calls this on its throttle;
+  /// tests and drained gateways can force it).  Returns newly drifted
+  /// sessions.
+  std::size_t scan_drift_now(std::uint64_t now_ms);
+
  private:
   struct SessionRecord {
     std::uint32_t id = 0;
@@ -149,11 +190,14 @@ class TeleopGateway {
   GatewayStats stats_{};
   std::uint32_t next_session_id_ = 1;
   std::uint64_t last_evict_scan_ms_ = 0;
+  std::uint64_t last_drift_scan_ms_ = 0;
   bool shut_down_ = false;
 
   obs::MetricId ingest_counter_;
   obs::MetricId accept_counter_;
   obs::MetricId reject_counter_;
+  obs::MetricId drift_check_counter_;
+  obs::MetricId drift_alarm_counter_;
 };
 
 }  // namespace rg::svc

@@ -27,6 +27,9 @@ SessionEngine::SessionEngine(const SessionEngineConfig& config)
       pipeline_(config.detection) {
   plant_.set_joint_config(config_.initial_joints.value_or(default_initial_joints(config_.control)));
   board_.latch_encoders(plant_.motor_positions(), plant_.wrist_positions());
+  if (config_.calibration.enabled) {
+    sketch_ = std::make_unique<ThresholdSketch>(config_.calibration.target_quantile);
+  }
 }
 
 RG_REALTIME void SessionEngine::tick_begin(std::optional<std::span<const std::uint8_t>> itp) {
@@ -71,6 +74,7 @@ RG_REALTIME void SessionEngine::tick_resolve(const RavenDynamicsModel::State& ne
     }
   }
   fold_digest(out);
+  if (sketch_) sketch_->observe(out.prediction);
 
   // The board refuses malformed commands and keeps its previous latch.  An
   // in-process encode can't be malformed, but if the tick scratch were ever

@@ -17,17 +17,30 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 
 #include "common/realtime.hpp"
 #include "control/control_software.hpp"
 #include "core/pipeline.hpp"
+#include "core/quantile_sketch.hpp"
 #include "hw/plc.hpp"
 #include "hw/usb_board.hpp"
 #include "plant/physical_robot.hpp"
 
 namespace rg::svc {
+
+/// Per-session streaming calibration: when enabled the engine feeds every
+/// valid prediction into a ThresholdSketch on the tick path (observe() is
+/// RG_REALTIME), so the gateway can compare a live session's quantiles
+/// against its cohort's committed thresholds (drift detection) and merge
+/// session sketches into a cohort calibration.
+struct SessionCalibrationConfig {
+  bool enabled = false;
+  /// Quantile the sketch tracks exactly (see target_quantile_for()).
+  double target_quantile = kDefaultThresholdPercentile / 100.0;
+};
 
 struct SessionEngineConfig {
   ControlConfig control{};
@@ -35,6 +48,7 @@ struct SessionEngineConfig {
   PlcConfig plc{};
   MotorChannelConfig channel{};
   PipelineConfig detection{};
+  SessionCalibrationConfig calibration{};
   /// Plant start configuration (defaults to just off the homing target,
   /// as in the simulation harness, so homing does real work).
   std::optional<JointVector> initial_joints{};
@@ -87,6 +101,13 @@ class SessionEngine {
   /// tests/test_gateway.cpp asserts.
   [[nodiscard]] std::uint64_t verdict_digest() const noexcept { return digest_; }
 
+  /// The session's streaming calibration sketch, or nullptr when
+  /// calibration is disabled.  Owned by the engine; read it only from the
+  /// thread that advances the session (the owning shard).
+  [[nodiscard]] const ThresholdSketch* calibration_sketch() const noexcept {
+    return sketch_.get();
+  }
+
  private:
   RG_REALTIME void fold_digest(const DetectionPipeline::Outcome& out) noexcept;
 
@@ -103,6 +124,10 @@ class SessionEngine {
   bool screened_ = false;
   PlantDrive drive_{};
   FeedbackBytes feedback_{};
+
+  /// Heap-allocated (once, at construction) so disabled sessions don't
+  /// pay the sketch's ~74 KB of exact-phase buffers.
+  std::unique_ptr<ThresholdSketch> sketch_;
 
   bool started_ = false;
   std::uint64_t ticks_ = 0;

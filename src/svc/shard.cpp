@@ -231,4 +231,36 @@ std::uint64_t GatewayShard::ticks() const noexcept {
   return total_ticks_;
 }
 
+std::vector<GatewayShard::DriftAlarm> GatewayShard::scan_drift(
+    const DetectionThresholds& committed, double percentile_value, double max_ratio,
+    std::uint64_t min_samples, std::uint64_t* checked) {
+  std::vector<DriftAlarm> alarms;
+  std::uint64_t examined = 0;
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  for (auto& [id, ls] : sessions_) {  // std::map: ascending id, deterministic
+    if (ls->drift_latched) continue;
+    const ThresholdSketch* sketch = ls->engine.calibration_sketch();
+    if (sketch == nullptr) continue;
+    ++examined;
+    const DriftVerdict verdict =
+        check_drift(*sketch, committed, percentile_value, max_ratio, min_samples);
+    if (verdict.drifted) {
+      ls->drift_latched = true;
+      alarms.push_back(DriftAlarm{id, verdict});
+    }
+  }
+  if (checked != nullptr) *checked = examined;
+  return alarms;
+}
+
+std::vector<std::pair<std::uint32_t, ThresholdSketch>> GatewayShard::session_sketches() const {
+  std::vector<std::pair<std::uint32_t, ThresholdSketch>> out;
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  for (const auto& [id, ls] : sessions_) {
+    const ThresholdSketch* sketch = ls->engine.calibration_sketch();
+    if (sketch != nullptr) out.emplace_back(id, *sketch);
+  }
+  return out;
+}
+
 }  // namespace rg::svc

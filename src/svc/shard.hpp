@@ -93,11 +93,36 @@ class GatewayShard {
   [[nodiscard]] std::optional<ShardSessionStats> session_stats(std::uint32_t id) const;
   [[nodiscard]] std::uint64_t ticks() const noexcept;
 
+  /// One newly drifted session found by a drift scan.
+  struct DriftAlarm {
+    std::uint32_t session = 0;
+    DriftVerdict verdict{};
+  };
+
+  /// Compare every active session's calibration sketch against the
+  /// committed thresholds (core/quantile_sketch.hpp check_drift) and
+  /// return the sessions that *newly* drifted — each session alarms at
+  /// most once (latched until it is closed).  Sessions are scanned in
+  /// ascending id, so the result is deterministic.  `checked` (optional)
+  /// receives the number of sessions examined.  Runs off the tick path,
+  /// under the shard's state lock.
+  [[nodiscard]] std::vector<DriftAlarm> scan_drift(const DetectionThresholds& committed,
+                                                   double percentile_value, double max_ratio,
+                                                   std::uint64_t min_samples,
+                                                   std::uint64_t* checked = nullptr);
+
+  /// Copies of the active sessions' calibration sketches keyed by session
+  /// id (empty when calibration is disabled).  The gateway merges these
+  /// across shards in globally ascending id order, so the cohort sketch
+  /// is invariant under the shard count.
+  [[nodiscard]] std::vector<std::pair<std::uint32_t, ThresholdSketch>> session_sketches() const;
+
  private:
   struct LocalSession {
     explicit LocalSession(const SessionEngineConfig& cfg) : engine(cfg) {}
     SessionEngine engine;
     std::deque<std::pair<ItpBytes, std::uint64_t>> mailbox;
+    bool drift_latched = false;  ///< session already raised its drift alarm
   };
 
   void worker_loop();

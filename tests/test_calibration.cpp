@@ -1,0 +1,336 @@
+// Streaming threshold calibration: the quantile sketch, its merge
+// determinism, the batch-agreement guarantee, the CalibrationSession
+// campaign path, and the epoch-based ThresholdStore v3 format.
+//
+// The load-bearing claims verified here (docs/thresholds.md):
+//   * exact phase == math/stats.hpp percentile, bit for bit, on the
+//     paper's 600-run corpus (ε = 0);
+//   * estimator phase within kEstimatorEpsilon at the target quantile;
+//   * merged sketches are digest-identical at any partition of the same
+//     sample set (worker × lane × shard invariance);
+//   * epoch commits round-trip, rollbacks keep history, and truncated or
+//     corrupt v3 files fail explicitly instead of yielding thresholds.
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/quantile_sketch.hpp"
+#include "core/thresholds.hpp"
+#include "math/stats.hpp"
+#include "sim/calibration.hpp"
+#include "sim/campaign.hpp"
+#include "sim/threshold_store.hpp"
+
+namespace rg {
+namespace {
+
+std::vector<double> corpus(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(0.0, 10.0);
+  std::vector<double> xs(n);
+  for (double& x : xs) x = dist(rng);
+  return xs;
+}
+
+// --- QuantileSketch: exact phase ------------------------------------------------------
+
+TEST(QuantileSketch, ExactPhaseBitMatchesBatchPercentile) {
+  // The paper's corpus: 600 per-run maxima — well inside kExactCapacity.
+  const std::vector<double> xs = corpus(600, 7);
+  QuantileSketch sketch;
+  for (double x : xs) sketch.add(x);
+  ASSERT_TRUE(sketch.exact());
+  ASSERT_EQ(sketch.count(), 600u);
+  for (double p : {0.0, 0.25, 0.5, 0.9, 0.9985, 1.0}) {
+    const Result<double> q = sketch.quantile(p);
+    ASSERT_TRUE(q.ok());
+    // Bit-exact agreement with the batch pass, not just approximate.
+    EXPECT_EQ(q.value(), percentile(xs, 100.0 * p)) << "p=" << p;
+  }
+}
+
+TEST(QuantileSketch, EmptyAndBadArguments) {
+  const QuantileSketch sketch;
+  EXPECT_EQ(sketch.quantile(0.5).error().code(), ErrorCode::kNotReady);
+  QuantileSketch fed;
+  fed.add(1.0);
+  EXPECT_EQ(fed.quantile(-0.1).error().code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(fed.quantile(1.1).error().code(), ErrorCode::kInvalidArgument);
+  EXPECT_THROW(QuantileSketch{0.0}, std::invalid_argument);
+  EXPECT_THROW(QuantileSketch{1.0}, std::invalid_argument);
+}
+
+TEST(QuantileSketch, NonFiniteSamplesIgnored) {
+  QuantileSketch sketch;
+  sketch.add(std::numeric_limits<double>::quiet_NaN());
+  sketch.add(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(sketch.count(), 0u);
+  sketch.add(2.0);
+  EXPECT_EQ(sketch.count(), 1u);
+  EXPECT_EQ(sketch.quantile(0.5).value(), 2.0);
+}
+
+TEST(QuantileSketch, ExactMergePartitionInvariant) {
+  const std::vector<double> xs = corpus(600, 11);
+  QuantileSketch whole;
+  for (double x : xs) whole.add(x);
+
+  for (std::size_t parts : {2u, 3u, 5u, 8u}) {
+    std::vector<QuantileSketch> shards(parts, QuantileSketch{});
+    for (std::size_t i = 0; i < xs.size(); ++i) shards[i % parts].add(xs[i]);
+    QuantileSketch merged;
+    for (const QuantileSketch& s : shards) merged.merge(s);
+    ASSERT_TRUE(merged.exact());
+    EXPECT_EQ(merged.digest(), whole.digest()) << parts << " partitions";
+    EXPECT_EQ(merged.quantile(0.9985).value(), whole.quantile(0.9985).value());
+  }
+}
+
+TEST(QuantileSketch, MergeRejectsMismatchedTargets) {
+  QuantileSketch a(0.9985);
+  QuantileSketch b(0.5);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+// --- QuantileSketch: estimator phase --------------------------------------------------
+
+TEST(QuantileSketch, EstimatorPhaseWithinEpsilon) {
+  // 50k uniform samples on [0, 10): true target quantile is 9.985.
+  const std::size_t n = 50000;
+  const std::vector<double> xs = corpus(n, 13);
+  QuantileSketch sketch;
+  for (double x : xs) sketch.add(x);
+  EXPECT_FALSE(sketch.exact());
+  EXPECT_EQ(sketch.count(), n);
+  const double truth = percentile(xs, 99.85);
+  const double est = sketch.quantile(sketch.target_quantile()).value();
+  EXPECT_NEAR(est, truth, QuantileSketch::kEstimatorEpsilon * truth);
+}
+
+TEST(QuantileSketch, EstimatorMergeDeterministicAndBounded) {
+  const std::vector<double> xs = corpus(40000, 17);
+  QuantileSketch a, b;
+  for (std::size_t i = 0; i < xs.size(); ++i) (i % 2 == 0 ? a : b).add(xs[i]);
+
+  QuantileSketch m1 = a;
+  m1.merge(b);
+  QuantileSketch m2 = a;
+  m2.merge(b);
+  // Same states, same order => byte-identical result.
+  EXPECT_EQ(m1.digest(), m2.digest());
+  const double truth = percentile(xs, 99.85);
+  const double est = m1.quantile(m1.target_quantile()).value();
+  EXPECT_NEAR(est, truth, QuantileSketch::kEstimatorEpsilon * truth);
+}
+
+// --- ThresholdSketch ------------------------------------------------------------------
+
+Prediction run_maxima_prediction(double scale) {
+  Prediction p;
+  p.valid = true;
+  p.motor_instant_vel = Vec3{1.0 * scale, 2.0 * scale, 3.0 * scale};
+  p.motor_instant_acc = Vec3{10.0 * scale, 20.0 * scale, 30.0 * scale};
+  p.joint_instant_vel = Vec3{0.1 * scale, 0.2 * scale, 0.3 * scale};
+  return p;
+}
+
+TEST(ThresholdSketch, BitMatchesThresholdLearnerOn600Runs) {
+  // Identical per-run maxima into both paths: the batch learner and the
+  // streaming sketch must extract byte-identical thresholds.
+  std::mt19937_64 rng(19);
+  std::uniform_real_distribution<double> dist(0.5, 4.0);
+  ThresholdLearner learner;
+  ThresholdSketch sketch;
+  for (int run = 0; run < 600; ++run) {
+    const Prediction p = run_maxima_prediction(dist(rng));
+    learner.observe(p);
+    learner.end_run();
+    sketch.commit_maxima(p.motor_instant_vel, p.motor_instant_acc, p.joint_instant_vel);
+  }
+  const DetectionThresholds batch = learner.learn(99.85, 1.1).value();
+  const DetectionThresholds stream = sketch.extract(99.85, 1.1).value();
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(stream.motor_vel[i], batch.motor_vel[i]) << i;
+    EXPECT_EQ(stream.motor_acc[i], batch.motor_acc[i]) << i;
+    EXPECT_EQ(stream.joint_vel[i], batch.joint_vel[i]) << i;
+  }
+}
+
+TEST(ThresholdSketch, ExtractValidates) {
+  ThresholdSketch empty;
+  EXPECT_EQ(empty.extract().error().code(), ErrorCode::kNotReady);
+  ThresholdSketch fed;
+  fed.commit_maxima(Vec3::filled(1.0), Vec3::filled(1.0), Vec3::filled(1.0));
+  EXPECT_EQ(fed.extract(101.0).error().code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(fed.extract(99.85, 0.0).error().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(ThresholdSketch, ObserveFeedsAllNineAxes) {
+  ThresholdSketch sketch;
+  sketch.observe(run_maxima_prediction(1.0));
+  sketch.observe(Prediction{});  // invalid -> ignored
+  EXPECT_EQ(sketch.count(), 1u);
+  EXPECT_EQ(sketch.axis(0, 2).quantile(0.5).value(), 3.0);   // motor_vel z
+  EXPECT_EQ(sketch.axis(1, 0).quantile(0.5).value(), 10.0);  // motor_acc x
+  EXPECT_EQ(sketch.axis(2, 1).quantile(0.5).value(), 0.2);   // joint_vel y
+}
+
+TEST(ThresholdSketch, MergePartitionInvariantDigests) {
+  std::mt19937_64 rng(23);
+  std::uniform_real_distribution<double> dist(0.5, 4.0);
+  std::vector<Prediction> runs;
+  for (int i = 0; i < 240; ++i) runs.push_back(run_maxima_prediction(dist(rng)));
+
+  const auto merged_over = [&](std::size_t parts) {
+    std::vector<ThresholdSketch> shards(parts, ThresholdSketch{});
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const Prediction& p = runs[i];
+      shards[i % parts].commit_maxima(p.motor_instant_vel, p.motor_instant_acc,
+                                      p.joint_instant_vel);
+    }
+    ThresholdSketch out;
+    for (const ThresholdSketch& s : shards) out.merge(s);
+    return out.digest();
+  };
+  const std::uint64_t reference = merged_over(1);
+  EXPECT_EQ(merged_over(2), reference);
+  EXPECT_EQ(merged_over(4), reference);
+  EXPECT_EQ(merged_over(7), reference);
+}
+
+// --- check_drift ----------------------------------------------------------------------
+
+TEST(CheckDrift, GatesOnSamplesAndFindsWorstAxis) {
+  DetectionThresholds committed;
+  committed.motor_vel = Vec3::filled(2.0);
+  committed.motor_acc = Vec3::filled(20.0);
+  committed.joint_vel = Vec3::filled(0.2);
+
+  ThresholdSketch sketch;
+  // Every observation doubles the committed joint_vel z-axis budget; the
+  // other axes stay within limits.
+  Prediction p;
+  p.valid = true;
+  p.motor_instant_vel = Vec3::filled(1.0);
+  p.motor_instant_acc = Vec3::filled(10.0);
+  p.joint_instant_vel = Vec3{0.1, 0.1, 0.4};
+  for (int i = 0; i < 64; ++i) sketch.observe(p);
+
+  // Below min_samples: never drifted, whatever the data says.
+  EXPECT_FALSE(check_drift(sketch, committed, 99.85, 1.25, 128).drifted);
+
+  const DriftVerdict verdict = check_drift(sketch, committed, 99.85, 1.25, 32);
+  ASSERT_TRUE(verdict.drifted);
+  EXPECT_EQ(verdict.samples, 64u);
+  EXPECT_EQ(verdict.worst.variable, 2u);  // joint_vel
+  EXPECT_EQ(verdict.worst.axis, 2u);
+  EXPECT_DOUBLE_EQ(verdict.worst.ratio, 0.4 / 0.2);
+
+  // A generous ratio ceiling tolerates the same data.
+  EXPECT_FALSE(check_drift(sketch, committed, 99.85, 2.5, 32).drifted);
+}
+
+// --- CalibrationSession + campaign ----------------------------------------------------
+
+TEST(CalibrationSession, CommitsPerRunMaxima) {
+  CalibrationSession session;
+  session.observe(run_maxima_prediction(1.0));
+  session.observe(run_maxima_prediction(3.0));  // the run's maxima
+  EXPECT_EQ(session.runs(), 0u);                // nothing until end_run
+  session.end_run();
+  EXPECT_EQ(session.runs(), 1u);
+  const DetectionThresholds th = session.extract(100.0, 1.0).value();
+  EXPECT_EQ(th.motor_vel[0], 3.0);
+  EXPECT_EQ(th.motor_acc[2], 90.0);
+
+  CalibrationSession empty;
+  EXPECT_EQ(empty.extract().error().code(), ErrorCode::kNotReady);
+}
+
+TEST(CalibrationSession, CampaignDigestInvariantAcrossWorkers) {
+  SessionParams base;
+  base.seed = 42;
+  base.duration_sec = 2.0;
+  LearnOptions serial;
+  serial.jobs = 1;
+  LearnOptions parallel;
+  parallel.jobs = 4;
+  const Result<CalibrationSession> a = run_calibration_campaign(base, 8, serial);
+  const Result<CalibrationSession> b = run_calibration_campaign(base, 8, parallel);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().runs(), 8u);
+  EXPECT_EQ(a.value().digest(), b.value().digest());
+
+  const DetectionThresholds ta = a.value().extract().value();
+  const DetectionThresholds tb = b.value().extract().value();
+  EXPECT_EQ(ta.motor_vel, tb.motor_vel);
+  EXPECT_EQ(ta.motor_acc, tb.motor_acc);
+  EXPECT_EQ(ta.joint_vel, tb.joint_vel);
+
+  EXPECT_EQ(run_calibration_campaign(base, 0).error().code(), ErrorCode::kInvalidArgument);
+}
+
+// --- ThresholdStore v3 corruption -----------------------------------------------------
+
+DetectionThresholds simple_thresholds() {
+  DetectionThresholds th;
+  th.motor_vel = Vec3{1.0, 2.0, 3.0};
+  th.motor_acc = Vec3{10.0, 20.0, 30.0};
+  th.joint_vel = Vec3{0.1, 0.2, 0.3};
+  return th;
+}
+
+TEST(ThresholdStoreV3, TruncatedEpochRecordFailsExplicitly) {
+  const std::string path = "/tmp/rg_test_cal_truncated.txt";
+  {
+    ThresholdStore store(path);
+    ASSERT_TRUE(store.commit(simple_thresholds(), {}).ok());
+  }
+  // Chop the value line in half: the record header parses, the payload
+  // must not.
+  std::string text;
+  {
+    std::ifstream is(path);
+    std::getline(is, text, '\0');
+  }
+  {
+    std::ofstream os(path, std::ios::trunc);
+    os << text.substr(0, text.size() - 20);
+  }
+  ThresholdStore store(path);
+  const auto active = store.active();
+  ASSERT_FALSE(active.ok());
+  EXPECT_EQ(active.error().code(), ErrorCode::kMalformedPacket);
+  std::filesystem::remove(path);
+}
+
+TEST(ThresholdStoreV3, GarbageAndDanglingActiveFail) {
+  const std::string path = "/tmp/rg_test_cal_garbage.txt";
+  {
+    std::ofstream os(path);
+    os << "raven-guard-thresholds 3\nnot-an-epoch 12\n";
+  }
+  ThresholdStore garbage(path);
+  EXPECT_EQ(garbage.active().error().code(), ErrorCode::kMalformedPacket);
+
+  {
+    std::ofstream os(path, std::ios::trunc);
+    os << "raven-guard-thresholds 3\n"
+          "epoch 0 parent -1 runs 1 percentile 99.85 margin 1 source test\n"
+          "1 2 3 4 5 6 7 8 9\n"
+          "active 7\n";  // names an epoch that does not exist
+  }
+  ThresholdStore dangling(path);
+  EXPECT_EQ(dangling.active().error().code(), ErrorCode::kMalformedPacket);
+  EXPECT_EQ(dangling.history().error().code(), ErrorCode::kMalformedPacket);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace rg

@@ -93,8 +93,8 @@ TEST(Campaign, LearnedThresholdsIdenticalAcrossWorkerCounts) {
   serial.jobs = 1;
   LearnOptions parallel;
   parallel.jobs = 8;
-  const DetectionThresholds a = learn_thresholds(base, 16, serial);
-  const DetectionThresholds b = learn_thresholds(base, 16, parallel);
+  const DetectionThresholds a = learn_thresholds(base, 16, serial).value();
+  const DetectionThresholds b = learn_thresholds(base, 16, parallel).value();
   EXPECT_EQ(a.motor_vel, b.motor_vel);
   EXPECT_EQ(a.motor_acc, b.motor_acc);
   EXPECT_EQ(a.joint_vel, b.joint_vel);

@@ -122,7 +122,7 @@ TEST(ThresholdLearner, LearnsPerRunMaxima) {
   }
   EXPECT_EQ(learner.runs(), 10u);
   // Run r's max is 5r; the 100th percentile over runs is 50.
-  const DetectionThresholds th = learner.learn(100.0);
+  const DetectionThresholds th = learner.learn(100.0).value();
   EXPECT_NEAR(th.motor_vel[0], 50.0, 1e-9);
   EXPECT_NEAR(th.motor_acc[0], 500.0, 1e-9);
   EXPECT_NEAR(th.joint_vel[0], 5.0, 1e-9);
@@ -132,7 +132,7 @@ TEST(ThresholdLearner, MarginScales) {
   ThresholdLearner learner;
   learner.observe(fake_prediction(1.0));
   learner.end_run();
-  const DetectionThresholds th = learner.learn(100.0, 2.0);
+  const DetectionThresholds th = learner.learn(100.0, 2.0).value();
   EXPECT_NEAR(th.motor_vel[0], 2.0, 1e-12);
 }
 
@@ -142,7 +142,18 @@ TEST(ThresholdLearner, InvalidPredictionsIgnored) {
   learner.observe(invalid);
   learner.end_run();  // nothing recorded -> no run committed
   EXPECT_EQ(learner.runs(), 0u);
-  EXPECT_THROW((void)learner.learn(), std::invalid_argument);
+  const Result<DetectionThresholds> learned = learner.learn();
+  ASSERT_FALSE(learned.ok());
+  EXPECT_EQ(learned.error().code(), ErrorCode::kNotReady);
+}
+
+TEST(ThresholdLearner, LearnValidatesArguments) {
+  ThresholdLearner learner;
+  learner.observe(fake_prediction(1.0));
+  learner.end_run();
+  EXPECT_EQ(learner.learn(-1.0).error().code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(learner.learn(101.0).error().code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(learner.learn(99.0, 0.0).error().code(), ErrorCode::kInvalidArgument);
 }
 
 TEST(ThresholdLearner, Reset) {

@@ -30,7 +30,7 @@ SessionParams base_session(std::uint64_t seed) {
 class DetectionE2E : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    thresholds_ = new DetectionThresholds(learn_thresholds(base_session(42), 25));
+    thresholds_ = new DetectionThresholds(learn_thresholds(base_session(42), 25).value());
   }
   static void TearDownTestSuite() {
     delete thresholds_;

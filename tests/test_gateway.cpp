@@ -315,6 +315,91 @@ TEST(Gateway, VerdictStreamsInvariantUnderShardCount) {
   EXPECT_GT(digests.size(), 1u);
 }
 
+// --- streaming calibration: drift alarms + cohort sketch -------------------
+
+TEST(Gateway, DriftAlarmsLatchCountAndEmitEvents) {
+  std::vector<std::vector<ItpBytes>> streams;
+  for (std::size_t s = 0; s < 3; ++s) streams.push_back(console_stream(s, 300));
+
+  LoopbackTransport transport;
+  obs::EventLog events;
+  GatewayConfig cfg = inline_config();
+  cfg.calibration.enabled = true;
+  // A committed baseline no live traffic can satisfy: every session must
+  // drift as soon as it clears the sample gate.
+  cfg.calibration.committed.motor_vel = Vec3::filled(1.0e-12);
+  cfg.calibration.committed.motor_acc = Vec3::filled(1.0e-12);
+  cfg.calibration.committed.joint_vel = Vec3::filled(1.0e-12);
+  cfg.calibration.min_samples = 16;
+  cfg.events = &events;
+  TeleopGateway gateway(cfg, transport);
+
+  for (std::size_t t = 0; t < streams.front().size(); ++t) {
+    for (std::size_t s = 0; s < streams.size(); ++s) {
+      inject(transport, ep(static_cast<std::uint16_t>(2000 + s)), streams[s][t]);
+    }
+  }
+  pump_all(gateway, transport, 1);
+  (void)gateway.scan_drift_now(2);
+
+  // Each session alarms exactly once (latched), however many scans ran.
+  EXPECT_EQ(gateway.scan_drift_now(3), 0u);
+  const GatewayStats stats = gateway.stats();
+  EXPECT_EQ(stats.drift_alarms, 3u);
+  EXPECT_GT(stats.drift_checks, 0u);
+  ASSERT_EQ(events.size(), 3u);
+  for (const std::string& line : events.lines()) {
+    EXPECT_NE(line.find("\"kind\": \"cal_drift\""), std::string::npos) << line;
+    EXPECT_NE(line.find("\"ratio\""), std::string::npos) << line;
+  }
+  gateway.shutdown();
+}
+
+TEST(Gateway, CohortSketchInvariantUnderShardCount) {
+  std::vector<std::vector<ItpBytes>> streams;
+  for (std::size_t s = 0; s < 5; ++s) streams.push_back(console_stream(s, 250));
+
+  const auto cohort_digest = [&](std::size_t shards) {
+    LoopbackTransport transport;
+    GatewayConfig cfg = inline_config();
+    cfg.shards = shards;
+    cfg.calibration.enabled = true;
+    // Generous baseline: no drift, we only exercise the sketches.
+    cfg.calibration.committed.motor_vel = Vec3::filled(1.0e12);
+    cfg.calibration.committed.motor_acc = Vec3::filled(1.0e12);
+    cfg.calibration.committed.joint_vel = Vec3::filled(1.0e12);
+    TeleopGateway gateway(cfg, transport);
+    for (std::size_t t = 0; t < streams.front().size(); ++t) {
+      for (std::size_t s = 0; s < streams.size(); ++s) {
+        inject(transport, ep(static_cast<std::uint16_t>(3000 + s)), streams[s][t]);
+      }
+    }
+    pump_all(gateway, transport, 1);
+    const Result<ThresholdSketch> cohort = gateway.cohort_sketch();
+    gateway.shutdown();
+    return cohort;
+  };
+
+  const Result<ThresholdSketch> one = cohort_digest(1);
+  const Result<ThresholdSketch> three = cohort_digest(3);
+  const Result<ThresholdSketch> five = cohort_digest(5);
+  ASSERT_TRUE(one.ok());
+  ASSERT_TRUE(three.ok());
+  ASSERT_TRUE(five.ok());
+  EXPECT_GT(one.value().count(), 0u);
+  EXPECT_EQ(one.value().digest(), three.value().digest());
+  EXPECT_EQ(one.value().digest(), five.value().digest());
+}
+
+TEST(Gateway, CohortSketchNotReadyWhenCalibrationOff) {
+  LoopbackTransport transport;
+  TeleopGateway gateway(inline_config(), transport);
+  inject(transport, ep(4000), packet_with_sequence(1));
+  pump_all(gateway, transport, 1);
+  EXPECT_EQ(gateway.cohort_sketch().error().code(), ErrorCode::kNotReady);
+  gateway.shutdown();
+}
+
 // --- threaded pump/stats concurrency (TSan coverage) -----------------------
 
 TEST(Gateway, ConcurrentInjectPumpAndSnapshot) {

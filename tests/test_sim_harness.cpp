@@ -74,28 +74,43 @@ TEST(SimHarness, RunOutcomeAccessors) {
   EXPECT_TRUE(out.adverse_impact());
 }
 
-TEST(ThresholdStore, SaveLoadRoundTrip) {
+DetectionThresholds sample_thresholds(double scale = 1.0) {
   DetectionThresholds th;
-  th.motor_vel = Vec3{1.5, 2.5, 3.5};
-  th.motor_acc = Vec3{100.0, 200.0, 300.0};
-  th.joint_vel = Vec3{0.1, 0.2, 0.3};
-  ThresholdStore store("/tmp/rg_test_thresholds.txt");
-  ASSERT_TRUE(store.save(th).ok());
+  th.motor_vel = Vec3{1.5 * scale, 2.5 * scale, 3.5 * scale};
+  th.motor_acc = Vec3{100.0 * scale, 200.0 * scale, 300.0 * scale};
+  th.joint_vel = Vec3{0.1 * scale, 0.2 * scale, 0.3 * scale};
+  return th;
+}
+
+TEST(ThresholdStore, CommitActiveRoundTrip) {
+  const std::string path = "/tmp/rg_test_thresholds.txt";
+  std::filesystem::remove(path);
+  const DetectionThresholds th = sample_thresholds();
+  ThresholdStore store(path);
+  ThresholdProvenance prov;
+  prov.source = "unit test";
+  prov.runs = 7;
+  const auto id = store.commit(th, prov);
+  ASSERT_TRUE(id.ok());
   EXPECT_TRUE(store.present());
-  const auto loaded = store.load();
-  ASSERT_TRUE(loaded.ok());
-  EXPECT_EQ(loaded.value().motor_vel, th.motor_vel);
-  EXPECT_EQ(loaded.value().motor_acc, th.motor_acc);
-  EXPECT_EQ(loaded.value().joint_vel, th.joint_vel);
-  std::filesystem::remove(store.path());
+  const auto active = store.active();
+  ASSERT_TRUE(active.ok());
+  EXPECT_EQ(active.value().id, id.value());
+  EXPECT_EQ(active.value().parent, ThresholdEpoch::kNoParent);
+  EXPECT_EQ(active.value().provenance.runs, 7u);
+  EXPECT_EQ(active.value().provenance.source, "unit-test");  // whitespace sanitized
+  EXPECT_EQ(active.value().thresholds.motor_vel, th.motor_vel);
+  EXPECT_EQ(active.value().thresholds.motor_acc, th.motor_acc);
+  EXPECT_EQ(active.value().thresholds.joint_vel, th.joint_vel);
+  std::filesystem::remove(path);
 }
 
 TEST(ThresholdStore, MissingFileReportsNotReady) {
   ThresholdStore store("/tmp/definitely_not_here_12345.txt");
   EXPECT_FALSE(store.present());
-  const auto loaded = store.load();
-  ASSERT_FALSE(loaded.ok());
-  EXPECT_EQ(loaded.error().code(), ErrorCode::kNotReady);
+  const auto active = store.active();
+  ASSERT_FALSE(active.ok());
+  EXPECT_EQ(active.error().code(), ErrorCode::kNotReady);
 }
 
 TEST(ThresholdStore, CorruptFileReportsMalformed) {
@@ -105,7 +120,7 @@ TEST(ThresholdStore, CorruptFileReportsMalformed) {
     os << "raven-guard-thresholds 2\n1.0 2.0 3.0\n";  // truncated: 3 of 9 values
   }
   ThresholdStore store(path);
-  const auto truncated = store.load();
+  const auto truncated = store.active();
   ASSERT_FALSE(truncated.ok());
   EXPECT_EQ(truncated.error().code(), ErrorCode::kMalformedPacket);
 
@@ -113,33 +128,77 @@ TEST(ThresholdStore, CorruptFileReportsMalformed) {
     std::ofstream os(path);
     os << "1 2 3 4 5 6 7 8 9\n";  // legacy headerless format
   }
-  const auto headerless = store.load();
+  const auto headerless = store.active();
   ASSERT_FALSE(headerless.ok());
   EXPECT_EQ(headerless.error().code(), ErrorCode::kMalformedPacket);
+
+  // A corrupt store must refuse commits rather than clobber history.
+  EXPECT_FALSE(store.commit(sample_thresholds(), {}).ok());
+  {
+    std::ifstream is(path);
+    std::string first;
+    std::getline(is, first);
+    EXPECT_EQ(first, "1 2 3 4 5 6 7 8 9");  // untouched
+  }
   std::filesystem::remove(path);
 }
 
-TEST(ThresholdStore, LoadOrLearnWritesCache) {
-  const std::string path = "/tmp/rg_test_threshold_cache.txt";
+TEST(ThresholdStore, EpochHistoryAndRollback) {
+  const std::string path = "/tmp/rg_test_threshold_epochs.txt";
   std::filesystem::remove(path);
-  SessionParams p;
-  p.seed = 60;
-  p.duration_sec = 3.0;
   ThresholdStore store(path);
-  int learns = 0;
-  const auto learner = [&]() {
-    ++learns;
-    return learn_thresholds(p, 2);
-  };
-  const DetectionThresholds th = store.load_or_learn(learner);
-  EXPECT_TRUE(std::filesystem::exists(path));
-  EXPECT_EQ(learns, 1);
-  // Second call loads the cache and must agree exactly.
-  const DetectionThresholds th2 = store.load_or_learn(learner);
-  EXPECT_EQ(learns, 1);
-  EXPECT_EQ(th.motor_vel, th2.motor_vel);
-  EXPECT_EQ(th.motor_acc, th2.motor_acc);
-  EXPECT_EQ(th.joint_vel, th2.joint_vel);
+  const auto e0 = store.commit(sample_thresholds(1.0), {});
+  const auto e1 = store.commit(sample_thresholds(2.0), {});
+  ASSERT_TRUE(e0.ok());
+  ASSERT_TRUE(e1.ok());
+  EXPECT_NE(e0.value(), e1.value());
+
+  const auto active = store.active();
+  ASSERT_TRUE(active.ok());
+  EXPECT_EQ(active.value().id, e1.value());
+  EXPECT_EQ(active.value().parent, static_cast<std::int64_t>(e0.value()));
+
+  const auto history = store.history();
+  ASSERT_TRUE(history.ok());
+  ASSERT_EQ(history.value().size(), 2u);
+  EXPECT_EQ(history.value()[0].id, e0.value());
+  EXPECT_EQ(history.value()[1].id, e1.value());
+
+  // Roll back to the first epoch; the history keeps both.
+  ASSERT_TRUE(store.rollback(e0.value()).ok());
+  const auto after = store.active();
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().id, e0.value());
+  EXPECT_EQ(after.value().thresholds.motor_vel, sample_thresholds(1.0).motor_vel);
+  EXPECT_EQ(store.history().value().size(), 2u);
+
+  // Rolling back to an unknown epoch is an explicit error.
+  EXPECT_EQ(store.rollback(999).error().code(), ErrorCode::kInvalidArgument);
+  std::filesystem::remove(path);
+}
+
+TEST(ThresholdStore, LegacyV2LoadsAsEpochZero) {
+  const std::string path = "/tmp/rg_test_threshold_v2.txt";
+  {
+    std::ofstream os(path);
+    os << "raven-guard-thresholds 2\n1.5 2.5 3.5 100 200 300 0.1 0.2 0.3\n";
+  }
+  ThresholdStore store(path);
+  const auto active = store.active();
+  ASSERT_TRUE(active.ok());
+  EXPECT_EQ(active.value().id, 0u);
+  EXPECT_EQ(active.value().provenance.source, "v2-migration");
+  EXPECT_EQ(active.value().thresholds.motor_vel, (Vec3{1.5, 2.5, 3.5}));
+
+  // Committing on top upgrades the file to v3 and keeps epoch 0.
+  const auto e1 = store.commit(sample_thresholds(3.0), {});
+  ASSERT_TRUE(e1.ok());
+  EXPECT_EQ(e1.value(), 1u);
+  const auto history = store.history();
+  ASSERT_TRUE(history.ok());
+  ASSERT_EQ(history.value().size(), 2u);
+  EXPECT_EQ(history.value()[0].thresholds.motor_vel, (Vec3{1.5, 2.5, 3.5}));
+  EXPECT_EQ(store.active().value().id, 1u);
   std::filesystem::remove(path);
 }
 
@@ -178,7 +237,9 @@ TEST(Experiment, SessionsAreSeedDeterministic) {
 
 TEST(Experiment, LearnThresholdsValidates) {
   SessionParams p;
-  EXPECT_THROW((void)learn_thresholds(p, 0), std::invalid_argument);
+  const auto learned = learn_thresholds(p, 0);
+  ASSERT_FALSE(learned.ok());
+  EXPECT_EQ(learned.error().code(), ErrorCode::kInvalidArgument);
 }
 
 }  // namespace

@@ -71,7 +71,7 @@ TEST(Wrist, InjectionOnWristChannelIsTheDetectorsBlindSpot) {
   // wrist channel therefore spins the instrument without moving the tool
   // tip: no positional impact, no dynamic-model alarm — a documented
   // scope limit, not a bug.
-  const DetectionThresholds th = learn_thresholds(quick(34), 5);
+  const DetectionThresholds th = learn_thresholds(quick(34), 5).value();
 
   InjectionConfig inj;
   inj.mode = InjectionConfig::Mode::kSetChannel;

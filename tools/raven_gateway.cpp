@@ -22,7 +22,9 @@
 #include <thread>
 
 #include "common/flags.hpp"
+#include "obs/events.hpp"
 #include "obs/metrics.hpp"
+#include "sim/threshold_store.hpp"
 #include "svc/gateway.hpp"
 #include "svc/udp_transport.hpp"
 
@@ -63,6 +65,8 @@ void write_stats_json(const std::string& path, const rg::svc::TeleopGateway& gat
   os << "  \"out_of_order_accepted\": " << s.out_of_order_accepted << ",\n";
   os << "  \"sessions_opened\": " << s.sessions_opened << ",\n";
   os << "  \"sessions_evicted\": " << s.sessions_evicted << ",\n";
+  os << "  \"drift_checks\": " << s.drift_checks << ",\n";
+  os << "  \"drift_alarms\": " << s.drift_alarms << ",\n";
   os << "  \"sessions\": [";
   const auto sessions = gateway.sessions();
   for (std::size_t i = 0; i < sessions.size(); ++i) {
@@ -98,6 +102,12 @@ int main(int argc, char** argv) {
   std::string metrics_out;
   std::string stats_out;
   std::string port_file;
+  std::string events_out;
+  bool calibrate = false;
+  std::string thresholds_path;
+  int thresholds_epoch = -1;
+  double drift_ratio = 1.25;
+  std::uint64_t drift_min_samples = 512;
 
   FlagSet flags;
   flags.value("--port", &port, "UDP port to bind (0 = ephemeral)");
@@ -113,6 +123,16 @@ int main(int argc, char** argv) {
   flags.value("--metrics-out", &metrics_out, "write rg.metrics/1 JSON here on exit");
   flags.value("--stats-out", &stats_out, "write rg.gateway.stats/1 JSON here on exit");
   flags.value("--port-file", &port_file, "write the bound port here once listening");
+  flags.flag("--calibrate", &calibrate,
+             "per-session calibration sketches + drift alarms (needs --thresholds)");
+  flags.value("--thresholds", &thresholds_path,
+              "epoch-based threshold store supplying the committed drift baseline");
+  flags.value("--thresholds-epoch", &thresholds_epoch,
+              "epoch id to load from --thresholds (-1 = active epoch)");
+  flags.value("--drift-ratio", &drift_ratio, "drift when observed > committed * ratio");
+  flags.value("--drift-min-samples", &drift_min_samples,
+              "predictions before a session may drift");
+  flags.value("--events-out", &events_out, "write rg.events/1 JSONL (cal_drift records) here");
   if (const Status st = flags.parse(argc, argv, 1); !st.ok()) {
     std::fprintf(stderr, "%s\n\nusage: raven_gateway [options]\n%s",
                  st.error().to_string().c_str(), flags.help().c_str());
@@ -143,6 +163,30 @@ int main(int argc, char** argv) {
     config.max_queue_per_shard = max_queue;
     config.require_mac = mac;
     config.mac_key = MacKey::from_seed(mac_seed);
+
+    obs::EventLog events;
+    if (calibrate) {
+      if (thresholds_path.empty()) {
+        std::fprintf(stderr, "--calibrate requires --thresholds <epoch store>\n");
+        return 1;
+      }
+      ThresholdStore store(thresholds_path);
+      const Result<ThresholdEpoch> epoch =
+          thresholds_epoch < 0 ? store.active()
+                               : store.epoch(static_cast<std::uint64_t>(thresholds_epoch));
+      if (!epoch.ok()) {
+        std::fprintf(stderr, "cannot load drift baseline: %s\n",
+                     epoch.error().to_string().c_str());
+        return 1;
+      }
+      config.calibration.enabled = true;
+      config.calibration.committed = epoch.value().thresholds;
+      config.calibration.max_ratio = drift_ratio;
+      config.calibration.min_samples = drift_min_samples;
+      config.events = &events;
+      std::printf("calibration on: drift baseline epoch %llu from %s\n",
+                  static_cast<unsigned long long>(epoch.value().id), thresholds_path.c_str());
+    }
     svc::TeleopGateway gateway(config, transport);
 
     const std::uint64_t t0 = steady_ms();
@@ -156,6 +200,12 @@ int main(int argc, char** argv) {
       }
     }
     const double elapsed = static_cast<double>(steady_ms() - t0) / 1000.0;
+    if (calibrate) {
+      // Final drift pass over whatever is still active, so short runs are
+      // checked even if the pump-side throttle never fired.
+      gateway.drain();
+      (void)gateway.scan_drift_now(steady_ms());
+    }
     gateway.shutdown();
 
     const svc::GatewayStats s = gateway.stats();
@@ -166,6 +216,9 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(s.sessions_evicted));
 
     if (!stats_out.empty()) write_stats_json(stats_out, gateway, transport.bound_port(), elapsed);
+    if (!events_out.empty() && !events.write_jsonl_file(events_out)) {
+      std::fprintf(stderr, "cannot write %s\n", events_out.c_str());
+    }
     if (!metrics_out.empty()) {
       if (!obs::Registry::global().snapshot().write_json_file(metrics_out)) {
         std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());

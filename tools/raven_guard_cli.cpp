@@ -48,8 +48,9 @@ namespace {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: raven_guard_cli <learn|run|sweep|analyze> [options]\n"
+               "usage: raven_guard_cli <learn|run|sweep|analyze|thresholds> [options]\n"
                "  learn:   --runs N --seed S --jobs N --out FILE\n"
+               "           --thresholds-percentile P --thresholds-margin M\n"
                "  run:     --seed S --duration SEC --trajectory random|circle|suture|FILE.csv\n"
                "           --attack none|torque|user-input|hijack|drop|math|encoder|state-spoof\n"
                "           --magnitude V --attack-duration MS --attack-delay MS\n"
@@ -58,7 +59,10 @@ void usage() {
                "  sweep:   --runs N --seed S --jobs N --json PATH --attack NAME\n"
                "           --attack-duration MS --thresholds FILE --mitigate\n"
                "           --metrics-out FILE --trace-out FILE --events-out FILE\n"
-               "  analyze: --seed S --out PREFIX\n");
+               "  analyze: --seed S --out PREFIX\n"
+               "  thresholds: --file FILE [--history] [--rollback ID]\n"
+               "  run/sweep --thresholds takes an epoch store; --thresholds-epoch picks an\n"
+               "  epoch (-1 = active).\n");
 }
 
 int flag_error(const FlagSet& flags, const Status& status) {
@@ -107,18 +111,20 @@ AttackVariant parse_attack(const std::string& name) {
   return AttackVariant::kNone;
 }
 
-/// Loads thresholds from `path` when given; nullopt (and ok) when empty.
-bool load_threshold_file(const std::string& path,
+/// Loads thresholds from the epoch store at `path` when given; nullopt
+/// (and ok) when empty.  `epoch_id` picks a specific epoch (-1 = active).
+bool load_threshold_file(const std::string& path, int epoch_id,
                          std::optional<DetectionThresholds>& out) {
   if (path.empty()) return true;
   ThresholdStore store(path);
-  auto loaded = store.load();
-  if (!loaded.ok()) {
+  const Result<ThresholdEpoch> epoch =
+      epoch_id < 0 ? store.active() : store.epoch(static_cast<std::uint64_t>(epoch_id));
+  if (!epoch.ok()) {
     std::fprintf(stderr, "cannot read thresholds from %s: %s\n", path.c_str(),
-                 loaded.error().to_string().c_str());
+                 epoch.error().to_string().c_str());
     return false;
   }
-  out = loaded.value();
+  out = epoch.value().thresholds;
   return true;
 }
 
@@ -197,27 +203,46 @@ int cmd_learn(int argc, char** argv) {
   std::uint64_t seed = 42;
   int jobs = 0;
   std::string out = "thresholds.txt";
+  double percentile = kDefaultThresholdPercentile;
+  double margin = kDefaultThresholdMargin;
   FlagSet flags;
   flags.value("--runs", &runs, "fault-free training runs (default 100)");
   flags.value("--seed", &seed, "base session seed (default 42)");
   flags.value("--jobs", &jobs, "worker threads (default: RG_JOBS or all cores)");
-  flags.value("--out", &out, "thresholds output file (default thresholds.txt)");
+  flags.value("--out", &out, "threshold epoch store (default thresholds.txt)");
+  flags.value("--thresholds-percentile", &percentile,
+              "percentile of per-run maxima (default 99.85, paper Sec. IV.C)");
+  flags.value("--thresholds-margin", &margin, "safety factor on the limits (default 1)");
   if (const Status st = flags.parse(argc, argv); !st.ok()) return flag_error(flags, st);
 
   SessionParams p;
   p.seed = seed;
   std::printf("learning thresholds from %d fault-free runs...\n", runs);
   LearnOptions options;
+  options.percentile = percentile;
+  options.margin = margin;
   options.jobs = jobs;
   options.progress = stderr_progress();
-  const DetectionThresholds th = learn_thresholds(p, runs, options);
-  ThresholdStore store(out);
-  if (const Status st = store.save(th); !st.ok()) {
-    std::fprintf(stderr, "cannot write %s: %s\n", out.c_str(),
-                 st.error().to_string().c_str());
+  const Result<DetectionThresholds> learned = learn_thresholds(p, runs, options);
+  if (!learned.ok()) {
+    std::fprintf(stderr, "learning failed: %s\n", learned.error().to_string().c_str());
     return 1;
   }
-  std::printf("thresholds written to %s\n", out.c_str());
+  const DetectionThresholds& th = learned.value();
+  ThresholdStore store(out);
+  ThresholdProvenance prov;
+  prov.source = "cli-learn";
+  prov.runs = static_cast<std::uint64_t>(runs);
+  prov.percentile = percentile;
+  prov.margin = margin;
+  const Result<std::uint64_t> epoch = store.commit(th, prov);
+  if (!epoch.ok()) {
+    std::fprintf(stderr, "cannot write %s: %s\n", out.c_str(),
+                 epoch.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("thresholds committed to %s as epoch %llu\n", out.c_str(),
+              static_cast<unsigned long long>(epoch.value()));
   std::printf("  motor vel  %.3f %.3f %.3f rad/s\n", th.motor_vel[0], th.motor_vel[1],
               th.motor_vel[2]);
   std::printf("  motor acc  %.0f %.0f %.0f rad/s^2\n", th.motor_acc[0], th.motor_acc[1],
@@ -236,6 +261,7 @@ int cmd_run(int argc, char** argv) {
   std::uint32_t attack_duration_ms = 64;
   std::uint32_t attack_delay_ms = 400;
   std::string thresholds_file;
+  int thresholds_epoch = -1;
   bool mitigate = false;
   std::string trace_file;
   std::string plots_prefix;
@@ -249,7 +275,8 @@ int cmd_run(int argc, char** argv) {
   flags.value("--magnitude", &magnitude, "attack magnitude (default 20000)");
   flags.value("--attack-duration", &attack_duration_ms, "attack active period, ms");
   flags.value("--attack-delay", &attack_delay_ms, "delay before the attack, ms");
-  flags.value("--thresholds", &thresholds_file, "thresholds file (arms the detector)");
+  flags.value("--thresholds", &thresholds_file, "threshold epoch store (arms the detector)");
+  flags.value("--thresholds-epoch", &thresholds_epoch, "epoch id to load (-1 = active)");
   flags.flag("--mitigate", &mitigate, "block offending commands and E-STOP");
   flags.value("--trace", &trace_file, "write a per-tick CSV trace");
   flags.value("--plots", &plots_prefix, "write joint/tool SVG plots");
@@ -260,7 +287,7 @@ int cmd_run(int argc, char** argv) {
   if (!traj) return 1;
 
   std::optional<DetectionThresholds> thresholds;
-  if (!load_threshold_file(thresholds_file, thresholds)) return 1;
+  if (!load_threshold_file(thresholds_file, thresholds_epoch, thresholds)) return 1;
 
   SessionParams p;
   p.seed = seed;
@@ -337,6 +364,7 @@ int cmd_sweep(int argc, char** argv) {
   std::string attack = "torque";
   std::uint32_t attack_duration_ms = 96;
   std::string thresholds_file;
+  int thresholds_epoch = -1;
   bool mitigate = false;
   Telemetry telemetry;
   FlagSet flags;
@@ -347,7 +375,8 @@ int cmd_sweep(int argc, char** argv) {
   flags.value("--attack", &attack,
               "none|torque|user-input|hijack|drop|math|encoder|state-spoof");
   flags.value("--attack-duration", &attack_duration_ms, "attack active period, ms");
-  flags.value("--thresholds", &thresholds_file, "thresholds file (arms the detector)");
+  flags.value("--thresholds", &thresholds_file, "threshold epoch store (arms the detector)");
+  flags.value("--thresholds-epoch", &thresholds_epoch, "epoch id to load (-1 = active)");
   flags.flag("--mitigate", &mitigate, "block offending commands and E-STOP");
   telemetry.register_flags(flags);
   if (const Status st = flags.parse(argc, argv); !st.ok()) return flag_error(flags, st);
@@ -357,7 +386,7 @@ int cmd_sweep(int argc, char** argv) {
   }
 
   std::optional<DetectionThresholds> thresholds;
-  if (!load_threshold_file(thresholds_file, thresholds)) return 1;
+  if (!load_threshold_file(thresholds_file, thresholds_epoch, thresholds)) return 1;
 
   const AttackVariant variant = parse_attack(attack);
   const std::vector<double> magnitudes = {2000, 8000, 14000, 20000, 26000, 32000};
@@ -436,6 +465,63 @@ int cmd_sweep(int argc, char** argv) {
   return 0;
 }
 
+int cmd_thresholds(int argc, char** argv) {
+  std::string file = "thresholds.txt";
+  bool history = false;
+  int rollback = -1;
+  FlagSet flags;
+  flags.value("--file", &file, "threshold epoch store (default thresholds.txt)");
+  flags.flag("--history", &history, "list every committed epoch");
+  flags.value("--rollback", &rollback, "make this epoch active again (-1 = no-op)");
+  if (const Status st = flags.parse(argc, argv); !st.ok()) return flag_error(flags, st);
+
+  ThresholdStore store(file);
+  if (rollback >= 0) {
+    if (const Status st = store.rollback(static_cast<std::uint64_t>(rollback)); !st.ok()) {
+      std::fprintf(stderr, "rollback failed: %s\n", st.error().to_string().c_str());
+      return 1;
+    }
+    std::printf("rolled back: epoch %d is active again\n", rollback);
+  }
+
+  const Result<ThresholdEpoch> active = store.active();
+  if (!active.ok()) {
+    std::fprintf(stderr, "cannot read %s: %s\n", file.c_str(),
+                 active.error().to_string().c_str());
+    return 1;
+  }
+
+  const auto print_epoch = [&](const ThresholdEpoch& e, bool is_active) {
+    std::printf("  epoch %-4llu %s parent=%lld source=%s runs=%llu percentile=%.2f margin=%.2f\n",
+                static_cast<unsigned long long>(e.id), is_active ? "[active]" : "        ",
+                static_cast<long long>(e.parent), e.provenance.source.c_str(),
+                static_cast<unsigned long long>(e.provenance.runs), e.provenance.percentile,
+                e.provenance.margin);
+  };
+
+  if (history) {
+    const auto epochs = store.history();
+    if (!epochs.ok()) {
+      std::fprintf(stderr, "cannot read %s: %s\n", file.c_str(),
+                   epochs.error().to_string().c_str());
+      return 1;
+    }
+    std::printf("%s: %zu epochs\n", file.c_str(), epochs.value().size());
+    for (const ThresholdEpoch& e : epochs.value()) print_epoch(e, e.id == active.value().id);
+  } else {
+    std::printf("%s:\n", file.c_str());
+    print_epoch(active.value(), true);
+  }
+  const DetectionThresholds& th = active.value().thresholds;
+  std::printf("  motor vel  %.3f %.3f %.3f rad/s\n", th.motor_vel[0], th.motor_vel[1],
+              th.motor_vel[2]);
+  std::printf("  motor acc  %.0f %.0f %.0f rad/s^2\n", th.motor_acc[0], th.motor_acc[1],
+              th.motor_acc[2]);
+  std::printf("  joint vel  %.4f %.4f %.5f rad/s|m/s\n", th.joint_vel[0], th.joint_vel[1],
+              th.joint_vel[2]);
+  return 0;
+}
+
 int cmd_analyze(int argc, char** argv) {
   std::uint64_t seed = 42;
   std::string out = "analysis";
@@ -488,6 +574,7 @@ int main(int argc, char** argv) {
     if (command == "run") return rg::cmd_run(argc, argv);
     if (command == "sweep") return rg::cmd_sweep(argc, argv);
     if (command == "analyze") return rg::cmd_analyze(argc, argv);
+    if (command == "thresholds") return rg::cmd_thresholds(argc, argv);
   } catch (const rg::CampaignError& e) {
     std::fprintf(stderr, "campaign failed: %s\n", e.what());
     return 1;

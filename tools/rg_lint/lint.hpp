@@ -62,7 +62,7 @@ struct Finding {
 struct Options {
   /// Tree root.  Scans src/, tests/, tools/, bench/, examples/ beneath
   /// it (those that exist; falls back to the root itself otherwise).
-  std::string root;
+  std::string root = ".";
   /// Optional compile_commands.json; "file" entries under the root are
   /// merged into the scan set (headers still come from the walk).
   std::string compile_commands;

@@ -26,7 +26,6 @@ int usage(std::ostream& os, int code) {
 
 int main(int argc, char** argv) {
   rg::lint::Options options;
-  options.root = ".";
   bool write_registry = false;
   bool list_metrics = false;
   bool quiet = false;
