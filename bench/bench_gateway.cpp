@@ -13,17 +13,25 @@
 // Results land in BENCH_gateway.json (schema "rg.bench.gateway/1";
 // RG_BENCH_GATEWAY_JSON overrides the path).  RG_SCALE < 1 shrinks both
 // the session ladder and the per-run duration for smoke passes.
+//
+// After the ladder, the largest sustained case is re-run with an
+// AdminServer attached and a 1 Hz /metrics + /stats poller — the
+// "admin" section reports the realtime-ratio regression that live
+// observability costs (acceptance: < 2%).
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "net/master_console.hpp"
 #include "obs/metrics.hpp"
+#include "svc/admin.hpp"
 #include "svc/gateway.hpp"
 #include "svc/transport.hpp"
 #include "trajectory/trajectory.hpp"
@@ -60,7 +68,8 @@ std::vector<std::uint8_t> make_endpoint_stream(std::size_t session, std::uint64_
   return {};
 }
 
-GatewayBenchRow run_one(std::size_t sessions, std::uint64_t ticks, std::size_t shards) {
+GatewayBenchRow run_one(std::size_t sessions, std::uint64_t ticks, std::size_t shards,
+                        bool with_admin = false, std::uint64_t* polls_out = nullptr) {
   obs::Registry::global().reset();
 
   // Pre-generate every session's stream so generation cost stays outside
@@ -74,7 +83,35 @@ GatewayBenchRow run_one(std::size_t sessions, std::uint64_t ticks, std::size_t s
   config.threaded = true;
   config.max_sessions = sessions;
   config.idle_timeout_ms = 1u << 30;  // synthetic clock; no eviction mid-run
+  if (with_admin) {
+    // The synthetic clock advances 1 ms per 64-tick slice, so a 4 ms
+    // publish period re-publishes the snapshot every ~256 ticks — the
+    // same cadence the default 250 ms gives a real-time 1 kHz gateway.
+    config.stats_publish_period_ms = 4;
+  }
   svc::TeleopGateway gateway(config, transport);
+
+  std::unique_ptr<svc::AdminServer> admin;
+  std::atomic<bool> poll_stop{false};
+  std::atomic<std::uint64_t> polls{0};
+  std::thread poller;
+  if (with_admin) {
+    gateway.publish_snapshot(0);
+    svc::AdminConfig admin_config;
+    admin_config.port = 0;
+    admin = std::make_unique<svc::AdminServer>(admin_config, &gateway);
+    const std::uint16_t admin_port = admin->bound_port();
+    poller = std::thread([&poll_stop, &polls, admin_port] {
+      while (!poll_stop.load(std::memory_order_relaxed)) {
+        const auto metrics = svc::http_get("127.0.0.1", admin_port, "/metrics");
+        const auto stats = svc::http_get("127.0.0.1", admin_port, "/stats");
+        if (metrics.ok() && stats.ok()) polls.fetch_add(1, std::memory_order_relaxed);
+        for (int i = 0; i < 50 && !poll_stop.load(std::memory_order_relaxed); ++i) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+      }
+    });
+  }
 
   constexpr std::uint64_t kSliceTicks = 64;  // bounds the loopback queue
   const auto t0 = std::chrono::steady_clock::now();
@@ -97,6 +134,12 @@ GatewayBenchRow run_one(std::size_t sessions, std::uint64_t ticks, std::size_t s
   }
   gateway.drain();
   const double wall = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  if (with_admin) {
+    poll_stop.store(true);
+    poller.join();
+    admin->stop();
+    if (polls_out != nullptr) *polls_out = polls.load();
+  }
   const svc::GatewayStats stats = gateway.stats();
 
   GatewayBenchRow row;
@@ -117,7 +160,16 @@ GatewayBenchRow run_one(std::size_t sessions, std::uint64_t ticks, std::size_t s
   return row;
 }
 
-void write_json(const std::vector<GatewayBenchRow>& rows, std::size_t shards) {
+struct AdminOverhead {
+  std::size_t sessions = 0;
+  double realtime_ratio = 0.0;           ///< with admin attached, polled at 1 Hz
+  double baseline_realtime_ratio = 0.0;  ///< same load, no admin plane
+  double overhead_pct = 0.0;             ///< acceptance: < 2
+  std::uint64_t polls = 0;
+};
+
+void write_json(const std::vector<GatewayBenchRow>& rows, std::size_t shards,
+                const AdminOverhead* admin) {
   std::size_t sustained = 0;
   double p50 = 0.0;
   double p99 = 0.0;
@@ -138,7 +190,14 @@ void write_json(const std::vector<GatewayBenchRow>& rows, std::size_t shards) {
   os << "{\n  \"schema\": \"rg.bench.gateway/1\",\n  \"shards\": " << shards
      << ",\n  \"sessions_sustained\": " << sustained
      << ",\n  \"p50_ingest_to_verdict_ns\": " << p50
-     << ",\n  \"p99_ingest_to_verdict_ns\": " << p99 << ",\n  \"rows\": [\n";
+     << ",\n  \"p99_ingest_to_verdict_ns\": " << p99;
+  if (admin != nullptr) {
+    os << ",\n  \"admin\": {\"sessions\": " << admin->sessions
+       << ", \"realtime_ratio\": " << admin->realtime_ratio
+       << ", \"baseline_realtime_ratio\": " << admin->baseline_realtime_ratio
+       << ", \"overhead_pct\": " << admin->overhead_pct << ", \"polls\": " << admin->polls << "}";
+  }
+  os << ",\n  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const GatewayBenchRow& r = rows[i];
     os << "    {\"sessions\": " << r.sessions << ", \"ticks\": " << r.ticks
@@ -180,6 +239,35 @@ int main() {
         static_cast<unsigned long long>(row.backpressure_dropped));
     rows.push_back(row);
   }
-  write_json(rows, shards);
+
+  // Admin-plane overhead: re-run the largest sustained case back-to-back
+  // without and with a polled AdminServer, so the baseline shares the
+  // machine state of the measured run.
+  std::size_t admin_sessions = rows.empty() ? 0 : rows.front().sessions;
+  for (const GatewayBenchRow& r : rows) {
+    if (r.realtime_ratio >= 1.0 && r.backpressure_dropped == 0 && r.sessions > admin_sessions) {
+      admin_sessions = r.sessions;
+    }
+  }
+  AdminOverhead admin;
+  if (admin_sessions > 0) {
+    const GatewayBenchRow base = run_one(admin_sessions, ticks, shards);
+    std::uint64_t polls = 0;
+    const GatewayBenchRow polled = run_one(admin_sessions, ticks, shards, true, &polls);
+    admin.sessions = admin_sessions;
+    admin.realtime_ratio = polled.realtime_ratio;
+    admin.baseline_realtime_ratio = base.realtime_ratio;
+    admin.overhead_pct =
+        base.realtime_ratio > 0.0
+            ? 100.0 * (base.realtime_ratio - polled.realtime_ratio) / base.realtime_ratio
+            : 0.0;
+    admin.polls = polls;
+    std::printf(
+        "admin   %3zu sessions: %.2fx realtime vs %.2fx baseline (%+.2f%% overhead, "
+        "%llu polls)\n",
+        admin.sessions, admin.realtime_ratio, admin.baseline_realtime_ratio, admin.overhead_pct,
+        static_cast<unsigned long long>(admin.polls));
+  }
+  write_json(rows, shards, admin_sessions > 0 ? &admin : nullptr);
   return 0;
 }

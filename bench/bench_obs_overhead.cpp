@@ -16,9 +16,23 @@
 // RG_SPAN/RG_COUNT are `(void)0` there, so "quiet" is the pristine loop —
 // comparing tick_ns_quiet across the two builds is the ≤1% overhead check
 // (scripts/tier1.sh keeps the acceptance criterion on the compiled-out
-// delta).  Results land in BENCH_obs_overhead.json.
+// delta).
+//
+// Also measures Registry::snapshot() latency while 8 writer threads
+// hammer the hot path — the admin plane (src/svc/admin.cpp) calls
+// snapshot() per /metrics poll, so its p99 must stay far off the 1 ms
+// tick budget for the poll to be harmless.  Gated via the "pass" field.
+//
+// Results land in BENCH_obs.json (schema "rg.bench.obs/2";
+// RG_BENCH_OBS_JSON overrides the path).
+#include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "obs/obs.hpp"
@@ -71,6 +85,63 @@ double measure_count_ns(int iters) {
   return static_cast<double>(elapsed) / iters;
 }
 
+struct SnapshotUnderWriters {
+  double p50_ns = 0.0;
+  double p99_ns = 0.0;
+  int samples = 0;
+  int writers = 0;
+};
+
+/// Latency distribution of Registry::snapshot() while `writers` threads
+/// saturate the lock-free shard path (one RG_COUNT + one RG_SPAN each
+/// iteration, mirroring a busy gateway pump).
+SnapshotUnderWriters measure_snapshot_under_writers(int writers, int samples) {
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(writers));
+  for (int w = 0; w < writers; ++w) {
+    pool.emplace_back([&stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        RG_SPAN("bench.snapshot_writer");
+        RG_COUNT("rg.bench.snapshot_writer", 1);
+      }
+    });
+  }
+
+  // Warm up: let every writer thread create its shard before timing.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  for (int i = 0; i < 8; ++i) (void)obs::Registry::global().snapshot();
+
+  std::vector<double> ns;
+  ns.reserve(static_cast<std::size_t>(samples));
+  for (int i = 0; i < samples; ++i) {
+    const auto start = Clock::now();
+    const obs::MetricsSnapshot snap = obs::Registry::global().snapshot();
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start).count();
+    // Keep the snapshot alive past the stop so the compiler cannot hoist it.
+    if (snap.counters.size() > obs::Registry::kMaxCounters) std::abort();
+    ns.push_back(static_cast<double>(elapsed));
+  }
+  stop.store(true);
+  for (std::thread& t : pool) t.join();
+
+  std::sort(ns.begin(), ns.end());
+  SnapshotUnderWriters out;
+  out.samples = samples;
+  out.writers = writers;
+  if (!ns.empty()) {
+    out.p50_ns = ns[ns.size() / 2];
+    out.p99_ns = ns[std::min(ns.size() - 1, ns.size() * 99 / 100)];
+  }
+  return out;
+}
+
+std::string bench_path() {
+  if (const char* env = std::getenv("RG_BENCH_OBS_JSON")) return env;
+  return "BENCH_obs.json";
+}
+
 }  // namespace
 }  // namespace rg
 
@@ -120,29 +191,44 @@ int main() {
   const double sink_overhead_pct =
       tick_quiet > 0.0 ? 100.0 * (tick_full - tick_quiet) / tick_quiet : 0.0;
 
+  // Admin-plane gate: snapshot() under 8 concurrent writers must stay
+  // well under the 10 ms budget (an off-tick-path poll every second).
+  constexpr double kSnapshotBudgetNs = 10'000'000.0;
+  const int snapshot_samples = bench::scale() >= 1.0 ? 400 : 100;
+  const SnapshotUnderWriters snap = measure_snapshot_under_writers(8, snapshot_samples);
+  const bool snapshot_pass = snap.p99_ns <= kSnapshotBudgetNs;
+
   std::printf("  mode                : %s\n", compiled_out ? "compiled-out" : "enabled");
   std::printf("  tick, quiet         : %10.0f ns\n", tick_quiet);
   std::printf("  tick, full sinks    : %10.0f ns  (%+.2f%%, %zu trace events)\n", tick_full,
               sink_overhead_pct, trace_events);
   std::printf("  RG_SPAN             : %10.1f ns\n", span_ns);
   std::printf("  RG_COUNT            : %10.1f ns\n", count_ns);
+  std::printf("  snapshot, %d writers: %10.0f ns p50, %10.0f ns p99  [%s]\n", snap.writers,
+              snap.p50_ns, snap.p99_ns, snapshot_pass ? "pass" : "FAIL");
   if (compiled_out) {
     std::printf("  (compare tick-quiet against the instrumented build: the\n"
                 "   acceptance bar is <= 1%% delta for the compiled-out path)\n");
   }
 
-  std::ofstream os("BENCH_obs_overhead.json");
+  const std::string path = bench_path();
+  std::ofstream os(path);
   if (os) {
     os.precision(17);
-    os << "{\n  \"schema\": \"rg.bench.obs/1\",\n";
+    os << "{\n  \"schema\": \"rg.bench.obs/2\",\n";
     os << "  \"obs_compiled_out\": " << (compiled_out ? "true" : "false") << ",\n";
     os << "  \"tick_ns_quiet\": " << tick_quiet << ",\n";
     os << "  \"tick_ns_full_sinks\": " << tick_full << ",\n";
     os << "  \"sink_overhead_pct\": " << sink_overhead_pct << ",\n";
     os << "  \"span_ns\": " << span_ns << ",\n";
-    os << "  \"count_ns\": " << count_ns << "\n";
+    os << "  \"count_ns\": " << count_ns << ",\n";
+    os << "  \"snapshot_under_writers\": {\"writers\": " << snap.writers
+       << ", \"samples\": " << snap.samples << ", \"p50_ns\": " << snap.p50_ns
+       << ", \"p99_ns\": " << snap.p99_ns << "},\n";
+    os << "  \"snapshot_budget_ns\": " << kSnapshotBudgetNs << ",\n";
+    os << "  \"pass\": " << (snapshot_pass ? "true" : "false") << "\n";
     os << "}\n";
-    std::printf("  results             : BENCH_obs_overhead.json\n");
+    std::printf("  results             : %s\n", path.c_str());
   }
-  return 0;
+  return snapshot_pass ? 0 : 1;
 }

@@ -32,7 +32,12 @@
 # commit/history/rollback lifecycle through the CLI, and a live
 # drift-alarm pass — raven_gateway --calibrate against a committed epoch
 # with a forced drift ratio, driven by itp_loadgen, must raise
-# rg.cal.drift_alarms and emit cal_drift events.
+# rg.cal.drift_alarms and emit cal_drift events.  Stage 9 exercises the
+# live telemetry plane (docs/admin.md): bench_obs_overhead's
+# snapshot-under-writers gate (BENCH_obs.json "pass"), then a real
+# gateway with --admin-port driven by itp_loadgen — /healthz must answer
+# ok, /metrics must parse as Prometheus text and contain the gateway's
+# canonical counters, and raven_top --once must render a session table.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -45,8 +50,8 @@ cmake --build build -j "${JOBS}"
 
 echo "== tier-1 stage 2: ThreadSanitizer campaign + obs + batch tests =="
 cmake -B build-tsan -S . -DRG_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "${JOBS}" --target test_campaign test_obs test_batch_dynamics test_gateway
-(cd build-tsan && ctest --output-on-failure -R '^(Campaign|Obs|BatchDynamics|BatchPlant|BatchCampaign|EstimatorSolves|Gateway|GatewaySocket)\.')
+cmake --build build-tsan -j "${JOBS}" --target test_campaign test_obs test_batch_dynamics test_gateway test_exposition test_admin
+(cd build-tsan && ctest --output-on-failure -R '^(Campaign|Obs|BatchDynamics|BatchPlant|BatchCampaign|EstimatorSolves|Gateway|GatewaySocket|Exposition|Admin)\.')
 
 echo "== tier-1 stage 3: ASan+UBSan full unit suite =="
 cmake -B build-asan -S . -DRG_SANITIZE=address,undefined >/dev/null
@@ -249,5 +254,67 @@ for e in drifts:
     assert e["samples"] >= 32
 PY
 echo "drift-alarm end-to-end OK (${TDIR}/cal_gateway_stats.json)"
+
+echo "== tier-1 stage 9: live telemetry plane =="
+cmake --build build -j "${JOBS}" --target bench_obs_overhead raven_gateway itp_loadgen raven_top
+
+RG_SCALE=0.02 RG_BENCH_OBS_JSON="${TDIR}/bench_obs.json" \
+  ./build/bench/bench_obs_overhead >/dev/null
+python3 - "${TDIR}/bench_obs.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["schema"] == "rg.bench.obs/2", doc.get("schema")
+sw = doc["snapshot_under_writers"]
+assert sw["writers"] == 8 and sw["samples"] > 0, sw
+assert sw["p99_ns"] <= doc["snapshot_budget_ns"], sw
+assert doc["pass"] is True
+PY
+echo "snapshot-under-writers gate OK (${TDIR}/bench_obs.json)"
+
+# Real sockets: gateway with a live admin endpoint, loadgen drives it,
+# then the admin plane is asserted while sessions are still active.
+./build/tools/raven_gateway --port 0 --shards 2 --duration 20 \
+  --idle-timeout-ms 60000 \
+  --port-file "${TDIR}/adm_gateway.port" \
+  --admin-port 0 --admin-port-file "${TDIR}/adm_admin.port" &
+GW_PID=$!
+trap 'kill "${GW_PID}" 2>/dev/null || true' EXIT
+for _ in $(seq 1 50); do
+  [ -s "${TDIR}/adm_gateway.port" ] && [ -s "${TDIR}/adm_admin.port" ] && break
+  sleep 0.1
+done
+PORT="$(cat "${TDIR}/adm_gateway.port")"
+APORT="$(cat "${TDIR}/adm_admin.port")"
+./build/tools/itp_loadgen --port "${PORT}" --sessions 4 --rate 500 --duration 1 >/dev/null
+python3 - "${APORT}" <<'PY'
+import json, sys, urllib.request
+port = sys.argv[1]
+def get(path):
+    with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}", timeout=5) as rsp:
+        return rsp.read().decode()
+assert get("/healthz").strip() == "ok"
+assert get("/readyz").strip() == "ready"
+metrics = get("/metrics")
+# Prometheus text with the canonical dotted names in the HELP lines.
+assert "# HELP rg_gw_rx_packets rg.gw.rx_packets" in metrics, metrics[:400]
+assert "rg_gw_pump_jitter_ns_bucket" in metrics
+for line in metrics.splitlines():
+    assert line.startswith("#") or " " in line, line
+stats = json.loads(get("/stats"))
+assert stats["schema"] == "rg.admin.stats/1", stats.get("schema")
+assert stats["captured"] is True
+assert len(stats["sessions"]) == 4, len(stats["sessions"])
+live = json.loads(get("/metrics.json"))
+assert live["schema"] == "rg.metrics.live/1", live.get("schema")
+assert any(c["name"] == "rg.gw.rx_packets" and c["value"] > 0 for c in live["counters"])
+PY
+TOP_OUT="$(./build/tools/raven_top --port "${APORT}" --once --plain)"
+echo "${TOP_OUT}" | grep -q "raven_top"
+echo "${TOP_OUT}" | grep -q "active"   # at least one session row rendered
+kill -INT "${GW_PID}"
+wait "${GW_PID}"
+trap - EXIT
+echo "admin plane end-to-end OK (port ${APORT})"
 
 echo "tier-1: all stages passed"

@@ -1,0 +1,373 @@
+// Minimal recursive-descent JSON parser (header-only, no dependencies
+// beyond the error vocabulary).
+//
+// The telemetry plane speaks JSON in both directions: the admin endpoint
+// renders `rg.admin.stats/1` and `rg.metrics.live/1` documents, and
+// tools/raven_top.cpp parses them back to compute rates.  This parser
+// covers exactly RFC 8259 minus \uXXXX surrogate pairs outside the BMP
+// (escapes decode to UTF-8; lone surrogates are replaced) — enough to
+// round-trip every document this tree emits, with strict error reporting
+// so a truncated or corrupted response is a loud kMalformedPacket, never
+// a silently wrong number.
+//
+// Objects are std::map (sorted keys), so re-serialization and iteration
+// are deterministic.  Numbers are stored as double — the documents this
+// tree emits keep counters well inside the 2^53 exact-integer range per
+// snapshot interval; exact 64-bit folds (digests) travel as hex strings.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace rg::json {
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+class Value {
+ public:
+  using Data = std::variant<std::nullptr_t, bool, double, std::string, Array, Object>;
+
+  Value() : data_(nullptr) {}
+  Value(std::nullptr_t) : data_(nullptr) {}           // NOLINT(google-explicit-constructor)
+  Value(bool b) : data_(b) {}                         // NOLINT(google-explicit-constructor)
+  Value(double d) : data_(d) {}                       // NOLINT(google-explicit-constructor)
+  Value(std::string s) : data_(std::move(s)) {}       // NOLINT(google-explicit-constructor)
+  Value(Array a) : data_(std::move(a)) {}             // NOLINT(google-explicit-constructor)
+  Value(Object o) : data_(std::move(o)) {}            // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool is_null() const noexcept { return std::holds_alternative<std::nullptr_t>(data_); }
+  [[nodiscard]] bool is_bool() const noexcept { return std::holds_alternative<bool>(data_); }
+  [[nodiscard]] bool is_number() const noexcept { return std::holds_alternative<double>(data_); }
+  [[nodiscard]] bool is_string() const noexcept { return std::holds_alternative<std::string>(data_); }
+  [[nodiscard]] bool is_array() const noexcept { return std::holds_alternative<Array>(data_); }
+  [[nodiscard]] bool is_object() const noexcept { return std::holds_alternative<Object>(data_); }
+
+  [[nodiscard]] bool as_bool(bool fallback = false) const noexcept {
+    const bool* b = std::get_if<bool>(&data_);
+    return b != nullptr ? *b : fallback;
+  }
+  [[nodiscard]] double as_number(double fallback = 0.0) const noexcept {
+    const double* d = std::get_if<double>(&data_);
+    return d != nullptr ? *d : fallback;
+  }
+  [[nodiscard]] std::uint64_t as_u64(std::uint64_t fallback = 0) const noexcept {
+    const double* d = std::get_if<double>(&data_);
+    if (d == nullptr || *d < 0.0 || *d != *d) return fallback;
+    return static_cast<std::uint64_t>(*d);
+  }
+  [[nodiscard]] const std::string& as_string() const noexcept {
+    static const std::string kEmpty;
+    const std::string* s = std::get_if<std::string>(&data_);
+    return s != nullptr ? *s : kEmpty;
+  }
+  [[nodiscard]] const Array& as_array() const noexcept {
+    static const Array kEmpty;
+    const Array* a = std::get_if<Array>(&data_);
+    return a != nullptr ? *a : kEmpty;
+  }
+  [[nodiscard]] const Object& as_object() const noexcept {
+    static const Object kEmpty;
+    const Object* o = std::get_if<Object>(&data_);
+    return o != nullptr ? *o : kEmpty;
+  }
+
+  /// Object member lookup; nullptr when not an object or key absent.
+  [[nodiscard]] const Value* find(std::string_view key) const noexcept {
+    const Object* o = std::get_if<Object>(&data_);
+    if (o == nullptr) return nullptr;
+    const auto it = o->find(std::string(key));
+    return it != o->end() ? &it->second : nullptr;
+  }
+
+  [[nodiscard]] const Data& data() const noexcept { return data_; }
+
+ private:
+  Data data_;
+};
+
+namespace detail {
+
+#if defined(__GNUC__) && !defined(__clang__)
+// GCC 12's -Wmaybe-uninitialized misfires on moved-from variant
+// temporaries that hold vector/map alternatives (the flagged paths are
+// fully initialized); scoped to the parser, where those moves happen.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+/// Parser state over the input; all depth/length limits live here.
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  int depth = 0;
+  static constexpr int kMaxDepth = 64;
+
+  [[nodiscard]] bool eof() const noexcept { return pos >= text.size(); }
+  [[nodiscard]] char peek() const noexcept { return text[pos]; }
+
+  void skip_ws() noexcept {
+    while (!eof()) {
+      const char c = text[pos];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos;
+    }
+  }
+
+  [[nodiscard]] Error err(const std::string& what) const {
+    return Error(ErrorCode::kMalformedPacket,
+                 "json: " + what + " at offset " + std::to_string(pos));
+  }
+
+  [[nodiscard]] bool consume(std::string_view word) noexcept {
+    if (text.substr(pos, word.size()) != word) return false;
+    pos += word.size();
+    return true;
+  }
+
+  Result<Value> value() {  // NOLINT(misc-no-recursion)
+    if (++depth > kMaxDepth) return err("nesting deeper than 64");
+    struct DepthGuard {
+      int& d;
+      ~DepthGuard() { --d; }
+    } guard{depth};
+    skip_ws();
+    if (eof()) return err("unexpected end of input");
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': {
+        Result<std::string> s = string();
+        if (!s.ok()) return s.error();
+        return Value(std::move(s.value()));
+      }
+      case 't': return consume("true") ? Result<Value>(Value(true)) : err("bad literal");
+      case 'f': return consume("false") ? Result<Value>(Value(false)) : err("bad literal");
+      case 'n': return consume("null") ? Result<Value>(Value(nullptr)) : err("bad literal");
+      default: return number();
+    }
+  }
+
+  Result<Value> object() {  // NOLINT(misc-no-recursion)
+    ++pos;  // '{'
+    Object out;
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos;
+      return Value(std::move(out));
+    }
+    while (true) {
+      skip_ws();
+      if (eof() || peek() != '"') return err("expected object key");
+      Result<std::string> key = string();
+      if (!key.ok()) return key.error();
+      skip_ws();
+      if (eof() || peek() != ':') return err("expected ':'");
+      ++pos;
+      Result<Value> v = value();
+      if (!v.ok()) return v.error();
+      out.insert_or_assign(std::move(key.value()), std::move(v.value()));
+      skip_ws();
+      if (eof()) return err("unterminated object");
+      if (peek() == ',') {
+        ++pos;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos;
+        return Value(std::move(out));
+      }
+      return err("expected ',' or '}'");
+    }
+  }
+
+  Result<Value> array() {  // NOLINT(misc-no-recursion)
+    ++pos;  // '['
+    Array out;
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos;
+      return Value(std::move(out));
+    }
+    while (true) {
+      Result<Value> v = value();
+      if (!v.ok()) return v.error();
+      out.push_back(std::move(v.value()));
+      skip_ws();
+      if (eof()) return err("unterminated array");
+      if (peek() == ',') {
+        ++pos;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos;
+        return Value(std::move(out));
+      }
+      return err("expected ',' or ']'");
+    }
+  }
+
+  Result<std::string> string() {
+    ++pos;  // opening quote
+    std::string out;
+    while (true) {
+      if (eof()) return err("unterminated string");
+      const char c = text[pos];
+      if (static_cast<unsigned char>(c) < 0x20) return err("raw control character in string");
+      ++pos;
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (eof()) return err("unterminated escape");
+      const char e = text[pos++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          std::uint32_t cp = 0;
+          if (!hex4(cp)) return err("bad \\u escape");
+          // Surrogate pair (rare in our documents): decode when complete,
+          // substitute U+FFFD for a lone half.
+          if (cp >= 0xD800 && cp <= 0xDBFF && pos + 1 < text.size() && text[pos] == '\\' &&
+              text[pos + 1] == 'u') {
+            pos += 2;
+            std::uint32_t lo = 0;
+            if (!hex4(lo)) return err("bad \\u escape");
+            if (lo >= 0xDC00 && lo <= 0xDFFF) {
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            } else {
+              cp = 0xFFFD;
+            }
+          } else if (cp >= 0xD800 && cp <= 0xDFFF) {
+            cp = 0xFFFD;
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: return err("unknown escape");
+      }
+    }
+  }
+
+  [[nodiscard]] bool hex4(std::uint32_t& out) noexcept {
+    if (pos + 4 > text.size()) return false;
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text[pos++];
+      out <<= 4;
+      if (c >= '0' && c <= '9') {
+        out |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        out |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        out |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  static void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  Result<Value> number() {
+    const std::size_t start = pos;
+    if (!eof() && peek() == '-') ++pos;
+    while (!eof() && peek() >= '0' && peek() <= '9') ++pos;
+    if (!eof() && peek() == '.') {
+      ++pos;
+      while (!eof() && peek() >= '0' && peek() <= '9') ++pos;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos;
+      while (!eof() && peek() >= '0' && peek() <= '9') ++pos;
+    }
+    if (pos == start || (pos == start + 1 && text[start] == '-')) return err("expected value");
+    // std::stod on a bounded, digit-checked slice; the copy is tiny.
+    const std::string slice(text.substr(start, pos - start));
+    try {
+      std::size_t used = 0;
+      const double d = std::stod(slice, &used);
+      if (used != slice.size()) return err("malformed number");
+      return Value(d);
+    } catch (const std::exception&) {
+      return err("malformed number");
+    }
+  }
+};
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+}  // namespace detail
+
+/// Parse one complete JSON document; trailing non-whitespace is an error.
+[[nodiscard]] inline Result<Value> parse(std::string_view text) {
+  detail::Parser p{text};
+  Result<Value> v = p.value();
+  if (!v.ok()) return v;
+  p.skip_ws();
+  if (!p.eof()) return p.err("trailing characters after document");
+  return v;
+}
+
+/// Serialize a string with the escaping rules the obs serializers use.
+inline void append_quoted(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(static_cast<unsigned char>(c) >> 4) & 0xF];
+          out += kHex[static_cast<unsigned char>(c) & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace rg::json

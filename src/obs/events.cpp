@@ -6,6 +6,8 @@
 #include <fstream>
 #include <ostream>
 
+#include "common/json.hpp"
+
 namespace rg::obs {
 
 namespace {
@@ -108,11 +110,66 @@ void EventLog::emit(std::string_view kind, std::optional<std::uint64_t> tick,
   lines_.push_back(std::move(line));
 }
 
+namespace {
+
+/// Make a raw fields fragment safe to splice into a JSON object.  First
+/// pass repairs the string layer (escapes raw control bytes, completes a
+/// dangling backslash, closes an unterminated string); second pass checks
+/// the result actually parses as object members.  Anything still broken
+/// is demoted to one escaped `"raw"` string field.
+std::string sanitize_fragment(std::string_view fragment) {
+  std::string cleaned;
+  cleaned.reserve(fragment.size() + 2);
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : fragment) {
+    if (static_cast<unsigned char>(c) < 0x20) {
+      if (in_string) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+        cleaned += buf;
+      } else {
+        // A space is whitespace wherever \n or \t would be, and keeps the
+        // record on one line (the JSONL invariant).
+        cleaned += ' ';
+      }
+      escaped = false;
+      continue;
+    }
+    cleaned += c;
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+    } else if (c == '"') {
+      in_string = true;
+    }
+  }
+  if (escaped) cleaned += '\\';
+  if (in_string) cleaned += '"';
+
+  std::string probe = "{\"_\": 0";
+  probe += cleaned;
+  probe += '}';
+  if (json::parse(probe).ok()) return cleaned;
+
+  std::string out = ", \"raw\": ";
+  EventLog::append_json_string(out, fragment);
+  return out;
+}
+
+}  // namespace
+
 void EventLog::emit_raw(std::string_view kind, std::optional<std::uint64_t> tick,
                         std::string_view raw_fields_fragment) {
+  const std::string fragment = sanitize_fragment(raw_fields_fragment);
   std::lock_guard<std::mutex> lock(mutex_);
   std::string line = render_prefix(kind, tick, seq_++);
-  line += raw_fields_fragment;
+  line += fragment;
   line += '}';
   lines_.push_back(std::move(line));
 }
@@ -125,6 +182,13 @@ std::size_t EventLog::size() const {
 std::vector<std::string> EventLog::lines() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return lines_;
+}
+
+std::vector<std::string> EventLog::recent(std::size_t n) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t start = lines_.size() > n ? lines_.size() - n : 0;
+  return std::vector<std::string>(lines_.begin() + static_cast<std::ptrdiff_t>(start),
+                                  lines_.end());
 }
 
 void EventLog::write_jsonl(std::ostream& os) const {

@@ -57,12 +57,21 @@ class EventLog {
 
   /// Append a pre-rendered *fields fragment* (comma-prefixed, e.g.
   /// `, "frames": [...]`) — escape hatch for bulk payloads like the
-  /// flight-recorder dump.  The fragment must be valid JSON members.
+  /// flight-recorder dump.  The fragment is sanitized before it is
+  /// embedded: raw control bytes are escaped, an unterminated string is
+  /// closed, and a fragment that still fails to parse as JSON members is
+  /// demoted to a single escaped `"raw"` string field — so a record line
+  /// is well-formed JSON no matter what the caller hands in (the /stats
+  /// admin endpoint embeds recent records verbatim and depends on this).
   void emit_raw(std::string_view kind, std::optional<std::uint64_t> tick,
                 std::string_view raw_fields_fragment);
 
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::vector<std::string> lines() const;  ///< records, no header
+
+  /// The most recent `n` records (fewer when the log is shorter), oldest
+  /// first — the tail the admin /stats endpoint embeds.
+  [[nodiscard]] std::vector<std::string> recent(std::size_t n) const;
 
   /// Header record ({"schema":"rg.events/1", ...}) followed by every event.
   void write_jsonl(std::ostream& os) const;

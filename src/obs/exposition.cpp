@@ -1,0 +1,307 @@
+#include "obs/exposition.hpp"
+
+#include <cstdio>
+#include <map>
+#include <ostream>
+
+#include "common/json.hpp"
+
+namespace rg::obs {
+
+namespace {
+
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) { out += std::to_string(v); }
+
+}  // namespace
+
+std::string prometheus_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (!name.empty() && name.front() >= '0' && name.front() <= '9') out += '_';
+  for (const char c : name) {
+    const bool legal = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += legal ? c : '_';
+  }
+  return out;
+}
+
+std::string to_prometheus(const MetricsSnapshot& snap) {
+  std::string out;
+  out.reserve(4096);
+  for (const auto& c : snap.counters) {
+    const std::string pname = prometheus_name(c.name);
+    out += "# HELP " + pname + " " + c.name + "\n";
+    out += "# TYPE " + pname + " counter\n";
+    out += pname + " ";
+    append_u64(out, c.value);
+    out += '\n';
+  }
+  for (const auto& g : snap.gauges) {
+    const std::string pname = prometheus_name(g.name);
+    out += "# HELP " + pname + " " + g.name + "\n";
+    out += "# TYPE " + pname + " gauge\n";
+    out += pname + " ";
+    append_double(out, g.value);
+    out += '\n';
+  }
+  for (const auto& h : snap.histograms) {
+    const std::string pname = prometheus_name(h.name);
+    out += "# HELP " + pname + " " + h.name + " (log-linear histogram)\n";
+    out += "# TYPE " + pname + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < HistogramData::kBucketCount; ++i) {
+      const std::uint64_t n = h.data.buckets[i];
+      if (n == 0) continue;  // cumulative series: empty buckets add nothing
+      cumulative += n;
+      const std::uint64_t upper =
+          HistogramData::bucket_lower(i) + HistogramData::bucket_width(i) - 1;
+      out += pname + "_bucket{le=\"";
+      append_u64(out, upper);
+      out += "\"} ";
+      append_u64(out, cumulative);
+      out += '\n';
+    }
+    out += pname + "_bucket{le=\"+Inf\"} ";
+    append_u64(out, h.data.count);
+    out += '\n';
+    out += pname + "_sum ";
+    append_u64(out, h.data.sum);
+    out += '\n';
+    out += pname + "_count ";
+    append_u64(out, h.data.count);
+    out += '\n';
+  }
+  return out;
+}
+
+void write_prometheus(const MetricsSnapshot& snap, std::ostream& os) {
+  os << to_prometheus(snap);
+}
+
+std::string to_live_json(const MetricsSnapshot& snap, std::uint64_t captured_ns) {
+  std::string out;
+  out.reserve(4096);
+  out += "{\"schema\": \"rg.metrics.live/1\", \"captured_ns\": ";
+  append_u64(out, captured_ns);
+  out += ", \"counters\": [";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += "{\"name\": ";
+    json::append_quoted(out, snap.counters[i].name);
+    out += ", \"value\": ";
+    append_u64(out, snap.counters[i].value);
+    out += '}';
+  }
+  out += "], \"gauges\": [";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += "{\"name\": ";
+    json::append_quoted(out, snap.gauges[i].name);
+    out += ", \"value\": ";
+    append_double(out, snap.gauges[i].value);
+    out += '}';
+  }
+  out += "], \"histograms\": [";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const auto& h = snap.histograms[i];
+    if (i != 0) out += ", ";
+    out += "{\"name\": ";
+    json::append_quoted(out, h.name);
+    out += ", \"count\": ";
+    append_u64(out, h.data.count);
+    out += ", \"sum\": ";
+    append_u64(out, h.data.sum);
+    out += ", \"min\": ";
+    append_u64(out, h.data.empty() ? 0 : h.data.min);
+    out += ", \"max\": ";
+    append_u64(out, h.data.max);
+    out += ", \"mean\": ";
+    append_double(out, h.data.mean());
+    const HistogramData::Quantile p50 = h.data.quantile(50.0);
+    const HistogramData::Quantile p90 = h.data.quantile(90.0);
+    const HistogramData::Quantile p99 = h.data.quantile(99.0);
+    out += ", \"p50\": ";
+    append_double(out, p50.value);
+    out += ", \"p90\": ";
+    append_double(out, p90.value);
+    out += ", \"p99\": ";
+    append_double(out, p99.value);
+    out += ", \"valid\": ";
+    out += p50.valid ? "true" : "false";
+    out += ", \"buckets\": [";
+    bool first = true;
+    for (std::size_t b = 0; b < HistogramData::kBucketCount; ++b) {
+      if (h.data.buckets[b] == 0) continue;
+      if (!first) out += ", ";
+      first = false;
+      out += '[';
+      append_u64(out, b);
+      out += ", ";
+      append_u64(out, h.data.buckets[b]);
+      out += ']';
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+void write_live_json(const MetricsSnapshot& snap, std::ostream& os, std::uint64_t captured_ns) {
+  os << to_live_json(snap, captured_ns);
+}
+
+namespace {
+
+Error malformed(const std::string& what) {
+  return Error(ErrorCode::kMalformedPacket, "rg.metrics.live: " + what);
+}
+
+}  // namespace
+
+Result<LiveSnapshot> parse_live_json(std::string_view text) {
+  Result<json::Value> parsed = json::parse(text);
+  if (!parsed.ok()) return parsed.error();
+  const json::Value& doc = parsed.value();
+  if (!doc.is_object()) return malformed("document is not an object");
+  const json::Value* schema = doc.find("schema");
+  if (schema == nullptr || schema->as_string() != "rg.metrics.live/1") {
+    return malformed("unexpected schema");
+  }
+
+  LiveSnapshot out;
+  if (const json::Value* cap = doc.find("captured_ns")) out.captured_ns = cap->as_u64();
+
+  if (const json::Value* counters = doc.find("counters")) {
+    if (!counters->is_array()) return malformed("counters is not an array");
+    for (const json::Value& entry : counters->as_array()) {
+      const json::Value* name = entry.find("name");
+      const json::Value* value = entry.find("value");
+      if (name == nullptr || !name->is_string() || value == nullptr) {
+        return malformed("bad counter entry");
+      }
+      out.metrics.counters.push_back({name->as_string(), value->as_u64()});
+    }
+  }
+  if (const json::Value* gauges = doc.find("gauges")) {
+    if (!gauges->is_array()) return malformed("gauges is not an array");
+    for (const json::Value& entry : gauges->as_array()) {
+      const json::Value* name = entry.find("name");
+      const json::Value* value = entry.find("value");
+      if (name == nullptr || !name->is_string() || value == nullptr) {
+        return malformed("bad gauge entry");
+      }
+      out.metrics.gauges.push_back({name->as_string(), value->as_number()});
+    }
+  }
+  if (const json::Value* hists = doc.find("histograms")) {
+    if (!hists->is_array()) return malformed("histograms is not an array");
+    for (const json::Value& entry : hists->as_array()) {
+      const json::Value* name = entry.find("name");
+      if (name == nullptr || !name->is_string()) return malformed("bad histogram entry");
+      MetricsSnapshot::HistogramValue hv;
+      hv.name = name->as_string();
+      HistogramData& data = hv.data;
+      if (const json::Value* v = entry.find("count")) data.count = v->as_u64();
+      if (const json::Value* v = entry.find("sum")) data.sum = v->as_u64();
+      if (const json::Value* v = entry.find("max")) data.max = v->as_u64();
+      if (data.count > 0) {
+        const json::Value* v = entry.find("min");
+        data.min = v != nullptr ? v->as_u64() : 0;
+      }
+      if (const json::Value* buckets = entry.find("buckets")) {
+        if (!buckets->is_array()) return malformed("histogram buckets is not an array");
+        for (const json::Value& pair : buckets->as_array()) {
+          const json::Array& p = pair.as_array();
+          if (p.size() != 2) return malformed("bad bucket pair");
+          const std::uint64_t index = p[0].as_u64();
+          if (index >= HistogramData::kBucketCount) return malformed("bucket index out of range");
+          data.buckets[static_cast<std::size_t>(index)] = p[1].as_u64();
+        }
+      }
+      out.metrics.histograms.push_back(std::move(hv));
+    }
+  }
+  return out;
+}
+
+SnapshotDelta SnapshotDelta::between(const MetricsSnapshot& earlier, const MetricsSnapshot& later,
+                                     std::uint64_t interval_ns) {
+  SnapshotDelta out;
+  out.interval_ns = interval_ns;
+
+  std::map<std::string_view, std::uint64_t> prev_counters;
+  for (const auto& c : earlier.counters) prev_counters.emplace(c.name, c.value);
+  out.counters.reserve(later.counters.size());
+  for (const auto& c : later.counters) {
+    const auto it = prev_counters.find(c.name);
+    const std::uint64_t prev = it != prev_counters.end() ? it->second : 0;
+    // A later value below the earlier one means the registry restarted
+    // between polls; clamp to zero rather than inventing a negative rate.
+    out.counters.push_back({c.name, c.value >= prev ? c.value - prev : 0});
+  }
+
+  out.gauges.reserve(later.gauges.size());
+  for (const auto& g : later.gauges) out.gauges.push_back({g.name, g.value});
+
+  std::map<std::string_view, const HistogramData*> prev_hists;
+  for (const auto& h : earlier.histograms) prev_hists.emplace(h.name, &h.data);
+  out.histograms.reserve(later.histograms.size());
+  for (const auto& h : later.histograms) {
+    HistogramDelta delta;
+    delta.name = h.name;
+    const auto it = prev_hists.find(h.name);
+    if (it == prev_hists.end()) {
+      delta.data = h.data;
+    } else {
+      const HistogramData& prev = *it->second;
+      std::uint64_t derived_count = 0;
+      std::uint64_t derived_sum = 0;
+      for (std::size_t i = 0; i < HistogramData::kBucketCount; ++i) {
+        const std::uint64_t now = h.data.buckets[i];
+        const std::uint64_t was = prev.buckets[i];
+        delta.data.buckets[i] = now >= was ? now - was : 0;
+        derived_count += delta.data.buckets[i];
+      }
+      delta.data.count =
+          h.data.count >= prev.count ? h.data.count - prev.count : derived_count;
+      derived_sum = h.data.sum >= prev.sum ? h.data.sum - prev.sum : 0;
+      delta.data.sum = derived_sum;
+      // min/max are lifetime extrema, not interval extrema; carry the
+      // later snapshot's values as the best available bound.
+      delta.data.min = delta.data.count > 0 ? h.data.min : delta.data.min;
+      delta.data.max = delta.data.count > 0 ? h.data.max : 0;
+    }
+    out.histograms.push_back(std::move(delta));
+  }
+  return out;
+}
+
+const SnapshotDelta::CounterDelta* SnapshotDelta::counter(std::string_view name) const noexcept {
+  for (const auto& c : counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const HistogramData* SnapshotDelta::histogram(std::string_view name) const noexcept {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h.data;
+  }
+  return nullptr;
+}
+
+double SnapshotDelta::rate_per_sec(std::string_view counter_name) const noexcept {
+  if (interval_ns == 0) return 0.0;
+  const CounterDelta* c = counter(counter_name);
+  if (c == nullptr) return 0.0;
+  return static_cast<double>(c->delta) * 1e9 / static_cast<double>(interval_ns);
+}
+
+}  // namespace rg::obs

@@ -1,0 +1,95 @@
+// Live exposition of a MetricsSnapshot: Prometheus text format for
+// scrapers, a versioned "rg.metrics.live/1" JSON document for tools that
+// need the raw buckets back, and SnapshotDelta for rate computation
+// between two polls.
+//
+// This is the read side of the telemetry plane (docs/admin.md): the admin
+// server renders these from Registry::global().snapshot() on its own
+// thread; nothing here is called from the RG_REALTIME tick path.
+//
+// Prometheus metric names may not contain '.', so dotted rg.* names are
+// exposed with dots mapped to underscores ("rg.gw.rx_packets" →
+// "rg_gw_rx_packets").  The HELP line carries the original dotted name,
+// so the canonical name remains greppable in the scrape body.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+
+namespace rg::obs {
+
+/// Prometheus-legal rendering of a dotted metric name: characters outside
+/// [a-zA-Z0-9_:] become '_' (a leading digit gains a '_' prefix).
+[[nodiscard]] std::string prometheus_name(std::string_view name);
+
+/// Render the snapshot in Prometheus text exposition format (version
+/// 0.0.4): counters and gauges as single samples, histograms as
+/// cumulative `_bucket{le="..."}` series (empty buckets elided) plus
+/// `_sum` and `_count`.
+void write_prometheus(const MetricsSnapshot& snap, std::ostream& os);
+[[nodiscard]] std::string to_prometheus(const MetricsSnapshot& snap);
+
+/// Render the snapshot as a "rg.metrics.live/1" JSON document.  Unlike
+/// the exit-time "rg.metrics/1" dump this keeps the sparse histogram
+/// buckets (`[[bucket_index, count], ...]`), so a reader can reconstruct
+/// the full HistogramData and diff two polls bucket-wise.  `captured_ns`
+/// is the monotonic capture timestamp readers use for rate intervals.
+void write_live_json(const MetricsSnapshot& snap, std::ostream& os, std::uint64_t captured_ns);
+[[nodiscard]] std::string to_live_json(const MetricsSnapshot& snap, std::uint64_t captured_ns);
+
+/// A parsed "rg.metrics.live/1" document.
+struct LiveSnapshot {
+  MetricsSnapshot metrics;
+  std::uint64_t captured_ns = 0;
+};
+
+/// Parse a document produced by write_live_json.  Rejects other schemas
+/// and structurally malformed input with kMalformedPacket.
+[[nodiscard]] Result<LiveSnapshot> parse_live_json(std::string_view text);
+
+/// Difference between two snapshots of the same registry, for rate
+/// computation.  Counters and histogram buckets subtract with a clamp to
+/// zero, so a registry reset (or a restarted process) between polls reads
+/// as "no progress", never as a negative rate.  Gauges are point-in-time
+/// and carry the later snapshot's value.  Metrics present only in the
+/// later snapshot contribute their full value; metrics that disappeared
+/// are dropped.
+struct SnapshotDelta {
+  struct CounterDelta {
+    std::string name;
+    std::uint64_t delta = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramDelta {
+    std::string name;
+    HistogramData data{};
+  };
+
+  std::vector<CounterDelta> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramDelta> histograms;
+  std::uint64_t interval_ns = 0;
+
+  [[nodiscard]] static SnapshotDelta between(const MetricsSnapshot& earlier,
+                                             const MetricsSnapshot& later,
+                                             std::uint64_t interval_ns = 0);
+
+  [[nodiscard]] const CounterDelta* counter(std::string_view name) const noexcept;
+  [[nodiscard]] const HistogramData* histogram(std::string_view name) const noexcept;
+
+  /// Counter delta scaled to events per second over interval_ns (0.0 when
+  /// the metric is absent or the interval is zero).
+  [[nodiscard]] double rate_per_sec(std::string_view counter_name) const noexcept;
+};
+
+}  // namespace rg::obs

@@ -86,13 +86,23 @@ struct HistogramData {
     return count > 0 ? static_cast<double>(sum) / static_cast<double>(count) : 0.0;
   }
 
+  /// A percentile estimate plus whether the histogram had data to answer
+  /// from.  Serializers must check `valid` before embedding `value` — an
+  /// empty histogram answers {0.0, false}, never NaN, so snapshot JSON and
+  /// the Prometheus exposition stay well-formed regardless of traffic.
+  struct Quantile {
+    double value = 0.0;
+    bool valid = false;
+  };
+
   /// Value at percentile `p` in [0, 100]: the midpoint of the first bucket
   /// whose cumulative count reaches ceil(p/100 * count).  Exact for values
-  /// below kSubBuckets, within one sub-bucket width above.
-  [[nodiscard]] double percentile(double p) const noexcept {
-    if (count == 0) return 0.0;
-    if (p <= 0.0) return static_cast<double>(min);
-    if (p >= 100.0) return static_cast<double>(max);
+  /// below kSubBuckets, within one sub-bucket width above.  An empty
+  /// histogram or a NaN `p` yields {0.0, false}.
+  [[nodiscard]] Quantile quantile(double p) const noexcept {
+    if (count == 0 || p != p) return {0.0, false};
+    if (p <= 0.0) return {static_cast<double>(min), true};
+    if (p >= 100.0) return {static_cast<double>(max), true};
     const double target_d = p / 100.0 * static_cast<double>(count);
     auto target = static_cast<std::uint64_t>(target_d);
     if (static_cast<double>(target) < target_d) ++target;  // ceil
@@ -110,11 +120,14 @@ struct HistogramData {
                                     static_cast<double>(width - 1) / 2.0;
         if (v > static_cast<double>(max)) v = static_cast<double>(max);
         if (v < static_cast<double>(min)) v = static_cast<double>(min);
-        return v;
+        return {v, true};
       }
     }
-    return static_cast<double>(max);
+    return {static_cast<double>(max), true};
   }
+
+  /// Back-compat scalar view of quantile(): 0.0 when there is no data.
+  [[nodiscard]] double percentile(double p) const noexcept { return quantile(p).value; }
 
   bool operator==(const HistogramData& other) const = default;
 };

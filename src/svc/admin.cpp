@@ -1,0 +1,520 @@
+#include "svc/admin.hpp"
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+
+#include "common/json.hpp"
+#include "obs/exposition.hpp"
+#include "obs/span.hpp"
+
+#if defined(__linux__)
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace rg::svc {
+
+namespace {
+
+constexpr std::string_view kContentJson = "application/json; charset=utf-8";
+constexpr std::string_view kContentText = "text/plain; charset=utf-8";
+/// Prometheus scrapers key the parser off this exact version tag.
+constexpr std::string_view kContentProm = "text/plain; version=0.0.4; charset=utf-8";
+
+std::string http_response(int status, std::string_view content_type, std::string_view body) {
+  const char* phrase = "OK";
+  switch (status) {
+    case 200: phrase = "OK"; break;
+    case 400: phrase = "Bad Request"; break;
+    case 404: phrase = "Not Found"; break;
+    case 405: phrase = "Method Not Allowed"; break;
+    case 503: phrase = "Service Unavailable"; break;
+    default: phrase = "Error"; break;
+  }
+  std::string out = "HTTP/1.0 " + std::to_string(status) + " " + phrase + "\r\n";
+  out += "Content-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+void append_u64_field(std::string& out, std::string_view key, std::uint64_t value, bool* first) {
+  if (!*first) out += ", ";
+  *first = false;
+  json::append_quoted(out, key);
+  out += ": ";
+  out += std::to_string(value);
+}
+
+}  // namespace
+
+std::string AdminServer::render_stats() const {
+  std::string out;
+  out.reserve(4096);
+  out += "{\"schema\": \"rg.admin.stats/1\"";
+  const std::shared_ptr<const GatewaySnapshot> snap =
+      gateway_ != nullptr ? gateway_->latest_snapshot() : nullptr;
+  out += ", \"captured\": ";
+  out += snap != nullptr ? "true" : "false";
+  if (snap != nullptr) {
+    out += ", \"seq\": " + std::to_string(snap->seq);
+    out += ", \"now_ms\": " + std::to_string(snap->now_ms);
+    out += ", \"estop_sessions\": " + std::to_string(snap->estop_sessions);
+    const GatewayStats& st = snap->stats;
+    out += ", \"gateway\": {";
+    bool first = true;
+    append_u64_field(out, "rx_packets", st.datagrams, &first);
+    append_u64_field(out, "accepted", st.accepted, &first);
+    append_u64_field(out, "rejected_size", st.rejected_size, &first);
+    append_u64_field(out, "rejected_mac", st.rejected_mac, &first);
+    append_u64_field(out, "rejected_checksum", st.rejected_checksum, &first);
+    append_u64_field(out, "rejected_flags", st.rejected_flags, &first);
+    append_u64_field(out, "rejected_duplicate", st.rejected_duplicate, &first);
+    append_u64_field(out, "rejected_replayed", st.rejected_replayed, &first);
+    append_u64_field(out, "rejected_stale", st.rejected_stale, &first);
+    append_u64_field(out, "rejected_session_limit", st.rejected_session_limit, &first);
+    append_u64_field(out, "backpressure_dropped", st.backpressure_dropped, &first);
+    append_u64_field(out, "out_of_order_accepted", st.out_of_order_accepted, &first);
+    append_u64_field(out, "sessions_opened", st.sessions_opened, &first);
+    append_u64_field(out, "sessions_evicted", st.sessions_evicted, &first);
+    append_u64_field(out, "active_sessions", st.active_sessions, &first);
+    append_u64_field(out, "drift_checks", st.drift_checks, &first);
+    append_u64_field(out, "drift_alarms", st.drift_alarms, &first);
+    out += "}, \"sessions\": [";
+    for (std::size_t i = 0; i < snap->sessions.size(); ++i) {
+      const SessionStats& s = snap->sessions[i];
+      if (i != 0) out += ", ";
+      out += "{\"id\": " + std::to_string(s.id);
+      out += ", \"endpoint\": ";
+      json::append_quoted(out, s.endpoint.to_string());
+      out += ", \"active\": ";
+      out += s.active ? "true" : "false";
+      out += ", \"last_seen_ms\": " + std::to_string(s.last_seen_ms);
+      bool f = true;
+      out += ", \"ingest\": {";
+      append_u64_field(out, "accepted", s.counters.accepted, &f);
+      append_u64_field(out, "duplicates", s.counters.duplicates, &f);
+      append_u64_field(out, "replayed", s.counters.replayed, &f);
+      append_u64_field(out, "stale", s.counters.stale, &f);
+      append_u64_field(out, "out_of_order", s.counters.out_of_order, &f);
+      append_u64_field(out, "lost_gap", s.counters.lost_gap, &f);
+      append_u64_field(out, "backpressure", s.counters.backpressure, &f);
+      out += "}, \"ticks\": " + std::to_string(s.shard.ticks);
+      out += ", \"alarms\": " + std::to_string(s.shard.alarms);
+      out += ", \"blocked\": " + std::to_string(s.shard.blocked);
+      out += ", \"estop\": ";
+      out += s.shard.estop ? "true" : "false";
+      char digest[24];
+      std::snprintf(digest, sizeof(digest), "%016llx",
+                    static_cast<unsigned long long>(s.shard.digest));
+      out += ", \"digest\": \"";
+      out += digest;
+      out += "\"}";
+    }
+    out += "]";
+  } else {
+    out += ", \"sessions\": []";
+  }
+
+  out += ", \"recent_events\": [";
+  if (const obs::EventLog* events = events_.load(std::memory_order_acquire)) {
+    const std::vector<std::string> tail = events->recent(config_.recent_events);
+    for (std::size_t i = 0; i < tail.size(); ++i) {
+      if (i != 0) out += ", ";
+      // The event log sanitizes its own records, but this document must
+      // stay well-formed even against a log populated before that
+      // guarantee existed — re-validate and demote anything broken to an
+      // escaped string.
+      if (json::parse(tail[i]).ok()) {
+        out += tail[i];
+      } else {
+        json::append_quoted(out, tail[i]);
+      }
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+std::string AdminServer::render_flight() const {
+  const obs::FlightRecorder* recorder = flight_.load(std::memory_order_acquire);
+  if (recorder == nullptr) return "{\"armed\": false}";
+  if (!recorder->triggered()) return "{\"armed\": true, \"triggered\": false}";
+  std::ostringstream os;
+  recorder->write_json(os);
+  return os.str();
+}
+
+std::string AdminServer::render_ready() const {
+  if (!thresholds_loaded_.load(std::memory_order_acquire)) {
+    return "waiting: thresholds epoch not loaded\n";
+  }
+  if (gateway_ != nullptr) {
+    const std::shared_ptr<const GatewaySnapshot> snap = gateway_->latest_snapshot();
+    if (snap == nullptr) return "waiting: no gateway snapshot published yet\n";
+    if (snap->estop_sessions != 0) {
+      return "failed: " + std::to_string(snap->estop_sessions) +
+             " active session(s) with latched E-STOP\n";
+    }
+  }
+  return "";  // ready
+}
+
+std::string AdminServer::handle(const std::string& request_line) {
+  const std::uint64_t start_ns = obs::monotonic_ns();
+  auto& reg = obs::Registry::global();
+  reg.add(request_counter_);
+
+  // Request line: METHOD SP PATH SP VERSION.
+  const std::size_t method_end = request_line.find(' ');
+  const std::size_t path_end =
+      method_end == std::string::npos ? std::string::npos : request_line.find(' ', method_end + 1);
+  if (method_end == std::string::npos || path_end == std::string::npos) {
+    reg.add(bad_request_counter_);
+    return http_response(400, kContentText, "malformed request line\n");
+  }
+  const std::string_view method = std::string_view(request_line).substr(0, method_end);
+  std::string_view path =
+      std::string_view(request_line).substr(method_end + 1, path_end - method_end - 1);
+  if (const std::size_t q = path.find('?'); q != std::string_view::npos) path = path.substr(0, q);
+
+  std::string response;
+  if (method != "GET") {
+    reg.add(bad_request_counter_);
+    response = http_response(405, kContentText, "only GET is supported\n");
+  } else if (path == "/metrics") {
+    response = http_response(200, kContentProm, obs::to_prometheus(obs::Registry::global().snapshot()));
+  } else if (path == "/metrics.json") {
+    response = http_response(
+        200, kContentJson,
+        obs::to_live_json(obs::Registry::global().snapshot(), obs::monotonic_ns()));
+  } else if (path == "/stats") {
+    response = http_response(200, kContentJson, render_stats());
+  } else if (path == "/healthz") {
+    response = http_response(200, kContentText, "ok\n");
+  } else if (path == "/readyz") {
+    const std::string reason = render_ready();
+    response = reason.empty() ? http_response(200, kContentText, "ready\n")
+                              : http_response(503, kContentText, reason);
+  } else if (path == "/flight") {
+    response = http_response(200, kContentJson, render_flight());
+  } else {
+    response = http_response(404, kContentText, "unknown endpoint\n");
+  }
+  reg.observe(request_hist_, obs::monotonic_ns() - start_ns);
+  return response;
+}
+
+#if defined(__linux__)
+
+namespace {
+
+[[noreturn]] void fail(const char* what) {
+  throw std::runtime_error(std::string{"AdminServer: "} + what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+/// Per-client state: request bytes accumulate until the header terminator,
+/// then the rendered response drains as the socket accepts it.
+struct AdminServer::Connection {
+  std::string in;
+  std::string out;
+  std::size_t sent = 0;
+  bool responding = false;
+};
+
+AdminServer::AdminServer(const AdminConfig& config, const TeleopGateway* gateway)
+    : config_(config), gateway_(gateway) {
+  auto& reg = obs::Registry::global();
+  request_counter_ = reg.counter("rg.admin.requests");
+  bad_request_counter_ = reg.counter("rg.admin.bad_requests");
+  request_hist_ = reg.histogram("rg.admin.request_ns");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) fail("socket");
+  const int one = 1;
+  (void)::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config.port);
+  if (::inet_pton(AF_INET, config.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    throw std::runtime_error("AdminServer: invalid bind address: " + config.bind_address);
+  }
+  // rg-lint: allow(cast) -- BSD sockets API: sockaddr_in is the sockaddr it poses as
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(listen_fd_);
+    fail("bind");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  // rg-lint: allow(cast) -- BSD sockets API: sockaddr_in is the sockaddr it poses as
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    ::close(listen_fd_);
+    fail("getsockname");
+  }
+  bound_port_ = ntohs(bound.sin_port);
+  if (::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    fail("listen");
+  }
+
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) {
+    ::close(listen_fd_);
+    fail("eventfd");
+  }
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    ::close(wake_fd_);
+    ::close(listen_fd_);
+    fail("epoll_create1");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) fail("epoll_ctl(listen)");
+  ev.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) fail("epoll_ctl(wake)");
+
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+AdminServer::~AdminServer() { stop(); }
+
+void AdminServer::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  stop_.store(true, std::memory_order_release);
+  if (wake_fd_ >= 0) {
+    const std::uint64_t one = 1;
+    (void)!::write(wake_fd_, &one, sizeof(one));
+  }
+  if (thread_.joinable()) thread_.join();
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  epoll_fd_ = wake_fd_ = listen_fd_ = -1;
+}
+
+void AdminServer::serve_loop() {
+  std::map<int, Connection> conns;
+  std::array<epoll_event, 16> events{};
+  const auto close_conn = [&](int fd) {
+    (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+    ::close(fd);
+    conns.erase(fd);
+  };
+
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events.data(), static_cast<int>(events.size()),
+                               config_.poll_timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[static_cast<std::size_t>(i)].data.fd;
+      const std::uint32_t flags = events[static_cast<std::size_t>(i)].events;
+      if (fd == wake_fd_) {
+        std::uint64_t drain = 0;
+        (void)!::read(wake_fd_, &drain, sizeof(drain));
+        continue;
+      }
+      if (fd == listen_fd_) {
+        while (true) {
+          const int client = ::accept4(listen_fd_, nullptr, nullptr,
+                                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+          if (client < 0) break;  // EAGAIN or transient: next epoll pass retries
+          epoll_event cev{};
+          cev.events = EPOLLIN;
+          cev.data.fd = client;
+          if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, client, &cev) != 0) {
+            ::close(client);
+            continue;
+          }
+          conns.emplace(client, Connection{});
+        }
+        continue;
+      }
+
+      const auto it = conns.find(fd);
+      if (it == conns.end()) continue;
+      Connection& conn = it->second;
+      if ((flags & (EPOLLHUP | EPOLLERR)) != 0) {
+        close_conn(fd);
+        continue;
+      }
+
+      if (!conn.responding && (flags & EPOLLIN) != 0) {
+        char buf[1024];
+        bool closed = false;
+        while (true) {
+          const ssize_t got = ::recv(fd, buf, sizeof(buf), 0);
+          if (got > 0) {
+            conn.in.append(buf, static_cast<std::size_t>(got));
+            if (conn.in.size() > config_.max_request_bytes) break;
+            continue;
+          }
+          if (got == 0) closed = true;
+          break;
+        }
+        const std::size_t header_end = conn.in.find("\r\n\r\n");
+        if (header_end != std::string::npos || conn.in.size() > config_.max_request_bytes) {
+          std::string request_line = conn.in.substr(0, conn.in.find("\r\n"));
+          if (conn.in.size() > config_.max_request_bytes) {
+            obs::Registry::global().add(bad_request_counter_);
+            conn.out = http_response(400, kContentText, "request too large\n");
+          } else {
+            conn.out = handle(request_line);
+          }
+          conn.responding = true;
+          epoll_event cev{};
+          cev.events = EPOLLOUT;
+          cev.data.fd = fd;
+          (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &cev);
+        } else if (closed) {
+          close_conn(fd);
+          continue;
+        }
+      }
+
+      if (conn.responding && (flags & (EPOLLOUT | EPOLLIN)) != 0) {
+        while (conn.sent < conn.out.size()) {
+          const ssize_t put = ::send(fd, conn.out.data() + conn.sent,
+                                     conn.out.size() - conn.sent, MSG_NOSIGNAL);
+          if (put <= 0) break;  // EAGAIN: wait for the next EPOLLOUT
+          conn.sent += static_cast<std::size_t>(put);
+        }
+        if (conn.sent >= conn.out.size()) close_conn(fd);
+      }
+    }
+  }
+
+  for (const auto& [fd, conn] : conns) ::close(fd);
+}
+
+Result<HttpResponse> http_get(const std::string& host, std::uint16_t port,
+                              const std::string& path, int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Error(ErrorCode::kInternal, "http_get: socket failed");
+  struct FdGuard {
+    int fd;
+    ~FdGuard() { ::close(fd); }
+  } guard{fd};
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Error(ErrorCode::kInvalidArgument, "http_get: bad host address: " + host);
+  }
+  // rg-lint: allow(cast) -- BSD sockets API: sockaddr_in is the sockaddr it poses as
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 &&
+      errno != EINPROGRESS) {
+    return Error(ErrorCode::kTimeout, "http_get: connect failed");
+  }
+  pollfd pfd{fd, POLLOUT, 0};
+  if (::poll(&pfd, 1, timeout_ms) <= 0) {
+    return Error(ErrorCode::kTimeout, "http_get: connect timed out");
+  }
+  int soerr = 0;
+  socklen_t soerr_len = sizeof(soerr);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &soerr_len) != 0 || soerr != 0) {
+    return Error(ErrorCode::kTimeout, "http_get: connect failed");
+  }
+
+  const std::string request =
+      "GET " + path + " HTTP/1.0\r\nHost: " + host + "\r\nConnection: close\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t put =
+        ::send(fd, request.data() + sent, request.size() - sent, MSG_NOSIGNAL);
+    if (put > 0) {
+      sent += static_cast<std::size_t>(put);
+      continue;
+    }
+    if (errno != EAGAIN && errno != EWOULDBLOCK) {
+      return Error(ErrorCode::kTimeout, "http_get: send failed");
+    }
+    pfd.events = POLLOUT;
+    if (::poll(&pfd, 1, timeout_ms) <= 0) {
+      return Error(ErrorCode::kTimeout, "http_get: send timed out");
+    }
+  }
+
+  std::string raw;
+  char buf[4096];
+  while (true) {
+    const ssize_t got = ::recv(fd, buf, sizeof(buf), 0);
+    if (got > 0) {
+      raw.append(buf, static_cast<std::size_t>(got));
+      continue;
+    }
+    if (got == 0) break;
+    if (errno != EAGAIN && errno != EWOULDBLOCK) {
+      return Error(ErrorCode::kTimeout, "http_get: recv failed");
+    }
+    pfd.events = POLLIN;
+    if (::poll(&pfd, 1, timeout_ms) <= 0) {
+      return Error(ErrorCode::kTimeout, "http_get: recv timed out");
+    }
+  }
+
+  // "HTTP/1.x NNN ..." then headers then blank line then body.
+  if (raw.size() < 12 || raw.compare(0, 5, "HTTP/") != 0) {
+    return Error(ErrorCode::kMalformedPacket, "http_get: not an HTTP response");
+  }
+  const std::size_t status_at = raw.find(' ');
+  if (status_at == std::string::npos || status_at + 4 > raw.size()) {
+    return Error(ErrorCode::kMalformedPacket, "http_get: malformed status line");
+  }
+  int status = 0;
+  for (std::size_t i = status_at + 1; i < status_at + 4 && i < raw.size(); ++i) {
+    if (raw[i] < '0' || raw[i] > '9') {
+      return Error(ErrorCode::kMalformedPacket, "http_get: malformed status code");
+    }
+    status = status * 10 + (raw[i] - '0');
+  }
+  const std::size_t body_at = raw.find("\r\n\r\n");
+  if (body_at == std::string::npos) {
+    return Error(ErrorCode::kMalformedPacket, "http_get: missing header terminator");
+  }
+  return HttpResponse{status, raw.substr(body_at + 4)};
+}
+
+#else  // !__linux__
+
+struct AdminServer::Connection {};
+
+AdminServer::AdminServer(const AdminConfig& config, const TeleopGateway* gateway)
+    : config_(config), gateway_(gateway) {
+  throw std::runtime_error("AdminServer requires Linux (epoll)");
+}
+AdminServer::~AdminServer() = default;
+void AdminServer::stop() {}
+void AdminServer::serve_loop() {}
+
+Result<HttpResponse> http_get(const std::string&, std::uint16_t, const std::string&, int) {
+  return Error(ErrorCode::kInternal, "http_get requires Linux");
+}
+
+#endif
+
+}  // namespace rg::svc

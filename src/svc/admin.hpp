@@ -1,0 +1,130 @@
+// AdminServer: the gateway's live introspection endpoint.
+//
+// A small HTTP/1.0 server on its own thread (non-blocking sockets +
+// epoll, like UdpSocketTransport) serving read-only views of the
+// telemetry plane:
+//
+//   GET /metrics       Prometheus text exposition of Registry::global()
+//   GET /metrics.json  the same snapshot as "rg.metrics.live/1" JSON
+//   GET /stats         "rg.admin.stats/1": gateway ledger + per-session
+//                      table + recent safety events
+//   GET /healthz       liveness ("ok" while the server thread runs)
+//   GET /readyz        readiness = socket bound ∧ thresholds epoch
+//                      loaded ∧ no active session with latched E-STOP
+//   GET /flight        most recent flight-recorder dump when one is
+//                      armed and triggered
+//
+// The admin plane never touches the RG_REALTIME tick path and is
+// lock-free with respect to the shards: /stats serves the sequenced
+// GatewaySnapshot the pump thread publishes (TeleopGateway::
+// latest_snapshot()), and /metrics merges the registry's per-thread
+// shards under the registry mutex alone.  Verdict-digest determinism is
+// therefore untouched no matter how hard the endpoint is polled
+// (tests/test_admin.cpp hammers it under TSan).
+//
+// Linux-only (epoll), mirroring UdpSocketTransport: constructing on
+// other platforms throws.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "common/error.hpp"
+#include "obs/events.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "svc/gateway.hpp"
+
+namespace rg::svc {
+
+struct AdminConfig {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral (read back via bound_port())
+  /// Requests longer than this are answered 400 and dropped.
+  std::size_t max_request_bytes = 4096;
+  /// How many tail events /stats embeds from the attached EventLog.
+  std::size_t recent_events = 32;
+  /// Serve-loop epoll timeout: the stop() latency upper bound.
+  int poll_timeout_ms = 50;
+};
+
+/// A parsed HTTP response (shared by the raven_top/test client).
+struct HttpResponse {
+  int status = 0;
+  std::string body;
+};
+
+/// Minimal blocking HTTP/1.0 GET for tools and tests: connects (with
+/// timeout), sends the request, reads to EOF.  kTimeout on a slow or
+/// unreachable server, kMalformedPacket on a garbled response.
+[[nodiscard]] Result<HttpResponse> http_get(const std::string& host, std::uint16_t port,
+                                            const std::string& path, int timeout_ms = 2000);
+
+class AdminServer {
+ public:
+  /// `gateway` may be null (metrics-only exposition, /stats reports
+  /// captured=false); when set it must outlive the server.
+  AdminServer(const AdminConfig& config, const TeleopGateway* gateway);
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  [[nodiscard]] std::uint16_t bound_port() const noexcept { return bound_port_; }
+
+  /// Join the serve thread and close the socket.  Idempotent; the
+  /// destructor calls it.
+  void stop();
+
+  /// Readiness input: whether a thresholds epoch is loaded.  Starts true
+  /// (vacuously ready); tools that load a store flip it false → true
+  /// around the load.
+  void set_thresholds_loaded(bool loaded) noexcept {
+    thresholds_loaded_.store(loaded, std::memory_order_release);
+  }
+
+  /// Attach the flight recorder /flight serves.  The recorder must
+  /// outlive the server and must not be written concurrently with admin
+  /// polls (attach a recorder owned by a quiescent or post-trigger
+  /// session, or snapshot it first).
+  void set_flight_recorder(const obs::FlightRecorder* recorder) noexcept {
+    flight_.store(recorder, std::memory_order_release);
+  }
+
+  /// Attach the event log whose tail /stats embeds (thread-safe source;
+  /// must outlive the server).
+  void set_event_log(const obs::EventLog* events) noexcept {
+    events_.store(events, std::memory_order_release);
+  }
+
+ private:
+  struct Connection;
+
+  void serve_loop();
+  [[nodiscard]] std::string handle(const std::string& request_line);
+  [[nodiscard]] std::string render_stats() const;
+  [[nodiscard]] std::string render_flight() const;
+  [[nodiscard]] std::string render_ready() const;
+
+  AdminConfig config_;
+  const TeleopGateway* gateway_ = nullptr;
+  std::atomic<bool> thresholds_loaded_{true};
+  std::atomic<const obs::FlightRecorder*> flight_{nullptr};
+  std::atomic<const obs::EventLog*> events_{nullptr};
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  std::atomic<bool> stop_{false};
+  bool stopped_ = false;
+  std::thread thread_;
+
+  obs::MetricId request_counter_;
+  obs::MetricId bad_request_counter_;
+  obs::MetricId request_hist_;
+};
+
+}  // namespace rg::svc

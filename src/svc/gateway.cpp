@@ -23,11 +23,14 @@ TeleopGateway::TeleopGateway(const GatewayConfig& config, Transport& transport)
   require(config.shards >= 1, "TeleopGateway: at least one shard required");
   require(config.max_sessions >= 1, "TeleopGateway: max_sessions must be >= 1");
   auto& reg = obs::Registry::global();
-  ingest_counter_ = reg.counter("rg.gw.datagrams");
+  ingest_counter_ = reg.counter("rg.gw.rx_packets");
   accept_counter_ = reg.counter("rg.gw.accepted");
   reject_counter_ = reg.counter("rg.gw.rejected");
   drift_check_counter_ = reg.counter("rg.cal.drift_checks");
   drift_alarm_counter_ = reg.counter("rg.cal.drift_alarms");
+  deadline_miss_counter_ = reg.counter("rg.gw.pump.deadline_miss");
+  jitter_hist_ = reg.histogram("rg.gw.pump.jitter_ns");
+  if (config_.pump_deadline_ns == 0) config_.pump_deadline_ns = 2 * config_.pump_period_ns;
   // The calibration policy implies per-session sketches in every engine.
   if (config_.calibration.enabled) {
     config_.engine.calibration.enabled = true;
@@ -51,6 +54,22 @@ TeleopGateway::~TeleopGateway() { shutdown(); }
 
 std::size_t TeleopGateway::pump(std::uint64_t now_ms, std::size_t max) {
   RG_SPAN("gw.pump");
+  // Pump-cadence SLO: the gap between consecutive pump entries should
+  // track pump_period_ns; the jitter histogram and deadline-miss counter
+  // are the signals raven_top and the admin /metrics endpoint surface.
+  {
+    const std::uint64_t enter_ns = obs::monotonic_ns();
+    auto& reg = obs::Registry::global();
+    if (last_pump_ns_ != 0) {
+      const std::uint64_t gap = enter_ns - last_pump_ns_;
+      const std::uint64_t jitter = gap > config_.pump_period_ns
+                                       ? gap - config_.pump_period_ns
+                                       : config_.pump_period_ns - gap;
+      reg.observe(jitter_hist_, jitter);
+      if (gap > config_.pump_deadline_ns) reg.add(deadline_miss_counter_);
+    }
+    last_pump_ns_ = enter_ns;
+  }
   const std::size_t drained = transport_.poll(
       [&](const Endpoint& from, std::span<const std::uint8_t> bytes) {
         note(ingest(from, bytes, now_ms, obs::monotonic_ns()));
@@ -69,7 +88,30 @@ std::size_t TeleopGateway::pump(std::uint64_t now_ms, std::size_t max) {
     last_drift_scan_ms_ = now_ms;
     (void)scan_drift_now(now_ms);
   }
+  if (config_.stats_publish_period_ms != 0 &&
+      (now_ms - last_publish_ms_ >= config_.stats_publish_period_ms || last_publish_ms_ == 0)) {
+    last_publish_ms_ = now_ms;
+    publish_snapshot(now_ms);
+  }
   return drained;
+}
+
+void TeleopGateway::publish_snapshot(std::uint64_t now_ms) {
+  auto snap = std::make_shared<GatewaySnapshot>();
+  snap->now_ms = now_ms;
+  snap->stats = stats();
+  snap->sessions = sessions();
+  for (const SessionStats& s : snap->sessions) {
+    if (s.active && s.shard.estop) ++snap->estop_sessions;
+  }
+  const std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  snap->seq = ++publish_seq_;
+  snapshot_ = std::move(snap);
+}
+
+std::shared_ptr<const GatewaySnapshot> TeleopGateway::latest_snapshot() const {
+  const std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return snapshot_;
 }
 
 std::size_t TeleopGateway::scan_drift_now(std::uint64_t now_ms) {

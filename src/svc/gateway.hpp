@@ -86,6 +86,16 @@ struct GatewayConfig {
   /// Optional safety-event sink for `cal_drift` records (must outlive the
   /// gateway; nullptr = events dropped, counters still advance).
   obs::EventLog* events = nullptr;
+  /// Expected pump cadence: |gap - period| between consecutive pump()
+  /// entries feeds the rg.gw.pump.jitter_ns histogram (1 ms — the ITP
+  /// control period — by default).
+  std::uint64_t pump_period_ns = 1'000'000;
+  /// A pump-to-pump gap beyond this counts one rg.gw.pump.deadline_miss
+  /// (0 resolves to 2 * pump_period_ns at construction).
+  std::uint64_t pump_deadline_ns = 0;
+  /// How often pump() refreshes the sequenced snapshot the admin plane
+  /// reads (latest_snapshot()); 0 disables publishing from pump().
+  std::uint64_t stats_publish_period_ms = 250;
 };
 
 /// Gateway-wide ingest accounting (monotonic; snapshot via stats()).
@@ -118,6 +128,20 @@ struct SessionStats {
   std::uint64_t last_seen_ms = 0;
   SessionCounters counters{};
   ShardSessionStats shard{};
+};
+
+/// A sequenced, self-consistent copy of the gateway's observable state,
+/// refreshed by pump() on its publish throttle.  The admin plane serves
+/// exclusively from the latest published snapshot, so admin reads never
+/// contend with the session table or shard state locks while traffic is
+/// flowing.  `seq` increments per publish; `estop_sessions` counts active
+/// sessions whose PLC has latched E-STOP (readiness gate).
+struct GatewaySnapshot {
+  std::uint64_t seq = 0;
+  std::uint64_t now_ms = 0;
+  GatewayStats stats{};
+  std::vector<SessionStats> sessions;
+  std::uint64_t estop_sessions = 0;
 };
 
 class TeleopGateway {
@@ -159,6 +183,16 @@ class TeleopGateway {
   /// sessions.
   std::size_t scan_drift_now(std::uint64_t now_ms);
 
+  /// Build and store a fresh GatewaySnapshot now (pump() does this on the
+  /// stats_publish_period_ms throttle; tools can force one before the
+  /// first pump or after a drain).
+  void publish_snapshot(std::uint64_t now_ms);
+
+  /// The most recently published snapshot, or nullptr before the first
+  /// publish.  Cheap shared_ptr copy — safe to call from any thread at
+  /// any rate; the returned snapshot is immutable.
+  [[nodiscard]] std::shared_ptr<const GatewaySnapshot> latest_snapshot() const;
+
  private:
   struct SessionRecord {
     std::uint32_t id = 0;
@@ -193,11 +227,21 @@ class TeleopGateway {
   std::uint64_t last_drift_scan_ms_ = 0;
   bool shut_down_ = false;
 
+  // Pump-cadence SLO state (touched only by the pump thread).
+  std::uint64_t last_pump_ns_ = 0;
+  std::uint64_t last_publish_ms_ = 0;
+  std::uint64_t publish_seq_ = 0;
+
+  mutable std::mutex snapshot_mutex_;
+  std::shared_ptr<const GatewaySnapshot> snapshot_;
+
   obs::MetricId ingest_counter_;
   obs::MetricId accept_counter_;
   obs::MetricId reject_counter_;
   obs::MetricId drift_check_counter_;
   obs::MetricId drift_alarm_counter_;
+  obs::MetricId deadline_miss_counter_;
+  obs::MetricId jitter_hist_;
 };
 
 }  // namespace rg::svc

@@ -92,6 +92,9 @@ class SessionEngine {
   [[nodiscard]] std::uint64_t ticks() const noexcept { return ticks_; }
   [[nodiscard]] std::uint64_t alarms() const noexcept { return alarms_; }
   [[nodiscard]] std::uint64_t blocked() const noexcept { return blocked_; }
+  /// Whether the session's PLC has latched E-STOP (absorbing until reset;
+  /// surfaced through ShardSessionStats and the admin /readyz probe).
+  [[nodiscard]] bool estop_latched() const noexcept { return plc_.estop_latched(); }
   [[nodiscard]] const TickResult& last() const noexcept { return last_; }
 
   /// FNV-1a fold of every tick's verdict (screened/alarm/blocked and the

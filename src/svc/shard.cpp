@@ -16,6 +16,8 @@ GatewayShard::GatewayShard(const ShardConfig& config)
   round_lanes_hist_ = reg.histogram("rg.gw.round.lanes");
   ticks_counter_ =
       reg.counter("rg.gw.shard." + std::to_string(config.index) + ".ticks");
+  queue_hwm_gauge_ =
+      reg.gauge("rg.gw.shard." + std::to_string(config.index) + ".queue_hwm");
 }
 
 GatewayShard::~GatewayShard() { stop(); }
@@ -44,6 +46,10 @@ bool GatewayShard::submit(const ShardItem& item) {
       return false;  // backpressure: the caller counts the drop
     }
     queue_.push_back(item);
+    if (queue_.size() > queue_hwm_) {
+      queue_hwm_ = queue_.size();
+      obs::Registry::global().set(queue_hwm_gauge_, static_cast<double>(queue_hwm_));
+    }
   }
   queue_cv_.notify_one();
   return true;
@@ -106,8 +112,8 @@ void GatewayShard::apply_items(const std::vector<ShardItem>& items) {
         const auto it = sessions_.find(item.session);
         if (it == sessions_.end()) break;
         const SessionEngine& eng = it->second->engine;
-        retired_[item.session] =
-            ShardSessionStats{eng.ticks(), eng.alarms(), eng.blocked(), eng.verdict_digest()};
+        retired_[item.session] = ShardSessionStats{eng.ticks(), eng.alarms(), eng.blocked(),
+                                                   eng.verdict_digest(), eng.estop_latched()};
         sessions_.erase(it);
         break;
       }
@@ -219,7 +225,8 @@ std::optional<ShardSessionStats> GatewayShard::session_stats(std::uint32_t id) c
   const auto it = sessions_.find(id);
   if (it != sessions_.end()) {
     const SessionEngine& eng = it->second->engine;
-    return ShardSessionStats{eng.ticks(), eng.alarms(), eng.blocked(), eng.verdict_digest()};
+    return ShardSessionStats{eng.ticks(), eng.alarms(), eng.blocked(), eng.verdict_digest(),
+                             eng.estop_latched()};
   }
   const auto rit = retired_.find(id);
   if (rit != retired_.end()) return rit->second;
@@ -229,6 +236,11 @@ std::optional<ShardSessionStats> GatewayShard::session_stats(std::uint32_t id) c
 std::uint64_t GatewayShard::ticks() const noexcept {
   const std::lock_guard<std::mutex> lock(state_mutex_);
   return total_ticks_;
+}
+
+std::size_t GatewayShard::queue_high_watermark() const {
+  const std::lock_guard<std::mutex> lock(queue_mutex_);
+  return queue_hwm_;
 }
 
 std::vector<GatewayShard::DriftAlarm> GatewayShard::scan_drift(

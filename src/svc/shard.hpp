@@ -65,6 +65,7 @@ struct ShardSessionStats {
   std::uint64_t alarms = 0;
   std::uint64_t blocked = 0;
   std::uint64_t digest = 0;
+  bool estop = false;  ///< PLC E-STOP latched (frozen at close for retired sessions)
 };
 
 class GatewayShard {
@@ -92,6 +93,8 @@ class GatewayShard {
 
   [[nodiscard]] std::optional<ShardSessionStats> session_stats(std::uint32_t id) const;
   [[nodiscard]] std::uint64_t ticks() const noexcept;
+  /// Deepest the submission queue has ever been (backpressure headroom).
+  [[nodiscard]] std::size_t queue_high_watermark() const;
 
   /// One newly drifted session found by a drift scan.
   struct DriftAlarm {
@@ -137,6 +140,7 @@ class GatewayShard {
   mutable std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
   std::vector<ShardItem> queue_;
+  std::size_t queue_hwm_ = 0;
   bool stop_ = false;
   bool processing_ = false;
 
@@ -153,6 +157,7 @@ class GatewayShard {
   obs::MetricId latency_hist_;
   obs::MetricId round_lanes_hist_;
   obs::MetricId ticks_counter_;
+  obs::MetricId queue_hwm_gauge_;
 
   std::thread worker_;
   bool started_ = false;

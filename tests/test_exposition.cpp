@@ -1,0 +1,242 @@
+// Exposition-layer tests: Prometheus text rendering (golden output),
+// the "rg.metrics.live/1" JSON round-trip, SnapshotDelta monotonicity
+// under counter resets, and the rg::json parser the whole read side
+// leans on.
+//
+// Suite name matters: scripts/tier1.sh runs `Exposition.*` under
+// ThreadSanitizer alongside the admin/gateway suites.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "common/json.hpp"
+#include "obs/exposition.hpp"
+#include "obs/metrics.hpp"
+
+namespace rg::obs {
+namespace {
+
+MetricsSnapshot small_snapshot() {
+  MetricsSnapshot snap;
+  snap.counters.push_back({"rg.test.requests", 5});
+  snap.gauges.push_back({"rg.test.load", 2.5});
+  MetricsSnapshot::HistogramValue h;
+  h.name = "rg.test.lat";
+  h.data.observe(3);
+  h.data.observe(7);
+  h.data.observe(100);
+  snap.histograms.push_back(h);
+  return snap;
+}
+
+// --- Prometheus text ---------------------------------------------------------
+
+TEST(Exposition, PrometheusNameMapping) {
+  EXPECT_EQ(prometheus_name("rg.gw.rx_packets"), "rg_gw_rx_packets");
+  EXPECT_EQ(prometheus_name("rg.gw.shard.0.queue_hwm"), "rg_gw_shard_0_queue_hwm");
+  EXPECT_EQ(prometheus_name("already_legal:name"), "already_legal:name");
+  EXPECT_EQ(prometheus_name("9starts.with-digit"), "_9starts_with_digit");
+  EXPECT_EQ(prometheus_name(""), "");
+}
+
+TEST(Exposition, PrometheusGoldenOutput) {
+  // Values 3 and 7 land in exact buckets (le == value); 100 lands in the
+  // [100, 104) log-linear bucket, so its cumulative upper bound is 103.
+  const std::string expected =
+      "# HELP rg_test_requests rg.test.requests\n"
+      "# TYPE rg_test_requests counter\n"
+      "rg_test_requests 5\n"
+      "# HELP rg_test_load rg.test.load\n"
+      "# TYPE rg_test_load gauge\n"
+      "rg_test_load 2.5\n"
+      "# HELP rg_test_lat rg.test.lat (log-linear histogram)\n"
+      "# TYPE rg_test_lat histogram\n"
+      "rg_test_lat_bucket{le=\"3\"} 1\n"
+      "rg_test_lat_bucket{le=\"7\"} 2\n"
+      "rg_test_lat_bucket{le=\"103\"} 3\n"
+      "rg_test_lat_bucket{le=\"+Inf\"} 3\n"
+      "rg_test_lat_sum 110\n"
+      "rg_test_lat_count 3\n";
+  EXPECT_EQ(to_prometheus(small_snapshot()), expected);
+}
+
+TEST(Exposition, PrometheusEmptyHistogramHasNoNan) {
+  MetricsSnapshot snap;
+  snap.histograms.push_back({"rg.test.idle", {}});
+  const std::string text = to_prometheus(snap);
+  EXPECT_EQ(text,
+            "# HELP rg_test_idle rg.test.idle (log-linear histogram)\n"
+            "# TYPE rg_test_idle histogram\n"
+            "rg_test_idle_bucket{le=\"+Inf\"} 0\n"
+            "rg_test_idle_sum 0\n"
+            "rg_test_idle_count 0\n");
+  EXPECT_EQ(text.find("nan"), std::string::npos);
+}
+
+// --- Live JSON ---------------------------------------------------------------
+
+TEST(Exposition, LiveJsonRoundTripReconstructsHistograms) {
+  const MetricsSnapshot snap = small_snapshot();
+  const std::string text = to_live_json(snap, 123456789u);
+
+  const Result<LiveSnapshot> parsed = parse_live_json(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  const LiveSnapshot& live = parsed.value();
+  EXPECT_EQ(live.captured_ns, 123456789u);
+
+  ASSERT_EQ(live.metrics.counters.size(), 1u);
+  EXPECT_EQ(live.metrics.counters[0].name, "rg.test.requests");
+  EXPECT_EQ(live.metrics.counters[0].value, 5u);
+
+  ASSERT_EQ(live.metrics.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(live.metrics.gauges[0].value, 2.5);
+
+  // The sparse bucket encoding restores the exact HistogramData: same
+  // buckets, count, sum, min, max (operator== is member-wise).
+  ASSERT_EQ(live.metrics.histograms.size(), 1u);
+  EXPECT_EQ(live.metrics.histograms[0].name, "rg.test.lat");
+  EXPECT_EQ(live.metrics.histograms[0].data, snap.histograms[0].data);
+}
+
+TEST(Exposition, LiveJsonEmptyHistogramStaysEmptyThroughRoundTrip) {
+  MetricsSnapshot snap;
+  snap.histograms.push_back({"rg.test.idle", {}});
+  const std::string text = to_live_json(snap, 1);
+  EXPECT_EQ(text.find("nan"), std::string::npos);
+  EXPECT_NE(text.find("\"valid\": false"), std::string::npos);
+
+  const Result<LiveSnapshot> parsed = parse_live_json(text);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().metrics.histograms.size(), 1u);
+  const HistogramData& data = parsed.value().metrics.histograms[0].data;
+  EXPECT_TRUE(data.empty());
+  EXPECT_EQ(data, HistogramData{});  // min stays at the empty sentinel
+}
+
+TEST(Exposition, LiveJsonRejectsWrongSchemaAndGarbage) {
+  EXPECT_FALSE(parse_live_json("{\"schema\": \"rg.metrics/1\"}").ok());
+  EXPECT_FALSE(parse_live_json("[1, 2, 3]").ok());
+  EXPECT_FALSE(parse_live_json("not json at all").ok());
+  EXPECT_FALSE(parse_live_json("{\"schema\": \"rg.metrics.live/1\"} trailing").ok());
+  // Bucket index out of range must be rejected, not written out of bounds.
+  EXPECT_FALSE(parse_live_json("{\"schema\": \"rg.metrics.live/1\", \"histograms\": "
+                               "[{\"name\": \"h\", \"count\": 1, \"buckets\": [[99999, 1]]}]}")
+                   .ok());
+}
+
+// --- SnapshotDelta -----------------------------------------------------------
+
+TEST(Exposition, SnapshotDeltaComputesRates) {
+  MetricsSnapshot earlier;
+  earlier.counters.push_back({"rg.test.requests", 10});
+  MetricsSnapshot later;
+  later.counters.push_back({"rg.test.requests", 25});
+  later.counters.push_back({"rg.test.fresh", 7});  // absent earlier: full value
+  later.gauges.push_back({"rg.test.load", 0.25});
+
+  const SnapshotDelta delta = SnapshotDelta::between(earlier, later, 1'000'000'000u);
+  ASSERT_NE(delta.counter("rg.test.requests"), nullptr);
+  EXPECT_EQ(delta.counter("rg.test.requests")->delta, 15u);
+  ASSERT_NE(delta.counter("rg.test.fresh"), nullptr);
+  EXPECT_EQ(delta.counter("rg.test.fresh")->delta, 7u);
+  EXPECT_DOUBLE_EQ(delta.rate_per_sec("rg.test.requests"), 15.0);
+  EXPECT_DOUBLE_EQ(delta.rate_per_sec("rg.test.absent"), 0.0);
+  ASSERT_EQ(delta.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(delta.gauges[0].value, 0.25);  // gauges carry the later value
+}
+
+TEST(Exposition, SnapshotDeltaClampsCounterResetToZero) {
+  MetricsSnapshot earlier;
+  earlier.counters.push_back({"rg.test.requests", 1000});
+  MetricsSnapshot later;
+  later.counters.push_back({"rg.test.requests", 3});  // registry restarted
+
+  const SnapshotDelta delta = SnapshotDelta::between(earlier, later, 1'000'000'000u);
+  ASSERT_NE(delta.counter("rg.test.requests"), nullptr);
+  EXPECT_EQ(delta.counter("rg.test.requests")->delta, 0u);
+  EXPECT_DOUBLE_EQ(delta.rate_per_sec("rg.test.requests"), 0.0);
+}
+
+TEST(Exposition, SnapshotDeltaHistogramIsIntervalOnly) {
+  MetricsSnapshot earlier;
+  {
+    MetricsSnapshot::HistogramValue h;
+    h.name = "rg.test.lat";
+    h.data.observe(3);
+    h.data.observe(100);
+    earlier.histograms.push_back(h);
+  }
+  MetricsSnapshot later = earlier;
+  later.histograms[0].data.observe(7);
+  later.histograms[0].data.observe(7);
+
+  const SnapshotDelta delta = SnapshotDelta::between(earlier, later, 0);
+  const HistogramData* d = delta.histogram("rg.test.lat");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->count, 2u);
+  EXPECT_EQ(d->sum, 14u);
+  EXPECT_EQ(d->buckets[7], 2u);
+  EXPECT_EQ(d->buckets[3], 0u);  // unchanged buckets cancel out
+}
+
+TEST(Exposition, SnapshotDeltaHistogramResetClampsBucketwise) {
+  MetricsSnapshot earlier;
+  {
+    MetricsSnapshot::HistogramValue h;
+    h.name = "rg.test.lat";
+    for (int i = 0; i < 50; ++i) h.data.observe(9);
+    earlier.histograms.push_back(h);
+  }
+  MetricsSnapshot later;
+  {
+    MetricsSnapshot::HistogramValue h;
+    h.name = "rg.test.lat";
+    h.data.observe(4);  // fresh registry after a restart
+    later.histograms.push_back(h);
+  }
+
+  const SnapshotDelta delta = SnapshotDelta::between(earlier, later, 0);
+  const HistogramData* d = delta.histogram("rg.test.lat");
+  ASSERT_NE(d, nullptr);
+  // count falls back to the bucket-derived total; no bucket goes negative.
+  EXPECT_EQ(d->buckets[4], 1u);
+  EXPECT_EQ(d->buckets[9], 0u);
+  EXPECT_EQ(d->count, 1u);
+}
+
+// --- rg::json parser ---------------------------------------------------------
+
+TEST(Exposition, JsonParserBasics) {
+  const Result<json::Value> v =
+      json::parse("{\"a\": [1, -2.5, true, null], \"b\": {\"nested\": \"x\\n\\u0041\"}}");
+  ASSERT_TRUE(v.ok()) << v.error().to_string();
+  const json::Value& doc = v.value();
+  ASSERT_TRUE(doc.is_object());
+  const json::Value* a = doc.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->as_array().size(), 4u);
+  EXPECT_EQ(a->as_array()[0].as_u64(), 1u);
+  EXPECT_DOUBLE_EQ(a->as_array()[1].as_number(), -2.5);
+  EXPECT_TRUE(a->as_array()[2].as_bool());
+  EXPECT_TRUE(a->as_array()[3].is_null());
+  const json::Value* b = doc.find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->find("nested")->as_string(), "x\nA");
+}
+
+TEST(Exposition, JsonParserRejectsMalformedInput) {
+  EXPECT_FALSE(json::parse("").ok());
+  EXPECT_FALSE(json::parse("{\"a\": }").ok());
+  EXPECT_FALSE(json::parse("{\"a\": 1,}").ok());
+  EXPECT_FALSE(json::parse("{\"a\": 1} extra").ok());
+  EXPECT_FALSE(json::parse("\"unterminated").ok());
+  EXPECT_FALSE(json::parse("{\"dangling\": \"\\").ok());
+  // Depth bomb: past kMaxDepth the parser must error, not overflow.
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(json::parse(deep).ok());
+}
+
+}  // namespace
+}  // namespace rg::obs

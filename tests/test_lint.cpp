@@ -88,7 +88,7 @@ TEST(Lint, RealTreeMetricInventoryMatchesKnownFamilies) {
                      name) != report.metric_names.end();
   };
   EXPECT_TRUE(has("rg.span.control.tick"));
-  EXPECT_TRUE(has("rg.gw.datagrams"));
+  EXPECT_TRUE(has("rg.gw.rx_packets"));
   EXPECT_TRUE(has("rg.gw.shard.*"));  // dynamic registration -> wildcard family
   EXPECT_TRUE(has("rg.pipeline.alarms"));
 }

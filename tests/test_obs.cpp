@@ -6,12 +6,14 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/json.hpp"
 #include "common/log.hpp"
 #include "obs/obs.hpp"
 #include "sim/experiment.hpp"
@@ -107,6 +109,26 @@ TEST(Obs, HistogramPercentilesOnKnownDistribution) {
     EXPECT_LE(v, 1000.0);
     prev = v;
   }
+}
+
+TEST(Obs, HistogramQuantileValidityFlag) {
+  HistogramData h;
+  // Empty histogram: never NaN, never a made-up value — {0.0, false}.
+  EXPECT_FALSE(h.quantile(50.0).valid);
+  EXPECT_EQ(h.quantile(50.0).value, 0.0);
+  EXPECT_EQ(h.percentile(99.0), 0.0);
+  // NaN percentile is answered invalid, not propagated.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(h.quantile(nan).valid);
+  EXPECT_EQ(h.quantile(nan).value, 0.0);
+
+  h.observe(7);
+  const HistogramData::Quantile q = h.quantile(50.0);
+  EXPECT_TRUE(q.valid);
+  EXPECT_EQ(q.value, 7.0);
+  EXPECT_TRUE(h.quantile(0.0).valid);
+  EXPECT_TRUE(h.quantile(100.0).valid);
+  EXPECT_FALSE(h.quantile(nan).valid);  // NaN stays invalid even with data
 }
 
 TEST(Obs, HistogramMergeAssociativeAndCommutative) {
@@ -383,6 +405,46 @@ TEST(Obs, EventLogRenderFieldsAndEmitRaw) {
   EXPECT_TRUE(contains(line, "\"kind\": \"flight_dump\""));
   EXPECT_TRUE(contains(line, "\"job\": 3"));
   EXPECT_TRUE(contains(line, "\"ring\": [1, 2, 3]}"));
+}
+
+TEST(Obs, EventLogEmitRawSanitizesHostileFragments) {
+  EventLog log;
+  // Each fragment below would corrupt the surrounding JSONL record if
+  // spliced verbatim; after sanitization every line must still be a
+  // single-line JSON object.
+  log.emit_raw("hostile", 1u, ", \"a\": \"embedded\nnewline\"");      // ctrl byte in string
+  log.emit_raw("hostile", 2u, ", \"b\": \"unterminated");             // open string
+  log.emit_raw("hostile", 3u, std::string(", \"c\": \"dangling\\"));  // trailing backslash
+  log.emit_raw("hostile", 4u, ", \"d\": }{not json");                 // structurally broken
+  log.emit_raw("hostile", 5u, ", \"e\": 1,\n \"f\": 2");              // newline between tokens
+  log.emit_raw("hostile", 6u, "");                                    // empty fragment
+
+  const std::vector<std::string> lines = log.lines();
+  ASSERT_EQ(lines.size(), 6u);
+  for (const std::string& line : lines) {
+    EXPECT_EQ(line.find('\n'), std::string::npos) << line;
+    // The whole record must parse as JSON — the property /stats embedding
+    // relies on.
+    EXPECT_TRUE(rg::json::parse(line).ok()) << line;
+  }
+  // Repairable fragments keep their fields; hopeless ones are demoted to
+  // an escaped "raw" string field rather than dropped.
+  EXPECT_TRUE(contains(lines[0], "\"a\": \"embedded\\u000anewline\""));
+  EXPECT_TRUE(contains(lines[3], "\"raw\": "));
+  EXPECT_TRUE(contains(lines[4], "\"f\": 2"));
+}
+
+TEST(Obs, EventLogRecentReturnsTail) {
+  EventLog log;
+  for (int i = 0; i < 5; ++i) {
+    log.emit("tick", static_cast<std::uint64_t>(i), {});
+  }
+  const std::vector<std::string> tail = log.recent(2);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_TRUE(contains(tail[0], "\"tick\": 3"));
+  EXPECT_TRUE(contains(tail[1], "\"tick\": 4"));
+  EXPECT_EQ(log.recent(100).size(), 5u);  // clamped to what exists
+  EXPECT_TRUE(log.recent(0).empty());
 }
 
 TEST(Obs, LogBridgeForwardsWarningsToEventLog) {

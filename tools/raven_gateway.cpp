@@ -21,10 +21,13 @@
 #include <string>
 #include <thread>
 
+#include <memory>
+
 #include "common/flags.hpp"
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "sim/threshold_store.hpp"
+#include "svc/admin.hpp"
 #include "svc/gateway.hpp"
 #include "svc/udp_transport.hpp"
 
@@ -103,6 +106,8 @@ int main(int argc, char** argv) {
   std::string stats_out;
   std::string port_file;
   std::string events_out;
+  int admin_port = -1;
+  std::string admin_port_file;
   bool calibrate = false;
   std::string thresholds_path;
   int thresholds_epoch = -1;
@@ -123,6 +128,10 @@ int main(int argc, char** argv) {
   flags.value("--metrics-out", &metrics_out, "write rg.metrics/1 JSON here on exit");
   flags.value("--stats-out", &stats_out, "write rg.gateway.stats/1 JSON here on exit");
   flags.value("--port-file", &port_file, "write the bound port here once listening");
+  flags.value("--admin-port", &admin_port,
+              "TCP admin/metrics endpoint port (-1 = disabled, 0 = ephemeral)");
+  flags.value("--admin-port-file", &admin_port_file,
+              "write the bound admin port here once serving");
   flags.flag("--calibrate", &calibrate,
              "per-session calibration sketches + drift alarms (needs --thresholds)");
   flags.value("--thresholds", &thresholds_path,
@@ -188,6 +197,23 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(epoch.value().id), thresholds_path.c_str());
     }
     svc::TeleopGateway gateway(config, transport);
+
+    std::unique_ptr<svc::AdminServer> admin;
+    if (admin_port >= 0) {
+      svc::AdminConfig admin_config;
+      admin_config.bind_address = bind_address;
+      admin_config.port = static_cast<std::uint16_t>(admin_port);
+      admin = std::make_unique<svc::AdminServer>(admin_config, &gateway);
+      admin->set_event_log(&events);
+      // First snapshot before traffic so /readyz and /stats are answerable
+      // the moment the admin port is published.
+      gateway.publish_snapshot(steady_ms());
+      std::printf("admin endpoint on %s:%u\n", bind_address.c_str(), admin->bound_port());
+      if (!admin_port_file.empty()) {
+        std::ofstream pf(admin_port_file);
+        pf << admin->bound_port() << "\n";
+      }
+    }
 
     const std::uint64_t t0 = steady_ms();
     const auto deadline =

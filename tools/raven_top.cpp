@@ -1,0 +1,273 @@
+// raven_top: live fleet view of a running raven_gateway.
+//
+// Polls the gateway's admin endpoint (/stats + /metrics.json), computes
+// rates from SnapshotDelta between polls, and renders a refreshing
+// summary plus a per-session table:
+//
+//   raven_top --port 9100                 # refresh every second
+//   raven_top --port 9100 --once --plain  # one frame, no ANSI (CI)
+//
+// Exit status is nonzero when the endpoint is unreachable or answers
+// with something that does not parse — the property tier1.sh stage 9
+// leans on.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/flags.hpp"
+#include "common/json.hpp"
+#include "obs/exposition.hpp"
+#include "svc/admin.hpp"
+
+namespace {
+
+using rg::json::Value;
+
+struct SessionRow {
+  std::uint64_t id = 0;
+  std::string endpoint;
+  bool active = false;
+  bool estop = false;
+  std::uint64_t accepted = 0;
+  std::uint64_t ticks = 0;
+  std::uint64_t alarms = 0;
+  std::uint64_t blocked = 0;
+};
+
+struct StatsFrame {
+  bool captured = false;
+  std::uint64_t seq = 0;
+  std::uint64_t active_sessions = 0;
+  std::uint64_t estop_sessions = 0;
+  std::uint64_t drift_alarms = 0;
+  std::vector<SessionRow> sessions;
+};
+
+rg::Result<StatsFrame> parse_stats(const std::string& body) {
+  const rg::Result<Value> parsed = rg::json::parse(body);
+  if (!parsed.ok()) return parsed.error();
+  const Value& doc = parsed.value();
+  const Value* schema = doc.find("schema");
+  if (schema == nullptr || schema->as_string() != "rg.admin.stats/1") {
+    return rg::Error(rg::ErrorCode::kMalformedPacket, "unexpected /stats schema");
+  }
+  StatsFrame frame;
+  if (const Value* v = doc.find("captured")) frame.captured = v->as_bool();
+  if (const Value* v = doc.find("seq")) frame.seq = v->as_u64();
+  if (const Value* v = doc.find("estop_sessions")) frame.estop_sessions = v->as_u64();
+  if (const Value* gw = doc.find("gateway")) {
+    if (const Value* v = gw->find("active_sessions")) frame.active_sessions = v->as_u64();
+    if (const Value* v = gw->find("drift_alarms")) frame.drift_alarms = v->as_u64();
+  }
+  if (const Value* sessions = doc.find("sessions")) {
+    for (const Value& entry : sessions->as_array()) {
+      SessionRow row;
+      if (const Value* v = entry.find("id")) row.id = v->as_u64();
+      if (const Value* v = entry.find("endpoint")) row.endpoint = v->as_string();
+      if (const Value* v = entry.find("active")) row.active = v->as_bool();
+      if (const Value* v = entry.find("estop")) row.estop = v->as_bool();
+      if (const Value* v = entry.find("ticks")) row.ticks = v->as_u64();
+      if (const Value* v = entry.find("alarms")) row.alarms = v->as_u64();
+      if (const Value* v = entry.find("blocked")) row.blocked = v->as_u64();
+      if (const Value* ingest = entry.find("ingest")) {
+        if (const Value* v = ingest->find("accepted")) row.accepted = v->as_u64();
+      }
+      frame.sessions.push_back(std::move(row));
+    }
+  }
+  return frame;
+}
+
+/// Human-scaled nanoseconds ("850ns", "1.2us", "3.4ms").
+std::string format_ns(double ns) {
+  char buf[32];
+  if (ns < 1000.0) {
+    std::snprintf(buf, sizeof(buf), "%.0fns", ns);
+  } else if (ns < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", ns / 1e3);
+  } else if (ns < 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", ns / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", ns / 1e9);
+  }
+  return buf;
+}
+
+void render(const StatsFrame& stats, const rg::obs::LiveSnapshot& live,
+            const std::optional<rg::obs::SnapshotDelta>& delta,
+            const std::map<std::uint64_t, SessionRow>& prev_sessions, double dt_sec,
+            const std::string& host, std::uint16_t port, bool plain) {
+  if (!plain) std::fputs("\x1b[2J\x1b[H", stdout);
+
+  std::printf("raven_top — %s:%u  seq=%llu  sessions=%llu active", host.c_str(), port,
+              static_cast<unsigned long long>(stats.seq),
+              static_cast<unsigned long long>(stats.active_sessions));
+  if (stats.estop_sessions != 0) {
+    std::printf("  [E-STOP x%llu]", static_cast<unsigned long long>(stats.estop_sessions));
+  }
+  std::printf("\n");
+
+  const auto total = [&](std::string_view name) -> std::uint64_t {
+    const auto* c = live.metrics.counter(name);
+    return c != nullptr ? c->value : 0;
+  };
+  if (delta.has_value()) {
+    std::printf("rx %.1f/s  accept %.1f/s  ", delta->rate_per_sec("rg.gw.rx_packets"),
+                delta->rate_per_sec("rg.gw.accepted"));
+  } else {
+    std::printf("rx %llu  accept %llu  ",
+                static_cast<unsigned long long>(total("rg.gw.rx_packets")),
+                static_cast<unsigned long long>(total("rg.gw.accepted")));
+  }
+  const rg::obs::HistogramData* jitter =
+      delta.has_value() ? delta->histogram("rg.gw.pump.jitter_ns") : nullptr;
+  if (jitter == nullptr || jitter->empty()) {
+    if (const auto* h = live.metrics.histogram("rg.gw.pump.jitter_ns")) jitter = h;
+  }
+  if (jitter != nullptr && !jitter->empty()) {
+    std::printf("pump jitter p50 %s p99 %s  ",
+                format_ns(jitter->quantile(50.0).value).c_str(),
+                format_ns(jitter->quantile(99.0).value).c_str());
+  }
+  std::printf("deadline_miss %llu  drift_alarms %llu\n",
+              static_cast<unsigned long long>(total("rg.gw.pump.deadline_miss")),
+              static_cast<unsigned long long>(stats.drift_alarms));
+
+  // Per-shard queue high watermarks (gauges rg.gw.shard.<i>.queue_hwm).
+  bool any_hwm = false;
+  for (const auto& g : live.metrics.gauges) {
+    const std::string_view name = g.name;
+    if (name.rfind("rg.gw.shard.", 0) != 0 || name.size() < 10 ||
+        name.substr(name.size() - 10) != ".queue_hwm") {
+      continue;
+    }
+    if (!any_hwm) std::printf("queue hwm:");
+    any_hwm = true;
+    const std::string_view index = name.substr(12, name.size() - 12 - 10);
+    std::printf(" %.*s=%.0f", static_cast<int>(index.size()), index.data(), g.value);
+  }
+  if (any_hwm) std::printf("\n");
+
+  std::printf("\n%6s  %-21s %-7s %10s %10s %8s %8s %6s\n", "ID", "ENDPOINT", "STATE", "ACC/s",
+              "TICK/s", "ALARMS", "BLOCKED", "ESTOP");
+  for (const SessionRow& row : stats.sessions) {
+    double acc_rate = 0.0;
+    double tick_rate = 0.0;
+    const auto it = prev_sessions.find(row.id);
+    if (it != prev_sessions.end() && dt_sec > 0.0) {
+      const SessionRow& prev = it->second;
+      acc_rate = row.accepted >= prev.accepted
+                     ? static_cast<double>(row.accepted - prev.accepted) / dt_sec
+                     : 0.0;
+      tick_rate =
+          row.ticks >= prev.ticks ? static_cast<double>(row.ticks - prev.ticks) / dt_sec : 0.0;
+    } else {
+      // First frame (or --once): no baseline, show lifetime totals as-is.
+      acc_rate = static_cast<double>(row.accepted);
+      tick_rate = static_cast<double>(row.ticks);
+    }
+    std::printf("%6llu  %-21s %-7s %10.1f %10.1f %8llu %8llu %6s\n",
+                static_cast<unsigned long long>(row.id), row.endpoint.c_str(),
+                row.active ? "active" : "closed", acc_rate, tick_rate,
+                static_cast<unsigned long long>(row.alarms),
+                static_cast<unsigned long long>(row.blocked), row.estop ? "YES" : "-");
+  }
+  if (stats.sessions.empty()) std::printf("(no sessions yet)\n");
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rg;
+
+  std::string host = "127.0.0.1";
+  std::uint32_t port = 0;
+  double interval = 1.0;
+  bool once = false;
+  bool plain = false;
+  std::uint32_t count = 0;
+
+  FlagSet flags;
+  flags.value("--host", &host, "admin endpoint host (default 127.0.0.1)");
+  flags.value("--port", &port, "admin endpoint port (required)");
+  flags.value("--interval", &interval, "poll period in seconds (default 1.0)");
+  flags.flag("--once", &once, "render one frame and exit");
+  flags.flag("--plain", &plain, "no ANSI clear between frames (CI/log friendly)");
+  flags.value("--count", &count, "exit after this many frames (0 = until SIGINT)");
+  if (const Status st = flags.parse(argc, argv, 1); !st.ok()) {
+    std::fprintf(stderr, "%s\n\nusage: raven_top --port <admin port> [options]\n%s",
+                 st.error().to_string().c_str(), flags.help().c_str());
+    return 1;
+  }
+  if (port == 0 || port > 65535) {
+    std::fprintf(stderr, "raven_top: --port is required (the gateway's --admin-port)\n");
+    return 1;
+  }
+  if (once) count = 1;
+
+  std::optional<obs::LiveSnapshot> prev_live;
+  std::map<std::uint64_t, SessionRow> prev_sessions;
+  auto prev_wall = std::chrono::steady_clock::now();
+
+  for (std::uint32_t frame = 0; count == 0 || frame < count; ++frame) {
+    if (frame != 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(interval));
+    }
+
+    const auto port16 = static_cast<std::uint16_t>(port);
+    const Result<svc::HttpResponse> stats_rsp = svc::http_get(host, port16, "/stats");
+    if (!stats_rsp.ok() || stats_rsp.value().status != 200) {
+      std::fprintf(stderr, "raven_top: GET /stats failed: %s\n",
+                   stats_rsp.ok() ? ("HTTP " + std::to_string(stats_rsp.value().status)).c_str()
+                                  : stats_rsp.error().to_string().c_str());
+      return 1;
+    }
+    const Result<svc::HttpResponse> metrics_rsp = svc::http_get(host, port16, "/metrics.json");
+    if (!metrics_rsp.ok() || metrics_rsp.value().status != 200) {
+      std::fprintf(stderr, "raven_top: GET /metrics.json failed: %s\n",
+                   metrics_rsp.ok()
+                       ? ("HTTP " + std::to_string(metrics_rsp.value().status)).c_str()
+                       : metrics_rsp.error().to_string().c_str());
+      return 1;
+    }
+
+    const Result<StatsFrame> stats = parse_stats(stats_rsp.value().body);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "raven_top: /stats did not parse: %s\n",
+                   stats.error().to_string().c_str());
+      return 1;
+    }
+    Result<obs::LiveSnapshot> live = obs::parse_live_json(metrics_rsp.value().body);
+    if (!live.ok()) {
+      std::fprintf(stderr, "raven_top: /metrics.json did not parse: %s\n",
+                   live.error().to_string().c_str());
+      return 1;
+    }
+
+    const auto now_wall = std::chrono::steady_clock::now();
+    const double dt_sec = std::chrono::duration<double>(now_wall - prev_wall).count();
+    std::optional<obs::SnapshotDelta> delta;
+    if (prev_live.has_value()) {
+      const std::uint64_t interval_ns =
+          live.value().captured_ns > prev_live->captured_ns
+              ? live.value().captured_ns - prev_live->captured_ns
+              : 0;
+      delta = obs::SnapshotDelta::between(prev_live->metrics, live.value().metrics, interval_ns);
+    }
+
+    render(stats.value(), live.value(), delta, prev_sessions, dt_sec, host, port16, plain);
+
+    prev_sessions.clear();
+    for (const SessionRow& row : stats.value().sessions) prev_sessions[row.id] = row;
+    prev_live = std::move(live.value());
+    prev_wall = now_wall;
+  }
+  return 0;
+}
