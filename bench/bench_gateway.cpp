@@ -4,20 +4,26 @@
 //
 // Traffic is pre-generated master-console ITP streams injected through a
 // LoopbackTransport in tick-sized slices, so the measurement covers the
-// full service path — ingest classification, session table, shard
-// queues, batched detection ticks — without socket noise.  A session
+// full service path — ingest classification, session table, SPSC shard
+// rings, batched detection ticks — without socket noise.  A session
 // count is "sustained" when the gateway processes its aggregate 1 kHz
 // datagram load at least as fast as real time with zero backpressure
-// drops.
+// drops and zero ring-full refusals.
 //
-// Results land in BENCH_gateway.json (schema "rg.bench.gateway/1";
-// RG_BENCH_GATEWAY_JSON overrides the path).  RG_SCALE < 1 shrinks both
-// the session ladder and the per-run duration for smoke passes.
+// Results land in BENCH_gateway.json (schema "rg.bench.gateway/2";
+// RG_BENCH_GATEWAY_JSON overrides the path).  RG_SCALE < 1 shrinks the
+// session ladder, the capacity-search bound and the per-run duration
+// for smoke passes.  Sections:
 //
-// After the ladder, the largest sustained case is re-run with an
-// AdminServer attached and a 1 Hz /metrics + /stats poller — the
-// "admin" section reports the realtime-ratio regression that live
-// observability costs (acceptance: < 2%).
+//   rows        fixed session ladder (continuity with rg.bench.gateway/1)
+//   capacity    exponential probe + binary search for the headline
+//               "max_sessions_sustained" — the largest session count the
+//               gateway holds at >= 1x realtime with zero drops
+//   batch_sweep the capacity point re-run at rx_batch 1 / 8 / 64, so the
+//               recvmmsg-style batched drain's win is a reported number
+//   admin       the largest sustained ladder case re-run with a polled
+//               AdminServer (acceptance: < 2% realtime regression)
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -39,14 +45,21 @@
 namespace rg::bench {
 namespace {
 
+/// Session trajectories only differ by `session % 16` (the radius salt),
+/// so 16 pre-generated streams serve any session count without the
+/// memory bill of one stream per session.
+constexpr std::size_t kUniqueStreams = 16;
+
 struct GatewayBenchRow {
   std::size_t sessions = 0;
   std::uint64_t ticks = 0;
+  std::size_t rx_batch = 0;
   double wall_sec = 0.0;
   double datagrams_per_sec = 0.0;
   double realtime_ratio = 0.0;  ///< >= 1 means the 1 kHz load is sustained
   std::uint64_t accepted = 0;
   std::uint64_t backpressure_dropped = 0;
+  std::uint64_t ring_full = 0;  ///< SPSC ring refusals summed over shards
   double p50_ns = 0.0;
   double p99_ns = 0.0;
 };
@@ -56,32 +69,29 @@ std::string bench_path() {
   return "BENCH_gateway.json";
 }
 
-std::vector<std::uint8_t> make_endpoint_stream(std::size_t session, std::uint64_t ticks,
-                                               std::vector<ItpBytes>& out) {
-  auto trajectory = std::make_shared<CircleTrajectory>(
-      Position{0.09, 0.0, -0.11}, 0.010 + 0.0001 * static_cast<double>(session % 16), 2.5,
-      1.0e9);
-  MasterConsole console(std::move(trajectory), PedalSchedule::hold_from(0.05));
-  out.clear();
-  out.reserve(ticks);
-  for (std::uint64_t t = 0; t < ticks; ++t) out.push_back(encode_itp(console.tick()));
-  return {};
+std::vector<std::vector<ItpBytes>> make_streams(std::uint64_t ticks) {
+  std::vector<std::vector<ItpBytes>> streams(kUniqueStreams);
+  for (std::size_t s = 0; s < kUniqueStreams; ++s) {
+    auto trajectory = std::make_shared<CircleTrajectory>(
+        Position{0.09, 0.0, -0.11}, 0.010 + 0.0001 * static_cast<double>(s), 2.5, 1.0e9);
+    MasterConsole console(std::move(trajectory), PedalSchedule::hold_from(0.05));
+    streams[s].reserve(ticks);
+    for (std::uint64_t t = 0; t < ticks; ++t) streams[s].push_back(encode_itp(console.tick()));
+  }
+  return streams;
 }
 
-GatewayBenchRow run_one(std::size_t sessions, std::uint64_t ticks, std::size_t shards,
+GatewayBenchRow run_one(const std::vector<std::vector<ItpBytes>>& streams, std::size_t sessions,
+                        std::uint64_t ticks, std::size_t shards, std::size_t rx_batch = 64,
                         bool with_admin = false, std::uint64_t* polls_out = nullptr) {
   obs::Registry::global().reset();
-
-  // Pre-generate every session's stream so generation cost stays outside
-  // the timed region.
-  std::vector<std::vector<ItpBytes>> streams(sessions);
-  for (std::size_t s = 0; s < sessions; ++s) make_endpoint_stream(s, ticks, streams[s]);
 
   svc::LoopbackTransport transport;
   svc::GatewayConfig config;
   config.shards = shards;
   config.threaded = true;
   config.max_sessions = sessions;
+  config.rx_batch = rx_batch;
   config.idle_timeout_ms = 1u << 30;  // synthetic clock; no eviction mid-run
   if (with_admin) {
     // The synthetic clock advances 1 ms per 64-tick slice, so a 4 ms
@@ -121,13 +131,13 @@ GatewayBenchRow run_one(std::size_t sessions, std::uint64_t ticks, std::size_t s
     for (std::uint64_t t = tick; t < slice_end; ++t) {
       for (std::size_t s = 0; s < sessions; ++s) {
         const svc::Endpoint from{0x7f000001u, static_cast<std::uint16_t>(20000 + s)};
-        transport.inject(from, std::span<const std::uint8_t>{streams[s][t]});
+        transport.inject(from, std::span<const std::uint8_t>{streams[s % kUniqueStreams][t]});
       }
     }
     while (transport.pending() > 0) (void)gateway.pump(now_ms);
     // Flush the slice through the shards before injecting the next one:
     // the timed region still covers the full service path, but the
-    // bounded shard queues only ever see one slice of backlog — drops
+    // bounded shard rings only ever see one slice of backlog — drops
     // then mean genuine overload, not an open-loop injection artifact.
     gateway.drain();
     ++now_ms;
@@ -145,9 +155,11 @@ GatewayBenchRow run_one(std::size_t sessions, std::uint64_t ticks, std::size_t s
   GatewayBenchRow row;
   row.sessions = sessions;
   row.ticks = ticks;
+  row.rx_batch = rx_batch;
   row.wall_sec = wall;
   row.accepted = stats.accepted;
   row.backpressure_dropped = stats.backpressure_dropped;
+  for (const svc::ShardPipelineStats& shard : gateway.shard_stats()) row.ring_full += shard.ring_full;
   row.datagrams_per_sec = static_cast<double>(stats.accepted) / wall;
   const double sim_sec = static_cast<double>(ticks) * 1.0e-3;  // 1 kHz sessions
   row.realtime_ratio = sim_sec / wall;
@@ -160,6 +172,64 @@ GatewayBenchRow run_one(std::size_t sessions, std::uint64_t ticks, std::size_t s
   return row;
 }
 
+bool sustained(const GatewayBenchRow& r) {
+  return r.realtime_ratio >= 1.0 && r.backpressure_dropped == 0 && r.ring_full == 0;
+}
+
+struct CapacityResult {
+  std::size_t max_sessions = 0;   ///< largest sustained probe (0 = none)
+  bool saturated_bound = false;   ///< still sustained at the search cap
+  GatewayBenchRow best;           ///< the row measured at max_sessions
+  std::vector<GatewayBenchRow> probes;
+};
+
+/// Capacity search: double the session count from `start` until the
+/// gateway stops sustaining realtime, then binary-search the boundary.
+/// Every probe runs the same timed slice loop as the ladder.
+CapacityResult find_capacity(const std::vector<std::vector<ItpBytes>>& streams,
+                             std::uint64_t ticks, std::size_t shards, std::size_t start,
+                             std::size_t cap) {
+  CapacityResult result;
+  const auto probe = [&](std::size_t n) {
+    const GatewayBenchRow row = run_one(streams, n, ticks, shards);
+    std::printf("capacity probe %4zu sessions: %8.0f dgrams/s, %.2fx realtime, ring_full %llu%s\n",
+                n, row.datagrams_per_sec, row.realtime_ratio,
+                static_cast<unsigned long long>(row.ring_full),
+                sustained(row) ? "" : "  [not sustained]");
+    result.probes.push_back(row);
+    if (sustained(row) && n > result.max_sessions) {
+      result.max_sessions = n;
+      result.best = row;
+    }
+    return sustained(row);
+  };
+
+  std::size_t lo = 0;  // largest known-sustained
+  std::size_t hi = 0;  // smallest known-failed
+  for (std::size_t n = std::max<std::size_t>(start, 1); n <= cap; n *= 2) {
+    if (probe(n)) {
+      lo = n;
+    } else {
+      hi = n;
+      break;
+    }
+  }
+  if (hi == 0) {
+    // Sustained all the way to the bound — report it, flagged.
+    result.saturated_bound = lo == 0 ? false : true;
+    return result;
+  }
+  while (hi - lo > std::max<std::size_t>(1, lo / 16)) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (probe(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return result;
+}
+
 struct AdminOverhead {
   std::size_t sessions = 0;
   double realtime_ratio = 0.0;           ///< with admin attached, polled at 1 Hz
@@ -168,29 +238,59 @@ struct AdminOverhead {
   std::uint64_t polls = 0;
 };
 
+void write_row(std::ofstream& os, const GatewayBenchRow& r) {
+  os << "{\"sessions\": " << r.sessions << ", \"ticks\": " << r.ticks
+     << ", \"rx_batch\": " << r.rx_batch << ", \"wall_sec\": " << r.wall_sec
+     << ", \"datagrams_per_sec\": " << r.datagrams_per_sec
+     << ", \"realtime_ratio\": " << r.realtime_ratio << ", \"accepted\": " << r.accepted
+     << ", \"backpressure_dropped\": " << r.backpressure_dropped
+     << ", \"ring_full\": " << r.ring_full << ", \"p50_ns\": " << r.p50_ns
+     << ", \"p99_ns\": " << r.p99_ns << "}";
+}
+
 void write_json(const std::vector<GatewayBenchRow>& rows, std::size_t shards,
+                const CapacityResult& capacity, const std::vector<GatewayBenchRow>& batch_sweep,
                 const AdminOverhead* admin) {
-  std::size_t sustained = 0;
+  std::size_t sustained_sessions = 0;
   double p50 = 0.0;
   double p99 = 0.0;
   for (const GatewayBenchRow& r : rows) {
-    if (r.realtime_ratio >= 1.0 && r.backpressure_dropped == 0 && r.sessions > sustained) {
-      sustained = r.sessions;
+    if (sustained(r) && r.sessions > sustained_sessions) {
+      sustained_sessions = r.sessions;
       p50 = r.p50_ns;
       p99 = r.p99_ns;
     }
   }
-  if (sustained == 0 && !rows.empty()) {  // report the smallest load's latency anyway
+  if (sustained_sessions == 0 && !rows.empty()) {  // report the smallest load's latency anyway
     p50 = rows.front().p50_ns;
     p99 = rows.front().p99_ns;
   }
   std::ofstream os(bench_path());
   if (!os) return;
   os.precision(17);
-  os << "{\n  \"schema\": \"rg.bench.gateway/1\",\n  \"shards\": " << shards
-     << ",\n  \"sessions_sustained\": " << sustained
+  os << "{\n  \"schema\": \"rg.bench.gateway/2\",\n  \"shards\": " << shards
+     << ",\n  \"sessions_sustained\": " << sustained_sessions
      << ",\n  \"p50_ingest_to_verdict_ns\": " << p50
      << ",\n  \"p99_ingest_to_verdict_ns\": " << p99;
+  os << ",\n  \"capacity\": {\n    \"max_sessions_sustained\": " << capacity.max_sessions
+     << ",\n    \"saturated_search_bound\": " << (capacity.saturated_bound ? "true" : "false")
+     << ",\n    \"realtime_ratio\": " << capacity.best.realtime_ratio
+     << ",\n    \"datagrams_per_sec\": " << capacity.best.datagrams_per_sec
+     << ",\n    \"ring_full\": " << capacity.best.ring_full
+     << ",\n    \"p99_ns\": " << capacity.best.p99_ns << ",\n    \"probes\": [\n";
+  for (std::size_t i = 0; i < capacity.probes.size(); ++i) {
+    os << "      ";
+    write_row(os, capacity.probes[i]);
+    os << (i + 1 < capacity.probes.size() ? ",\n" : "\n");
+  }
+  os << "    ]\n  }";
+  os << ",\n  \"batch_sweep\": [\n";
+  for (std::size_t i = 0; i < batch_sweep.size(); ++i) {
+    os << "    ";
+    write_row(os, batch_sweep[i]);
+    os << (i + 1 < batch_sweep.size() ? ",\n" : "\n");
+  }
+  os << "  ]";
   if (admin != nullptr) {
     os << ",\n  \"admin\": {\"sessions\": " << admin->sessions
        << ", \"realtime_ratio\": " << admin->realtime_ratio
@@ -199,13 +299,9 @@ void write_json(const std::vector<GatewayBenchRow>& rows, std::size_t shards,
   }
   os << ",\n  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
-    const GatewayBenchRow& r = rows[i];
-    os << "    {\"sessions\": " << r.sessions << ", \"ticks\": " << r.ticks
-       << ", \"wall_sec\": " << r.wall_sec << ", \"datagrams_per_sec\": " << r.datagrams_per_sec
-       << ", \"realtime_ratio\": " << r.realtime_ratio << ", \"accepted\": " << r.accepted
-       << ", \"backpressure_dropped\": " << r.backpressure_dropped
-       << ", \"p50_ns\": " << r.p50_ns << ", \"p99_ns\": " << r.p99_ns << "}"
-       << (i + 1 < rows.size() ? ",\n" : "\n");
+    os << "    ";
+    write_row(os, rows[i]);
+    os << (i + 1 < rows.size() ? ",\n" : "\n");
   }
   os << "  ]\n}\n";
 }
@@ -221,16 +317,24 @@ int main() {
                          ? static_cast<std::uint64_t>(2000 * s)
                          : 50;
   std::vector<std::size_t> ladder;
+  std::size_t capacity_start = 0;
+  std::size_t capacity_cap = 0;
   if (s >= 1.0) {
     ladder = {8, 16, 32, 64};
+    capacity_start = 64;
+    capacity_cap = 4096;
   } else {
     ladder = {2, 4};
+    capacity_start = 4;
+    capacity_cap = 16;
   }
   const std::size_t shards = 4;
 
+  const std::vector<std::vector<rg::ItpBytes>> streams = make_streams(ticks);
+
   std::vector<GatewayBenchRow> rows;
   for (const std::size_t n : ladder) {
-    const GatewayBenchRow row = run_one(n, ticks, shards);
+    const GatewayBenchRow row = run_one(streams, n, ticks, shards);
     std::printf(
         "gateway %3zu sessions x %llu ticks: %8.0f dgrams/s, %.2fx realtime, "
         "p50 %6.0f ns, p99 %7.0f ns, backpressure %llu\n",
@@ -240,20 +344,37 @@ int main() {
     rows.push_back(row);
   }
 
-  // Admin-plane overhead: re-run the largest sustained case back-to-back
-  // without and with a polled AdminServer, so the baseline shares the
-  // machine state of the measured run.
+  // Headline: binary-search the sustained-capacity boundary.
+  const CapacityResult capacity = find_capacity(streams, ticks, shards, capacity_start,
+                                                capacity_cap);
+  std::printf("capacity: %zu sessions sustained at >= 1x realtime%s\n", capacity.max_sessions,
+              capacity.saturated_bound ? " (saturated search bound)" : "");
+
+  // Batch sweep: the same load at rx_batch 1 / 8 / 64 quantifies the
+  // batched-drain win at the capacity point.
+  std::vector<GatewayBenchRow> batch_sweep;
+  const std::size_t sweep_sessions =
+      capacity.max_sessions > 0 ? capacity.max_sessions : ladder.back();
+  for (const std::size_t rx_batch : {std::size_t{1}, std::size_t{8}, std::size_t{64}}) {
+    const GatewayBenchRow row = run_one(streams, sweep_sessions, ticks, shards, rx_batch);
+    std::printf("batch   %3zu sessions, rx_batch %2zu: %8.0f dgrams/s, %.2fx realtime\n",
+                row.sessions, row.rx_batch, row.datagrams_per_sec, row.realtime_ratio);
+    batch_sweep.push_back(row);
+  }
+
+  // Admin-plane overhead: re-run the largest sustained ladder case
+  // back-to-back without and with a polled AdminServer, so the baseline
+  // shares the machine state of the measured run.
   std::size_t admin_sessions = rows.empty() ? 0 : rows.front().sessions;
   for (const GatewayBenchRow& r : rows) {
-    if (r.realtime_ratio >= 1.0 && r.backpressure_dropped == 0 && r.sessions > admin_sessions) {
-      admin_sessions = r.sessions;
-    }
+    if (sustained(r) && r.sessions > admin_sessions) admin_sessions = r.sessions;
   }
   AdminOverhead admin;
   if (admin_sessions > 0) {
-    const GatewayBenchRow base = run_one(admin_sessions, ticks, shards);
+    const GatewayBenchRow base = run_one(streams, admin_sessions, ticks, shards);
     std::uint64_t polls = 0;
-    const GatewayBenchRow polled = run_one(admin_sessions, ticks, shards, true, &polls);
+    const GatewayBenchRow polled =
+        run_one(streams, admin_sessions, ticks, shards, 64, true, &polls);
     admin.sessions = admin_sessions;
     admin.realtime_ratio = polled.realtime_ratio;
     admin.baseline_realtime_ratio = base.realtime_ratio;
@@ -268,6 +389,6 @@ int main() {
         admin.sessions, admin.realtime_ratio, admin.baseline_realtime_ratio, admin.overhead_pct,
         static_cast<unsigned long long>(admin.polls));
   }
-  write_json(rows, shards, admin_sessions > 0 ? &admin : nullptr);
+  write_json(rows, shards, capacity, batch_sweep, admin_sessions > 0 ? &admin : nullptr);
   return 0;
 }

@@ -9,7 +9,8 @@
 # rebuilds with -DRG_SANITIZE=thread and runs the Campaign.* tests (the
 # worker pool), Obs.* tests (the lock-free metrics shards), the
 # batch-equivalence suites (BatchDynamics/BatchPlant/BatchCampaign — the
-# lane-parallel campaign path) and the Gateway.* tests (sharded session
+# lane-parallel campaign path), the SpscRing.* tests (the lock-free
+# shard handoff ring) and the Gateway.* tests (sharded session
 # multiplexing) under TSan, so data races fail CI rather than flaking.
 # Stage 3 rebuilds with -DRG_SANITIZE=address,undefined and runs the
 # FULL unit suite, so heap errors and UB fail CI even when they do not
@@ -20,9 +21,12 @@
 # detector alarm and one mitigation).  Stage 5 runs the dynamics-kernel
 # microbench at a tiny scale and schema-validates BENCH_dynamics.json.
 # Stage 6 exercises the teleoperation gateway service end to end: the
-# capacity bench at a tiny scale (schema rg.bench.gateway/1), then a
+# capacity bench at a tiny scale (schema rg.bench.gateway/2, including
+# the binary-searched capacity section and the rx_batch sweep), a
 # real-socket run — raven_gateway on an ephemeral loopback port driven
-# by itp_loadgen — whose stats JSON must balance.  Stage 7 runs the
+# by a multi-threaded sendmmsg-batched itp_loadgen — whose stats JSON
+# must balance, and a paced 200-session capacity probe that must be
+# absorbed with zero backpressure.  Stage 7 runs the
 # static-analysis gates (docs/static-analysis.md): the rg_lint real-time
 # analyzer must report zero findings, every public header must compile
 # standalone (rg_header_checks), and the clang-format / clang-tidy
@@ -50,8 +54,8 @@ cmake --build build -j "${JOBS}"
 
 echo "== tier-1 stage 2: ThreadSanitizer campaign + obs + batch tests =="
 cmake -B build-tsan -S . -DRG_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "${JOBS}" --target test_campaign test_obs test_batch_dynamics test_gateway test_exposition test_admin
-(cd build-tsan && ctest --output-on-failure -R '^(Campaign|Obs|BatchDynamics|BatchPlant|BatchCampaign|EstimatorSolves|Gateway|GatewaySocket|Exposition|Admin)\.')
+cmake --build build-tsan -j "${JOBS}" --target test_campaign test_obs test_batch_dynamics test_spsc_ring test_gateway test_exposition test_admin
+(cd build-tsan && ctest --output-on-failure -R '^(Campaign|Obs|BatchDynamics|BatchPlant|BatchCampaign|EstimatorSolves|SpscRing|Gateway|GatewaySocket|Exposition|Admin)\.')
 
 echo "== tier-1 stage 3: ASan+UBSan full unit suite =="
 cmake -B build-asan -S . -DRG_SANITIZE=address,undefined >/dev/null
@@ -131,11 +135,21 @@ python3 - "${TDIR}/bench_gateway.json" <<'PY'
 import json, sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
-assert doc["schema"] == "rg.bench.gateway/1", doc.get("schema")
+assert doc["schema"] == "rg.bench.gateway/2", doc.get("schema")
 assert doc["shards"] >= 1
 assert "sessions_sustained" in doc
 assert "p50_ingest_to_verdict_ns" in doc
 assert "p99_ingest_to_verdict_ns" in doc
+# Capacity search: the headline must be a sustained probe with zero
+# ring-full refusals, and every probe row must carry the ring counter.
+cap = doc["capacity"]
+assert cap["max_sessions_sustained"] >= 1, cap
+assert cap["ring_full"] == 0, cap
+assert len(cap["probes"]) >= 1
+for row in cap["probes"]:
+    assert "ring_full" in row and "rx_batch" in row
+# Batch sweep: rx_batch 1/8/64 at the capacity point.
+assert [row["rx_batch"] for row in doc["batch_sweep"]] == [1, 8, 64]
 assert len(doc["rows"]) >= 1
 for row in doc["rows"]:
     assert row["accepted"] > 0
@@ -143,8 +157,10 @@ for row in doc["rows"]:
 PY
 echo "gateway bench schema OK (${TDIR}/bench_gateway.json)"
 
-# Real sockets: gateway on an ephemeral loopback port, loadgen drives it.
-./build/tools/raven_gateway --port 0 --shards 2 --duration 15 \
+# Real sockets: gateway on an ephemeral loopback port with batched
+# recvmmsg ingest, driven by a multi-threaded loadgen coalescing ticks
+# into sendmmsg bursts.
+./build/tools/raven_gateway --port 0 --shards 2 --duration 15 --rx-batch 32 \
   --port-file "${TDIR}/gateway.port" --stats-out "${TDIR}/gateway_stats.json" &
 GW_PID=$!
 trap 'kill "${GW_PID}" 2>/dev/null || true' EXIT
@@ -153,8 +169,8 @@ for _ in $(seq 1 50); do
   sleep 0.1
 done
 PORT="$(cat "${TDIR}/gateway.port")"
-./build/tools/itp_loadgen --port "${PORT}" --sessions 8 --duration 1 \
-  --burst --attack-mix 0.05 --out "${TDIR}/loadgen.json" >/dev/null
+./build/tools/itp_loadgen --port "${PORT}" --sessions 8 --threads 2 --batch 16 \
+  --duration 1 --burst --attack-mix 0.05 --out "${TDIR}/loadgen.json" >/dev/null
 sleep 0.5
 kill -INT "${GW_PID}"
 wait "${GW_PID}"
@@ -167,6 +183,7 @@ with open(sys.argv[2]) as f:
     load = json.load(f)
 assert stats["schema"] == "rg.gateway.stats/1", stats.get("schema")
 assert load["schema"] == "rg.loadgen/1", load.get("schema")
+assert load["batch"] == 16 and "late_sends" in load and "max_late_ns" in load
 rejected = sum(stats[k] for k in stats if k.startswith("rejected_"))
 assert stats["datagrams"] == stats["accepted"] + rejected + stats["backpressure_dropped"]
 assert stats["accepted"] > 0
@@ -178,6 +195,39 @@ ticks = sum(s["ticks"] for s in stats["sessions"])
 assert ticks == stats["accepted"], (ticks, stats["accepted"])
 PY
 echo "gateway socket end-to-end OK (${TDIR}/gateway_stats.json)"
+
+# Short capacity probe through real sockets: a paced 200-session load at
+# 100 Hz must be absorbed with zero backpressure and its sessions all
+# admitted — the socket-path sanity check behind the loopback capacity
+# number in BENCH_gateway.json.
+./build/tools/raven_gateway --port 0 --shards 4 --duration 20 --rx-batch 64 \
+  --max-sessions 256 --idle-timeout-ms 60000 \
+  --port-file "${TDIR}/cap_gateway.port" --stats-out "${TDIR}/cap_gateway_stats.json" &
+GW_PID=$!
+trap 'kill "${GW_PID}" 2>/dev/null || true' EXIT
+for _ in $(seq 1 50); do
+  [ -s "${TDIR}/cap_gateway.port" ] && break
+  sleep 0.1
+done
+PORT="$(cat "${TDIR}/cap_gateway.port")"
+./build/tools/itp_loadgen --port "${PORT}" --sessions 200 --threads 4 --batch 8 \
+  --rate 100 --duration 2 --out "${TDIR}/cap_loadgen.json" >/dev/null
+sleep 0.5
+kill -INT "${GW_PID}"
+wait "${GW_PID}"
+trap - EXIT
+python3 - "${TDIR}/cap_gateway_stats.json" "${TDIR}/cap_loadgen.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    stats = json.load(f)
+with open(sys.argv[2]) as f:
+    load = json.load(f)
+assert stats["sessions_opened"] == load["sessions"] == 200
+assert stats["backpressure_dropped"] == 0, stats["backpressure_dropped"]
+assert stats["accepted"] > 0
+assert load["send_errors"] == 0, load["send_errors"]
+PY
+echo "gateway capacity probe OK (${TDIR}/cap_gateway_stats.json)"
 
 echo "== tier-1 stage 7: static-analysis gates =="
 cmake --build build -j "${JOBS}" --target rg_lint rg_header_checks

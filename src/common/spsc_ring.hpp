@@ -1,0 +1,145 @@
+// Fixed-capacity lock-free single-producer/single-consumer ring.
+//
+// The gateway's pump→shard handoff: exactly one thread pushes (the pump
+// classifying datagrams) and exactly one thread pops (the shard worker
+// draining its mailbox feed), so the ring needs no locks at all — one
+// release store per side, plus a cached copy of the opposite index so
+// the common case touches a single shared cache line, not two.
+//
+// Contracts:
+//   * capacity is fixed at construction; try_push never allocates and
+//     never blocks — a full ring returns false (the caller counts the
+//     backpressure drop),
+//   * push/pop are RG_REALTIME: no alloc, no lock, no IO, no exceptions
+//     (tools/rg_lint enforces this),
+//   * head/tail live on their own cache lines so the producer and the
+//     consumer never false-share,
+//   * wraparound, the full/empty boundary, and a capacity-1 ring are all
+//     exercised by tests/test_spsc_ring.cpp, including a two-thread TSan
+//     hammer.
+//
+// Anything beyond one producer or one consumer is undefined; the gateway
+// enforces it structurally (one pump thread, one worker per shard).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "common/realtime.hpp"
+
+namespace rg {
+
+/// Destructive-interference padding granularity.  Fixed at 64 rather
+/// than std::hardware_destructive_interference_size, which GCC warns is
+/// ABI-unstable across -mtune settings (-Werror=interference-size); 64
+/// is the line size on every target this tree builds for.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+template <typename T>
+class SpscRing {
+ public:
+  /// A ring that holds up to `capacity` elements (>= 1).  One slot is
+  /// sacrificed to distinguish full from empty, so storage is capacity+1.
+  explicit SpscRing(std::size_t capacity) : slots_(capacity + 1), storage_(capacity + 1) {
+    if (capacity == 0) throw std::invalid_argument("SpscRing capacity must be > 0");
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side.  False when the ring is full — nothing is consumed
+  /// from `value` in that case.
+  [[nodiscard]] RG_REALTIME bool try_push(const T& value) noexcept {
+    const std::size_t tail = tail_.pos.load(std::memory_order_relaxed);
+    const std::size_t next = advance(tail);
+    if (next == tail_.cached_other) {
+      tail_.cached_other = head_.pos.load(std::memory_order_acquire);
+      if (next == tail_.cached_other) return false;  // full
+    }
+    storage_[tail] = value;
+    tail_.pos.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer side, moving overload.  `value` is only moved from on
+  /// success.
+  [[nodiscard]] RG_REALTIME bool try_push(T&& value) noexcept {
+    const std::size_t tail = tail_.pos.load(std::memory_order_relaxed);
+    const std::size_t next = advance(tail);
+    if (next == tail_.cached_other) {
+      tail_.cached_other = head_.pos.load(std::memory_order_acquire);
+      if (next == tail_.cached_other) return false;  // full
+    }
+    storage_[tail] = std::move(value);
+    tail_.pos.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side.  False when the ring is empty — `out` is untouched.
+  [[nodiscard]] RG_REALTIME bool try_pop(T& out) noexcept {
+    const std::size_t head = head_.pos.load(std::memory_order_relaxed);
+    if (head == head_.cached_other) {
+      head_.cached_other = tail_.pos.load(std::memory_order_acquire);
+      if (head == head_.cached_other) return false;  // empty
+    }
+    out = std::move(storage_[head]);
+    head_.pos.store(advance(head), std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: pop up to `max` elements into `out`.  Returns the
+  /// number popped.  One acquire load covers the whole run.
+  RG_REALTIME std::size_t pop_batch(T* out, std::size_t max) noexcept {
+    std::size_t head = head_.pos.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.pos.load(std::memory_order_acquire);
+    head_.cached_other = tail;
+    std::size_t popped = 0;
+    while (popped < max && head != tail) {
+      out[popped++] = std::move(storage_[head]);
+      head = advance(head);
+    }
+    if (popped != 0) head_.pos.store(head, std::memory_order_release);
+    return popped;
+  }
+
+  /// True when the ring holds no elements at this instant.  Safe from
+  /// either side (and, approximately, from observers).
+  [[nodiscard]] RG_REALTIME bool empty() const noexcept {
+    return head_.pos.load(std::memory_order_acquire) ==
+           tail_.pos.load(std::memory_order_acquire);
+  }
+
+  /// Element count at this instant — exact from the producer or consumer
+  /// thread, a consistent approximation from anywhere else.
+  [[nodiscard]] RG_REALTIME std::size_t size_approx() const noexcept {
+    const std::size_t head = head_.pos.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.pos.load(std::memory_order_acquire);
+    return tail >= head ? tail - head : slots_ - (head - tail);
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_ - 1; }
+
+ private:
+  [[nodiscard]] RG_REALTIME std::size_t advance(std::size_t i) const noexcept {
+    ++i;
+    return i == slots_ ? 0 : i;
+  }
+
+  /// One side's index plus its cached copy of the opposite index (so the
+  /// fast path re-reads the shared line only when it must), padded to a
+  /// cache line to keep producer and consumer from false-sharing.
+  struct alignas(kCacheLineSize) Side {
+    std::atomic<std::size_t> pos{0};
+    std::size_t cached_other = 0;
+  };
+
+  std::size_t slots_;
+  std::vector<T> storage_;
+  Side head_;  ///< consumer index (+ cached tail)
+  Side tail_;  ///< producer index (+ cached head)
+};
+
+}  // namespace rg

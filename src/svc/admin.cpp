@@ -126,8 +126,19 @@ std::string AdminServer::render_stats() const {
       out += "\"}";
     }
     out += "]";
+    out += ", \"shards\": [";
+    for (std::size_t i = 0; i < snap->shards.size(); ++i) {
+      const ShardPipelineStats& sh = snap->shards[i];
+      if (i != 0) out += ", ";
+      out += "{\"index\": " + std::to_string(sh.index);
+      out += ", \"ticks\": " + std::to_string(sh.ticks);
+      out += ", \"ring_full\": " + std::to_string(sh.ring_full);
+      out += ", \"queue_hwm\": " + std::to_string(sh.queue_hwm);
+      out += "}";
+    }
+    out += "]";
   } else {
-    out += ", \"sessions\": []";
+    out += ", \"sessions\": [], \"shards\": []";
   }
 
   out += ", \"recent_events\": [";

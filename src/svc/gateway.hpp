@@ -9,18 +9,23 @@
 // driving their server-side stacks (control + PLC + board + plant twin +
 // detection pipeline) through the batched SoA kernels.
 //
-//   transport.poll() ──> pump thread: classify + session table
-//                           │ (bounded per-shard queues)
-//                           ▼
-//                    shard workers: per-session mailboxes, rounds of
-//                    batched control ticks, detection verdicts
+//   transport.poll_batch() ──> pump thread: classify + session table
+//                                 │ (lock-free SPSC ring per shard)
+//                                 ▼
+//                          shard workers: per-session mailboxes, rounds
+//                          of batched control ticks, detection verdicts
+//
+// The pump drains the transport rx_batch datagrams at a time (one
+// recvmmsg per batch on the UDP transport) and hands each accepted one
+// to its shard's SPSC ring with a single release store; a full ring is
+// the backpressure signal (kBackpressure + rg.gw.shard.<i>.ring_full).
 //
 // Determinism: shard assignment is session-id modulo shard count, one
 // accepted datagram advances its session by exactly one control tick,
 // and the batched kernels are bit-identical to scalar — so per-session
-// verdict digests and counters are invariant under the shard count and
-// the thread schedule (tests/test_gateway.cpp asserts this over
-// LoopbackTransport).
+// verdict digests and counters are invariant under the shard count, the
+// ingest batch size, and the thread schedule (tests/test_gateway.cpp
+// asserts this over LoopbackTransport).
 //
 // Time is caller-supplied (pump(now_ms)): tools pass steady-clock
 // milliseconds, tests and benches pass synthetic time so idle eviction
@@ -74,6 +79,11 @@ struct GatewayConfig {
   /// Sessions quiet for this long are evicted at the next pump.
   std::uint64_t idle_timeout_ms = 2000;
   std::size_t max_queue_per_shard = 8192;
+  /// Datagrams the pump drains from the transport per poll_batch() call
+  /// (one recvmmsg on the UDP transport).  Clamped to >= 1; batch size
+  /// never changes verdicts, only syscall amortization (the determinism
+  /// tests sweep it).
+  std::size_t rx_batch = 64;
   /// Ingest-side integrity retrofit: datagrams must be 38-byte MAC frames
   /// (30 ITP bytes + SipHash-2-4 tag) under `mac_key`.
   bool require_mac = false;
@@ -130,6 +140,17 @@ struct SessionStats {
   ShardSessionStats shard{};
 };
 
+/// Per-shard pipeline health: tick progress plus ring backpressure.
+/// ring_full counts datagram submissions refused because the shard's
+/// SPSC ring was at capacity (each one is also a backpressure_dropped in
+/// GatewayStats); queue_hwm is the deepest the ring has ever been.
+struct ShardPipelineStats {
+  std::size_t index = 0;
+  std::uint64_t ticks = 0;
+  std::uint64_t ring_full = 0;
+  std::size_t queue_hwm = 0;
+};
+
 /// A sequenced, self-consistent copy of the gateway's observable state,
 /// refreshed by pump() on its publish throttle.  The admin plane serves
 /// exclusively from the latest published snapshot, so admin reads never
@@ -141,6 +162,7 @@ struct GatewaySnapshot {
   std::uint64_t now_ms = 0;
   GatewayStats stats{};
   std::vector<SessionStats> sessions;
+  std::vector<ShardPipelineStats> shards;
   std::uint64_t estop_sessions = 0;
 };
 
@@ -152,14 +174,16 @@ class TeleopGateway {
   TeleopGateway(const TeleopGateway&) = delete;
   TeleopGateway& operator=(const TeleopGateway&) = delete;
 
-  /// Drain up to `max` datagrams from the transport, classify and
-  /// dispatch them, and run the (throttled) idle-eviction scan.  In
-  /// inline mode this also advances every shard.  Returns the number of
-  /// datagrams drained; call in a loop.
+  /// Drain up to `max` datagrams from the transport in rx_batch-sized
+  /// poll_batch() calls, classify and dispatch them, and run the
+  /// (throttled) idle-eviction scan.  In inline mode this also advances
+  /// every shard.  Returns the number of datagrams drained; call in a
+  /// loop.
   std::size_t pump(std::uint64_t now_ms, std::size_t max = 1024);
 
-  /// Block until every shard has drained its queue and finished its
-  /// rounds (inline mode: runs them on this thread).
+  /// Block until every shard has drained its ring and finished its
+  /// rounds (signaled per shard — no sleep-polling; inline mode runs the
+  /// rounds on this thread).  Pump-thread only, like pump().
   void drain();
 
   /// Evict every active session (submits kClose) and drain.  Called by
@@ -170,6 +194,8 @@ class TeleopGateway {
   /// Every session ever admitted (active and evicted), ascending id.
   [[nodiscard]] std::vector<SessionStats> sessions() const;
   [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
+  /// Ring/backpressure health per shard, ascending index.
+  [[nodiscard]] std::vector<ShardPipelineStats> shard_stats() const;
 
   /// Merged calibration sketch over every *active* session, merged in
   /// globally ascending session-id order — invariant under the shard
@@ -217,6 +243,9 @@ class TeleopGateway {
   GatewayConfig config_;
   Transport& transport_;
   std::vector<std::unique_ptr<GatewayShard>> shards_;
+  /// Reused receive slots for the pump's batched drain (rx_batch of them
+  /// — allocated once, never on the pump path).
+  std::vector<RxDatagram> rx_slots_;
 
   mutable std::mutex table_mutex_;
   std::unordered_map<Endpoint, SessionRecord, EndpointHash> table_;
@@ -242,6 +271,7 @@ class TeleopGateway {
   obs::MetricId drift_alarm_counter_;
   obs::MetricId deadline_miss_counter_;
   obs::MetricId jitter_hist_;
+  obs::MetricId rx_batch_hist_;
 };
 
 }  // namespace rg::svc

@@ -10,7 +10,10 @@
 namespace rg::svc {
 
 GatewayShard::GatewayShard(const ShardConfig& config)
-    : config_(config), est_model_(config.engine.detection.estimator.model) {
+    : config_(config),
+      ring_(config.max_queue),
+      burst_(std::min(kDrainBurst, config.max_queue)),
+      est_model_(config.engine.detection.estimator.model) {
   auto& reg = obs::Registry::global();
   latency_hist_ = reg.histogram("rg.gw.ingest_to_verdict_ns");
   round_lanes_hist_ = reg.histogram("rg.gw.round.lanes");
@@ -18,6 +21,8 @@ GatewayShard::GatewayShard(const ShardConfig& config)
       reg.counter("rg.gw.shard." + std::to_string(config.index) + ".ticks");
   queue_hwm_gauge_ =
       reg.gauge("rg.gw.shard." + std::to_string(config.index) + ".queue_hwm");
+  ring_full_counter_ =
+      reg.counter("rg.gw.shard." + std::to_string(config.index) + ".ring_full");
 }
 
 GatewayShard::~GatewayShard() { stop(); }
@@ -25,82 +30,137 @@ GatewayShard::~GatewayShard() { stop(); }
 void GatewayShard::start() {
   if (!config_.threaded || started_) return;
   started_ = true;
+  stop_.store(false, std::memory_order_relaxed);
   worker_ = std::thread([this] { worker_loop(); });
 }
 
 void GatewayShard::stop() {
+  stop_.store(true, std::memory_order_seq_cst);
   {
-    const std::lock_guard<std::mutex> lock(queue_mutex_);
-    stop_ = true;
+    // The empty critical section orders the store against a worker that
+    // is between its predicate check and its wait.
+    const std::lock_guard<std::mutex> lock(wake_mutex_);
   }
-  queue_cv_.notify_all();
+  wake_cv_.notify_all();
   if (worker_.joinable()) worker_.join();
   started_ = false;
+  idle_cv_.notify_all();  // release wait_idle() callers
 }
 
-bool GatewayShard::submit(const ShardItem& item) {
-  {
-    const std::lock_guard<std::mutex> lock(queue_mutex_);
-    if (stop_) return false;
-    if (item.kind == ShardItem::Kind::kDatagram && queue_.size() >= config_.max_queue) {
-      return false;  // backpressure: the caller counts the drop
+RG_REALTIME bool GatewayShard::submit(const ShardItem& item) {
+  if (stop_.load(std::memory_order_relaxed)) return false;
+  if (!ring_.try_push(item)) {
+    if (item.kind == ShardItem::Kind::kDatagram) {
+      // Backpressure: the caller counts the drop; we count the cause.
+      ring_full_.fetch_add(1, std::memory_order_relaxed);
+      obs::Registry::global().add(ring_full_counter_);
+      return false;
     }
-    queue_.push_back(item);
-    if (queue_.size() > queue_hwm_) {
-      queue_hwm_ = queue_.size();
-      obs::Registry::global().set(queue_hwm_gauge_, static_cast<double>(queue_hwm_));
+    // Control items (open/close) must never drop — session lifecycle on
+    // the shard would diverge from the gateway's table.  Threaded: the
+    // worker is draining, so wake it and spin until a slot frees.
+    // Inline: the consumer IS this thread, so drain the ring ourselves.
+    while (!ring_.try_push(item)) {
+      if (stop_.load(std::memory_order_relaxed)) return false;
+      if (started_) {
+        wake_worker();
+        std::this_thread::yield();
+      } else {
+        process_pending();  // rg-lint: allow(call) -- inline-mode slow path, off the ring fast path
+      }
     }
   }
-  queue_cv_.notify_one();
+  ++submitted_;
+  const std::size_t depth = ring_.size_approx();
+  if (depth > queue_hwm_.load(std::memory_order_relaxed)) {
+    queue_hwm_.store(depth, std::memory_order_relaxed);
+    obs::Registry::global().set(queue_hwm_gauge_, static_cast<double>(depth));
+  }
+  wake_worker();
   return true;
 }
 
+RG_REALTIME void GatewayShard::wake_worker() {
+  if (!started_) return;
+  // Producer half of the lost-wakeup protocol: the push above (release),
+  // then a seq_cst RMW on wake_seq_, then the sleeping_ check.  Both
+  // sides RMW the same atomic, so whichever lands later in its
+  // modification order acquires the other side's prior writes: either
+  // our push is visible to the worker's ring-empty recheck (worker never
+  // sleeps) or its sleeping_=true is visible to our load (we knock).  An
+  // RMW rather than atomic_thread_fence so ThreadSanitizer can model it
+  // (GCC -fsanitize=thread has no fence instrumentation and warns).
+  wake_seq_.fetch_add(1, std::memory_order_seq_cst);
+  if (sleeping_.load(std::memory_order_relaxed)) {
+    // Taking the mutex pins the worker on either side of its wait —
+    // notify cannot land inside the check-then-wait window.
+    const std::lock_guard<std::mutex> lock(wake_mutex_);  // rg-lint: allow(lock) -- only reached when the worker is provably asleep
+    wake_cv_.notify_one();
+  }
+}
+
 void GatewayShard::worker_loop() {
-  std::unique_lock<std::mutex> lock(queue_mutex_);
+  std::vector<ShardItem> burst(std::min(kDrainBurst, config_.max_queue));
   while (true) {
-    queue_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
-    if (queue_.empty()) {
-      if (stop_) return;
-      continue;
+    drain_burst(burst);
+    if (stop_.load(std::memory_order_acquire) && ring_.empty()) return;
+
+    // Consumer half of the lost-wakeup protocol (see wake_worker).
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    sleeping_.store(true, std::memory_order_relaxed);
+    wake_seq_.fetch_add(1, std::memory_order_seq_cst);
+    if (ring_.empty() && !stop_.load(std::memory_order_relaxed)) {
+      wake_cv_.wait(lock, [&] {
+        return stop_.load(std::memory_order_relaxed) || !ring_.empty();
+      });
     }
-    std::vector<ShardItem> items;
-    items.swap(queue_);
-    processing_ = true;
-    lock.unlock();
+    sleeping_.store(false, std::memory_order_relaxed);
+  }
+}
+
+void GatewayShard::drain_burst(std::vector<ShardItem>& burst) {
+  while (true) {
+    const std::size_t n = ring_.pop_batch(burst.data(), burst.size());
+    if (n == 0) return;
     {
       const std::lock_guard<std::mutex> state(state_mutex_);
-      apply_items(items);
+      apply_items(burst.data(), n);
       run_rounds();
     }
-    lock.lock();
-    processing_ = false;
+    {
+      const std::lock_guard<std::mutex> lock(idle_mutex_);
+      completed_ += n;
+    }
+    idle_cv_.notify_all();
   }
 }
 
-void GatewayShard::process_pending() {
-  std::vector<ShardItem> items;
-  {
-    const std::lock_guard<std::mutex> lock(queue_mutex_);
-    if (queue_.empty()) return;
-    items.swap(queue_);
-    processing_ = true;
-  }
-  {
-    const std::lock_guard<std::mutex> state(state_mutex_);
-    apply_items(items);
-    run_rounds();
-  }
-  const std::lock_guard<std::mutex> lock(queue_mutex_);
-  processing_ = false;
-}
+void GatewayShard::process_pending() { drain_burst(burst_); }
 
 bool GatewayShard::idle() const {
-  const std::lock_guard<std::mutex> lock(queue_mutex_);
-  return queue_.empty() && !processing_;
+  std::uint64_t done = 0;
+  {
+    const std::lock_guard<std::mutex> lock(idle_mutex_);
+    done = completed_;
+  }
+  return done == submitted_;
 }
 
-void GatewayShard::apply_items(const std::vector<ShardItem>& items) {
-  for (const ShardItem& item : items) {
+void GatewayShard::wait_idle() {
+  if (!started_) {
+    process_pending();
+    return;
+  }
+  const std::uint64_t target = submitted_;
+  std::unique_lock<std::mutex> lock(idle_mutex_);
+  idle_cv_.wait(lock, [&] {
+    return completed_ >= target || stop_.load(std::memory_order_relaxed);
+  });
+}
+
+void GatewayShard::apply_items(const ShardItem* items, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const ShardItem& item = items[i];
     switch (item.kind) {
       case ShardItem::Kind::kOpen: {
         SessionEngineConfig cfg = config_.engine;
@@ -238,9 +298,12 @@ std::uint64_t GatewayShard::ticks() const noexcept {
   return total_ticks_;
 }
 
-std::size_t GatewayShard::queue_high_watermark() const {
-  const std::lock_guard<std::mutex> lock(queue_mutex_);
-  return queue_hwm_;
+std::size_t GatewayShard::queue_high_watermark() const noexcept {
+  return queue_hwm_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t GatewayShard::ring_full() const noexcept {
+  return ring_full_.load(std::memory_order_relaxed);
 }
 
 std::vector<GatewayShard::DriftAlarm> GatewayShard::scan_drift(

@@ -2,25 +2,38 @@
 // sessions.
 //
 // The pump thread classifies datagrams and submits accepted ones to the
-// owning shard's bounded queue; the shard worker (its own thread, or the
-// pump thread in inline mode) drains the queue into per-session mailboxes
-// and advances sessions in *rounds*: each round, every session with a
-// pending datagram consumes exactly one and runs one control tick.
-// Sessions in a round are processed in ascending session-id order and
-// grouped kBatchLanes at a time, so the estimator solves and the plant
-// substep loops of up to eight sessions run through the batched SoA
-// kernels — the gateway serves N sessions at far less than N times the
-// scalar cost, and because the batched kernels are bit-identical to the
-// scalar ones, grouping never changes a verdict (tests/test_gateway.cpp
-// asserts determinism at any shard count).
+// owning shard's fixed-capacity lock-free SPSC ring
+// (common/spsc_ring.hpp); the shard worker (its own thread, or the pump
+// thread in inline mode) drains the ring in bursts into per-session
+// mailboxes and advances sessions in *rounds*: each round, every session
+// with a pending datagram consumes exactly one and runs one control
+// tick.  Sessions in a round are processed in ascending session-id order
+// and grouped kBatchLanes at a time, so the estimator solves and the
+// plant substep loops of up to eight sessions run through the batched
+// SoA kernels — the gateway serves N sessions at far less than N times
+// the scalar cost, and because the batched kernels are bit-identical to
+// the scalar ones, grouping never changes a verdict
+// (tests/test_gateway.cpp asserts determinism at any shard count and any
+// ingest batch size).
 //
-// Thread model: `queue_mutex_` guards only the submission queue (pump →
-// worker handoff); `state_mutex_` guards the session engines and their
-// stats (worker rounds vs. stats snapshots).  Engines are only ever
-// advanced by their owning shard, so no engine state is shared between
-// threads.
+// Thread model: the ring is the only pump→worker channel and it is
+// lock-free — the pump's submit() is one release store in the common
+// case.  A full ring refuses datagram items (returns false — the
+// backpressure signal; counted as rg.gw.shard.<i>.ring_full); control
+// items (open/close) never drop: the pump spins the push (threaded mode)
+// or drains the ring itself (inline mode) until there is room.  The
+// worker sleeps on `wake_cv_` when the ring runs dry; the sleeping_ flag
+// plus seq_cst fences on both sides close the lost-wakeup window without
+// putting a lock on the push path.  `state_mutex_` guards the session
+// engines and their stats (worker rounds vs. stats snapshots); engines
+// are only ever advanced by their owning shard, so no engine state is
+// shared between threads.  Completion is tracked as submitted_ (pump
+// thread only) vs completed_ (under idle_mutex_): wait_idle() blocks the
+// pump until every submitted item has been fully processed — the
+// signaling replacement for sleep-polling drains.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -32,6 +45,7 @@
 #include <vector>
 
 #include "common/realtime.hpp"
+#include "common/spsc_ring.hpp"
 #include "dynamics/batch_model.hpp"
 #include "obs/metrics.hpp"
 #include "svc/session.hpp"
@@ -42,7 +56,7 @@ namespace rg::svc {
 struct ShardConfig {
   SessionEngineConfig engine{};
   std::size_t index = 0;
-  std::size_t max_queue = 8192;
+  std::size_t max_queue = 8192;  ///< SPSC ring capacity (items)
   bool threaded = true;
   /// Per-session plant seed = base + session id (lanes share physics but
   /// not noise streams).
@@ -79,22 +93,31 @@ class GatewayShard {
   void start();
   void stop();
 
-  /// Pump-thread handoff.  Datagram items are refused (returns false)
-  /// when the queue is at capacity — the backpressure signal; control
-  /// items (open/close) always enqueue.
-  bool submit(const ShardItem& item);
+  /// Pump-thread handoff (single producer — only the pump may call
+  /// this).  Datagram items are refused (returns false) when the ring is
+  /// at capacity — the backpressure signal, counted as ring_full;
+  /// control items (open/close) always enqueue, spinning or inline-
+  /// draining until there is room.
+  RG_REALTIME bool submit(const ShardItem& item);
 
   /// Inline mode: process everything currently queued on the caller's
   /// thread.  (Threaded shards do this on their worker.)
   void process_pending();
 
-  /// Queue empty and no round in progress.
+  /// Every submitted item drained *and* processed.  Pump thread only.
   [[nodiscard]] bool idle() const;
+
+  /// Block until every item submitted so far has been fully processed.
+  /// Pump thread only (it is the producer, so submitted_ cannot advance
+  /// underneath the wait).  Inline shards drain on the caller instead.
+  void wait_idle();
 
   [[nodiscard]] std::optional<ShardSessionStats> session_stats(std::uint32_t id) const;
   [[nodiscard]] std::uint64_t ticks() const noexcept;
-  /// Deepest the submission queue has ever been (backpressure headroom).
-  [[nodiscard]] std::size_t queue_high_watermark() const;
+  /// Deepest the submission ring has ever been (backpressure headroom).
+  [[nodiscard]] std::size_t queue_high_watermark() const noexcept;
+  /// Datagram submissions refused because the ring was full.
+  [[nodiscard]] std::uint64_t ring_full() const noexcept;
 
   /// One newly drifted session found by a drift scan.
   struct DriftAlarm {
@@ -128,21 +151,46 @@ class GatewayShard {
     bool drift_latched = false;  ///< session already raised its drift alarm
   };
 
+  /// Most items one ring drain moves before processing them (bounds the
+  /// worker's burst buffer; the ring refills while a burst runs).
+  static constexpr std::size_t kDrainBurst = 256;
+
   void worker_loop();
-  void apply_items(const std::vector<ShardItem>& items);
+  /// Nudge a sleeping worker after a push (no-op when it is running).
+  RG_REALTIME void wake_worker();
+  void drain_burst(std::vector<ShardItem>& burst);
+  void apply_items(const ShardItem* items, std::size_t n);
   void run_rounds();
   RG_REALTIME void round_tick(std::vector<LocalSession*>& chunk,
                   std::vector<std::pair<ItpBytes, std::uint64_t>>& datagrams);
 
   ShardConfig config_;
 
-  // --- pump → worker queue -------------------------------------------------
-  mutable std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  std::vector<ShardItem> queue_;
-  std::size_t queue_hwm_ = 0;
-  bool stop_ = false;
-  bool processing_ = false;
+  // --- pump → worker ring --------------------------------------------------
+  SpscRing<ShardItem> ring_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> ring_full_{0};
+  std::atomic<std::size_t> queue_hwm_{0};
+
+  // Worker sleep/wake (Dekker-style: producer seq_cst RMW on wake_seq_ +
+  // sleeping_ check vs consumer RMW + ring-empty recheck under
+  // wake_mutex_; the shared RMW stands in for a seq_cst fence so TSan
+  // can model the ordering).
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  std::atomic<bool> sleeping_{false};
+  std::atomic<std::uint64_t> wake_seq_{0};
+
+  // Drain signaling: submitted_ is producer-owned (pump thread only);
+  // completed_ advances under idle_mutex_ as bursts finish processing.
+  std::uint64_t submitted_ = 0;
+  mutable std::mutex idle_mutex_;
+  std::condition_variable idle_cv_;
+  std::uint64_t completed_ = 0;
+
+  /// Burst buffer for inline drains (process_pending); the threaded
+  /// worker keeps its own on its stack.
+  std::vector<ShardItem> burst_;
 
   // --- worker-side session state ------------------------------------------
   mutable std::mutex state_mutex_;
@@ -158,6 +206,7 @@ class GatewayShard {
   obs::MetricId round_lanes_hist_;
   obs::MetricId ticks_counter_;
   obs::MetricId queue_hwm_gauge_;
+  obs::MetricId ring_full_counter_;
 
   std::thread worker_;
   bool started_ = false;

@@ -1,6 +1,9 @@
 #include "svc/transport.hpp"
 
+#include <algorithm>
 #include <cstdio>
+
+#include "obs/metrics.hpp"
 
 namespace rg::svc {
 
@@ -11,6 +14,22 @@ std::string Endpoint::to_string() const {
   return buf;
 }
 
+std::size_t Transport::poll(const Sink& sink, std::size_t max) {
+  std::array<RxDatagram, 64> slots;
+  std::size_t delivered = 0;
+  while (delivered < max) {
+    const std::size_t want = std::min(max - delivered, slots.size());
+    const std::size_t n = poll_batch(std::span<RxDatagram>{slots.data(), want});
+    if (n == 0) break;
+    for (std::size_t i = 0; i < n; ++i) sink(slots[i].from, slots[i].payload());
+    delivered += n;
+  }
+  return delivered;
+}
+
+LoopbackTransport::LoopbackTransport()
+    : tx_batch_counter_(obs::Registry::global().counter("rg.gw.tx_batches")) {}
+
 void LoopbackTransport::inject(const Endpoint& from, std::span<const std::uint8_t> bytes) {
   inject(from, std::vector<std::uint8_t>{bytes.begin(), bytes.end()});
 }
@@ -20,20 +39,42 @@ void LoopbackTransport::inject(const Endpoint& from, std::vector<std::uint8_t> b
   queue_.push_back(Queued{from, std::move(bytes)});
 }
 
-std::size_t LoopbackTransport::poll(const Sink& sink, std::size_t max) {
-  std::size_t delivered = 0;
-  while (delivered < max) {
-    Queued item;
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      if (queue_.empty()) break;
-      item = std::move(queue_.front());
+std::size_t LoopbackTransport::poll_batch(std::span<RxDatagram> slots) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t filled = 0;
+  while (filled < slots.size() && !queue_.empty()) {
+    Queued& item = queue_.front();
+    if (item.bytes.size() > kMaxTransportDatagram) {
+      // Mirrors the socket transport: oversize datagrams die here.
+      ++oversize_;
       queue_.pop_front();
+      continue;
     }
-    sink(item.from, std::span<const std::uint8_t>{item.bytes});
-    ++delivered;
+    RxDatagram& slot = slots[filled];
+    slot.from = item.from;
+    slot.len = static_cast<std::uint16_t>(item.bytes.size());
+    std::copy(item.bytes.begin(), item.bytes.end(), slot.bytes.begin());
+    queue_.pop_front();
+    ++filled;
   }
-  return delivered;
+  return filled;
+}
+
+std::size_t LoopbackTransport::send_batch(std::span<const TxDatagram> slots) {
+  if (slots.empty()) return 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    sent_.insert(sent_.end(), slots.begin(), slots.end());
+  }
+  obs::Registry::global().add(tx_batch_counter_);
+  return slots.size();
+}
+
+std::vector<TxDatagram> LoopbackTransport::take_sent() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TxDatagram> out;
+  out.swap(sent_);
+  return out;
 }
 
 std::size_t LoopbackTransport::pending() const {

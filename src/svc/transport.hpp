@@ -11,12 +11,22 @@
 //   UdpSocketTransport  real non-blocking UDP socket drained via epoll
 //                       (svc/udp_transport.hpp).
 //
-// Transports are pull-based: the gateway's pump() calls poll(), which
-// drains up to `max` pending datagrams into a sink callback.  A datagram
-// is (source endpoint, bytes); the transport attaches no meaning to the
-// payload.
+// Transports are pull-based and batched: the gateway's pump() calls
+// poll_batch(), which fills caller-owned fixed-size slots with up to a
+// whole batch of pending datagrams per call — one recvmmsg on the UDP
+// transport, one lock acquisition on the loopback — instead of paying a
+// syscall (or a mutex round-trip) per datagram.  The legacy one-datagram
+// sink API, poll(), survives as a convenience adapter over poll_batch()
+// so existing callers keep working.
+//
+// The egress mirror, send_batch(), ships a batch of datagrams in one
+// sendmmsg (UDP) or one queue append (loopback, for tests); it exists
+// for gateway-originated traffic (feedback/ACK channels) and counts
+// rg.gw.tx_batches per call.  A datagram is (endpoint, bytes); the
+// transport attaches no meaning to the payload.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -52,6 +62,38 @@ struct EndpointHash {
   }
 };
 
+/// Largest datagram the batch path carries.  Anything bigger is not a
+/// valid ITP frame (30 bytes, 38 with MAC) and is dropped at the
+/// transport, counted as oversize.
+inline constexpr std::size_t kMaxTransportDatagram = 64;
+
+/// One slot of a batched receive: fixed inline storage, so a whole batch
+/// is filled without a single allocation.
+struct RxDatagram {
+  Endpoint from{};
+  std::uint16_t len = 0;
+  std::array<std::uint8_t, kMaxTransportDatagram> bytes{};
+
+  [[nodiscard]] std::span<const std::uint8_t> payload() const noexcept {
+    return {bytes.data(), len};
+  }
+};
+
+/// One slot of a batched send.
+struct TxDatagram {
+  Endpoint to{};
+  std::uint16_t len = 0;
+  std::array<std::uint8_t, kMaxTransportDatagram> bytes{};
+
+  void assign(const Endpoint& dest, std::span<const std::uint8_t> payload) noexcept {
+    to = dest;
+    len = static_cast<std::uint16_t>(payload.size() <= kMaxTransportDatagram
+                                         ? payload.size()
+                                         : kMaxTransportDatagram);
+    for (std::size_t i = 0; i < len; ++i) bytes[i] = payload[i];
+  }
+};
+
 class Transport {
  public:
   /// Receives one drained datagram.  The span is only valid for the call.
@@ -59,27 +101,47 @@ class Transport {
 
   virtual ~Transport() = default;
 
+  /// Fill up to `slots.size()` slots with pending datagrams without
+  /// blocking.  Returns the number filled (0 = nothing pending).  This is
+  /// the gateway's hot path: implementations drain a whole batch per
+  /// syscall / lock acquisition.
+  virtual std::size_t poll_batch(std::span<RxDatagram> slots) = 0;
+
+  /// Ship `slots` (all of them, best-effort) without blocking.  Returns
+  /// the number actually sent.  Implementations count one
+  /// rg.gw.tx_batches per call.
+  virtual std::size_t send_batch(std::span<const TxDatagram> slots) = 0;
+
   /// Drain up to `max` pending datagrams into `sink` without blocking.
-  /// Returns the number delivered.
-  virtual std::size_t poll(const Sink& sink, std::size_t max) = 0;
+  /// Returns the number delivered.  Convenience adapter over
+  /// poll_batch() for callers that want per-datagram delivery.
+  std::size_t poll(const Sink& sink, std::size_t max);
 
   /// Human-readable descriptor ("loopback", "udp:127.0.0.1:7413").
   [[nodiscard]] virtual std::string describe() const = 0;
 };
 
-/// Deterministic in-process transport: inject() appends, poll() drains
-/// FIFO.  Injection is mutex-guarded so load-generator threads can share
-/// one instance; drain order is injection order, so single-producer runs
-/// are bit-reproducible.
+/// Deterministic in-process transport: inject() appends, poll_batch()
+/// drains FIFO.  Injection is mutex-guarded so load-generator threads can
+/// share one instance; drain order is injection order, so single-producer
+/// runs are bit-reproducible — and a whole batch is moved out under one
+/// lock acquisition, so the determinism tests exercise the same batched
+/// drain shape as the real socket path.
 class LoopbackTransport final : public Transport {
  public:
+  LoopbackTransport();
+
   void inject(const Endpoint& from, std::span<const std::uint8_t> bytes);
   void inject(const Endpoint& from, std::vector<std::uint8_t> bytes);
 
-  std::size_t poll(const Sink& sink, std::size_t max) override;
+  std::size_t poll_batch(std::span<RxDatagram> slots) override;
+  std::size_t send_batch(std::span<const TxDatagram> slots) override;
   [[nodiscard]] std::string describe() const override { return "loopback"; }
 
   [[nodiscard]] std::size_t pending() const;
+
+  /// Everything send_batch() shipped, in order, moved out (tests).
+  [[nodiscard]] std::vector<TxDatagram> take_sent();
 
  private:
   struct Queued {
@@ -88,6 +150,9 @@ class LoopbackTransport final : public Transport {
   };
   mutable std::mutex mutex_;
   std::deque<Queued> queue_;
+  std::vector<TxDatagram> sent_;
+  std::uint64_t oversize_ = 0;
+  std::uint32_t tx_batch_counter_ = 0;  ///< obs::MetricId
 };
 
 }  // namespace rg::svc

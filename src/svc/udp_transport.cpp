@@ -1,8 +1,11 @@
 #include "svc/udp_transport.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
+
+#include "obs/metrics.hpp"
 
 #if defined(__linux__)
 #include <arpa/inet.h>
@@ -23,10 +26,17 @@ namespace {
                            std::strerror(errno));
 }
 
+void fill_sockaddr(sockaddr_in& addr, const Endpoint& ep) noexcept {
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(ep.ip);
+  addr.sin_port = htons(ep.port);
+}
+
 }  // namespace
 
 UdpSocketTransport::UdpSocketTransport(const UdpSocketConfig& config)
-    : bind_address_(config.bind_address) {
+    : bind_address_(config.bind_address),
+      tx_batch_counter_(obs::Registry::global().counter("rg.gw.tx_batches")) {
   fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (fd_ < 0) fail("socket");
 
@@ -87,34 +97,125 @@ UdpSocketTransport::~UdpSocketTransport() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-std::size_t UdpSocketTransport::poll(const Sink& sink, std::size_t max) {
+std::size_t UdpSocketTransport::poll_batch(std::span<RxDatagram> slots) {
+  if (slots.empty()) return 0;
   epoll_event ev{};
   const int ready = ::epoll_wait(epoll_fd_, &ev, 1, /*timeout_ms=*/0);
   if (ready <= 0) return 0;
 
-  std::size_t delivered = 0;
-  // One extra byte of buffer distinguishes "exactly kMaxDatagram" from
-  // "truncated" without MSG_TRUNC bookkeeping.
-  std::uint8_t buf[kMaxDatagram + 1];
-  while (delivered < max) {
+  std::size_t filled = 0;
+  while (filled < slots.size() && !fallback_) {
+    // One recvmmsg drains up to a whole syscall-batch of datagrams into
+    // the caller's slots — the scatter array points straight at the slot
+    // payload buffers, so there is no copy beyond the kernel's.
+    const std::size_t want = std::min(slots.size() - filled, kMaxBatch);
+    mmsghdr msgs[kMaxBatch];
+    iovec iovs[kMaxBatch];
+    sockaddr_in froms[kMaxBatch];
+    std::memset(msgs, 0, want * sizeof(mmsghdr));
+    for (std::size_t i = 0; i < want; ++i) {
+      RxDatagram& slot = slots[filled + i];
+      iovs[i].iov_base = slot.bytes.data();
+      iovs[i].iov_len = slot.bytes.size();
+      msgs[i].msg_hdr.msg_iov = &iovs[i];
+      msgs[i].msg_hdr.msg_iovlen = 1;
+      msgs[i].msg_hdr.msg_name = &froms[i];
+      msgs[i].msg_hdr.msg_namelen = sizeof(froms[i]);
+    }
+    const std::size_t base = filled;
+    const int n = ::recvmmsg(fd_, msgs, static_cast<unsigned>(want), MSG_DONTWAIT, nullptr);
+    if (n < 0) {
+      if (errno == ENOSYS) {
+        fallback_ = true;
+        break;  // demote to the single-call loop below
+      }
+      // EAGAIN / EINTR / transient socket errors: stop this pass, the
+      // next pump retries.
+      return filled;
+    }
+    for (int i = 0; i < n; ++i) {
+      if ((msgs[i].msg_hdr.msg_flags & MSG_TRUNC) != 0) {
+        ++oversize_;
+        continue;  // leave the output slot open for the next datagram
+      }
+      RxDatagram& slot = slots[filled];
+      // The kernel scattered message i into slots[base + i]; when an
+      // earlier truncated datagram was skipped, compact left.
+      if (base + static_cast<std::size_t>(i) != filled) {
+        std::memcpy(slot.bytes.data(), slots[base + static_cast<std::size_t>(i)].bytes.data(),
+                    msgs[i].msg_len);
+      }
+      slot.from = Endpoint{ntohl(froms[i].sin_addr.s_addr), ntohs(froms[i].sin_port)};
+      slot.len = static_cast<std::uint16_t>(msgs[i].msg_len);
+      ++filled;
+    }
+    if (static_cast<std::size_t>(n) < want) return filled;  // socket drained
+  }
+
+  // ENOSYS fallback: same semantics, one recvfrom per datagram.
+  while (fallback_ && filled < slots.size()) {
+    RxDatagram& slot = slots[filled];
     sockaddr_in from{};
     socklen_t from_len = sizeof(from);
-    const ssize_t n = ::recvfrom(fd_, buf, sizeof(buf), MSG_DONTWAIT,
+    const ssize_t n = ::recvfrom(fd_, slot.bytes.data(), slot.bytes.size(),
+                                 MSG_DONTWAIT | MSG_TRUNC,
                                  reinterpret_cast<sockaddr*>(&from),  // rg-lint: allow(cast)
                                  &from_len);
-    if (n < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
-      break;  // transient socket errors: stop this pass, next pump retries
-    }
-    if (static_cast<std::size_t>(n) > kMaxDatagram) {
+    if (n < 0) break;  // EAGAIN/EINTR/transient: next pump retries
+    if (static_cast<std::size_t>(n) > slot.bytes.size()) {
       ++oversize_;
       continue;
     }
-    const Endpoint ep{ntohl(from.sin_addr.s_addr), ntohs(from.sin_port)};
-    sink(ep, std::span<const std::uint8_t>{buf, static_cast<std::size_t>(n)});
-    ++delivered;
+    slot.from = Endpoint{ntohl(from.sin_addr.s_addr), ntohs(from.sin_port)};
+    slot.len = static_cast<std::uint16_t>(n);
+    ++filled;
   }
-  return delivered;
+  return filled;
+}
+
+std::size_t UdpSocketTransport::send_batch(std::span<const TxDatagram> slots) {
+  if (slots.empty()) return 0;
+  obs::Registry::global().add(tx_batch_counter_);
+  std::size_t sent = 0;
+  while (sent < slots.size() && !fallback_) {
+    const std::size_t want = std::min(slots.size() - sent, kMaxBatch);
+    mmsghdr msgs[kMaxBatch];
+    iovec iovs[kMaxBatch];
+    sockaddr_in tos[kMaxBatch];
+    std::memset(msgs, 0, want * sizeof(mmsghdr));
+    for (std::size_t i = 0; i < want; ++i) {
+      const TxDatagram& slot = slots[sent + i];
+      // rg-lint: allow(cast) -- sendmmsg scatter array: the kernel never writes through it
+      iovs[i].iov_base = const_cast<std::uint8_t*>(slot.bytes.data());
+      iovs[i].iov_len = slot.len;
+      fill_sockaddr(tos[i], slot.to);
+      msgs[i].msg_hdr.msg_iov = &iovs[i];
+      msgs[i].msg_hdr.msg_iovlen = 1;
+      msgs[i].msg_hdr.msg_name = &tos[i];
+      msgs[i].msg_hdr.msg_namelen = sizeof(tos[i]);
+    }
+    const int n = ::sendmmsg(fd_, msgs, static_cast<unsigned>(want), MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == ENOSYS) {
+        fallback_ = true;
+        break;
+      }
+      return sent;  // EAGAIN or transient error: report what got out
+    }
+    sent += static_cast<std::size_t>(n);
+    if (static_cast<std::size_t>(n) < want) return sent;  // socket buffer full
+  }
+  while (fallback_ && sent < slots.size()) {
+    const TxDatagram& slot = slots[sent];
+    sockaddr_in to{};
+    fill_sockaddr(to, slot.to);
+    const ssize_t n = ::sendto(fd_, slot.bytes.data(), slot.len, MSG_DONTWAIT,
+                               reinterpret_cast<const sockaddr*>(&to),  // rg-lint: allow(cast)
+                               sizeof(to));
+    if (n < 0) break;
+    ++sent;
+  }
+  return sent;
 }
 
 std::string UdpSocketTransport::describe() const {
@@ -127,7 +228,8 @@ UdpSocketTransport::UdpSocketTransport(const UdpSocketConfig&) {
   throw std::runtime_error("UdpSocketTransport requires Linux (epoll)");
 }
 UdpSocketTransport::~UdpSocketTransport() = default;
-std::size_t UdpSocketTransport::poll(const Sink&, std::size_t) { return 0; }
+std::size_t UdpSocketTransport::poll_batch(std::span<RxDatagram>) { return 0; }
+std::size_t UdpSocketTransport::send_batch(std::span<const TxDatagram>) { return 0; }
 std::string UdpSocketTransport::describe() const { return "udp:unsupported"; }
 
 #endif

@@ -1,10 +1,14 @@
-// Real-socket transport: a non-blocking UDP socket drained via epoll.
+// Real-socket transport: a non-blocking UDP socket drained via epoll
+// with batched recvmmsg/sendmmsg syscalls.
 //
 // The gateway's on-ramp for live ITP traffic.  The socket is created
-// non-blocking and registered with an epoll instance; poll() asks epoll
-// whether the socket is readable (zero timeout — the gateway loop owns
-// pacing) and then recvfrom()s until EAGAIN or the datagram budget is
-// spent, so one syscall-cheap pass drains a burst.
+// non-blocking and registered with an epoll instance; poll_batch() asks
+// epoll whether the socket is readable (zero timeout — the gateway loop
+// owns pacing) and then drains one whole batch of datagrams per
+// recvmmsg() call, so ingesting a 64-datagram burst costs two syscalls,
+// not sixty-five.  Hosts whose kernel lacks recvmmsg/sendmmsg (ENOSYS)
+// are detected on first use and served by a recvfrom/sendto loop — same
+// semantics, one syscall per datagram.
 //
 // SO_REUSEPORT-ready: flipping `reuse_port` lets several gateway
 // processes bind the same port and have the kernel shard flows across
@@ -41,20 +45,29 @@ class UdpSocketTransport final : public Transport {
   UdpSocketTransport(const UdpSocketTransport&) = delete;
   UdpSocketTransport& operator=(const UdpSocketTransport&) = delete;
 
-  std::size_t poll(const Sink& sink, std::size_t max) override;
+  std::size_t poll_batch(std::span<RxDatagram> slots) override;
+  std::size_t send_batch(std::span<const TxDatagram> slots) override;
   [[nodiscard]] std::string describe() const override;
 
   /// The actually-bound port (resolves port 0 requests).
   [[nodiscard]] std::uint16_t bound_port() const noexcept { return bound_port_; }
 
   /// Datagrams larger than the ITP maximum that were discarded at the
-  /// socket (kMaxDatagram read budget truncates; anything beyond is not a
-  /// valid ITP frame anyway).
+  /// socket (MSG_TRUNC from the kernel; anything beyond kMaxDatagram is
+  /// not a valid ITP frame anyway).
   [[nodiscard]] std::uint64_t oversize_datagrams() const noexcept { return oversize_; }
+
+  /// True once an ENOSYS from recvmmsg/sendmmsg demoted this transport
+  /// to the one-datagram-per-syscall fallback.
+  [[nodiscard]] bool batched_syscalls() const noexcept { return !fallback_; }
 
   /// Largest datagram the transport will deliver; bigger ones count as
   /// oversize and are dropped before the gateway sees them.
-  static constexpr std::size_t kMaxDatagram = 64;
+  static constexpr std::size_t kMaxDatagram = kMaxTransportDatagram;
+
+  /// Most datagrams one recvmmsg/sendmmsg carries; larger caller batches
+  /// are served in kMaxBatch-sized syscall chunks.
+  static constexpr std::size_t kMaxBatch = 128;
 
  private:
   int fd_ = -1;
@@ -62,6 +75,8 @@ class UdpSocketTransport final : public Transport {
   std::uint16_t bound_port_ = 0;
   std::string bind_address_;
   std::uint64_t oversize_ = 0;
+  bool fallback_ = false;  ///< kernel lacks recvmmsg/sendmmsg
+  std::uint32_t tx_batch_counter_ = 0;  ///< obs::MetricId
 };
 
 }  // namespace rg::svc

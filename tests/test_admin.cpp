@@ -108,6 +108,14 @@ TEST(Admin, EndpointLifecycle) {
     const json::Value& session = sessions->as_array()[0];
     EXPECT_TRUE(session.find("active")->as_bool());
     EXPECT_EQ(session.find("ingest")->find("accepted")->as_u64(), 3u);
+    const json::Value* shards = doc.value().find("shards");
+    ASSERT_NE(shards, nullptr);
+    ASSERT_EQ(shards->as_array().size(), 1u);
+    const json::Value& shard = shards->as_array()[0];
+    EXPECT_EQ(shard.find("index")->as_u64(), 0u);
+    EXPECT_EQ(shard.find("ticks")->as_u64(), 3u);
+    EXPECT_EQ(shard.find("ring_full")->as_u64(), 0u);
+    EXPECT_GT(shard.find("queue_hwm")->as_u64(), 0u);
   }
   {
     const Result<HttpResponse> r = http_get("127.0.0.1", port, "/flight");

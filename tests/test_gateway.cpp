@@ -12,6 +12,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <map>
@@ -244,6 +245,35 @@ TEST(Gateway, BackpressureCountsDropsWhenShardQueueFull) {
   ASSERT_EQ(sessions.size(), 1u);
   EXPECT_EQ(sessions[0].counters.backpressure, 47u);
   EXPECT_EQ(sessions[0].shard.ticks, 3u);
+  // The shard's own view: every refused datagram counted as ring_full,
+  // and the ring's high watermark never exceeded its capacity.
+  const auto shard_stats = gateway.shard_stats();
+  ASSERT_EQ(shard_stats.size(), 1u);
+  EXPECT_EQ(shard_stats[0].ring_full, 47u);
+  EXPECT_LE(shard_stats[0].queue_hwm, 4u);
+  EXPECT_GT(shard_stats[0].queue_hwm, 0u);
+}
+
+TEST(Gateway, LoopbackSendBatchRecordsEgress) {
+  LoopbackTransport transport;
+  std::vector<TxDatagram> batch(3);
+  const ItpBytes a = packet_with_sequence(1);
+  const ItpBytes b = packet_with_sequence(2);
+  batch[0].assign(ep(1), std::span<const std::uint8_t>{a});
+  batch[1].assign(ep(2), std::span<const std::uint8_t>{b});
+  batch[2].assign(ep(3), std::span<const std::uint8_t>{a});
+  EXPECT_EQ(transport.send_batch(batch), 3u);
+
+  const auto sent = transport.take_sent();
+  ASSERT_EQ(sent.size(), 3u);
+  EXPECT_EQ(sent[0].to, ep(1));
+  EXPECT_EQ(sent[1].to, ep(2));
+  EXPECT_EQ(sent[2].to, ep(3));
+  EXPECT_EQ(sent[0].len, kItpPacketSize);
+  EXPECT_TRUE(std::equal(a.begin(), a.end(), sent[0].bytes.begin()));
+  EXPECT_TRUE(std::equal(b.begin(), b.end(), sent[1].bytes.begin()));
+  // take_sent() moves the log out: a second take is empty.
+  EXPECT_TRUE(transport.take_sent().empty());
 }
 
 // --- shard determinism -----------------------------------------------------
@@ -269,12 +299,14 @@ struct EndpointOutcome {
 };
 
 std::map<std::string, EndpointOutcome> run_sharded(std::size_t shards, bool threaded,
-                                                   const std::vector<std::vector<ItpBytes>>& streams) {
+                                                   const std::vector<std::vector<ItpBytes>>& streams,
+                                                   std::size_t rx_batch = 64) {
   LoopbackTransport transport;
   GatewayConfig cfg;
   cfg.shards = shards;
   cfg.threaded = threaded;
   cfg.idle_timeout_ms = 1u << 30;
+  cfg.rx_batch = rx_batch;
   TeleopGateway gateway(cfg, transport);
   // Interleave round-robin across endpoints, as concurrent consoles would.
   const std::size_t ticks = streams.front().size();
@@ -313,6 +345,31 @@ TEST(Gateway, VerdictStreamsInvariantUnderShardCount) {
   std::map<std::uint64_t, int> digests;
   for (const auto& [endpoint, outcome] : inline_1) ++digests[outcome.digest];
   EXPECT_GT(digests.size(), 1u);
+}
+
+TEST(Gateway, VerdictStreamsInvariantUnderBatchAndShardMatrix) {
+  std::vector<std::vector<ItpBytes>> streams;
+  for (std::size_t s = 0; s < 4; ++s) streams.push_back(console_stream(s, 200));
+
+  // Reference: inline, single shard, one datagram per poll_batch().
+  const auto reference = run_sharded(1, false, streams, 1);
+  ASSERT_EQ(reference.size(), 4u);
+  for (const auto& [endpoint, outcome] : reference) {
+    EXPECT_EQ(outcome.accepted, 200u) << endpoint;
+    EXPECT_NE(outcome.digest, 0u) << endpoint;
+  }
+
+  // The full ingest matrix: verdict digests and every per-session
+  // counter must be byte-identical at any shard count x any batch size,
+  // threaded or inline.
+  for (const std::size_t shards : {1u, 2u, 4u}) {
+    for (const std::size_t batch : {1u, 8u, 64u}) {
+      EXPECT_EQ(reference, run_sharded(shards, true, streams, batch))
+          << "shards=" << shards << " rx_batch=" << batch << " threaded";
+      EXPECT_EQ(reference, run_sharded(shards, false, streams, batch))
+          << "shards=" << shards << " rx_batch=" << batch << " inline";
+    }
+  }
 }
 
 // --- streaming calibration: drift alarms + cohort sketch -------------------

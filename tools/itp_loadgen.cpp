@@ -16,7 +16,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -39,11 +41,15 @@ namespace {
 
 using namespace rg;
 
+/// Upper bound on --batch: one stack-allocated mmsghdr array per flush.
+constexpr std::size_t kMaxSendBatch = 64;
+
 struct LoadgenOptions {
   std::string host = "127.0.0.1";
   std::uint32_t port = 0;
   std::uint32_t sessions = 8;
   std::uint32_t threads = 0;  // 0 = min(sessions, hardware_concurrency)
+  std::uint32_t batch = 1;    // ticks coalesced into one sendmmsg per session
   double rate = 1000.0;
   double duration = 2.0;
   double loss = 0.0;
@@ -61,6 +67,8 @@ struct Totals {
   std::atomic<std::uint64_t> flipped{0};
   std::atomic<std::uint64_t> garbled{0};
   std::atomic<std::uint64_t> send_errors{0};
+  std::atomic<std::uint64_t> late_sends{0};  // pacing points a full window behind
+  std::atomic<std::uint64_t> max_late_ns{0};
 };
 
 struct ClientSession {
@@ -121,24 +129,95 @@ std::vector<std::uint8_t> build_frame(ClientSession& cs, const LoadgenOptions& o
   return frame;
 }
 
+struct PendingFrame {
+  std::uint8_t bytes[64];
+  std::size_t len = 0;
+};
+
+/// Flush up to kMaxSendBatch queued frames on one connected socket.  On
+/// Linux this is a single sendmmsg; kernels without it (ENOSYS) and
+/// other platforms fall back to per-datagram send.
+void flush_frames(int fd, PendingFrame* frames, std::size_t count, Totals& totals) {
+  std::size_t done = 0;
+#if defined(__linux__)
+  mmsghdr msgs[kMaxSendBatch];
+  iovec iovs[kMaxSendBatch];
+  std::memset(msgs, 0, sizeof(mmsghdr) * count);
+  for (std::size_t i = 0; i < count; ++i) {
+    iovs[i].iov_base = frames[i].bytes;
+    iovs[i].iov_len = frames[i].len;
+    msgs[i].msg_hdr.msg_iov = &iovs[i];
+    msgs[i].msg_hdr.msg_iovlen = 1;
+  }
+  while (done < count) {
+    const int sent = ::sendmmsg(fd, msgs + done, static_cast<unsigned>(count - done), 0);
+    if (sent < 0) {
+      if (errno == ENOSYS) break;  // per-datagram fallback below
+      totals.send_errors.fetch_add(count - done, std::memory_order_relaxed);
+      return;
+    }
+    totals.sent.fetch_add(static_cast<std::uint64_t>(sent), std::memory_order_relaxed);
+    done += static_cast<std::size_t>(sent);
+  }
+#endif
+  for (std::size_t i = done; i < count; ++i) {
+    if (::send(fd, frames[i].bytes, frames[i].len, 0) < 0) {
+      totals.send_errors.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      totals.sent.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
 void run_worker(std::vector<ClientSession*> sessions, const LoadgenOptions& opt,
                 const MacKey& key, std::uint64_t ticks, Totals& totals) {
+  const std::size_t batch = std::clamp<std::size_t>(opt.batch, 1, kMaxSendBatch);
+  std::vector<PendingFrame> pending(batch);
   const auto t0 = std::chrono::steady_clock::now();
-  const auto period = std::chrono::nanoseconds(static_cast<std::uint64_t>(1.0e9 / opt.rate));
-  for (std::uint64_t tick = 0; tick < ticks; ++tick) {
-    if (!opt.burst) std::this_thread::sleep_until(t0 + period * tick);
-    for (ClientSession* cs : sessions) {
-      const std::vector<std::uint8_t> frame = build_frame(*cs, opt, key, totals);
-      if (opt.loss > 0.0 && cs->rng.uniform() < opt.loss) {
-        totals.dropped.fetch_add(1, std::memory_order_relaxed);
-        continue;
-      }
-      if (::send(cs->fd, frame.data(), frame.size(), 0) < 0) {
-        totals.send_errors.fetch_add(1, std::memory_order_relaxed);
-      } else {
-        totals.sent.fetch_add(1, std::memory_order_relaxed);
-      }
+  // Every deadline is derived from t0 and the absolute tick index, so
+  // per-period integer rounding cannot accumulate into schedule drift
+  // over long runs (the old `t0 + trunc(1e9/rate) * tick` form ran fast
+  // by up to 1 ns/tick — seconds of skew across a million-tick soak).
+  const double tick_ns = 1.0e9 / opt.rate;
+  std::uint64_t local_late = 0;
+  std::int64_t local_max_late = 0;
+  for (std::uint64_t tick = 0; tick < ticks; tick += batch) {
+    const std::uint64_t window = std::min<std::uint64_t>(batch, ticks - tick);
+    if (!opt.burst) {
+      const auto deadline =
+          t0 + std::chrono::nanoseconds(
+                   static_cast<std::int64_t>(static_cast<double>(tick) * tick_ns));
+      std::this_thread::sleep_until(deadline);
+      const std::int64_t late_ns =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                               deadline)
+              .count();
+      local_max_late = std::max(local_max_late, late_ns);
+      // "Late" = the wakeup slipped past this pacing point's whole
+      // window, i.e. the next batch was already due before this one hit
+      // the wire.
+      if (static_cast<double>(late_ns) >= tick_ns * static_cast<double>(window)) ++local_late;
     }
+    for (ClientSession* cs : sessions) {
+      std::size_t queued = 0;
+      for (std::uint64_t k = 0; k < window; ++k) {
+        const std::vector<std::uint8_t> frame = build_frame(*cs, opt, key, totals);
+        if (opt.loss > 0.0 && cs->rng.uniform() < opt.loss) {
+          totals.dropped.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        PendingFrame& slot = pending[queued++];
+        slot.len = std::min(frame.size(), sizeof slot.bytes);
+        std::memcpy(slot.bytes, frame.data(), slot.len);
+      }
+      flush_frames(cs->fd, pending.data(), queued, totals);
+    }
+  }
+  totals.late_sends.fetch_add(local_late, std::memory_order_relaxed);
+  const auto mine = static_cast<std::uint64_t>(std::max<std::int64_t>(local_max_late, 0));
+  std::uint64_t observed = totals.max_late_ns.load(std::memory_order_relaxed);
+  while (mine > observed &&
+         !totals.max_late_ns.compare_exchange_weak(observed, mine, std::memory_order_relaxed)) {
   }
 }
 
@@ -153,6 +232,8 @@ int main(int argc, char** argv) {
   flags.value("--port", &opt.port, "gateway UDP port (required)");
   flags.value("--sessions", &opt.sessions, "concurrent console sessions");
   flags.value("--threads", &opt.threads, "sender threads (0 = auto)");
+  flags.value("--batch", &opt.batch,
+              "ticks coalesced into one sendmmsg per session (1-64, default 1)");
   flags.value("--rate", &opt.rate, "per-session packet rate, Hz (default 1000)");
   flags.value("--duration", &opt.duration, "seconds of traffic per session");
   flags.value("--loss", &opt.loss, "client-side drop probability [0,1]");
@@ -233,6 +314,11 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(totals.flipped.load()),
       static_cast<unsigned long long>(totals.garbled.load()),
       static_cast<unsigned long long>(totals.send_errors.load()));
+  if (!opt.burst) {
+    std::printf("itp_loadgen: pacing batch %u, late sends %llu, max late %.3f ms\n", opt.batch,
+                static_cast<unsigned long long>(totals.late_sends.load()),
+                static_cast<double>(totals.max_late_ns.load()) / 1.0e6);
+  }
 
   if (!out_json.empty()) {
     std::ofstream os(out_json);
@@ -243,7 +329,10 @@ int main(int argc, char** argv) {
        << "  \"replayed\": " << totals.replayed.load() << ",\n"
        << "  \"flipped\": " << totals.flipped.load() << ",\n"
        << "  \"garbled\": " << totals.garbled.load() << ",\n"
-       << "  \"send_errors\": " << totals.send_errors.load() << "\n}\n";
+       << "  \"send_errors\": " << totals.send_errors.load() << ",\n"
+       << "  \"batch\": " << opt.batch << ",\n"
+       << "  \"late_sends\": " << totals.late_sends.load() << ",\n"
+       << "  \"max_late_ns\": " << totals.max_late_ns.load() << "\n}\n";
   }
   return 0;
 }

@@ -98,6 +98,7 @@ int main(int argc, char** argv) {
   std::uint32_t max_sessions = 256;
   std::uint64_t idle_timeout_ms = 2000;
   std::uint64_t max_queue = 8192;
+  std::uint64_t rx_batch = 64;
   bool mac = false;
   std::uint64_t mac_seed = 7;
   double duration = 0.0;
@@ -120,7 +121,8 @@ int main(int argc, char** argv) {
   flags.value("--shards", &shards, "worker shards");
   flags.value("--max-sessions", &max_sessions, "session table capacity");
   flags.value("--idle-timeout-ms", &idle_timeout_ms, "evict sessions idle this long");
-  flags.value("--max-queue", &max_queue, "per-shard queue capacity");
+  flags.value("--max-queue", &max_queue, "per-shard SPSC ring capacity");
+  flags.value("--rx-batch", &rx_batch, "datagrams drained per recvmmsg batch (default 64)");
   flags.flag("--mac", &mac, "require 38-byte SipHash MAC frames");
   flags.value("--mac-seed", &mac_seed, "MAC key seed");
   flags.value("--duration", &duration, "run this many seconds (0 = until SIGINT)");
@@ -170,6 +172,7 @@ int main(int argc, char** argv) {
     config.max_sessions = max_sessions;
     config.idle_timeout_ms = idle_timeout_ms;
     config.max_queue_per_shard = max_queue;
+    config.rx_batch = rx_batch;
     config.require_mac = mac;
     config.mac_key = MacKey::from_seed(mac_seed);
 

@@ -135,11 +135,23 @@ void render(const StatsFrame& stats, const rg::obs::LiveSnapshot& live,
                 format_ns(jitter->quantile(50.0).value).c_str(),
                 format_ns(jitter->quantile(99.0).value).c_str());
   }
+  // Syscall amortization: datagrams per transport poll_batch() call.
+  const rg::obs::HistogramData* rx_batch =
+      delta.has_value() ? delta->histogram("rg.gw.rx_batch_size") : nullptr;
+  if (rx_batch == nullptr || rx_batch->empty()) {
+    if (const auto* h = live.metrics.histogram("rg.gw.rx_batch_size")) rx_batch = h;
+  }
+  if (rx_batch != nullptr && !rx_batch->empty()) {
+    std::printf("rx batch p50 %.0f p99 %.0f  ", rx_batch->quantile(50.0).value,
+                rx_batch->quantile(99.0).value);
+  }
   std::printf("deadline_miss %llu  drift_alarms %llu\n",
               static_cast<unsigned long long>(total("rg.gw.pump.deadline_miss")),
               static_cast<unsigned long long>(stats.drift_alarms));
 
-  // Per-shard queue high watermarks (gauges rg.gw.shard.<i>.queue_hwm).
+  // Per-shard ring health: queue high watermarks (gauges
+  // rg.gw.shard.<i>.queue_hwm) + ring-full backpressure drops (counters
+  // rg.gw.shard.<i>.ring_full).
   bool any_hwm = false;
   for (const auto& g : live.metrics.gauges) {
     const std::string_view name = g.name;
@@ -153,6 +165,21 @@ void render(const StatsFrame& stats, const rg::obs::LiveSnapshot& live,
     std::printf(" %.*s=%.0f", static_cast<int>(index.size()), index.data(), g.value);
   }
   if (any_hwm) std::printf("\n");
+  bool any_ring_full = false;
+  for (const auto& c : live.metrics.counters) {
+    const std::string_view name = c.name;
+    if (name.rfind("rg.gw.shard.", 0) != 0 || name.size() < 10 ||
+        name.substr(name.size() - 10) != ".ring_full") {
+      continue;
+    }
+    if (c.value == 0) continue;  // quiet shards stay off the screen
+    if (!any_ring_full) std::printf("ring full:");
+    any_ring_full = true;
+    const std::string_view index = name.substr(12, name.size() - 12 - 10);
+    std::printf(" %.*s=%llu", static_cast<int>(index.size()), index.data(),
+                static_cast<unsigned long long>(c.value));
+  }
+  if (any_ring_full) std::printf("\n");
 
   std::printf("\n%6s  %-21s %-7s %10s %10s %8s %8s %6s\n", "ID", "ENDPOINT", "STATE", "ACC/s",
               "TICK/s", "ALARMS", "BLOCKED", "ESTOP");
