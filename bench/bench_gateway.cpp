@@ -23,11 +23,17 @@
 //               recvmmsg-style batched drain's win is a reported number
 //   admin       the largest sustained ladder case re-run with a polled
 //               AdminServer (acceptance: < 2% realtime regression)
+//   persist     the same case re-run with the crash-consistent state
+//               plane journaling every admission and window advance to a
+//               real directory (acceptance: < 2% realtime regression —
+//               the tick path only pushes to a lock-free ring; all IO is
+//               the flusher thread's)
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -37,6 +43,7 @@
 #include "bench_util.hpp"
 #include "net/master_console.hpp"
 #include "obs/metrics.hpp"
+#include "persist/state_plane.hpp"
 #include "svc/admin.hpp"
 #include "svc/gateway.hpp"
 #include "svc/transport.hpp"
@@ -83,7 +90,8 @@ std::vector<std::vector<ItpBytes>> make_streams(std::uint64_t ticks) {
 
 GatewayBenchRow run_one(const std::vector<std::vector<ItpBytes>>& streams, std::size_t sessions,
                         std::uint64_t ticks, std::size_t shards, std::size_t rx_batch = 64,
-                        bool with_admin = false, std::uint64_t* polls_out = nullptr) {
+                        bool with_admin = false, std::uint64_t* polls_out = nullptr,
+                        rg::persist::StatePlane* plane = nullptr) {
   obs::Registry::global().reset();
 
   svc::LoopbackTransport transport;
@@ -93,6 +101,7 @@ GatewayBenchRow run_one(const std::vector<std::vector<ItpBytes>>& streams, std::
   config.max_sessions = sessions;
   config.rx_batch = rx_batch;
   config.idle_timeout_ms = 1u << 30;  // synthetic clock; no eviction mid-run
+  config.persist = plane;
   if (with_admin) {
     // The synthetic clock advances 1 ms per 64-tick slice, so a 4 ms
     // publish period re-publishes the snapshot every ~256 ticks — the
@@ -238,6 +247,17 @@ struct AdminOverhead {
   std::uint64_t polls = 0;
 };
 
+struct PersistOverhead {
+  std::size_t sessions = 0;
+  double realtime_ratio = 0.0;           ///< with the state plane journaling
+  double baseline_realtime_ratio = 0.0;  ///< same load, no persistence
+  double overhead_pct = 0.0;             ///< acceptance: < 2
+  std::uint64_t ops_submitted = 0;
+  std::uint64_t ops_dropped = 0;
+  std::uint64_t wal_records = 0;
+  std::uint64_t snapshots = 0;
+};
+
 void write_row(std::ofstream& os, const GatewayBenchRow& r) {
   os << "{\"sessions\": " << r.sessions << ", \"ticks\": " << r.ticks
      << ", \"rx_batch\": " << r.rx_batch << ", \"wall_sec\": " << r.wall_sec
@@ -250,7 +270,7 @@ void write_row(std::ofstream& os, const GatewayBenchRow& r) {
 
 void write_json(const std::vector<GatewayBenchRow>& rows, std::size_t shards,
                 const CapacityResult& capacity, const std::vector<GatewayBenchRow>& batch_sweep,
-                const AdminOverhead* admin) {
+                const AdminOverhead* admin, const PersistOverhead* persist) {
   std::size_t sustained_sessions = 0;
   double p50 = 0.0;
   double p99 = 0.0;
@@ -296,6 +316,16 @@ void write_json(const std::vector<GatewayBenchRow>& rows, std::size_t shards,
        << ", \"realtime_ratio\": " << admin->realtime_ratio
        << ", \"baseline_realtime_ratio\": " << admin->baseline_realtime_ratio
        << ", \"overhead_pct\": " << admin->overhead_pct << ", \"polls\": " << admin->polls << "}";
+  }
+  if (persist != nullptr) {
+    os << ",\n  \"persist\": {\"sessions\": " << persist->sessions
+       << ", \"realtime_ratio\": " << persist->realtime_ratio
+       << ", \"baseline_realtime_ratio\": " << persist->baseline_realtime_ratio
+       << ", \"overhead_pct\": " << persist->overhead_pct
+       << ", \"ops_submitted\": " << persist->ops_submitted
+       << ", \"ops_dropped\": " << persist->ops_dropped
+       << ", \"wal_records\": " << persist->wal_records
+       << ", \"snapshots\": " << persist->snapshots << "}";
   }
   os << ",\n  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -389,6 +419,48 @@ int main() {
         admin.sessions, admin.realtime_ratio, admin.baseline_realtime_ratio, admin.overhead_pct,
         static_cast<unsigned long long>(admin.polls));
   }
-  write_json(rows, shards, capacity, batch_sweep, admin_sessions > 0 ? &admin : nullptr);
+
+  // Persistence overhead: the same case with the crash-consistent state
+  // plane journaling every admission/window advance to a real directory.
+  // The tick path only pushes a StateOp to a lock-free ring; the flusher
+  // thread owns all IO — so the capacity headline must not move.
+  PersistOverhead persist;
+  if (admin_sessions > 0) {
+    const GatewayBenchRow base = run_one(streams, admin_sessions, ticks, shards);
+    const std::string pdir = bench_path() + ".state";
+    std::filesystem::remove_all(pdir);
+    rg::persist::StatePlaneConfig pc;
+    pc.dir = pdir;
+    auto plane_r = rg::persist::StatePlane::open(pc);
+    if (plane_r.ok()) {
+      rg::persist::StatePlane& plane = *plane_r.value();
+      const GatewayBenchRow with =
+          run_one(streams, admin_sessions, ticks, shards, 64, false, nullptr, &plane);
+      plane.stop();
+      const rg::persist::StatePlaneStats ps = plane.stats();
+      persist.sessions = admin_sessions;
+      persist.realtime_ratio = with.realtime_ratio;
+      persist.baseline_realtime_ratio = base.realtime_ratio;
+      persist.overhead_pct =
+          base.realtime_ratio > 0.0
+              ? 100.0 * (base.realtime_ratio - with.realtime_ratio) / base.realtime_ratio
+              : 0.0;
+      persist.ops_submitted = ps.ops_submitted;
+      persist.ops_dropped = ps.ops_dropped;
+      persist.wal_records = ps.store.wal_records;
+      persist.snapshots = ps.store.snapshots;
+      std::printf(
+          "persist %3zu sessions: %.2fx realtime vs %.2fx baseline (%+.2f%% overhead, "
+          "%llu ops, %llu dropped, %llu wal records, %llu snapshots)\n",
+          persist.sessions, persist.realtime_ratio, persist.baseline_realtime_ratio,
+          persist.overhead_pct, static_cast<unsigned long long>(persist.ops_submitted),
+          static_cast<unsigned long long>(persist.ops_dropped),
+          static_cast<unsigned long long>(persist.wal_records),
+          static_cast<unsigned long long>(persist.snapshots));
+    }
+    std::filesystem::remove_all(pdir);
+  }
+  write_json(rows, shards, capacity, batch_sweep, admin_sessions > 0 ? &admin : nullptr,
+             persist.sessions > 0 ? &persist : nullptr);
   return 0;
 }

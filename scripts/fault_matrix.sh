@@ -1,0 +1,165 @@
+#!/usr/bin/env bash
+# Seeded crash/corruption matrix for the crash-consistent state plane
+# (docs/persistence.md): every cell must recover EXACTLY (to a digest the
+# durable history actually contained) or FAIL SAFE — a cell that loads
+# corrupt state silently fails the run.
+#
+#   scripts/fault_matrix.sh                 # from the repo root
+#   RG_FAULT_SEED=7 scripts/fault_matrix.sh # different (still deterministic) matrix
+#
+# The matrix, all derived from RG_FAULT_SEED:
+#
+#   kill cells      >=8 SIGKILL points: rg_faultinject generate _exit(137)s
+#                   mid-stream, recovery must restore the exact durable
+#                   prefix — cross-checked against an oracle run of the
+#                   same seed truncated to the durable op count.
+#   corruption      >=4 modes (truncate / bitflip / zeropage / duptail)
+#   cells           x >=8 seeded offsets x {state.rgwal, state.rgsnap}:
+#                   each cell must verify as restored-with-known-digest
+#                   (the baseline's durable prefix digest set) or
+#                   fail_safe.  "fresh" or an unknown digest = silent
+#                   corruption = failure.
+#   journal cells   damage to the safety journal must never affect store
+#                   recovery (the journal is evidence, not state).
+#
+# Used standalone and as a tier-1 stage (scripts/tier1.sh).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+SEED="${RG_FAULT_SEED:-20260807}"
+OPS="${RG_FAULT_OPS:-4000}"
+FLUSH_EVERY=40
+WORK="${RG_FAULT_DIR:-build/fault-matrix}"
+BIN=build/tools/rg_faultinject
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "${JOBS}" --target rg_faultinject >/dev/null
+
+rm -rf "${WORK}"
+mkdir -p "${WORK}"
+
+python3 - "${BIN}" "${WORK}" "${SEED}" "${OPS}" "${FLUSH_EVERY}" <<'PY'
+import json, os, random, shutil, subprocess, sys
+
+bin_path, work, seed, ops, flush_every = (
+    sys.argv[1], sys.argv[2], int(sys.argv[3]), int(sys.argv[4]), int(sys.argv[5]))
+rng = random.Random(seed)
+failures = []
+cells = 0
+
+
+def run(*args, expect=0):
+    proc = subprocess.run([bin_path, *map(str, args)], capture_output=True, text=True)
+    if proc.returncode != expect:
+        raise RuntimeError(
+            f"{' '.join(map(str, args))}: exit {proc.returncode} (wanted {expect})\n"
+            f"{proc.stderr}")
+    return proc.stdout
+
+
+def generate(d, *, kill_at=None, n_ops=ops):
+    args = ["generate", "--dir", d, "--seed", seed, "--ops", n_ops,
+            "--flush-every", flush_every]
+    if kill_at is not None:
+        return run(*args, "--kill-at", kill_at, expect=137)
+    return json.loads(run(*args))
+
+
+def verify(d):
+    return json.loads(run("verify", "--dir", d))
+
+
+def clone(src, dst):
+    shutil.rmtree(dst, ignore_errors=True)
+    shutil.copytree(src, dst)
+
+
+def cell(name, ok, detail):
+    global cells
+    cells += 1
+    if not ok:
+        failures.append(f"{name}: {detail}")
+        print(f"FAIL {name}: {detail}")
+
+
+# ---- baseline: a clean run (with snapshot rotations) must verify exactly.
+base = os.path.join(work, "baseline")
+base_gen = generate(base)
+base_ver = verify(base)
+cell("baseline", base_ver["outcome"] == "restored"
+     and base_ver["digest"] == base_gen["final_digest"]
+     and base_ver["snapshot_loaded"] and base_gen["snapshots"] >= 1,
+     f"gen={base_gen} ver={base_ver}")
+prefixes = set(base_ver["prefix_digests"])
+assert len(prefixes) >= 8, "baseline produced too little durable history"
+
+# ---- kill cells: SIGKILL after op K; recovery must equal the oracle ----
+# generate flushes after op i when (i+1) % F == 0 and dies *before* the
+# flush check of op K, so the durable op count is F * floor(K / F).
+kill_points = sorted(rng.sample(range(flush_every, ops - 1), 8))
+for k in kill_points:
+    d = os.path.join(work, f"kill_{k}")
+    shutil.rmtree(d, ignore_errors=True)
+    generate(d, kill_at=k)
+    ver = verify(d)
+    durable_ops = flush_every * (k // flush_every)
+    oracle_dir = os.path.join(work, f"oracle_{durable_ops}")
+    if not os.path.isdir(oracle_dir):
+        oracle = generate(oracle_dir, n_ops=durable_ops)
+        with open(os.path.join(oracle_dir, "digest.json"), "w") as f:
+            json.dump(oracle, f)
+    with open(os.path.join(oracle_dir, "digest.json")) as f:
+        oracle = json.load(f)
+    cell(f"kill@{k}", ver["outcome"] == "restored"
+         and ver["digest"] == oracle["final_digest"],
+         f"verify={ver['outcome']}/{ver['reason']} digest={ver['digest']} "
+         f"oracle({durable_ops} ops)={oracle['final_digest']}")
+
+# ---- corruption cells: 4 modes x 8 seeded offsets x both artifacts ----
+MODES = ["truncate", "bitflip", "zeropage", "duptail"]
+for fname in ("state.rgwal", "state.rgsnap"):
+    size = os.path.getsize(os.path.join(base, fname))
+    assert size > 0, f"baseline {fname} is empty"
+    for mode in MODES:
+        # Seeded interior offsets plus the structural edges (head, tail).
+        offsets = sorted({0, size - 1, *(rng.randrange(size) for _ in range(6))})
+        for off in offsets:
+            name = f"{fname}:{mode}@{off}"
+            d = os.path.join(work, "cell")
+            clone(base, d)
+            run("corrupt", "--file", os.path.join(d, fname),
+                "--mode", mode, "--offset", off)
+            ver = verify(d)
+            if ver["outcome"] == "fail_safe":
+                ok, detail = bool(ver["reason"]), f"fail_safe without a reason: {ver}"
+            elif ver["outcome"] == "restored":
+                ok = ver["digest"] in prefixes
+                detail = (f"SILENT CORRUPT LOAD: digest {ver['digest']} is not in the "
+                          f"baseline's {len(prefixes)} durable prefixes")
+            else:
+                ok, detail = False, f"outcome {ver['outcome']} (history lost silently)"
+            cell(name, ok, detail)
+
+# ---- journal cells: journal damage never perturbs store recovery ----
+jf = "journal.rgjrnl"
+jsize = os.path.getsize(os.path.join(base, jf))
+for mode, off in [("truncate", rng.randrange(64, 4096)),
+                  ("bitflip", rng.randrange(jsize)),
+                  ("zeropage", rng.randrange(4096)),
+                  ("duptail", 0)]:
+    name = f"{jf}:{mode}@{off}"
+    d = os.path.join(work, "cell")
+    clone(base, d)
+    run("corrupt", "--file", os.path.join(d, jf), "--mode", mode, "--offset", off)
+    ver = verify(d)
+    cell(name, ver["outcome"] == "restored" and ver["digest"] == base_ver["digest"],
+         f"store recovery changed: {ver['outcome']}/{ver['reason']} {ver['digest']}")
+
+print(f"fault matrix: {cells} cells, {len(failures)} failures "
+      f"(seed {seed}, {len(kill_points)} kill points, {len(MODES)} corruption modes)")
+if failures:
+    sys.exit(f"{len(failures)} cell(s) loaded corrupt state or lost history")
+PY
+
+echo "fault matrix OK (${WORK})"

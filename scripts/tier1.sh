@@ -42,6 +42,11 @@
 # gateway with --admin-port driven by itp_loadgen — /healthz must answer
 # ok, /metrics must parse as Prometheus text and contain the gateway's
 # canonical counters, and raven_top --once must render a session table.
+# Stage 10 proves the crash-consistent state plane (docs/persistence.md):
+# the seeded fault matrix (scripts/fault_matrix.sh) — SIGKILL points and
+# four corruption modes, every cell recover-exact-or-fail-safe — then a
+# real-socket SIGKILL/restart/rejoin pass where the restored gateway
+# must reject every replayed pre-kill datagram and resume the sessions.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -150,6 +155,12 @@ for row in cap["probes"]:
     assert "ring_full" in row and "rx_batch" in row
 # Batch sweep: rx_batch 1/8/64 at the capacity point.
 assert [row["rx_batch"] for row in doc["batch_sweep"]] == [1, 8, 64]
+# Persistence overhead section: the state plane must have journaled the
+# run without a single tick-path drop (the <2% acceptance is measured at
+# full scale; smoke runs only prove the plumbing).
+per = doc["persist"]
+assert per["ops_submitted"] > 0 and per["ops_dropped"] == 0, per
+assert "overhead_pct" in per and "wal_records" in per
 assert len(doc["rows"]) >= 1
 for row in doc["rows"]:
     assert row["accepted"] > 0
@@ -366,5 +377,66 @@ kill -INT "${GW_PID}"
 wait "${GW_PID}"
 trap - EXIT
 echo "admin plane end-to-end OK (port ${APORT})"
+
+echo "== tier-1 stage 10: crash-consistent state plane =="
+# Seeded crash/corruption matrix: every cell must recover exactly or
+# fail safe (docs/persistence.md).
+scripts/fault_matrix.sh
+
+# Real-socket SIGKILL/restart/rejoin: a gateway with --state-dir is
+# killed -9 mid-load, restarted on the same port and state directory,
+# and the loadgen's rejoin mode replays its pre-kill datagrams — the
+# restored anti-replay windows must reject every one while fresh
+# traffic (past the rejoin guard) is accepted into the restored
+# sessions.
+cmake --build build -j "${JOBS}" --target raven_gateway itp_loadgen
+PDIR="${TDIR}/persist-e2e"
+rm -rf "${PDIR}"
+mkdir -p "${PDIR}"
+./build/tools/raven_gateway --port 0 --shards 2 --duration 30 --idle-timeout-ms 60000 \
+  --state-dir "${PDIR}/state" --port-file "${PDIR}/gw.port" &
+GW_PID=$!
+trap 'kill -9 "${GW_PID}" 2>/dev/null || true' EXIT
+for _ in $(seq 1 50); do
+  [ -s "${PDIR}/gw.port" ] && break
+  sleep 0.1
+done
+PORT="$(cat "${PDIR}/gw.port")"
+./build/tools/itp_loadgen --port "${PORT}" --sessions 4 --rate 1000 --duration 3 \
+  --rejoin-at 800 --rejoin-pause-ms 1500 --rejoin-replay 32 --rejoin-skip 512 \
+  --out "${PDIR}/loadgen.json" >/dev/null &
+LG_PID=$!
+sleep 1.2   # pre-pause traffic is flowing; kill inside the pause window
+kill -9 "${GW_PID}"
+wait "${GW_PID}" 2>/dev/null || true
+./build/tools/raven_gateway --port "${PORT}" --shards 2 --duration 30 --idle-timeout-ms 60000 \
+  --state-dir "${PDIR}/state" --stats-out "${PDIR}/stats.json" &
+GW_PID=$!
+wait "${LG_PID}"
+sleep 0.5
+kill -INT "${GW_PID}"
+wait "${GW_PID}"
+trap - EXIT
+python3 - "${PDIR}/stats.json" "${PDIR}/loadgen.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    stats = json.load(f)
+with open(sys.argv[2]) as f:
+    load = json.load(f)
+# The restarted gateway recovered the crash state exactly...
+assert stats["persist"]["outcome"] == "restored", stats["persist"]
+assert stats["sessions_restored"] == load["sessions"] == 4, stats["sessions_restored"]
+assert stats["sessions_opened"] == 0, stats["sessions_opened"]  # no re-admission
+assert stats["persist"]["ops_dropped"] == 0, stats["persist"]
+# ...rejected every replayed pre-kill datagram (restored window + guard)...
+replayed = load["rejoin_replayed"]
+assert replayed >= 4 * 32, replayed
+assert stats["rejected_stale"] + stats["rejected_replayed"] >= replayed, stats
+# ...and accepted the fresh post-guard traffic into the restored sessions.
+assert stats["accepted"] > 0
+ticks = sum(s["ticks"] for s in stats["sessions"])
+assert ticks == stats["accepted"], (ticks, stats["accepted"])
+PY
+echo "state-plane SIGKILL/rejoin end-to-end OK (${PDIR})"
 
 echo "tier-1: all stages passed"

@@ -7,6 +7,7 @@
 #include <ostream>
 
 #include "common/json.hpp"
+#include "obs/metrics.hpp"
 
 namespace rg::obs {
 
@@ -107,7 +108,7 @@ void EventLog::emit(std::string_view kind, std::optional<std::uint64_t> tick,
     append_value(line, f.value);
   }
   line += '}';
-  lines_.push_back(std::move(line));
+  append_line(std::move(line));
 }
 
 namespace {
@@ -171,7 +172,17 @@ void EventLog::emit_raw(std::string_view kind, std::optional<std::uint64_t> tick
   std::string line = render_prefix(kind, tick, seq_++);
   line += fragment;
   line += '}';
+  append_line(std::move(line));
+}
+
+void EventLog::append_line(std::string line) {
+  if (sink_ != nullptr) sink_->on_event(line);
   lines_.push_back(std::move(line));
+}
+
+void EventLog::set_sink(EventSink* sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sink_ = sink;
 }
 
 std::size_t EventLog::size() const {
@@ -200,15 +211,38 @@ void EventLog::write_jsonl(std::ostream& os) const {
 
 bool EventLog::write_jsonl_file(const std::string& path) const {
   std::ofstream os(path);
-  if (!os) return false;
+  if (!os) {
+    note_obs_write_error(path);
+    return false;
+  }
   write_jsonl(os);
-  return static_cast<bool>(os);
+  // flush() surfaces short writes / ENOSPC that the buffered stream
+  // would otherwise swallow until destruction (where it's unreportable).
+  os.flush();
+  if (!os) {
+    note_obs_write_error(path);
+    return false;
+  }
+  return true;
 }
 
 void EventLog::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   lines_.clear();
   seq_ = 0;
+}
+
+void note_obs_write_error(std::string_view path) noexcept {
+  try {
+    auto& reg = Registry::global();
+    static const MetricId id = reg.counter("rg.obs.write_errors");
+    reg.add(id);
+    if (EventLog* log = attached_log_events()) {
+      log->emit("obs_write_error", std::nullopt, {{"path", path}});
+    }
+  } catch (...) {
+    // Accounting a write error must never take the process down.
+  }
 }
 
 void attach_log_events(EventLog* log) noexcept {

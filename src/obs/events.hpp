@@ -42,6 +42,16 @@ struct EventField {
   EventField(std::string_view k, bool v) : key(k), value(v) {}
 };
 
+/// Receives every rendered event record as it is appended (under the
+/// log's mutex — implementations must not call back into the log).  The
+/// persist layer's JournalEventSink implements this to make safety
+/// events durable in the crash journal (docs/persistence.md).
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void on_event(std::string_view line) noexcept = 0;
+};
+
 class EventLog {
  public:
   EventLog() = default;
@@ -79,6 +89,10 @@ class EventLog {
 
   void clear();
 
+  /// Stream every appended record to `sink` as well (nullptr detaches).
+  /// The sink must outlive the attachment.
+  void set_sink(EventSink* sink);
+
   /// JSON string escaping shared by the obs serializers.
   static void append_json_string(std::string& out, std::string_view s);
 
@@ -92,6 +106,7 @@ class EventLog {
   mutable std::mutex mutex_;
   std::vector<std::string> lines_;
   std::uint64_t seq_ = 0;
+  EventSink* sink_ = nullptr;
 };
 
 /// Attach/detach the process-wide event log that RG_LOG(kWarn/kError)
@@ -99,5 +114,13 @@ class EventLog {
 /// attachment.
 void attach_log_events(EventLog* log) noexcept;
 [[nodiscard]] EventLog* attached_log_events() noexcept;
+
+/// Record one failed observability write: bumps rg.obs.write_errors and
+/// latches an `obs_write_error` safety event (with the target path) on
+/// the attached event log, so a full disk or short write is visible in
+/// the telemetry plane instead of vanishing with the artifact.  Called
+/// by the JSONL/flight-recorder writers; tools should still propagate
+/// the failed return to their exit status.
+void note_obs_write_error(std::string_view path) noexcept;
 
 }  // namespace rg::obs

@@ -93,9 +93,17 @@ void FlightRecorder::write_json(std::ostream& os) const {
 
 bool FlightRecorder::write_json_file(const std::string& path) const {
   std::ofstream os(path);
-  if (!os) return false;
+  if (!os) {
+    note_obs_write_error(path);
+    return false;
+  }
   write_json(os);
-  return static_cast<bool>(os);
+  os.flush();
+  if (!os) {
+    note_obs_write_error(path);
+    return false;
+  }
+  return true;
 }
 
 void FlightRecorder::clear() {

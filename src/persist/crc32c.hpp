@@ -1,0 +1,26 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6A41 reflected = 0x82F63B78):
+// the checksum framing every on-disk persistence artifact in src/persist
+// uses (journal records, WAL records, snapshots).  Software table-driven
+// implementation — one 256-entry table, byte at a time; the recovery
+// path is the only consumer that ever sees more than a few hundred bytes
+// per call, so portability beats SSE4.2 here.
+//
+// Pure computation: no allocation, no locks, no IO — safe to call from
+// RG_REALTIME contexts (rg_faultinject and the tests also use it to
+// corrupt/verify artifacts from cold paths).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/realtime.hpp"
+
+namespace rg::persist {
+
+/// CRC32C of `len` bytes starting at `data`, chained from `seed` (pass a
+/// previous return value to continue a running checksum over split
+/// buffers; 0 starts a fresh one).
+[[nodiscard]] RG_REALTIME std::uint32_t crc32c(const void* data, std::size_t len,
+                                               std::uint32_t seed = 0) noexcept;
+
+}  // namespace rg::persist

@@ -1,0 +1,56 @@
+#include "persist/file_lock.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+namespace rg::persist {
+
+Result<FileLock> FileLock::acquire(const std::string& path, Mode mode, bool block) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Error(ErrorCode::kNotReady,
+                 "FileLock: cannot open " + path + ": " + std::strerror(errno));
+  }
+  int op = mode == Mode::kExclusive ? LOCK_EX : LOCK_SH;
+  if (!block) op |= LOCK_NB;
+  while (::flock(fd, op) != 0) {
+    if (errno == EINTR) continue;
+    const int err = errno;
+    ::close(fd);
+    if (err == EWOULDBLOCK) {
+      return Error(ErrorCode::kNotReady, "FileLock: " + path + " is held by another process");
+    }
+    return Error(ErrorCode::kInternal,
+                 "FileLock: flock(" + path + ") failed: " + std::strerror(err));
+  }
+  return FileLock(fd);
+}
+
+FileLock::FileLock(FileLock&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+FileLock& FileLock::operator=(FileLock&& other) noexcept {
+  if (this != &other) {
+    release();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+FileLock::~FileLock() { release(); }
+
+void FileLock::release() noexcept {
+  if (fd_ >= 0) {
+    // flock releases on close; explicit unlock first keeps the window
+    // where the fd exists but the lock is gone as small as possible.
+    (void)::flock(fd_, LOCK_UN);
+    (void)::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace rg::persist

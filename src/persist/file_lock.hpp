@@ -1,0 +1,50 @@
+// flock(2)-based advisory file lock, RAII style.
+//
+// Single-writer discipline for on-disk stores shared between processes:
+// the ThresholdStore takes an exclusive lock around every commit/rollback
+// so two gateways pointed at the same --state-dir cannot interleave epoch
+// appends, and readers take a shared lock so they never observe a
+// half-written record.  The lock file is a zero-byte sibling (`<path>` as
+// given — callers conventionally pass `<store>.lock`) so locking never
+// touches the store file's own data.
+//
+// Advisory only: both sides must use it.  The lock dies with the process
+// (kernel-released on crash), which is exactly the recovery semantics the
+// state plane wants — a SIGKILLed gateway never leaves a stale lock.
+#pragma once
+
+#include <string>
+
+#include "common/error.hpp"
+
+namespace rg::persist {
+
+class FileLock {
+ public:
+  enum class Mode : std::uint8_t { kShared, kExclusive };
+
+  /// Open (creating if needed) `path` and take the lock.  Blocking unless
+  /// `block` is false, in which case a held lock returns kNotReady.
+  /// Errors: kNotReady (would block / cannot open), kInternal (flock
+  /// failure).
+  [[nodiscard]] static Result<FileLock> acquire(const std::string& path, Mode mode,
+                                                bool block = true);
+
+  FileLock(FileLock&& other) noexcept;
+  FileLock& operator=(FileLock&& other) noexcept;
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+  ~FileLock();
+
+  [[nodiscard]] bool held() const noexcept { return fd_ >= 0; }
+
+  /// Release early (the destructor otherwise does this).
+  void release() noexcept;
+
+ private:
+  explicit FileLock(int fd) noexcept : fd_(fd) {}
+
+  int fd_ = -1;
+};
+
+}  // namespace rg::persist

@@ -1,0 +1,242 @@
+#include "persist/journal.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace rg::persist {
+
+namespace {
+
+/// Round up to the page granularity msync wants.
+std::size_t page_floor(std::size_t n) noexcept {
+  const std::size_t page = 4096;
+  return n & ~(page - 1);
+}
+
+}  // namespace
+
+Journal::Journal(JournalConfig config)
+    : config_(std::move(config)), rt_ring_(config_.ring_capacity == 0 ? 1 : config_.ring_capacity) {
+  require(!config_.path.empty(), "Journal: path must not be empty");
+  require(config_.max_bytes >= kHeaderSize + kRecordHeaderSize,
+          "Journal: max_bytes too small for even one record");
+  drain_buf_.resize(256);
+}
+
+Journal::~Journal() {
+  (void)drain_pending();
+  (void)sync();
+  close_map();
+}
+
+void Journal::close_map() noexcept {
+  if (map_ != nullptr) {
+    (void)::munmap(map_, map_size_);
+    map_ = nullptr;
+    map_size_ = 0;
+  }
+  if (fd_ >= 0) {
+    (void)::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Journal::open() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ >= 0) return Status::success();
+
+  fd_ = ::open(config_.path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    return Error(ErrorCode::kNotReady,
+                 "Journal: cannot open " + config_.path + ": " + std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) {
+    close_map();
+    return Error(ErrorCode::kNotReady, "Journal: fstat failed on " + config_.path);
+  }
+  const std::size_t existing = static_cast<std::size_t>(st.st_size);
+  const bool fresh = existing == 0;
+  if (!fresh && existing >= sizeof(kMagic)) {
+    char magic[sizeof(kMagic)];
+    if (::pread(fd_, magic, sizeof(magic), 0) != static_cast<ssize_t>(sizeof(magic)) ||
+        std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+      close_map();
+      return Error(ErrorCode::kMalformedPacket,
+                   "Journal: " + config_.path + " is not an rgjrnl/1 file (refusing to clobber)");
+    }
+  } else if (!fresh) {
+    // A sub-header-size file cannot be a journal we wrote whole; treat as
+    // a torn header from a crash during creation and rewrite it below.
+  }
+
+  const std::size_t want = static_cast<std::size_t>(config_.max_bytes);
+  if (existing < want && ::ftruncate(fd_, static_cast<off_t>(want)) != 0) {
+    close_map();
+    return Error(ErrorCode::kNotReady, "Journal: ftruncate failed on " + config_.path);
+  }
+  map_size_ = std::max(existing, want);
+  void* map = ::mmap(nullptr, map_size_, PROT_READ | PROT_WRITE, MAP_SHARED, fd_, 0);
+  if (map == MAP_FAILED) {
+    map_ = nullptr;
+    close_map();
+    return Error(ErrorCode::kNotReady, "Journal: mmap failed on " + config_.path);
+  }
+  map_ = static_cast<std::uint8_t*>(map);
+
+  if (fresh || existing < kHeaderSize) {
+    std::memset(map_, 0, kHeaderSize);
+    std::memcpy(map_, kMagic, sizeof(kMagic));
+    write_offset_ = kHeaderSize;
+    next_lsn_ = 1;
+    stats_.tail_at_open = TailState::kClean;
+  } else {
+    const ScanResult scanned =
+        scan_records(std::span<const std::uint8_t>{map_, map_size_}, kHeaderSize, 1, nullptr);
+    stats_.recovered_records = scanned.records;
+    stats_.recovered_bytes = scanned.valid_bytes - kHeaderSize;
+    stats_.tail_at_open = scanned.tail;
+    write_offset_ = scanned.valid_bytes;
+    next_lsn_ = scanned.last_lsn + 1;
+    // Torn-tail recovery: zero everything after the valid prefix so the
+    // next scan ends cleanly and a partially written frame can never be
+    // mistaken for data.
+    if (scanned.tail != TailState::kClean && write_offset_ < map_size_) {
+      std::memset(map_ + write_offset_, 0, map_size_ - write_offset_);
+    }
+  }
+  synced_offset_ = write_offset_;
+  return Status::success();
+}
+
+RG_REALTIME bool Journal::try_append_rt(JournalKind kind, const std::uint8_t* data,
+                                        std::size_t len) noexcept {
+  if (len > kRtInlineMax) {
+    rt_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  RtEntry entry;
+  entry.kind = kind;
+  entry.len = static_cast<std::uint16_t>(len);
+  if (len != 0) std::memcpy(entry.data, data, len);
+  if (!rt_ring_.try_push(entry)) {
+    rt_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+std::size_t Journal::drain_pending() {
+  std::size_t moved = 0;
+  for (;;) {
+    const std::size_t n = rt_ring_.pop_batch(drain_buf_.data(), drain_buf_.size());
+    if (n == 0) break;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < n; ++i) {
+      const RtEntry& e = drain_buf_[i];
+      (void)append_locked(e.kind, std::span<const std::uint8_t>{e.data, e.len});
+    }
+    moved += n;
+  }
+  return moved;
+}
+
+Status Journal::append(JournalKind kind, std::span<const std::uint8_t> payload) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return append_locked(kind, payload);
+}
+
+Status Journal::append(JournalKind kind, std::string_view payload) {
+  return append(kind, std::span<const std::uint8_t>{
+                          // rg-lint: allow(cast) -- char->byte view of the same buffer
+                          reinterpret_cast<const std::uint8_t*>(payload.data()), payload.size()});
+}
+
+Status Journal::append_locked(JournalKind kind, std::span<const std::uint8_t> payload) {
+  if (map_ == nullptr) {
+    ++stats_.write_errors;
+    return Error(ErrorCode::kNotReady, "Journal: not open");
+  }
+  const std::size_t frame = kRecordHeaderSize + payload.size();
+  if (write_offset_ + frame > map_size_) {
+    ++stats_.dropped_full;
+    return Error(ErrorCode::kOutOfRange, "Journal: " + config_.path + " is full");
+  }
+  encode_record_into(map_ + write_offset_, next_lsn_, static_cast<std::uint8_t>(kind), payload);
+  ++next_lsn_;
+  write_offset_ += frame;
+  ++stats_.records;
+  stats_.bytes += frame;
+  return Status::success();
+}
+
+Status Journal::sync() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (map_ == nullptr) return Status::success();
+  if (write_offset_ == synced_offset_) return Status::success();
+  // msync wants a page-aligned start; sync from the page holding the
+  // first unsynced byte through the end of the written region.
+  const std::size_t from = page_floor(synced_offset_);
+  const std::size_t len = write_offset_ - from;
+  if (::msync(map_ + from, len, MS_SYNC) != 0) {
+    ++stats_.write_errors;
+    return Error(ErrorCode::kInternal,
+                 "Journal: msync failed on " + config_.path + ": " + std::strerror(errno));
+  }
+  synced_offset_ = write_offset_;
+  ++stats_.syncs;
+  return Status::success();
+}
+
+JournalStats Journal::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  JournalStats out = stats_;
+  out.rt_dropped = rt_dropped_.load(std::memory_order_relaxed);
+  return out;
+}
+
+std::uint64_t Journal::last_lsn() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return next_lsn_ - 1;
+}
+
+Result<ScanResult> Journal::scan_file(const std::string& path,
+                                      const std::function<void(const RecordView&)>& on_record) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Error(ErrorCode::kNotReady, "Journal: cannot open " + path + " for scan");
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    return Error(ErrorCode::kNotReady, "Journal: fstat failed on " + path);
+  }
+  const std::size_t size = static_cast<std::size_t>(st.st_size);
+  if (size < kHeaderSize) {
+    ::close(fd);
+    return Error(ErrorCode::kMalformedPacket, "Journal: " + path + " shorter than header");
+  }
+  void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (map == MAP_FAILED) {
+    return Error(ErrorCode::kNotReady, "Journal: mmap failed on " + path);
+  }
+  const auto* bytes = static_cast<const std::uint8_t*>(map);
+  Result<ScanResult> result = [&]() -> Result<ScanResult> {
+    if (std::memcmp(bytes, kMagic, sizeof(kMagic)) != 0) {
+      return Error(ErrorCode::kMalformedPacket, "Journal: " + path + " has foreign magic");
+    }
+    return scan_records(std::span<const std::uint8_t>{bytes, size}, kHeaderSize, 1, on_record);
+  }();
+  (void)::munmap(map, size);
+  return result;
+}
+
+}  // namespace rg::persist

@@ -1,0 +1,140 @@
+// Mmap'd append-only safety journal (file format "rgjrnl/1").
+//
+// The durable sibling of the in-memory EventLog: safety events, flight-
+// recorder dumps, and gateway lifecycle markers land here as CRC32C-
+// framed records (persist/record.hpp) so a crash loses at most the
+// un-msync'd tail, and recovery truncates to the last valid frame (torn-
+// tail detection) instead of propagating garbage.
+//
+// Layout: a 16-byte header ("rgjrnl/1" magic + reserved) followed by
+// framed records with strictly sequential LSNs.  The file is ftruncated
+// to its maximum size up front (sparse — unwritten pages cost nothing)
+// and mapped once, so an append is a memcpy into the mapping; msync is
+// the durability point and happens on the state plane's flusher thread,
+// never on a tick path.
+//
+// Two ingress paths:
+//   * try_append_rt(): RG_REALTIME — pushes a bounded-size entry onto a
+//     lock-free SPSC ring (single producer: the gateway pump thread);
+//     the flusher drains it with drain_pending().  Full ring = dropped
+//     entry, counted — the tick path never blocks on the disk.
+//   * append(): mutex-guarded direct append for cold paths (the EventLog
+//     sink, flight dumps, recovery markers).
+//
+// The journal is observational: corruption here never fails the state
+// plane's recovery — open() truncates to the valid prefix and reports
+// what it found (the session/threshold store in statestore.hpp is the
+// one that fails safe).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/realtime.hpp"
+#include "common/spsc_ring.hpp"
+#include "persist/record.hpp"
+
+namespace rg::persist {
+
+/// Record kinds in a journal file (wire values — append-only).
+enum class JournalKind : std::uint8_t {
+  kEvent = 1,       ///< one rg.events JSONL line (UTF-8 payload)
+  kFlightDump = 2,  ///< one rg.flight JSON document (UTF-8 payload)
+  kMarker = 3,      ///< small binary lifecycle marker (open/recover/estop)
+};
+
+struct JournalConfig {
+  std::string path;
+  /// Sparse preallocation ceiling; appends beyond it are dropped+counted.
+  std::uint64_t max_bytes = 64ull << 20;
+  /// Capacity of the RG_REALTIME writer ring (entries).
+  std::size_t ring_capacity = 4096;
+};
+
+struct JournalStats {
+  std::uint64_t records = 0;       ///< records appended this process
+  std::uint64_t bytes = 0;         ///< payload+frame bytes appended this process
+  std::uint64_t rt_dropped = 0;    ///< try_append_rt refused (ring full / oversize)
+  std::uint64_t dropped_full = 0;  ///< appends refused because the file is full
+  std::uint64_t write_errors = 0;  ///< mmap/msync/ftruncate failures
+  std::uint64_t syncs = 0;
+  std::uint64_t recovered_records = 0;  ///< valid records found at open()
+  std::uint64_t recovered_bytes = 0;
+  TailState tail_at_open = TailState::kClean;
+};
+
+class Journal {
+ public:
+  static constexpr std::size_t kHeaderSize = 16;
+  static constexpr char kMagic[8] = {'r', 'g', 'j', 'r', 'n', 'l', '/', '1'};
+  /// Largest payload try_append_rt accepts (one ring slot's inline buffer).
+  static constexpr std::size_t kRtInlineMax = 216;
+
+  explicit Journal(JournalConfig config);
+  ~Journal();
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Create or open+scan the file, map it, and position the append
+  /// cursor at the end of the valid prefix (truncating torn tails).
+  /// Errors: kNotReady (open/map failure), kMalformedPacket (foreign
+  /// magic — never overwritten).
+  [[nodiscard]] Status open();
+
+  /// RG_REALTIME producer path (single producer).  False when the entry
+  /// was dropped (ring full or payload > kRtInlineMax); drops are
+  /// counted, never blocked on.
+  RG_REALTIME bool try_append_rt(JournalKind kind, const std::uint8_t* data,
+                                 std::size_t len) noexcept;
+
+  /// Cold-path append (any thread; internally locked).
+  Status append(JournalKind kind, std::span<const std::uint8_t> payload);
+  Status append(JournalKind kind, std::string_view payload);
+
+  /// Drain the RT ring into the file (flusher thread).  Returns entries moved.
+  std::size_t drain_pending();
+
+  /// msync the written region (flusher thread / shutdown).
+  Status sync();
+
+  [[nodiscard]] JournalStats stats() const;
+  [[nodiscard]] std::uint64_t last_lsn() const;
+  [[nodiscard]] const std::string& path() const noexcept { return config_.path; }
+
+  /// Scan any journal file standalone (recovery inspection, rg_faultinject).
+  [[nodiscard]] static Result<ScanResult> scan_file(
+      const std::string& path, const std::function<void(const RecordView&)>& on_record = {});
+
+ private:
+  struct RtEntry {
+    JournalKind kind = JournalKind::kMarker;
+    std::uint16_t len = 0;
+    std::uint8_t data[kRtInlineMax] = {};
+  };
+
+  Status append_locked(JournalKind kind, std::span<const std::uint8_t> payload);
+  void close_map() noexcept;
+
+  JournalConfig config_;
+  SpscRing<RtEntry> rt_ring_;
+  /// RT-path drop counter (ring full / oversize) — atomic because the
+  /// producer must never take mutex_.
+  std::atomic<std::uint64_t> rt_dropped_{0};
+
+  mutable std::mutex mutex_;
+  int fd_ = -1;
+  std::uint8_t* map_ = nullptr;
+  std::size_t map_size_ = 0;
+  std::size_t write_offset_ = 0;  ///< next append position
+  std::size_t synced_offset_ = 0;
+  std::uint64_t next_lsn_ = 1;
+  JournalStats stats_{};
+  std::vector<RtEntry> drain_buf_;
+};
+
+}  // namespace rg::persist

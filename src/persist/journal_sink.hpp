@@ -1,0 +1,36 @@
+// JournalEventSink: streams every EventLog record (safety events,
+// bridged warn/error log lines, flight-recorder dumps) into the crash
+// journal the moment it is rendered, so the events that explain an
+// incident survive the process that observed it.
+//
+// Attach with EventLog::set_sink().  on_event() runs under the log's
+// mutex on the emitting thread — it takes the journal's cold-path
+// append (a memcpy into the mapping), never a sync; durability comes
+// from the state plane's flusher cadence.
+#pragma once
+
+#include <string_view>
+
+#include "obs/events.hpp"
+#include "persist/journal.hpp"
+
+namespace rg::persist {
+
+class JournalEventSink final : public obs::EventSink {
+ public:
+  explicit JournalEventSink(Journal& journal) noexcept : journal_(&journal) {}
+
+  void on_event(std::string_view line) noexcept override {
+    try {
+      (void)journal_->append(JournalKind::kEvent, line);
+    } catch (...) {
+      // A journal append failure is already counted in JournalStats;
+      // event emission must never throw into the log's emit path.
+    }
+  }
+
+ private:
+  Journal* journal_;
+};
+
+}  // namespace rg::persist

@@ -1,0 +1,114 @@
+#include "persist/record.hpp"
+
+#include <cstring>
+
+#include "persist/crc32c.hpp"
+
+namespace rg::persist {
+
+namespace {
+
+void put_u32(std::uint8_t* dst, std::uint32_t v) noexcept { std::memcpy(dst, &v, 4); }
+void put_u64(std::uint8_t* dst, std::uint64_t v) noexcept { std::memcpy(dst, &v, 8); }
+
+std::uint32_t get_u32(const std::uint8_t* src) noexcept {
+  std::uint32_t v;
+  std::memcpy(&v, src, 4);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* src) noexcept {
+  std::uint64_t v;
+  std::memcpy(&v, src, 8);
+  return v;
+}
+
+}  // namespace
+
+void encode_record_into(std::uint8_t* dst, std::uint64_t lsn, std::uint8_t kind,
+                        std::span<const std::uint8_t> payload) noexcept {
+  put_u32(dst + 4, static_cast<std::uint32_t>(payload.size()));
+  put_u64(dst + 8, lsn);
+  dst[16] = kind;
+  dst[17] = dst[18] = dst[19] = 0;
+  if (!payload.empty()) std::memcpy(dst + kRecordHeaderSize, payload.data(), payload.size());
+  const std::uint32_t crc =
+      crc32c(dst + 4, kRecordHeaderSize - 4 + payload.size());
+  put_u32(dst, crc);
+}
+
+std::size_t encode_record(std::vector<std::uint8_t>& out, std::uint64_t lsn, std::uint8_t kind,
+                          std::span<const std::uint8_t> payload) {
+  const std::size_t frame = kRecordHeaderSize + payload.size();
+  const std::size_t at = out.size();
+  out.resize(at + frame);
+  encode_record_into(out.data() + at, lsn, kind, payload);
+  return frame;
+}
+
+ParseOutcome try_parse_record(std::span<const std::uint8_t> file, std::size_t offset,
+                              std::uint64_t expect_lsn, RecordView& out) noexcept {
+  if (offset + kRecordHeaderSize > file.size()) return ParseOutcome::kEnd;
+  const std::uint8_t* p = file.data() + offset;
+  const std::uint32_t stored_crc = get_u32(p);
+  const std::uint32_t len = get_u32(p + 4);
+  const std::uint64_t lsn = get_u64(p + 8);
+  if (len > kMaxRecordPayload) return ParseOutcome::kEnd;
+  if (offset + kRecordHeaderSize + len > file.size()) return ParseOutcome::kEnd;
+  if (expect_lsn != 0 && lsn != expect_lsn) return ParseOutcome::kEnd;
+  if (lsn == 0) return ParseOutcome::kEnd;
+  const std::uint32_t crc = crc32c(p + 4, kRecordHeaderSize - 4 + len);
+  if (crc != stored_crc) return ParseOutcome::kEnd;
+  out.lsn = lsn;
+  out.kind = p[16];
+  out.payload = file.subspan(offset + kRecordHeaderSize, len);
+  out.end_offset = offset + kRecordHeaderSize + len;
+  return ParseOutcome::kOk;
+}
+
+ScanResult scan_records(std::span<const std::uint8_t> file, std::size_t offset,
+                        std::uint64_t first_lsn,
+                        const std::function<void(const RecordView&)>& on_record) {
+  ScanResult result;
+  result.valid_bytes = offset;
+  std::uint64_t expect = first_lsn;
+  std::size_t at = offset;
+  RecordView rec;
+  while (try_parse_record(file, at, expect, rec) == ParseOutcome::kOk) {
+    ++result.records;
+    result.last_lsn = rec.lsn;
+    result.valid_bytes = rec.end_offset;
+    if (on_record) on_record(rec);
+    at = rec.end_offset;
+    expect = rec.lsn + 1;
+  }
+
+  // Classify the tail.  All-zero bytes to EOF are clean preallocated
+  // padding; otherwise probe every remaining offset for a frame whose
+  // LSN advances past the prefix — evidence of interior damage rather
+  // than a torn final append.
+  bool all_zero = true;
+  for (std::size_t i = at; i < file.size(); ++i) {
+    if (file[i] != 0) {
+      all_zero = false;
+      break;
+    }
+  }
+  if (all_zero) {
+    result.tail = TailState::kClean;
+    return result;
+  }
+  result.tail = TailState::kTornTail;
+  const std::uint64_t prefix_lsn = result.last_lsn;
+  for (std::size_t probe = at; probe + kRecordHeaderSize <= file.size(); ++probe) {
+    RecordView beyond;
+    if (try_parse_record(file, probe, 0, beyond) == ParseOutcome::kOk &&
+        beyond.lsn > prefix_lsn) {
+      result.tail = TailState::kCorruptInterior;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace rg::persist

@@ -1,0 +1,102 @@
+// The CRC32C record framing shared by the append-only journal and the
+// snapshot+WAL state store (docs/persistence.md).
+//
+// Every record on disk is
+//
+//   [u32 crc] [u32 len] [u64 lsn] [u8 kind] [u8 reserved x3] [payload: len bytes]
+//
+// little-endian, where `crc` is the CRC32C of everything after itself
+// (len, lsn, kind, reserved, payload).  LSNs are strictly sequential
+// (prev + 1) within one file, which is what makes torn tails, truncation
+// and duplicate-tail corruption distinguishable from valid appends:
+//
+//   * a frame whose CRC fails, whose header is all zeros (preallocated
+//     file tail), whose length overruns the file, or whose LSN is not
+//     prev + 1 ends the valid prefix;
+//   * after the valid prefix ends, the scanner probes the remaining
+//     bytes for any frame that parses with an LSN *beyond* the prefix —
+//     finding one means the damage is interior (mid-file corruption, not
+//     a crash artifact) and the store must fail safe rather than load a
+//     silently regressed prefix.  Trailing garbage whose LSNs do not
+//     advance (duplicate-tail, torn writes, zero pages) is a benign tail.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace rg::persist {
+
+/// Fixed on-disk frame header size in bytes.
+inline constexpr std::size_t kRecordHeaderSize = 20;
+
+/// Upper bound a scanner accepts for one record's payload (defensive:
+/// a corrupt length field must not drive a multi-gigabyte "record").
+inline constexpr std::uint32_t kMaxRecordPayload = 16u << 20;
+
+/// One decoded record (payload points into the scanned buffer).
+struct RecordView {
+  std::uint64_t lsn = 0;
+  std::uint8_t kind = 0;
+  std::span<const std::uint8_t> payload{};
+  /// Byte offset one past this record's frame in the scanned buffer.
+  std::size_t end_offset = 0;
+};
+
+/// Append one framed record to `out`.  Returns the encoded frame size.
+std::size_t encode_record(std::vector<std::uint8_t>& out, std::uint64_t lsn, std::uint8_t kind,
+                          std::span<const std::uint8_t> payload);
+
+/// Encode a frame into a caller-provided buffer of at least
+/// kRecordHeaderSize + payload.size() bytes (the journal's mmap append
+/// writes frames in place).
+void encode_record_into(std::uint8_t* dst, std::uint64_t lsn, std::uint8_t kind,
+                        std::span<const std::uint8_t> payload) noexcept;
+
+enum class ParseOutcome : std::uint8_t {
+  kOk,           ///< a valid frame with lsn == expect_lsn
+  kEnd,          ///< no frame here (valid prefix ends at `offset`)
+};
+
+/// Try to parse the frame at `offset` expecting `expect_lsn`.
+[[nodiscard]] ParseOutcome try_parse_record(std::span<const std::uint8_t> file,
+                                            std::size_t offset, std::uint64_t expect_lsn,
+                                            RecordView& out) noexcept;
+
+/// How the bytes after the valid prefix look.
+enum class TailState : std::uint8_t {
+  kClean,            ///< prefix runs to EOF / zero padding, no partial frame
+  kTornTail,         ///< trailing garbage that never advances the LSN (crash artifact)
+  kCorruptInterior,  ///< valid frames with advancing LSNs exist beyond the damage
+};
+
+[[nodiscard]] constexpr std::string_view to_string(TailState s) noexcept {
+  switch (s) {
+    case TailState::kClean: return "clean";
+    case TailState::kTornTail: return "torn_tail";
+    case TailState::kCorruptInterior: return "corrupt_interior";
+  }
+  return "unknown";
+}
+
+struct ScanResult {
+  std::uint64_t records = 0;
+  std::uint64_t last_lsn = 0;    ///< 0 when no record parsed
+  std::size_t valid_bytes = 0;   ///< offset one past the last valid frame
+  TailState tail = TailState::kClean;
+};
+
+/// Walk the record region of `file` starting at `offset`, invoking
+/// `on_record` (may be null) for every valid frame, then classify the
+/// tail.  `first_lsn` is the LSN the first frame must carry (1 for a
+/// fresh file; a WAL that survived a snapshot rotation still starts at
+/// its own first retained LSN, which the caller reads from the snapshot).
+/// When `first_lsn` is 0 the first frame's LSN is accepted as-is and
+/// strict sequencing applies from there.
+ScanResult scan_records(std::span<const std::uint8_t> file, std::size_t offset,
+                        std::uint64_t first_lsn,
+                        const std::function<void(const RecordView&)>& on_record);
+
+}  // namespace rg::persist

@@ -1,0 +1,200 @@
+#include "persist/recovery.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include <sys/stat.h>
+
+#include "persist/crc32c.hpp"
+
+namespace rg::persist {
+
+namespace {
+
+std::uint16_t get_u16(const std::uint8_t* p) noexcept {
+  std::uint16_t v;
+  std::memcpy(&v, p, 2);
+  return v;
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) noexcept {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) noexcept {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+/// Read a whole file.  Returns false only when the file exists but
+/// cannot be read (distinct from ENOENT, reported via `exists`).
+bool read_file(const std::string& path, std::vector<std::uint8_t>& out, bool& exists) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) {
+    exists = false;
+    return errno == ENOENT;
+  }
+  exists = true;
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  out.resize(static_cast<std::size_t>(st.st_size));
+  if (!out.empty() &&
+      // rg-lint: allow(cast) -- byte->char view for istream::read
+      !is.read(reinterpret_cast<char*>(out.data()), static_cast<std::streamsize>(out.size()))) {
+    return false;
+  }
+  return true;
+}
+
+/// Fixed-size head of an rg.state/1 snapshot (magic .. sketch_samples).
+constexpr std::size_t kSnapshotHeadSize = 8 + 8 + 8 + 4 + 4 + 8 + 8 + 8 + 8;
+constexpr std::size_t kSnapshotSessionSize = 4 + 4 + 2 + 1 + 1 + 4 + 8;
+
+struct SnapshotParse {
+  PersistentState state;
+  std::uint64_t lsn = 0;
+  std::uint64_t digest = 0;
+};
+
+/// Parse + validate a snapshot file body.  On failure returns the
+/// fail-safe reason; empty string on success.
+std::string parse_snapshot(const std::vector<std::uint8_t>& bytes, SnapshotParse& out) {
+  if (bytes.size() < kSnapshotHeadSize + 4) return "snapshot_truncated";
+  if (std::memcmp(bytes.data(), StateStore::kSnapshotMagic, 8) != 0) return "snapshot_magic";
+  const std::uint32_t stored_crc = get_u32(bytes.data() + bytes.size() - 4);
+  const std::uint32_t crc = crc32c(bytes.data() + 8, bytes.size() - 8 - 4);
+  if (crc != stored_crc) return "snapshot_crc";
+  out.lsn = get_u64(bytes.data() + 8);
+  out.digest = get_u64(bytes.data() + 16);
+  const std::uint32_t count = get_u32(bytes.data() + 24);
+  out.state.next_session_id = get_u32(bytes.data() + 28);
+  out.state.epoch_id = get_u64(bytes.data() + 32);
+  out.state.epoch_digest = get_u64(bytes.data() + 40);
+  out.state.sketch_digest = get_u64(bytes.data() + 48);
+  out.state.sketch_samples = get_u64(bytes.data() + 56);
+  const std::size_t expect = kSnapshotHeadSize +
+                             static_cast<std::size_t>(count) * kSnapshotSessionSize + 4;
+  if (bytes.size() != expect) return "snapshot_malformed";
+  const std::uint8_t* p = bytes.data() + kSnapshotHeadSize;
+  for (std::uint32_t i = 0; i < count; ++i, p += kSnapshotSessionSize) {
+    PersistedSession s;
+    s.id = get_u32(p);
+    s.ip = get_u32(p + 4);
+    s.port = get_u16(p + 8);
+    s.started = p[10] != 0;
+    s.estop = p[11] != 0;
+    s.newest = get_u32(p + 12);
+    s.mask = get_u64(p + 16);
+    if (out.state.sessions.count(s.id) != 0) return "snapshot_malformed";
+    out.state.sessions[s.id] = s;
+  }
+  // The snapshot's own digest must describe the state it encodes — a CRC
+  // collision or a writer bug both land here.
+  if (out.state.digest() != out.digest) return "snapshot_digest";
+  return "";
+}
+
+RecoveryResult fail_safe(std::string reason) {
+  RecoveryResult r;
+  r.outcome = RecoveryOutcome::kFailSafe;
+  r.reason = std::move(reason);
+  return r;
+}
+
+}  // namespace
+
+RecoveryResult recover_state(const std::string& dir, const RecoverOptions& options) {
+  RecoveryResult result;
+
+  // --- snapshot ------------------------------------------------------------
+  std::vector<std::uint8_t> snap_bytes;
+  bool snap_exists = false;
+  if (!read_file(StateStore::snapshot_path(dir), snap_bytes, snap_exists)) {
+    return fail_safe("io_snapshot_read");
+  }
+  SnapshotParse snap;
+  if (snap_exists) {
+    const std::string err = parse_snapshot(snap_bytes, snap);
+    if (!err.empty()) return fail_safe(err);
+    result.snapshot_loaded = true;
+    result.snapshot_lsn = snap.lsn;
+    result.state = snap.state;
+    result.last_lsn = snap.lsn;
+  }
+  if (options.collect_prefix_digests && result.snapshot_loaded) {
+    result.prefix_digests.push_back(snap.digest);
+  }
+
+  // --- WAL -----------------------------------------------------------------
+  std::vector<std::uint8_t> wal_bytes;
+  bool wal_exists = false;
+  if (!read_file(StateStore::wal_path(dir), wal_bytes, wal_exists)) {
+    return fail_safe("io_wal_read");
+  }
+  if (!wal_exists || wal_bytes.empty()) {
+    result.outcome = result.snapshot_loaded ? RecoveryOutcome::kRestored : RecoveryOutcome::kFresh;
+    result.digest = result.state.digest();
+    if (options.collect_prefix_digests && !result.snapshot_loaded) {
+      result.prefix_digests.push_back(result.digest);
+    }
+    return result;
+  }
+
+  // Collect the valid record chain first (first record's LSN accepted
+  // as-is: after a snapshot rotation the WAL starts past 1; strict +1
+  // sequencing applies from there).
+  std::vector<RecordView> records;
+  const ScanResult scanned =
+      scan_records(std::span<const std::uint8_t>{wal_bytes}, 0, 0,
+                   [&records](const RecordView& rec) { records.push_back(rec); });
+  result.wal_tail = scanned.tail;
+  result.wal_valid_bytes = scanned.valid_bytes;
+  if (scanned.tail == TailState::kCorruptInterior) {
+    return fail_safe("wal_interior_corrupt");
+  }
+
+  const std::uint64_t base_lsn = result.snapshot_loaded ? snap.lsn : 0;
+  PersistentState state = result.state;
+  for (const RecordView& rec : records) {
+    if (rec.lsn <= base_lsn) {
+      // Pre-snapshot history (crash between snapshot rename and WAL
+      // truncate): already folded into the snapshot, CRC-verified only.
+      ++result.wal_records_skipped;
+      continue;
+    }
+    if (result.wal_records_applied == 0 && rec.lsn != base_lsn + 1) {
+      // The WAL's retained records start beyond the snapshot's horizon —
+      // a gap no crash can produce.
+      return fail_safe("wal_orphan_head");
+    }
+    if (rec.payload.size() < 8) return fail_safe("wal_malformed_record");
+    const std::span<const std::uint8_t> body = rec.payload.first(rec.payload.size() - 8);
+    const std::uint64_t recorded_digest = get_u64(rec.payload.data() + body.size());
+    const Status applied = StateStore::apply_record(state, static_cast<WalKind>(rec.kind), body);
+    if (!applied.ok()) return fail_safe("wal_malformed_record");
+    if (state.digest() != recorded_digest) return fail_safe("wal_digest_mismatch");
+    ++result.wal_records_applied;
+    result.last_lsn = rec.lsn;
+    if (options.collect_prefix_digests) result.prefix_digests.push_back(recorded_digest);
+  }
+
+  result.state = std::move(state);
+  result.digest = result.state.digest();
+  if (!result.snapshot_loaded && result.wal_records_applied == 0 &&
+      result.wal_records_skipped == 0) {
+    // No snapshot and no complete record: a crash during the very first
+    // append (torn tail) or an empty/padded file — both recover as a
+    // fresh store.  (Interior corruption already failed safe above.)
+    result.outcome = RecoveryOutcome::kFresh;
+    if (options.collect_prefix_digests) result.prefix_digests.push_back(result.digest);
+    return result;
+  }
+  result.outcome = RecoveryOutcome::kRestored;
+  return result;
+}
+
+}  // namespace rg::persist

@@ -1,0 +1,84 @@
+// Deterministic recovery for the rg.state/1 snapshot+WAL store: the
+// restore-exact-or-fail-safe half of the crash-consistent state plane.
+//
+// recover_state() inspects a state directory and produces exactly one of
+// three outcomes:
+//
+//   kFresh    — no snapshot, no WAL: a first boot.
+//   kRestored — the newest valid snapshot plus every WAL record with
+//               lsn > snapshot.lsn replayed, with each record's carried
+//               state digest re-verified against the rebuilt state.  A
+//               torn WAL tail (crash artifact) truncates to the last
+//               durable record; the caller (TeleopGateway) then advances
+//               every restored anti-replay window by the rejoin guard so
+//               even replays of the lost unsynced tail are rejected.
+//   kFailSafe — the artifacts are damaged in a way that is *not* a crash
+//               artifact (corrupt snapshot, interior WAL corruption, LSN
+//               gap, digest mismatch, malformed record body).  The caller
+//               must latch E-STOP and emit a `recovery_failed` safety
+//               event; the damaged files are left untouched as evidence.
+//
+// The distinction is mechanical, not heuristic: persist/record.hpp's
+// scanner proves whether bytes beyond the valid prefix contain frames
+// that advance the LSN (interior damage) or not (torn tail), and the
+// per-record digests prove the replayed state is byte-for-byte the state
+// that was persisted.  tools/rg_faultinject + scripts/fault_matrix.sh
+// drive a seeded corruption matrix over exactly this contract.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "persist/statestore.hpp"
+
+namespace rg::persist {
+
+enum class RecoveryOutcome : std::uint8_t { kFresh = 0, kRestored = 1, kFailSafe = 2 };
+
+[[nodiscard]] constexpr std::string_view to_string(RecoveryOutcome o) noexcept {
+  switch (o) {
+    case RecoveryOutcome::kFresh: return "fresh";
+    case RecoveryOutcome::kRestored: return "restored";
+    case RecoveryOutcome::kFailSafe: return "fail_safe";
+  }
+  return "unknown";
+}
+
+struct RecoverOptions {
+  /// Also collect the state digest after the snapshot and after every
+  /// applied WAL record (the fault-injection harness asserts a corrupted
+  /// store restores to *some* durable prefix — digest must be in this
+  /// set — or fails safe).
+  bool collect_prefix_digests = false;
+};
+
+struct RecoveryResult {
+  RecoveryOutcome outcome = RecoveryOutcome::kFresh;
+  /// Machine-readable failure reason ("" unless kFailSafe):
+  /// snapshot_truncated, snapshot_crc, snapshot_magic, snapshot_digest,
+  /// snapshot_malformed, wal_interior_corrupt, wal_lsn_gap,
+  /// wal_digest_mismatch, wal_malformed_record, wal_orphan_head.
+  std::string reason;
+  PersistentState state{};
+  std::uint64_t last_lsn = 0;      ///< LSN the writer continues after
+  std::uint64_t digest = 0;        ///< state.digest() of the restored state
+  std::uint64_t wal_valid_bytes = 0;  ///< valid WAL prefix (writer truncates here)
+  std::uint64_t wal_records_applied = 0;
+  std::uint64_t wal_records_skipped = 0;  ///< records already covered by the snapshot
+  bool snapshot_loaded = false;
+  std::uint64_t snapshot_lsn = 0;
+  TailState wal_tail = TailState::kClean;
+  std::vector<std::uint64_t> prefix_digests;  ///< see RecoverOptions
+};
+
+/// Inspect `dir` (StateStore::kSnapshotFile / kWalFile) and rebuild the
+/// persisted state.  Never modifies any file.  Errors are reported as
+/// kFailSafe in the result, not as a Status — an unreadable directory is
+/// an operational error and surfaces as kFailSafe with reason
+/// "io_<detail>".
+[[nodiscard]] RecoveryResult recover_state(const std::string& dir,
+                                           const RecoverOptions& options = {});
+
+}  // namespace rg::persist

@@ -1,0 +1,273 @@
+#include "persist/state_plane.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <sys/stat.h>
+
+namespace rg::persist {
+
+namespace {
+
+JournalConfig journal_config(const StatePlaneConfig& config) {
+  JournalConfig jc;
+  jc.path = config.dir + "/journal.rgjrnl";
+  jc.max_bytes = config.journal_max_bytes;
+  return jc;
+}
+
+}  // namespace
+
+StatePlane::StatePlane(const StatePlaneConfig& config)
+    : config_(config), journal_(journal_config(config)),
+      ring_(config.ring_capacity == 0 ? 1 : config.ring_capacity) {
+  drain_buf_.resize(512);
+  window_scratch_.reserve(256);
+  auto& reg = obs::Registry::global();
+  ops_counter_ = reg.counter("rg.persist.ops");
+  drop_counter_ = reg.counter("rg.persist.dropped");
+  flush_counter_ = reg.counter("rg.persist.flushes");
+  wal_record_counter_ = reg.counter("rg.persist.wal_records");
+  snapshot_counter_ = reg.counter("rg.persist.snapshots");
+  write_error_counter_ = reg.counter("rg.persist.write_errors");
+}
+
+Result<std::unique_ptr<StatePlane>> StatePlane::open(const StatePlaneConfig& config) {
+  require(!config.dir.empty(), "StatePlane: dir must not be empty");
+  if (::mkdir(config.dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Error(ErrorCode::kNotReady,
+                 "StatePlane: cannot create " + config.dir + ": " + std::strerror(errno));
+  }
+
+  std::unique_ptr<StatePlane> plane(new StatePlane(config));
+  plane->recovery_ = recover_state(config.dir);
+
+  // The journal recovers independently (torn tails truncate; corruption
+  // never blocks the state decision — it is observational).
+  const Status journal_open = plane->journal_.open();
+  if (!journal_open.ok() &&
+      journal_open.error().code() == ErrorCode::kMalformedPacket) {
+    // A foreign file where the journal should be is treated like any
+    // other unverifiable artifact: fail safe, keep the evidence.
+    if (plane->recovery_.outcome != RecoveryOutcome::kFailSafe) {
+      plane->recovery_.outcome = RecoveryOutcome::kFailSafe;
+      plane->recovery_.reason = "journal_foreign_magic";
+    }
+  } else if (!journal_open.ok()) {
+    return journal_open.error();
+  }
+
+  // Record the recovery decision itself in the journal (works even in
+  // fail-safe mode: the journal recovers independently of the store).
+  {
+    std::string marker = "recovery outcome=";
+    marker += to_string(plane->recovery_.outcome);
+    if (!plane->recovery_.reason.empty()) marker += " reason=" + plane->recovery_.reason;
+    (void)plane->journal_.append(JournalKind::kMarker, marker);
+  }
+
+  if (plane->recovery_.outcome != RecoveryOutcome::kFailSafe) {
+    auto store = std::make_unique<StateStore>(config.dir);
+    const Status opened = store->open_writer(plane->recovery_.state,
+                                             plane->recovery_.last_lsn + 1,
+                                             plane->recovery_.wal_valid_bytes);
+    if (!opened.ok()) return opened.error();
+    plane->store_ = std::move(store);
+  }
+
+  if (config.start_flusher) {
+    plane->flusher_ = std::thread([p = plane.get()] { p->flusher_loop(); });
+  }
+  return plane;
+}
+
+StatePlane::~StatePlane() { stop(); }
+
+RG_REALTIME bool StatePlane::submit(const StateOp& op) noexcept {
+  if (store_ == nullptr) {
+    // Fail-safe plane: state mutations are refused, not queued.
+    ops_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (!ring_.try_push(op)) {
+    ops_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  ops_submitted_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void StatePlane::flush_now() {
+  const std::lock_guard<std::mutex> lock(store_mutex_);
+  flush_locked();
+}
+
+void StatePlane::flush_locked() {
+  auto& reg = obs::Registry::global();
+
+  // 1. Journal: move RT-ring entries into the mapping, then msync.
+  (void)journal_.drain_pending();
+  if (!journal_.sync().ok()) reg.add(write_error_counter_);
+
+  // 2. State ops.  Window notes are coalesced per session (the window
+  // only ever advances, so the latest note subsumes the earlier ones);
+  // structural ops keep their order relative to their session's window.
+  if (store_ != nullptr) {
+    const std::uint64_t records_before = store_->stats().wal_records;
+    const std::uint64_t errors_before = store_->stats().write_errors;
+    window_scratch_.clear();
+    const auto flush_window_for = [this](std::uint32_t session) {
+      for (std::size_t i = 0; i < window_scratch_.size(); ++i) {
+        if (window_scratch_[i].session == session) {
+          const StateOp& w = window_scratch_[i];
+          (void)store_->note_window(w.session, w.newest, w.mask, w.flag != 0);
+          window_scratch_.erase(window_scratch_.begin() + static_cast<std::ptrdiff_t>(i));
+          return;
+        }
+      }
+    };
+    for (;;) {
+      const std::size_t n = ring_.pop_batch(drain_buf_.data(), drain_buf_.size());
+      if (n == 0) break;
+      for (std::size_t i = 0; i < n; ++i) {
+        const StateOp& op = drain_buf_[i];
+        ++ops_applied_;
+        switch (op.kind) {
+          case StateOp::Kind::kWindow: {
+            bool replaced = false;
+            for (StateOp& w : window_scratch_) {
+              if (w.session == op.session) {
+                w = op;
+                replaced = true;
+                break;
+              }
+            }
+            if (!replaced) window_scratch_.push_back(op);
+            break;
+          }
+          case StateOp::Kind::kOpen:
+            flush_window_for(op.session);
+            (void)store_->note_open(op.session, op.ip, op.port);
+            break;
+          case StateOp::Kind::kClose:
+            flush_window_for(op.session);
+            (void)store_->note_close(op.session);
+            break;
+          case StateOp::Kind::kEstop:
+            flush_window_for(op.session);
+            (void)store_->note_estop(op.session, op.flag != 0);
+            break;
+          case StateOp::Kind::kEpoch:
+            if (store_->state().epoch_id != op.a || store_->state().epoch_digest != op.b) {
+              (void)store_->note_epoch(op.a, op.b);
+            }
+            break;
+          case StateOp::Kind::kSketch:
+            if (store_->state().sketch_digest != op.a || store_->state().sketch_samples != op.b) {
+              (void)store_->note_sketch(op.a, op.b);
+            }
+            break;
+        }
+      }
+    }
+    // Remaining coalesced windows, ascending session id for determinism.
+    std::sort(window_scratch_.begin(), window_scratch_.end(),
+              [](const StateOp& a, const StateOp& b) { return a.session < b.session; });
+    for (const StateOp& w : window_scratch_) {
+      const auto it = store_->state().sessions.find(w.session);
+      if (it != store_->state().sessions.end() &&
+          (it->second.newest != w.newest || it->second.mask != w.mask ||
+           it->second.started != (w.flag != 0))) {
+        (void)store_->note_window(w.session, w.newest, w.mask, w.flag != 0);
+      }
+    }
+    window_scratch_.clear();
+
+    // 3. Group commit + snapshot rotation.
+    if (!store_->sync().ok()) reg.add(write_error_counter_);
+    if (store_->stats().wal_bytes >= config_.snapshot_wal_bytes) {
+      if (store_->write_snapshot().ok()) {
+        reg.add(snapshot_counter_);
+      } else {
+        reg.add(write_error_counter_);
+      }
+    }
+    const StateStoreStats& after = store_->stats();
+    if (after.wal_records > records_before) {
+      reg.add(wal_record_counter_, after.wal_records - records_before);
+    }
+    if (after.write_errors > errors_before) {
+      reg.add(write_error_counter_, after.write_errors - errors_before);
+    }
+  }
+
+  ++flushes_;
+  reg.add(flush_counter_);
+
+  // Mirror the producer-side counters into the registry (delta since the
+  // last flush; the atomics are the source of truth).
+  const std::uint64_t subs = ops_submitted_.load(std::memory_order_relaxed);
+  const std::uint64_t drops = ops_dropped_.load(std::memory_order_relaxed);
+  if (subs > ops_reported_) {
+    reg.add(ops_counter_, subs - ops_reported_);
+    ops_reported_ = subs;
+  }
+  if (drops > drops_reported_) {
+    reg.add(drop_counter_, drops - drops_reported_);
+    drops_reported_ = drops;
+  }
+}
+
+void StatePlane::flusher_loop() {
+  std::unique_lock<std::mutex> stop_lock(stop_mutex_);
+  while (!stop_requested_) {
+    stop_cv_.wait_for(stop_lock, std::chrono::milliseconds(config_.flush_period_ms),
+                      [this] { return stop_requested_; });
+    stop_lock.unlock();
+    {
+      const std::lock_guard<std::mutex> lock(store_mutex_);
+      flush_locked();
+    }
+    stop_lock.lock();
+  }
+}
+
+void StatePlane::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(stop_mutex_);
+    if (stopped_) return;
+    stop_requested_ = true;
+    stopped_ = true;
+  }
+  stop_cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+  flush_now();
+}
+
+PersistentState StatePlane::state() const {
+  const std::lock_guard<std::mutex> lock(store_mutex_);
+  if (store_ == nullptr) return recovery_.state;
+  return store_->state();
+}
+
+std::uint64_t StatePlane::state_digest() const {
+  const std::lock_guard<std::mutex> lock(store_mutex_);
+  if (store_ == nullptr) return recovery_.state.digest();
+  return store_->state().digest();
+}
+
+StatePlaneStats StatePlane::stats() const {
+  const std::lock_guard<std::mutex> lock(store_mutex_);
+  StatePlaneStats out;
+  out.ops_submitted = ops_submitted_.load(std::memory_order_relaxed);
+  out.ops_dropped = ops_dropped_.load(std::memory_order_relaxed);
+  out.ops_applied = ops_applied_;
+  out.flushes = flushes_;
+  if (store_ != nullptr) out.store = store_->stats();
+  out.journal = journal_.stats();
+  return out;
+}
+
+}  // namespace rg::persist

@@ -1,0 +1,158 @@
+// StatePlane: the process-facing face of the crash-consistent state
+// plane — one object owning the safety journal, the snapshot+WAL state
+// store, the recovery decision, and the background flusher thread that
+// is the only place persistence ever touches a disk.
+//
+//   tick path (gateway pump)        flusher thread (this class)
+//   ----------------------------    -------------------------------------
+//   submit(StateOp)  --SPSC ring--> drain, coalesce window notes,
+//   journal().try_append_rt() ----> append WAL records + journal frames,
+//                                   fdatasync / msync (group commit),
+//                                   rotate snapshot when the WAL grows
+//
+// submit() is RG_REALTIME: one lock-free try_push, no alloc, no IO — a
+// full ring drops the op and counts it (the mirror then catches up at
+// the next window note; window state is monotone so coalescing and
+// drops only ever *under*-report, which the rejoin guard absorbs).
+//
+// open() runs recovery (persist/recovery.hpp) before any writer is
+// created.  On kFailSafe the store writer stays closed — the damaged
+// artifacts are evidence, and the gateway latches E-STOP instead of
+// accepting traffic on unverifiable state.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/realtime.hpp"
+#include "common/spsc_ring.hpp"
+#include "obs/metrics.hpp"
+#include "persist/journal.hpp"
+#include "persist/recovery.hpp"
+#include "persist/statestore.hpp"
+
+namespace rg::persist {
+
+struct StatePlaneConfig {
+  std::string dir;
+  /// Group-commit cadence of the flusher thread (WAL fdatasync + journal
+  /// msync).  At most one flush period of accepted-but-unsynced window
+  /// advance can be lost to a crash — the rejoin guard must cover it.
+  std::uint64_t flush_period_ms = 25;
+  /// StateOp ring capacity (single producer: the gateway pump thread).
+  std::size_t ring_capacity = 16384;
+  /// Snapshot rotation threshold: a WAL larger than this is folded into
+  /// a fresh snapshot at the next flush.
+  std::uint64_t snapshot_wal_bytes = 1ull << 20;
+  /// Journal preallocation ceiling (sparse).
+  std::uint64_t journal_max_bytes = 64ull << 20;
+  /// Spawn the flusher thread (tests drive flush_now() by hand instead).
+  bool start_flusher = true;
+};
+
+/// One tick-path mutation, POD-sized for the SPSC ring.
+struct StateOp {
+  enum class Kind : std::uint8_t { kOpen, kClose, kWindow, kEstop, kEpoch, kSketch };
+  Kind kind = Kind::kWindow;
+  std::uint8_t flag = 0;       ///< started / latched
+  std::uint16_t port = 0;
+  std::uint32_t session = 0;
+  std::uint32_t ip = 0;
+  std::uint32_t newest = 0;
+  std::uint64_t mask = 0;
+  std::uint64_t a = 0;         ///< epoch id / sketch digest
+  std::uint64_t b = 0;         ///< thresholds digest / sketch samples
+};
+
+struct StatePlaneStats {
+  std::uint64_t ops_submitted = 0;
+  std::uint64_t ops_dropped = 0;    ///< ring full (absorbed by the rejoin guard)
+  std::uint64_t ops_applied = 0;
+  std::uint64_t flushes = 0;
+  StateStoreStats store{};
+  JournalStats journal{};
+};
+
+class StatePlane {
+ public:
+  /// Recover `config.dir` (created if missing) and open the journal; on
+  /// a clean or crash-consistent state also open the WAL writer.  Errors
+  /// only for operational failures (unwritable directory) — a corrupt
+  /// store is NOT an error: it returns a plane whose recovery() says
+  /// kFailSafe and which accepts no state mutations.
+  [[nodiscard]] static Result<std::unique_ptr<StatePlane>> open(const StatePlaneConfig& config);
+
+  ~StatePlane();
+
+  StatePlane(const StatePlane&) = delete;
+  StatePlane& operator=(const StatePlane&) = delete;
+
+  [[nodiscard]] const RecoveryResult& recovery() const noexcept { return recovery_; }
+  [[nodiscard]] bool fail_safe() const noexcept {
+    return recovery_.outcome == RecoveryOutcome::kFailSafe;
+  }
+
+  /// RG_REALTIME, single producer (the gateway pump thread).  False =
+  /// dropped (ring full, or the plane is fail-safe and takes no writes).
+  RG_REALTIME bool submit(const StateOp& op) noexcept;
+
+  /// Drain + write + sync synchronously on the caller (shutdown, tests,
+  /// and rg_faultinject's deterministic crash-point driver).
+  void flush_now();
+
+  /// Stop the flusher thread after a final flush.  Idempotent.
+  void stop();
+
+  [[nodiscard]] Journal& journal() noexcept { return journal_; }
+
+  /// Copy of the flusher's mirror state (what would be recovered if the
+  /// process died after the last flush).
+  [[nodiscard]] PersistentState state() const;
+  [[nodiscard]] std::uint64_t state_digest() const;
+  [[nodiscard]] StatePlaneStats stats() const;
+  [[nodiscard]] const std::string& dir() const noexcept { return config_.dir; }
+
+ private:
+  explicit StatePlane(const StatePlaneConfig& config);
+
+  void flusher_loop();
+  void flush_locked();
+
+  StatePlaneConfig config_;
+  RecoveryResult recovery_;
+  Journal journal_;
+  SpscRing<StateOp> ring_;
+  std::atomic<std::uint64_t> ops_submitted_{0};
+  std::atomic<std::uint64_t> ops_dropped_{0};
+
+  /// Guards the store/mirror (flusher thread vs flush_now/state()).
+  mutable std::mutex store_mutex_;
+  std::unique_ptr<StateStore> store_;
+  std::uint64_t ops_applied_ = 0;
+  std::uint64_t flushes_ = 0;
+  std::uint64_t ops_reported_ = 0;    ///< counters already mirrored to the registry
+  std::uint64_t drops_reported_ = 0;
+  std::vector<StateOp> drain_buf_;
+  /// Per-flush window coalescing scratch (latest window note per session).
+  std::vector<StateOp> window_scratch_;
+
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+  bool stopped_ = false;
+  std::thread flusher_;
+
+  obs::MetricId ops_counter_;
+  obs::MetricId drop_counter_;
+  obs::MetricId flush_counter_;
+  obs::MetricId wal_record_counter_;
+  obs::MetricId snapshot_counter_;
+  obs::MetricId write_error_counter_;
+};
+
+}  // namespace rg::persist

@@ -1,0 +1,371 @@
+#include "persist/statestore.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "persist/crc32c.hpp"
+
+namespace rg::persist {
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  const std::size_t at = out.size();
+  out.resize(at + 2);
+  std::memcpy(out.data() + at, &v, 2);
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  const std::size_t at = out.size();
+  out.resize(at + 4);
+  std::memcpy(out.data() + at, &v, 4);
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  const std::size_t at = out.size();
+  out.resize(at + 8);
+  std::memcpy(out.data() + at, &v, 8);
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) noexcept {
+  std::uint16_t v;
+  std::memcpy(&v, p, 2);
+  return v;
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) noexcept {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) noexcept {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+/// Write all of `buf` to `fd`, surviving short writes and EINTR.
+bool write_all(int fd, const std::uint8_t* buf, std::size_t len) noexcept {
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::write(fd, buf + done, len - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(const void* data, std::size_t len, std::uint64_t seed) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t PersistentState::digest() const noexcept {
+  std::uint64_t h = fnv1a64("rg.state/1", 10);
+  const auto fold_u64 = [&h](std::uint64_t v) { h = fnv1a64(&v, 8, h); };
+  fold_u64(next_session_id);
+  fold_u64(epoch_id);
+  fold_u64(epoch_digest);
+  fold_u64(sketch_digest);
+  fold_u64(sketch_samples);
+  fold_u64(sessions.size());
+  for (const auto& [id, s] : sessions) {
+    fold_u64(id);
+    fold_u64((static_cast<std::uint64_t>(s.ip) << 16) | s.port);
+    fold_u64((static_cast<std::uint64_t>(s.started) << 1) | static_cast<std::uint64_t>(s.estop));
+    fold_u64(s.newest);
+    fold_u64(s.mask);
+  }
+  return h;
+}
+
+StateStore::StateStore(std::string dir) : dir_(std::move(dir)) {
+  require(!dir_.empty(), "StateStore: dir must not be empty");
+  encode_buf_.reserve(4096);
+}
+
+StateStore::~StateStore() {
+  if (wal_fd_ >= 0) {
+    (void)::fdatasync(wal_fd_);
+    (void)::close(wal_fd_);
+  }
+}
+
+std::string StateStore::snapshot_path(const std::string& dir) {
+  return dir + "/" + std::string(kSnapshotFile);
+}
+
+std::string StateStore::wal_path(const std::string& dir) {
+  return dir + "/" + std::string(kWalFile);
+}
+
+Status StateStore::open_writer(const PersistentState& state, std::uint64_t continue_lsn,
+                               std::uint64_t valid_bytes) {
+  require(wal_fd_ < 0, "StateStore: open_writer called twice");
+  state_ = state;
+  next_lsn_ = continue_lsn == 0 ? 1 : continue_lsn;
+  const std::string path = wal_path(dir_);
+  wal_fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (wal_fd_ < 0) {
+    return Error(ErrorCode::kNotReady,
+                 "StateStore: cannot open " + path + ": " + std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(wal_fd_, &st) != 0 || st.st_size < 0) {
+    return Error(ErrorCode::kNotReady, "StateStore: fstat failed on " + path);
+  }
+  // Drop anything past the valid prefix (torn tail / benign garbage) so
+  // new appends extend a clean record chain.
+  if (static_cast<std::uint64_t>(st.st_size) > valid_bytes &&
+      ::ftruncate(wal_fd_, static_cast<off_t>(valid_bytes)) != 0) {
+    return Error(ErrorCode::kInternal, "StateStore: cannot truncate WAL tail of " + path);
+  }
+  const std::uint64_t size =
+      std::min(static_cast<std::uint64_t>(st.st_size), valid_bytes);
+  if (::lseek(wal_fd_, static_cast<off_t>(size), SEEK_SET) < 0) {
+    return Error(ErrorCode::kInternal, "StateStore: lseek failed on " + path);
+  }
+  stats_.wal_bytes = size;
+  return Status::success();
+}
+
+Status StateStore::apply_record(PersistentState& state, WalKind kind,
+                                std::span<const std::uint8_t> body) {
+  const auto need = [&](std::size_t n) { return body.size() == n; };
+  switch (kind) {
+    case WalKind::kSessionOpen: {
+      if (!need(10)) break;
+      PersistedSession s;
+      s.id = get_u32(body.data());
+      s.ip = get_u32(body.data() + 4);
+      s.port = get_u16(body.data() + 8);
+      state.sessions[s.id] = s;
+      if (s.id + 1 > state.next_session_id) state.next_session_id = s.id + 1;
+      return Status::success();
+    }
+    case WalKind::kSessionClose: {
+      if (!need(4)) break;
+      state.sessions.erase(get_u32(body.data()));
+      return Status::success();
+    }
+    case WalKind::kWindow: {
+      if (!need(17)) break;
+      const std::uint32_t id = get_u32(body.data());
+      auto it = state.sessions.find(id);
+      if (it == state.sessions.end()) {
+        // A window note for a session we never saw open means the record
+        // stream is inconsistent — recovery treats this as corruption.
+        return Error(ErrorCode::kMalformedPacket,
+                     "StateStore: window record for unknown session " + std::to_string(id));
+      }
+      it->second.newest = get_u32(body.data() + 4);
+      it->second.mask = get_u64(body.data() + 8);
+      it->second.started = body[16] != 0;
+      return Status::success();
+    }
+    case WalKind::kEstop: {
+      if (!need(5)) break;
+      const std::uint32_t id = get_u32(body.data());
+      auto it = state.sessions.find(id);
+      if (it == state.sessions.end()) {
+        return Error(ErrorCode::kMalformedPacket,
+                     "StateStore: estop record for unknown session " + std::to_string(id));
+      }
+      it->second.estop = body[4] != 0;
+      return Status::success();
+    }
+    case WalKind::kEpoch: {
+      if (!need(16)) break;
+      state.epoch_id = get_u64(body.data());
+      state.epoch_digest = get_u64(body.data() + 8);
+      return Status::success();
+    }
+    case WalKind::kSketch: {
+      if (!need(16)) break;
+      state.sketch_digest = get_u64(body.data());
+      state.sketch_samples = get_u64(body.data() + 8);
+      return Status::success();
+    }
+  }
+  return Error(ErrorCode::kMalformedPacket, "StateStore: malformed WAL record body");
+}
+
+Status StateStore::append_record(WalKind kind, std::span<const std::uint8_t> body) {
+  if (wal_fd_ < 0) {
+    ++stats_.write_errors;
+    return Error(ErrorCode::kNotReady, "StateStore: writer not open");
+  }
+  // Apply first: the record carries the digest of the state *after* it.
+  const Status applied = apply_record(state_, kind, body);
+  if (!applied.ok()) {
+    ++stats_.write_errors;
+    return applied;
+  }
+  encode_buf_.clear();
+  std::vector<std::uint8_t> payload;
+  payload.reserve(body.size() + 8);
+  payload.insert(payload.end(), body.begin(), body.end());
+  put_u64(payload, state_.digest());
+  (void)encode_record(encode_buf_, next_lsn_, static_cast<std::uint8_t>(kind),
+                      std::span<const std::uint8_t>{payload});
+  if (!write_all(wal_fd_, encode_buf_.data(), encode_buf_.size())) {
+    ++stats_.write_errors;
+    return Error(ErrorCode::kInternal,
+                 "StateStore: short write to WAL: " + std::string(std::strerror(errno)));
+  }
+  ++next_lsn_;
+  ++stats_.wal_records;
+  stats_.wal_bytes += encode_buf_.size();
+  return Status::success();
+}
+
+Status StateStore::note_open(std::uint32_t id, std::uint32_t ip, std::uint16_t port) {
+  std::vector<std::uint8_t> body;
+  put_u32(body, id);
+  put_u32(body, ip);
+  put_u16(body, port);
+  return append_record(WalKind::kSessionOpen, body);
+}
+
+Status StateStore::note_close(std::uint32_t id) {
+  std::vector<std::uint8_t> body;
+  put_u32(body, id);
+  return append_record(WalKind::kSessionClose, body);
+}
+
+Status StateStore::note_window(std::uint32_t id, std::uint32_t newest, std::uint64_t mask,
+                               bool started) {
+  std::vector<std::uint8_t> body;
+  put_u32(body, id);
+  put_u32(body, newest);
+  put_u64(body, mask);
+  body.push_back(started ? 1 : 0);
+  return append_record(WalKind::kWindow, body);
+}
+
+Status StateStore::note_estop(std::uint32_t id, bool latched) {
+  std::vector<std::uint8_t> body;
+  put_u32(body, id);
+  body.push_back(latched ? 1 : 0);
+  return append_record(WalKind::kEstop, body);
+}
+
+Status StateStore::note_epoch(std::uint64_t epoch_id, std::uint64_t thresholds_digest) {
+  std::vector<std::uint8_t> body;
+  put_u64(body, epoch_id);
+  put_u64(body, thresholds_digest);
+  return append_record(WalKind::kEpoch, body);
+}
+
+Status StateStore::note_sketch(std::uint64_t digest, std::uint64_t samples) {
+  std::vector<std::uint8_t> body;
+  put_u64(body, digest);
+  put_u64(body, samples);
+  return append_record(WalKind::kSketch, body);
+}
+
+Status StateStore::sync() {
+  if (wal_fd_ < 0) return Status::success();
+  if (::fdatasync(wal_fd_) != 0) {
+    ++stats_.write_errors;
+    return Error(ErrorCode::kInternal,
+                 "StateStore: fdatasync failed: " + std::string(std::strerror(errno)));
+  }
+  ++stats_.syncs;
+  return Status::success();
+}
+
+void StateStore::serialize_snapshot(std::vector<std::uint8_t>& out, const PersistentState& state,
+                                    std::uint64_t lsn) {
+  out.clear();
+  for (const char c : kSnapshotMagic) out.push_back(static_cast<std::uint8_t>(c));
+  put_u64(out, lsn);
+  put_u64(out, state.digest());
+  put_u32(out, static_cast<std::uint32_t>(state.sessions.size()));
+  put_u32(out, state.next_session_id);
+  put_u64(out, state.epoch_id);
+  put_u64(out, state.epoch_digest);
+  put_u64(out, state.sketch_digest);
+  put_u64(out, state.sketch_samples);
+  for (const auto& [id, s] : state.sessions) {
+    put_u32(out, id);
+    put_u32(out, s.ip);
+    put_u16(out, s.port);
+    out.push_back(s.started ? 1 : 0);
+    out.push_back(s.estop ? 1 : 0);
+    put_u32(out, s.newest);
+    put_u64(out, s.mask);
+  }
+  // Trailing CRC over everything after the magic.
+  const std::uint32_t crc = crc32c(out.data() + sizeof(kSnapshotMagic),
+                                   out.size() - sizeof(kSnapshotMagic));
+  put_u32(out, crc);
+}
+
+Status StateStore::write_snapshot() {
+  if (wal_fd_ < 0) {
+    ++stats_.write_errors;
+    return Error(ErrorCode::kNotReady, "StateStore: writer not open");
+  }
+  const std::uint64_t lsn = last_lsn();
+  std::vector<std::uint8_t> body;
+  serialize_snapshot(body, state_, lsn);
+
+  const std::string tmp = dir_ + "/" + std::string(kSnapshotTemp);
+  const std::string final_path = snapshot_path(dir_);
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    ++stats_.write_errors;
+    return Error(ErrorCode::kNotReady,
+                 "StateStore: cannot open " + tmp + ": " + std::strerror(errno));
+  }
+  const bool wrote = write_all(fd, body.data(), body.size());
+  const bool synced = wrote && ::fsync(fd) == 0;
+  (void)::close(fd);
+  if (!synced) {
+    ++stats_.write_errors;
+    (void)::unlink(tmp.c_str());
+    return Error(ErrorCode::kInternal, "StateStore: snapshot write/fsync failed for " + tmp);
+  }
+  if (::rename(tmp.c_str(), final_path.c_str()) != 0) {
+    ++stats_.write_errors;
+    (void)::unlink(tmp.c_str());
+    return Error(ErrorCode::kInternal, "StateStore: rename to " + final_path + " failed");
+  }
+  // Make the rename itself durable before the WAL is truncated: fsync
+  // the containing directory.
+  const int dirfd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dirfd >= 0) {
+    (void)::fsync(dirfd);
+    (void)::close(dirfd);
+  }
+  // The snapshot now covers every WAL record; start a fresh WAL.  LSNs
+  // keep counting (recovery skips records with lsn <= snapshot lsn, so a
+  // crash between rename and truncate is harmless).
+  if (::ftruncate(wal_fd_, 0) != 0 || ::lseek(wal_fd_, 0, SEEK_SET) < 0) {
+    ++stats_.write_errors;
+    return Error(ErrorCode::kInternal, "StateStore: WAL truncate failed");
+  }
+  stats_.wal_bytes = 0;
+  ++stats_.snapshots;
+  return Status::success();
+}
+
+}  // namespace rg::persist

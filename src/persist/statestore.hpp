@@ -1,0 +1,158 @@
+// Snapshot + WAL store for the gateway's safety-critical state (file
+// format "rg.state/1", docs/persistence.md).
+//
+// What must survive a crash: the session table's anti-replay windows
+// (restart must never hand an attacker a regressed window), latched
+// E-STOPs, session ids, the active ThresholdStore epoch pointer, and
+// calibration sketch checkpoints.  Two files in the state directory:
+//
+//   state.rgsnap  — one whole-state snapshot, written to a temp file,
+//                   fsync'd, then atomically renamed into place
+//   state.rgwal   — CRC32C-framed mutation records (persist/record.hpp)
+//                   with monotonic LSNs, fdatasync'd by the flusher;
+//                   truncated after each successful snapshot rotation
+//
+// Recovery = newest valid snapshot + replay of WAL records with
+// lsn > snapshot.lsn (persist/recovery.hpp).  Every WAL record carries
+// the FNV-1a digest of the logical state *after* applying it, so replay
+// is self-validating: a digest mismatch means the bytes are intact
+// (CRC passed) but the state they describe is not the state that was
+// persisted — recovery fails safe instead of loading it.
+//
+// Threading: the store is owned by the state plane's flusher thread
+// (plus tests); nothing here is RG_REALTIME — the tick path talks to
+// the flusher through the StateOp ring in state_plane.hpp.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "persist/record.hpp"
+
+namespace rg::persist {
+
+/// WAL record kinds (wire values — append-only, never renumber).
+enum class WalKind : std::uint8_t {
+  kSessionOpen = 1,   ///< u32 id, u32 ip, u16 port
+  kSessionClose = 2,  ///< u32 id
+  kWindow = 3,        ///< u32 id, u32 newest, u64 mask, u8 started
+  kEstop = 4,         ///< u32 id, u8 latched
+  kEpoch = 5,         ///< u64 epoch id, u64 thresholds digest
+  kSketch = 6,        ///< u64 cohort digest, u64 samples
+};
+
+/// No active calibration epoch recorded.
+inline constexpr std::uint64_t kNoEpoch = ~0ull;
+
+/// One persisted session: identity plus the full anti-replay window.
+struct PersistedSession {
+  std::uint32_t id = 0;
+  std::uint32_t ip = 0;    ///< host byte order (svc::Endpoint convention)
+  std::uint16_t port = 0;
+  bool started = false;    ///< window has accepted at least one datagram
+  bool estop = false;      ///< PLC E-STOP latched (survives restart)
+  std::uint32_t newest = 0;
+  std::uint64_t mask = 0;
+};
+
+/// The complete logical state the store persists.  Sessions are keyed by
+/// id (ordered map) so serialization and digests are deterministic.
+struct PersistentState {
+  std::map<std::uint32_t, PersistedSession> sessions;
+  std::uint32_t next_session_id = 1;
+  std::uint64_t epoch_id = kNoEpoch;
+  std::uint64_t epoch_digest = 0;
+  std::uint64_t sketch_digest = 0;
+  std::uint64_t sketch_samples = 0;
+
+  /// FNV-1a over the canonical serialization — the self-validation
+  /// anchor carried by every WAL record and snapshot.
+  [[nodiscard]] std::uint64_t digest() const noexcept;
+};
+
+/// FNV-1a 64 over arbitrary bytes (seeded so digests chain).
+[[nodiscard]] std::uint64_t fnv1a64(const void* data, std::size_t len,
+                                    std::uint64_t seed = 14695981039346656037ull) noexcept;
+
+struct StateStoreStats {
+  std::uint64_t wal_records = 0;
+  std::uint64_t wal_bytes = 0;   ///< current WAL file size (since last rotation)
+  std::uint64_t syncs = 0;
+  std::uint64_t snapshots = 0;
+  std::uint64_t write_errors = 0;
+};
+
+/// Writer half (recovery lives in persist/recovery.hpp).
+class StateStore {
+ public:
+  static constexpr std::string_view kSnapshotFile = "state.rgsnap";
+  static constexpr std::string_view kSnapshotTemp = "state.rgsnap.tmp";
+  static constexpr std::string_view kWalFile = "state.rgwal";
+  static constexpr char kSnapshotMagic[8] = {'R', 'G', 'S', 'N', 'A', 'P', '0', '1'};
+
+  explicit StateStore(std::string dir);
+  ~StateStore();
+
+  StateStore(const StateStore&) = delete;
+  StateStore& operator=(const StateStore&) = delete;
+
+  /// Open the WAL for appending, seeded with a recovered (or fresh)
+  /// mirror state and the LSN to continue from.  `valid_bytes` is the
+  /// length of the WAL's valid prefix as decided by recovery (0 for a
+  /// fresh store); anything beyond it (torn tail, benign trailing
+  /// garbage) is truncated away before the first append.
+  [[nodiscard]] Status open_writer(const PersistentState& state, std::uint64_t continue_lsn,
+                                   std::uint64_t valid_bytes);
+
+  // Typed mutations: apply to the mirror, append one WAL record carrying
+  // the post-apply digest.  Errors are sticky in write_errors but do not
+  // poison the mirror.
+  Status note_open(std::uint32_t id, std::uint32_t ip, std::uint16_t port);
+  Status note_close(std::uint32_t id);
+  Status note_window(std::uint32_t id, std::uint32_t newest, std::uint64_t mask, bool started);
+  Status note_estop(std::uint32_t id, bool latched);
+  Status note_epoch(std::uint64_t epoch_id, std::uint64_t thresholds_digest);
+  Status note_sketch(std::uint64_t digest, std::uint64_t samples);
+
+  /// fdatasync the WAL (the flusher's group-commit point).
+  Status sync();
+
+  /// Serialize the mirror to the temp snapshot, fsync, rename over the
+  /// snapshot, fsync the directory, then truncate the WAL.  LSNs keep
+  /// counting across rotations.
+  Status write_snapshot();
+
+  /// Serialize `state` as an rg.state/1 snapshot body (shared with
+  /// recovery's validation and the tests).
+  static void serialize_snapshot(std::vector<std::uint8_t>& out, const PersistentState& state,
+                                 std::uint64_t lsn);
+
+  [[nodiscard]] const PersistentState& state() const noexcept { return state_; }
+  [[nodiscard]] std::uint64_t last_lsn() const noexcept { return next_lsn_ - 1; }
+  [[nodiscard]] const StateStoreStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+
+  [[nodiscard]] static std::string snapshot_path(const std::string& dir);
+  [[nodiscard]] static std::string wal_path(const std::string& dir);
+
+  /// Decode + apply one WAL record payload (minus the trailing digest)
+  /// to `state`.  Shared by the writer (which produced it) and recovery.
+  /// Errors: kMalformedPacket on wrong body size or unknown kind.
+  static Status apply_record(PersistentState& state, WalKind kind,
+                             std::span<const std::uint8_t> body);
+
+ private:
+  Status append_record(WalKind kind, std::span<const std::uint8_t> body);
+
+  std::string dir_;
+  PersistentState state_;
+  int wal_fd_ = -1;
+  std::uint64_t next_lsn_ = 1;
+  StateStoreStats stats_{};
+  std::vector<std::uint8_t> encode_buf_;
+};
+
+}  // namespace rg::persist

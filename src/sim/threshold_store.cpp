@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <utility>
 
 #include "common/log.hpp"
+#include "persist/crc32c.hpp"
+#include "persist/file_lock.hpp"
 
 namespace rg {
 namespace {
@@ -71,10 +74,38 @@ Result<DetectionThresholds> read_values(std::istream& is, const std::string& wha
   return th;
 }
 
+/// Canonical text of one record (exactly what the writer emits) — the
+/// unit the per-record `crc` lines cover.  Precision-17 doubles
+/// round-trip through operator>>, so re-serializing a parsed record
+/// reproduces the committed bytes.
+std::string render_epoch(const ThresholdEpoch& e) {
+  std::ostringstream os;
+  write_epoch(os, e);
+  return os.str();
+}
+
+std::string render_active(std::uint64_t id) {
+  return "active " + std::to_string(id) + '\n';
+}
+
+std::string crc_line(const std::string& record_text) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "crc %08x\n",
+                persist::crc32c(record_text.data(), record_text.size()));
+  return buf;
+}
+
 }  // namespace
 
 ThresholdStore::ThresholdStore(std::string path) : path_(std::move(path)) {
   require(!path_.empty(), "ThresholdStore: path must not be empty");
+}
+
+Result<persist::FileLock> ThresholdStore::lock_exclusive() const {
+  // Advisory single-writer lock: concurrent committers (two calibration
+  // tools, a tool racing the gateway's epoch reload) serialize here
+  // instead of interleaving appends into a torn record.
+  return persist::FileLock::acquire(path_ + ".lock", persist::FileLock::Mode::kExclusive);
 }
 
 bool ThresholdStore::present() const {
@@ -124,7 +155,31 @@ Result<ThresholdStore::Parsed> ThresholdStore::load_all() const {
 
   bool have_active = false;
   std::string keyword;
+  // Canonical text of the most recent epoch/active record, for the
+  // optional `crc` line that may follow it (v3 files written before the
+  // integrity retrofit have none — still valid).
+  std::string last_record;
   while (is >> keyword) {
+    if (keyword == "crc") {
+      std::string hex;
+      if (!(is >> hex) || last_record.empty()) {
+        return Error(ErrorCode::kMalformedPacket,
+                     "threshold store " + path_ + ": dangling crc record");
+      }
+      std::uint32_t stored = 0;
+      if (std::sscanf(hex.c_str(), "%x", &stored) != 1) {
+        return Error(ErrorCode::kMalformedPacket,
+                     "threshold store " + path_ + ": unparseable crc '" + hex + "'");
+      }
+      const std::uint32_t computed = persist::crc32c(last_record.data(), last_record.size());
+      if (stored != computed) {
+        return Error(ErrorCode::kMalformedPacket,
+                     "threshold store " + path_ + ": crc mismatch on record before 'crc " +
+                         hex + "'");
+      }
+      last_record.clear();  // one crc per record
+      continue;
+    }
     if (keyword == "epoch") {
       ThresholdEpoch e;
       std::string kw_parent;
@@ -153,12 +208,14 @@ Result<ThresholdStore::Parsed> ThresholdStore::load_all() const {
         }
       }
       parsed.epochs.push_back(e);
+      last_record = render_epoch(e);
     } else if (keyword == "active") {
       if (!(is >> parsed.active_id)) {
         return Error(ErrorCode::kMalformedPacket,
                      "threshold store " + path_ + ": malformed active pointer");
       }
       have_active = true;  // last pointer wins
+      last_record = render_active(parsed.active_id);
     } else {
       return Error(ErrorCode::kMalformedPacket,
                    "threshold store " + path_ + ": unexpected record '" + keyword + "'");
@@ -190,6 +247,9 @@ Result<std::uint64_t> ThresholdStore::commit(const DetectionThresholds& threshol
     return Error(ErrorCode::kInvalidArgument,
                  "ThresholdStore::commit: thresholds must be finite");
   }
+
+  auto lock = lock_exclusive();
+  if (!lock.ok()) return lock.error();
 
   Parsed parsed;
   const auto existing = load_all();
@@ -223,9 +283,11 @@ Result<std::uint64_t> ThresholdStore::commit(const DetectionThresholds& threshol
                    "cannot open threshold store " + path_ + " for write");
     }
     os << kMagic << ' ' << kVersion << '\n';
-    for (const ThresholdEpoch& e : parsed.epochs) write_epoch(os, e);
-    write_epoch(os, next);
-    os << "active " << next.id << '\n';
+    for (const ThresholdEpoch& e : parsed.epochs) {
+      os << render_epoch(e) << crc_line(render_epoch(e));
+    }
+    os << render_epoch(next) << crc_line(render_epoch(next));
+    os << render_active(next.id) << crc_line(render_active(next.id));
     if (!os) {
       return Error(ErrorCode::kInternal, "short write to threshold store " + path_);
     }
@@ -240,8 +302,8 @@ Result<std::uint64_t> ThresholdStore::commit(const DetectionThresholds& threshol
   if (!os) {
     return Error(ErrorCode::kNotReady, "cannot open threshold store " + path_ + " for append");
   }
-  write_epoch(os, next);
-  os << "active " << next.id << '\n';
+  os << render_epoch(next) << crc_line(render_epoch(next));
+  os << render_active(next.id) << crc_line(render_active(next.id));
   if (!os) {
     return Error(ErrorCode::kInternal, "short write to threshold store " + path_);
   }
@@ -268,6 +330,8 @@ Result<ThresholdEpoch> ThresholdStore::epoch(std::uint64_t id) const {
 }
 
 Status ThresholdStore::rollback(std::uint64_t id) {
+  auto lock = lock_exclusive();
+  if (!lock.ok()) return lock.error();
   const auto parsed = load_all();
   if (!parsed.ok()) return parsed.error();
   bool known = false;
@@ -288,7 +352,7 @@ Status ThresholdStore::rollback(std::uint64_t id) {
   if (!os) {
     return Error(ErrorCode::kNotReady, "cannot open threshold store " + path_ + " for append");
   }
-  os << "active " << id << '\n';
+  os << render_active(id) << crc_line(render_active(id));
   if (!os) {
     return Error(ErrorCode::kInternal, "short write to threshold store " + path_);
   }

@@ -14,14 +14,25 @@
 //   raven-guard-thresholds 3
 //   epoch <id> parent <parent> runs <n> percentile <p> margin <m> source <token>
 //   <9 thresholds: motor_vel xyz, motor_acc xyz, joint_vel xyz>
+//   crc <hex32>
 //   active <id>
+//   crc <hex32>
 //
 // `epoch` records and `active` pointers may interleave; the *last*
-// `active` line wins.  v2 files (header + 9 numbers) still load, exposed
-// read-only as epoch 0 with migration provenance; the first commit on a
-// v2 file rewrites it as v3 preserving the old thresholds as epoch 0.
-// Short, truncated, or foreign files are explicit errors — a corrupt
-// store is never silently clobbered.
+// `active` line wins.  Each record may be followed by a `crc` line — a
+// CRC32C over the record's canonical serialization (precision-17
+// doubles round-trip, so re-serializing the parsed record reproduces
+// the committed bytes); a mismatch is kMalformedPacket.  Files without
+// crc lines (pre-retrofit v3) still load.  v2 files (header + 9
+// numbers) still load, exposed read-only as epoch 0 with migration
+// provenance; the first commit on a v2 file rewrites it as v3
+// preserving the old thresholds as epoch 0.  Short, truncated, or
+// foreign files are explicit errors — a corrupt store is never
+// silently clobbered.
+//
+// Writers (commit/rollback) hold an advisory flock on `<path>.lock`
+// (persist/file_lock.hpp), so concurrent committers serialize instead
+// of interleaving appends.
 #pragma once
 
 #include <cstdint>
@@ -30,6 +41,7 @@
 
 #include "common/error.hpp"
 #include "core/thresholds.hpp"
+#include "persist/file_lock.hpp"
 
 namespace rg {
 
@@ -101,6 +113,8 @@ class ThresholdStore {
     bool legacy = false;  ///< loaded from a v2 file (read-only view)
   };
   [[nodiscard]] Result<Parsed> load_all() const;
+  /// Blocking advisory writer lock on `<path>.lock` (commit/rollback).
+  [[nodiscard]] Result<persist::FileLock> lock_exclusive() const;
 
   std::string path_;
 };

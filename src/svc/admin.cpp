@@ -170,7 +170,50 @@ std::string AdminServer::render_flight() const {
   return os.str();
 }
 
+std::string AdminServer::render_state() const {
+  const persist::StatePlane* plane = state_plane_.load(std::memory_order_acquire);
+  std::string out = "{\"schema\": \"rg.admin.state/1\", \"attached\": ";
+  if (plane == nullptr) {
+    out += "false}\n";
+    return out;
+  }
+  const persist::RecoveryResult& rec = plane->recovery();
+  const persist::StatePlaneStats stats = plane->stats();
+  out += "true, \"outcome\": \"";
+  out += to_string(rec.outcome);
+  out += "\", \"reason\": ";
+  obs::EventLog::append_json_string(out, rec.reason);
+  out += ", \"dir\": ";
+  obs::EventLog::append_json_string(out, plane->dir());
+  char digest[24];
+  std::snprintf(digest, sizeof(digest), "%016llx",
+                static_cast<unsigned long long>(plane->state_digest()));
+  out += ", \"state_digest\": \"";
+  out += digest;
+  out += "\", \"last_lsn\": " + std::to_string(rec.last_lsn);
+  out += ", \"wal_records_applied\": " + std::to_string(rec.wal_records_applied);
+  out += ", \"snapshot_loaded\": ";
+  out += rec.snapshot_loaded ? "true" : "false";
+  out += ", \"ops_submitted\": " + std::to_string(stats.ops_submitted);
+  out += ", \"ops_dropped\": " + std::to_string(stats.ops_dropped);
+  out += ", \"ops_applied\": " + std::to_string(stats.ops_applied);
+  out += ", \"flushes\": " + std::to_string(stats.flushes);
+  out += ", \"wal_records\": " + std::to_string(stats.store.wal_records);
+  out += ", \"wal_bytes\": " + std::to_string(stats.store.wal_bytes);
+  out += ", \"snapshots\": " + std::to_string(stats.store.snapshots);
+  out += ", \"journal_records\": " + std::to_string(stats.journal.records);
+  out += ", \"journal_rt_dropped\": " + std::to_string(stats.journal.rt_dropped);
+  out += ", \"write_errors\": " + std::to_string(stats.store.write_errors + stats.journal.write_errors);
+  out += "}\n";
+  return out;
+}
+
 std::string AdminServer::render_ready() const {
+  if (const persist::StatePlane* plane = state_plane_.load(std::memory_order_acquire)) {
+    if (plane->fail_safe()) {
+      return "failed: state-plane recovery fail-safe (" + plane->recovery().reason + ")\n";
+    }
+  }
   if (!thresholds_loaded_.load(std::memory_order_acquire)) {
     return "waiting: thresholds epoch not loaded\n";
   }
@@ -223,6 +266,8 @@ std::string AdminServer::handle(const std::string& request_line) {
                               : http_response(503, kContentText, reason);
   } else if (path == "/flight") {
     response = http_response(200, kContentJson, render_flight());
+  } else if (path == "/state") {
+    response = http_response(200, kContentJson, render_state());
   } else {
     response = http_response(404, kContentText, "unknown endpoint\n");
   }

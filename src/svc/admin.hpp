@@ -11,8 +11,11 @@
 //   GET /healthz       liveness ("ok" while the server thread runs)
 //   GET /readyz        readiness = socket bound ∧ thresholds epoch
 //                      loaded ∧ no active session with latched E-STOP
+//                      ∧ state-plane recovery did not fail safe
 //   GET /flight        most recent flight-recorder dump when one is
 //                      armed and triggered
+//   GET /state         "rg.admin.state/1": state-plane recovery decision
+//                      (outcome, reason, digest) + durability counters
 //
 // The admin plane never touches the RG_REALTIME tick path and is
 // lock-free with respect to the shards: /stats serves the sequenced
@@ -99,6 +102,13 @@ class AdminServer {
     events_.store(events, std::memory_order_release);
   }
 
+  /// Attach the crash-consistent state plane: /state serves its recovery
+  /// decision + durability counters, and /readyz reports 503 while the
+  /// plane is fail-safe (must outlive the server).
+  void set_state_plane(const persist::StatePlane* plane) noexcept {
+    state_plane_.store(plane, std::memory_order_release);
+  }
+
  private:
   struct Connection;
 
@@ -107,12 +117,14 @@ class AdminServer {
   [[nodiscard]] std::string render_stats() const;
   [[nodiscard]] std::string render_flight() const;
   [[nodiscard]] std::string render_ready() const;
+  [[nodiscard]] std::string render_state() const;
 
   AdminConfig config_;
   const TeleopGateway* gateway_ = nullptr;
   std::atomic<bool> thresholds_loaded_{true};
   std::atomic<const obs::FlightRecorder*> flight_{nullptr};
   std::atomic<const obs::EventLog*> events_{nullptr};
+  std::atomic<const persist::StatePlane*> state_plane_{nullptr};
 
   int listen_fd_ = -1;
   int epoll_fd_ = -1;

@@ -49,6 +49,43 @@ TeleopGateway::TeleopGateway(const GatewayConfig& config, Transport& transport)
     shards_.push_back(std::make_unique<GatewayShard>(sc));
     shards_.back()->start();
   }
+  if (config_.persist != nullptr) restore_from_plane();
+}
+
+void TeleopGateway::restore_from_plane() {
+  persist::StatePlane& plane = *config_.persist;
+  if (plane.fail_safe()) {
+    // Unverifiable persisted state: never guess.  The gateway comes up
+    // latched and rejects all traffic until an operator intervenes.
+    fail_safe_ = true;
+    if (config_.events != nullptr) {
+      config_.events->emit("recovery_failed", std::nullopt,
+                           {{"reason", plane.recovery().reason}});
+    }
+    return;
+  }
+  const persist::PersistentState state = plane.state();
+  const std::lock_guard<std::mutex> lock(table_mutex_);
+  next_session_id_ = std::max(next_session_id_, state.next_session_id);
+  for (const auto& [id, s] : state.sessions) {
+    Endpoint ep{s.ip, s.port};
+    SessionRecord rec;
+    rec.id = id;
+    rec.shard = id % shards_.size();
+    rec.last_seen_ms = 0;
+    rec.window.restore(s.newest, s.mask, s.started, config_.rejoin_guard);
+    rec.estop_latched = s.estop;
+    rec.estop_persisted = s.estop;
+    table_.emplace(ep, rec);
+    ++stats_.sessions_restored;
+    (void)shards_[rec.shard]->submit(ShardItem{ShardItem::Kind::kOpen, rec.id, ItpBytes{}, 0});
+  }
+  restored_need_touch_ = !table_.empty();
+  if (config_.events != nullptr && !state.sessions.empty()) {
+    config_.events->emit("sessions_restored", std::nullopt,
+                         {{"count", static_cast<std::uint64_t>(state.sessions.size())},
+                          {"digest", plane.recovery().digest}});
+  }
 }
 
 TeleopGateway::~TeleopGateway() { shutdown(); }
@@ -93,6 +130,16 @@ std::size_t TeleopGateway::pump(std::uint64_t now_ms, std::size_t max) {
       if (n < want) break;  // transport ran dry mid-batch
     }
   }
+  if (restored_need_touch_) {
+    // Restored sessions carry no wall-clock: stamp them with the first
+    // pump's time so the idle scan gives rejoining operators a full
+    // idle_timeout_ms window.
+    const std::lock_guard<std::mutex> lock(table_mutex_);
+    restored_need_touch_ = false;
+    for (auto& [ep, rec] : table_) {
+      if (rec.last_seen_ms == 0) rec.last_seen_ms = now_ms;
+    }
+  }
   if (now_ms - last_evict_scan_ms_ >= kEvictScanPeriodMs || last_evict_scan_ms_ == 0) {
     last_evict_scan_ms_ = now_ms;
     evict_idle(now_ms);
@@ -122,6 +169,23 @@ void TeleopGateway::publish_snapshot(std::uint64_t now_ms) {
   snap->shards = shard_stats();
   for (const SessionStats& s : snap->sessions) {
     if (s.active && s.shard.estop) ++snap->estop_sessions;
+  }
+  // Live E-STOP latches become durable here (once per session): the
+  // publish throttle is the natural place the pump thread observes the
+  // shard-side PLC state.
+  if (config_.persist != nullptr && snap->estop_sessions != 0) {
+    const std::lock_guard<std::mutex> lock(table_mutex_);
+    for (const SessionStats& s : snap->sessions) {
+      if (!s.active || !s.shard.estop) continue;
+      auto it = table_.find(s.endpoint);
+      if (it == table_.end() || it->second.estop_persisted) continue;
+      it->second.estop_persisted = true;
+      persist::StateOp op;
+      op.kind = persist::StateOp::Kind::kEstop;
+      op.session = s.id;
+      op.flag = 1;
+      (void)config_.persist->submit(op);
+    }
   }
   const std::lock_guard<std::mutex> lock(snapshot_mutex_);
   snap->seq = ++publish_seq_;
@@ -205,6 +269,7 @@ void TeleopGateway::shutdown() {
       (void)shards_[rec.shard]->submit(
           ShardItem{ShardItem::Kind::kClose, rec.id, ItpBytes{}, 0});
       ++stats_.sessions_evicted;
+      persist_close(rec.id);
       evicted_[ep] = rec;
     }
     table_.clear();
@@ -213,9 +278,21 @@ void TeleopGateway::shutdown() {
   for (auto& shard : shards_) shard->stop();
 }
 
+void TeleopGateway::persist_close(std::uint32_t session_id) {
+  if (config_.persist == nullptr) return;
+  persist::StateOp op;
+  op.kind = persist::StateOp::Kind::kClose;
+  op.session = session_id;
+  (void)config_.persist->submit(op);
+}
+
 IngestVerdict TeleopGateway::ingest(const Endpoint& from, std::span<const std::uint8_t> bytes,
                                     std::uint64_t now_ms, std::uint64_t ingest_ns) {
   const std::lock_guard<std::mutex> lock(table_mutex_);
+
+  // 0. Fail-safe latch: recovery could not verify the persisted state,
+  // so no traffic is trusted until an operator intervenes.
+  if (fail_safe_) return IngestVerdict::kEstopLatched;
 
   // 1. Frame size (+ MAC tag when the integrity retrofit is on).
   std::span<const std::uint8_t> itp = bytes;
@@ -245,9 +322,21 @@ IngestVerdict TeleopGateway::ingest(const Endpoint& from, std::span<const std::u
     it = table_.emplace(from, rec).first;
     ++stats_.sessions_opened;
     (void)shards_[rec.shard]->submit(ShardItem{ShardItem::Kind::kOpen, rec.id, ItpBytes{}, 0});
+    if (config_.persist != nullptr) {
+      persist::StateOp op;
+      op.kind = persist::StateOp::Kind::kOpen;
+      op.session = rec.id;
+      op.ip = from.ip;
+      op.port = from.port;
+      (void)config_.persist->submit(op);
+    }
   }
   SessionRecord& rec = it->second;
   rec.last_seen_ms = now_ms;
+
+  // 3b. Persisted E-STOP latch (restored from disk): the session exists
+  // but accepts nothing until it is evicted and re-admitted fresh.
+  if (rec.estop_latched) return IngestVerdict::kEstopLatched;
 
   // 4. Anti-replay sequence window.
   const ReplayWindow::Outcome seq = rec.window.check_and_update(decoded.value().sequence);
@@ -273,6 +362,17 @@ IngestVerdict TeleopGateway::ingest(const Endpoint& from, std::span<const std::u
     return IngestVerdict::kBackpressure;
   }
   ++rec.counters.accepted;
+  if (config_.persist != nullptr) {
+    // Window note: coalesced per session by the plane's flusher, so the
+    // WAL cost is ~1 record per dirty session per flush period.
+    persist::StateOp op;
+    op.kind = persist::StateOp::Kind::kWindow;
+    op.session = rec.id;
+    op.newest = rec.window.newest();
+    op.mask = rec.window.mask();
+    op.flag = rec.window.started() ? 1 : 0;
+    (void)config_.persist->submit(op);
+  }
   return IngestVerdict::kAccepted;
 }
 
@@ -295,6 +395,7 @@ void TeleopGateway::note(IngestVerdict v) {
     case IngestVerdict::kStale: ++stats_.rejected_stale; break;
     case IngestVerdict::kSessionLimit: ++stats_.rejected_session_limit; break;
     case IngestVerdict::kBackpressure: ++stats_.backpressure_dropped; break;
+    case IngestVerdict::kEstopLatched: ++stats_.rejected_estop; break;
   }
   reg.add(reject_counter_);
 }
@@ -307,6 +408,7 @@ void TeleopGateway::evict_idle(std::uint64_t now_ms) {
       (void)shards_[rec.shard]->submit(
           ShardItem{ShardItem::Kind::kClose, rec.id, ItpBytes{}, 0});
       ++stats_.sessions_evicted;
+      persist_close(rec.id);
       evicted_[it->first] = rec;
       it = table_.erase(it);
     } else {

@@ -42,6 +42,7 @@
 #include "defense/mac.hpp"
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
+#include "persist/state_plane.hpp"
 #include "svc/session.hpp"
 #include "svc/shard.hpp"
 #include "svc/transport.hpp"
@@ -106,6 +107,19 @@ struct GatewayConfig {
   /// How often pump() refreshes the sequenced snapshot the admin plane
   /// reads (latest_snapshot()); 0 disables publishing from pump().
   std::uint64_t stats_publish_period_ms = 250;
+  /// Crash-consistent state plane (docs/persistence.md).  When set, the
+  /// gateway restores the persisted session table at construction and
+  /// submits session-lifecycle / anti-replay-window / E-STOP ops on the
+  /// tick path (lock-free; the plane's flusher makes them durable).  A
+  /// fail-safe plane (unverifiable artifacts) latches the whole gateway:
+  /// every datagram is rejected kEstopLatched until an operator clears
+  /// the state directory.  Must outlive the gateway.
+  persist::StatePlane* persist = nullptr;
+  /// Restored anti-replay windows advance by this many sequence numbers
+  /// (mask fully set) to also reject replays of the *unsynced* tail —
+  /// traffic accepted after the last durable flush.  Must be >= the peak
+  /// per-session datagram rate times the plane's flush period.
+  std::uint32_t rejoin_guard = 256;
 };
 
 /// Gateway-wide ingest accounting (monotonic; snapshot via stats()).
@@ -127,6 +141,8 @@ struct GatewayStats {
   std::uint64_t active_sessions = 0;
   std::uint64_t drift_checks = 0;  ///< session drift evaluations performed
   std::uint64_t drift_alarms = 0;  ///< sessions that raised a drift alarm
+  std::uint64_t rejected_estop = 0;    ///< datagrams refused by a latched E-STOP
+  std::uint64_t sessions_restored = 0; ///< sessions rebuilt from the state plane
 };
 
 /// Merged per-session view: the pump side's ingest counters plus the
@@ -191,6 +207,9 @@ class TeleopGateway {
   void shutdown();
 
   [[nodiscard]] GatewayStats stats() const;
+  /// True when the state plane failed recovery: the gateway is latched
+  /// fail-safe and rejects every datagram (kEstopLatched).
+  [[nodiscard]] bool fail_safe() const noexcept { return fail_safe_; }
   /// Every session ever admitted (active and evicted), ascending id.
   [[nodiscard]] std::vector<SessionStats> sessions() const;
   [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
@@ -226,6 +245,11 @@ class TeleopGateway {
     std::uint64_t last_seen_ms = 0;
     ReplayWindow window{};
     SessionCounters counters{};
+    /// Restored from a persisted E-STOP latch: every further datagram
+    /// from this endpoint is rejected kEstopLatched.
+    bool estop_latched = false;
+    /// The live PLC latch has already been submitted to the state plane.
+    bool estop_persisted = false;
   };
 
   /// Classify one datagram and (when accepted) enqueue it on its
@@ -237,6 +261,9 @@ class TeleopGateway {
   void evict_idle(std::uint64_t now_ms);
   /// Fold one ingest verdict into the gateway-wide stats and metrics.
   void note(IngestVerdict v);
+  /// Rebuild the session table from the state plane (constructor tail).
+  void restore_from_plane();
+  void persist_close(std::uint32_t session_id);
   [[nodiscard]] SessionStats snapshot_session(const Endpoint& ep, const SessionRecord& rec,
                                               bool active) const;
 
@@ -255,6 +282,11 @@ class TeleopGateway {
   std::uint64_t last_evict_scan_ms_ = 0;
   std::uint64_t last_drift_scan_ms_ = 0;
   bool shut_down_ = false;
+  /// State-plane recovery failed: reject everything (see GatewayConfig).
+  bool fail_safe_ = false;
+  /// Restored sessions carry no wall-clock; the first pump() stamps them
+  /// so the idle-eviction scan doesn't reap them before traffic rejoins.
+  bool restored_need_touch_ = false;
 
   // Pump-cadence SLO state (touched only by the pump thread).
   std::uint64_t last_pump_ns_ = 0;

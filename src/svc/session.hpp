@@ -38,6 +38,7 @@ enum class IngestVerdict : std::uint8_t {
   kStale,          ///< sequence older than the window
   kSessionLimit,   ///< table full, admission refused
   kBackpressure,   ///< shard queue full, datagram dropped
+  kEstopLatched,   ///< session is E-STOP latched (possibly restored from disk)
 };
 
 [[nodiscard]] constexpr std::string_view to_string(IngestVerdict v) noexcept {
@@ -52,6 +53,7 @@ enum class IngestVerdict : std::uint8_t {
     case IngestVerdict::kStale: return "stale";
     case IngestVerdict::kSessionLimit: return "session_limit";
     case IngestVerdict::kBackpressure: return "backpressure";
+    case IngestVerdict::kEstopLatched: return "estop_latched";
   }
   return "unknown";
 }
@@ -106,6 +108,25 @@ class ReplayWindow {
 
   [[nodiscard]] std::uint32_t newest() const noexcept { return newest_; }
   [[nodiscard]] bool started() const noexcept { return any_; }
+  [[nodiscard]] std::uint64_t mask() const noexcept { return mask_; }
+
+  /// Restore a persisted window, advancing `newest` by `guard` with the
+  /// mask fully set.  The guard covers sequence numbers that may have
+  /// been accepted after the last durable flush: every seq at or below
+  /// newest+guard is rejected as replayed/stale, so a rejoining attacker
+  /// replaying the unsynced tail gets nothing.  Legitimate traffic
+  /// re-syncs once its sequence passes the guard band.
+  void restore(std::uint32_t newest, std::uint64_t mask, bool started,
+               std::uint32_t guard) noexcept {
+    any_ = started;
+    if (!started) {
+      newest_ = 0;
+      mask_ = 0;
+      return;
+    }
+    newest_ = newest + guard;
+    mask_ = guard == 0 ? mask : ~0ULL;
+  }
 
  private:
   std::uint32_t newest_ = 0;

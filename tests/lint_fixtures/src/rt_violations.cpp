@@ -32,6 +32,12 @@ class Hot {
     return static_cast<double>(helper_unannotated());  // 1x call
   }
 
+  RG_REALTIME void flush_state(int fd, void* buf, unsigned long len) {
+    write(fd, buf, len);               // 1x io (durability syscall)
+    fsync(fd);                         // 1x io (durability syscall)
+    msync(buf, len, 0);                // 1x io (durability syscall)
+  }
+
   RG_REALTIME double tolerated() {
     // rg-lint: allow(alloc) -- fixture: waived violations must not count
     double* scratch = new double[2];

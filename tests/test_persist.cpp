@@ -1,0 +1,975 @@
+// Crash-consistent state plane tests: CRC32C framing, record scan tail
+// classification, flock single-writer discipline, snapshot+WAL store
+// round-trips and every fail-safe reason, StatePlane submit/flush/restore,
+// the ThresholdStore corrupt-tail matrix, and the gateway-level
+// restore-rejects-replays / E-STOP-latch / fail-safe contracts
+// (docs/persistence.md).  scripts/fault_matrix.sh drives the same
+// contracts from outside the process with real SIGKILLs; these are the
+// in-process, single-failure-at-a-time versions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/thresholds.hpp"
+#include "net/itp_packet.hpp"
+#include "persist/crc32c.hpp"
+#include "persist/file_lock.hpp"
+#include "persist/record.hpp"
+#include "persist/recovery.hpp"
+#include "persist/state_plane.hpp"
+#include "persist/statestore.hpp"
+#include "sim/threshold_store.hpp"
+#include "svc/gateway.hpp"
+#include "svc/session.hpp"
+#include "svc/transport.hpp"
+
+namespace rg {
+namespace {
+
+namespace fs = std::filesystem;
+using persist::crc32c;
+using persist::PersistentState;
+using persist::RecoveryOutcome;
+using persist::RecoveryResult;
+using persist::recover_state;
+using persist::ScanResult;
+using persist::StateStore;
+using persist::TailState;
+using persist::WalKind;
+
+/// Fresh scratch directory under /tmp, removed on destruction.
+struct ScratchDir {
+  explicit ScratchDir(const std::string& name) : path("/tmp/rg_test_persist_" + name) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~ScratchDir() { fs::remove_all(path); }
+  std::string path;
+};
+
+std::vector<std::uint8_t> read_bytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(is),
+                                   std::istreambuf_iterator<char>());
+}
+
+void write_bytes(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  // rg-lint: allow(cast) -- byte->char view for ostream::write
+  os.write(reinterpret_cast<const char*>(bytes.data()),
+           static_cast<std::streamsize>(bytes.size()));
+}
+
+std::vector<std::uint8_t> bytes_of(std::string_view s) {
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+// --- CRC32C ---------------------------------------------------------------
+
+TEST(PersistCrc32c, KnownAnswerAndChaining) {
+  // The canonical CRC32C check value (RFC 3720 appendix / "123456789").
+  const auto check = bytes_of("123456789");
+  EXPECT_EQ(crc32c(check.data(), check.size()), 0xE3069283u);
+  EXPECT_EQ(crc32c(nullptr, 0), 0u);
+
+  // Chaining over split buffers equals one pass over the whole.
+  const auto whole = bytes_of("the quick brown fox jumps over the lazy dog");
+  const std::uint32_t one_pass = crc32c(whole.data(), whole.size());
+  for (std::size_t cut = 0; cut <= whole.size(); cut += 7) {
+    const std::uint32_t head = crc32c(whole.data(), cut);
+    EXPECT_EQ(crc32c(whole.data() + cut, whole.size() - cut, head), one_pass);
+  }
+
+  // Any single-bit flip changes the checksum.
+  auto flipped = check;
+  flipped[4] ^= 0x10;
+  EXPECT_NE(crc32c(flipped.data(), flipped.size()), 0xE3069283u);
+}
+
+// --- record framing + tail classification ---------------------------------
+
+std::vector<std::uint8_t> five_records() {
+  std::vector<std::uint8_t> buf;
+  for (std::uint64_t lsn = 1; lsn <= 5; ++lsn) {
+    std::vector<std::uint8_t> payload(3 + lsn, static_cast<std::uint8_t>(0xA0 + lsn));
+    persist::encode_record(buf, lsn, static_cast<std::uint8_t>(lsn), payload);
+  }
+  return buf;
+}
+
+TEST(PersistRecord, EncodeScanRoundTrip) {
+  const auto buf = five_records();
+  std::vector<persist::RecordView> seen;
+  const ScanResult r = persist::scan_records(buf, 0, 1,
+                                             [&](const persist::RecordView& rec) {
+                                               seen.push_back(rec);
+                                             });
+  EXPECT_EQ(r.records, 5u);
+  EXPECT_EQ(r.last_lsn, 5u);
+  EXPECT_EQ(r.valid_bytes, buf.size());
+  EXPECT_EQ(r.tail, TailState::kClean);
+  ASSERT_EQ(seen.size(), 5u);
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i].lsn, i + 1);
+    EXPECT_EQ(seen[i].kind, i + 1);
+    EXPECT_EQ(seen[i].payload.size(), 4 + i);
+    EXPECT_EQ(seen[i].payload[0], 0xA1 + i);
+  }
+
+  // encode_record_into produces byte-identical frames.
+  std::vector<std::uint8_t> payload(7, 0x5A);
+  std::vector<std::uint8_t> a;
+  persist::encode_record(a, 9, 2, payload);
+  std::vector<std::uint8_t> b(persist::kRecordHeaderSize + payload.size());
+  persist::encode_record_into(b.data(), 9, 2, payload);
+  EXPECT_EQ(a, b);
+}
+
+TEST(PersistRecord, ZeroPaddingIsCleanTail) {
+  auto buf = five_records();
+  const std::size_t valid = buf.size();
+  buf.resize(buf.size() + 4096, 0);  // preallocated-file padding
+  const ScanResult r = persist::scan_records(buf, 0, 1, nullptr);
+  EXPECT_EQ(r.records, 5u);
+  EXPECT_EQ(r.valid_bytes, valid);
+  EXPECT_EQ(r.tail, TailState::kClean);
+}
+
+TEST(PersistRecord, TornTailIsBenign) {
+  auto buf = five_records();
+  const std::size_t valid = buf.size();
+  // A torn final append: garbage that never parses into a frame.
+  for (int i = 0; i < 11; ++i) buf.push_back(0xFF);
+  const ScanResult r = persist::scan_records(buf, 0, 1, nullptr);
+  EXPECT_EQ(r.records, 5u);
+  EXPECT_EQ(r.valid_bytes, valid);
+  EXPECT_EQ(r.tail, TailState::kTornTail);
+}
+
+TEST(PersistRecord, DuplicateTailIsBenign) {
+  auto buf = five_records();
+  const std::size_t valid = buf.size();
+  // Re-append the final frame verbatim: parses, but its LSN does not
+  // advance past the prefix — a crash artifact, not interior damage.
+  std::vector<std::uint8_t> last;
+  persist::encode_record(last, 5, 5, std::vector<std::uint8_t>(8, 0xA5));
+  buf.insert(buf.end(), last.begin(), last.end());
+  const ScanResult r = persist::scan_records(buf, 0, 1, nullptr);
+  EXPECT_EQ(r.records, 5u);
+  EXPECT_EQ(r.valid_bytes, valid);
+  EXPECT_NE(r.tail, TailState::kCorruptInterior);
+}
+
+TEST(PersistRecord, InteriorBitflipClassifiedCorrupt) {
+  auto buf = five_records();
+  // Damage record 2's payload: records 3..5 still parse with advancing
+  // LSNs beyond the now-shortened prefix — interior damage, fail safe.
+  buf[persist::kRecordHeaderSize * 2 + 8] ^= 0x01;
+  const ScanResult r = persist::scan_records(buf, 0, 1, nullptr);
+  EXPECT_EQ(r.records, 1u);
+  EXPECT_EQ(r.tail, TailState::kCorruptInterior);
+}
+
+TEST(PersistRecord, LsnGapClassifiedCorrupt) {
+  std::vector<std::uint8_t> buf;
+  const std::vector<std::uint8_t> p(4, 0x11);
+  persist::encode_record(buf, 1, 1, p);
+  persist::encode_record(buf, 2, 1, p);
+  persist::encode_record(buf, 4, 1, p);  // lsn 3 missing
+  const ScanResult r = persist::scan_records(buf, 0, 1, nullptr);
+  EXPECT_EQ(r.records, 2u);
+  EXPECT_EQ(r.last_lsn, 2u);
+  EXPECT_EQ(r.tail, TailState::kCorruptInterior);
+}
+
+// --- FileLock --------------------------------------------------------------
+
+TEST(PersistFileLock, ExclusiveExcludesAndReleases) {
+  ScratchDir dir("flock");
+  const std::string path = dir.path + "/store.lock";
+
+  auto first = persist::FileLock::acquire(path, persist::FileLock::Mode::kExclusive);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first.value().held());
+
+  // A second (separate fd, same process) non-blocking acquire must fail.
+  auto second =
+      persist::FileLock::acquire(path, persist::FileLock::Mode::kExclusive, /*block=*/false);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.error().code(), ErrorCode::kNotReady);
+
+  first.value().release();
+  EXPECT_FALSE(first.value().held());
+  auto third =
+      persist::FileLock::acquire(path, persist::FileLock::Mode::kExclusive, /*block=*/false);
+  EXPECT_TRUE(third.ok());
+}
+
+TEST(PersistFileLock, SharedCoexistsExclusiveWaits) {
+  ScratchDir dir("flock_shared");
+  const std::string path = dir.path + "/store.lock";
+
+  auto a = persist::FileLock::acquire(path, persist::FileLock::Mode::kShared, false);
+  auto b = persist::FileLock::acquire(path, persist::FileLock::Mode::kShared, false);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+
+  auto writer =
+      persist::FileLock::acquire(path, persist::FileLock::Mode::kExclusive, false);
+  EXPECT_FALSE(writer.ok());
+
+  a.value().release();
+  b.value().release();
+  auto now_ok =
+      persist::FileLock::acquire(path, persist::FileLock::Mode::kExclusive, false);
+  EXPECT_TRUE(now_ok.ok());
+
+  // Move transfers ownership; the source no longer holds.
+  persist::FileLock moved = std::move(now_ok.value());
+  EXPECT_TRUE(moved.held());
+  EXPECT_FALSE(now_ok.value().held());
+}
+
+// --- StateStore round-trips -------------------------------------------------
+
+/// Drive a store through a representative mutation mix.
+void mutate_store(StateStore& store) {
+  ASSERT_TRUE(store.note_open(1, 0x0a000001u, 20000).ok());
+  ASSERT_TRUE(store.note_open(2, 0x0a000002u, 20001).ok());
+  ASSERT_TRUE(store.note_window(1, 42, 0x1fffull, true).ok());
+  ASSERT_TRUE(store.note_window(2, 7, 0x3ull, true).ok());
+  ASSERT_TRUE(store.note_estop(2, true).ok());
+  ASSERT_TRUE(store.note_epoch(3, 0xDEADBEEFCAFEull).ok());
+  ASSERT_TRUE(store.note_sketch(0x1234ull, 600).ok());
+  ASSERT_TRUE(store.note_close(2).ok());
+}
+
+TEST(PersistStateStore, WalRoundTripRestoresExactState) {
+  ScratchDir dir("wal_roundtrip");
+  StateStore store(dir.path);
+  ASSERT_TRUE(store.open_writer(PersistentState{}, 1, 0).ok());
+  mutate_store(store);
+  ASSERT_TRUE(store.sync().ok());
+
+  const RecoveryResult r = recover_state(dir.path);
+  EXPECT_EQ(r.outcome, RecoveryOutcome::kRestored);
+  EXPECT_EQ(r.wal_records_applied, 8u);
+  EXPECT_EQ(r.digest, store.state().digest());
+  EXPECT_EQ(r.last_lsn, store.last_lsn());
+  EXPECT_EQ(r.wal_tail, TailState::kClean);
+  ASSERT_EQ(r.state.sessions.size(), 1u);  // session 2 closed
+  const persist::PersistedSession& s = r.state.sessions.at(1);
+  EXPECT_EQ(s.ip, 0x0a000001u);
+  EXPECT_EQ(s.port, 20000);
+  EXPECT_EQ(s.newest, 42u);
+  EXPECT_EQ(s.mask, 0x1fffull);
+  EXPECT_TRUE(s.started);
+  EXPECT_FALSE(s.estop);
+  EXPECT_EQ(r.state.next_session_id, 3u);
+  EXPECT_EQ(r.state.epoch_id, 3u);
+  EXPECT_EQ(r.state.sketch_samples, 600u);
+}
+
+TEST(PersistStateStore, RotationThenAppendRecovers) {
+  // Regression: write_snapshot truncates the WAL but must also rewind the
+  // file offset — without the rewind, post-rotation appends left a zero
+  // hole at the WAL head and recovery failed safe on interior corruption.
+  ScratchDir dir("rotate_append");
+  StateStore store(dir.path);
+  ASSERT_TRUE(store.open_writer(PersistentState{}, 1, 0).ok());
+  mutate_store(store);
+  ASSERT_TRUE(store.write_snapshot().ok());
+  EXPECT_EQ(store.stats().snapshots, 1u);
+
+  // Mutations after the rotation continue the LSN chain in a fresh WAL.
+  ASSERT_TRUE(store.note_open(5, 0x0a000005u, 20005).ok());
+  ASSERT_TRUE(store.note_window(5, 9, 0x1ull, true).ok());
+  ASSERT_TRUE(store.sync().ok());
+
+  const RecoveryResult r = recover_state(dir.path);
+  EXPECT_EQ(r.outcome, RecoveryOutcome::kRestored);
+  EXPECT_TRUE(r.snapshot_loaded);
+  EXPECT_EQ(r.wal_records_applied, 2u);
+  EXPECT_EQ(r.digest, store.state().digest());
+  EXPECT_EQ(r.state.sessions.count(5), 1u);
+  EXPECT_EQ(r.last_lsn, store.last_lsn());
+}
+
+TEST(PersistStateStore, TornWalTailRestoresDurablePrefix) {
+  ScratchDir dir("torn_tail");
+  std::uint64_t full_digest = 0;
+  {
+    StateStore store(dir.path);
+    ASSERT_TRUE(store.open_writer(PersistentState{}, 1, 0).ok());
+    mutate_store(store);
+    ASSERT_TRUE(store.sync().ok());
+    full_digest = store.state().digest();
+  }
+  const RecoveryResult full = recover_state(dir.path, {.collect_prefix_digests = true});
+  ASSERT_EQ(full.outcome, RecoveryOutcome::kRestored);
+  const std::set<std::uint64_t> prefix_set(full.prefix_digests.begin(),
+                                           full.prefix_digests.end());
+
+  // Chop mid-way through the final record: the torn tail truncates to the
+  // previous durable record, whose digest is in the full run's prefix set.
+  const std::string wal = StateStore::wal_path(dir.path);
+  auto bytes = read_bytes(wal);
+  bytes.resize(bytes.size() - 5);
+  write_bytes(wal, bytes);
+
+  const RecoveryResult r = recover_state(dir.path);
+  EXPECT_EQ(r.outcome, RecoveryOutcome::kRestored);
+  EXPECT_EQ(r.wal_records_applied, 7u);
+  EXPECT_EQ(r.wal_tail, TailState::kTornTail);
+  EXPECT_NE(r.digest, full_digest);
+  EXPECT_EQ(prefix_set.count(r.digest), 1u);
+}
+
+TEST(PersistStateStore, WalFailSafeReasons) {
+  // Orphan head: no snapshot, but the WAL starts past LSN 1 — a gap no
+  // crash can produce.
+  {
+    ScratchDir dir("orphan_head");
+    std::vector<std::uint8_t> wal;
+    std::vector<std::uint8_t> payload(10, 0);  // open body ...
+    PersistentState st;
+    ASSERT_TRUE(StateStore::apply_record(st, WalKind::kSessionOpen, payload).ok());
+    const std::uint64_t digest = st.digest();
+    payload.resize(18);
+    std::memcpy(payload.data() + 10, &digest, 8);
+    persist::encode_record(wal, 5, static_cast<std::uint8_t>(WalKind::kSessionOpen), payload);
+    write_bytes(StateStore::wal_path(dir.path), wal);
+    const RecoveryResult r = recover_state(dir.path);
+    EXPECT_EQ(r.outcome, RecoveryOutcome::kFailSafe);
+    EXPECT_EQ(r.reason, "wal_orphan_head");
+  }
+
+  // Digest mismatch: CRC-valid frame whose carried state digest does not
+  // match the replayed state — bytes intact, state never persisted.
+  {
+    ScratchDir dir("digest_mismatch");
+    std::vector<std::uint8_t> wal;
+    std::vector<std::uint8_t> payload(18, 0);
+    payload[0] = 1;  // session id 1, bogus trailing digest (zeros)
+    persist::encode_record(wal, 1, static_cast<std::uint8_t>(WalKind::kSessionOpen), payload);
+    write_bytes(StateStore::wal_path(dir.path), wal);
+    const RecoveryResult r = recover_state(dir.path);
+    EXPECT_EQ(r.outcome, RecoveryOutcome::kFailSafe);
+    EXPECT_EQ(r.reason, "wal_digest_mismatch");
+  }
+
+  // Malformed record: body size does not match the kind.
+  {
+    ScratchDir dir("malformed");
+    std::vector<std::uint8_t> wal;
+    const std::vector<std::uint8_t> payload(13, 0);  // 5-byte body + 8 digest: wrong for kOpen
+    persist::encode_record(wal, 1, static_cast<std::uint8_t>(WalKind::kSessionOpen), payload);
+    write_bytes(StateStore::wal_path(dir.path), wal);
+    const RecoveryResult r = recover_state(dir.path);
+    EXPECT_EQ(r.outcome, RecoveryOutcome::kFailSafe);
+    EXPECT_EQ(r.reason, "wal_malformed_record");
+  }
+
+  // Payload too small to even carry a digest.
+  {
+    ScratchDir dir("tiny");
+    std::vector<std::uint8_t> wal;
+    const std::vector<std::uint8_t> payload(4, 0);
+    persist::encode_record(wal, 1, static_cast<std::uint8_t>(WalKind::kSessionOpen), payload);
+    write_bytes(StateStore::wal_path(dir.path), wal);
+    const RecoveryResult r = recover_state(dir.path);
+    EXPECT_EQ(r.outcome, RecoveryOutcome::kFailSafe);
+    EXPECT_EQ(r.reason, "wal_malformed_record");
+  }
+
+  // Interior bitflip with valid frames beyond.
+  {
+    ScratchDir dir("interior");
+    {
+      StateStore store(dir.path);
+      ASSERT_TRUE(store.open_writer(PersistentState{}, 1, 0).ok());
+      mutate_store(store);
+      ASSERT_TRUE(store.sync().ok());
+    }
+    const std::string wal = StateStore::wal_path(dir.path);
+    auto bytes = read_bytes(wal);
+    bytes[persist::kRecordHeaderSize + 2] ^= 0x40;  // first record's payload
+    write_bytes(wal, bytes);
+    const RecoveryResult r = recover_state(dir.path);
+    EXPECT_EQ(r.outcome, RecoveryOutcome::kFailSafe);
+    EXPECT_EQ(r.reason, "wal_interior_corrupt");
+  }
+}
+
+TEST(PersistStateStore, SnapshotFailSafeReasons) {
+  ScratchDir dir("snap_corrupt");
+  {
+    StateStore store(dir.path);
+    ASSERT_TRUE(store.open_writer(PersistentState{}, 1, 0).ok());
+    mutate_store(store);
+    ASSERT_TRUE(store.write_snapshot().ok());
+  }
+  const std::string snap = StateStore::snapshot_path(dir.path);
+  const auto pristine = read_bytes(snap);
+  ASSERT_GT(pristine.size(), 80u);
+
+  ASSERT_EQ(recover_state(dir.path).outcome, RecoveryOutcome::kRestored);
+
+  // Interior bitflip -> CRC.
+  auto flipped = pristine;
+  flipped[40] ^= 0x08;
+  write_bytes(snap, flipped);
+  RecoveryResult r = recover_state(dir.path);
+  EXPECT_EQ(r.outcome, RecoveryOutcome::kFailSafe);
+  EXPECT_EQ(r.reason, "snapshot_crc");
+
+  // Severed below the fixed head -> truncated.
+  auto short_bytes = pristine;
+  short_bytes.resize(10);
+  write_bytes(snap, short_bytes);
+  r = recover_state(dir.path);
+  EXPECT_EQ(r.outcome, RecoveryOutcome::kFailSafe);
+  EXPECT_EQ(r.reason, "snapshot_truncated");
+
+  // Wrong magic -> a foreign file, not ours to interpret.
+  auto foreign = pristine;
+  foreign[0] ^= 0xFF;
+  write_bytes(snap, foreign);
+  r = recover_state(dir.path);
+  EXPECT_EQ(r.outcome, RecoveryOutcome::kFailSafe);
+  EXPECT_EQ(r.reason, "snapshot_magic");
+
+  // Restoring the pristine bytes recovers again — fail-safe never
+  // modified the artifacts.
+  write_bytes(snap, pristine);
+  EXPECT_EQ(recover_state(dir.path).outcome, RecoveryOutcome::kRestored);
+}
+
+TEST(PersistStateStore, EmptyAndFreshOutcomes) {
+  ScratchDir dir("fresh");
+  RecoveryResult r = recover_state(dir.path);
+  EXPECT_EQ(r.outcome, RecoveryOutcome::kFresh);
+  EXPECT_EQ(r.state.sessions.size(), 0u);
+
+  // An empty WAL file is still a first boot.
+  write_bytes(StateStore::wal_path(dir.path), {});
+  r = recover_state(dir.path);
+  EXPECT_EQ(r.outcome, RecoveryOutcome::kFresh);
+
+  // A torn very-first append (no complete record) is a fresh store too.
+  write_bytes(StateStore::wal_path(dir.path), std::vector<std::uint8_t>(9, 0xEE));
+  r = recover_state(dir.path);
+  EXPECT_EQ(r.outcome, RecoveryOutcome::kFresh);
+}
+
+TEST(PersistStateStore, ApplyRecordRejectsUnknownKind) {
+  PersistentState st;
+  const std::vector<std::uint8_t> body(4, 0);
+  EXPECT_FALSE(StateStore::apply_record(st, static_cast<WalKind>(99), body).ok());
+}
+
+// --- StatePlane -------------------------------------------------------------
+
+persist::StatePlaneConfig plane_config(const std::string& dir) {
+  persist::StatePlaneConfig pc;
+  pc.dir = dir;
+  pc.start_flusher = false;       // tests drive flush_now() deterministically
+  pc.journal_max_bytes = 1 << 20;  // keep the sparse journal copyable
+  return pc;
+}
+
+TEST(PersistStatePlane, SubmitFlushRestoreCycle) {
+  ScratchDir dir("plane_cycle");
+  std::uint64_t digest = 0;
+  {
+    auto opened = persist::StatePlane::open(plane_config(dir.path));
+    ASSERT_TRUE(opened.ok());
+    persist::StatePlane& plane = *opened.value();
+    EXPECT_EQ(plane.recovery().outcome, RecoveryOutcome::kFresh);
+
+    persist::StateOp open_op;
+    open_op.kind = persist::StateOp::Kind::kOpen;
+    open_op.session = 1;
+    open_op.ip = 0x0a000001u;
+    open_op.port = 20000;
+    EXPECT_TRUE(plane.submit(open_op));
+
+    persist::StateOp window;
+    window.kind = persist::StateOp::Kind::kWindow;
+    window.session = 1;
+    window.newest = 99;
+    window.mask = 0x7ull;
+    window.flag = 1;
+    EXPECT_TRUE(plane.submit(window));
+
+    persist::StateOp epoch;
+    epoch.kind = persist::StateOp::Kind::kEpoch;
+    epoch.a = 11;
+    epoch.b = 0xFEEDull;
+    EXPECT_TRUE(plane.submit(epoch));
+
+    plane.flush_now();
+    digest = plane.state_digest();
+    const persist::StatePlaneStats stats = plane.stats();
+    EXPECT_EQ(stats.ops_submitted, 3u);
+    EXPECT_EQ(stats.ops_applied, 3u);
+    EXPECT_EQ(stats.ops_dropped, 0u);
+    EXPECT_GE(stats.store.wal_records, 3u);
+    plane.stop();
+  }
+  auto reopened = persist::StatePlane::open(plane_config(dir.path));
+  ASSERT_TRUE(reopened.ok());
+  persist::StatePlane& plane = *reopened.value();
+  EXPECT_EQ(plane.recovery().outcome, RecoveryOutcome::kRestored);
+  EXPECT_EQ(plane.recovery().digest, digest);
+  const PersistentState st = plane.state();
+  ASSERT_EQ(st.sessions.count(1), 1u);
+  EXPECT_EQ(st.sessions.at(1).newest, 99u);
+  EXPECT_EQ(st.epoch_id, 11u);
+  plane.stop();
+}
+
+TEST(PersistStatePlane, FailSafePlaneRefusesWrites) {
+  ScratchDir dir("plane_failsafe");
+  {
+    auto opened = persist::StatePlane::open(plane_config(dir.path));
+    ASSERT_TRUE(opened.ok());
+    persist::StateOp op;
+    op.kind = persist::StateOp::Kind::kOpen;
+    op.session = 1;
+    opened.value()->submit(op);
+    op.kind = persist::StateOp::Kind::kWindow;
+    op.newest = 5;
+    op.flag = 1;
+    opened.value()->submit(op);
+    opened.value()->flush_now();
+    opened.value()->stop();
+  }
+  // Interior damage: valid frame beyond a corrupted first record.
+  const std::string wal = StateStore::wal_path(dir.path);
+  auto bytes = read_bytes(wal);
+  ASSERT_GT(bytes.size(), persist::kRecordHeaderSize * 2);
+  bytes[persist::kRecordHeaderSize - 1] ^= 0x01;
+  write_bytes(wal, bytes);
+  const auto before = read_bytes(wal);
+
+  auto opened = persist::StatePlane::open(plane_config(dir.path));
+  ASSERT_TRUE(opened.ok());
+  persist::StatePlane& plane = *opened.value();
+  EXPECT_TRUE(plane.fail_safe());
+  EXPECT_EQ(plane.recovery().reason, "wal_interior_corrupt");
+
+  persist::StateOp op;
+  op.kind = persist::StateOp::Kind::kWindow;
+  op.session = 1;
+  EXPECT_FALSE(plane.submit(op));
+  plane.flush_now();
+  plane.stop();
+  EXPECT_GT(plane.stats().ops_dropped, 0u);
+  // Evidence preserved: the damaged WAL is byte-identical.
+  EXPECT_EQ(read_bytes(wal), before);
+}
+
+TEST(PersistStatePlane, RingFullDropsAreCounted) {
+  ScratchDir dir("plane_ring");
+  persist::StatePlaneConfig pc = plane_config(dir.path);
+  pc.ring_capacity = 16;
+  auto opened = persist::StatePlane::open(pc);
+  ASSERT_TRUE(opened.ok());
+  persist::StatePlane& plane = *opened.value();
+  persist::StateOp op;
+  op.kind = persist::StateOp::Kind::kWindow;
+  op.session = 1;
+  op.flag = 1;
+  std::uint64_t refused = 0;
+  for (int i = 0; i < 100; ++i) {
+    op.newest = static_cast<std::uint32_t>(i);
+    if (!plane.submit(op)) ++refused;
+  }
+  EXPECT_GT(refused, 0u);
+  const persist::StatePlaneStats stats = plane.stats();
+  EXPECT_EQ(stats.ops_dropped, refused);
+  EXPECT_EQ(stats.ops_submitted, 100u - refused);
+  plane.stop();
+}
+
+// --- ReplayWindow persisted round-trip (property) ---------------------------
+
+TEST(PersistReplayWindow, RestoredWindowRejectsEverythingItEverAccepted) {
+  // Property: evolve a window with a random accept pattern, persist its
+  // state at a random intermediate point (the last durable flush), keep
+  // accepting a bounded "unsynced tail" (< guard), then restore.  Every
+  // sequence number the original window EVER accepted — durable or not —
+  // must be rejected by the restored window, and fresh traffic past the
+  // guard band must be accepted.
+  constexpr std::uint32_t kGuard = 256;
+  Pcg32 rng(20260807);
+  for (int trial = 0; trial < 200; ++trial) {
+    svc::ReplayWindow live;
+    std::vector<std::uint32_t> accepted;
+    std::uint32_t seq = 1 + rng.uniform_int(0, 1000);
+
+    const auto feed = [&](int steps, std::uint32_t max_advance) {
+      for (int i = 0; i < steps; ++i) {
+        // Mostly advance; sometimes probe a recent (possibly accepted)
+        // number to exercise out-of-order accepts.
+        std::uint32_t probe;
+        if (rng.uniform_int(0, 9) < 8 || seq < 70) {
+          seq += 1 + rng.uniform_int(0, max_advance - 1);
+          probe = seq;
+        } else {
+          probe = seq - rng.uniform_int(1, 60);
+        }
+        if (live.check_and_update(probe).verdict == svc::IngestVerdict::kAccepted) {
+          accepted.push_back(probe);
+        }
+      }
+    };
+
+    feed(40, 8);
+    // Durable flush point.
+    const std::uint32_t persisted_newest = live.newest();
+    const std::uint64_t persisted_mask = live.mask();
+    const bool persisted_started = live.started();
+    // Unsynced tail: bounded so newest never outruns the guard band.
+    feed(20, 4);
+    ASSERT_LT(live.newest() - persisted_newest, kGuard);
+
+    svc::ReplayWindow restored;
+    restored.restore(persisted_newest, persisted_mask, persisted_started, kGuard);
+    for (const std::uint32_t s : accepted) {
+      const svc::IngestVerdict v = restored.check_and_update(s).verdict;
+      EXPECT_NE(v, svc::IngestVerdict::kAccepted)
+          << "trial " << trial << " seq " << s << " replayed into restored window";
+    }
+    // The guard band itself is sealed...
+    EXPECT_NE(restored.check_and_update(persisted_newest + kGuard).verdict,
+              svc::IngestVerdict::kAccepted);
+    // ...and the first sequence past it flows.
+    EXPECT_EQ(restored.check_and_update(persisted_newest + kGuard + 1).verdict,
+              svc::IngestVerdict::kAccepted);
+  }
+}
+
+TEST(PersistReplayWindow, GuardZeroRestoresVerbatim) {
+  svc::ReplayWindow w;
+  ASSERT_EQ(w.check_and_update(10).verdict, svc::IngestVerdict::kAccepted);
+  ASSERT_EQ(w.check_and_update(12).verdict, svc::IngestVerdict::kAccepted);
+
+  svc::ReplayWindow r;
+  r.restore(w.newest(), w.mask(), w.started(), 0);
+  EXPECT_EQ(r.newest(), w.newest());
+  EXPECT_EQ(r.mask(), w.mask());
+  EXPECT_EQ(r.check_and_update(12).verdict, svc::IngestVerdict::kDuplicate);
+  EXPECT_EQ(r.check_and_update(10).verdict, svc::IngestVerdict::kReplayed);
+  EXPECT_EQ(r.check_and_update(11).verdict, svc::IngestVerdict::kAccepted);
+
+  svc::ReplayWindow fresh;
+  fresh.restore(0, 0, /*started=*/false, 256);
+  EXPECT_FALSE(fresh.started());
+  EXPECT_EQ(fresh.check_and_update(1).verdict, svc::IngestVerdict::kAccepted);
+}
+
+// --- ThresholdStore corrupt-tail matrix -------------------------------------
+
+DetectionThresholds epoch_thresholds(int i) {
+  DetectionThresholds th;
+  const double base = 1.0 + i;
+  th.motor_vel = Vec3{base, base + 0.25, base + 0.5};
+  th.motor_acc = Vec3{10 * base, 10 * base + 1, 10 * base + 2};
+  th.joint_vel = Vec3{0.1 * base, 0.1 * base + 0.01, 0.1 * base + 0.02};
+  return th;
+}
+
+bool thresholds_equal(const DetectionThresholds& a, const DetectionThresholds& b) {
+  for (std::size_t k = 0; k < 3; ++k) {
+    if (a.motor_vel[k] != b.motor_vel[k] || a.motor_acc[k] != b.motor_acc[k] ||
+        a.joint_vel[k] != b.joint_vel[k]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(PersistThresholdStore, TruncationMatrixNeverServesTornThresholds) {
+  ScratchDir dir("th_truncate");
+  const std::string path = dir.path + "/thresholds.txt";
+  std::vector<DetectionThresholds> committed;
+  {
+    ThresholdStore store(path);
+    for (int i = 0; i < 3; ++i) {
+      committed.push_back(epoch_thresholds(i));
+      ASSERT_TRUE(store.commit(committed.back(), {"matrix-test", 600, 99.85, 1.0}).ok());
+    }
+  }
+  std::string pristine;
+  {
+    std::ifstream is(path);
+    std::getline(is, pristine, '\0');
+  }
+  ASSERT_FALSE(pristine.empty());
+
+  // Truncate at every line boundary and at ragged offsets around them.
+  std::vector<std::size_t> cuts;
+  for (std::size_t i = 0; i < pristine.size(); ++i) {
+    if (pristine[i] == '\n') {
+      cuts.push_back(i + 1);
+      if (i > 2) cuts.push_back(i - 2);
+    }
+  }
+  for (const std::size_t cut : cuts) {
+    {
+      std::ofstream os(path, std::ios::trunc);
+      os << pristine.substr(0, cut);
+    }
+    ThresholdStore store(path);
+    const auto active = store.active();
+    if (active.ok()) {
+      // Whatever loads must be one of the exact committed epochs — a
+      // valid shorter history, never a torn or bit-rotted record.
+      bool matched = false;
+      for (const DetectionThresholds& th : committed) {
+        matched = matched || thresholds_equal(active.value().thresholds, th);
+      }
+      EXPECT_TRUE(matched) << "cut at " << cut << " served thresholds never committed";
+    } else {
+      EXPECT_TRUE(active.error().code() == ErrorCode::kMalformedPacket ||
+                  active.error().code() == ErrorCode::kNotReady)
+          << "cut at " << cut << ": " << active.error().message();
+    }
+  }
+
+  // The intact file still serves the newest epoch.
+  {
+    std::ofstream os(path, std::ios::trunc);
+    os << pristine;
+  }
+  ThresholdStore store(path);
+  ASSERT_TRUE(store.active().ok());
+  EXPECT_TRUE(thresholds_equal(store.active().value().thresholds, committed.back()));
+}
+
+TEST(PersistThresholdStore, BitRotIsCaughtByRecordCrc) {
+  ScratchDir dir("th_bitrot");
+  const std::string path = dir.path + "/thresholds.txt";
+  {
+    ThresholdStore store(path);
+    ASSERT_TRUE(store.commit(epoch_thresholds(0), {}).ok());
+  }
+  std::string text;
+  {
+    std::ifstream is(path);
+    std::getline(is, text, '\0');
+  }
+  // Nudge one digit inside the value payload: the line still parses, but
+  // the record's CRC no longer matches — the store must refuse to serve
+  // silently altered thresholds.
+  const std::size_t digit = text.find("1.25");
+  ASSERT_NE(digit, std::string::npos);
+  text[digit] = '9';
+  {
+    std::ofstream os(path, std::ios::trunc);
+    os << text;
+  }
+  ThresholdStore store(path);
+  const auto active = store.active();
+  ASSERT_FALSE(active.ok());
+  EXPECT_EQ(active.error().code(), ErrorCode::kMalformedPacket);
+}
+
+TEST(PersistThresholdStore, ConcurrentCommitsSerializeUnderFlock) {
+  ScratchDir dir("th_flock");
+  const std::string path = dir.path + "/thresholds.txt";
+  constexpr int kPerThread = 8;
+  const auto committer = [&path](int salt) {
+    ThresholdStore store(path);
+    for (int i = 0; i < kPerThread; ++i) {
+      ASSERT_TRUE(store.commit(epoch_thresholds(salt * 100 + i), {"flock-test"}).ok());
+    }
+  };
+  std::thread a(committer, 1);
+  std::thread b(committer, 2);
+  a.join();
+  b.join();
+
+  ThresholdStore store(path);
+  const auto history = store.history();
+  ASSERT_TRUE(history.ok());
+  EXPECT_EQ(history.value().size(), 2u * kPerThread);
+  ASSERT_TRUE(store.active().ok());
+  // Epoch ids are dense and unique despite the interleaving.
+  std::set<std::uint64_t> ids;
+  for (const auto& e : history.value()) ids.insert(e.id);
+  EXPECT_EQ(ids.size(), 2u * kPerThread);
+}
+
+// --- gateway-level crash consistency ----------------------------------------
+
+svc::Endpoint gw_ep(std::uint16_t port) { return svc::Endpoint{0x0a000001u, port}; }
+
+ItpBytes gw_packet(std::uint32_t seq) {
+  ItpPacket pkt;
+  pkt.sequence = seq;
+  pkt.pedal_down = true;
+  return encode_itp(pkt);
+}
+
+void gw_inject(svc::LoopbackTransport& transport, const svc::Endpoint& from,
+               std::uint32_t seq) {
+  const ItpBytes bytes = gw_packet(seq);
+  transport.inject(from, std::span<const std::uint8_t>{bytes});
+}
+
+svc::GatewayConfig gw_config(persist::StatePlane* plane) {
+  svc::GatewayConfig cfg;
+  cfg.shards = 1;
+  cfg.threaded = false;
+  cfg.idle_timeout_ms = 1u << 30;
+  cfg.persist = plane;
+  return cfg;
+}
+
+void gw_pump_all(svc::TeleopGateway& gateway, svc::LoopbackTransport& transport,
+                 std::uint64_t now_ms) {
+  while (transport.pending() > 0) (void)gateway.pump(now_ms);
+  gateway.drain();
+}
+
+TEST(GatewayPersist, RestartRestoresSessionsAndRejectsReplays) {
+  ScratchDir dir("gw_restart");
+  ScratchDir crash("gw_restart_crash");
+  std::uint64_t durable_digest = 0;
+  {
+    auto opened = persist::StatePlane::open(plane_config(dir.path));
+    ASSERT_TRUE(opened.ok());
+    persist::StatePlane& plane = *opened.value();
+    svc::LoopbackTransport transport;
+    svc::TeleopGateway gateway(gw_config(&plane), transport);
+    for (std::uint32_t seq = 1; seq <= 20; ++seq) {
+      gw_inject(transport, gw_ep(20000), seq);
+      gw_inject(transport, gw_ep(20001), seq);
+    }
+    gw_pump_all(gateway, transport, 1);
+    const svc::GatewayStats stats = gateway.stats();
+    EXPECT_EQ(stats.accepted, 40u);
+    EXPECT_EQ(stats.sessions_opened, 2u);
+    plane.flush_now();
+    durable_digest = plane.state_digest();
+    // Freeze the artifacts at the flush point: a SIGKILL here would leave
+    // exactly these bytes.  (Letting the gateway destruct first would be a
+    // clean shutdown — it persists session closes, which is not a crash.)
+    fs::copy(dir.path, crash.path,
+           fs::copy_options::overwrite_existing | fs::copy_options::recursive);
+    // The live gateway + plane now shut down cleanly; the copy is the
+    // crash image the restarted gateway recovers from.
+  }
+
+  auto reopened = persist::StatePlane::open(plane_config(crash.path));
+  ASSERT_TRUE(reopened.ok());
+  persist::StatePlane& plane = *reopened.value();
+  ASSERT_EQ(plane.recovery().outcome, RecoveryOutcome::kRestored);
+  EXPECT_EQ(plane.recovery().digest, durable_digest);
+
+  svc::LoopbackTransport transport;
+  svc::TeleopGateway gateway(gw_config(&plane), transport);
+  EXPECT_EQ(gateway.stats().sessions_restored, 2u);
+  EXPECT_EQ(gateway.stats().sessions_opened, 0u);
+
+  // Replaying the entire pre-crash stream yields zero accepts.
+  for (std::uint32_t seq = 1; seq <= 20; ++seq) gw_inject(transport, gw_ep(20000), seq);
+  gw_pump_all(gateway, transport, 2);
+  svc::GatewayStats stats = gateway.stats();
+  EXPECT_EQ(stats.accepted, 0u);
+  EXPECT_EQ(stats.rejected_stale + stats.rejected_replayed + stats.rejected_duplicate, 20u);
+
+  // Traffic past the rejoin guard (newest 20 + guard 256) flows again,
+  // on the SAME restored session.
+  gw_inject(transport, gw_ep(20000), 20 + 256 + 1);
+  gw_pump_all(gateway, transport, 3);
+  stats = gateway.stats();
+  EXPECT_EQ(stats.accepted, 1u);
+  EXPECT_EQ(stats.sessions_opened, 0u);
+
+  // A brand-new endpoint continues the persisted id sequence.
+  gw_inject(transport, gw_ep(20007), 1);
+  gw_pump_all(gateway, transport, 4);
+  const std::vector<svc::SessionStats> sessions = gateway.sessions();
+  std::uint32_t max_id = 0;
+  for (const svc::SessionStats& s : sessions) max_id = std::max(max_id, s.id);
+  EXPECT_EQ(sessions.size(), 3u);
+  EXPECT_EQ(max_id, 3u);
+  plane.stop();
+}
+
+TEST(GatewayPersist, RestoredEstopLatchStillRejects) {
+  ScratchDir dir("gw_estop");
+  {
+    StateStore store(dir.path);
+    ASSERT_TRUE(store.open_writer(PersistentState{}, 1, 0).ok());
+    ASSERT_TRUE(store.note_open(1, 0x0a000001u, 20000).ok());
+    ASSERT_TRUE(store.note_window(1, 9, 0x1ffull, true).ok());
+    ASSERT_TRUE(store.note_estop(1, true).ok());
+    ASSERT_TRUE(store.sync().ok());
+  }
+  auto opened = persist::StatePlane::open(plane_config(dir.path));
+  ASSERT_TRUE(opened.ok());
+  persist::StatePlane& plane = *opened.value();
+  ASSERT_EQ(plane.recovery().outcome, RecoveryOutcome::kRestored);
+
+  svc::LoopbackTransport transport;
+  svc::TeleopGateway gateway(gw_config(&plane), transport);
+  EXPECT_EQ(gateway.stats().sessions_restored, 1u);
+
+  // Even far past the rejoin guard, a latched session accepts nothing.
+  gw_inject(transport, gw_ep(20000), 5000);
+  gw_pump_all(gateway, transport, 1);
+  const svc::GatewayStats stats = gateway.stats();
+  EXPECT_EQ(stats.accepted, 0u);
+  EXPECT_EQ(stats.rejected_estop, 1u);
+  plane.stop();
+}
+
+TEST(GatewayPersist, FailSafePlaneLatchesWholeGateway) {
+  ScratchDir dir("gw_failsafe");
+  {
+    StateStore store(dir.path);
+    ASSERT_TRUE(store.open_writer(PersistentState{}, 1, 0).ok());
+    ASSERT_TRUE(store.note_open(1, 0x0a000001u, 20000).ok());
+    ASSERT_TRUE(store.note_window(1, 9, 0x1ffull, true).ok());
+    ASSERT_TRUE(store.sync().ok());
+  }
+  const std::string wal = StateStore::wal_path(dir.path);
+  auto bytes = read_bytes(wal);
+  bytes[5] ^= 0x20;  // first record header: interior damage
+  write_bytes(wal, bytes);
+
+  auto opened = persist::StatePlane::open(plane_config(dir.path));
+  ASSERT_TRUE(opened.ok());
+  persist::StatePlane& plane = *opened.value();
+  ASSERT_TRUE(plane.fail_safe());
+
+  svc::LoopbackTransport transport;
+  svc::TeleopGateway gateway(gw_config(&plane), transport);
+  for (std::uint32_t seq = 1; seq <= 5; ++seq) {
+    gw_inject(transport, gw_ep(20000), seq);
+    gw_inject(transport, gw_ep(20001), seq);
+  }
+  gw_pump_all(gateway, transport, 1);
+  const svc::GatewayStats stats = gateway.stats();
+  EXPECT_EQ(stats.accepted, 0u);
+  EXPECT_EQ(stats.sessions_opened, 0u);
+  EXPECT_EQ(stats.rejected_estop, 10u);
+  plane.stop();
+}
+
+}  // namespace
+}  // namespace rg

@@ -10,6 +10,18 @@
 //
 //   itp_loadgen --port 7413 --sessions 64 --rate 1000 --duration 2
 //   itp_loadgen --port 7413 --sessions 8 --burst --attack-mix 0.05
+//
+// Rejoin mode drives the gateway-restart story (docs/persistence.md):
+// at --rejoin-at the senders pause (the harness SIGKILLs and restarts
+// the gateway against the same --state-dir during the gap), replay the
+// last --rejoin-replay recorded datagrams per session verbatim — the
+// restored anti-replay windows must reject every one — then skip the
+// consoles --rejoin-skip ticks forward (a real console's sequence is
+// clocked, so a pause advances it past the rejoin guard) and resume
+// paced traffic into the restored sessions:
+//
+//   itp_loadgen --port 7413 --sessions 8 --rejoin-at 500
+//     --rejoin-pause-ms 1500 --rejoin-replay 32 --rejoin-skip 512
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -58,6 +70,10 @@ struct LoadgenOptions {
   bool mac = false;
   std::uint64_t mac_seed = 7;
   std::uint64_t seed = 1;
+  std::uint64_t rejoin_at = 0;       // tick index to pause at (0 = no rejoin)
+  std::uint32_t rejoin_pause_ms = 1000;
+  std::uint32_t rejoin_replay = 0;   // recorded frames replayed per session
+  std::uint32_t rejoin_skip = 0;     // console ticks skipped across the pause
 };
 
 struct Totals {
@@ -69,6 +85,12 @@ struct Totals {
   std::atomic<std::uint64_t> send_errors{0};
   std::atomic<std::uint64_t> late_sends{0};  // pacing points a full window behind
   std::atomic<std::uint64_t> max_late_ns{0};
+  std::atomic<std::uint64_t> rejoin_replayed{0};  // pre-pause frames re-sent verbatim
+};
+
+struct PendingFrame {
+  std::uint8_t bytes[64];
+  std::size_t len = 0;
 };
 
 struct ClientSession {
@@ -77,6 +99,11 @@ struct ClientSession {
   Pcg32 rng;
   std::vector<std::uint8_t> last_frame;
   std::uint32_t attack_rotor = 0;
+  /// Rejoin mode: ring of the last --rejoin-replay frames that hit the
+  /// wire, replayed verbatim after the gateway restart.
+  std::vector<PendingFrame> sent_ring;
+  std::size_t sent_pos = 0;
+  std::uint64_t sent_count = 0;
 
   ClientSession() : rng(1) {}
   ~ClientSession() {
@@ -129,11 +156,6 @@ std::vector<std::uint8_t> build_frame(ClientSession& cs, const LoadgenOptions& o
   return frame;
 }
 
-struct PendingFrame {
-  std::uint8_t bytes[64];
-  std::size_t len = 0;
-};
-
 /// Flush up to kMaxSendBatch queued frames on one connected socket.  On
 /// Linux this is a single sendmmsg; kernels without it (ENOSYS) and
 /// other platforms fall back to per-datagram send.
@@ -169,6 +191,33 @@ void flush_frames(int fd, PendingFrame* frames, std::size_t count, Totals& total
   }
 }
 
+/// Rejoin pause for one worker's sessions: wait out the gateway restart,
+/// replay the recorded pre-pause frames verbatim (oldest first), then
+/// advance every console --rejoin-skip ticks as its clocked sequence
+/// would have during the gap.
+void rejoin_pause(std::vector<ClientSession*>& sessions, const LoadgenOptions& opt,
+                  Totals& totals) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(opt.rejoin_pause_ms));
+  for (ClientSession* cs : sessions) {
+    const std::size_t have =
+        std::min<std::uint64_t>(cs->sent_count, cs->sent_ring.size());
+    const bool wrapped = cs->sent_count > cs->sent_ring.size();
+    for (std::size_t i = 0; i < have; i += kMaxSendBatch) {
+      PendingFrame replay[kMaxSendBatch];
+      std::size_t n = 0;
+      for (; n < kMaxSendBatch && i + n < have; ++n) {
+        // Oldest-first: once wrapped, the write cursor is the oldest slot.
+        const std::size_t at =
+            wrapped ? (cs->sent_pos + i + n) % cs->sent_ring.size() : i + n;
+        replay[n] = cs->sent_ring[at];
+      }
+      flush_frames(cs->fd, replay, n, totals);
+      totals.rejoin_replayed.fetch_add(n, std::memory_order_relaxed);
+    }
+    for (std::uint32_t i = 0; i < opt.rejoin_skip; ++i) (void)cs->console->tick();
+  }
+}
+
 void run_worker(std::vector<ClientSession*> sessions, const LoadgenOptions& opt,
                 const MacKey& key, std::uint64_t ticks, Totals& totals) {
   const std::size_t batch = std::clamp<std::size_t>(opt.batch, 1, kMaxSendBatch);
@@ -181,12 +230,28 @@ void run_worker(std::vector<ClientSession*> sessions, const LoadgenOptions& opt,
   const double tick_ns = 1.0e9 / opt.rate;
   std::uint64_t local_late = 0;
   std::int64_t local_max_late = 0;
+  bool rejoined = false;
+  // Rejoin shifts every later deadline by the realized pause, so the
+  // resumed stream is paced (not a catch-up burst) and late accounting
+  // stays meaningful.
+  std::chrono::nanoseconds pause_shift{0};
   for (std::uint64_t tick = 0; tick < ticks; tick += batch) {
     const std::uint64_t window = std::min<std::uint64_t>(batch, ticks - tick);
-    if (!opt.burst) {
-      const auto deadline =
+    if (opt.rejoin_at > 0 && !rejoined && tick >= opt.rejoin_at) {
+      rejoined = true;
+      rejoin_pause(sessions, opt, totals);
+      const auto nominal =
           t0 + std::chrono::nanoseconds(
                    static_cast<std::int64_t>(static_cast<double>(tick) * tick_ns));
+      pause_shift = std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - nominal);
+      if (pause_shift.count() < 0) pause_shift = std::chrono::nanoseconds{0};
+    }
+    if (!opt.burst) {
+      const auto deadline =
+          t0 + pause_shift +
+          std::chrono::nanoseconds(
+              static_cast<std::int64_t>(static_cast<double>(tick) * tick_ns));
       std::this_thread::sleep_until(deadline);
       const std::int64_t late_ns =
           std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
@@ -209,6 +274,11 @@ void run_worker(std::vector<ClientSession*> sessions, const LoadgenOptions& opt,
         PendingFrame& slot = pending[queued++];
         slot.len = std::min(frame.size(), sizeof slot.bytes);
         std::memcpy(slot.bytes, frame.data(), slot.len);
+        if (!rejoined && !cs->sent_ring.empty()) {
+          cs->sent_ring[cs->sent_pos] = slot;
+          cs->sent_pos = (cs->sent_pos + 1) % cs->sent_ring.size();
+          ++cs->sent_count;
+        }
       }
       flush_frames(cs->fd, pending.data(), queued, totals);
     }
@@ -242,6 +312,14 @@ int main(int argc, char** argv) {
   flags.flag("--mac", &opt.mac, "seal frames with the SipHash MAC");
   flags.value("--mac-seed", &opt.mac_seed, "MAC key seed (must match the gateway)");
   flags.value("--seed", &opt.seed, "base RNG seed");
+  flags.value("--rejoin-at", &opt.rejoin_at,
+              "pause at this tick for a gateway restart (0 = no rejoin)");
+  flags.value("--rejoin-pause-ms", &opt.rejoin_pause_ms,
+              "restart window to wait out (default 1000)");
+  flags.value("--rejoin-replay", &opt.rejoin_replay,
+              "recorded frames to replay per session after the pause");
+  flags.value("--rejoin-skip", &opt.rejoin_skip,
+              "console ticks skipped across the pause (clears the rejoin guard)");
   flags.value("--out", &out_json, "write a rg.loadgen/1 JSON summary here");
   if (const Status st = flags.parse(argc, argv, 1); !st.ok()) {
     std::fprintf(stderr, "%s\n\nusage: itp_loadgen [options]\n%s",
@@ -280,6 +358,7 @@ int main(int argc, char** argv) {
     cs->console = std::make_unique<MasterConsole>(std::move(trajectory),
                                                   PedalSchedule::hold_from(0.05));
     cs->rng = Pcg32(opt.seed * 0x9e3779b97f4a7c15ULL + i);
+    if (opt.rejoin_at > 0 && opt.rejoin_replay > 0) cs->sent_ring.resize(opt.rejoin_replay);
     sessions.push_back(std::move(cs));
   }
 
@@ -319,6 +398,12 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(totals.late_sends.load()),
                 static_cast<double>(totals.max_late_ns.load()) / 1.0e6);
   }
+  if (opt.rejoin_at > 0) {
+    std::printf("itp_loadgen: rejoin at tick %llu (paused %u ms) — replayed %llu, skipped %u\n",
+                static_cast<unsigned long long>(opt.rejoin_at), opt.rejoin_pause_ms,
+                static_cast<unsigned long long>(totals.rejoin_replayed.load()),
+                opt.rejoin_skip);
+  }
 
   if (!out_json.empty()) {
     std::ofstream os(out_json);
@@ -332,7 +417,9 @@ int main(int argc, char** argv) {
        << "  \"send_errors\": " << totals.send_errors.load() << ",\n"
        << "  \"batch\": " << opt.batch << ",\n"
        << "  \"late_sends\": " << totals.late_sends.load() << ",\n"
-       << "  \"max_late_ns\": " << totals.max_late_ns.load() << "\n}\n";
+       << "  \"max_late_ns\": " << totals.max_late_ns.load() << ",\n"
+       << "  \"rejoin_at\": " << opt.rejoin_at << ",\n"
+       << "  \"rejoin_replayed\": " << totals.rejoin_replayed.load() << "\n}\n";
   }
   return 0;
 }

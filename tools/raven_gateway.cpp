@@ -26,6 +26,8 @@
 #include "common/flags.hpp"
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
+#include "persist/journal_sink.hpp"
+#include "persist/state_plane.hpp"
 #include "sim/threshold_store.hpp"
 #include "svc/admin.hpp"
 #include "svc/gateway.hpp"
@@ -44,7 +46,8 @@ std::uint64_t steady_ms() {
 }
 
 void write_stats_json(const std::string& path, const rg::svc::TeleopGateway& gateway,
-                      std::uint16_t port, double elapsed_sec) {
+                      const rg::persist::StatePlane* plane, std::uint16_t port,
+                      double elapsed_sec) {
   const rg::svc::GatewayStats s = gateway.stats();
   std::ofstream os(path);
   if (!os) {
@@ -70,6 +73,19 @@ void write_stats_json(const std::string& path, const rg::svc::TeleopGateway& gat
   os << "  \"sessions_evicted\": " << s.sessions_evicted << ",\n";
   os << "  \"drift_checks\": " << s.drift_checks << ",\n";
   os << "  \"drift_alarms\": " << s.drift_alarms << ",\n";
+  os << "  \"rejected_estop\": " << s.rejected_estop << ",\n";
+  os << "  \"sessions_restored\": " << s.sessions_restored << ",\n";
+  if (plane != nullptr) {
+    const rg::persist::StatePlaneStats ps = plane->stats();
+    os << "  \"persist\": {\"outcome\": \"" << to_string(plane->recovery().outcome)
+       << "\", \"reason\": \"" << plane->recovery().reason
+       << "\", \"state_digest\": \"" << std::hex << plane->state_digest() << std::dec
+       << "\", \"ops_submitted\": " << ps.ops_submitted
+       << ", \"ops_dropped\": " << ps.ops_dropped << ", \"ops_applied\": " << ps.ops_applied
+       << ", \"flushes\": " << ps.flushes << ", \"wal_records\": " << ps.store.wal_records
+       << ", \"snapshots\": " << ps.store.snapshots
+       << ", \"journal_records\": " << ps.journal.records << "},\n";
+  }
   os << "  \"sessions\": [";
   const auto sessions = gateway.sessions();
   for (std::size_t i = 0; i < sessions.size(); ++i) {
@@ -114,6 +130,9 @@ int main(int argc, char** argv) {
   int thresholds_epoch = -1;
   double drift_ratio = 1.25;
   std::uint64_t drift_min_samples = 512;
+  std::string state_dir;
+  std::uint32_t rejoin_guard = 256;
+  std::uint64_t persist_flush_ms = 25;
 
   FlagSet flags;
   flags.value("--port", &port, "UDP port to bind (0 = ephemeral)");
@@ -144,6 +163,14 @@ int main(int argc, char** argv) {
   flags.value("--drift-min-samples", &drift_min_samples,
               "predictions before a session may drift");
   flags.value("--events-out", &events_out, "write rg.events/1 JSONL (cal_drift records) here");
+  flags.value("--state-dir", &state_dir,
+              "crash-consistent state directory (journal + snapshot + WAL); restart "
+              "restores sessions exactly or fails safe to latched E-STOP");
+  flags.value("--rejoin-guard", &rejoin_guard,
+              "advance restored anti-replay windows by this many seqs (covers the "
+              "unsynced tail; default 256)");
+  flags.value("--persist-flush-ms", &persist_flush_ms,
+              "state plane group-commit period in ms (default 25)");
   if (const Status st = flags.parse(argc, argv, 1); !st.ok()) {
     std::fprintf(stderr, "%s\n\nusage: raven_gateway [options]\n%s",
                  st.error().to_string().c_str(), flags.help().c_str());
@@ -177,6 +204,8 @@ int main(int argc, char** argv) {
     config.mac_key = MacKey::from_seed(mac_seed);
 
     obs::EventLog events;
+    std::uint64_t loaded_epoch_id = 0;
+    std::uint64_t loaded_epoch_digest = 0;
     if (calibrate) {
       if (thresholds_path.empty()) {
         std::fprintf(stderr, "--calibrate requires --thresholds <epoch store>\n");
@@ -193,13 +222,63 @@ int main(int argc, char** argv) {
       }
       config.calibration.enabled = true;
       config.calibration.committed = epoch.value().thresholds;
+      loaded_epoch_id = epoch.value().id;
+      {
+        const DetectionThresholds& th = epoch.value().thresholds;
+        std::uint64_t d = persist::fnv1a64(th.motor_vel.v.data(), 3 * sizeof(double));
+        d = persist::fnv1a64(th.motor_acc.v.data(), 3 * sizeof(double), d);
+        d = persist::fnv1a64(th.joint_vel.v.data(), 3 * sizeof(double), d);
+        loaded_epoch_digest = d;
+      }
       config.calibration.max_ratio = drift_ratio;
       config.calibration.min_samples = drift_min_samples;
       config.events = &events;
       std::printf("calibration on: drift baseline epoch %llu from %s\n",
                   static_cast<unsigned long long>(epoch.value().id), thresholds_path.c_str());
     }
+    // The state plane must outlive the gateway: the gateway's shutdown
+    // path submits kClose ops that the plane's destructor makes durable.
+    std::unique_ptr<persist::StatePlane> plane;
+    std::unique_ptr<persist::JournalEventSink> journal_sink;
+    if (!state_dir.empty()) {
+      persist::StatePlaneConfig pc;
+      pc.dir = state_dir;
+      pc.flush_period_ms = persist_flush_ms;
+      auto opened = persist::StatePlane::open(pc);
+      if (!opened.ok()) {
+        std::fprintf(stderr, "cannot open state plane %s: %s\n", state_dir.c_str(),
+                     opened.error().to_string().c_str());
+        return 1;
+      }
+      plane = std::move(opened.value());
+      config.persist = plane.get();
+      config.rejoin_guard = rejoin_guard;
+      config.events = &events;
+      journal_sink = std::make_unique<persist::JournalEventSink>(plane->journal());
+      events.set_sink(journal_sink.get());
+      std::printf("state plane %s: recovery %s%s%s\n", state_dir.c_str(),
+                  std::string(to_string(plane->recovery().outcome)).c_str(),
+                  plane->recovery().reason.empty() ? "" : " reason=",
+                  plane->recovery().reason.c_str());
+      if (plane->fail_safe()) {
+        std::fprintf(stderr,
+                     "state plane recovery FAILED: gateway is latched fail-safe and will "
+                     "reject all traffic (inspect %s)\n",
+                     state_dir.c_str());
+      }
+    }
     svc::TeleopGateway gateway(config, transport);
+    if (plane != nullptr && !plane->fail_safe()) {
+      // Note the active threshold epoch so a restart can assert it is
+      // still calibrated against the same baseline.
+      if (calibrate) {
+        persist::StateOp op;
+        op.kind = persist::StateOp::Kind::kEpoch;
+        op.a = loaded_epoch_id;
+        op.b = loaded_epoch_digest;
+        (void)plane->submit(op);
+      }
+    }
 
     std::unique_ptr<svc::AdminServer> admin;
     if (admin_port >= 0) {
@@ -208,6 +287,7 @@ int main(int argc, char** argv) {
       admin_config.port = static_cast<std::uint16_t>(admin_port);
       admin = std::make_unique<svc::AdminServer>(admin_config, &gateway);
       admin->set_event_log(&events);
+      if (plane != nullptr) admin->set_state_plane(plane.get());
       // First snapshot before traffic so /readyz and /stats are answerable
       // the moment the admin port is published.
       gateway.publish_snapshot(steady_ms());
@@ -236,6 +316,10 @@ int main(int argc, char** argv) {
       (void)gateway.scan_drift_now(steady_ms());
     }
     gateway.shutdown();
+    if (plane != nullptr) {
+      events.set_sink(nullptr);
+      plane->stop();  // final flush: the shutdown kClose ops become durable
+    }
 
     const svc::GatewayStats s = gateway.stats();
     std::printf("gateway: %llu datagrams, %llu accepted, %llu sessions, %llu evicted\n",
@@ -244,7 +328,9 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(s.sessions_opened),
                 static_cast<unsigned long long>(s.sessions_evicted));
 
-    if (!stats_out.empty()) write_stats_json(stats_out, gateway, transport.bound_port(), elapsed);
+    if (!stats_out.empty()) {
+      write_stats_json(stats_out, gateway, plane.get(), transport.bound_port(), elapsed);
+    }
     if (!events_out.empty() && !events.write_jsonl_file(events_out)) {
       std::fprintf(stderr, "cannot write %s\n", events_out.c_str());
     }

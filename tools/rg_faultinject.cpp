@@ -1,0 +1,309 @@
+// rg_faultinject: deterministic fault-injection driver for the
+// crash-consistent state plane (docs/persistence.md).
+//
+// Three subcommands compose into scripts/fault_matrix.sh's seeded
+// crash/corruption matrix:
+//
+//   generate --dir D --seed S --ops N [--kill-at K] [--flush-every F]
+//       Drive a StatePlane (flusher off — every durability point is an
+//       explicit flush) with a SplitMix64-derived op stream: session
+//       opens/closes, window advances, E-STOP latches, epoch and sketch
+//       notes.  With --kill-at K the process dies via _exit(137) right
+//       after submitting op K — no flush, no destructors — simulating a
+//       SIGKILL at an arbitrary instruction boundary.  On completion
+//       prints rg.faultinject/1 JSON with the final state digest.
+//
+//   corrupt --file F --mode truncate|bitflip|zeropage|duptail --offset O
+//       Damage one artifact byte-precisely: truncate to O, flip bit
+//       (O mod 8) of byte O, zero the 4 KiB page containing O, or append
+//       a duplicate of the file's last --len bytes (default 64).
+//
+//   verify --dir D
+//       Run recovery exactly as a restarting gateway would and print
+//       rg.faultinject.verify/1 JSON: outcome, reason, restored digest,
+//       and the full durable-prefix digest set.  The harness asserts
+//       every corrupted cell either restores to a digest in the
+//       *baseline's* prefix set or reports fail_safe — never a silently
+//       corrupt load.
+//
+// Everything is seeded: same seed + same kill/corruption point = same
+// bytes, same digests, same verdict.
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/flags.hpp"
+#include "persist/journal.hpp"
+#include "persist/recovery.hpp"
+#include "persist/state_plane.hpp"
+
+namespace {
+
+using namespace rg;
+using namespace rg::persist;
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Local mirror of the synthetic sessions the op stream has opened.
+struct ModelSession {
+  std::uint32_t id = 0;
+  std::uint32_t newest = 0;
+  std::uint64_t mask = 0;
+  bool started = false;
+};
+
+int cmd_generate(const std::string& dir, std::uint64_t seed, std::uint64_t ops,
+                 int kill_at, std::uint64_t flush_every) {
+  StatePlaneConfig pc;
+  pc.dir = dir;
+  pc.start_flusher = false;  // durability points are explicit flush_now() calls
+  pc.snapshot_wal_bytes = 32 * 1024;  // small: the matrix exercises rotation too
+  auto opened = StatePlane::open(pc);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "rg_faultinject: cannot open %s: %s\n", dir.c_str(),
+                 opened.error().to_string().c_str());
+    return 1;
+  }
+  StatePlane& plane = *opened.value();
+  if (plane.fail_safe()) {
+    std::fprintf(stderr, "rg_faultinject: %s recovered fail-safe (%s); refusing to generate\n",
+                 dir.c_str(), plane.recovery().reason.c_str());
+    return 1;
+  }
+
+  std::uint64_t rng = seed;
+  std::vector<ModelSession> open_sessions;
+  std::uint32_t next_id = std::max<std::uint32_t>(1, plane.state().next_session_id);
+  std::uint64_t epoch_counter = 0;
+
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    const std::uint64_t r = splitmix64(rng);
+    const std::uint64_t pick = r % 100;
+    StateOp op;
+    if (pick < 8 || open_sessions.empty()) {
+      ModelSession s;
+      s.id = next_id++;
+      op.kind = StateOp::Kind::kOpen;
+      op.session = s.id;
+      op.ip = 0x7f000001;
+      op.port = static_cast<std::uint16_t>(40000 + (s.id & 0x3fff));
+      open_sessions.push_back(s);
+    } else if (pick < 12) {
+      const std::size_t victim = static_cast<std::size_t>(r >> 8) % open_sessions.size();
+      op.kind = StateOp::Kind::kClose;
+      op.session = open_sessions[victim].id;
+      open_sessions.erase(open_sessions.begin() + static_cast<std::ptrdiff_t>(victim));
+    } else if (pick < 14) {
+      const std::size_t victim = static_cast<std::size_t>(r >> 8) % open_sessions.size();
+      op.kind = StateOp::Kind::kEstop;
+      op.session = open_sessions[victim].id;
+      op.flag = 1;
+    } else if (pick < 16) {
+      op.kind = StateOp::Kind::kEpoch;
+      op.a = ++epoch_counter;
+      op.b = splitmix64(rng);
+    } else if (pick < 18) {
+      op.kind = StateOp::Kind::kSketch;
+      op.a = splitmix64(rng);
+      op.b = i;
+    } else {
+      ModelSession& s = open_sessions[static_cast<std::size_t>(r >> 8) % open_sessions.size()];
+      const std::uint32_t advance = 1 + static_cast<std::uint32_t>((r >> 40) % 3);
+      s.newest = s.started ? s.newest + advance : 1;
+      s.mask = s.started ? ((advance >= 64 ? 0 : s.mask << advance) | 1) : 1;
+      s.started = true;
+      op.kind = StateOp::Kind::kWindow;
+      op.session = s.id;
+      op.newest = s.newest;
+      op.mask = s.mask;
+      op.flag = 1;
+    }
+    if (!plane.submit(op)) {
+      std::fprintf(stderr, "rg_faultinject: op %" PRIu64 " dropped (ring full?)\n", i);
+      return 1;
+    }
+    if (kill_at >= 0 && i == static_cast<std::uint64_t>(kill_at)) {
+      // SIGKILL semantics: no flush, no flusher, no destructors.  The
+      // artifacts hold exactly what the last explicit flush made durable.
+      ::_exit(137);
+    }
+    if (flush_every != 0 && (i + 1) % flush_every == 0) plane.flush_now();
+  }
+  plane.stop();  // final flush
+
+  std::printf("{\"schema\": \"rg.faultinject/1\", \"seed\": %" PRIu64 ", \"ops\": %" PRIu64
+              ", \"final_digest\": \"%016" PRIx64 "\", \"wal_records\": %" PRIu64
+              ", \"snapshots\": %" PRIu64 "}\n",
+              seed, ops, plane.state_digest(), plane.stats().store.wal_records,
+              plane.stats().store.snapshots);
+  return 0;
+}
+
+int cmd_corrupt(const std::string& file, const std::string& mode, std::uint64_t offset,
+                std::uint64_t len) {
+  const int fd = ::open(file.c_str(), O_RDWR);
+  if (fd < 0) {
+    std::fprintf(stderr, "rg_faultinject: cannot open %s: %s\n", file.c_str(),
+                 std::strerror(errno));
+    return 1;
+  }
+  const auto size = static_cast<std::uint64_t>(::lseek(fd, 0, SEEK_END));
+  int rc = 0;
+  if (mode == "truncate") {
+    if (::ftruncate(fd, static_cast<off_t>(std::min(offset, size))) != 0) rc = 1;
+  } else if (mode == "bitflip") {
+    if (offset >= size) {
+      std::fprintf(stderr, "rg_faultinject: offset %" PRIu64 " beyond %s (%" PRIu64 " bytes)\n",
+                   offset, file.c_str(), size);
+      rc = 1;
+    } else {
+      std::uint8_t byte = 0;
+      if (::pread(fd, &byte, 1, static_cast<off_t>(offset)) != 1) rc = 1;
+      byte ^= static_cast<std::uint8_t>(1u << (offset % 8));
+      if (rc == 0 && ::pwrite(fd, &byte, 1, static_cast<off_t>(offset)) != 1) rc = 1;
+    }
+  } else if (mode == "zeropage") {
+    const std::uint64_t page = offset & ~0xfffULL;
+    if (page >= size) {
+      std::fprintf(stderr, "rg_faultinject: page %" PRIu64 " beyond %s\n", page, file.c_str());
+      rc = 1;
+    } else {
+      const std::uint64_t n = std::min<std::uint64_t>(4096, size - page);
+      const std::vector<std::uint8_t> zeros(n, 0);
+      if (::pwrite(fd, zeros.data(), n, static_cast<off_t>(page)) !=
+          static_cast<ssize_t>(n)) {
+        rc = 1;
+      }
+    }
+  } else if (mode == "duptail") {
+    const std::uint64_t n = std::min<std::uint64_t>(len == 0 ? 64 : len, size);
+    std::vector<std::uint8_t> tail(n);
+    if (n != 0 && ::pread(fd, tail.data(), n, static_cast<off_t>(size - n)) !=
+                      static_cast<ssize_t>(n)) {
+      rc = 1;
+    }
+    if (rc == 0 && n != 0 &&
+        ::pwrite(fd, tail.data(), n, static_cast<off_t>(size)) != static_cast<ssize_t>(n)) {
+      rc = 1;
+    }
+  } else {
+    std::fprintf(stderr, "rg_faultinject: unknown mode '%s'\n", mode.c_str());
+    rc = 1;
+  }
+  if (rc != 0 && errno != 0) {
+    std::fprintf(stderr, "rg_faultinject: corrupt %s failed: %s\n", file.c_str(),
+                 std::strerror(errno));
+  }
+  ::close(fd);
+  return rc;
+}
+
+int cmd_verify(const std::string& dir) {
+  RecoverOptions options;
+  options.collect_prefix_digests = true;
+  const RecoveryResult rec = recover_state(dir, options);
+
+  // Journal health rides along (corruption there is observational for
+  // the store but flips the *plane* fail-safe on foreign magic).
+  std::uint64_t journal_records = 0;
+  std::string journal_tail = "absent";
+  const auto journal_scan = Journal::scan_file(
+      dir + "/journal.rgjrnl", [&journal_records](const RecordView&) { ++journal_records; });
+  if (journal_scan.ok()) journal_tail = to_string(journal_scan.value().tail);
+
+  std::printf("{\"schema\": \"rg.faultinject.verify/1\", \"outcome\": \"%s\", \"reason\": \"%s\""
+              ", \"digest\": \"%016" PRIx64 "\", \"last_lsn\": %" PRIu64
+              ", \"snapshot_loaded\": %s, \"wal_records_applied\": %" PRIu64
+              ", \"wal_records_skipped\": %" PRIu64 ", \"wal_tail\": \"%s\""
+              ", \"sessions\": %zu, \"journal_records\": %" PRIu64 ", \"journal_tail\": \"%s\""
+              ", \"prefix_digests\": [",
+              std::string(to_string(rec.outcome)).c_str(), rec.reason.c_str(), rec.digest,
+              rec.last_lsn, rec.snapshot_loaded ? "true" : "false", rec.wal_records_applied,
+              rec.wal_records_skipped, std::string(to_string(rec.wal_tail)).c_str(),
+              rec.state.sessions.size(), journal_records, journal_tail.c_str());
+  for (std::size_t i = 0; i < rec.prefix_digests.size(); ++i) {
+    std::printf("%s\"%016" PRIx64 "\"", i == 0 ? "" : ", ", rec.prefix_digests[i]);
+  }
+  std::printf("]}\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: rg_faultinject <generate|corrupt|verify> [options]\n");
+    return 1;
+  }
+  const std::string cmd = argv[1];
+
+  std::string dir;
+  std::string file;
+  std::string mode;
+  std::uint64_t seed = 1;
+  std::uint64_t ops = 1000;
+  int kill_at = -1;
+  std::uint64_t flush_every = 64;
+  std::uint64_t offset = 0;
+  std::uint64_t len = 0;
+
+  FlagSet flags;
+  flags.value("--dir", &dir, "state directory (generate/verify)");
+  flags.value("--file", &file, "artifact to damage (corrupt)");
+  flags.value("--mode", &mode, "corruption mode: truncate|bitflip|zeropage|duptail");
+  flags.value("--seed", &seed, "op-stream seed (generate)");
+  flags.value("--ops", &ops, "ops to generate");
+  flags.value("--kill-at", &kill_at, "_exit(137) right after this op index (-1 = run out)");
+  flags.value("--flush-every", &flush_every, "flush_now() every N ops (0 = only at exit)");
+  flags.value("--offset", &offset, "damage offset in bytes");
+  flags.value("--len", &len, "damage length (duptail; default 64)");
+  if (const Status st = flags.parse(argc, argv, 2); !st.ok()) {
+    std::fprintf(stderr, "%s\n\nusage: rg_faultinject <generate|corrupt|verify> [options]\n%s",
+                 st.error().to_string().c_str(), flags.help().c_str());
+    return 1;
+  }
+
+  try {
+    if (cmd == "generate") {
+      if (dir.empty()) {
+        std::fprintf(stderr, "generate requires --dir\n");
+        return 1;
+      }
+      return cmd_generate(dir, seed, ops, kill_at, flush_every);
+    }
+    if (cmd == "corrupt") {
+      if (file.empty() || mode.empty()) {
+        std::fprintf(stderr, "corrupt requires --file and --mode\n");
+        return 1;
+      }
+      return cmd_corrupt(file, mode, offset, len);
+    }
+    if (cmd == "verify") {
+      if (dir.empty()) {
+        std::fprintf(stderr, "verify requires --dir\n");
+        return 1;
+      }
+      return cmd_verify(dir);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rg_faultinject: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "rg_faultinject: unknown subcommand '%s'\n", cmd.c_str());
+  return 1;
+}

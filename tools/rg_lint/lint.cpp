@@ -323,6 +323,16 @@ const std::unordered_map<std::string, Check>& banned_idents() {
       {"cerr", Check::kIo},
       {"clog", Check::kIo},
       {"endl", Check::kIo},
+      // durability syscalls: persistence must ride the flusher thread,
+      // never the tick path (docs/persistence.md)
+      {"fsync", Check::kIo},
+      {"fdatasync", Check::kIo},
+      {"msync", Check::kIo},
+      {"sync_file_range", Check::kIo},
+      {"write", Check::kIo},
+      {"pwrite", Check::kIo},
+      {"writev", Check::kIo},
+      {"pwritev", Check::kIo},
       // lock
       {"mutex", Check::kLock},
       {"timed_mutex", Check::kLock},

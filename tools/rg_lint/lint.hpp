@@ -70,7 +70,8 @@ struct Options {
   std::string registry_path = "src/obs/metric_names.hpp";
   /// Docs that must mention every registered metric, relative to root
   /// (missing files are skipped).
-  std::vector<std::string> docs = {"docs/observability.md", "docs/gateway.md", "docs/admin.md"};
+  std::vector<std::string> docs = {"docs/observability.md", "docs/gateway.md", "docs/admin.md",
+                                   "docs/persistence.md"};
   /// ErrorCode header, relative to root (check skipped when absent).
   std::string errorcode_header = "src/common/error.hpp";
 };
