@@ -27,10 +27,12 @@
 # by a multi-threaded sendmmsg-batched itp_loadgen — whose stats JSON
 # must balance, and a paced 200-session capacity probe that must be
 # absorbed with zero backpressure.  Stage 7 runs the
-# static-analysis gates (docs/static-analysis.md): the rg_lint real-time
-# analyzer must report zero findings, every public header must compile
-# standalone (rg_header_checks), and the clang-format / clang-tidy
-# gates run when those tools are installed.  Stage 8 verifies streaming
+# static-analysis gates (docs/static-analysis.md): rg_lint (real-time,
+# thread-role, determinism, metric-registry, cast, ErrorCode, and
+# waiver-hygiene contracts) must emit a clean "rg.lint.report/1" JSON
+# document inside a 5 s runtime budget, every public header must compile
+# standalone (rg_header_checks), and the clang-format / clang-tidy /
+# clang -Wthread-safety gates run when those tools are installed.  Stage 8 verifies streaming
 # calibration (docs/thresholds.md): bench_calibration's budget and
 # agreement gates (schema rg.bench.calibration/1), the epoch
 # commit/history/rollback lifecycle through the CLI, and a live
@@ -242,10 +244,36 @@ echo "gateway capacity probe OK (${TDIR}/cap_gateway_stats.json)"
 
 echo "== tier-1 stage 7: static-analysis gates =="
 cmake --build build -j "${JOBS}" --target rg_lint rg_header_checks
-./build/tools/rg_lint/rg_lint --root . --quiet
-echo "rg_lint: clean"
+LINT_START="$(date +%s.%N)"
+./build/tools/rg_lint/rg_lint --root . --quiet --json "${TDIR}/lint_report.json"
+LINT_END="$(date +%s.%N)"
+python3 - "${TDIR}/lint_report.json" "${LINT_START}" "${LINT_END}" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["schema"] == "rg.lint.report/1", doc.get("schema")
+assert doc["total"] == 0 and doc["findings"] == [], doc["findings"][:5]
+counts = doc["counts"]
+expected = {"alloc", "lock", "io", "throw", "block", "push_back", "call", "cast",
+            "metric", "errorcode", "thread_role", "nondet", "stale_waiver"}
+assert set(counts) == expected, sorted(counts)
+assert all(v == 0 for v in counts.values()), counts
+# The scan covered the tree and its contract annotations...
+assert doc["files_scanned"] > 150, doc["files_scanned"]
+assert doc["realtime_functions"] > 150, doc["realtime_functions"]
+assert doc["thread_role_functions"] > 40, doc["thread_role_functions"]
+assert doc["deterministic_functions"] > 20, doc["deterministic_functions"]
+# ...inside the lint-runtime budget (the gate must stay cheap enough to
+# run on every commit).
+elapsed = float(sys.argv[3]) - float(sys.argv[2])
+assert elapsed < 5.0, f"rg_lint runtime budget blown: {elapsed:.2f}s"
+print(f"rg_lint: clean ({doc['files_scanned']} files, "
+      f"{doc['thread_role_functions']} thread-role / "
+      f"{doc['deterministic_functions']} deterministic functions, {elapsed:.2f}s)")
+PY
 scripts/check_format.sh
 scripts/check_tidy.sh
+scripts/check_thread_safety.sh
 
 echo "== tier-1 stage 8: streaming calibration =="
 cmake --build build -j "${JOBS}" --target bench_calibration raven_guard_cli raven_gateway itp_loadgen

@@ -91,17 +91,17 @@ class [[nodiscard]] Result {
   // throw below is unreachable there and exists only to turn a contract
   // violation into a loud failure instead of UB.
   [[nodiscard]] RG_REALTIME const T& value() const& {
-    // rg-lint: allow(throw, alloc) -- unreachable after ok() check
+    // rg-lint: allow(throw) -- unreachable after ok() check
     if (!ok()) throw std::logic_error("Result::value() on error: " + error().to_string());
     return std::get<T>(data_);
   }
   [[nodiscard]] RG_REALTIME T& value() & {
-    // rg-lint: allow(throw, alloc) -- unreachable after ok() check
+    // rg-lint: allow(throw) -- unreachable after ok() check
     if (!ok()) throw std::logic_error("Result::value() on error: " + error().to_string());
     return std::get<T>(data_);
   }
   [[nodiscard]] RG_REALTIME T&& value() && {
-    // rg-lint: allow(throw, alloc) -- unreachable after ok() check
+    // rg-lint: allow(throw) -- unreachable after ok() check
     if (!ok()) throw std::logic_error("Result::value() on error: " + error().to_string());
     return std::get<T>(std::move(data_));
   }

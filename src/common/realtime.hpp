@@ -1,4 +1,5 @@
-// RG_REALTIME: the machine-checked real-time annotation.
+// RG_REALTIME / RG_THREAD / RG_DETERMINISTIC: the machine-checked
+// discipline annotations.
 //
 // Functions marked RG_REALTIME are part of the 1 kHz tick/ingest/verdict
 // path (lane kernels, batched dynamics, estimator predict/commit, shard
@@ -13,9 +14,29 @@
 //   * may not push_back/emplace_back into unreserved containers,
 //   * and every in-tree function it calls must itself be RG_REALTIME.
 //
+// RG_THREAD(role) pins a function to one of the gateway's threads:
+//
+//   pump     the ingest/publish thread (TeleopGateway::pump)
+//   shard    a shard worker (ShardRunner::worker_loop and callees)
+//   flusher  the StatePlane group-commit thread
+//   admin    the AdminServer HTTP thread
+//   any      callable from every thread (thread-safe or stateless)
+//
+// rg_lint enforces the role statically: a function pinned to one role
+// may only call in-tree role-annotated functions of the same role or
+// `any`.  Cross-role data handoff must go through the approved boundary
+// types instead — SpscRing, std::atomic, or GatewaySnapshot publication
+// (see docs/gateway.md "Threading model").
+//
+// RG_DETERMINISTIC marks the verdict/calibration digest paths whose
+// outputs must be bit-identical at any worker x lane x shard x rx_batch
+// count.  rg_lint bans nondeterminism classes by token inside the body:
+// rand/random_device, clock reads (now(), clock_gettime, steady_clock),
+// unordered-container iteration, pointer-keyed ordering, thread ids.
+//
 // Deliberate exceptions carry a `// rg-lint: allow(<class>) -- reason`
 // annotation on the same or preceding line.  See docs/static-analysis.md
-// for the full contract and the allow-annotation grammar.
+// for the full contracts and the allow-annotation grammar.
 #pragma once
 
 #if defined(__GNUC__) || defined(__clang__)
@@ -23,3 +44,8 @@
 #else
 #define RG_REALTIME
 #endif
+
+// Lint-only contracts: both expand to nothing for the compiler; the
+// token scanner in tools/rg_lint gives them meaning.
+#define RG_THREAD(role)
+#define RG_DETERMINISTIC

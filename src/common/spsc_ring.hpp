@@ -52,7 +52,7 @@ class SpscRing {
 
   /// Producer side.  False when the ring is full — nothing is consumed
   /// from `value` in that case.
-  [[nodiscard]] RG_REALTIME bool try_push(const T& value) noexcept {
+  [[nodiscard]] RG_REALTIME RG_THREAD(any) bool try_push(const T& value) noexcept {
     const std::size_t tail = tail_.pos.load(std::memory_order_relaxed);
     const std::size_t next = advance(tail);
     if (next == tail_.cached_other) {
@@ -66,7 +66,7 @@ class SpscRing {
 
   /// Producer side, moving overload.  `value` is only moved from on
   /// success.
-  [[nodiscard]] RG_REALTIME bool try_push(T&& value) noexcept {
+  [[nodiscard]] RG_REALTIME RG_THREAD(any) bool try_push(T&& value) noexcept {
     const std::size_t tail = tail_.pos.load(std::memory_order_relaxed);
     const std::size_t next = advance(tail);
     if (next == tail_.cached_other) {
@@ -79,7 +79,7 @@ class SpscRing {
   }
 
   /// Consumer side.  False when the ring is empty — `out` is untouched.
-  [[nodiscard]] RG_REALTIME bool try_pop(T& out) noexcept {
+  [[nodiscard]] RG_REALTIME RG_THREAD(any) bool try_pop(T& out) noexcept {
     const std::size_t head = head_.pos.load(std::memory_order_relaxed);
     if (head == head_.cached_other) {
       head_.cached_other = tail_.pos.load(std::memory_order_acquire);
@@ -92,7 +92,7 @@ class SpscRing {
 
   /// Consumer side: pop up to `max` elements into `out`.  Returns the
   /// number popped.  One acquire load covers the whole run.
-  RG_REALTIME std::size_t pop_batch(T* out, std::size_t max) noexcept {
+  RG_REALTIME RG_THREAD(any) std::size_t pop_batch(T* out, std::size_t max) noexcept {
     std::size_t head = head_.pos.load(std::memory_order_relaxed);
     const std::size_t tail = tail_.pos.load(std::memory_order_acquire);
     head_.cached_other = tail;
@@ -107,23 +107,23 @@ class SpscRing {
 
   /// True when the ring holds no elements at this instant.  Safe from
   /// either side (and, approximately, from observers).
-  [[nodiscard]] RG_REALTIME bool empty() const noexcept {
+  [[nodiscard]] RG_REALTIME RG_THREAD(any) bool empty() const noexcept {
     return head_.pos.load(std::memory_order_acquire) ==
            tail_.pos.load(std::memory_order_acquire);
   }
 
   /// Element count at this instant — exact from the producer or consumer
   /// thread, a consistent approximation from anywhere else.
-  [[nodiscard]] RG_REALTIME std::size_t size_approx() const noexcept {
+  [[nodiscard]] RG_REALTIME RG_THREAD(any) std::size_t size_approx() const noexcept {
     const std::size_t head = head_.pos.load(std::memory_order_acquire);
     const std::size_t tail = tail_.pos.load(std::memory_order_acquire);
     return tail >= head ? tail - head : slots_ - (head - tail);
   }
 
-  [[nodiscard]] std::size_t capacity() const noexcept { return slots_ - 1; }
+  [[nodiscard]] RG_THREAD(any) std::size_t capacity() const noexcept { return slots_ - 1; }
 
  private:
-  [[nodiscard]] RG_REALTIME std::size_t advance(std::size_t i) const noexcept {
+  [[nodiscard]] RG_REALTIME RG_THREAD(any) std::size_t advance(std::size_t i) const noexcept {
     ++i;
     return i == slots_ ? 0 : i;
   }

@@ -1,0 +1,70 @@
+// Clang thread-safety-analysis annotations (Contract 7 in
+// docs/static-analysis.md).
+//
+// The RG_* macros below expand to clang's capability attributes when the
+// analysis is available (`-Wthread-safety`, promoted to an error by
+// scripts/check_thread_safety.sh) and to nothing elsewhere, so the
+// reference g++ build is unaffected.  std::mutex itself carries no
+// capability annotations, so lock-guarded state uses the annotated
+// rg::Mutex wrapper plus the rg::MutexLock scoped guard; mutexes paired
+// with a std::condition_variable stay std::mutex (the CV wait API
+// requires std::unique_lock<std::mutex>) and sit outside the analysis.
+//
+//   rg::Mutex mutex_;
+//   int table_ RG_GUARDED_BY(mutex_);
+//   void touch() { MutexLock lock(mutex_); ++table_; }     // OK
+//   void race()  { ++table_; }                             // -Werror
+//   void locked_helper() RG_REQUIRES(mutex_);              // caller holds it
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__)
+#define RG_TSA(x) __attribute__((x))
+#else
+#define RG_TSA(x)
+#endif
+
+#define RG_CAPABILITY(x) RG_TSA(capability(x))
+#define RG_SCOPED_CAPABILITY RG_TSA(scoped_lockable)
+#define RG_GUARDED_BY(x) RG_TSA(guarded_by(x))
+#define RG_PT_GUARDED_BY(x) RG_TSA(pt_guarded_by(x))
+#define RG_REQUIRES(...) RG_TSA(requires_capability(__VA_ARGS__))
+#define RG_ACQUIRE(...) RG_TSA(acquire_capability(__VA_ARGS__))
+#define RG_RELEASE(...) RG_TSA(release_capability(__VA_ARGS__))
+#define RG_TRY_ACQUIRE(...) RG_TSA(try_acquire_capability(__VA_ARGS__))
+#define RG_EXCLUDES(...) RG_TSA(locks_excluded(__VA_ARGS__))
+#define RG_RETURN_CAPABILITY(x) RG_TSA(lock_returned(x))
+#define RG_NO_THREAD_SAFETY_ANALYSIS RG_TSA(no_thread_safety_analysis)
+
+namespace rg {
+
+/// std::mutex with the "mutex" capability, so RG_GUARDED_BY fields and
+/// RG_REQUIRES contracts type-check under -Wthread-safety.
+class RG_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() RG_ACQUIRE() { impl_.lock(); }
+  void unlock() RG_RELEASE() { impl_.unlock(); }
+  [[nodiscard]] bool try_lock() RG_TRY_ACQUIRE(true) { return impl_.try_lock(); }
+
+ private:
+  std::mutex impl_;
+};
+
+/// RAII guard for rg::Mutex (std::lock_guard is not scope-annotated).
+class RG_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) RG_ACQUIRE(mutex) : mutex_(mutex) { mutex_.lock(); }
+  ~MutexLock() RG_RELEASE() { mutex_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+}  // namespace rg

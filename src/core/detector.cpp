@@ -4,7 +4,7 @@
 
 namespace rg {
 
-RG_REALTIME Verdict AnomalyDetector::evaluate(const Prediction& pred) const noexcept {
+RG_REALTIME RG_DETERMINISTIC Verdict AnomalyDetector::evaluate(const Prediction& pred) const noexcept {
   Verdict v;
   if (!pred.valid) return v;
 

@@ -19,7 +19,7 @@ DynamicModelEstimator::DynamicModelEstimator(const EstimatorConfig& config)
   validate_solver(config.solver);
 }
 
-RG_REALTIME void DynamicModelEstimator::observe_feedback(const MotorVector& encoder_angles) noexcept {
+RG_REALTIME RG_DETERMINISTIC void DynamicModelEstimator::observe_feedback(const MotorVector& encoder_angles) noexcept {
   cache_valid_ = false;  // the correction moves state_ out from under the cache
   if (!have_feedback_) {
     // Hard sync on the first observation: positions from encoders, rates
@@ -58,7 +58,7 @@ RG_REALTIME Vec3 DynamicModelEstimator::currents_from_dac(
   return currents;
 }
 
-RG_REALTIME PendingSolve DynamicModelEstimator::begin_predict(
+RG_REALTIME RG_DETERMINISTIC PendingSolve DynamicModelEstimator::begin_predict(
     const std::array<std::int16_t, 3>& dac) const noexcept {
   PendingSolve pending;
   if (!have_feedback_) return pending;
@@ -70,13 +70,13 @@ RG_REALTIME PendingSolve DynamicModelEstimator::begin_predict(
   return pending;
 }
 
-RG_REALTIME RavenDynamicsModel::State DynamicModelEstimator::solve(const PendingSolve& pending) noexcept {
+RG_REALTIME RG_DETERMINISTIC RavenDynamicsModel::State DynamicModelEstimator::solve(const PendingSolve& pending) noexcept {
   RG_SPAN("estimator.solve");
   ++solves_;
   return model_.step(pending.x0, pending.currents, pending.h, pending.solver);
 }
 
-RG_REALTIME Prediction DynamicModelEstimator::finish_predict(const std::array<std::int16_t, 3>& dac,
+RG_REALTIME RG_DETERMINISTIC Prediction DynamicModelEstimator::finish_predict(const std::array<std::int16_t, 3>& dac,
                                                  const RavenDynamicsModel::State& next) noexcept {
   Prediction pred;
   if (!have_feedback_) return pred;
@@ -105,13 +105,13 @@ RG_REALTIME Prediction DynamicModelEstimator::finish_predict(const std::array<st
   return pred;
 }
 
-RG_REALTIME Prediction DynamicModelEstimator::predict(const std::array<std::int16_t, 3>& dac) noexcept {
+RG_REALTIME RG_DETERMINISTIC Prediction DynamicModelEstimator::predict(const std::array<std::int16_t, 3>& dac) noexcept {
   const PendingSolve pending = begin_predict(dac);
   if (!pending.active) return Prediction{};
   return finish_predict(dac, solve(pending));
 }
 
-RG_REALTIME void DynamicModelEstimator::commit(const std::array<std::int16_t, 3>& dac) noexcept {
+RG_REALTIME RG_DETERMINISTIC void DynamicModelEstimator::commit(const std::array<std::int16_t, 3>& dac) noexcept {
   if (!have_feedback_) return;
   if (cache_valid_ && cached_dac_ == dac) {
     // The command that executed is the one predict() screened: the

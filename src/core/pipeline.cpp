@@ -13,7 +13,7 @@ DetectionPipeline::DetectionPipeline(const PipelineConfig& config)
       detector_(config.detector),
       mitigator_(config.mitigation) {}
 
-RG_REALTIME DetectionPipeline::ScreenState DetectionPipeline::begin_process(
+RG_REALTIME RG_DETERMINISTIC DetectionPipeline::ScreenState DetectionPipeline::begin_process(
     std::span<const std::uint8_t> command_bytes) {
   RG_SPAN("pipeline.process");
   ScreenState st;
@@ -64,7 +64,7 @@ RG_REALTIME DetectionPipeline::ScreenState DetectionPipeline::begin_process(
   return st;
 }
 
-RG_REALTIME DetectionPipeline::Outcome DetectionPipeline::finish_process(
+RG_REALTIME RG_DETERMINISTIC DetectionPipeline::Outcome DetectionPipeline::finish_process(
     ScreenState& st, const RavenDynamicsModel::State& next) {
   if (st.complete) return st.out;
   Outcome& out = st.out;
@@ -98,7 +98,7 @@ RG_REALTIME DetectionPipeline::Outcome DetectionPipeline::finish_process(
   return out;
 }
 
-RG_REALTIME DetectionPipeline::Outcome DetectionPipeline::process(
+RG_REALTIME RG_DETERMINISTIC DetectionPipeline::Outcome DetectionPipeline::process(
     std::span<const std::uint8_t> command_bytes) {
   ScreenState st = begin_process(command_bytes);
   if (st.complete) return st.out;

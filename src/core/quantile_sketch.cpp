@@ -90,7 +90,7 @@ QuantileSketch::QuantileSketch(double target_quantile) : target_(target_quantile
   increment_ = {0.0, target_ / 2.0, target_, (1.0 + target_) / 2.0, 1.0};
 }
 
-RG_REALTIME void QuantileSketch::add(double x) noexcept {
+RG_REALTIME RG_DETERMINISTIC void QuantileSketch::add(double x) noexcept {
   if (!std::isfinite(x)) return;
   if (exact_) {
     if (count_ < kExactCapacity) {
@@ -104,7 +104,7 @@ RG_REALTIME void QuantileSketch::add(double x) noexcept {
   ++count_;
 }
 
-RG_REALTIME void QuantileSketch::collapse_to_estimator() noexcept {
+RG_REALTIME RG_DETERMINISTIC void QuantileSketch::collapse_to_estimator() noexcept {
   // One-off transition: sort the fixed buffer in place and seed the five
   // P² markers from its order statistics.  Bounded work, no allocation.
   std::sort(samples_.begin(), samples_.end());
@@ -130,7 +130,7 @@ RG_REALTIME void QuantileSketch::collapse_to_estimator() noexcept {
   exact_ = false;
 }
 
-RG_REALTIME void QuantileSketch::add_estimator(double x) noexcept {
+RG_REALTIME RG_DETERMINISTIC void QuantileSketch::add_estimator(double x) noexcept {
   // Classic P² update (Jain & Chlamtac 1985).
   std::size_t k = 0;
   if (x < height_[0]) {
@@ -170,7 +170,7 @@ RG_REALTIME void QuantileSketch::add_estimator(double x) noexcept {
   }
 }
 
-Result<double> QuantileSketch::quantile(double p) const {
+RG_DETERMINISTIC Result<double> QuantileSketch::quantile(double p) const {
   if (count_ == 0) {
     return Error(ErrorCode::kNotReady, "QuantileSketch::quantile: empty sketch");
   }
@@ -201,7 +201,7 @@ Result<double> QuantileSketch::quantile(double p) const {
   return height_[k] + t * (height_[k + 1] - height_[k]);
 }
 
-void QuantileSketch::merge(const QuantileSketch& other) {
+RG_DETERMINISTIC void QuantileSketch::merge(const QuantileSketch& other) {
   require(target_ == other.target_,
           "QuantileSketch::merge: target quantiles differ — refusing to mix calibrations");
   if (other.count_ == 0) return;
@@ -284,7 +284,7 @@ void QuantileSketch::merge(const QuantileSketch& other) {
   exact_ = false;
 }
 
-std::uint64_t QuantileSketch::digest() const noexcept {
+RG_DETERMINISTIC std::uint64_t QuantileSketch::digest() const noexcept {
   std::uint64_t h = kFnvBasis;
   h = fnv_double(h, target_);
   h = fnv_u64(h, count_);
@@ -320,7 +320,7 @@ ThresholdSketch::ThresholdSketch(double target_quantile)
             QuantileSketch(target_quantile), QuantileSketch(target_quantile),
             QuantileSketch(target_quantile)} {}
 
-RG_REALTIME void ThresholdSketch::observe(const Prediction& pred) noexcept {
+RG_REALTIME RG_DETERMINISTIC void ThresholdSketch::observe(const Prediction& pred) noexcept {
   if (!pred.valid) return;
   for (std::size_t i = 0; i < 3; ++i) {
     axes_[i].add(pred.motor_instant_vel[i]);
@@ -329,7 +329,7 @@ RG_REALTIME void ThresholdSketch::observe(const Prediction& pred) noexcept {
   }
 }
 
-void ThresholdSketch::commit_maxima(const Vec3& motor_vel, const Vec3& motor_acc,
+RG_DETERMINISTIC void ThresholdSketch::commit_maxima(const Vec3& motor_vel, const Vec3& motor_acc,
                                     const Vec3& joint_vel) noexcept {
   for (std::size_t i = 0; i < 3; ++i) {
     axes_[i].add(motor_vel[i]);
@@ -342,7 +342,7 @@ std::uint64_t ThresholdSketch::count() const noexcept { return axes_[0].count();
 
 double ThresholdSketch::target_quantile() const noexcept { return axes_[0].target_quantile(); }
 
-Result<DetectionThresholds> ThresholdSketch::extract(double percentile_value,
+RG_DETERMINISTIC Result<DetectionThresholds> ThresholdSketch::extract(double percentile_value,
                                                      double margin) const {
   if (percentile_value < 0.0 || percentile_value > 100.0) {
     return Error(ErrorCode::kInvalidArgument,
@@ -367,11 +367,11 @@ Result<DetectionThresholds> ThresholdSketch::extract(double percentile_value,
   return out;
 }
 
-void ThresholdSketch::merge(const ThresholdSketch& other) {
+RG_DETERMINISTIC void ThresholdSketch::merge(const ThresholdSketch& other) {
   for (std::size_t i = 0; i < 9; ++i) axes_[i].merge(other.axes_[i]);
 }
 
-std::uint64_t ThresholdSketch::digest() const noexcept {
+RG_DETERMINISTIC std::uint64_t ThresholdSketch::digest() const noexcept {
   std::uint64_t h = kFnvBasis;
   for (std::size_t i = 0; i < 9; ++i) h = fnv_u64(h, axes_[i].digest());
   return h;
@@ -386,7 +386,7 @@ const QuantileSketch& ThresholdSketch::axis(std::size_t variable, std::size_t ax
   return axes_[variable * 3 + axis_index];
 }
 
-DriftVerdict check_drift(const ThresholdSketch& observed, const DetectionThresholds& committed,
+RG_DETERMINISTIC DriftVerdict check_drift(const ThresholdSketch& observed, const DetectionThresholds& committed,
                          double percentile_value, double max_ratio,
                          std::uint64_t min_samples) {
   DriftVerdict verdict;

@@ -50,7 +50,7 @@ BatchRavenModel::BatchRavenModel(const RavenDynamicsParams& params) : p_(params)
   kp_ = scalar.kernel_params();
 }
 
-RG_REALTIME void BatchRavenModel::tau_em_from_currents(const BatchLanes3& currents,
+RG_REALTIME RG_DETERMINISTIC void BatchRavenModel::tau_em_from_currents(const BatchLanes3& currents,
                                            BatchLanes3& tau_em) const noexcept {
   for (std::size_t l = 0; l < K; ++l) {
     const double i[3] = {currents[0][l], currents[1][l], currents[2][l]};
@@ -153,7 +153,7 @@ RG_REALTIME RG_LANES_CLONES void lanes_nohs_full(const DynParams& kp, const Batc
 }  // namespace
 
 template <bool HardStops>
-RG_REALTIME void BatchRavenModel::derivative_impl(const BatchState& x, const BatchLanes3& tau_em,
+RG_REALTIME RG_DETERMINISTIC void BatchRavenModel::derivative_impl(const BatchState& x, const BatchLanes3& tau_em,
                                       const std::array<LaneFx, K>* fx, const bool* locked,
                                       BatchState& dx) const noexcept {
   const bool lean = fx == nullptr && locked == nullptr;
@@ -172,7 +172,7 @@ RG_REALTIME void BatchRavenModel::derivative_impl(const BatchState& x, const Bat
   }
 }
 
-RG_REALTIME void BatchRavenModel::derivative(const BatchState& x, const BatchLanes3& tau_em,
+RG_REALTIME RG_DETERMINISTIC void BatchRavenModel::derivative(const BatchState& x, const BatchLanes3& tau_em,
                                  const std::array<LaneFx, K>* fx, const bool* locked,
                                  BatchState& dx) const noexcept {
   if (p_.enforce_hard_stops) {
@@ -182,7 +182,7 @@ RG_REALTIME void BatchRavenModel::derivative(const BatchState& x, const BatchLan
   }
 }
 
-RG_REALTIME void BatchRavenModel::cable_force(const BatchState& x, BatchLanes3& tau) const noexcept {
+RG_REALTIME RG_DETERMINISTIC void BatchRavenModel::cable_force(const BatchState& x, BatchLanes3& tau) const noexcept {
   constexpr double kOnes[3] = {1.0, 1.0, 1.0};
   for (std::size_t l = 0; l < K; ++l) {
     const LaneState s{x.c[0][l], x.c[1][l], x.c[2][l],  x.c[3][l], x.c[4][l],  x.c[5][l],
@@ -195,14 +195,14 @@ RG_REALTIME void BatchRavenModel::cable_force(const BatchState& x, BatchLanes3& 
   }
 }
 
-RG_REALTIME void BatchRavenModel::step(BatchState& x, const BatchLanes3& currents, double h,
+RG_REALTIME RG_DETERMINISTIC void BatchRavenModel::step(BatchState& x, const BatchLanes3& currents, double h,
                            SolverKind solver) const noexcept {
   BatchLanes3 tau_em;
   tau_em_from_currents(currents, tau_em);
   step_with_effects(x, tau_em, kNeutralFx, nullptr, h, solver);
 }
 
-RG_REALTIME void BatchRavenModel::step_with_effects(BatchState& x, const BatchLanes3& tau_em,
+RG_REALTIME RG_DETERMINISTIC void BatchRavenModel::step_with_effects(BatchState& x, const BatchLanes3& tau_em,
                                         const std::array<LaneFx, K>& fx, const bool* locked,
                                         double h, SolverKind solver) const noexcept {
   BatchState k1;

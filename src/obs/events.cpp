@@ -99,7 +99,7 @@ void EventLog::emit(std::string_view kind, std::optional<std::uint64_t> tick,
 
 void EventLog::emit(std::string_view kind, std::optional<std::uint64_t> tick,
                     const std::vector<EventField>& fields) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   std::string line = render_prefix(kind, tick, seq_++);
   for (const EventField& f : fields) {
     line += ", ";
@@ -168,7 +168,7 @@ std::string sanitize_fragment(std::string_view fragment) {
 void EventLog::emit_raw(std::string_view kind, std::optional<std::uint64_t> tick,
                         std::string_view raw_fields_fragment) {
   const std::string fragment = sanitize_fragment(raw_fields_fragment);
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   std::string line = render_prefix(kind, tick, seq_++);
   line += fragment;
   line += '}';
@@ -181,29 +181,29 @@ void EventLog::append_line(std::string line) {
 }
 
 void EventLog::set_sink(EventSink* sink) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   sink_ = sink;
 }
 
 std::size_t EventLog::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return lines_.size();
 }
 
 std::vector<std::string> EventLog::lines() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return lines_;
 }
 
 std::vector<std::string> EventLog::recent(std::size_t n) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   const std::size_t start = lines_.size() > n ? lines_.size() - n : 0;
   return std::vector<std::string>(lines_.begin() + static_cast<std::ptrdiff_t>(start),
                                   lines_.end());
 }
 
 void EventLog::write_jsonl(std::ostream& os) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   os << "{\"schema\": \"rg.events/1\", \"events\": " << lines_.size()
      << ", \"wall_ns\": " << wall_ns() << "}\n";
   for (const std::string& line : lines_) os << line << '\n';
@@ -227,7 +227,7 @@ bool EventLog::write_jsonl_file(const std::string& path) const {
 }
 
 void EventLog::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   lines_.clear();
   seq_ = 0;
 }

@@ -17,12 +17,14 @@
 #include <cstdint>
 #include <initializer_list>
 #include <iosfwd>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <variant>
 #include <vector>
+
+#include "common/realtime.hpp"
+#include "common/thread_safety.hpp"
 
 namespace rg::obs {
 
@@ -60,10 +62,10 @@ class EventLog {
 
   /// Append one event.  `tick` is the simulation tick (nullopt renders as
   /// null).  Renders the JSONL record immediately.
-  void emit(std::string_view kind, std::optional<std::uint64_t> tick,
-            std::initializer_list<EventField> fields);
-  void emit(std::string_view kind, std::optional<std::uint64_t> tick,
-            const std::vector<EventField>& fields);
+  RG_THREAD(any) void emit(std::string_view kind, std::optional<std::uint64_t> tick,
+                           std::initializer_list<EventField> fields);
+  RG_THREAD(any) void emit(std::string_view kind, std::optional<std::uint64_t> tick,
+                           const std::vector<EventField>& fields);
 
   /// Append a pre-rendered *fields fragment* (comma-prefixed, e.g.
   /// `, "frames": [...]`) — escape hatch for bulk payloads like the
@@ -73,15 +75,15 @@ class EventLog {
   /// demoted to a single escaped `"raw"` string field — so a record line
   /// is well-formed JSON no matter what the caller hands in (the /stats
   /// admin endpoint embeds recent records verbatim and depends on this).
-  void emit_raw(std::string_view kind, std::optional<std::uint64_t> tick,
-                std::string_view raw_fields_fragment);
+  RG_THREAD(any) void emit_raw(std::string_view kind, std::optional<std::uint64_t> tick,
+                               std::string_view raw_fields_fragment);
 
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::vector<std::string> lines() const;  ///< records, no header
 
   /// The most recent `n` records (fewer when the log is shorter), oldest
   /// first — the tail the admin /stats endpoint embeds.
-  [[nodiscard]] std::vector<std::string> recent(std::size_t n) const;
+  [[nodiscard]] RG_THREAD(any) std::vector<std::string> recent(std::size_t n) const;
 
   /// Header record ({"schema":"rg.events/1", ...}) followed by every event.
   void write_jsonl(std::ostream& os) const;
@@ -101,12 +103,12 @@ class EventLog {
   [[nodiscard]] static std::string render_fields(const std::vector<EventField>& fields);
 
  private:
-  void append_line(std::string line);
+  void append_line(std::string line) RG_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::vector<std::string> lines_;
-  std::uint64_t seq_ = 0;
-  EventSink* sink_ = nullptr;
+  mutable Mutex mutex_;
+  std::vector<std::string> lines_ RG_GUARDED_BY(mutex_);
+  std::uint64_t seq_ RG_GUARDED_BY(mutex_) = 0;
+  EventSink* sink_ RG_GUARDED_BY(mutex_) = nullptr;
 };
 
 /// Attach/detach the process-wide event log that RG_LOG(kWarn/kError)

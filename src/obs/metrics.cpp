@@ -62,7 +62,7 @@ Registry::Shard::~Shard() {
   for (auto& h : hists) delete h.load(std::memory_order_relaxed);
 }
 
-RG_REALTIME Registry& Registry::global() {
+RG_REALTIME RG_THREAD(any) Registry& Registry::global() {
   static Registry registry;
   return registry;
 }
@@ -119,16 +119,16 @@ MetricId Registry::histogram(std::string_view name) {
 
 Registry::Shard& Registry::local_shard() { return ShardHandle::local(*this); }
 
-RG_REALTIME void Registry::add(MetricId id, std::uint64_t delta) noexcept {
+RG_REALTIME RG_THREAD(any) void Registry::add(MetricId id, std::uint64_t delta) noexcept {
   // rg-lint: allow(call) -- local_shard allocates once per thread; steady state is one relaxed add
   local_shard().counters[metric_slot(id)].fetch_add(delta, std::memory_order_relaxed);
 }
 
-RG_REALTIME void Registry::set(MetricId id, double value) noexcept {
+RG_REALTIME RG_THREAD(any) void Registry::set(MetricId id, double value) noexcept {
   gauges_[metric_slot(id)].store(value, std::memory_order_relaxed);
 }
 
-RG_REALTIME void Registry::observe(MetricId id, std::uint64_t value) noexcept {
+RG_REALTIME RG_THREAD(any) void Registry::observe(MetricId id, std::uint64_t value) noexcept {
   // rg-lint: allow(call) -- local_shard allocates once per thread; steady state is relaxed adds
   Shard& shard = local_shard();
   std::atomic<HistShard*>& cell = shard.hists[metric_slot(id)];

@@ -86,7 +86,7 @@ class Registry {
   static constexpr std::size_t kMaxHistograms = 48;
 
   /// The process-wide registry used by the RG_* macros.
-  RG_REALTIME static Registry& global();
+  RG_REALTIME RG_THREAD(any) static Registry& global();
 
   Registry() = default;
   Registry(const Registry&) = delete;
@@ -100,9 +100,9 @@ class Registry {
   MetricId histogram(std::string_view name);
 
   // --- hot path ------------------------------------------------------------
-  RG_REALTIME void add(MetricId id, std::uint64_t delta = 1) noexcept;
-  RG_REALTIME void set(MetricId id, double value) noexcept;
-  RG_REALTIME void observe(MetricId id, std::uint64_t value) noexcept;
+  RG_REALTIME RG_THREAD(any) void add(MetricId id, std::uint64_t delta = 1) noexcept;
+  RG_REALTIME RG_THREAD(any) void set(MetricId id, double value) noexcept;
+  RG_REALTIME RG_THREAD(any) void observe(MetricId id, std::uint64_t value) noexcept;
 
   /// Merge every shard (live + retired) into a snapshot, sorted by name.
   [[nodiscard]] MetricsSnapshot snapshot() const;

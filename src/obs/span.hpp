@@ -28,7 +28,7 @@
 namespace rg::obs {
 
 /// Monotonic nanoseconds (steady clock) — the span/trace time base.
-[[nodiscard]] RG_REALTIME inline std::uint64_t monotonic_ns() noexcept {
+[[nodiscard]] RG_REALTIME RG_THREAD(any) inline std::uint64_t monotonic_ns() noexcept {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())

@@ -85,7 +85,7 @@ Result<std::unique_ptr<StatePlane>> StatePlane::open(const StatePlaneConfig& con
 
 StatePlane::~StatePlane() { stop(); }
 
-RG_REALTIME bool StatePlane::submit(const StateOp& op) noexcept {
+RG_REALTIME RG_THREAD(pump) bool StatePlane::submit(const StateOp& op) noexcept {
   if (store_ == nullptr) {
     // Fail-safe plane: state mutations are refused, not queued.
     ops_dropped_.fetch_add(1, std::memory_order_relaxed);
@@ -99,12 +99,12 @@ RG_REALTIME bool StatePlane::submit(const StateOp& op) noexcept {
   return true;
 }
 
-void StatePlane::flush_now() {
-  const std::lock_guard<std::mutex> lock(store_mutex_);
+RG_THREAD(any) void StatePlane::flush_now() {
+  const MutexLock lock(store_mutex_);
   flush_locked();
 }
 
-void StatePlane::flush_locked() {
+RG_THREAD(any) void StatePlane::flush_locked() {
   auto& reg = obs::Registry::global();
 
   // 1. Journal: move RT-ring entries into the mapping, then msync.
@@ -220,21 +220,21 @@ void StatePlane::flush_locked() {
   }
 }
 
-void StatePlane::flusher_loop() {
+RG_THREAD(flusher) void StatePlane::flusher_loop() {
   std::unique_lock<std::mutex> stop_lock(stop_mutex_);
   while (!stop_requested_) {
     stop_cv_.wait_for(stop_lock, std::chrono::milliseconds(config_.flush_period_ms),
                       [this] { return stop_requested_; });
     stop_lock.unlock();
     {
-      const std::lock_guard<std::mutex> lock(store_mutex_);
+      const MutexLock lock(store_mutex_);
       flush_locked();
     }
     stop_lock.lock();
   }
 }
 
-void StatePlane::stop() {
+RG_THREAD(any) void StatePlane::stop() {
   {
     const std::lock_guard<std::mutex> lock(stop_mutex_);
     if (stopped_) return;
@@ -246,20 +246,20 @@ void StatePlane::stop() {
   flush_now();
 }
 
-PersistentState StatePlane::state() const {
-  const std::lock_guard<std::mutex> lock(store_mutex_);
+RG_THREAD(any) PersistentState StatePlane::state() const {
+  const MutexLock lock(store_mutex_);
   if (store_ == nullptr) return recovery_.state;
   return store_->state();
 }
 
-std::uint64_t StatePlane::state_digest() const {
-  const std::lock_guard<std::mutex> lock(store_mutex_);
+RG_THREAD(any) std::uint64_t StatePlane::state_digest() const {
+  const MutexLock lock(store_mutex_);
   if (store_ == nullptr) return recovery_.state.digest();
   return store_->state().digest();
 }
 
-StatePlaneStats StatePlane::stats() const {
-  const std::lock_guard<std::mutex> lock(store_mutex_);
+RG_THREAD(any) StatePlaneStats StatePlane::stats() const {
+  const MutexLock lock(store_mutex_);
   StatePlaneStats out;
   out.ops_submitted = ops_submitted_.load(std::memory_order_relaxed);
   out.ops_dropped = ops_dropped_.load(std::memory_order_relaxed);

@@ -30,6 +30,7 @@
 
 #include "common/error.hpp"
 #include "common/realtime.hpp"
+#include "common/thread_safety.hpp"
 #include "common/spsc_ring.hpp"
 #include "obs/metrics.hpp"
 #include "persist/journal.hpp"
@@ -99,29 +100,29 @@ class StatePlane {
 
   /// RG_REALTIME, single producer (the gateway pump thread).  False =
   /// dropped (ring full, or the plane is fail-safe and takes no writes).
-  RG_REALTIME bool submit(const StateOp& op) noexcept;
+  RG_REALTIME RG_THREAD(pump) bool submit(const StateOp& op) noexcept;
 
   /// Drain + write + sync synchronously on the caller (shutdown, tests,
   /// and rg_faultinject's deterministic crash-point driver).
-  void flush_now();
+  RG_THREAD(any) void flush_now();
 
   /// Stop the flusher thread after a final flush.  Idempotent.
-  void stop();
+  RG_THREAD(any) void stop();
 
   [[nodiscard]] Journal& journal() noexcept { return journal_; }
 
   /// Copy of the flusher's mirror state (what would be recovered if the
   /// process died after the last flush).
-  [[nodiscard]] PersistentState state() const;
-  [[nodiscard]] std::uint64_t state_digest() const;
-  [[nodiscard]] StatePlaneStats stats() const;
+  [[nodiscard]] RG_THREAD(any) PersistentState state() const;
+  [[nodiscard]] RG_THREAD(any) std::uint64_t state_digest() const;
+  [[nodiscard]] RG_THREAD(any) StatePlaneStats stats() const;
   [[nodiscard]] const std::string& dir() const noexcept { return config_.dir; }
 
  private:
   explicit StatePlane(const StatePlaneConfig& config);
 
-  void flusher_loop();
-  void flush_locked();
+  RG_THREAD(flusher) void flusher_loop();
+  RG_THREAD(any) void flush_locked() RG_REQUIRES(store_mutex_);
 
   StatePlaneConfig config_;
   RecoveryResult recovery_;
@@ -131,15 +132,19 @@ class StatePlane {
   std::atomic<std::uint64_t> ops_dropped_{0};
 
   /// Guards the store/mirror (flusher thread vs flush_now/state()).
-  mutable std::mutex store_mutex_;
-  std::unique_ptr<StateStore> store_;
-  std::uint64_t ops_applied_ = 0;
-  std::uint64_t flushes_ = 0;
-  std::uint64_t ops_reported_ = 0;    ///< counters already mirrored to the registry
-  std::uint64_t drops_reported_ = 0;
-  std::vector<StateOp> drain_buf_;
+  /// The store_ pointer itself is written once in open() before the
+  /// flusher starts; submit() reads only the pointer (fail-safe check),
+  /// so the pointee — not the pointer — is the guarded capability.
+  mutable Mutex store_mutex_;
+  std::unique_ptr<StateStore> store_ RG_PT_GUARDED_BY(store_mutex_);
+  std::uint64_t ops_applied_ RG_GUARDED_BY(store_mutex_) = 0;
+  std::uint64_t flushes_ RG_GUARDED_BY(store_mutex_) = 0;
+  /// Counters already mirrored to the registry.
+  std::uint64_t ops_reported_ RG_GUARDED_BY(store_mutex_) = 0;
+  std::uint64_t drops_reported_ RG_GUARDED_BY(store_mutex_) = 0;
+  std::vector<StateOp> drain_buf_ RG_GUARDED_BY(store_mutex_);
   /// Per-flush window coalescing scratch (latest window note per session).
-  std::vector<StateOp> window_scratch_;
+  std::vector<StateOp> window_scratch_ RG_GUARDED_BY(store_mutex_);
 
   std::mutex stop_mutex_;
   std::condition_variable stop_cv_;

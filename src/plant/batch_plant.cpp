@@ -30,7 +30,7 @@ bool BatchPlant::compatible(const PlantConfig& a, const PlantConfig& b) noexcept
 }
 
 RG_REALTIME void BatchPlant::step_control_period(std::span<const PlantDrive> drives) {
-  // rg-lint: allow(call, throw) -- caller-contract check; never throws on a sized batch
+  // rg-lint: allow(call) -- caller-contract check; never throws on a sized batch
   require(drives.size() == n_, "BatchPlant: one PlantDrive per lane required");
 
   // Phase 1 — per-lane scalar period setup (brake timing, noise draw from

@@ -6,7 +6,7 @@ namespace rg {
 
 CalibrationSession::CalibrationSession(double target_quantile) : sketch_(target_quantile) {}
 
-RG_REALTIME void CalibrationSession::observe(const Prediction& pred) noexcept {
+RG_REALTIME RG_DETERMINISTIC void CalibrationSession::observe(const Prediction& pred) noexcept {
   if (!pred.valid) return;
   for (std::size_t i = 0; i < 3; ++i) {
     current_.motor_vel[i] = std::max(current_.motor_vel[i], pred.motor_instant_vel[i]);
@@ -30,7 +30,7 @@ Result<DetectionThresholds> CalibrationSession::extract(double percentile_value,
   return sketch_.extract(percentile_value, margin);
 }
 
-void CalibrationSession::merge(const CalibrationSession& other) {
+RG_DETERMINISTIC void CalibrationSession::merge(const CalibrationSession& other) {
   sketch_.merge(other.sketch_);
 }
 

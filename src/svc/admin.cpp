@@ -62,7 +62,7 @@ void append_u64_field(std::string& out, std::string_view key, std::uint64_t valu
 
 }  // namespace
 
-std::string AdminServer::render_stats() const {
+RG_THREAD(admin) std::string AdminServer::render_stats() const {
   std::string out;
   out.reserve(4096);
   out += "{\"schema\": \"rg.admin.stats/1\"";
@@ -161,7 +161,7 @@ std::string AdminServer::render_stats() const {
   return out;
 }
 
-std::string AdminServer::render_flight() const {
+RG_THREAD(admin) std::string AdminServer::render_flight() const {
   const obs::FlightRecorder* recorder = flight_.load(std::memory_order_acquire);
   if (recorder == nullptr) return "{\"armed\": false}";
   if (!recorder->triggered()) return "{\"armed\": true, \"triggered\": false}";
@@ -170,7 +170,7 @@ std::string AdminServer::render_flight() const {
   return os.str();
 }
 
-std::string AdminServer::render_state() const {
+RG_THREAD(admin) std::string AdminServer::render_state() const {
   const persist::StatePlane* plane = state_plane_.load(std::memory_order_acquire);
   std::string out = "{\"schema\": \"rg.admin.state/1\", \"attached\": ";
   if (plane == nullptr) {
@@ -208,7 +208,7 @@ std::string AdminServer::render_state() const {
   return out;
 }
 
-std::string AdminServer::render_ready() const {
+RG_THREAD(admin) std::string AdminServer::render_ready() const {
   if (const persist::StatePlane* plane = state_plane_.load(std::memory_order_acquire)) {
     if (plane->fail_safe()) {
       return "failed: state-plane recovery fail-safe (" + plane->recovery().reason + ")\n";
@@ -228,7 +228,7 @@ std::string AdminServer::render_ready() const {
   return "";  // ready
 }
 
-std::string AdminServer::handle(const std::string& request_line) {
+RG_THREAD(admin) std::string AdminServer::handle(const std::string& request_line) {
   const std::uint64_t start_ns = obs::monotonic_ns();
   auto& reg = obs::Registry::global();
   reg.add(request_counter_);
@@ -354,7 +354,7 @@ AdminServer::AdminServer(const AdminConfig& config, const TeleopGateway* gateway
 
 AdminServer::~AdminServer() { stop(); }
 
-void AdminServer::stop() {
+RG_THREAD(any) void AdminServer::stop() {
   if (stopped_) return;
   stopped_ = true;
   stop_.store(true, std::memory_order_release);
@@ -369,7 +369,7 @@ void AdminServer::stop() {
   epoll_fd_ = wake_fd_ = listen_fd_ = -1;
 }
 
-void AdminServer::serve_loop() {
+RG_THREAD(admin) void AdminServer::serve_loop() {
   std::map<int, Connection> conns;
   std::array<epoll_event, 16> events{};
   const auto close_conn = [&](int fd) {
@@ -564,8 +564,8 @@ AdminServer::AdminServer(const AdminConfig& config, const TeleopGateway* gateway
   throw std::runtime_error("AdminServer requires Linux (epoll)");
 }
 AdminServer::~AdminServer() = default;
-void AdminServer::stop() {}
-void AdminServer::serve_loop() {}
+RG_THREAD(any) void AdminServer::stop() {}
+RG_THREAD(admin) void AdminServer::serve_loop() {}
 
 Result<HttpResponse> http_get(const std::string&, std::uint16_t, const std::string&, int) {
   return Error(ErrorCode::kInternal, "http_get requires Linux");

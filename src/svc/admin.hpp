@@ -35,6 +35,7 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "common/realtime.hpp"
 #include "obs/events.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
@@ -79,7 +80,7 @@ class AdminServer {
 
   /// Join the serve thread and close the socket.  Idempotent; the
   /// destructor calls it.
-  void stop();
+  RG_THREAD(any) void stop();
 
   /// Readiness input: whether a thresholds epoch is loaded.  Starts true
   /// (vacuously ready); tools that load a store flip it false → true
@@ -112,12 +113,12 @@ class AdminServer {
  private:
   struct Connection;
 
-  void serve_loop();
-  [[nodiscard]] std::string handle(const std::string& request_line);
-  [[nodiscard]] std::string render_stats() const;
-  [[nodiscard]] std::string render_flight() const;
-  [[nodiscard]] std::string render_ready() const;
-  [[nodiscard]] std::string render_state() const;
+  RG_THREAD(admin) void serve_loop();
+  [[nodiscard]] RG_THREAD(admin) std::string handle(const std::string& request_line);
+  [[nodiscard]] RG_THREAD(admin) std::string render_stats() const;
+  [[nodiscard]] RG_THREAD(admin) std::string render_flight() const;
+  [[nodiscard]] RG_THREAD(admin) std::string render_ready() const;
+  [[nodiscard]] RG_THREAD(admin) std::string render_state() const;
 
   AdminConfig config_;
   const TeleopGateway* gateway_ = nullptr;

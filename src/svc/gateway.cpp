@@ -52,7 +52,7 @@ TeleopGateway::TeleopGateway(const GatewayConfig& config, Transport& transport)
   if (config_.persist != nullptr) restore_from_plane();
 }
 
-void TeleopGateway::restore_from_plane() {
+RG_THREAD(pump) void TeleopGateway::restore_from_plane() {
   persist::StatePlane& plane = *config_.persist;
   if (plane.fail_safe()) {
     // Unverifiable persisted state: never guess.  The gateway comes up
@@ -65,7 +65,7 @@ void TeleopGateway::restore_from_plane() {
     return;
   }
   const persist::PersistentState state = plane.state();
-  const std::lock_guard<std::mutex> lock(table_mutex_);
+  const MutexLock lock(table_mutex_);
   next_session_id_ = std::max(next_session_id_, state.next_session_id);
   for (const auto& [id, s] : state.sessions) {
     Endpoint ep{s.ip, s.port};
@@ -90,7 +90,7 @@ void TeleopGateway::restore_from_plane() {
 
 TeleopGateway::~TeleopGateway() { shutdown(); }
 
-std::size_t TeleopGateway::pump(std::uint64_t now_ms, std::size_t max) {
+RG_THREAD(pump) std::size_t TeleopGateway::pump(std::uint64_t now_ms, std::size_t max) {
   RG_SPAN("gw.pump");
   // Pump-cadence SLO: the gap between consecutive pump entries should
   // track pump_period_ns; the jitter histogram and deadline-miss counter
@@ -134,7 +134,7 @@ std::size_t TeleopGateway::pump(std::uint64_t now_ms, std::size_t max) {
     // Restored sessions carry no wall-clock: stamp them with the first
     // pump's time so the idle scan gives rejoining operators a full
     // idle_timeout_ms window.
-    const std::lock_guard<std::mutex> lock(table_mutex_);
+    const MutexLock lock(table_mutex_);
     restored_need_touch_ = false;
     for (auto& [ep, rec] : table_) {
       if (rec.last_seen_ms == 0) rec.last_seen_ms = now_ms;
@@ -161,7 +161,7 @@ std::size_t TeleopGateway::pump(std::uint64_t now_ms, std::size_t max) {
   return drained;
 }
 
-void TeleopGateway::publish_snapshot(std::uint64_t now_ms) {
+RG_THREAD(pump) void TeleopGateway::publish_snapshot(std::uint64_t now_ms) {
   auto snap = std::make_shared<GatewaySnapshot>();
   snap->now_ms = now_ms;
   snap->stats = stats();
@@ -174,7 +174,7 @@ void TeleopGateway::publish_snapshot(std::uint64_t now_ms) {
   // publish throttle is the natural place the pump thread observes the
   // shard-side PLC state.
   if (config_.persist != nullptr && snap->estop_sessions != 0) {
-    const std::lock_guard<std::mutex> lock(table_mutex_);
+    const MutexLock lock(table_mutex_);
     for (const SessionStats& s : snap->sessions) {
       if (!s.active || !s.shard.estop) continue;
       auto it = table_.find(s.endpoint);
@@ -187,17 +187,17 @@ void TeleopGateway::publish_snapshot(std::uint64_t now_ms) {
       (void)config_.persist->submit(op);
     }
   }
-  const std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  const MutexLock lock(snapshot_mutex_);
   snap->seq = ++publish_seq_;
   snapshot_ = std::move(snap);
 }
 
-std::shared_ptr<const GatewaySnapshot> TeleopGateway::latest_snapshot() const {
-  const std::lock_guard<std::mutex> lock(snapshot_mutex_);
+RG_THREAD(any) std::shared_ptr<const GatewaySnapshot> TeleopGateway::latest_snapshot() const {
+  const MutexLock lock(snapshot_mutex_);
   return snapshot_;
 }
 
-std::size_t TeleopGateway::scan_drift_now(std::uint64_t now_ms) {
+RG_THREAD(pump) std::size_t TeleopGateway::scan_drift_now(std::uint64_t now_ms) {
   if (!config_.calibration.enabled) return 0;
   const CalibrationPolicy& policy = config_.calibration;
   auto& reg = obs::Registry::global();
@@ -224,7 +224,7 @@ std::size_t TeleopGateway::scan_drift_now(std::uint64_t now_ms) {
       }
     }
     if (checked != 0 || !alarms.empty()) {
-      const std::lock_guard<std::mutex> lock(table_mutex_);
+      const MutexLock lock(table_mutex_);
       stats_.drift_checks += checked;
       stats_.drift_alarms += alarms.size();
     }
@@ -232,7 +232,7 @@ std::size_t TeleopGateway::scan_drift_now(std::uint64_t now_ms) {
   return newly_drifted;
 }
 
-Result<ThresholdSketch> TeleopGateway::cohort_sketch() const {
+RG_THREAD(any) Result<ThresholdSketch> TeleopGateway::cohort_sketch() const {
   // Gather per-session sketches from every shard, then merge in globally
   // ascending session-id order — the fixed order that makes the cohort
   // sketch (and its digest) invariant under the shard count.
@@ -252,7 +252,7 @@ Result<ThresholdSketch> TeleopGateway::cohort_sketch() const {
   return cohort;
 }
 
-void TeleopGateway::drain() {
+RG_THREAD(pump) void TeleopGateway::drain() {
   // Signaled, not polled: each shard's worker bumps its completion count
   // as bursts finish and wait_idle() blocks on that CV until everything
   // submitted so far has been processed (inline shards just run their
@@ -260,9 +260,9 @@ void TeleopGateway::drain() {
   for (auto& shard : shards_) shard->wait_idle();
 }
 
-void TeleopGateway::shutdown() {
+RG_THREAD(pump) void TeleopGateway::shutdown() {
   {
-    const std::lock_guard<std::mutex> lock(table_mutex_);
+    const MutexLock lock(table_mutex_);
     if (shut_down_) return;
     shut_down_ = true;
     for (auto& [ep, rec] : table_) {
@@ -278,7 +278,7 @@ void TeleopGateway::shutdown() {
   for (auto& shard : shards_) shard->stop();
 }
 
-void TeleopGateway::persist_close(std::uint32_t session_id) {
+RG_THREAD(pump) void TeleopGateway::persist_close(std::uint32_t session_id) {
   if (config_.persist == nullptr) return;
   persist::StateOp op;
   op.kind = persist::StateOp::Kind::kClose;
@@ -286,9 +286,11 @@ void TeleopGateway::persist_close(std::uint32_t session_id) {
   (void)config_.persist->submit(op);
 }
 
-IngestVerdict TeleopGateway::ingest(const Endpoint& from, std::span<const std::uint8_t> bytes,
-                                    std::uint64_t now_ms, std::uint64_t ingest_ns) {
-  const std::lock_guard<std::mutex> lock(table_mutex_);
+RG_THREAD(pump) IngestVerdict TeleopGateway::ingest(const Endpoint& from,
+                                                    std::span<const std::uint8_t> bytes,
+                                                    std::uint64_t now_ms,
+                                                    std::uint64_t ingest_ns) {
+  const MutexLock lock(table_mutex_);
 
   // 0. Fail-safe latch: recovery could not verify the persisted state,
   // so no traffic is trusted until an operator intervenes.
@@ -376,10 +378,10 @@ IngestVerdict TeleopGateway::ingest(const Endpoint& from, std::span<const std::u
   return IngestVerdict::kAccepted;
 }
 
-void TeleopGateway::note(IngestVerdict v) {
+RG_THREAD(pump) void TeleopGateway::note(IngestVerdict v) {
   auto& reg = obs::Registry::global();
   reg.add(ingest_counter_);
-  const std::lock_guard<std::mutex> lock(table_mutex_);
+  const MutexLock lock(table_mutex_);
   ++stats_.datagrams;
   switch (v) {
     case IngestVerdict::kAccepted:
@@ -400,8 +402,8 @@ void TeleopGateway::note(IngestVerdict v) {
   reg.add(reject_counter_);
 }
 
-void TeleopGateway::evict_idle(std::uint64_t now_ms) {
-  const std::lock_guard<std::mutex> lock(table_mutex_);
+RG_THREAD(pump) void TeleopGateway::evict_idle(std::uint64_t now_ms) {
+  const MutexLock lock(table_mutex_);
   for (auto it = table_.begin(); it != table_.end();) {
     const SessionRecord& rec = it->second;
     if (now_ms - rec.last_seen_ms >= config_.idle_timeout_ms) {
@@ -417,7 +419,7 @@ void TeleopGateway::evict_idle(std::uint64_t now_ms) {
   }
 }
 
-std::vector<ShardPipelineStats> TeleopGateway::shard_stats() const {
+RG_THREAD(any) std::vector<ShardPipelineStats> TeleopGateway::shard_stats() const {
   std::vector<ShardPipelineStats> out;
   out.reserve(shards_.size());
   for (std::size_t i = 0; i < shards_.size(); ++i) {
@@ -427,15 +429,16 @@ std::vector<ShardPipelineStats> TeleopGateway::shard_stats() const {
   return out;
 }
 
-GatewayStats TeleopGateway::stats() const {
-  const std::lock_guard<std::mutex> lock(table_mutex_);
+RG_THREAD(any) GatewayStats TeleopGateway::stats() const {
+  const MutexLock lock(table_mutex_);
   GatewayStats out = stats_;
   out.active_sessions = table_.size();
   return out;
 }
 
-SessionStats TeleopGateway::snapshot_session(const Endpoint& ep, const SessionRecord& rec,
-                                             bool active) const {
+RG_THREAD(any) SessionStats TeleopGateway::snapshot_session(const Endpoint& ep,
+                                                            const SessionRecord& rec,
+                                                            bool active) const {
   SessionStats s;
   s.id = rec.id;
   s.endpoint = ep;
@@ -446,10 +449,10 @@ SessionStats TeleopGateway::snapshot_session(const Endpoint& ep, const SessionRe
   return s;
 }
 
-std::vector<SessionStats> TeleopGateway::sessions() const {
+RG_THREAD(any) std::vector<SessionStats> TeleopGateway::sessions() const {
   std::vector<SessionStats> out;
   {
-    const std::lock_guard<std::mutex> lock(table_mutex_);
+    const MutexLock lock(table_mutex_);
     out.reserve(table_.size() + evicted_.size());
     for (const auto& [ep, rec] : table_) out.push_back(snapshot_session(ep, rec, true));
     for (const auto& [ep, rec] : evicted_) out.push_back(snapshot_session(ep, rec, false));

@@ -39,6 +39,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_safety.hpp"
 #include "defense/mac.hpp"
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
@@ -195,48 +196,48 @@ class TeleopGateway {
   /// (throttled) idle-eviction scan.  In inline mode this also advances
   /// every shard.  Returns the number of datagrams drained; call in a
   /// loop.
-  std::size_t pump(std::uint64_t now_ms, std::size_t max = 1024);
+  RG_THREAD(pump) std::size_t pump(std::uint64_t now_ms, std::size_t max = 1024);
 
   /// Block until every shard has drained its ring and finished its
   /// rounds (signaled per shard — no sleep-polling; inline mode runs the
   /// rounds on this thread).  Pump-thread only, like pump().
-  void drain();
+  RG_THREAD(pump) void drain();
 
   /// Evict every active session (submits kClose) and drain.  Called by
   /// the destructor; idempotent.
-  void shutdown();
+  RG_THREAD(pump) void shutdown();
 
-  [[nodiscard]] GatewayStats stats() const;
+  [[nodiscard]] RG_THREAD(any) GatewayStats stats() const;
   /// True when the state plane failed recovery: the gateway is latched
   /// fail-safe and rejects every datagram (kEstopLatched).
-  [[nodiscard]] bool fail_safe() const noexcept { return fail_safe_; }
+  [[nodiscard]] RG_THREAD(any) bool fail_safe() const noexcept { return fail_safe_; }
   /// Every session ever admitted (active and evicted), ascending id.
-  [[nodiscard]] std::vector<SessionStats> sessions() const;
-  [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
+  [[nodiscard]] RG_THREAD(any) std::vector<SessionStats> sessions() const;
+  [[nodiscard]] RG_THREAD(any) std::size_t shard_count() const noexcept { return shards_.size(); }
   /// Ring/backpressure health per shard, ascending index.
-  [[nodiscard]] std::vector<ShardPipelineStats> shard_stats() const;
+  [[nodiscard]] RG_THREAD(any) std::vector<ShardPipelineStats> shard_stats() const;
 
   /// Merged calibration sketch over every *active* session, merged in
   /// globally ascending session-id order — invariant under the shard
   /// count.  kNotReady when calibration is disabled or no session has a
   /// sketch.  Call while the gateway is drained (the per-session sketches
   /// are copied under each shard's state lock).
-  [[nodiscard]] Result<ThresholdSketch> cohort_sketch() const;
+  [[nodiscard]] RG_THREAD(any) Result<ThresholdSketch> cohort_sketch() const;
 
   /// Run one drift scan immediately (pump() calls this on its throttle;
   /// tests and drained gateways can force it).  Returns newly drifted
   /// sessions.
-  std::size_t scan_drift_now(std::uint64_t now_ms);
+  RG_THREAD(pump) std::size_t scan_drift_now(std::uint64_t now_ms);
 
   /// Build and store a fresh GatewaySnapshot now (pump() does this on the
   /// stats_publish_period_ms throttle; tools can force one before the
   /// first pump or after a drain).
-  void publish_snapshot(std::uint64_t now_ms);
+  RG_THREAD(pump) void publish_snapshot(std::uint64_t now_ms);
 
   /// The most recently published snapshot, or nullptr before the first
   /// publish.  Cheap shared_ptr copy — safe to call from any thread at
   /// any rate; the returned snapshot is immutable.
-  [[nodiscard]] std::shared_ptr<const GatewaySnapshot> latest_snapshot() const;
+  [[nodiscard]] RG_THREAD(any) std::shared_ptr<const GatewaySnapshot> latest_snapshot() const;
 
  private:
   struct SessionRecord {
@@ -256,16 +257,18 @@ class TeleopGateway {
   /// session's shard.  Pure admission: only session-scoped state changes
   /// here; the gateway-wide accounting lives in note().  Callers must not
   /// drop the verdict — the idiom is note(ingest(...)).
-  [[nodiscard]] IngestVerdict ingest(const Endpoint& from, std::span<const std::uint8_t> bytes,
-                                     std::uint64_t now_ms, std::uint64_t ingest_ns);
-  void evict_idle(std::uint64_t now_ms);
+  [[nodiscard]] RG_THREAD(pump) IngestVerdict ingest(const Endpoint& from,
+                                                     std::span<const std::uint8_t> bytes,
+                                                     std::uint64_t now_ms, std::uint64_t ingest_ns);
+  RG_THREAD(pump) void evict_idle(std::uint64_t now_ms);
   /// Fold one ingest verdict into the gateway-wide stats and metrics.
-  void note(IngestVerdict v);
+  RG_THREAD(pump) void note(IngestVerdict v);
   /// Rebuild the session table from the state plane (constructor tail).
-  void restore_from_plane();
-  void persist_close(std::uint32_t session_id);
-  [[nodiscard]] SessionStats snapshot_session(const Endpoint& ep, const SessionRecord& rec,
-                                              bool active) const;
+  RG_THREAD(pump) void restore_from_plane();
+  RG_THREAD(pump) void persist_close(std::uint32_t session_id);
+  [[nodiscard]] RG_THREAD(any) SessionStats snapshot_session(const Endpoint& ep,
+                                                             const SessionRecord& rec,
+                                                             bool active) const;
 
   GatewayConfig config_;
   Transport& transport_;
@@ -274,14 +277,14 @@ class TeleopGateway {
   /// — allocated once, never on the pump path).
   std::vector<RxDatagram> rx_slots_;
 
-  mutable std::mutex table_mutex_;
-  std::unordered_map<Endpoint, SessionRecord, EndpointHash> table_;
-  std::unordered_map<Endpoint, SessionRecord, EndpointHash> evicted_;
-  GatewayStats stats_{};
-  std::uint32_t next_session_id_ = 1;
+  mutable Mutex table_mutex_;
+  std::unordered_map<Endpoint, SessionRecord, EndpointHash> table_ RG_GUARDED_BY(table_mutex_);
+  std::unordered_map<Endpoint, SessionRecord, EndpointHash> evicted_ RG_GUARDED_BY(table_mutex_);
+  GatewayStats stats_ RG_GUARDED_BY(table_mutex_){};
+  std::uint32_t next_session_id_ RG_GUARDED_BY(table_mutex_) = 1;
   std::uint64_t last_evict_scan_ms_ = 0;
   std::uint64_t last_drift_scan_ms_ = 0;
-  bool shut_down_ = false;
+  bool shut_down_ RG_GUARDED_BY(table_mutex_) = false;
   /// State-plane recovery failed: reject everything (see GatewayConfig).
   bool fail_safe_ = false;
   /// Restored sessions carry no wall-clock; the first pump() stamps them
@@ -293,8 +296,8 @@ class TeleopGateway {
   std::uint64_t last_publish_ms_ = 0;
   std::uint64_t publish_seq_ = 0;
 
-  mutable std::mutex snapshot_mutex_;
-  std::shared_ptr<const GatewaySnapshot> snapshot_;
+  mutable Mutex snapshot_mutex_;
+  std::shared_ptr<const GatewaySnapshot> snapshot_ RG_GUARDED_BY(snapshot_mutex_);
 
   obs::MetricId ingest_counter_;
   obs::MetricId accept_counter_;

@@ -27,14 +27,15 @@ GatewayShard::GatewayShard(const ShardConfig& config)
 
 GatewayShard::~GatewayShard() { stop(); }
 
-void GatewayShard::start() {
+RG_THREAD(any) void GatewayShard::start() {
   if (!config_.threaded || started_) return;
   started_ = true;
   stop_.store(false, std::memory_order_relaxed);
+  // rg-lint: allow(thread_role) -- thread entry: this lambda IS the shard thread
   worker_ = std::thread([this] { worker_loop(); });
 }
 
-void GatewayShard::stop() {
+RG_THREAD(any) void GatewayShard::stop() {
   stop_.store(true, std::memory_order_seq_cst);
   {
     // The empty critical section orders the store against a worker that
@@ -47,7 +48,7 @@ void GatewayShard::stop() {
   idle_cv_.notify_all();  // release wait_idle() callers
 }
 
-RG_REALTIME bool GatewayShard::submit(const ShardItem& item) {
+RG_REALTIME RG_THREAD(pump) bool GatewayShard::submit(const ShardItem& item) {
   if (stop_.load(std::memory_order_relaxed)) return false;
   if (!ring_.try_push(item)) {
     if (item.kind == ShardItem::Kind::kDatagram) {
@@ -80,7 +81,7 @@ RG_REALTIME bool GatewayShard::submit(const ShardItem& item) {
   return true;
 }
 
-RG_REALTIME void GatewayShard::wake_worker() {
+RG_REALTIME RG_THREAD(pump) void GatewayShard::wake_worker() {
   if (!started_) return;
   // Producer half of the lost-wakeup protocol: the push above (release),
   // then a seq_cst RMW on wake_seq_, then the sleeping_ check.  Both
@@ -99,7 +100,7 @@ RG_REALTIME void GatewayShard::wake_worker() {
   }
 }
 
-void GatewayShard::worker_loop() {
+RG_THREAD(shard) void GatewayShard::worker_loop() {
   std::vector<ShardItem> burst(std::min(kDrainBurst, config_.max_queue));
   while (true) {
     drain_burst(burst);
@@ -118,12 +119,12 @@ void GatewayShard::worker_loop() {
   }
 }
 
-void GatewayShard::drain_burst(std::vector<ShardItem>& burst) {
+RG_THREAD(shard) void GatewayShard::drain_burst(std::vector<ShardItem>& burst) {
   while (true) {
     const std::size_t n = ring_.pop_batch(burst.data(), burst.size());
     if (n == 0) return;
     {
-      const std::lock_guard<std::mutex> state(state_mutex_);
+      const MutexLock state(state_mutex_);
       apply_items(burst.data(), n);
       run_rounds();
     }
@@ -135,9 +136,12 @@ void GatewayShard::drain_burst(std::vector<ShardItem>& burst) {
   }
 }
 
-void GatewayShard::process_pending() { drain_burst(burst_); }
+RG_THREAD(pump) void GatewayShard::process_pending() {
+  // rg-lint: allow(thread_role) -- inline mode: the pump thread IS the shard consumer here
+  drain_burst(burst_);
+}
 
-bool GatewayShard::idle() const {
+RG_THREAD(pump) bool GatewayShard::idle() const {
   std::uint64_t done = 0;
   {
     const std::lock_guard<std::mutex> lock(idle_mutex_);
@@ -146,7 +150,7 @@ bool GatewayShard::idle() const {
   return done == submitted_;
 }
 
-void GatewayShard::wait_idle() {
+RG_THREAD(pump) void GatewayShard::wait_idle() {
   if (!started_) {
     process_pending();
     return;
@@ -158,7 +162,7 @@ void GatewayShard::wait_idle() {
   });
 }
 
-void GatewayShard::apply_items(const ShardItem* items, std::size_t n) {
+RG_THREAD(shard) void GatewayShard::apply_items(const ShardItem* items, std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) {
     const ShardItem& item = items[i];
     switch (item.kind) {
@@ -187,7 +191,7 @@ void GatewayShard::apply_items(const ShardItem* items, std::size_t n) {
   }
 }
 
-void GatewayShard::run_rounds() {
+RG_THREAD(shard) void GatewayShard::run_rounds() {
   std::vector<LocalSession*> ready;
   std::vector<LocalSession*> chunk;
   std::vector<std::pair<ItpBytes, std::uint64_t>> datagrams;
@@ -211,8 +215,9 @@ void GatewayShard::run_rounds() {
   }
 }
 
-RG_REALTIME void GatewayShard::round_tick(std::vector<LocalSession*>& chunk,
-                              std::vector<std::pair<ItpBytes, std::uint64_t>>& datagrams) {
+RG_REALTIME RG_THREAD(shard) RG_DETERMINISTIC void GatewayShard::round_tick(
+    std::vector<LocalSession*>& chunk,
+    std::vector<std::pair<ItpBytes, std::uint64_t>>& datagrams) {
   RG_SPAN("gw.round");
   const std::size_t n = chunk.size();
   auto& reg = obs::Registry::global();
@@ -271,6 +276,7 @@ RG_REALTIME void GatewayShard::round_tick(std::vector<LocalSession*>& chunk,
   }
 
   // Phase E — encoders + per-session bookkeeping + latency.
+  // rg-lint: allow(nondet) -- latency histogram only; never feeds the verdict
   const std::uint64_t done_ns = obs::monotonic_ns();
   for (std::size_t l = 0; l < n; ++l) {
     (void)chunk[l]->engine.tick_finish();
@@ -280,8 +286,8 @@ RG_REALTIME void GatewayShard::round_tick(std::vector<LocalSession*>& chunk,
   reg.add(ticks_counter_, n);
 }
 
-std::optional<ShardSessionStats> GatewayShard::session_stats(std::uint32_t id) const {
-  const std::lock_guard<std::mutex> lock(state_mutex_);
+RG_THREAD(any) std::optional<ShardSessionStats> GatewayShard::session_stats(std::uint32_t id) const {
+  const MutexLock lock(state_mutex_);
   const auto it = sessions_.find(id);
   if (it != sessions_.end()) {
     const SessionEngine& eng = it->second->engine;
@@ -293,25 +299,25 @@ std::optional<ShardSessionStats> GatewayShard::session_stats(std::uint32_t id) c
   return std::nullopt;
 }
 
-std::uint64_t GatewayShard::ticks() const noexcept {
-  const std::lock_guard<std::mutex> lock(state_mutex_);
+RG_THREAD(any) std::uint64_t GatewayShard::ticks() const noexcept {
+  const MutexLock lock(state_mutex_);
   return total_ticks_;
 }
 
-std::size_t GatewayShard::queue_high_watermark() const noexcept {
+RG_THREAD(any) std::size_t GatewayShard::queue_high_watermark() const noexcept {
   return queue_hwm_.load(std::memory_order_relaxed);
 }
 
-std::uint64_t GatewayShard::ring_full() const noexcept {
+RG_THREAD(any) std::uint64_t GatewayShard::ring_full() const noexcept {
   return ring_full_.load(std::memory_order_relaxed);
 }
 
-std::vector<GatewayShard::DriftAlarm> GatewayShard::scan_drift(
+RG_THREAD(any) std::vector<GatewayShard::DriftAlarm> GatewayShard::scan_drift(
     const DetectionThresholds& committed, double percentile_value, double max_ratio,
     std::uint64_t min_samples, std::uint64_t* checked) {
   std::vector<DriftAlarm> alarms;
   std::uint64_t examined = 0;
-  const std::lock_guard<std::mutex> lock(state_mutex_);
+  const MutexLock lock(state_mutex_);
   for (auto& [id, ls] : sessions_) {  // std::map: ascending id, deterministic
     if (ls->drift_latched) continue;
     const ThresholdSketch* sketch = ls->engine.calibration_sketch();
@@ -328,9 +334,10 @@ std::vector<GatewayShard::DriftAlarm> GatewayShard::scan_drift(
   return alarms;
 }
 
-std::vector<std::pair<std::uint32_t, ThresholdSketch>> GatewayShard::session_sketches() const {
+RG_THREAD(any) std::vector<std::pair<std::uint32_t, ThresholdSketch>> GatewayShard::session_sketches()
+    const {
   std::vector<std::pair<std::uint32_t, ThresholdSketch>> out;
-  const std::lock_guard<std::mutex> lock(state_mutex_);
+  const MutexLock lock(state_mutex_);
   for (const auto& [id, ls] : sessions_) {
     const ThresholdSketch* sketch = ls->engine.calibration_sketch();
     if (sketch != nullptr) out.emplace_back(id, *sketch);

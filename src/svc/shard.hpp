@@ -46,6 +46,7 @@
 
 #include "common/realtime.hpp"
 #include "common/spsc_ring.hpp"
+#include "common/thread_safety.hpp"
 #include "dynamics/batch_model.hpp"
 #include "obs/metrics.hpp"
 #include "svc/session.hpp"
@@ -90,34 +91,34 @@ class GatewayShard {
   GatewayShard(const GatewayShard&) = delete;
   GatewayShard& operator=(const GatewayShard&) = delete;
 
-  void start();
-  void stop();
+  RG_THREAD(any) void start();
+  RG_THREAD(any) void stop();
 
   /// Pump-thread handoff (single producer — only the pump may call
   /// this).  Datagram items are refused (returns false) when the ring is
   /// at capacity — the backpressure signal, counted as ring_full;
   /// control items (open/close) always enqueue, spinning or inline-
   /// draining until there is room.
-  RG_REALTIME bool submit(const ShardItem& item);
+  RG_REALTIME RG_THREAD(pump) bool submit(const ShardItem& item);
 
   /// Inline mode: process everything currently queued on the caller's
   /// thread.  (Threaded shards do this on their worker.)
-  void process_pending();
+  RG_THREAD(pump) void process_pending();
 
   /// Every submitted item drained *and* processed.  Pump thread only.
-  [[nodiscard]] bool idle() const;
+  [[nodiscard]] RG_THREAD(pump) bool idle() const;
 
   /// Block until every item submitted so far has been fully processed.
   /// Pump thread only (it is the producer, so submitted_ cannot advance
   /// underneath the wait).  Inline shards drain on the caller instead.
-  void wait_idle();
+  RG_THREAD(pump) void wait_idle();
 
-  [[nodiscard]] std::optional<ShardSessionStats> session_stats(std::uint32_t id) const;
-  [[nodiscard]] std::uint64_t ticks() const noexcept;
+  [[nodiscard]] RG_THREAD(any) std::optional<ShardSessionStats> session_stats(std::uint32_t id) const;
+  [[nodiscard]] RG_THREAD(any) std::uint64_t ticks() const noexcept;
   /// Deepest the submission ring has ever been (backpressure headroom).
-  [[nodiscard]] std::size_t queue_high_watermark() const noexcept;
+  [[nodiscard]] RG_THREAD(any) std::size_t queue_high_watermark() const noexcept;
   /// Datagram submissions refused because the ring was full.
-  [[nodiscard]] std::uint64_t ring_full() const noexcept;
+  [[nodiscard]] RG_THREAD(any) std::uint64_t ring_full() const noexcept;
 
   /// One newly drifted session found by a drift scan.
   struct DriftAlarm {
@@ -132,7 +133,7 @@ class GatewayShard {
   /// ascending id, so the result is deterministic.  `checked` (optional)
   /// receives the number of sessions examined.  Runs off the tick path,
   /// under the shard's state lock.
-  [[nodiscard]] std::vector<DriftAlarm> scan_drift(const DetectionThresholds& committed,
+  [[nodiscard]] RG_THREAD(any) std::vector<DriftAlarm> scan_drift(const DetectionThresholds& committed,
                                                    double percentile_value, double max_ratio,
                                                    std::uint64_t min_samples,
                                                    std::uint64_t* checked = nullptr);
@@ -141,7 +142,7 @@ class GatewayShard {
   /// id (empty when calibration is disabled).  The gateway merges these
   /// across shards in globally ascending id order, so the cohort sketch
   /// is invariant under the shard count.
-  [[nodiscard]] std::vector<std::pair<std::uint32_t, ThresholdSketch>> session_sketches() const;
+  [[nodiscard]] RG_THREAD(any) std::vector<std::pair<std::uint32_t, ThresholdSketch>> session_sketches() const;
 
  private:
   struct LocalSession {
@@ -155,14 +156,15 @@ class GatewayShard {
   /// worker's burst buffer; the ring refills while a burst runs).
   static constexpr std::size_t kDrainBurst = 256;
 
-  void worker_loop();
+  RG_THREAD(shard) void worker_loop();
   /// Nudge a sleeping worker after a push (no-op when it is running).
-  RG_REALTIME void wake_worker();
-  void drain_burst(std::vector<ShardItem>& burst);
-  void apply_items(const ShardItem* items, std::size_t n);
-  void run_rounds();
-  RG_REALTIME void round_tick(std::vector<LocalSession*>& chunk,
-                  std::vector<std::pair<ItpBytes, std::uint64_t>>& datagrams);
+  RG_REALTIME RG_THREAD(pump) void wake_worker();
+  RG_THREAD(shard) void drain_burst(std::vector<ShardItem>& burst);
+  RG_THREAD(shard) void apply_items(const ShardItem* items, std::size_t n) RG_REQUIRES(state_mutex_);
+  RG_THREAD(shard) void run_rounds() RG_REQUIRES(state_mutex_);
+  RG_REALTIME RG_THREAD(shard) RG_DETERMINISTIC void round_tick(
+      std::vector<LocalSession*>& chunk,
+      std::vector<std::pair<ItpBytes, std::uint64_t>>& datagrams) RG_REQUIRES(state_mutex_);
 
   ShardConfig config_;
 
@@ -193,14 +195,14 @@ class GatewayShard {
   std::vector<ShardItem> burst_;
 
   // --- worker-side session state ------------------------------------------
-  mutable std::mutex state_mutex_;
-  std::map<std::uint32_t, std::unique_ptr<LocalSession>> sessions_;
-  std::map<std::uint32_t, ShardSessionStats> retired_;
-  std::uint64_t total_ticks_ = 0;
+  mutable Mutex state_mutex_;
+  std::map<std::uint32_t, std::unique_ptr<LocalSession>> sessions_ RG_GUARDED_BY(state_mutex_);
+  std::map<std::uint32_t, ShardSessionStats> retired_ RG_GUARDED_BY(state_mutex_);
+  std::uint64_t total_ticks_ RG_GUARDED_BY(state_mutex_) = 0;
 
   /// Batched twin of the sessions' estimator model (sessions share the
   /// estimator config, so one batch model serves every group).
-  BatchRavenModel est_model_;
+  BatchRavenModel est_model_ RG_GUARDED_BY(state_mutex_);
 
   obs::MetricId latency_hist_;
   obs::MetricId round_lanes_hist_;

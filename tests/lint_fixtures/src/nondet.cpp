@@ -1,0 +1,39 @@
+// rg_lint fixture: determinism discipline.
+//
+// Scanned (never compiled) by tests/test_lint.cpp.  Three nondeterminism
+// classes are seeded inside RG_DETERMINISTIC bodies — randomness, a clock
+// read, unordered-container iteration; a waived clock read and a clean
+// deterministic body must not count.  Keep the counts in sync with
+// kExpectedFixtureFindings in test_lint.cpp when editing.
+
+#define RG_DETERMINISTIC
+
+namespace fixture {
+
+RG_DETERMINISTIC int nd_randomness() {
+  return rand();  // 1x nondet
+}
+
+RG_DETERMINISTIC long nd_clock_read(struct timespec* ts) {
+  return clock_gettime(0, ts);  // 1x nondet
+}
+
+RG_DETERMINISTIC int nd_unordered_iteration() {
+  std::unordered_map<int, int> m;  // 1x nondet
+  int sum = 0;
+  for (const auto& kv : m) sum += kv.second;
+  return sum;
+}
+
+RG_DETERMINISTIC long nd_waived() {
+  // rg-lint: allow(nondet) -- fixture: waived clock read must not count
+  return time(nullptr);
+}
+
+// Plain arithmetic: no findings.
+RG_DETERMINISTIC int nd_clean(int a, int b) { return a * 31 + b; }
+
+// Nondeterminism outside an RG_DETERMINISTIC body is out of scope.
+int unmarked_clock() { return static_cast<int>(time(nullptr)); }
+
+}  // namespace fixture

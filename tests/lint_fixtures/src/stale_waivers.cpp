@@ -1,0 +1,31 @@
+// rg_lint fixture: waiver hygiene.
+//
+// Scanned (never compiled) by tests/test_lint.cpp.  Two allow annotations
+// that no longer suppress anything are seeded (one above-line, one
+// same-line); a live waiver that still excuses a real finding must not be
+// flagged.  Keep the counts in sync with kExpectedFixtureFindings in
+// test_lint.cpp when editing.
+
+#define RG_REALTIME __attribute__((hot))
+
+namespace fixture {
+
+int stale_above_line() {
+  // rg-lint: allow(io) -- fixture: the print this excused is long gone  (1x stale_waiver)
+  return 5;
+}
+
+int stale_same_line() {
+  return 6;  // rg-lint: allow(alloc) -- fixture: the new[] this excused is gone  (1x stale_waiver)
+}
+
+struct FixtureMutexish {
+  void lock();
+};
+
+RG_REALTIME void live_waiver(FixtureMutexish& m) {
+  // rg-lint: allow(lock) -- fixture: live waiver still suppresses a finding
+  m.lock();
+}
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+// rg_lint fixture: thread-role discipline.
+//
+// Scanned (never compiled) by tests/test_lint.cpp.  Two cross-role calls
+// are seeded; calls to `any`-role and role-neutral functions, plus a
+// waived cross-role call, must not count.  Keep the counts in sync with
+// kExpectedFixtureFindings in test_lint.cpp when editing.
+
+#define RG_THREAD(role)
+
+namespace fixture {
+
+RG_THREAD(shard) int shard_only() { return 1; }
+RG_THREAD(pump) int pump_only() { return 2; }
+RG_THREAD(any) int any_role() { return 3; }
+int role_neutral() { return 4; }
+
+RG_THREAD(pump) int pump_calls_shard() {
+  return shard_only();  // 1x thread_role
+}
+
+RG_THREAD(admin) int admin_calls_pump() {
+  return pump_only();  // 1x thread_role
+}
+
+// Same-role, any-role, and role-neutral callees are all fine.
+RG_THREAD(pump) int pump_clean() { return pump_only() + any_role() + role_neutral(); }
+
+RG_THREAD(flusher) int flusher_waived() {
+  // rg-lint: allow(thread_role) -- fixture: waived cross-role call must not count
+  return shard_only();
+}
+
+}  // namespace fixture

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -39,6 +40,10 @@ struct SourceFile {
   // line -> allow classes granted on that line (a finding on line L is
   // waived by an allow on L or L-1).
   std::map<int, std::set<std::string>> allows;
+  // (line, class) waivers that suppressed at least one finding this run;
+  // the stale-waiver pass flags the rest.  Mutable: usage is recorded
+  // from the otherwise-const check passes.
+  mutable std::set<std::pair<int, std::string>> used_allows;
 };
 
 bool ident_start(char c) {
@@ -387,18 +392,42 @@ struct MetricSite {
   int line = 0;
 };
 
+struct RoleFn {
+  std::size_t file = 0;
+  std::string name;
+  std::string role;
+  int line = 0;
+  std::size_t body_begin = 0;
+  std::size_t body_end = 0;
+};
+
 struct Scan {
   std::vector<SourceFile> files;
   std::set<std::string> annotated;  // RG_REALTIME names (decls + defs)
   std::set<std::string> defined;    // names with an in-tree (src/) definition
   std::vector<RealtimeFn> realtime_fns;
   std::vector<MetricSite> metric_sites;
+  // RG_THREAD: name -> roles it is pinned to (decls + defs), and the
+  // role-annotated definitions whose bodies get checked.
+  std::map<std::string, std::set<std::string>> roles;
+  std::vector<RoleFn> role_fns;
+  // RG_DETERMINISTIC definitions (checked bodies; no propagation).
+  std::vector<RealtimeFn> det_fns;
+  // Malformed RG_THREAD sites: unparsable role list or a role outside
+  // the vocabulary (name/role empty for the former).
+  std::vector<RoleFn> thread_role_errors;
 };
+
+/// The thread-role vocabulary (src/common/realtime.hpp).
+const std::set<std::string> kThreadRoles = {"pump", "shard", "flusher", "admin", "any"};
 
 bool allowed(const SourceFile& f, int line, const char* cls) {
   for (const int l : {line, line - 1}) {
     const auto it = f.allows.find(l);
-    if (it != f.allows.end() && it->second.count(cls) != 0) return true;
+    if (it != f.allows.end() && it->second.count(cls) != 0) {
+      f.used_allows.insert({l, cls});
+      return true;
+    }
   }
   return false;
 }
@@ -424,7 +453,8 @@ struct Signature {
 Signature annotated_signature(const std::vector<Token>& toks, std::size_t rt) {
   const std::size_t limit = std::min(toks.size(), rt + 64);
   for (std::size_t i = rt + 1; i < limit; ++i) {
-    if (is(toks[i], "__attribute__") && i + 1 < toks.size() && is(toks[i + 1], "(")) {
+    if ((is(toks[i], "__attribute__") || is(toks[i], "RG_THREAD")) &&
+        i + 1 < toks.size() && is(toks[i + 1], "(")) {
       const std::size_t close = match_paren(toks, i + 1);
       if (close == kNpos) return {};
       i = close;  // loop increment steps past it
@@ -466,6 +496,50 @@ void scan_file(std::size_t file_index, Scan& scan) {
       const std::size_t end = match_brace(toks, body);
       if (end == kNpos) continue;
       scan.realtime_fns.push_back(
+          {file_index, sig.name, toks[sig.paren - 1].line, body + 1, end});
+      continue;
+    }
+
+    // RG_THREAD(role) annotations (declarations and definitions).
+    if (t.text == "RG_THREAD" && i + 1 < toks.size() && is(toks[i + 1], "(")) {
+      const std::size_t role_close = match_paren(toks, i + 1);
+      if (role_close != i + 3 || toks[i + 2].kind != Tok::kIdent) {
+        scan.thread_role_errors.push_back(
+            {file_index, "", "", t.line, 0, 0});
+        continue;
+      }
+      const std::string& role = toks[i + 2].text;
+      const Signature sig = annotated_signature(toks, role_close);
+      if (sig.paren == kNpos) continue;
+      if (kThreadRoles.count(role) == 0) {
+        scan.thread_role_errors.push_back(
+            {file_index, sig.name, role, toks[i + 2].line, 0, 0});
+        continue;
+      }
+      scan.roles[sig.name].insert(role);
+      const std::size_t close = match_paren(toks, sig.paren);
+      if (close == kNpos) continue;
+      const std::size_t body = find_body_brace(toks, close);
+      if (body == kNpos) continue;  // declaration
+      const std::size_t end = match_brace(toks, body);
+      if (end == kNpos) continue;
+      scan.role_fns.push_back(
+          {file_index, sig.name, role, toks[sig.paren - 1].line, body + 1, end});
+      continue;
+    }
+
+    // RG_DETERMINISTIC annotations: only definitions matter (no
+    // propagation); the digest paths are annotated at their bodies.
+    if (t.text == "RG_DETERMINISTIC") {
+      const Signature sig = annotated_signature(toks, i);
+      if (sig.paren == kNpos) continue;
+      const std::size_t close = match_paren(toks, sig.paren);
+      if (close == kNpos) continue;
+      const std::size_t body = find_body_brace(toks, close);
+      if (body == kNpos) continue;  // declaration
+      const std::size_t end = match_brace(toks, body);
+      if (end == kNpos) continue;
+      scan.det_fns.push_back(
           {file_index, sig.name, toks[sig.paren - 1].line, body + 1, end});
       continue;
     }
@@ -559,6 +633,110 @@ void check_realtime_body(const Scan& scan, const RealtimeFn& fn,
         add_finding(out, f, t.line, Check::kCall,
                     "RG_REALTIME function '" + fn.name + "' calls unannotated in-tree function '" +
                         t.text + "'");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 3: thread-role discipline (RG_THREAD bodies).
+// ---------------------------------------------------------------------------
+
+void check_thread_role_body(const Scan& scan, const RoleFn& fn,
+                            std::vector<Finding>& out) {
+  const SourceFile& f = scan.files[fn.file];
+  const std::vector<Token>& toks = f.toks;
+  for (std::size_t i = fn.body_begin; i < fn.body_end; ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Tok::kIdent) continue;
+    if (i + 1 >= toks.size() || !is(toks[i + 1], "(")) continue;
+    const auto it = scan.roles.find(t.text);
+    if (it == scan.roles.end()) continue;
+    const std::set<std::string>& callee_roles = it->second;
+    if (callee_roles.count(fn.role) != 0 || callee_roles.count("any") != 0) continue;
+    std::string roles_text;
+    for (const std::string& r : callee_roles) {
+      if (!roles_text.empty()) roles_text += "|";
+      roles_text += r;
+    }
+    add_finding(out, f, t.line, Check::kThreadRole,
+                "RG_THREAD(" + fn.role + ") function '" + fn.name +
+                    "' calls '" + t.text + "' which is pinned to RG_THREAD(" +
+                    roles_text + "); hand off through an SpscRing, an atomic, "
+                    "or a published snapshot instead");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 4: determinism discipline (RG_DETERMINISTIC bodies).
+// ---------------------------------------------------------------------------
+
+/// Tokens banned outright in RG_DETERMINISTIC bodies, with the
+/// nondeterminism class they introduce.
+const std::unordered_map<std::string, const char*>& nondet_idents() {
+  static const std::unordered_map<std::string, const char*> map = {
+      // randomness
+      {"rand", "randomness"},
+      {"srand", "randomness"},
+      {"rand_r", "randomness"},
+      {"drand48", "randomness"},
+      {"random_device", "randomness"},
+      {"mt19937", "randomness"},
+      {"mt19937_64", "randomness"},
+      {"default_random_engine", "randomness"},
+      // clock reads
+      {"clock_gettime", "clock read"},
+      {"gettimeofday", "clock read"},
+      {"steady_clock", "clock read"},
+      {"system_clock", "clock read"},
+      {"high_resolution_clock", "clock read"},
+      {"monotonic_ns", "clock read"},
+      // unordered-container iteration order
+      {"unordered_map", "unordered-container iteration order"},
+      {"unordered_set", "unordered-container iteration order"},
+      {"unordered_multimap", "unordered-container iteration order"},
+      {"unordered_multiset", "unordered-container iteration order"},
+      // pointer-keyed ordering
+      {"uintptr_t", "pointer-keyed ordering"},
+      {"intptr_t", "pointer-keyed ordering"},
+      // thread identity
+      {"this_thread", "thread identity"},
+      {"get_id", "thread identity"},
+  };
+  return map;
+}
+
+/// Tokens banned only as calls (`now(...)`): common enough as plain
+/// variable names that the bare identifier stays legal.
+const std::unordered_map<std::string, const char*>& nondet_calls() {
+  static const std::unordered_map<std::string, const char*> map = {
+      {"now", "clock read"},
+      {"time", "clock read"},
+      {"clock", "clock read"},
+  };
+  return map;
+}
+
+void check_deterministic_body(const Scan& scan, const RealtimeFn& fn,
+                              std::vector<Finding>& out) {
+  const SourceFile& f = scan.files[fn.file];
+  const std::vector<Token>& toks = f.toks;
+  for (std::size_t i = fn.body_begin; i < fn.body_end; ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Tok::kIdent) continue;
+    const auto banned = nondet_idents().find(t.text);
+    if (banned != nondet_idents().end()) {
+      add_finding(out, f, t.line, Check::kNondet,
+                  std::string(banned->second) + " ('" + t.text +
+                      "') in RG_DETERMINISTIC function '" + fn.name + "'");
+      continue;
+    }
+    if (i + 1 < toks.size() && is(toks[i + 1], "(")) {
+      const auto call = nondet_calls().find(t.text);
+      if (call != nondet_calls().end()) {
+        add_finding(out, f, t.line, Check::kNondet,
+                    std::string(call->second) + " ('" + t.text +
+                        "()') in RG_DETERMINISTIC function '" + fn.name + "'");
       }
     }
   }
@@ -689,18 +867,23 @@ void check_metrics(const Scan& scan, const Options& options,
   }
   if (sites.empty()) return;
 
-  const fs::path registry_path = fs::path(options.root) / options.registry_path;
-  std::ifstream reg_in(registry_path);
-  if (!reg_in) {
+  // The registry header is part of the scan set; reusing the scanned
+  // copy keeps waiver-usage tracking (the stale-waiver pass) accurate.
+  const SourceFile* reg_file = nullptr;
+  for (const SourceFile& file : scan.files) {
+    if (file.rel == options.registry_path) {
+      reg_file = &file;
+      break;
+    }
+  }
+  if (reg_file == nullptr) {
     const SourceFile& f = scan.files[sites.front().file];
     add_finding(out, f, sites.front().line, Check::kMetric,
                 "metric registry " + options.registry_path +
                     " is missing; run rg_lint --write-metric-registry");
     return;
   }
-  std::stringstream reg_buf;
-  reg_buf << reg_in.rdbuf();
-  const SourceFile reg = lex(options.registry_path, reg_buf.str());
+  const SourceFile& reg = *reg_file;
   std::map<std::string, int> registry;  // name -> line
   for (const Token& t : reg.toks) {
     if (t.kind == Tok::kString && registry_relevant(t.text)) {
@@ -744,6 +927,36 @@ void check_metrics(const Scan& scan, const Options& options,
 }
 
 // ---------------------------------------------------------------------------
+// Stale-waiver hygiene.  Runs after every finding-producing pass: any
+// harvested allow entry naming a known class that never suppressed a
+// finding has outlived the code it excused.  Unknown class names are
+// ignored (prose in doc comments about the waiver grammar is not a
+// waiver).
+// ---------------------------------------------------------------------------
+
+void check_stale_waivers(const Scan& scan, std::vector<Finding>& out) {
+  std::set<std::string> known;
+  for (const Check check : kAllChecks) known.insert(to_string(check));
+  // Two rounds: allow(stale_waiver) entries themselves are judged last,
+  // after any stale finding they might be suppressing has been emitted
+  // (and their use thereby recorded).
+  for (const bool meta_round : {false, true}) {
+    for (const SourceFile& f : scan.files) {
+      for (const auto& [line, classes] : f.allows) {
+        for (const std::string& cls : classes) {
+          if ((cls == to_string(Check::kStaleWaiver)) != meta_round) continue;
+          if (known.count(cls) == 0) continue;
+          if (f.used_allows.count({line, cls}) != 0) continue;
+          add_finding(out, f, line, Check::kStaleWaiver,
+                      "stale waiver: allow(" + cls +
+                          ") no longer suppresses any finding; remove it");
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // File discovery.
 // ---------------------------------------------------------------------------
 
@@ -777,7 +990,10 @@ std::vector<std::string> discover_files(const Options& options) {
   }
 
   // compile_commands.json supplements the walk (translation units that
-  // live outside the conventional directories).
+  // live outside the conventional directories) — and is checked for
+  // staleness: a database that references deleted files, or that lacks
+  // a src/ translation unit the walk found, silently narrows the scan,
+  // so both abort with a "re-run cmake" error instead.
   if (!options.compile_commands.empty()) {
     std::ifstream in(options.compile_commands);
     if (in) {
@@ -785,6 +1001,8 @@ std::vector<std::string> discover_files(const Options& options) {
       buf << in.rdbuf();
       const std::string json = buf.str();
       const std::string key = "\"file\":";
+      std::set<std::string> db_rels;
+      std::vector<std::string> missing;
       for (std::size_t pos = json.find(key); pos != std::string::npos;
            pos = json.find(key, pos + key.size())) {
         const std::size_t open = json.find('"', pos + key.size());
@@ -797,7 +1015,32 @@ std::vector<std::string> discover_files(const Options& options) {
         if (ec || rel_path.empty()) continue;
         const std::string rel = rel_path.generic_string();
         if (rel.rfind("..", 0) == 0 || excluded(rel) || !lintable(file)) continue;
-        if (fs::is_regular_file(file)) rels.insert(rel);
+        if (fs::is_regular_file(file)) {
+          rels.insert(rel);
+          db_rels.insert(rel);
+        } else {
+          missing.push_back(rel);
+        }
+      }
+      std::vector<std::string> uncompiled;
+      for (const std::string& rel : rels) {
+        if (rel.rfind("src/", 0) == 0 && rel.size() > 4 &&
+            rel.compare(rel.size() - 4, 4, ".cpp") == 0 &&
+            db_rels.count(rel) == 0) {
+          uncompiled.push_back(rel);
+        }
+      }
+      if (!missing.empty() || !uncompiled.empty()) {
+        std::string detail;
+        for (const std::string& rel : missing) {
+          detail += "\n  references deleted file: " + rel;
+        }
+        for (const std::string& rel : uncompiled) {
+          detail += "\n  missing translation unit: " + rel;
+        }
+        throw std::runtime_error("stale compile database " +
+                                 options.compile_commands +
+                                 "; re-run cmake -B build -S ." + detail);
       }
     }
   }
@@ -818,6 +1061,9 @@ const char* to_string(Check check) noexcept {
     case Check::kCast: return "cast";
     case Check::kMetric: return "metric";
     case Check::kErrorCode: return "errorcode";
+    case Check::kThreadRole: return "thread_role";
+    case Check::kNondet: return "nondet";
+    case Check::kStaleWaiver: return "stale_waiver";
   }
   return "unknown";
 }
@@ -836,13 +1082,33 @@ Report run(const Options& options) {
   Report report;
   report.files_scanned = scan.files.size();
   report.realtime_functions = scan.realtime_fns.size();
+  report.thread_role_functions = scan.role_fns.size();
+  report.deterministic_functions = scan.det_fns.size();
 
   for (const RealtimeFn& fn : scan.realtime_fns) {
     check_realtime_body(scan, fn, report.findings);
   }
+  for (const RoleFn& err : scan.thread_role_errors) {
+    const SourceFile& f = scan.files[err.file];
+    if (err.name.empty()) {
+      add_finding(report.findings, f, err.line, Check::kThreadRole,
+                  "malformed RG_THREAD annotation: expected RG_THREAD(role)");
+    } else {
+      add_finding(report.findings, f, err.line, Check::kThreadRole,
+                  "unknown thread role '" + err.role + "' on '" + err.name +
+                      "' (roles: pump, shard, flusher, admin, any)");
+    }
+  }
+  for (const RoleFn& fn : scan.role_fns) {
+    check_thread_role_body(scan, fn, report.findings);
+  }
+  for (const RealtimeFn& fn : scan.det_fns) {
+    check_deterministic_body(scan, fn, report.findings);
+  }
   for (const SourceFile& f : scan.files) check_casts(f, report.findings);
   check_errorcode(scan, options.errorcode_header, report.findings);
   check_metrics(scan, options, report.findings);
+  check_stale_waivers(scan, report.findings);
 
   std::set<std::string> names;
   for (const MetricSite& s : scan.metric_sites) {
@@ -883,6 +1149,71 @@ std::string render_metric_registry(std::vector<std::string> names) {
       "};\n"
       "\n"
       "}  // namespace rg::obs\n";
+  return out;
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_json(const Report& report) {
+  std::map<std::string, int> counts;
+  for (const Check check : kAllChecks) counts[to_string(check)] = 0;
+  for (const Finding& f : report.findings) ++counts[to_string(f.check)];
+
+  std::string out;
+  out += "{\n";
+  out += "  \"schema\": \"rg.lint.report/1\",\n";
+  out += "  \"files_scanned\": " + std::to_string(report.files_scanned) + ",\n";
+  out += "  \"realtime_functions\": " + std::to_string(report.realtime_functions) + ",\n";
+  out += "  \"thread_role_functions\": " + std::to_string(report.thread_role_functions) + ",\n";
+  out += "  \"deterministic_functions\": " +
+         std::to_string(report.deterministic_functions) + ",\n";
+  out += "  \"counts\": {";
+  bool first = true;
+  for (const Check check : kAllChecks) {
+    if (!first) out += ",";
+    first = false;
+    const std::string name = to_string(check);
+    out += "\n    \"" + name + "\": " + std::to_string(counts[name]);
+  }
+  out += "\n  },\n";
+  out += "  \"total\": " + std::to_string(report.findings.size()) + ",\n";
+  out += "  \"findings\": [";
+  first = true;
+  for (const Finding& f : report.findings) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n    {\"file\": \"" + json_escape(f.file) +
+           "\", \"line\": " + std::to_string(f.line) + ", \"class\": \"" +
+           to_string(f.check) + "\", \"message\": \"" + json_escape(f.message) + "\"}";
+  }
+  out += first ? "]\n" : "\n  ]\n";
+  out += "}\n";
   return out;
 }
 

@@ -1,7 +1,7 @@
 // rg_lint: the repo's real-time-discipline static analyzer.
 //
 // A deliberately small, dependency-free checker (no libclang): it lexes
-// the tree with a token-level C++ scanner and enforces four contracts
+// the tree with a token-level C++ scanner and enforces seven contracts
 // that the compiler cannot express:
 //
 //   1. Real-time discipline — every function annotated RG_REALTIME (see
@@ -16,12 +16,27 @@
 //   3. ErrorCode exhaustiveness — every enumerator of rg::ErrorCode has
 //      a distinct wire value and a to_string case.
 //   4. Cast gating — reinterpret_cast / const_cast anywhere in the tree
-//      requires an explicit `// rg-lint: allow(cast)` annotation.
+//      requires an explicit cast waiver annotation.
+//   5. Thread-role discipline — a function annotated RG_THREAD(role) may
+//      only call in-tree role-annotated functions of the same role or
+//      `any`; cross-role handoff goes through the approved boundary
+//      types (SpscRing, atomics, GatewaySnapshot publication).
+//   6. Determinism discipline — RG_DETERMINISTIC bodies (verdict and
+//      calibration digest paths) may not read clocks, draw randomness,
+//      iterate unordered containers, order by pointer value, or consult
+//      thread ids.
+//   7. Waiver hygiene — every `rg-lint` allow annotation must still
+//      suppress at least one finding; waivers that outlived the code
+//      they excused are flagged stale.
 //
-// Deliberate exceptions use `// rg-lint: allow(<class>[, <class>...])
-// [-- reason]` on the offending line or the line directly above.  The
-// full contract, the analyzer's known blind spots (macros, operators,
-// constructors), and the registry workflow live in
+// (The clang -Wthread-safety capability contract — Contract 7 in
+// docs/static-analysis.md — is enforced by the compiler via
+// scripts/check_thread_safety.sh, not by this scanner.)
+//
+// Deliberate exceptions use an `rg-lint` allow comment naming the
+// finding class(es), placed on the offending line or the line directly
+// above.  The full contracts, the analyzer's known blind spots (macros,
+// operators, constructors), and the registry workflow live in
 // docs/static-analysis.md.
 //
 // Built as a library so tests/test_lint.cpp can drive it in-process
@@ -37,16 +52,27 @@ namespace rg::lint {
 /// Finding classes.  The string form (to_string) doubles as the
 /// allow-annotation class name.
 enum class Check {
-  kAlloc,      ///< new/malloc/make_unique/... in an RG_REALTIME body
-  kLock,       ///< mutex/lock_guard/lock()/... in an RG_REALTIME body
-  kIo,         ///< printf/iostream/file I/O in an RG_REALTIME body
-  kThrow,      ///< throw in an RG_REALTIME body
-  kBlock,      ///< sleep/wait/recv/... in an RG_REALTIME body
-  kPushBack,   ///< push_back/emplace_back in an RG_REALTIME body
-  kCall,       ///< RG_REALTIME body calls an unannotated in-tree function
-  kCast,       ///< reinterpret_cast/const_cast without allow(cast)
-  kMetric,     ///< metric literal unregistered / stale / undocumented
-  kErrorCode,  ///< ErrorCode enumerator without to_string case / dup value
+  kAlloc,       ///< new/malloc/make_unique/... in an RG_REALTIME body
+  kLock,        ///< mutex/lock_guard/lock()/... in an RG_REALTIME body
+  kIo,          ///< printf/iostream/file I/O in an RG_REALTIME body
+  kThrow,       ///< throw in an RG_REALTIME body
+  kBlock,       ///< sleep/wait/recv/... in an RG_REALTIME body
+  kPushBack,    ///< push_back/emplace_back in an RG_REALTIME body
+  kCall,        ///< RG_REALTIME body calls an unannotated in-tree function
+  kCast,        ///< reinterpret_cast/const_cast without a cast waiver
+  kMetric,      ///< metric literal unregistered / stale / undocumented
+  kErrorCode,   ///< ErrorCode enumerator without to_string case / dup value
+  kThreadRole,  ///< RG_THREAD(role) body calls a function pinned elsewhere
+  kNondet,      ///< clock/rand/unordered/... in an RG_DETERMINISTIC body
+  kStaleWaiver, ///< allow annotation that no longer suppresses anything
+};
+
+/// Every check class, in report order (JSON counts iterate this).
+inline constexpr Check kAllChecks[] = {
+    Check::kAlloc,     Check::kLock,   Check::kIo,        Check::kThrow,
+    Check::kBlock,     Check::kPushBack, Check::kCall,    Check::kCast,
+    Check::kMetric,    Check::kErrorCode, Check::kThreadRole, Check::kNondet,
+    Check::kStaleWaiver,
 };
 
 /// Allow-annotation / report name for a check class ("alloc", "cast", ...).
@@ -64,7 +90,10 @@ struct Options {
   /// it (those that exist; falls back to the root itself otherwise).
   std::string root = ".";
   /// Optional compile_commands.json; "file" entries under the root are
-  /// merged into the scan set (headers still come from the walk).
+  /// merged into the scan set (headers still come from the walk).  When
+  /// set, the database is also checked for staleness: entries whose
+  /// files no longer exist, or src/ translation units missing from the
+  /// database, abort the run with a "re-run cmake" error.
   std::string compile_commands;
   /// Registry header path, relative to root.
   std::string registry_path = "src/obs/metric_names.hpp";
@@ -80,15 +109,23 @@ struct Report {
   std::vector<Finding> findings;
   std::size_t files_scanned = 0;
   std::size_t realtime_functions = 0;  ///< RG_REALTIME definitions analyzed
+  std::size_t thread_role_functions = 0;  ///< RG_THREAD definitions analyzed
+  std::size_t deterministic_functions = 0;  ///< RG_DETERMINISTIC definitions analyzed
   std::vector<std::string> metric_names;  ///< discovered, deduped, sorted
 };
 
 /// Run every check over the tree.  Throws std::runtime_error only for
-/// environmental failures (unreadable root); findings never throw.
+/// environmental failures (unreadable root, stale compile_commands);
+/// findings never throw.
 [[nodiscard]] Report run(const Options& options);
 
 /// Render the metric registry header for the given (discovered) names.
 /// Deterministic: names are deduped and sorted.
 [[nodiscard]] std::string render_metric_registry(std::vector<std::string> names);
+
+/// Render a report as "rg.lint.report/1" JSON: schema tag, scan
+/// counters, per-class finding counts (zero-filled), total, and the
+/// findings array.  Deterministic for a given report.
+[[nodiscard]] std::string render_json(const Report& report);
 
 }  // namespace rg::lint

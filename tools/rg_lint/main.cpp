@@ -1,11 +1,12 @@
 // rg_lint CLI.  Exit codes: 0 clean, 1 findings, 2 usage/environment.
 //
-//   rg_lint [--root DIR] [--compile-commands FILE]
+//   rg_lint [--root DIR] [--compile-commands FILE] [--json FILE]
 //           [--write-metric-registry] [--list-metrics] [--quiet]
 //
-// scripts/tier1.sh stage 6 runs `rg_lint --root .` from the repo root;
-// `--write-metric-registry` regenerates src/obs/metric_names.hpp after
-// adding or removing a metric (the diff is committed).
+// scripts/tier1.sh stage 7 runs `rg_lint --root . --json` and gates on
+// the machine-readable "rg.lint.report/1" document instead of grepping
+// stdout; `--write-metric-registry` regenerates src/obs/metric_names.hpp
+// after adding or removing a metric (the diff is committed).
 
 #include <cstring>
 #include <fstream>
@@ -17,7 +18,7 @@
 namespace {
 
 int usage(std::ostream& os, int code) {
-  os << "usage: rg_lint [--root DIR] [--compile-commands FILE]\n"
+  os << "usage: rg_lint [--root DIR] [--compile-commands FILE] [--json FILE]\n"
         "               [--write-metric-registry] [--list-metrics] [--quiet]\n";
   return code;
 }
@@ -26,6 +27,7 @@ int usage(std::ostream& os, int code) {
 
 int main(int argc, char** argv) {
   rg::lint::Options options;
+  std::string json_path;
   bool write_registry = false;
   bool list_metrics = false;
   bool quiet = false;
@@ -47,6 +49,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return 2;
       options.compile_commands = v;
+    } else if (arg == "--json") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      json_path = v;
     } else if (arg == "--write-metric-registry") {
       write_registry = true;
     } else if (arg == "--list-metrics") {
@@ -91,6 +97,15 @@ int main(int argc, char** argv) {
   if (list_metrics) {
     for (const std::string& name : report.metric_names) std::cout << name << "\n";
     return 0;
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "rg_lint: cannot write " << json_path << "\n";
+      return 2;
+    }
+    out << rg::lint::render_json(report);
   }
 
   for (const rg::lint::Finding& f : report.findings) {
